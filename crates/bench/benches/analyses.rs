@@ -1,0 +1,217 @@
+//! Criterion micro-benchmarks: steady-state timing of each analysis on
+//! fixed inputs (complements the table binaries, which measure scaling).
+
+use cfa_core::engine::EngineLimits;
+use cfa_core::{analyze_kcfa, analyze_mcfa, analyze_poly_kcfa};
+use cfa_fj::{analyze_fj, parse_fj, FjAnalysisOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Keep total bench time reasonable: the scaling stories live in the
+/// table binaries; criterion only tracks steady-state regressions.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+}
+
+fn bench_suite_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite");
+    tune(&mut group);
+    for program in cfa_workloads::suite() {
+        // interp/scm2c under k=1 run for seconds per iteration; the
+        // table2 binary covers them.
+        if matches!(program.name, "interp" | "scm2c") {
+            continue;
+        }
+        let cps = cfa_syntax::compile(program.source).expect("suite compiles");
+        group.bench_with_input(BenchmarkId::new("kcfa1", program.name), &cps, |b, p| {
+            b.iter(|| analyze_kcfa(p, 1, EngineLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("mcfa1", program.name), &cps, |b, p| {
+            b.iter(|| analyze_mcfa(p, 1, EngineLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("poly1", program.name), &cps, |b, p| {
+            b.iter(|| analyze_poly_kcfa(p, 1, EngineLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("kcfa0", program.name), &cps, |b, p| {
+            b.iter(|| analyze_kcfa(p, 0, EngineLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case");
+    tune(&mut group);
+    for n in [2usize, 4, 6] {
+        let src = cfa_workloads::worst_case_source(n);
+        let cps = cfa_syntax::compile(&src).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("kcfa1", n), &cps, |b, p| {
+            b.iter(|| analyze_kcfa(p, 1, EngineLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("mcfa1", n), &cps, |b, p| {
+            b.iter(|| analyze_mcfa(p, 1, EngineLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fj");
+    tune(&mut group);
+    for (n, m) in [(4usize, 4usize), (8, 8)] {
+        let src = cfa_workloads::oo_program(n, m);
+        let program = parse_fj(&src).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("paper_k1", format!("{n}x{m}")),
+            &program,
+            |b, p| b.iter(|| analyze_fj(p, FjAnalysisOptions::paper(1), EngineLimits::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oo_k1", format!("{n}x{m}")),
+            &program,
+            |b, p| b.iter(|| analyze_fj(p, FjAnalysisOptions::oo(1), EngineLimits::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = cfa_workloads::suite()
+        .into_iter()
+        .find(|p| p.name == "scm2c")
+        .unwrap()
+        .source;
+    c.bench_function("frontend/compile_scm2c", |b| {
+        b.iter(|| cfa_syntax::compile(src).unwrap())
+    });
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zerocfa_constraints");
+    tune(&mut group);
+    for p in cfa_workloads::suite() {
+        if !matches!(p.name, "sat" | "scm2c") {
+            continue;
+        }
+        let cps = cfa_syntax::compile(p.source).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("solve", p.name), &cps, |b, prog| {
+            b.iter(|| cfa_core::constraints::solve_zerocfa(prog))
+        });
+    }
+    group.finish();
+}
+
+fn bench_abstract_gc(c: &mut Criterion) {
+    use cfa_core::naive::{analyze_kcfa_naive_with, NaiveLimits};
+    let src = cfa_workloads::worst_case_source(3);
+    let cps = cfa_syntax::compile(&src).expect("compiles");
+    let limits = NaiveLimits { max_states: 50_000, time_budget: None };
+    let mut group = c.benchmark_group("naive_gc");
+    tune(&mut group);
+    group.bench_function("with_gc", |b| {
+        b.iter(|| analyze_kcfa_naive_with(&cps, 1, limits, true))
+    });
+    group.finish();
+}
+
+fn bench_fj_datalog(c: &mut Criterion) {
+    use cfa_fj::{analyze_fj_datalog, FjDatalogOptions};
+    let mut group = c.benchmark_group("fj_datalog");
+    tune(&mut group);
+    for (n, m) in [(4usize, 4usize), (8, 8)] {
+        let src = cfa_workloads::oo_program(n, m);
+        let program = parse_fj(&src).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("k1", format!("{n}x{m}")),
+            &program,
+            |b, p| b.iter(|| analyze_fj_datalog(p, FjDatalogOptions::sensitive(1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("k0", format!("{n}x{m}")),
+            &program,
+            |b, p| b.iter(|| analyze_fj_datalog(p, FjDatalogOptions::insensitive())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fj_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fj_suite");
+    tune(&mut group);
+    for prog in cfa_workloads::fj_suite() {
+        let program = parse_fj(prog.source).expect("parses");
+        group.bench_with_input(BenchmarkId::new("oo_k1", prog.name), &program, |b, p| {
+            b.iter(|| analyze_fj(p, FjAnalysisOptions::oo(1), EngineLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fj_gamma(c: &mut Criterion) {
+    use cfa_fj::naive::{analyze_fj_naive, FjNaiveOptions};
+    let src = cfa_workloads::oo_program(2, 2);
+    let program = parse_fj(&src).expect("parses");
+    let mut group = c.benchmark_group("fj_gamma");
+    tune(&mut group);
+    group.bench_function("naive_plain", |b| {
+        b.iter(|| analyze_fj_naive(&program, FjNaiveOptions::paper(1)))
+    });
+    group.bench_function("naive_gc", |b| {
+        b.iter(|| analyze_fj_naive(&program, FjNaiveOptions::paper(1).with_gc()))
+    });
+    group.bench_function("naive_gc_counting", |b| {
+        b.iter(|| analyze_fj_naive(&program, FjNaiveOptions::paper(1).with_gc().with_counting()))
+    });
+    group.finish();
+}
+
+fn bench_datalog_engine(c: &mut Criterion) {
+    use cfa_datalog::{ConstPool, DatalogProgram, Term};
+    let mut group = c.benchmark_group("datalog_engine");
+    tune(&mut group);
+    // Transitive closure over a 60-node cycle: a pure engine stress.
+    let v = |s: &str| Term::var(s);
+    group.bench_function("tc_cycle_60", |b| {
+        b.iter(|| {
+            let mut program = DatalogProgram::new();
+            let edge = program.relation("edge", 2);
+            let path = program.relation("path", 2);
+            program
+                .rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])])
+                .unwrap();
+            program
+                .rule(
+                    path,
+                    vec![v("x"), v("z")],
+                    vec![(path, vec![v("x"), v("y")]), (edge, vec![v("y"), v("z")])],
+                )
+                .unwrap();
+            let mut pool = ConstPool::new();
+            let nodes: Vec<_> = (0..60).map(|i| pool.intern(&format!("n{i}"))).collect();
+            let mut db = program.database();
+            for i in 0..60 {
+                db.insert(edge, &[nodes[i], nodes[(i + 1) % 60]]);
+            }
+            program.run(&mut db);
+            db.count(path)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suite_programs,
+    bench_worst_case,
+    bench_fj,
+    bench_frontend,
+    bench_constraints,
+    bench_abstract_gc,
+    bench_fj_datalog,
+    bench_fj_suite,
+    bench_fj_gamma,
+    bench_datalog_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Experiment E12 — sweeping the context-depth hierarchy.
+//!
+//! The paper presents k-CFA and m-CFA as *hierarchies* indexed by
+//! context depth. This binary sweeps depth 0–2 for all three CPS
+//! analyses over representative suite programs, and depth 0–2 for the
+//! OO k-CFA over the OO suite, reporting time and precision. The
+//! pattern the paper predicts: precision gains cost polynomially in
+//! the flat hierarchies (m-CFA, poly-k, OO) but explode for
+//! shared-environment k-CFA.
+//!
+//! Usage: `cargo run -p cfa-bench --bin depth_sweep --release`
+
+use cfa_bench::{cell_budget, fmt_duration_precise, run_cell};
+use cfa_core::engine::{EngineLimits, Status};
+use cfa_core::Analysis;
+use cfa_fj::{analyze_fj, parse_fj, FjAnalysisOptions};
+
+fn main() {
+    let budget = cell_budget();
+    println!("E12 — the context-depth hierarchy (depths 0, 1, 2)");
+    println!();
+    println!("functional suite (time, #inlinings):");
+    println!(
+        "{:>9} | {:>9} | {:>16} {:>16} {:>16}",
+        "program", "analysis", "depth 0", "depth 1", "depth 2"
+    );
+    for prog in cfa_workloads::suite() {
+        if !matches!(prog.name, "eta" | "sat" | "regex" | "interp") {
+            continue;
+        }
+        let cps = cfa_syntax::compile(prog.source).expect("suite compiles");
+        for family in ["k-CFA", "m-CFA", "poly-k"] {
+            let mut cells = Vec::new();
+            for depth in 0..=2usize {
+                let analysis = match family {
+                    "k-CFA" => Analysis::KCfa { k: depth },
+                    "m-CFA" => Analysis::MCfa { m: depth },
+                    _ => Analysis::PolyKCfa { k: depth },
+                };
+                let m = run_cell(&cps, analysis, budget);
+                cells.push(match m.status {
+                    Status::Completed => format!(
+                        "{} {}",
+                        fmt_duration_precise(m.elapsed),
+                        m.singleton_user_calls
+                    ),
+                    _ => "∞".to_owned(),
+                });
+            }
+            println!(
+                "{:>9} | {:>9} | {:>16} {:>16} {:>16}",
+                prog.name, family, cells[0], cells[1], cells[2]
+            );
+        }
+        println!();
+    }
+
+    println!("OO suite (time, monomorphic/reachable):");
+    println!(
+        "{:>9} | {:>20} {:>20} {:>20}",
+        "program", "k=0", "k=1", "k=2"
+    );
+    for prog in cfa_workloads::fj_suite() {
+        let p = parse_fj(prog.source).expect("suite parses");
+        let mut cells = Vec::new();
+        for depth in 0..=2usize {
+            let r = analyze_fj(&p, FjAnalysisOptions::oo(depth), EngineLimits::timeout(budget));
+            cells.push(match r.metrics.status {
+                Status::Completed => format!(
+                    "{} {}/{}",
+                    fmt_duration_precise(r.metrics.elapsed),
+                    r.metrics.monomorphic_calls,
+                    r.metrics.reachable_calls
+                ),
+                _ => "∞".to_owned(),
+            });
+        }
+        println!("{:>9} | {:>20} {:>20} {:>20}", prog.name, cells[0], cells[1], cells[2]);
+    }
+    println!();
+    println!("Depth is nearly free for every flat hierarchy; only shared-");
+    println!("environment k-CFA pays super-polynomially (∞ cells, if any).");
+}

@@ -1,0 +1,65 @@
+//! Experiments E1 + E2 — the Figure 1 / Figure 2 environment counts.
+//!
+//! Analyzes the same N×M "paradox program" in both paradigms under
+//! 1-CFA and reports the number of abstract environments:
+//!
+//! * functional form (Figure 2, shared-environment k-CFA): the probe
+//!   λ-term is analyzed in `O(N·M)` environments;
+//! * OO form (Figure 1, Featherweight Java k-CFA): `O(N+M)` abstract
+//!   contexts (`B̂Env ≅ T̂ime` — environments collapse to times);
+//! * functional form under m-CFA: `O(N+M)` — the paper's payoff.
+//!
+//! Usage: `cargo run -p cfa-bench --bin fig12 --release`
+
+use cfa_core::engine::EngineLimits;
+use cfa_core::{analyze_kcfa, analyze_mcfa};
+use cfa_fj::{analyze_fj, parse_fj, FjAnalysisOptions};
+
+/// Finds the probe λ (parameter `paradox-probe.*`) and returns its
+/// entry-environment count.
+fn probe_env_count(metrics: &cfa_core::Metrics, program: &cfa_syntax::CpsProgram) -> usize {
+    program
+        .lam_ids()
+        .filter(|&l| {
+            program
+                .lam(l)
+                .params
+                .first()
+                .map(|p| program.name(*p).starts_with("paradox-probe"))
+                .unwrap_or(false)
+        })
+        .map(|l| metrics.env_count(l))
+        .sum()
+}
+
+fn main() {
+    println!("E1+E2 / Figures 1 & 2 — abstract environment counts under 1-CFA");
+    println!();
+    println!(
+        "{:>3} {:>3}  {:>14} {:>14} {:>14}  {:>14}",
+        "N", "M", "fn k=1 (probe)", "fn k=1 (all)", "fn m=1 (all)", "FJ k=1 (times)"
+    );
+
+    for (n, m) in [(1, 1), (2, 2), (3, 3), (4, 4), (6, 6), (8, 8), (4, 8), (8, 4)] {
+        let fn_src = cfa_workloads::fn_program(n, m);
+        let fn_prog = cfa_syntax::compile(&fn_src).expect("fn program compiles");
+        let k1 = analyze_kcfa(&fn_prog, 1, EngineLimits::default());
+        let m1 = analyze_mcfa(&fn_prog, 1, EngineLimits::default());
+        let probe = probe_env_count(&k1.metrics, &fn_prog);
+
+        let oo_src = cfa_workloads::oo_program(n, m);
+        let oo_prog = parse_fj(&oo_src).expect("oo program parses");
+        let fj = analyze_fj(&oo_prog, FjAnalysisOptions::oo(1), EngineLimits::default());
+
+        println!(
+            "{n:>3} {m:>3}  {probe:>14} {:>14} {:>14}  {:>14}",
+            k1.metrics.distinct_envs,
+            m1.metrics.distinct_envs,
+            fj.metrics.time_count,
+        );
+    }
+
+    println!();
+    println!("Expected shape: the probe column grows like N·M; the m-CFA and FJ");
+    println!("columns grow like N+M (the k-CFA paradox, Figures 1 and 2).");
+}

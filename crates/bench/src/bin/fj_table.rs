@@ -1,0 +1,64 @@
+//! Experiment E11 — OO speed + precision table (the §6.2 methodology
+//! applied to the Featherweight Java side of the bridge).
+//!
+//! For each OO suite program and each analysis configuration, reports
+//! analysis time, reached configurations, and the devirtualization
+//! metric (monomorphic / reachable invocation sites — the OO analog of
+//! the paper's "number of inlinings"). The Datalog implementation runs
+//! alongside as an agreement check.
+//!
+//! Usage: `cargo run -p cfa-bench --bin fj_table --release`
+
+use cfa_core::engine::EngineLimits;
+use cfa_fj::{
+    analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions,
+};
+use cfa_workloads::suite_fj::fj_suite;
+
+fn main() {
+    println!("E11 / §6.2-for-OO — speed and devirtualization precision");
+    println!(
+        "{:>9} {:>6} | {:>22} {:>9} {:>9} {:>11} {:>7}",
+        "program", "stmts", "analysis", "configs", "mono/call", "time", "dl=?"
+    );
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let configs = [
+            ("OO k=0", FjAnalysisOptions::oo(0)),
+            ("OO k=1", FjAnalysisOptions::oo(1)),
+            ("OO k=2", FjAnalysisOptions::oo(2)),
+            ("paper (per-stmt) k=1", FjAnalysisOptions::paper(1)),
+        ];
+        for (label, options) in configs {
+            let r = analyze_fj(&p, options, EngineLimits::default());
+            // Datalog agreement for the OO-policy rows with k ≤ 2.
+            let dl = if matches!(options.policy, cfa_fj::TickPolicy::OnInvocation) {
+                let d = analyze_fj_datalog(&p, FjDatalogOptions::sensitive(options.k));
+                if d.call_targets == r.metrics.call_targets
+                    && d.halt_classes == r.metrics.halt_classes
+                {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "-"
+            };
+            println!(
+                "{:>9} {:>6} | {:>22} {:>9} {:>5}/{:<3} {:>11} {:>7}",
+                prog.name,
+                p.stmt_count(),
+                label,
+                r.metrics.config_count,
+                r.metrics.monomorphic_calls,
+                r.metrics.reachable_calls,
+                format!("{:.1?}", r.metrics.elapsed),
+                dl,
+            );
+            assert!(dl != "NO", "Datalog disagreement on {}", prog.name);
+        }
+        println!();
+    }
+    println!("Context depth buys devirtualization: k=1 resolves receiver-split");
+    println!("call sites that k=0 merges, at polynomial cost either way.");
+}

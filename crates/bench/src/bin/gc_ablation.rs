@@ -1,0 +1,55 @@
+//! Experiment E8 (extension) — abstract garbage collection (ΓCFA).
+//!
+//! The paper's §8 proposes carrying abstract GC across the
+//! functional/OO bridge. This ablation applies ΓCFA to the naive
+//! per-state-store k-CFA (§3.6) and measures the state-space reduction
+//! on the worst-case family.
+//!
+//! Usage: `cargo run -p cfa-bench --bin gc_ablation --release`
+
+use cfa_core::naive::{analyze_kcfa_naive_with, NaiveLimits};
+use cfa_core::Status;
+use std::time::Duration;
+
+fn main() {
+    println!("E8 / §8 extension — abstract GC on naive 1-CFA");
+    println!(
+        "{:>3} {:>6} {:>14} {:>14} {:>10}",
+        "n", "Terms", "states", "states (GC)", "reduction"
+    );
+    let limits = NaiveLimits {
+        max_states: 200_000,
+        time_budget: Some(Duration::from_secs(15)),
+    };
+    for n in [1usize, 2, 3, 4] {
+        let src = cfa_workloads::worst_case_source(n);
+        let program = cfa_syntax::compile(&src).expect("compiles");
+        let plain = analyze_kcfa_naive_with(&program, 1, limits, false);
+        let gc = analyze_kcfa_naive_with(&program, 1, limits, true);
+        let fmt = |r: &cfa_core::NaiveResult| {
+            if r.status == Status::Completed {
+                r.state_count.to_string()
+            } else {
+                format!(">{}", r.state_count)
+            }
+        };
+        let reduction = if gc.state_count > 0 {
+            format!("{:.1}x", plain.state_count as f64 / gc.state_count as f64)
+        } else {
+            "-".to_owned()
+        };
+        println!(
+            "{n:>3} {:>6} {:>14} {:>14} {:>10}",
+            program.term_count(),
+            fmt(&plain),
+            fmt(&gc),
+            reduction
+        );
+        if plain.status == Status::Completed && gc.status == Status::Completed {
+            assert_eq!(plain.halt_values, gc.halt_values, "GC must not change results");
+        }
+    }
+    println!();
+    println!("Abstract GC collapses states that differ only in dead bindings;");
+    println!("halt values are identical with and without collection.");
+}

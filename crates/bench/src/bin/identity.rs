@@ -1,0 +1,32 @@
+//! Experiment E5 — the §6 identity example.
+//!
+//! Without an intervening call, k=1, m=1, and poly-1 all conclude the
+//! program's value is `4`. With a call to `do-something` inside
+//! `identity`, naive polynomial 1CFA's last-1-call-site context merges
+//! the two bindings of `x` (result: `{3, 4}`), while m-CFA's top-1-frame
+//! context and k-CFA stay precise (`{4}`).
+//!
+//! Usage: `cargo run -p cfa-bench --bin identity --release`
+
+use cfa_core::engine::EngineLimits;
+use cfa_core::Analysis;
+use cfa_workloads::{IDENTITY_PLAIN, IDENTITY_WITH_CALL};
+
+fn main() {
+    println!("E5 / §6 — identity example precision");
+    for (title, src) in [
+        ("without intervening call", IDENTITY_PLAIN),
+        ("with intervening (do-something)", IDENTITY_WITH_CALL),
+    ] {
+        println!("\n{title}:");
+        let program = cfa_syntax::compile(src).expect("identity example compiles");
+        for analysis in Analysis::paper_panel() {
+            let m = cfa_core::analyze(&program, analysis, EngineLimits::default());
+            let values: Vec<&str> = m.halt_values.iter().map(String::as_str).collect();
+            println!("  {:>10}: {{{}}}", analysis.short_name(), values.join(", "));
+        }
+    }
+    println!();
+    println!("Expected: poly k=1 degrades to {{3, 4}} only when the intervening");
+    println!("call is present; k=1 and m=1 always answer {{4}} (paper §6).");
+}

@@ -1,0 +1,54 @@
+//! Experiment E3 — the §6.1.1 worst-case scaling table.
+//!
+//! Reproduces:
+//!
+//! ```text
+//! Terms   k = 1   m = 1   poly., k=1   k = 0
+//!   69      ϵ       ϵ         ϵ          ϵ
+//!  ...
+//! 1743      ∞     51 m      ∞        3 m 48 s
+//! ```
+//!
+//! The absolute numbers depend on the machine; the *shape* is the
+//! result: shared-environment k-CFA explodes orders of magnitude before
+//! the flat-environment analyses.
+//!
+//! Usage: `cargo run -p cfa-bench --bin table1 --release`
+//! (set `CFA_CELL_TIMEOUT_SECS` to change the per-cell budget).
+
+use cfa_bench::{cell_budget, fmt_cell, row, run_cell};
+use cfa_core::Analysis;
+
+fn main() {
+    let budget = cell_budget();
+    let panel = Analysis::paper_panel();
+    let widths = [5, 6, 10, 10, 12, 10];
+
+    println!("E3 / §6.1.1 — worst-case scaling (per-cell budget {budget:?})");
+    println!(
+        "{}",
+        row(
+            &[
+                "n".into(),
+                "Terms".into(),
+                "k=1".into(),
+                "m=1".into(),
+                "poly k=1".into(),
+                "k=0".into(),
+            ],
+            &widths,
+        )
+    );
+
+    for wc in cfa_workloads::paper_series_programs() {
+        let program = cfa_syntax::compile(&wc.source).expect("worst-case compiles");
+        let mut cells = vec![wc.n.to_string(), wc.terms.to_string()];
+        for analysis in panel {
+            let metrics = run_cell(&program, analysis, budget);
+            cells.push(fmt_cell(&metrics));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    println!();
+    println!("ϵ = < 1 s; ∞ = exceeded the per-cell budget.");
+}

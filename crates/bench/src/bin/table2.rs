@@ -1,0 +1,60 @@
+//! Experiment E4 — the §6.2 speed + precision table.
+//!
+//! For every suite program and every analysis in the paper's panel,
+//! reports running time and the number of inlinings the result supports
+//! (call sites with a singleton procedure flow set).
+//!
+//! Expected shape (paper §6.2): m=1 matches k=1's precision at equal or
+//! lower cost; naive poly-1CFA matches 0CFA's precision and is
+//! sometimes *slower* than k-CFA.
+//!
+//! Usage: `cargo run -p cfa-bench --bin table2 --release`
+
+use cfa_bench::{cell_budget, fmt_duration_precise, row, run_cell};
+use cfa_core::engine::Status;
+use cfa_core::Analysis;
+
+fn main() {
+    let budget = cell_budget();
+    let panel = Analysis::paper_panel();
+    let widths = [9, 6, 14, 14, 14, 14];
+
+    println!("E4 / §6.2 — speed and precision (inlinings) per analysis");
+    println!(
+        "{}",
+        row(
+            &[
+                "Prog".into(),
+                "Terms".into(),
+                "k=1".into(),
+                "m=1".into(),
+                "poly k=1".into(),
+                "k=0".into(),
+            ],
+            &widths,
+        )
+    );
+
+    let mut programs = cfa_workloads::suite();
+    programs.extend(cfa_workloads::extended_suite());
+    for p in programs {
+        let program = cfa_syntax::compile(p.source).expect("suite compiles");
+        let mut cells = vec![p.name.to_owned(), program.term_count().to_string()];
+        for analysis in panel {
+            let m = run_cell(&program, analysis, budget);
+            let cell = match m.status {
+                Status::Completed => format!(
+                    "{} {}",
+                    fmt_duration_precise(m.elapsed),
+                    m.singleton_user_calls
+                ),
+                _ => "∞ -".to_owned(),
+            };
+            cells.push(cell);
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    println!();
+    println!("Rows below 'scm2c' are classic CFA benchmarks beyond the paper's");
+    println!("seven. Each cell: time, then #inlinings (singleton call sites).");
+}

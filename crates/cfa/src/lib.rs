@@ -1,0 +1,75 @@
+//! The complete reproduction of Might, Smaragdakis & Van Horn,
+//! *Resolving and Exploiting the k-CFA Paradox* (PLDI 2010), as one
+//! facade crate.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`syntax`] | S-exprs, mini-Scheme, CPS core language, CPS conversion |
+//! | [`concrete`] | concrete CPS machines (shared-env §3.2, flat-env §5.1) |
+//! | [`analysis`] | k-CFA (§3), m-CFA (§5), naive polynomial k-CFA (§6), naive state search (§3.6) |
+//! | [`fj`] | A-Normal Featherweight Java: parser, concrete semantics, OO k-CFA (§4), Datalog points-to, ΓCFA (§8) |
+//! | [`datalog`] | the semi-naive Datalog engine behind the §1 "Datalog road" |
+//! | [`workloads`] | the worst-case family, Figure 1/2 programs, the §6.2 suite + OO suite |
+//!
+//! # Quick start
+//!
+//! ```
+//! use cfa::analysis::{Analysis, EngineLimits};
+//!
+//! let program = cfa::compile("(define (id x) x) (let ((a (id 3))) (id 4))")?;
+//! let m1 = cfa::analyze(&program, Analysis::MCfa { m: 1 }, EngineLimits::default());
+//! assert!(m1.halt_values.contains("4"));
+//! assert!(!m1.halt_values.contains("3")); // context-sensitive!
+//! # Ok::<(), cfa::syntax::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cfa_concrete as concrete;
+pub use cfa_core as analysis;
+pub use cfa_datalog as datalog;
+pub use cfa_fj as fj;
+pub use cfa_syntax as syntax;
+pub use cfa_workloads as workloads;
+
+pub use cfa_core::{analyze, Analysis, Metrics};
+pub use cfa_syntax::{compile, CpsProgram};
+
+/// Compiles mini-Scheme source and runs one analysis — the one-call API.
+///
+/// # Errors
+///
+/// Returns the parse error on malformed source.
+///
+/// # Examples
+///
+/// ```
+/// use cfa::analysis::Analysis;
+///
+/// let m = cfa::analyze_source("((lambda (x) x) 1)", Analysis::KCfa { k: 1 })?;
+/// assert!(m.status.is_complete());
+/// # Ok::<(), cfa::syntax::ParseError>(())
+/// ```
+pub fn analyze_source(
+    src: &str,
+    analysis: Analysis,
+) -> Result<Metrics, cfa_syntax::ParseError> {
+    let program = compile(src)?;
+    Ok(analyze(&program, analysis, cfa_core::EngineLimits::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_round_trip() {
+        let m = analyze_source("42", Analysis::KCfa { k: 0 }).unwrap();
+        assert!(m.halt_values.contains("42"));
+    }
+
+    #[test]
+    fn facade_surfaces_parse_errors() {
+        assert!(analyze_source("(", Analysis::KCfa { k: 0 }).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! `cfa` — analyze mini-Scheme or Featherweight Java programs from the
+//! command line.
+//!
+//! ```text
+//! cfa analyze [--kcfa K | --mcfa M | --poly K] [--all] FILE.scm
+//! cfa run FILE.scm                  # concrete execution (shared envs)
+//! cfa cps FILE.scm                  # print the CPS conversion
+//! cfa dot FILE.scm                  # 1-CFA call graph as Graphviz dot
+//! cfa fj [--k K] [--per-statement] FILE.java
+//! cfa fj-run FILE.java              # concrete FJ execution
+//! cfa fj-dot [--k K] FILE.java      # method-level call graph as dot
+//! cfa fj-datalog [--k K] FILE.java  # points-to on the Datalog road
+//! cfa fj-gc [--k K] FILE.java       # ΓCFA: abstract GC + counting
+//! ```
+
+use cfa_core::engine::EngineLimits;
+use cfa_core::Analysis;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  cfa analyze [--kcfa K | --mcfa M | --poly K | --all] [--report] FILE.scm
+  cfa run FILE.scm
+  cfa cps FILE.scm
+  cfa dot FILE.scm
+  cfa fj [--k K] [--per-statement] FILE.java
+  cfa fj-run FILE.java
+  cfa fj-dot [--k K] FILE.java
+  cfa fj-datalog [--k K] FILE.java
+  cfa fj-gc [--k K] FILE.java"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else { return usage() };
+    match command.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "run" => cmd_run(rest),
+        "cps" => cmd_cps(rest),
+        "dot" => cmd_dot(rest),
+        "fj" => cmd_fj(rest),
+        "fj-run" => cmd_fj_run(rest),
+        "fj-dot" => cmd_fj_dot(rest),
+        "fj-datalog" => cmd_fj_datalog(rest),
+        "fj-gc" => cmd_fj_gc(rest),
+        _ => usage(),
+    }
+}
+
+/// `cfa dot FILE.scm` — print the 1-CFA call graph as Graphviz dot.
+fn cmd_dot(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let src = match read_file(file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_syntax::compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = cfa_core::analyze_kcfa(&program, 1, EngineLimits::default());
+    let graph = cfa_core::callgraph::CallGraph::from_metrics(&program, &result.metrics);
+    print!("{}", graph.to_dot(&program));
+    ExitCode::SUCCESS
+}
+
+fn read_file(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cfa: cannot read '{path}': {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, ExitCode> {
+    s.parse().map_err(|_| {
+        eprintln!("cfa: {what} must be a number, got '{s}'");
+        ExitCode::from(2)
+    })
+}
+
+fn print_metrics(m: &cfa_core::Metrics) {
+    println!("== {} ==", m.analysis);
+    println!("  status:       {:?}", m.status);
+    println!("  time:         {:.3?}", m.elapsed);
+    println!("  configs:      {}", m.config_count);
+    println!("  store:        {} addresses, {} facts", m.store_entries, m.store_facts);
+    println!(
+        "  inlinings:    {}/{} user call sites are singletons",
+        m.singleton_user_calls, m.reachable_user_calls
+    );
+    println!("  environments: {} distinct", m.distinct_envs);
+    let values: Vec<&str> = m.halt_values.iter().map(String::as_str).collect();
+    println!("  result:       {{{}}}", values.join(", "));
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut analyses: Vec<Analysis> = Vec::new();
+    let mut file = None;
+    let mut report = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                report = true;
+                i += 1;
+            }
+            "--kcfa" | "--mcfa" | "--poly" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(depth) = parse_usize(value, "context depth") else { return usage() };
+                analyses.push(match args[i].as_str() {
+                    "--kcfa" => Analysis::KCfa { k: depth },
+                    "--mcfa" => Analysis::MCfa { m: depth },
+                    _ => Analysis::PolyKCfa { k: depth },
+                });
+                i += 2;
+            }
+            "--all" => {
+                analyses.extend(Analysis::paper_panel());
+                i += 1;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    if analyses.is_empty() {
+        analyses.push(Analysis::KCfa { k: 1 });
+    }
+    let src = match read_file(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_syntax::compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{file}: {} λ-terms, {} call sites, {} terms\n",
+        program.lam_count(),
+        program.call_count(),
+        program.term_count()
+    );
+    for analysis in analyses {
+        if report {
+            // Full per-context flow report (Figures 1/2 style).
+            let opts = cfa_core::report::ReportOptions::default();
+            let text = match analysis {
+                Analysis::KCfa { k } => {
+                    let r = cfa_core::analyze_kcfa(&program, k, EngineLimits::default());
+                    cfa_core::report::report_kcfa(&program, &r, opts)
+                }
+                Analysis::MCfa { m } => {
+                    let r = cfa_core::analyze_mcfa(&program, m, EngineLimits::default());
+                    cfa_core::report::report_flat(&program, &r, opts)
+                }
+                Analysis::PolyKCfa { k } => {
+                    let r = cfa_core::analyze_poly_kcfa(&program, k, EngineLimits::default());
+                    cfa_core::report::report_flat(&program, &r, opts)
+                }
+            };
+            println!("{text}");
+        } else {
+            let m = cfa_core::analyze(&program, analysis, EngineLimits::default());
+            print_metrics(&m);
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let src = match read_file(file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match cfa_concrete::eval_scheme(&src, cfa_concrete::Limits::default()) {
+        Ok(value) => {
+            println!("{value}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_cps(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let src = match read_file(file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match cfa_syntax::compile(&src) {
+        Ok(program) => {
+            print!("{}", cfa_syntax::pretty::pretty_program(&program));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_fj(args: &[String]) -> ExitCode {
+    let mut k = 1usize;
+    let mut policy = cfa_fj::TickPolicy::OnInvocation;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--k" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(depth) = parse_usize(value, "k") else { return usage() };
+                k = depth;
+                i += 2;
+            }
+            "--per-statement" => {
+                policy = cfa_fj::TickPolicy::EveryStatement;
+                i += 1;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match read_file(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_fj::parse_fj(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = cfa_fj::FjAnalysisOptions { k, policy, cast_filtering: false };
+    let r = cfa_fj::analyze_fj(&program, options, EngineLimits::default());
+    let m = &r.metrics;
+    println!("{program}");
+    println!("== {} ==", m.analysis);
+    println!("  status:   {:?}", m.status);
+    println!("  time:     {:.3?}", m.elapsed);
+    println!("  configs:  {}", m.config_count);
+    println!("  contexts: {}", m.time_count);
+    println!("  calls:    {} reachable, {} monomorphic", m.reachable_calls, m.monomorphic_calls);
+    let classes: Vec<&str> = m
+        .halt_classes
+        .iter()
+        .map(|&c| program.name(program.class(c).name))
+        .collect();
+    println!("  result classes: {{{}}}", classes.join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_fj_run(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let src = match read_file(file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_fj::parse_fj(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = cfa_fj::run_fj(&program, cfa_fj::FjLimits::default());
+    match run.halted() {
+        Some(value) => {
+            println!("{value}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("cfa: {:?}", run.outcome);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `[--k K] FILE` argument lists shared by the FJ subcommands.
+fn parse_k_and_file(args: &[String]) -> Result<(usize, String), ExitCode> {
+    let mut k = 1usize;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--k" => {
+                let Some(value) = args.get(i + 1) else { return Err(usage()) };
+                k = parse_usize(value, "k")?;
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return Err(usage()),
+        }
+    }
+    match file {
+        Some(f) => Ok((k, f)),
+        None => Err(usage()),
+    }
+}
+
+fn load_fj(file: &str) -> Result<cfa_fj::FjProgram, ExitCode> {
+    let src = read_file(file)?;
+    cfa_fj::parse_fj(&src).map_err(|e| {
+        eprintln!("cfa: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `cfa fj-dot [--k K] FILE.java` — method-level call graph as dot.
+fn cmd_fj_dot(args: &[String]) -> ExitCode {
+    let (k, file) = match parse_k_and_file(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let program = match load_fj(&file) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let r = cfa_fj::analyze_fj(
+        &program,
+        cfa_fj::FjAnalysisOptions::oo(k),
+        EngineLimits::default(),
+    );
+    let graph = cfa_fj::FjCallGraph::from_metrics(&r.metrics);
+    print!("{}", graph.to_dot(&program));
+    ExitCode::SUCCESS
+}
+
+/// `cfa fj-datalog [--k K] FILE.java` — run the Datalog points-to
+/// analysis and report agreement with the abstract machine.
+fn cmd_fj_datalog(args: &[String]) -> ExitCode {
+    let (k, file) = match parse_k_and_file(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if k > 2 {
+        eprintln!("cfa: the Datalog encoding tabulates contexts; use --k 0, 1 or 2");
+        return ExitCode::from(2);
+    }
+    let program = match load_fj(&file) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let d = cfa_fj::analyze_fj_datalog(&program, cfa_fj::FjDatalogOptions::sensitive(k));
+    let machine = cfa_fj::analyze_fj(
+        &program,
+        cfa_fj::FjAnalysisOptions::oo(k),
+        EngineLimits::default(),
+    );
+    println!("== FJ points-to in Datalog (k = {k}) ==");
+    println!("  facts:    {} input, {} at fixpoint", d.edb_facts, d.total_facts);
+    println!("  rounds:   {}", d.stats.rounds);
+    println!("  time:     {:.3?}", d.stats.elapsed);
+    println!(
+        "  calls:    {} sites resolved, {} monomorphic",
+        d.call_targets.len(),
+        d.monomorphic_calls()
+    );
+    let classes: Vec<&str> =
+        d.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+    println!("  result classes: {{{}}}", classes.join(", "));
+    let agree = machine.metrics.call_targets == d.call_targets
+        && machine.metrics.halt_classes == d.halt_classes;
+    println!("  machine agrees: {}", if agree { "yes" } else { "NO" });
+    if agree { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}
+
+/// `cfa fj-gc [--k K] FILE.java` — per-state search with abstract GC
+/// and counting (ΓCFA for OO, §8).
+fn cmd_fj_gc(args: &[String]) -> ExitCode {
+    let (k, file) = match parse_k_and_file(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let program = match load_fj(&file) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let plain = cfa_fj::analyze_fj_naive(
+        &program,
+        cfa_fj::FjNaiveOptions::paper(k).with_counting(),
+    );
+    let gc = cfa_fj::analyze_fj_naive(
+        &program,
+        cfa_fj::FjNaiveOptions::paper(k).with_gc().with_counting(),
+    );
+    println!("== ΓCFA for Featherweight Java (k = {k}) ==");
+    println!("                  plain        with GC");
+    println!("  states:    {:>10} {:>14}", plain.state_count, gc.state_count);
+    println!(
+        "  singular:  {:>9.1}% {:>13.1}%",
+        100.0 * plain.singular_ratio(),
+        100.0 * gc.singular_ratio()
+    );
+    let classes = |r: &cfa_fj::FjNaiveResult| {
+        r.halt_classes
+            .iter()
+            .map(|&c| program.name(program.class(c).name).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("  returns:   {:>10} {:>14}", classes(&plain), classes(&gc));
+    if plain.halt_classes == gc.halt_classes {
+        println!("  GC is precision-neutral: yes");
+        ExitCode::SUCCESS
+    } else {
+        println!("  GC is precision-neutral: NO (bug)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end tests of the `cfa` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn cfa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfa"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("cfa-cli-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn run_executes_scheme() {
+    let file = write_temp("run.scm", "(+ 20 22)");
+    let out = cfa().arg("run").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "42");
+}
+
+#[test]
+fn analyze_reports_all_panel_analyses() {
+    let file = write_temp("analyze.scm", "(define (id x) x) (id (id 1))");
+    let out = cfa().args(["analyze", "--all"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["k-CFA(k=1)", "m-CFA(m=1)", "poly-k-CFA(k=1)", "k-CFA(k=0)"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(text.contains("{1}"));
+}
+
+#[test]
+fn analyze_accepts_explicit_depths() {
+    let file = write_temp("depth.scm", "((lambda (x) x) 9)");
+    let out = cfa().args(["analyze", "--mcfa", "2"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("m-CFA(m=2)"));
+}
+
+#[test]
+fn cps_prints_conversion() {
+    let file = write_temp("cps.scm", "(if #t 1 2)");
+    let out = cfa().arg("cps").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("%if"), "{text}");
+}
+
+#[test]
+fn fj_analyzes_java() {
+    let file = write_temp(
+        "p.java",
+        "class Main extends Object {
+           Main() { super(); }
+           Object main() { Object o; o = new Object(); return o; }
+         }",
+    );
+    let out = cfa().args(["fj", "--k", "1"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("result classes: {Object}"), "{text}");
+}
+
+#[test]
+fn fj_run_executes_java() {
+    let file = write_temp(
+        "run.java",
+        "class Main extends Object {
+           Main() { super(); }
+           Object main() { Main m; m = new Main(); return m; }
+         }",
+    );
+    let out = cfa().arg("fj-run").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "Main");
+}
+
+#[test]
+fn analyze_report_prints_flow_table() {
+    let file = write_temp("report.scm", "(define (id x) x) (id 1)");
+    let out = cfa()
+        .args(["analyze", "--kcfa", "1", "--report"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("store ("), "{text}");
+    assert!(text.contains("call targets"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = cfa().arg("bogus-subcommand").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn parse_errors_exit_nonzero() {
+    let file = write_temp("bad.scm", "(((");
+    let out = cfa().arg("run").arg(&file).output().unwrap();
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = cfa().args(["run", "/nonexistent/nope.scm"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let file = write_temp("dot.scm", "(define (f x) x) (f (f 1))");
+    let out = cfa().arg("dot").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph callgraph {"), "{text}");
+    assert!(text.contains("->"), "{text}");
+}
+
+const DISPATCH_JAVA: &str = "class A extends Object {
+  A() { super(); }
+  Object who() { Object oa; oa = new A(); return oa; }
+}
+class B extends A {
+  B() { super(); }
+  Object who() { Object ob; ob = new B(); return ob; }
+}
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    A x;
+    x = new B();
+    return x.who();
+  }
+}";
+
+#[test]
+fn fj_dot_emits_method_graph() {
+    let file = write_temp("dot.java", DISPATCH_JAVA);
+    let out = cfa().args(["fj-dot", "--k", "1"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph fj_callgraph {"), "{text}");
+    assert!(text.contains("B.who"), "{text}");
+    assert!(text.contains("style=solid"), "{text}");
+}
+
+#[test]
+fn fj_datalog_reports_agreement() {
+    let file = write_temp("datalog.java", DISPATCH_JAVA);
+    let out = cfa().args(["fj-datalog", "--k", "1"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("machine agrees: yes"), "{text}");
+    assert!(text.contains("result classes: {B}"), "{text}");
+}
+
+#[test]
+fn fj_datalog_rejects_deep_contexts() {
+    let file = write_temp("deep.java", DISPATCH_JAVA);
+    let out = cfa().args(["fj-datalog", "--k", "5"]).arg(&file).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn fj_gc_reports_precision_neutral_collection() {
+    let file = write_temp("gc.java", DISPATCH_JAVA);
+    let out = cfa().args(["fj-gc", "--k", "1"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GC is precision-neutral: yes"), "{text}");
+    assert!(text.contains("singular"), "{text}");
+}

@@ -1,0 +1,532 @@
+//! Shared runtime machinery for the two concrete machines.
+//!
+//! Both machines (shared-environment §3.2 and flat-environment §5.1) use
+//! the same store keys ([`Addr`]), runtime [`Basic`] constants, pair heap,
+//! and primitive evaluator; they differ only in how closures capture
+//! environments, which is abstracted by the type parameter `E` of
+//! [`Value`].
+
+use cfa_syntax::cps::{CpsProgram, Label, LamId, Lit, PrimOp};
+use cfa_syntax::intern::{Interner, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete binding context.
+///
+/// Both machines allocate a fresh `Ctx` at every transition (times in the
+/// shared machine, environment base addresses in the flat machine), so
+/// contexts are unique — the freshness conditions (1)–(3) of §3.2 hold by
+/// construction. Call-string metadata for the abstraction maps lives in a
+/// side table owned by each machine.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ctx(pub u64);
+
+/// What a store address names: a variable binding or half of a pair
+/// allocated at a given `cons` site.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Slot {
+    /// A variable binding.
+    Var(Symbol),
+    /// The car of the pair allocated at this site label.
+    Car(Label),
+    /// The cdr of the pair allocated at this site label.
+    Cdr(Label),
+}
+
+/// A concrete store address: slot × binding context.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Addr {
+    /// What is stored here.
+    pub slot: Slot,
+    /// The context it was allocated in.
+    pub ctx: Ctx,
+}
+
+/// A first-order runtime constant.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Basic {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (interned in the machine's dynamic interner).
+    Str(Symbol),
+    /// A symbol.
+    Sym(Symbol),
+    /// The empty list.
+    Nil,
+    /// The unspecified value.
+    Void,
+}
+
+impl Basic {
+    /// Converts a syntactic literal into a runtime constant.
+    pub fn from_lit(lit: Lit) -> Basic {
+        match lit {
+            Lit::Int(n) => Basic::Int(n),
+            Lit::Bool(b) => Basic::Bool(b),
+            Lit::Nil => Basic::Nil,
+            Lit::Str(s) => Basic::Str(s),
+            Lit::Sym(s) => Basic::Sym(s),
+            Lit::Void => Basic::Void,
+        }
+    }
+}
+
+/// A concrete runtime value; `E` is the machine's environment
+/// representation captured by closures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value<E> {
+    /// A closure.
+    Clo {
+        /// The λ-term.
+        lam: LamId,
+        /// The captured environment.
+        env: E,
+    },
+    /// A first-order constant.
+    Basic(Basic),
+    /// A heap pair; the halves live in the store.
+    Pair {
+        /// Address of the car.
+        car: Addr,
+        /// Address of the cdr.
+        cdr: Addr,
+    },
+}
+
+impl<E> Value<E> {
+    /// `#f` is the only false value (Scheme truthiness).
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Basic(Basic::Bool(false)))
+    }
+}
+
+/// A runtime error raised by a concrete machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuntimeError {
+    /// A variable had no binding.
+    UnboundVariable(String),
+    /// The operator of a call was not a closure.
+    NotAProcedure(String),
+    /// A closure was applied to the wrong number of arguments.
+    ArityMismatch {
+        /// Expected parameter count.
+        expected: usize,
+        /// Actual argument count.
+        actual: usize,
+    },
+    /// A primitive received an argument of the wrong type.
+    PrimTypeError {
+        /// The primitive.
+        op: PrimOp,
+        /// Description of the offense.
+        detail: String,
+    },
+    /// The program invoked `(error v)`.
+    UserError(String),
+    /// A store address was read before being written (machine bug or
+    /// malformed program).
+    DanglingAddress,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnboundVariable(v) => write!(f, "unbound variable '{v}'"),
+            RuntimeError::NotAProcedure(d) => write!(f, "application of a non-procedure: {d}"),
+            RuntimeError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected}, got {actual}")
+            }
+            RuntimeError::PrimTypeError { op, detail } => {
+                write!(f, "primitive '{op}' type error: {detail}")
+            }
+            RuntimeError::UserError(msg) => write!(f, "error: {msg}"),
+            RuntimeError::DanglingAddress => write!(f, "dangling store address"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// How a concrete run ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// `%halt` was reached; the final value is rendered to text (so that
+    /// outcomes of machines with different environment representations can
+    /// be compared directly).
+    Halted(String),
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// A runtime error occurred.
+    Error(RuntimeError),
+}
+
+impl Outcome {
+    /// The halt value, if the run halted.
+    pub fn value(&self) -> Option<&str> {
+        match self {
+            Outcome::Halted(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluation limits for a concrete run.
+#[derive(Copy, Clone, Debug)]
+pub struct Limits {
+    /// Maximum machine transitions before giving up.
+    pub max_steps: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_steps: 1_000_000 }
+    }
+}
+
+/// The store: a finite map from addresses to values.
+///
+/// Concrete stores bind each address exactly once (freshness), so `insert`
+/// asserts the address is new in debug builds.
+#[derive(Clone, Debug)]
+pub struct Store<E> {
+    map: HashMap<Addr, Value<E>>,
+}
+
+impl<E> Default for Store<E> {
+    fn default() -> Self {
+        Store { map: HashMap::new() }
+    }
+}
+
+impl<E: Clone> Store<E> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `addr` to `value`.
+    pub fn insert(&mut self, addr: Addr, value: Value<E>) {
+        debug_assert!(
+            !self.map.contains_key(&addr),
+            "concrete store must bind each address once: {addr:?}"
+        );
+        self.map.insert(addr, value);
+    }
+
+    /// Reads `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::DanglingAddress`] for unbound addresses.
+    pub fn read(&self, addr: Addr) -> Result<Value<E>, RuntimeError> {
+        self.map.get(&addr).cloned().ok_or(RuntimeError::DanglingAddress)
+    }
+
+    /// Number of bound addresses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all `(address, value)` bindings in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Addr, &Value<E>)> {
+        self.map.iter()
+    }
+}
+
+/// Applies a primitive to evaluated arguments.
+///
+/// `alloc` must allocate a fresh address for a pair slot in the current
+/// binding context; `strings` is the machine's dynamic string interner.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] for type errors and `(error v)`.
+pub fn eval_prim<E: Clone + PartialEq>(
+    op: PrimOp,
+    args: &[Value<E>],
+    store: &mut Store<E>,
+    mut alloc: impl FnMut(Slot) -> Addr,
+    site: Label,
+    strings: &mut Interner,
+    program: &CpsProgram,
+) -> Result<Value<E>, RuntimeError> {
+    use PrimOp::*;
+
+    fn int<E>(op: PrimOp, v: &Value<E>) -> Result<i64, RuntimeError> {
+        match v {
+            Value::Basic(Basic::Int(n)) => Ok(*n),
+            _ => Err(RuntimeError::PrimTypeError { op, detail: "expected an integer".into() }),
+        }
+    }
+
+    let bool_v = |b: bool| Value::Basic(Basic::Bool(b));
+
+    Ok(match op {
+        Add => {
+            let mut acc = 0i64;
+            for a in args {
+                acc = acc.wrapping_add(int(op, a)?);
+            }
+            Value::Basic(Basic::Int(acc))
+        }
+        Mul => {
+            let mut acc = 1i64;
+            for a in args {
+                acc = acc.wrapping_mul(int(op, a)?);
+            }
+            Value::Basic(Basic::Int(acc))
+        }
+        Sub => Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_sub(int(op, &args[1])?))),
+        Div => {
+            let d = int(op, &args[1])?;
+            if d == 0 {
+                return Err(RuntimeError::PrimTypeError { op, detail: "division by zero".into() });
+            }
+            Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_div(d)))
+        }
+        Rem => {
+            let d = int(op, &args[1])?;
+            if d == 0 {
+                return Err(RuntimeError::PrimTypeError { op, detail: "division by zero".into() });
+            }
+            Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_rem(d)))
+        }
+        NumEq => bool_v(int(op, &args[0])? == int(op, &args[1])?),
+        Lt => bool_v(int(op, &args[0])? < int(op, &args[1])?),
+        Le => bool_v(int(op, &args[0])? <= int(op, &args[1])?),
+        Gt => bool_v(int(op, &args[0])? > int(op, &args[1])?),
+        Ge => bool_v(int(op, &args[0])? >= int(op, &args[1])?),
+        Eq => bool_v(match (&args[0], &args[1]) {
+            (Value::Basic(a), Value::Basic(b)) => a == b,
+            (Value::Pair { car: a, .. }, Value::Pair { car: b, .. }) => a == b,
+            (Value::Clo { lam: a, env: ea }, Value::Clo { lam: b, env: eb }) => {
+                a == b && ea == eb
+            }
+            _ => false,
+        }),
+        Cons => {
+            let car = alloc(Slot::Car(site));
+            let cdr = alloc(Slot::Cdr(site));
+            store.insert(car, args[0].clone());
+            store.insert(cdr, args[1].clone());
+            Value::Pair { car, cdr }
+        }
+        Car => match &args[0] {
+            Value::Pair { car, .. } => store.read(*car)?,
+            _ => return Err(RuntimeError::PrimTypeError { op, detail: "expected a pair".into() }),
+        },
+        Cdr => match &args[0] {
+            Value::Pair { cdr, .. } => store.read(*cdr)?,
+            _ => return Err(RuntimeError::PrimTypeError { op, detail: "expected a pair".into() }),
+        },
+        IsPair => bool_v(matches!(args[0], Value::Pair { .. })),
+        IsNull => bool_v(matches!(args[0], Value::Basic(Basic::Nil))),
+        IsZero => bool_v(int(op, &args[0])? == 0),
+        IsNumber => bool_v(matches!(args[0], Value::Basic(Basic::Int(_)))),
+        IsBool => bool_v(matches!(args[0], Value::Basic(Basic::Bool(_)))),
+        IsProcedure => bool_v(matches!(args[0], Value::Clo { .. })),
+        IsSymbol => bool_v(matches!(args[0], Value::Basic(Basic::Sym(_)))),
+        IsString => bool_v(matches!(args[0], Value::Basic(Basic::Str(_)))),
+        Not => bool_v(!args[0].is_truthy()),
+        StringAppend => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Value::Basic(Basic::Str(s)) => out.push_str(strings.resolve(*s)),
+                    _ => {
+                        return Err(RuntimeError::PrimTypeError {
+                            op,
+                            detail: "expected strings".into(),
+                        })
+                    }
+                }
+            }
+            let sym = strings.intern(&out);
+            Value::Basic(Basic::Str(sym))
+        }
+        ToString => {
+            let text = render_value(&args[0], store, strings, program, 8);
+            let sym = strings.intern(&text);
+            Value::Basic(Basic::Str(sym))
+        }
+        Error => {
+            let text = render_value(&args[0], store, strings, program, 8);
+            return Err(RuntimeError::UserError(text));
+        }
+    })
+}
+
+/// Renders a value to text, following pairs through the store up to
+/// `depth` links.
+pub fn render_value<E: Clone>(
+    v: &Value<E>,
+    store: &Store<E>,
+    strings: &Interner,
+    program: &CpsProgram,
+    depth: usize,
+) -> String {
+    match v {
+        Value::Basic(Basic::Int(n)) => n.to_string(),
+        Value::Basic(Basic::Bool(true)) => "#t".to_owned(),
+        Value::Basic(Basic::Bool(false)) => "#f".to_owned(),
+        Value::Basic(Basic::Nil) => "()".to_owned(),
+        Value::Basic(Basic::Void) => "#void".to_owned(),
+        Value::Basic(Basic::Str(s)) => format!("{:?}", strings.resolve(*s)),
+        Value::Basic(Basic::Sym(s)) => strings.resolve(*s).to_owned(),
+        Value::Clo { lam, .. } => format!("#<procedure:{:?}>", program.lam(*lam).label),
+        Value::Pair { car, cdr } => {
+            if depth == 0 {
+                return "(…)".to_owned();
+            }
+            let car_txt = store
+                .read(*car)
+                .map(|v| render_value(&v, store, strings, program, depth - 1))
+                .unwrap_or_else(|_| "?".to_owned());
+            let cdr_txt = store
+                .read(*cdr)
+                .map(|v| render_value(&v, store, strings, program, depth - 1))
+                .unwrap_or_else(|_| "?".to_owned());
+            format!("({car_txt} . {cdr_txt})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa_syntax::compile;
+
+    fn mini_program() -> CpsProgram {
+        compile("42").unwrap()
+    }
+
+    #[test]
+    fn truthiness_only_false_is_false() {
+        assert!(!Value::<u32>::Basic(Basic::Bool(false)).is_truthy());
+        assert!(Value::<u32>::Basic(Basic::Bool(true)).is_truthy());
+        assert!(Value::<u32>::Basic(Basic::Int(0)).is_truthy());
+        assert!(Value::<u32>::Basic(Basic::Nil).is_truthy());
+    }
+
+    #[test]
+    fn prim_arithmetic() {
+        let p = mini_program();
+        let mut store: Store<u32> = Store::new();
+        let mut strings = p.interner().clone();
+        let mut next = 0u64;
+        let mut alloc = |slot: Slot| {
+            next += 1;
+            Addr { slot, ctx: Ctx(next) }
+        };
+        let two = Value::Basic(Basic::Int(2));
+        let three = Value::Basic(Basic::Int(3));
+        let r = eval_prim(
+            PrimOp::Add,
+            &[two.clone(), three.clone()],
+            &mut store,
+            &mut alloc,
+            Label(0),
+            &mut strings,
+            &p,
+        )
+        .unwrap();
+        assert_eq!(r, Value::Basic(Basic::Int(5)));
+        let r = eval_prim(PrimOp::Lt, &[two, three], &mut store, &mut alloc, Label(0), &mut strings, &p)
+            .unwrap();
+        assert_eq!(r, Value::Basic(Basic::Bool(true)));
+    }
+
+    #[test]
+    fn prim_pairs_round_trip() {
+        let p = mini_program();
+        let mut store: Store<u32> = Store::new();
+        let mut strings = p.interner().clone();
+        let mut next = 0u64;
+        let mut alloc = |slot: Slot| {
+            next += 1;
+            Addr { slot, ctx: Ctx(next) }
+        };
+        let pair = eval_prim(
+            PrimOp::Cons,
+            &[Value::Basic(Basic::Int(1)), Value::Basic(Basic::Nil)],
+            &mut store,
+            &mut alloc,
+            Label(7),
+            &mut strings,
+            &p,
+        )
+        .unwrap();
+        let car = eval_prim(PrimOp::Car, std::slice::from_ref(&pair), &mut store, &mut alloc, Label(7), &mut strings, &p)
+            .unwrap();
+        assert_eq!(car, Value::Basic(Basic::Int(1)));
+        let cdr = eval_prim(PrimOp::Cdr, &[pair], &mut store, &mut alloc, Label(7), &mut strings, &p)
+            .unwrap();
+        assert_eq!(cdr, Value::Basic(Basic::Nil));
+    }
+
+    #[test]
+    fn prim_type_errors() {
+        let p = mini_program();
+        let mut store: Store<u32> = Store::new();
+        let mut strings = p.interner().clone();
+        let mut alloc = |slot: Slot| Addr { slot, ctx: Ctx(0) };
+        let err = eval_prim(
+            PrimOp::Car,
+            &[Value::Basic(Basic::Int(1))],
+            &mut store,
+            &mut alloc,
+            Label(0),
+            &mut strings,
+            &p,
+        );
+        assert!(matches!(err, Err(RuntimeError::PrimTypeError { op: PrimOp::Car, .. })));
+        let err = eval_prim(
+            PrimOp::Div,
+            &[Value::Basic(Basic::Int(1)), Value::Basic(Basic::Int(0))],
+            &mut store,
+            &mut alloc,
+            Label(0),
+            &mut strings,
+            &p,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn error_prim_raises_user_error() {
+        let p = mini_program();
+        let mut store: Store<u32> = Store::new();
+        let mut strings = p.interner().clone();
+        let mut alloc = |slot: Slot| Addr { slot, ctx: Ctx(0) };
+        let err = eval_prim(
+            PrimOp::Error,
+            &[Value::Basic(Basic::Int(13))],
+            &mut store,
+            &mut alloc,
+            Label(0),
+            &mut strings,
+            &p,
+        );
+        assert_eq!(err, Err(RuntimeError::UserError("13".into())));
+    }
+
+    #[test]
+    fn render_follows_pairs() {
+        let p = mini_program();
+        let mut store: Store<u32> = Store::new();
+        let strings = p.interner().clone();
+        let a = Addr { slot: Slot::Car(Label(0)), ctx: Ctx(0) };
+        let d = Addr { slot: Slot::Cdr(Label(0)), ctx: Ctx(0) };
+        store.insert(a, Value::Basic(Basic::Int(1)));
+        store.insert(d, Value::Basic(Basic::Nil));
+        let rendered = render_value(&Value::Pair { car: a, cdr: d }, &store, &strings, &p, 8);
+        assert_eq!(rendered, "(1 . ())");
+    }
+}

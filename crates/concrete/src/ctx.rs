@@ -1,0 +1,128 @@
+//! Concrete binding contexts and their call-string metadata.
+//!
+//! Both concrete machines allocate a fresh [`Ctx`] for every binding
+//! context they create. For the soundness abstraction maps (`α` in §3.5
+//! and §5.3 of the paper) each context also remembers a *call string* —
+//! the sequence of call-site labels that leads to it — as a shared
+//! (`Rc`-linked) list. [`CtxTable::first_k`] projects the first `k`
+//! labels, which is exactly `α(t) = first_k(t)` for k-CFA and the top-`m`
+//! frame abstraction for m-CFA.
+
+use crate::base::Ctx;
+use cfa_syntax::cps::Label;
+use std::rc::Rc;
+
+/// One cons cell of a call string.
+#[derive(Debug)]
+struct Node {
+    label: Label,
+    parent: Option<Rc<Node>>,
+}
+
+/// Allocates contexts and records each context's call string.
+#[derive(Default, Debug)]
+pub struct CtxTable {
+    strings: Vec<Option<Rc<Node>>>,
+}
+
+impl CtxTable {
+    /// Creates a table containing only the initial context `t₀` (empty
+    /// call string).
+    pub fn new() -> Self {
+        CtxTable { strings: vec![None] }
+    }
+
+    /// The initial context.
+    pub fn initial(&self) -> Ctx {
+        Ctx(0)
+    }
+
+    fn push(&mut self, node: Option<Rc<Node>>) -> Ctx {
+        let id = Ctx(self.strings.len() as u64);
+        self.strings.push(node);
+        id
+    }
+
+    fn node(&self, ctx: Ctx) -> Option<Rc<Node>> {
+        self.strings[ctx.0 as usize].clone()
+    }
+
+    /// `tick(ℓ, t)`: a fresh context whose call string is `ℓ : string(t)`.
+    pub fn tick(&mut self, label: Label, from: Ctx) -> Ctx {
+        let node = Rc::new(Node { label, parent: self.node(from) });
+        self.push(Some(node))
+    }
+
+    /// A fresh context whose call string equals `from`'s (m-CFA's
+    /// *restore* of a continuation's saved environment, §5.3: a new
+    /// concrete id, same abstract content).
+    pub fn fresh_like(&mut self, from: Ctx) -> Ctx {
+        let node = self.node(from);
+        self.push(node)
+    }
+
+    /// The first `k` labels of the context's call string (most recent
+    /// first). This is the k-CFA/m-CFA abstraction map on contexts.
+    pub fn first_k(&self, ctx: Ctx, k: usize) -> Vec<Label> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = self.node(ctx);
+        while out.len() < k {
+            match cur {
+                Some(node) => {
+                    out.push(node.label);
+                    cur = node.parent.clone();
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Total number of contexts allocated.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether only the initial context exists.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_context_has_empty_string() {
+        let t = CtxTable::new();
+        assert_eq!(t.first_k(t.initial(), 4), vec![]);
+    }
+
+    #[test]
+    fn tick_prepends_labels() {
+        let mut t = CtxTable::new();
+        let a = t.tick(Label(1), t.initial());
+        let b = t.tick(Label(2), a);
+        assert_eq!(t.first_k(b, 3), vec![Label(2), Label(1)]);
+        assert_eq!(t.first_k(b, 1), vec![Label(2)]);
+        assert_eq!(t.first_k(b, 0), vec![]);
+    }
+
+    #[test]
+    fn fresh_like_copies_string_with_new_identity() {
+        let mut t = CtxTable::new();
+        let a = t.tick(Label(1), t.initial());
+        let b = t.fresh_like(a);
+        assert_ne!(a, b);
+        assert_eq!(t.first_k(a, 4), t.first_k(b, 4));
+    }
+
+    #[test]
+    fn contexts_are_unique() {
+        let mut t = CtxTable::new();
+        let a = t.tick(Label(1), t.initial());
+        let b = t.tick(Label(1), t.initial());
+        assert_ne!(a, b, "two ticks produce distinct concrete times");
+    }
+}

@@ -1,0 +1,362 @@
+//! The flat-environment concrete CPS machine (paper §5.1).
+//!
+//! An environment is a *base address* ([`Ctx`]); a variable is accessed at
+//! `(variable, base)`. When a closure is applied, a fresh base is
+//! allocated and the values of the λ-term's free variables are **copied**
+//! from the closure's saved base into the new one — the flat-closure
+//! strategy of Appel and Cardelli. All bindings reachable from a base
+//! therefore share one allocation context, which is exactly the property
+//! whose abstraction makes m-CFA polynomial.
+//!
+//! The environment allocator follows §5.3: applying a *procedure* pushes
+//! the call site onto the environment's call string; applying a
+//! *continuation* restores (a fresh copy of) the continuation closure's
+//! saved environment.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_concrete::flat::run_flat;
+//! use cfa_concrete::base::Limits;
+//! use cfa_syntax::compile;
+//!
+//! let p = compile("((lambda (x) (+ x 1)) 41)").unwrap();
+//! let run = run_flat(&p, Limits::default());
+//! assert_eq!(run.outcome.value(), Some("42"));
+//! ```
+
+use crate::base::{
+    eval_prim, render_value, Addr, Basic, Ctx, Limits, Outcome, RuntimeError, Slot, Store, Value,
+};
+use crate::ctx::CtxTable;
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, LamSort};
+use cfa_syntax::intern::Interner;
+
+/// A runtime value of the flat-environment machine: closures capture just
+/// a base address.
+pub type FlatValue = Value<Ctx>;
+
+/// One visited machine state (recorded when tracing is on).
+#[derive(Clone, Debug)]
+pub struct FlatVisit {
+    /// The call site.
+    pub call: CallId,
+    /// The environment base address.
+    pub env: Ctx,
+}
+
+/// The result of running the flat-environment machine.
+#[derive(Debug)]
+pub struct FlatRun {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Number of transitions taken.
+    pub steps: usize,
+    /// The final store.
+    pub store: Store<Ctx>,
+    /// Visited states, in order (empty unless tracing was requested).
+    pub trace: Vec<FlatVisit>,
+    /// Call-string metadata for every allocated environment.
+    pub envs: CtxTable,
+    /// Dynamic string table (extends the program's interner).
+    pub strings: Interner,
+}
+
+/// Runs `program` on the flat-environment machine.
+pub fn run_flat(program: &CpsProgram, limits: Limits) -> FlatRun {
+    run_flat_traced(program, limits, false)
+}
+
+/// Runs `program`, optionally recording every visited state.
+pub fn run_flat_traced(program: &CpsProgram, limits: Limits, trace: bool) -> FlatRun {
+    let mut m = FlatMachine {
+        program,
+        store: Store::new(),
+        envs: CtxTable::new(),
+        strings: program.interner().clone(),
+        trace: Vec::new(),
+        record_trace: trace,
+    };
+    let (outcome, steps) = m.run(limits);
+    FlatRun {
+        outcome,
+        steps,
+        store: m.store,
+        trace: m.trace,
+        envs: m.envs,
+        strings: m.strings,
+    }
+}
+
+struct FlatMachine<'p> {
+    program: &'p CpsProgram,
+    store: Store<Ctx>,
+    envs: CtxTable,
+    strings: Interner,
+    trace: Vec<FlatVisit>,
+    record_trace: bool,
+}
+
+enum Step {
+    Continue(CallId, Ctx),
+    Halt(FlatValue),
+}
+
+impl<'p> FlatMachine<'p> {
+    fn run(&mut self, limits: Limits) -> (Outcome, usize) {
+        let mut call = self.program.entry();
+        let mut env = self.envs.initial();
+        let mut steps = 0;
+        loop {
+            if steps >= limits.max_steps {
+                return (Outcome::OutOfFuel, steps);
+            }
+            steps += 1;
+            if self.record_trace {
+                self.trace.push(FlatVisit { call, env });
+            }
+            match self.step(call, env) {
+                Ok(Step::Continue(c, e)) => {
+                    call = c;
+                    env = e;
+                }
+                Ok(Step::Halt(v)) => {
+                    let text = render_value(&v, &self.store, &self.strings, self.program, 16);
+                    return (Outcome::Halted(text), steps);
+                }
+                Err(e) => return (Outcome::Error(e), steps),
+            }
+        }
+    }
+
+    fn eval(&self, e: &AExp, env: Ctx) -> Result<FlatValue, RuntimeError> {
+        match e {
+            AExp::Lit(l) => Ok(Value::Basic(Basic::from_lit(*l))),
+            AExp::Var(v) => self
+                .store
+                .read(Addr { slot: Slot::Var(*v), ctx: env })
+                .map_err(|_| RuntimeError::UnboundVariable(self.program.name(*v).to_owned())),
+            AExp::Lam(l) => Ok(Value::Clo { lam: *l, env }),
+        }
+    }
+
+    /// Applies a closure per the §5.1 transition rule: allocate the new
+    /// base with `new(call, ρ, lam, ρ′)`, bind parameters there, and copy
+    /// the λ-term's free variables from the closure's saved base.
+    fn apply(
+        &mut self,
+        f: FlatValue,
+        args: Vec<FlatValue>,
+        call_label: cfa_syntax::cps::Label,
+        current: Ctx,
+    ) -> Result<Step, RuntimeError> {
+        let Value::Clo { lam, env: saved } = f else {
+            return Err(RuntimeError::NotAProcedure(render_value(
+                &f,
+                &self.store,
+                &self.strings,
+                self.program,
+                4,
+            )));
+        };
+        let lam_data = self.program.lam(lam);
+        if lam_data.params.len() != args.len() {
+            return Err(RuntimeError::ArityMismatch {
+                expected: lam_data.params.len(),
+                actual: args.len(),
+            });
+        }
+        // new(call, ρ, lam, ρ′): procedures push the call site onto the
+        // *caller's* string; continuations restore the closure's string.
+        let fresh = match lam_data.sort {
+            LamSort::Proc => self.envs.tick(call_label, current),
+            LamSort::Cont => self.envs.fresh_like(saved),
+        };
+        for (param, value) in lam_data.params.iter().zip(args) {
+            self.store.insert(Addr { slot: Slot::Var(*param), ctx: fresh }, value);
+        }
+        for &fv in self.program.free_vars(lam) {
+            let value = self
+                .store
+                .read(Addr { slot: Slot::Var(fv), ctx: saved })
+                .map_err(|_| RuntimeError::UnboundVariable(self.program.name(fv).to_owned()))?;
+            self.store.insert(Addr { slot: Slot::Var(fv), ctx: fresh }, value);
+        }
+        Ok(Step::Continue(lam_data.body, fresh))
+    }
+
+    fn step(&mut self, call: CallId, env: Ctx) -> Result<Step, RuntimeError> {
+        let call_data = self.program.call(call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let f = self.eval(func, env)?;
+                let arg_vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.apply(f, arg_vals, call_data.label, env)
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let c = self.eval(cond, env)?;
+                let next = if c.is_truthy() { *then_branch } else { *else_branch };
+                Ok(Step::Continue(next, env))
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let k = self.eval(cont, env)?;
+                // Pairs are allocated in a fresh heap context carrying the
+                // current environment's call string (matches the abstract
+                // machine, which allocates them at the current abstract
+                // environment).
+                let heap = self.envs.fresh_like(env);
+                let result = {
+                    let store = &mut self.store;
+                    let strings = &mut self.strings;
+                    eval_prim(
+                        *op,
+                        &arg_vals,
+                        store,
+                        |slot| Addr { slot, ctx: heap },
+                        call_data.label,
+                        strings,
+                        self.program,
+                    )?
+                };
+                self.apply(k, vec![result], call_data.label, env)
+            }
+            CallKind::Fix { bindings, body } => {
+                // Recursive closures live in the *current* base; their free
+                // variables (including each other) are reachable there.
+                for (name, lam) in bindings {
+                    let clo = Value::Clo { lam: *lam, env };
+                    self.store.insert(Addr { slot: Slot::Var(*name), ctx: env }, clo);
+                }
+                Ok(Step::Continue(*body, env))
+            }
+            CallKind::Halt { value } => {
+                let v = self.eval(value, env)?;
+                Ok(Step::Halt(v))
+            }
+        }
+    }
+}
+
+/// Convenience: compile mini-Scheme source and run it on the flat machine.
+///
+/// # Errors
+///
+/// Returns the parse error, the runtime error, or a fuel-exhaustion
+/// message as a string.
+pub fn eval_scheme_flat(src: &str, limits: Limits) -> Result<String, String> {
+    let program = cfa_syntax::compile(src).map_err(|e| e.to_string())?;
+    match run_flat(&program, limits).outcome {
+        Outcome::Halted(v) => Ok(v),
+        Outcome::OutOfFuel => Err("out of fuel".to_owned()),
+        Outcome::Error(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> String {
+        eval_scheme_flat(src, Limits::default()).unwrap()
+    }
+
+    #[test]
+    fn evaluates_basics() {
+        assert_eq!(eval("42"), "42");
+        assert_eq!(eval("(+ 1 2)"), "3");
+        assert_eq!(eval("((lambda (x) x) 7)"), "7");
+        assert_eq!(eval("(if #f 1 2)"), "2");
+    }
+
+    #[test]
+    fn free_variable_copying_preserves_captures() {
+        assert_eq!(
+            eval(
+                "(define (make-adder n) (lambda (m) (+ n m)))
+                 (let ((add3 (make-adder 3)) (add5 (make-adder 5)))
+                   (+ (add3 10) (add5 100)))"
+            ),
+            "118"
+        );
+    }
+
+    #[test]
+    fn recursion_works_with_flat_envs() {
+        assert_eq!(
+            eval("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 10)"),
+            "3628800"
+        );
+        assert_eq!(
+            eval(
+                "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+                 (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+                 (even? 9)"
+            ),
+            "#f"
+        );
+    }
+
+    #[test]
+    fn continuation_restore_returns_to_caller_env() {
+        // After the inner call returns, the let-bound x from the *outer*
+        // environment must still be visible.
+        assert_eq!(
+            eval(
+                "(define (id y) y)
+                 (let ((x 10)) (+ x (id 5)))"
+            ),
+            "15"
+        );
+    }
+
+    #[test]
+    fn pairs_work() {
+        assert_eq!(eval("(car (cons 1 2))"), "1");
+        assert_eq!(
+            eval(
+                "(define (sum xs) (if (null? xs) 0 (+ (car xs) (sum (cdr xs)))))
+                 (sum (list 1 2 3 4 5))"
+            ),
+            "15"
+        );
+    }
+
+    #[test]
+    fn deep_nesting_of_closures() {
+        assert_eq!(
+            eval(
+                "(define (compose f g) (lambda (x) (f (g x))))
+                 (define (inc n) (+ n 1))
+                 ((compose (compose inc inc) inc) 0)"
+            ),
+            "3"
+        );
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(eval_scheme_flat("(car 5)", Limits::default()).is_err());
+        assert!(eval_scheme_flat("(undefined-var 1)", Limits::default()).is_err());
+    }
+
+    #[test]
+    fn fuel_limit_applies() {
+        let r = eval_scheme_flat("(define (loop x) (loop x)) (loop 1)", Limits { max_steps: 500 });
+        assert_eq!(r, Err("out of fuel".to_owned()));
+    }
+
+    #[test]
+    fn trace_and_env_table_populate() {
+        let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+        let run = run_flat_traced(&p, Limits::default(), true);
+        assert!(run.trace.len() >= 2);
+        assert!(run.envs.len() >= 2);
+    }
+}

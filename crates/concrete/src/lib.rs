@@ -1,0 +1,39 @@
+//! Concrete semantics for the CPS core language.
+//!
+//! Two machines, mirroring the paper's two concrete semantics:
+//!
+//! * [`shared`] — the shared-environment machine of §3.2 (binding
+//!   environments map variables to addresses; closures capture maps);
+//! * [`flat`] — the flat-environment machine of §5.1 (an environment is a
+//!   base address; free variables are copied on application).
+//!
+//! Both define the same observable behavior (they are differentially
+//! tested against each other); they differ in the *structure* that their
+//! abstract interpretations inherit — which is the whole point of the
+//! paper: abstracting the first gives (exponential) k-CFA, abstracting
+//! the second gives (polynomial) m-CFA.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_concrete::{base::Limits, flat, shared};
+//!
+//! let p = cfa_syntax::compile("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)").unwrap();
+//! let a = shared::run_shared(&p, Limits::default());
+//! let b = flat::run_flat(&p, Limits::default());
+//! assert_eq!(a.outcome.value(), Some("55"));
+//! assert_eq!(a.outcome.value(), b.outcome.value());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod base;
+pub mod ctx;
+pub mod flat;
+pub mod shared;
+
+pub use base::{Addr, Basic, Ctx, Limits, Outcome, RuntimeError, Slot, Store, Value};
+pub use ctx::CtxTable;
+pub use flat::{eval_scheme_flat, run_flat, run_flat_traced, FlatRun};
+pub use shared::{eval_scheme, run_shared, run_shared_traced, SharedRun};

@@ -1,0 +1,396 @@
+//! The shared-environment concrete CPS machine (paper §3.2–3.3).
+//!
+//! States are `(call, β, σ, t)`:
+//! binding environments `β` map variables to addresses, the store maps
+//! addresses to values, and times are freshly allocated at every
+//! allocating transition with `tick`. Closures capture `β` restricted to
+//! their free variables — variables captured at *different* times keep
+//! their distinct binding contexts, which is exactly the behavior whose
+//! abstraction makes functional k-CFA exponential.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_concrete::shared::run_shared;
+//! use cfa_concrete::base::Limits;
+//! use cfa_syntax::compile;
+//!
+//! let p = compile("((lambda (x) (+ x 1)) 41)").unwrap();
+//! let run = run_shared(&p, Limits::default());
+//! assert_eq!(run.outcome.value(), Some("42"));
+//! ```
+
+use crate::base::{
+    eval_prim, render_value, Addr, Basic, Ctx, Limits, Outcome, RuntimeError, Slot, Store, Value,
+};
+use crate::ctx::CtxTable;
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram};
+use cfa_syntax::intern::{Interner, Symbol};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A binding environment: variable → address, shared via `Rc`.
+pub type BEnv = Rc<HashMap<Symbol, Addr>>;
+
+/// A runtime value of the shared-environment machine.
+pub type SharedValue = Value<BEnv>;
+
+/// One visited machine state (recorded when tracing is on).
+#[derive(Clone, Debug)]
+pub struct SharedVisit {
+    /// The call site.
+    pub call: CallId,
+    /// The binding environment at that point.
+    pub benv: BEnv,
+    /// The time-stamp.
+    pub time: Ctx,
+}
+
+/// The result of running the shared-environment machine.
+#[derive(Debug)]
+pub struct SharedRun {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Number of transitions taken.
+    pub steps: usize,
+    /// The final store (concrete stores only grow).
+    pub store: Store<BEnv>,
+    /// Visited states, in order (empty unless tracing was requested).
+    pub trace: Vec<SharedVisit>,
+    /// Call-string metadata for every allocated time.
+    pub times: CtxTable,
+    /// Dynamic string table (extends the program's interner).
+    pub strings: Interner,
+}
+
+/// Runs `program` on the shared-environment machine.
+pub fn run_shared(program: &CpsProgram, limits: Limits) -> SharedRun {
+    run_shared_traced(program, limits, false)
+}
+
+/// Runs `program`, optionally recording every visited state for use by
+/// soundness tests.
+pub fn run_shared_traced(program: &CpsProgram, limits: Limits, trace: bool) -> SharedRun {
+    let mut m = SharedMachine {
+        program,
+        store: Store::new(),
+        times: CtxTable::new(),
+        strings: program.interner().clone(),
+        trace: Vec::new(),
+        record_trace: trace,
+    };
+    let (outcome, steps) = m.run(limits);
+    SharedRun {
+        outcome,
+        steps,
+        store: m.store,
+        trace: m.trace,
+        times: m.times,
+        strings: m.strings,
+    }
+}
+
+struct SharedMachine<'p> {
+    program: &'p CpsProgram,
+    store: Store<BEnv>,
+    times: CtxTable,
+    strings: Interner,
+    trace: Vec<SharedVisit>,
+    record_trace: bool,
+}
+
+impl<'p> SharedMachine<'p> {
+    fn run(&mut self, limits: Limits) -> (Outcome, usize) {
+        let mut call = self.program.entry();
+        let mut benv: BEnv = Rc::new(HashMap::new());
+        let mut time = self.times.initial();
+        let mut steps = 0;
+
+        loop {
+            if steps >= limits.max_steps {
+                return (Outcome::OutOfFuel, steps);
+            }
+            steps += 1;
+            if self.record_trace {
+                self.trace.push(SharedVisit { call, benv: benv.clone(), time });
+            }
+            match self.step(call, &benv, time) {
+                Ok(Step::Continue(c, b, t)) => {
+                    call = c;
+                    benv = b;
+                    time = t;
+                }
+                Ok(Step::Halt(v)) => {
+                    let text = render_value(&v, &self.store, &self.strings, self.program, 16);
+                    return (Outcome::Halted(text), steps);
+                }
+                Err(e) => return (Outcome::Error(e), steps),
+            }
+        }
+    }
+
+    fn eval(&self, e: &AExp, benv: &BEnv) -> Result<SharedValue, RuntimeError> {
+        match e {
+            AExp::Lit(l) => Ok(Value::Basic(Basic::from_lit(*l))),
+            AExp::Var(v) => {
+                let addr = benv.get(v).copied().ok_or_else(|| {
+                    RuntimeError::UnboundVariable(self.program.name(*v).to_owned())
+                })?;
+                self.store.read(addr)
+            }
+            AExp::Lam(l) => Ok(Value::Clo { lam: *l, env: self.close(*l, benv) }),
+        }
+    }
+
+    /// Restricts `benv` to the free variables of `lam` — the environment
+    /// a closure actually captures.
+    fn close(&self, lam: cfa_syntax::cps::LamId, benv: &BEnv) -> BEnv {
+        let mut captured = HashMap::new();
+        for &v in self.program.free_vars(lam) {
+            if let Some(&a) = benv.get(&v) {
+                captured.insert(v, a);
+            }
+        }
+        Rc::new(captured)
+    }
+
+    /// Applies a closure: `tick` has already produced `t_new`; parameters
+    /// are bound at `t_new` in the closure's captured environment.
+    fn apply(
+        &mut self,
+        f: SharedValue,
+        args: Vec<SharedValue>,
+        t_new: Ctx,
+    ) -> Result<Step, RuntimeError> {
+        let Value::Clo { lam, env } = f else {
+            return Err(RuntimeError::NotAProcedure(render_value(
+                &f,
+                &self.store,
+                &self.strings,
+                self.program,
+                4,
+            )));
+        };
+        let lam_data = self.program.lam(lam);
+        if lam_data.params.len() != args.len() {
+            return Err(RuntimeError::ArityMismatch {
+                expected: lam_data.params.len(),
+                actual: args.len(),
+            });
+        }
+        let mut extended = (*env).clone();
+        for (param, value) in lam_data.params.iter().zip(args) {
+            let addr = Addr { slot: Slot::Var(*param), ctx: t_new };
+            extended.insert(*param, addr);
+            self.store.insert(addr, value);
+        }
+        Ok(Step::Continue(lam_data.body, Rc::new(extended), t_new))
+    }
+
+    fn step(&mut self, call: CallId, benv: &BEnv, time: Ctx) -> Result<Step, RuntimeError> {
+        let call_data = self.program.call(call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let f = self.eval(func, benv)?;
+                let arg_vals = args
+                    .iter()
+                    .map(|a| self.eval(a, benv))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let t_new = self.times.tick(call_data.label, time);
+                self.apply(f, arg_vals, t_new)
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let c = self.eval(cond, benv)?;
+                let next = if c.is_truthy() { *then_branch } else { *else_branch };
+                Ok(Step::Continue(next, benv.clone(), time))
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_vals = args
+                    .iter()
+                    .map(|a| self.eval(a, benv))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let k = self.eval(cont, benv)?;
+                let t_new = self.times.tick(call_data.label, time);
+                let result = {
+                    let store = &mut self.store;
+                    let strings = &mut self.strings;
+                    eval_prim(
+                        *op,
+                        &arg_vals,
+                        store,
+                        |slot| Addr { slot, ctx: t_new },
+                        call_data.label,
+                        strings,
+                        self.program,
+                    )?
+                };
+                self.apply(k, vec![result], t_new)
+            }
+            CallKind::Fix { bindings, body } => {
+                let t_new = self.times.tick(call_data.label, time);
+                let mut extended = (**benv).clone();
+                for (name, _) in bindings {
+                    let addr = Addr { slot: Slot::Var(*name), ctx: t_new };
+                    extended.insert(*name, addr);
+                }
+                let extended: BEnv = Rc::new(extended);
+                for (name, lam) in bindings {
+                    let clo = Value::Clo { lam: *lam, env: self.close(*lam, &extended) };
+                    let addr = extended[name];
+                    self.store.insert(addr, clo);
+                }
+                Ok(Step::Continue(*body, extended, t_new))
+            }
+            CallKind::Halt { value } => {
+                let v = self.eval(value, benv)?;
+                Ok(Step::Halt(v))
+            }
+        }
+    }
+}
+
+enum Step {
+    Continue(CallId, BEnv, Ctx),
+    Halt(SharedValue),
+}
+
+/// Convenience: compile mini-Scheme source and run it, returning the
+/// rendered halt value.
+///
+/// # Errors
+///
+/// Returns the parse error, the runtime error, or a fuel-exhaustion
+/// message as a string (test/helper ergonomics).
+pub fn eval_scheme(src: &str, limits: Limits) -> Result<String, String> {
+    let program = cfa_syntax::compile(src).map_err(|e| e.to_string())?;
+    match run_shared(&program, limits).outcome {
+        Outcome::Halted(v) => Ok(v),
+        Outcome::OutOfFuel => Err("out of fuel".to_owned()),
+        Outcome::Error(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> String {
+        eval_scheme(src, Limits::default()).unwrap()
+    }
+
+    #[test]
+    fn evaluates_literals_and_prims() {
+        assert_eq!(eval("42"), "42");
+        assert_eq!(eval("(+ 1 2 3)"), "6");
+        assert_eq!(eval("(* 2 3 7)"), "42");
+        assert_eq!(eval("(- 10 4)"), "6");
+        assert_eq!(eval("(quotient 9 2)"), "4");
+        assert_eq!(eval("(remainder 9 2)"), "1");
+        assert_eq!(eval("(< 1 2)"), "#t");
+        assert_eq!(eval("(not #f)"), "#t");
+    }
+
+    #[test]
+    fn evaluates_lambda_application() {
+        assert_eq!(eval("((lambda (x) x) 7)"), "7");
+        assert_eq!(eval("((lambda (f x) (f (f x))) (lambda (n) (* n n)) 3)"), "81");
+    }
+
+    #[test]
+    fn evaluates_let_and_if() {
+        assert_eq!(eval("(let ((x 1) (y 2)) (+ x y))"), "3");
+        assert_eq!(eval("(if (< 1 2) 'yes 'no)"), "yes");
+        assert_eq!(eval("(let* ((a 2) (b (* a a))) b)"), "4");
+    }
+
+    #[test]
+    fn evaluates_recursion_via_fix() {
+        assert_eq!(
+            eval("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 10)"),
+            "3628800"
+        );
+        assert_eq!(
+            eval(
+                "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+                 (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+                 (even? 10)"
+            ),
+            "#t"
+        );
+    }
+
+    #[test]
+    fn evaluates_pairs_and_lists() {
+        assert_eq!(eval("(car (cons 1 2))"), "1");
+        assert_eq!(eval("(cdr (cons 1 2))"), "2");
+        assert_eq!(
+            eval(
+                "(define (len xs) (if (null? xs) 0 (+ 1 (len (cdr xs)))))
+                 (len (list 1 2 3 4))"
+            ),
+            "4"
+        );
+    }
+
+    #[test]
+    fn higher_order_closures_capture_correctly() {
+        assert_eq!(
+            eval(
+                "(define (make-adder n) (lambda (m) (+ n m)))
+                 (let ((add3 (make-adder 3)) (add5 (make-adder 5)))
+                   (+ (add3 10) (add5 100)))"
+            ),
+            "118"
+        );
+    }
+
+    #[test]
+    fn shadowing_respects_lexical_scope() {
+        assert_eq!(eval("(let ((x 1)) (let ((x 2)) x))"), "2");
+        assert_eq!(eval("((lambda (x) ((lambda (x) x) 9)) 1)"), "9");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(eval_scheme("(car 5)", Limits::default()).is_err());
+        assert!(eval_scheme("(f 1)", Limits::default()).is_err()); // unbound
+        assert!(eval_scheme("((lambda (x) x) 1 2)", Limits::default()).is_err()); // arity
+        assert!(eval_scheme("(error 'boom)", Limits::default()).is_err());
+    }
+
+    #[test]
+    fn fuel_limits_runaway_programs() {
+        let r = eval_scheme("(define (loop x) (loop x)) (loop 1)", Limits { max_steps: 500 });
+        assert_eq!(r, Err("out of fuel".to_owned()));
+    }
+
+    #[test]
+    fn trace_records_visits() {
+        let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+        let run = run_shared_traced(&p, Limits::default(), true);
+        assert!(run.trace.len() >= 2);
+        assert_eq!(run.trace[0].call, p.entry());
+    }
+
+    #[test]
+    fn times_grow_monotonically() {
+        let p = cfa_syntax::compile("(+ 1 (+ 2 (+ 3 4)))").unwrap();
+        let run = run_shared_traced(&p, Limits::default(), true);
+        // Every allocation produced a distinct time.
+        assert!(run.times.len() > 1);
+    }
+
+    #[test]
+    fn quoted_data_evaluates() {
+        assert_eq!(eval("(car '(1 2 3))"), "1");
+        assert_eq!(eval("'sym"), "sym");
+        assert_eq!(eval("(null? '())"), "#t");
+    }
+
+    #[test]
+    fn string_prims() {
+        assert_eq!(eval(r#"(string-append "a" "b")"#), "\"ab\"");
+        assert_eq!(eval("(->string 42)"), "\"42\"");
+        assert_eq!(eval(r#"(string? "x")"#), "#t");
+    }
+}

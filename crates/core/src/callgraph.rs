@@ -1,0 +1,165 @@
+//! Call-graph construction and Graphviz export.
+//!
+//! CFAs build the call graph *on the fly* — in points-to terminology,
+//! "on-the-fly call-graph construction" (§2.1). [`Metrics`] already
+//! records the per-site target sets; this module turns them into a
+//! queryable [`CallGraph`] and a `dot` rendering for visualization.
+
+use crate::results::Metrics;
+use cfa_syntax::cps::{CallId, CpsProgram, LamId, LamSort};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// A resolved call graph: call sites to λ-term targets, and the
+/// λ-term that (syntactically) contains each call site.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    edges: BTreeMap<CallId, BTreeSet<LamId>>,
+    containing: BTreeMap<CallId, Option<LamId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from an analysis summary.
+    pub fn from_metrics(program: &CpsProgram, metrics: &Metrics) -> Self {
+        let mut containing: BTreeMap<CallId, Option<LamId>> = BTreeMap::new();
+        // Map every call site to its syntactically enclosing λ-term.
+        fn walk(
+            program: &CpsProgram,
+            call: CallId,
+            owner: Option<LamId>,
+            containing: &mut BTreeMap<CallId, Option<LamId>>,
+        ) {
+            containing.insert(call, owner);
+            match &program.call(call).kind {
+                cfa_syntax::cps::CallKind::If { then_branch, else_branch, .. } => {
+                    walk(program, *then_branch, owner, containing);
+                    walk(program, *else_branch, owner, containing);
+                }
+                cfa_syntax::cps::CallKind::Fix { body, bindings } => {
+                    for (_, lam) in bindings {
+                        walk(program, program.lam(*lam).body, Some(*lam), containing);
+                    }
+                    walk(program, *body, owner, containing);
+                }
+                _ => {}
+            }
+        }
+        for lam in program.lam_ids() {
+            walk(program, program.lam(lam).body, Some(lam), &mut containing);
+        }
+        walk(program, program.entry(), None, &mut containing);
+
+        CallGraph { edges: metrics.call_targets.clone(), containing }
+    }
+
+    /// Targets of a call site.
+    pub fn targets(&self, site: CallId) -> Option<&BTreeSet<LamId>> {
+        self.edges.get(&site)
+    }
+
+    /// Number of resolved call sites.
+    pub fn site_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// λ-to-λ edges: caller λ (or `None` for top level) → callee λ,
+    /// considering only procedure targets.
+    pub fn lam_edges(&self, program: &CpsProgram) -> BTreeSet<(Option<LamId>, LamId)> {
+        let mut out = BTreeSet::new();
+        for (&site, targets) in &self.edges {
+            let caller = self.containing.get(&site).copied().flatten();
+            for &callee in targets {
+                if program.lam(callee).sort == LamSort::Proc {
+                    out.insert((caller, callee));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the procedure-level call graph as Graphviz `dot`.
+    pub fn to_dot(&self, program: &CpsProgram) -> String {
+        let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n");
+        let mut nodes: BTreeSet<Option<LamId>> = BTreeSet::new();
+        let edges = self.lam_edges(program);
+        for (from, to) in &edges {
+            nodes.insert(*from);
+            nodes.insert(Some(*to));
+        }
+        for node in &nodes {
+            match node {
+                None => {
+                    let _ = writeln!(out, "  top [label=\"<top level>\", shape=box];");
+                }
+                Some(lam) => {
+                    let data = program.lam(*lam);
+                    let params: Vec<&str> =
+                        data.params.iter().map(|p| program.name(*p)).collect();
+                    let _ = writeln!(
+                        out,
+                        "  l{} [label=\"λ{} ({})\"];",
+                        lam.0,
+                        data.label,
+                        params.join(" ")
+                    );
+                }
+            }
+        }
+        for (from, to) in &edges {
+            let from_name = match from {
+                None => "top".to_owned(),
+                Some(l) => format!("l{}", l.0),
+            };
+            let _ = writeln!(out, "  {from_name} -> l{};", to.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::kcfa::analyze_kcfa;
+
+    fn graph(src: &str) -> (CpsProgram, CallGraph) {
+        let program = cfa_syntax::compile(src).unwrap();
+        let r = analyze_kcfa(&program, 1, EngineLimits::default());
+        let g = CallGraph::from_metrics(&program, &r.metrics);
+        (program, g)
+    }
+
+    #[test]
+    fn builds_edges_for_direct_calls() {
+        let (p, g) = graph("(define (f x) x) (define (g y) (f y)) (g 1)");
+        assert!(g.site_count() > 0);
+        assert!(g.edge_count() >= g.site_count());
+        let lam_edges = g.lam_edges(&p);
+        // g calls f: there is an edge between two distinct proc lams.
+        assert!(lam_edges
+            .iter()
+            .any(|(from, to)| from.is_some() && from != &Some(*to)));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (p, g) = graph("(define (f x) x) (f (f 1))");
+        let dot = g.to_dot(&p);
+        assert!(dot.starts_with("digraph callgraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn top_level_caller_is_represented() {
+        let (p, g) = graph("((lambda (x) x) 5)");
+        let edges = g.lam_edges(&p);
+        assert!(edges.iter().any(|(from, _)| from.is_none()));
+    }
+}

@@ -1,0 +1,440 @@
+//! Constraint-based 0CFA — an independent implementation for
+//! cross-validation.
+//!
+//! The paper contrasts the abstract-interpretation formulation of CFA
+//! with the declarative one used by the points-to community ("express
+//! the algorithm in Datalog", §1). This module is that other road: a
+//! whole-program, flow-insensitive, set-constraint 0CFA in the style of
+//! Andersen's analysis / Datalog points-to:
+//!
+//! * one flow node per variable, per `cons`-site field, and for `%halt`;
+//! * unconditional subset edges for bindings;
+//! * conditional rules (application, projection) triggered as operator
+//!   and pair nodes grow.
+//!
+//! Because it analyzes the *whole* program without reachability or
+//! branch pruning, its result is a (possibly strict) over-approximation
+//! of the worklist `k = 0` analysis of [`crate::kcfa`] — which is
+//! exactly what the cross-validation tests assert.
+
+use crate::domain::AbsBasic;
+use crate::prim::{classify, PrimSpec};
+use cfa_syntax::cps::{AExp, CallKind, CpsProgram, Label, LamId};
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A context-insensitive abstract value.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Val0 {
+    /// A λ-term.
+    Lam(LamId),
+    /// A constant.
+    Basic(AbsBasic),
+    /// A pair allocated at this `cons` site.
+    Pair(Label),
+}
+
+/// A flow node.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Node {
+    /// The flow set of a variable.
+    Var(Symbol),
+    /// The car field of the pairs allocated at a site.
+    Car(Label),
+    /// The cdr field of the pairs allocated at a site.
+    Cdr(Label),
+    /// Values reaching `%halt`.
+    Halt,
+}
+
+/// The solved constraint system.
+#[derive(Debug)]
+pub struct ZeroCfa {
+    flows: HashMap<Node, BTreeSet<Val0>>,
+    /// Number of propagation steps taken by the solver.
+    pub propagations: u64,
+}
+
+impl ZeroCfa {
+    /// The flow set of a node (`⊥` if absent).
+    pub fn flow(&self, node: Node) -> BTreeSet<Val0> {
+        self.flows.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// The flow set of a variable.
+    pub fn var_flow(&self, v: Symbol) -> BTreeSet<Val0> {
+        self.flow(Node::Var(v))
+    }
+
+    /// Values reaching `%halt`.
+    pub fn halt_flow(&self) -> BTreeSet<Val0> {
+        self.flow(Node::Halt)
+    }
+
+    /// Total number of `(node, value)` facts.
+    pub fn fact_count(&self) -> usize {
+        self.flows.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// Solves the 0CFA constraint system for `program`.
+pub fn solve_zerocfa(program: &CpsProgram) -> ZeroCfa {
+    Solver::new(program).run()
+}
+
+struct Solver<'p> {
+    program: &'p CpsProgram,
+    flows: HashMap<Node, BTreeSet<Val0>>,
+    /// Subset edges `from ⊆ to`.
+    edges: HashMap<Node, Vec<Node>>,
+    /// Call sites whose operator node should re-fire when it grows:
+    /// node → (argument nodes/consts, parameter binding thunk inputs).
+    apply_triggers: HashMap<Node, Vec<ApplyRule>>,
+    /// Projection rules triggered by pair values.
+    proj_triggers: HashMap<Node, Vec<ProjRule>>,
+    worklist: VecDeque<Node>,
+    propagations: u64,
+}
+
+/// `for each Lam(l) in flow(operator): args_i ⊆ param_i(l)`.
+#[derive(Clone, Debug)]
+struct ApplyRule {
+    args: Vec<Rhs>,
+}
+
+/// `for each Pair(s) in flow(scrutinee): field(s) ⊆ target`.
+#[derive(Clone, Debug)]
+struct ProjRule {
+    want_car: bool,
+    target: Rhs,
+}
+
+/// The right-hand side of a flow: either a node or an atom's direct
+/// value set.
+#[derive(Clone, Debug)]
+enum Rhs {
+    Node(Node),
+    Consts(BTreeSet<Val0>),
+    /// Flow into whatever closures arrive at this continuation atom.
+    IntoCont(Box<Rhs>, Node),
+}
+
+impl<'p> Solver<'p> {
+    fn new(program: &'p CpsProgram) -> Self {
+        Solver {
+            program,
+            flows: HashMap::new(),
+            edges: HashMap::new(),
+            apply_triggers: HashMap::new(),
+            proj_triggers: HashMap::new(),
+            worklist: VecDeque::new(),
+            propagations: 0,
+        }
+    }
+
+    /// The value set / node of an atom.
+    fn atom(&self, e: &AExp) -> Rhs {
+        match e {
+            AExp::Var(v) => Rhs::Node(Node::Var(*v)),
+            AExp::Lam(l) => Rhs::Consts(std::iter::once(Val0::Lam(*l)).collect()),
+            AExp::Lit(l) => {
+                Rhs::Consts(std::iter::once(Val0::Basic(AbsBasic::from_lit(*l))).collect())
+            }
+        }
+    }
+
+    fn add_values(&mut self, node: Node, values: impl IntoIterator<Item = Val0>) {
+        let set = self.flows.entry(node).or_default();
+        let before = set.len();
+        set.extend(values);
+        if set.len() != before {
+            self.worklist.push_back(node);
+        }
+    }
+
+    fn add_edge(&mut self, from: Node, to: Node) {
+        self.edges.entry(from).or_default().push(to);
+        // Propagate anything already present.
+        let existing = self.flows.get(&from).cloned().unwrap_or_default();
+        if !existing.is_empty() {
+            self.add_values(to, existing);
+        }
+    }
+
+    /// Connects an RHS into a node.
+    fn flow_rhs(&mut self, rhs: &Rhs, to: Node) {
+        match rhs {
+            Rhs::Node(n) => self.add_edge(*n, to),
+            Rhs::Consts(vals) => self.add_values(to, vals.iter().copied()),
+            Rhs::IntoCont(..) => unreachable!("IntoCont only appears as a rule target"),
+        }
+    }
+
+    /// Registers `rhs` to flow into the first parameter of every closure
+    /// reaching `cont`.
+    fn flow_into_cont(&mut self, cont: &AExp, rhs: Rhs) {
+        match cont {
+            AExp::Lam(l) => {
+                let lam = self.program.lam(*l);
+                if let Some(&param) = lam.params.first() {
+                    self.flow_rhs(&rhs, Node::Var(param));
+                }
+            }
+            AExp::Var(k) => {
+                let rule = ApplyRule { args: vec![rhs] };
+                self.apply_triggers.entry(Node::Var(*k)).or_default().push(rule);
+                self.worklist.push_back(Node::Var(*k));
+            }
+            AExp::Lit(_) => {}
+        }
+    }
+
+    fn generate(&mut self) {
+        for call_id in self.program.call_ids() {
+            let call = self.program.call(call_id).clone();
+            match &call.kind {
+                CallKind::App { func, args } => {
+                    let arg_rhs: Vec<Rhs> = args.iter().map(|a| self.atom(a)).collect();
+                    match func {
+                        AExp::Lam(l) => {
+                            let lam = self.program.lam(*l).clone();
+                            if lam.params.len() == arg_rhs.len() {
+                                for (param, rhs) in lam.params.iter().zip(&arg_rhs) {
+                                    self.flow_rhs(rhs, Node::Var(*param));
+                                }
+                            }
+                        }
+                        AExp::Var(f) => {
+                            let rule = ApplyRule { args: arg_rhs };
+                            self.apply_triggers.entry(Node::Var(*f)).or_default().push(rule);
+                            self.worklist.push_back(Node::Var(*f));
+                        }
+                        AExp::Lit(_) => {}
+                    }
+                }
+                CallKind::If { .. } => {
+                    // Whole-program analysis: both branches' call sites are
+                    // in `call_ids()` already; the condition generates no
+                    // constraints.
+                }
+                CallKind::PrimCall { op, args, cont } => match classify(*op) {
+                    PrimSpec::Abort => {}
+                    PrimSpec::Basics(bs) => {
+                        let consts: BTreeSet<Val0> =
+                            bs.iter().map(|b| Val0::Basic(*b)).collect();
+                        self.flow_into_cont(cont, Rhs::Consts(consts));
+                    }
+                    PrimSpec::AllocPair => {
+                        if let Some(a0) = args.first() {
+                            let rhs = self.atom(a0);
+                            self.flow_rhs(&rhs, Node::Car(call.label));
+                        }
+                        if let Some(a1) = args.get(1) {
+                            let rhs = self.atom(a1);
+                            self.flow_rhs(&rhs, Node::Cdr(call.label));
+                        }
+                        let consts: BTreeSet<Val0> =
+                            std::iter::once(Val0::Pair(call.label)).collect();
+                        self.flow_into_cont(cont, Rhs::Consts(consts));
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        if let Some(AExp::Var(scrutinee)) = args.first() {
+                            // The projected field flows into the cont.
+                            let target = Rhs::IntoCont(
+                                Box::new(Rhs::Node(Node::Var(*scrutinee))),
+                                Node::Var(*scrutinee),
+                            );
+                            let _ = target; // see ProjRule handling below
+                            let rule = ProjRule {
+                                want_car,
+                                target: match cont {
+                                    AExp::Lam(l) => {
+                                        let lam = self.program.lam(*l);
+                                        match lam.params.first() {
+                                            Some(&p) => Rhs::Node(Node::Var(p)),
+                                            None => continue,
+                                        }
+                                    }
+                                    AExp::Var(k) => Rhs::IntoCont(
+                                        Box::new(Rhs::Node(Node::Var(*k))),
+                                        Node::Var(*k),
+                                    ),
+                                    AExp::Lit(_) => continue,
+                                },
+                            };
+                            self.proj_triggers
+                                .entry(Node::Var(*scrutinee))
+                                .or_default()
+                                .push(rule);
+                            self.worklist.push_back(Node::Var(*scrutinee));
+                        } else if let Some(a0) = args.first() {
+                            // Literal/lam scrutinee: no pairs can flow.
+                            let _ = a0;
+                        }
+                    }
+                },
+                CallKind::Fix { bindings, .. } => {
+                    for (name, lam) in bindings {
+                        self.add_values(Node::Var(*name), [Val0::Lam(*lam)]);
+                    }
+                }
+                CallKind::Halt { value } => {
+                    let rhs = self.atom(value);
+                    self.flow_rhs(&rhs, Node::Halt);
+                }
+            }
+        }
+    }
+
+    /// Fires the conditional rules registered on `node` against its
+    /// current flow set.
+    fn fire(&mut self, node: Node) {
+        let values = self.flows.get(&node).cloned().unwrap_or_default();
+        if values.is_empty() {
+            return;
+        }
+        if let Some(rules) = self.apply_triggers.get(&node).cloned() {
+            for value in &values {
+                let Val0::Lam(l) = value else { continue };
+                let lam = self.program.lam(*l).clone();
+                for rule in &rules {
+                    if lam.params.len() != rule.args.len() {
+                        continue;
+                    }
+                    for (param, rhs) in lam.params.iter().zip(&rule.args) {
+                        self.flow_rule_rhs(rhs.clone(), Node::Var(*param));
+                    }
+                }
+            }
+        }
+        if let Some(rules) = self.proj_triggers.get(&node).cloned() {
+            for value in &values {
+                let Val0::Pair(site) = value else { continue };
+                for rule in &rules {
+                    let field = if rule.want_car { Node::Car(*site) } else { Node::Cdr(*site) };
+                    self.flow_rule_target(field, rule.target.clone());
+                }
+            }
+        }
+    }
+
+    /// `rhs ⊆ to`, where rhs may itself be an IntoCont indirection.
+    fn flow_rule_rhs(&mut self, rhs: Rhs, to: Node) {
+        match rhs {
+            Rhs::Node(n) => self.add_edge(n, to),
+            Rhs::Consts(vals) => self.add_values(to, vals),
+            Rhs::IntoCont(inner, _) => {
+                // An IntoCont as an *argument* means: route the inner flow
+                // to `to` (the cont indirection was already resolved).
+                self.flow_rule_rhs(*inner, to);
+            }
+        }
+    }
+
+    /// `from ⊆ target`, where target may be an IntoCont indirection
+    /// (flow into the first param of closures reaching the cont node).
+    fn flow_rule_target(&mut self, from: Node, target: Rhs) {
+        match target {
+            Rhs::Node(n) => self.add_edge(from, n),
+            Rhs::Consts(_) => {}
+            Rhs::IntoCont(_, cont_node) => {
+                let rule = ApplyRule { args: vec![Rhs::Node(from)] };
+                self.apply_triggers.entry(cont_node).or_default().push(rule);
+                self.worklist.push_back(cont_node);
+            }
+        }
+    }
+
+    fn run(mut self) -> ZeroCfa {
+        self.generate();
+        // Seed: fire everything once.
+        let nodes: Vec<Node> = self
+            .apply_triggers
+            .keys()
+            .chain(self.proj_triggers.keys())
+            .copied()
+            .collect();
+        for n in nodes {
+            self.worklist.push_back(n);
+        }
+        while let Some(node) = self.worklist.pop_front() {
+            self.propagations += 1;
+            // Propagate along subset edges.
+            let values = self.flows.get(&node).cloned().unwrap_or_default();
+            let targets = self.edges.get(&node).cloned().unwrap_or_default();
+            for to in targets {
+                self.add_values(to, values.iter().copied());
+            }
+            // Fire conditional rules.
+            self.fire(node);
+        }
+        ZeroCfa { flows: self.flows, propagations: self.propagations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(src: &str) -> (CpsProgram, ZeroCfa) {
+        let p = cfa_syntax::compile(src).unwrap();
+        let z = solve_zerocfa(&p);
+        (p, z)
+    }
+
+    #[test]
+    fn constant_reaches_halt() {
+        let (_, z) = solve("42");
+        assert!(z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(42))));
+    }
+
+    #[test]
+    fn identity_merges_like_0cfa() {
+        let (_, z) = solve("(define (id x) x) (let ((a (id 3))) (id 4))");
+        let halts = z.halt_flow();
+        assert!(halts.contains(&Val0::Basic(AbsBasic::Int(3))));
+        assert!(halts.contains(&Val0::Basic(AbsBasic::Int(4))));
+    }
+
+    #[test]
+    fn lambdas_flow_through_application() {
+        let (p, z) = solve("(define (apply f) (f 1)) (apply (lambda (n) n))");
+        // Some variable carries the user lambda.
+        let lam_count = p
+            .bound_vars()
+            .iter()
+            .filter(|&&v| z.var_flow(v).iter().any(|val| matches!(val, Val0::Lam(_))))
+            .count();
+        assert!(lam_count >= 2, "f and the fix binder should carry lambdas");
+    }
+
+    #[test]
+    fn pairs_project() {
+        let (_, z) = solve("(car (cons 7 8))");
+        assert!(z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(7))));
+        assert!(!z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(8))));
+    }
+
+    #[test]
+    fn branches_both_counted() {
+        let (_, z) = solve("(if (zero? 1) 10 20)");
+        assert!(z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(10))));
+        assert!(z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(20))));
+    }
+
+    #[test]
+    fn whole_program_analysis_covers_dead_code() {
+        // Unlike the reachability-pruning worklist k=0, the constraint
+        // system analyzes the dead arm too.
+        let (_, z) = solve("(if #t 1 2)");
+        assert!(z.halt_flow().contains(&Val0::Basic(AbsBasic::Int(2))));
+    }
+
+    #[test]
+    fn fact_count_is_positive() {
+        let (_, z) = solve("(define (f x) (f x)) (f (lambda (y) y))");
+        assert!(z.fact_count() > 0);
+        assert!(z.propagations > 0);
+    }
+}

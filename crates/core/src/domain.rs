@@ -1,0 +1,262 @@
+//! Abstract domains shared by all the CPS analyzers.
+//!
+//! * [`CallString`] — bounded sequences of call-site labels. They serve as
+//!   k-CFA's abstract *times* (`Time = Callᵏ`, §3.5.1) and as m-CFA's
+//!   abstract *environments* (`Env = Callᵐ`, §5.3).
+//! * [`AbsBasic`] — first-order constants with a flat lattice per type
+//!   (literal integers stay precise; arithmetic widens to [`AbsBasic::AnyInt`]).
+//! * [`AVal`] — abstract values, generic over the machine's environment
+//!   representation `E` and address type `A`: closures, basics, and
+//!   store-allocated pairs.
+
+use cfa_syntax::cps::{Label, LamId, Lit};
+use cfa_syntax::intern::Symbol;
+use std::fmt;
+
+/// A bounded call string: the most recent label first.
+///
+/// `CallString::empty().push(l1, k).push(l2, k)` is `⌊l2, l1⌋ₖ`.
+///
+/// # Examples
+///
+/// ```
+/// use cfa_core::domain::CallString;
+/// use cfa_syntax::cps::Label;
+///
+/// let cs = CallString::empty().push(Label(1), 2).push(Label(2), 2).push(Label(3), 2);
+/// assert_eq!(cs.labels(), &[Label(3), Label(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CallString(Vec<Label>);
+
+impl CallString {
+    /// The empty call string (the initial abstract time / environment).
+    pub fn empty() -> Self {
+        CallString(Vec::new())
+    }
+
+    /// Builds a call string from labels, most recent first, truncated to
+    /// `bound`.
+    pub fn from_labels(labels: impl IntoIterator<Item = Label>, bound: usize) -> Self {
+        CallString(labels.into_iter().take(bound).collect())
+    }
+
+    /// `firstₖ(label : self)` — prepend and truncate.
+    pub fn push(&self, label: Label, bound: usize) -> Self {
+        if bound == 0 {
+            return CallString::empty();
+        }
+        let mut v = Vec::with_capacity(bound.min(self.0.len() + 1));
+        v.push(label);
+        v.extend(self.0.iter().copied().take(bound - 1));
+        CallString(v)
+    }
+
+    /// The labels, most recent first.
+    pub fn labels(&self) -> &[Label] {
+        &self.0
+    }
+
+    /// Length of the string.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for CallString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Debug for CallString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An abstract first-order constant.
+///
+/// Integer and boolean *literals* stay precise (they flow through the
+/// analysis unchanged, which the paper's §6 identity example relies on);
+/// operations that can create unboundedly many constants widen to the
+/// per-type top.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AbsBasic {
+    /// A known integer.
+    Int(i64),
+    /// Any integer (result of arithmetic).
+    AnyInt,
+    /// A known boolean.
+    Bool(bool),
+    /// Any boolean (result of comparisons and predicates).
+    AnyBool,
+    /// Any string.
+    Str,
+    /// A known symbol.
+    Sym(Symbol),
+    /// The empty list.
+    Nil,
+    /// The unspecified value.
+    Void,
+}
+
+impl AbsBasic {
+    /// Abstracts a syntactic literal.
+    pub fn from_lit(lit: Lit) -> AbsBasic {
+        match lit {
+            Lit::Int(n) => AbsBasic::Int(n),
+            Lit::Bool(b) => AbsBasic::Bool(b),
+            Lit::Nil => AbsBasic::Nil,
+            Lit::Str(_) => AbsBasic::Str,
+            Lit::Sym(s) => AbsBasic::Sym(s),
+            Lit::Void => AbsBasic::Void,
+        }
+    }
+
+    /// Can this constant be truthy (anything but `#f`)?
+    pub fn maybe_truthy(self) -> bool {
+        !matches!(self, AbsBasic::Bool(false))
+    }
+
+    /// Can this constant be `#f`?
+    pub fn maybe_falsy(self) -> bool {
+        matches!(self, AbsBasic::Bool(false) | AbsBasic::AnyBool)
+    }
+}
+
+impl fmt::Display for AbsBasic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsBasic::Int(n) => write!(f, "{n}"),
+            AbsBasic::AnyInt => write!(f, "int⊤"),
+            AbsBasic::Bool(true) => write!(f, "#t"),
+            AbsBasic::Bool(false) => write!(f, "#f"),
+            AbsBasic::AnyBool => write!(f, "bool⊤"),
+            AbsBasic::Str => write!(f, "str⊤"),
+            AbsBasic::Sym(s) => write!(f, "'sym{}", s.index()),
+            AbsBasic::Nil => write!(f, "()"),
+            AbsBasic::Void => write!(f, "#void"),
+        }
+    }
+}
+
+/// An abstract value, generic over environment representation `E` and
+/// address type `A`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AVal<E, A> {
+    /// An abstract closure `(lam, ê)`.
+    Clo {
+        /// The λ-term.
+        lam: LamId,
+        /// The abstract environment.
+        env: E,
+    },
+    /// An abstract constant.
+    Basic(AbsBasic),
+    /// An abstract pair whose halves live at abstract addresses.
+    Pair {
+        /// Address of the car.
+        car: A,
+        /// Address of the cdr.
+        cdr: A,
+    },
+}
+
+impl<E, A> AVal<E, A> {
+    /// Can this value be truthy?
+    pub fn maybe_truthy(&self) -> bool {
+        match self {
+            AVal::Basic(b) => b.maybe_truthy(),
+            _ => true,
+        }
+    }
+
+    /// Can this value be `#f`?
+    pub fn maybe_falsy(&self) -> bool {
+        match self {
+            AVal::Basic(b) => b.maybe_falsy(),
+            _ => false,
+        }
+    }
+
+    /// The closure parts, if this is a closure.
+    pub fn as_clo(&self) -> Option<(LamId, &E)> {
+        match self {
+            AVal::Clo { lam, env } => Some((*lam, env)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_truncates_to_bound() {
+        let cs = CallString::empty();
+        let cs = cs.push(Label(1), 1);
+        let cs = cs.push(Label(2), 1);
+        assert_eq!(cs.labels(), &[Label(2)]);
+    }
+
+    #[test]
+    fn bound_zero_is_always_empty() {
+        let cs = CallString::empty().push(Label(9), 0);
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn push_keeps_most_recent_first() {
+        let cs = CallString::empty()
+            .push(Label(1), 3)
+            .push(Label(2), 3)
+            .push(Label(3), 3)
+            .push(Label(4), 3);
+        assert_eq!(cs.labels(), &[Label(4), Label(3), Label(2)]);
+    }
+
+    #[test]
+    fn from_labels_truncates() {
+        let cs = CallString::from_labels([Label(1), Label(2), Label(3)], 2);
+        assert_eq!(cs.labels(), &[Label(1), Label(2)]);
+    }
+
+    #[test]
+    fn truthiness_of_basics() {
+        assert!(AbsBasic::Int(0).maybe_truthy());
+        assert!(!AbsBasic::Int(0).maybe_falsy());
+        assert!(!AbsBasic::Bool(false).maybe_truthy());
+        assert!(AbsBasic::Bool(false).maybe_falsy());
+        assert!(AbsBasic::AnyBool.maybe_truthy());
+        assert!(AbsBasic::AnyBool.maybe_falsy());
+    }
+
+    #[test]
+    fn closures_and_pairs_are_truthy() {
+        let v: AVal<u32, u32> = AVal::Clo { lam: LamId(0), env: 0 };
+        assert!(v.maybe_truthy() && !v.maybe_falsy());
+        let p: AVal<u32, u32> = AVal::Pair { car: 1, cdr: 2 };
+        assert!(p.maybe_truthy() && !p.maybe_falsy());
+    }
+
+    #[test]
+    fn lit_abstraction_keeps_constants() {
+        assert_eq!(AbsBasic::from_lit(Lit::Int(7)), AbsBasic::Int(7));
+        assert_eq!(AbsBasic::from_lit(Lit::Bool(false)), AbsBasic::Bool(false));
+        assert_eq!(AbsBasic::from_lit(Lit::Nil), AbsBasic::Nil);
+    }
+}

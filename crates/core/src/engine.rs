@@ -1,0 +1,335 @@
+//! A generic worklist engine for single-threaded-store abstract
+//! interpreters.
+//!
+//! The transfer function of §3.7 re-runs *every* reachable configuration
+//! whenever the store grows. This engine implements the standard
+//! refinement: it tracks which configurations *read* which addresses and
+//! re-enqueues only the dependents of addresses whose flow sets grew.
+//! The result is identical (the fixed point of a monotone function is
+//! unique); only the iteration order differs.
+//!
+//! The engine is generic over the abstract machine — the CPS k-CFA,
+//! m-CFA / polynomial-k-CFA, and Featherweight Java analyzers all drive
+//! their transitions through it.
+
+use crate::store::{AbsStore, FlowSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// An abstract transition system with a single-threaded store.
+pub trait AbstractMachine {
+    /// A configuration: the store-less part of an abstract state (e.g.
+    /// `(call, β̂, t̂)` for k-CFA).
+    type Config: Clone + Eq + Hash;
+    /// Abstract addresses.
+    type Addr: Clone + Eq + Hash;
+    /// Abstract values.
+    type Val: Clone + Ord;
+
+    /// The initial configuration `ς̂₀`.
+    fn initial(&self) -> Self::Config;
+
+    /// Seeds the store before exploration begins (e.g. the Featherweight
+    /// Java machine pre-allocates the `Main` receiver and the halt
+    /// continuation). Default: nothing.
+    fn seed(&mut self, store: &mut TrackedStore<'_, Self::Addr, Self::Val>) {
+        let _ = store;
+    }
+
+    /// Computes the successors of `config`, reading and joining through
+    /// `store` (which records dependencies), pushing successors into
+    /// `out`.
+    fn step(
+        &mut self,
+        config: &Self::Config,
+        store: &mut TrackedStore<'_, Self::Addr, Self::Val>,
+        out: &mut Vec<Self::Config>,
+    );
+}
+
+/// A store view that records which addresses were read (for dependency
+/// tracking) and which grew (to schedule re-analysis).
+#[derive(Debug)]
+pub struct TrackedStore<'a, A, V> {
+    store: &'a mut AbsStore<A, V>,
+    reads: Vec<A>,
+    grew: Vec<A>,
+}
+
+impl<'a, A: Eq + Hash + Clone, V: Ord + Clone> TrackedStore<'a, A, V> {
+    /// Reads the flow set at `addr`, recording the dependency.
+    pub fn read(&mut self, addr: &A) -> FlowSet<V> {
+        self.reads.push(addr.clone());
+        self.store.read(addr)
+    }
+
+    /// Joins values into `addr`, recording growth.
+    pub fn join(&mut self, addr: A, values: impl IntoIterator<Item = V>) {
+        if self.store.join(addr.clone(), values) {
+            self.grew.push(addr);
+        }
+    }
+
+    /// Reads without recording a dependency. Use only for metrics, never
+    /// for values that influence successor computation.
+    pub fn peek(&self, addr: &A) -> FlowSet<V> {
+        self.store.read(addr)
+    }
+}
+
+/// Why the engine stopped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// The least fixed point was reached.
+    Completed,
+    /// The iteration budget was exhausted first.
+    IterationLimit,
+    /// The wall-clock deadline passed first.
+    TimedOut,
+}
+
+impl Status {
+    /// Whether the analysis ran to completion.
+    pub fn is_complete(self) -> bool {
+        self == Status::Completed
+    }
+}
+
+/// Resource limits for a run.
+#[derive(Copy, Clone, Debug)]
+pub struct EngineLimits {
+    /// Maximum number of configuration evaluations.
+    pub max_iterations: u64,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for EngineLimits {
+    fn default() -> Self {
+        EngineLimits { max_iterations: u64::MAX, time_budget: None }
+    }
+}
+
+impl EngineLimits {
+    /// A limit of `max_iterations` configuration evaluations.
+    pub fn iterations(max_iterations: u64) -> Self {
+        EngineLimits { max_iterations, ..Self::default() }
+    }
+
+    /// A wall-clock budget.
+    pub fn timeout(budget: Duration) -> Self {
+        EngineLimits { time_budget: Some(budget), ..Self::default() }
+    }
+}
+
+/// The engine's output: reached configurations, final store, statistics.
+#[derive(Debug)]
+pub struct FixpointResult<C, A, V> {
+    /// All reached configurations, in first-visit order.
+    pub configs: Vec<C>,
+    /// The final single-threaded store.
+    pub store: AbsStore<A, V>,
+    /// Why the run stopped.
+    pub status: Status,
+    /// Number of configuration evaluations (including re-evaluations).
+    pub iterations: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl<C, A, V> FixpointResult<C, A, V> {
+    /// Number of distinct configurations reached.
+    pub fn config_count(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+/// Runs `machine` to its least fixed point (or until a limit fires).
+pub fn run_fixpoint<M: AbstractMachine>(
+    machine: &mut M,
+    limits: EngineLimits,
+) -> FixpointResult<M::Config, M::Addr, M::Val> {
+    let start = Instant::now();
+    let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
+    let mut configs: Vec<M::Config> = Vec::new();
+    let mut index: HashMap<M::Config, usize> = HashMap::new();
+    let mut deps: HashMap<M::Addr, HashSet<usize>> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut queued: HashSet<usize> = HashSet::new();
+
+    let intern = |cfg: M::Config,
+                      configs: &mut Vec<M::Config>,
+                      index: &mut HashMap<M::Config, usize>|
+     -> (usize, bool) {
+        if let Some(&i) = index.get(&cfg) {
+            (i, false)
+        } else {
+            let i = configs.len();
+            configs.push(cfg.clone());
+            index.insert(cfg, i);
+            (i, true)
+        }
+    };
+
+    {
+        let mut tracked =
+            TrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        machine.seed(&mut tracked);
+    }
+    let (root, _) = intern(machine.initial(), &mut configs, &mut index);
+    queue.push_back(root);
+    queued.insert(root);
+
+    let mut iterations: u64 = 0;
+    let mut status = Status::Completed;
+    let mut successors: Vec<M::Config> = Vec::new();
+
+    while let Some(i) = queue.pop_front() {
+        queued.remove(&i);
+        if iterations >= limits.max_iterations {
+            status = Status::IterationLimit;
+            break;
+        }
+        // Checking the clock every iteration would dominate small runs;
+        // every 256 is fine-grained enough for the harness timeouts.
+        if iterations.is_multiple_of(256) {
+            if let Some(budget) = limits.time_budget {
+                if start.elapsed() > budget {
+                    status = Status::TimedOut;
+                    break;
+                }
+            }
+        }
+        iterations += 1;
+
+        let config = configs[i].clone();
+        successors.clear();
+        let mut tracked = TrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        machine.step(&config, &mut tracked, &mut successors);
+        let TrackedStore { reads, grew, .. } = tracked;
+
+        for addr in reads {
+            deps.entry(addr).or_default().insert(i);
+        }
+        for succ in successors.drain(..) {
+            let (j, fresh) = intern(succ, &mut configs, &mut index);
+            if fresh && queued.insert(j) {
+                queue.push_back(j);
+            }
+        }
+        for addr in grew {
+            if let Some(dependents) = deps.get(&addr) {
+                for &j in dependents {
+                    if queued.insert(j) {
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+    }
+
+    FixpointResult { configs, store, status, iterations, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy machine: configs are integers 0..n; config i writes i to
+    /// address i % 3 and steps to i+1; config k reads address 0.
+    struct Counter {
+        n: u32,
+    }
+
+    impl AbstractMachine for Counter {
+        type Config = u32;
+        type Addr = u32;
+        type Val = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn step(
+            &mut self,
+            config: &u32,
+            store: &mut TrackedStore<'_, u32, u32>,
+            out: &mut Vec<u32>,
+        ) {
+            let c = *config;
+            if c < self.n {
+                store.join(c % 3, [c]);
+                out.push(c + 1);
+            } else {
+                // Terminal config reads address 0, so it re-runs whenever
+                // address 0 grows; the fixpoint must still terminate.
+                let _ = store.read(&0);
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_fixpoint() {
+        let mut m = Counter { n: 10 };
+        let r = run_fixpoint(&mut m, EngineLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert_eq!(r.config_count(), 11);
+        assert_eq!(r.store.read(&0), [0u32, 3, 6, 9].into_iter().collect());
+    }
+
+    #[test]
+    fn iteration_limit_fires() {
+        let mut m = Counter { n: 1_000_000 };
+        let r = run_fixpoint(&mut m, EngineLimits::iterations(100));
+        assert_eq!(r.status, Status::IterationLimit);
+        assert!(r.iterations <= 100);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        struct Spin;
+        impl AbstractMachine for Spin {
+            type Config = u64;
+            type Addr = u64;
+            type Val = u64;
+            fn initial(&self) -> u64 {
+                0
+            }
+            fn step(&mut self, c: &u64, _s: &mut TrackedStore<'_, u64, u64>, out: &mut Vec<u64>) {
+                std::thread::sleep(Duration::from_millis(1));
+                out.push(c + 1);
+            }
+        }
+        let r = run_fixpoint(&mut Spin, EngineLimits::timeout(Duration::from_millis(50)));
+        assert_eq!(r.status, Status::TimedOut);
+    }
+
+    #[test]
+    fn dependents_rerun_on_store_growth() {
+        /// Config 0 reads addr 0 and, per value v seen, writes v+1 to
+        /// addr 0 (capped) — convergence requires re-running config 0.
+        struct Feedback;
+        impl AbstractMachine for Feedback {
+            type Config = u8;
+            type Addr = u8;
+            type Val = u8;
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+                if *c == 0 {
+                    s.join(0, [1u8]);
+                    out.push(1);
+                } else {
+                    let seen = s.read(&0);
+                    let next: Vec<u8> = seen.iter().filter(|&&v| v < 5).map(|&v| v + 1).collect();
+                    s.join(0, next);
+                }
+            }
+        }
+        let r = run_fixpoint(&mut Feedback, EngineLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert_eq!(r.store.read(&0), (1u8..=5).collect());
+    }
+}

@@ -1,0 +1,513 @@
+//! m-CFA and naive polynomial k-CFA: flat-environment abstract
+//! interpreters (paper §5.2–5.4 and §6).
+//!
+//! In the flat-environment semantics an abstract environment is just a
+//! call string — *all* bindings reachable from an environment share its
+//! one allocation context, which collapses the `BEnv` component to
+//! `Callᵐ` and makes the system space polynomial (Theorem 5.1).
+//!
+//! Two context policies instantiate the machine:
+//!
+//! * [`FlatPolicy::TopMFrames`] — **m-CFA**: applying a *procedure*
+//!   pushes the call site; applying a *continuation* **restores** the
+//!   continuation closure's saved environment (§5.3's `n̂ew`).
+//! * [`FlatPolicy::LastKCalls`] — **naive polynomial k-CFA**: every
+//!   application (procedure or continuation) pushes the call site, i.e.
+//!   Shivers's last-k-call-sites contour policy on flat environments.
+//!   §6 shows this policy degenerates toward 0CFA precision.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_core::flatcfa::analyze_mcfa;
+//! use cfa_core::engine::EngineLimits;
+//!
+//! let p = cfa_syntax::compile("(define (id x) x) (id 42)").unwrap();
+//! let result = analyze_mcfa(&p, 1, EngineLimits::default());
+//! assert!(result.metrics.halt_values.contains("42"));
+//! ```
+
+use crate::domain::{AbsBasic, AVal, CallString};
+use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
+use crate::kcfa::{build_metrics, render_val};
+use crate::prim::{classify, PrimSpec};
+use crate::results::Metrics;
+use crate::store::FlowSet;
+use cfa_concrete::base::Slot;
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, Label, LamId, LamSort};
+use std::collections::{BTreeSet, HashMap};
+
+/// A flat-environment abstract address: slot × abstract environment.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AddrM {
+    /// What is stored.
+    pub slot: Slot,
+    /// The environment (call string) it belongs to.
+    pub env: CallString,
+}
+
+/// A flat-environment abstract value: closures capture a call string.
+pub type ValM = AVal<CallString, AddrM>;
+
+/// A flat-environment configuration `(call, ρ̂)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MConfig {
+    /// Current call site.
+    pub call: CallId,
+    /// Current abstract environment.
+    pub env: CallString,
+}
+
+/// The context-allocation policy for the flat-environment machine.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FlatPolicy {
+    /// m-CFA: top-m stack frames (restore on continuation application).
+    TopMFrames,
+    /// Naive polynomial k-CFA: last-k call sites (tick on every
+    /// application).
+    LastKCalls,
+}
+
+/// The flat-environment abstract machine.
+#[derive(Debug)]
+pub struct FlatCfaMachine<'p> {
+    program: &'p CpsProgram,
+    bound: usize,
+    policy: FlatPolicy,
+    operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
+    lam_entry_envs: HashMap<LamId, BTreeSet<CallString>>,
+    halt_values: BTreeSet<ValM>,
+}
+
+impl<'p> FlatCfaMachine<'p> {
+    /// Creates a machine with the given context bound and policy.
+    pub fn new(program: &'p CpsProgram, bound: usize, policy: FlatPolicy) -> Self {
+        FlatCfaMachine {
+            program,
+            bound,
+            policy,
+            operator_flows: HashMap::new(),
+            lam_entry_envs: HashMap::new(),
+            halt_values: BTreeSet::new(),
+        }
+    }
+
+    fn eval(
+        &self,
+        e: &AExp,
+        env: &CallString,
+        store: &mut TrackedStore<'_, AddrM, ValM>,
+    ) -> FlowSet<ValM> {
+        match e {
+            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Var(v) => store.read(&AddrM { slot: Slot::Var(*v), env: env.clone() }),
+            AExp::Lam(l) => std::iter::once(AVal::Clo { lam: *l, env: env.clone() }).collect(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// Applies every closure in `fset`: allocate the new environment,
+    /// bind parameters there, and **copy** the λ-term's free variables
+    /// from the closure's saved environment (flat-closure creation).
+    fn apply(
+        &mut self,
+        site: CallId,
+        label: Label,
+        fset: &FlowSet<ValM>,
+        args: &[FlowSet<ValM>],
+        current: &CallString,
+        store: &mut TrackedStore<'_, AddrM, ValM>,
+        out: &mut Vec<MConfig>,
+    ) {
+        let policy = self.policy;
+        let bound = self.bound;
+        let flows = self.operator_flows.entry(site).or_default();
+        for f in fset {
+            let AVal::Clo { lam, env: saved } = f else {
+                flows.1 = true;
+                continue;
+            };
+            flows.0.insert(*lam);
+            let lam_data = self.program.lam(*lam);
+            if lam_data.params.len() != args.len() {
+                continue;
+            }
+            // n̂ew(call, ρ̂, lam, ρ̂′), inlined from `new_env`.
+            let fresh = match policy {
+                FlatPolicy::TopMFrames => match lam_data.sort {
+                    LamSort::Proc => current.push(label, bound),
+                    LamSort::Cont => saved.clone(),
+                },
+                FlatPolicy::LastKCalls => current.push(label, bound),
+            };
+            for (&p, values) in lam_data.params.iter().zip(args) {
+                store.join(
+                    AddrM { slot: Slot::Var(p), env: fresh.clone() },
+                    values.iter().cloned(),
+                );
+            }
+            for &fv in self.program.free_vars(*lam) {
+                let from = AddrM { slot: Slot::Var(fv), env: saved.clone() };
+                let to = AddrM { slot: Slot::Var(fv), env: fresh.clone() };
+                if from != to {
+                    let values = store.read(&from);
+                    store.join(to, values);
+                }
+            }
+            self.lam_entry_envs.entry(*lam).or_default().insert(fresh.clone());
+            out.push(MConfig { call: lam_data.body, env: fresh });
+        }
+    }
+}
+
+impl<'p> AbstractMachine for FlatCfaMachine<'p> {
+    type Config = MConfig;
+    type Addr = AddrM;
+    type Val = ValM;
+
+    fn initial(&self) -> MConfig {
+        MConfig { call: self.program.entry(), env: CallString::empty() }
+    }
+
+    fn step(
+        &mut self,
+        config: &MConfig,
+        store: &mut TrackedStore<'_, AddrM, ValM>,
+        out: &mut Vec<MConfig>,
+    ) {
+        let call_data = self.program.call(config.call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let fset = self.eval(func, &config.env, store);
+                let arg_sets: Vec<FlowSet<ValM>> =
+                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
+                self.apply(
+                    config.call,
+                    call_data.label,
+                    &fset,
+                    &arg_sets,
+                    &config.env,
+                    store,
+                    out,
+                );
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let cset = self.eval(cond, &config.env, store);
+                if cset.iter().any(AVal::maybe_truthy) {
+                    out.push(MConfig { call: *then_branch, env: config.env.clone() });
+                }
+                if cset.iter().any(AVal::maybe_falsy) {
+                    out.push(MConfig { call: *else_branch, env: config.env.clone() });
+                }
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_sets: Vec<FlowSet<ValM>> =
+                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
+                let kset = self.eval(cont, &config.env, store);
+                let mut results: FlowSet<ValM> = FlowSet::new();
+                match classify(*op) {
+                    PrimSpec::Abort => return,
+                    PrimSpec::Basics(bs) => {
+                        results.extend(bs.iter().map(|b| AVal::Basic(*b)));
+                    }
+                    PrimSpec::AllocPair => {
+                        // Pairs are allocated in the *current* abstract
+                        // environment (matches the concrete flat machine).
+                        let car =
+                            AddrM { slot: Slot::Car(call_data.label), env: config.env.clone() };
+                        let cdr =
+                            AddrM { slot: Slot::Cdr(call_data.label), env: config.env.clone() };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join(car.clone(), vals.iter().cloned());
+                        }
+                        if let Some(vals) = arg_sets.get(1) {
+                            store.join(cdr.clone(), vals.iter().cloned());
+                        }
+                        results.insert(AVal::Pair { car, cdr });
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        if let Some(vals) = arg_sets.first() {
+                            for v in vals {
+                                if let AVal::Pair { car, cdr } = v {
+                                    let addr = if want_car { car } else { cdr };
+                                    results.extend(store.read(&addr.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                if !results.is_empty() {
+                    self.apply(
+                        config.call,
+                        call_data.label,
+                        &kset,
+                        &[results],
+                        &config.env,
+                        store,
+                        out,
+                    );
+                }
+            }
+            CallKind::Fix { bindings, body } => {
+                for (name, lam) in bindings {
+                    store.join(
+                        AddrM { slot: Slot::Var(*name), env: config.env.clone() },
+                        [AVal::Clo { lam: *lam, env: config.env.clone() }],
+                    );
+                }
+                out.push(MConfig { call: *body, env: config.env.clone() });
+            }
+            CallKind::Halt { value } => {
+                let vals = self.eval(value, &config.env, store);
+                self.halt_values.extend(vals);
+            }
+        }
+    }
+}
+
+/// The full output of a flat-environment analysis run.
+#[derive(Debug)]
+pub struct FlatCfaResult {
+    /// Raw fixpoint data.
+    pub fixpoint: FixpointResult<MConfig, AddrM, ValM>,
+    /// Cross-analysis summary.
+    pub metrics: Metrics,
+    /// Abstract values reaching `%halt`.
+    pub halt_values: BTreeSet<ValM>,
+}
+
+fn analyze_flat(
+    program: &CpsProgram,
+    bound: usize,
+    policy: FlatPolicy,
+    name: String,
+    limits: EngineLimits,
+) -> FlatCfaResult {
+    let mut machine = FlatCfaMachine::new(program, bound, policy);
+    let fixpoint = run_fixpoint(&mut machine, limits);
+    let metrics = build_metrics(
+        name,
+        program,
+        &fixpoint,
+        &machine.operator_flows,
+        &machine.lam_entry_envs,
+        &machine.halt_values,
+    );
+    FlatCfaResult { fixpoint, metrics, halt_values: machine.halt_values }
+}
+
+/// Runs m-CFA with top-`m`-frames contexts.
+pub fn analyze_mcfa(program: &CpsProgram, m: usize, limits: EngineLimits) -> FlatCfaResult {
+    analyze_flat(program, m, FlatPolicy::TopMFrames, format!("m-CFA(m={m})"), limits)
+}
+
+/// Runs naive polynomial k-CFA (flat environments, last-`k`-call-sites
+/// contexts).
+pub fn analyze_poly_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -> FlatCfaResult {
+    analyze_flat(program, k, FlatPolicy::LastKCalls, format!("poly-k-CFA(k={k})"), limits)
+}
+
+/// Renders a flat-machine abstract value (re-exported convenience).
+pub fn render_flat_val(program: &CpsProgram, v: &ValM) -> String {
+    render_val(program, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mcfa(src: &str, m: usize) -> FlatCfaResult {
+        let p = cfa_syntax::compile(src).unwrap();
+        analyze_mcfa(&p, m, EngineLimits::default())
+    }
+
+    fn poly(src: &str, k: usize) -> FlatCfaResult {
+        let p = cfa_syntax::compile(src).unwrap();
+        analyze_poly_kcfa(&p, k, EngineLimits::default())
+    }
+
+    #[test]
+    fn constant_program() {
+        let r = mcfa("42", 1);
+        assert!(r.metrics.status.is_complete());
+        assert!(r.metrics.halt_values.contains("42"));
+    }
+
+    #[test]
+    fn identity_distinguished_under_m1() {
+        let r = mcfa("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
+        assert!(r.metrics.halt_values.contains("4"));
+        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+    }
+
+    #[test]
+    fn m0_equals_context_insensitive() {
+        let r = mcfa("(define (id x) x) (let ((a (id 3))) (id 4))", 0);
+        assert!(r.metrics.halt_values.contains("3"));
+        assert!(r.metrics.halt_values.contains("4"));
+    }
+
+    /// The §6 example: an intervening call inside `identity` destroys
+    /// poly-1CFA's context but not m-CFA's.
+    const IDENTITY_WITH_CALL: &str = "
+        (define (do-something) 0)
+        (define (identity x) (let ((_ (do-something))) x))
+        (let ((a (identity 3))) (identity 4))";
+
+    #[test]
+    fn m1_keeps_bindings_distinct_despite_intervening_call() {
+        let r = mcfa(IDENTITY_WITH_CALL, 1);
+        assert!(r.metrics.halt_values.contains("4"));
+        assert!(
+            !r.metrics.halt_values.contains("3"),
+            "m-CFA must not merge: {:?}",
+            r.metrics.halt_values
+        );
+    }
+
+    #[test]
+    fn poly_1cfa_merges_after_intervening_call() {
+        let r = poly(IDENTITY_WITH_CALL, 1);
+        assert!(r.metrics.halt_values.contains("4"));
+        assert!(
+            r.metrics.halt_values.contains("3"),
+            "naive poly k-CFA merges to {{3,4}}: {:?}",
+            r.metrics.halt_values
+        );
+    }
+
+    #[test]
+    fn poly_1cfa_precise_without_intervening_call() {
+        // Matches the paper: without the intervening call all three
+        // context-sensitive analyses agree the result is 4 only.
+        let r = poly("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
+        assert!(r.metrics.halt_values.contains("4"));
+        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        for bound in [0, 1, 2] {
+            let r = mcfa(
+                "(define (len xs) (if (null? xs) 0 (+ 1 (len (cdr xs)))))
+                 (len (list 1 2 3))",
+                bound,
+            );
+            assert!(r.metrics.status.is_complete(), "m={bound}");
+        }
+    }
+
+    #[test]
+    fn continuation_restore_preserves_caller_bindings() {
+        // After returning from id, the outer x must still be visible —
+        // this exercises the env-restore (not pop!) behavior of §5.
+        let r = mcfa(
+            "(define (id y) y)
+             (let ((x 10)) (if (zero? (id 5)) x x))",
+            1,
+        );
+        assert!(r.metrics.halt_values.contains("10"), "{:?}", r.metrics.halt_values);
+    }
+
+    #[test]
+    fn pairs_flow() {
+        let r = mcfa("(car (cons 41 99))", 1);
+        assert!(r.metrics.halt_values.contains("41"));
+        assert!(!r.metrics.halt_values.contains("99"));
+    }
+
+    #[test]
+    fn higher_order_closures() {
+        let r = mcfa(
+            "(define (make-adder n) (lambda (m) (+ n m)))
+             ((make-adder 3) 10)",
+            1,
+        );
+        assert!(r.metrics.status.is_complete());
+        assert!(r.metrics.halt_values.contains("int⊤"));
+    }
+
+    #[test]
+    fn env_counts_are_polynomial_shaped() {
+        // Two call sites of id ⇒ at most 2 entry envs under m=1.
+        let r = mcfa("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
+        assert!(r.metrics.max_env_count() <= 3, "{:?}", r.metrics.lam_env_counts);
+    }
+
+    #[test]
+    fn policies_differ_only_in_name_and_context() {
+        let a = mcfa("42", 1);
+        let b = poly("42", 1);
+        assert_eq!(a.metrics.halt_values, b.metrics.halt_values);
+        assert_ne!(a.metrics.analysis, b.metrics.analysis);
+    }
+
+    /// §5.3: "The analysis cannot just 'pop' stack frames … what our
+    /// analysis needs to do instead (on a function return) is restore
+    /// the abstract environment of the current caller." This program
+    /// returns through *three* nested procedure calls with m = 1 — a
+    /// pop-based scheme would end with an empty or wrong context, losing
+    /// the caller's bindings.
+    #[test]
+    fn returns_through_deep_chains_restore_caller_envs() {
+        let r = mcfa(
+            "(define (f x) x)
+             (define (g y) (f y))
+             (define (h z) (g z))
+             (let ((secret 99))
+               (let ((r (h 5)))
+                 (if (zero? r) secret secret)))",
+            1,
+        );
+        assert!(
+            r.metrics.halt_values.contains("99"),
+            "caller binding lost after deep return: {:?}",
+            r.metrics.halt_values
+        );
+        assert!(r.metrics.status.is_complete());
+    }
+
+    /// Top-m frames measure *call depth*: a chain one deeper than m
+    /// merges, and increasing m by one recovers the distinction. (This
+    /// is the precise sense in which m-CFA's context is the top of the
+    /// stack, not the last m call sites.)
+    const DEPTH2: &str = "
+        (define (f x) x)
+        (define (h z) (f z))
+        (let ((a (h 3))) (h 4))";
+
+    #[test]
+    fn depth_beyond_m_merges() {
+        let r = mcfa(DEPTH2, 1);
+        assert!(r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(r.metrics.halt_values.contains("4"));
+    }
+
+    #[test]
+    fn raising_m_recovers_depth() {
+        let r = mcfa(DEPTH2, 2);
+        assert!(r.metrics.halt_values.contains("4"));
+        assert!(
+            !r.metrics.halt_values.contains("3"),
+            "m=2 covers the depth-2 chain: {:?}",
+            r.metrics.halt_values
+        );
+    }
+
+    /// Recursion terminates and every reached context respects the
+    /// top-m bound.
+    #[test]
+    fn contexts_respect_the_bound() {
+        let r = mcfa(
+            "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+             (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+             (even? 10)",
+            2,
+        );
+        assert!(r.metrics.status.is_complete());
+        for env in r.fixpoint.configs.iter().map(|c| &c.env) {
+            assert!(env.len() <= 2, "context exceeded bound: {env}");
+        }
+    }
+}

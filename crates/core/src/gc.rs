@@ -1,0 +1,161 @@
+//! Abstract garbage collection (ΓCFA) for the per-state-store k-CFA.
+//!
+//! The paper's §8 ("future work") proposes carrying abstract garbage
+//! collection — formulated by Might and Shivers for the functional
+//! world — across the bridge. This module implements it for the naive
+//! (per-state-store) k-CFA of §3.6, where it applies directly: before a
+//! state is compared against the seen-set, its store is restricted to
+//! the addresses *reachable* from the state's roots (its environment).
+//! Unreachable bindings can never influence the rest of the run, so
+//! collecting them is sound; because collected states collide more
+//! often, the search both shrinks and gains precision.
+//!
+//! (The single-threaded store of §3.7 deliberately shares one store
+//! across all configurations, so per-state collection does not apply
+//! there — exactly the trade-off ΓCFA explores.)
+
+use crate::domain::AVal;
+use crate::kcfa::{AddrK, BEnvK};
+use crate::naive::NaiveStore;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Computes the addresses reachable from `roots` through the store
+/// (closure environments and pair fields).
+pub fn reachable_addrs(store: &NaiveStore, roots: impl IntoIterator<Item = AddrK>) -> BTreeSet<AddrK> {
+    let mut seen: BTreeSet<AddrK> = BTreeSet::new();
+    let mut work: Vec<AddrK> = roots.into_iter().collect();
+    while let Some(addr) = work.pop() {
+        if !seen.insert(addr.clone()) {
+            continue;
+        }
+        let Some(values) = store.get(&addr) else { continue };
+        for v in values {
+            match v {
+                AVal::Basic(_) => {}
+                AVal::Clo { env, .. } => {
+                    for (_, a) in env.iter() {
+                        if !seen.contains(a) {
+                            work.push(a.clone());
+                        }
+                    }
+                }
+                AVal::Pair { car, cdr } => {
+                    for a in [car, cdr] {
+                        if !seen.contains(a) {
+                            work.push(a.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Restricts `store` to the addresses reachable from `benv` — one
+/// abstract garbage collection.
+pub fn collect(store: &NaiveStore, benv: &BEnvK) -> NaiveStore {
+    let roots = benv.iter().map(|(_, a)| a.clone());
+    let live = reachable_addrs(store, roots);
+    if live.len() == store.len() {
+        return store.clone();
+    }
+    Rc::new(
+        store
+            .iter()
+            .filter(|(a, _)| live.contains(*a))
+            .map(|(a, v)| (a.clone(), v.clone()))
+            .collect(),
+    )
+}
+
+/// Number of live vs total addresses (for diagnostics/benches).
+pub fn live_ratio(store: &NaiveStore, benv: &BEnvK) -> (usize, usize) {
+    let roots = benv.iter().map(|(_, a)| a.clone());
+    (reachable_addrs(store, roots).len(), store.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{AbsBasic, CallString};
+    use crate::kcfa::ValK;
+    use cfa_concrete::base::Slot;
+    use cfa_syntax::cps::{Label, LamId};
+    use cfa_syntax::intern::Symbol;
+    use std::collections::BTreeMap;
+
+    fn addr(i: usize) -> AddrK {
+        AddrK { slot: Slot::Var(Symbol::from_index(i)), time: CallString::empty() }
+    }
+
+    fn store_of(entries: Vec<(AddrK, Vec<ValK>)>) -> NaiveStore {
+        Rc::new(
+            entries
+                .into_iter()
+                .map(|(a, vs)| (a, vs.into_iter().collect()))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    #[test]
+    fn unreachable_bindings_are_collected() {
+        let store = store_of(vec![
+            (addr(0), vec![AVal::Basic(AbsBasic::Int(1))]),
+            (addr(1), vec![AVal::Basic(AbsBasic::Int(2))]),
+        ]);
+        let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
+        let collected = collect(&store, &benv);
+        assert_eq!(collected.len(), 1);
+        assert!(collected.contains_key(&addr(0)));
+    }
+
+    #[test]
+    fn closure_environments_keep_addresses_live() {
+        let captured = BEnvK::empty().extend([(Symbol::from_index(2), addr(2))]);
+        let store = store_of(vec![
+            (addr(0), vec![AVal::Clo { lam: LamId(0), env: captured }]),
+            (addr(2), vec![AVal::Basic(AbsBasic::Int(9))]),
+            (addr(3), vec![AVal::Basic(AbsBasic::Int(8))]),
+        ]);
+        let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
+        let collected = collect(&store, &benv);
+        assert!(collected.contains_key(&addr(2)), "captured address must stay live");
+        assert!(!collected.contains_key(&addr(3)));
+    }
+
+    #[test]
+    fn pairs_keep_both_halves_live() {
+        let car = AddrK { slot: Slot::Car(Label(0)), time: CallString::empty() };
+        let cdr = AddrK { slot: Slot::Cdr(Label(0)), time: CallString::empty() };
+        let store = store_of(vec![
+            (addr(0), vec![AVal::Pair { car: car.clone(), cdr: cdr.clone() }]),
+            (car.clone(), vec![AVal::Basic(AbsBasic::Int(1))]),
+            (cdr.clone(), vec![AVal::Basic(AbsBasic::Nil)]),
+        ]);
+        let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
+        let collected = collect(&store, &benv);
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn collection_is_idempotent() {
+        let store = store_of(vec![
+            (addr(0), vec![AVal::Basic(AbsBasic::Int(1))]),
+            (addr(1), vec![AVal::Basic(AbsBasic::Int(2))]),
+        ]);
+        let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
+        let once = collect(&store, &benv);
+        let twice = collect(&once, &benv);
+        assert_eq!(*once, *twice);
+    }
+
+    #[test]
+    fn fully_live_store_is_shared_not_copied() {
+        let store = store_of(vec![(addr(0), vec![AVal::Basic(AbsBasic::Int(1))])]);
+        let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
+        let collected = collect(&store, &benv);
+        assert!(Rc::ptr_eq(&store, &collected));
+    }
+}

@@ -1,0 +1,561 @@
+//! k-CFA: Shivers's shared-environment abstract interpreter (§3.4–3.7).
+//!
+//! Abstract states are `(call, β̂, σ̂, t̂)`; this module implements the
+//! single-threaded-store formulation of §3.7 on top of the generic
+//! worklist engine. The crucial representation choice — the one the paper
+//! shows is responsible for EXPTIME-hardness — is that binding
+//! environments are **maps** from variables to addresses ([`BEnvK`]):
+//! a closure may mix bindings from *different* contexts, so the number of
+//! distinct abstract environments can be exponential in program size.
+//!
+//! `k` is a runtime parameter; `k = 0` gives the classic context-
+//! insensitive 0CFA.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_core::kcfa::analyze_kcfa;
+//! use cfa_core::engine::EngineLimits;
+//!
+//! let p = cfa_syntax::compile("(define (id x) x) (id 42)").unwrap();
+//! let result = analyze_kcfa(&p, 1, EngineLimits::default());
+//! assert!(result.metrics.status.is_complete());
+//! assert!(result.metrics.halt_values.contains("42"));
+//! ```
+
+use crate::domain::{AbsBasic, AVal, CallString};
+use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
+use crate::prim::{classify, PrimSpec};
+use crate::results::Metrics;
+use crate::store::FlowSet;
+use cfa_concrete::base::Slot;
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, LamId, LamSort};
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// A k-CFA abstract address: slot × abstract time (`Var × Callᵏ`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AddrK {
+    /// What is stored.
+    pub slot: Slot,
+    /// The abstract binding time.
+    pub time: CallString,
+}
+
+/// A k-CFA binding environment: a *map* from variables to addresses,
+/// stored as a sorted vector behind `Rc`.
+///
+/// Structural equality/ordering means environments are compared by
+/// meaning. The map-ness is the point: unlike m-CFA environments, two
+/// variables in one `BEnvK` may carry different binding times.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BEnvK(Rc<Vec<(Symbol, AddrK)>>);
+
+impl BEnvK {
+    /// The empty environment.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, v: Symbol) -> Option<&AddrK> {
+        self.0
+            .binary_search_by_key(&v, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Functional extension (later bindings shadow earlier ones).
+    pub fn extend(&self, bindings: impl IntoIterator<Item = (Symbol, AddrK)>) -> BEnvK {
+        let mut v: Vec<(Symbol, AddrK)> = (*self.0).clone();
+        for (sym, addr) in bindings {
+            match v.binary_search_by_key(&sym, |(s, _)| *s) {
+                Ok(i) => v[i].1 = addr,
+                Err(i) => v.insert(i, (sym, addr)),
+            }
+        }
+        BEnvK(Rc::new(v))
+    }
+
+    /// Restriction to a sorted variable set — what a closure captures.
+    pub fn restrict(&self, vars: &[Symbol]) -> BEnvK {
+        let mut v = Vec::with_capacity(vars.len());
+        for &var in vars {
+            if let Some(addr) = self.get(var) {
+                v.push((var, addr.clone()));
+            }
+        }
+        BEnvK(Rc::new(v))
+    }
+
+    /// Iterates over the bindings in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &AddrK)> {
+        self.0.iter().map(|(s, a)| (*s, a))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A k-CFA abstract value.
+pub type ValK = AVal<BEnvK, AddrK>;
+
+/// A k-CFA configuration: the store-less state component `(call, β̂, t̂)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct KConfig {
+    /// Current call site.
+    pub call: CallId,
+    /// Current binding environment.
+    pub benv: BEnvK,
+    /// Current abstract time.
+    pub time: CallString,
+}
+
+/// The k-CFA abstract machine (drives the generic engine).
+#[derive(Debug)]
+pub struct KCfaMachine<'p> {
+    program: &'p CpsProgram,
+    k: usize,
+    /// Per call site: operator λ-flow and whether a non-closure flowed.
+    operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
+    /// Distinct environments each λ was entered with.
+    lam_entry_envs: HashMap<LamId, BTreeSet<BEnvK>>,
+    /// Values reaching `%halt`.
+    halt_values: BTreeSet<ValK>,
+}
+
+impl<'p> KCfaMachine<'p> {
+    /// Creates a machine analyzing `program` with context depth `k`.
+    pub fn new(program: &'p CpsProgram, k: usize) -> Self {
+        KCfaMachine {
+            program,
+            k,
+            operator_flows: HashMap::new(),
+            lam_entry_envs: HashMap::new(),
+            halt_values: BTreeSet::new(),
+        }
+    }
+
+    fn tick(&self, label: cfa_syntax::cps::Label, time: &CallString) -> CallString {
+        time.push(label, self.k)
+    }
+
+    /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow set.
+    fn eval(
+        &self,
+        e: &AExp,
+        benv: &BEnvK,
+        store: &mut TrackedStore<'_, AddrK, ValK>,
+    ) -> FlowSet<ValK> {
+        match e {
+            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Var(v) => match benv.get(*v) {
+                Some(addr) => store.read(&addr.clone()),
+                None => FlowSet::new(),
+            },
+            AExp::Lam(l) => {
+                let captured = benv.restrict(self.program.free_vars(*l));
+                std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+            }
+        }
+    }
+
+    /// Applies every closure in `fset` to `args` at the new time,
+    /// recording call-graph and environment metrics for `site`.
+    fn apply(
+        &mut self,
+        site: CallId,
+        fset: &FlowSet<ValK>,
+        args: &[FlowSet<ValK>],
+        t_new: &CallString,
+        store: &mut TrackedStore<'_, AddrK, ValK>,
+        out: &mut Vec<KConfig>,
+    ) {
+        let flows = self.operator_flows.entry(site).or_default();
+        for f in fset {
+            let AVal::Clo { lam, env } = f else {
+                flows.1 = true;
+                continue;
+            };
+            flows.0.insert(*lam);
+            let lam_data = self.program.lam(*lam);
+            if lam_data.params.len() != args.len() {
+                continue;
+            }
+            let bindings: Vec<(Symbol, AddrK)> = lam_data
+                .params
+                .iter()
+                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .collect();
+            for ((_, addr), values) in bindings.iter().zip(args) {
+                store.join(addr.clone(), values.iter().cloned());
+            }
+            let extended = env.extend(bindings);
+            self.lam_entry_envs.entry(*lam).or_default().insert(extended.clone());
+            out.push(KConfig { call: lam_data.body, benv: extended, time: t_new.clone() });
+        }
+    }
+}
+
+impl<'p> AbstractMachine for KCfaMachine<'p> {
+    type Config = KConfig;
+    type Addr = AddrK;
+    type Val = ValK;
+
+    fn initial(&self) -> KConfig {
+        KConfig { call: self.program.entry(), benv: BEnvK::empty(), time: CallString::empty() }
+    }
+
+    fn step(
+        &mut self,
+        config: &KConfig,
+        store: &mut TrackedStore<'_, AddrK, ValK>,
+        out: &mut Vec<KConfig>,
+    ) {
+        let call_data = self.program.call(config.call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let fset = self.eval(func, &config.benv, store);
+                let arg_sets: Vec<FlowSet<ValK>> =
+                    args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
+                let t_new = self.tick(call_data.label, &config.time);
+                self.apply(config.call, &fset, &arg_sets, &t_new, store, out);
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let cset = self.eval(cond, &config.benv, store);
+                let truthy = cset.iter().any(AVal::maybe_truthy);
+                let falsy = cset.iter().any(AVal::maybe_falsy);
+                if truthy {
+                    out.push(KConfig { call: *then_branch, ..config.clone() });
+                }
+                if falsy {
+                    out.push(KConfig { call: *else_branch, ..config.clone() });
+                }
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_sets: Vec<FlowSet<ValK>> =
+                    args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
+                let kset = self.eval(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let mut results: FlowSet<ValK> = FlowSet::new();
+                match classify(*op) {
+                    PrimSpec::Abort => return,
+                    PrimSpec::Basics(bs) => {
+                        results.extend(bs.iter().map(|b| AVal::Basic(*b)));
+                    }
+                    PrimSpec::AllocPair => {
+                        let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
+                        let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join(car.clone(), vals.iter().cloned());
+                        }
+                        if let Some(vals) = arg_sets.get(1) {
+                            store.join(cdr.clone(), vals.iter().cloned());
+                        }
+                        results.insert(AVal::Pair { car, cdr });
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        if let Some(vals) = arg_sets.first() {
+                            for v in vals {
+                                if let AVal::Pair { car, cdr } = v {
+                                    let addr = if want_car { car } else { cdr };
+                                    results.extend(store.read(&addr.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                if !results.is_empty() {
+                    self.apply(config.call, &kset, &[results], &t_new, store, out);
+                }
+            }
+            CallKind::Fix { bindings, body } => {
+                let t_new = self.tick(call_data.label, &config.time);
+                let addrs: Vec<(Symbol, AddrK)> = bindings
+                    .iter()
+                    .map(|(name, _)| {
+                        (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() })
+                    })
+                    .collect();
+                let extended = config.benv.extend(addrs.iter().cloned());
+                for ((_, lam), (_, addr)) in bindings.iter().zip(&addrs) {
+                    let captured = extended.restrict(self.program.free_vars(*lam));
+                    store.join(addr.clone(), [AVal::Clo { lam: *lam, env: captured }]);
+                }
+                out.push(KConfig { call: *body, benv: extended, time: t_new });
+            }
+            CallKind::Halt { value } => {
+                let vals = self.eval(value, &config.benv, store);
+                self.halt_values.extend(vals);
+            }
+        }
+    }
+}
+
+/// The full output of a k-CFA run.
+#[derive(Debug)]
+pub struct KcfaResult {
+    /// Raw fixpoint data (configurations + store).
+    pub fixpoint: FixpointResult<KConfig, AddrK, ValK>,
+    /// Cross-analysis summary.
+    pub metrics: Metrics,
+    /// Abstract values reaching `%halt`.
+    pub halt_values: BTreeSet<ValK>,
+}
+
+/// Runs k-CFA on `program` with context depth `k`.
+pub fn analyze_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -> KcfaResult {
+    let mut machine = KCfaMachine::new(program, k);
+    let fixpoint = run_fixpoint(&mut machine, limits);
+    let metrics = build_metrics(
+        format!("k-CFA(k={k})"),
+        program,
+        &fixpoint,
+        &machine.operator_flows,
+        &machine.lam_entry_envs,
+        &machine.halt_values,
+    );
+    KcfaResult { fixpoint, metrics, halt_values: machine.halt_values }
+}
+
+/// Renders an abstract value for summaries (`3`, `int⊤`, `#<proc:ℓ4>`…).
+pub fn render_val<E, A>(program: &CpsProgram, v: &AVal<E, A>) -> String {
+    match v {
+        AVal::Basic(AbsBasic::Sym(s)) => format!("'{}", program.name(*s)),
+        AVal::Basic(b) => b.to_string(),
+        AVal::Clo { lam, .. } => format!("#<proc:{:?}>", program.lam(*lam).label),
+        AVal::Pair { .. } => "#<pair>".to_owned(),
+    }
+}
+
+/// Builds a [`Metrics`] summary from machine-side metric collections.
+/// Shared by the k-CFA and flat-environment analyzers.
+pub(crate) fn build_metrics<C, A, E1, A1, E2>(
+    analysis: String,
+    program: &CpsProgram,
+    fixpoint: &FixpointResult<C, A, AVal<E1, A1>>,
+    operator_flows: &HashMap<CallId, (BTreeSet<LamId>, bool)>,
+    lam_entry_envs: &HashMap<LamId, BTreeSet<E2>>,
+    halt_values: &BTreeSet<AVal<E1, A1>>,
+) -> Metrics
+where
+    A: std::hash::Hash + Eq + Clone,
+    E1: Ord + Clone,
+    A1: Ord + Clone,
+    E2: Ord,
+{
+    let mut reachable_user_calls = 0;
+    let mut singleton_user_calls = 0;
+    let mut call_targets = BTreeMap::new();
+    for (&site, (lams, saw_non_clo)) in operator_flows {
+        call_targets.insert(site, lams.clone());
+        let procs: Vec<LamId> = lams
+            .iter()
+            .copied()
+            .filter(|l| program.lam(*l).sort == LamSort::Proc)
+            .collect();
+        if procs.is_empty() {
+            continue;
+        }
+        reachable_user_calls += 1;
+        if procs.len() == 1 && lams.len() == 1 && !saw_non_clo {
+            singleton_user_calls += 1;
+        }
+    }
+    let distinct_envs = {
+        let mut union: BTreeSet<&E2> = BTreeSet::new();
+        for envs in lam_entry_envs.values() {
+            union.extend(envs.iter());
+        }
+        union.len()
+    };
+    Metrics {
+        analysis,
+        status: fixpoint.status,
+        elapsed: fixpoint.elapsed,
+        iterations: fixpoint.iterations,
+        config_count: fixpoint.config_count(),
+        store_entries: fixpoint.store.len(),
+        store_facts: fixpoint.store.fact_count(),
+        reachable_user_calls,
+        singleton_user_calls,
+        call_targets,
+        lam_env_counts: lam_entry_envs.iter().map(|(&l, envs)| (l, envs.len())).collect(),
+        distinct_envs,
+        halt_values: halt_values.iter().map(|v| render_val(program, v)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str, k: usize) -> KcfaResult {
+        let p = cfa_syntax::compile(src).unwrap();
+        analyze_kcfa(&p, k, EngineLimits::default())
+    }
+
+    #[test]
+    fn benv_lookup_and_extend() {
+        let a0 = AddrK { slot: Slot::Var(Symbol::from_index(0)), time: CallString::empty() };
+        let a1 = AddrK { slot: Slot::Var(Symbol::from_index(1)), time: CallString::empty() };
+        let x = Symbol::from_index(0);
+        let y = Symbol::from_index(1);
+        let env = BEnvK::empty().extend([(y, a1.clone()), (x, a0.clone())]);
+        assert_eq!(env.get(x), Some(&a0));
+        assert_eq!(env.get(y), Some(&a1));
+        assert_eq!(env.len(), 2);
+        // Extension shadows.
+        let env2 = env.extend([(x, a1.clone())]);
+        assert_eq!(env2.get(x), Some(&a1));
+        assert_eq!(env.get(x), Some(&a0), "original unchanged");
+    }
+
+    #[test]
+    fn benv_restrict_keeps_only_requested() {
+        let x = Symbol::from_index(0);
+        let y = Symbol::from_index(1);
+        let a = AddrK { slot: Slot::Var(x), time: CallString::empty() };
+        let env = BEnvK::empty().extend([(x, a.clone()), (y, a.clone())]);
+        let r = env.restrict(&[x]);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(y).is_none());
+    }
+
+    #[test]
+    fn constant_program() {
+        let r = analyze("42", 0);
+        assert!(r.metrics.status.is_complete());
+        assert_eq!(r.metrics.halt_values, ["42".to_owned()].into_iter().collect());
+    }
+
+    #[test]
+    fn identity_chain_flows_constant() {
+        for k in [0, 1, 2] {
+            let r = analyze("(define (id x) x) (id (id 42))", k);
+            assert!(r.metrics.halt_values.contains("42"), "k={k}: {:?}", r.metrics.halt_values);
+        }
+    }
+
+    #[test]
+    fn zero_cfa_merges_identity_arguments() {
+        let r = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 0);
+        // Under 0CFA both 3 and 4 flow out of id.
+        assert!(r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(r.metrics.halt_values.contains("4"));
+    }
+
+    #[test]
+    fn one_cfa_distinguishes_identity_arguments() {
+        let r = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
+        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(r.metrics.halt_values.contains("4"));
+    }
+
+    #[test]
+    fn branches_join_both_arms() {
+        let r = analyze("(if (zero? 1) 10 20)", 1);
+        assert!(r.metrics.halt_values.contains("10"));
+        assert!(r.metrics.halt_values.contains("20"));
+    }
+
+    #[test]
+    fn literal_condition_prunes_dead_arm() {
+        let r = analyze("(if #t 10 20)", 0);
+        assert!(r.metrics.halt_values.contains("10"));
+        assert!(!r.metrics.halt_values.contains("20"), "{:?}", r.metrics.halt_values);
+    }
+
+    #[test]
+    fn recursion_terminates_abstractly() {
+        let r = analyze(
+            "(define (count n) (if (zero? n) 0 (count (- n 1)))) (count 100)",
+            1,
+        );
+        assert!(r.metrics.status.is_complete());
+        // The base case returns the literal 0; the recursive tower collapses
+        // int arithmetic to int⊤.
+        assert!(r.metrics.halt_values.contains("0"), "{:?}", r.metrics.halt_values);
+    }
+
+    #[test]
+    fn arithmetic_widens() {
+        let r = analyze("(+ 1 2)", 0);
+        assert!(r.metrics.halt_values.contains("int⊤"));
+    }
+
+    #[test]
+    fn pairs_flow_through_store() {
+        let r = analyze("(car (cons 41 99))", 1);
+        assert!(r.metrics.halt_values.contains("41"), "{:?}", r.metrics.halt_values);
+        assert!(!r.metrics.halt_values.contains("99"));
+    }
+
+    #[test]
+    fn higher_order_flow_is_tracked() {
+        let r = analyze(
+            "(define (apply-to-ten f) (f 10))
+             (apply-to-ten (lambda (n) n))",
+            1,
+        );
+        assert!(r.metrics.halt_values.contains("10"));
+        // The call (f 10) must have exactly one target.
+        assert!(r.metrics.singleton_user_calls >= 1);
+    }
+
+    #[test]
+    fn call_targets_capture_dispatch() {
+        let r = analyze(
+            "(define (pick b f g) (if b (f 1) (g 2)))
+             (pick #t (lambda (x) x) (lambda (y) y))",
+            0,
+        );
+        assert!(r.metrics.reachable_user_calls >= 2);
+    }
+
+    #[test]
+    fn env_counts_recorded() {
+        let r = analyze("(define (id x) x) (let ((a (id 1))) (id 2))", 1);
+        assert!(r.metrics.total_env_count() > 0);
+    }
+
+    #[test]
+    fn deeper_k_refines_or_equals_halt_sets() {
+        // Monotone precision on a simple program: halt set for k=2 must be a
+        // subset of k=0's.
+        let coarse = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 0);
+        let fine = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 2);
+        assert!(fine
+            .metrics
+            .halt_values
+            .is_subset(&coarse.metrics.halt_values));
+    }
+
+    #[test]
+    fn error_prim_halts_flow() {
+        let r = analyze("(error 'boom)", 0);
+        assert!(r.metrics.halt_values.is_empty());
+        assert!(r.metrics.status.is_complete());
+    }
+
+    #[test]
+    fn iteration_limit_reports_incomplete() {
+        let r = {
+            let p = cfa_syntax::compile(
+                "(define (f x) (f x)) (f (lambda (y) y))",
+            )
+            .unwrap();
+            analyze_kcfa(&p, 1, EngineLimits::iterations(2))
+        };
+        assert!(!r.metrics.status.is_complete());
+    }
+}

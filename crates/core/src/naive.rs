@@ -1,0 +1,712 @@
+//! Naive k-CFA: reachable-states search with per-state stores (§3.6),
+//! with ΓCFA extensions (abstract GC and abstract counting).
+//!
+//! This is k-CFA computed exactly as the abstract transition relation
+//! defines it: the system space is a *set of whole states*, each carrying
+//! its own store. The paper notes this is "deeply exponential, rather
+//! than the expected cubic time", even for k = 0 — the single-threaded
+//! store of §3.7 ([`crate::kcfa`]) is the practical algorithm. This
+//! module exists to make that comparison measurable (experiment E6), and
+//! to host the per-state machinery the paper's §8 builds on: abstract
+//! garbage collection ([`crate::gc`], toggled by
+//! [`GammaOptions::abstract_gc`]) and abstract counting
+//! ([`GammaOptions::counting`]), whose μ̂ maps record which abstract
+//! addresses are *singular* (stand for at most one concrete address —
+//! the precondition for must-alias reasoning and strong updates).
+
+use crate::domain::{AbsBasic, AVal, CallString};
+use crate::engine::Status;
+use crate::kcfa::{render_val, AddrK, BEnvK, ValK};
+use crate::prim::{classify, PrimSpec};
+use crate::store::FlowSet;
+use cfa_concrete::base::Slot;
+use cfa_syntax::cps::{AExp, CallKind, CpsProgram, CallId};
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A per-state abstract store (immutable, structurally compared).
+pub type NaiveStore = Rc<BTreeMap<AddrK, FlowSet<ValK>>>;
+
+/// An abstract cardinality: how many concrete addresses an abstract
+/// address may stand for (ΓCFA's abstract counting, saturating at ∞).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Count {
+    /// At most one concrete address — must-alias reasoning is licensed.
+    One,
+    /// Possibly several concrete addresses.
+    Many,
+}
+
+impl Count {
+    /// The count after one more allocation hits the same address.
+    pub fn bump(self) -> Count {
+        Count::Many
+    }
+}
+
+/// A per-state cardinality map μ̂ (empty unless counting is enabled).
+pub type CountMap = Rc<BTreeMap<AddrK, Count>>;
+
+/// Evidence gathered at one call site for the super-β inlining client
+/// (ΓCFA's original motivation): which λs were applied here, and
+/// whether every application's closure captured only *singular*
+/// addresses. A site is environment-safe to inline when exactly one λ
+/// arrives and its captures were always singular — a plural capture
+/// means two different bindings may share the abstract address, so
+/// substituting the body could conflate them.
+#[derive(Clone, Debug)]
+pub struct SiteEvidence {
+    /// λ-terms applied at this site.
+    pub lams: BTreeSet<cfa_syntax::cps::LamId>,
+    /// Every application so far captured only singular addresses.
+    pub captures_singular: bool,
+}
+
+/// A whole abstract state `(call, β̂, σ̂, t̂)` (plus μ̂ when counting).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NaiveState {
+    /// Current call site.
+    pub call: CallId,
+    /// Current binding environment.
+    pub benv: BEnvK,
+    /// This state's own store.
+    pub store: NaiveStore,
+    /// Current abstract time.
+    pub time: CallString,
+    /// Abstract counts (empty unless counting is enabled).
+    pub counts: CountMap,
+}
+
+/// Limits for the naive search.
+#[derive(Copy, Clone, Debug)]
+pub struct NaiveLimits {
+    /// Maximum number of distinct states to explore.
+    pub max_states: usize,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for NaiveLimits {
+    fn default() -> Self {
+        NaiveLimits { max_states: 1_000_000, time_budget: None }
+    }
+}
+
+/// Result of the naive reachable-states computation.
+#[derive(Debug)]
+pub struct NaiveResult {
+    /// Number of distinct states reached.
+    pub state_count: usize,
+    /// Completion status.
+    pub status: Status,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Rendered values reaching `%halt` in any state.
+    pub halt_values: BTreeSet<String>,
+    /// Aggregated counts per address (empty unless counting was on).
+    pub counts: BTreeMap<AddrK, Count>,
+    /// Per-site super-β evidence (λs applied; captures singular).
+    pub site_evidence: BTreeMap<CallId, SiteEvidence>,
+}
+
+impl NaiveResult {
+    /// Addresses whose aggregated count stayed [`Count::One`].
+    pub fn singular_addrs(&self) -> usize {
+        self.counts.values().filter(|&&c| c == Count::One).count()
+    }
+
+    /// Fraction of counted addresses that remained singular.
+    pub fn singular_ratio(&self) -> f64 {
+        if self.counts.is_empty() {
+            1.0
+        } else {
+            self.singular_addrs() as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// User call sites that are super-β inlinable: exactly one λ ever
+    /// arrives and every application captured only singular addresses.
+    /// Meaningful only when the search ran with
+    /// [`GammaOptions::counting`]; without counting no site qualifies.
+    pub fn super_beta_sites(&self, program: &CpsProgram) -> BTreeSet<CallId> {
+        self.site_evidence
+            .iter()
+            .filter(|(&site, ev)| {
+                program.is_user_call(site) && ev.lams.len() == 1 && ev.captures_singular
+            })
+            .map(|(&site, _)| site)
+            .collect()
+    }
+}
+
+/// Configuration for the naive search's ΓCFA extensions.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct GammaOptions {
+    /// Apply abstract garbage collection to every successor.
+    pub abstract_gc: bool,
+    /// Track abstract counts (μ̂) per state.
+    pub counting: bool,
+}
+
+fn read(store: &NaiveStore, addr: &AddrK) -> FlowSet<ValK> {
+    store.get(addr).cloned().unwrap_or_default()
+}
+
+/// Joins `entries` into `store`; when `counting`, bumps μ̂ for re-bound
+/// addresses.
+fn join(
+    store: &NaiveStore,
+    counts: &CountMap,
+    counting: bool,
+    entries: Vec<(AddrK, FlowSet<ValK>)>,
+) -> (NaiveStore, CountMap) {
+    if entries.is_empty() {
+        return (store.clone(), counts.clone());
+    }
+    let mut next = (**store).clone();
+    let mut next_counts = if counting { (**counts).clone() } else { BTreeMap::new() };
+    for (addr, values) in entries {
+        if counting {
+            next_counts.entry(addr.clone()).and_modify(|c| *c = c.bump()).or_insert(Count::One);
+        }
+        next.entry(addr).or_default().extend(values);
+    }
+    (Rc::new(next), Rc::new(next_counts))
+}
+
+fn eval(program: &CpsProgram, e: &AExp, benv: &BEnvK, store: &NaiveStore) -> FlowSet<ValK> {
+    match e {
+        AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+        AExp::Var(v) => benv.get(*v).map(|a| read(store, a)).unwrap_or_default(),
+        AExp::Lam(l) => {
+            let captured = benv.restrict(program.free_vars(*l));
+            std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+        }
+    }
+}
+
+/// Expands one state into its successors.
+fn successors(
+    program: &CpsProgram,
+    k: usize,
+    counting: bool,
+    state: &NaiveState,
+    halts: &mut BTreeSet<ValK>,
+    evidence: &mut BTreeMap<CallId, SiteEvidence>,
+) -> Vec<NaiveState> {
+    let call_data = program.call(state.call);
+    let mut out = Vec::new();
+    let site = state.call;
+
+    let apply = |fset: &FlowSet<ValK>,
+                 args: &[FlowSet<ValK>],
+                 t_new: &CallString,
+                 store: &NaiveStore,
+                 counts: &CountMap,
+                 evidence: &mut BTreeMap<CallId, SiteEvidence>,
+                 out: &mut Vec<NaiveState>| {
+        for f in fset {
+            let AVal::Clo { lam, env } = f else { continue };
+            // Record super-β evidence: the applied λ, and whether its
+            // captured addresses are all singular in this state's μ̂.
+            let singular = counting
+                && env.iter().all(|(_, addr)| {
+                    counts.get(addr).copied().unwrap_or(Count::One) == Count::One
+                });
+            let entry = evidence
+                .entry(site)
+                .or_insert(SiteEvidence { lams: BTreeSet::new(), captures_singular: true });
+            entry.lams.insert(*lam);
+            entry.captures_singular &= singular;
+            let lam_data = program.lam(*lam);
+            if lam_data.params.len() != args.len() {
+                continue;
+            }
+            let bindings: Vec<(Symbol, AddrK)> = lam_data
+                .params
+                .iter()
+                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .collect();
+            let entries: Vec<(AddrK, FlowSet<ValK>)> = bindings
+                .iter()
+                .zip(args)
+                .map(|((_, a), vs)| (a.clone(), vs.clone()))
+                .collect();
+            let (next_store, next_counts) = join(store, counts, counting, entries);
+            let extended = env.extend(bindings);
+            out.push(NaiveState {
+                call: lam_data.body,
+                benv: extended,
+                store: next_store,
+                time: t_new.clone(),
+                counts: next_counts,
+            });
+        }
+    };
+
+    match &call_data.kind {
+        CallKind::App { func, args } => {
+            let fset = eval(program, func, &state.benv, &state.store);
+            let arg_sets: Vec<FlowSet<ValK>> = args
+                .iter()
+                .map(|a| eval(program, a, &state.benv, &state.store))
+                .collect();
+            let t_new = state.time.push(call_data.label, k);
+            apply(&fset, &arg_sets, &t_new, &state.store, &state.counts, evidence, &mut out);
+        }
+        CallKind::If { cond, then_branch, else_branch } => {
+            let cset = eval(program, cond, &state.benv, &state.store);
+            if cset.iter().any(AVal::maybe_truthy) {
+                out.push(NaiveState { call: *then_branch, ..state.clone() });
+            }
+            if cset.iter().any(AVal::maybe_falsy) {
+                out.push(NaiveState { call: *else_branch, ..state.clone() });
+            }
+        }
+        CallKind::PrimCall { op, args, cont } => {
+            let arg_sets: Vec<FlowSet<ValK>> = args
+                .iter()
+                .map(|a| eval(program, a, &state.benv, &state.store))
+                .collect();
+            let kset = eval(program, cont, &state.benv, &state.store);
+            let t_new = state.time.push(call_data.label, k);
+            let mut results: FlowSet<ValK> = FlowSet::new();
+            let mut store = state.store.clone();
+            let mut counts = state.counts.clone();
+            match classify(*op) {
+                PrimSpec::Abort => return out,
+                PrimSpec::Basics(bs) => results.extend(bs.iter().map(|b| AVal::Basic(*b))),
+                PrimSpec::AllocPair => {
+                    let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
+                    let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                    let mut entries = Vec::new();
+                    if let Some(vals) = arg_sets.first() {
+                        entries.push((car.clone(), vals.clone()));
+                    }
+                    if let Some(vals) = arg_sets.get(1) {
+                        entries.push((cdr.clone(), vals.clone()));
+                    }
+                    (store, counts) = join(&store, &counts, counting, entries);
+                    results.insert(AVal::Pair { car, cdr });
+                }
+                PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                    let want_car = classify(*op) == PrimSpec::ReadCar;
+                    if let Some(vals) = arg_sets.first() {
+                        for v in vals {
+                            if let AVal::Pair { car, cdr } = v {
+                                let addr = if want_car { car } else { cdr };
+                                results.extend(read(&store, addr));
+                            }
+                        }
+                    }
+                }
+            }
+            if !results.is_empty() {
+                apply(&kset, &[results], &t_new, &store, &counts, evidence, &mut out);
+            }
+        }
+        CallKind::Fix { bindings, body } => {
+            let t_new = state.time.push(call_data.label, k);
+            let addrs: Vec<(Symbol, AddrK)> = bindings
+                .iter()
+                .map(|(name, _)| (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() }))
+                .collect();
+            let extended = state.benv.extend(addrs.iter().cloned());
+            let entries: Vec<(AddrK, FlowSet<ValK>)> = bindings
+                .iter()
+                .zip(&addrs)
+                .map(|((_, lam), (_, addr))| {
+                    let captured = extended.restrict(program.free_vars(*lam));
+                    (
+                        addr.clone(),
+                        std::iter::once(AVal::Clo { lam: *lam, env: captured }).collect(),
+                    )
+                })
+                .collect();
+            let (next_store, next_counts) = join(&state.store, &state.counts, counting, entries);
+            out.push(NaiveState {
+                call: *body,
+                benv: extended,
+                store: next_store,
+                time: t_new,
+                counts: next_counts,
+            });
+        }
+        CallKind::Halt { value } => {
+            halts.extend(eval(program, value, &state.benv, &state.store));
+        }
+    }
+    out
+}
+
+/// Computes the set of reachable abstract states with per-state stores.
+pub fn analyze_kcfa_naive(program: &CpsProgram, k: usize, limits: NaiveLimits) -> NaiveResult {
+    analyze_kcfa_naive_gamma(program, k, limits, GammaOptions::default())
+}
+
+/// Like [`analyze_kcfa_naive`], optionally applying abstract garbage
+/// collection (ΓCFA, see [`crate::gc`]) to every successor state before
+/// it enters the seen-set.
+pub fn analyze_kcfa_naive_with(
+    program: &CpsProgram,
+    k: usize,
+    limits: NaiveLimits,
+    abstract_gc: bool,
+) -> NaiveResult {
+    analyze_kcfa_naive_gamma(
+        program,
+        k,
+        limits,
+        GammaOptions { abstract_gc, counting: false },
+    )
+}
+
+/// The full ΓCFA-instrumented naive search: optional abstract garbage
+/// collection and optional abstract counting.
+pub fn analyze_kcfa_naive_gamma(
+    program: &CpsProgram,
+    k: usize,
+    limits: NaiveLimits,
+    gamma: GammaOptions,
+) -> NaiveResult {
+    let start = Instant::now();
+    let initial = NaiveState {
+        call: program.entry(),
+        benv: BEnvK::empty(),
+        store: Rc::new(BTreeMap::new()),
+        time: CallString::empty(),
+        counts: Rc::new(BTreeMap::new()),
+    };
+    let mut seen: HashSet<NaiveState> = HashSet::new();
+    let mut queue: VecDeque<NaiveState> = VecDeque::new();
+    let mut halts: BTreeSet<ValK> = BTreeSet::new();
+    let mut global_counts: BTreeMap<AddrK, Count> = BTreeMap::new();
+    let mut evidence: BTreeMap<CallId, SiteEvidence> = BTreeMap::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+
+    let mut status = Status::Completed;
+    let mut processed: usize = 0;
+    while let Some(state) = queue.pop_front() {
+        if seen.len() > limits.max_states {
+            status = Status::IterationLimit;
+            break;
+        }
+        if processed.is_multiple_of(64) {
+            if let Some(budget) = limits.time_budget {
+                if start.elapsed() > budget {
+                    status = Status::TimedOut;
+                    break;
+                }
+            }
+        }
+        processed += 1;
+        if gamma.counting {
+            for (addr, &count) in state.counts.iter() {
+                global_counts
+                    .entry(addr.clone())
+                    .and_modify(|c| {
+                        if count == Count::Many {
+                            *c = Count::Many;
+                        }
+                    })
+                    .or_insert(count);
+            }
+        }
+        for mut succ in successors(program, k, gamma.counting, &state, &mut halts, &mut evidence) {
+            if gamma.abstract_gc {
+                succ.store = crate::gc::collect(&succ.store, &succ.benv);
+                if gamma.counting {
+                    // Collected addresses lose their counts: a later
+                    // re-binding is a fresh allocation (ΓCFA's
+                    // GC/counting synergy).
+                    let retained: BTreeMap<AddrK, Count> = succ
+                        .counts
+                        .iter()
+                        .filter(|(a, _)| succ.store.contains_key(*a))
+                        .map(|(a, c)| (a.clone(), *c))
+                        .collect();
+                    succ.counts = Rc::new(retained);
+                }
+            }
+            if seen.insert(succ.clone()) {
+                queue.push_back(succ);
+            }
+        }
+    }
+
+    NaiveResult {
+        state_count: seen.len(),
+        status,
+        elapsed: start.elapsed(),
+        halt_values: halts.iter().map(|v| render_val(program, v)).collect(),
+        counts: global_counts,
+        site_evidence: evidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::kcfa::analyze_kcfa;
+
+    #[test]
+    fn constant_program_reaches_halt() {
+        let p = cfa_syntax::compile("42").unwrap();
+        let r = analyze_kcfa_naive(&p, 0, NaiveLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert!(r.halt_values.contains("42"));
+    }
+
+    #[test]
+    fn agrees_with_single_store_on_halt_values() {
+        // The single-threaded store over-approximates the naive search, so
+        // naive halt values ⊆ single-store halt values; on simple programs
+        // they coincide.
+        for src in [
+            "(define (id x) x) (id (id 42))",
+            "(if (zero? 1) 10 20)",
+            "(car (cons 7 8))",
+            "(define (f g) (g 5)) (f (lambda (n) n))",
+        ] {
+            let p = cfa_syntax::compile(src).unwrap();
+            let naive = analyze_kcfa_naive(&p, 1, NaiveLimits::default());
+            let fast = analyze_kcfa(&p, 1, EngineLimits::default());
+            assert!(
+                naive.halt_values.is_subset(&fast.metrics.halt_values),
+                "{src}: naive {:?} ⊄ fast {:?}",
+                naive.halt_values,
+                fast.metrics.halt_values
+            );
+        }
+    }
+
+    #[test]
+    fn state_count_exceeds_config_count() {
+        // Per-state stores split what the single-threaded store merges.
+        let src = "(define (id x) x) (let ((a (id 3))) (id 4))";
+        let p = cfa_syntax::compile(src).unwrap();
+        let naive = analyze_kcfa_naive(&p, 1, NaiveLimits::default());
+        let fast = analyze_kcfa(&p, 1, EngineLimits::default());
+        assert!(
+            naive.state_count >= fast.fixpoint.config_count(),
+            "naive {} < fast {}",
+            naive.state_count,
+            fast.fixpoint.config_count()
+        );
+    }
+
+    #[test]
+    fn abstract_gc_preserves_halt_values_and_shrinks_search() {
+        for src in [
+            "(define (id x) x) (id (id (id (id 42))))",
+            "(define (f g) (g 5)) (f (lambda (n) (+ n 1)))",
+            "(car (cons (cons 1 2) 3))",
+        ] {
+            let p = cfa_syntax::compile(src).unwrap();
+            let plain = analyze_kcfa_naive_with(&p, 1, NaiveLimits::default(), false);
+            let gc = analyze_kcfa_naive_with(&p, 1, NaiveLimits::default(), true);
+            assert_eq!(plain.halt_values, gc.halt_values, "{src}");
+            assert!(
+                gc.state_count <= plain.state_count,
+                "{src}: gc {} > plain {}",
+                gc.state_count,
+                plain.state_count
+            );
+        }
+    }
+
+    #[test]
+    fn abstract_gc_strictly_helps_on_worst_case() {
+        let p = cfa_syntax::compile(&cfa_workloads_worst(3)).unwrap();
+        let limits = NaiveLimits { max_states: 30_000, time_budget: None };
+        let plain = analyze_kcfa_naive_with(&p, 1, limits, false);
+        let gc = analyze_kcfa_naive_with(&p, 1, limits, true);
+        assert!(
+            gc.state_count < plain.state_count,
+            "gc {} !< plain {}",
+            gc.state_count,
+            plain.state_count
+        );
+    }
+
+    /// Inline worst-case generator (avoids a dev-dependency cycle).
+    fn cfa_workloads_worst(n: usize) -> String {
+        let mut body = {
+            let mut call = String::from("(z");
+            for i in 1..=n {
+                call.push_str(&format!(" x{i}"));
+            }
+            call.push(')');
+            format!("(lambda (z) {call})")
+        };
+        for i in (1..=n).rev() {
+            body = format!(
+                "((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))"
+            );
+        }
+        body
+    }
+
+    #[test]
+    fn counting_marks_rebinding_as_plural() {
+        // `id` is called twice; at k=0 both calls bind x at the same
+        // abstract address, so x must be counted Many.
+        let p = cfa_syntax::compile("(define (id x) x) (let ((a (id 3))) (id 4))").unwrap();
+        let r = analyze_kcfa_naive_gamma(
+            &p,
+            0,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: true },
+        );
+        assert!(!r.counts.is_empty());
+        assert!(r.singular_addrs() < r.counts.len(), "some address must be plural");
+    }
+
+    #[test]
+    fn counting_straight_line_is_singular() {
+        // A single call path binds every address once.
+        let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+        let r = analyze_kcfa_naive_gamma(
+            &p,
+            1,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: true },
+        );
+        assert!(r.counts.values().all(|&c| c == Count::One));
+        assert_eq!(r.singular_ratio(), 1.0);
+    }
+
+    #[test]
+    fn context_improves_singularity() {
+        let p = cfa_syntax::compile("(define (id x) x) (let ((a (id 3))) (id 4))").unwrap();
+        let gamma = GammaOptions { abstract_gc: false, counting: true };
+        let k0 = analyze_kcfa_naive_gamma(&p, 0, NaiveLimits::default(), gamma);
+        let k1 = analyze_kcfa_naive_gamma(&p, 1, NaiveLimits::default(), gamma);
+        assert!(
+            k1.singular_ratio() > k0.singular_ratio(),
+            "k=1 {} !> k=0 {}",
+            k1.singular_ratio(),
+            k0.singular_ratio()
+        );
+    }
+
+    #[test]
+    fn gc_with_counting_preserves_halts_and_improves_singularity() {
+        let p = cfa_syntax::compile(&cfa_workloads_worst(2)).unwrap();
+        let plain = analyze_kcfa_naive_gamma(
+            &p,
+            1,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: true },
+        );
+        let gc = analyze_kcfa_naive_gamma(
+            &p,
+            1,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: true, counting: true },
+        );
+        assert_eq!(plain.halt_values, gc.halt_values);
+        assert!(gc.singular_ratio() >= plain.singular_ratio());
+    }
+
+    #[test]
+    fn super_beta_accepts_singleton_singular_site() {
+        // One λ, called once: inlinable.
+        let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+        let r = analyze_kcfa_naive_gamma(
+            &p,
+            0,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: true },
+        );
+        assert!(!r.super_beta_sites(&p).is_empty());
+    }
+
+    #[test]
+    fn super_beta_rejects_plural_captures_at_k0() {
+        // `make` closes over n, which is bound at two different calls;
+        // at k=0 both share one address, so the closure call site's
+        // captures are plural — inlining the body could conflate them.
+        let src = "(define (make n) (lambda () n))
+                   (let* ((f (make 1)) (g (make 2))) (f))";
+        let p = cfa_syntax::compile(src).unwrap();
+        let gamma = GammaOptions { abstract_gc: false, counting: true };
+        let k0 = analyze_kcfa_naive_gamma(&p, 0, NaiveLimits::default(), gamma);
+        // The (f) application site applies the single thunk but with a
+        // plural capture: some monomorphic user site must be rejected.
+        let rejected: Vec<_> = k0
+            .site_evidence
+            .iter()
+            .filter(|(&site, ev)| {
+                p.is_user_call(site) && ev.lams.len() == 1 && !ev.captures_singular
+            })
+            .collect();
+        assert!(
+            !rejected.is_empty(),
+            "a monomorphic site with plural captures must exist at k=0: {:?}",
+            k0.site_evidence
+        );
+        for (site, _) in rejected {
+            assert!(!k0.super_beta_sites(&p).contains(site));
+        }
+        // Context sensitivity splits n's address, restoring safety.
+        let k1 = analyze_kcfa_naive_gamma(&p, 1, NaiveLimits::default(), gamma);
+        assert!(
+            k1.super_beta_sites(&p).len() > k0.super_beta_sites(&p).len(),
+            "k=1 {:?} !> k=0 {:?}",
+            k1.super_beta_sites(&p),
+            k0.super_beta_sites(&p)
+        );
+    }
+
+    #[test]
+    fn super_beta_requires_counting() {
+        let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+        let r = analyze_kcfa_naive_gamma(
+            &p,
+            0,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: false },
+        );
+        assert!(r.super_beta_sites(&p).is_empty(), "no counting, no license");
+    }
+
+    #[test]
+    fn super_beta_rejects_polymorphic_sites() {
+        // Two different λs reach the same operator position.
+        let src = "(define (call h) (h 1))
+                   (let ((u (call (lambda (a) a))))
+                     (call (lambda (b) (+ b 1))))";
+        let p = cfa_syntax::compile(src).unwrap();
+        let r = analyze_kcfa_naive_gamma(
+            &p,
+            0,
+            NaiveLimits::default(),
+            GammaOptions { abstract_gc: false, counting: true },
+        );
+        // The (h 1) site sees both λs: not inlinable.
+        let poly = r
+            .site_evidence
+            .values()
+            .filter(|ev| ev.lams.len() >= 2)
+            .count();
+        assert!(poly >= 1, "some site must be polymorphic");
+    }
+
+    #[test]
+    fn state_limit_fires() {
+        // A chain of calls grows the store at every step, so every state
+        // along the path is distinct — far more than 10 states.
+        let p = cfa_syntax::compile(
+            "(define (id x) x)
+             (id (id (id (id (id (id (id (id 1))))))))",
+        )
+        .unwrap();
+        let r = analyze_kcfa_naive(&p, 1, NaiveLimits { max_states: 10, time_budget: None });
+        assert_eq!(r.status, Status::IterationLimit);
+    }
+}

@@ -1,0 +1,70 @@
+//! Abstract interpretation of primitives.
+//!
+//! Classifies every [`PrimOp`] by how an abstract machine must handle it:
+//! pure type-level results, pair allocation, pair projection, or abort.
+//! Both the shared-environment (k-CFA) and flat-environment (m-CFA /
+//! polynomial k-CFA) machines, and the Featherweight Java machine's cast
+//! handling, share this classification.
+
+use crate::domain::AbsBasic;
+use cfa_syntax::cps::PrimOp;
+
+/// How a primitive behaves abstractly.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PrimSpec {
+    /// Allocates a pair in the abstract heap (`cons`).
+    AllocPair,
+    /// Projects the car of pair arguments.
+    ReadCar,
+    /// Projects the cdr of pair arguments.
+    ReadCdr,
+    /// Aborts the program (`error`): the continuation is never invoked.
+    Abort,
+    /// Produces exactly these abstract constants.
+    Basics(&'static [AbsBasic]),
+}
+
+/// Returns the abstract behavior of `op`.
+pub fn classify(op: PrimOp) -> PrimSpec {
+    use PrimOp::*;
+    const ANY_INT: &[AbsBasic] = &[AbsBasic::AnyInt];
+    const ANY_BOOL: &[AbsBasic] = &[AbsBasic::AnyBool];
+    const STR: &[AbsBasic] = &[AbsBasic::Str];
+    match op {
+        Cons => PrimSpec::AllocPair,
+        Car => PrimSpec::ReadCar,
+        Cdr => PrimSpec::ReadCdr,
+        Error => PrimSpec::Abort,
+        Add | Sub | Mul | Div | Rem => PrimSpec::Basics(ANY_INT),
+        NumEq | Lt | Le | Gt | Ge | Eq | IsPair | IsNull | IsZero | IsNumber | IsBool
+        | IsProcedure | IsSymbol | IsString | Not => PrimSpec::Basics(ANY_BOOL),
+        StringAppend | ToString => PrimSpec::Basics(STR),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_ops_are_special() {
+        assert_eq!(classify(PrimOp::Cons), PrimSpec::AllocPair);
+        assert_eq!(classify(PrimOp::Car), PrimSpec::ReadCar);
+        assert_eq!(classify(PrimOp::Cdr), PrimSpec::ReadCdr);
+        assert_eq!(classify(PrimOp::Error), PrimSpec::Abort);
+    }
+
+    #[test]
+    fn arithmetic_widens_to_any_int() {
+        for op in [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Div, PrimOp::Rem] {
+            assert_eq!(classify(op), PrimSpec::Basics(&[AbsBasic::AnyInt]));
+        }
+    }
+
+    #[test]
+    fn predicates_yield_any_bool() {
+        for op in [PrimOp::IsNull, PrimOp::IsZero, PrimOp::Not, PrimOp::Eq, PrimOp::Lt] {
+            assert_eq!(classify(op), PrimSpec::Basics(&[AbsBasic::AnyBool]));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable analysis reports.
+//!
+//! Renders the result of an analysis the way the bottom halves of the
+//! paper's Figures 1 and 2 do: per-context variable flow facts
+//! (`context: var -> {values}`), the call graph, and summary counters.
+//! Used by the CLI's `--report` flag and handy in tests.
+
+use crate::flatcfa::FlatCfaResult;
+use crate::kcfa::{render_val, KcfaResult};
+use cfa_concrete::base::Slot;
+use cfa_syntax::cps::CpsProgram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for report rendering.
+#[derive(Copy, Clone, Debug)]
+pub struct ReportOptions {
+    /// Maximum number of store rows to print (0 = unlimited).
+    pub max_rows: usize,
+    /// Include the call-target table.
+    pub call_targets: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions { max_rows: 200, call_targets: true }
+    }
+}
+
+fn render_slot(program: &CpsProgram, slot: &Slot) -> String {
+    match slot {
+        Slot::Var(v) => program.name(*v).to_owned(),
+        Slot::Car(l) => format!("car@{l}"),
+        Slot::Cdr(l) => format!("cdr@{l}"),
+    }
+}
+
+fn push_rows(
+    out: &mut String,
+    rows: BTreeMap<(String, String), Vec<String>>,
+    max_rows: usize,
+) {
+    let total = rows.len();
+    for (i, ((ctx, slot), vals)) in rows.into_iter().enumerate() {
+        if max_rows != 0 && i >= max_rows {
+            let _ = writeln!(out, "  … {} more rows", total - i);
+            break;
+        }
+        let _ = writeln!(out, "  {ctx}: {slot} -> {{{}}}", vals.join(", "));
+    }
+}
+
+/// Renders a k-CFA result in `context: var -> {values}` form.
+pub fn report_kcfa(program: &CpsProgram, result: &KcfaResult, opts: ReportOptions) -> String {
+    let mut out = String::new();
+    let m = &result.metrics;
+    let _ = writeln!(out, "{}", m);
+    let _ = writeln!(out, "store ({} addresses):", m.store_entries);
+    let mut rows: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (addr, values) in result.fixpoint.store.iter() {
+        let ctx = addr.time.to_string();
+        let slot = render_slot(program, &addr.slot);
+        let rendered: Vec<String> = values.iter().map(|v| render_val(program, v)).collect();
+        rows.insert((ctx, slot), rendered);
+    }
+    push_rows(&mut out, rows, opts.max_rows);
+    if opts.call_targets {
+        append_call_targets(&mut out, program, &m.call_targets);
+    }
+    out
+}
+
+/// Renders an m-CFA / poly-k-CFA result.
+pub fn report_flat(program: &CpsProgram, result: &FlatCfaResult, opts: ReportOptions) -> String {
+    let mut out = String::new();
+    let m = &result.metrics;
+    let _ = writeln!(out, "{}", m);
+    let _ = writeln!(out, "store ({} addresses):", m.store_entries);
+    let mut rows: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (addr, values) in result.fixpoint.store.iter() {
+        let ctx = addr.env.to_string();
+        let slot = render_slot(program, &addr.slot);
+        let rendered: Vec<String> = values.iter().map(|v| render_val(program, v)).collect();
+        rows.insert((ctx, slot), rendered);
+    }
+    push_rows(&mut out, rows, opts.max_rows);
+    if opts.call_targets {
+        append_call_targets(&mut out, program, &m.call_targets);
+    }
+    out
+}
+
+fn append_call_targets(
+    out: &mut String,
+    program: &CpsProgram,
+    targets: &BTreeMap<cfa_syntax::cps::CallId, std::collections::BTreeSet<cfa_syntax::cps::LamId>>,
+) {
+    let _ = writeln!(out, "call targets ({} sites):", targets.len());
+    for (site, lams) in targets {
+        let names: Vec<String> =
+            lams.iter().map(|&l| format!("λ{}", program.lam(l).label)).collect();
+        let _ = writeln!(
+            out,
+            "  call@{} -> {{{}}}",
+            program.call(*site).label,
+            names.join(", ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::flatcfa::analyze_mcfa;
+    use crate::kcfa::analyze_kcfa;
+
+    #[test]
+    fn kcfa_report_contains_store_rows_and_targets() {
+        let p = cfa_syntax::compile("(define (id x) x) (id (id 7))").unwrap();
+        let r = analyze_kcfa(&p, 1, EngineLimits::default());
+        let text = report_kcfa(&p, &r, ReportOptions::default());
+        assert!(text.contains("store ("), "{text}");
+        assert!(text.contains("->"), "{text}");
+        assert!(text.contains("call targets"), "{text}");
+        assert!(text.contains("id"), "variables are named: {text}");
+    }
+
+    #[test]
+    fn flat_report_shows_contexts() {
+        let p = cfa_syntax::compile("(define (id x) x) (id (id 7))").unwrap();
+        let r = analyze_mcfa(&p, 1, EngineLimits::default());
+        let text = report_flat(&p, &r, ReportOptions::default());
+        assert!(text.contains('⟨'), "contexts rendered: {text}");
+    }
+
+    #[test]
+    fn row_cap_applies() {
+        let p = cfa_syntax::compile(&cfa_workloads_like(6)).unwrap();
+        let r = analyze_kcfa(&p, 1, EngineLimits::default());
+        let text = report_kcfa(&p, &r, ReportOptions { max_rows: 3, call_targets: false });
+        assert!(text.contains("more rows"), "{text}");
+    }
+
+    fn cfa_workloads_like(n: usize) -> String {
+        let mut src = String::from("(define (id x) x)\n(begin");
+        for i in 0..n {
+            src.push_str(&format!(" (id {i})"));
+        }
+        src.push(')');
+        src
+    }
+}

@@ -1,0 +1,268 @@
+//! Soundness checking: the abstraction maps `α` of §3.5 and §5.3,
+//! executed against real concrete runs.
+//!
+//! The paper's soundness theorem (3.1) says the abstract semantics
+//! simulates the concrete one: if `ς ⇒ ς′` and `α(ς) ⊑ ς̂`, a matching
+//! abstract transition exists. Operationally that means every state a
+//! concrete run visits must abstract into a configuration the analysis
+//! reached, and every concrete store binding must be covered by the
+//! abstract store. This module implements those checks:
+//!
+//! * [`check_kcfa`] — shared-environment runs vs. k-CFA;
+//! * [`check_mcfa`] — flat-environment runs vs. m-CFA.
+//!
+//! The property tests in `tests/` drive these over randomized programs.
+
+use crate::domain::{AbsBasic, AVal, CallString};
+use crate::flatcfa::{AddrM, FlatCfaResult, MConfig, ValM};
+use crate::kcfa::{AddrK, BEnvK, KConfig, KcfaResult, ValK};
+use cfa_concrete::base::{Addr, Basic, Value};
+use cfa_concrete::ctx::CtxTable;
+use cfa_concrete::flat::FlatRun;
+use cfa_concrete::shared::{BEnv, SharedRun};
+use cfa_syntax::cps::CpsProgram;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A witness that the abstraction failed to cover the concrete run.
+#[derive(Clone, Debug)]
+pub struct SoundnessViolation {
+    /// Human-readable description of the uncovered state or binding.
+    pub detail: String,
+}
+
+impl fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soundness violation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SoundnessViolation {}
+
+/// Does abstract value `abs` cover the abstraction of a concrete value
+/// `conc` (i.e. `α(conc) ⊑ abs` pointwise on the flat constant lattice)?
+fn basic_covers(abs: AbsBasic, conc: Basic) -> bool {
+    match (abs, conc) {
+        (AbsBasic::Int(a), Basic::Int(c)) => a == c,
+        (AbsBasic::AnyInt, Basic::Int(_)) => true,
+        (AbsBasic::Bool(a), Basic::Bool(c)) => a == c,
+        (AbsBasic::AnyBool, Basic::Bool(_)) => true,
+        (AbsBasic::Str, Basic::Str(_)) => true,
+        (AbsBasic::Sym(a), Basic::Sym(c)) => a == c,
+        (AbsBasic::Nil, Basic::Nil) => true,
+        (AbsBasic::Void, Basic::Void) => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// k-CFA (shared environments)
+// ---------------------------------------------------------------------
+
+fn alpha_addr_k(addr: &Addr, times: &CtxTable, k: usize) -> AddrK {
+    AddrK {
+        slot: addr.slot,
+        time: CallString::from_labels(times.first_k(addr.ctx, k), k),
+    }
+}
+
+fn alpha_benv_k(benv: &BEnv, times: &CtxTable, k: usize) -> BEnvK {
+    BEnvK::empty().extend(benv.iter().map(|(&v, a)| (v, alpha_addr_k(a, times, k))))
+}
+
+fn alpha_value_k(v: &Value<BEnv>, times: &CtxTable, k: usize) -> ValK {
+    match v {
+        Value::Basic(_) => unreachable!("handled by covers_k"),
+        Value::Clo { lam, env } => AVal::Clo { lam: *lam, env: alpha_benv_k(env, times, k) },
+        Value::Pair { car, cdr } => AVal::Pair {
+            car: alpha_addr_k(car, times, k),
+            cdr: alpha_addr_k(cdr, times, k),
+        },
+    }
+}
+
+fn covers_k(abs: &ValK, conc: &Value<BEnv>, times: &CtxTable, k: usize) -> bool {
+    match (abs, conc) {
+        (AVal::Basic(a), Value::Basic(c)) => basic_covers(*a, *c),
+        (AVal::Basic(_), _) | (_, Value::Basic(_)) => false,
+        _ => *abs == alpha_value_k(conc, times, k),
+    }
+}
+
+/// Checks that a k-CFA result covers a traced shared-environment run.
+///
+/// # Errors
+///
+/// Returns the first uncovered visited state or store binding.
+pub fn check_kcfa(
+    program: &CpsProgram,
+    k: usize,
+    concrete: &SharedRun,
+    result: &KcfaResult,
+) -> Result<(), SoundnessViolation> {
+    let configs: HashSet<&KConfig> = result.fixpoint.configs.iter().collect();
+    for visit in &concrete.trace {
+        let abs = KConfig {
+            call: visit.call,
+            benv: alpha_benv_k(&visit.benv, &concrete.times, k),
+            time: CallString::from_labels(concrete.times.first_k(visit.time, k), k),
+        };
+        if !configs.contains(&abs) {
+            return Err(SoundnessViolation {
+                detail: format!(
+                    "visited state not covered: call {:?} abstracted to {:?}",
+                    visit.call, abs
+                ),
+            });
+        }
+    }
+    for (addr, value) in concrete.store.iter() {
+        let abs_addr = alpha_addr_k(addr, &concrete.times, k);
+        let flow = result.fixpoint.store.read(&abs_addr);
+        if !flow.iter().any(|a| covers_k(a, value, &concrete.times, k)) {
+            return Err(SoundnessViolation {
+                detail: format!(
+                    "store binding not covered: {:?} (abstract addr {:?}, flow {:?})",
+                    addr,
+                    abs_addr,
+                    flow.len()
+                ),
+            });
+        }
+    }
+    let _ = program;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// m-CFA (flat environments)
+// ---------------------------------------------------------------------
+
+fn alpha_env_m(ctx: cfa_concrete::base::Ctx, envs: &CtxTable, m: usize) -> CallString {
+    CallString::from_labels(envs.first_k(ctx, m), m)
+}
+
+fn alpha_addr_m(addr: &Addr, envs: &CtxTable, m: usize) -> AddrM {
+    AddrM { slot: addr.slot, env: alpha_env_m(addr.ctx, envs, m) }
+}
+
+fn covers_m(
+    abs: &ValM,
+    conc: &Value<cfa_concrete::base::Ctx>,
+    envs: &CtxTable,
+    m: usize,
+) -> bool {
+    match (abs, conc) {
+        (AVal::Basic(a), Value::Basic(c)) => basic_covers(*a, *c),
+        (AVal::Clo { lam: al, env: ae }, Value::Clo { lam: cl, env: ce }) => {
+            al == cl && *ae == alpha_env_m(*ce, envs, m)
+        }
+        (AVal::Pair { car: ac, cdr: ad }, Value::Pair { car: cc, cdr: cd }) => {
+            *ac == alpha_addr_m(cc, envs, m) && *ad == alpha_addr_m(cd, envs, m)
+        }
+        _ => false,
+    }
+}
+
+/// Checks that an m-CFA result covers a traced flat-environment run.
+///
+/// # Errors
+///
+/// Returns the first uncovered visited state or store binding.
+pub fn check_mcfa(
+    program: &CpsProgram,
+    m: usize,
+    concrete: &FlatRun,
+    result: &FlatCfaResult,
+) -> Result<(), SoundnessViolation> {
+    let configs: HashSet<&MConfig> = result.fixpoint.configs.iter().collect();
+    for visit in &concrete.trace {
+        let abs = MConfig { call: visit.call, env: alpha_env_m(visit.env, &concrete.envs, m) };
+        if !configs.contains(&abs) {
+            return Err(SoundnessViolation {
+                detail: format!(
+                    "visited state not covered: call {:?} abstracted to {:?}",
+                    visit.call, abs
+                ),
+            });
+        }
+    }
+    for (addr, value) in concrete.store.iter() {
+        let abs_addr = alpha_addr_m(addr, &concrete.envs, m);
+        let flow = result.fixpoint.store.read(&abs_addr);
+        if !flow.iter().any(|a| covers_m(a, value, &concrete.envs, m)) {
+            return Err(SoundnessViolation {
+                detail: format!(
+                    "store binding not covered: {:?} (abstract addr {:?})",
+                    addr, abs_addr
+                ),
+            });
+        }
+    }
+    let _ = program;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::flatcfa::analyze_mcfa;
+    use crate::kcfa::analyze_kcfa;
+    use cfa_concrete::base::Limits;
+    use cfa_concrete::flat::run_flat_traced;
+    use cfa_concrete::shared::run_shared_traced;
+
+    const PROGRAMS: &[&str] = &[
+        "42",
+        "((lambda (x) x) 7)",
+        "(define (id x) x) (let ((a (id 3))) (id 4))",
+        "(if (zero? 1) 10 20)",
+        "(car (cons 1 (cons 2 '())))",
+        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 6)",
+        "(define (make-adder n) (lambda (m) (+ n m)))
+         (+ ((make-adder 3) 10) ((make-adder 5) 100))",
+        "(define (map f xs) (if (null? xs) '() (cons (f (car xs)) (map f (cdr xs)))))
+         (map (lambda (n) (* n n)) (list 1 2 3))",
+        "(let ((p (cons 1 2))) (+ (car p) (cdr p)))",
+        "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+         (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+         (even? 8)",
+    ];
+
+    #[test]
+    fn kcfa_covers_concrete_runs() {
+        for src in PROGRAMS {
+            let p = cfa_syntax::compile(src).unwrap();
+            let conc = run_shared_traced(&p, Limits::default(), true);
+            for k in [0, 1, 2] {
+                let res = analyze_kcfa(&p, k, EngineLimits::default());
+                check_kcfa(&p, k, &conc, &res)
+                    .unwrap_or_else(|e| panic!("k={k}, program {src:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mcfa_covers_concrete_runs() {
+        for src in PROGRAMS {
+            let p = cfa_syntax::compile(src).unwrap();
+            let conc = run_flat_traced(&p, Limits::default(), true);
+            for m in [0, 1, 2] {
+                let res = analyze_mcfa(&p, m, EngineLimits::default());
+                check_mcfa(&p, m, &conc, &res)
+                    .unwrap_or_else(|e| panic!("m={m}, program {src:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        // Analyzing a *different* program must not cover the run.
+        let p1 = cfa_syntax::compile("(define (id x) x) (id 1)").unwrap();
+        let p2 = cfa_syntax::compile("((lambda (y) y) 2)").unwrap();
+        let conc = run_shared_traced(&p1, Limits::default(), true);
+        let res = analyze_kcfa(&p2, 1, EngineLimits::default());
+        assert!(check_kcfa(&p1, 1, &conc, &res).is_err());
+    }
+}

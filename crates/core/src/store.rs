@@ -1,0 +1,120 @@
+//! The single-threaded abstract store (paper §3.7).
+//!
+//! Shivers's key algorithmic move: approximate the *set* of stores of the
+//! naive state-space search by their least upper bound — one global store
+//! that only grows. [`AbsStore`] is that store: a map from abstract
+//! addresses to flow sets, with monotone `join` as the only write
+//! operation.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// A flow set: the abstract denotation `D̂ = P(V)`.
+pub type FlowSet<V> = BTreeSet<V>;
+
+/// A monotone map from abstract addresses to flow sets.
+#[derive(Clone, Debug)]
+pub struct AbsStore<A, V> {
+    map: HashMap<A, FlowSet<V>>,
+    joins: u64,
+}
+
+impl<A: Eq + Hash + Clone, V: Ord + Clone> Default for AbsStore<A, V> {
+    fn default() -> Self {
+        AbsStore { map: HashMap::new(), joins: 0 }
+    }
+}
+
+impl<A: Eq + Hash + Clone, V: Ord + Clone> AbsStore<A, V> {
+    /// An empty store (`⊥`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the flow set at `addr`; unbound addresses are `⊥` (empty).
+    pub fn read(&self, addr: &A) -> FlowSet<V>
+    where
+        V: Clone,
+    {
+        self.map.get(addr).cloned().unwrap_or_default()
+    }
+
+    /// Borrows the flow set at `addr` if bound.
+    pub fn get(&self, addr: &A) -> Option<&FlowSet<V>> {
+        self.map.get(addr)
+    }
+
+    /// Joins `values` into the flow set at `addr`. Returns `true` if the
+    /// set grew (the monotonicity signal the worklist engine needs).
+    pub fn join(&mut self, addr: A, values: impl IntoIterator<Item = V>) -> bool {
+        self.joins += 1;
+        let set = self.map.entry(addr).or_default();
+        let before = set.len();
+        set.extend(values);
+        set.len() != before
+    }
+
+    /// Number of bound addresses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no address is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total number of `(address, value)` facts — the store's lattice
+    /// "height consumed", reported by the experiment harness.
+    pub fn fact_count(&self) -> usize {
+        self.map.values().map(BTreeSet::len).sum()
+    }
+
+    /// Number of join operations performed (including no-ops).
+    pub fn join_count(&self) -> u64 {
+        self.joins
+    }
+
+    /// Iterates over `(address, flow set)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, &FlowSet<V>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_reports_growth() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        assert!(s.join(1, [10]));
+        assert!(!s.join(1, [10]), "joining an existing value is a no-op");
+        assert!(s.join(1, [11]));
+        assert_eq!(s.read(&1).len(), 2);
+    }
+
+    #[test]
+    fn unbound_reads_are_bottom() {
+        let s: AbsStore<u32, u32> = AbsStore::new();
+        assert!(s.read(&99).is_empty());
+        assert!(s.get(&99).is_none());
+    }
+
+    #[test]
+    fn fact_count_sums_sets() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [1, 2, 3]);
+        s.join(2, [4]);
+        assert_eq!(s.fact_count(), 4);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn join_count_tracks_calls() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [1]);
+        s.join(1, [1]);
+        assert_eq!(s.join_count(), 2);
+    }
+}

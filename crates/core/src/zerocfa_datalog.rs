@@ -1,0 +1,530 @@
+//! 0CFA for CPS expressed in Datalog — the functional side of the
+//! "Datalog road".
+//!
+//! `cfa-fj::datalog` demonstrates that *OO* k-CFA is a Datalog program
+//! (hence polynomial). This module walks the same road from the
+//! functional side: context-insensitive CFA for the CPS language is
+//! also expressible in Datalog — it is only the *context-sensitive*
+//! functional analysis (k ≥ 1 over shared environments) that falls out
+//! of Datalog's polynomial fragment, because abstract environments are
+//! maps rather than atoms. Together the two modules bracket the paradox:
+//! Datalog accommodates OO k-CFA for any fixed k and functional CFA at
+//! k = 0, and the exponential gap lives exactly in the functional
+//! closure environments.
+//!
+//! The encoding mirrors [`crate::constraints`] constraint for
+//! constraint, so cross-validation asserts *equality* of flow sets, not
+//! mere mutual soundness:
+//!
+//! * `flow(node, val)` — the flow relation;
+//! * `edge(a, b)` — unconditional subset edges;
+//! * `app(site, op, arity)` + `apparg*(site, i, …)` — conditional
+//!   application rules, arity-guarded like the solver;
+//! * `proj*(site, scrutinee)` + `paircar/paircdr` — pair projections,
+//!   including the indirect "flow into whatever continuation arrives"
+//!   form.
+
+use crate::constraints::{Node, Val0};
+use crate::domain::AbsBasic;
+use crate::prim::{classify, PrimSpec};
+use cfa_datalog::{Const, ConstPool, DatalogProgram, EvalStats, RelId, Term};
+use cfa_syntax::cps::{AExp, CallKind, CpsProgram, Label};
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeSet, HashMap};
+
+/// The result of the Datalog 0CFA.
+#[derive(Debug)]
+pub struct ZeroCfaDatalog {
+    flows: HashMap<Node, BTreeSet<Val0>>,
+    /// Input fact count.
+    pub edb_facts: usize,
+    /// Facts at the fixpoint.
+    pub total_facts: usize,
+    /// Engine statistics.
+    pub stats: EvalStats,
+}
+
+impl ZeroCfaDatalog {
+    /// The flow set of a node (`⊥` if absent).
+    pub fn flow(&self, node: Node) -> BTreeSet<Val0> {
+        self.flows.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// The flow set of a variable.
+    pub fn var_flow(&self, v: Symbol) -> BTreeSet<Val0> {
+        self.flow(Node::Var(v))
+    }
+
+    /// Values reaching `%halt`.
+    pub fn halt_flow(&self) -> BTreeSet<Val0> {
+        self.flow(Node::Halt)
+    }
+
+    /// All nodes with a non-empty flow set.
+    pub fn nodes(&self) -> impl Iterator<Item = (&Node, &BTreeSet<Val0>)> {
+        self.flows.iter()
+    }
+
+    /// Total `(node, value)` facts.
+    pub fn fact_count(&self) -> usize {
+        self.flows.values().map(BTreeSet::len).sum()
+    }
+}
+
+struct Rels {
+    flow: RelId,
+    edge: RelId,
+    app: RelId,
+    appargn: RelId,
+    appargc: RelId,
+    lamarity: RelId,
+    lamparam: RelId,
+    projcar: RelId,
+    projcdr: RelId,
+    projnode: RelId,
+    projcont: RelId,
+    paircar: RelId,
+    paircdr: RelId,
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+struct Encoder<'p> {
+    cps: &'p CpsProgram,
+    pool: ConstPool,
+    program: DatalogProgram,
+    rels: Rels,
+    db: Option<cfa_datalog::Database>,
+    node_of: HashMap<Const, Node>,
+    val_of: HashMap<Const, Val0>,
+    edb_facts: usize,
+    next_site: u32,
+    cons_sites: Vec<Label>,
+}
+
+impl<'p> Encoder<'p> {
+    fn new(cps: &'p CpsProgram) -> Self {
+        let mut program = DatalogProgram::new();
+        let rels = Rels {
+            flow: program.relation("flow", 2),
+            edge: program.relation("edge", 2),
+            app: program.relation("app", 3),
+            appargn: program.relation("appargn", 3),
+            appargc: program.relation("appargc", 3),
+            lamarity: program.relation("lamarity", 2),
+            lamparam: program.relation("lamparam", 3),
+            projcar: program.relation("projcar", 2),
+            projcdr: program.relation("projcdr", 2),
+            projnode: program.relation("projnode", 2),
+            projcont: program.relation("projcont", 2),
+            paircar: program.relation("paircar", 2),
+            paircdr: program.relation("paircdr", 2),
+        };
+        Encoder {
+            cps,
+            pool: ConstPool::new(),
+            program,
+            rels,
+            db: None,
+            node_of: HashMap::new(),
+            val_of: HashMap::new(),
+            edb_facts: 0,
+            next_site: 0,
+            cons_sites: Vec::new(),
+        }
+    }
+
+    fn node_const(&mut self, n: Node) -> Const {
+        let name = match n {
+            Node::Var(s) => format!("var{}", s.index()),
+            Node::Car(l) => format!("car{}", l.0),
+            Node::Cdr(l) => format!("cdr{}", l.0),
+            Node::Halt => "halt".to_owned(),
+        };
+        let c = self.pool.intern(&name);
+        self.node_of.insert(c, n);
+        c
+    }
+
+    fn val_const(&mut self, val: Val0) -> Const {
+        let name = match val {
+            Val0::Lam(l) => format!("lam{}", l.0),
+            Val0::Basic(b) => format!("basic:{b:?}"),
+            Val0::Pair(l) => format!("pair{}", l.0),
+        };
+        let c = self.pool.intern(&name);
+        self.val_of.insert(c, val);
+        c
+    }
+
+    fn idx_const(&mut self, i: usize) -> Const {
+        self.pool.intern(&format!("i{i}"))
+    }
+
+    fn arity_const(&mut self, n: usize) -> Const {
+        self.pool.intern(&format!("n{n}"))
+    }
+
+    fn site_const(&mut self) -> Const {
+        let c = self.pool.intern(&format!("s{}", self.next_site));
+        self.next_site += 1;
+        c
+    }
+
+    fn fact(&mut self, rel: RelId, tuple: &[Const]) {
+        if self.db.as_mut().expect("db initialized").insert(rel, tuple) {
+            self.edb_facts += 1;
+        }
+    }
+
+    /// Seeds `val` directly into `node` (the solver's `add_values`).
+    fn seed(&mut self, node: Node, val: Val0) {
+        let n = self.node_const(node);
+        let val_c = self.val_const(val);
+        self.fact(self.rels.flow, &[n, val_c]);
+    }
+
+    /// Adds an unconditional subset edge (the solver's `add_edge`).
+    fn subset(&mut self, from: Node, to: Node) {
+        let f = self.node_const(from);
+        let t = self.node_const(to);
+        self.fact(self.rels.edge, &[f, t]);
+    }
+
+    /// The value of an atom, as either a node or a constant.
+    fn atom(&self, e: &AExp) -> Result<Node, Val0> {
+        match e {
+            AExp::Var(x) => Ok(Node::Var(*x)),
+            AExp::Lam(l) => Err(Val0::Lam(*l)),
+            AExp::Lit(l) => Err(Val0::Basic(AbsBasic::from_lit(*l))),
+        }
+    }
+
+    /// `atom ⊆ node`.
+    fn flow_atom(&mut self, e: &AExp, to: Node) {
+        match self.atom(e) {
+            Ok(from) => self.subset(from, to),
+            Err(val) => self.seed(to, val),
+        }
+    }
+
+    /// Registers an application trigger site (the solver's `ApplyRule`):
+    /// each `args[i]` flows to parameter i of every arity-matching λ
+    /// arriving at `op_node`.
+    fn app_site(&mut self, op_node: Node, args: &[AExp]) {
+        let s = self.site_const();
+        let f = self.node_const(op_node);
+        let n = self.arity_const(args.len());
+        self.fact(self.rels.app, &[s, f, n]);
+        for (i, arg) in args.iter().enumerate() {
+            let ic = self.idx_const(i);
+            match self.atom(arg) {
+                Ok(node) => {
+                    let a = self.node_const(node);
+                    self.fact(self.rels.appargn, &[s, ic, a]);
+                }
+                Err(val) => {
+                    let val_c = self.val_const(val);
+                    self.fact(self.rels.appargc, &[s, ic, val_c]);
+                }
+            }
+        }
+    }
+
+    /// `value ⊆ cont` — into a λ's first parameter, or via an app site
+    /// when the continuation is a variable (the solver's
+    /// `flow_into_cont`).
+    fn flow_value_into_cont(&mut self, cont: &AExp, vals: &[Val0]) {
+        match cont {
+            AExp::Lam(l) => {
+                if let Some(&param) = self.cps.lam(*l).params.first() {
+                    for &val in vals {
+                        self.seed(Node::Var(param), val);
+                    }
+                }
+            }
+            AExp::Var(k) => {
+                let s = self.site_const();
+                let f = self.node_const(Node::Var(*k));
+                let n = self.arity_const(1);
+                self.fact(self.rels.app, &[s, f, n]);
+                let ic = self.idx_const(0);
+                for &val in vals {
+                    let val_c = self.val_const(val);
+                    self.fact(self.rels.appargc, &[s, ic, val_c]);
+                }
+            }
+            AExp::Lit(_) => {}
+        }
+    }
+
+    fn generate(&mut self) {
+        // λ structure facts.
+        for lam_id in self.cps.lam_ids() {
+            let lam = self.cps.lam(lam_id).clone();
+            let lv = self.val_const(Val0::Lam(lam_id));
+            let n = self.arity_const(lam.params.len());
+            self.fact(self.rels.lamarity, &[lv, n]);
+            for (i, &p) in lam.params.iter().enumerate() {
+                let ic = self.idx_const(i);
+                let pc = self.node_const(Node::Var(p));
+                self.fact(self.rels.lamparam, &[lv, ic, pc]);
+            }
+        }
+
+        for call_id in self.cps.call_ids() {
+            let call = self.cps.call(call_id).clone();
+            match &call.kind {
+                CallKind::App { func, args } => match func {
+                    AExp::Lam(l) => {
+                        let lam = self.cps.lam(*l).clone();
+                        if lam.params.len() == args.len() {
+                            for (&param, arg) in lam.params.iter().zip(args) {
+                                self.flow_atom(arg, Node::Var(param));
+                            }
+                        }
+                    }
+                    AExp::Var(f) => self.app_site(Node::Var(*f), args),
+                    AExp::Lit(_) => {}
+                },
+                CallKind::If { .. } => {}
+                CallKind::PrimCall { op, args, cont } => match classify(*op) {
+                    PrimSpec::Abort => {}
+                    PrimSpec::Basics(bs) => {
+                        let vals: Vec<Val0> = bs.iter().map(|&b| Val0::Basic(b)).collect();
+                        self.flow_value_into_cont(cont, &vals);
+                    }
+                    PrimSpec::AllocPair => {
+                        self.cons_sites.push(call.label);
+                        if let Some(a0) = args.first() {
+                            self.flow_atom(a0, Node::Car(call.label));
+                        }
+                        if let Some(a1) = args.get(1) {
+                            self.flow_atom(a1, Node::Cdr(call.label));
+                        }
+                        self.flow_value_into_cont(cont, &[Val0::Pair(call.label)]);
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        let Some(AExp::Var(scrutinee)) = args.first() else { continue };
+                        // Resolve the projection target exactly as the
+                        // solver does.
+                        enum Target {
+                            Node(Node),
+                            Cont(Node),
+                        }
+                        let target = match cont {
+                            AExp::Lam(l) => match self.cps.lam(*l).params.first() {
+                                Some(&p) => Target::Node(Node::Var(p)),
+                                None => continue,
+                            },
+                            AExp::Var(k) => Target::Cont(Node::Var(*k)),
+                            AExp::Lit(_) => continue,
+                        };
+                        let s = self.site_const();
+                        let x = self.node_const(Node::Var(*scrutinee));
+                        let rel = if want_car { self.rels.projcar } else { self.rels.projcdr };
+                        self.fact(rel, &[s, x]);
+                        match target {
+                            Target::Node(n) => {
+                                let t = self.node_const(n);
+                                self.fact(self.rels.projnode, &[s, t]);
+                            }
+                            Target::Cont(n) => {
+                                let t = self.node_const(n);
+                                self.fact(self.rels.projcont, &[s, t]);
+                            }
+                        }
+                    }
+                },
+                CallKind::Fix { bindings, .. } => {
+                    for &(name, lam) in bindings {
+                        self.seed(Node::Var(name), Val0::Lam(lam));
+                    }
+                }
+                CallKind::Halt { value } => {
+                    self.flow_atom(value, Node::Halt);
+                }
+            }
+        }
+
+        // Pair field linkage.
+        for &label in &self.cons_sites.clone() {
+            let pv = self.val_const(Val0::Pair(label));
+            let car = self.node_const(Node::Car(label));
+            let cdr = self.node_const(Node::Cdr(label));
+            self.fact(self.rels.paircar, &[pv, car]);
+            self.fact(self.rels.paircdr, &[pv, cdr]);
+        }
+    }
+
+    fn install_rules(&mut self) {
+        let r = &self.rels;
+        let one = self.pool.intern("n1");
+        let zero = self.pool.intern("i0");
+        // Subset propagation.
+        self.program
+            .rule(
+                r.flow,
+                vec![v("b"), v("val")],
+                vec![(r.edge, vec![v("a"), v("b")]), (r.flow, vec![v("a"), v("val")])],
+            )
+            .expect("edge rule");
+        // Application, variable argument.
+        self.program
+            .rule(
+                r.flow,
+                vec![v("p"), v("val")],
+                vec![
+                    (r.app, vec![v("s"), v("f"), v("n")]),
+                    (r.flow, vec![v("f"), v("L")]),
+                    (r.lamarity, vec![v("L"), v("n")]),
+                    (r.lamparam, vec![v("L"), v("i"), v("p")]),
+                    (r.appargn, vec![v("s"), v("i"), v("a")]),
+                    (r.flow, vec![v("a"), v("val")]),
+                ],
+            )
+            .expect("app node rule");
+        // Application, constant argument.
+        self.program
+            .rule(
+                r.flow,
+                vec![v("p"), v("val")],
+                vec![
+                    (r.app, vec![v("s"), v("f"), v("n")]),
+                    (r.flow, vec![v("f"), v("L")]),
+                    (r.lamarity, vec![v("L"), v("n")]),
+                    (r.lamparam, vec![v("L"), v("i"), v("p")]),
+                    (r.appargc, vec![v("s"), v("i"), v("val")]),
+                ],
+            )
+            .expect("app const rule");
+        // Projections to a direct node target.
+        for (proj, pair) in [(r.projcar, r.paircar), (r.projcdr, r.paircdr)] {
+            self.program
+                .rule(
+                    r.flow,
+                    vec![v("t"), v("val")],
+                    vec![
+                        (proj, vec![v("s"), v("x")]),
+                        (r.projnode, vec![v("s"), v("t")]),
+                        (r.flow, vec![v("x"), v("P")]),
+                        (pair, vec![v("P"), v("fld")]),
+                        (r.flow, vec![v("fld"), v("val")]),
+                    ],
+                )
+                .expect("proj node rule");
+            // Projections through a continuation variable: the field
+            // flows into the first parameter of 1-ary λs arriving there.
+            self.program
+                .rule(
+                    r.flow,
+                    vec![v("p"), v("val")],
+                    vec![
+                        (proj, vec![v("s"), v("x")]),
+                        (r.projcont, vec![v("s"), v("k")]),
+                        (r.flow, vec![v("x"), v("P")]),
+                        (pair, vec![v("P"), v("fld")]),
+                        (r.flow, vec![v("k"), v("L")]),
+                        (r.lamarity, vec![v("L"), Term::Const(one)]),
+                        (r.lamparam, vec![v("L"), Term::Const(zero), v("p")]),
+                        (r.flow, vec![v("fld"), v("val")]),
+                    ],
+                )
+                .expect("proj cont rule");
+        }
+    }
+
+    fn run(mut self) -> ZeroCfaDatalog {
+        self.db = Some(self.program.database());
+        self.generate();
+        self.install_rules();
+        let mut db = self.db.take().expect("db present");
+        let stats = self.program.run(&mut db);
+
+        let mut flows: HashMap<Node, BTreeSet<Val0>> = HashMap::new();
+        for t in db.tuples(self.rels.flow) {
+            let (Some(&node), Some(&val)) = (self.node_of.get(&t[0]), self.val_of.get(&t[1]))
+            else {
+                continue;
+            };
+            flows.entry(node).or_default().insert(val);
+        }
+        ZeroCfaDatalog {
+            flows,
+            edb_facts: self.edb_facts,
+            total_facts: db.total_facts(),
+            stats,
+        }
+    }
+}
+
+/// Solves context-insensitive CFA for `program` by Datalog evaluation.
+pub fn solve_zerocfa_datalog(program: &CpsProgram) -> ZeroCfaDatalog {
+    Encoder::new(program).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::solve_zerocfa;
+
+    fn both(src: &str) -> (crate::constraints::ZeroCfa, ZeroCfaDatalog) {
+        let p = cfa_syntax::compile(src).unwrap();
+        (solve_zerocfa(&p), solve_zerocfa_datalog(&p))
+    }
+
+    #[test]
+    fn constant_reaches_halt() {
+        let (_, d) = both("42");
+        assert!(d.halt_flow().contains(&Val0::Basic(AbsBasic::Int(42))));
+    }
+
+    #[test]
+    fn identity_merges_like_0cfa() {
+        let (_, d) = both("(define (id x) x) (let ((a (id 3))) (id 4))");
+        assert!(d.halt_flow().contains(&Val0::Basic(AbsBasic::Int(3))));
+        assert!(d.halt_flow().contains(&Val0::Basic(AbsBasic::Int(4))));
+    }
+
+    #[test]
+    fn pairs_project_precisely() {
+        let (_, d) = both("(car (cons 7 8))");
+        assert!(d.halt_flow().contains(&Val0::Basic(AbsBasic::Int(7))));
+        assert!(!d.halt_flow().contains(&Val0::Basic(AbsBasic::Int(8))));
+    }
+
+    #[test]
+    fn agrees_exactly_with_constraint_solver_on_basics() {
+        for src in [
+            "42",
+            "((lambda (x) x) 1)",
+            "(define (id x) x) (let ((a (id 3))) (id 4))",
+            "(car (cons 7 8))",
+            "(cdr (cons 7 8))",
+            "(if (zero? 1) 10 20)",
+            "(define (f g) (g 5)) (f (lambda (n) (+ n 1)))",
+            "(define (f x) (f x)) (f (lambda (y) y))",
+        ] {
+            let p = cfa_syntax::compile(src).unwrap();
+            let solver = solve_zerocfa(&p);
+            let datalog = solve_zerocfa_datalog(&p);
+            // Exact flow equality, node for node.
+            for v in p.bound_vars() {
+                assert_eq!(solver.var_flow(v), datalog.var_flow(v), "{src}: var {v:?}");
+            }
+            assert_eq!(solver.halt_flow(), datalog.halt_flow(), "{src}: halt");
+        }
+    }
+
+    #[test]
+    fn stats_report_work() {
+        let (_, d) = both("(define (id x) x) (id (id 42))");
+        assert!(d.edb_facts > 0);
+        assert!(d.total_facts >= d.edb_facts);
+        assert!(d.stats.rounds > 1);
+        assert!(d.fact_count() > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tuple storage.
+//!
+//! A [`Database`] holds one tuple set per declared relation. Tuples are
+//! stored in insertion order (which the semi-naive evaluator exploits:
+//! "the delta" is simply a suffix of each relation's tuple vector), with a
+//! hash set for deduplication and per-column postings lists for joins.
+
+use crate::pool::Const;
+use crate::schema::{RelId, Schema};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// One relation's tuples plus indexes.
+#[derive(Clone, Debug, Default)]
+struct RelationData {
+    /// Tuples in insertion order. `Rc` so the dedup set shares storage.
+    tuples: Vec<Rc<[Const]>>,
+    /// Deduplication set.
+    set: HashSet<Rc<[Const]>>,
+    /// `index[col][constant]` = positions of tuples with `constant` at `col`.
+    index: Vec<HashMap<Const, Vec<u32>>>,
+}
+
+impl RelationData {
+    fn with_arity(arity: usize) -> Self {
+        RelationData { tuples: Vec::new(), set: HashSet::new(), index: vec![HashMap::new(); arity] }
+    }
+
+    fn insert(&mut self, tuple: Rc<[Const]>) -> bool {
+        if self.set.contains(&tuple) {
+            return false;
+        }
+        let pos = self.tuples.len() as u32;
+        for (col, &c) in tuple.iter().enumerate() {
+            self.index[col].entry(c).or_default().push(pos);
+        }
+        self.set.insert(Rc::clone(&tuple));
+        self.tuples.push(tuple);
+        true
+    }
+}
+
+/// A set of facts per relation, matching a [`Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use cfa_datalog::pool::ConstPool;
+/// use cfa_datalog::schema::Schema;
+/// use cfa_datalog::db::Database;
+///
+/// let mut schema = Schema::new();
+/// let edge = schema.declare("edge", 2);
+/// let mut pool = ConstPool::new();
+/// let (a, b) = (pool.intern("a"), pool.intern("b"));
+/// let mut db = Database::new(&schema);
+/// assert!(db.insert(edge, &[a, b]));
+/// assert!(!db.insert(edge, &[a, b])); // duplicate
+/// assert_eq!(db.count(edge), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Database {
+    rels: Vec<RelationData>,
+    arities: Vec<usize>,
+}
+
+impl Database {
+    /// An empty database for `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        Database {
+            rels: schema.rel_ids().map(|r| RelationData::with_arity(schema.arity(r))).collect(),
+            arities: schema.rel_ids().map(|r| schema.arity(r)).collect(),
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's length differs from the relation's arity.
+    pub fn insert(&mut self, rel: RelId, tuple: &[Const]) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arities[rel.index()],
+            "tuple arity mismatch for relation index {}",
+            rel.index()
+        );
+        self.rels[rel.index()].insert(Rc::from(tuple))
+    }
+
+    /// Number of tuples in `rel`.
+    pub fn count(&self, rel: RelId) -> usize {
+        self.rels[rel.index()].tuples.len()
+    }
+
+    /// Total tuples across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.rels.iter().map(|r| r.tuples.len()).sum()
+    }
+
+    /// Whether `rel` contains `tuple`.
+    pub fn contains(&self, rel: RelId, tuple: &[Const]) -> bool {
+        self.rels[rel.index()].set.contains(tuple)
+    }
+
+    /// Iterates over `rel`'s tuples in insertion order.
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[Const]> {
+        self.rels[rel.index()].tuples.iter().map(|t| &**t)
+    }
+
+    /// Tuple at `pos` in `rel`.
+    pub(crate) fn tuple_at(&self, rel: RelId, pos: u32) -> &[Const] {
+        &self.rels[rel.index()].tuples[pos as usize]
+    }
+
+    /// Positions of tuples in `rel` whose column `col` equals `value`, or
+    /// an empty slice.
+    pub(crate) fn postings(&self, rel: RelId, col: usize, value: Const) -> &[u32] {
+        self.rels[rel.index()].index[col].get(&value).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    /// A snapshot of per-relation sizes, used to delimit deltas.
+    pub(crate) fn sizes(&self) -> Vec<usize> {
+        self.rels.iter().map(|r| r.tuples.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ConstPool;
+
+    fn setup() -> (Schema, RelId, ConstPool, Database) {
+        let mut schema = Schema::new();
+        let edge = schema.declare("edge", 2);
+        let pool = ConstPool::new();
+        let db = Database::new(&schema);
+        (schema, edge, pool, db)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let (_, edge, mut pool, mut db) = setup();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        assert!(db.insert(edge, &[a, b]));
+        assert!(!db.insert(edge, &[a, b]));
+        assert!(db.insert(edge, &[b, a]));
+        assert_eq!(db.count(edge), 2);
+        assert_eq!(db.total_facts(), 2);
+    }
+
+    #[test]
+    fn contains_reflects_inserts() {
+        let (_, edge, mut pool, mut db) = setup();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        db.insert(edge, &[a, b]);
+        assert!(db.contains(edge, &[a, b]));
+        assert!(!db.contains(edge, &[b, a]));
+    }
+
+    #[test]
+    fn postings_index_tracks_columns() {
+        let (_, edge, mut pool, mut db) = setup();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        db.insert(edge, &[a, b]);
+        db.insert(edge, &[a, c]);
+        db.insert(edge, &[b, c]);
+        assert_eq!(db.postings(edge, 0, a).len(), 2);
+        assert_eq!(db.postings(edge, 1, c).len(), 2);
+        assert_eq!(db.postings(edge, 0, c).len(), 0);
+    }
+
+    #[test]
+    fn tuples_iterate_in_insertion_order() {
+        let (_, edge, mut pool, mut db) = setup();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        db.insert(edge, &[b, a]);
+        db.insert(edge, &[a, b]);
+        let all: Vec<Vec<Const>> = db.tuples(edge).map(|t| t.to_vec()).collect();
+        assert_eq!(all, vec![vec![b, a], vec![a, b]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn insert_wrong_arity_panics() {
+        let (_, edge, mut pool, mut db) = setup();
+        let a = pool.intern("a");
+        db.insert(edge, &[a]);
+    }
+}

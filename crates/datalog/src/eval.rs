@@ -1,0 +1,423 @@
+//! Fixpoint evaluation: semi-naive (production) and naive (reference).
+//!
+//! Both evaluators compute the minimal model of a positive Datalog
+//! program. The semi-naive evaluator is the one analyses should use: each
+//! round only re-derives conclusions that depend on at least one fact
+//! discovered in the previous round. Because [`Database`] stores tuples in
+//! insertion order, "the delta" is just a suffix of each relation's tuple
+//! vector — no shadow relations are needed.
+//!
+//! The naive evaluator recomputes every rule over full relations each
+//! round; it exists as an executable specification that tests
+//! differentially compare against (`semi_naive(db) == naive(db)`).
+
+use crate::db::Database;
+use crate::pool::Const;
+use crate::rule::{CAtom, CTerm, Rule};
+use std::time::{Duration, Instant};
+
+/// Statistics from a fixpoint run.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Number of rounds until the fixpoint.
+    pub rounds: usize,
+    /// Facts derived (inserted) by rules, excluding initial facts.
+    pub derived: usize,
+    /// Total rule firings attempted (rule × delta-position × round).
+    pub firings: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// How an atom's candidate tuples are windowed during a join.
+#[derive(Copy, Clone, Debug)]
+struct Window {
+    lo: usize,
+    hi: usize,
+}
+
+/// Joins `rule`'s body under the given per-atom windows, appending every
+/// derived head tuple to `out`.
+fn apply_rule(db: &Database, rule: &Rule, windows: &[Window], out: &mut Vec<Vec<Const>>) {
+    let mut bindings: Vec<Option<Const>> = vec![None; rule.var_count];
+    join_from(db, rule, windows, 0, &mut bindings, out);
+}
+
+/// Recursive nested-loop join with index probing, atom `depth` onward.
+fn join_from(
+    db: &Database,
+    rule: &Rule,
+    windows: &[Window],
+    depth: usize,
+    bindings: &mut Vec<Option<Const>>,
+    out: &mut Vec<Vec<Const>>,
+) {
+    if depth == rule.body.len() {
+        let head: Vec<Const> = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                CTerm::Const(c) => *c,
+                CTerm::Var(i) => bindings[*i as usize]
+                    .expect("range restriction guarantees head vars are bound"),
+            })
+            .collect();
+        out.push(head);
+        return;
+    }
+    let atom = &rule.body[depth];
+    let window = windows[depth];
+    if window.lo >= window.hi {
+        return;
+    }
+
+    // Pick the bound column with the fewest postings to drive the scan.
+    let mut best: Option<(usize, Const, usize)> = None;
+    for (col, term) in atom.terms.iter().enumerate() {
+        let value = match term {
+            CTerm::Const(c) => Some(*c),
+            CTerm::Var(i) => bindings[*i as usize],
+        };
+        if let Some(v) = value {
+            let len = db.postings(atom.rel, col, v).len();
+            if best.map_or(true, |(_, _, best_len)| len < best_len) {
+                best = Some((col, v, len));
+            }
+        }
+    }
+
+    match best {
+        Some((col, value, _)) => {
+            let postings = db.postings(atom.rel, col, value);
+            // Postings are sorted by construction (appended in insertion
+            // order), so binary-search the window bounds.
+            let start = postings.partition_point(|&p| (p as usize) < window.lo);
+            for &pos in &postings[start..] {
+                if pos as usize >= window.hi {
+                    break;
+                }
+                let tuple = db.tuple_at(atom.rel, pos);
+                try_match(db, rule, windows, depth, atom, tuple, bindings, out);
+            }
+        }
+        None => {
+            for pos in window.lo..window.hi {
+                let tuple = db.tuple_at(atom.rel, pos as u32);
+                try_match(db, rule, windows, depth, atom, tuple, bindings, out);
+            }
+        }
+    }
+}
+
+/// Unifies `tuple` against `atom` under `bindings`; recurses on success.
+#[allow(clippy::too_many_arguments)]
+fn try_match(
+    db: &Database,
+    rule: &Rule,
+    windows: &[Window],
+    depth: usize,
+    atom: &CAtom,
+    tuple: &[Const],
+    bindings: &mut Vec<Option<Const>>,
+    out: &mut Vec<Vec<Const>>,
+) {
+    let mut newly_bound: Vec<u32> = Vec::new();
+    let mut ok = true;
+    for (term, &value) in atom.terms.iter().zip(tuple) {
+        match term {
+            CTerm::Const(c) => {
+                if *c != value {
+                    ok = false;
+                    break;
+                }
+            }
+            CTerm::Var(i) => match bindings[*i as usize] {
+                Some(bound) => {
+                    if bound != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    bindings[*i as usize] = Some(value);
+                    newly_bound.push(*i);
+                }
+            },
+        }
+    }
+    if ok {
+        join_from(db, rule, windows, depth + 1, bindings, out);
+    }
+    for i in newly_bound {
+        bindings[i as usize] = None;
+    }
+}
+
+/// Runs semi-naive evaluation of `rules` over `db` to the fixpoint.
+///
+/// Initial facts already in `db` form the first delta. On return, `db`
+/// contains the minimal model.
+pub fn semi_naive(rules: &[Rule], db: &mut Database) -> EvalStats {
+    let start_time = Instant::now();
+    let mut stats = EvalStats::default();
+    // Per-relation delta window: [delta_lo, delta_hi).
+    let mut delta_lo: Vec<usize> = db.sizes().iter().map(|_| 0).collect();
+    let mut delta_hi: Vec<usize> = db.sizes();
+
+    loop {
+        let mut derived: Vec<(crate::schema::RelId, Vec<Const>)> = Vec::new();
+        let mut scratch: Vec<Vec<Const>> = Vec::new();
+        for rule in rules {
+            for dpos in 0..rule.body.len() {
+                // Skip if the delta atom's relation gained nothing.
+                let drel = rule.body[dpos].rel.index();
+                if delta_lo[drel] >= delta_hi[drel] {
+                    continue;
+                }
+                stats.firings += 1;
+                let windows: Vec<Window> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .map(|(i, atom)| {
+                        let r = atom.rel.index();
+                        match i.cmp(&dpos) {
+                            // Atoms before the delta position see old + delta.
+                            std::cmp::Ordering::Less => Window { lo: 0, hi: delta_hi[r] },
+                            // The delta atom sees only the delta.
+                            std::cmp::Ordering::Equal => {
+                                Window { lo: delta_lo[r], hi: delta_hi[r] }
+                            }
+                            // Atoms after see only old facts (avoids
+                            // deriving the same conclusion from two deltas
+                            // twice).
+                            std::cmp::Ordering::Greater => Window { lo: 0, hi: delta_lo[r] },
+                        }
+                    })
+                    .collect();
+                scratch.clear();
+                apply_rule(db, rule, &windows, &mut scratch);
+                for tuple in scratch.drain(..) {
+                    derived.push((rule.head.rel, tuple));
+                }
+            }
+        }
+        stats.rounds += 1;
+        // Advance windows: current delta becomes old; inserts become the
+        // next delta.
+        for (lo, hi) in delta_lo.iter_mut().zip(&delta_hi) {
+            *lo = *hi;
+        }
+        let mut grew = false;
+        for (rel, tuple) in derived {
+            if db.insert(rel, &tuple) {
+                stats.derived += 1;
+                grew = true;
+            }
+        }
+        delta_hi = db.sizes();
+        if !grew {
+            break;
+        }
+    }
+    stats.elapsed = start_time.elapsed();
+    stats
+}
+
+/// Runs naive evaluation: every rule over full relations, round after
+/// round, until nothing new is derived. Reference implementation for
+/// differential tests.
+pub fn naive(rules: &[Rule], db: &mut Database) -> EvalStats {
+    let start_time = Instant::now();
+    let mut stats = EvalStats::default();
+    loop {
+        let sizes = db.sizes();
+        let mut derived: Vec<(crate::schema::RelId, Vec<Const>)> = Vec::new();
+        let mut scratch: Vec<Vec<Const>> = Vec::new();
+        for rule in rules {
+            stats.firings += 1;
+            let windows: Vec<Window> = rule
+                .body
+                .iter()
+                .map(|atom| Window { lo: 0, hi: sizes[atom.rel.index()] })
+                .collect();
+            scratch.clear();
+            apply_rule(db, rule, &windows, &mut scratch);
+            for tuple in scratch.drain(..) {
+                derived.push((rule.head.rel, tuple));
+            }
+        }
+        stats.rounds += 1;
+        let mut grew = false;
+        for (rel, tuple) in derived {
+            if db.insert(rel, &tuple) {
+                stats.derived += 1;
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    stats.elapsed = start_time.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ConstPool;
+    use crate::rule::{Atom, Term};
+    use crate::schema::Schema;
+
+    /// path(x, y) :- edge(x, y).
+    /// path(x, z) :- path(x, y), edge(y, z).
+    fn tc_setup() -> (Schema, crate::schema::RelId, crate::schema::RelId, Vec<Rule>) {
+        let mut schema = Schema::new();
+        let edge = schema.declare("edge", 2);
+        let path = schema.declare("path", 2);
+        let r1 = Rule::compile(
+            &schema,
+            Atom::new(path, vec![Term::var("x"), Term::var("y")]),
+            vec![Atom::new(edge, vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        let r2 = Rule::compile(
+            &schema,
+            Atom::new(path, vec![Term::var("x"), Term::var("z")]),
+            vec![
+                Atom::new(path, vec![Term::var("x"), Term::var("y")]),
+                Atom::new(edge, vec![Term::var("y"), Term::var("z")]),
+            ],
+        )
+        .unwrap();
+        (schema, edge, path, vec![r1, r2])
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let (schema, edge, path, rules) = tc_setup();
+        let mut pool = ConstPool::new();
+        let nodes: Vec<_> = (0..5).map(|i| pool.intern(&format!("n{i}"))).collect();
+        let mut db = Database::new(&schema);
+        for w in nodes.windows(2) {
+            db.insert(edge, &[w[0], w[1]]);
+        }
+        let stats = semi_naive(&rules, &mut db);
+        // A 5-node chain has 4+3+2+1 = 10 paths.
+        assert_eq!(db.count(path), 10);
+        assert!(stats.rounds >= 4, "chain needs one round per path length");
+        assert!(db.contains(path, &[nodes[0], nodes[4]]));
+        assert!(!db.contains(path, &[nodes[4], nodes[0]]));
+    }
+
+    #[test]
+    fn cycle_saturates() {
+        let (schema, edge, path, rules) = tc_setup();
+        let mut pool = ConstPool::new();
+        let nodes: Vec<_> = (0..4).map(|i| pool.intern(&format!("n{i}"))).collect();
+        let mut db = Database::new(&schema);
+        for i in 0..4 {
+            db.insert(edge, &[nodes[i], nodes[(i + 1) % 4]]);
+        }
+        semi_naive(&rules, &mut db);
+        // Every node reaches every node: 16 paths.
+        assert_eq!(db.count(path), 16);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree_on_random_graph() {
+        use rand::{Rng, SeedableRng};
+        let (schema, edge, path, rules) = tc_setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut pool = ConstPool::new();
+        let nodes: Vec<_> = (0..12).map(|i| pool.intern(&format!("n{i}"))).collect();
+        let mut db1 = Database::new(&schema);
+        let mut db2 = Database::new(&schema);
+        for _ in 0..30 {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let b = nodes[rng.gen_range(0..nodes.len())];
+            db1.insert(edge, &[a, b]);
+            db2.insert(edge, &[a, b]);
+        }
+        semi_naive(&rules, &mut db1);
+        naive(&rules, &mut db2);
+        assert_eq!(db1.count(path), db2.count(path));
+        for t in db1.tuples(path) {
+            assert!(db2.contains(path, t));
+        }
+    }
+
+    #[test]
+    fn constants_in_rules_filter() {
+        let mut schema = Schema::new();
+        let edge = schema.declare("edge", 2);
+        let from_a = schema.declare("from_a", 1);
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        let rule = Rule::compile(
+            &schema,
+            Atom::new(from_a, vec![Term::var("y")]),
+            vec![Atom::new(edge, vec![Term::Const(a), Term::var("y")])],
+        )
+        .unwrap();
+        let mut db = Database::new(&schema);
+        db.insert(edge, &[a, b]);
+        db.insert(edge, &[b, c]);
+        semi_naive(&[rule], &mut db);
+        assert_eq!(db.count(from_a), 1);
+        assert!(db.contains(from_a, &[b]));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_requires_equality() {
+        let mut schema = Schema::new();
+        let edge = schema.declare("edge", 2);
+        let self_loop = schema.declare("self_loop", 1);
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let rule = Rule::compile(
+            &schema,
+            Atom::new(self_loop, vec![Term::var("x")]),
+            vec![Atom::new(edge, vec![Term::var("x"), Term::var("x")])],
+        )
+        .unwrap();
+        let mut db = Database::new(&schema);
+        db.insert(edge, &[a, a]);
+        db.insert(edge, &[a, b]);
+        semi_naive(&[rule], &mut db);
+        assert_eq!(db.count(self_loop), 1);
+        assert!(db.contains(self_loop, &[a]));
+    }
+
+    #[test]
+    fn empty_database_reaches_fixpoint_immediately() {
+        let (schema, _, path, rules) = tc_setup();
+        let mut db = Database::new(&schema);
+        let stats = semi_naive(&rules, &mut db);
+        assert_eq!(db.count(path), 0);
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn stats_count_derived_facts() {
+        let (schema, edge, path, rules) = tc_setup();
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        let mut db = Database::new(&schema);
+        db.insert(edge, &[a, b]);
+        db.insert(edge, &[b, c]);
+        let stats = semi_naive(&rules, &mut db);
+        // path gains ab, bc, ac.
+        assert_eq!(stats.derived, 3);
+        assert_eq!(db.count(path), 3);
+        assert!(db.contains(path, &[a, c]));
+    }
+}

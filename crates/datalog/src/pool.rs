@@ -1,0 +1,135 @@
+//! Interned Datalog constants.
+//!
+//! Every value that can appear in a tuple — a class name, a statement id,
+//! a context — is interned into a [`Const`], a small `Copy` integer. The
+//! [`ConstPool`] remembers a display name for each constant so results can
+//! be rendered back for humans.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_datalog::pool::ConstPool;
+//!
+//! let mut pool = ConstPool::new();
+//! let a = pool.intern("alice");
+//! let b = pool.intern("bob");
+//! assert_ne!(a, b);
+//! assert_eq!(pool.intern("alice"), a);
+//! assert_eq!(pool.name(a), "alice");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned Datalog constant.
+///
+/// Constants are cheap to copy, compare, and hash; they are only
+/// meaningful relative to the [`ConstPool`] that produced them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Const(u32);
+
+impl Const {
+    /// The raw index of this constant in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Const({})", self.0)
+    }
+}
+
+/// A deduplicating store of constant names.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Default, Clone, Debug)]
+pub struct ConstPool {
+    names: Vec<String>,
+    map: HashMap<String, Const>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the same constant for equal names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` constants are interned.
+    pub fn intern(&mut self, name: &str) -> Const {
+        if let Some(&c) = self.map.get(name) {
+            return c;
+        }
+        let c = Const(u32::try_from(self.names.len()).expect("constant pool overflow"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), c);
+        c
+    }
+
+    /// The display name of `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` did not come from this pool.
+    pub fn name(&self, c: Const) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Const> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of interned constants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        assert_eq!(pool.intern("a"), a);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_constants() {
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.name(a), "a");
+        assert_eq!(pool.name(b), "b");
+    }
+
+    #[test]
+    fn lookup_finds_only_interned() {
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        assert_eq!(pool.lookup("a"), Some(a));
+        assert_eq!(pool.lookup("b"), None);
+    }
+
+    #[test]
+    fn empty_pool_reports_empty() {
+        let pool = ConstPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Rules: heads, bodies, and validation.
+//!
+//! Rules are authored with named variables ([`Term::var`]) and compiled
+//! against a [`Schema`] into an internal form with dense variable indices.
+//! Compilation enforces the two classic well-formedness conditions:
+//!
+//! * **arity** — every atom has exactly as many terms as its relation's
+//!   declared arity;
+//! * **range restriction** — every head variable also occurs in the body
+//!   (so the rule can only derive finitely many facts).
+
+use crate::pool::Const;
+use crate::schema::{RelId, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term in an atom: a named variable or a constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A rule-scoped variable, identified by name.
+    Var(String),
+    /// An interned constant.
+    Const(Const),
+}
+
+impl Term {
+    /// A variable term named `name`.
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_owned())
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+/// An atom `rel(t₁, …, tₙ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The relation.
+    pub rel: RelId,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Atom {
+        Atom { rel, terms }
+    }
+}
+
+/// Errors detected while compiling a rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuleError {
+    /// An atom's term count does not match the relation's declared arity.
+    ArityMismatch {
+        /// The offending relation's name.
+        relation: String,
+        /// Declared arity.
+        declared: usize,
+        /// Number of terms supplied.
+        supplied: usize,
+    },
+    /// A head variable does not occur in the body.
+    UnboundHeadVar {
+        /// The variable's name.
+        variable: String,
+    },
+    /// The rule has an empty body (facts go in the database, not rules).
+    EmptyBody,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::ArityMismatch { relation, declared, supplied } => write!(
+                f,
+                "relation `{relation}` declared with arity {declared} but used with {supplied} terms"
+            ),
+            RuleError::UnboundHeadVar { variable } => {
+                write!(f, "head variable `{variable}` does not occur in the rule body")
+            }
+            RuleError::EmptyBody => write!(f, "rule body is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// A compiled term: variables are dense per-rule indices.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum CTerm {
+    Var(u32),
+    Const(Const),
+}
+
+/// A compiled atom.
+#[derive(Clone, Debug)]
+pub(crate) struct CAtom {
+    pub rel: RelId,
+    pub terms: Vec<CTerm>,
+}
+
+/// A compiled rule, ready for evaluation.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    pub(crate) head: CAtom,
+    pub(crate) body: Vec<CAtom>,
+    pub(crate) var_count: usize,
+    /// Original variable names (debugging / display).
+    pub(crate) var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Compiles `head :- body` against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuleError`] on arity mismatch, an unbound head
+    /// variable, or an empty body.
+    pub fn compile(schema: &Schema, head: Atom, body: Vec<Atom>) -> Result<Rule, RuleError> {
+        if body.is_empty() {
+            return Err(RuleError::EmptyBody);
+        }
+        let mut vars: HashMap<String, u32> = HashMap::new();
+        let mut var_names: Vec<String> = Vec::new();
+        let mut compile_atom = |atom: &Atom, bind: bool| -> Result<CAtom, RuleError> {
+            let declared = schema.arity(atom.rel);
+            if atom.terms.len() != declared {
+                return Err(RuleError::ArityMismatch {
+                    relation: schema.name(atom.rel).to_owned(),
+                    declared,
+                    supplied: atom.terms.len(),
+                });
+            }
+            let mut terms = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                match t {
+                    Term::Const(c) => terms.push(CTerm::Const(*c)),
+                    Term::Var(name) => match vars.get(name) {
+                        Some(&i) => terms.push(CTerm::Var(i)),
+                        None if bind => {
+                            let i = vars.len() as u32;
+                            vars.insert(name.clone(), i);
+                            var_names.push(name.clone());
+                            terms.push(CTerm::Var(i));
+                        }
+                        None => {
+                            return Err(RuleError::UnboundHeadVar { variable: name.clone() })
+                        }
+                    },
+                }
+            }
+            Ok(CAtom { rel: atom.rel, terms })
+        };
+        let cbody: Vec<CAtom> =
+            body.iter().map(|a| compile_atom(a, true)).collect::<Result<_, _>>()?;
+        let chead = compile_atom(&head, false)?;
+        Ok(Rule { head: chead, body: cbody, var_count: vars.len(), var_names })
+    }
+
+    /// The head relation.
+    pub fn head_rel(&self) -> RelId {
+        self.head.rel
+    }
+
+    /// The body relations, in order.
+    pub fn body_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.body.iter().map(|a| a.rel)
+    }
+
+    /// Renders the rule with the schema's relation names.
+    pub fn display(&self, schema: &Schema) -> String {
+        let atom = |a: &CAtom| {
+            let terms: Vec<String> = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    CTerm::Var(i) => self.var_names[*i as usize].clone(),
+                    CTerm::Const(c) => format!("#{}", c.index()),
+                })
+                .collect();
+            format!("{}({})", schema.name(a.rel), terms.join(", "))
+        };
+        let body: Vec<String> = self.body.iter().map(&atom).collect();
+        format!("{} :- {}.", atom(&self.head), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rel_schema() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let edge = s.declare("edge", 2);
+        let path = s.declare("path", 2);
+        (s, edge, path)
+    }
+
+    #[test]
+    fn compiles_transitive_rule() {
+        let (s, edge, path) = two_rel_schema();
+        let r = Rule::compile(
+            &s,
+            Atom::new(path, vec![Term::var("x"), Term::var("z")]),
+            vec![
+                Atom::new(path, vec![Term::var("x"), Term::var("y")]),
+                Atom::new(edge, vec![Term::var("y"), Term::var("z")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.var_count, 3);
+        assert_eq!(r.head_rel(), path);
+        assert_eq!(r.body_rels().count(), 2);
+        assert!(r.display(&s).contains(":-"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let (s, edge, path) = two_rel_schema();
+        let err = Rule::compile(
+            &s,
+            Atom::new(path, vec![Term::var("x"), Term::var("y")]),
+            vec![Atom::new(edge, vec![Term::var("x")])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuleError::ArityMismatch { supplied: 1, declared: 2, .. }));
+        assert!(err.to_string().contains("edge"));
+    }
+
+    #[test]
+    fn rejects_unbound_head_variable() {
+        let (s, edge, path) = two_rel_schema();
+        let err = Rule::compile(
+            &s,
+            Atom::new(path, vec![Term::var("x"), Term::var("w")]),
+            vec![Atom::new(edge, vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::UnboundHeadVar { variable: "w".to_owned() });
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let (s, _, path) = two_rel_schema();
+        let err = Rule::compile(
+            &s,
+            Atom::new(path, vec![Term::var("x"), Term::var("y")]),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::EmptyBody);
+    }
+
+    #[test]
+    fn constants_allowed_in_head_and_body() {
+        let mut s = Schema::new();
+        let edge = s.declare("edge", 2);
+        let hub = s.declare("hub", 1);
+        let c = Const::from_test(7);
+        let r = Rule::compile(
+            &s,
+            Atom::new(hub, vec![Term::var("x")]),
+            vec![Atom::new(edge, vec![Term::var("x"), Term::Const(c)])],
+        )
+        .unwrap();
+        assert_eq!(r.var_count, 1);
+    }
+}
+
+#[cfg(test)]
+impl Const {
+    /// Builds a constant directly from an index — test-only helper.
+    pub(crate) fn from_test(i: u32) -> Const {
+        // Safety of meaning: tests pair these with pools that interned at
+        // least `i + 1` names, or never resolve names at all.
+        let mut pool = crate::pool::ConstPool::new();
+        let mut last = pool.intern("0");
+        for n in 1..=i {
+            last = pool.intern(&n.to_string());
+        }
+        last
+    }
+}

@@ -1,0 +1,147 @@
+//! Relation declarations.
+//!
+//! A [`Schema`] names the relations of a Datalog program and fixes their
+//! arities. Rules and databases are checked against it, so arity errors
+//! surface at construction time rather than as silent empty joins.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned relation id.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// The raw index of this relation in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelId({})", self.0)
+    }
+}
+
+/// The declared relations of a program: name and arity per relation.
+///
+/// # Examples
+///
+/// ```
+/// use cfa_datalog::schema::Schema;
+///
+/// let mut schema = Schema::new();
+/// let edge = schema.declare("edge", 2);
+/// assert_eq!(schema.arity(edge), 2);
+/// assert_eq!(schema.name(edge), "edge");
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct Schema {
+    names: Vec<String>,
+    arities: Vec<usize>,
+    map: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation, or returns the existing id if `name` was
+    /// already declared with the same arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was previously declared with a different arity —
+    /// that is always a programming error in the analysis encoding.
+    pub fn declare(&mut self, name: &str, arity: usize) -> RelId {
+        if let Some(&id) = self.map.get(name) {
+            assert_eq!(
+                self.arities[id.index()],
+                arity,
+                "relation `{name}` re-declared with different arity"
+            );
+            return id;
+        }
+        let id = RelId(u32::try_from(self.names.len()).expect("schema overflow"));
+        self.names.push(name.to_owned());
+        self.arities.push(arity);
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The arity of `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.arities[rel.index()]
+    }
+
+    /// The name of `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.names[rel.index()]
+    }
+
+    /// Looks up a declared relation by name.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.names.len() as u32).map(RelId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_query() {
+        let mut s = Schema::new();
+        let edge = s.declare("edge", 2);
+        let node = s.declare("node", 1);
+        assert_eq!(s.arity(edge), 2);
+        assert_eq!(s.arity(node), 1);
+        assert_eq!(s.name(node), "node");
+        assert_eq!(s.lookup("edge"), Some(edge));
+        assert_eq!(s.lookup("missing"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn redeclare_same_arity_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.declare("r", 3);
+        let b = s.declare("r", 3);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn redeclare_different_arity_panics() {
+        let mut s = Schema::new();
+        s.declare("r", 3);
+        s.declare("r", 2);
+    }
+
+    #[test]
+    fn rel_ids_cover_all() {
+        let mut s = Schema::new();
+        s.declare("a", 1);
+        s.declare("b", 2);
+        assert_eq!(s.rel_ids().count(), 2);
+    }
+}

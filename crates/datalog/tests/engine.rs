@@ -1,0 +1,340 @@
+//! Integration tests for the Datalog engine on classic programs.
+
+use cfa_datalog::pool::ConstPool;
+use cfa_datalog::{DatalogProgram, RelId, Term};
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Builds the textbook same-generation program over `parent`.
+///
+/// sg(x, x) :- person(x).
+/// sg(x, y) :- parent(x, px), sg(px, py), parent(y, py).
+fn same_generation() -> (DatalogProgram, RelId, RelId, RelId) {
+    let mut p = DatalogProgram::new();
+    let person = p.relation("person", 1);
+    let parent = p.relation("parent", 2);
+    let sg = p.relation("sg", 2);
+    p.rule(sg, vec![v("x"), v("x")], vec![(person, vec![v("x")])]).unwrap();
+    p.rule(
+        sg,
+        vec![v("x"), v("y")],
+        vec![
+            (parent, vec![v("x"), v("px")]),
+            (sg, vec![v("px"), v("py")]),
+            (parent, vec![v("y"), v("py")]),
+        ],
+    )
+    .unwrap();
+    (p, person, parent, sg)
+}
+
+#[test]
+fn same_generation_on_a_binary_tree() {
+    let (program, person, parent, sg) = same_generation();
+    let mut pool = ConstPool::new();
+    // A perfect binary tree of depth 3: root r; children by path string.
+    let names = ["r", "r0", "r1", "r00", "r01", "r10", "r11"];
+    let consts: Vec<_> = names.iter().map(|n| pool.intern(n)).collect();
+    let mut db = program.database();
+    for (i, &c) in consts.iter().enumerate() {
+        let _ = i;
+        db.insert(person, &[c]);
+    }
+    for (child, par) in [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)] {
+        db.insert(parent, &[consts[child], consts[par]]);
+    }
+    program.run(&mut db);
+    // Same-generation pairs: the four leaves are mutually same-generation,
+    // the two inner nodes likewise, and the root only with itself.
+    assert!(db.contains(sg, &[consts[3], consts[6]]));
+    assert!(db.contains(sg, &[consts[1], consts[2]]));
+    assert!(!db.contains(sg, &[consts[0], consts[1]]));
+    assert!(!db.contains(sg, &[consts[3], consts[1]]));
+    // Reflexivity from the person rule.
+    for &c in &consts {
+        assert!(db.contains(sg, &[c, c]));
+    }
+    // 7 reflexive + 4·3 leaf pairs + 2·1 inner pairs.
+    assert_eq!(db.count(sg), 7 + 12 + 2);
+}
+
+#[test]
+fn nonlinear_transitive_closure_matches_linear() {
+    // Non-linear variant: path(x,z) :- path(x,y), path(y,z).
+    let mut linear = DatalogProgram::new();
+    let edge_l = linear.relation("edge", 2);
+    let path_l = linear.relation("path", 2);
+    linear.rule(path_l, vec![v("x"), v("y")], vec![(edge_l, vec![v("x"), v("y")])]).unwrap();
+    linear
+        .rule(
+            path_l,
+            vec![v("x"), v("z")],
+            vec![(path_l, vec![v("x"), v("y")]), (edge_l, vec![v("y"), v("z")])],
+        )
+        .unwrap();
+
+    let mut nonlinear = DatalogProgram::new();
+    let edge_n = nonlinear.relation("edge", 2);
+    let path_n = nonlinear.relation("path", 2);
+    nonlinear.rule(path_n, vec![v("x"), v("y")], vec![(edge_n, vec![v("x"), v("y")])]).unwrap();
+    nonlinear
+        .rule(
+            path_n,
+            vec![v("x"), v("z")],
+            vec![(path_n, vec![v("x"), v("y")]), (path_n, vec![v("y"), v("z")])],
+        )
+        .unwrap();
+
+    let mut pool = ConstPool::new();
+    let nodes: Vec<_> = (0..10).map(|i| pool.intern(&format!("n{i}"))).collect();
+    let edges: Vec<(usize, usize)> =
+        vec![(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7), (8, 8)];
+    let mut db_l = linear.database();
+    let mut db_n = nonlinear.database();
+    for &(a, b) in &edges {
+        db_l.insert(edge_l, &[nodes[a], nodes[b]]);
+        db_n.insert(edge_n, &[nodes[a], nodes[b]]);
+    }
+    let stats_l = linear.run(&mut db_l);
+    let stats_n = nonlinear.run(&mut db_n);
+    assert_eq!(db_l.count(path_l), db_n.count(path_n));
+    for t in db_l.tuples(path_l) {
+        assert!(db_n.contains(path_n, t));
+    }
+    // The non-linear version squares path lengths per round, so it needs
+    // no more rounds than the linear one.
+    assert!(stats_n.rounds <= stats_l.rounds);
+}
+
+#[test]
+fn mutual_recursion_between_relations() {
+    // even(0). even(y) :- odd(x), succ(x, y). odd(y) :- even(x), succ(x, y).
+    let mut p = DatalogProgram::new();
+    let zero = p.relation("zero", 1);
+    let succ = p.relation("succ", 2);
+    let even = p.relation("even", 1);
+    let odd = p.relation("odd", 1);
+    p.rule(even, vec![v("x")], vec![(zero, vec![v("x")])]).unwrap();
+    p.rule(even, vec![v("y")], vec![(odd, vec![v("x")]), (succ, vec![v("x"), v("y")])]).unwrap();
+    p.rule(odd, vec![v("y")], vec![(even, vec![v("x")]), (succ, vec![v("x"), v("y")])]).unwrap();
+    let mut pool = ConstPool::new();
+    let nums: Vec<_> = (0..=8).map(|i| pool.intern(&i.to_string())).collect();
+    let mut db = p.database();
+    db.insert(zero, &[nums[0]]);
+    for w in nums.windows(2) {
+        db.insert(succ, &[w[0], w[1]]);
+    }
+    p.run(&mut db);
+    for i in 0..=8 {
+        assert_eq!(db.contains(even, &[nums[i]]), i % 2 == 0, "evenness of {i}");
+        assert_eq!(db.contains(odd, &[nums[i]]), i % 2 == 1, "oddness of {i}");
+    }
+}
+
+#[test]
+fn join_on_three_way_chain_with_shared_variables() {
+    // triangle(x, y, z) :- edge(x, y), edge(y, z), edge(z, x).
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let triangle = p.relation("triangle", 3);
+    p.rule(
+        triangle,
+        vec![v("x"), v("y"), v("z")],
+        vec![
+            (edge, vec![v("x"), v("y")]),
+            (edge, vec![v("y"), v("z")]),
+            (edge, vec![v("z"), v("x")]),
+        ],
+    )
+    .unwrap();
+    let mut pool = ConstPool::new();
+    let n: Vec<_> = (0..5).map(|i| pool.intern(&format!("n{i}"))).collect();
+    let mut db = p.database();
+    // One triangle 0-1-2 plus noise.
+    for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (0, 3)] {
+        db.insert(edge, &[n[a], n[b]]);
+    }
+    p.run(&mut db);
+    // The triangle appears in all three rotations.
+    assert_eq!(db.count(triangle), 3);
+    assert!(db.contains(triangle, &[n[0], n[1], n[2]]));
+    assert!(db.contains(triangle, &[n[1], n[2], n[0]]));
+    assert!(db.contains(triangle, &[n[2], n[0], n[1]]));
+}
+
+#[test]
+fn derived_facts_can_feed_edb_relations() {
+    // Rules may derive into "input" relations; the engine does not
+    // distinguish EDB from IDB.
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let sym = p.relation("edge_sym_marker", 0);
+    let _ = sym;
+    p.rule(edge, vec![v("y"), v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    let mut pool = ConstPool::new();
+    let a = pool.intern("a");
+    let b = pool.intern("b");
+    let mut db = p.database();
+    db.insert(edge, &[a, b]);
+    p.run(&mut db);
+    assert!(db.contains(edge, &[b, a]));
+    assert_eq!(db.count(edge), 2);
+}
+
+#[test]
+fn zero_arity_relations_work_as_flags() {
+    // reachable_flag() :- edge(x, y). (existential check)
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let flag = p.relation("flag", 0);
+    p.rule(flag, vec![], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    let mut pool = ConstPool::new();
+    let a = pool.intern("a");
+    let mut db = p.database();
+    let stats0 = p.run(&mut db);
+    assert_eq!(db.count(flag), 0);
+    assert_eq!(stats0.derived, 0);
+    db.insert(edge, &[a, a]);
+    p.run(&mut db);
+    assert_eq!(db.count(flag), 1);
+    assert!(db.contains(flag, &[]));
+}
+
+#[test]
+fn saturation_is_idempotent() {
+    let (program, person, parent, sg) = same_generation();
+    let mut pool = ConstPool::new();
+    let a = pool.intern("a");
+    let b = pool.intern("b");
+    let r = pool.intern("r");
+    let mut db = program.database();
+    db.insert(person, &[a]);
+    db.insert(person, &[b]);
+    db.insert(person, &[r]);
+    db.insert(parent, &[a, r]);
+    db.insert(parent, &[b, r]);
+    program.run(&mut db);
+    let first = db.count(sg);
+    let stats = program.run(&mut db);
+    assert_eq!(db.count(sg), first, "re-running at fixpoint must not grow");
+    assert_eq!(stats.derived, 0);
+}
+
+#[test]
+fn four_way_join_with_shared_keys() {
+    // square(a, b, c, d) :- edge(a, b), edge(b, c), edge(c, d), edge(d, a).
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let square = p.relation("square", 4);
+    p.rule(
+        square,
+        vec![v("a"), v("b"), v("c"), v("d")],
+        vec![
+            (edge, vec![v("a"), v("b")]),
+            (edge, vec![v("b"), v("c")]),
+            (edge, vec![v("c"), v("d")]),
+            (edge, vec![v("d"), v("a")]),
+        ],
+    )
+    .unwrap();
+    let mut pool = ConstPool::new();
+    let n: Vec<_> = (0..6).map(|i| pool.intern(&format!("n{i}"))).collect();
+    let mut db = p.database();
+    for &(a, b) in &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)] {
+        db.insert(edge, &[n[a], n[b]]);
+    }
+    p.run(&mut db);
+    // One 4-cycle, four rotations. (Self-overlapping degenerate squares
+    // like a-b-a-b would need repeated edges, absent here.)
+    assert_eq!(db.count(square), 4);
+    assert!(db.contains(square, &[n[0], n[1], n[2], n[3]]));
+}
+
+#[test]
+fn incremental_reruns_reach_the_same_fixpoint() {
+    // Running, inserting more facts, and re-running must equal running
+    // once with all facts (semi-naive restarts treat the whole database
+    // as the first delta).
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let path = p.relation("path", 2);
+    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("z")],
+        vec![(path, vec![v("x"), v("y")]), (edge, vec![v("y"), v("z")])],
+    )
+    .unwrap();
+    let mut pool = ConstPool::new();
+    let n: Vec<_> = (0..5).map(|i| pool.intern(&format!("n{i}"))).collect();
+
+    let mut incremental = p.database();
+    incremental.insert(edge, &[n[0], n[1]]);
+    incremental.insert(edge, &[n[1], n[2]]);
+    p.run(&mut incremental);
+    incremental.insert(edge, &[n[2], n[3]]);
+    incremental.insert(edge, &[n[3], n[4]]);
+    p.run(&mut incremental);
+
+    let mut oneshot = p.database();
+    for w in n.windows(2) {
+        oneshot.insert(edge, &[w[0], w[1]]);
+    }
+    p.run(&mut oneshot);
+
+    assert_eq!(incremental.count(path), oneshot.count(path));
+    for t in oneshot.tuples(path) {
+        assert!(incremental.contains(path, t));
+    }
+}
+
+#[test]
+fn duplicate_rules_do_not_change_the_model() {
+    let mut once = DatalogProgram::new();
+    let e1 = once.relation("edge", 2);
+    let p1 = once.relation("path", 2);
+    once.rule(p1, vec![v("x"), v("y")], vec![(e1, vec![v("x"), v("y")])]).unwrap();
+
+    let mut twice = DatalogProgram::new();
+    let e2 = twice.relation("edge", 2);
+    let p2 = twice.relation("path", 2);
+    for _ in 0..2 {
+        twice.rule(p2, vec![v("x"), v("y")], vec![(e2, vec![v("x"), v("y")])]).unwrap();
+    }
+
+    let mut pool = ConstPool::new();
+    let a = pool.intern("a");
+    let b = pool.intern("b");
+    let mut db1 = once.database();
+    let mut db2 = twice.database();
+    db1.insert(e1, &[a, b]);
+    db2.insert(e2, &[a, b]);
+    once.run(&mut db1);
+    twice.run(&mut db2);
+    assert_eq!(db1.count(p1), db2.count(p2));
+}
+
+#[test]
+fn head_constants_restrict_derivation() {
+    // labeled(x, "seen") :- edge(x, y).
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let labeled = p.relation("labeled", 2);
+    let mut pool = ConstPool::new();
+    let seen = pool.intern("seen");
+    p.rule(
+        labeled,
+        vec![v("x"), Term::Const(seen)],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
+    let a = pool.intern("a");
+    let b = pool.intern("b");
+    let mut db = p.database();
+    db.insert(edge, &[a, b]);
+    p.run(&mut db);
+    assert!(db.contains(labeled, &[a, seen]));
+    assert_eq!(db.count(labeled), 1);
+}

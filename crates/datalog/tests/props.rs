@@ -1,0 +1,162 @@
+//! Property tests: the semi-naive evaluator agrees with the naive
+//! reference evaluator and with an independent graph-reachability oracle.
+
+use cfa_datalog::pool::ConstPool;
+use cfa_datalog::{Database, DatalogProgram, RelId, Term};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Transitive-closure program.
+fn tc_program() -> (DatalogProgram, RelId, RelId) {
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let path = p.relation("path", 2);
+    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("z")],
+        vec![(path, vec![v("x"), v("y")]), (edge, vec![v("y"), v("z")])],
+    )
+    .unwrap();
+    (p, edge, path)
+}
+
+/// A richer mixed program: closure, symmetric closure, two-hop, endpoints.
+fn mixed_program() -> (DatalogProgram, RelId, Vec<RelId>) {
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let path = p.relation("path", 2);
+    let und = p.relation("undirected", 2);
+    let hop2 = p.relation("two_hop", 2);
+    let node = p.relation("node", 1);
+    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("z")],
+        vec![(path, vec![v("x"), v("y")]), (path, vec![v("y"), v("z")])],
+    )
+    .unwrap();
+    p.rule(und, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(und, vec![v("y"), v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        hop2,
+        vec![v("x"), v("z")],
+        vec![(und, vec![v("x"), v("y")]), (und, vec![v("y"), v("z")])],
+    )
+    .unwrap();
+    p.rule(node, vec![v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(node, vec![v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    (p, edge, vec![path, und, hop2, node])
+}
+
+fn edges_strategy(nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec(
+        (0..nodes as u8).prop_flat_map(move |a| (Just(a), 0..nodes as u8)),
+        0..max_edges,
+    )
+}
+
+fn load(db: &mut Database, pool: &mut ConstPool, rel: RelId, edges: &[(u8, u8)]) {
+    for &(a, b) in edges {
+        let ca = pool.intern(&format!("n{a}"));
+        let cb = pool.intern(&format!("n{b}"));
+        db.insert(rel, &[ca, cb]);
+    }
+}
+
+/// Independent oracle: reachability in ≥1 step by repeated squaring over a
+/// boolean adjacency matrix.
+fn reach_oracle(nodes: usize, edges: &[(u8, u8)]) -> BTreeSet<(u8, u8)> {
+    let mut m = vec![vec![false; nodes]; nodes];
+    for &(a, b) in edges {
+        m[a as usize][b as usize] = true;
+    }
+    loop {
+        let mut grew = false;
+        for i in 0..nodes {
+            for j in 0..nodes {
+                if !m[i][j] {
+                    let via = (0..nodes).any(|k| m[i][k] && m[k][j]);
+                    if via {
+                        m[i][j] = true;
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut set = BTreeSet::new();
+    for (i, row) in m.iter().enumerate() {
+        for (j, &r) in row.iter().enumerate() {
+            if r {
+                set.insert((i as u8, j as u8));
+            }
+        }
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transitive_closure_matches_matrix_oracle(edges in edges_strategy(8, 24)) {
+        let (program, edge, path) = tc_program();
+        let mut pool = ConstPool::new();
+        let mut db = program.database();
+        load(&mut db, &mut pool, edge, &edges);
+        program.run(&mut db);
+        let expected = reach_oracle(8, &edges);
+        let mut got = BTreeSet::new();
+        for t in db.tuples(path) {
+            let a: u8 = pool.name(t[0])[1..].parse().unwrap();
+            let b: u8 = pool.name(t[1])[1..].parse().unwrap();
+            got.insert((a, b));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn semi_naive_equals_naive_on_mixed_program(edges in edges_strategy(7, 20)) {
+        let (program, edge, outputs) = mixed_program();
+        let mut pool = ConstPool::new();
+        let mut db_semi = program.database();
+        let mut db_naive = program.database();
+        load(&mut db_semi, &mut pool, edge, &edges);
+        load(&mut db_naive, &mut pool, edge, &edges);
+        program.run(&mut db_semi);
+        program.run_naive(&mut db_naive);
+        for rel in outputs {
+            prop_assert_eq!(db_semi.count(rel), db_naive.count(rel));
+            for t in db_semi.tuples(rel) {
+                prop_assert!(db_naive.contains(rel, t));
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_is_monotone_in_inputs(edges in edges_strategy(6, 16)) {
+        // Adding an edge can only grow the closure (Datalog is monotone).
+        let (program, edge, path) = tc_program();
+        let mut pool = ConstPool::new();
+        let mut db_small = program.database();
+        if edges.is_empty() {
+            return Ok(());
+        }
+        load(&mut db_small, &mut pool, edge, &edges[..edges.len() - 1]);
+        program.run(&mut db_small);
+        let mut db_big = program.database();
+        load(&mut db_big, &mut pool, edge, &edges);
+        program.run(&mut db_big);
+        for t in db_small.tuples(path) {
+            prop_assert!(db_big.contains(path, t), "closure must be monotone");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A-Normal Featherweight Java abstract syntax (paper §4).
+//!
+//! The grammar follows the paper exactly:
+//!
+//! ```text
+//! Class  ::= class C extends C′ { C″ f; … K M… }
+//! K      ::= C (C f, …) { super(f′ …); this.f″ = f‴; … }
+//! M      ::= C m(C v, …) { C v; … s… }
+//! s      ::= v = e;ℓ | return v;ℓ
+//! e      ::= v | v.f | v.m(v…) | new C(v…) | (C)v
+//! ```
+//!
+//! Every statement carries a unique [`Label`]; `succ` is positional
+//! within a method body. Classes, fields, methods, and variables are
+//! interned [`Symbol`]s.
+
+use cfa_syntax::cps::Label;
+use cfa_syntax::intern::{Interner, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a class in a [`FjProgram`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId(pub u32);
+
+/// Index of a method in a [`FjProgram`] (global across classes).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MethodId(pub u32);
+
+/// A statement position: method × index into its body.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StmtId {
+    /// The containing method.
+    pub method: MethodId,
+    /// Index into the method body.
+    pub index: u32,
+}
+
+/// An atomically evaluable expression (the `e` production).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FjExpr {
+    /// `v` — variable copy.
+    Var(Symbol),
+    /// `v.f` — field read.
+    FieldRead {
+        /// The object variable.
+        object: Symbol,
+        /// The field name.
+        field: Symbol,
+    },
+    /// `v.m(v…)` — method invocation.
+    Invoke {
+        /// Receiver variable.
+        receiver: Symbol,
+        /// Method name.
+        method: Symbol,
+        /// Argument variables.
+        args: Vec<Symbol>,
+    },
+    /// `new C(v…)` — object allocation.
+    New {
+        /// The class.
+        class: Symbol,
+        /// Constructor argument variables.
+        args: Vec<Symbol>,
+    },
+    /// `(C) v` — cast.
+    Cast {
+        /// Target class.
+        class: Symbol,
+        /// The variable being cast.
+        var: Symbol,
+    },
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FjStmtKind {
+    /// `v = e;`
+    Assign {
+        /// Left-hand variable.
+        lhs: Symbol,
+        /// Right-hand expression.
+        rhs: FjExpr,
+    },
+    /// `return v;`
+    Return {
+        /// The returned variable.
+        var: Symbol,
+    },
+}
+
+/// A labeled statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FjStmt {
+    /// The statement.
+    pub kind: FjStmtKind,
+    /// Its unique label.
+    pub label: Label,
+}
+
+/// A method definition.
+#[derive(Clone, Debug)]
+pub struct Method {
+    /// The defining class.
+    pub owner: ClassId,
+    /// Method name.
+    pub name: Symbol,
+    /// Parameters `(type, name)`.
+    pub params: Vec<(Symbol, Symbol)>,
+    /// Local variable declarations `(type, name)`.
+    pub locals: Vec<(Symbol, Symbol)>,
+    /// The body statements (at least one `return`).
+    pub body: Vec<FjStmt>,
+}
+
+/// A class definition.
+#[derive(Clone, Debug)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: Symbol,
+    /// Superclass name (`Object`'s superclass is itself).
+    pub superclass: Symbol,
+    /// Own (non-inherited) fields `(type, name)` in declaration order.
+    pub fields: Vec<(Symbol, Symbol)>,
+    /// Methods defined directly on this class.
+    pub methods: Vec<MethodId>,
+}
+
+/// A whole Featherweight Java program.
+#[derive(Clone, Debug)]
+pub struct FjProgram {
+    interner: Interner,
+    classes: Vec<ClassDef>,
+    methods: Vec<Method>,
+    class_index: HashMap<Symbol, ClassId>,
+    /// The entry method (`Main.main()`).
+    entry: MethodId,
+    next_label: u32,
+}
+
+impl FjProgram {
+    /// Creates a program from parts. Used by the parser; validation
+    /// happens there.
+    pub(crate) fn new(
+        interner: Interner,
+        classes: Vec<ClassDef>,
+        methods: Vec<Method>,
+        entry: MethodId,
+        next_label: u32,
+    ) -> Self {
+        let class_index = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name, ClassId(i as u32)))
+            .collect();
+        FjProgram { interner, classes, methods, class_index, entry, next_label }
+    }
+
+    /// The entry method.
+    pub fn entry(&self) -> MethodId {
+        self.entry
+    }
+
+    /// The entry statement (first statement of the entry method).
+    pub fn entry_stmt(&self) -> StmtId {
+        StmtId { method: self.entry, index: 0 }
+    }
+
+    /// Class definition by id.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Method definition by id.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: Symbol) -> Option<ClassId> {
+        self.class_index.get(&name).copied()
+    }
+
+    /// The statement at `id`, if in range.
+    pub fn stmt(&self, id: StmtId) -> Option<&FjStmt> {
+        self.method(id.method).body.get(id.index as usize)
+    }
+
+    /// `succ(ℓ)` — the next statement in the same method body.
+    pub fn succ(&self, id: StmtId) -> StmtId {
+        StmtId { method: id.method, index: id.index + 1 }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Total number of statements.
+    pub fn stmt_count(&self) -> usize {
+        self.methods.iter().map(|m| m.body.len()).sum()
+    }
+
+    /// One past the largest statement label.
+    pub fn label_count(&self) -> u32 {
+        self.next_label
+    }
+
+    /// Iterates over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Iterates over all method ids.
+    pub fn method_ids(&self) -> impl Iterator<Item = MethodId> {
+        (0..self.methods.len() as u32).map(MethodId)
+    }
+
+    /// Resolves a symbol to its name.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The program's interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// All fields of a class, inherited first, in constructor order
+    /// (the paper's `C(C) = (⃗f, K)` field list).
+    pub fn all_fields(&self, class: ClassId) -> Vec<(Symbol, Symbol)> {
+        let def = self.class(class);
+        let mut fields = if def.superclass == def.name {
+            Vec::new() // Object
+        } else {
+            match self.class_by_name(def.superclass) {
+                Some(sup) => self.all_fields(sup),
+                None => Vec::new(),
+            }
+        };
+        fields.extend(def.fields.iter().cloned());
+        fields
+    }
+
+    /// Method lookup `M(C, m)`: walks the class hierarchy upward.
+    pub fn lookup_method(&self, class: ClassId, name: Symbol) -> Option<MethodId> {
+        let def = self.class(class);
+        for &m in &def.methods {
+            if self.method(m).name == name {
+                return Some(m);
+            }
+        }
+        if def.superclass == def.name {
+            return None; // Object
+        }
+        let sup = self.class_by_name(def.superclass)?;
+        self.lookup_method(sup, name)
+    }
+
+    /// Is `sub` a (reflexive, transitive) subclass of `sup`?
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let def = self.class(sub);
+        if def.superclass == def.name {
+            return false;
+        }
+        match self.class_by_name(def.superclass) {
+            Some(parent) => self.is_subclass(parent, sup),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for FjProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FJ program: {} classes, {} methods, {} statements",
+            self.class_count(),
+            self.method_count(),
+            self.stmt_count()
+        )
+    }
+}

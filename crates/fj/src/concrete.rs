@@ -1,0 +1,644 @@
+//! Concrete semantics for A-Normal Featherweight Java (paper Fig 4–6).
+//!
+//! States are `(stmt, β, σ, p_κ, t)`. Continuations are *semantic* values
+//! allocated in the store (in CPS they exist syntactically; here they must
+//! be explicit — §4.1). Objects are a class name plus a record mapping
+//! field names to addresses — deliberately the same shape as CPS closures,
+//! which is what makes the k-CFA comparison meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_fj::parse::parse_fj;
+//! use cfa_fj::concrete::{run_fj, FjLimits};
+//!
+//! let p = parse_fj(
+//!     "class Main extends Object {
+//!        Main() { super(); }
+//!        Object main() { Object o; o = new Object(); return o; }
+//!      }",
+//! ).unwrap();
+//! let run = run_fj(&p, FjLimits::default());
+//! assert!(run.halted().is_some());
+//! ```
+
+use crate::ast::{FjExpr, FjProgram, FjStmtKind, MethodId, StmtId};
+use cfa_concrete::base::Ctx;
+use cfa_concrete::ctx::CtxTable;
+use cfa_syntax::intern::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// What a Featherweight Java address names.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FjSlot {
+    /// A variable or field binding.
+    Var(Symbol),
+    /// The continuation slot for an invocation of a method.
+    Kont(MethodId),
+}
+
+/// A concrete address: slot × allocation context.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FjAddr {
+    /// What is stored.
+    pub slot: FjSlot,
+    /// Allocation context (time).
+    pub ctx: Ctx,
+}
+
+/// A binding environment: variable → address.
+pub type FjBEnv = Rc<HashMap<Symbol, FjAddr>>;
+
+/// A concrete runtime value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FjValue {
+    /// An object: class + record of field addresses.
+    Obj {
+        /// The class.
+        class: crate::ast::ClassId,
+        /// Field name → address (the paper's `BEnv` record component).
+        fields: FjBEnv,
+    },
+    /// A continuation `(v, s, β, p_κ)`.
+    Kont {
+        /// Variable receiving the return value.
+        var: Symbol,
+        /// Statement to resume at.
+        next: StmtId,
+        /// Caller's binding environment.
+        benv: FjBEnv,
+        /// Caller's continuation pointer.
+        kont: FjAddr,
+    },
+    /// The top-level continuation: returning to it halts the program.
+    HaltKont,
+}
+
+/// A runtime error of the Featherweight Java machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FjError {
+    /// A variable had no binding in the environment.
+    UnboundVariable(String),
+    /// A field was missing from an object.
+    NoSuchField(String),
+    /// Method lookup failed.
+    NoSuchMethod(String),
+    /// A non-object was dereferenced.
+    NotAnObject(String),
+    /// A method was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// Expected parameter count.
+        expected: usize,
+        /// Actual argument count.
+        actual: usize,
+    },
+    /// An address was read before being written (e.g. an uninitialized
+    /// local).
+    UninitializedRead,
+    /// Control fell off the end of a method body.
+    FellOffMethod,
+}
+
+impl fmt::Display for FjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FjError::UnboundVariable(v) => write!(f, "unbound variable '{v}'"),
+            FjError::NoSuchField(x) => write!(f, "no such field '{x}'"),
+            FjError::NoSuchMethod(m) => write!(f, "no such method '{m}'"),
+            FjError::NotAnObject(d) => write!(f, "not an object: {d}"),
+            FjError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected}, got {actual}")
+            }
+            FjError::UninitializedRead => write!(f, "read of an uninitialized address"),
+            FjError::FellOffMethod => write!(f, "control fell off the end of a method"),
+        }
+    }
+}
+
+impl std::error::Error for FjError {}
+
+/// Limits for a concrete run.
+#[derive(Copy, Clone, Debug)]
+pub struct FjLimits {
+    /// Maximum machine transitions.
+    pub max_steps: usize,
+}
+
+impl Default for FjLimits {
+    fn default() -> Self {
+        FjLimits { max_steps: 1_000_000 }
+    }
+}
+
+/// One visited state (when tracing).
+#[derive(Clone, Debug)]
+pub struct FjVisit {
+    /// The statement.
+    pub stmt: StmtId,
+    /// The binding environment.
+    pub benv: FjBEnv,
+    /// The continuation pointer.
+    pub kont: FjAddr,
+    /// The time.
+    pub time: Ctx,
+}
+
+/// How a run ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FjOutcome {
+    /// `main` returned; the value is rendered as `ClassName@ctx`.
+    Halted(String),
+    /// Step budget exhausted.
+    OutOfFuel,
+    /// A runtime error.
+    Error(FjError),
+}
+
+/// The result of running the Featherweight Java machine.
+#[derive(Debug)]
+pub struct FjRun {
+    /// How the run ended.
+    pub outcome: FjOutcome,
+    /// Transitions taken.
+    pub steps: usize,
+    /// The final store.
+    pub store: HashMap<FjAddr, FjValue>,
+    /// Visited states (empty unless traced).
+    pub trace: Vec<FjVisit>,
+    /// Call-string metadata per time.
+    pub times: CtxTable,
+}
+
+impl FjRun {
+    /// The rendered halt value, if the run halted.
+    pub fn halted(&self) -> Option<&str> {
+        match &self.outcome {
+            FjOutcome::Halted(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `program` from `Main.main()`.
+pub fn run_fj(program: &FjProgram, limits: FjLimits) -> FjRun {
+    run_fj_traced(program, limits, false)
+}
+
+/// Runs `program`, optionally recording every visited state.
+pub fn run_fj_traced(program: &FjProgram, limits: FjLimits, trace: bool) -> FjRun {
+    let mut m = Machine {
+        program,
+        store: HashMap::new(),
+        times: CtxTable::new(),
+        trace: Vec::new(),
+        record_trace: trace,
+    };
+    let (outcome, steps) = m.run(limits);
+    FjRun { outcome, steps, store: m.store, trace: m.trace, times: m.times }
+}
+
+struct Machine<'p> {
+    program: &'p FjProgram,
+    store: HashMap<FjAddr, FjValue>,
+    times: CtxTable,
+    trace: Vec<FjVisit>,
+    record_trace: bool,
+}
+
+struct State {
+    stmt: StmtId,
+    benv: FjBEnv,
+    kont: FjAddr,
+    time: Ctx,
+}
+
+enum Step {
+    Continue(State),
+    Halt(FjValue),
+}
+
+impl<'p> Machine<'p> {
+    fn run(&mut self, limits: FjLimits) -> (FjOutcome, usize) {
+        // Initial state: allocate the Main receiver and a halt continuation.
+        let t0 = self.times.initial();
+        let entry = self.program.entry();
+        let main = self.program.method(entry);
+        let main_class = main.owner;
+        let this_sym = self
+            .program
+            .interner()
+            .lookup("this")
+            .expect("'this' interned by the parser");
+
+        let this_addr = FjAddr { slot: FjSlot::Var(this_sym), ctx: t0 };
+        self.store.insert(
+            this_addr,
+            FjValue::Obj { class: main_class, fields: Rc::new(HashMap::new()) },
+        );
+        let halt_addr = FjAddr { slot: FjSlot::Kont(entry), ctx: t0 };
+        self.store.insert(halt_addr, FjValue::HaltKont);
+
+        let mut benv = HashMap::new();
+        benv.insert(this_sym, this_addr);
+        for &(_, local) in &main.locals {
+            benv.insert(local, FjAddr { slot: FjSlot::Var(local), ctx: t0 });
+        }
+        let mut state = State {
+            stmt: self.program.entry_stmt(),
+            benv: Rc::new(benv),
+            kont: halt_addr,
+            time: t0,
+        };
+
+        let mut steps = 0;
+        loop {
+            if steps >= limits.max_steps {
+                return (FjOutcome::OutOfFuel, steps);
+            }
+            steps += 1;
+            if self.record_trace {
+                self.trace.push(FjVisit {
+                    stmt: state.stmt,
+                    benv: state.benv.clone(),
+                    kont: state.kont,
+                    time: state.time,
+                });
+            }
+            match self.step(&state) {
+                Ok(Step::Continue(next)) => state = next,
+                Ok(Step::Halt(v)) => {
+                    let rendered = match v {
+                        FjValue::Obj { class, .. } => {
+                            self.program.name(self.program.class(class).name).to_owned()
+                        }
+                        other => format!("{other:?}"),
+                    };
+                    return (FjOutcome::Halted(rendered), steps);
+                }
+                Err(e) => return (FjOutcome::Error(e), steps),
+            }
+        }
+    }
+
+    fn lookup(&self, benv: &FjBEnv, v: Symbol) -> Result<FjAddr, FjError> {
+        benv.get(&v)
+            .copied()
+            .ok_or_else(|| FjError::UnboundVariable(self.program.name(v).to_owned()))
+    }
+
+    fn read(&self, addr: FjAddr) -> Result<FjValue, FjError> {
+        self.store.get(&addr).cloned().ok_or(FjError::UninitializedRead)
+    }
+
+    fn read_var(&self, benv: &FjBEnv, v: Symbol) -> Result<FjValue, FjError> {
+        self.read(self.lookup(benv, v)?)
+    }
+
+    fn step(&mut self, state: &State) -> Result<Step, FjError> {
+        let stmt = self.program.stmt(state.stmt).ok_or(FjError::FellOffMethod)?;
+        let label = stmt.label;
+        match &stmt.kind {
+            FjStmtKind::Assign { lhs, rhs } => {
+                let t_new = self.times.tick(label, state.time);
+                match rhs {
+                    // Variable reference: σ[β(v) ↦ σ(β(v′))]
+                    FjExpr::Var(v2) => {
+                        let d = self.read_var(&state.benv, *v2)?;
+                        self.store.insert(self.lookup(&state.benv, *lhs)?, d);
+                        Ok(Step::Continue(State {
+                            stmt: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            kont: state.kont,
+                            time: t_new,
+                        }))
+                    }
+                    // Field reference: (C, β′) = σ(β(v′)); σ[β(v) ↦ σ(β′(f))]
+                    FjExpr::FieldRead { object, field } => {
+                        let obj = self.read_var(&state.benv, *object)?;
+                        let FjValue::Obj { fields, .. } = obj else {
+                            return Err(FjError::NotAnObject(
+                                self.program.name(*object).to_owned(),
+                            ));
+                        };
+                        let faddr = fields.get(field).copied().ok_or_else(|| {
+                            FjError::NoSuchField(self.program.name(*field).to_owned())
+                        })?;
+                        let d = self.read(faddr)?;
+                        self.store.insert(self.lookup(&state.benv, *lhs)?, d);
+                        Ok(Step::Continue(State {
+                            stmt: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            kont: state.kont,
+                            time: t_new,
+                        }))
+                    }
+                    // Method invocation (Fig 6).
+                    FjExpr::Invoke { receiver, method, args } => {
+                        let d0 = self.read_var(&state.benv, *receiver)?;
+                        let FjValue::Obj { class, .. } = &d0 else {
+                            return Err(FjError::NotAnObject(
+                                self.program.name(*receiver).to_owned(),
+                            ));
+                        };
+                        let mid =
+                            self.program.lookup_method(*class, *method).ok_or_else(|| {
+                                FjError::NoSuchMethod(self.program.name(*method).to_owned())
+                            })?;
+                        let target = self.program.method(mid);
+                        if target.params.len() != args.len() {
+                            return Err(FjError::ArityMismatch {
+                                expected: target.params.len(),
+                                actual: args.len(),
+                            });
+                        }
+                        let arg_vals = args
+                            .iter()
+                            .map(|&a| self.read_var(&state.benv, a))
+                            .collect::<Result<Vec<_>, _>>()?;
+
+                        // κ = (v, succ(ℓ), β, p_κ) at p_κ′ = (M, t′)
+                        let kont = FjValue::Kont {
+                            var: *lhs,
+                            next: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            kont: state.kont,
+                        };
+                        let kont_addr = FjAddr { slot: FjSlot::Kont(mid), ctx: t_new };
+                        self.store.insert(kont_addr, kont);
+
+                        // β′ = [this ↦ β(v0)]; β″ adds params and locals.
+                        let this_sym = self.program.interner().lookup("this").expect("this");
+                        let mut callee = HashMap::new();
+                        callee.insert(this_sym, self.lookup(&state.benv, *receiver)?);
+                        for ((_, p), d) in target.params.iter().zip(arg_vals) {
+                            let a = FjAddr { slot: FjSlot::Var(*p), ctx: t_new };
+                            callee.insert(*p, a);
+                            self.store.insert(a, d);
+                        }
+                        for &(_, l) in &target.locals {
+                            callee.insert(l, FjAddr { slot: FjSlot::Var(l), ctx: t_new });
+                        }
+                        Ok(Step::Continue(State {
+                            stmt: StmtId { method: mid, index: 0 },
+                            benv: Rc::new(callee),
+                            kont: kont_addr,
+                            time: t_new,
+                        }))
+                    }
+                    // Object allocation (Fig 6).
+                    FjExpr::New { class, args } => {
+                        let cid = self.program.class_by_name(*class).ok_or_else(|| {
+                            FjError::NotAnObject(self.program.name(*class).to_owned())
+                        })?;
+                        let field_list = self.program.all_fields(cid);
+                        if field_list.len() != args.len() {
+                            return Err(FjError::ArityMismatch {
+                                expected: field_list.len(),
+                                actual: args.len(),
+                            });
+                        }
+                        let mut record = HashMap::new();
+                        for ((_, f), &arg) in field_list.iter().zip(args) {
+                            let d = self.read_var(&state.benv, arg)?;
+                            let a = FjAddr { slot: FjSlot::Var(*f), ctx: t_new };
+                            record.insert(*f, a);
+                            self.store.insert(a, d);
+                        }
+                        let obj = FjValue::Obj { class: cid, fields: Rc::new(record) };
+                        self.store.insert(self.lookup(&state.benv, *lhs)?, obj);
+                        Ok(Step::Continue(State {
+                            stmt: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            kont: state.kont,
+                            time: t_new,
+                        }))
+                    }
+                    // Casting: σ[β(v) ↦ σ(β(v′))] (Fig 6 copies unchecked).
+                    FjExpr::Cast { var, .. } => {
+                        let d = self.read_var(&state.benv, *var)?;
+                        self.store.insert(self.lookup(&state.benv, *lhs)?, d);
+                        Ok(Step::Continue(State {
+                            stmt: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            kont: state.kont,
+                            time: t_new,
+                        }))
+                    }
+                }
+            }
+            // Return (Fig 6).
+            FjStmtKind::Return { var } => {
+                let d = self.read_var(&state.benv, *var)?;
+                match self.read(state.kont)? {
+                    FjValue::HaltKont => Ok(Step::Halt(d)),
+                    FjValue::Kont { var: v2, next, benv, kont } => {
+                        let t_new = self.times.tick(label, state.time);
+                        let dest = self.lookup(&benv, v2)?;
+                        self.store.insert(dest, d);
+                        Ok(Step::Continue(State { stmt: next, benv, kont, time: t_new }))
+                    }
+                    FjValue::Obj { .. } => Err(FjError::NotAnObject("continuation".into())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fj;
+
+    fn run(src: &str) -> FjRun {
+        run_fj(&parse_fj(src).unwrap(), FjLimits::default())
+    }
+
+    #[test]
+    fn allocates_and_returns() {
+        let r = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        );
+        assert_eq!(r.halted(), Some("Object"));
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let r = run(
+            "class Box extends Object {
+               Object item;
+               Box(Object item0) { super(); this.item = item0; }
+               Object get() { return this.item; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Box b;
+                 b = new Box(new Main());
+                 return b.get();
+               }
+             }",
+        );
+        assert_eq!(r.halted(), Some("Main"));
+    }
+
+    #[test]
+    fn dynamic_dispatch_selects_override() {
+        let r = run(
+            "class A extends Object {
+               A() { super(); }
+               Object who() { Object o; o = new A(); return o; }
+             }
+             class B extends A {
+               B() { super(); }
+               Object who() { Object o; o = new B(); return o; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 A x;
+                 x = new B();
+                 return x.who();
+               }
+             }",
+        );
+        assert_eq!(r.halted(), Some("B"));
+    }
+
+    #[test]
+    fn inherited_method_found() {
+        let r = run(
+            "class A extends Object {
+               A() { super(); }
+               Object mk() { Object o; o = new A(); return o; }
+             }
+             class B extends A {
+               B() { super(); }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() { B b; b = new B(); return b.mk(); }
+             }",
+        );
+        assert_eq!(r.halted(), Some("A"));
+    }
+
+    #[test]
+    fn inherited_fields_bind_in_order() {
+        let r = run(
+            "class A extends Object {
+               Object x;
+               A(Object x0) { super(); this.x = x0; }
+             }
+             class B extends A {
+               Object y;
+               B(Object x0, Object y0) { super(x0); this.y = y0; }
+               Object getx() { return this.x; }
+               Object gety() { return this.y; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 B b;
+                 b = new B(new Main(), new Object());
+                 return b.getx();
+               }
+             }",
+        );
+        assert_eq!(r.halted(), Some("Main"));
+    }
+
+    #[test]
+    fn nested_calls_via_anf() {
+        let r = run(
+            "class Wrap extends Object {
+               Object v;
+               Wrap(Object v0) { super(); this.v = v0; }
+               Object unwrap() { return this.v; }
+               Wrap rewrap() { return new Wrap(this.unwrap()); }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Wrap w;
+                 w = new Wrap(new Main());
+                 return w.rewrap().unwrap();
+               }
+             }",
+        );
+        assert_eq!(r.halted(), Some("Main"));
+    }
+
+    #[test]
+    fn cast_copies_value() {
+        let r = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Object o;
+                 o = new Main();
+                 Object p;
+                 p = (Main) o;
+                 return p;
+               }
+             }",
+        );
+        assert_eq!(r.halted(), Some("Main"));
+    }
+
+    #[test]
+    fn uninitialized_local_read_errors() {
+        let r = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; return o; }
+             }",
+        );
+        assert!(matches!(r.outcome, FjOutcome::Error(FjError::UninitializedRead)));
+    }
+
+    #[test]
+    fn missing_method_errors() {
+        let r = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Object o;
+                 o = new Object();
+                 return o.nothing();
+               }
+             }",
+        );
+        assert!(matches!(r.outcome, FjOutcome::Error(FjError::NoSuchMethod(_))));
+    }
+
+    #[test]
+    fn infinite_recursion_runs_out_of_fuel() {
+        let p = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { return this.main(); }
+             }",
+        )
+        .unwrap();
+        let r = run_fj(&p, FjLimits { max_steps: 100 });
+        assert_eq!(r.outcome, FjOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn trace_records_states() {
+        let p = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        )
+        .unwrap();
+        let r = run_fj_traced(&p, FjLimits::default(), true);
+        assert_eq!(r.trace.len(), 2);
+    }
+}

@@ -1,0 +1,902 @@
+//! Featherweight Java points-to analysis expressed in Datalog.
+//!
+//! The paper's §1 resolves half the paradox by observing that OO k-CFA
+//! *must* be polynomial because Bravenboer and Smaragdakis express it in
+//! Datalog, "a language that can only express polynomial-time
+//! algorithms". This module makes that argument executable: it compiles
+//! an [`FjProgram`] into input facts and evaluates the k-call-site-
+//! sensitive points-to analysis (the §4.5 *OO variant* of k-CFA — context
+//! changes only at invocations, returns restore the caller's context)
+//! with the [`cfa_datalog`] engine.
+//!
+//! The encoding mirrors the abstract machine of [`crate::kcfa`] address
+//! for address:
+//!
+//! * an abstract address is a (variable-or-field, context) pair, so one
+//!   relation `vp(addr, actx, class, hctx)` *is* the machine's store
+//!   restricted to `Var` slots;
+//! * `this` is not an address — the machine aliases it to the receiver's
+//!   address — so the encoding rewrites `this` uses to a per-method
+//!   pseudo-variable fed by every call edge's receiver set;
+//! * statement-level reachability (`reach`) reproduces the machine's
+//!   on-the-fly call-graph construction: statements after a call become
+//!   reachable only via a reachable `return` in a callee.
+//!
+//! Because pure Datalog has no term constructors, the bounded context
+//! algebra is pre-tabulated as `ctxpush(ctx, s, ctx′)` facts over the
+//! universe of call strings of length ≤ k — polynomial for fixed k,
+//! exactly the paper's claim.
+//!
+//! Cross-validation tests assert that call graphs, points-to sets, and
+//! halt classes agree *exactly* with [`crate::kcfa::analyze_fj`] under
+//! [`crate::kcfa::TickPolicy::OnInvocation`].
+
+use crate::ast::{ClassId, FjExpr, FjProgram, FjStmtKind, MethodId, StmtId};
+use cfa_datalog::{Const, ConstPool, Database, DatalogProgram, EvalStats, RelId, Term};
+use cfa_syntax::cps::Label;
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Options for the Datalog points-to analysis.
+#[derive(Copy, Clone, Debug)]
+pub struct FjDatalogOptions {
+    /// Call-site sensitivity depth (the `k` of k-CFA). The context
+    /// universe is tabulated up front, so this encoding supports small
+    /// `k` only.
+    pub k: usize,
+    /// If true, casts filter by subclassing (matching
+    /// [`crate::kcfa::FjAnalysisOptions::cast_filtering`]).
+    pub cast_filtering: bool,
+}
+
+impl FjDatalogOptions {
+    /// Context-insensitive points-to (0-CFA).
+    pub fn insensitive() -> Self {
+        FjDatalogOptions { k: 0, cast_filtering: false }
+    }
+
+    /// k-call-site-sensitive points-to, unfiltered casts.
+    pub fn sensitive(k: usize) -> Self {
+        FjDatalogOptions { k, cast_filtering: false }
+    }
+}
+
+/// The result of running the Datalog points-to analysis.
+#[derive(Clone, Debug)]
+pub struct FjDatalogResult {
+    /// Resolved targets per invocation statement (the on-the-fly call
+    /// graph; includes arity-mismatched targets, like the machine's
+    /// `call_targets`).
+    pub call_targets: BTreeMap<StmtId, BTreeSet<MethodId>>,
+    /// Points-to sets per abstract address: (variable or field, address
+    /// context) → classes. `this` pseudo-variables are reported
+    /// separately in [`FjDatalogResult::this_points_to`].
+    pub points_to: BTreeMap<(Symbol, Vec<Label>), BTreeSet<ClassId>>,
+    /// Receiver classes per (method, entry context).
+    pub this_points_to: BTreeMap<(MethodId, Vec<Label>), BTreeSet<ClassId>>,
+    /// Reachable (statement, context) pairs.
+    pub reachable: BTreeSet<(StmtId, Vec<Label>)>,
+    /// Classes of values returned from the entry method.
+    pub halt_classes: BTreeSet<ClassId>,
+    /// Number of input (EDB) facts generated from the program.
+    pub edb_facts: usize,
+    /// Total facts at the fixpoint.
+    pub total_facts: usize,
+    /// Engine statistics.
+    pub stats: EvalStats,
+}
+
+impl FjDatalogResult {
+    /// Invocation sites with exactly one resolved target.
+    pub fn monomorphic_calls(&self) -> usize {
+        self.call_targets.values().filter(|t| t.len() == 1).count()
+    }
+
+    /// Points-to set for a (variable, context) address, or empty.
+    pub fn classes_of(&self, var: Symbol, ctx: &[Label]) -> BTreeSet<ClassId> {
+        self.points_to.get(&(var, ctx.to_vec())).cloned().unwrap_or_default()
+    }
+}
+
+/// All relation ids of the encoding.
+struct Rels {
+    // IDB
+    reach: RelId,
+    vp: RelId,
+    target: RelId,
+    calledge: RelId,
+    haltclass: RelId,
+    // EDB
+    mov: RelId,
+    cast: RelId,
+    subclass: RelId,
+    load: RelId,
+    hasfield: RelId,
+    alloc: RelId,
+    allocarg: RelId,
+    invoke: RelId,
+    actual: RelId,
+    formal: RelId,
+    lookup: RelId,
+    marity: RelId,
+    firststmt: RelId,
+    nextlocal: RelId,
+    callsucc: RelId,
+    retstmt: RelId,
+    ctxpush: RelId,
+}
+
+fn declare(program: &mut DatalogProgram) -> Rels {
+    Rels {
+        reach: program.relation("reach", 2),
+        vp: program.relation("vp", 4),
+        target: program.relation("target", 2),
+        calledge: program.relation("calledge", 4),
+        haltclass: program.relation("haltclass", 1),
+        mov: program.relation("move", 3),
+        cast: program.relation("cast", 4),
+        subclass: program.relation("subclass", 2),
+        load: program.relation("load", 4),
+        hasfield: program.relation("hasfield", 2),
+        alloc: program.relation("alloc", 3),
+        allocarg: program.relation("allocarg", 3),
+        invoke: program.relation("invoke", 5),
+        actual: program.relation("actual", 3),
+        formal: program.relation("formal", 3),
+        lookup: program.relation("lookup", 3),
+        marity: program.relation("marity", 2),
+        firststmt: program.relation("firststmt", 2),
+        nextlocal: program.relation("nextlocal", 2),
+        callsucc: program.relation("callsucc", 2),
+        retstmt: program.relation("retstmt", 3),
+        ctxpush: program.relation("ctxpush", 3),
+    }
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Installs the analysis rules (§4.5 OO-variant k-CFA as Datalog).
+///
+/// `sentinel` is the `formal` index constant that stands for the `this`
+/// pseudo-parameter; `entry_mid` and `eps` pin the halt rule to the entry
+/// method in the empty context.
+fn install_rules(p: &mut DatalogProgram, r: &Rels, sentinel: Const, entry_mid: Const, eps: Const) {
+    // Intraprocedural flow ------------------------------------------------
+    // vp(to, ctx, c, h) :- move(s, to, from), reach(s, ctx), vp(from, ctx, c, h).
+    p.rule(
+        r.vp,
+        vec![v("to"), v("ctx"), v("c"), v("h")],
+        vec![
+            (r.mov, vec![v("s"), v("to"), v("from")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("from"), v("ctx"), v("c"), v("h")]),
+        ],
+    )
+    .expect("move rule");
+    // Filtered cast: requires subclass(c, target).
+    p.rule(
+        r.vp,
+        vec![v("to"), v("ctx"), v("c"), v("h")],
+        vec![
+            (r.cast, vec![v("s"), v("to"), v("from"), v("tc")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("from"), v("ctx"), v("c"), v("h")]),
+            (r.subclass, vec![v("c"), v("tc")]),
+        ],
+    )
+    .expect("cast rule");
+    // Field load: vp(to, ctx, c2, h2) :- load(s, to, base, f), reach(s, ctx),
+    //   vp(base, ctx, c, h), hasfield(c, f), vp(f, h, c2, h2).
+    p.rule(
+        r.vp,
+        vec![v("to"), v("ctx"), v("c2"), v("h2")],
+        vec![
+            (r.load, vec![v("s"), v("to"), v("base"), v("f")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("base"), v("ctx"), v("c"), v("h")]),
+            (r.hasfield, vec![v("c"), v("f")]),
+            (r.vp, vec![v("f"), v("h"), v("c2"), v("h2")]),
+        ],
+    )
+    .expect("load rule");
+    // Allocation: the new object's heap context is the current context
+    // (fields are all closed simultaneously — the paper's key collapse).
+    p.rule(
+        r.vp,
+        vec![v("lhs"), v("ctx"), v("c"), v("ctx")],
+        vec![(r.alloc, vec![v("s"), v("lhs"), v("c")]), (r.reach, vec![v("s"), v("ctx")])],
+    )
+    .expect("alloc rule");
+    // Constructor field initialization: field f of an object born at ctx
+    // receives the constructor argument's values.
+    p.rule(
+        r.vp,
+        vec![v("f"), v("ctx"), v("c2"), v("h2")],
+        vec![
+            (r.allocarg, vec![v("s"), v("f"), v("a")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("a"), v("ctx"), v("c2"), v("h2")]),
+        ],
+    )
+    .expect("allocarg rule");
+    // Straight-line reachability.
+    p.rule(
+        r.reach,
+        vec![v("s2"), v("ctx")],
+        vec![(r.nextlocal, vec![v("s"), v("s2")]), (r.reach, vec![v("s"), v("ctx")])],
+    )
+    .expect("nextlocal rule");
+
+    // Dispatch -------------------------------------------------------------
+    // target(s, mid): resolved targets, before the arity check (the
+    // machine records targets the same way).
+    p.rule(
+        r.target,
+        vec![v("s"), v("mid")],
+        vec![
+            (r.invoke, vec![v("s"), v("lhs"), v("recv"), v("m"), v("n")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("recv"), v("ctx"), v("c"), v("h")]),
+            (r.lookup, vec![v("c"), v("m"), v("mid")]),
+        ],
+    )
+    .expect("target rule");
+    // calledge(s, ctx, mid, newctx): arity-checked call edges with the
+    // callee context from the pre-tabulated context algebra.
+    p.rule(
+        r.calledge,
+        vec![v("s"), v("ctx"), v("mid"), v("newctx")],
+        vec![
+            (r.invoke, vec![v("s"), v("lhs"), v("recv"), v("m"), v("n")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+            (r.vp, vec![v("recv"), v("ctx"), v("c"), v("h")]),
+            (r.lookup, vec![v("c"), v("m"), v("mid")]),
+            (r.marity, vec![v("mid"), v("n")]),
+            (r.ctxpush, vec![v("ctx"), v("s"), v("newctx")]),
+        ],
+    )
+    .expect("calledge rule");
+    // Callee entry becomes reachable.
+    p.rule(
+        r.reach,
+        vec![v("s0"), v("newctx")],
+        vec![
+            (r.calledge, vec![v("s"), v("ctx"), v("mid"), v("newctx")]),
+            (r.firststmt, vec![v("mid"), v("s0")]),
+        ],
+    )
+    .expect("call entry rule");
+    // Receiver flow: the callee's `this` aliases the receiver's address,
+    // so it sees the receiver's *entire* flow set (as in the machine,
+    // which binds `this ↦ β̂(v₀)`).
+    p.rule(
+        r.vp,
+        vec![v("this"), v("newctx"), v("c"), v("h")],
+        vec![
+            (r.calledge, vec![v("s"), v("ctx"), v("mid"), v("newctx")]),
+            (r.invoke, vec![v("s"), v("lhs"), v("recv"), v("m"), v("n")]),
+            (r.formal, vec![v("mid"), Term::Const(sentinel), v("this")]),
+            (r.vp, vec![v("recv"), v("ctx"), v("c"), v("h")]),
+        ],
+    )
+    .expect("this rule");
+    // Parameter passing.
+    p.rule(
+        r.vp,
+        vec![v("p"), v("newctx"), v("c"), v("h")],
+        vec![
+            (r.calledge, vec![v("s"), v("ctx"), v("mid"), v("newctx")]),
+            (r.actual, vec![v("s"), v("i"), v("a")]),
+            (r.formal, vec![v("mid"), v("i"), v("p")]),
+            (r.vp, vec![v("a"), v("ctx"), v("c"), v("h")]),
+        ],
+    )
+    .expect("param rule");
+    // Return value flows to the call's left-hand side in the caller's
+    // context (the OO variant *restores* the caller's context, §4.5).
+    p.rule(
+        r.vp,
+        vec![v("lhs"), v("ctx"), v("c"), v("h")],
+        vec![
+            (r.calledge, vec![v("s"), v("ctx"), v("mid"), v("newctx")]),
+            (r.invoke, vec![v("s"), v("lhs"), v("recv"), v("m"), v("n")]),
+            (r.retstmt, vec![v("rs"), v("mid"), v("rv")]),
+            (r.reach, vec![v("rs"), v("newctx")]),
+            (r.vp, vec![v("rv"), v("newctx"), v("c"), v("h")]),
+        ],
+    )
+    .expect("return value rule");
+    // The statement after a call is reachable once some callee return is.
+    p.rule(
+        r.reach,
+        vec![v("s2"), v("ctx")],
+        vec![
+            (r.calledge, vec![v("s"), v("ctx"), v("mid"), v("newctx")]),
+            (r.retstmt, vec![v("rs"), v("mid"), v("rv")]),
+            (r.reach, vec![v("rs"), v("newctx")]),
+            (r.callsucc, vec![v("s"), v("s2")]),
+        ],
+    )
+    .expect("return reach rule");
+    // Values returned from the entry method reach the halt continuation.
+    p.rule(
+        r.haltclass,
+        vec![v("c")],
+        vec![
+            (r.retstmt, vec![v("rs"), Term::Const(entry_mid), v("rv")]),
+            (r.reach, vec![v("rs"), Term::Const(eps)]),
+            (r.vp, vec![v("rv"), Term::Const(eps), v("c"), v("h")]),
+        ],
+    )
+    .expect("halt rule");
+}
+
+/// The `formal` index used for the `this` pseudo-parameter. Real
+/// parameters use indices `0, 1, …` interned as `i0, i1, …`; `this` uses
+/// this sentinel name so one `formal` relation serves both.
+const THIS_INDEX_SENTINEL_NAME: &str = "iThis";
+
+/// Compiles `program` into facts + rules and evaluates to the fixpoint.
+///
+/// # Panics
+///
+/// Panics if `options.k > 2`: the pure-Datalog encoding tabulates the
+/// whole context universe (all call strings of length ≤ k) as `ctxpush`
+/// facts, which is only sensible for small k. This mirrors practice —
+/// Datalog points-to frameworks treat deep contexts with constructors,
+/// not tables.
+pub fn analyze_fj_datalog(program: &FjProgram, options: FjDatalogOptions) -> FjDatalogResult {
+    assert!(options.k <= 2, "Datalog encoding tabulates contexts; k ≤ 2 only");
+    Encoder::new(program, options).run()
+}
+
+struct Encoder<'p> {
+    fj: &'p FjProgram,
+    options: FjDatalogOptions,
+    pool: ConstPool,
+    program: DatalogProgram,
+    rels: Rels,
+    db: Option<Database>,
+    // Forward maps.
+    stmt_consts: HashMap<StmtId, Const>,
+    ctx_consts: HashMap<Vec<Label>, Const>,
+    // Reverse maps.
+    stmt_of: HashMap<Const, StmtId>,
+    mid_of: HashMap<Const, MethodId>,
+    class_of: HashMap<Const, ClassId>,
+    var_of: HashMap<Const, Symbol>,
+    this_of: HashMap<Const, MethodId>,
+    ctx_of: HashMap<Const, Vec<Label>>,
+    this_sym: Symbol,
+    edb_facts: usize,
+}
+
+impl<'p> Encoder<'p> {
+    fn new(fj: &'p FjProgram, options: FjDatalogOptions) -> Self {
+        let mut program = DatalogProgram::new();
+        let rels = declare(&mut program);
+        let this_sym = fj.interner().lookup("this").expect("'this' interned by parser");
+        Encoder {
+            fj,
+            options,
+            pool: ConstPool::new(),
+            program,
+            rels,
+            db: None,
+            stmt_consts: HashMap::new(),
+            ctx_consts: HashMap::new(),
+            stmt_of: HashMap::new(),
+            mid_of: HashMap::new(),
+            class_of: HashMap::new(),
+            var_of: HashMap::new(),
+            this_of: HashMap::new(),
+            ctx_of: HashMap::new(),
+            this_sym,
+            edb_facts: 0,
+        }
+    }
+
+    fn stmt_const(&mut self, s: StmtId) -> Const {
+        if let Some(&c) = self.stmt_consts.get(&s) {
+            return c;
+        }
+        let c = self.pool.intern(&format!("s{}.{}", s.method.0, s.index));
+        self.stmt_consts.insert(s, c);
+        self.stmt_of.insert(c, s);
+        c
+    }
+
+    fn mid_const(&mut self, m: MethodId) -> Const {
+        let c = self.pool.intern(&format!("mid{}", m.0));
+        self.mid_of.insert(c, m);
+        c
+    }
+
+    fn class_const(&mut self, c: ClassId) -> Const {
+        let k = self.pool.intern(&format!("class{}", c.0));
+        self.class_of.insert(k, c);
+        k
+    }
+
+    /// A variable or field constant. `this` must not reach here.
+    fn var_const(&mut self, sym: Symbol) -> Const {
+        debug_assert_ne!(sym, self.this_sym, "this is rewritten before var_const");
+        let c = self.pool.intern(&format!("var{}", sym.index()));
+        self.var_of.insert(c, sym);
+        c
+    }
+
+    /// The pseudo-variable standing for `this` inside method `m`.
+    fn this_const(&mut self, m: MethodId) -> Const {
+        let c = self.pool.intern(&format!("this#{}", m.0));
+        self.this_of.insert(c, m);
+        c
+    }
+
+    /// Rewrites a use: `this` becomes the enclosing method's
+    /// pseudo-variable; anything else is a plain variable constant.
+    fn use_const(&mut self, sym: Symbol, method: MethodId) -> Const {
+        if sym == self.this_sym {
+            self.this_const(method)
+        } else {
+            self.var_const(sym)
+        }
+    }
+
+    fn ctx_const(&mut self, labels: &[Label]) -> Const {
+        if let Some(&c) = self.ctx_consts.get(labels) {
+            return c;
+        }
+        let name = if labels.is_empty() {
+            "ctx⟨⟩".to_owned()
+        } else {
+            format!(
+                "ctx⟨{}⟩",
+                labels.iter().map(|l| l.0.to_string()).collect::<Vec<_>>().join(",")
+            )
+        };
+        let c = self.pool.intern(&name);
+        self.ctx_consts.insert(labels.to_vec(), c);
+        self.ctx_of.insert(c, labels.to_vec());
+        c
+    }
+
+    fn idx_const(&mut self, i: usize) -> Const {
+        self.pool.intern(&format!("i{i}"))
+    }
+
+    fn arity_const(&mut self, n: usize) -> Const {
+        self.pool.intern(&format!("a{n}"))
+    }
+
+    fn fact(&mut self, rel: RelId, tuple: &[Const]) {
+        if self.db.as_mut().expect("db initialized").insert(rel, tuple) {
+            self.edb_facts += 1;
+        }
+    }
+
+    /// Generates all input facts from the program.
+    fn generate_facts(&mut self) {
+        // Per-method structural facts.
+        for mid in self.fj.method_ids() {
+            let method = self.fj.method(mid).clone();
+            let mc = self.mid_const(mid);
+            let first = self.stmt_const(StmtId { method: mid, index: 0 });
+            self.fact(self.rels.firststmt, &[mc, first]);
+            let nargs = self.arity_const(method.params.len());
+            self.fact(self.rels.marity, &[mc, nargs]);
+            // Formals: real parameters at i0, i1, …; `this` at the
+            // sentinel index.
+            for (i, &(_, pname)) in method.params.iter().enumerate() {
+                let ic = self.idx_const(i);
+                let pc = self.var_const(pname);
+                self.fact(self.rels.formal, &[mc, ic, pc]);
+            }
+            let sentinel = self.pool.intern(THIS_INDEX_SENTINEL_NAME);
+            let this_c = self.this_const(mid);
+            self.fact(self.rels.formal, &[mc, sentinel, this_c]);
+
+            for (index, stmt) in method.body.iter().enumerate() {
+                let sid = StmtId { method: mid, index: index as u32 };
+                let sc = self.stmt_const(sid);
+                let succ_c = self.stmt_const(StmtId { method: mid, index: index as u32 + 1 });
+                match &stmt.kind {
+                    FjStmtKind::Return { var } => {
+                        let rv = self.use_const(*var, mid);
+                        self.fact(self.rels.retstmt, &[sc, mc, rv]);
+                    }
+                    FjStmtKind::Assign { lhs, rhs } => {
+                        let lhs_c = self.var_const(*lhs);
+                        match rhs {
+                            FjExpr::Var(from) => {
+                                let from_c = self.use_const(*from, mid);
+                                self.fact(self.rels.mov, &[sc, lhs_c, from_c]);
+                                self.fact(self.rels.nextlocal, &[sc, succ_c]);
+                            }
+                            FjExpr::Cast { class, var } => {
+                                let from_c = self.use_const(*var, mid);
+                                let target = if self.options.cast_filtering {
+                                    self.fj.class_by_name(*class)
+                                } else {
+                                    None
+                                };
+                                match target {
+                                    Some(cid) => {
+                                        let tc = self.class_const(cid);
+                                        self.fact(self.rels.cast, &[sc, lhs_c, from_c, tc]);
+                                    }
+                                    // Unfiltered (or unknown target class,
+                                    // which the machine also copies
+                                    // unfiltered): a plain move.
+                                    None => {
+                                        self.fact(self.rels.mov, &[sc, lhs_c, from_c]);
+                                    }
+                                }
+                                self.fact(self.rels.nextlocal, &[sc, succ_c]);
+                            }
+                            FjExpr::FieldRead { object, field } => {
+                                let base = self.use_const(*object, mid);
+                                let fc = self.var_const(*field);
+                                self.fact(self.rels.load, &[sc, lhs_c, base, fc]);
+                                self.fact(self.rels.nextlocal, &[sc, succ_c]);
+                            }
+                            FjExpr::New { class, args } => {
+                                // Valid allocations only; the machine
+                                // falls through (no write) otherwise.
+                                if let Some(cid) = self.fj.class_by_name(*class) {
+                                    let fields = self.fj.all_fields(cid);
+                                    if fields.len() == args.len() {
+                                        let cc = self.class_const(cid);
+                                        self.fact(self.rels.alloc, &[sc, lhs_c, cc]);
+                                        for ((_, fname), &arg) in fields.iter().zip(args) {
+                                            let fc = self.var_const(*fname);
+                                            let ac = self.use_const(arg, mid);
+                                            self.fact(self.rels.allocarg, &[sc, fc, ac]);
+                                        }
+                                    }
+                                }
+                                self.fact(self.rels.nextlocal, &[sc, succ_c]);
+                            }
+                            FjExpr::Invoke { receiver, method: mname, args } => {
+                                let recv = self.use_const(*receiver, mid);
+                                let m_c = self.pool.intern(&format!("m:{}", mname.index()));
+                                let n = self.arity_const(args.len());
+                                self.fact(self.rels.invoke, &[sc, lhs_c, recv, m_c, n]);
+                                for (i, &arg) in args.iter().enumerate() {
+                                    let ic = self.idx_const(i);
+                                    let ac = self.use_const(arg, mid);
+                                    self.fact(self.rels.actual, &[sc, ic, ac]);
+                                }
+                                self.fact(self.rels.callsucc, &[sc, succ_c]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Class hierarchy facts.
+        for cid in self.fj.class_ids() {
+            let cc = self.class_const(cid);
+            for (_, fname) in self.fj.all_fields(cid) {
+                let fc = self.var_const(fname);
+                self.fact(self.rels.hasfield, &[cc, fc]);
+            }
+            // Method lookup for every method name in the program.
+            for mid in self.fj.method_ids() {
+                let mname = self.fj.method(mid).name;
+                if let Some(resolved) = self.fj.lookup_method(cid, mname) {
+                    let m_c = self.pool.intern(&format!("m:{}", mname.index()));
+                    let rc = self.mid_const(resolved);
+                    self.fact(self.rels.lookup, &[cc, m_c, rc]);
+                }
+            }
+            if self.options.cast_filtering {
+                for sup in self.fj.class_ids() {
+                    if self.fj.is_subclass(cid, sup) {
+                        let sc = self.class_const(sup);
+                        self.fact(self.rels.subclass, &[cc, sc]);
+                    }
+                }
+            }
+        }
+
+        // Context algebra: all call strings of length ≤ k over invocation
+        // labels, and the push table.
+        let invoke_stmts: Vec<(StmtId, Label)> = self
+            .fj
+            .method_ids()
+            .flat_map(|mid| {
+                let body = &self.fj.method(mid).body;
+                body.iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        matches!(
+                            s.kind,
+                            FjStmtKind::Assign { rhs: FjExpr::Invoke { .. }, .. }
+                        )
+                    })
+                    .map(|(i, s)| (StmtId { method: mid, index: i as u32 }, s.label))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut universe: Vec<Vec<Label>> = vec![Vec::new()];
+        let mut frontier = universe.clone();
+        for _ in 0..self.options.k {
+            let mut next = Vec::new();
+            for ctx in &frontier {
+                for &(_, label) in &invoke_stmts {
+                    let mut pushed = vec![label];
+                    pushed.extend(ctx.iter().copied());
+                    pushed.truncate(self.options.k);
+                    if !universe.contains(&pushed) {
+                        universe.push(pushed.clone());
+                        next.push(pushed);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for ctx in &universe.clone() {
+            let cc = self.ctx_const(ctx);
+            for &(sid, label) in &invoke_stmts {
+                let mut pushed = vec![label];
+                pushed.extend(ctx.iter().copied());
+                pushed.truncate(self.options.k);
+                let nc = self.ctx_const(&pushed);
+                let sc = self.stmt_const(sid);
+                self.fact(self.rels.ctxpush, &[cc, sc, nc]);
+            }
+        }
+
+        // Seeds: the entry statement is reachable in the empty context,
+        // and the entry method's `this` holds the main object.
+        let entry = self.fj.entry();
+        let eps = self.ctx_const(&[]);
+        let s0 = self.stmt_const(self.fj.entry_stmt());
+        self.fact(self.rels.reach, &[s0, eps]);
+        let main_class = self.class_const(self.fj.method(entry).owner);
+        let this_c = self.this_const(entry);
+        self.fact(self.rels.vp, &[this_c, eps, main_class, eps]);
+    }
+
+    fn run(mut self) -> FjDatalogResult {
+        self.db = Some(self.program.database());
+        self.generate_facts();
+
+        // Install the rules with the now-known sentinel and entry
+        // constants.
+        let sentinel = self.pool.intern(THIS_INDEX_SENTINEL_NAME);
+        let entry_mid = self.mid_const(self.fj.entry());
+        let eps = self.ctx_const(&[]);
+        install_rules(&mut self.program, &self.rels, sentinel, entry_mid, eps);
+
+        let mut db = self.db.take().expect("db present");
+        let stats = self.program.run(&mut db);
+
+        // Extract results back into domain terms.
+        let mut call_targets: BTreeMap<StmtId, BTreeSet<MethodId>> = BTreeMap::new();
+        for t in db.tuples(self.rels.target) {
+            let s = self.stmt_of[&t[0]];
+            let m = self.mid_of[&t[1]];
+            call_targets.entry(s).or_default().insert(m);
+        }
+        let mut points_to: BTreeMap<(Symbol, Vec<Label>), BTreeSet<ClassId>> = BTreeMap::new();
+        let mut this_points_to: BTreeMap<(MethodId, Vec<Label>), BTreeSet<ClassId>> =
+            BTreeMap::new();
+        for t in db.tuples(self.rels.vp) {
+            let ctx = self.ctx_of[&t[1]].clone();
+            let class = self.class_of[&t[2]];
+            if let Some(&sym) = self.var_of.get(&t[0]) {
+                points_to.entry((sym, ctx)).or_default().insert(class);
+            } else if let Some(&mid) = self.this_of.get(&t[0]) {
+                this_points_to.entry((mid, ctx)).or_default().insert(class);
+            }
+        }
+        let mut reachable = BTreeSet::new();
+        for t in db.tuples(self.rels.reach) {
+            if let Some(&s) = self.stmt_of.get(&t[0]) {
+                reachable.insert((s, self.ctx_of[&t[1]].clone()));
+            }
+        }
+        let halt_classes: BTreeSet<ClassId> =
+            db.tuples(self.rels.haltclass).map(|t| self.class_of[&t[0]]).collect();
+
+        FjDatalogResult {
+            call_targets,
+            points_to,
+            this_points_to,
+            reachable,
+            halt_classes,
+            edb_facts: self.edb_facts,
+            total_facts: db.total_facts(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fj;
+
+    fn run(src: &str, options: FjDatalogOptions) -> (FjProgram, FjDatalogResult) {
+        let p = parse_fj(src).unwrap();
+        let r = analyze_fj_datalog(&p, options);
+        (p, r)
+    }
+
+    const DISPATCH: &str = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object o; o = new A(); return o; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object o; o = new B(); return o; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            A x;
+            x = new B();
+            return x.who();
+          }
+        }";
+
+    #[test]
+    fn minimal_program_halts_with_object() {
+        let (p, r) = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+            FjDatalogOptions::insensitive(),
+        );
+        let names: Vec<&str> =
+            r.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        assert_eq!(names, vec!["Object"]);
+        assert!(r.edb_facts > 0);
+        assert!(r.total_facts > r.edb_facts);
+    }
+
+    #[test]
+    fn dispatch_resolves_precisely() {
+        let (_, r) = run(DISPATCH, FjDatalogOptions::sensitive(1));
+        assert_eq!(r.monomorphic_calls(), r.call_targets.len());
+        assert_eq!(r.call_targets.len(), 1);
+    }
+
+    #[test]
+    fn field_flow_through_constructor() {
+        let (p, r) = run(
+            "class Box extends Object {
+               Object item;
+               Box(Object item0) { super(); this.item = item0; }
+               Object get() { return this.item; }
+             }
+             class Marker extends Object { Marker() { super(); } }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Box b;
+                 b = new Box(new Marker());
+                 return b.get();
+               }
+             }",
+            FjDatalogOptions::sensitive(1),
+        );
+        let names: Vec<&str> =
+            r.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        assert_eq!(names, vec!["Marker"]);
+    }
+
+    #[test]
+    fn infinite_recursion_reaches_no_halt() {
+        let (_, r) = run(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { return this.main(); }
+             }",
+            FjDatalogOptions::sensitive(1),
+        );
+        assert!(r.halt_classes.is_empty());
+        // The self-call is still resolved.
+        assert_eq!(r.call_targets.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_not_analyzed() {
+        let (p, r) = run(
+            "class Dead extends Object {
+               Dead() { super(); }
+               Object never() { Object o; o = new Dead(); return o; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+            FjDatalogOptions::insensitive(),
+        );
+        let dead = p.class_by_name(p.interner().lookup("Dead").unwrap()).unwrap();
+        assert!(!r.halt_classes.contains(&dead));
+        // No points-to tuple mentions Dead: its alloc never fires.
+        for classes in r.points_to.values() {
+            assert!(!classes.contains(&dead));
+        }
+    }
+
+    #[test]
+    fn cast_filtering_prunes() {
+        let src = "
+            class A extends Object { A() { super(); } }
+            class B extends Object { B() { super(); } }
+            class Main extends Object {
+              Main() { super(); }
+              Object pick(Object one, Object two) { return two; }
+              Object main() {
+                Object x;
+                x = this.pick(new A(), new B());
+                Object x2;
+                x2 = this.pick(new B(), new A());
+                B y;
+                y = (B) x;
+                return y;
+              }
+            }";
+        let (_, unfiltered) = run(src, FjDatalogOptions::insensitive());
+        let (_, filtered) =
+            run(src, FjDatalogOptions { k: 0, cast_filtering: true });
+        assert!(unfiltered.halt_classes.len() >= 2);
+        assert_eq!(filtered.halt_classes.len(), 1);
+    }
+
+    #[test]
+    fn context_sensitivity_splits_call_sites() {
+        // Under k=1 the two `pick` calls have distinct contexts, so the
+        // returned values stay distinct.
+        let src = "
+            class A extends Object {
+              A() { super(); }
+              Object who() { Object o; o = new A(); return o; }
+            }
+            class B extends A {
+              B() { super(); }
+              Object who() { Object o; o = new B(); return o; }
+            }
+            class Main extends Object {
+              Main() { super(); }
+              A id(A a) { return a; }
+              Object main() {
+                A x;
+                x = this.id(new A());
+                A y;
+                y = this.id(new B());
+                return y.who();
+              }
+            }";
+        let (p, k0) = run(src, FjDatalogOptions::insensitive());
+        let (_, k1) = run(src, FjDatalogOptions::sensitive(1));
+        let b = p.class_by_name(p.interner().lookup("B").unwrap()).unwrap();
+        let a = p.class_by_name(p.interner().lookup("A").unwrap()).unwrap();
+        // k=0 merges: y sees both A and B, so who() dispatches to both.
+        assert_eq!(k0.halt_classes, [a, b].into_iter().collect());
+        // k=1 keeps them apart: only B::who is invoked on y.
+        assert_eq!(k1.halt_classes, [b].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≤ 2")]
+    fn deep_contexts_rejected() {
+        let p = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        )
+        .unwrap();
+        let _ = analyze_fj_datalog(&p, FjDatalogOptions::sensitive(3));
+    }
+}

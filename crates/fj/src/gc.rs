@@ -1,0 +1,191 @@
+//! Abstract garbage collection for Featherweight Java (the paper's §8).
+//!
+//! The paper's future-work section proposes carrying abstract garbage
+//! collection (ΓCFA, Might & Shivers) across the functional/OO bridge:
+//! "The abstract semantics for Featherweight Java make it possible to
+//! adapt abstract garbage collection to the static analysis of
+//! object-oriented programs. We hypothesize that its benefits for speed
+//! and precision will carry over." This module is that adaptation, for
+//! the per-state-store machine of [`crate::naive`].
+//!
+//! The interesting OO twist is the root set: besides the binding
+//! environment, the current *continuation pointer* is a root, and
+//! abstract continuations keep their caller's whole frame (and the
+//! caller's continuation, transitively) alive — the abstract analog of
+//! scanning the stack.
+
+use crate::kcfa::{FjAVal, FjAddrA, FjBEnvA};
+use std::collections::BTreeSet;
+
+/// A per-state Featherweight Java store, as used by [`crate::naive`].
+pub type FjNaiveStore = std::rc::Rc<std::collections::BTreeMap<FjAddrA, crate::naive::FlowSetA>>;
+
+/// Computes the addresses reachable from `roots` through `store`.
+///
+/// Traversal: object records keep their field addresses live;
+/// continuations keep their caller environment and caller continuation
+/// pointer live; the halt continuation has no outgoing edges.
+pub fn reachable_addrs(
+    store: &FjNaiveStore,
+    roots: impl IntoIterator<Item = FjAddrA>,
+) -> BTreeSet<FjAddrA> {
+    let mut seen: BTreeSet<FjAddrA> = BTreeSet::new();
+    let mut work: Vec<FjAddrA> = roots.into_iter().collect();
+    while let Some(addr) = work.pop() {
+        if !seen.insert(addr.clone()) {
+            continue;
+        }
+        let Some(values) = store.get(&addr) else { continue };
+        for v in values {
+            match v {
+                FjAVal::HaltKont => {}
+                FjAVal::Obj { fields, .. } => {
+                    for (_, a) in fields.iter() {
+                        if !seen.contains(a) {
+                            work.push(a.clone());
+                        }
+                    }
+                }
+                FjAVal::Kont { benv, kont, .. } => {
+                    for (_, a) in benv.iter() {
+                        if !seen.contains(a) {
+                            work.push(a.clone());
+                        }
+                    }
+                    if !seen.contains(kont) {
+                        work.push(kont.clone());
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// The root set of an abstract state: the environment's range plus the
+/// continuation pointer.
+pub fn state_roots(benv: &FjBEnvA, kont: &FjAddrA) -> Vec<FjAddrA> {
+    let mut roots: Vec<FjAddrA> = benv.iter().map(|(_, a)| a.clone()).collect();
+    roots.push(kont.clone());
+    roots
+}
+
+/// Restricts `store` to the addresses reachable from the state's roots —
+/// one abstract garbage collection.
+pub fn collect(store: &FjNaiveStore, benv: &FjBEnvA, kont: &FjAddrA) -> FjNaiveStore {
+    let live = reachable_addrs(store, state_roots(benv, kont));
+    if live.len() == store.len() {
+        return store.clone();
+    }
+    std::rc::Rc::new(
+        store
+            .iter()
+            .filter(|(a, _)| live.contains(*a))
+            .map(|(a, v)| (a.clone(), v.clone()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ClassId, MethodId, StmtId};
+    use crate::concrete::FjSlot;
+    use cfa_core::domain::CallString;
+    use cfa_syntax::intern::Symbol;
+    use std::collections::BTreeMap;
+    use std::rc::Rc;
+
+    fn var_addr(i: usize) -> FjAddrA {
+        FjAddrA { slot: FjSlot::Var(Symbol::from_index(i)), time: CallString::empty() }
+    }
+
+    fn kont_addr(m: u32) -> FjAddrA {
+        FjAddrA { slot: FjSlot::Kont(MethodId(m)), time: CallString::empty() }
+    }
+
+    fn store_of(entries: Vec<(FjAddrA, Vec<FjAVal>)>) -> FjNaiveStore {
+        Rc::new(
+            entries
+                .into_iter()
+                .map(|(a, vs)| (a, vs.into_iter().collect()))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    #[test]
+    fn unreachable_addresses_are_collected() {
+        let obj = FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() };
+        let store = store_of(vec![
+            (var_addr(0), vec![obj.clone()]),
+            (var_addr(1), vec![obj]),
+            (kont_addr(0), vec![FjAVal::HaltKont]),
+        ]);
+        let benv = FjBEnvA::empty().extend([(Symbol::from_index(0), var_addr(0))]);
+        let collected = collect(&store, &benv, &kont_addr(0));
+        assert_eq!(collected.len(), 2);
+        assert!(collected.contains_key(&var_addr(0)));
+        assert!(!collected.contains_key(&var_addr(1)));
+    }
+
+    #[test]
+    fn object_records_keep_fields_live() {
+        let fields = FjBEnvA::empty().extend([(Symbol::from_index(5), var_addr(5))]);
+        let store = store_of(vec![
+            (var_addr(0), vec![FjAVal::Obj { class: ClassId(0), fields }]),
+            (var_addr(5), vec![FjAVal::Obj { class: ClassId(1), fields: FjBEnvA::empty() }]),
+            (var_addr(6), vec![FjAVal::Obj { class: ClassId(1), fields: FjBEnvA::empty() }]),
+            (kont_addr(0), vec![FjAVal::HaltKont]),
+        ]);
+        let benv = FjBEnvA::empty().extend([(Symbol::from_index(0), var_addr(0))]);
+        let collected = collect(&store, &benv, &kont_addr(0));
+        assert!(collected.contains_key(&var_addr(5)), "field address must stay live");
+        assert!(!collected.contains_key(&var_addr(6)));
+    }
+
+    #[test]
+    fn continuations_keep_caller_frames_live() {
+        // kont(1) holds a continuation whose caller frame binds x7 and
+        // whose caller continuation is kont(0) (halt).
+        let caller_env = FjBEnvA::empty().extend([(Symbol::from_index(7), var_addr(7))]);
+        let kont_val = FjAVal::Kont {
+            var: Symbol::from_index(9),
+            next: StmtId { method: MethodId(0), index: 1 },
+            benv: caller_env,
+            kont: kont_addr(0),
+            time: None,
+        };
+        let store = store_of(vec![
+            (kont_addr(1), vec![kont_val]),
+            (kont_addr(0), vec![FjAVal::HaltKont]),
+            (var_addr(7), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+            (var_addr(8), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+        ]);
+        let benv = FjBEnvA::empty();
+        let collected = collect(&store, &benv, &kont_addr(1));
+        assert!(collected.contains_key(&var_addr(7)), "caller frame stays live");
+        assert!(collected.contains_key(&kont_addr(0)), "caller kont stays live");
+        assert!(!collected.contains_key(&var_addr(8)));
+    }
+
+    #[test]
+    fn fully_live_store_is_shared_not_copied() {
+        let store = store_of(vec![(kont_addr(0), vec![FjAVal::HaltKont])]);
+        let benv = FjBEnvA::empty();
+        let collected = collect(&store, &benv, &kont_addr(0));
+        assert!(Rc::ptr_eq(&store, &collected));
+    }
+
+    #[test]
+    fn collection_is_idempotent() {
+        let store = store_of(vec![
+            (var_addr(0), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+            (var_addr(1), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+            (kont_addr(0), vec![FjAVal::HaltKont]),
+        ]);
+        let benv = FjBEnvA::empty().extend([(Symbol::from_index(0), var_addr(0))]);
+        let once = collect(&store, &benv, &kont_addr(0));
+        let twice = collect(&once, &benv, &kont_addr(0));
+        assert_eq!(*once, *twice);
+    }
+}

@@ -1,0 +1,728 @@
+//! k-CFA for A-Normal Featherweight Java (paper Fig 7–9, §4.2–4.5).
+//!
+//! This is *Shivers's* k-CFA, constructed as literally as possible for
+//! Java: abstract states `(stmt, β̂, σ̂, p̂_κ, t̂)` over a single-threaded
+//! store, driven by the same worklist engine as the CPS analyzers.
+//!
+//! Despite being the *same specification* as functional k-CFA, this
+//! analysis is polynomial: every address in the range of an object's
+//! record shares the object's single birth time (`B̂Env ≅ T̂ime`, §4.4),
+//! because `new` closes all fields *simultaneously*. The Figure 1/2
+//! experiment measures exactly this collapse.
+//!
+//! Two tick policies (§4.5):
+//!
+//! * [`TickPolicy::EveryStatement`] — the paper's literal construction:
+//!   time advances at every statement;
+//! * [`TickPolicy::OnInvocation`] — the conventional OO k-CFA: contexts
+//!   are call sites only, and a method return *restores* the caller's
+//!   context.
+
+use crate::ast::{ClassId, FjExpr, FjProgram, FjStmtKind, MethodId, StmtId};
+use crate::concrete::{FjAddr as ConcAddr, FjSlot};
+use cfa_core::domain::CallString;
+use cfa_core::engine::{
+    run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, Status, TrackedStore,
+};
+use cfa_core::store::FlowSet;
+use cfa_syntax::cps::Label;
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// An abstract Featherweight Java address: slot × abstract time.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FjAddrA {
+    /// What is stored.
+    pub slot: FjSlot,
+    /// Abstract allocation time.
+    pub time: CallString,
+}
+
+/// An abstract binding environment (sorted map behind `Rc`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FjBEnvA(Rc<Vec<(Symbol, FjAddrA)>>);
+
+impl FjBEnvA {
+    /// The empty environment.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a variable or field.
+    pub fn get(&self, v: Symbol) -> Option<&FjAddrA> {
+        self.0
+            .binary_search_by_key(&v, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Functional extension.
+    pub fn extend(&self, bindings: impl IntoIterator<Item = (Symbol, FjAddrA)>) -> FjBEnvA {
+        let mut v: Vec<(Symbol, FjAddrA)> = (*self.0).clone();
+        for (sym, addr) in bindings {
+            match v.binary_search_by_key(&sym, |(s, _)| *s) {
+                Ok(i) => v[i].1 = addr,
+                Err(i) => v.insert(i, (sym, addr)),
+            }
+        }
+        FjBEnvA(Rc::new(v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over bindings in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &FjAddrA)> {
+        self.0.iter().map(|(s, a)| (*s, a))
+    }
+}
+
+/// An abstract Featherweight Java value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FjAVal {
+    /// An abstract object `(C, β̂)`.
+    Obj {
+        /// The class.
+        class: ClassId,
+        /// The field record.
+        fields: FjBEnvA,
+    },
+    /// An abstract continuation `(v, s, β̂, p̂_κ)`.
+    Kont {
+        /// Variable receiving the return value.
+        var: Symbol,
+        /// Resume statement.
+        next: StmtId,
+        /// Caller environment.
+        benv: FjBEnvA,
+        /// Caller continuation pointer.
+        kont: FjAddrA,
+        /// Caller time — `Some` only under [`TickPolicy::OnInvocation`],
+        /// which restores it on return (§4.5). `None` keeps the domain
+        /// exactly Fig 7's.
+        time: Option<CallString>,
+    },
+    /// The top-level continuation.
+    HaltKont,
+}
+
+/// An abstract configuration (store-less state component).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FjConfig {
+    /// Current statement.
+    pub stmt: StmtId,
+    /// Current environment.
+    pub benv: FjBEnvA,
+    /// Current continuation pointer.
+    pub kont: FjAddrA,
+    /// Current abstract time.
+    pub time: CallString,
+}
+
+/// When the abstract clock ticks (§4.5).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TickPolicy {
+    /// Tick at every statement (the paper's literal construction, Fig 9).
+    EveryStatement,
+    /// Tick only at method invocations; returns restore the caller's
+    /// context (the conventional OO k-CFA / k-call-site-sensitive
+    /// points-to analysis).
+    OnInvocation,
+}
+
+/// Options for the Featherweight Java analysis.
+#[derive(Copy, Clone, Debug)]
+pub struct FjAnalysisOptions {
+    /// Context depth.
+    pub k: usize,
+    /// Tick policy.
+    pub policy: TickPolicy,
+    /// If true, casts filter flow sets by subclassing (a precision
+    /// extension; Fig 9 copies unfiltered — the default).
+    pub cast_filtering: bool,
+}
+
+impl FjAnalysisOptions {
+    /// The paper's literal construction with the given `k`.
+    pub fn paper(k: usize) -> Self {
+        FjAnalysisOptions { k, policy: TickPolicy::EveryStatement, cast_filtering: false }
+    }
+
+    /// Conventional OO k-CFA with the given `k`.
+    pub fn oo(k: usize) -> Self {
+        FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false }
+    }
+}
+
+/// The Featherweight Java abstract machine.
+#[derive(Debug)]
+pub struct FjMachine<'p> {
+    program: &'p FjProgram,
+    options: FjAnalysisOptions,
+    this_sym: Symbol,
+    /// Distinct environments each method body is entered with.
+    method_entry_envs: HashMap<MethodId, BTreeSet<FjBEnvA>>,
+    /// Distinct abstract objects per class.
+    obj_envs: HashMap<ClassId, BTreeSet<FjBEnvA>>,
+    /// Invocation targets per call statement.
+    call_targets: HashMap<StmtId, BTreeSet<MethodId>>,
+    /// Classes of values returned from `main`.
+    halt_classes: BTreeSet<ClassId>,
+}
+
+impl<'p> FjMachine<'p> {
+    /// Creates a machine for `program` with `options`.
+    pub fn new(program: &'p FjProgram, options: FjAnalysisOptions) -> Self {
+        let this_sym = program.interner().lookup("this").expect("'this' interned by parser");
+        FjMachine {
+            program,
+            options,
+            this_sym,
+            method_entry_envs: HashMap::new(),
+            obj_envs: HashMap::new(),
+            call_targets: HashMap::new(),
+            halt_classes: BTreeSet::new(),
+        }
+    }
+
+    fn tick(&self, label: Label, time: &CallString, is_invoke: bool) -> CallString {
+        match self.options.policy {
+            TickPolicy::EveryStatement => time.push(label, self.options.k),
+            TickPolicy::OnInvocation if is_invoke => time.push(label, self.options.k),
+            TickPolicy::OnInvocation => time.clone(),
+        }
+    }
+
+    fn read_var(
+        &self,
+        benv: &FjBEnvA,
+        v: Symbol,
+        store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
+    ) -> FlowSet<FjAVal> {
+        match benv.get(v) {
+            Some(addr) => store.read(&addr.clone()),
+            None => FlowSet::new(),
+        }
+    }
+
+    /// Joins `values` into the destination variable `lhs`.
+    fn write_var(
+        &self,
+        benv: &FjBEnvA,
+        lhs: Symbol,
+        values: impl IntoIterator<Item = FjAVal>,
+        store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
+    ) {
+        if let Some(addr) = benv.get(lhs) {
+            store.join(addr.clone(), values);
+        }
+    }
+}
+
+impl<'p> AbstractMachine for FjMachine<'p> {
+    type Config = FjConfig;
+    type Addr = FjAddrA;
+    type Val = FjAVal;
+
+    fn seed(&mut self, store: &mut TrackedStore<'_, FjAddrA, FjAVal>) {
+        let entry = self.program.entry();
+        let t0 = CallString::empty();
+        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
+        store.join(
+            this_addr,
+            [FjAVal::Obj {
+                class: self.program.method(entry).owner,
+                fields: FjBEnvA::empty(),
+            }],
+        );
+        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0 };
+        store.join(halt_addr, [FjAVal::HaltKont]);
+    }
+
+    fn initial(&self) -> FjConfig {
+        let entry = self.program.entry();
+        let t0 = CallString::empty();
+        let main = self.program.method(entry);
+        let mut bindings =
+            vec![(self.this_sym, FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() })];
+        for &(_, l) in &main.locals {
+            bindings.push((l, FjAddrA { slot: FjSlot::Var(l), time: t0.clone() }));
+        }
+        FjConfig {
+            stmt: self.program.entry_stmt(),
+            benv: FjBEnvA::empty().extend(bindings),
+            kont: FjAddrA { slot: FjSlot::Kont(entry), time: t0.clone() },
+            time: t0,
+        }
+    }
+
+    fn step(
+        &mut self,
+        config: &FjConfig,
+        store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
+        out: &mut Vec<FjConfig>,
+    ) {
+        let Some(stmt) = self.program.stmt(config.stmt) else { return };
+        let label = stmt.label;
+        match &stmt.kind {
+            FjStmtKind::Assign { lhs, rhs } => {
+                let t_new = self.tick(label, &config.time, matches!(rhs, FjExpr::Invoke { .. }));
+                let succ = || FjConfig {
+                    stmt: self.program.succ(config.stmt),
+                    benv: config.benv.clone(),
+                    kont: config.kont.clone(),
+                    time: t_new.clone(),
+                };
+                match rhs {
+                    FjExpr::Var(v2) => {
+                        let d = self.read_var(&config.benv, *v2, store);
+                        self.write_var(&config.benv, *lhs, d, store);
+                        out.push(succ());
+                    }
+                    FjExpr::FieldRead { object, field } => {
+                        let objs = self.read_var(&config.benv, *object, store);
+                        let mut result = FlowSet::new();
+                        for o in &objs {
+                            if let FjAVal::Obj { fields, .. } = o {
+                                if let Some(faddr) = fields.get(*field) {
+                                    result.extend(store.read(&faddr.clone()));
+                                }
+                            }
+                        }
+                        self.write_var(&config.benv, *lhs, result, store);
+                        out.push(succ());
+                    }
+                    FjExpr::Invoke { receiver, method, args } => {
+                        let receivers = self.read_var(&config.benv, *receiver, store);
+                        let arg_sets: Vec<FlowSet<FjAVal>> = args
+                            .iter()
+                            .map(|&a| self.read_var(&config.benv, a, store))
+                            .collect();
+                        for r in &receivers {
+                            let FjAVal::Obj { class, .. } = r else { continue };
+                            let Some(mid) = self.program.lookup_method(*class, *method) else {
+                                continue;
+                            };
+                            self.call_targets.entry(config.stmt).or_default().insert(mid);
+                            let target = self.program.method(mid);
+                            if target.params.len() != arg_sets.len() {
+                                continue;
+                            }
+                            let kont_val = FjAVal::Kont {
+                                var: *lhs,
+                                next: self.program.succ(config.stmt),
+                                benv: config.benv.clone(),
+                                kont: config.kont.clone(),
+                                time: match self.options.policy {
+                                    TickPolicy::OnInvocation => Some(config.time.clone()),
+                                    TickPolicy::EveryStatement => None,
+                                },
+                            };
+                            let kont_addr =
+                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            store.join(kont_addr.clone(), [kont_val]);
+
+                            // β̂′ = [this ↦ β̂(v₀)], then params and locals.
+                            let Some(recv_addr) = config.benv.get(*receiver) else { continue };
+                            let mut bindings = vec![(self.this_sym, recv_addr.clone())];
+                            for ((_, p), values) in target.params.iter().zip(&arg_sets) {
+                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                store.join(a.clone(), values.iter().cloned());
+                                bindings.push((*p, a));
+                            }
+                            for &(_, l) in &target.locals {
+                                bindings
+                                    .push((l, FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() }));
+                            }
+                            let callee = FjBEnvA::empty().extend(bindings);
+                            self.method_entry_envs
+                                .entry(mid)
+                                .or_default()
+                                .insert(callee.clone());
+                            out.push(FjConfig {
+                                stmt: StmtId { method: mid, index: 0 },
+                                benv: callee,
+                                kont: kont_addr,
+                                time: t_new.clone(),
+                            });
+                        }
+                    }
+                    FjExpr::New { class, args } => {
+                        let Some(cid) = self.program.class_by_name(*class) else {
+                            out.push(succ());
+                            return;
+                        };
+                        let field_list = self.program.all_fields(cid);
+                        if field_list.len() != args.len() {
+                            out.push(succ());
+                            return;
+                        }
+                        let mut record = Vec::with_capacity(field_list.len());
+                        for ((_, f), &arg) in field_list.iter().zip(args) {
+                            let values = self.read_var(&config.benv, arg, store);
+                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            store.join(a.clone(), values);
+                            record.push((*f, a));
+                        }
+                        let fields = FjBEnvA::empty().extend(record);
+                        self.obj_envs.entry(cid).or_default().insert(fields.clone());
+                        self.write_var(
+                            &config.benv,
+                            *lhs,
+                            [FjAVal::Obj { class: cid, fields }],
+                            store,
+                        );
+                        out.push(succ());
+                    }
+                    FjExpr::Cast { class, var } => {
+                        let mut d = self.read_var(&config.benv, *var, store);
+                        if self.options.cast_filtering {
+                            if let Some(target) = self.program.class_by_name(*class) {
+                                d.retain(|v| match v {
+                                    FjAVal::Obj { class: c, .. } => {
+                                        self.program.is_subclass(*c, target)
+                                    }
+                                    _ => true,
+                                });
+                            }
+                        }
+                        self.write_var(&config.benv, *lhs, d, store);
+                        out.push(succ());
+                    }
+                }
+            }
+            FjStmtKind::Return { var } => {
+                let d = self.read_var(&config.benv, *var, store);
+                let konts = store.read(&config.kont);
+                for k in &konts {
+                    match k {
+                        FjAVal::HaltKont => {
+                            for v in &d {
+                                if let FjAVal::Obj { class, .. } = v {
+                                    self.halt_classes.insert(*class);
+                                }
+                            }
+                        }
+                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                            if let Some(addr) = benv.get(*v2) {
+                                store.join(addr.clone(), d.iter().cloned());
+                            }
+                            let t_new = match (self.options.policy, time) {
+                                (TickPolicy::OnInvocation, Some(t)) => t.clone(),
+                                _ => self.tick(label, &config.time, false),
+                            };
+                            out.push(FjConfig {
+                                stmt: *next,
+                                benv: benv.clone(),
+                                kont: kont.clone(),
+                                time: t_new,
+                            });
+                        }
+                        FjAVal::Obj { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Summary metrics for a Featherweight Java analysis run.
+#[derive(Clone, Debug)]
+pub struct FjMetrics {
+    /// Analysis name.
+    pub analysis: String,
+    /// Completion status.
+    pub status: Status,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Configuration evaluations.
+    pub iterations: u64,
+    /// Distinct configurations.
+    pub config_count: usize,
+    /// Bound abstract addresses.
+    pub store_entries: usize,
+    /// Total `(address, value)` facts.
+    pub store_facts: usize,
+    /// Distinct entry environments per method (Figure 1's env count).
+    pub method_entry_env_counts: BTreeMap<MethodId, usize>,
+    /// Distinct abstract objects per class.
+    pub obj_env_counts: BTreeMap<ClassId, usize>,
+    /// Call targets per invocation statement.
+    pub call_targets: BTreeMap<StmtId, BTreeSet<MethodId>>,
+    /// Distinct abstract times across all reached configurations. In the
+    /// OO semantics `B̂Env ≅ T̂ime` (§4.4), so this is the OO-side
+    /// abstract-environment count the Figure 1 experiment reports
+    /// (`O(N+M)` for the paradox program).
+    pub time_count: usize,
+    /// Invocation sites with exactly one target (monomorphic —
+    /// devirtualizable, the OO analog of the inlining metric).
+    pub monomorphic_calls: usize,
+    /// Reachable invocation sites.
+    pub reachable_calls: usize,
+    /// Classes of values returned from `main`.
+    pub halt_classes: BTreeSet<ClassId>,
+}
+
+impl FjMetrics {
+    /// Total abstract environments across all methods.
+    pub fn total_method_envs(&self) -> usize {
+        self.method_entry_env_counts.values().sum()
+    }
+
+    /// Entry-environment count for one method.
+    pub fn method_env_count(&self, m: MethodId) -> usize {
+        self.method_entry_env_counts.get(&m).copied().unwrap_or(0)
+    }
+}
+
+/// The full result of a Featherweight Java k-CFA run.
+#[derive(Debug)]
+pub struct FjResult {
+    /// Raw fixpoint data.
+    pub fixpoint: FixpointResult<FjConfig, FjAddrA, FjAVal>,
+    /// Summary metrics.
+    pub metrics: FjMetrics,
+}
+
+/// Runs k-CFA for Featherweight Java.
+pub fn analyze_fj(program: &FjProgram, options: FjAnalysisOptions, limits: EngineLimits) -> FjResult {
+    let mut machine = FjMachine::new(program, options);
+    let fixpoint = run_fixpoint(&mut machine, limits);
+    let reachable_calls = machine.call_targets.len();
+    let monomorphic_calls =
+        machine.call_targets.values().filter(|targets| targets.len() == 1).count();
+    let time_count = {
+        let mut times: BTreeSet<&CallString> = BTreeSet::new();
+        for cfg in &fixpoint.configs {
+            times.insert(&cfg.time);
+        }
+        times.len()
+    };
+    let metrics = FjMetrics {
+        analysis: format!(
+            "FJ k-CFA(k={}, {:?}{})",
+            options.k,
+            options.policy,
+            if options.cast_filtering { ", cast-filtered" } else { "" }
+        ),
+        status: fixpoint.status,
+        elapsed: fixpoint.elapsed,
+        iterations: fixpoint.iterations,
+        config_count: fixpoint.config_count(),
+        store_entries: fixpoint.store.len(),
+        store_facts: fixpoint.store.fact_count(),
+        method_entry_env_counts: machine
+            .method_entry_envs
+            .iter()
+            .map(|(&m, envs)| (m, envs.len()))
+            .collect(),
+        obj_env_counts: machine.obj_envs.iter().map(|(&c, envs)| (c, envs.len())).collect(),
+        call_targets: machine.call_targets.into_iter().collect(),
+        time_count,
+        monomorphic_calls,
+        reachable_calls,
+        halt_classes: machine.halt_classes,
+    };
+    FjResult { fixpoint, metrics }
+}
+
+// Re-export for soundness checking against the concrete machine.
+pub use crate::concrete::FjSlot as Slot;
+
+/// Abstraction map on concrete addresses (for soundness tests).
+pub fn alpha_addr(addr: &ConcAddr, times: &cfa_concrete::ctx::CtxTable, k: usize) -> FjAddrA {
+    FjAddrA {
+        slot: addr.slot,
+        time: CallString::from_labels(times.first_k(addr.ctx, k), k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fj;
+
+    fn analyze(src: &str, k: usize) -> FjResult {
+        let p = parse_fj(src).unwrap();
+        analyze_fj(&p, FjAnalysisOptions::paper(k), EngineLimits::default())
+    }
+
+    const DISPATCH: &str = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object o; o = new A(); return o; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object o; o = new B(); return o; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            A x;
+            x = new B();
+            return x.who();
+          }
+        }";
+
+    #[test]
+    fn analyzes_minimal_program() {
+        let r = analyze(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+            1,
+        );
+        assert!(r.metrics.status.is_complete());
+        assert_eq!(r.metrics.halt_classes.len(), 1);
+    }
+
+    #[test]
+    fn dispatch_resolves_precisely() {
+        let r = analyze(DISPATCH, 1);
+        // x can only be a B, so x.who() has exactly one target.
+        assert_eq!(r.metrics.monomorphic_calls, r.metrics.reachable_calls);
+        assert!(r.metrics.status.is_complete());
+    }
+
+    #[test]
+    fn polymorphic_receiver_gets_two_targets() {
+        let r = analyze(
+            "class A extends Object {
+               A() { super(); }
+               Object who() { Object o; o = new A(); return o; }
+             }
+             class B extends A {
+               B() { super(); }
+               Object who() { Object o; o = new B(); return o; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               A pick(A one, A two) { return two; }
+               Object main() {
+                 A x;
+                 x = this.pick(new A(), new B());
+                 A y;
+                 y = this.pick(new B(), new A());
+                 return x.who();
+               }
+             }",
+            0,
+        );
+        // Under 0CFA both call sites merge into `two`, so x.who() is
+        // polymorphic.
+        let max_targets = r.metrics.call_targets.values().map(BTreeSet::len).max().unwrap();
+        assert_eq!(max_targets, 2);
+    }
+
+    #[test]
+    fn field_flow_is_tracked() {
+        let p = parse_fj(
+            "class Box extends Object {
+               Object item;
+               Box(Object item0) { super(); this.item = item0; }
+               Object get() { return this.item; }
+             }
+             class Marker extends Object { Marker() { super(); } }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Box b;
+                 b = new Box(new Marker());
+                 return b.get();
+               }
+             }",
+        )
+        .unwrap();
+        let r = analyze_fj(&p, FjAnalysisOptions::paper(1), EngineLimits::default());
+        let names: Vec<&str> = r
+            .metrics
+            .halt_classes
+            .iter()
+            .map(|&c| p.name(p.class(c).name))
+            .collect();
+        assert_eq!(names, vec!["Marker"]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let r = analyze(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { return this.main(); }
+             }",
+            1,
+        );
+        assert!(r.metrics.status.is_complete());
+        // main never returns a value, so nothing reaches halt.
+        assert!(r.metrics.halt_classes.is_empty());
+    }
+
+    #[test]
+    fn oo_policy_restores_caller_context() {
+        let p = parse_fj(DISPATCH).unwrap();
+        let paper = analyze_fj(&p, FjAnalysisOptions::paper(1), EngineLimits::default());
+        let oo = analyze_fj(&p, FjAnalysisOptions::oo(1), EngineLimits::default());
+        assert!(paper.metrics.status.is_complete());
+        assert!(oo.metrics.status.is_complete());
+        // Both resolve the single dispatch site precisely.
+        assert_eq!(oo.metrics.monomorphic_calls, oo.metrics.reachable_calls);
+    }
+
+    #[test]
+    fn cast_filtering_prunes_impossible_classes() {
+        let src = "
+            class A extends Object {
+              A() { super(); }
+            }
+            class B extends Object {
+              B() { super(); }
+            }
+            class Main extends Object {
+              Main() { super(); }
+              Object pick(Object one, Object two) { return two; }
+              Object main() {
+                Object x;
+                x = this.pick(new A(), new B());
+                Object x2;
+                x2 = this.pick(new B(), new A());
+                B y;
+                y = (B) x;
+                return y;
+              }
+            }";
+        let p = parse_fj(src).unwrap();
+        let unfiltered = analyze_fj(&p, FjAnalysisOptions::paper(0), EngineLimits::default());
+        let filtered = analyze_fj(
+            &p,
+            FjAnalysisOptions { cast_filtering: true, ..FjAnalysisOptions::paper(0) },
+            EngineLimits::default(),
+        );
+        assert!(unfiltered.metrics.halt_classes.len() >= 2);
+        assert_eq!(filtered.metrics.halt_classes.len(), 1);
+    }
+
+    #[test]
+    fn store_and_config_counts_reported() {
+        let r = analyze(DISPATCH, 1);
+        assert!(r.metrics.store_entries > 0);
+        assert!(r.metrics.config_count > 0);
+        assert!(r.metrics.store_facts >= r.metrics.store_entries);
+    }
+
+    #[test]
+    fn method_env_counts_populate() {
+        let r = analyze(DISPATCH, 1);
+        assert!(r.metrics.total_method_envs() >= 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! A-Normal Featherweight Java and its k-CFA (paper §4).
+//!
+//! The paper resolves the k-CFA paradox by constructing Shivers's k-CFA
+//! *for Java* as literally as possible and observing that the object
+//! representation — class name + record whose fields are all born at one
+//! time — collapses the environment component that is exponential in the
+//! functional setting. This crate provides the whole pipeline:
+//!
+//! * [`ast`] / [`parse`] — A-Normal Featherweight Java with an
+//!   A-normalizing parser;
+//! * [`concrete`] — the small-step concrete semantics (Fig 4–6);
+//! * [`kcfa`] — the abstract semantics (Fig 7–9) over the same worklist
+//!   engine the CPS analyzers use, with the §4.5 tick-policy variants.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_fj::{parse_fj, analyze_fj, FjAnalysisOptions};
+//! use cfa_core::engine::EngineLimits;
+//!
+//! let p = parse_fj(
+//!     "class Main extends Object {
+//!        Main() { super(); }
+//!        Object main() { Object o; o = new Object(); return o; }
+//!      }",
+//! )?;
+//! let result = analyze_fj(&p, FjAnalysisOptions::paper(1), EngineLimits::default());
+//! assert!(result.metrics.status.is_complete());
+//! # Ok::<(), cfa_fj::parse::FjParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod callgraph;
+pub mod concrete;
+pub mod datalog;
+pub mod gc;
+pub mod kcfa;
+pub mod naive;
+pub mod parse;
+pub mod pretty;
+pub mod soundness;
+
+pub use ast::{ClassId, FjExpr, FjProgram, FjStmt, FjStmtKind, Method, MethodId, StmtId};
+pub use concrete::{run_fj, run_fj_traced, FjLimits, FjOutcome, FjRun};
+pub use kcfa::{analyze_fj, FjAnalysisOptions, FjMetrics, FjResult, TickPolicy};
+pub use callgraph::FjCallGraph;
+pub use datalog::{analyze_fj_datalog, FjDatalogOptions, FjDatalogResult};
+pub use naive::{analyze_fj_naive, Count, FjNaiveOptions, FjNaiveResult};
+pub use parse::{parse_fj, FjParseError};

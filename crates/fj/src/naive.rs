@@ -1,0 +1,661 @@
+//! Naive OO k-CFA: reachable-states search with per-state stores, plus
+//! abstract garbage collection and abstract counting (§3.6 + §8).
+//!
+//! This is the Featherweight Java analog of [`cfa_core::naive`]: the
+//! system space is a set of whole states `(s, β̂, σ̂, p̂_κ, t̂)`, each
+//! carrying its own store. It exists for two reasons:
+//!
+//! 1. it makes the §3.6-vs-§3.7 comparison measurable on the OO side
+//!    too (per-state stores vs the single-threaded store);
+//! 2. it is the machine on which the paper's §8 proposal — abstract
+//!    garbage collection for OO programs — applies directly
+//!    ([`crate::gc`]), together with ΓCFA's *abstract counting*: a
+//!    per-state cardinality map μ̂ recording whether an abstract address
+//!    stands for at most one concrete address ([`Count::One`]) or
+//!    possibly several ([`Count::Many`]). Singular addresses license
+//!    must-alias reasoning; collection makes more addresses singular by
+//!    removing dead bindings before they can be re-allocated.
+
+use crate::ast::{ClassId, FjExpr, FjProgram, FjStmtKind, StmtId};
+use crate::concrete::FjSlot;
+use crate::gc::FjNaiveStore;
+use crate::kcfa::{FjAVal, FjAddrA, FjAnalysisOptions, FjBEnvA, TickPolicy};
+use cfa_core::domain::CallString;
+use cfa_core::engine::Status;
+use cfa_core::store::FlowSet;
+use cfa_syntax::cps::Label;
+use cfa_syntax::intern::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A flow set of abstract Featherweight Java values.
+pub type FlowSetA = FlowSet<FjAVal>;
+
+pub use cfa_core::naive::Count;
+
+/// A per-state cardinality map μ̂.
+pub type CountMap = Rc<BTreeMap<FjAddrA, Count>>;
+
+/// A whole abstract state with its own store (and count map when
+/// counting is on).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FjNaiveState {
+    /// Current statement.
+    pub stmt: StmtId,
+    /// Current binding environment.
+    pub benv: FjBEnvA,
+    /// This state's own store.
+    pub store: FjNaiveStore,
+    /// Current continuation pointer.
+    pub kont: FjAddrA,
+    /// Current abstract time.
+    pub time: CallString,
+    /// Abstract counts (empty unless counting is enabled).
+    pub counts: CountMap,
+}
+
+/// Options for the naive Featherweight Java search.
+#[derive(Copy, Clone, Debug)]
+pub struct FjNaiveOptions {
+    /// The underlying k-CFA options (context depth, tick policy, casts).
+    pub analysis: FjAnalysisOptions,
+    /// Apply abstract garbage collection to every successor state.
+    pub abstract_gc: bool,
+    /// Track abstract counts (μ̂) per state.
+    pub counting: bool,
+    /// Maximum number of distinct states to explore.
+    pub max_states: usize,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl FjNaiveOptions {
+    /// Plain naive search at the paper's literal construction.
+    pub fn paper(k: usize) -> Self {
+        FjNaiveOptions {
+            analysis: FjAnalysisOptions::paper(k),
+            abstract_gc: false,
+            counting: false,
+            max_states: 1_000_000,
+            time_budget: None,
+        }
+    }
+
+    /// Plain naive search with the conventional OO tick policy (§4.5).
+    pub fn oo(k: usize) -> Self {
+        FjNaiveOptions {
+            analysis: FjAnalysisOptions::oo(k),
+            abstract_gc: false,
+            counting: false,
+            max_states: 1_000_000,
+            time_budget: None,
+        }
+    }
+
+    /// Enables abstract garbage collection.
+    pub fn with_gc(mut self) -> Self {
+        self.abstract_gc = true;
+        self
+    }
+
+    /// Enables abstract counting.
+    pub fn with_counting(mut self) -> Self {
+        self.counting = true;
+        self
+    }
+}
+
+/// Result of the naive Featherweight Java search.
+#[derive(Debug)]
+pub struct FjNaiveResult {
+    /// Number of distinct states reached.
+    pub state_count: usize,
+    /// Completion status.
+    pub status: Status,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Classes of values returned from `main`.
+    pub halt_classes: BTreeSet<ClassId>,
+    /// Aggregated over all states: addresses whose count stayed
+    /// [`Count::One`] in *every* state that bound them.
+    pub singular_addrs: usize,
+    /// Aggregated over all states: total distinct bound addresses.
+    pub total_addrs: usize,
+    /// The aggregated count per address (empty unless counting was on).
+    pub counts: BTreeMap<FjAddrA, Count>,
+}
+
+impl FjNaiveResult {
+    /// Fraction of addresses that remained singular (1.0 when no address
+    /// was ever doubly allocated).
+    pub fn singular_ratio(&self) -> f64 {
+        if self.total_addrs == 0 {
+            1.0
+        } else {
+            self.singular_addrs as f64 / self.total_addrs as f64
+        }
+    }
+}
+
+fn read(store: &FjNaiveStore, addr: &FjAddrA) -> FlowSetA {
+    store.get(addr).cloned().unwrap_or_default()
+}
+
+/// Joins `entries` into `store`, bumping counts for re-bound addresses.
+fn join(
+    store: &FjNaiveStore,
+    counts: &CountMap,
+    counting: bool,
+    entries: Vec<(FjAddrA, FlowSetA)>,
+) -> (FjNaiveStore, CountMap) {
+    if entries.is_empty() {
+        return (store.clone(), counts.clone());
+    }
+    let mut next = (**store).clone();
+    let mut next_counts = if counting { (**counts).clone() } else { BTreeMap::new() };
+    for (addr, values) in entries {
+        if counting {
+            next_counts
+                .entry(addr.clone())
+                .and_modify(|c| *c = c.bump())
+                .or_insert(Count::One);
+        }
+        next.entry(addr).or_default().extend(values);
+    }
+    (Rc::new(next), Rc::new(next_counts))
+}
+
+struct Search<'p> {
+    program: &'p FjProgram,
+    options: FjNaiveOptions,
+    this_sym: Symbol,
+    halt_classes: BTreeSet<ClassId>,
+    /// Aggregated count join across all states.
+    global_counts: BTreeMap<FjAddrA, Count>,
+}
+
+impl<'p> Search<'p> {
+    fn tick(&self, label: Label, time: &CallString, is_invoke: bool) -> CallString {
+        let k = self.options.analysis.k;
+        match self.options.analysis.policy {
+            TickPolicy::EveryStatement => time.push(label, k),
+            TickPolicy::OnInvocation if is_invoke => time.push(label, k),
+            TickPolicy::OnInvocation => time.clone(),
+        }
+    }
+
+    fn read_var(&self, state: &FjNaiveState, v: Symbol) -> FlowSetA {
+        state.benv.get(v).map(|a| read(&state.store, a)).unwrap_or_default()
+    }
+
+    fn initial(&self) -> FjNaiveState {
+        let entry = self.program.entry();
+        let t0 = CallString::empty();
+        let main = self.program.method(entry);
+        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
+        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0.clone() };
+        let mut bindings = vec![(self.this_sym, this_addr.clone())];
+        for &(_, l) in &main.locals {
+            bindings.push((l, FjAddrA { slot: FjSlot::Var(l), time: t0.clone() }));
+        }
+        let empty_store: FjNaiveStore = Rc::new(BTreeMap::new());
+        let empty_counts: CountMap = Rc::new(BTreeMap::new());
+        let seed = vec![
+            (
+                this_addr,
+                std::iter::once(FjAVal::Obj {
+                    class: main.owner,
+                    fields: FjBEnvA::empty(),
+                })
+                .collect::<FlowSetA>(),
+            ),
+            (halt_addr.clone(), std::iter::once(FjAVal::HaltKont).collect()),
+        ];
+        let (store, counts) =
+            join(&empty_store, &empty_counts, self.options.counting, seed);
+        FjNaiveState {
+            stmt: self.program.entry_stmt(),
+            benv: FjBEnvA::empty().extend(bindings),
+            store,
+            kont: halt_addr,
+            time: t0,
+            counts,
+        }
+    }
+
+    fn successors(&mut self, state: &FjNaiveState) -> Vec<FjNaiveState> {
+        let Some(stmt) = self.program.stmt(state.stmt) else { return Vec::new() };
+        let label = stmt.label;
+        let mut out = Vec::new();
+        match &stmt.kind {
+            FjStmtKind::Assign { lhs, rhs } => {
+                let t_new = self.tick(label, &state.time, matches!(rhs, FjExpr::Invoke { .. }));
+                let write_and_step =
+                    |values: FlowSetA, me: &Search<'p>, out: &mut Vec<FjNaiveState>| {
+                        let entries = match state.benv.get(*lhs) {
+                            Some(addr) if !values.is_empty() => vec![(addr.clone(), values)],
+                            _ => Vec::new(),
+                        };
+                        let (store, counts) = join(
+                            &state.store,
+                            &state.counts,
+                            me.options.counting,
+                            entries,
+                        );
+                        out.push(FjNaiveState {
+                            stmt: me.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            store,
+                            kont: state.kont.clone(),
+                            time: t_new.clone(),
+                            counts,
+                        });
+                    };
+                match rhs {
+                    FjExpr::Var(v2) => {
+                        let d = self.read_var(state, *v2);
+                        write_and_step(d, self, &mut out);
+                    }
+                    FjExpr::Cast { class, var } => {
+                        let mut d = self.read_var(state, *var);
+                        if self.options.analysis.cast_filtering {
+                            if let Some(target) = self.program.class_by_name(*class) {
+                                d.retain(|v| match v {
+                                    FjAVal::Obj { class: c, .. } => {
+                                        self.program.is_subclass(*c, target)
+                                    }
+                                    _ => true,
+                                });
+                            }
+                        }
+                        write_and_step(d, self, &mut out);
+                    }
+                    FjExpr::FieldRead { object, field } => {
+                        let objs = self.read_var(state, *object);
+                        let mut result = FlowSetA::new();
+                        for o in &objs {
+                            if let FjAVal::Obj { fields, .. } = o {
+                                if let Some(faddr) = fields.get(*field) {
+                                    result.extend(read(&state.store, faddr));
+                                }
+                            }
+                        }
+                        write_and_step(result, self, &mut out);
+                    }
+                    FjExpr::New { class, args } => {
+                        let Some(cid) = self.program.class_by_name(*class) else {
+                            write_and_step(FlowSetA::new(), self, &mut out);
+                            return out;
+                        };
+                        let field_list = self.program.all_fields(cid);
+                        if field_list.len() != args.len() {
+                            write_and_step(FlowSetA::new(), self, &mut out);
+                            return out;
+                        }
+                        let mut entries = Vec::with_capacity(field_list.len() + 1);
+                        let mut record = Vec::with_capacity(field_list.len());
+                        for ((_, f), &arg) in field_list.iter().zip(args) {
+                            let values = self.read_var(state, arg);
+                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            entries.push((a.clone(), values));
+                            record.push((*f, a));
+                        }
+                        let fields = FjBEnvA::empty().extend(record);
+                        if let Some(addr) = state.benv.get(*lhs) {
+                            entries.push((
+                                addr.clone(),
+                                std::iter::once(FjAVal::Obj { class: cid, fields }).collect(),
+                            ));
+                        }
+                        let (store, counts) =
+                            join(&state.store, &state.counts, self.options.counting, entries);
+                        out.push(FjNaiveState {
+                            stmt: self.program.succ(state.stmt),
+                            benv: state.benv.clone(),
+                            store,
+                            kont: state.kont.clone(),
+                            time: t_new,
+                            counts,
+                        });
+                    }
+                    FjExpr::Invoke { receiver, method, args } => {
+                        let receivers = self.read_var(state, *receiver);
+                        let arg_sets: Vec<FlowSetA> =
+                            args.iter().map(|&a| self.read_var(state, a)).collect();
+                        for r in &receivers {
+                            let FjAVal::Obj { class, .. } = r else { continue };
+                            let Some(mid) = self.program.lookup_method(*class, *method) else {
+                                continue;
+                            };
+                            let target = self.program.method(mid);
+                            if target.params.len() != arg_sets.len() {
+                                continue;
+                            }
+                            let kont_val = FjAVal::Kont {
+                                var: *lhs,
+                                next: self.program.succ(state.stmt),
+                                benv: state.benv.clone(),
+                                kont: state.kont.clone(),
+                                time: match self.options.analysis.policy {
+                                    TickPolicy::OnInvocation => Some(state.time.clone()),
+                                    TickPolicy::EveryStatement => None,
+                                },
+                            };
+                            let kont_addr =
+                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            let mut entries =
+                                vec![(kont_addr.clone(), std::iter::once(kont_val).collect())];
+                            let Some(recv_addr) = state.benv.get(*receiver) else { continue };
+                            let mut bindings = vec![(self.this_sym, recv_addr.clone())];
+                            for ((_, p), values) in target.params.iter().zip(&arg_sets) {
+                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                entries.push((a.clone(), values.clone()));
+                                bindings.push((*p, a));
+                            }
+                            for &(_, l) in &target.locals {
+                                bindings.push((
+                                    l,
+                                    FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() },
+                                ));
+                            }
+                            let (store, counts) = join(
+                                &state.store,
+                                &state.counts,
+                                self.options.counting,
+                                entries,
+                            );
+                            out.push(FjNaiveState {
+                                stmt: StmtId { method: mid, index: 0 },
+                                benv: FjBEnvA::empty().extend(bindings),
+                                store,
+                                kont: kont_addr,
+                                time: t_new.clone(),
+                                counts,
+                            });
+                        }
+                    }
+                }
+            }
+            FjStmtKind::Return { var } => {
+                let d = self.read_var(state, *var);
+                let konts = read(&state.store, &state.kont);
+                for k in &konts {
+                    match k {
+                        FjAVal::HaltKont => {
+                            for v in &d {
+                                if let FjAVal::Obj { class, .. } = v {
+                                    self.halt_classes.insert(*class);
+                                }
+                            }
+                        }
+                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                            let entries = match benv.get(*v2) {
+                                Some(addr) if !d.is_empty() => {
+                                    vec![(addr.clone(), d.clone())]
+                                }
+                                _ => Vec::new(),
+                            };
+                            let (store, counts) = join(
+                                &state.store,
+                                &state.counts,
+                                self.options.counting,
+                                entries,
+                            );
+                            let t_new = match (self.options.analysis.policy, time) {
+                                (TickPolicy::OnInvocation, Some(t)) => t.clone(),
+                                _ => self.tick(label, &state.time, false),
+                            };
+                            out.push(FjNaiveState {
+                                stmt: *next,
+                                benv: benv.clone(),
+                                store,
+                                kont: kont.clone(),
+                                time: t_new,
+                                counts,
+                            });
+                        }
+                        FjAVal::Obj { .. } => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the naive reachable-states search for Featherweight Java.
+pub fn analyze_fj_naive(program: &FjProgram, options: FjNaiveOptions) -> FjNaiveResult {
+    let start = Instant::now();
+    let this_sym = program.interner().lookup("this").expect("'this' interned by parser");
+    let mut search = Search {
+        program,
+        options,
+        this_sym,
+        halt_classes: BTreeSet::new(),
+        global_counts: BTreeMap::new(),
+    };
+    let initial = search.initial();
+    let mut seen: HashSet<FjNaiveState> = HashSet::new();
+    let mut queue: VecDeque<FjNaiveState> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+
+    let mut status = Status::Completed;
+    let mut processed: usize = 0;
+    while let Some(state) = queue.pop_front() {
+        if seen.len() > options.max_states {
+            status = Status::IterationLimit;
+            break;
+        }
+        if processed % 64 == 0 {
+            if let Some(budget) = options.time_budget {
+                if start.elapsed() > budget {
+                    status = Status::TimedOut;
+                    break;
+                }
+            }
+        }
+        processed += 1;
+        if options.counting {
+            for (addr, &count) in state.counts.iter() {
+                search
+                    .global_counts
+                    .entry(addr.clone())
+                    .and_modify(|c| {
+                        if count == Count::Many {
+                            *c = Count::Many;
+                        }
+                    })
+                    .or_insert(count);
+            }
+        }
+        for mut succ in search.successors(&state) {
+            if options.abstract_gc {
+                succ.store = crate::gc::collect(&succ.store, &succ.benv, &succ.kont);
+                if options.counting {
+                    // Collected addresses lose their counts: a future
+                    // re-allocation is a *fresh* allocation (the
+                    // GC/counting synergy of ΓCFA).
+                    let retained: BTreeMap<FjAddrA, Count> = succ
+                        .counts
+                        .iter()
+                        .filter(|(a, _)| succ.store.contains_key(*a))
+                        .map(|(a, c)| (a.clone(), *c))
+                        .collect();
+                    succ.counts = Rc::new(retained);
+                }
+            }
+            if seen.insert(succ.clone()) {
+                queue.push_back(succ);
+            }
+        }
+    }
+
+    let singular_addrs =
+        search.global_counts.values().filter(|&&c| c == Count::One).count();
+    let total_addrs = search.global_counts.len();
+    FjNaiveResult {
+        state_count: seen.len(),
+        status,
+        elapsed: start.elapsed(),
+        halt_classes: search.halt_classes,
+        singular_addrs,
+        total_addrs,
+        counts: search.global_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcfa::analyze_fj;
+    use crate::parse::parse_fj;
+    use cfa_core::engine::EngineLimits;
+
+    const DISPATCH: &str = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object oa; oa = new A(); return oa; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object ob; ob = new B(); return ob; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            A x;
+            x = new B();
+            return x.who();
+          }
+        }";
+
+    const BOXES: &str = "
+        class Box extends Object {
+          Object item;
+          Box(Object item0) { super(); this.item = item0; }
+          Object get() { return this.item; }
+        }
+        class Marker extends Object { Marker() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Box b;
+            b = new Box(new Marker());
+            Box c;
+            c = new Box(b.get());
+            return c.get();
+          }
+        }";
+
+    #[test]
+    fn halts_agree_with_single_store_machine() {
+        for (src, k) in [(DISPATCH, 0), (DISPATCH, 1), (BOXES, 0), (BOXES, 1)] {
+            let p = parse_fj(src).unwrap();
+            let naive = analyze_fj_naive(&p, FjNaiveOptions::paper(k));
+            let fast = analyze_fj(&p, FjAnalysisOptions::paper(k), EngineLimits::default());
+            assert_eq!(naive.status, Status::Completed);
+            // The single-threaded store over-approximates the naive
+            // search; on these programs they coincide.
+            assert_eq!(naive.halt_classes, fast.metrics.halt_classes, "k={k}");
+        }
+    }
+
+    #[test]
+    fn gc_preserves_halt_classes() {
+        for src in [DISPATCH, BOXES] {
+            let p = parse_fj(src).unwrap();
+            let plain = analyze_fj_naive(&p, FjNaiveOptions::paper(1));
+            let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(1).with_gc());
+            assert_eq!(plain.halt_classes, gc.halt_classes);
+            assert!(
+                gc.state_count <= plain.state_count,
+                "gc {} > plain {}",
+                gc.state_count,
+                plain.state_count
+            );
+        }
+    }
+
+    #[test]
+    fn counting_reports_singular_addresses() {
+        let p = parse_fj(DISPATCH).unwrap();
+        let r = analyze_fj_naive(&p, FjNaiveOptions::paper(1).with_counting());
+        assert!(r.total_addrs > 0);
+        // Every address in this straight-line program is allocated once
+        // per context, so most stay singular.
+        assert!(r.singular_addrs > 0);
+        assert!(r.singular_ratio() > 0.5, "ratio {}", r.singular_ratio());
+    }
+
+    #[test]
+    fn recursion_makes_addresses_plural_at_k0() {
+        let p = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object spin(Object x) { return this.spin(x); }
+               Object main() {
+                 Object o;
+                 o = new Object();
+                 return this.spin(o);
+               }
+             }",
+        )
+        .unwrap();
+        let r = analyze_fj_naive(&p, FjNaiveOptions::paper(0).with_counting());
+        // The recursive rebinding of x at the single k=0 context must be
+        // observed as a plural count.
+        assert!(r.singular_addrs < r.total_addrs);
+    }
+
+    #[test]
+    fn gc_improves_singularity() {
+        let p = parse_fj(BOXES).unwrap();
+        let plain = analyze_fj_naive(&p, FjNaiveOptions::paper(0).with_counting());
+        let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(0).with_gc().with_counting());
+        assert!(
+            gc.singular_ratio() >= plain.singular_ratio(),
+            "gc {} < plain {}",
+            gc.singular_ratio(),
+            plain.singular_ratio()
+        );
+    }
+
+    #[test]
+    fn oo_policy_naive_agrees_with_machine() {
+        for src in [DISPATCH, BOXES] {
+            let p = parse_fj(src).unwrap();
+            let naive = analyze_fj_naive(&p, FjNaiveOptions::oo(1));
+            let fast = analyze_fj(&p, FjAnalysisOptions::oo(1), EngineLimits::default());
+            assert_eq!(naive.halt_classes, fast.metrics.halt_classes);
+        }
+    }
+
+    #[test]
+    fn oo_policy_gc_preserves_halt_classes() {
+        let p = parse_fj(BOXES).unwrap();
+        let plain = analyze_fj_naive(&p, FjNaiveOptions::oo(1));
+        let gc = analyze_fj_naive(&p, FjNaiveOptions::oo(1).with_gc());
+        assert_eq!(plain.halt_classes, gc.halt_classes);
+        assert!(gc.state_count <= plain.state_count);
+    }
+
+    #[test]
+    fn state_limit_fires() {
+        let p = parse_fj(DISPATCH).unwrap();
+        let r = analyze_fj_naive(
+            &p,
+            FjNaiveOptions { max_states: 2, ..FjNaiveOptions::paper(1) },
+        );
+        assert_eq!(r.status, Status::IterationLimit);
+    }
+
+    #[test]
+    fn naive_state_count_at_least_config_count() {
+        let p = parse_fj(BOXES).unwrap();
+        let naive = analyze_fj_naive(&p, FjNaiveOptions::paper(1));
+        let fast = analyze_fj(&p, FjAnalysisOptions::paper(1), EngineLimits::default());
+        assert!(naive.state_count >= fast.fixpoint.config_count());
+    }
+}

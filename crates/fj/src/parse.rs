@@ -1,0 +1,908 @@
+//! Parser and A-normalizer for Featherweight Java.
+//!
+//! The surface syntax is a Java subset. Nested expressions are allowed —
+//! the parser performs the A-normalization the paper describes in §4
+//! (`return f.foo(b.bar());` becomes `B b1 = b.bar(); F f1 = f.foo(b1);
+//! return f1;`), introducing fresh temporaries so every statement matches
+//! the A-normal grammar of [`crate::ast`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_fj::parse::parse_fj;
+//!
+//! let program = parse_fj(
+//!     "class Main extends Object {
+//!        Main() { super(); }
+//!        Object main() {
+//!          Object o;
+//!          o = new Object();
+//!          return o;
+//!        }
+//!      }",
+//! )
+//! .unwrap();
+//! assert_eq!(program.class_count(), 2); // Object is implicit
+//! ```
+
+use crate::ast::{ClassDef, ClassId, FjExpr, FjProgram, FjStmt, FjStmtKind, Method, MethodId};
+use cfa_syntax::cps::Label;
+use cfa_syntax::intern::{Interner, Symbol};
+use std::fmt;
+
+/// An error from the Featherweight Java parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FjParseError {
+    /// Byte offset in the source, when known.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FjParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FJ parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for FjParseError {}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    KwClass,
+    KwExtends,
+    KwSuper,
+    KwThis,
+    KwNew,
+    KwReturn,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Dot,
+    Eq,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokens(src: &'a str) -> Result<Vec<(Tok, usize)>, FjParseError> {
+        let mut lx = Lexer { src: src.as_bytes(), at: 0 };
+        let mut out = Vec::new();
+        loop {
+            lx.skip_trivia();
+            let at = lx.at;
+            let Some(c) = lx.peek() else {
+                out.push((Tok::Eof, at));
+                return Ok(out);
+            };
+            let tok = match c {
+                b'{' => {
+                    lx.at += 1;
+                    Tok::LBrace
+                }
+                b'}' => {
+                    lx.at += 1;
+                    Tok::RBrace
+                }
+                b'(' => {
+                    lx.at += 1;
+                    Tok::LParen
+                }
+                b')' => {
+                    lx.at += 1;
+                    Tok::RParen
+                }
+                b';' => {
+                    lx.at += 1;
+                    Tok::Semi
+                }
+                b',' => {
+                    lx.at += 1;
+                    Tok::Comma
+                }
+                b'.' => {
+                    lx.at += 1;
+                    Tok::Dot
+                }
+                b'=' => {
+                    lx.at += 1;
+                    Tok::Eq
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = lx.at;
+                    while lx
+                        .peek()
+                        .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                        .unwrap_or(false)
+                    {
+                        lx.at += 1;
+                    }
+                    let word = std::str::from_utf8(&lx.src[start..lx.at]).expect("ascii");
+                    match word {
+                        "class" => Tok::KwClass,
+                        "extends" => Tok::KwExtends,
+                        "super" => Tok::KwSuper,
+                        "this" => Tok::KwThis,
+                        "new" => Tok::KwNew,
+                        "return" => Tok::KwReturn,
+                        _ => Tok::Ident(word.to_owned()),
+                    }
+                }
+                other => {
+                    return Err(FjParseError {
+                        offset: at,
+                        message: format!("unexpected character '{}'", other as char),
+                    })
+                }
+            };
+            out.push((tok, at));
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.at += 1,
+                Some(b'/') if self.src.get(self.at + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.at += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression trees (pre-normalization)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum ExprTree {
+    Var(String),
+    This,
+    FieldRead(Box<ExprTree>, String),
+    Invoke(Box<ExprTree>, String, Vec<ExprTree>),
+    New(String, Vec<ExprTree>),
+    Cast(String, Box<ExprTree>),
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct RawCtor {
+    params: Vec<(String, String)>,
+    super_args: Vec<String>,
+    assignments: Vec<(String, String)>, // (field, param)
+}
+
+struct RawMethod {
+    ret: String,
+    name: String,
+    params: Vec<(String, String)>,
+    body: Vec<RawStmt>,
+}
+
+enum RawStmt {
+    Decl { ty: String, name: String, init: Option<ExprTree> },
+    Assign { lhs: String, rhs: ExprTree },
+    Return(ExprTree),
+}
+
+struct RawClass {
+    name: String,
+    superclass: String,
+    fields: Vec<(String, String)>,
+    ctor: Option<RawCtor>,
+    methods: Vec<RawMethod>,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.at].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].0.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> FjParseError {
+        FjParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), FjParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, FjParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<RawClass>, FjParseError> {
+        let mut classes = Vec::new();
+        while *self.peek() != Tok::Eof {
+            classes.push(self.class()?);
+        }
+        Ok(classes)
+    }
+
+    fn class(&mut self) -> Result<RawClass, FjParseError> {
+        self.expect(&Tok::KwClass, "'class'")?;
+        let name = self.ident("class name")?;
+        self.expect(&Tok::KwExtends, "'extends'")?;
+        let superclass = self.ident("superclass name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+
+        let mut fields = Vec::new();
+        let mut ctor = None;
+        let mut methods = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            // Lookahead: `Type name ;` = field, `Name (` = ctor,
+            // `Type name (` = method.
+            let first = self.ident("type or constructor name")?;
+            match self.peek().clone() {
+                Tok::LParen if first == name => {
+                    ctor = Some(self.ctor_rest()?);
+                }
+                Tok::Ident(second) => {
+                    self.bump();
+                    match self.peek() {
+                        Tok::Semi => {
+                            self.bump();
+                            fields.push((first, second));
+                        }
+                        Tok::LParen => {
+                            methods.push(self.method_rest(first, second)?);
+                        }
+                        _ => return Err(self.err("expected ';' or '(' after member name")),
+                    }
+                }
+                _ => return Err(self.err("expected class member")),
+            }
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(RawClass { name, superclass, fields, ctor, methods })
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, String)>, FjParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let ty = self.ident("parameter type")?;
+                let name = self.ident("parameter name")?;
+                params.push((ty, name));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(params)
+    }
+
+    fn ctor_rest(&mut self) -> Result<RawCtor, FjParseError> {
+        // The constructor name is consumed; the current token is '('.
+        let params = self.params()?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        self.expect(&Tok::KwSuper, "'super'")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut super_args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                super_args.push(self.ident("super argument")?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        self.expect(&Tok::Semi, "';'")?;
+        let mut assignments = Vec::new();
+        while *self.peek() == Tok::KwThis {
+            self.bump();
+            self.expect(&Tok::Dot, "'.'")?;
+            let field = self.ident("field name")?;
+            self.expect(&Tok::Eq, "'='")?;
+            let param = self.ident("parameter name")?;
+            self.expect(&Tok::Semi, "';'")?;
+            assignments.push((field, param));
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(RawCtor { params, super_args, assignments })
+    }
+
+    fn method_rest(&mut self, ret: String, name: String) -> Result<RawMethod, FjParseError> {
+        let params = self.params()?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(RawMethod { ret, name, params, body })
+    }
+
+    fn stmt(&mut self) -> Result<RawStmt, FjParseError> {
+        match self.peek().clone() {
+            Tok::KwReturn => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(RawStmt::Return(e))
+            }
+            Tok::Ident(first) => {
+                self.bump();
+                match self.peek().clone() {
+                    // `Type name ;` or `Type name = expr ;`
+                    Tok::Ident(second) => {
+                        self.bump();
+                        let init = if *self.peek() == Tok::Eq {
+                            self.bump();
+                            Some(self.expr()?)
+                        } else {
+                            None
+                        };
+                        self.expect(&Tok::Semi, "';'")?;
+                        Ok(RawStmt::Decl { ty: first, name: second, init })
+                    }
+                    // `name = expr ;`
+                    Tok::Eq => {
+                        self.bump();
+                        let rhs = self.expr()?;
+                        self.expect(&Tok::Semi, "';'")?;
+                        Ok(RawStmt::Assign { lhs: first, rhs })
+                    }
+                    _ => Err(self.err("expected declaration or assignment")),
+                }
+            }
+            _ => Err(self.err("expected a statement")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<ExprTree, FjParseError> {
+        let mut base = match self.peek().clone() {
+            Tok::KwThis => {
+                self.bump();
+                ExprTree::This
+            }
+            Tok::KwNew => {
+                self.bump();
+                let class = self.ident("class name")?;
+                let args = self.arg_exprs()?;
+                ExprTree::New(class, args)
+            }
+            Tok::LParen => {
+                // FJ has no parenthesized expressions: '(' starts a cast.
+                self.bump();
+                let class = self.ident("cast target class")?;
+                self.expect(&Tok::RParen, "')'")?;
+                let inner = self.expr()?;
+                ExprTree::Cast(class, Box::new(inner))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                ExprTree::Var(name)
+            }
+            other => return Err(self.err(format!("expected an expression, found {other:?}"))),
+        };
+        // Postfix chains: .field or .method(args)
+        while *self.peek() == Tok::Dot {
+            self.bump();
+            let name = self.ident("member name")?;
+            if *self.peek() == Tok::LParen {
+                let args = self.arg_exprs()?;
+                base = ExprTree::Invoke(Box::new(base), name, args);
+            } else {
+                base = ExprTree::FieldRead(Box::new(base), name);
+            }
+        }
+        Ok(base)
+    }
+
+    fn arg_exprs(&mut self) -> Result<Vec<ExprTree>, FjParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(args)
+    }
+}
+
+// ---------------------------------------------------------------------
+// A-normalization + program assembly
+// ---------------------------------------------------------------------
+
+struct Normalizer {
+    interner: Interner,
+    next_label: u32,
+    next_temp: u32,
+}
+
+impl Normalizer {
+    fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn temp(&mut self) -> (String, Symbol) {
+        let name = format!("_t{}", self.next_temp);
+        self.next_temp += 1;
+        let sym = self.interner.intern(&name);
+        (name, sym)
+    }
+
+    /// Lowers an expression tree to an atomic variable, emitting
+    /// intermediate assignments (and their local declarations).
+    fn atomize(
+        &mut self,
+        e: &ExprTree,
+        this: Symbol,
+        stmts: &mut Vec<FjStmt>,
+        temps: &mut Vec<(Symbol, Symbol)>,
+        object_sym: Symbol,
+    ) -> Symbol {
+        match e {
+            ExprTree::This => this,
+            ExprTree::Var(name) => self.interner.intern(name),
+            compound => {
+                let rhs = self.lower(compound, this, stmts, temps, object_sym);
+                let (_, tmp) = self.temp();
+                temps.push((object_sym, tmp));
+                let label = self.label();
+                stmts.push(FjStmt { kind: FjStmtKind::Assign { lhs: tmp, rhs }, label });
+                tmp
+            }
+        }
+    }
+
+    /// Lowers an expression tree to an A-normal [`FjExpr`], emitting any
+    /// needed intermediate statements first.
+    fn lower(
+        &mut self,
+        e: &ExprTree,
+        this: Symbol,
+        stmts: &mut Vec<FjStmt>,
+        temps: &mut Vec<(Symbol, Symbol)>,
+        object_sym: Symbol,
+    ) -> FjExpr {
+        match e {
+            ExprTree::This => FjExpr::Var(this),
+            ExprTree::Var(name) => FjExpr::Var(self.interner.intern(name)),
+            ExprTree::FieldRead(obj, field) => {
+                let object = self.atomize(obj, this, stmts, temps, object_sym);
+                FjExpr::FieldRead { object, field: self.interner.intern(field) }
+            }
+            ExprTree::Invoke(recv, method, args) => {
+                let receiver = self.atomize(recv, this, stmts, temps, object_sym);
+                let args = args
+                    .iter()
+                    .map(|a| self.atomize(a, this, stmts, temps, object_sym))
+                    .collect();
+                FjExpr::Invoke { receiver, method: self.interner.intern(method), args }
+            }
+            ExprTree::New(class, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.atomize(a, this, stmts, temps, object_sym))
+                    .collect();
+                FjExpr::New { class: self.interner.intern(class), args }
+            }
+            ExprTree::Cast(class, inner) => {
+                let var = self.atomize(inner, this, stmts, temps, object_sym);
+                FjExpr::Cast { class: self.interner.intern(class), var }
+            }
+        }
+    }
+}
+
+/// Parses (and A-normalizes) a Featherweight Java program.
+///
+/// The program must define a class `Main` with a nullary method `main`;
+/// an `Object` base class is provided implicitly. Constructors must
+/// follow the FJ shape: pass the inherited fields to `super` and assign
+/// each own field from a parameter.
+///
+/// # Errors
+///
+/// Returns [`FjParseError`] on lexical/syntactic errors or FJ
+/// well-formedness violations (missing `Main.main`, unknown superclass,
+/// constructor/field mismatch).
+pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
+    let toks = Lexer::tokens(src)?;
+    let mut parser = Parser { toks, at: 0 };
+    let raw_classes = parser.program()?;
+
+    let mut norm = Normalizer { interner: Interner::new(), next_label: 0, next_temp: 0 };
+    let object_sym = norm.interner.intern("Object");
+    let this_sym = norm.interner.intern("this");
+
+    // Implicit Object base class.
+    let mut classes = vec![ClassDef {
+        name: object_sym,
+        superclass: object_sym,
+        fields: Vec::new(),
+        methods: Vec::new(),
+    }];
+    let mut methods: Vec<Method> = Vec::new();
+
+    // First pass: intern class shells so method bodies can reference any
+    // class regardless of declaration order.
+    for raw in &raw_classes {
+        let name = norm.interner.intern(&raw.name);
+        if classes.iter().any(|c| c.name == name) {
+            return Err(FjParseError {
+                offset: 0,
+                message: format!("duplicate class '{}'", raw.name),
+            });
+        }
+        let superclass = norm.interner.intern(&raw.superclass);
+        let fields = raw
+            .fields
+            .iter()
+            .map(|(ty, f)| (norm.interner.intern(ty), norm.interner.intern(f)))
+            .collect();
+        classes.push(ClassDef { name, superclass, fields, methods: Vec::new() });
+    }
+
+    // Validate superclasses exist.
+    for def in &classes {
+        if !classes.iter().any(|c| c.name == def.superclass) {
+            return Err(FjParseError {
+                offset: 0,
+                message: "unknown superclass".to_owned(),
+            });
+        }
+    }
+
+    // Second pass: methods (A-normalized) and constructor validation.
+    for (raw_idx, raw) in raw_classes.iter().enumerate() {
+        let class_id = ClassId(raw_idx as u32 + 1); // offset past Object
+        // Constructor shape check: super args + own assignments cover all
+        // fields positionally.
+        if let Some(ctor) = &raw.ctor {
+            let own_assigned: Vec<&String> = ctor.assignments.iter().map(|(f, _)| f).collect();
+            for (_, f) in &raw.fields {
+                if !own_assigned.contains(&f) {
+                    return Err(FjParseError {
+                        offset: 0,
+                        message: format!(
+                            "constructor of '{}' does not assign field '{}'",
+                            raw.name, f
+                        ),
+                    });
+                }
+            }
+            // FJ constructor shape: one parameter per inherited field
+            // (forwarded to super) plus one per own field.
+            if ctor.params.len() != ctor.super_args.len() + raw.fields.len() {
+                return Err(FjParseError {
+                    offset: 0,
+                    message: format!(
+                        "constructor of '{}' must take one parameter per field \
+                         (got {}, expected {})",
+                        raw.name,
+                        ctor.params.len(),
+                        ctor.super_args.len() + raw.fields.len()
+                    ),
+                });
+            }
+        } else if !raw.fields.is_empty() {
+            return Err(FjParseError {
+                offset: 0,
+                message: format!("class '{}' has fields but no constructor", raw.name),
+            });
+        }
+
+        for m in &raw.methods {
+            let name = norm.interner.intern(&m.name);
+            let params: Vec<(Symbol, Symbol)> = m
+                .params
+                .iter()
+                .map(|(ty, v)| (norm.interner.intern(ty), norm.interner.intern(v)))
+                .collect();
+            let mut stmts: Vec<FjStmt> = Vec::new();
+            let mut locals: Vec<(Symbol, Symbol)> = Vec::new();
+            let mut saw_return = false;
+            for s in &m.body {
+                match s {
+                    RawStmt::Decl { ty, name, init } => {
+                        let ty = norm.interner.intern(ty);
+                        let v = norm.interner.intern(name);
+                        locals.push((ty, v));
+                        if let Some(init) = init {
+                            let rhs =
+                                norm.lower(init, this_sym, &mut stmts, &mut locals, object_sym);
+                            let label = norm.label();
+                            stmts.push(FjStmt {
+                                kind: FjStmtKind::Assign { lhs: v, rhs },
+                                label,
+                            });
+                        }
+                    }
+                    RawStmt::Assign { lhs, rhs } => {
+                        let lhs = norm.interner.intern(lhs);
+                        let rhs = norm.lower(rhs, this_sym, &mut stmts, &mut locals, object_sym);
+                        let label = norm.label();
+                        stmts.push(FjStmt { kind: FjStmtKind::Assign { lhs, rhs }, label });
+                    }
+                    RawStmt::Return(e) => {
+                        let var = norm.atomize(e, this_sym, &mut stmts, &mut locals, object_sym);
+                        let label = norm.label();
+                        stmts.push(FjStmt { kind: FjStmtKind::Return { var }, label });
+                        saw_return = true;
+                    }
+                }
+            }
+            if !saw_return {
+                return Err(FjParseError {
+                    offset: 0,
+                    message: format!("method '{}.{}' has no return", raw.name, m.name),
+                });
+            }
+            let _ = &m.ret;
+            let method_id = MethodId(methods.len() as u32);
+            methods.push(Method { owner: class_id, name, params, locals, body: stmts });
+            classes[class_id.0 as usize].methods.push(method_id);
+        }
+    }
+
+    // Entry: Main.main().
+    let main_class_sym = norm.interner.lookup("Main").ok_or_else(|| FjParseError {
+        offset: 0,
+        message: "program must define a class 'Main'".into(),
+    })?;
+    let main_method_sym = norm.interner.lookup("main").ok_or_else(|| FjParseError {
+        offset: 0,
+        message: "class 'Main' must define a method 'main'".into(),
+    })?;
+    let main_class = classes
+        .iter()
+        .position(|c| c.name == main_class_sym)
+        .ok_or_else(|| FjParseError { offset: 0, message: "class 'Main' not found".into() })?;
+    let entry = classes[main_class]
+        .methods
+        .iter()
+        .copied()
+        .find(|&m| methods[m.0 as usize].name == main_method_sym && methods[m.0 as usize].params.is_empty())
+        .ok_or_else(|| FjParseError {
+            offset: 0,
+            message: "class 'Main' must define a nullary method 'main'".into(),
+        })?;
+
+    let next_label = norm.next_label;
+    Ok(FjProgram::new(norm.interner, classes, methods, entry, next_label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FjStmtKind;
+
+    const HELLO: &str = "
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Object o;
+            o = new Object();
+            return o;
+          }
+        }";
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_fj(HELLO).unwrap();
+        assert_eq!(p.class_count(), 2);
+        assert_eq!(p.method_count(), 1);
+        assert_eq!(p.stmt_count(), 2);
+    }
+
+    #[test]
+    fn anf_flattens_nested_calls() {
+        let p = parse_fj(
+            "class Box extends Object {
+               Object item;
+               Box(Object item0) { super(); this.item = item0; }
+               Object get() { return this.item; }
+               Box wrap() { return new Box(this.get()); }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Box b;
+                 b = new Box(new Object());
+                 return b.wrap().get();
+               }
+             }",
+        )
+        .unwrap();
+        // `b.wrap().get()` needs a temp; `new Box(new Object())` needs one.
+        let main = p.method(p.entry());
+        assert!(main.locals.len() >= 3, "locals: {}", main.locals.len());
+        assert!(main.body.len() >= 4);
+        // All statements are A-normal: arguments and receivers are vars.
+        for m in p.method_ids() {
+            for s in &p.method(m).body {
+                if let FjStmtKind::Assign { rhs, .. } = &s.kind {
+                    // Nothing to check structurally — the types enforce
+                    // atomicity — but every temp must be declared.
+                    let _ = rhs;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn field_lookup_includes_inherited() {
+        let p = parse_fj(
+            "class A extends Object {
+               Object x;
+               A(Object x0) { super(); this.x = x0; }
+             }
+             class B extends A {
+               Object y;
+               B(Object x0, Object y0) { super(x0); this.y = y0; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        )
+        .unwrap();
+        let b = p.class_by_name(p.interner().lookup("B").unwrap()).unwrap();
+        let fields = p.all_fields(b);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(p.name(fields[0].1), "x");
+        assert_eq!(p.name(fields[1].1), "y");
+    }
+
+    #[test]
+    fn method_lookup_walks_hierarchy() {
+        let p = parse_fj(
+            "class A extends Object {
+               A() { super(); }
+               Object id(Object x) { return x; }
+             }
+             class B extends A {
+               B() { super(); }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        )
+        .unwrap();
+        let b = p.class_by_name(p.interner().lookup("B").unwrap()).unwrap();
+        let id = p.interner().lookup("id").unwrap();
+        let m = p.lookup_method(b, id).expect("inherited method");
+        assert_eq!(p.name(p.method(m).name), "id");
+        assert!(p.is_subclass(b, p.class_by_name(p.interner().lookup("A").unwrap()).unwrap()));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let err = parse_fj("class A extends Object { A() { super(); } }").unwrap_err();
+        assert!(err.message.contains("Main"));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let err = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); }
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("return"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unassigned_field() {
+        let err = parse_fj(
+            "class A extends Object {
+               Object x;
+               A(Object x0) { super(); }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object main() { Object o; o = new Object(); return o; }
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("assign"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let err = parse_fj(
+            "class A extends Object { A() { super(); } }
+             class A extends Object { A() { super(); } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = parse_fj(&format!("// header\n{HELLO}")).unwrap();
+        assert_eq!(p.class_count(), 2);
+    }
+
+    #[test]
+    fn casts_parse() {
+        let p = parse_fj(
+            "class Main extends Object {
+               Main() { super(); }
+               Object main() {
+                 Object o;
+                 o = new Object();
+                 Object p;
+                 p = (Main) o;
+                 return p;
+               }
+             }",
+        )
+        .unwrap();
+        assert!(p.method(p.entry()).body.iter().any(|s| matches!(
+            &s.kind,
+            FjStmtKind::Assign { rhs: FjExpr::Cast { .. }, .. }
+        )));
+    }
+}

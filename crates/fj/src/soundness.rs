@@ -1,0 +1,236 @@
+//! Soundness checking for the Featherweight Java analysis: the
+//! abstraction maps of §4.3 executed against traced concrete runs.
+//!
+//! Mirrors `cfa_core::soundness` for the OO side: every state the
+//! concrete machine (Fig 6) visits must abstract to a reached
+//! configuration, and every concrete store binding must be covered by
+//! the abstract store. Valid for [`crate::kcfa::TickPolicy::EveryStatement`], whose
+//! clock the concrete machine's `tick` matches exactly.
+
+use crate::ast::FjProgram;
+use crate::concrete::{FjAddr, FjBEnv, FjRun, FjValue};
+use crate::kcfa::{FjAVal, FjAddrA, FjBEnvA, FjConfig, FjResult};
+use cfa_concrete::ctx::CtxTable;
+use cfa_core::domain::CallString;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A witness that the abstraction failed to cover the concrete run.
+#[derive(Clone, Debug)]
+pub struct FjSoundnessViolation {
+    /// Description of the uncovered state or binding.
+    pub detail: String,
+}
+
+impl fmt::Display for FjSoundnessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FJ soundness violation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for FjSoundnessViolation {}
+
+fn alpha_time(ctx: cfa_concrete::base::Ctx, times: &CtxTable, k: usize) -> CallString {
+    CallString::from_labels(times.first_k(ctx, k), k)
+}
+
+fn alpha_addr(addr: &FjAddr, times: &CtxTable, k: usize) -> FjAddrA {
+    FjAddrA { slot: addr.slot, time: alpha_time(addr.ctx, times, k) }
+}
+
+fn alpha_benv(benv: &FjBEnv, times: &CtxTable, k: usize) -> FjBEnvA {
+    FjBEnvA::empty().extend(benv.iter().map(|(&v, a)| (v, alpha_addr(a, times, k))))
+}
+
+fn alpha_value(v: &FjValue, times: &CtxTable, k: usize) -> FjAVal {
+    match v {
+        FjValue::Obj { class, fields } => {
+            FjAVal::Obj { class: *class, fields: alpha_benv(fields, times, k) }
+        }
+        FjValue::Kont { var, next, benv, kont } => FjAVal::Kont {
+            var: *var,
+            next: *next,
+            benv: alpha_benv(benv, times, k),
+            kont: alpha_addr(kont, times, k),
+            time: None, // EveryStatement konts carry no time
+        },
+        FjValue::HaltKont => FjAVal::HaltKont,
+    }
+}
+
+/// Checks that a per-statement-tick analysis result covers a
+/// traced concrete run at depth `k`.
+///
+/// # Errors
+///
+/// Returns the first uncovered visited state or store binding.
+///
+/// # Panics
+///
+/// Panics if `result` was produced with [`crate::kcfa::TickPolicy::OnInvocation`]
+/// (its clock differs from the concrete machine's).
+pub fn check_fj(
+    program: &FjProgram,
+    k: usize,
+    concrete: &FjRun,
+    result: &FjResult,
+) -> Result<(), FjSoundnessViolation> {
+    assert!(
+        result.metrics.analysis.contains("EveryStatement"),
+        "check_fj requires the per-statement tick policy"
+    );
+    let configs: HashSet<&FjConfig> = result.fixpoint.configs.iter().collect();
+    for visit in &concrete.trace {
+        let abs = FjConfig {
+            stmt: visit.stmt,
+            benv: alpha_benv(&visit.benv, &concrete.times, k),
+            kont: alpha_addr(&visit.kont, &concrete.times, k),
+            time: alpha_time(visit.time, &concrete.times, k),
+        };
+        if !configs.contains(&abs) {
+            return Err(FjSoundnessViolation {
+                detail: format!("visited state not covered: {:?} → {abs:?}", visit.stmt),
+            });
+        }
+    }
+    for (addr, value) in &concrete.store {
+        let abs_addr = alpha_addr(addr, &concrete.times, k);
+        let abs_val = alpha_value(value, &concrete.times, k);
+        let flow = result.fixpoint.store.read(&abs_addr);
+        if !flow.contains(&abs_val) {
+            return Err(FjSoundnessViolation {
+                detail: format!(
+                    "store binding not covered: {addr:?} (abstract {abs_addr:?})"
+                ),
+            });
+        }
+    }
+    let _ = program;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::{run_fj_traced, FjLimits};
+    use crate::kcfa::{analyze_fj, FjAnalysisOptions};
+    use crate::parse::parse_fj;
+    use cfa_core::engine::EngineLimits;
+
+    const PROGRAMS: &[&str] = &[
+        "class Main extends Object {
+           Main() { super(); }
+           Object main() { Object o; o = new Object(); return o; }
+         }",
+        "class Box extends Object {
+           Object item;
+           Box(Object item0) { super(); this.item = item0; }
+           Object get() { return this.item; }
+         }
+         class Main extends Object {
+           Main() { super(); }
+           Object main() {
+             Box b;
+             b = new Box(new Main());
+             Box c;
+             c = new Box(b.get());
+             return c.get();
+           }
+         }",
+        "class A extends Object {
+           A() { super(); }
+           Object who() { Object o; o = new A(); return o; }
+         }
+         class B extends A {
+           B() { super(); }
+           Object who() { Object o; o = new B(); return o; }
+         }
+         class Main extends Object {
+           Main() { super(); }
+           Object main() {
+             A x;
+             x = new B();
+             Object r;
+             r = x.who();
+             return r;
+           }
+         }",
+    ];
+
+    #[test]
+    fn fj_kcfa_covers_concrete_runs() {
+        for src in PROGRAMS {
+            let program = parse_fj(src).unwrap();
+            let concrete = run_fj_traced(&program, FjLimits::default(), true);
+            for k in [0, 1, 2, 3] {
+                let result =
+                    analyze_fj(&program, FjAnalysisOptions::paper(k), EngineLimits::default());
+                check_fj(&program, k, &concrete, &result)
+                    .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fj_kcfa_covers_paradox_family() {
+        for (n, m) in [(2, 2), (3, 4)] {
+            let src = cfa_workloads_oo(n, m);
+            let program = parse_fj(&src).unwrap();
+            let concrete = run_fj_traced(&program, FjLimits::default(), true);
+            for k in [0, 1] {
+                let result =
+                    analyze_fj(&program, FjAnalysisOptions::paper(k), EngineLimits::default());
+                check_fj(&program, k, &concrete, &result)
+                    .unwrap_or_else(|e| panic!("N={n} M={m} k={k}: {e}"));
+            }
+        }
+    }
+
+    /// Inline copy of the Figure 1 generator (avoids a dev-dependency
+    /// cycle with cfa-workloads).
+    fn cfa_workloads_oo(n: usize, m: usize) -> String {
+        use std::fmt::Write as _;
+        let mut src = String::from(
+            "class ClosureX extends Object {
+               Object x;
+               ClosureX(Object x0) { super(); this.x = x0; }
+               Object bar(Object y) {
+                 ClosureXY cxy;
+                 cxy = new ClosureXY(this.x, y);
+                 return cxy.baz();
+               }
+             }
+             class ClosureXY extends Object {
+               Object x;
+               Object y;
+               ClosureXY(Object x0, Object y0) { super(); this.x = x0; this.y = y0; }
+               Object baz() { Object u; u = this.y; return u; }
+             }
+             class Main extends Object {
+               Main() { super(); }
+               Object foo(Object x) {
+                 ClosureX cx;
+                 cx = new ClosureX(x);
+",
+        );
+        for j in 1..=m {
+            let _ = writeln!(src, "Object r{j}; r{j} = cx.bar(new Object());");
+        }
+        let _ = writeln!(src, "return r{m}; }}");
+        src.push_str("Object main() {\n");
+        for i in 1..=n {
+            let _ = writeln!(src, "Object s{i}; s{i} = this.foo(new Object());");
+        }
+        let _ = writeln!(src, "return s{n}; }} }}");
+        src
+    }
+
+    #[test]
+    fn violations_detected_for_wrong_program() {
+        let p1 = parse_fj(PROGRAMS[0]).unwrap();
+        let p2 = parse_fj(PROGRAMS[1]).unwrap();
+        let concrete = run_fj_traced(&p2, FjLimits::default(), true);
+        let result = analyze_fj(&p1, FjAnalysisOptions::paper(1), EngineLimits::default());
+        assert!(check_fj(&p2, 1, &concrete, &result).is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! CPS conversion.
+//!
+//! Lowers the direct-style mini-Scheme [`Expr`] into
+//! the partitioned CPS language of [`crate::cps`]. The conversion:
+//!
+//! * alpha-renames every binder to a unique symbol (k-CFA addresses are
+//!   `(variable, context)` pairs, so distinct binders must be distinct
+//!   symbols);
+//! * marks user `lambda`s as [`LamSort::Proc`] and every administrative
+//!   λ-term it introduces as [`LamSort::Cont`] — the ΔCFA partitioning that
+//!   m-CFA's environment allocator consults (paper §5.3);
+//! * converts `let` bindings with *continuation* λ-terms (not procedure
+//!   calls), so a `let` does not push a stack frame under m-CFA, mirroring
+//!   how Shivers's front end treated `let`;
+//! * introduces join-point continuations for `if`, so no λ-term is
+//!   duplicated into both branches.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_syntax::convert::cps_convert;
+//! use cfa_syntax::scheme::parse_program;
+//!
+//! let scm = parse_program("((lambda (x) x) 42)").unwrap();
+//! let cps = cps_convert(&scm);
+//! assert!(cps.lam_count() >= 2); // the user lambda + a halt continuation
+//! ```
+
+use crate::cps::{AExp, CallId, CpsBuilder, CpsProgram, LamSort};
+use crate::intern::Symbol;
+use crate::scheme::{Expr, ScmProgram};
+use std::collections::HashMap;
+
+/// Converts a parsed mini-Scheme program into CPS.
+///
+/// The resulting program terminates with `%halt` on the program's value.
+pub fn cps_convert(program: &ScmProgram) -> CpsProgram {
+    let mut converter = Converter {
+        builder: CpsBuilder::with_interner(program.interner.clone()),
+        fresh_counter: 0,
+    };
+    let scope = Scope::default();
+    let entry = converter.convert(&program.body, &scope, MetaK::ctx(|c, atom| c.builder.call_halt(atom)));
+    converter.builder.finish(entry)
+}
+
+/// A compile-time environment renaming source binders to unique symbols.
+#[derive(Default, Clone)]
+struct Scope {
+    renames: HashMap<Symbol, Symbol>,
+}
+
+impl Scope {
+    fn lookup(&self, v: Symbol) -> Symbol {
+        // Unbound variables keep their name; the analyzers treat reads of
+        // unbound addresses as bottom, which is the conventional behavior
+        // for open programs.
+        self.renames.get(&v).copied().unwrap_or(v)
+    }
+
+    fn bind(&self, from: Symbol, to: Symbol) -> Scope {
+        let mut s = self.clone();
+        s.renames.insert(from, to);
+        s
+    }
+}
+
+/// A deferred context awaiting the converted value's atom.
+type CtxFn<'a> = Box<dyn FnOnce(&mut Converter, AExp) -> CallId + 'a>;
+
+/// A deferred context awaiting a vector of converted atoms.
+type AtomsFn<'a> = Box<dyn FnOnce(&mut Converter, Vec<AExp>) -> CallId + 'a>;
+
+/// What to do with the value of the expression being converted.
+enum MetaK<'a> {
+    /// Tail position: pass the value to this continuation atom.
+    Atom(AExp),
+    /// Non-tail: splice the value atom into the surrounding context.
+    Ctx(CtxFn<'a>),
+}
+
+impl<'a> MetaK<'a> {
+    fn ctx(f: impl FnOnce(&mut Converter, AExp) -> CallId + 'a) -> Self {
+        MetaK::Ctx(Box::new(f))
+    }
+}
+
+struct Converter {
+    builder: CpsBuilder,
+    fresh_counter: u32,
+}
+
+impl Converter {
+    /// A fresh symbol derived from `base`, e.g. `x` ↦ `x.7`.
+    fn fresh_from(&mut self, base: Symbol) -> Symbol {
+        let name = format!("{}.{}", self.builder.interner().resolve(base), self.fresh_counter);
+        self.fresh_counter += 1;
+        self.builder.intern(&name)
+    }
+
+    /// A fresh symbol with the given prefix (administrative temporaries).
+    fn fresh(&mut self, prefix: &str) -> Symbol {
+        let name = format!("%{}{}", prefix, self.fresh_counter);
+        self.fresh_counter += 1;
+        self.builder.intern(&name)
+    }
+
+    /// Reifies a meta-continuation into a continuation atom.
+    fn reify(&mut self, k: MetaK<'_>) -> AExp {
+        match k {
+            MetaK::Atom(a) => a,
+            MetaK::Ctx(cb) => {
+                let rv = self.fresh("rv");
+                let body = cb(self, AExp::Var(rv));
+                let lam = self.builder.lam(vec![rv], body, LamSort::Cont);
+                AExp::Lam(lam)
+            }
+        }
+    }
+
+    /// Applies a meta-continuation to a value atom.
+    fn apply_k(&mut self, k: MetaK<'_>, atom: AExp) -> CallId {
+        match k {
+            MetaK::Atom(a) => self.builder.call_app(a, vec![atom]),
+            MetaK::Ctx(cb) => cb(self, atom),
+        }
+    }
+
+    fn convert(&mut self, e: &Expr, scope: &Scope, k: MetaK<'_>) -> CallId {
+        match e {
+            Expr::Lit(l) => {
+                let atom = AExp::Lit(*l);
+                self.apply_k(k, atom)
+            }
+            Expr::Var(v) => {
+                let atom = AExp::Var(scope.lookup(*v));
+                self.apply_k(k, atom)
+            }
+            Expr::Lambda { .. } => {
+                let lam = self.convert_lambda(e, scope);
+                self.apply_k(k, AExp::Lam(lam))
+            }
+            Expr::App { func, args } => self.atomize(func, scope, |c, fa| {
+                c.atomize_all(args, scope, |c, mut arg_atoms| {
+                    let kont = c.reify(k);
+                    arg_atoms.push(kont);
+                    c.builder.call_app(fa, arg_atoms)
+                })
+            }),
+            Expr::If { cond, then_branch, else_branch } => {
+                self.atomize(cond, scope, |c, cond_atom| match k {
+                    MetaK::Atom(ka) => {
+                        let t = c.convert(then_branch, scope, MetaK::Atom(ka));
+                        let f = c.convert(else_branch, scope, MetaK::Atom(ka));
+                        c.builder.call_if(cond_atom, t, f)
+                    }
+                    ctx @ MetaK::Ctx(_) => {
+                        // Bind a join point: ((λcont (j) (%if c (…j) (…j))) κ)
+                        let j = c.fresh("j");
+                        let jk = c.reify(ctx);
+                        let t = c.convert(then_branch, scope, MetaK::Atom(AExp::Var(j)));
+                        let f = c.convert(else_branch, scope, MetaK::Atom(AExp::Var(j)));
+                        let branch = c.builder.call_if(cond_atom, t, f);
+                        let binder = c.builder.lam(vec![j], branch, LamSort::Cont);
+                        c.builder.call_app(AExp::Lam(binder), vec![jk])
+                    }
+                })
+            }
+            Expr::Let { bindings, body } => self.convert_let(bindings, body, scope, scope.clone(), k),
+            Expr::Letrec { bindings, body } => {
+                let mut inner = scope.clone();
+                let mut renamed = Vec::with_capacity(bindings.len());
+                for (name, _) in bindings {
+                    let fresh = self.fresh_from(*name);
+                    inner = inner.bind(*name, fresh);
+                    renamed.push(fresh);
+                }
+                let mut fix_bindings = Vec::with_capacity(bindings.len());
+                for ((_, value), fresh) in bindings.iter().zip(&renamed) {
+                    let lam = self.convert_lambda(value, &inner);
+                    fix_bindings.push((*fresh, lam));
+                }
+                let body_call = self.convert(body, &inner, k);
+                self.builder.call_fix(fix_bindings, body_call)
+            }
+            Expr::Prim { op, args } => self.atomize_all(args, scope, |c, atoms| {
+                let kont = c.reify(k);
+                c.builder.call_prim(*op, atoms, kont)
+            }),
+        }
+    }
+
+    /// Converts bindings left-to-right with *parallel* scoping: every
+    /// right-hand side is converted under the outer scope; the body sees
+    /// all bindings.
+    fn convert_let(
+        &mut self,
+        bindings: &[(Symbol, Expr)],
+        body: &Expr,
+        outer: &Scope,
+        acc: Scope,
+        k: MetaK<'_>,
+    ) -> CallId {
+        match bindings.split_first() {
+            None => self.convert(body, &acc, k),
+            Some(((name, value), rest)) => {
+                let fresh = self.fresh_from(*name);
+                let acc = acc.bind(*name, fresh);
+                // ((λcont (x') <rest>) value)
+                let rest_call = self.convert_let(rest, body, outer, acc, k);
+                let binder = self.builder.lam(vec![fresh], rest_call, LamSort::Cont);
+                self.convert(value, outer, MetaK::Atom(AExp::Lam(binder)))
+            }
+        }
+    }
+
+    /// Converts a user `lambda` into a CPS procedure with an extra
+    /// continuation parameter.
+    fn convert_lambda(&mut self, e: &Expr, scope: &Scope) -> crate::cps::LamId {
+        let Expr::Lambda { params, body } = e else {
+            panic!("convert_lambda on non-lambda expression");
+        };
+        let mut inner = scope.clone();
+        let mut cps_params = Vec::with_capacity(params.len() + 1);
+        for p in params {
+            let fresh = self.fresh_from(*p);
+            inner = inner.bind(*p, fresh);
+            cps_params.push(fresh);
+        }
+        let kparam = self.fresh("k");
+        cps_params.push(kparam);
+        let body_call = self.convert(body, &inner, MetaK::Atom(AExp::Var(kparam)));
+        self.builder.lam(cps_params, body_call, LamSort::Proc)
+    }
+
+    /// Evaluates `e` to an atom and hands it to `then`.
+    fn atomize<'a>(
+        &mut self,
+        e: &'a Expr,
+        scope: &'a Scope,
+        then: impl FnOnce(&mut Converter, AExp) -> CallId + 'a,
+    ) -> CallId {
+        match e {
+            Expr::Lit(l) => then(self, AExp::Lit(*l)),
+            Expr::Var(v) => {
+                let atom = AExp::Var(scope.lookup(*v));
+                then(self, atom)
+            }
+            Expr::Lambda { .. } => {
+                let lam = self.convert_lambda(e, scope);
+                then(self, AExp::Lam(lam))
+            }
+            _ => self.convert(e, scope, MetaK::ctx(then)),
+        }
+    }
+
+    /// Evaluates all `es` to atoms, left-to-right.
+    #[allow(clippy::type_complexity)]
+    fn atomize_all<'a>(
+        &mut self,
+        es: &'a [Expr],
+        scope: &'a Scope,
+        then: impl FnOnce(&mut Converter, Vec<AExp>) -> CallId + 'a,
+    ) -> CallId {
+        fn go<'a>(
+            c: &mut Converter,
+            es: &'a [Expr],
+            scope: &'a Scope,
+            mut acc: Vec<AExp>,
+            then: AtomsFn<'a>,
+        ) -> CallId {
+            match es.split_first() {
+                None => then(c, acc),
+                Some((e, rest)) => c.atomize(e, scope, move |c, atom| {
+                    acc.push(atom);
+                    go(c, rest, scope, acc, then)
+                }),
+            }
+        }
+        go(self, es, scope, Vec::with_capacity(es.len()), Box::new(then))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cps::{CallKind, Lit, PrimOp};
+    use crate::scheme::parse_program;
+
+    fn convert(src: &str) -> CpsProgram {
+        cps_convert(&parse_program(src).unwrap())
+    }
+
+    /// Collects every lam sort in the program.
+    fn sorts(p: &CpsProgram) -> (usize, usize) {
+        let mut procs = 0;
+        let mut conts = 0;
+        for l in p.lam_ids() {
+            match p.lam(l).sort {
+                LamSort::Proc => procs += 1,
+                LamSort::Cont => conts += 1,
+            }
+        }
+        (procs, conts)
+    }
+
+    #[test]
+    fn literal_program_halts_directly() {
+        let p = convert("42");
+        match &p.call(p.entry()).kind {
+            CallKind::Halt { value } => assert_eq!(*value, AExp::Lit(Lit::Int(42))),
+            other => panic!("expected halt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_lambdas_are_procs_admin_lambdas_are_conts() {
+        let p = convert("((lambda (f) (f 1)) (lambda (x) x))");
+        let (procs, conts) = sorts(&p);
+        assert_eq!(procs, 2);
+        assert!(conts >= 1); // at least the halt continuation
+    }
+
+    #[test]
+    fn user_lambda_gains_continuation_parameter() {
+        let p = convert("(lambda (x y) x)");
+        let lam = p
+            .lam_ids()
+            .map(|l| p.lam(l))
+            .find(|l| l.sort == LamSort::Proc)
+            .expect("a proc lam");
+        assert_eq!(lam.params.len(), 3, "x, y, and the continuation");
+    }
+
+    #[test]
+    fn alpha_renaming_distinguishes_shadowed_binders() {
+        let p = convert("((lambda (x) ((lambda (x) x) x)) 1)");
+        let param_syms: Vec<_> = p
+            .lam_ids()
+            .map(|l| p.lam(l))
+            .filter(|l| l.sort == LamSort::Proc)
+            .map(|l| l.params[0])
+            .collect();
+        assert_eq!(param_syms.len(), 2);
+        assert_ne!(param_syms[0], param_syms[1], "shadowed x must be renamed apart");
+    }
+
+    #[test]
+    fn if_produces_branch_call() {
+        let p = convert("(if #t 1 2)");
+        let has_if = p
+            .call_ids()
+            .any(|c| matches!(p.call(c).kind, CallKind::If { .. }));
+        assert!(has_if);
+    }
+
+    #[test]
+    fn if_join_point_avoids_lam_duplication() {
+        // In a non-tail position the two branches must target one join
+        // continuation rather than duplicating the context.
+        let p = convert("(+ (if #t 1 2) 10)");
+        let mut join_targets = Vec::new();
+        for c in p.call_ids() {
+            if let CallKind::If { then_branch, else_branch, .. } = &p.call(c).kind {
+                for b in [*then_branch, *else_branch] {
+                    if let CallKind::App { func, .. } = &p.call(b).kind {
+                        join_targets.push(*func);
+                    }
+                }
+            }
+        }
+        assert_eq!(join_targets.len(), 2);
+        assert_eq!(join_targets[0], join_targets[1], "both branches call the join variable");
+        assert!(matches!(join_targets[0], AExp::Var(_)));
+    }
+
+    #[test]
+    fn letrec_becomes_fix() {
+        let p = convert(
+            "(letrec ((f (lambda (n k) (if (zero? n) k (f (- n 1) k)))))
+               (f 3 0))",
+        );
+        assert!(p
+            .call_ids()
+            .any(|c| matches!(p.call(c).kind, CallKind::Fix { .. })));
+    }
+
+    #[test]
+    fn prim_application_converts_to_primcall() {
+        let p = convert("(+ 1 2)");
+        let found = p.call_ids().find_map(|c| match &p.call(c).kind {
+            CallKind::PrimCall { op, args, .. } => Some((*op, args.len())),
+            _ => None,
+        });
+        assert_eq!(found, Some((PrimOp::Add, 2)));
+    }
+
+    #[test]
+    fn let_uses_continuation_not_procedure() {
+        // (let ((x 1)) x): the binder must be a Cont lam so that m-CFA does
+        // not treat the let as a procedure call.
+        let p = convert("(let ((x 1)) x)");
+        match &p.call(p.entry()).kind {
+            CallKind::App { func: AExp::Lam(l), .. } => {
+                assert_eq!(p.lam(*l).sort, LamSort::Cont);
+            }
+            other => panic!("expected cont application, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_calls_sequence_through_rv_continuations() {
+        let p = convert("(define (f x) x) (f (f 1))");
+        // Two applications of f and at least one %rv continuation.
+        let (procs, conts) = sorts(&p);
+        assert_eq!(procs, 1);
+        assert!(conts >= 2);
+    }
+
+    #[test]
+    fn free_vars_of_converted_closures_are_computed() {
+        let p = convert("((lambda (x) (lambda (y) x)) 1)");
+        let inner = p
+            .lam_ids()
+            .map(|l| (l, p.lam(l)))
+            .find(|(_, l)| l.sort == LamSort::Proc && l.params.len() == 2 && {
+                // the inner lambda's first param is derived from y
+                p.name(l.params[0]).starts_with("y")
+            })
+            .map(|(id, _)| id)
+            .expect("inner lambda present");
+        let free: Vec<_> = p.free_vars(inner).iter().map(|s| p.name(*s).to_owned()).collect();
+        assert!(free.iter().any(|n| n.starts_with("x")), "free vars: {free:?}");
+    }
+}

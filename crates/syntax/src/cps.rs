@@ -1,0 +1,716 @@
+//! The CPS core language.
+//!
+//! This is Shivers's partitioned CPS (Figure 3 of the paper) extended with
+//! the forms needed to express the paper's benchmark suite: literals,
+//! primitive applications, a binary branch, `letrec` (as `%fix`), and a
+//! terminal `%halt`. Every λ-term and every call site carries a unique
+//! [`Label`]; λ-terms are partitioned into *procedures* (user functions)
+//! and *continuations* — the ΔCFA partitioning that m-CFA's environment
+//! allocator consults (§5.3).
+//!
+//! Terms are stored in arenas owned by a [`CpsProgram`]; the tree is
+//! addressed by [`LamId`] and [`CallId`] indices so that the analyzers can
+//! key their maps on `Copy` ids.
+
+use crate::intern::{Interner, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A unique label attached to every λ-term and call site.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of a λ-term in a [`CpsProgram`] arena.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LamId(pub u32);
+
+/// Index of a call site in a [`CpsProgram`] arena.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CallId(pub u32);
+
+/// Whether a λ-term is a user procedure or an administrative continuation.
+///
+/// The CPS converter records this; m-CFA's environment allocator pushes a
+/// new frame for procedures and restores the closure's saved environment
+/// for continuations (§5.3).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LamSort {
+    /// A user-written procedure (takes a continuation argument).
+    Proc,
+    /// An administrative continuation introduced by CPS conversion.
+    Cont,
+}
+
+/// A literal constant.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Lit {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// An interned string literal.
+    Str(Symbol),
+    /// An interned quoted symbol.
+    Sym(Symbol),
+    /// The unspecified value (result of effect-only primitives).
+    Void,
+}
+
+/// A primitive operation.
+///
+/// Primitives are strict first-order operations; in CPS they appear in
+/// [`CallKind::PrimCall`] with an explicit continuation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PrimOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer (truncating) division.
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Numeric equality `=`.
+    NumEq,
+    /// Numeric `<`.
+    Lt,
+    /// Numeric `<=`.
+    Le,
+    /// Numeric `>`.
+    Gt,
+    /// Numeric `>=`.
+    Ge,
+    /// Pointer/constant equality `eq?`.
+    Eq,
+    /// Pair construction.
+    Cons,
+    /// First projection of a pair.
+    Car,
+    /// Second projection of a pair.
+    Cdr,
+    /// `pair?` predicate.
+    IsPair,
+    /// `null?` predicate.
+    IsNull,
+    /// `zero?` predicate.
+    IsZero,
+    /// `number?` predicate.
+    IsNumber,
+    /// `boolean?` predicate.
+    IsBool,
+    /// `procedure?` predicate.
+    IsProcedure,
+    /// `symbol?` predicate.
+    IsSymbol,
+    /// `string?` predicate.
+    IsString,
+    /// Boolean negation.
+    Not,
+    /// String append (used by the compiler-style workloads).
+    StringAppend,
+    /// Render any value as a string (used by the compiler-style workloads).
+    ToString,
+    /// Abort execution with an error value.
+    Error,
+}
+
+impl PrimOp {
+    /// The surface (Scheme) name of the primitive.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "quotient",
+            PrimOp::Rem => "remainder",
+            PrimOp::NumEq => "=",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::Eq => "eq?",
+            PrimOp::Cons => "cons",
+            PrimOp::Car => "car",
+            PrimOp::Cdr => "cdr",
+            PrimOp::IsPair => "pair?",
+            PrimOp::IsNull => "null?",
+            PrimOp::IsZero => "zero?",
+            PrimOp::IsNumber => "number?",
+            PrimOp::IsBool => "boolean?",
+            PrimOp::IsProcedure => "procedure?",
+            PrimOp::IsSymbol => "symbol?",
+            PrimOp::IsString => "string?",
+            PrimOp::Not => "not",
+            PrimOp::StringAppend => "string-append",
+            PrimOp::ToString => "->string",
+            PrimOp::Error => "error",
+        }
+    }
+
+    /// Looks a primitive up by its surface name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        use PrimOp::*;
+        Some(match name {
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "quotient" | "/" => Div,
+            "remainder" | "modulo" => Rem,
+            "=" => NumEq,
+            "<" => Lt,
+            "<=" => Le,
+            ">" => Gt,
+            ">=" => Ge,
+            "eq?" | "eqv?" | "equal?" => Eq,
+            "cons" => Cons,
+            "car" => Car,
+            "cdr" => Cdr,
+            "pair?" => IsPair,
+            "null?" => IsNull,
+            "zero?" => IsZero,
+            "number?" => IsNumber,
+            "boolean?" => IsBool,
+            "procedure?" => IsProcedure,
+            "symbol?" => IsSymbol,
+            "string?" => IsString,
+            "not" => Not,
+            "string-append" => StringAppend,
+            "->string" | "number->string" | "symbol->string" => ToString,
+            "error" => Error,
+            _ => return None,
+        })
+    }
+
+    /// Number of value arguments the primitive expects, if fixed.
+    pub fn arity(self) -> Option<usize> {
+        use PrimOp::*;
+        Some(match self {
+            Car | Cdr | IsPair | IsNull | IsZero | IsNumber | IsBool | IsProcedure
+            | IsSymbol | IsString | Not | ToString | Error => 1,
+            Cons | NumEq | Lt | Le | Gt | Ge | Eq | Sub | Div | Rem => 2,
+            Add | Mul | StringAppend => return None, // variadic
+        })
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An atomic expression: evaluable without a step (Figure 3's `Exp`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AExp {
+    /// A variable reference.
+    Var(Symbol),
+    /// A λ-term.
+    Lam(LamId),
+    /// A literal constant.
+    Lit(Lit),
+}
+
+/// The body of a call site.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CallKind {
+    /// `(f e₁ … eₙ)` — the only call form of the paper's pure CPS grammar.
+    App {
+        /// Operator.
+        func: AExp,
+        /// Operands (the last one is a continuation for `Proc` operators).
+        args: Vec<AExp>,
+    },
+    /// `(%if c call₁ call₂)` — branch on an atomic condition.
+    If {
+        /// Condition atom.
+        cond: AExp,
+        /// Taken when the condition is not `#f`.
+        then_branch: CallId,
+        /// Taken when the condition is `#f`.
+        else_branch: CallId,
+    },
+    /// `(%prim op e₁ … eₙ k)` — apply a primitive, pass the result to `k`.
+    PrimCall {
+        /// The primitive.
+        op: PrimOp,
+        /// Value operands.
+        args: Vec<AExp>,
+        /// Continuation atom receiving the result.
+        cont: AExp,
+    },
+    /// `(%fix ((f lam) …) call)` — mutually recursive procedure bindings.
+    Fix {
+        /// Recursive bindings; right-hand sides are λ-terms.
+        bindings: Vec<(Symbol, LamId)>,
+        /// Body call evaluated under the new bindings.
+        body: CallId,
+    },
+    /// `(%halt e)` — terminate the program with a final value.
+    Halt {
+        /// The program's result atom.
+        value: AExp,
+    },
+}
+
+/// A λ-term: `(λ (v₁ … vₙ) call)ℓ`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lam {
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The body call site.
+    pub body: CallId,
+    /// Procedure vs continuation (ΔCFA partitioning).
+    pub sort: LamSort,
+    /// Unique label.
+    pub label: Label,
+}
+
+/// A call site: one of the [`CallKind`] forms, labeled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Call {
+    /// The call's form.
+    pub kind: CallKind,
+    /// Unique label.
+    pub label: Label,
+}
+
+/// A whole CPS program: term arenas, interner, entry call.
+///
+/// Construct programs with [`CpsBuilder`] or via
+/// [`crate::convert::cps_convert`].
+#[derive(Clone, Debug)]
+pub struct CpsProgram {
+    interner: Interner,
+    lams: Vec<Lam>,
+    calls: Vec<Call>,
+    free_vars: Vec<Vec<Symbol>>,
+    entry: CallId,
+    next_label: u32,
+}
+
+impl CpsProgram {
+    /// The entry call site.
+    pub fn entry(&self) -> CallId {
+        self.entry
+    }
+
+    /// The λ-term for `id`.
+    pub fn lam(&self, id: LamId) -> &Lam {
+        &self.lams[id.0 as usize]
+    }
+
+    /// The call site for `id`.
+    pub fn call(&self, id: CallId) -> &Call {
+        &self.calls[id.0 as usize]
+    }
+
+    /// Free variables of λ-term `id`, sorted.
+    pub fn free_vars(&self, id: LamId) -> &[Symbol] {
+        &self.free_vars[id.0 as usize]
+    }
+
+    /// The program's interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolves a symbol to its name.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Number of λ-terms.
+    pub fn lam_count(&self) -> usize {
+        self.lams.len()
+    }
+
+    /// Number of call sites.
+    pub fn call_count(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Iterates over all λ-term ids.
+    pub fn lam_ids(&self) -> impl Iterator<Item = LamId> {
+        (0..self.lams.len() as u32).map(LamId)
+    }
+
+    /// Iterates over all call-site ids.
+    pub fn call_ids(&self) -> impl Iterator<Item = CallId> {
+        (0..self.calls.len() as u32).map(CallId)
+    }
+
+    /// One more than the largest label in the program; labels are dense in
+    /// `0..label_count()`, so analyzers can use label-indexed vectors.
+    pub fn label_count(&self) -> u32 {
+        self.next_label
+    }
+
+    /// Total number of terms (λ-terms + call sites + atomic expressions),
+    /// the "Terms" size measure used in the paper's §6.1.1 table.
+    pub fn term_count(&self) -> usize {
+        let mut n = self.lams.len() + self.calls.len();
+        for call in &self.calls {
+            n += match &call.kind {
+                CallKind::App { args, .. } => 1 + args.len(),
+                CallKind::If { .. } => 1,
+                CallKind::PrimCall { args, .. } => 2 + args.len(),
+                CallKind::Fix { bindings, .. } => bindings.len(),
+                CallKind::Halt { .. } => 1,
+            };
+        }
+        n
+    }
+
+    /// All variables bound anywhere in the program (λ parameters and
+    /// `%fix` binders), sorted.
+    pub fn bound_vars(&self) -> Vec<Symbol> {
+        let mut set = BTreeSet::new();
+        for lam in &self.lams {
+            set.extend(lam.params.iter().copied());
+        }
+        for call in &self.calls {
+            if let CallKind::Fix { bindings, .. } = &call.kind {
+                set.extend(bindings.iter().map(|(v, _)| *v));
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The user (procedure) call sites: `App` calls whose operator is not a
+    /// syntactic continuation λ. Used by the inlining precision metric.
+    pub fn is_user_call(&self, id: CallId) -> bool {
+        match &self.call(id).kind {
+            CallKind::App { func, .. } => match func {
+                AExp::Lam(l) => self.lam(*l).sort == LamSort::Proc,
+                // Variable operators may be user procs; variable references
+                // to continuation parameters are counted too — the metric
+                // filters by what *flows* there, not by syntax.
+                AExp::Var(_) => true,
+                AExp::Lit(_) => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Incremental builder for [`CpsProgram`].
+///
+/// # Examples
+///
+/// Build `((λ (x k) (k x)) (λ (y) (%halt y)))` — apply an identity-like
+/// procedure to a halt continuation:
+///
+/// ```
+/// use cfa_syntax::cps::{AExp, CpsBuilder, LamSort};
+///
+/// let mut b = CpsBuilder::new();
+/// let x = b.intern("x");
+/// let k = b.intern("k");
+/// let y = b.intern("y");
+///
+/// let halt = b.call_halt(AExp::Var(y));
+/// let kont = b.lam(vec![y], halt, LamSort::Cont);
+/// let body = b.call_app(AExp::Var(k), vec![AExp::Var(x)]);
+/// let proc_ = b.lam(vec![x, k], body, LamSort::Proc);
+/// let entry = b.call_app(AExp::Lam(proc_), vec![AExp::Lam(kont)]);
+/// let program = b.finish(entry);
+///
+/// assert_eq!(program.lam_count(), 2);
+/// assert_eq!(program.free_vars(kont), &[] as &[_]);
+/// ```
+#[derive(Default, Debug)]
+pub struct CpsBuilder {
+    interner: Interner,
+    lams: Vec<Lam>,
+    calls: Vec<Call>,
+    next_label: u32,
+}
+
+impl CpsBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder seeded with an existing interner, so symbols
+    /// produced by an earlier pipeline stage (e.g. the Scheme parser)
+    /// remain valid in the finished program.
+    pub fn with_interner(interner: Interner) -> Self {
+        CpsBuilder { interner, ..Self::default() }
+    }
+
+    /// Interns a name.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Access to the interner for read-backs during construction.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Adds a λ-term.
+    pub fn lam(&mut self, params: Vec<Symbol>, body: CallId, sort: LamSort) -> LamId {
+        let label = self.fresh_label();
+        self.lams.push(Lam { params, body, sort, label });
+        LamId(self.lams.len() as u32 - 1)
+    }
+
+    /// Adds a call site with the given kind.
+    pub fn call(&mut self, kind: CallKind) -> CallId {
+        let label = self.fresh_label();
+        self.calls.push(Call { kind, label });
+        CallId(self.calls.len() as u32 - 1)
+    }
+
+    /// Adds an application call.
+    pub fn call_app(&mut self, func: AExp, args: Vec<AExp>) -> CallId {
+        self.call(CallKind::App { func, args })
+    }
+
+    /// Adds a branch call.
+    pub fn call_if(&mut self, cond: AExp, then_branch: CallId, else_branch: CallId) -> CallId {
+        self.call(CallKind::If { cond, then_branch, else_branch })
+    }
+
+    /// Adds a primitive call.
+    pub fn call_prim(&mut self, op: PrimOp, args: Vec<AExp>, cont: AExp) -> CallId {
+        self.call(CallKind::PrimCall { op, args, cont })
+    }
+
+    /// Adds a `%fix` call.
+    pub fn call_fix(&mut self, bindings: Vec<(Symbol, LamId)>, body: CallId) -> CallId {
+        self.call(CallKind::Fix { bindings, body })
+    }
+
+    /// Adds a `%halt` call.
+    pub fn call_halt(&mut self, value: AExp) -> CallId {
+        self.call(CallKind::Halt { value })
+    }
+
+    /// Finishes the program with `entry` as the initial call, computing
+    /// free-variable sets for every λ-term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not a call of this builder.
+    pub fn finish(self, entry: CallId) -> CpsProgram {
+        assert!(
+            (entry.0 as usize) < self.calls.len(),
+            "entry call is out of range"
+        );
+        let mut program = CpsProgram {
+            interner: self.interner,
+            lams: self.lams,
+            calls: self.calls,
+            free_vars: Vec::new(),
+            entry,
+            next_label: self.next_label,
+        };
+        program.free_vars = compute_free_vars(&program);
+        program
+    }
+}
+
+/// Computes, for every λ-term, its free variables (sorted).
+fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
+    // Lams form a tree (each body call belongs to exactly one lam), so a
+    // straightforward recursion terminates. We memoize per-lam results
+    // because `AExp::Lam` references are shared with the enclosing call.
+    fn aexp_free(p: &CpsProgram, e: &AExp, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+        match e {
+            AExp::Var(v) => std::iter::once(*v).collect(),
+            AExp::Lit(_) => BTreeSet::new(),
+            AExp::Lam(l) => lam_free(p, *l, memo),
+        }
+    }
+
+    fn call_free(p: &CpsProgram, c: CallId, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+        let call = p.call(c);
+        match &call.kind {
+            CallKind::App { func, args } => {
+                let mut s = aexp_free(p, func, memo);
+                for a in args {
+                    s.extend(aexp_free(p, a, memo));
+                }
+                s
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let mut s = aexp_free(p, cond, memo);
+                s.extend(call_free(p, *then_branch, memo));
+                s.extend(call_free(p, *else_branch, memo));
+                s
+            }
+            CallKind::PrimCall { args, cont, .. } => {
+                let mut s = aexp_free(p, cont, memo);
+                for a in args {
+                    s.extend(aexp_free(p, a, memo));
+                }
+                s
+            }
+            CallKind::Fix { bindings, body } => {
+                let mut s = call_free(p, *body, memo);
+                for (_, l) in bindings {
+                    s.extend(lam_free(p, *l, memo));
+                }
+                for (v, _) in bindings {
+                    s.remove(v);
+                }
+                s
+            }
+            CallKind::Halt { value } => aexp_free(p, value, memo),
+        }
+    }
+
+    fn lam_free(p: &CpsProgram, l: LamId, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+        if let Some(cached) = &memo[l.0 as usize] {
+            return cached.clone();
+        }
+        let lam = p.lam(l);
+        let mut s = call_free(p, lam.body, memo);
+        for param in &lam.params {
+            s.remove(param);
+        }
+        memo[l.0 as usize] = Some(s.clone());
+        s
+    }
+
+    let mut memo: Vec<Option<BTreeSet<Symbol>>> = vec![None; p.lams.len()];
+    for i in 0..p.lams.len() {
+        lam_free(p, LamId(i as u32), &mut memo);
+    }
+    memo.into_iter()
+        .map(|s| s.expect("all lams visited").into_iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CpsProgram, LamId, LamId) {
+        // ((λproc (x k) (k x)) (λcont (y) (%halt y)))
+        let mut b = CpsBuilder::new();
+        let x = b.intern("x");
+        let k = b.intern("k");
+        let y = b.intern("y");
+        let halt = b.call_halt(AExp::Var(y));
+        let kont = b.lam(vec![y], halt, LamSort::Cont);
+        let body = b.call_app(AExp::Var(k), vec![AExp::Var(x)]);
+        let proc_ = b.lam(vec![x, k], body, LamSort::Proc);
+        let entry = b.call_app(AExp::Lam(proc_), vec![AExp::Lam(kont)]);
+        (b.finish(entry), proc_, kont)
+    }
+
+    #[test]
+    fn builder_assigns_unique_labels() {
+        let (p, proc_, kont) = sample();
+        let mut labels = vec![p.lam(proc_).label, p.lam(kont).label];
+        for c in p.call_ids() {
+            labels.push(p.call(c).label);
+        }
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "labels must be unique");
+    }
+
+    #[test]
+    fn free_vars_of_closed_terms_are_empty() {
+        let (p, proc_, kont) = sample();
+        assert!(p.free_vars(proc_).is_empty());
+        assert!(p.free_vars(kont).is_empty());
+    }
+
+    #[test]
+    fn free_vars_see_through_shadowing() {
+        // (λ (x) ((λ (x) (x z)) x)) is free in z only.
+        let mut b = CpsBuilder::new();
+        let x = b.intern("x");
+        let z = b.intern("z");
+        let inner_body = b.call_app(AExp::Var(x), vec![AExp::Var(z)]);
+        let inner = b.lam(vec![x], inner_body, LamSort::Proc);
+        let outer_body = b.call_app(AExp::Lam(inner), vec![AExp::Var(x)]);
+        let outer = b.lam(vec![x], outer_body, LamSort::Proc);
+        let entry = b.call_halt(AExp::Lam(outer));
+        let p = b.finish(entry);
+        assert_eq!(p.free_vars(outer), &[z]);
+        assert_eq!(p.free_vars(inner), &[z]);
+    }
+
+    #[test]
+    fn fix_binders_are_not_free() {
+        // (%fix ((f (λ (x k) (f x k)))) (%halt f))
+        let mut b = CpsBuilder::new();
+        let f = b.intern("f");
+        let x = b.intern("x");
+        let k = b.intern("k");
+        let body = b.call_app(AExp::Var(f), vec![AExp::Var(x), AExp::Var(k)]);
+        let lam = b.lam(vec![x, k], body, LamSort::Proc);
+        let halt = b.call_halt(AExp::Var(f));
+        let fix = b.call_fix(vec![(f, lam)], halt);
+        let p = b.finish(fix);
+        // f is free inside the lam (bound by the enclosing fix) …
+        assert_eq!(p.free_vars(lam), &[f]);
+        // … and `bound_vars` includes fix binders.
+        assert!(p.bound_vars().contains(&f));
+    }
+
+    #[test]
+    fn term_count_counts_atoms() {
+        let (p, _, _) = sample();
+        // 2 lams + 3 calls + atoms: (k x)→2, (%halt y)→1, entry app→2.
+        assert_eq!(p.term_count(), 2 + 3 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn primop_names_round_trip() {
+        for op in [
+            PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Div, PrimOp::Rem,
+            PrimOp::NumEq, PrimOp::Lt, PrimOp::Le, PrimOp::Gt, PrimOp::Ge,
+            PrimOp::Eq, PrimOp::Cons, PrimOp::Car, PrimOp::Cdr, PrimOp::IsPair,
+            PrimOp::IsNull, PrimOp::IsZero, PrimOp::IsNumber, PrimOp::IsBool,
+            PrimOp::IsProcedure, PrimOp::IsSymbol, PrimOp::IsString, PrimOp::Not,
+            PrimOp::StringAppend, PrimOp::ToString, PrimOp::Error,
+        ] {
+            assert_eq!(PrimOp::from_name(op.name()), Some(op), "{op:?}");
+        }
+        assert_eq!(PrimOp::from_name("no-such-prim"), None);
+    }
+
+    #[test]
+    fn user_call_classification() {
+        let (p, _, _) = sample();
+        // entry: operator is a Proc lam → user call.
+        assert!(p.is_user_call(p.entry()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn finish_validates_entry() {
+        let b = CpsBuilder::new();
+        let _ = b.finish(CallId(0));
+    }
+}

@@ -1,0 +1,159 @@
+//! String interning.
+//!
+//! Every identifier in a program (variables, field names, class names,
+//! method names) is interned into a [`Symbol`] — a small `Copy` integer id —
+//! so that the analysis core can key maps and sets on machine words instead
+//! of strings.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_syntax::intern::Interner;
+//!
+//! let mut interner = Interner::new();
+//! let x = interner.intern("x");
+//! let y = interner.intern("y");
+//! assert_ne!(x, y);
+//! assert_eq!(interner.intern("x"), x);
+//! assert_eq!(interner.resolve(x), "x");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string.
+///
+/// Symbols are cheap to copy, compare, and hash. They are only meaningful
+/// relative to the [`Interner`] that produced them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw index.
+    ///
+    /// Intended for serialization round-trips and for the arena-style tables
+    /// that the analyzers keep; passing an index that did not come from
+    /// [`Symbol::index`] on the same interner yields a symbol that resolves
+    /// to an unrelated string (or panics on [`Interner::resolve`]).
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("symbol index overflow"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A deduplicating store of strings.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Default, Clone, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the same [`Symbol`] for equal strings.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("too many symbols"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Returns the symbol for `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.resolve(b), "bar");
+    }
+
+    #[test]
+    fn lookup_only_finds_interned() {
+        let mut i = Interner::new();
+        assert_eq!(i.lookup("x"), None);
+        let x = i.intern("x");
+        assert_eq!(i.lookup("x"), Some(x));
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let mut i = Interner::new();
+        let a = i.intern("roundtrip");
+        assert_eq!(Symbol::from_index(a.index()), a);
+    }
+}

@@ -1,0 +1,57 @@
+//! Syntax for the k-CFA / m-CFA analyses: the CPS core language, a
+//! mini-Scheme surface language, and the CPS converter between them.
+//!
+//! This crate is the front half of a reproduction of Might, Smaragdakis &
+//! Van Horn, *Resolving and Exploiting the k-CFA Paradox* (PLDI 2010). The
+//! paper's analyses operate on partitioned CPS (its Figure 3); the paper's
+//! benchmarks are Scheme programs. Pipeline:
+//!
+//! ```text
+//! source text ──sexpr──▶ Sexpr ──scheme──▶ Expr ──convert──▶ CpsProgram
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_syntax::convert::cps_convert;
+//! use cfa_syntax::scheme::parse_program;
+//!
+//! let scm = parse_program("(define (id x) x) (id 42)")?;
+//! let cps = cps_convert(&scm);
+//! assert!(cps.term_count() > 0);
+//! # Ok::<(), cfa_syntax::scheme::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod convert;
+pub mod cps;
+pub mod intern;
+pub mod pretty;
+pub mod scheme;
+pub mod sexpr;
+
+pub use convert::cps_convert;
+pub use cps::{AExp, Call, CallId, CallKind, CpsBuilder, CpsProgram, Label, Lam, LamId, LamSort, Lit, PrimOp};
+pub use intern::{Interner, Symbol};
+pub use scheme::{parse_program, ParseError, ScmProgram};
+
+/// Parses mini-Scheme source text straight into a CPS program.
+///
+/// Convenience wrapper over [`parse_program`] + [`cps_convert`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let cps = cfa_syntax::compile("((lambda (x) x) 1)")?;
+/// assert!(cps.lam_count() >= 1);
+/// # Ok::<(), cfa_syntax::ParseError>(())
+/// ```
+pub fn compile(src: &str) -> Result<CpsProgram, ParseError> {
+    Ok(cps_convert(&parse_program(src)?))
+}

@@ -1,0 +1,228 @@
+//! Pretty-printing for CPS programs.
+//!
+//! Renders [`CpsProgram`] terms back to a readable S-expression surface,
+//! with optional labels. Used by the CLI, examples, and golden tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_syntax::convert::cps_convert;
+//! use cfa_syntax::scheme::parse_program;
+//! use cfa_syntax::pretty::pretty_program;
+//!
+//! let cps = cps_convert(&parse_program("((lambda (x) x) 42)").unwrap());
+//! let text = pretty_program(&cps);
+//! assert!(text.contains("λ"));
+//! assert!(text.contains("%halt"));
+//! ```
+
+use crate::cps::{AExp, CallId, CallKind, CpsProgram, LamId, LamSort, Lit};
+use std::fmt::Write as _;
+
+/// Options controlling pretty-printing.
+#[derive(Copy, Clone, Debug)]
+pub struct PrettyOptions {
+    /// Attach `@ℓn` labels to λ-terms and call sites.
+    pub show_labels: bool,
+    /// Mark continuation λ-terms with `λκ` instead of `λ`.
+    pub mark_conts: bool,
+    /// Spaces per indentation level.
+    pub indent: usize,
+}
+
+impl Default for PrettyOptions {
+    fn default() -> Self {
+        PrettyOptions { show_labels: false, mark_conts: true, indent: 2 }
+    }
+}
+
+/// Pretty-prints a whole program starting from its entry call.
+pub fn pretty_program(p: &CpsProgram) -> String {
+    pretty_program_with(p, PrettyOptions::default())
+}
+
+/// Pretty-prints a whole program with explicit options.
+pub fn pretty_program_with(p: &CpsProgram, opts: PrettyOptions) -> String {
+    let mut out = String::new();
+    write_call(p, p.entry(), 0, opts, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Pretty-prints a single λ-term.
+pub fn pretty_lam(p: &CpsProgram, lam: LamId) -> String {
+    let mut out = String::new();
+    write_lam(p, lam, 0, PrettyOptions::default(), &mut out);
+    out
+}
+
+/// Pretty-prints a single call site.
+pub fn pretty_call(p: &CpsProgram, call: CallId) -> String {
+    let mut out = String::new();
+    write_call(p, call, 0, PrettyOptions::default(), &mut out);
+    out
+}
+
+/// Renders an atomic expression on one line.
+pub fn pretty_aexp(p: &CpsProgram, e: &AExp) -> String {
+    match e {
+        AExp::Var(v) => p.name(*v).to_owned(),
+        AExp::Lit(l) => pretty_lit(p, *l),
+        AExp::Lam(l) => pretty_lam(p, *l),
+    }
+}
+
+fn pretty_lit(p: &CpsProgram, l: Lit) -> String {
+    match l {
+        Lit::Int(n) => n.to_string(),
+        Lit::Bool(true) => "#t".to_owned(),
+        Lit::Bool(false) => "#f".to_owned(),
+        Lit::Nil => "'()".to_owned(),
+        Lit::Str(s) => format!("{:?}", p.name(s)),
+        Lit::Sym(s) => format!("'{}", p.name(s)),
+        Lit::Void => "#void".to_owned(),
+    }
+}
+
+fn pad(out: &mut String, depth: usize, opts: PrettyOptions) {
+    for _ in 0..depth * opts.indent {
+        out.push(' ');
+    }
+}
+
+fn write_aexp(p: &CpsProgram, e: &AExp, depth: usize, opts: PrettyOptions, out: &mut String) {
+    match e {
+        AExp::Var(v) => out.push_str(p.name(*v)),
+        AExp::Lit(l) => out.push_str(&pretty_lit(p, *l)),
+        AExp::Lam(l) => write_lam(p, *l, depth, opts, out),
+    }
+}
+
+fn write_lam(p: &CpsProgram, id: LamId, depth: usize, opts: PrettyOptions, out: &mut String) {
+    let lam = p.lam(id);
+    let head = if opts.mark_conts && lam.sort == LamSort::Cont { "λκ" } else { "λ" };
+    out.push('(');
+    out.push_str(head);
+    if opts.show_labels {
+        let _ = write!(out, "@{:?}", lam.label);
+    }
+    out.push_str(" (");
+    for (i, param) in lam.params.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(p.name(*param));
+    }
+    out.push_str(")\n");
+    pad(out, depth + 1, opts);
+    write_call(p, lam.body, depth + 1, opts, out);
+    out.push(')');
+}
+
+fn write_call(p: &CpsProgram, id: CallId, depth: usize, opts: PrettyOptions, out: &mut String) {
+    let call = p.call(id);
+    match &call.kind {
+        CallKind::App { func, args } => {
+            out.push('(');
+            if opts.show_labels {
+                let _ = write!(out, "@{:?} ", call.label);
+            }
+            write_aexp(p, func, depth, opts, out);
+            for a in args {
+                out.push(' ');
+                write_aexp(p, a, depth, opts, out);
+            }
+            out.push(')');
+        }
+        CallKind::If { cond, then_branch, else_branch } => {
+            out.push_str("(%if ");
+            write_aexp(p, cond, depth, opts, out);
+            out.push('\n');
+            pad(out, depth + 1, opts);
+            write_call(p, *then_branch, depth + 1, opts, out);
+            out.push('\n');
+            pad(out, depth + 1, opts);
+            write_call(p, *else_branch, depth + 1, opts, out);
+            out.push(')');
+        }
+        CallKind::PrimCall { op, args, cont } => {
+            out.push_str("(%prim ");
+            out.push_str(op.name());
+            for a in args {
+                out.push(' ');
+                write_aexp(p, a, depth, opts, out);
+            }
+            out.push(' ');
+            write_aexp(p, cont, depth, opts, out);
+            out.push(')');
+        }
+        CallKind::Fix { bindings, body } => {
+            out.push_str("(%fix (");
+            for (i, (name, lam)) in bindings.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                    pad(out, depth + 3, opts);
+                }
+                out.push('(');
+                out.push_str(p.name(*name));
+                out.push(' ');
+                write_lam(p, *lam, depth + 3, opts, out);
+                out.push(')');
+            }
+            out.push_str(")\n");
+            pad(out, depth + 1, opts);
+            write_call(p, *body, depth + 1, opts, out);
+            out.push(')');
+        }
+        CallKind::Halt { value } => {
+            out.push_str("(%halt ");
+            write_aexp(p, value, depth, opts, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::cps_convert;
+    use crate::scheme::parse_program;
+
+    fn pp(src: &str) -> String {
+        pretty_program(&cps_convert(&parse_program(src).unwrap()))
+    }
+
+    #[test]
+    fn prints_halt() {
+        assert!(pp("42").contains("(%halt 42)"));
+    }
+
+    #[test]
+    fn prints_conts_distinctly() {
+        let text = pp("(let ((x 1)) x)");
+        assert!(text.contains("λκ"), "{text}");
+    }
+
+    #[test]
+    fn prints_if_and_prim() {
+        let text = pp("(if (zero? 1) 2 3)");
+        assert!(text.contains("(%prim zero?"), "{text}");
+        assert!(text.contains("(%if"), "{text}");
+    }
+
+    #[test]
+    fn prints_fix() {
+        let text = pp("(define (f x) (f x)) (f 1)");
+        assert!(text.contains("(%fix"), "{text}");
+    }
+
+    #[test]
+    fn labels_shown_when_requested() {
+        let p = cps_convert(&parse_program("((lambda (x) x) 1)").unwrap());
+        let text = pretty_program_with(
+            &p,
+            PrettyOptions { show_labels: true, ..PrettyOptions::default() },
+        );
+        assert!(text.contains("@ℓ"), "{text}");
+    }
+}

@@ -1,0 +1,750 @@
+//! Mini-Scheme: the direct-style surface language.
+//!
+//! The paper's empirical evaluation (§6) analyzes R5RS Scheme programs.
+//! This module provides the subset needed to express those workloads:
+//! `lambda`, application, `if`, `let`/`let*`/`letrec`, `begin`, `and`/`or`,
+//! `cond`, `when`/`unless`, top-level `define`, `quote`, literals, and the
+//! primitives of [`crate::cps::PrimOp`].
+//!
+//! Parsing desugars everything into the small [`Expr`] core; the CPS
+//! converter ([`crate::convert`]) then lowers `Expr` into the CPS language.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfa_syntax::scheme::parse_program;
+//!
+//! let program = parse_program(
+//!     "(define (double x) (+ x x))
+//!      (double 21)",
+//! )
+//! .unwrap();
+//! assert!(program.body.is_letrec());
+//! ```
+
+use crate::cps::{Lit, PrimOp};
+use crate::intern::{Interner, Symbol};
+use crate::sexpr::{self, Pos, Sexpr};
+use std::fmt;
+
+/// A direct-style expression after desugaring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(Lit),
+    /// A variable reference.
+    Var(Symbol),
+    /// `(lambda (x …) body)`.
+    Lambda {
+        /// Formal parameters.
+        params: Vec<Symbol>,
+        /// Body (a `begin` is folded into nested `let`s during parsing).
+        body: Box<Expr>,
+    },
+    /// Function application.
+    App {
+        /// Operator.
+        func: Box<Expr>,
+        /// Operands.
+        args: Vec<Expr>,
+    },
+    /// `(if c t e)`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-branch.
+        then_branch: Box<Expr>,
+        /// Else-branch (defaults to the void literal).
+        else_branch: Box<Expr>,
+    },
+    /// `(let ((x e) …) body)` — parallel bindings.
+    Let {
+        /// Bindings.
+        bindings: Vec<(Symbol, Expr)>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// `(letrec ((f e) …) body)` — recursive bindings; every right-hand
+    /// side must be a `lambda`.
+    Letrec {
+        /// Recursive bindings.
+        bindings: Vec<(Symbol, Expr)>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// A saturated primitive application.
+    Prim {
+        /// The primitive.
+        op: PrimOp,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Whether this is a `letrec` (used by tests and the workload suite).
+    pub fn is_letrec(&self) -> bool {
+        matches!(self, Expr::Letrec { .. })
+    }
+
+    /// Whether this is a `lambda`.
+    pub fn is_lambda(&self) -> bool {
+        matches!(self, Expr::Lambda { .. })
+    }
+
+    /// Number of AST nodes (a rough size measure for tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Lambda { body, .. } => 1 + body.size(),
+            Expr::App { func, args } => {
+                1 + func.size() + args.iter().map(Expr::size).sum::<usize>()
+            }
+            Expr::If { cond, then_branch, else_branch } => {
+                1 + cond.size() + then_branch.size() + else_branch.size()
+            }
+            Expr::Let { bindings, body } | Expr::Letrec { bindings, body } => {
+                1 + bindings.iter().map(|(_, e)| e.size()).sum::<usize>() + body.size()
+            }
+            Expr::Prim { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+}
+
+/// A parsed program: its interner plus a single desugared body expression.
+///
+/// Top-level `define` forms become one `letrec` wrapping the final
+/// expression.
+#[derive(Clone, Debug)]
+pub struct ScmProgram {
+    /// Symbols used by `body`.
+    pub interner: Interner,
+    /// The program body.
+    pub body: Expr,
+}
+
+/// An error produced while parsing mini-Scheme.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Source position, when available.
+    pub pos: Option<Pos>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError { pos: Some(pos), message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "parse error at {}: {}", p, self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<sexpr::ReadError> for ParseError {
+    fn from(e: sexpr::ReadError) -> Self {
+        ParseError { pos: Some(e.pos), message: e.message }
+    }
+}
+
+/// Parses a whole program: zero or more `(define …)` forms followed by at
+/// least one expression. Multiple trailing expressions are sequenced.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unreadable input, misplaced `define`,
+/// malformed special forms, or primitive arity mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use cfa_syntax::scheme::parse_program;
+///
+/// let p = parse_program("((lambda (x) x) 42)").unwrap();
+/// assert_eq!(p.body.size(), 4);
+/// ```
+pub fn parse_program(src: &str) -> Result<ScmProgram, ParseError> {
+    let forms = sexpr::parse_all(src)?;
+    if forms.is_empty() {
+        return Err(ParseError { pos: None, message: "empty program".into() });
+    }
+    let mut parser = Parser::new(Interner::new());
+
+    let mut defines: Vec<(Symbol, Expr)> = Vec::new();
+    let mut exprs: Vec<Expr> = Vec::new();
+    for form in &forms {
+        if is_define(form) {
+            if !exprs.is_empty() {
+                return Err(ParseError::at(
+                    form.pos(),
+                    "define must precede the program's expressions",
+                ));
+            }
+            defines.push(parser.parse_define(form)?);
+        } else {
+            exprs.push(parser.parse_expr(form)?);
+        }
+    }
+    if exprs.is_empty() {
+        return Err(ParseError {
+            pos: None,
+            message: "program has no expression to evaluate".into(),
+        });
+    }
+    let body = sequence(parser.ignored, exprs);
+    let body = if defines.is_empty() {
+        body
+    } else {
+        Expr::Letrec { bindings: defines, body: Box::new(body) }
+    };
+    Ok(ScmProgram { interner: parser.interner, body })
+}
+
+/// Parses a single expression (no `define`s) into an [`Expr`] using the
+/// given interner. Useful for tests and embedding.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_expr_with(interner: &mut Interner, src: &str) -> Result<Expr, ParseError> {
+    let form = sexpr::parse_one(src)?;
+    let mut parser = Parser::new(std::mem::take(interner));
+    let result = parser.parse_expr(&form);
+    *interner = parser.interner;
+    result
+}
+
+fn is_define(form: &Sexpr) -> bool {
+    form.as_list()
+        .and_then(|items| items.first())
+        .and_then(Sexpr::as_symbol)
+        == Some("define")
+}
+
+/// `(begin e1 … en)` ≡ `(let ((_ e1)) (begin e2 … en))`, where `_` is the
+/// reserved effect-only binder.
+fn sequence(ignored: Symbol, mut exprs: Vec<Expr>) -> Expr {
+    let last = exprs.pop().expect("sequence of at least one expression");
+    exprs.into_iter().rev().fold(last, |acc, e| Expr::Let {
+        bindings: vec![(ignored, e)],
+        body: Box::new(acc),
+    })
+}
+
+struct Parser {
+    interner: Interner,
+    /// The reserved binder for effect-only positions (`begin` desugaring).
+    ignored: Symbol,
+}
+
+impl Parser {
+    fn new(mut interner: Interner) -> Self {
+        let ignored = interner.intern("_");
+        Parser { interner, ignored }
+    }
+
+    fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    fn parse_define(&mut self, form: &Sexpr) -> Result<(Symbol, Expr), ParseError> {
+        let items = form.as_list().expect("checked by is_define");
+        match items {
+            // (define (f x …) body…)
+            [_, Sexpr::List(hpos, header), body @ ..] => {
+                if header.is_empty() {
+                    return Err(ParseError::at(*hpos, "empty define header"));
+                }
+                let name = header[0].as_symbol().ok_or_else(|| {
+                    ParseError::at(header[0].pos(), "define header must start with a name")
+                })?;
+                let name = self.intern(name);
+                let params = header[1..]
+                    .iter()
+                    .map(|p| {
+                        p.as_symbol()
+                            .map(|s| self.interner.intern(s))
+                            .ok_or_else(|| ParseError::at(p.pos(), "parameter must be a symbol"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let body = self.parse_body(form.pos(), body)?;
+                Ok((name, Expr::Lambda { params, body: Box::new(body) }))
+            }
+            // (define x e)
+            [_, Sexpr::Symbol(_, name), value] => {
+                let name = self.intern(&name.clone());
+                let value = self.parse_expr(value)?;
+                if !value.is_lambda() {
+                    return Err(ParseError::at(
+                        form.pos(),
+                        "top-level define must bind a lambda (letrec restriction)",
+                    ));
+                }
+                Ok((name, value))
+            }
+            _ => Err(ParseError::at(form.pos(), "malformed define")),
+        }
+    }
+
+    fn parse_body(&mut self, pos: Pos, body: &[Sexpr]) -> Result<Expr, ParseError> {
+        if body.is_empty() {
+            return Err(ParseError::at(pos, "empty body"));
+        }
+        let exprs = body
+            .iter()
+            .map(|e| self.parse_expr(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(sequence(self.ignored, exprs))
+    }
+
+    fn parse_expr(&mut self, form: &Sexpr) -> Result<Expr, ParseError> {
+        match form {
+            Sexpr::Int(_, n) => Ok(Expr::Lit(Lit::Int(*n))),
+            Sexpr::Bool(_, b) => Ok(Expr::Lit(Lit::Bool(*b))),
+            Sexpr::Str(_, s) => {
+                let sym = self.intern(&s.clone());
+                Ok(Expr::Lit(Lit::Str(sym)))
+            }
+            Sexpr::Symbol(pos, name) => match name.as_str() {
+                "else" | "define" | "lambda" | "let" | "let*" | "letrec" | "if" | "cond"
+                | "begin" | "and" | "or" | "quote" | "when" | "unless" => {
+                    Err(ParseError::at(*pos, format!("'{name}' used as an expression")))
+                }
+                _ => {
+                    let sym = self.intern(&name.clone());
+                    Ok(Expr::Var(sym))
+                }
+            },
+            Sexpr::List(pos, items) => {
+                if items.is_empty() {
+                    return Err(ParseError::at(*pos, "empty application"));
+                }
+                if let Some(head) = items[0].as_symbol() {
+                    match head {
+                        "lambda" => return self.parse_lambda(*pos, items),
+                        "if" => return self.parse_if(*pos, items),
+                        "let" => return self.parse_let(*pos, items, false),
+                        "let*" => return self.parse_let(*pos, items, true),
+                        "letrec" => return self.parse_letrec(*pos, items),
+                        "begin" => return self.parse_body(*pos, &items[1..]),
+                        "and" => return self.parse_and(&items[1..]),
+                        "or" => return self.parse_or(&items[1..]),
+                        "cond" => return self.parse_cond(*pos, &items[1..]),
+                        "when" => return self.parse_when(*pos, items, true),
+                        "unless" => return self.parse_when(*pos, items, false),
+                        "quote" => return self.parse_quote(*pos, items),
+                        "define" => {
+                            return Err(ParseError::at(*pos, "define is only allowed at top level"))
+                        }
+                        "list" => {
+                            let elems = items[1..]
+                                .iter()
+                                .map(|e| self.parse_expr(e))
+                                .collect::<Result<Vec<_>, _>>()?;
+                            return Ok(make_list(elems));
+                        }
+                        _ => {
+                            if let Some(op) = PrimOp::from_name(head) {
+                                // A primitive name in operator position is a
+                                // primitive application (our subset does not
+                                // allow shadowing primitive names).
+                                return self.parse_prim(*pos, op, &items[1..]);
+                            }
+                        }
+                    }
+                }
+                let func = self.parse_expr(&items[0])?;
+                let args = items[1..]
+                    .iter()
+                    .map(|e| self.parse_expr(e))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Expr::App { func: Box::new(func), args })
+            }
+        }
+    }
+
+    fn parse_prim(&mut self, pos: Pos, op: PrimOp, args: &[Sexpr]) -> Result<Expr, ParseError> {
+        let args = args
+            .iter()
+            .map(|e| self.parse_expr(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(arity) = op.arity() {
+            // `-` with one argument is negation: desugar to (- 0 x).
+            if op == PrimOp::Sub && args.len() == 1 {
+                let mut negated = vec![Expr::Lit(Lit::Int(0))];
+                negated.extend(args);
+                return Ok(Expr::Prim { op, args: negated });
+            }
+            if args.len() != arity {
+                return Err(ParseError::at(
+                    pos,
+                    format!("primitive '{}' expects {} argument(s), got {}", op, arity, args.len()),
+                ));
+            }
+        } else if args.is_empty() {
+            return Err(ParseError::at(pos, format!("primitive '{op}' needs arguments")));
+        }
+        Ok(Expr::Prim { op, args })
+    }
+
+    fn parse_lambda(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        if items.len() < 3 {
+            return Err(ParseError::at(pos, "malformed lambda"));
+        }
+        let params = items[1]
+            .as_list()
+            .ok_or_else(|| ParseError::at(items[1].pos(), "lambda needs a parameter list"))?
+            .iter()
+            .map(|p| {
+                p.as_symbol()
+                    .map(|s| self.interner.intern(s))
+                    .ok_or_else(|| ParseError::at(p.pos(), "parameter must be a symbol"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let body = self.parse_body(pos, &items[2..])?;
+        Ok(Expr::Lambda { params, body: Box::new(body) })
+    }
+
+    fn parse_if(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        match items {
+            [_, c, t] => Ok(Expr::If {
+                cond: Box::new(self.parse_expr(c)?),
+                then_branch: Box::new(self.parse_expr(t)?),
+                else_branch: Box::new(Expr::Lit(Lit::Void)),
+            }),
+            [_, c, t, e] => Ok(Expr::If {
+                cond: Box::new(self.parse_expr(c)?),
+                then_branch: Box::new(self.parse_expr(t)?),
+                else_branch: Box::new(self.parse_expr(e)?),
+            }),
+            _ => Err(ParseError::at(pos, "malformed if")),
+        }
+    }
+
+    fn parse_bindings(&mut self, form: &Sexpr) -> Result<Vec<(Symbol, Expr)>, ParseError> {
+        form.as_list()
+            .ok_or_else(|| ParseError::at(form.pos(), "expected a binding list"))?
+            .iter()
+            .map(|b| {
+                let pair = b
+                    .as_list()
+                    .ok_or_else(|| ParseError::at(b.pos(), "expected (name value)"))?;
+                match pair {
+                    [Sexpr::Symbol(_, name), value] => {
+                        let name = self.intern(&name.clone());
+                        Ok((name, self.parse_expr(value)?))
+                    }
+                    _ => Err(ParseError::at(b.pos(), "expected (name value)")),
+                }
+            })
+            .collect()
+    }
+
+    fn parse_let(&mut self, pos: Pos, items: &[Sexpr], sequential: bool) -> Result<Expr, ParseError> {
+        if items.len() < 3 {
+            return Err(ParseError::at(pos, "malformed let"));
+        }
+        let bindings = self.parse_bindings(&items[1])?;
+        let body = self.parse_body(pos, &items[2..])?;
+        if sequential {
+            // let* unfolds into nested lets.
+            Ok(bindings.into_iter().rev().fold(body, |acc, (name, value)| Expr::Let {
+                bindings: vec![(name, value)],
+                body: Box::new(acc),
+            }))
+        } else {
+            Ok(Expr::Let { bindings, body: Box::new(body) })
+        }
+    }
+
+    fn parse_letrec(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        if items.len() < 3 {
+            return Err(ParseError::at(pos, "malformed letrec"));
+        }
+        let bindings = self.parse_bindings(&items[1])?;
+        for (_, value) in &bindings {
+            if !value.is_lambda() {
+                return Err(ParseError::at(
+                    pos,
+                    "letrec right-hand sides must be lambdas in this subset",
+                ));
+            }
+        }
+        let body = self.parse_body(pos, &items[2..])?;
+        Ok(Expr::Letrec { bindings, body: Box::new(body) })
+    }
+
+    fn parse_and(&mut self, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        match items {
+            [] => Ok(Expr::Lit(Lit::Bool(true))),
+            [last] => self.parse_expr(last),
+            [first, rest @ ..] => {
+                let first = self.parse_expr(first)?;
+                let rest = self.parse_and(rest)?;
+                Ok(Expr::If {
+                    cond: Box::new(first),
+                    then_branch: Box::new(rest),
+                    else_branch: Box::new(Expr::Lit(Lit::Bool(false))),
+                })
+            }
+        }
+    }
+
+    fn parse_or(&mut self, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        match items {
+            [] => Ok(Expr::Lit(Lit::Bool(false))),
+            [last] => self.parse_expr(last),
+            [first, rest @ ..] => {
+                // (or a b…) ≡ (let ((t a)) (if t t (or b…))); `t` is a fresh
+                // binder, but since our `or` arms are expressions without
+                // shadowing concerns we reuse a reserved name per nesting.
+                let first = self.parse_expr(first)?;
+                let rest = self.parse_or(rest)?;
+                let t = self.intern("%or-tmp");
+                Ok(Expr::Let {
+                    bindings: vec![(t, first)],
+                    body: Box::new(Expr::If {
+                        cond: Box::new(Expr::Var(t)),
+                        then_branch: Box::new(Expr::Var(t)),
+                        else_branch: Box::new(rest),
+                    }),
+                })
+            }
+        }
+    }
+
+    fn parse_cond(&mut self, pos: Pos, clauses: &[Sexpr]) -> Result<Expr, ParseError> {
+        match clauses {
+            [] => Ok(Expr::Lit(Lit::Void)),
+            [clause, rest @ ..] => {
+                let items = clause
+                    .as_list()
+                    .ok_or_else(|| ParseError::at(clause.pos(), "cond clause must be a list"))?;
+                if items.is_empty() {
+                    return Err(ParseError::at(clause.pos(), "empty cond clause"));
+                }
+                if items[0].as_symbol() == Some("else") {
+                    if !rest.is_empty() {
+                        return Err(ParseError::at(clause.pos(), "else must be the last clause"));
+                    }
+                    return self.parse_body(clause.pos(), &items[1..]);
+                }
+                let test = self.parse_expr(&items[0])?;
+                let consequent = if items.len() > 1 {
+                    self.parse_body(clause.pos(), &items[1..])?
+                } else {
+                    test.clone()
+                };
+                let alternative = self.parse_cond(pos, rest)?;
+                Ok(Expr::If {
+                    cond: Box::new(test),
+                    then_branch: Box::new(consequent),
+                    else_branch: Box::new(alternative),
+                })
+            }
+        }
+    }
+
+    fn parse_when(&mut self, pos: Pos, items: &[Sexpr], positive: bool) -> Result<Expr, ParseError> {
+        if items.len() < 3 {
+            return Err(ParseError::at(pos, "malformed when/unless"));
+        }
+        let cond = self.parse_expr(&items[1])?;
+        let body = self.parse_body(pos, &items[2..])?;
+        let void = Expr::Lit(Lit::Void);
+        let (then_branch, else_branch) = if positive { (body, void) } else { (void, body) };
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    fn parse_quote(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
+        if items.len() != 2 {
+            return Err(ParseError::at(pos, "malformed quote"));
+        }
+        self.quote_datum(&items[1])
+    }
+
+    fn quote_datum(&mut self, datum: &Sexpr) -> Result<Expr, ParseError> {
+        Ok(match datum {
+            Sexpr::Int(_, n) => Expr::Lit(Lit::Int(*n)),
+            Sexpr::Bool(_, b) => Expr::Lit(Lit::Bool(*b)),
+            Sexpr::Str(_, s) => {
+                let sym = self.intern(&s.clone());
+                Expr::Lit(Lit::Str(sym))
+            }
+            Sexpr::Symbol(_, name) => {
+                let sym = self.intern(&name.clone());
+                Expr::Lit(Lit::Sym(sym))
+            }
+            Sexpr::List(_, items) => {
+                let elems = items
+                    .iter()
+                    .map(|d| self.quote_datum(d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                make_list(elems)
+            }
+        })
+    }
+}
+
+/// Builds `(cons e₁ (cons … '()))`.
+fn make_list(elems: Vec<Expr>) -> Expr {
+    elems.into_iter().rev().fold(Expr::Lit(Lit::Nil), |acc, e| Expr::Prim {
+        op: PrimOp::Cons,
+        args: vec![e, acc],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Expr {
+        parse_program(src).unwrap().body
+    }
+
+    #[test]
+    fn parses_application() {
+        let e = parse("((lambda (x) x) 1)");
+        match e {
+            Expr::App { func, args } => {
+                assert!(func.is_lambda());
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected application, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defines_become_letrec() {
+        let e = parse("(define (f x) x) (define (g y) (f y)) (g 1)");
+        match e {
+            Expr::Letrec { bindings, .. } => assert_eq!(bindings.len(), 2),
+            other => panic!("expected letrec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn begin_desugars_to_lets() {
+        let e = parse("(begin 1 2 3)");
+        // (let ((_ 1)) (let ((_ 2)) 3))
+        match e {
+            Expr::Let { bindings, body } => {
+                assert_eq!(bindings.len(), 1);
+                assert!(matches!(*body, Expr::Let { .. }));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_star_nests() {
+        let e = parse("(let* ((a 1) (b a)) b)");
+        match e {
+            Expr::Let { bindings, body } => {
+                assert_eq!(bindings.len(), 1);
+                assert!(matches!(*body, Expr::Let { .. }));
+            }
+            other => panic!("expected nested lets, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_desugar_to_if() {
+        assert!(matches!(parse("(and 1 2)"), Expr::If { .. }));
+        assert!(matches!(parse("(or 1 2)"), Expr::Let { .. }));
+        assert_eq!(parse("(and)"), Expr::Lit(Lit::Bool(true)));
+        assert_eq!(parse("(or)"), Expr::Lit(Lit::Bool(false)));
+    }
+
+    #[test]
+    fn cond_desugars_to_if_chain() {
+        let e = parse("(cond ((zero? 0) 1) ((zero? 1) 2) (else 3))");
+        match e {
+            Expr::If { else_branch, .. } => assert!(matches!(*else_branch, Expr::If { .. })),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quote_builds_data() {
+        assert_eq!(parse("'()"), Expr::Lit(Lit::Nil));
+        assert!(matches!(parse("'foo"), Expr::Lit(Lit::Sym(_))));
+        // '(1 2) is (cons 1 (cons 2 '()))
+        match parse("'(1 2)") {
+            Expr::Prim { op: PrimOp::Cons, args } => {
+                assert_eq!(args[0], Expr::Lit(Lit::Int(1)));
+            }
+            other => panic!("expected cons, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_desugars_to_cons() {
+        assert!(matches!(
+            parse("(list 1 2 3)"),
+            Expr::Prim { op: PrimOp::Cons, .. }
+        ));
+        assert_eq!(parse("(list)"), Expr::Lit(Lit::Nil));
+    }
+
+    #[test]
+    fn unary_minus_negates() {
+        match parse("(- 5)") {
+            Expr::Prim { op: PrimOp::Sub, args } => {
+                assert_eq!(args[0], Expr::Lit(Lit::Int(0)));
+                assert_eq!(args[1], Expr::Lit(Lit::Int(5)));
+            }
+            other => panic!("expected subtraction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        assert!(parse_program("(car 1 2)").is_err());
+        assert!(parse_program("(cons 1)").is_err());
+    }
+
+    #[test]
+    fn letrec_requires_lambdas() {
+        assert!(parse_program("(letrec ((x 1)) x)").is_err());
+        assert!(parse_program("(letrec ((f (lambda (x) x))) (f 1))").is_ok());
+    }
+
+    #[test]
+    fn misplaced_define_rejected() {
+        assert!(parse_program("((define (f) 1))").is_err());
+        assert!(parse_program("(f 1) (define (f x) x)").is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_variables() {
+        assert!(parse_program("lambda").is_err());
+        assert!(parse_program("(f else)").is_err());
+    }
+
+    #[test]
+    fn when_unless_desugar() {
+        assert!(matches!(parse("(when 1 2)"), Expr::If { .. }));
+        assert!(matches!(parse("(unless 1 2)"), Expr::If { .. }));
+    }
+
+    #[test]
+    fn if_without_else_gets_void() {
+        match parse("(if 1 2)") {
+            Expr::If { else_branch, .. } => assert_eq!(*else_branch, Expr::Lit(Lit::Void)),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the front end: reader round-trips and CPS
+//! conversion invariants.
+
+use cfa_syntax::cps::{AExp, CallKind, CpsProgram};
+use cfa_syntax::sexpr::{parse_one, Sexpr};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// S-expression round trips
+// ---------------------------------------------------------------------
+
+fn arb_sexpr() -> impl Strategy<Value = Sexpr> {
+    let pos = cfa_syntax::sexpr::Pos { line: 1, col: 1 };
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(move |n| Sexpr::Int(pos, n)),
+        any::<bool>().prop_map(move |b| Sexpr::Bool(pos, b)),
+        "[a-z][a-z0-9-]{0,8}".prop_map(move |s| Sexpr::Symbol(pos, s)),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(move |s| Sexpr::Str(pos, s)),
+    ];
+    leaf.prop_recursive(4, 32, 5, move |inner| {
+        prop::collection::vec(inner, 0..5).prop_map(move |items| Sexpr::List(pos, items))
+    })
+}
+
+/// Structural equality ignoring positions.
+fn same_shape(a: &Sexpr, b: &Sexpr) -> bool {
+    match (a, b) {
+        (Sexpr::Int(_, x), Sexpr::Int(_, y)) => x == y,
+        (Sexpr::Bool(_, x), Sexpr::Bool(_, y)) => x == y,
+        (Sexpr::Symbol(_, x), Sexpr::Symbol(_, y)) => x == y,
+        (Sexpr::Str(_, x), Sexpr::Str(_, y)) => x == y,
+        (Sexpr::List(_, xs), Sexpr::List(_, ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| same_shape(x, y))
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn sexpr_display_parses_back(e in arb_sexpr()) {
+        let printed = e.to_string();
+        let reparsed = parse_one(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-read {printed:?}: {err}"));
+        prop_assert!(same_shape(&e, &reparsed), "{printed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPS conversion invariants over generated-looking sources
+// ---------------------------------------------------------------------
+
+/// All binder symbols in a program are unique (alpha-renaming worked).
+fn binders_are_unique(p: &CpsProgram) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    for l in p.lam_ids() {
+        for &param in &p.lam(l).params {
+            if !seen.insert(param) {
+                return false;
+            }
+        }
+    }
+    for c in p.call_ids() {
+        if let CallKind::Fix { bindings, .. } = &p.call(c).kind {
+            for (v, _) in bindings {
+                if !seen.insert(*v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Every variable reference is bound by some binder or is a free
+/// variable of the whole program (there are none for closed programs).
+fn closed(p: &CpsProgram) -> bool {
+    let bound: std::collections::BTreeSet<_> = p.bound_vars().into_iter().collect();
+    let mut ok = true;
+    let mut check = |e: &AExp| {
+        if let AExp::Var(v) = e {
+            if !bound.contains(v) {
+                ok = false;
+            }
+        }
+    };
+    for c in p.call_ids() {
+        match &p.call(c).kind {
+            CallKind::App { func, args } => {
+                check(func);
+                args.iter().for_each(&mut check);
+            }
+            CallKind::If { cond, .. } => check(cond),
+            CallKind::PrimCall { args, cont, .. } => {
+                args.iter().for_each(&mut check);
+                check(cont);
+            }
+            CallKind::Fix { .. } => {}
+            CallKind::Halt { value } => check(value),
+        }
+    }
+    ok
+}
+
+const SOURCES: &[&str] = &[
+    "((lambda (x) ((lambda (x) x) x)) 1)",
+    "(let ((x 1) (y 2)) (let ((x y)) x))",
+    "(define (f x) (if (zero? x) x (f (- x 1)))) (f 5)",
+    "(letrec ((odd (lambda (n) (if (zero? n) #f (even (- n 1)))))
+              (even (lambda (n) (if (zero? n) #t (odd (- n 1))))))
+       (odd 3))",
+    "(cond ((zero? 1) 'a) ((zero? 0) 'b) (else 'c))",
+    "(and 1 (or #f 2) 3)",
+];
+
+#[test]
+fn conversion_produces_unique_binders() {
+    for src in SOURCES {
+        let p = cfa_syntax::compile(src).unwrap();
+        assert!(binders_are_unique(&p), "{src}");
+    }
+}
+
+#[test]
+fn conversion_produces_closed_programs() {
+    for src in SOURCES {
+        let p = cfa_syntax::compile(src).unwrap();
+        assert!(closed(&p), "{src}");
+    }
+}
+
+#[test]
+fn labels_are_dense_and_unique() {
+    for src in SOURCES {
+        let p = cfa_syntax::compile(src).unwrap();
+        let mut labels: Vec<u32> = Vec::new();
+        for l in p.lam_ids() {
+            labels.push(p.lam(l).label.0);
+        }
+        for c in p.call_ids() {
+            labels.push(p.call(c).label.0);
+        }
+        labels.sort();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "{src}: duplicate labels");
+        assert!(labels.iter().all(|&l| l < p.label_count()), "{src}: label range");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random integer-expression sources convert to closed programs
+    /// with unique binders.
+    #[test]
+    fn random_arith_sources_convert_cleanly(
+        a in -100i64..100, b in -100i64..100, c in 1i64..50, pick in 0usize..4
+    ) {
+        let src = match pick {
+            0 => format!("(+ {a} (* {b} {c}))"),
+            1 => format!("(let ((x {a})) (if (zero? x) {b} (- x {c})))"),
+            2 => format!("((lambda (f) (f {a})) (lambda (n) (+ n {b})))"),
+            _ => format!("(car (cons {a} (cons {b} {c})))"),
+        };
+        let p = cfa_syntax::compile(&src).unwrap();
+        prop_assert!(binders_are_unique(&p));
+        prop_assert!(closed(&p));
+    }
+}

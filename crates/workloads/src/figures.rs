@@ -1,0 +1,133 @@
+//! The Figure 1 / Figure 2 paradox programs, parameterized by N and M.
+//!
+//! Both figures show "the same program": a `caller` invokes `foo` with N
+//! distinct objects; `foo` closes over its argument `x` and invokes the
+//! closure with M distinct objects `y`; the innermost code (`baz`) uses
+//! both `x` and `y`.
+//!
+//! * [`fn_program`] — the functional form (Figure 2, implicit closures):
+//!   under 1-CFA the innermost λ is analyzed in `O(N·M)` environments,
+//!   because `x` and `y` keep the separate contexts they were closed in.
+//! * [`oo_program`] — the OO form (Figure 1, explicit closure objects):
+//!   the same 1-CFA produces `O(N+M)` abstract contexts, because
+//!   `new ClosureXY(x, y)` copies both values simultaneously.
+
+use std::fmt::Write as _;
+
+/// Generates the functional (implicit-closure) paradox program
+/// (Figure 2) in mini-Scheme.
+///
+/// The innermost λ-term — the one analyzed in `O(N·M)` environments —
+/// has its parameter named `paradox-probe`, so experiment code can find
+/// it by name after CPS conversion (the converter renames it to
+/// `paradox-probe.<n>`).
+pub fn fn_program(n: usize, m: usize) -> String {
+    assert!(n > 0 && m > 0, "need at least one caller and one inner call");
+    let mut src = String::new();
+    // foo closes x, then cx closes y; the innermost lambda reads both.
+    src.push_str(
+        "(define (foo x)\n  (let ((cx (lambda (y)\n              (let ((cxy (lambda (paradox-probe) (cons x y))))\n                (cxy 0)))))\n    (begin\n",
+    );
+    for j in 1..=m {
+        let _ = writeln!(src, "      (cx 'oy{j})");
+    }
+    src.push_str(")))\n(begin\n");
+    for i in 1..=n {
+        let _ = writeln!(src, "  (foo 'ox{i})");
+    }
+    src.push_str(")\n");
+    src
+}
+
+/// Generates the object-oriented (explicit-closure) paradox program
+/// (Figure 1) in Featherweight Java.
+///
+/// `ClosureX` captures `x` at construction; `ClosureXY` captures `x`
+/// and `y` simultaneously; `baz` is the method whose analysis contexts
+/// the experiment counts.
+pub fn oo_program(n: usize, m: usize) -> String {
+    assert!(n > 0 && m > 0, "need at least one caller and one inner call");
+    let mut src = String::new();
+    src.push_str(
+        "class ClosureX extends Object {
+  Object x;
+  ClosureX(Object x0) { super(); this.x = x0; }
+  Object bar(Object y) {
+    ClosureXY cxy;
+    cxy = new ClosureXY(this.x, y);
+    return cxy.baz();
+  }
+}
+class ClosureXY extends Object {
+  Object x;
+  Object y;
+  ClosureXY(Object x0, Object y0) { super(); this.x = x0; this.y = y0; }
+  Object baz() {
+    Object usex;
+    usex = this.x;
+    Object usey;
+    usey = this.y;
+    return usey;
+  }
+}
+class Main extends Object {
+  Main() { super(); }
+  Object foo(Object x) {
+    ClosureX cx;
+    cx = new ClosureX(x);
+",
+    );
+    for j in 1..=m {
+        let _ = writeln!(src, "    Object r{j};\n    r{j} = cx.bar(new Object());");
+    }
+    let _ = writeln!(src, "    return r{m};");
+    src.push_str("  }\n  Object main() {\n");
+    for i in 1..=n {
+        let _ = writeln!(src, "    Object s{i};\n    s{i} = this.foo(new Object());");
+    }
+    let _ = writeln!(src, "    return s{n};");
+    src.push_str("  }\n}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_program_compiles() {
+        for (n, m) in [(1, 1), (3, 4), (5, 2)] {
+            let src = fn_program(n, m);
+            let cps = cfa_syntax::compile(&src).expect(&src);
+            assert!(cps.lam_count() > 3);
+        }
+    }
+
+    #[test]
+    fn fn_program_has_probe_lambda() {
+        let cps = cfa_syntax::compile(&fn_program(2, 2)).unwrap();
+        let found = cps.lam_ids().any(|l| {
+            cps.lam(l)
+                .params
+                .first()
+                .map(|p| cps.name(*p).starts_with("paradox-probe"))
+                .unwrap_or(false)
+        });
+        assert!(found, "probe lambda must be identifiable by parameter name");
+    }
+
+    #[test]
+    fn oo_program_grows_with_parameters() {
+        let small = oo_program(1, 1);
+        let large = oo_program(8, 8);
+        assert!(large.len() > small.len());
+        assert!(small.contains("class ClosureXY"));
+        assert!(small.contains("baz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_dimensions_rejected() {
+        let _ = fn_program(0, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workloads for the k-CFA paradox reproduction: the paper's worst-case
+//! family (§6.1.1), the Figure 1/2 paradox programs, the §6.2 benchmark
+//! suite, and a random program generator for property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! // The worst-case family forces shared-environment k-CFA to its
+//! // lattice top.
+//! let wc = cfa_workloads::worstcase::worst_case_source(4);
+//! let cps = cfa_syntax::compile(&wc).unwrap();
+//! assert!(cps.lam_count() >= 9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod gen;
+pub mod gen_fj;
+pub mod suite;
+pub mod suite_fj;
+pub mod worstcase;
+
+pub use figures::{fn_program, oo_program};
+pub use suite::{extended_suite, suite, SuiteProgram, IDENTITY_PLAIN, IDENTITY_WITH_CALL};
+pub use suite_fj::{fj_suite, FjSuiteProgram};
+pub use worstcase::{paper_series, paper_series_programs, worst_case_source, WorstCase};

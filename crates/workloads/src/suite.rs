@@ -1,0 +1,493 @@
+//! The §6.2 benchmark suite.
+//!
+//! The paper measures seven R5RS Scheme programs (eta, map, sat, regex,
+//! scm2java, interp, scm2c). Those sources are not distributed; this
+//! module provides analogs written in our mini-Scheme subset that
+//! exercise the same idioms at graded sizes:
+//!
+//! | name | idiom |
+//! |---|---|
+//! | `eta` | eta-expansion and composition chains |
+//! | `map` | higher-order list processing (map/filter/fold) |
+//! | `sat` | back-tracking SAT solver with failure continuations |
+//! | `regex` | regular-expression matching via Brzozowski derivatives |
+//! | `scm2java` | AST-walking code generator emitting Java-ish text |
+//! | `interp` | environment-passing interpreter with host closures |
+//! | `scm2c` | two-pass compiler (constant folding + code generation) |
+//!
+//! All programs terminate under the concrete machines, so the suite also
+//! drives differential and soundness tests.
+
+/// A named suite program.
+#[derive(Clone, Debug)]
+pub struct SuiteProgram {
+    /// Short name (matches the paper's table rows).
+    pub name: &'static str,
+    /// What it exercises.
+    pub description: &'static str,
+    /// Mini-Scheme source.
+    pub source: &'static str,
+}
+
+/// `eta`: eta-expansion / composition chains.
+pub const ETA: &str = r#"
+(define (compose f g) (lambda (x) (f (g x))))
+(define (eta f) (lambda (x) (f x)))
+(define (twice f) (lambda (x) (f (f x))))
+(define (inc n) (+ n 1))
+(define (dbl n) (* n 2))
+(define (sqr n) (* n n))
+(let* ((a (compose (eta inc) (eta dbl)))
+       (b (compose (twice (eta inc)) (eta sqr)))
+       (c (compose a b))
+       (d (twice (compose (eta a) (eta b)))))
+  (+ (a 1) (+ (b 2) (+ (c 3) (d 4)))))
+"#;
+
+/// `map`: higher-order list processing.
+pub const MAP: &str = r#"
+(define (my-map f xs)
+  (if (null? xs) '() (cons (f (car xs)) (my-map f (cdr xs)))))
+(define (my-filter p xs)
+  (cond ((null? xs) '())
+        ((p (car xs)) (cons (car xs) (my-filter p (cdr xs))))
+        (else (my-filter p (cdr xs)))))
+(define (my-foldr f z xs)
+  (if (null? xs) z (f (car xs) (my-foldr f z (cdr xs)))))
+(define (my-foldl f z xs)
+  (if (null? xs) z (my-foldl f (f z (car xs)) (cdr xs))))
+(define (my-append xs ys)
+  (if (null? xs) ys (cons (car xs) (my-append (cdr xs) ys))))
+(define (range a b)
+  (if (>= a b) '() (cons a (range (+ a 1) b))))
+(define (even-num? n) (zero? (remainder n 2)))
+(define (plus a b) (+ a b))
+(define (sum xs) (my-foldr plus 0 xs))
+(define (sqr n) (* n n))
+(let* ((xs (range 0 12))
+       (squares (my-map sqr xs))
+       (evens (my-filter even-num? squares))
+       (both (my-append evens (my-map sqr evens))))
+  (+ (sum both) (my-foldl plus 0 xs)))
+"#;
+
+/// `sat`: back-tracking SAT solver with failure continuations.
+pub const SAT: &str = r#"
+(define (my-assq k alist)
+  (cond ((null? alist) #f)
+        ((eq? (car (car alist)) k) (car alist))
+        (else (my-assq k (cdr alist)))))
+(define (lit-var l) (car l))
+(define (lit-pos? l) (car (cdr l)))
+(define (mk-lit v pos) (cons v (cons pos '())))
+(define (eval-lit l asn)
+  (let ((entry (my-assq (lit-var l) asn)))
+    (if entry
+        (if (lit-pos? l) (cdr entry) (not (cdr entry)))
+        #f)))
+(define (eval-clause c asn)
+  (if (null? c) #f
+      (if (eval-lit (car c) asn) #t (eval-clause (cdr c) asn))))
+(define (eval-formula f asn)
+  (if (null? f) #t
+      (if (eval-clause (car f) asn) (eval-formula (cdr f) asn) #f)))
+(define (solve vars formula asn fail)
+  (if (null? vars)
+      (if (eval-formula formula asn) asn (fail))
+      (solve (cdr vars) formula
+             (cons (cons (car vars) #t) asn)
+             (lambda ()
+               (solve (cdr vars) formula
+                      (cons (cons (car vars) #f) asn)
+                      fail)))))
+(define (clause2 a b) (cons a (cons b '())))
+(define (clause1 a) (cons a '()))
+(let* ((f (list
+            (clause2 (mk-lit 'p #t) (mk-lit 'q #t))
+            (clause2 (mk-lit 'p #f) (mk-lit 'r #t))
+            (clause2 (mk-lit 'q #f) (mk-lit 'r #f))
+            (clause1 (mk-lit 's #t))
+            (clause2 (mk-lit 's #f) (mk-lit 'p #f))))
+       (result (solve (list 'p 'q 'r 's) f '() (lambda () 'unsat))))
+  (if (eq? result 'unsat) 'unsat 'sat))
+"#;
+
+/// `regex`: matching by Brzozowski derivatives.
+pub const REGEX: &str = r#"
+(define (tag r) (car r))
+(define (re-empty) (list 'empty))
+(define (re-eps) (list 'eps))
+(define (re-chr c) (list 'chr c))
+(define (re-seq r s) (list 'seq r s))
+(define (re-alt r s) (list 'alt r s))
+(define (re-star r) (list 'star r))
+(define (second r) (car (cdr r)))
+(define (third r) (car (cdr (cdr r))))
+(define (nullable? r)
+  (cond ((eq? (tag r) 'empty) #f)
+        ((eq? (tag r) 'eps) #t)
+        ((eq? (tag r) 'chr) #f)
+        ((eq? (tag r) 'seq) (and (nullable? (second r)) (nullable? (third r))))
+        ((eq? (tag r) 'alt) (or (nullable? (second r)) (nullable? (third r))))
+        (else #t)))
+(define (deriv r c)
+  (cond ((eq? (tag r) 'empty) (re-empty))
+        ((eq? (tag r) 'eps) (re-empty))
+        ((eq? (tag r) 'chr)
+         (if (eq? (second r) c) (re-eps) (re-empty)))
+        ((eq? (tag r) 'seq)
+         (let ((left (re-seq (deriv (second r) c) (third r))))
+           (if (nullable? (second r))
+               (re-alt left (deriv (third r) c))
+               left)))
+        ((eq? (tag r) 'alt)
+         (re-alt (deriv (second r) c) (deriv (third r) c)))
+        (else (re-seq (deriv (second r) c) r))))
+(define (re-match? r cs)
+  (if (null? cs)
+      (nullable? r)
+      (re-match? (deriv r (car cs)) (cdr cs))))
+(let* ((ab* (re-star (re-alt (re-chr 'a) (re-chr 'b))))
+       (r (re-seq ab* (re-seq (re-chr 'c) (re-star (re-chr 'd)))))
+       (yes (re-match? r (list 'a 'b 'b 'a 'c 'd 'd)))
+       (no (re-match? r (list 'a 'c 'c))))
+  (and yes (not no)))
+"#;
+
+/// `scm2java`: an AST-walking code generator (compiler front half).
+pub const SCM2JAVA: &str = r#"
+(define (tag e) (car e))
+(define (second e) (car (cdr e)))
+(define (third e) (car (cdr (cdr e))))
+(define (mk-num n) (list 'num n))
+(define (mk-var v) (list 'var v))
+(define (mk-add a b) (list 'add a b))
+(define (mk-mul a b) (list 'mul a b))
+(define (mk-let v e b) (list 'bind v e b))
+(define (paren s) (string-append "(" (string-append s ")")))
+(define (gen e)
+  (cond ((eq? (tag e) 'num) (->string (second e)))
+        ((eq? (tag e) 'var) (->string (second e)))
+        ((eq? (tag e) 'add)
+         (paren (string-append (gen (second e))
+                               (string-append " + " (gen (third e))))))
+        ((eq? (tag e) 'mul)
+         (paren (string-append (gen (second e))
+                               (string-append " * " (gen (third e))))))
+        (else
+         (string-append "int "
+           (string-append (->string (second e))
+             (string-append " = "
+               (string-append (gen (third e))
+                 (string-append "; "
+                   (gen (car (cdr (cdr (cdr e)))))))))))))
+(define (wrap-class body)
+  (string-append "class Out { int run() { return "
+                 (string-append body "; } }")))
+(let ((prog (mk-let 'x (mk-add (mk-num 1) (mk-num 2))
+              (mk-let 'y (mk-mul (mk-var 'x) (mk-num 7))
+                (mk-add (mk-var 'x) (mk-var 'y))))))
+  (wrap-class (gen prog)))
+"#;
+
+/// `interp`: an environment-passing interpreter using host closures.
+pub const INTERP: &str = r#"
+(define (tag e) (car e))
+(define (second e) (car (cdr e)))
+(define (third e) (car (cdr (cdr e))))
+(define (lookup v env)
+  (cond ((null? env) (error 'unbound))
+        ((eq? (car (car env)) v) (cdr (car env)))
+        (else (lookup v (cdr env)))))
+(define (extend env v d) (cons (cons v d) env))
+(define (interp e env)
+  (cond ((eq? (tag e) 'num) (second e))
+        ((eq? (tag e) 'ref) (lookup (second e) env))
+        ((eq? (tag e) 'add) (+ (interp (second e) env) (interp (third e) env)))
+        ((eq? (tag e) 'mul) (* (interp (second e) env) (interp (third e) env)))
+        ((eq? (tag e) 'lam)
+         (lambda (d) (interp (third e) (extend env (second e) d))))
+        ((eq? (tag e) 'app)
+         ((interp (second e) env) (interp (third e) env)))
+        ((eq? (tag e) 'if0)
+         (if (zero? (interp (second e) env))
+             (interp (third e) env)
+             (interp (car (cdr (cdr (cdr e)))) env)))
+        (else (error 'bad-term))))
+(define (num n) (list 'num n))
+(define (ref v) (list 'ref v))
+(define (add a b) (list 'add a b))
+(define (mul a b) (list 'mul a b))
+(define (lam v b) (list 'lam v b))
+(define (app f a) (list 'app f a))
+(let* ((square (lam 'x (mul (ref 'x) (ref 'x))))
+       (compose2 (lam 'f (lam 'g (lam 'x (app (ref 'f) (app (ref 'g) (ref 'x)))))))
+       (inc (lam 'n (add (ref 'n) (num 1))))
+       (prog (app (app (app compose2 square) inc) (num 6))))
+  (interp prog '()))
+"#;
+
+/// `scm2c`: a two-pass compiler — constant folding, then codegen.
+pub const SCM2C: &str = r#"
+(define (tag e) (car e))
+(define (second e) (car (cdr e)))
+(define (third e) (car (cdr (cdr e))))
+(define (fourth e) (car (cdr (cdr (cdr e)))))
+(define (mk-num n) (list 'num n))
+(define (mk-var v) (list 'var v))
+(define (mk-add a b) (list 'add a b))
+(define (mk-mul a b) (list 'mul a b))
+(define (mk-neg a) (list 'neg a))
+(define (mk-bind v e b) (list 'bind v e b))
+(define (num? e) (eq? (tag e) 'num))
+(define (fold e)
+  (cond ((eq? (tag e) 'num) e)
+        ((eq? (tag e) 'var) e)
+        ((eq? (tag e) 'neg)
+         (let ((a (fold (second e))))
+           (if (num? a) (mk-num (- 0 (second a))) (mk-neg a))))
+        ((eq? (tag e) 'add)
+         (let* ((a (fold (second e))) (b (fold (third e))))
+           (cond ((and (num? a) (num? b)) (mk-num (+ (second a) (second b))))
+                 ((and (num? a) (zero? (second a))) b)
+                 ((and (num? b) (zero? (second b))) a)
+                 (else (mk-add a b)))))
+        ((eq? (tag e) 'mul)
+         (let* ((a (fold (second e))) (b (fold (third e))))
+           (cond ((and (num? a) (num? b)) (mk-num (* (second a) (second b))))
+                 ((and (num? a) (= (second a) 1)) b)
+                 ((and (num? b) (= (second b) 1)) a)
+                 (else (mk-mul a b)))))
+        (else (mk-bind (second e) (fold (third e)) (fold (fourth e))))))
+(define (paren s) (string-append "(" (string-append s ")")))
+(define (binop op a b) (paren (string-append a (string-append op b))))
+(define (gen e)
+  (cond ((eq? (tag e) 'num) (->string (second e)))
+        ((eq? (tag e) 'var) (->string (second e)))
+        ((eq? (tag e) 'neg) (paren (string-append "-" (gen (second e)))))
+        ((eq? (tag e) 'add) (binop " + " (gen (second e)) (gen (third e))))
+        ((eq? (tag e) 'mul) (binop " * " (gen (second e)) (gen (third e))))
+        (else
+         (string-append "int "
+           (string-append (->string (second e))
+             (string-append " = "
+               (string-append (gen (third e))
+                 (string-append "; " (gen (fourth e))))))))))
+(define (compile e) (gen (fold e)))
+(define (count-nodes e)
+  (cond ((eq? (tag e) 'num) 1)
+        ((eq? (tag e) 'var) 1)
+        ((eq? (tag e) 'neg) (+ 1 (count-nodes (second e))))
+        ((eq? (tag e) 'add) (+ 1 (+ (count-nodes (second e)) (count-nodes (third e)))))
+        ((eq? (tag e) 'mul) (+ 1 (+ (count-nodes (second e)) (count-nodes (third e)))))
+        (else (+ 1 (+ (count-nodes (third e)) (count-nodes (fourth e)))))))
+(let* ((prog (mk-bind 'a (mk-add (mk-num 3) (mk-num 4))
+               (mk-bind 'b (mk-mul (mk-var 'a) (mk-add (mk-num 0) (mk-var 'a)))
+                 (mk-add (mk-neg (mk-var 'b)) (mk-mul (mk-num 1) (mk-var 'a))))))
+       (folded-size (count-nodes (fold prog)))
+       (code (compile prog)))
+  (cons folded-size code))
+"#;
+
+/// The §6 identity example *without* an intervening call: all three
+/// context-sensitive analyses return only `4`.
+pub const IDENTITY_PLAIN: &str = r#"
+(define (identity x) x)
+(let ((a (identity 3))) (identity 4))
+"#;
+
+/// The §6 identity example *with* an intervening call: naive polynomial
+/// 1CFA degrades to `{3, 4}`; m-CFA and k-CFA still return `{4}`.
+pub const IDENTITY_WITH_CALL: &str = r#"
+(define (do-something) 0)
+(define (identity x) (let ((ignore (do-something))) x))
+(let ((a (identity 3))) (identity 4))
+"#;
+
+/// `blur`: the classic control-flow benchmark — an η-expanded loop that
+/// "blurs" its higher-order arguments (Van Horn & Mairson's test suite).
+pub const BLUR: &str = r#"
+(define (id x) x)
+(define (blur y) y)
+(define (lp a n)
+  (if (zero? n)
+      (id a)
+      (let* ((r ((blur id) #t))
+             (s ((blur id) #f)))
+        ((blur lp) s (- n 1)))))
+(lp #f 2)
+"#;
+
+/// `loop2`: two mutually recursive loops exchanging closures (another
+/// classic from the k-CFA benchmark sets).
+pub const LOOP2: &str = r#"
+(define (lp1 f x)
+  (if (zero? x)
+      (f 0)
+      (lp2 (lambda (m) (f (+ m x))) (- x 1))))
+(define (lp2 g y)
+  (if (zero? y)
+      (g 1)
+      (lp1 (lambda (n) (g (* n 2))) (- y 1))))
+(lp1 (lambda (k) k) 6)
+"#;
+
+/// `mj09`: the Midtgaard–Jensen example — a higher-order function whose
+/// result closure escapes through two layers.
+pub const MJ09: &str = r#"
+(define (h b)
+  (lambda (u) (if b (u 1) (u 2))))
+(define (g k) (k 0))
+(define (f c)
+  (if c
+      ((h #t) (lambda (x) (+ x 10)))
+      (g (lambda (y) (+ y 20)))))
+(+ (f #t) (f #f))
+"#;
+
+/// `primtest`: trial-division primality testing (loop-heavy first-order
+/// control flow with a higher-order driver).
+pub const PRIMTEST: &str = r#"
+(define (divides? d n) (zero? (remainder n d)))
+(define (has-divisor? n d)
+  (cond ((> (* d d) n) #f)
+        ((divides? d n) #t)
+        (else (has-divisor? n (+ d 1)))))
+(define (prime? n) (if (< n 2) #f (not (has-divisor? n 2))))
+(define (count-if p a b)
+  (if (> a b)
+      0
+      (+ (if (p a) 1 0) (count-if p (+ a 1) b))))
+(count-if prime? 2 50)
+"#;
+
+/// `church`: Church-numeral arithmetic — the canonical higher-order
+/// stress test (every number is a two-argument closure tower).
+pub const CHURCH: &str = r#"
+(define (church-succ n) (lambda (f) (lambda (x) (f ((n f) x)))))
+(define (church-add a b) (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+(define (church-mul a b) (lambda (f) (a (b f))))
+(define (unchurch c) ((c (lambda (k) (+ k 1))) 0))
+(let* ((zero (lambda (f) (lambda (x) x)))
+       (one (church-succ zero))
+       (two (church-succ one))
+       (three (church-succ two))
+       (five (church-add two three))
+       (six (church-mul two three)))
+  (+ (unchurch five) (unchurch six)))
+"#;
+
+/// `ycomb`: the applicative-order Y combinator driving two recursions —
+/// self-application makes flow sets genuinely higher-order.
+pub const YCOMB: &str = r#"
+(define (y f)
+  ((lambda (g) (g g))
+   (lambda (h) (f (lambda (v) ((h h) v))))))
+(let* ((fact (y (lambda (self)
+                  (lambda (n) (if (zero? n) 1 (* n (self (- n 1))))))))
+       (tri (y (lambda (self)
+                 (lambda (n) (if (zero? n) 0 (+ n (self (- n 1)))))))))
+  (+ (fact 5) (tri 6)))
+"#;
+
+/// `stream`: lazy streams as thunks — delayed closures flowing through
+/// force/map/take (closure-heavy data flow).
+pub const STREAM: &str = r#"
+(define (s-cons x thunk) (cons x thunk))
+(define (s-head s) (car s))
+(define (s-tail s) ((cdr s)))
+(define (s-from n) (s-cons n (lambda () (s-from (+ n 1)))))
+(define (s-map f s)
+  (s-cons (f (s-head s)) (lambda () (s-map f (s-tail s)))))
+(define (s-take s n)
+  (if (zero? n) '() (cons (s-head s) (s-take (s-tail s) (- n 1)))))
+(define (sum xs) (if (null? xs) 0 (+ (car xs) (sum (cdr xs)))))
+(define (dbl k) (* k 2))
+(define (sqr k) (* k k))
+(let* ((nats (s-from 1))
+       (doubles (s-map dbl nats))
+       (squares (s-map sqr nats)))
+  (+ (sum (s-take doubles 4)) (sum (s-take squares 3))))
+"#;
+
+/// Seven classic CFA benchmarks from the k-CFA literature, extending
+/// the paper's seven rows.
+pub fn extended_suite() -> Vec<SuiteProgram> {
+    vec![
+        SuiteProgram { name: "blur", description: "η-expanded blurring loop", source: BLUR },
+        SuiteProgram { name: "loop2", description: "mutually recursive closure loops", source: LOOP2 },
+        SuiteProgram { name: "mj09", description: "Midtgaard–Jensen escape example", source: MJ09 },
+        SuiteProgram { name: "primtest", description: "trial-division primality", source: PRIMTEST },
+        SuiteProgram { name: "church", description: "Church-numeral arithmetic", source: CHURCH },
+        SuiteProgram { name: "ycomb", description: "Y-combinator recursions", source: YCOMB },
+        SuiteProgram { name: "stream", description: "lazy streams via thunks", source: STREAM },
+    ]
+}
+
+/// The full suite, in the paper's row order.
+pub fn suite() -> Vec<SuiteProgram> {
+    vec![
+        SuiteProgram { name: "eta", description: "eta-expansion chains", source: ETA },
+        SuiteProgram { name: "map", description: "higher-order list processing", source: MAP },
+        SuiteProgram { name: "sat", description: "back-tracking SAT solver", source: SAT },
+        SuiteProgram {
+            name: "regex",
+            description: "regex matching via derivatives",
+            source: REGEX,
+        },
+        SuiteProgram {
+            name: "scm2java",
+            description: "AST-walking Java code generator",
+            source: SCM2JAVA,
+        },
+        SuiteProgram {
+            name: "interp",
+            description: "environment-passing interpreter",
+            source: INTERP,
+        },
+        SuiteProgram {
+            name: "scm2c",
+            description: "two-pass compiler (fold + codegen)",
+            source: SCM2C,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_compile() {
+        for p in suite() {
+            let cps = cfa_syntax::compile(p.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(cps.term_count() > 50, "{} too small", p.name);
+        }
+    }
+
+    #[test]
+    fn sizes_are_graded() {
+        let sizes: Vec<(usize, &str)> = suite()
+            .iter()
+            .map(|p| (cfa_syntax::compile(p.source).unwrap().term_count(), p.name))
+            .collect();
+        // eta is the smallest; scm2c among the largest.
+        let eta = sizes.iter().find(|(_, n)| *n == "eta").unwrap().0;
+        let scm2c = sizes.iter().find(|(_, n)| *n == "scm2c").unwrap().0;
+        assert!(scm2c > eta * 2, "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn identity_examples_compile() {
+        assert!(cfa_syntax::compile(IDENTITY_PLAIN).is_ok());
+        assert!(cfa_syntax::compile(IDENTITY_WITH_CALL).is_ok());
+    }
+
+    #[test]
+    fn extended_suite_compiles() {
+        for p in extended_suite() {
+            cfa_syntax::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+}

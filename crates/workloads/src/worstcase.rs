@@ -1,0 +1,134 @@
+//! The Van Horn–Mairson worst-case family (paper §2.2 and §6.1.1).
+//!
+//! The paper's exponential-hardness witness binds each of `n` variables
+//! at two distinct call sites and then closes a λ-term over all of them:
+//!
+//! ```text
+//! ((λ (f1) (f1 0) (f1 1))
+//!  (λ (x1)
+//!    ⋮
+//!    ((λ (fn) (fn 0) (fn 1))
+//!     (λ (xn)
+//!       (λ (z) (z x1 … xn)))) ⋯ ))
+//! ```
+//!
+//! Under 1-CFA each `xᵢ` has two abstract binding contexts, and because
+//! shared-environment closures may combine bindings from different
+//! contexts there are `2ⁿ` abstract environments closing the inner
+//! λ-term — the analysis is forced to the top of its lattice. Flat
+//! environments (m-CFA, poly-k-CFA) collapse each environment to a
+//! single context and stay polynomial.
+//!
+//! §6.1.1 uses exactly this family, scaled to terms of size 69 … 1743,
+//! as the "worst-case" benchmark series.
+
+/// Generates the worst-case program with `n` doubly-bound variables,
+/// in mini-Scheme surface syntax.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let src = cfa_workloads::worstcase::worst_case_source(3);
+/// let cps = cfa_syntax::compile(&src).unwrap();
+/// assert!(cps.term_count() > 30);
+/// ```
+pub fn worst_case_source(n: usize) -> String {
+    assert!(n > 0, "worst-case family needs at least one variable");
+    // Innermost payload: (lambda (z) (z x1 … xn)).
+    let mut body = {
+        let mut call = String::from("(z");
+        for i in 1..=n {
+            call.push_str(&format!(" x{i}"));
+        }
+        call.push(')');
+        format!("(lambda (z) {call})")
+    };
+    // Wrap outward: ((lambda (fi) (begin (fi 0) (fi 1))) (lambda (xi) body)).
+    for i in (1..=n).rev() {
+        body = format!(
+            "((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))"
+        );
+    }
+    body
+}
+
+/// The sequence of `n` values whose generated programs roughly double in
+/// size, mirroring the §6.1.1 series (69, 123, 231, 447, 879, 1743
+/// terms in the paper's counting).
+pub fn paper_series() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+/// A generated worst-case benchmark instance.
+#[derive(Clone, Debug)]
+pub struct WorstCase {
+    /// Number of doubly-bound variables.
+    pub n: usize,
+    /// Mini-Scheme source.
+    pub source: String,
+    /// CPS term count (the paper's "Terms" column).
+    pub terms: usize,
+}
+
+/// Generates the full §6.1.1 benchmark series with term counts.
+pub fn paper_series_programs() -> Vec<WorstCase> {
+    paper_series()
+        .into_iter()
+        .map(|n| {
+            let source = worst_case_source(n);
+            let terms = cfa_syntax::compile(&source)
+                .expect("worst-case source is well-formed")
+                .term_count();
+            WorstCase { n, source, terms }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_well_formed_programs() {
+        for n in [1, 2, 4, 8] {
+            let src = worst_case_source(n);
+            let cps = cfa_syntax::compile(&src).expect(&src);
+            assert!(cps.lam_count() > 2 * n);
+        }
+    }
+
+    #[test]
+    fn sizes_roughly_double() {
+        let programs = paper_series_programs();
+        for pair in programs.windows(2) {
+            let ratio = pair[1].terms as f64 / pair[0].terms as f64;
+            assert!(
+                (1.3..=2.5).contains(&ratio),
+                "terms {} -> {} (ratio {ratio})",
+                pair[0].terms,
+                pair[1].terms
+            );
+        }
+    }
+
+    #[test]
+    fn inner_lambda_has_all_free_variables() {
+        let cps = cfa_syntax::compile(&worst_case_source(5)).unwrap();
+        let max_free = cps
+            .lam_ids()
+            .map(|l| cps.free_vars(l).len())
+            .max()
+            .unwrap();
+        assert!(max_free >= 5, "inner λ must close over all n variables");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_is_rejected() {
+        let _ = worst_case_source(0);
+    }
+}

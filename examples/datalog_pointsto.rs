@@ -1,0 +1,100 @@
+//! The "Datalog road": OO k-CFA as a declarative points-to analysis.
+//!
+//! The paper resolves half the k-CFA paradox by noting that OO k-CFA is
+//! expressible in Datalog — a language that can only express
+//! polynomial-time algorithms. This example runs that Datalog encoding
+//! on a small visitor-style program and prints the call graph and
+//! points-to sets it derives, then confirms the abstract machine agrees.
+//!
+//! Run with: `cargo run -p cfa --example datalog_pointsto`
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::kcfa::TickPolicy;
+use cfa::fj::{
+    analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions,
+};
+
+const PROGRAM: &str = "
+    class Shape extends Object {
+      Shape() { super(); }
+      Object area() { Object o; o = new Object(); return o; }
+    }
+    class Circle extends Shape {
+      Circle() { super(); }
+      Object area() { Object ac; ac = new Circle(); return ac; }
+    }
+    class Square extends Shape {
+      Square() { super(); }
+      Object area() { Object as; as = new Square(); return as; }
+    }
+    class Main extends Object {
+      Main() { super(); }
+      Object measure(Shape s) { return s.area(); }
+      Object main() {
+        Object a;
+        a = this.measure(new Circle());
+        Object b;
+        b = this.measure(new Square());
+        return b;
+      }
+    }";
+
+fn main() {
+    let program = parse_fj(PROGRAM).expect("example program parses");
+
+    for k in [0, 1] {
+        let result = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(k));
+        println!("== k = {k} ==");
+        println!(
+            "facts: {} input, {} at fixpoint ({} rounds)",
+            result.edb_facts, result.total_facts, result.stats.rounds
+        );
+        println!("call graph:");
+        for (site, targets) in &result.call_targets {
+            let names: Vec<String> = targets
+                .iter()
+                .map(|&mid| {
+                    let m = program.method(mid);
+                    format!(
+                        "{}.{}",
+                        program.name(program.class(m.owner).name),
+                        program.name(m.name)
+                    )
+                })
+                .collect();
+            println!("  stmt {:?} -> {}", site, names.join(", "));
+        }
+        let halts: Vec<&str> =
+            result.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+        println!("main() returns: {}", halts.join(", "));
+
+        // The worklist machine agrees exactly.
+        let machine = analyze_fj(
+            &program,
+            FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+            EngineLimits::default(),
+        );
+        assert_eq!(machine.metrics.call_targets, result.call_targets);
+        assert_eq!(machine.metrics.halt_classes, result.halt_classes);
+        println!("machine agrees: yes");
+        println!();
+    }
+
+    // k=1 keeps the two measure() receivers apart: only Square reaches
+    // halt. k=0 merges them.
+    let k1 = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(1));
+    let names: Vec<&str> =
+        k1.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+    assert_eq!(names, vec!["Square"]);
+    let k0 = analyze_fj_datalog(&program, FjDatalogOptions::insensitive());
+    assert_eq!(k0.halt_classes.len(), 2);
+
+    println!("Note how k=1 keeps the two measure() receivers apart (Square only");
+    println!("reaches halt), while k=0 merges them — the context-sensitivity the");
+    println!("paper's OO k-CFA provides at polynomial cost.");
+    println!();
+    println!("(The area() locals are deliberately named apart: k-CFA addresses");
+    println!("are variable-name × context, so same-named locals of different");
+    println!("methods share addresses when their contexts coincide — faithful");
+    println!("to the paper's Var × Time address space.)");
+}

@@ -1,0 +1,87 @@
+//! Points-to analysis for Featherweight Java: run OO k-CFA on a small
+//! class hierarchy and print the call graph it constructs on the fly.
+//!
+//! Run with: `cargo run -p cfa --example fj_pointsto`
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::{analyze_fj, parse_fj, FjAnalysisOptions};
+
+const PROGRAM: &str = "
+class Shape extends Object {
+  Shape() { super(); }
+  Object area(Object scale) { return scale; }
+}
+class Circle extends Shape {
+  Object radius;
+  Circle(Object radius0) { super(); this.radius = radius0; }
+  Object area(Object scale) { return this.radius; }
+}
+class Square extends Shape {
+  Object side;
+  Square(Object side0) { super(); this.side = side0; }
+  Object area(Object scale) { return this.side; }
+}
+class Canvas extends Object {
+  Canvas() { super(); }
+  Object draw(Shape s, Object scale) { return s.area(scale); }
+}
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    Canvas c;
+    c = new Canvas();
+    Object u;
+    u = new Object();
+    Object a;
+    a = c.draw(new Circle(new Object()), u);
+    Object b;
+    b = c.draw(new Square(new Object()), u);
+    return b;
+  }
+}";
+
+fn main() {
+    let program = parse_fj(PROGRAM).expect("program parses");
+    println!("{program}\n");
+
+    for (label, options) in [
+        ("k=0 (context-insensitive)", FjAnalysisOptions::oo(0)),
+        ("k=1 (call-site sensitive) ", FjAnalysisOptions::oo(1)),
+    ] {
+        let result = analyze_fj(&program, options, EngineLimits::default());
+        let m = &result.metrics;
+        println!("--- {label} ---");
+        println!(
+            "configs: {}, store entries: {}, contexts: {}",
+            m.config_count, m.store_entries, m.time_count
+        );
+        println!(
+            "call sites: {} reachable, {} monomorphic (devirtualizable)",
+            m.reachable_calls, m.monomorphic_calls
+        );
+        for (site, targets) in &m.call_targets {
+            let names: Vec<String> = targets
+                .iter()
+                .map(|&t| {
+                    let method = program.method(t);
+                    format!(
+                        "{}.{}",
+                        program.name(program.class(method.owner).name),
+                        program.name(method.name)
+                    )
+                })
+                .collect();
+            let caller = program.method(site.method);
+            println!(
+                "  {}.{}[{}] -> {{{}}}",
+                program.name(program.class(caller.owner).name),
+                program.name(caller.name),
+                site.index,
+                names.join(", ")
+            );
+        }
+        println!();
+    }
+    println!("Under k=1 the two draw() sites keep separate contexts, so s.area()");
+    println!("resolves per receiver; under k=0 both receivers merge at `s`.");
+}

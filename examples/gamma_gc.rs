@@ -1,0 +1,45 @@
+//! Abstract garbage collection (ΓCFA) live: the paper's §8 future-work
+//! direction, applied to the naive per-state-store k-CFA.
+//!
+//! Run with: `cargo run -p cfa --example gamma_gc --release`
+
+use cfa::analysis::naive::{analyze_kcfa_naive_with, NaiveLimits};
+use cfa::analysis::Status;
+use std::time::Duration;
+
+fn main() {
+    println!("Naive 1-CFA (per-state stores) with and without abstract GC\n");
+    println!(
+        "{:>3} {:>6} {:>14} {:>14} {:>12} {:>12}",
+        "n", "terms", "states", "states (GC)", "time", "time (GC)"
+    );
+    let limits = NaiveLimits {
+        max_states: 100_000,
+        time_budget: Some(Duration::from_secs(10)),
+    };
+    for n in [1usize, 2, 3, 4] {
+        let src = cfa::workloads::worst_case_source(n);
+        let program = cfa::compile(&src).expect("compiles");
+        let plain = analyze_kcfa_naive_with(&program, 1, limits, false);
+        let gc = analyze_kcfa_naive_with(&program, 1, limits, true);
+        let mark = |r: &cfa::analysis::NaiveResult| {
+            if r.status == Status::Completed {
+                r.state_count.to_string()
+            } else {
+                format!(">{}", r.state_count)
+            }
+        };
+        println!(
+            "{n:>3} {:>6} {:>14} {:>14} {:>12} {:>12}",
+            program.term_count(),
+            mark(&plain),
+            mark(&gc),
+            format!("{:.0?}", plain.elapsed),
+            format!("{:.0?}", gc.elapsed),
+        );
+    }
+    println!();
+    println!("Dead bindings differentiate states that are otherwise identical;");
+    println!("collecting them makes the exponential family tractable for the");
+    println!("naive algorithm — and never changes the computed halt values.");
+}

@@ -1,0 +1,65 @@
+//! Abstract garbage collection and counting for OO programs (§8).
+//!
+//! The paper's closing section proposes carrying ΓCFA — abstract GC and
+//! abstract counting — across the functional/OO bridge. This example
+//! shows both on a small Featherweight Java program: GC shrinks the
+//! per-state search, and counting certifies most addresses as singular
+//! (must-alias), with GC making *more* of them singular.
+//!
+//! Run with: `cargo run -p cfa --example oo_gamma_gc`
+
+use cfa::fj::naive::{analyze_fj_naive, FjNaiveOptions};
+use cfa::fj::parse_fj;
+
+const PROGRAM: &str = "
+    class Cell extends Object {
+      Object value;
+      Cell(Object value0) { super(); this.value = value0; }
+      Object get() { return this.value; }
+      Cell wrap() { Cell w; w = new Cell(this.get()); return w; }
+    }
+    class Payload extends Object { Payload() { super(); } }
+    class Main extends Object {
+      Main() { super(); }
+      Object main() {
+        Cell a;
+        a = new Cell(new Payload());
+        Cell b;
+        b = a.wrap();
+        Cell c;
+        c = b.wrap();
+        return c.get();
+      }
+    }";
+
+fn main() {
+    let program = parse_fj(PROGRAM).expect("example program parses");
+
+    let plain = analyze_fj_naive(&program, FjNaiveOptions::paper(1).with_counting());
+    let gc = analyze_fj_naive(&program, FjNaiveOptions::paper(1).with_gc().with_counting());
+
+    println!("per-state OO k-CFA (k = 1) on the Cell/wrap program");
+    println!();
+    println!("                    plain      with abstract GC");
+    println!("states:        {:>10} {:>21}", plain.state_count, gc.state_count);
+    println!(
+        "singular:      {:>9.1}% {:>20.1}%",
+        100.0 * plain.singular_ratio(),
+        100.0 * gc.singular_ratio()
+    );
+    let classes = |r: &cfa::fj::FjNaiveResult| {
+        r.halt_classes
+            .iter()
+            .map(|&c| program.name(program.class(c).name).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("main returns:  {:>10} {:>21}", classes(&plain), classes(&gc));
+    assert_eq!(plain.halt_classes, gc.halt_classes, "GC must be precision-sound");
+    assert!(gc.state_count <= plain.state_count);
+
+    println!();
+    println!("Abstract GC restricts each state's store to what its environment");
+    println!("and continuation chain can reach; dead caller frames vanish, states");
+    println!("collide, and the search shrinks — at identical precision.");
+}

@@ -1,0 +1,44 @@
+//! Tour of the §6.2 benchmark suite: execute every program concretely,
+//! then analyze it with the paper's panel and compare precision.
+//!
+//! Run with: `cargo run -p cfa --example suite_tour --release`
+
+use cfa::analysis::{Analysis, EngineLimits};
+use cfa::concrete::base::Limits;
+
+fn main() {
+    println!(
+        "{:>9} {:>6} {:>22}  {:>12} {:>12} {:>12} {:>12}",
+        "program", "terms", "concrete result", "k=1", "m=1", "poly k=1", "k=0"
+    );
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).expect("suite compiles");
+        let run = cfa::concrete::run_shared(&program, Limits::default());
+        let concrete = run.outcome.value().unwrap_or("(no value)").to_owned();
+        let concrete_short = if concrete.len() > 20 {
+            format!("{}…", &concrete[..19])
+        } else {
+            concrete
+        };
+        let mut cells = Vec::new();
+        for analysis in Analysis::paper_panel() {
+            let m = cfa::analyze(&program, analysis, EngineLimits::default());
+            cells.push(format!(
+                "{}/{} inl",
+                m.singleton_user_calls, m.reachable_user_calls
+            ));
+        }
+        println!(
+            "{:>9} {:>6} {:>22}  {:>12} {:>12} {:>12} {:>12}",
+            p.name,
+            program.term_count(),
+            concrete_short,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    println!();
+    println!("inl = singleton call sites / reachable user call sites.");
+}

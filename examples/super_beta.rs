@@ -1,0 +1,52 @@
+//! Super-β inlining via abstract counting (the ΓCFA client).
+//!
+//! The paper's inlining metric asks which call sites are *monomorphic*;
+//! safe inlining of a closure body additionally needs the closure's
+//! free variables to be unambiguous — each captured address must stand
+//! for at most one concrete binding. Abstract counting (μ̂) certifies
+//! exactly that, and context sensitivity is what makes captures
+//! singular. This example shows a site that is monomorphic at every
+//! depth but only becomes *environment-safe* to inline at k = 1.
+//!
+//! Run with: `cargo run -p cfa --example super_beta`
+
+use cfa::analysis::naive::{analyze_kcfa_naive_gamma, GammaOptions, NaiveLimits};
+
+// `make` closes over n. At k=0, both calls to `make` bind n at one
+// abstract address, so the thunk's capture is plural; at k=1 the two
+// bindings get distinct addresses and the capture is singular.
+const SRC: &str = "(define (make n) (lambda () n))
+                   (let* ((f (make 1)) (g (make 2))) (f))";
+
+fn main() {
+    let program = cfa::compile(SRC).expect("example compiles");
+    let gamma = GammaOptions { abstract_gc: false, counting: true };
+
+    println!("program:\n  (define (make n) (lambda () n))");
+    println!("  (let* ((f (make 1)) (g (make 2))) (f))");
+    println!();
+    println!("{:>5} {:>12} {:>18} {:>14}", "k", "user sites", "monomorphic", "super-β safe");
+    for k in [0usize, 1] {
+        let r = analyze_kcfa_naive_gamma(&program, k, NaiveLimits::default(), gamma);
+        let user_sites =
+            r.site_evidence.keys().filter(|&&s| program.is_user_call(s)).count();
+        let mono = r
+            .site_evidence
+            .iter()
+            .filter(|(&s, ev)| program.is_user_call(s) && ev.lams.len() == 1)
+            .count();
+        let safe = r.super_beta_sites(&program).len();
+        println!("{k:>5} {user_sites:>12} {mono:>18} {safe:>14}");
+    }
+    println!();
+
+    let k0 = analyze_kcfa_naive_gamma(&program, 0, NaiveLimits::default(), gamma);
+    let k1 = analyze_kcfa_naive_gamma(&program, 1, NaiveLimits::default(), gamma);
+    assert!(k1.super_beta_sites(&program).len() > k0.super_beta_sites(&program).len());
+
+    println!("Every site is monomorphic at both depths — the flow sets alone");
+    println!("say \"inline away\". Counting disagrees at k=0: the thunk's capture");
+    println!("of n is plural (both make-calls share n's address), so inlining");
+    println!("(f) could conflate n=1 with n=2. One call-site of context splits");
+    println!("the addresses, and counting certifies the site as super-β safe.");
+}

@@ -1,0 +1,145 @@
+//! Cross-validation: three independent implementations of 0CFA-level
+//! flow must agree (up to their documented precision differences).
+//!
+//! 1. worklist k-CFA with k = 0 (reachability + branch pruning),
+//! 2. constraint-based 0CFA (whole-program, no pruning),
+//! 3. naive per-state-store search with k = 0.
+//!
+//! Invariants: (1) ⊑ (2) on variable flows (the constraint system
+//! over-approximates the pruning analysis), and the naive search's halt
+//! values ⊑ (1)'s.
+
+use cfa::analysis::constraints::{solve_zerocfa, Val0};
+use cfa::analysis::domain::AVal;
+use cfa::analysis::kcfa::analyze_kcfa;
+use cfa::analysis::naive::{analyze_kcfa_naive, NaiveLimits};
+use cfa::analysis::EngineLimits;
+use cfa::concrete::Slot;
+
+/// Projects a k-CFA store value to the context-insensitive domain.
+fn project(v: &cfa::analysis::kcfa::ValK) -> Val0 {
+    match v {
+        AVal::Basic(b) => Val0::Basic(*b),
+        AVal::Clo { lam, .. } => Val0::Lam(*lam),
+        AVal::Pair { car, .. } => match car.slot {
+            Slot::Car(l) => Val0::Pair(l),
+            _ => unreachable!("pair car address must be a Car slot"),
+        },
+    }
+}
+
+fn programs() -> Vec<String> {
+    let mut out: Vec<String> = cfa::workloads::suite().iter().map(|p| p.source.to_owned()).collect();
+    out.push(cfa::workloads::worst_case_source(3));
+    out.push(cfa::workloads::fn_program(2, 2));
+    for seed in 0..20 {
+        out.push(cfa::workloads::gen::random_program(seed, 30));
+    }
+    out
+}
+
+#[test]
+fn constraint_zerocfa_over_approximates_worklist_k0() {
+    for src in programs() {
+        let program = cfa::compile(&src).unwrap();
+        let k0 = analyze_kcfa(&program, 0, EngineLimits::default());
+        let z = solve_zerocfa(&program);
+        for (addr, values) in k0.fixpoint.store.iter() {
+            let Slot::Var(v) = addr.slot else { continue };
+            let flow = z.var_flow(v);
+            for value in values {
+                let projected = project(value);
+                assert!(
+                    flow.contains(&projected),
+                    "{src}\nvariable {}: {projected:?} in k=0 but not in constraint flow {flow:?}",
+                    program.name(v)
+                );
+            }
+        }
+        // Halt coverage too.
+        for v in &k0.halt_values {
+            assert!(
+                z.halt_flow().contains(&project(v)),
+                "{src}\nhalt {v:?} missing from constraint halt flow"
+            );
+        }
+    }
+}
+
+#[test]
+fn datalog_zerocfa_equals_constraint_solver_everywhere() {
+    // Two declarative formulations — the hand-rolled set-constraint
+    // solver and the Datalog engine — must compute the *same* minimal
+    // model on every workload.
+    use cfa::analysis::zerocfa_datalog::solve_zerocfa_datalog;
+    for src in programs() {
+        let program = cfa::compile(&src).unwrap();
+        let solver = solve_zerocfa(&program);
+        let datalog = solve_zerocfa_datalog(&program);
+        for v in program.bound_vars() {
+            assert_eq!(
+                solver.var_flow(v),
+                datalog.var_flow(v),
+                "{src}\nvariable {}: solver and Datalog disagree",
+                program.name(v)
+            );
+        }
+        assert_eq!(solver.halt_flow(), datalog.halt_flow(), "{src}: halt flows disagree");
+    }
+}
+
+#[test]
+fn datalog_zerocfa_scales_polynomially_on_worst_case() {
+    use cfa::analysis::zerocfa_datalog::solve_zerocfa_datalog;
+    let mut previous = 0usize;
+    for n in [4usize, 8, 16, 32] {
+        let program = cfa::compile(&cfa::workloads::worst_case_source(n)).unwrap();
+        let d = solve_zerocfa_datalog(&program);
+        let facts = d.total_facts;
+        if previous > 0 {
+            assert!(
+                facts <= previous * 6,
+                "n={n}: fact growth {previous} -> {facts} looks superpolynomial"
+            );
+        }
+        previous = facts;
+    }
+}
+
+#[test]
+fn naive_k0_halts_subset_of_worklist_k0() {
+    for src in programs().into_iter().take(12) {
+        let program = cfa::compile(&src).unwrap();
+        let k0 = analyze_kcfa(&program, 0, EngineLimits::default());
+        let naive = analyze_kcfa_naive(
+            &program,
+            0,
+            NaiveLimits { max_states: 100_000, time_budget: Some(std::time::Duration::from_secs(10)) },
+        );
+        assert!(
+            naive.halt_values.is_subset(&k0.metrics.halt_values),
+            "{src}\nnaive {:?} ⊄ worklist {:?}",
+            naive.halt_values,
+            k0.metrics.halt_values
+        );
+    }
+}
+
+#[test]
+fn constraint_solver_scales_polynomially_on_worst_case() {
+    // The constraint system is the "Datalog" road: it must stay
+    // polynomial on the family that kills shared-environment k=1.
+    let mut previous = 0usize;
+    for n in [4usize, 8, 16, 32] {
+        let program = cfa::compile(&cfa::workloads::worst_case_source(n)).unwrap();
+        let z = solve_zerocfa(&program);
+        let facts = z.fact_count();
+        if previous > 0 {
+            assert!(
+                facts <= previous * 6,
+                "n={n}: fact growth {previous} -> {facts} looks superpolynomial"
+            );
+        }
+        previous = facts;
+    }
+}

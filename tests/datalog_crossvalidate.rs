@@ -1,0 +1,227 @@
+//! Cross-validation: the Datalog encoding of OO k-CFA must agree
+//! *exactly* with the worklist abstract machine.
+//!
+//! The paper's §1 argues OO k-CFA is polynomial because it is expressible
+//! in Datalog. `cfa_fj::datalog` is that expression; this test is the
+//! machine-checked version of the claim "it is the same analysis": for
+//! the conventional OO variant (`TickPolicy::OnInvocation`, §4.5) the two
+//! implementations must produce identical call graphs, identical
+//! points-to sets per abstract address, and identical halt classes — on
+//! handwritten programs, the Figure 1 paradox programs, and randomly
+//! generated FJ programs.
+
+use cfa::fj::kcfa::{analyze_fj, FjAnalysisOptions, FjAVal, TickPolicy};
+use cfa::fj::{analyze_fj_datalog, parse_fj, FjDatalogOptions, FjProgram};
+use cfa::analysis::EngineLimits;
+use cfa::syntax::cps::Label;
+use cfa::syntax::intern::Symbol;
+use cfa::workloads::figures::oo_program;
+use cfa::workloads::gen_fj::{random_fj_program, FjGenConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+type PointsTo = BTreeMap<(Symbol, Vec<Label>), BTreeSet<cfa::fj::ClassId>>;
+
+/// Projects the machine's store onto the Datalog `vp` domain: abstract
+/// addresses at `Var` slots (excluding `this`, which the machine never
+/// allocates an address for) mapped to the classes of their object
+/// values.
+fn machine_points_to(program: &FjProgram, result: &cfa::fj::kcfa::FjResult) -> PointsTo {
+    let this_sym = program.interner().lookup("this").unwrap();
+    let mut out: PointsTo = BTreeMap::new();
+    for (addr, values) in result.fixpoint.store.iter() {
+        let cfa::fj::concrete::FjSlot::Var(sym) = addr.slot else { continue };
+        if sym == this_sym {
+            continue;
+        }
+        let classes: BTreeSet<_> = values
+            .iter()
+            .filter_map(|val| match val {
+                FjAVal::Obj { class, .. } => Some(*class),
+                _ => None,
+            })
+            .collect();
+        if !classes.is_empty() {
+            out.entry((sym, addr.time.labels().to_vec())).or_default().extend(classes);
+        }
+    }
+    out
+}
+
+/// Asserts exact agreement between the machine and the Datalog encoding
+/// at sensitivity `k`.
+fn assert_agreement(src: &str, k: usize, what: &str) {
+    let program = parse_fj(src).unwrap_or_else(|e| panic!("{what}: parse error: {e}"));
+    let machine = analyze_fj(
+        &program,
+        FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+        EngineLimits::default(),
+    );
+    assert!(machine.metrics.status.is_complete(), "{what}: machine hit limits");
+    let datalog = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(k));
+
+    // Call graphs agree.
+    assert_eq!(
+        machine.metrics.call_targets, datalog.call_targets,
+        "{what} (k={k}): call graphs differ"
+    );
+    // Halt classes agree.
+    assert_eq!(
+        machine.metrics.halt_classes, datalog.halt_classes,
+        "{what} (k={k}): halt classes differ"
+    );
+    // Points-to sets agree address for address.
+    let machine_pt = machine_points_to(&program, &machine);
+    assert_eq!(machine_pt, datalog.points_to, "{what} (k={k}): points-to sets differ");
+}
+
+#[test]
+fn dispatch_program_agrees() {
+    let src = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object o; o = new A(); return o; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object o; o = new B(); return o; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            A x;
+            x = new B();
+            return x.who();
+          }
+        }";
+    assert_agreement(src, 0, "dispatch");
+    assert_agreement(src, 1, "dispatch");
+}
+
+#[test]
+fn field_flow_program_agrees() {
+    let src = "
+        class Box extends Object {
+          Object item;
+          Box(Object item0) { super(); this.item = item0; }
+          Object get() { return this.item; }
+        }
+        class Marker extends Object { Marker() { super(); } }
+        class Other extends Object { Other() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Box b;
+            b = new Box(new Marker());
+            Box b2;
+            b2 = new Box(new Other());
+            return b.get();
+          }
+        }";
+    assert_agreement(src, 0, "field flow");
+    assert_agreement(src, 1, "field flow");
+}
+
+#[test]
+fn polymorphic_merging_agrees() {
+    let src = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object o; o = new A(); return o; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object o; o = new B(); return o; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          A pick(A one, A two) { return two; }
+          Object main() {
+            A x;
+            x = this.pick(new A(), new B());
+            A y;
+            y = this.pick(new B(), new A());
+            return x.who();
+          }
+        }";
+    assert_agreement(src, 0, "polymorphic");
+    assert_agreement(src, 1, "polymorphic");
+}
+
+#[test]
+fn recursion_agrees() {
+    let src = "
+        class Nat extends Object {
+          Nat() { super(); }
+          Nat next(Nat n) { return this.next(n); }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Nat n;
+            n = new Nat();
+            Nat m;
+            m = n.next(n);
+            return m;
+          }
+        }";
+    assert_agreement(src, 0, "recursion");
+    assert_agreement(src, 1, "recursion");
+}
+
+#[test]
+fn figure1_paradox_programs_agree() {
+    for (n, m) in [(1, 1), (2, 3), (4, 4)] {
+        let src = oo_program(n, m);
+        assert_agreement(&src, 1, &format!("oo_program({n},{m})"));
+    }
+}
+
+#[test]
+fn random_programs_agree_insensitively() {
+    for seed in 0..24 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        assert_agreement(&src, 0, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn random_programs_agree_at_k1() {
+    for seed in 0..24 {
+        let src = random_fj_program(seed, FjGenConfig { classes: 3, main_statements: 6 });
+        assert_agreement(&src, 1, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn larger_random_programs_agree_at_k1() {
+    for seed in [100, 101, 102, 103] {
+        let src = random_fj_program(seed, FjGenConfig { classes: 6, main_statements: 12 });
+        assert_agreement(&src, 1, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn datalog_predicts_concrete_halt_classes() {
+    // Soundness through the third implementation: whatever class the
+    // concrete machine actually returns must be in the Datalog halt set.
+    use cfa::fj::{run_fj, FjLimits};
+    for seed in 40..64 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap();
+        let run = run_fj(&program, FjLimits::default());
+        let Some(halted) = run.halted() else { continue };
+        let class_name = halted.split('@').next().unwrap().to_owned();
+        for k in [0, 1] {
+            let d = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(k));
+            let predicted: Vec<&str> = d
+                .halt_classes
+                .iter()
+                .map(|&c| program.name(program.class(c).name))
+                .collect();
+            assert!(
+                predicted.contains(&class_name.as_str()),
+                "seed {seed} k={k}: concrete {class_name} not in {predicted:?}"
+            );
+        }
+    }
+}

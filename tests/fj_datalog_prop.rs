@@ -1,0 +1,97 @@
+//! Property tests: on arbitrary generated Featherweight Java programs,
+//! the Datalog points-to encoding and the worklist abstract machine are
+//! the *same analysis* — identical call graphs, halt classes, and
+//! points-to sets — and the Datalog fixpoint is monotone in its inputs.
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::kcfa::{analyze_fj, FjAnalysisOptions, FjAVal, TickPolicy};
+use cfa::fj::{analyze_fj_datalog, parse_fj, FjDatalogOptions};
+use cfa::workloads::gen_fj::{random_fj_program, FjGenConfig};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn datalog_equals_machine_on_generated_programs(
+        seed in 0u64..10_000,
+        classes in 2usize..7,
+        stmts in 2usize..12,
+        k in 0usize..2,
+    ) {
+        let src = random_fj_program(seed, FjGenConfig { classes, main_statements: stmts });
+        let program = parse_fj(&src).expect("generator emits well-formed FJ");
+        let machine = analyze_fj(
+            &program,
+            FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+            EngineLimits::default(),
+        );
+        prop_assume!(machine.metrics.status.is_complete());
+        let datalog = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(k));
+
+        prop_assert_eq!(&machine.metrics.call_targets, &datalog.call_targets);
+        prop_assert_eq!(&machine.metrics.halt_classes, &datalog.halt_classes);
+
+        // Points-to sets, address for address (excluding `this`, which
+        // the machine aliases rather than allocates).
+        let this_sym = program.interner().lookup("this").unwrap();
+        let mut machine_pt: BTreeMap<_, BTreeSet<_>> = BTreeMap::new();
+        for (addr, values) in machine.fixpoint.store.iter() {
+            let cfa::fj::concrete::FjSlot::Var(sym) = addr.slot else { continue };
+            if sym == this_sym {
+                continue;
+            }
+            let classes: BTreeSet<_> = values
+                .iter()
+                .filter_map(|v| match v {
+                    FjAVal::Obj { class, .. } => Some(*class),
+                    _ => None,
+                })
+                .collect();
+            if !classes.is_empty() {
+                machine_pt
+                    .entry((sym, addr.time.labels().to_vec()))
+                    .or_default()
+                    .extend(classes);
+            }
+        }
+        prop_assert_eq!(machine_pt, datalog.points_to);
+    }
+
+    #[test]
+    fn deeper_context_never_coarsens_halt_classes(
+        seed in 0u64..10_000,
+        classes in 2usize..6,
+        stmts in 2usize..10,
+    ) {
+        // k=1 refines k=0: every k=1 halt class must also be a k=0 halt
+        // class (context splitting only removes spurious flows).
+        let src = random_fj_program(seed, FjGenConfig { classes, main_statements: stmts });
+        let program = parse_fj(&src).expect("well-formed");
+        let k0 = analyze_fj_datalog(&program, FjDatalogOptions::insensitive());
+        let k1 = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(1));
+        prop_assert!(
+            k1.halt_classes.is_subset(&k0.halt_classes),
+            "k=1 {:?} ⊄ k=0 {:?}",
+            k1.halt_classes,
+            k0.halt_classes
+        );
+    }
+
+    #[test]
+    fn reachability_is_monotone_in_k(
+        seed in 0u64..10_000,
+        classes in 2usize..6,
+    ) {
+        // Projected to statements, k=1 reachability refines k=0's.
+        let src = random_fj_program(seed, FjGenConfig { classes, main_statements: 8 });
+        let program = parse_fj(&src).expect("well-formed");
+        let k0 = analyze_fj_datalog(&program, FjDatalogOptions::insensitive());
+        let k1 = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(1));
+        let stmts = |r: &cfa::fj::FjDatalogResult| {
+            r.reachable.iter().map(|(s, _)| *s).collect::<BTreeSet<_>>()
+        };
+        prop_assert!(stmts(&k1).is_subset(&stmts(&k0)));
+    }
+}

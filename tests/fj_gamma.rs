@@ -1,0 +1,130 @@
+//! ΓCFA for Featherweight Java (§8): abstract garbage collection and
+//! abstract counting, validated against the concrete semantics and the
+//! single-threaded-store analysis.
+//!
+//! * GC soundness: collecting per-state stores must not change what
+//!   reaches the halt continuation.
+//! * Counting soundness: if a concrete run writes two *distinct*
+//!   concrete addresses that abstract to the same abstract address, the
+//!   counting analysis must report that address as plural
+//!   ([`cfa::fj::Count::Many`]) — singular counts license must-alias
+//!   reasoning, so a false `One` would be unsound.
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::kcfa::{alpha_addr, analyze_fj, FjAnalysisOptions};
+use cfa::fj::naive::{analyze_fj_naive, FjNaiveOptions};
+use cfa::fj::{parse_fj, run_fj, FjLimits};
+use cfa::workloads::gen_fj::{random_fj_program, FjGenConfig};
+use std::collections::BTreeMap;
+
+#[test]
+fn gc_preserves_halt_classes_on_random_programs() {
+    for seed in 0..16 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let p = parse_fj(&src).unwrap();
+        for k in [0, 1] {
+            let plain = analyze_fj_naive(&p, FjNaiveOptions::paper(k));
+            let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(k).with_gc());
+            assert_eq!(
+                plain.halt_classes, gc.halt_classes,
+                "seed {seed} k={k}: GC changed halt classes"
+            );
+            assert!(
+                gc.state_count <= plain.state_count,
+                "seed {seed} k={k}: GC grew the state space ({} > {})",
+                gc.state_count,
+                plain.state_count
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_halt_classes_within_single_store_machine() {
+    // The single-threaded store (§3.7) over-approximates the per-state
+    // search (§3.6) — on the OO side too.
+    for seed in 16..28 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let p = parse_fj(&src).unwrap();
+        let naive = analyze_fj_naive(&p, FjNaiveOptions::paper(1));
+        let fast = analyze_fj(&p, FjAnalysisOptions::paper(1), EngineLimits::default());
+        assert!(
+            naive.halt_classes.is_subset(&fast.metrics.halt_classes),
+            "seed {seed}: naive {:?} ⊄ fast {:?}",
+            naive.halt_classes,
+            fast.metrics.halt_classes
+        );
+    }
+}
+
+#[test]
+fn concrete_halt_class_is_predicted_by_gc_analysis() {
+    for seed in 0..16 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let p = parse_fj(&src).unwrap();
+        let run = run_fj(&p, FjLimits::default());
+        let Some(halted) = run.halted() else { continue };
+        // Rendered as `ClassName@ctx`.
+        let class_name = halted.split('@').next().unwrap();
+        let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(1).with_gc());
+        let predicted: Vec<&str> =
+            gc.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        assert!(
+            predicted.contains(&class_name),
+            "seed {seed}: concrete halt {class_name} not in GC'd prediction {predicted:?}"
+        );
+    }
+}
+
+/// Counting soundness: group the concrete store's addresses by their
+/// abstraction; any group of size ≥ 2 must be counted `Many`, address
+/// for address.
+#[test]
+fn counting_is_sound_against_concrete_allocation_multiplicity() {
+    use cfa::fj::Count;
+    let mut checked_groups = 0usize;
+    let mut plural_groups = 0usize;
+    for seed in 0..24 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let p = parse_fj(&src).unwrap();
+        let run = run_fj(&p, FjLimits::default());
+        for k in [0usize, 1] {
+            let counting = analyze_fj_naive(&p, FjNaiveOptions::paper(k).with_counting());
+            let mut groups: BTreeMap<_, usize> = BTreeMap::new();
+            for addr in run.store.keys() {
+                *groups.entry(alpha_addr(addr, &run.times, k)).or_default() += 1;
+            }
+            for (abs_addr, concrete_count) in &groups {
+                checked_groups += 1;
+                if *concrete_count >= 2 {
+                    plural_groups += 1;
+                    assert_eq!(
+                        counting.counts.get(abs_addr),
+                        Some(&Count::Many),
+                        "seed {seed} k={k}: {concrete_count} concrete addresses abstract \
+                         to {abs_addr:?} but counting does not say Many"
+                    );
+                }
+            }
+        }
+    }
+    assert!(checked_groups > 100, "the corpus must exercise counting");
+    assert!(plural_groups > 0, "the corpus must include plural allocations");
+}
+
+#[test]
+fn higher_k_is_more_singular() {
+    // More context splits allocation sites, so counting at k=1 should
+    // never be less singular than at k=0 on the same program.
+    let mut improved = 0usize;
+    for seed in 0..12 {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let p = parse_fj(&src).unwrap();
+        let k0 = analyze_fj_naive(&p, FjNaiveOptions::paper(0).with_counting());
+        let k1 = analyze_fj_naive(&p, FjNaiveOptions::paper(1).with_counting());
+        if k1.singular_ratio() > k0.singular_ratio() {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 3, "k=1 should improve singularity on several programs ({improved})");
+}

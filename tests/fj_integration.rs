@@ -1,0 +1,142 @@
+//! Featherweight Java integration: concrete runs vs the abstract
+//! analysis, across policies and the OO paradox program family.
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::{analyze_fj, parse_fj, run_fj, run_fj_traced, FjAnalysisOptions, FjLimits};
+
+/// The abstract halt classes must include the concrete result class.
+#[test]
+fn abstract_halt_covers_concrete_class() {
+    let sources = [
+        cfa::workloads::oo_program(2, 3),
+        cfa::workloads::oo_program(4, 1),
+        DISPATCH.to_owned(),
+    ];
+    for src in &sources {
+        let program = parse_fj(src).unwrap();
+        let run = run_fj(&program, FjLimits::default());
+        let concrete = run.halted().expect("program halts").to_owned();
+        for options in [
+            FjAnalysisOptions::paper(0),
+            FjAnalysisOptions::paper(1),
+            FjAnalysisOptions::oo(0),
+            FjAnalysisOptions::oo(1),
+            FjAnalysisOptions::oo(2),
+        ] {
+            let r = analyze_fj(&program, options, EngineLimits::default());
+            let names: Vec<&str> = r
+                .metrics
+                .halt_classes
+                .iter()
+                .map(|&c| program.name(program.class(c).name))
+                .collect();
+            assert!(
+                names.contains(&concrete.as_str()),
+                "{options:?}: {concrete} not in {names:?}"
+            );
+        }
+    }
+}
+
+const DISPATCH: &str = "
+    class A extends Object {
+      A() { super(); }
+      Object who() { Object o; o = new A(); return o; }
+    }
+    class B extends A {
+      B() { super(); }
+      Object who() { Object o; o = new B(); return o; }
+    }
+    class Main extends Object {
+      Main() { super(); }
+      A choose(A first, A second) { return second; }
+      Object main() {
+        A x;
+        x = this.choose(new A(), new B());
+        A y;
+        y = this.choose(new B(), new A());
+        return x.who();
+      }
+    }";
+
+/// Context sensitivity recovers dispatch precision that 0CFA loses.
+#[test]
+fn k1_devirtualizes_what_k0_cannot() {
+    let program = parse_fj(DISPATCH).unwrap();
+    let k0 = analyze_fj(&program, FjAnalysisOptions::oo(0), EngineLimits::default());
+    let k1 = analyze_fj(&program, FjAnalysisOptions::oo(1), EngineLimits::default());
+    // 0CFA merges the two choose() calls, so x.who() sees A and B.
+    let k0_max = k0.metrics.call_targets.values().map(|t| t.len()).max().unwrap();
+    let k1_max = k1.metrics.call_targets.values().map(|t| t.len()).max().unwrap();
+    assert_eq!(k0_max, 2, "0CFA must be polymorphic at x.who()");
+    assert_eq!(k1_max, 1, "1-CFA must devirtualize every site");
+}
+
+/// The concrete machine and the analysis agree on reachable methods.
+#[test]
+fn reachable_methods_cover_concrete_trace() {
+    let src = cfa::workloads::oo_program(3, 3);
+    let program = parse_fj(&src).unwrap();
+    let run = run_fj_traced(&program, FjLimits::default(), true);
+    let r = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+    use std::collections::BTreeSet;
+    let concrete_methods: BTreeSet<_> = run.trace.iter().map(|v| v.stmt.method).collect();
+    let abstract_methods: BTreeSet<_> =
+        r.fixpoint.configs.iter().map(|c| c.stmt.method).collect();
+    assert!(
+        concrete_methods.is_subset(&abstract_methods),
+        "concrete {concrete_methods:?} ⊄ abstract {abstract_methods:?}"
+    );
+}
+
+/// Both tick policies terminate and agree on halt classes for the
+/// paradox family (they differ only in context granularity).
+#[test]
+fn policies_agree_on_halt_classes() {
+    for (n, m) in [(2, 2), (3, 5)] {
+        let src = cfa::workloads::oo_program(n, m);
+        let program = parse_fj(&src).unwrap();
+        let paper = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+        let oo = analyze_fj(&program, FjAnalysisOptions::oo(1), EngineLimits::default());
+        assert!(paper.metrics.status.is_complete());
+        assert!(oo.metrics.status.is_complete());
+        assert_eq!(paper.metrics.halt_classes, oo.metrics.halt_classes, "N={n} M={m}");
+    }
+}
+
+/// Deeper k never loses precision (call-target inclusion) on the
+/// dispatch program.
+#[test]
+fn deeper_k_refines_call_targets() {
+    let program = parse_fj(DISPATCH).unwrap();
+    let k0 = analyze_fj(&program, FjAnalysisOptions::oo(0), EngineLimits::default());
+    let k2 = analyze_fj(&program, FjAnalysisOptions::oo(2), EngineLimits::default());
+    for (site, targets) in &k2.metrics.call_targets {
+        if let Some(coarse) = k0.metrics.call_targets.get(site) {
+            assert!(targets.is_subset(coarse), "site {site:?}");
+        }
+    }
+}
+
+/// The per-statement policy keeps the paradox program polynomial too
+/// (§4.4's collapse does not depend on the §4.5 variant).
+#[test]
+fn paper_policy_is_polynomial_on_paradox_family() {
+    let mut previous = 0usize;
+    for (n, m) in [(2, 2), (4, 4), (8, 8)] {
+        let src = cfa::workloads::oo_program(n, m);
+        let program = parse_fj(&src).unwrap();
+        let r = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+        assert!(r.metrics.status.is_complete());
+        let configs = r.metrics.config_count;
+        // Growth must be at most ~linear in program size between steps
+        // (multiplicative factor well under the 4x size increase).
+        if previous > 0 {
+            assert!(
+                configs <= previous * 8,
+                "config growth {previous} -> {configs} looks superpolynomial"
+            );
+        }
+        previous = configs;
+    }
+}

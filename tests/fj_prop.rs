@@ -1,0 +1,82 @@
+//! Property tests for Featherweight Java over randomized programs:
+//! parsing, concrete execution, analysis termination, soundness.
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::soundness::check_fj;
+use cfa::fj::{analyze_fj, parse_fj, run_fj_traced, FjAnalysisOptions, FjLimits, FjOutcome};
+use cfa::workloads::gen_fj::{random_fj_program, FjGenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_fj_parses_and_halts(seed in 0u64..5_000) {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let run = run_fj_traced(&program, FjLimits::default(), false);
+        prop_assert!(
+            matches!(run.outcome, FjOutcome::Halted(_)),
+            "seed {}: {:?}\n{}", seed, run.outcome, src
+        );
+    }
+
+    #[test]
+    fn generated_fj_analyses_terminate(seed in 0u64..5_000, k in 0usize..3) {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap();
+        for options in [FjAnalysisOptions::paper(k), FjAnalysisOptions::oo(k)] {
+            let r = analyze_fj(&program, options, EngineLimits::default());
+            prop_assert!(r.metrics.status.is_complete(), "seed {} {:?}", seed, options);
+        }
+    }
+
+    #[test]
+    fn generated_fj_kcfa_is_sound(seed in 0u64..5_000, k in 0usize..3) {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap();
+        let concrete = run_fj_traced(&program, FjLimits::default(), true);
+        let result = analyze_fj(&program, FjAnalysisOptions::paper(k), EngineLimits::default());
+        if let Err(v) = check_fj(&program, k, &concrete, &result) {
+            prop_assert!(false, "seed {}, k={}: {}\n{}", seed, k, v, src);
+        }
+    }
+
+    #[test]
+    fn generated_fj_halt_class_covered(seed in 0u64..5_000) {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap();
+        let run = run_fj_traced(&program, FjLimits::default(), false);
+        if let FjOutcome::Halted(class_name) = &run.outcome {
+            for options in [FjAnalysisOptions::oo(0), FjAnalysisOptions::oo(1)] {
+                let r = analyze_fj(&program, options, EngineLimits::default());
+                let names: Vec<&str> = r
+                    .metrics
+                    .halt_classes
+                    .iter()
+                    .map(|&c| program.name(program.class(c).name))
+                    .collect();
+                prop_assert!(
+                    names.contains(&class_name.as_str()),
+                    "seed {}: {} not in {:?}\n{}", seed, class_name, names, src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_fj_deeper_k_refines(seed in 0u64..5_000) {
+        let src = random_fj_program(seed, FjGenConfig::default());
+        let program = parse_fj(&src).unwrap();
+        let k0 = analyze_fj(&program, FjAnalysisOptions::oo(0), EngineLimits::default());
+        let k2 = analyze_fj(&program, FjAnalysisOptions::oo(2), EngineLimits::default());
+        for (site, targets) in &k2.metrics.call_targets {
+            if let Some(coarse) = k0.metrics.call_targets.get(site) {
+                prop_assert!(
+                    targets.is_subset(coarse),
+                    "seed {}: site {:?} refined set not a subset", seed, site
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the OO benchmark suite: every program parses,
+//! terminates concretely, completes under every analysis, agrees with
+//! the Datalog implementation, and exhibits the expected precision
+//! ordering.
+
+use cfa::analysis::EngineLimits;
+use cfa::fj::{
+    analyze_fj, analyze_fj_datalog, parse_fj, run_fj, FjAnalysisOptions, FjDatalogOptions,
+    FjLimits,
+};
+use cfa::workloads::suite_fj::fj_suite;
+
+#[test]
+fn all_programs_parse_and_run_concretely() {
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let run = run_fj(&p, FjLimits::default());
+        assert!(
+            run.halted().is_some(),
+            "{}: concrete run did not halt: {:?}",
+            prog.name,
+            run.outcome
+        );
+    }
+}
+
+#[test]
+fn all_programs_complete_under_every_analysis() {
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap();
+        for options in [
+            FjAnalysisOptions::oo(0),
+            FjAnalysisOptions::oo(1),
+            FjAnalysisOptions::oo(2),
+            FjAnalysisOptions::paper(0),
+            FjAnalysisOptions::paper(1),
+        ] {
+            let r = analyze_fj(&p, options, EngineLimits::default());
+            assert!(
+                r.metrics.status.is_complete(),
+                "{}: {:?} hit limits",
+                prog.name,
+                options
+            );
+            assert!(r.metrics.reachable_calls > 0, "{}: nothing analyzed", prog.name);
+        }
+    }
+}
+
+#[test]
+fn concrete_halt_class_is_predicted_by_every_analysis() {
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap();
+        let run = run_fj(&p, FjLimits::default());
+        let halted = run.halted().expect("suite programs halt");
+        let class_name = halted.split('@').next().unwrap().to_owned();
+        for k in [0, 1] {
+            let r = analyze_fj(&p, FjAnalysisOptions::oo(k), EngineLimits::default());
+            let predicted: Vec<&str> =
+                r.metrics.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+            assert!(
+                predicted.contains(&class_name.as_str()),
+                "{} k={k}: concrete {class_name} not predicted {predicted:?}",
+                prog.name
+            );
+        }
+    }
+}
+
+#[test]
+fn datalog_agrees_on_the_whole_suite() {
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap();
+        for k in [0, 1, 2] {
+            let machine = analyze_fj(&p, FjAnalysisOptions::oo(k), EngineLimits::default());
+            let datalog = analyze_fj_datalog(&p, FjDatalogOptions::sensitive(k));
+            assert_eq!(
+                machine.metrics.call_targets, datalog.call_targets,
+                "{} k={k}: call graphs differ",
+                prog.name
+            );
+            assert_eq!(
+                machine.metrics.halt_classes, datalog.halt_classes,
+                "{} k={k}: halt classes differ",
+                prog.name
+            );
+        }
+    }
+}
+
+#[test]
+fn context_never_hurts_devirtualization() {
+    for prog in fj_suite() {
+        let p = parse_fj(prog.source).unwrap();
+        let k0 = analyze_fj(&p, FjAnalysisOptions::oo(0), EngineLimits::default());
+        let k1 = analyze_fj(&p, FjAnalysisOptions::oo(1), EngineLimits::default());
+        let ratio = |r: &cfa::fj::FjResult| {
+            r.metrics.monomorphic_calls as f64 / r.metrics.reachable_calls.max(1) as f64
+        };
+        assert!(
+            ratio(&k1) >= ratio(&k0) - 1e-9,
+            "{}: k=1 devirtualizes less than k=0 ({} < {})",
+            prog.name,
+            ratio(&k1),
+            ratio(&k0)
+        );
+    }
+}
+
+#[test]
+fn identity_helper_needs_context_for_devirtualization() {
+    // The OO analog of the paper's §6 identity example: an `id` helper
+    // merges its two receivers at k=0 (making the dispatch site
+    // polymorphic), while k=1 keeps them apart per call site.
+    let src = "
+        class A extends Object {
+          A() { super(); }
+          Object who() { Object oa; oa = new A(); return oa; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object who() { Object ob; ob = new B(); return ob; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          A id(A a) { return a; }
+          Object main() {
+            A x;
+            x = this.id(new A());
+            A y;
+            y = this.id(new B());
+            return x.who();
+          }
+        }";
+    let p = parse_fj(src).unwrap();
+    let k0 = analyze_fj(&p, FjAnalysisOptions::oo(0), EngineLimits::default());
+    let k1 = analyze_fj(&p, FjAnalysisOptions::oo(1), EngineLimits::default());
+    assert!(
+        k1.metrics.monomorphic_calls > k0.metrics.monomorphic_calls,
+        "k=1 {} !> k=0 {}",
+        k1.metrics.monomorphic_calls,
+        k0.metrics.monomorphic_calls
+    );
+    // And the halt set is correspondingly tighter.
+    assert!(k1.metrics.halt_classes.len() < k0.metrics.halt_classes.len());
+}

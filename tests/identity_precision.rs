@@ -1,0 +1,60 @@
+//! Experiment E5 as a test: the §6 identity example.
+//!
+//! Paper claims, verbatim:
+//! * without the intervening call, naive poly 1CFA, m=1, and k=1 all
+//!   agree the program's value is `4`;
+//! * with `(do-something)` inside `identity`, poly 1CFA answers
+//!   `{3, 4}` while m=1 and k=1 still answer `{4}`.
+
+use cfa::analysis::{Analysis, EngineLimits};
+use cfa::workloads::{IDENTITY_PLAIN, IDENTITY_WITH_CALL};
+use std::collections::BTreeSet;
+
+fn halts(src: &str, analysis: Analysis) -> BTreeSet<String> {
+    let program = cfa::compile(src).unwrap();
+    cfa::analyze(&program, analysis, EngineLimits::default()).halt_values
+}
+
+fn set(values: &[&str]) -> BTreeSet<String> {
+    values.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn without_intervening_call_all_sensitive_analyses_agree() {
+    for analysis in [
+        Analysis::KCfa { k: 1 },
+        Analysis::MCfa { m: 1 },
+        Analysis::PolyKCfa { k: 1 },
+    ] {
+        assert_eq!(halts(IDENTITY_PLAIN, analysis), set(&["4"]), "{analysis}");
+    }
+}
+
+#[test]
+fn zero_cfa_merges_both() {
+    assert_eq!(halts(IDENTITY_PLAIN, Analysis::KCfa { k: 0 }), set(&["3", "4"]));
+    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 0 }), set(&["3", "4"]));
+}
+
+#[test]
+fn intervening_call_degrades_poly_kcfa_only() {
+    assert_eq!(
+        halts(IDENTITY_WITH_CALL, Analysis::PolyKCfa { k: 1 }),
+        set(&["3", "4"]),
+        "naive poly 1CFA must merge after the intervening call"
+    );
+    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 1 }), set(&["4"]));
+    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::MCfa { m: 1 }), set(&["4"]));
+}
+
+#[test]
+fn deeper_poly_context_eventually_recovers_precision() {
+    // Some finite last-k window clears the intervening call chain — but
+    // k = 1 is not enough (that is the paper's point: any recursive or
+    // intervening call burns last-k context, whereas m-CFA's top-m
+    // frames are immune).
+    let recovery_k = (1..=6)
+        .find(|&k| halts(IDENTITY_WITH_CALL, Analysis::PolyKCfa { k }) == set(&["4"]))
+        .expect("some finite k recovers precision");
+    assert!(recovery_k > 1, "k=1 must NOT recover (got recovery at {recovery_k})");
+}

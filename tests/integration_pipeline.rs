@@ -1,0 +1,195 @@
+//! End-to-end pipeline tests: source → CPS → concrete execution →
+//! abstract analysis, across the whole suite.
+
+use cfa::analysis::{Analysis, EngineLimits};
+use cfa::concrete::base::Limits;
+
+/// Every suite program parses, converts, runs on both concrete machines
+/// with identical results, and completes under every panel analysis.
+#[test]
+fn suite_runs_everywhere() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+
+        let shared = cfa::concrete::run_shared(&program, Limits::default());
+        let flat = cfa::concrete::run_flat(&program, Limits::default());
+        let value = shared
+            .outcome
+            .value()
+            .unwrap_or_else(|| panic!("{} did not halt: {:?}", p.name, shared.outcome));
+        assert_eq!(
+            Some(value),
+            flat.outcome.value(),
+            "{}: machines disagree",
+            p.name
+        );
+
+        for analysis in Analysis::paper_panel() {
+            let m = cfa::analyze(&program, analysis, EngineLimits::default());
+            assert!(m.status.is_complete(), "{} under {analysis} did not finish", p.name);
+            assert!(m.reachable_user_calls > 0, "{} under {analysis}: empty analysis", p.name);
+        }
+    }
+}
+
+/// Expected concrete results for the suite (golden outcomes).
+#[test]
+fn suite_concrete_results_are_stable() {
+    type Check = fn(&str) -> bool;
+    let expected: &[(&str, Check)] = &[
+        ("eta", |v| v.parse::<i64>().is_ok()),
+        ("map", |v| v.parse::<i64>().is_ok()),
+        ("sat", |v| v == "sat"),
+        ("regex", |v| v == "#t"),
+        ("scm2java", |v| v.contains("class Out")),
+        ("interp", |v| v.parse::<i64>().is_ok()), // exact value checked below
+        ("scm2c", |v| v.contains("int a")),
+    ];
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap();
+        let run = cfa::concrete::run_shared(&program, Limits::default());
+        let value = run.outcome.value().unwrap_or_else(|| panic!("{} failed: {:?}", p.name, run.outcome));
+        if let Some((_, check)) = expected.iter().find(|(n, _)| *n == p.name) {
+            // `interp` is validated precisely in its own test below.
+            if p.name != "interp" {
+                assert!(check(value), "{}: unexpected result {value:?}", p.name);
+            }
+        }
+    }
+}
+
+/// The interp program computes square(inc(6)) = 49.
+#[test]
+fn interp_result_is_exact() {
+    let program = cfa::compile(cfa::workloads::suite::INTERP).unwrap();
+    let run = cfa::concrete::run_shared(&program, Limits::default());
+    assert_eq!(run.outcome.value(), Some("49"));
+}
+
+/// Abstract halt sets must cover the concrete halt value (soundness at
+/// the observable level) for every analysis and program.
+#[test]
+fn abstract_halt_covers_concrete() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap();
+        let run = cfa::concrete::run_shared(&program, Limits::default());
+        let Some(value) = run.outcome.value() else { continue };
+        for analysis in Analysis::paper_panel() {
+            let m = cfa::analyze(&program, analysis, EngineLimits::default());
+            let covered = m.halt_values.iter().any(|abs| {
+                abs == value
+                    || abs == "int⊤" && value.parse::<i64>().is_ok()
+                    || abs == "bool⊤" && (value == "#t" || value == "#f")
+                    || abs == "str⊤" && value.starts_with('"')
+                    || abs.starts_with("#<pair") && value.starts_with('(')
+                    || abs.starts_with("#<proc") && value.starts_with("#<procedure")
+                    || value == abs.trim_start_matches('\'')
+            });
+            assert!(
+                covered,
+                "{} under {analysis}: concrete {value:?} not covered by {:?}",
+                p.name, m.halt_values
+            );
+        }
+    }
+}
+
+/// Deeper contexts never make the analysis less precise on the suite
+/// (halt-set inclusion, k and m at 2 vs 0).
+#[test]
+fn deeper_contexts_refine_halt_sets() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap();
+        let k0 = cfa::analyze(&program, Analysis::KCfa { k: 0 }, EngineLimits::default());
+        let k2 = cfa::analyze(&program, Analysis::KCfa { k: 2 }, EngineLimits::default());
+        let m2 = cfa::analyze(&program, Analysis::MCfa { m: 2 }, EngineLimits::default());
+        assert!(
+            k2.halt_values.is_subset(&k0.halt_values),
+            "{}: k=2 {:?} ⊄ k=0 {:?}",
+            p.name,
+            k2.halt_values,
+            k0.halt_values
+        );
+        assert!(
+            m2.halt_values.is_subset(&k0.halt_values),
+            "{}: m=2 {:?} ⊄ k=0 {:?}",
+            p.name,
+            m2.halt_values,
+            k0.halt_values
+        );
+    }
+}
+
+/// Inlining counts: context-sensitive analyses support at least as many
+/// inlinings as 0CFA on every suite program (paper §6.2 shape).
+#[test]
+fn context_sensitivity_never_hurts_inlining() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap();
+        let k0 = cfa::analyze(&program, Analysis::KCfa { k: 0 }, EngineLimits::default());
+        let k1 = cfa::analyze(&program, Analysis::KCfa { k: 1 }, EngineLimits::default());
+        let m1 = cfa::analyze(&program, Analysis::MCfa { m: 1 }, EngineLimits::default());
+        assert!(
+            k1.singleton_user_calls >= k0.singleton_user_calls,
+            "{}: k=1 {} < k=0 {}",
+            p.name,
+            k1.singleton_user_calls,
+            k0.singleton_user_calls
+        );
+        assert!(
+            m1.singleton_user_calls >= k0.singleton_user_calls,
+            "{}: m=1 {} < k=0 {}",
+            p.name,
+            m1.singleton_user_calls,
+            k0.singleton_user_calls
+        );
+    }
+}
+
+/// The extended (classic CFA literature) benchmarks: both machines
+/// agree, every analysis terminates, and halt sets cover the concrete
+/// value.
+#[test]
+fn extended_suite_runs_everywhere() {
+    for p in cfa::workloads::extended_suite() {
+        let program = cfa::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let shared = cfa::concrete::run_shared(&program, Limits::default());
+        let flat = cfa::concrete::run_flat(&program, Limits::default());
+        let value = shared
+            .outcome
+            .value()
+            .unwrap_or_else(|| panic!("{} did not halt: {:?}", p.name, shared.outcome));
+        assert_eq!(Some(value), flat.outcome.value(), "{}: machines disagree", p.name);
+        for analysis in Analysis::paper_panel() {
+            let m = cfa::analyze(&program, analysis, EngineLimits::default());
+            assert!(m.status.is_complete(), "{} under {analysis}", p.name);
+        }
+        // Known concrete results.
+        match p.name {
+            "blur" => assert_eq!(value, "#f"),
+            "loop2" => assert!(value.parse::<i64>().is_ok()),
+            "mj09" => assert!(value.parse::<i64>().is_ok()),
+            "primtest" => assert_eq!(value, "15", "primes ≤ 50"),
+            "church" => assert_eq!(value, "11", "5 + 6 via Church numerals"),
+            "ycomb" => assert_eq!(value, "141", "5! + triangle(6)"),
+            "stream" => assert_eq!(value, "34", "Σ doubles(4) + Σ squares(3)"),
+            other => panic!("unknown extended program {other}"),
+        }
+    }
+}
+
+/// m-CFA matches k-CFA's precision on the whole suite (the paper's
+/// empirical §6.2 conclusion) — measured by the inlining metric.
+#[test]
+fn mcfa_matches_kcfa_precision_on_suite() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).unwrap();
+        let k1 = cfa::analyze(&program, Analysis::KCfa { k: 1 }, EngineLimits::default());
+        let m1 = cfa::analyze(&program, Analysis::MCfa { m: 1 }, EngineLimits::default());
+        assert_eq!(
+            k1.singleton_user_calls, m1.singleton_user_calls,
+            "{}: k=1 and m=1 disagree on inlinings",
+            p.name
+        );
+    }
+}

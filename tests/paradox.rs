@@ -1,0 +1,128 @@
+//! The paradox itself, as deterministic assertions:
+//!
+//! * Figure 2: functional 1-CFA analyzes the probe λ in exactly N·M
+//!   environments;
+//! * Figure 1: FJ 1-CFA and functional m-CFA use O(N+M) contexts;
+//! * §2.2: the worst-case family forces 2ⁿ environments on k-CFA but
+//!   polynomially many on m-CFA.
+
+use cfa::analysis::{analyze_kcfa, analyze_mcfa, EngineLimits};
+use cfa::fj::{analyze_fj, parse_fj, FjAnalysisOptions};
+
+fn probe_envs(program: &cfa::CpsProgram, metrics: &cfa::Metrics) -> usize {
+    program
+        .lam_ids()
+        .filter(|&l| {
+            program
+                .lam(l)
+                .params
+                .first()
+                .map(|p| program.name(*p).starts_with("paradox-probe"))
+                .unwrap_or(false)
+        })
+        .map(|l| metrics.env_count(l))
+        .sum()
+}
+
+#[test]
+fn figure2_functional_kcfa_env_count_is_n_times_m() {
+    for (n, m) in [(1, 1), (2, 3), (4, 4), (5, 2), (8, 8)] {
+        let program = cfa::compile(&cfa::workloads::fn_program(n, m)).unwrap();
+        let r = analyze_kcfa(&program, 1, EngineLimits::default());
+        assert_eq!(
+            probe_envs(&program, &r.metrics),
+            n * m,
+            "N={n}, M={m}: probe λ environment count"
+        );
+    }
+}
+
+#[test]
+fn figure2_functional_mcfa_env_count_is_linear() {
+    for (n, m) in [(2, 2), (4, 4), (8, 8), (12, 12)] {
+        let program = cfa::compile(&cfa::workloads::fn_program(n, m)).unwrap();
+        let r = analyze_mcfa(&program, 1, EngineLimits::default());
+        assert!(
+            r.metrics.distinct_envs <= 2 * (n + m) + 4,
+            "N={n}, M={m}: m-CFA envs {} exceed linear bound",
+            r.metrics.distinct_envs
+        );
+    }
+}
+
+#[test]
+fn figure1_oo_kcfa_context_count_is_linear() {
+    for (n, m) in [(2, 2), (4, 4), (8, 8), (12, 12)] {
+        let src = cfa::workloads::oo_program(n, m);
+        let program = parse_fj(&src).unwrap();
+        let r = analyze_fj(&program, FjAnalysisOptions::oo(1), EngineLimits::default());
+        assert!(r.metrics.status.is_complete());
+        assert!(
+            r.metrics.time_count <= 2 * (n + m) + 4,
+            "N={n}, M={m}: FJ contexts {} exceed linear bound",
+            r.metrics.time_count
+        );
+    }
+}
+
+#[test]
+fn worst_case_forces_exponential_envs_on_kcfa() {
+    for n in [2usize, 4, 6, 8] {
+        let program = cfa::compile(&cfa::workloads::worst_case_source(n)).unwrap();
+        let r = analyze_kcfa(&program, 1, EngineLimits::default());
+        assert!(r.metrics.status.is_complete(), "n={n} should still finish");
+        let max_envs = r.metrics.max_env_count();
+        assert!(
+            max_envs >= 1 << n,
+            "n={n}: expected ≥ 2^{n} environments for some λ, got {max_envs}"
+        );
+    }
+}
+
+#[test]
+fn worst_case_stays_polynomial_on_mcfa() {
+    for n in [2usize, 4, 8, 16] {
+        let program = cfa::compile(&cfa::workloads::worst_case_source(n)).unwrap();
+        let r = analyze_mcfa(&program, 1, EngineLimits::default());
+        assert!(r.metrics.status.is_complete(), "n={n}");
+        assert!(
+            r.metrics.distinct_envs <= 8 * n + 8,
+            "n={n}: m-CFA envs {} not linear",
+            r.metrics.distinct_envs
+        );
+    }
+}
+
+#[test]
+fn worst_case_halt_values_agree_between_k1_and_m1() {
+    // On this family both analyses are equally (im)precise about the
+    // final value; only their cost differs.
+    for n in [2usize, 4, 6] {
+        let program = cfa::compile(&cfa::workloads::worst_case_source(n)).unwrap();
+        let k = analyze_kcfa(&program, 1, EngineLimits::default());
+        let m = analyze_mcfa(&program, 1, EngineLimits::default());
+        assert_eq!(k.metrics.halt_values, m.metrics.halt_values, "n={n}");
+    }
+}
+
+#[test]
+fn naive_search_explodes_before_single_store() {
+    use cfa::analysis::naive::{analyze_kcfa_naive, NaiveLimits};
+    use std::time::Duration;
+    let program = cfa::compile(&cfa::workloads::worst_case_source(3)).unwrap();
+    // Even truncated (the naive search may not finish in reasonable
+    // time — that is the point), the explored-state count must dwarf
+    // the single-threaded-store configuration count.
+    let naive = analyze_kcfa_naive(
+        &program,
+        1,
+        NaiveLimits { max_states: 10_000, time_budget: Some(Duration::from_secs(20)) },
+    );
+    let fast = analyze_kcfa(&program, 1, EngineLimits::default());
+    assert!(
+        naive.state_count > 10 * fast.fixpoint.config_count(),
+        "naive {} vs configs {}",
+        naive.state_count,
+        fast.fixpoint.config_count()
+    );
+}

@@ -1,0 +1,101 @@
+//! Property-based soundness and differential testing over randomized
+//! programs.
+//!
+//! For every generated program:
+//! * both concrete machines agree on the outcome (differential);
+//! * k-CFA covers the shared-environment run (abstraction map α, §3.5);
+//! * m-CFA covers the flat-environment run (§5.3);
+//! * the abstract halt set covers the concrete value.
+
+use cfa::analysis::soundness::{check_kcfa, check_mcfa};
+use cfa::analysis::{analyze_kcfa, analyze_mcfa, EngineLimits};
+use cfa::concrete::base::{Limits, Outcome};
+use cfa::concrete::{run_flat_traced, run_shared_traced};
+use proptest::prelude::*;
+
+fn limits() -> Limits {
+    Limits { max_steps: 20_000 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn machines_agree(seed in 0u64..10_000) {
+        let src = cfa::workloads::gen::random_program(seed, 40);
+        let program = cfa::compile(&src).expect("generated programs compile");
+        let shared = run_shared_traced(&program, limits(), false);
+        let flat = run_flat_traced(&program, limits(), false);
+        match (&shared.outcome, &flat.outcome) {
+            (Outcome::Halted(a), Outcome::Halted(b)) => prop_assert_eq!(a, b),
+            (Outcome::Error(a), Outcome::Error(b)) => prop_assert_eq!(a, b),
+            (Outcome::OutOfFuel, Outcome::OutOfFuel) => {}
+            (a, b) => prop_assert!(false, "outcomes diverge: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn kcfa_is_sound(seed in 0u64..10_000, k in 0usize..3) {
+        let src = cfa::workloads::gen::random_program(seed, 35);
+        let program = cfa::compile(&src).expect("generated programs compile");
+        let concrete = run_shared_traced(&program, limits(), true);
+        let result = analyze_kcfa(&program, k, EngineLimits::default());
+        prop_assert!(result.metrics.status.is_complete());
+        if let Err(v) = check_kcfa(&program, k, &concrete, &result) {
+            prop_assert!(false, "seed {}: {}\n{}", seed, v, src);
+        }
+    }
+
+    #[test]
+    fn mcfa_is_sound(seed in 0u64..10_000, m in 0usize..3) {
+        let src = cfa::workloads::gen::random_program(seed, 35);
+        let program = cfa::compile(&src).expect("generated programs compile");
+        let concrete = run_flat_traced(&program, limits(), true);
+        let result = analyze_mcfa(&program, m, EngineLimits::default());
+        prop_assert!(result.metrics.status.is_complete());
+        if let Err(v) = check_mcfa(&program, m, &concrete, &result) {
+            prop_assert!(false, "seed {}: {}\n{}", seed, v, src);
+        }
+    }
+
+    #[test]
+    fn halt_sets_cover_concrete_values(seed in 0u64..10_000) {
+        let src = cfa::workloads::gen::random_program(seed, 35);
+        let program = cfa::compile(&src).expect("generated programs compile");
+        let shared = run_shared_traced(&program, limits(), false);
+        if let Outcome::Halted(value) = &shared.outcome {
+            for analysis in cfa::Analysis::paper_panel() {
+                let m = cfa::analyze(&program, analysis, EngineLimits::default());
+                let covered = m.halt_values.iter().any(|abs| {
+                    abs == value
+                        || (abs == "int⊤" && value.parse::<i64>().is_ok())
+                        || (abs == "bool⊤" && (value == "#t" || value == "#f"))
+                        || (abs.starts_with("#<pair") && value.starts_with('('))
+                        || (abs.starts_with("#<proc") && value.starts_with("#<procedure"))
+                });
+                prop_assert!(
+                    covered,
+                    "{}: {:?} not covered by {:?}\n{}",
+                    analysis, value, m.halt_values, src
+                );
+            }
+        }
+    }
+
+}
+
+/// Exhaustive (not randomized): k-CFA soundness over the whole suite at
+/// every depth 0..3 — one pass each, not one per proptest case.
+#[test]
+fn suite_soundness_at_all_depths() {
+    for p in cfa::workloads::suite() {
+        let program = cfa::compile(p.source).expect("suite compiles");
+        let concrete = run_shared_traced(&program, Limits::default(), true);
+        for k in 0..3 {
+            let result = analyze_kcfa(&program, k, EngineLimits::default());
+            if let Err(v) = check_kcfa(&program, k, &concrete, &result) {
+                panic!("{} at k={}: {}", p.name, k, v);
+            }
+        }
+    }
+}
