@@ -13,9 +13,29 @@ use cfa_syntax::cps::{Label, LamId, Lit};
 use cfa_syntax::intern::Symbol;
 use std::fmt;
 
+/// How many labels a [`CallString`] stores inline before spilling to the
+/// heap. Context depths beyond 4 are exotic in practice (the paper's
+/// experiments stop at k = 3), so the common case never allocates.
+const CS_INLINE: usize = 4;
+
+#[derive(Clone)]
+enum CsRepr {
+    /// Up to [`CS_INLINE`] labels, most recent first; slots past `len`
+    /// are padding.
+    Inline { len: u8, buf: [Label; CS_INLINE] },
+    /// The spill representation for bounds above [`CS_INLINE`].
+    Heap(Vec<Label>),
+}
+
 /// A bounded call string: the most recent label first.
 ///
 /// `CallString::empty().push(l1, k).push(l2, k)` is `⌊l2, l1⌋ₖ`.
+///
+/// Strings of length ≤ 4 are stored inline (no heap allocation): call
+/// strings are cloned into every abstract address the analyses mint, so
+/// their clone cost sits directly on the hot path. Equality, ordering,
+/// and hashing are defined on [`CallString::labels`] and therefore
+/// independent of the representation.
 ///
 /// # Examples
 ///
@@ -26,19 +46,35 @@ use std::fmt;
 /// let cs = CallString::empty().push(Label(1), 2).push(Label(2), 2).push(Label(3), 2);
 /// assert_eq!(cs.labels(), &[Label(3), Label(2)]);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CallString(Vec<Label>);
+#[derive(Clone)]
+pub struct CallString(CsRepr);
+
+impl Default for CallString {
+    fn default() -> Self {
+        CallString::empty()
+    }
+}
 
 impl CallString {
     /// The empty call string (the initial abstract time / environment).
     pub fn empty() -> Self {
-        CallString(Vec::new())
+        CallString(CsRepr::Inline { len: 0, buf: [Label(0); CS_INLINE] })
+    }
+
+    fn from_vec(v: Vec<Label>) -> Self {
+        if v.len() <= CS_INLINE {
+            let mut buf = [Label(0); CS_INLINE];
+            buf[..v.len()].copy_from_slice(&v);
+            CallString(CsRepr::Inline { len: v.len() as u8, buf })
+        } else {
+            CallString(CsRepr::Heap(v))
+        }
     }
 
     /// Builds a call string from labels, most recent first, truncated to
     /// `bound`.
     pub fn from_labels(labels: impl IntoIterator<Item = Label>, bound: usize) -> Self {
-        CallString(labels.into_iter().take(bound).collect())
+        Self::from_vec(labels.into_iter().take(bound).collect())
     }
 
     /// `firstₖ(label : self)` — prepend and truncate.
@@ -46,32 +82,74 @@ impl CallString {
         if bound == 0 {
             return CallString::empty();
         }
-        let mut v = Vec::with_capacity(bound.min(self.0.len() + 1));
+        let keep = (bound - 1).min(self.len());
+        if bound <= CS_INLINE {
+            let mut buf = [Label(0); CS_INLINE];
+            buf[0] = label;
+            buf[1..=keep].copy_from_slice(&self.labels()[..keep]);
+            return CallString(CsRepr::Inline { len: (keep + 1) as u8, buf });
+        }
+        let mut v = Vec::with_capacity(keep + 1);
         v.push(label);
-        v.extend(self.0.iter().copied().take(bound - 1));
-        CallString(v)
+        v.extend_from_slice(&self.labels()[..keep]);
+        Self::from_vec(v)
     }
 
     /// The labels, most recent first.
     pub fn labels(&self) -> &[Label] {
-        &self.0
+        match &self.0 {
+            CsRepr::Inline { len, buf } => &buf[..*len as usize],
+            CsRepr::Heap(v) => v,
+        }
     }
 
     /// Length of the string.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            CsRepr::Inline { len, .. } => *len as usize,
+            CsRepr::Heap(v) => v.len(),
+        }
     }
 
     /// Whether the string is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
+    }
+}
+
+// Representation-independent equivalence: two call strings are the same
+// abstract time iff their label sequences agree, whether inline or
+// spilled.
+impl PartialEq for CallString {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels() == other.labels()
+    }
+}
+
+impl Eq for CallString {}
+
+impl PartialOrd for CallString {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CallString {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.labels().cmp(other.labels())
+    }
+}
+
+impl std::hash::Hash for CallString {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.labels().hash(state);
     }
 }
 
 impl fmt::Display for CallString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, l) in self.0.iter().enumerate() {
+        for (i, l) in self.labels().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -233,6 +311,49 @@ mod tests {
     fn from_labels_truncates() {
         let cs = CallString::from_labels([Label(1), Label(2), Label(3)], 2);
         assert_eq!(cs.labels(), &[Label(1), Label(2)]);
+    }
+
+    #[test]
+    fn deep_strings_spill_and_behave() {
+        // k = 7 exceeds the inline capacity; pushes must still keep
+        // most-recent-first order and the bound.
+        let mut cs = CallString::empty();
+        for i in 0..10 {
+            cs = cs.push(Label(i), 7);
+        }
+        assert_eq!(cs.len(), 7);
+        assert_eq!(cs.labels()[0], Label(9));
+        assert_eq!(cs.labels()[6], Label(3));
+    }
+
+    #[test]
+    fn spilled_and_inline_strings_compare_by_labels() {
+        // Build the same 3-label sequence through a deep (spilled) bound
+        // and a shallow (inline) bound; they must be equal and hash alike.
+        let deep = CallString::from_labels((0..9).map(Label), 9);
+        let trimmed = CallString::from_labels(deep.labels().iter().copied(), 3);
+        let inline = CallString::empty()
+            .push(Label(2), 3)
+            .push(Label(1), 3)
+            .push(Label(0), 3);
+        assert_eq!(trimmed, inline);
+        assert_eq!(trimmed.cmp(&inline), std::cmp::Ordering::Equal);
+        let hash = |cs: &CallString| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            cs.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&trimmed), hash(&inline));
+    }
+
+    #[test]
+    fn push_at_inline_boundary_keeps_order() {
+        let mut cs = CallString::empty();
+        for i in 0..6 {
+            cs = cs.push(Label(i), 4);
+        }
+        assert_eq!(cs.labels(), &[Label(5), Label(4), Label(3), Label(2)]);
     }
 
     #[test]

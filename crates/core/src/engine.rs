@@ -1,19 +1,38 @@
-//! A generic worklist engine for single-threaded-store abstract
+//! A delta-driven worklist engine for single-threaded-store abstract
 //! interpreters.
 //!
 //! The transfer function of §3.7 re-runs *every* reachable configuration
 //! whenever the store grows. This engine implements the standard
-//! refinement: it tracks which configurations *read* which addresses and
-//! re-enqueues only the dependents of addresses whose flow sets grew.
-//! The result is identical (the fixed point of a monotone function is
-//! unique); only the iteration order differs.
+//! refinement — re-enqueue only the dependents of addresses whose flow
+//! sets grew — on top of the interned, zero-copy store representation of
+//! [`crate::store`]:
+//!
+//! * configurations are interned to dense indices, and **dependency sets
+//!   are plain `Vec`s indexed by interned address id** (no hashing on
+//!   the scheduling path);
+//! * a step's recorded reads are **deduplicated** before dependency
+//!   registration, and each dependency list stays sorted/unique;
+//! * every configuration remembers the store **epoch** at its last
+//!   evaluation; a popped configuration whose read addresses have not
+//!   grown past that epoch is skipped outright (its re-evaluation would
+//!   be a provable no-op);
+//! * joins report the **delta of newly added value ids**, surfaced in
+//!   [`FixpointResult::delta_facts`] — the amount of real lattice growth
+//!   the run performed, as opposed to raw join calls.
+//!
+//! The computed fixpoint is identical to the naive §3.7 transfer and to
+//! the original clone-based engine (the fixed point of a monotone
+//! function is unique); only the iteration order differs. The retained
+//! original engine in [`crate::reference`] and the differential tests in
+//! `tests/engine_differential.rs` enforce exactly that.
 //!
 //! The engine is generic over the abstract machine — the CPS k-CFA,
 //! m-CFA / polynomial-k-CFA, and Featherweight Java analyzers all drive
 //! their transitions through it.
 
-use crate::store::{AbsStore, FlowSet};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::fxhash::FxHashMap;
+use crate::store::{AbsStore, Flow, FlowSet};
+use std::collections::VecDeque;
 use std::hash::Hash;
 use std::time::{Duration, Instant};
 
@@ -25,7 +44,7 @@ pub trait AbstractMachine {
     /// Abstract addresses.
     type Addr: Clone + Eq + Hash;
     /// Abstract values.
-    type Val: Clone + Ord;
+    type Val: Clone + Eq + Hash + Ord;
 
     /// The initial configuration `ς̂₀`.
     fn initial(&self) -> Self::Config;
@@ -50,31 +69,68 @@ pub trait AbstractMachine {
 
 /// A store view that records which addresses were read (for dependency
 /// tracking) and which grew (to schedule re-analysis).
+///
+/// Reads hand out zero-copy [`Flow`] views; joins are id-level sorted
+/// merges. Use [`TrackedStore::val`] to resolve an id from a flow back
+/// to the abstract value it denotes.
 #[derive(Debug)]
 pub struct TrackedStore<'a, A, V> {
     store: &'a mut AbsStore<A, V>,
-    reads: Vec<A>,
-    grew: Vec<A>,
+    reads: Vec<u32>,
+    grew: Vec<u32>,
+    delta: Vec<u32>,
+    delta_facts: u64,
 }
 
-impl<'a, A: Eq + Hash + Clone, V: Ord + Clone> TrackedStore<'a, A, V> {
+impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V> {
+    fn new(store: &'a mut AbsStore<A, V>) -> Self {
+        TrackedStore { store, reads: Vec::new(), grew: Vec::new(), delta: Vec::new(), delta_facts: 0 }
+    }
+
     /// Reads the flow set at `addr`, recording the dependency.
-    pub fn read(&mut self, addr: &A) -> FlowSet<V> {
-        self.reads.push(addr.clone());
-        self.store.read(addr)
+    pub fn read(&mut self, addr: &A) -> Flow {
+        let id = self.store.addr_id(addr);
+        self.reads.push(id);
+        self.store.flow_by_id(id)
     }
 
     /// Joins values into `addr`, recording growth.
-    pub fn join(&mut self, addr: A, values: impl IntoIterator<Item = V>) {
-        if self.store.join(addr.clone(), values) {
-            self.grew.push(addr);
+    pub fn join(&mut self, addr: &A, values: impl IntoIterator<Item = V>) {
+        let ids: Vec<u32> = values.into_iter().map(|v| self.store.val_id(v)).collect();
+        self.join_flow(addr, &Flow::from_ids(ids));
+    }
+
+    /// Joins an id-level flow into `addr` — the zero-copy path for
+    /// "copy the values at one address to another".
+    pub fn join_flow(&mut self, addr: &A, flow: &Flow) {
+        let id = self.store.addr_id(addr);
+        self.delta.clear();
+        if self.store.join_ids(id, flow.ids(), &mut self.delta) {
+            self.grew.push(id);
+            self.delta_facts += self.delta.len() as u64;
         }
+    }
+
+    /// Resolves a value id from a [`Flow`] to the value it denotes.
+    pub fn val(&self, id: u32) -> &V {
+        self.store.val(id)
+    }
+
+    /// Interns a value, returning its id (for building result flows).
+    pub fn intern(&mut self, value: V) -> u32 {
+        self.store.val_id(value)
+    }
+
+    /// Materializes a flow into a value set (for machine-side metric
+    /// accumulators; not a hot-path operation).
+    pub fn materialize(&self, flow: &Flow) -> FlowSet<V> {
+        self.store.materialize(flow)
     }
 
     /// Reads without recording a dependency. Use only for metrics, never
     /// for values that influence successor computation.
-    pub fn peek(&self, addr: &A) -> FlowSet<V> {
-        self.store.read(addr)
+    pub fn peek(&self, addr: &A) -> Flow {
+        self.store.read_flow(addr)
     }
 }
 
@@ -134,6 +190,12 @@ pub struct FixpointResult<C, A, V> {
     pub status: Status,
     /// Number of configuration evaluations (including re-evaluations).
     pub iterations: u64,
+    /// Popped configurations skipped because no read address had grown
+    /// past their last-evaluation epoch.
+    pub skipped: u64,
+    /// Total `(address, value)` facts added across all joins — the real
+    /// lattice growth (compare with the raw join count in the store).
+    pub delta_facts: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -153,14 +215,23 @@ pub fn run_fixpoint<M: AbstractMachine>(
     let start = Instant::now();
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
     let mut configs: Vec<M::Config> = Vec::new();
-    let mut index: HashMap<M::Config, usize> = HashMap::new();
-    let mut deps: HashMap<M::Addr, HashSet<usize>> = HashMap::new();
+    let mut index: FxHashMap<M::Config, usize> = FxHashMap::default();
+    // Dependents of each address, indexed by interned address id; each
+    // list is sorted and duplicate-free.
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    // Per config: the read set of its last evaluation and the store
+    // epoch that evaluation started at (None = never evaluated).
+    let mut config_reads: Vec<Vec<u32>> = Vec::new();
+    let mut last_run_epoch: Vec<Option<u64>> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut queued: HashSet<usize> = HashSet::new();
+    let mut queued: Vec<bool> = Vec::new();
 
     let intern = |cfg: M::Config,
-                      configs: &mut Vec<M::Config>,
-                      index: &mut HashMap<M::Config, usize>|
+                  configs: &mut Vec<M::Config>,
+                  index: &mut FxHashMap<M::Config, usize>,
+                  config_reads: &mut Vec<Vec<u32>>,
+                  last_run_epoch: &mut Vec<Option<u64>>,
+                  queued: &mut Vec<bool>|
      -> (usize, bool) {
         if let Some(&i) = index.get(&cfg) {
             (i, false)
@@ -168,25 +239,40 @@ pub fn run_fixpoint<M: AbstractMachine>(
             let i = configs.len();
             configs.push(cfg.clone());
             index.insert(cfg, i);
+            config_reads.push(Vec::new());
+            last_run_epoch.push(None);
+            queued.push(false);
             (i, true)
         }
     };
 
     {
-        let mut tracked =
-            TrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        let mut tracked = TrackedStore::new(&mut store);
         machine.seed(&mut tracked);
     }
-    let (root, _) = intern(machine.initial(), &mut configs, &mut index);
+    let (root, _) = intern(
+        machine.initial(),
+        &mut configs,
+        &mut index,
+        &mut config_reads,
+        &mut last_run_epoch,
+        &mut queued,
+    );
     queue.push_back(root);
-    queued.insert(root);
+    queued[root] = true;
 
     let mut iterations: u64 = 0;
+    let mut skipped: u64 = 0;
+    let mut delta_facts: u64 = 0;
     let mut status = Status::Completed;
     let mut successors: Vec<M::Config> = Vec::new();
+    // Reused scratch buffers for the per-step tracking vectors.
+    let (mut reads_buf, mut grew_buf, mut delta_buf) = (Vec::new(), Vec::new(), Vec::new());
 
-    while let Some(i) = queue.pop_front() {
-        queued.remove(&i);
+    while let Some(&_head) = queue.front() {
+        // Check limits *before* popping: a config that the budget cuts
+        // off stays queued, so `queued` accounting remains truthful and
+        // a resumed run would not lose it.
         if iterations >= limits.max_iterations {
             status = Status::IterationLimit;
             break;
@@ -201,27 +287,75 @@ pub fn run_fixpoint<M: AbstractMachine>(
                 }
             }
         }
+        let i = queue.pop_front().expect("peeked element present");
+        queued[i] = false;
+
+        // Epoch gate: if this config already ran and none of the
+        // addresses it read has grown since, re-evaluation is a no-op.
+        if let Some(epoch) = last_run_epoch[i] {
+            if config_reads[i].iter().all(|&a| store.addr_epoch(a) <= epoch) {
+                skipped += 1;
+                continue;
+            }
+        }
+
+        let epoch_at_start = store.epoch();
         iterations += 1;
 
         let config = configs[i].clone();
         successors.clear();
-        let mut tracked = TrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        reads_buf.clear();
+        grew_buf.clear();
+        let mut tracked = TrackedStore {
+            store: &mut store,
+            reads: std::mem::take(&mut reads_buf),
+            grew: std::mem::take(&mut grew_buf),
+            delta: std::mem::take(&mut delta_buf),
+            delta_facts: 0,
+        };
         machine.step(&config, &mut tracked, &mut successors);
-        let TrackedStore { reads, grew, .. } = tracked;
+        let TrackedStore { reads, grew, delta, delta_facts: step_delta, .. } = tracked;
+        (reads_buf, grew_buf, delta_buf) = (reads, grew, delta);
+        delta_facts += step_delta;
+        last_run_epoch[i] = Some(epoch_at_start);
 
-        for addr in reads {
-            deps.entry(addr).or_default().insert(i);
+        // Dedupe reads before dependency registration, then remember
+        // them as this config's read set for the epoch gate.
+        reads_buf.sort_unstable();
+        reads_buf.dedup();
+        for &a in &reads_buf {
+            if deps.len() <= a as usize {
+                deps.resize_with(a as usize + 1, Vec::new);
+            }
+            let dependents = &mut deps[a as usize];
+            if let Err(pos) = dependents.binary_search(&i) {
+                dependents.insert(pos, i);
+            }
         }
+        std::mem::swap(&mut config_reads[i], &mut reads_buf);
+
         for succ in successors.drain(..) {
-            let (j, fresh) = intern(succ, &mut configs, &mut index);
-            if fresh && queued.insert(j) {
+            let (j, fresh) = intern(
+                succ,
+                &mut configs,
+                &mut index,
+                &mut config_reads,
+                &mut last_run_epoch,
+                &mut queued,
+            );
+            if fresh && !queued[j] {
+                queued[j] = true;
                 queue.push_back(j);
             }
         }
-        for addr in grew {
-            if let Some(dependents) = deps.get(&addr) {
+
+        grew_buf.sort_unstable();
+        grew_buf.dedup();
+        for &a in &grew_buf {
+            if let Some(dependents) = deps.get(a as usize) {
                 for &j in dependents {
-                    if queued.insert(j) {
+                    if !queued[j] {
+                        queued[j] = true;
                         queue.push_back(j);
                     }
                 }
@@ -229,7 +363,15 @@ pub fn run_fixpoint<M: AbstractMachine>(
         }
     }
 
-    FixpointResult { configs, store, status, iterations, elapsed: start.elapsed() }
+    FixpointResult {
+        configs,
+        store,
+        status,
+        iterations,
+        skipped,
+        delta_facts,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +379,7 @@ mod tests {
     use super::*;
 
     /// A toy machine: configs are integers 0..n; config i writes i to
-    /// address i % 3 and steps to i+1; config k reads address 0.
+    /// address i % 3 and steps to i+1; config n reads address 0.
     struct Counter {
         n: u32,
     }
@@ -259,7 +401,7 @@ mod tests {
         ) {
             let c = *config;
             if c < self.n {
-                store.join(c % 3, [c]);
+                store.join(&(c % 3), [c]);
                 out.push(c + 1);
             } else {
                 // Terminal config reads address 0, so it re-runs whenever
@@ -319,17 +461,47 @@ mod tests {
             }
             fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
                 if *c == 0 {
-                    s.join(0, [1u8]);
+                    s.join(&0, [1u8]);
                     out.push(1);
                 } else {
                     let seen = s.read(&0);
-                    let next: Vec<u8> = seen.iter().filter(|&&v| v < 5).map(|&v| v + 1).collect();
-                    s.join(0, next);
+                    let next: Vec<u8> = seen
+                        .iter()
+                        .map(|id| *s.val(id))
+                        .filter(|&v| v < 5)
+                        .map(|v| v + 1)
+                        .collect();
+                    s.join(&0, next);
                 }
             }
         }
         let r = run_fixpoint(&mut Feedback, EngineLimits::default());
         assert_eq!(r.status, Status::Completed);
         assert_eq!(r.store.read(&0), (1u8..=5).collect());
+    }
+
+    #[test]
+    fn delta_facts_count_real_growth() {
+        let mut m = Counter { n: 9 };
+        let r = run_fixpoint(&mut m, EngineLimits::default());
+        // Each of 0..9 lands once in one of three flow sets: 9 new facts.
+        assert_eq!(r.delta_facts, 9);
+        assert_eq!(r.store.fact_count(), 9);
+    }
+
+    #[test]
+    fn limit_cut_config_stays_queued_semantics() {
+        // With a budget of exactly the config count minus one, the last
+        // config must be reported as IterationLimit — not silently
+        // dropped (the pre-pop limit check).
+        let mut m = Counter { n: 5 };
+        let full = run_fixpoint(&mut m, EngineLimits::default());
+        let needed = full.iterations;
+        let mut m2 = Counter { n: 5 };
+        let cut = run_fixpoint(&mut m2, EngineLimits::iterations(needed - 1));
+        assert_eq!(cut.status, Status::IterationLimit);
+        let mut m3 = Counter { n: 5 };
+        let exact = run_fixpoint(&mut m3, EngineLimits::iterations(needed));
+        assert_eq!(exact.status, Status::Completed);
     }
 }

@@ -31,8 +31,9 @@ use crate::domain::{AbsBasic, AVal, CallString};
 use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
 use crate::kcfa::{build_metrics, render_val};
 use crate::prim::{classify, PrimSpec};
+use crate::reference::{RefTrackedStore, ReferenceMachine};
 use crate::results::Metrics;
-use crate::store::FlowSet;
+use crate::store::{Flow, FlowSet};
 use cfa_concrete::base::Slot;
 use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, Label, LamId, LamSort};
 use std::collections::{BTreeSet, HashMap};
@@ -75,7 +76,7 @@ pub struct FlatCfaMachine<'p> {
     bound: usize,
     policy: FlatPolicy,
     operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
-    lam_entry_envs: HashMap<LamId, BTreeSet<CallString>>,
+    lam_entry_envs: Vec<(LamId, CallString)>,
     halt_values: BTreeSet<ValM>,
 }
 
@@ -87,21 +88,18 @@ impl<'p> FlatCfaMachine<'p> {
             bound,
             policy,
             operator_flows: HashMap::new(),
-            lam_entry_envs: HashMap::new(),
+            lam_entry_envs: Vec::new(),
             halt_values: BTreeSet::new(),
         }
     }
 
-    fn eval(
-        &self,
-        e: &AExp,
-        env: &CallString,
-        store: &mut TrackedStore<'_, AddrM, ValM>,
-    ) -> FlowSet<ValM> {
+    fn eval(&self, e: &AExp, env: &CallString, store: &mut TrackedStore<'_, AddrM, ValM>) -> Flow {
         match e {
-            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Lit(l) => Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
             AExp::Var(v) => store.read(&AddrM { slot: Slot::Var(*v), env: env.clone() }),
-            AExp::Lam(l) => std::iter::once(AVal::Clo { lam: *l, env: env.clone() }).collect(),
+            AExp::Lam(l) => {
+                Flow::singleton(store.intern(AVal::Clo { lam: *l, env: env.clone() }))
+            }
         }
     }
 
@@ -109,12 +107,15 @@ impl<'p> FlatCfaMachine<'p> {
     /// Applies every closure in `fset`: allocate the new environment,
     /// bind parameters there, and **copy** the λ-term's free variables
     /// from the closure's saved environment (flat-closure creation).
+    /// Both the parameter binding and the free-variable copy are pure
+    /// id-set merges — the flat machine's hottest loop never touches a
+    /// value.
     fn apply(
         &mut self,
         site: CallId,
         label: Label,
-        fset: &FlowSet<ValM>,
-        args: &[FlowSet<ValM>],
+        fset: &Flow,
+        args: &[Flow],
         current: &CallString,
         store: &mut TrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
@@ -122,13 +123,16 @@ impl<'p> FlatCfaMachine<'p> {
         let policy = self.policy;
         let bound = self.bound;
         let flows = self.operator_flows.entry(site).or_default();
-        for f in fset {
-            let AVal::Clo { lam, env: saved } = f else {
-                flows.1 = true;
-                continue;
+        for fid in fset.iter() {
+            let (lam, saved) = match store.val(fid) {
+                AVal::Clo { lam, env } => (*lam, env.clone()),
+                _ => {
+                    flows.1 = true;
+                    continue;
+                }
             };
-            flows.0.insert(*lam);
-            let lam_data = self.program.lam(*lam);
+            flows.0.insert(lam);
+            let lam_data = self.program.lam(lam);
             if lam_data.params.len() != args.len() {
                 continue;
             }
@@ -141,20 +145,17 @@ impl<'p> FlatCfaMachine<'p> {
                 FlatPolicy::LastKCalls => current.push(label, bound),
             };
             for (&p, values) in lam_data.params.iter().zip(args) {
-                store.join(
-                    AddrM { slot: Slot::Var(p), env: fresh.clone() },
-                    values.iter().cloned(),
-                );
+                store.join_flow(&AddrM { slot: Slot::Var(p), env: fresh.clone() }, values);
             }
-            for &fv in self.program.free_vars(*lam) {
+            for &fv in self.program.free_vars(lam) {
                 let from = AddrM { slot: Slot::Var(fv), env: saved.clone() };
                 let to = AddrM { slot: Slot::Var(fv), env: fresh.clone() };
                 if from != to {
                     let values = store.read(&from);
-                    store.join(to, values);
+                    store.join_flow(&to, &values);
                 }
             }
-            self.lam_entry_envs.entry(*lam).or_default().insert(fresh.clone());
+            self.lam_entry_envs.push((lam, fresh.clone()));
             out.push(MConfig { call: lam_data.body, env: fresh });
         }
     }
@@ -179,7 +180,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.env, store);
-                let arg_sets: Vec<FlowSet<ValM>> =
+                let arg_sets: Vec<Flow> =
                     args.iter().map(|a| self.eval(a, &config.env, store)).collect();
                 self.apply(
                     config.call,
@@ -193,6 +194,187 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
             }
             CallKind::If { cond, then_branch, else_branch } => {
                 let cset = self.eval(cond, &config.env, store);
+                if cset.iter().any(|id| store.val(id).maybe_truthy()) {
+                    out.push(MConfig { call: *then_branch, env: config.env.clone() });
+                }
+                if cset.iter().any(|id| store.val(id).maybe_falsy()) {
+                    out.push(MConfig { call: *else_branch, env: config.env.clone() });
+                }
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_sets: Vec<Flow> =
+                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
+                let kset = self.eval(cont, &config.env, store);
+                let mut result_ids: Vec<u32> = Vec::new();
+                match classify(*op) {
+                    PrimSpec::Abort => return,
+                    PrimSpec::Basics(bs) => {
+                        result_ids.extend(bs.iter().map(|b| store.intern(AVal::Basic(*b))));
+                    }
+                    PrimSpec::AllocPair => {
+                        // Pairs are allocated in the *current* abstract
+                        // environment (matches the concrete flat machine).
+                        let car =
+                            AddrM { slot: Slot::Car(call_data.label), env: config.env.clone() };
+                        let cdr =
+                            AddrM { slot: Slot::Cdr(call_data.label), env: config.env.clone() };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join_flow(&car, vals);
+                        }
+                        if let Some(vals) = arg_sets.get(1) {
+                            store.join_flow(&cdr, vals);
+                        }
+                        result_ids.push(store.intern(AVal::Pair { car, cdr }));
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        if let Some(vals) = arg_sets.first() {
+                            for vid in vals.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Pair { car, cdr } => {
+                                        if want_car { car.clone() } else { cdr.clone() }
+                                    }
+                                    _ => continue,
+                                };
+                                result_ids.extend(store.read(&addr).iter());
+                            }
+                        }
+                    }
+                }
+                if !result_ids.is_empty() {
+                    let results = Flow::from_ids(result_ids);
+                    self.apply(
+                        config.call,
+                        call_data.label,
+                        &kset,
+                        &[results],
+                        &config.env,
+                        store,
+                        out,
+                    );
+                }
+            }
+            CallKind::Fix { bindings, body } => {
+                for (name, lam) in bindings {
+                    store.join(
+                        &AddrM { slot: Slot::Var(*name), env: config.env.clone() },
+                        [AVal::Clo { lam: *lam, env: config.env.clone() }],
+                    );
+                }
+                out.push(MConfig { call: *body, env: config.env.clone() });
+            }
+            CallKind::Halt { value } => {
+                let vals = self.eval(value, &config.env, store);
+                self.halt_values.extend(store.materialize(&vals));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference (pre-interning) semantics — the differential oracle
+// ---------------------------------------------------------------------
+
+impl<'p> FlatCfaMachine<'p> {
+    /// The original value-level `Ê`, kept for [`ReferenceMachine`].
+    fn eval_ref(
+        &self,
+        e: &AExp,
+        env: &CallString,
+        store: &mut RefTrackedStore<'_, AddrM, ValM>,
+    ) -> FlowSet<ValM> {
+        match e {
+            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Var(v) => store.read(&AddrM { slot: Slot::Var(*v), env: env.clone() }),
+            AExp::Lam(l) => std::iter::once(AVal::Clo { lam: *l, env: env.clone() }).collect(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// The original value-level apply, kept for [`ReferenceMachine`].
+    fn apply_ref(
+        &mut self,
+        site: CallId,
+        label: Label,
+        fset: &FlowSet<ValM>,
+        args: &[FlowSet<ValM>],
+        current: &CallString,
+        store: &mut RefTrackedStore<'_, AddrM, ValM>,
+        out: &mut Vec<MConfig>,
+    ) {
+        let policy = self.policy;
+        let bound = self.bound;
+        let flows = self.operator_flows.entry(site).or_default();
+        for f in fset {
+            let AVal::Clo { lam, env: saved } = f else {
+                flows.1 = true;
+                continue;
+            };
+            flows.0.insert(*lam);
+            let lam_data = self.program.lam(*lam);
+            if lam_data.params.len() != args.len() {
+                continue;
+            }
+            let fresh = match policy {
+                FlatPolicy::TopMFrames => match lam_data.sort {
+                    LamSort::Proc => current.push(label, bound),
+                    LamSort::Cont => saved.clone(),
+                },
+                FlatPolicy::LastKCalls => current.push(label, bound),
+            };
+            for (&p, values) in lam_data.params.iter().zip(args) {
+                store.join(
+                    AddrM { slot: Slot::Var(p), env: fresh.clone() },
+                    values.iter().cloned(),
+                );
+            }
+            for &fv in self.program.free_vars(*lam) {
+                let from = AddrM { slot: Slot::Var(fv), env: saved.clone() };
+                let to = AddrM { slot: Slot::Var(fv), env: fresh.clone() };
+                if from != to {
+                    let values = store.read(&from);
+                    store.join(to, values);
+                }
+            }
+            self.lam_entry_envs.push((*lam, fresh.clone()));
+            out.push(MConfig { call: lam_data.body, env: fresh });
+        }
+    }
+}
+
+impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
+    type Config = MConfig;
+    type Addr = AddrM;
+    type Val = ValM;
+
+    fn initial(&self) -> MConfig {
+        AbstractMachine::initial(self)
+    }
+
+    fn step(
+        &mut self,
+        config: &MConfig,
+        store: &mut RefTrackedStore<'_, AddrM, ValM>,
+        out: &mut Vec<MConfig>,
+    ) {
+        let call_data = self.program.call(config.call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let fset = self.eval_ref(func, &config.env, store);
+                let arg_sets: Vec<FlowSet<ValM>> =
+                    args.iter().map(|a| self.eval_ref(a, &config.env, store)).collect();
+                self.apply_ref(
+                    config.call,
+                    call_data.label,
+                    &fset,
+                    &arg_sets,
+                    &config.env,
+                    store,
+                    out,
+                );
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let cset = self.eval_ref(cond, &config.env, store);
                 if cset.iter().any(AVal::maybe_truthy) {
                     out.push(MConfig { call: *then_branch, env: config.env.clone() });
                 }
@@ -202,8 +384,8 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
             }
             CallKind::PrimCall { op, args, cont } => {
                 let arg_sets: Vec<FlowSet<ValM>> =
-                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
-                let kset = self.eval(cont, &config.env, store);
+                    args.iter().map(|a| self.eval_ref(a, &config.env, store)).collect();
+                let kset = self.eval_ref(cont, &config.env, store);
                 let mut results: FlowSet<ValM> = FlowSet::new();
                 match classify(*op) {
                     PrimSpec::Abort => return,
@@ -211,8 +393,6 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                         results.extend(bs.iter().map(|b| AVal::Basic(*b)));
                     }
                     PrimSpec::AllocPair => {
-                        // Pairs are allocated in the *current* abstract
-                        // environment (matches the concrete flat machine).
                         let car =
                             AddrM { slot: Slot::Car(call_data.label), env: config.env.clone() };
                         let cdr =
@@ -238,7 +418,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                     }
                 }
                 if !results.is_empty() {
-                    self.apply(
+                    self.apply_ref(
                         config.call,
                         call_data.label,
                         &kset,
@@ -259,7 +439,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 out.push(MConfig { call: *body, env: config.env.clone() });
             }
             CallKind::Halt { value } => {
-                let vals = self.eval(value, &config.env, store);
+                let vals = self.eval_ref(value, &config.env, store);
                 self.halt_values.extend(vals);
             }
         }

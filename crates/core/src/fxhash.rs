@@ -1,0 +1,119 @@
+//! A fast non-cryptographic hasher for the interning hot path.
+//!
+//! The engine's profile is dominated by hashing deep keys — binding
+//! environments, call strings, whole configurations — on every intern
+//! and every dependency lookup. `std`'s default SipHash is designed for
+//! HashDoS resistance, which internal analysis tables do not need; this
+//! is the Fx multiply-rotate hash used by rustc, typically several times
+//! faster on short structured keys.
+//!
+//! Only the rebuilt engine uses it ([`crate::store`] pools and the
+//! worklist's config index); the retained reference engine keeps the
+//! standard hasher, exactly as the original code shipped.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply-rotate hasher (word-at-a-time, not DoS-resistant).
+#[derive(Default, Clone, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = vec![(1u32, "x"), (2, "y")];
+        let b = vec![(1u32, "x"), (2, "y")];
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get("key-500"), Some(&500));
+    }
+
+    #[test]
+    fn distributes_small_ints() {
+        // Not a statistical test — just guard against a degenerate
+        // implementation mapping everything to one bucket.
+        let hashes: std::collections::BTreeSet<u64> = (0u64..64).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 64);
+    }
+}

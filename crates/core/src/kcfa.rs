@@ -25,9 +25,11 @@
 
 use crate::domain::{AbsBasic, AVal, CallString};
 use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
+use crate::fxhash::FxHashSet;
 use crate::prim::{classify, PrimSpec};
+use crate::reference::{RefTrackedStore, ReferenceMachine};
 use crate::results::Metrics;
-use crate::store::FlowSet;
+use crate::store::{Flow, FlowSet};
 use cfa_concrete::base::Slot;
 use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, LamId, LamSort};
 use cfa_syntax::intern::Symbol;
@@ -44,15 +46,65 @@ pub struct AddrK {
 }
 
 /// A k-CFA binding environment: a *map* from variables to addresses,
-/// stored as a sorted vector behind `Rc`.
+/// stored as a sorted vector behind `Rc`, with its structural hash
+/// **precomputed at construction**.
 ///
 /// Structural equality/ordering means environments are compared by
 /// meaning. The map-ness is the point: unlike m-CFA environments, two
 /// variables in one `BEnvK` may carry different binding times.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub struct BEnvK(Rc<Vec<(Symbol, AddrK)>>);
+///
+/// Environments are the deepest keys on the hot path — every config
+/// intern, closure intern, and entry-env metric insert hashes one — so
+/// re-walking the binding vector per hash would dominate the profile.
+/// The cached hash makes those O(1), and equality gets an `Rc` pointer
+/// fast path plus a cheap hash-mismatch early exit.
+#[derive(Clone, Debug)]
+pub struct BEnvK {
+    hash: u64,
+    items: Rc<Vec<(Symbol, AddrK)>>,
+}
+
+impl Default for BEnvK {
+    fn default() -> Self {
+        Self::from_items(Vec::new())
+    }
+}
+
+impl PartialEq for BEnvK {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && (Rc::ptr_eq(&self.items, &other.items) || self.items == other.items)
+    }
+}
+
+impl Eq for BEnvK {}
+
+impl PartialOrd for BEnvK {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BEnvK {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.items.cmp(&other.items)
+    }
+}
+
+impl std::hash::Hash for BEnvK {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
 
 impl BEnvK {
+    fn from_items(items: Vec<(Symbol, AddrK)>) -> Self {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = crate::fxhash::FxHasher::default();
+        items.hash(&mut h);
+        BEnvK { hash: h.finish(), items: Rc::new(items) }
+    }
+
     /// The empty environment.
     pub fn empty() -> Self {
         Self::default()
@@ -60,22 +112,22 @@ impl BEnvK {
 
     /// Looks up a variable.
     pub fn get(&self, v: Symbol) -> Option<&AddrK> {
-        self.0
+        self.items
             .binary_search_by_key(&v, |(s, _)| *s)
             .ok()
-            .map(|i| &self.0[i].1)
+            .map(|i| &self.items[i].1)
     }
 
     /// Functional extension (later bindings shadow earlier ones).
     pub fn extend(&self, bindings: impl IntoIterator<Item = (Symbol, AddrK)>) -> BEnvK {
-        let mut v: Vec<(Symbol, AddrK)> = (*self.0).clone();
+        let mut v: Vec<(Symbol, AddrK)> = (*self.items).clone();
         for (sym, addr) in bindings {
             match v.binary_search_by_key(&sym, |(s, _)| *s) {
                 Ok(i) => v[i].1 = addr,
                 Err(i) => v.insert(i, (sym, addr)),
             }
         }
-        BEnvK(Rc::new(v))
+        Self::from_items(v)
     }
 
     /// Restriction to a sorted variable set — what a closure captures.
@@ -86,22 +138,22 @@ impl BEnvK {
                 v.push((var, addr.clone()));
             }
         }
-        BEnvK(Rc::new(v))
+        Self::from_items(v)
     }
 
     /// Iterates over the bindings in symbol order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &AddrK)> {
-        self.0.iter().map(|(s, a)| (*s, a))
+        self.items.iter().map(|(s, a)| (*s, a))
     }
 
     /// Number of bindings.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.items.len()
     }
 
     /// Whether the environment is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.items.is_empty()
     }
 }
 
@@ -126,10 +178,29 @@ pub struct KCfaMachine<'p> {
     k: usize,
     /// Per call site: operator λ-flow and whether a non-closure flowed.
     operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
-    /// Distinct environments each λ was entered with.
-    lam_entry_envs: HashMap<LamId, BTreeSet<BEnvK>>,
+    /// Log of (λ, entry environment) pairs; deduplicated once when
+    /// metrics are built (a hot-path set insert per application was the
+    /// single largest cost in the profile).
+    lam_entry_envs: Vec<(LamId, BEnvK)>,
     /// Values reaching `%halt`.
     halt_values: BTreeSet<ValK>,
+    /// Hash-consed environments: structurally equal environments share
+    /// one `Rc`, so equality checks on the hot path are pointer
+    /// comparisons. Only the interned-engine path canonicalizes; the
+    /// reference path keeps the original allocation behavior.
+    env_pool: FxHashSet<BEnvK>,
+}
+
+/// Returns the canonical (shared) copy of `env`, interning it on first
+/// sight.
+fn canon_env(pool: &mut FxHashSet<BEnvK>, env: BEnvK) -> BEnvK {
+    match pool.get(&env) {
+        Some(e) => e.clone(),
+        None => {
+            pool.insert(env.clone());
+            env
+        }
+    }
 }
 
 impl<'p> KCfaMachine<'p> {
@@ -139,8 +210,9 @@ impl<'p> KCfaMachine<'p> {
             program,
             k,
             operator_flows: HashMap::new(),
-            lam_entry_envs: HashMap::new(),
+            lam_entry_envs: Vec::new(),
             halt_values: BTreeSet::new(),
+            env_pool: FxHashSet::default(),
         }
     }
 
@@ -148,45 +220,48 @@ impl<'p> KCfaMachine<'p> {
         time.push(label, self.k)
     }
 
-    /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow set.
-    fn eval(
-        &self,
-        e: &AExp,
-        benv: &BEnvK,
-        store: &mut TrackedStore<'_, AddrK, ValK>,
-    ) -> FlowSet<ValK> {
+    /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow of interned value ids.
+    ///
+    /// Variable reads hand back the store row's shared id set — no set
+    /// is cloned and no value is touched.
+    fn eval(&mut self, e: &AExp, benv: &BEnvK, store: &mut TrackedStore<'_, AddrK, ValK>) -> Flow {
         match e {
-            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Lit(l) => Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
             AExp::Var(v) => match benv.get(*v) {
-                Some(addr) => store.read(&addr.clone()),
-                None => FlowSet::new(),
+                Some(addr) => store.read(addr),
+                None => Flow::empty(),
             },
             AExp::Lam(l) => {
-                let captured = benv.restrict(self.program.free_vars(*l));
-                std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+                let captured =
+                    canon_env(&mut self.env_pool, benv.restrict(self.program.free_vars(*l)));
+                Flow::singleton(store.intern(AVal::Clo { lam: *l, env: captured }))
             }
         }
     }
 
     /// Applies every closure in `fset` to `args` at the new time,
     /// recording call-graph and environment metrics for `site`.
+    /// Argument flows are joined id-to-id ([`TrackedStore::join_flow`]).
     fn apply(
         &mut self,
         site: CallId,
-        fset: &FlowSet<ValK>,
-        args: &[FlowSet<ValK>],
+        fset: &Flow,
+        args: &[Flow],
         t_new: &CallString,
         store: &mut TrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
         let flows = self.operator_flows.entry(site).or_default();
-        for f in fset {
-            let AVal::Clo { lam, env } = f else {
-                flows.1 = true;
-                continue;
+        for fid in fset.iter() {
+            let (lam, env) = match store.val(fid) {
+                AVal::Clo { lam, env } => (*lam, env.clone()),
+                _ => {
+                    flows.1 = true;
+                    continue;
+                }
             };
-            flows.0.insert(*lam);
-            let lam_data = self.program.lam(*lam);
+            flows.0.insert(lam);
+            let lam_data = self.program.lam(lam);
             if lam_data.params.len() != args.len() {
                 continue;
             }
@@ -196,10 +271,10 @@ impl<'p> KCfaMachine<'p> {
                 .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
                 .collect();
             for ((_, addr), values) in bindings.iter().zip(args) {
-                store.join(addr.clone(), values.iter().cloned());
+                store.join_flow(addr, values);
             }
-            let extended = env.extend(bindings);
-            self.lam_entry_envs.entry(*lam).or_default().insert(extended.clone());
+            let extended = canon_env(&mut self.env_pool, env.extend(bindings));
+            self.lam_entry_envs.push((lam, extended.clone()));
             out.push(KConfig { call: lam_data.body, benv: extended, time: t_new.clone() });
         }
     }
@@ -224,15 +299,15 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.benv, store);
-                let arg_sets: Vec<FlowSet<ValK>> =
+                let arg_sets: Vec<Flow> =
                     args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
                 let t_new = self.tick(call_data.label, &config.time);
                 self.apply(config.call, &fset, &arg_sets, &t_new, store, out);
             }
             CallKind::If { cond, then_branch, else_branch } => {
                 let cset = self.eval(cond, &config.benv, store);
-                let truthy = cset.iter().any(AVal::maybe_truthy);
-                let falsy = cset.iter().any(AVal::maybe_falsy);
+                let truthy = cset.iter().any(|id| store.val(id).maybe_truthy());
+                let falsy = cset.iter().any(|id| store.val(id).maybe_falsy());
                 if truthy {
                     out.push(KConfig { call: *then_branch, ..config.clone() });
                 }
@@ -241,9 +316,172 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<FlowSet<ValK>> =
+                let arg_sets: Vec<Flow> =
                     args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
                 let kset = self.eval(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let mut result_ids: Vec<u32> = Vec::new();
+                match classify(*op) {
+                    PrimSpec::Abort => return,
+                    PrimSpec::Basics(bs) => {
+                        result_ids.extend(bs.iter().map(|b| store.intern(AVal::Basic(*b))));
+                    }
+                    PrimSpec::AllocPair => {
+                        let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
+                        let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join_flow(&car, vals);
+                        }
+                        if let Some(vals) = arg_sets.get(1) {
+                            store.join_flow(&cdr, vals);
+                        }
+                        result_ids.push(store.intern(AVal::Pair { car, cdr }));
+                    }
+                    PrimSpec::ReadCar | PrimSpec::ReadCdr => {
+                        let want_car = classify(*op) == PrimSpec::ReadCar;
+                        if let Some(vals) = arg_sets.first() {
+                            for vid in vals.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Pair { car, cdr } => {
+                                        if want_car { car.clone() } else { cdr.clone() }
+                                    }
+                                    _ => continue,
+                                };
+                                result_ids.extend(store.read(&addr).iter());
+                            }
+                        }
+                    }
+                }
+                if !result_ids.is_empty() {
+                    let results = Flow::from_ids(result_ids);
+                    self.apply(config.call, &kset, &[results], &t_new, store, out);
+                }
+            }
+            CallKind::Fix { bindings, body } => {
+                let t_new = self.tick(call_data.label, &config.time);
+                let addrs: Vec<(Symbol, AddrK)> = bindings
+                    .iter()
+                    .map(|(name, _)| {
+                        (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() })
+                    })
+                    .collect();
+                let extended =
+                    canon_env(&mut self.env_pool, config.benv.extend(addrs.iter().cloned()));
+                for ((_, lam), (_, addr)) in bindings.iter().zip(&addrs) {
+                    let captured = canon_env(
+                        &mut self.env_pool,
+                        extended.restrict(self.program.free_vars(*lam)),
+                    );
+                    store.join(addr, [AVal::Clo { lam: *lam, env: captured }]);
+                }
+                out.push(KConfig { call: *body, benv: extended, time: t_new });
+            }
+            CallKind::Halt { value } => {
+                let vals = self.eval(value, &config.benv, store);
+                self.halt_values.extend(store.materialize(&vals));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference (pre-interning) semantics — the differential oracle
+// ---------------------------------------------------------------------
+
+impl<'p> KCfaMachine<'p> {
+    /// The original value-level `Ê`, kept for [`ReferenceMachine`].
+    fn eval_ref(
+        &self,
+        e: &AExp,
+        benv: &BEnvK,
+        store: &mut RefTrackedStore<'_, AddrK, ValK>,
+    ) -> FlowSet<ValK> {
+        match e {
+            AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
+            AExp::Var(v) => match benv.get(*v) {
+                Some(addr) => store.read(&addr.clone()),
+                None => FlowSet::new(),
+            },
+            AExp::Lam(l) => {
+                let captured = benv.restrict(self.program.free_vars(*l));
+                std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+            }
+        }
+    }
+
+    /// The original value-level apply, kept for [`ReferenceMachine`].
+    fn apply_ref(
+        &mut self,
+        site: CallId,
+        fset: &FlowSet<ValK>,
+        args: &[FlowSet<ValK>],
+        t_new: &CallString,
+        store: &mut RefTrackedStore<'_, AddrK, ValK>,
+        out: &mut Vec<KConfig>,
+    ) {
+        let flows = self.operator_flows.entry(site).or_default();
+        for f in fset {
+            let AVal::Clo { lam, env } = f else {
+                flows.1 = true;
+                continue;
+            };
+            flows.0.insert(*lam);
+            let lam_data = self.program.lam(*lam);
+            if lam_data.params.len() != args.len() {
+                continue;
+            }
+            let bindings: Vec<(Symbol, AddrK)> = lam_data
+                .params
+                .iter()
+                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .collect();
+            for ((_, addr), values) in bindings.iter().zip(args) {
+                store.join(addr.clone(), values.iter().cloned());
+            }
+            let extended = env.extend(bindings);
+            self.lam_entry_envs.push((*lam, extended.clone()));
+            out.push(KConfig { call: lam_data.body, benv: extended, time: t_new.clone() });
+        }
+    }
+}
+
+impl<'p> ReferenceMachine for KCfaMachine<'p> {
+    type Config = KConfig;
+    type Addr = AddrK;
+    type Val = ValK;
+
+    fn initial(&self) -> KConfig {
+        AbstractMachine::initial(self)
+    }
+
+    fn step(
+        &mut self,
+        config: &KConfig,
+        store: &mut RefTrackedStore<'_, AddrK, ValK>,
+        out: &mut Vec<KConfig>,
+    ) {
+        let call_data = self.program.call(config.call);
+        match &call_data.kind {
+            CallKind::App { func, args } => {
+                let fset = self.eval_ref(func, &config.benv, store);
+                let arg_sets: Vec<FlowSet<ValK>> =
+                    args.iter().map(|a| self.eval_ref(a, &config.benv, store)).collect();
+                let t_new = self.tick(call_data.label, &config.time);
+                self.apply_ref(config.call, &fset, &arg_sets, &t_new, store, out);
+            }
+            CallKind::If { cond, then_branch, else_branch } => {
+                let cset = self.eval_ref(cond, &config.benv, store);
+                if cset.iter().any(AVal::maybe_truthy) {
+                    out.push(KConfig { call: *then_branch, ..config.clone() });
+                }
+                if cset.iter().any(AVal::maybe_falsy) {
+                    out.push(KConfig { call: *else_branch, ..config.clone() });
+                }
+            }
+            CallKind::PrimCall { op, args, cont } => {
+                let arg_sets: Vec<FlowSet<ValK>> =
+                    args.iter().map(|a| self.eval_ref(a, &config.benv, store)).collect();
+                let kset = self.eval_ref(cont, &config.benv, store);
                 let t_new = self.tick(call_data.label, &config.time);
                 let mut results: FlowSet<ValK> = FlowSet::new();
                 match classify(*op) {
@@ -275,7 +513,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                     }
                 }
                 if !results.is_empty() {
-                    self.apply(config.call, &kset, &[results], &t_new, store, out);
+                    self.apply_ref(config.call, &kset, &[results], &t_new, store, out);
                 }
             }
             CallKind::Fix { bindings, body } => {
@@ -294,7 +532,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 out.push(KConfig { call: *body, benv: extended, time: t_new });
             }
             CallKind::Halt { value } => {
-                let vals = self.eval(value, &config.benv, store);
+                let vals = self.eval_ref(value, &config.benv, store);
                 self.halt_values.extend(vals);
             }
         }
@@ -344,14 +582,14 @@ pub(crate) fn build_metrics<C, A, E1, A1, E2>(
     program: &CpsProgram,
     fixpoint: &FixpointResult<C, A, AVal<E1, A1>>,
     operator_flows: &HashMap<CallId, (BTreeSet<LamId>, bool)>,
-    lam_entry_envs: &HashMap<LamId, BTreeSet<E2>>,
+    lam_entry_envs: &[(LamId, E2)],
     halt_values: &BTreeSet<AVal<E1, A1>>,
 ) -> Metrics
 where
     A: std::hash::Hash + Eq + Clone,
-    E1: Ord + Clone,
-    A1: Ord + Clone,
-    E2: Ord,
+    E1: Ord + Clone + Eq + std::hash::Hash,
+    A1: Ord + Clone + Eq + std::hash::Hash,
+    E2: Eq + std::hash::Hash,
 {
     let mut reachable_user_calls = 0;
     let mut singleton_user_calls = 0;
@@ -371,13 +609,13 @@ where
             singleton_user_calls += 1;
         }
     }
+    // Deduplicate the entry-environment log once, off the hot path.
     let distinct_envs = {
-        let mut union: BTreeSet<&E2> = BTreeSet::new();
-        for envs in lam_entry_envs.values() {
-            union.extend(envs.iter());
-        }
-        union.len()
+        let mut distinct: FxHashSet<&E2> = FxHashSet::default();
+        distinct.extend(lam_entry_envs.iter().map(|(_, env)| env));
+        distinct.len()
     };
+    let lam_env_counts = crate::results::distinct_counts(lam_entry_envs);
     Metrics {
         analysis,
         status: fixpoint.status,
@@ -389,7 +627,7 @@ where
         reachable_user_calls,
         singleton_user_calls,
         call_targets,
-        lam_env_counts: lam_entry_envs.iter().map(|(&l, envs)| (l, envs.len())).collect(),
+        lam_env_counts,
         distinct_envs,
         halt_values: halt_values.iter().map(|v| render_val(program, v)).collect(),
     }

@@ -33,10 +33,12 @@ pub mod constraints;
 pub mod domain;
 pub mod engine;
 pub mod flatcfa;
+pub mod fxhash;
 pub mod gc;
 pub mod kcfa;
 pub mod naive;
 pub mod prim;
+pub mod reference;
 pub mod report;
 pub mod results;
 pub mod soundness;

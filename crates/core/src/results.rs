@@ -91,6 +91,25 @@ impl fmt::Display for Metrics {
     }
 }
 
+/// Deduplicates a `(key, item)` log into per-key distinct-item counts.
+///
+/// The machines record entry environments as append-only logs (a hot
+/// path must not pay a set insert per application); this is the shared
+/// off-line fold that turns a log into the paper's distinct-environment
+/// counts.
+pub fn distinct_counts<K, E>(log: &[(K, E)]) -> std::collections::BTreeMap<K, usize>
+where
+    K: Ord + Copy,
+    E: Eq + std::hash::Hash,
+{
+    let mut per: std::collections::BTreeMap<K, crate::fxhash::FxHashSet<&E>> =
+        std::collections::BTreeMap::new();
+    for (key, item) in log {
+        per.entry(*key).or_default().insert(item);
+    }
+    per.into_iter().map(|(key, items)| (key, items.len())).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

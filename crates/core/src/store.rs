@@ -1,73 +1,397 @@
-//! The single-threaded abstract store (paper §3.7).
+//! The single-threaded abstract store (paper §3.7), rebuilt around
+//! **interned values and zero-copy flow sets**.
 //!
 //! Shivers's key algorithmic move: approximate the *set* of stores of the
 //! naive state-space search by their least upper bound — one global store
-//! that only grows. [`AbsStore`] is that store: a map from abstract
-//! addresses to flow sets, with monotone `join` as the only write
-//! operation.
+//! that only grows. [`AbsStore`] is that store, with monotone `join` as
+//! the only write operation.
+//!
+//! # Representation
+//!
+//! The paper's `D̂ = P(V)` is represented in three layers:
+//!
+//! * a [`ValuePool`] interns every abstract value (and every abstract
+//!   address) into a dense `u32` id, so equality, hashing, and ordering
+//!   on the hot path are integer operations and each value is hashed at
+//!   most once per run;
+//! * a flow set is a **sorted `Vec<u32>` of value ids behind an `Arc`**
+//!   ([`Flow`]): reads hand out a reference-counted view instead of
+//!   cloning a `BTreeSet`, membership is a binary search, and joins are
+//!   linear sorted-merges that never look at the values themselves;
+//! * every bound address carries an **epoch** — the value of a global
+//!   counter at the address's last growth. Readers (the worklist engine)
+//!   compare epochs to decide whether a dependent configuration can
+//!   possibly observe anything new, and [`AbsStore::join_ids`] reports
+//!   the exact *delta* of newly added ids so future incremental transfer
+//!   functions can re-process only the growth.
+//!
+//! Joins are copy-on-grow: a growing join allocates one merged vector
+//! and swaps the `Arc`, leaving previously handed-out views untouched
+//! (they are immutable snapshots — safe, and free of defensive copies).
+//!
+//! The value-level API of the original engine ([`AbsStore::read`],
+//! [`AbsStore::join`], [`AbsStore::iter`]) is retained for the post-run
+//! consumers (soundness checks, reports, metrics); it materializes
+//! `BTreeSet`s on demand and is not used on the fixpoint hot path.
 
-use std::collections::{BTreeSet, HashMap};
+use crate::fxhash::FxHashMap;
+use std::collections::BTreeSet;
 use std::hash::Hash;
+use std::sync::Arc;
 
-/// A flow set: the abstract denotation `D̂ = P(V)`.
+/// A materialized flow set: the abstract denotation `D̂ = P(V)`.
+///
+/// Only used off the hot path (post-run inspection and machine-local
+/// accumulators); the engine itself works on [`Flow`] id sets.
 pub type FlowSet<V> = BTreeSet<V>;
 
-/// A monotone map from abstract addresses to flow sets.
+/// Interns items of type `T` into dense `u32` ids.
+///
+/// Ids are assigned in first-seen order; `get` is a plain vector index.
 #[derive(Clone, Debug)]
-pub struct AbsStore<A, V> {
-    map: HashMap<A, FlowSet<V>>,
-    joins: u64,
+pub struct ValuePool<T> {
+    items: Vec<T>,
+    index: FxHashMap<T, u32>,
 }
 
-impl<A: Eq + Hash + Clone, V: Ord + Clone> Default for AbsStore<A, V> {
+impl<T> Default for ValuePool<T> {
     fn default() -> Self {
-        AbsStore { map: HashMap::new(), joins: 0 }
+        ValuePool { items: Vec::new(), index: FxHashMap::default() }
     }
 }
 
-impl<A: Eq + Hash + Clone, V: Ord + Clone> AbsStore<A, V> {
+impl<T: Eq + Hash + Clone> ValuePool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `item`, returning its dense id.
+    pub fn intern(&mut self, item: T) -> u32 {
+        if let Some(&id) = self.index.get(&item) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("pool overflow");
+        self.items.push(item.clone());
+        self.index.insert(item, id);
+        id
+    }
+
+    /// Interns by reference, cloning only on first sight.
+    pub fn intern_ref(&mut self, item: &T) -> u32 {
+        if let Some(&id) = self.index.get(item) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("pool overflow");
+        self.items.push(item.clone());
+        self.index.insert(item.clone(), id);
+        id
+    }
+
+    /// The item with id `id`.
+    pub fn get(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// The id of `item`, if it has been interned.
+    pub fn lookup(&self, item: &T) -> Option<u32> {
+        self.index.get(item).copied()
+    }
+
+    /// Number of interned items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates items in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+/// A flow set as a sorted set of interned value ids.
+///
+/// `Shared` is a zero-copy view of a store row (an `Arc` clone); `Owned`
+/// holds machine-built sets (literals, primop results). Both variants
+/// keep their ids sorted and duplicate-free.
+#[derive(Clone, Debug)]
+pub enum Flow {
+    /// A shared snapshot of a store row.
+    Shared(Arc<Vec<u32>>),
+    /// A locally built id set.
+    Owned(Vec<u32>),
+}
+
+impl Default for Flow {
+    fn default() -> Self {
+        Flow::Owned(Vec::new())
+    }
+}
+
+impl Flow {
+    /// The empty flow set (`⊥`).
+    pub fn empty() -> Flow {
+        Flow::default()
+    }
+
+    /// A one-element flow set.
+    pub fn singleton(id: u32) -> Flow {
+        Flow::Owned(vec![id])
+    }
+
+    /// Builds a flow set from arbitrary ids (sorts and dedups).
+    pub fn from_ids(mut ids: Vec<u32>) -> Flow {
+        ids.sort_unstable();
+        ids.dedup();
+        Flow::Owned(ids)
+    }
+
+    /// The sorted ids.
+    pub fn ids(&self) -> &[u32] {
+        match self {
+            Flow::Shared(arc) => arc,
+            Flow::Owned(v) => v,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.ids().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids().is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: u32) -> bool {
+        self.ids().binary_search(&id).is_ok()
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids().iter().copied()
+    }
+}
+
+/// One bound address: its current id set, whether a join ever touched it
+/// (even an empty one — the paper's `⊥`-bound addresses are observable
+/// in the store-entry metric), and the global epoch of its last growth.
+#[derive(Clone, Debug, Default)]
+struct Row {
+    ids: Option<Arc<Vec<u32>>>,
+    bound: bool,
+    epoch: u64,
+}
+
+/// A monotone map from abstract addresses to flow sets.
+///
+/// See the module docs for the representation. `A` is the machine's
+/// address type, `V` its value type; both are interned on first use.
+#[derive(Clone, Debug)]
+pub struct AbsStore<A, V> {
+    addrs: ValuePool<A>,
+    vals: ValuePool<V>,
+    rows: Vec<Row>,
+    joins: u64,
+    epoch: u64,
+    bound_count: usize,
+}
+
+impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> Default for AbsStore<A, V> {
+    fn default() -> Self {
+        AbsStore {
+            addrs: ValuePool::new(),
+            vals: ValuePool::new(),
+            rows: Vec::new(),
+            joins: 0,
+            epoch: 0,
+            bound_count: 0,
+        }
+    }
+}
+
+impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// An empty store (`⊥`).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Reads the flow set at `addr`; unbound addresses are `⊥` (empty).
-    pub fn read(&self, addr: &A) -> FlowSet<V>
-    where
-        V: Clone,
-    {
-        self.map.get(addr).cloned().unwrap_or_default()
+    // -- id-level API (the hot path) ----------------------------------
+
+    /// Interns `addr`, returning its dense id.
+    pub fn addr_id(&mut self, addr: &A) -> u32 {
+        let id = self.addrs.intern_ref(addr);
+        if self.rows.len() <= id as usize {
+            self.rows.resize_with(id as usize + 1, Row::default);
+        }
+        id
     }
 
-    /// Borrows the flow set at `addr` if bound.
-    pub fn get(&self, addr: &A) -> Option<&FlowSet<V>> {
-        self.map.get(addr)
+    /// The id of `addr` if it has ever been seen.
+    pub fn lookup_addr(&self, addr: &A) -> Option<u32> {
+        self.addrs.lookup(addr)
     }
+
+    /// The address with id `id`.
+    pub fn addr(&self, id: u32) -> &A {
+        self.addrs.get(id)
+    }
+
+    /// Interns a value, returning its dense id.
+    pub fn val_id(&mut self, value: V) -> u32 {
+        self.vals.intern(value)
+    }
+
+    /// The value with id `id`.
+    pub fn val(&self, id: u32) -> &V {
+        self.vals.get(id)
+    }
+
+    /// The current flow set at address id `addr_id` — an `Arc` clone,
+    /// never a copy of the ids.
+    pub fn flow_by_id(&self, addr_id: u32) -> Flow {
+        match self.rows.get(addr_id as usize).and_then(|r| r.ids.as_ref()) {
+            Some(arc) => Flow::Shared(Arc::clone(arc)),
+            None => Flow::empty(),
+        }
+    }
+
+    /// The current flow set at `addr` (empty if unbound).
+    pub fn read_flow(&self, addr: &A) -> Flow {
+        match self.lookup_addr(addr) {
+            Some(id) => self.flow_by_id(id),
+            None => Flow::empty(),
+        }
+    }
+
+    /// The global join epoch: bumped once per *growing* join.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which address id `addr_id` last grew (0 = never).
+    pub fn addr_epoch(&self, addr_id: u32) -> u64 {
+        self.rows.get(addr_id as usize).map_or(0, |r| r.epoch)
+    }
+
+    /// Joins already-interned `new_ids` (sorted, unique) into the row of
+    /// `addr_id`, appending the **delta** — the ids actually added — to
+    /// `delta`. Returns `true` if the row grew.
+    pub fn join_ids(&mut self, addr_id: u32, new_ids: &[u32], delta: &mut Vec<u32>) -> bool {
+        self.joins += 1;
+        debug_assert!(new_ids.windows(2).all(|w| w[0] < w[1]), "join_ids needs sorted ids");
+        if self.rows.len() <= addr_id as usize {
+            self.rows.resize_with(addr_id as usize + 1, Row::default);
+        }
+        let row = &mut self.rows[addr_id as usize];
+        if !row.bound {
+            row.bound = true;
+            self.bound_count += 1;
+        }
+        let delta_start = delta.len();
+        match &row.ids {
+            None => delta.extend_from_slice(new_ids),
+            Some(cur) => {
+                // Single merge scan collecting ids missing from `cur`.
+                let cur = cur.as_slice();
+                let mut i = 0;
+                for &id in new_ids {
+                    while i < cur.len() && cur[i] < id {
+                        i += 1;
+                    }
+                    if i >= cur.len() || cur[i] != id {
+                        delta.push(id);
+                    }
+                }
+            }
+        }
+        if delta.len() == delta_start {
+            return false;
+        }
+        // Copy-on-grow: build the merged vector once; existing `Shared`
+        // views keep their snapshot.
+        let added = &delta[delta_start..];
+        let merged = match &row.ids {
+            None => added.to_vec(),
+            Some(cur) => {
+                let mut merged = Vec::with_capacity(cur.len() + added.len());
+                let (mut i, mut j) = (0, 0);
+                while i < cur.len() && j < added.len() {
+                    if cur[i] < added[j] {
+                        merged.push(cur[i]);
+                        i += 1;
+                    } else {
+                        merged.push(added[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&cur[i..]);
+                merged.extend_from_slice(&added[j..]);
+                merged
+            }
+        };
+        row.ids = Some(Arc::new(merged));
+        self.epoch += 1;
+        row.epoch = self.epoch;
+        true
+    }
+
+    /// Joins a [`Flow`] into `addr` (id-level; no values are touched).
+    pub fn join_flow(&mut self, addr: &A, flow: &Flow, delta: &mut Vec<u32>) -> bool {
+        let id = self.addr_id(addr);
+        self.join_ids(id, flow.ids(), delta)
+    }
+
+    // -- value-level API (post-run consumers & compatibility) ---------
 
     /// Joins `values` into the flow set at `addr`. Returns `true` if the
     /// set grew (the monotonicity signal the worklist engine needs).
     pub fn join(&mut self, addr: A, values: impl IntoIterator<Item = V>) -> bool {
-        self.joins += 1;
-        let set = self.map.entry(addr).or_default();
-        let before = set.len();
-        set.extend(values);
-        set.len() != before
+        let ids: Vec<u32> = values.into_iter().map(|v| self.vals.intern(v)).collect();
+        let flow = Flow::from_ids(ids);
+        let addr_id = self.addr_id(&addr);
+        let mut delta = Vec::new();
+        self.join_ids(addr_id, flow.ids(), &mut delta)
     }
 
-    /// Number of bound addresses.
+    /// Materializes the flow set at `addr`; unbound addresses are `⊥`
+    /// (empty).
+    pub fn read(&self, addr: &A) -> FlowSet<V>
+    where
+        V: Ord,
+    {
+        self.materialize(&self.read_flow(addr))
+    }
+
+    /// Materializes a [`Flow`] into a value set.
+    pub fn materialize(&self, flow: &Flow) -> FlowSet<V>
+    where
+        V: Ord,
+    {
+        flow.iter().map(|id| self.vals.get(id).clone()).collect()
+    }
+
+    /// Number of bound addresses (addresses some join touched).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.bound_count
     }
 
     /// Whether no address is bound.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.bound_count == 0
     }
 
     /// Total number of `(address, value)` facts — the store's lattice
     /// "height consumed", reported by the experiment harness.
     pub fn fact_count(&self) -> usize {
-        self.map.values().map(BTreeSet::len).sum()
+        self.rows.iter().filter_map(|r| r.ids.as_ref()).map(|ids| ids.len()).sum()
     }
 
     /// Number of join operations performed (including no-ops).
@@ -75,15 +399,34 @@ impl<A: Eq + Hash + Clone, V: Ord + Clone> AbsStore<A, V> {
         self.joins
     }
 
-    /// Iterates over `(address, flow set)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&A, &FlowSet<V>)> {
-        self.map.iter()
+    /// Number of distinct interned values.
+    pub fn distinct_values(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterates over `(address, materialized flow set)` pairs for every
+    /// bound address, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, FlowSet<V>)>
+    where
+        V: Ord,
+    {
+        self.rows.iter().enumerate().filter(|(_, row)| row.bound).map(|(i, row)| {
+            let set: FlowSet<V> = row
+                .ids
+                .as_deref()
+                .into_iter()
+                .flatten()
+                .map(|&id| self.vals.get(id).clone())
+                .collect();
+            (self.addrs.get(i as u32), set)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn join_reports_growth() {
@@ -98,7 +441,7 @@ mod tests {
     fn unbound_reads_are_bottom() {
         let s: AbsStore<u32, u32> = AbsStore::new();
         assert!(s.read(&99).is_empty());
-        assert!(s.get(&99).is_none());
+        assert!(s.read_flow(&99).is_empty());
     }
 
     #[test]
@@ -116,5 +459,93 @@ mod tests {
         s.join(1, [1]);
         s.join(1, [1]);
         assert_eq!(s.join_count(), 2);
+    }
+
+    #[test]
+    fn empty_joins_bind_addresses() {
+        // A join with no values still marks the address bound — the
+        // store-entry metric counts ⊥-bound addresses, as the original
+        // HashMap-of-BTreeSet representation did.
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        assert!(!s.join(7, []));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.fact_count(), 0);
+    }
+
+    #[test]
+    fn shared_reads_are_snapshots() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [10, 20]);
+        let before = s.read_flow(&1);
+        s.join(1, [30]);
+        let after = s.read_flow(&1);
+        assert_eq!(before.len(), 2, "old view untouched by copy-on-grow");
+        assert_eq!(after.len(), 3);
+    }
+
+    #[test]
+    fn join_ids_reports_exact_delta() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [10, 20, 30]);
+        let a = s.addr_id(&1);
+        let (id15, id20, id40) = (s.val_id(15), s.val_id(20), s.val_id(40));
+        let mut ids = vec![id15, id20, id40];
+        ids.sort_unstable();
+        let mut delta = Vec::new();
+        assert!(s.join_ids(a, &ids, &mut delta));
+        let mut expect = vec![id15, id40];
+        expect.sort_unstable();
+        assert_eq!(delta, expect, "delta holds exactly the new ids");
+    }
+
+    #[test]
+    fn epochs_advance_only_on_growth() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [10]);
+        let a = s.addr_id(&1);
+        let e1 = s.addr_epoch(a);
+        assert!(e1 > 0);
+        s.join(1, [10]);
+        assert_eq!(s.addr_epoch(a), e1, "no-op join leaves the epoch");
+        s.join(1, [11]);
+        assert!(s.addr_epoch(a) > e1);
+        assert_eq!(s.epoch(), s.addr_epoch(a));
+    }
+
+    #[test]
+    fn model_based_random_ops_match_btreeset_semantics() {
+        // Model-based differential test: the interned/sorted-vec store
+        // must agree with the obvious HashMap<A, BTreeSet<V>> model on
+        // random join/read sequences (including growth signals).
+        let mut s: AbsStore<u64, u64> = AbsStore::new();
+        let mut model: HashMap<u64, BTreeSet<u64>> = HashMap::new();
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5_000 {
+            let addr = rng() % 17;
+            let n = (rng() % 4) as usize;
+            let values: Vec<u64> = (0..n).map(|_| rng() % 23).collect();
+            let grew = s.join(addr, values.iter().copied());
+            let set = model.entry(addr).or_default();
+            let before = set.len();
+            set.extend(values.iter().copied());
+            assert_eq!(grew, set.len() != before, "growth signals agree");
+            let probe = rng() % 17;
+            assert_eq!(
+                s.read(&probe),
+                model.get(&probe).cloned().unwrap_or_default(),
+                "reads agree at {probe}"
+            );
+        }
+        assert_eq!(s.len(), model.len());
+        assert_eq!(
+            s.fact_count(),
+            model.values().map(BTreeSet::len).sum::<usize>()
+        );
     }
 }

@@ -24,7 +24,8 @@ use cfa_core::domain::CallString;
 use cfa_core::engine::{
     run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, Status, TrackedStore,
 };
-use cfa_core::store::FlowSet;
+use cfa_core::reference::{RefTrackedStore, ReferenceMachine};
+use cfa_core::store::{Flow, FlowSet};
 use cfa_syntax::cps::Label;
 use cfa_syntax::intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -40,11 +41,58 @@ pub struct FjAddrA {
     pub time: CallString,
 }
 
-/// An abstract binding environment (sorted map behind `Rc`).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub struct FjBEnvA(Rc<Vec<(Symbol, FjAddrA)>>);
+/// An abstract binding environment (sorted map behind `Rc`) with its
+/// structural hash precomputed at construction — the same cached-hash
+/// scheme as `cfa_core::kcfa::BEnvK`, for the same reason: configs,
+/// continuations, and object records all embed environments, so their
+/// hashes are on the intern hot path.
+#[derive(Clone, Debug)]
+pub struct FjBEnvA {
+    hash: u64,
+    items: Rc<Vec<(Symbol, FjAddrA)>>,
+}
+
+impl Default for FjBEnvA {
+    fn default() -> Self {
+        Self::from_items(Vec::new())
+    }
+}
+
+impl PartialEq for FjBEnvA {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && (Rc::ptr_eq(&self.items, &other.items) || self.items == other.items)
+    }
+}
+
+impl Eq for FjBEnvA {}
+
+impl PartialOrd for FjBEnvA {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FjBEnvA {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.items.cmp(&other.items)
+    }
+}
+
+impl std::hash::Hash for FjBEnvA {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
 
 impl FjBEnvA {
+    fn from_items(items: Vec<(Symbol, FjAddrA)>) -> Self {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = cfa_core::fxhash::FxHasher::default();
+        items.hash(&mut h);
+        FjBEnvA { hash: h.finish(), items: Rc::new(items) }
+    }
+
     /// The empty environment.
     pub fn empty() -> Self {
         Self::default()
@@ -52,37 +100,37 @@ impl FjBEnvA {
 
     /// Looks up a variable or field.
     pub fn get(&self, v: Symbol) -> Option<&FjAddrA> {
-        self.0
+        self.items
             .binary_search_by_key(&v, |(s, _)| *s)
             .ok()
-            .map(|i| &self.0[i].1)
+            .map(|i| &self.items[i].1)
     }
 
     /// Functional extension.
     pub fn extend(&self, bindings: impl IntoIterator<Item = (Symbol, FjAddrA)>) -> FjBEnvA {
-        let mut v: Vec<(Symbol, FjAddrA)> = (*self.0).clone();
+        let mut v: Vec<(Symbol, FjAddrA)> = (*self.items).clone();
         for (sym, addr) in bindings {
             match v.binary_search_by_key(&sym, |(s, _)| *s) {
                 Ok(i) => v[i].1 = addr,
                 Err(i) => v.insert(i, (sym, addr)),
             }
         }
-        FjBEnvA(Rc::new(v))
+        Self::from_items(v)
     }
 
     /// Number of bindings.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.items.len()
     }
 
     /// Whether the environment is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.items.is_empty()
     }
 
     /// Iterates over bindings in symbol order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &FjAddrA)> {
-        self.0.iter().map(|(s, a)| (*s, a))
+        self.items.iter().map(|(s, a)| (*s, a))
     }
 }
 
@@ -169,10 +217,11 @@ pub struct FjMachine<'p> {
     program: &'p FjProgram,
     options: FjAnalysisOptions,
     this_sym: Symbol,
-    /// Distinct environments each method body is entered with.
-    method_entry_envs: HashMap<MethodId, BTreeSet<FjBEnvA>>,
-    /// Distinct abstract objects per class.
-    obj_envs: HashMap<ClassId, BTreeSet<FjBEnvA>>,
+    /// Log of (method, entry environment) pairs; deduplicated when
+    /// metrics are built (hot-path set inserts were profile-dominant).
+    method_entry_envs: Vec<(MethodId, FjBEnvA)>,
+    /// Log of (class, field record) pairs; deduplicated with the above.
+    obj_envs: Vec<(ClassId, FjBEnvA)>,
     /// Invocation targets per call statement.
     call_targets: HashMap<StmtId, BTreeSet<MethodId>>,
     /// Classes of values returned from `main`.
@@ -187,8 +236,8 @@ impl<'p> FjMachine<'p> {
             program,
             options,
             this_sym,
-            method_entry_envs: HashMap::new(),
-            obj_envs: HashMap::new(),
+            method_entry_envs: Vec::new(),
+            obj_envs: Vec::new(),
             call_targets: HashMap::new(),
             halt_classes: BTreeSet::new(),
         }
@@ -207,10 +256,23 @@ impl<'p> FjMachine<'p> {
         benv: &FjBEnvA,
         v: Symbol,
         store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
-    ) -> FlowSet<FjAVal> {
+    ) -> Flow {
         match benv.get(v) {
-            Some(addr) => store.read(&addr.clone()),
-            None => FlowSet::new(),
+            Some(addr) => store.read(addr),
+            None => Flow::empty(),
+        }
+    }
+
+    /// Joins an id-level flow into the destination variable `lhs`.
+    fn write_flow(
+        &self,
+        benv: &FjBEnvA,
+        lhs: Symbol,
+        values: &Flow,
+        store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
+    ) {
+        if let Some(addr) = benv.get(lhs) {
+            store.join_flow(addr, values);
         }
     }
 
@@ -223,7 +285,7 @@ impl<'p> FjMachine<'p> {
         store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
     ) {
         if let Some(addr) = benv.get(lhs) {
-            store.join(addr.clone(), values);
+            store.join(addr, values);
         }
     }
 }
@@ -238,14 +300,14 @@ impl<'p> AbstractMachine for FjMachine<'p> {
         let t0 = CallString::empty();
         let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
         store.join(
-            this_addr,
+            &this_addr,
             [FjAVal::Obj {
                 class: self.program.method(entry).owner,
                 fields: FjBEnvA::empty(),
             }],
         );
         let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0 };
-        store.join(halt_addr, [FjAVal::HaltKont]);
+        store.join(&halt_addr, [FjAVal::HaltKont]);
     }
 
     fn initial(&self) -> FjConfig {
@@ -285,11 +347,245 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                 match rhs {
                     FjExpr::Var(v2) => {
                         let d = self.read_var(&config.benv, *v2, store);
-                        self.write_var(&config.benv, *lhs, d, store);
+                        self.write_flow(&config.benv, *lhs, &d, store);
                         out.push(succ());
                     }
                     FjExpr::FieldRead { object, field } => {
                         let objs = self.read_var(&config.benv, *object, store);
+                        let mut result_ids: Vec<u32> = Vec::new();
+                        for oid in objs.iter() {
+                            let faddr = match store.val(oid) {
+                                FjAVal::Obj { fields, .. } => fields.get(*field).cloned(),
+                                _ => None,
+                            };
+                            if let Some(faddr) = faddr {
+                                result_ids.extend(store.read(&faddr).iter());
+                            }
+                        }
+                        self.write_flow(&config.benv, *lhs, &Flow::from_ids(result_ids), store);
+                        out.push(succ());
+                    }
+                    FjExpr::Invoke { receiver, method, args } => {
+                        let receivers = self.read_var(&config.benv, *receiver, store);
+                        let arg_sets: Vec<Flow> = args
+                            .iter()
+                            .map(|&a| self.read_var(&config.benv, a, store))
+                            .collect();
+                        for rid in receivers.iter() {
+                            let FjAVal::Obj { class, .. } = store.val(rid) else { continue };
+                            let Some(mid) = self.program.lookup_method(*class, *method) else {
+                                continue;
+                            };
+                            self.call_targets.entry(config.stmt).or_default().insert(mid);
+                            let target = self.program.method(mid);
+                            if target.params.len() != arg_sets.len() {
+                                continue;
+                            }
+                            let kont_val = FjAVal::Kont {
+                                var: *lhs,
+                                next: self.program.succ(config.stmt),
+                                benv: config.benv.clone(),
+                                kont: config.kont.clone(),
+                                time: match self.options.policy {
+                                    TickPolicy::OnInvocation => Some(config.time.clone()),
+                                    TickPolicy::EveryStatement => None,
+                                },
+                            };
+                            let kont_addr =
+                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            store.join(&kont_addr, [kont_val]);
+
+                            // β̂′ = [this ↦ β̂(v₀)], then params and locals.
+                            let Some(recv_addr) = config.benv.get(*receiver) else { continue };
+                            let mut bindings = vec![(self.this_sym, recv_addr.clone())];
+                            for ((_, p), values) in target.params.iter().zip(&arg_sets) {
+                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                store.join_flow(&a, values);
+                                bindings.push((*p, a));
+                            }
+                            for &(_, l) in &target.locals {
+                                bindings
+                                    .push((l, FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() }));
+                            }
+                            let callee = FjBEnvA::empty().extend(bindings);
+                            self.method_entry_envs.push((mid, callee.clone()));
+                            out.push(FjConfig {
+                                stmt: StmtId { method: mid, index: 0 },
+                                benv: callee,
+                                kont: kont_addr,
+                                time: t_new.clone(),
+                            });
+                        }
+                    }
+                    FjExpr::New { class, args } => {
+                        let Some(cid) = self.program.class_by_name(*class) else {
+                            out.push(succ());
+                            return;
+                        };
+                        let field_list = self.program.all_fields(cid);
+                        if field_list.len() != args.len() {
+                            out.push(succ());
+                            return;
+                        }
+                        let mut record = Vec::with_capacity(field_list.len());
+                        for ((_, f), &arg) in field_list.iter().zip(args) {
+                            let values = self.read_var(&config.benv, arg, store);
+                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            store.join_flow(&a, &values);
+                            record.push((*f, a));
+                        }
+                        let fields = FjBEnvA::empty().extend(record);
+                        self.obj_envs.push((cid, fields.clone()));
+                        self.write_var(
+                            &config.benv,
+                            *lhs,
+                            [FjAVal::Obj { class: cid, fields }],
+                            store,
+                        );
+                        out.push(succ());
+                    }
+                    FjExpr::Cast { class, var } => {
+                        let d = self.read_var(&config.benv, *var, store);
+                        if self.options.cast_filtering {
+                            if let Some(target) = self.program.class_by_name(*class) {
+                                let kept: Vec<u32> = d
+                                    .iter()
+                                    .filter(|&id| match store.val(id) {
+                                        FjAVal::Obj { class: c, .. } => {
+                                            self.program.is_subclass(*c, target)
+                                        }
+                                        _ => true,
+                                    })
+                                    .collect();
+                                self.write_flow(
+                                    &config.benv,
+                                    *lhs,
+                                    &Flow::from_ids(kept),
+                                    store,
+                                );
+                            } else {
+                                self.write_flow(&config.benv, *lhs, &d, store);
+                            }
+                        } else {
+                            self.write_flow(&config.benv, *lhs, &d, store);
+                        }
+                        out.push(succ());
+                    }
+                }
+            }
+            FjStmtKind::Return { var } => {
+                let d = self.read_var(&config.benv, *var, store);
+                let konts = store.read(&config.kont);
+                for kid in konts.iter() {
+                    match store.val(kid).clone() {
+                        FjAVal::HaltKont => {
+                            for vid in d.iter() {
+                                if let FjAVal::Obj { class, .. } = store.val(vid) {
+                                    self.halt_classes.insert(*class);
+                                }
+                            }
+                        }
+                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                            if let Some(addr) = benv.get(v2) {
+                                store.join_flow(addr, &d);
+                            }
+                            let t_new = match (self.options.policy, &time) {
+                                (TickPolicy::OnInvocation, Some(t)) => t.clone(),
+                                _ => self.tick(label, &config.time, false),
+                            };
+                            out.push(FjConfig { stmt: next, benv, kont, time: t_new });
+                        }
+                        FjAVal::Obj { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference (pre-interning) semantics — the differential oracle
+// ---------------------------------------------------------------------
+
+impl<'p> FjMachine<'p> {
+    /// The original value-level variable read, kept for
+    /// [`ReferenceMachine`].
+    fn read_var_ref(
+        &self,
+        benv: &FjBEnvA,
+        v: Symbol,
+        store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>,
+    ) -> FlowSet<FjAVal> {
+        match benv.get(v) {
+            Some(addr) => store.read(&addr.clone()),
+            None => FlowSet::new(),
+        }
+    }
+
+    /// The original value-level variable write, kept for
+    /// [`ReferenceMachine`].
+    fn write_var_ref(
+        &self,
+        benv: &FjBEnvA,
+        lhs: Symbol,
+        values: impl IntoIterator<Item = FjAVal>,
+        store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>,
+    ) {
+        if let Some(addr) = benv.get(lhs) {
+            store.join(addr.clone(), values);
+        }
+    }
+}
+
+impl<'p> ReferenceMachine for FjMachine<'p> {
+    type Config = FjConfig;
+    type Addr = FjAddrA;
+    type Val = FjAVal;
+
+    fn seed(&mut self, store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>) {
+        let entry = self.program.entry();
+        let t0 = CallString::empty();
+        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
+        store.join(
+            this_addr,
+            [FjAVal::Obj {
+                class: self.program.method(entry).owner,
+                fields: FjBEnvA::empty(),
+            }],
+        );
+        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0 };
+        store.join(halt_addr, [FjAVal::HaltKont]);
+    }
+
+    fn initial(&self) -> FjConfig {
+        AbstractMachine::initial(self)
+    }
+
+    fn step(
+        &mut self,
+        config: &FjConfig,
+        store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>,
+        out: &mut Vec<FjConfig>,
+    ) {
+        let Some(stmt) = self.program.stmt(config.stmt) else { return };
+        let label = stmt.label;
+        match &stmt.kind {
+            FjStmtKind::Assign { lhs, rhs } => {
+                let t_new = self.tick(label, &config.time, matches!(rhs, FjExpr::Invoke { .. }));
+                let succ = || FjConfig {
+                    stmt: self.program.succ(config.stmt),
+                    benv: config.benv.clone(),
+                    kont: config.kont.clone(),
+                    time: t_new.clone(),
+                };
+                match rhs {
+                    FjExpr::Var(v2) => {
+                        let d = self.read_var_ref(&config.benv, *v2, store);
+                        self.write_var_ref(&config.benv, *lhs, d, store);
+                        out.push(succ());
+                    }
+                    FjExpr::FieldRead { object, field } => {
+                        let objs = self.read_var_ref(&config.benv, *object, store);
                         let mut result = FlowSet::new();
                         for o in &objs {
                             if let FjAVal::Obj { fields, .. } = o {
@@ -298,14 +594,14 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 }
                             }
                         }
-                        self.write_var(&config.benv, *lhs, result, store);
+                        self.write_var_ref(&config.benv, *lhs, result, store);
                         out.push(succ());
                     }
                     FjExpr::Invoke { receiver, method, args } => {
-                        let receivers = self.read_var(&config.benv, *receiver, store);
+                        let receivers = self.read_var_ref(&config.benv, *receiver, store);
                         let arg_sets: Vec<FlowSet<FjAVal>> = args
                             .iter()
-                            .map(|&a| self.read_var(&config.benv, a, store))
+                            .map(|&a| self.read_var_ref(&config.benv, a, store))
                             .collect();
                         for r in &receivers {
                             let FjAVal::Obj { class, .. } = r else { continue };
@@ -330,8 +626,6 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                             let kont_addr =
                                 FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
                             store.join(kont_addr.clone(), [kont_val]);
-
-                            // β̂′ = [this ↦ β̂(v₀)], then params and locals.
                             let Some(recv_addr) = config.benv.get(*receiver) else { continue };
                             let mut bindings = vec![(self.this_sym, recv_addr.clone())];
                             for ((_, p), values) in target.params.iter().zip(&arg_sets) {
@@ -340,14 +634,13 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 bindings.push((*p, a));
                             }
                             for &(_, l) in &target.locals {
-                                bindings
-                                    .push((l, FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() }));
+                                bindings.push((
+                                    l,
+                                    FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() },
+                                ));
                             }
                             let callee = FjBEnvA::empty().extend(bindings);
-                            self.method_entry_envs
-                                .entry(mid)
-                                .or_default()
-                                .insert(callee.clone());
+                            self.method_entry_envs.push((mid, callee.clone()));
                             out.push(FjConfig {
                                 stmt: StmtId { method: mid, index: 0 },
                                 benv: callee,
@@ -368,14 +661,14 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                         }
                         let mut record = Vec::with_capacity(field_list.len());
                         for ((_, f), &arg) in field_list.iter().zip(args) {
-                            let values = self.read_var(&config.benv, arg, store);
+                            let values = self.read_var_ref(&config.benv, arg, store);
                             let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
                             store.join(a.clone(), values);
                             record.push((*f, a));
                         }
                         let fields = FjBEnvA::empty().extend(record);
-                        self.obj_envs.entry(cid).or_default().insert(fields.clone());
-                        self.write_var(
+                        self.obj_envs.push((cid, fields.clone()));
+                        self.write_var_ref(
                             &config.benv,
                             *lhs,
                             [FjAVal::Obj { class: cid, fields }],
@@ -384,7 +677,7 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                         out.push(succ());
                     }
                     FjExpr::Cast { class, var } => {
-                        let mut d = self.read_var(&config.benv, *var, store);
+                        let mut d = self.read_var_ref(&config.benv, *var, store);
                         if self.options.cast_filtering {
                             if let Some(target) = self.program.class_by_name(*class) {
                                 d.retain(|v| match v {
@@ -395,13 +688,13 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 });
                             }
                         }
-                        self.write_var(&config.benv, *lhs, d, store);
+                        self.write_var_ref(&config.benv, *lhs, d, store);
                         out.push(succ());
                     }
                 }
             }
             FjStmtKind::Return { var } => {
-                let d = self.read_var(&config.benv, *var, store);
+                let d = self.read_var_ref(&config.benv, *var, store);
                 let konts = store.read(&config.kont);
                 for k in &konts {
                     match k {
@@ -520,12 +813,8 @@ pub fn analyze_fj(program: &FjProgram, options: FjAnalysisOptions, limits: Engin
         config_count: fixpoint.config_count(),
         store_entries: fixpoint.store.len(),
         store_facts: fixpoint.store.fact_count(),
-        method_entry_env_counts: machine
-            .method_entry_envs
-            .iter()
-            .map(|(&m, envs)| (m, envs.len()))
-            .collect(),
-        obj_env_counts: machine.obj_envs.iter().map(|(&c, envs)| (c, envs.len())).collect(),
+        method_entry_env_counts: cfa_core::results::distinct_counts(&machine.method_entry_envs),
+        obj_env_counts: cfa_core::results::distinct_counts(&machine.obj_envs),
         call_targets: machine.call_targets.into_iter().collect(),
         time_count,
         monomorphic_calls,

@@ -1,0 +1,44 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A strategy for `Vec<S::Value>` with a length drawn from `len`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let width = (self.len.end - self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(width) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector strategy with per-element strategy `element` and length in
+/// `len` (half-open, like upstream).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn lengths_respect_range() {
+        let s = vec(Just(7u8), 2..5);
+        let mut rng = TestRng::deterministic("vec-lens");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+}

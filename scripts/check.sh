@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build plus the full test suite.
+# Run from anywhere; works on a fresh checkout with no network access
+# (external dev-dependencies are vendored under crates/vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+echo "tier-1 check passed"

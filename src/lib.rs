@@ -1,0 +1,7 @@
+//! Workspace root: re-exports the [`cfa`] facade so the top-level
+//! integration tests and examples have a single import surface.
+//!
+//! The real code lives in `crates/` — see `crates/cfa` for the facade
+//! and ROADMAP.md for the project's direction.
+
+pub use cfa;

@@ -48,7 +48,7 @@ fn constraint_zerocfa_over_approximates_worklist_k0() {
             let Slot::Var(v) = addr.slot else { continue };
             let flow = z.var_flow(v);
             for value in values {
-                let projected = project(value);
+                let projected = project(&value);
                 assert!(
                     flow.contains(&projected),
                     "{src}\nvariable {}: {projected:?} in k=0 but not in constraint flow {flow:?}",

@@ -1,0 +1,143 @@
+//! Differential tests: the delta-driven interned engine must compute
+//! *exactly* the fixpoint of the retained original engine.
+//!
+//! The fixed point of a monotone transfer function is unique, so the
+//! rebuilt hot path (interned values, zero-copy flow sets, epoch-gated
+//! scheduling — `cfa_core::engine`) and the retained pre-interning
+//! engine (`cfa_core::reference`) must agree on
+//!
+//! * the set of reached configurations, and
+//! * every `(address, flow set)` fact in the final store,
+//!
+//! for every analysis family, on the curated workloads suite (Scheme and
+//! Featherweight Java) and on randomized programs.
+
+use cfa::analysis::engine::{run_fixpoint, AbstractMachine, EngineLimits};
+use cfa::analysis::flatcfa::{FlatCfaMachine, FlatPolicy};
+use cfa::analysis::kcfa::KCfaMachine;
+use cfa::analysis::reference::{run_fixpoint_reference, ReferenceMachine};
+use cfa::fj::kcfa::{FjAnalysisOptions, FjMachine};
+use cfa::fj::parse_fj;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::Hash;
+
+/// Runs both engines over fresh machine instances and asserts identical
+/// configuration sets and stores.
+fn assert_engines_agree<M, R, F, G>(label: &str, mk_new: F, mk_ref: G)
+where
+    M: AbstractMachine,
+    R: ReferenceMachine<Config = M::Config, Addr = M::Addr, Val = M::Val>,
+    M::Config: Hash + Eq + Clone + std::fmt::Debug,
+    M::Addr: Ord + Clone + std::fmt::Debug,
+    M::Val: Ord + Clone + Hash + std::fmt::Debug,
+    F: FnOnce() -> M,
+    G: FnOnce() -> R,
+{
+    let mut new_machine = mk_new();
+    let mut ref_machine = mk_ref();
+    let new = run_fixpoint(&mut new_machine, EngineLimits::default());
+    let reference = run_fixpoint_reference(&mut ref_machine, EngineLimits::default());
+    assert!(new.status.is_complete(), "{label}: delta engine incomplete");
+    assert!(reference.status.is_complete(), "{label}: reference engine incomplete");
+
+    let new_configs: HashSet<&M::Config> = new.configs.iter().collect();
+    let ref_configs: HashSet<&M::Config> = reference.configs.iter().collect();
+    assert_eq!(new_configs, ref_configs, "{label}: reached configurations differ");
+
+    let new_store: BTreeMap<M::Addr, BTreeSet<M::Val>> =
+        new.store.iter().map(|(a, set)| (a.clone(), set)).collect();
+    let ref_store: BTreeMap<M::Addr, BTreeSet<M::Val>> = reference
+        .store
+        .iter()
+        .map(|(a, set)| (a.clone(), set.clone()))
+        .collect();
+    assert_eq!(new_store, ref_store, "{label}: final stores differ");
+}
+
+fn check_scheme(src: &str, name: &str) {
+    let p = cfa::compile(src).expect("program compiles");
+    for k in [0usize, 1] {
+        assert_engines_agree(
+            &format!("{name} k-CFA k={k}"),
+            || KCfaMachine::new(&p, k),
+            || KCfaMachine::new(&p, k),
+        );
+    }
+    for (policy, tag) in [(FlatPolicy::TopMFrames, "m-CFA"), (FlatPolicy::LastKCalls, "poly-k")] {
+        for bound in [0usize, 1, 2] {
+            assert_engines_agree(
+                &format!("{name} {tag} bound={bound}"),
+                || FlatCfaMachine::new(&p, bound, policy),
+                || FlatCfaMachine::new(&p, bound, policy),
+            );
+        }
+    }
+}
+
+fn check_fj(src: &str, name: &str) {
+    let p = parse_fj(src).expect("program parses");
+    for k in [0usize, 1] {
+        for options in [FjAnalysisOptions::paper(k), FjAnalysisOptions::oo(k)] {
+            assert_engines_agree(
+                &format!("{name} FJ {options:?}"),
+                || FjMachine::new(&p, options),
+                || FjMachine::new(&p, options),
+            );
+        }
+    }
+}
+
+/// Every Scheme program of the workloads suite, at every CPS analysis
+/// family. The two heavyweights are exercised at k = 0 only to keep the
+/// suite fast; k = 1 coverage comes from the rest.
+#[test]
+fn suite_scheme_fixpoints_are_identical() {
+    for prog in cfa::workloads::suite() {
+        if matches!(prog.name, "interp" | "scm2c") {
+            let p = cfa::compile(prog.source).expect("suite compiles");
+            assert_engines_agree(
+                &format!("{} k-CFA k=0", prog.name),
+                || KCfaMachine::new(&p, 0),
+                || KCfaMachine::new(&p, 0),
+            );
+            continue;
+        }
+        check_scheme(prog.source, prog.name);
+    }
+}
+
+/// Every Featherweight Java program of the OO suite, both tick policies.
+#[test]
+fn suite_fj_fixpoints_are_identical() {
+    for prog in cfa::workloads::fj_suite() {
+        check_fj(prog.source, prog.name);
+    }
+}
+
+/// The paper's worst-case family — the densest store traffic we have.
+#[test]
+fn worst_case_fixpoints_are_identical() {
+    for n in [2usize, 4] {
+        let src = cfa::workloads::worst_case_source(n);
+        check_scheme(&src, &format!("worst-case n={n}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Randomized Scheme programs: identical fixpoints across engines.
+    #[test]
+    fn random_scheme_fixpoints_are_identical(seed in 0u64..10_000) {
+        let src = cfa::workloads::gen::random_program(seed, 35);
+        check_scheme(&src, &format!("random seed={seed}"));
+    }
+
+    /// Randomized Featherweight Java programs: identical fixpoints.
+    #[test]
+    fn random_fj_fixpoints_are_identical(seed in 0u64..10_000) {
+        let src = cfa::workloads::gen_fj::random_fj_program(seed, Default::default());
+        check_fj(&src, &format!("random FJ seed={seed}"));
+    }
+}

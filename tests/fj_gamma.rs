@@ -2,8 +2,11 @@
 //! abstract counting, validated against the concrete semantics and the
 //! single-threaded-store analysis.
 //!
-//! * GC soundness: collecting per-state stores must not change what
-//!   reaches the halt continuation.
+//! * GC soundness: collecting per-state stores must not *add* halt
+//!   classes, and everything the concrete run produces must stay
+//!   covered. (GC may legitimately *remove* classes: collecting dead
+//!   continuation bindings at merged `Kont` addresses cuts spurious
+//!   return flow — the precision gain §8 hypothesizes.)
 //! * Counting soundness: if a concrete run writes two *distinct*
 //!   concrete addresses that abstract to the same abstract address, the
 //!   counting analysis must report that address as plural
@@ -25,9 +28,14 @@ fn gc_preserves_halt_classes_on_random_programs() {
         for k in [0, 1] {
             let plain = analyze_fj_naive(&p, FjNaiveOptions::paper(k));
             let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(k).with_gc());
-            assert_eq!(
-                plain.halt_classes, gc.halt_classes,
-                "seed {seed} k={k}: GC changed halt classes"
+            // GC only ever removes flow (dead continuations stop feeding
+            // stale callers), so its halt set is a subset of plain's; the
+            // concrete run's coverage is checked separately below.
+            assert!(
+                gc.halt_classes.is_subset(&plain.halt_classes),
+                "seed {seed} k={k}: GC added halt classes: gc {:?} ⊄ plain {:?}",
+                gc.halt_classes,
+                plain.halt_classes
             );
             assert!(
                 gc.state_count <= plain.state_count,
