@@ -107,7 +107,10 @@ fn bench_abstract_gc(c: &mut Criterion) {
     use cfa_core::naive::{analyze_kcfa_naive_with, NaiveLimits};
     let src = cfa_workloads::worst_case_source(3);
     let cps = cfa_syntax::compile(&src).expect("compiles");
-    let limits = NaiveLimits { max_states: 50_000, time_budget: None };
+    let limits = NaiveLimits {
+        max_states: 50_000,
+        time_budget: None,
+    };
     let mut group = c.benchmark_group("naive_gc");
     tune(&mut group);
     group.bench_function("with_gc", |b| {
@@ -179,7 +182,11 @@ fn bench_datalog_engine(c: &mut Criterion) {
             let edge = program.relation("edge", 2);
             let path = program.relation("path", 2);
             program
-                .rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])])
+                .rule(
+                    path,
+                    vec![v("x"), v("y")],
+                    vec![(edge, vec![v("x"), v("y")])],
+                )
                 .unwrap();
             program
                 .rule(

@@ -26,12 +26,21 @@ fn main() {
 
     let mut rows: Vec<(String, String)> = Vec::new();
     for (n, m) in [(2, 2), (4, 4), (8, 8), (12, 12), (16, 16)] {
-        rows.push((format!("figure1 N={n} M={m}"), cfa_workloads::oo_program(n, m)));
+        rows.push((
+            format!("figure1 N={n} M={m}"),
+            cfa_workloads::oo_program(n, m),
+        ));
     }
     for seed in [7, 8, 9] {
         rows.push((
             format!("random seed={seed}"),
-            random_fj_program(seed, FjGenConfig { classes: 5, main_statements: 10 }),
+            random_fj_program(
+                seed,
+                FjGenConfig {
+                    classes: 5,
+                    main_statements: 10,
+                },
+            ),
         ));
     }
 
@@ -43,7 +52,11 @@ fn main() {
             let datalog_time = t0.elapsed();
             let machine = analyze_fj(
                 &program,
-                FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+                FjAnalysisOptions {
+                    k,
+                    policy: TickPolicy::OnInvocation,
+                    cast_filtering: false,
+                },
                 EngineLimits::default(),
             );
             let agree = machine.metrics.call_targets == datalog.call_targets

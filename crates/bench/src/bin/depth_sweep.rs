@@ -64,7 +64,11 @@ fn main() {
         let p = parse_fj(prog.source).expect("suite parses");
         let mut cells = Vec::new();
         for depth in 0..=2usize {
-            let r = analyze_fj(&p, FjAnalysisOptions::oo(depth), EngineLimits::timeout(budget));
+            let r = analyze_fj(
+                &p,
+                FjAnalysisOptions::oo(depth),
+                EngineLimits::timeout(budget),
+            );
             cells.push(match r.metrics.status {
                 Status::Completed => format!(
                     "{} {}/{}",
@@ -75,7 +79,10 @@ fn main() {
                 _ => "∞".to_owned(),
             });
         }
-        println!("{:>9} | {:>20} {:>20} {:>20}", prog.name, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>9} | {:>20} {:>20} {:>20}",
+            prog.name, cells[0], cells[1], cells[2]
+        );
     }
     println!();
     println!("Depth is nearly free for every flat hierarchy; only shared-");

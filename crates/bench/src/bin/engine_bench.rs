@@ -3,21 +3,26 @@
 //!
 //! Runs the depth-sweep k-CFA workload (the suite programs the
 //! `depth_sweep` experiment uses, plus the paper's worst-case family)
-//! through `cfa_core::engine::run_fixpoint` and
-//! `cfa_core::reference::run_fixpoint_reference`, and emits
-//! `BENCH_engine.json` with wall times, iteration counts, join counts,
-//! and peak fact counts, so future PRs have a perf trajectory to compare
-//! against.
+//! through `cfa_core::engine::run_fixpoint`,
+//! `cfa_core::parallel::run_fixpoint_parallel` (at [`PAR_THREADS`]
+//! workers), and `cfa_core::reference::run_fixpoint_reference`, and
+//! emits `BENCH_engine.json` with wall times, iteration counts, join
+//! counts, and peak fact counts, so future PRs have a perf trajectory
+//! to compare against.
 //!
 //! Usage: `cargo run -p cfa-bench --release --bin engine_bench`
 //! (writes BENCH_engine.json into the current directory).
 
 use cfa_core::engine::{run_fixpoint, EngineLimits};
 use cfa_core::kcfa::KCfaMachine;
+use cfa_core::parallel::run_fixpoint_parallel;
 use cfa_core::reference::run_fixpoint_reference;
 use cfa_syntax::cps::CpsProgram;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Worker threads for the parallel column.
+const PAR_THREADS: usize = 4;
 
 /// One measured engine run.
 struct Cell {
@@ -27,6 +32,7 @@ struct Cell {
     facts: usize,
     configs: usize,
     skipped: u64,
+    wakeups: u64,
     delta_facts: u64,
 }
 
@@ -46,6 +52,33 @@ fn run_new(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             facts: r.store.fact_count(),
             configs: r.config_count(),
             skipped: r.skipped,
+            wakeups: r.wakeups,
+            delta_facts: r.delta_facts,
+        };
+        if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
+            best = Some(cell);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// Best-of-N timing of the parallel engine on one `(program, k)` cell.
+fn run_parallel(program: &CpsProgram, k: usize, runs: usize) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..runs {
+        let mut machine = KCfaMachine::new(program, k);
+        let start = Instant::now();
+        let r = run_fixpoint_parallel(&mut machine, PAR_THREADS, EngineLimits::default());
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(r.status.is_complete(), "bench cells must complete");
+        let cell = Cell {
+            seconds,
+            iterations: r.iterations,
+            joins: r.store.join_count(),
+            facts: r.store.fact_count(),
+            configs: r.config_count(),
+            skipped: r.skipped,
+            wakeups: r.wakeups,
             delta_facts: r.delta_facts,
         };
         if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
@@ -71,6 +104,7 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             facts: r.store.fact_count(),
             configs: r.config_count(),
             skipped: 0,
+            wakeups: 0,
             delta_facts: 0,
         };
         if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
@@ -84,8 +118,9 @@ fn cell_json(out: &mut String, tag: &str, c: &Cell) {
     let _ = write!(
         out,
         "\"{tag}\": {{\"seconds\": {:.6}, \"iterations\": {}, \"joins\": {}, \
-         \"facts\": {}, \"configs\": {}, \"skipped\": {}, \"delta_facts\": {}}}",
-        c.seconds, c.iterations, c.joins, c.facts, c.configs, c.skipped, c.delta_facts
+         \"facts\": {}, \"configs\": {}, \"skipped\": {}, \"wakeups\": {}, \
+         \"delta_facts\": {}}}",
+        c.seconds, c.iterations, c.joins, c.facts, c.configs, c.skipped, c.wakeups, c.delta_facts
     );
 }
 
@@ -99,56 +134,103 @@ fn main() {
         .map(|p| (p.name.to_owned(), p.source.to_owned()))
         .collect();
     for n in [2usize, 4, 6] {
-        workload.push((format!("worst-case-{n}"), cfa_workloads::worst_case_source(n)));
+        workload.push((
+            format!("worst-case-{n}"),
+            cfa_workloads::worst_case_source(n),
+        ));
     }
 
     let runs = 3;
     let mut rows: Vec<String> = Vec::new();
-    let (mut total_new, mut total_ref) = (0.0f64, 0.0f64);
+    let (mut total_new, mut total_par, mut total_ref) = (0.0f64, 0.0f64, 0.0f64);
     let mut peak_facts = 0usize;
 
     println!(
-        "{:>14} {:>3} | {:>12} {:>12} {:>8} | {:>9} {:>9}",
-        "program", "k", "delta (s)", "reference(s)", "speedup", "configs", "facts"
+        "{:>14} {:>3} | {:>12} {:>12} {:>12} {:>8} {:>8} | {:>9} {:>9}",
+        "program",
+        "k",
+        "delta (s)",
+        "par4 (s)",
+        "reference(s)",
+        "speedup",
+        "par-spd",
+        "configs",
+        "facts"
     );
     for (name, source) in &workload {
         let program = cfa_syntax::compile(source).expect("workload compiles");
         for k in 0..=2usize {
             let new = run_new(&program, k, runs);
+            let parallel = run_parallel(&program, k, runs);
             let reference = run_reference(&program, k, runs);
-            assert_eq!(new.facts, reference.facts, "{name} k={k}: fixpoints diverge");
-            assert_eq!(new.configs, reference.configs, "{name} k={k}: config counts diverge");
+            assert_eq!(
+                new.facts, reference.facts,
+                "{name} k={k}: fixpoints diverge"
+            );
+            assert_eq!(
+                new.configs, reference.configs,
+                "{name} k={k}: config counts diverge"
+            );
+            assert_eq!(
+                parallel.facts, reference.facts,
+                "{name} k={k}: parallel facts diverge"
+            );
+            assert_eq!(
+                parallel.configs, reference.configs,
+                "{name} k={k}: parallel config counts diverge"
+            );
             total_new += new.seconds;
+            total_par += parallel.seconds;
             total_ref += reference.seconds;
             peak_facts = peak_facts.max(new.facts);
             let speedup = reference.seconds / new.seconds.max(1e-9);
+            let par_speedup = new.seconds / parallel.seconds.max(1e-9);
             println!(
-                "{:>14} {:>3} | {:>12.4} {:>12.4} {:>7.2}x | {:>9} {:>9}",
-                name, k, new.seconds, reference.seconds, speedup, new.configs, new.facts
+                "{:>14} {:>3} | {:>12.4} {:>12.4} {:>12.4} {:>7.2}x {:>7.2}x | {:>9} {:>9}",
+                name,
+                k,
+                new.seconds,
+                parallel.seconds,
+                reference.seconds,
+                speedup,
+                par_speedup,
+                new.configs,
+                new.facts
             );
             let mut row = String::new();
             let _ = write!(row, "    {{\"program\": \"{name}\", \"k\": {k}, ");
             cell_json(&mut row, "new", &new);
             row.push_str(", ");
+            cell_json(&mut row, "parallel", &parallel);
+            let _ = write!(row, ", \"parallel_threads\": {PAR_THREADS}, ");
             cell_json(&mut row, "reference", &reference);
-            let _ = write!(row, ", \"speedup\": {speedup:.3}}}");
+            let _ = write!(
+                row,
+                ", \"speedup\": {speedup:.3}, \"speedup_parallel\": {par_speedup:.3}}}"
+            );
             rows.push(row);
         }
     }
 
     let speedup = total_ref / total_new.max(1e-9);
+    let par_speedup = total_new / total_par.max(1e-9);
     println!();
     println!(
-        "total: delta {total_new:.3}s, reference {total_ref:.3}s — {speedup:.2}x speedup, \
+        "total: delta {total_new:.3}s, parallel({PAR_THREADS}t) {total_par:.3}s, reference \
+         {total_ref:.3}s — {speedup:.2}x vs reference, {par_speedup:.2}x parallel vs delta, \
          peak {peak_facts} facts"
     );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"engine depth-sweep k-CFA\",");
     let _ = writeln!(json, "  \"runs_per_cell\": {runs},");
+    let _ = writeln!(json, "  \"parallel_threads\": {PAR_THREADS},");
+    let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
     let _ = writeln!(json, "  \"total_seconds_new\": {total_new:.6},");
+    let _ = writeln!(json, "  \"total_seconds_parallel\": {total_par:.6},");
     let _ = writeln!(json, "  \"total_seconds_reference\": {total_ref:.6},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_parallel\": {par_speedup:.3},");
     let _ = writeln!(json, "  \"peak_fact_count\": {peak_facts},");
     let _ = writeln!(json, "  \"cells\": [");
     let _ = writeln!(json, "{}", rows.join(",\n"));
@@ -156,4 +238,11 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
+}
+
+/// Logical CPUs of the benchmarking host — parallel speedups are only
+/// meaningful relative to this (a 1-CPU container timeslices the
+/// workers instead of running them concurrently).
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }

@@ -40,7 +40,16 @@ fn main() {
         "N", "M", "fn k=1 (probe)", "fn k=1 (all)", "fn m=1 (all)", "FJ k=1 (times)"
     );
 
-    for (n, m) in [(1, 1), (2, 2), (3, 3), (4, 4), (6, 6), (8, 8), (4, 8), (8, 4)] {
+    for (n, m) in [
+        (1, 1),
+        (2, 2),
+        (3, 3),
+        (4, 4),
+        (6, 6),
+        (8, 8),
+        (4, 8),
+        (8, 4),
+    ] {
         let fn_src = cfa_workloads::fn_program(n, m);
         let fn_prog = cfa_syntax::compile(&fn_src).expect("fn program compiles");
         let k1 = analyze_kcfa(&fn_prog, 1, EngineLimits::default());
@@ -53,9 +62,7 @@ fn main() {
 
         println!(
             "{n:>3} {m:>3}  {probe:>14} {:>14} {:>14}  {:>14}",
-            k1.metrics.distinct_envs,
-            m1.metrics.distinct_envs,
-            fj.metrics.time_count,
+            k1.metrics.distinct_envs, m1.metrics.distinct_envs, fj.metrics.time_count,
         );
     }
 

@@ -22,7 +22,13 @@ fn main() {
         for (label, options) in [
             ("per-statement k=1 (paper)", FjAnalysisOptions::paper(1)),
             ("per-invocation k=1 (OO)", FjAnalysisOptions::oo(1)),
-            ("per-invocation k=2", FjAnalysisOptions { k: 2, ..FjAnalysisOptions::oo(2) }),
+            (
+                "per-invocation k=2",
+                FjAnalysisOptions {
+                    k: 2,
+                    ..FjAnalysisOptions::oo(2)
+                },
+            ),
             (
                 "OO k=1 + cast filtering",
                 FjAnalysisOptions {

@@ -21,24 +21,38 @@ fn main() {
     );
     let mut rows: Vec<(String, String)> = Vec::new();
     for (n, m) in [(1, 1), (2, 2), (3, 3)] {
-        rows.push((format!("figure1 N={n} M={m}"), cfa_workloads::oo_program(n, m)));
+        rows.push((
+            format!("figure1 N={n} M={m}"),
+            cfa_workloads::oo_program(n, m),
+        ));
     }
     for seed in [3, 5, 11] {
         rows.push((
             format!("random seed={seed}"),
-            random_fj_program(seed, FjGenConfig { classes: 4, main_statements: 8 }),
+            random_fj_program(
+                seed,
+                FjGenConfig {
+                    classes: 4,
+                    main_statements: 8,
+                },
+            ),
         ));
     }
 
     // The per-state search is the §3.6 construction — exponential by
     // design — so every cell runs under a state budget.
-    let budget = |opts: FjNaiveOptions| FjNaiveOptions { max_states: 60_000, ..opts };
+    let budget = |opts: FjNaiveOptions| FjNaiveOptions {
+        max_states: 60_000,
+        ..opts
+    };
 
     for (name, src) in rows {
         let p = parse_fj(&src).expect("program parses");
         let plain = analyze_fj_naive(&p, budget(FjNaiveOptions::paper(1).with_counting()));
-        let gc =
-            analyze_fj_naive(&p, budget(FjNaiveOptions::paper(1).with_gc().with_counting()));
+        let gc = analyze_fj_naive(
+            &p,
+            budget(FjNaiveOptions::paper(1).with_gc().with_counting()),
+        );
         let both_complete = plain.status == cfa_core::engine::Status::Completed
             && gc.status == cfa_core::engine::Status::Completed;
         let agree = plain.halt_classes == gc.halt_classes;
@@ -61,7 +75,10 @@ fn main() {
                 "NO"
             },
         );
-        assert!(!both_complete || agree, "GC must preserve halt classes on {name}");
+        assert!(
+            !both_complete || agree,
+            "GC must preserve halt classes on {name}"
+        );
     }
 
     println!();

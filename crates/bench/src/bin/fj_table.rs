@@ -10,9 +10,7 @@
 //! Usage: `cargo run -p cfa-bench --bin fj_table --release`
 
 use cfa_core::engine::EngineLimits;
-use cfa_fj::{
-    analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions,
-};
+use cfa_fj::{analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions};
 use cfa_workloads::suite_fj::fj_suite;
 
 fn main() {

@@ -46,7 +46,10 @@ fn main() {
             reduction
         );
         if plain.status == Status::Completed && gc.status == Status::Completed {
-            assert_eq!(plain.halt_values, gc.halt_values, "GC must not change results");
+            assert_eq!(
+                plain.halt_values, gc.halt_values,
+                "GC must not change results"
+            );
         }
     }
     println!();

@@ -27,7 +27,10 @@ fn main() {
         let naive = analyze_kcfa_naive(
             &program,
             1,
-            NaiveLimits { max_states: 2_000_000, time_budget: Some(budget) },
+            NaiveLimits {
+                max_states: 2_000_000,
+                time_budget: Some(budget),
+            },
         );
         let fast = analyze_kcfa(&program, 1, EngineLimits::timeout(budget));
         let naive_cell = if naive.status == Status::Completed {

@@ -50,12 +50,13 @@ pub use cfa_syntax::{compile, CpsProgram};
 /// assert!(m.status.is_complete());
 /// # Ok::<(), cfa::syntax::ParseError>(())
 /// ```
-pub fn analyze_source(
-    src: &str,
-    analysis: Analysis,
-) -> Result<Metrics, cfa_syntax::ParseError> {
+pub fn analyze_source(src: &str, analysis: Analysis) -> Result<Metrics, cfa_syntax::ParseError> {
     let program = compile(src)?;
-    Ok(analyze(&program, analysis, cfa_core::EngineLimits::default()))
+    Ok(analyze(
+        &program,
+        analysis,
+        cfa_core::EngineLimits::default(),
+    ))
 }
 
 #[cfg(test)]

@@ -35,7 +35,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else { return usage() };
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
+    };
     match command.as_str() {
         "analyze" => cmd_analyze(rest),
         "run" => cmd_run(rest),
@@ -89,7 +91,10 @@ fn print_metrics(m: &cfa_core::Metrics) {
     println!("  status:       {:?}", m.status);
     println!("  time:         {:.3?}", m.elapsed);
     println!("  configs:      {}", m.config_count);
-    println!("  store:        {} addresses, {} facts", m.store_entries, m.store_facts);
+    println!(
+        "  store:        {} addresses, {} facts",
+        m.store_entries, m.store_facts
+    );
     println!(
         "  inlinings:    {}/{} user call sites are singletons",
         m.singleton_user_calls, m.reachable_user_calls
@@ -111,8 +116,12 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--kcfa" | "--mcfa" | "--poly" => {
-                let Some(value) = args.get(i + 1) else { return usage() };
-                let Ok(depth) = parse_usize(value, "context depth") else { return usage() };
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(depth) = parse_usize(value, "context depth") else {
+                    return usage();
+                };
                 analyses.push(match args[i].as_str() {
                     "--kcfa" => Analysis::KCfa { k: depth },
                     "--mcfa" => Analysis::MCfa { m: depth },
@@ -224,8 +233,12 @@ fn cmd_fj(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--k" => {
-                let Some(value) = args.get(i + 1) else { return usage() };
-                let Ok(depth) = parse_usize(value, "k") else { return usage() };
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(depth) = parse_usize(value, "k") else {
+                    return usage();
+                };
                 k = depth;
                 i += 2;
             }
@@ -252,7 +265,11 @@ fn cmd_fj(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let options = cfa_fj::FjAnalysisOptions { k, policy, cast_filtering: false };
+    let options = cfa_fj::FjAnalysisOptions {
+        k,
+        policy,
+        cast_filtering: false,
+    };
     let r = cfa_fj::analyze_fj(&program, options, EngineLimits::default());
     let m = &r.metrics;
     println!("{program}");
@@ -261,7 +278,10 @@ fn cmd_fj(args: &[String]) -> ExitCode {
     println!("  time:     {:.3?}", m.elapsed);
     println!("  configs:  {}", m.config_count);
     println!("  contexts: {}", m.time_count);
-    println!("  calls:    {} reachable, {} monomorphic", m.reachable_calls, m.monomorphic_calls);
+    println!(
+        "  calls:    {} reachable, {} monomorphic",
+        m.reachable_calls, m.monomorphic_calls
+    );
     let classes: Vec<&str> = m
         .halt_classes
         .iter()
@@ -305,7 +325,9 @@ fn parse_k_and_file(args: &[String]) -> Result<(usize, String), ExitCode> {
     while i < args.len() {
         match args[i].as_str() {
             "--k" => {
-                let Some(value) = args.get(i + 1) else { return Err(usage()) };
+                let Some(value) = args.get(i + 1) else {
+                    return Err(usage());
+                };
                 k = parse_usize(value, "k")?;
                 i += 2;
             }
@@ -372,7 +394,10 @@ fn cmd_fj_datalog(args: &[String]) -> ExitCode {
         EngineLimits::default(),
     );
     println!("== FJ points-to in Datalog (k = {k}) ==");
-    println!("  facts:    {} input, {} at fixpoint", d.edb_facts, d.total_facts);
+    println!(
+        "  facts:    {} input, {} at fixpoint",
+        d.edb_facts, d.total_facts
+    );
     println!("  rounds:   {}", d.stats.rounds);
     println!("  time:     {:.3?}", d.stats.elapsed);
     println!(
@@ -380,13 +405,20 @@ fn cmd_fj_datalog(args: &[String]) -> ExitCode {
         d.call_targets.len(),
         d.monomorphic_calls()
     );
-    let classes: Vec<&str> =
-        d.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+    let classes: Vec<&str> = d
+        .halt_classes
+        .iter()
+        .map(|&c| program.name(program.class(c).name))
+        .collect();
     println!("  result classes: {{{}}}", classes.join(", "));
     let agree = machine.metrics.call_targets == d.call_targets
         && machine.metrics.halt_classes == d.halt_classes;
     println!("  machine agrees: {}", if agree { "yes" } else { "NO" });
-    if agree { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    if agree {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `cfa fj-gc [--k K] FILE.java` — per-state search with abstract GC
@@ -400,17 +432,18 @@ fn cmd_fj_gc(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let plain = cfa_fj::analyze_fj_naive(
-        &program,
-        cfa_fj::FjNaiveOptions::paper(k).with_counting(),
-    );
+    let plain =
+        cfa_fj::analyze_fj_naive(&program, cfa_fj::FjNaiveOptions::paper(k).with_counting());
     let gc = cfa_fj::analyze_fj_naive(
         &program,
         cfa_fj::FjNaiveOptions::paper(k).with_gc().with_counting(),
     );
     println!("== ΓCFA for Featherweight Java (k = {k}) ==");
     println!("                  plain        with GC");
-    println!("  states:    {:>10} {:>14}", plain.state_count, gc.state_count);
+    println!(
+        "  states:    {:>10} {:>14}",
+        plain.state_count, gc.state_count
+    );
     println!(
         "  singular:  {:>9.1}% {:>13.1}%",
         100.0 * plain.singular_ratio(),

@@ -25,7 +25,11 @@ fn run_executes_scheme() {
 #[test]
 fn analyze_reports_all_panel_analyses() {
     let file = write_temp("analyze.scm", "(define (id x) x) (id (id 1))");
-    let out = cfa().args(["analyze", "--all"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["analyze", "--all"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     for name in ["k-CFA(k=1)", "m-CFA(m=1)", "poly-k-CFA(k=1)", "k-CFA(k=0)"] {
@@ -37,7 +41,11 @@ fn analyze_reports_all_panel_analyses() {
 #[test]
 fn analyze_accepts_explicit_depths() {
     let file = write_temp("depth.scm", "((lambda (x) x) 9)");
-    let out = cfa().args(["analyze", "--mcfa", "2"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["analyze", "--mcfa", "2"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("m-CFA(m=2)"));
 }
@@ -110,7 +118,10 @@ fn parse_errors_exit_nonzero() {
 
 #[test]
 fn missing_file_reports_error() {
-    let out = cfa().args(["run", "/nonexistent/nope.scm"]).output().unwrap();
+    let out = cfa()
+        .args(["run", "/nonexistent/nope.scm"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -144,7 +155,11 @@ class Main extends Object {
 #[test]
 fn fj_dot_emits_method_graph() {
     let file = write_temp("dot.java", DISPATCH_JAVA);
-    let out = cfa().args(["fj-dot", "--k", "1"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["fj-dot", "--k", "1"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("digraph fj_callgraph {"), "{text}");
@@ -155,7 +170,11 @@ fn fj_dot_emits_method_graph() {
 #[test]
 fn fj_datalog_reports_agreement() {
     let file = write_temp("datalog.java", DISPATCH_JAVA);
-    let out = cfa().args(["fj-datalog", "--k", "1"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["fj-datalog", "--k", "1"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("machine agrees: yes"), "{text}");
@@ -165,14 +184,22 @@ fn fj_datalog_reports_agreement() {
 #[test]
 fn fj_datalog_rejects_deep_contexts() {
     let file = write_temp("deep.java", DISPATCH_JAVA);
-    let out = cfa().args(["fj-datalog", "--k", "5"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["fj-datalog", "--k", "5"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
 #[test]
 fn fj_gc_reports_precision_neutral_collection() {
     let file = write_temp("gc.java", DISPATCH_JAVA);
-    let out = cfa().args(["fj-gc", "--k", "1"]).arg(&file).output().unwrap();
+    let out = cfa()
+        .args(["fj-gc", "--k", "1"])
+        .arg(&file)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("GC is precision-neutral: yes"), "{text}");

@@ -181,7 +181,9 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_steps: 1_000_000 }
+        Limits {
+            max_steps: 1_000_000,
+        }
     }
 }
 
@@ -196,7 +198,9 @@ pub struct Store<E> {
 
 impl<E> Default for Store<E> {
     fn default() -> Self {
-        Store { map: HashMap::new() }
+        Store {
+            map: HashMap::new(),
+        }
     }
 }
 
@@ -221,7 +225,10 @@ impl<E: Clone> Store<E> {
     ///
     /// Returns [`RuntimeError::DanglingAddress`] for unbound addresses.
     pub fn read(&self, addr: Addr) -> Result<Value<E>, RuntimeError> {
-        self.map.get(&addr).cloned().ok_or(RuntimeError::DanglingAddress)
+        self.map
+            .get(&addr)
+            .cloned()
+            .ok_or(RuntimeError::DanglingAddress)
     }
 
     /// Number of bound addresses.
@@ -262,7 +269,10 @@ pub fn eval_prim<E: Clone + PartialEq>(
     fn int<E>(op: PrimOp, v: &Value<E>) -> Result<i64, RuntimeError> {
         match v {
             Value::Basic(Basic::Int(n)) => Ok(*n),
-            _ => Err(RuntimeError::PrimTypeError { op, detail: "expected an integer".into() }),
+            _ => Err(RuntimeError::PrimTypeError {
+                op,
+                detail: "expected an integer".into(),
+            }),
         }
     }
 
@@ -283,18 +293,26 @@ pub fn eval_prim<E: Clone + PartialEq>(
             }
             Value::Basic(Basic::Int(acc))
         }
-        Sub => Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_sub(int(op, &args[1])?))),
+        Sub => Value::Basic(Basic::Int(
+            int(op, &args[0])?.wrapping_sub(int(op, &args[1])?),
+        )),
         Div => {
             let d = int(op, &args[1])?;
             if d == 0 {
-                return Err(RuntimeError::PrimTypeError { op, detail: "division by zero".into() });
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "division by zero".into(),
+                });
             }
             Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_div(d)))
         }
         Rem => {
             let d = int(op, &args[1])?;
             if d == 0 {
-                return Err(RuntimeError::PrimTypeError { op, detail: "division by zero".into() });
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "division by zero".into(),
+                });
             }
             Value::Basic(Basic::Int(int(op, &args[0])?.wrapping_rem(d)))
         }
@@ -306,9 +324,7 @@ pub fn eval_prim<E: Clone + PartialEq>(
         Eq => bool_v(match (&args[0], &args[1]) {
             (Value::Basic(a), Value::Basic(b)) => a == b,
             (Value::Pair { car: a, .. }, Value::Pair { car: b, .. }) => a == b,
-            (Value::Clo { lam: a, env: ea }, Value::Clo { lam: b, env: eb }) => {
-                a == b && ea == eb
-            }
+            (Value::Clo { lam: a, env: ea }, Value::Clo { lam: b, env: eb }) => a == b && ea == eb,
             _ => false,
         }),
         Cons => {
@@ -320,11 +336,21 @@ pub fn eval_prim<E: Clone + PartialEq>(
         }
         Car => match &args[0] {
             Value::Pair { car, .. } => store.read(*car)?,
-            _ => return Err(RuntimeError::PrimTypeError { op, detail: "expected a pair".into() }),
+            _ => {
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "expected a pair".into(),
+                })
+            }
         },
         Cdr => match &args[0] {
             Value::Pair { cdr, .. } => store.read(*cdr)?,
-            _ => return Err(RuntimeError::PrimTypeError { op, detail: "expected a pair".into() }),
+            _ => {
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "expected a pair".into(),
+                })
+            }
         },
         IsPair => bool_v(matches!(args[0], Value::Pair { .. })),
         IsNull => bool_v(matches!(args[0], Value::Basic(Basic::Nil))),
@@ -423,7 +449,10 @@ mod tests {
         let mut next = 0u64;
         let mut alloc = |slot: Slot| {
             next += 1;
-            Addr { slot, ctx: Ctx(next) }
+            Addr {
+                slot,
+                ctx: Ctx(next),
+            }
         };
         let two = Value::Basic(Basic::Int(2));
         let three = Value::Basic(Basic::Int(3));
@@ -438,8 +467,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, Value::Basic(Basic::Int(5)));
-        let r = eval_prim(PrimOp::Lt, &[two, three], &mut store, &mut alloc, Label(0), &mut strings, &p)
-            .unwrap();
+        let r = eval_prim(
+            PrimOp::Lt,
+            &[two, three],
+            &mut store,
+            &mut alloc,
+            Label(0),
+            &mut strings,
+            &p,
+        )
+        .unwrap();
         assert_eq!(r, Value::Basic(Basic::Bool(true)));
     }
 
@@ -451,7 +488,10 @@ mod tests {
         let mut next = 0u64;
         let mut alloc = |slot: Slot| {
             next += 1;
-            Addr { slot, ctx: Ctx(next) }
+            Addr {
+                slot,
+                ctx: Ctx(next),
+            }
         };
         let pair = eval_prim(
             PrimOp::Cons,
@@ -463,11 +503,27 @@ mod tests {
             &p,
         )
         .unwrap();
-        let car = eval_prim(PrimOp::Car, std::slice::from_ref(&pair), &mut store, &mut alloc, Label(7), &mut strings, &p)
-            .unwrap();
+        let car = eval_prim(
+            PrimOp::Car,
+            std::slice::from_ref(&pair),
+            &mut store,
+            &mut alloc,
+            Label(7),
+            &mut strings,
+            &p,
+        )
+        .unwrap();
         assert_eq!(car, Value::Basic(Basic::Int(1)));
-        let cdr = eval_prim(PrimOp::Cdr, &[pair], &mut store, &mut alloc, Label(7), &mut strings, &p)
-            .unwrap();
+        let cdr = eval_prim(
+            PrimOp::Cdr,
+            &[pair],
+            &mut store,
+            &mut alloc,
+            Label(7),
+            &mut strings,
+            &p,
+        )
+        .unwrap();
         assert_eq!(cdr, Value::Basic(Basic::Nil));
     }
 
@@ -486,7 +542,13 @@ mod tests {
             &mut strings,
             &p,
         );
-        assert!(matches!(err, Err(RuntimeError::PrimTypeError { op: PrimOp::Car, .. })));
+        assert!(matches!(
+            err,
+            Err(RuntimeError::PrimTypeError {
+                op: PrimOp::Car,
+                ..
+            })
+        ));
         let err = eval_prim(
             PrimOp::Div,
             &[Value::Basic(Basic::Int(1)), Value::Basic(Basic::Int(0))],
@@ -522,8 +584,14 @@ mod tests {
         let p = mini_program();
         let mut store: Store<u32> = Store::new();
         let strings = p.interner().clone();
-        let a = Addr { slot: Slot::Car(Label(0)), ctx: Ctx(0) };
-        let d = Addr { slot: Slot::Cdr(Label(0)), ctx: Ctx(0) };
+        let a = Addr {
+            slot: Slot::Car(Label(0)),
+            ctx: Ctx(0),
+        };
+        let d = Addr {
+            slot: Slot::Cdr(Label(0)),
+            ctx: Ctx(0),
+        };
         store.insert(a, Value::Basic(Basic::Int(1)));
         store.insert(d, Value::Basic(Basic::Nil));
         let rendered = render_value(&Value::Pair { car: a, cdr: d }, &store, &strings, &p, 8);

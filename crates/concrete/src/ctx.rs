@@ -29,7 +29,9 @@ impl CtxTable {
     /// Creates a table containing only the initial context `t₀` (empty
     /// call string).
     pub fn new() -> Self {
-        CtxTable { strings: vec![None] }
+        CtxTable {
+            strings: vec![None],
+        }
     }
 
     /// The initial context.
@@ -49,7 +51,10 @@ impl CtxTable {
 
     /// `tick(ℓ, t)`: a fresh context whose call string is `ℓ : string(t)`.
     pub fn tick(&mut self, label: Label, from: Ctx) -> Ctx {
-        let node = Rc::new(Node { label, parent: self.node(from) });
+        let node = Rc::new(Node {
+            label,
+            parent: self.node(from),
+        });
         self.push(Some(node))
     }
 

@@ -134,7 +134,10 @@ impl<'p> FlatMachine<'p> {
             AExp::Lit(l) => Ok(Value::Basic(Basic::from_lit(*l))),
             AExp::Var(v) => self
                 .store
-                .read(Addr { slot: Slot::Var(*v), ctx: env })
+                .read(Addr {
+                    slot: Slot::Var(*v),
+                    ctx: env,
+                })
                 .map_err(|_| RuntimeError::UnboundVariable(self.program.name(*v).to_owned())),
             AExp::Lam(l) => Ok(Value::Clo { lam: *l, env }),
         }
@@ -173,14 +176,29 @@ impl<'p> FlatMachine<'p> {
             LamSort::Cont => self.envs.fresh_like(saved),
         };
         for (param, value) in lam_data.params.iter().zip(args) {
-            self.store.insert(Addr { slot: Slot::Var(*param), ctx: fresh }, value);
+            self.store.insert(
+                Addr {
+                    slot: Slot::Var(*param),
+                    ctx: fresh,
+                },
+                value,
+            );
         }
         for &fv in self.program.free_vars(lam) {
             let value = self
                 .store
-                .read(Addr { slot: Slot::Var(fv), ctx: saved })
+                .read(Addr {
+                    slot: Slot::Var(fv),
+                    ctx: saved,
+                })
                 .map_err(|_| RuntimeError::UnboundVariable(self.program.name(fv).to_owned()))?;
-            self.store.insert(Addr { slot: Slot::Var(fv), ctx: fresh }, value);
+            self.store.insert(
+                Addr {
+                    slot: Slot::Var(fv),
+                    ctx: fresh,
+                },
+                value,
+            );
         }
         Ok(Step::Continue(lam_data.body, fresh))
     }
@@ -196,9 +214,17 @@ impl<'p> FlatMachine<'p> {
                     .collect::<Result<Vec<_>, _>>()?;
                 self.apply(f, arg_vals, call_data.label, env)
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.eval(cond, env)?;
-                let next = if c.is_truthy() { *then_branch } else { *else_branch };
+                let next = if c.is_truthy() {
+                    *then_branch
+                } else {
+                    *else_branch
+                };
                 Ok(Step::Continue(next, env))
             }
             CallKind::PrimCall { op, args, cont } => {
@@ -232,7 +258,13 @@ impl<'p> FlatMachine<'p> {
                 // variables (including each other) are reachable there.
                 for (name, lam) in bindings {
                     let clo = Value::Clo { lam: *lam, env };
-                    self.store.insert(Addr { slot: Slot::Var(*name), ctx: env }, clo);
+                    self.store.insert(
+                        Addr {
+                            slot: Slot::Var(*name),
+                            ctx: env,
+                        },
+                        clo,
+                    );
                 }
                 Ok(Step::Continue(*body, env))
             }
@@ -348,7 +380,10 @@ mod tests {
 
     #[test]
     fn fuel_limit_applies() {
-        let r = eval_scheme_flat("(define (loop x) (loop x)) (loop 1)", Limits { max_steps: 500 });
+        let r = eval_scheme_flat(
+            "(define (loop x) (loop x)) (loop 1)",
+            Limits { max_steps: 500 },
+        );
         assert_eq!(r, Err("out of fuel".to_owned()));
     }
 

@@ -112,7 +112,11 @@ impl<'p> SharedMachine<'p> {
             }
             steps += 1;
             if self.record_trace {
-                self.trace.push(SharedVisit { call, benv: benv.clone(), time });
+                self.trace.push(SharedVisit {
+                    call,
+                    benv: benv.clone(),
+                    time,
+                });
             }
             match self.step(call, &benv, time) {
                 Ok(Step::Continue(c, b, t)) => {
@@ -138,7 +142,10 @@ impl<'p> SharedMachine<'p> {
                 })?;
                 self.store.read(addr)
             }
-            AExp::Lam(l) => Ok(Value::Clo { lam: *l, env: self.close(*l, benv) }),
+            AExp::Lam(l) => Ok(Value::Clo {
+                lam: *l,
+                env: self.close(*l, benv),
+            }),
         }
     }
 
@@ -180,7 +187,10 @@ impl<'p> SharedMachine<'p> {
         }
         let mut extended = (*env).clone();
         for (param, value) in lam_data.params.iter().zip(args) {
-            let addr = Addr { slot: Slot::Var(*param), ctx: t_new };
+            let addr = Addr {
+                slot: Slot::Var(*param),
+                ctx: t_new,
+            };
             extended.insert(*param, addr);
             self.store.insert(addr, value);
         }
@@ -199,9 +209,17 @@ impl<'p> SharedMachine<'p> {
                 let t_new = self.times.tick(call_data.label, time);
                 self.apply(f, arg_vals, t_new)
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.eval(cond, benv)?;
-                let next = if c.is_truthy() { *then_branch } else { *else_branch };
+                let next = if c.is_truthy() {
+                    *then_branch
+                } else {
+                    *else_branch
+                };
                 Ok(Step::Continue(next, benv.clone(), time))
             }
             CallKind::PrimCall { op, args, cont } => {
@@ -230,12 +248,18 @@ impl<'p> SharedMachine<'p> {
                 let t_new = self.times.tick(call_data.label, time);
                 let mut extended = (**benv).clone();
                 for (name, _) in bindings {
-                    let addr = Addr { slot: Slot::Var(*name), ctx: t_new };
+                    let addr = Addr {
+                        slot: Slot::Var(*name),
+                        ctx: t_new,
+                    };
                     extended.insert(*name, addr);
                 }
                 let extended: BEnv = Rc::new(extended);
                 for (name, lam) in bindings {
-                    let clo = Value::Clo { lam: *lam, env: self.close(*lam, &extended) };
+                    let clo = Value::Clo {
+                        lam: *lam,
+                        env: self.close(*lam, &extended),
+                    };
                     let addr = extended[name];
                     self.store.insert(addr, clo);
                 }
@@ -293,7 +317,10 @@ mod tests {
     #[test]
     fn evaluates_lambda_application() {
         assert_eq!(eval("((lambda (x) x) 7)"), "7");
-        assert_eq!(eval("((lambda (f x) (f (f x))) (lambda (n) (* n n)) 3)"), "81");
+        assert_eq!(
+            eval("((lambda (f x) (f (f x))) (lambda (n) (* n n)) 3)"),
+            "81"
+        );
     }
 
     #[test]
@@ -360,7 +387,10 @@ mod tests {
 
     #[test]
     fn fuel_limits_runaway_programs() {
-        let r = eval_scheme("(define (loop x) (loop x)) (loop 1)", Limits { max_steps: 500 });
+        let r = eval_scheme(
+            "(define (loop x) (loop x)) (loop 1)",
+            Limits { max_steps: 500 },
+        );
         assert_eq!(r, Err("out of fuel".to_owned()));
     }
 

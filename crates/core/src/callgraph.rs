@@ -31,7 +31,11 @@ impl CallGraph {
         ) {
             containing.insert(call, owner);
             match &program.call(call).kind {
-                cfa_syntax::cps::CallKind::If { then_branch, else_branch, .. } => {
+                cfa_syntax::cps::CallKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(program, *then_branch, owner, containing);
                     walk(program, *else_branch, owner, containing);
                 }
@@ -49,7 +53,10 @@ impl CallGraph {
         }
         walk(program, program.entry(), None, &mut containing);
 
-        CallGraph { edges: metrics.call_targets.clone(), containing }
+        CallGraph {
+            edges: metrics.call_targets.clone(),
+            containing,
+        }
     }
 
     /// Targets of a call site.
@@ -98,8 +105,7 @@ impl CallGraph {
                 }
                 Some(lam) => {
                     let data = program.lam(*lam);
-                    let params: Vec<&str> =
-                        data.params.iter().map(|p| program.name(*p)).collect();
+                    let params: Vec<&str> = data.params.iter().map(|p| program.name(*p)).collect();
                     let _ = writeln!(
                         out,
                         "  l{} [label=\"λ{} ({})\"];",

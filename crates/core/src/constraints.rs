@@ -182,7 +182,10 @@ impl<'p> Solver<'p> {
             }
             AExp::Var(k) => {
                 let rule = ApplyRule { args: vec![rhs] };
-                self.apply_triggers.entry(Node::Var(*k)).or_default().push(rule);
+                self.apply_triggers
+                    .entry(Node::Var(*k))
+                    .or_default()
+                    .push(rule);
                 self.worklist.push_back(Node::Var(*k));
             }
             AExp::Lit(_) => {}
@@ -206,7 +209,10 @@ impl<'p> Solver<'p> {
                         }
                         AExp::Var(f) => {
                             let rule = ApplyRule { args: arg_rhs };
-                            self.apply_triggers.entry(Node::Var(*f)).or_default().push(rule);
+                            self.apply_triggers
+                                .entry(Node::Var(*f))
+                                .or_default()
+                                .push(rule);
                             self.worklist.push_back(Node::Var(*f));
                         }
                         AExp::Lit(_) => {}
@@ -220,8 +226,7 @@ impl<'p> Solver<'p> {
                 CallKind::PrimCall { op, args, cont } => match classify(*op) {
                     PrimSpec::Abort => {}
                     PrimSpec::Basics(bs) => {
-                        let consts: BTreeSet<Val0> =
-                            bs.iter().map(|b| Val0::Basic(*b)).collect();
+                        let consts: BTreeSet<Val0> = bs.iter().map(|b| Val0::Basic(*b)).collect();
                         self.flow_into_cont(cont, Rhs::Consts(consts));
                     }
                     PrimSpec::AllocPair => {
@@ -312,7 +317,11 @@ impl<'p> Solver<'p> {
             for value in &values {
                 let Val0::Pair(site) = value else { continue };
                 for rule in &rules {
-                    let field = if rule.want_car { Node::Car(*site) } else { Node::Cdr(*site) };
+                    let field = if rule.want_car {
+                        Node::Car(*site)
+                    } else {
+                        Node::Cdr(*site)
+                    };
                     self.flow_rule_target(field, rule.target.clone());
                 }
             }
@@ -339,7 +348,9 @@ impl<'p> Solver<'p> {
             Rhs::Node(n) => self.add_edge(from, n),
             Rhs::Consts(_) => {}
             Rhs::IntoCont(_, cont_node) => {
-                let rule = ApplyRule { args: vec![Rhs::Node(from)] };
+                let rule = ApplyRule {
+                    args: vec![Rhs::Node(from)],
+                };
                 self.apply_triggers.entry(cont_node).or_default().push(rule);
                 self.worklist.push_back(cont_node);
             }
@@ -369,7 +380,10 @@ impl<'p> Solver<'p> {
             // Fire conditional rules.
             self.fire(node);
         }
-        ZeroCfa { flows: self.flows, propagations: self.propagations }
+        ZeroCfa {
+            flows: self.flows,
+            propagations: self.propagations,
+        }
     }
 }
 

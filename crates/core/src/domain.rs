@@ -58,14 +58,20 @@ impl Default for CallString {
 impl CallString {
     /// The empty call string (the initial abstract time / environment).
     pub fn empty() -> Self {
-        CallString(CsRepr::Inline { len: 0, buf: [Label(0); CS_INLINE] })
+        CallString(CsRepr::Inline {
+            len: 0,
+            buf: [Label(0); CS_INLINE],
+        })
     }
 
     fn from_vec(v: Vec<Label>) -> Self {
         if v.len() <= CS_INLINE {
             let mut buf = [Label(0); CS_INLINE];
             buf[..v.len()].copy_from_slice(&v);
-            CallString(CsRepr::Inline { len: v.len() as u8, buf })
+            CallString(CsRepr::Inline {
+                len: v.len() as u8,
+                buf,
+            })
         } else {
             CallString(CsRepr::Heap(v))
         }
@@ -87,7 +93,10 @@ impl CallString {
             let mut buf = [Label(0); CS_INLINE];
             buf[0] = label;
             buf[1..=keep].copy_from_slice(&self.labels()[..keep]);
-            return CallString(CsRepr::Inline { len: (keep + 1) as u8, buf });
+            return CallString(CsRepr::Inline {
+                len: (keep + 1) as u8,
+                buf,
+            });
         }
         let mut v = Vec::with_capacity(keep + 1);
         v.push(label);
@@ -368,7 +377,10 @@ mod tests {
 
     #[test]
     fn closures_and_pairs_are_truthy() {
-        let v: AVal<u32, u32> = AVal::Clo { lam: LamId(0), env: 0 };
+        let v: AVal<u32, u32> = AVal::Clo {
+            lam: LamId(0),
+            env: 0,
+        };
         assert!(v.maybe_truthy() && !v.maybe_falsy());
         let p: AVal<u32, u32> = AVal::Pair { car: 1, cdr: 2 };
         assert!(p.maybe_truthy() && !p.maybe_falsy());

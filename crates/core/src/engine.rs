@@ -12,10 +12,17 @@
 //!   the scheduling path);
 //! * a step's recorded reads are **deduplicated** before dependency
 //!   registration, and each dependency list stays sorted/unique;
+//! * dependency lists are **pruned**: when a configuration's read set
+//!   shrinks on re-evaluation, it is removed from the dependent lists of
+//!   the addresses it no longer reads, so growth of a dropped address
+//!   cannot re-enqueue it for nothing;
 //! * every configuration remembers the store **epoch** at its last
 //!   evaluation; a popped configuration whose read addresses have not
 //!   grown past that epoch is skipped outright (its re-evaluation would
-//!   be a provable no-op);
+//!   be a provable no-op). With exact (pruned) dependency lists every
+//!   sequential wakeup is justified, so this gate is a safety net here —
+//!   it is *load-bearing* in [`crate::parallel`], whose dedup-free wake
+//!   queues make duplicate wakeups routine;
 //! * joins report the **delta of newly added value ids**, surfaced in
 //!   [`FixpointResult::delta_facts`] — the amount of real lattice growth
 //!   the run performed, as opposed to raw join calls.
@@ -84,7 +91,31 @@ pub struct TrackedStore<'a, A, V> {
 
 impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V> {
     fn new(store: &'a mut AbsStore<A, V>) -> Self {
-        TrackedStore { store, reads: Vec::new(), grew: Vec::new(), delta: Vec::new(), delta_facts: 0 }
+        Self::wrap(store, Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Wraps `store` reusing caller-provided scratch buffers (the
+    /// parallel engine's workers recycle theirs across steps, exactly
+    /// like [`run_fixpoint`] does).
+    pub(crate) fn wrap(
+        store: &'a mut AbsStore<A, V>,
+        reads: Vec<u32>,
+        grew: Vec<u32>,
+        delta: Vec<u32>,
+    ) -> Self {
+        TrackedStore {
+            store,
+            reads,
+            grew,
+            delta,
+            delta_facts: 0,
+        }
+    }
+
+    /// Disassembles the view into its tracking state: `(reads, grew,
+    /// delta, delta_facts)`.
+    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>, u64) {
+        (self.reads, self.grew, self.delta, self.delta_facts)
     }
 
     /// Reads the flow set at `addr`, recording the dependency.
@@ -163,19 +194,28 @@ pub struct EngineLimits {
 
 impl Default for EngineLimits {
     fn default() -> Self {
-        EngineLimits { max_iterations: u64::MAX, time_budget: None }
+        EngineLimits {
+            max_iterations: u64::MAX,
+            time_budget: None,
+        }
     }
 }
 
 impl EngineLimits {
     /// A limit of `max_iterations` configuration evaluations.
     pub fn iterations(max_iterations: u64) -> Self {
-        EngineLimits { max_iterations, ..Self::default() }
+        EngineLimits {
+            max_iterations,
+            ..Self::default()
+        }
     }
 
     /// A wall-clock budget.
     pub fn timeout(budget: Duration) -> Self {
-        EngineLimits { time_budget: Some(budget), ..Self::default() }
+        EngineLimits {
+            time_budget: Some(budget),
+            ..Self::default()
+        }
     }
 }
 
@@ -191,8 +231,15 @@ pub struct FixpointResult<C, A, V> {
     /// Number of configuration evaluations (including re-evaluations).
     pub iterations: u64,
     /// Popped configurations skipped because no read address had grown
-    /// past their last-evaluation epoch.
+    /// past their last-evaluation epoch. Zero for every monotone machine
+    /// under [`run_fixpoint`] (pruned dependency lists make sequential
+    /// wakeups exact); routinely positive under
+    /// [`crate::parallel::run_fixpoint_parallel`], where the epoch gate
+    /// is the conflict detector for duplicate wakeups.
     pub skipped: u64,
+    /// Dependent re-enqueues caused by address growth (wakeups). The
+    /// stale-dependency regression tests count these.
+    pub wakeups: u64,
     /// Total `(address, value)` facts added across all joins — the real
     /// lattice growth (compare with the raw join count in the store).
     pub delta_facts: u64,
@@ -205,6 +252,55 @@ impl<C, A, V> FixpointResult<C, A, V> {
     pub fn config_count(&self) -> usize {
         self.configs.len()
     }
+}
+
+/// Registers config `i` in the dependency lists of its just-recorded
+/// read set and prunes it from the lists of addresses it no longer
+/// reads — the sequential and parallel engines share this exact logic.
+///
+/// `reads_buf` holds the step's raw reads; it is sorted and deduped
+/// here, swapped into `config_reads[i]` as the config's read set for
+/// the epoch gate, and hands back the previous read set as scratch.
+/// Without the pruning walk, dep lists are insert-only and growth of a
+/// dropped address re-enqueues the config for a guaranteed no-op.
+pub(crate) fn register_deps(
+    deps: &mut Vec<Vec<usize>>,
+    config_reads: &mut [Vec<u32>],
+    i: usize,
+    reads_buf: &mut Vec<u32>,
+) {
+    reads_buf.sort_unstable();
+    reads_buf.dedup();
+    // Prune dropped addresses: walk the previous read set (sorted,
+    // unique) against the new one and deregister this config from
+    // every address it no longer reads.
+    {
+        let old = &config_reads[i];
+        let mut ni = 0;
+        for &a in old {
+            while ni < reads_buf.len() && reads_buf[ni] < a {
+                ni += 1;
+            }
+            if ni < reads_buf.len() && reads_buf[ni] == a {
+                continue;
+            }
+            if let Some(dependents) = deps.get_mut(a as usize) {
+                if let Ok(pos) = dependents.binary_search(&i) {
+                    dependents.remove(pos);
+                }
+            }
+        }
+    }
+    for &a in reads_buf.iter() {
+        if deps.len() <= a as usize {
+            deps.resize_with(a as usize + 1, Vec::new);
+        }
+        let dependents = &mut deps[a as usize];
+        if let Err(pos) = dependents.binary_search(&i) {
+            dependents.insert(pos, i);
+        }
+    }
+    std::mem::swap(&mut config_reads[i], reads_buf);
 }
 
 /// Runs `machine` to its least fixed point (or until a limit fires).
@@ -263,6 +359,7 @@ pub fn run_fixpoint<M: AbstractMachine>(
 
     let mut iterations: u64 = 0;
     let mut skipped: u64 = 0;
+    let mut wakeups: u64 = 0;
     let mut delta_facts: u64 = 0;
     let mut status = Status::Completed;
     let mut successors: Vec<M::Config> = Vec::new();
@@ -277,9 +374,12 @@ pub fn run_fixpoint<M: AbstractMachine>(
             status = Status::IterationLimit;
             break;
         }
-        // Checking the clock every iteration would dominate small runs;
-        // every 256 is fine-grained enough for the harness timeouts.
-        if iterations.is_multiple_of(256) {
+        // Checking the clock every pop would dominate small runs; every
+        // 256 is fine-grained enough for the harness timeouts. Keyed on
+        // *total pops* (iterations + skipped), not iterations alone: a
+        // long run of gate-skipped pops must still consult the clock, or
+        // it could overrun `time_budget` without ever noticing.
+        if (iterations + skipped).is_multiple_of(256) {
             if let Some(budget) = limits.time_budget {
                 if start.elapsed() > budget {
                     status = Status::TimedOut;
@@ -292,8 +392,15 @@ pub fn run_fixpoint<M: AbstractMachine>(
 
         // Epoch gate: if this config already ran and none of the
         // addresses it read has grown since, re-evaluation is a no-op.
+        // With pruned dependency lists every sequential wakeup implies
+        // growth, so this never fires for monotone machines here; it
+        // stays as a cheap guard (and because the parallel workers share
+        // the same pop discipline, where it is the conflict detector).
         if let Some(epoch) = last_run_epoch[i] {
-            if config_reads[i].iter().all(|&a| store.addr_epoch(a) <= epoch) {
+            if config_reads[i]
+                .iter()
+                .all(|&a| store.addr_epoch(a) <= epoch)
+            {
                 skipped += 1;
                 continue;
             }
@@ -314,25 +421,18 @@ pub fn run_fixpoint<M: AbstractMachine>(
             delta_facts: 0,
         };
         machine.step(&config, &mut tracked, &mut successors);
-        let TrackedStore { reads, grew, delta, delta_facts: step_delta, .. } = tracked;
+        let TrackedStore {
+            reads,
+            grew,
+            delta,
+            delta_facts: step_delta,
+            ..
+        } = tracked;
         (reads_buf, grew_buf, delta_buf) = (reads, grew, delta);
         delta_facts += step_delta;
         last_run_epoch[i] = Some(epoch_at_start);
 
-        // Dedupe reads before dependency registration, then remember
-        // them as this config's read set for the epoch gate.
-        reads_buf.sort_unstable();
-        reads_buf.dedup();
-        for &a in &reads_buf {
-            if deps.len() <= a as usize {
-                deps.resize_with(a as usize + 1, Vec::new);
-            }
-            let dependents = &mut deps[a as usize];
-            if let Err(pos) = dependents.binary_search(&i) {
-                dependents.insert(pos, i);
-            }
-        }
-        std::mem::swap(&mut config_reads[i], &mut reads_buf);
+        register_deps(&mut deps, &mut config_reads, i, &mut reads_buf);
 
         for succ in successors.drain(..) {
             let (j, fresh) = intern(
@@ -357,6 +457,7 @@ pub fn run_fixpoint<M: AbstractMachine>(
                     if !queued[j] {
                         queued[j] = true;
                         queue.push_back(j);
+                        wakeups += 1;
                     }
                 }
             }
@@ -369,6 +470,7 @@ pub fn run_fixpoint<M: AbstractMachine>(
         status,
         iterations,
         skipped,
+        wakeups,
         delta_facts,
         elapsed: start.elapsed(),
     }
@@ -487,6 +589,68 @@ mod tests {
         // Each of 0..9 lands once in one of three flow sets: 9 new facts.
         assert_eq!(r.delta_facts, 9);
         assert_eq!(r.store.fact_count(), 9);
+    }
+
+    /// Address 0 is a "mode" cell, address 1 a "noise" cell. The root
+    /// config reads the mode and — only while the mode is still empty —
+    /// also reads the noise cell; once the marker lands its read set
+    /// shrinks to `{mode}`. A chain of follow-up configs then grows the
+    /// noise cell repeatedly.
+    struct ShrinkingReader {
+        noise: u8,
+    }
+
+    impl AbstractMachine for ShrinkingReader {
+        type Config = u8;
+        type Addr = u8;
+        type Val = u8;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+            match *c {
+                0 => {
+                    let mode = s.read(&0);
+                    if mode.is_empty() {
+                        let _ = s.read(&1);
+                    }
+                    out.push(1);
+                }
+                1 => {
+                    s.join(&0, [1u8]);
+                    out.push(2);
+                }
+                n if n < 2 + self.noise => {
+                    s.join(&1, [100 + n]);
+                    out.push(n + 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn shrunk_read_sets_are_pruned_from_dep_lists() {
+        // Regression test for insert-only dependency lists: before the
+        // pruning fix, every noise-cell growth re-woke the root config
+        // (wakeups = 1 + noise, each wakeup then epoch-gate-skipped).
+        // With pruning, the root is deregistered from the noise cell the
+        // moment its read set shrinks, so the only wakeup is the
+        // justified one from the mode-cell marker.
+        let noise = 8;
+        let r = run_fixpoint(&mut ShrinkingReader { noise }, EngineLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert_eq!(r.wakeups, 1, "only the mode-marker wakeup is justified");
+        assert_eq!(
+            r.skipped, 0,
+            "no spurious wakeups left for the gate to absorb"
+        );
+        // The root ran twice (initial + marker wakeup); the chain configs
+        // once each; the terminal config once.
+        assert_eq!(r.iterations, 1 + (2 + noise as u64) + 1);
+        assert_eq!(r.store.read(&1).len(), noise as usize);
     }
 
     #[test]

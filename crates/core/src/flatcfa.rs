@@ -27,7 +27,7 @@
 //! assert!(result.metrics.halt_values.contains("42"));
 //! ```
 
-use crate::domain::{AbsBasic, AVal, CallString};
+use crate::domain::{AVal, AbsBasic, CallString};
 use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
 use crate::kcfa::{build_metrics, render_val};
 use crate::prim::{classify, PrimSpec};
@@ -96,10 +96,14 @@ impl<'p> FlatCfaMachine<'p> {
     fn eval(&self, e: &AExp, env: &CallString, store: &mut TrackedStore<'_, AddrM, ValM>) -> Flow {
         match e {
             AExp::Lit(l) => Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
-            AExp::Var(v) => store.read(&AddrM { slot: Slot::Var(*v), env: env.clone() }),
-            AExp::Lam(l) => {
-                Flow::singleton(store.intern(AVal::Clo { lam: *l, env: env.clone() }))
-            }
+            AExp::Var(v) => store.read(&AddrM {
+                slot: Slot::Var(*v),
+                env: env.clone(),
+            }),
+            AExp::Lam(l) => Flow::singleton(store.intern(AVal::Clo {
+                lam: *l,
+                env: env.clone(),
+            })),
         }
     }
 
@@ -145,18 +149,33 @@ impl<'p> FlatCfaMachine<'p> {
                 FlatPolicy::LastKCalls => current.push(label, bound),
             };
             for (&p, values) in lam_data.params.iter().zip(args) {
-                store.join_flow(&AddrM { slot: Slot::Var(p), env: fresh.clone() }, values);
+                store.join_flow(
+                    &AddrM {
+                        slot: Slot::Var(p),
+                        env: fresh.clone(),
+                    },
+                    values,
+                );
             }
             for &fv in self.program.free_vars(lam) {
-                let from = AddrM { slot: Slot::Var(fv), env: saved.clone() };
-                let to = AddrM { slot: Slot::Var(fv), env: fresh.clone() };
+                let from = AddrM {
+                    slot: Slot::Var(fv),
+                    env: saved.clone(),
+                };
+                let to = AddrM {
+                    slot: Slot::Var(fv),
+                    env: fresh.clone(),
+                };
                 if from != to {
                     let values = store.read(&from);
                     store.join_flow(&to, &values);
                 }
             }
             self.lam_entry_envs.push((lam, fresh.clone()));
-            out.push(MConfig { call: lam_data.body, env: fresh });
+            out.push(MConfig {
+                call: lam_data.body,
+                env: fresh,
+            });
         }
     }
 }
@@ -167,7 +186,10 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
     type Val = ValM;
 
     fn initial(&self) -> MConfig {
-        MConfig { call: self.program.entry(), env: CallString::empty() }
+        MConfig {
+            call: self.program.entry(),
+            env: CallString::empty(),
+        }
     }
 
     fn step(
@@ -180,8 +202,10 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.env, store);
-                let arg_sets: Vec<Flow> =
-                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
+                let arg_sets: Vec<Flow> = args
+                    .iter()
+                    .map(|a| self.eval(a, &config.env, store))
+                    .collect();
                 self.apply(
                     config.call,
                     call_data.label,
@@ -192,18 +216,30 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                     out,
                 );
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cset = self.eval(cond, &config.env, store);
                 if cset.iter().any(|id| store.val(id).maybe_truthy()) {
-                    out.push(MConfig { call: *then_branch, env: config.env.clone() });
+                    out.push(MConfig {
+                        call: *then_branch,
+                        env: config.env.clone(),
+                    });
                 }
                 if cset.iter().any(|id| store.val(id).maybe_falsy()) {
-                    out.push(MConfig { call: *else_branch, env: config.env.clone() });
+                    out.push(MConfig {
+                        call: *else_branch,
+                        env: config.env.clone(),
+                    });
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<Flow> =
-                    args.iter().map(|a| self.eval(a, &config.env, store)).collect();
+                let arg_sets: Vec<Flow> = args
+                    .iter()
+                    .map(|a| self.eval(a, &config.env, store))
+                    .collect();
                 let kset = self.eval(cont, &config.env, store);
                 let mut result_ids: Vec<u32> = Vec::new();
                 match classify(*op) {
@@ -214,10 +250,14 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                     PrimSpec::AllocPair => {
                         // Pairs are allocated in the *current* abstract
                         // environment (matches the concrete flat machine).
-                        let car =
-                            AddrM { slot: Slot::Car(call_data.label), env: config.env.clone() };
-                        let cdr =
-                            AddrM { slot: Slot::Cdr(call_data.label), env: config.env.clone() };
+                        let car = AddrM {
+                            slot: Slot::Car(call_data.label),
+                            env: config.env.clone(),
+                        };
+                        let cdr = AddrM {
+                            slot: Slot::Cdr(call_data.label),
+                            env: config.env.clone(),
+                        };
                         if let Some(vals) = arg_sets.first() {
                             store.join_flow(&car, vals);
                         }
@@ -232,7 +272,11 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                             for vid in vals.iter() {
                                 let addr = match store.val(vid) {
                                     AVal::Pair { car, cdr } => {
-                                        if want_car { car.clone() } else { cdr.clone() }
+                                        if want_car {
+                                            car.clone()
+                                        } else {
+                                            cdr.clone()
+                                        }
                                     }
                                     _ => continue,
                                 };
@@ -257,17 +301,42 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
             CallKind::Fix { bindings, body } => {
                 for (name, lam) in bindings {
                     store.join(
-                        &AddrM { slot: Slot::Var(*name), env: config.env.clone() },
-                        [AVal::Clo { lam: *lam, env: config.env.clone() }],
+                        &AddrM {
+                            slot: Slot::Var(*name),
+                            env: config.env.clone(),
+                        },
+                        [AVal::Clo {
+                            lam: *lam,
+                            env: config.env.clone(),
+                        }],
                     );
                 }
-                out.push(MConfig { call: *body, env: config.env.clone() });
+                out.push(MConfig {
+                    call: *body,
+                    env: config.env.clone(),
+                });
             }
             CallKind::Halt { value } => {
                 let vals = self.eval(value, &config.env, store);
                 self.halt_values.extend(store.materialize(&vals));
             }
         }
+    }
+}
+
+impl<'p> crate::parallel::ParallelMachine for FlatCfaMachine<'p> {
+    fn fork(&self) -> Self {
+        FlatCfaMachine::new(self.program, self.bound, self.policy)
+    }
+
+    fn absorb(&mut self, worker: Self) {
+        for (site, (lams, saw_non_clo)) in worker.operator_flows {
+            let entry = self.operator_flows.entry(site).or_default();
+            entry.0.extend(lams);
+            entry.1 |= saw_non_clo;
+        }
+        self.lam_entry_envs.extend(worker.lam_entry_envs);
+        self.halt_values.extend(worker.halt_values);
     }
 }
 
@@ -285,8 +354,15 @@ impl<'p> FlatCfaMachine<'p> {
     ) -> FlowSet<ValM> {
         match e {
             AExp::Lit(l) => std::iter::once(AVal::Basic(AbsBasic::from_lit(*l))).collect(),
-            AExp::Var(v) => store.read(&AddrM { slot: Slot::Var(*v), env: env.clone() }),
-            AExp::Lam(l) => std::iter::once(AVal::Clo { lam: *l, env: env.clone() }).collect(),
+            AExp::Var(v) => store.read(&AddrM {
+                slot: Slot::Var(*v),
+                env: env.clone(),
+            }),
+            AExp::Lam(l) => std::iter::once(AVal::Clo {
+                lam: *l,
+                env: env.clone(),
+            })
+            .collect(),
         }
     }
 
@@ -324,20 +400,32 @@ impl<'p> FlatCfaMachine<'p> {
             };
             for (&p, values) in lam_data.params.iter().zip(args) {
                 store.join(
-                    AddrM { slot: Slot::Var(p), env: fresh.clone() },
+                    AddrM {
+                        slot: Slot::Var(p),
+                        env: fresh.clone(),
+                    },
                     values.iter().cloned(),
                 );
             }
             for &fv in self.program.free_vars(*lam) {
-                let from = AddrM { slot: Slot::Var(fv), env: saved.clone() };
-                let to = AddrM { slot: Slot::Var(fv), env: fresh.clone() };
+                let from = AddrM {
+                    slot: Slot::Var(fv),
+                    env: saved.clone(),
+                };
+                let to = AddrM {
+                    slot: Slot::Var(fv),
+                    env: fresh.clone(),
+                };
                 if from != to {
                     let values = store.read(&from);
                     store.join(to, values);
                 }
             }
             self.lam_entry_envs.push((*lam, fresh.clone()));
-            out.push(MConfig { call: lam_data.body, env: fresh });
+            out.push(MConfig {
+                call: lam_data.body,
+                env: fresh,
+            });
         }
     }
 }
@@ -361,8 +449,10 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval_ref(func, &config.env, store);
-                let arg_sets: Vec<FlowSet<ValM>> =
-                    args.iter().map(|a| self.eval_ref(a, &config.env, store)).collect();
+                let arg_sets: Vec<FlowSet<ValM>> = args
+                    .iter()
+                    .map(|a| self.eval_ref(a, &config.env, store))
+                    .collect();
                 self.apply_ref(
                     config.call,
                     call_data.label,
@@ -373,18 +463,30 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                     out,
                 );
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cset = self.eval_ref(cond, &config.env, store);
                 if cset.iter().any(AVal::maybe_truthy) {
-                    out.push(MConfig { call: *then_branch, env: config.env.clone() });
+                    out.push(MConfig {
+                        call: *then_branch,
+                        env: config.env.clone(),
+                    });
                 }
                 if cset.iter().any(AVal::maybe_falsy) {
-                    out.push(MConfig { call: *else_branch, env: config.env.clone() });
+                    out.push(MConfig {
+                        call: *else_branch,
+                        env: config.env.clone(),
+                    });
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<FlowSet<ValM>> =
-                    args.iter().map(|a| self.eval_ref(a, &config.env, store)).collect();
+                let arg_sets: Vec<FlowSet<ValM>> = args
+                    .iter()
+                    .map(|a| self.eval_ref(a, &config.env, store))
+                    .collect();
                 let kset = self.eval_ref(cont, &config.env, store);
                 let mut results: FlowSet<ValM> = FlowSet::new();
                 match classify(*op) {
@@ -393,10 +495,14 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                         results.extend(bs.iter().map(|b| AVal::Basic(*b)));
                     }
                     PrimSpec::AllocPair => {
-                        let car =
-                            AddrM { slot: Slot::Car(call_data.label), env: config.env.clone() };
-                        let cdr =
-                            AddrM { slot: Slot::Cdr(call_data.label), env: config.env.clone() };
+                        let car = AddrM {
+                            slot: Slot::Car(call_data.label),
+                            env: config.env.clone(),
+                        };
+                        let cdr = AddrM {
+                            slot: Slot::Cdr(call_data.label),
+                            env: config.env.clone(),
+                        };
                         if let Some(vals) = arg_sets.first() {
                             store.join(car.clone(), vals.iter().cloned());
                         }
@@ -432,11 +538,20 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
             CallKind::Fix { bindings, body } => {
                 for (name, lam) in bindings {
                     store.join(
-                        AddrM { slot: Slot::Var(*name), env: config.env.clone() },
-                        [AVal::Clo { lam: *lam, env: config.env.clone() }],
+                        AddrM {
+                            slot: Slot::Var(*name),
+                            env: config.env.clone(),
+                        },
+                        [AVal::Clo {
+                            lam: *lam,
+                            env: config.env.clone(),
+                        }],
                     );
                 }
-                out.push(MConfig { call: *body, env: config.env.clone() });
+                out.push(MConfig {
+                    call: *body,
+                    env: config.env.clone(),
+                });
             }
             CallKind::Halt { value } => {
                 let vals = self.eval_ref(value, &config.env, store);
@@ -474,18 +589,34 @@ fn analyze_flat(
         &machine.lam_entry_envs,
         &machine.halt_values,
     );
-    FlatCfaResult { fixpoint, metrics, halt_values: machine.halt_values }
+    FlatCfaResult {
+        fixpoint,
+        metrics,
+        halt_values: machine.halt_values,
+    }
 }
 
 /// Runs m-CFA with top-`m`-frames contexts.
 pub fn analyze_mcfa(program: &CpsProgram, m: usize, limits: EngineLimits) -> FlatCfaResult {
-    analyze_flat(program, m, FlatPolicy::TopMFrames, format!("m-CFA(m={m})"), limits)
+    analyze_flat(
+        program,
+        m,
+        FlatPolicy::TopMFrames,
+        format!("m-CFA(m={m})"),
+        limits,
+    )
 }
 
 /// Runs naive polynomial k-CFA (flat environments, last-`k`-call-sites
 /// contexts).
 pub fn analyze_poly_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -> FlatCfaResult {
-    analyze_flat(program, k, FlatPolicy::LastKCalls, format!("poly-k-CFA(k={k})"), limits)
+    analyze_flat(
+        program,
+        k,
+        FlatPolicy::LastKCalls,
+        format!("poly-k-CFA(k={k})"),
+        limits,
+    )
 }
 
 /// Renders a flat-machine abstract value (re-exported convenience).
@@ -518,7 +649,11 @@ mod tests {
     fn identity_distinguished_under_m1() {
         let r = mcfa("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
         assert!(r.metrics.halt_values.contains("4"));
-        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(
+            !r.metrics.halt_values.contains("3"),
+            "{:?}",
+            r.metrics.halt_values
+        );
     }
 
     #[test]
@@ -563,7 +698,11 @@ mod tests {
         // context-sensitive analyses agree the result is 4 only.
         let r = poly("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
         assert!(r.metrics.halt_values.contains("4"));
-        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(
+            !r.metrics.halt_values.contains("3"),
+            "{:?}",
+            r.metrics.halt_values
+        );
     }
 
     #[test]
@@ -587,7 +726,11 @@ mod tests {
              (let ((x 10)) (if (zero? (id 5)) x x))",
             1,
         );
-        assert!(r.metrics.halt_values.contains("10"), "{:?}", r.metrics.halt_values);
+        assert!(
+            r.metrics.halt_values.contains("10"),
+            "{:?}",
+            r.metrics.halt_values
+        );
     }
 
     #[test]
@@ -612,7 +755,11 @@ mod tests {
     fn env_counts_are_polynomial_shaped() {
         // Two call sites of id ⇒ at most 2 entry envs under m=1.
         let r = mcfa("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
-        assert!(r.metrics.max_env_count() <= 3, "{:?}", r.metrics.lam_env_counts);
+        assert!(
+            r.metrics.max_env_count() <= 3,
+            "{:?}",
+            r.metrics.lam_env_counts
+        );
     }
 
     #[test]
@@ -660,7 +807,11 @@ mod tests {
     #[test]
     fn depth_beyond_m_merges() {
         let r = mcfa(DEPTH2, 1);
-        assert!(r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(
+            r.metrics.halt_values.contains("3"),
+            "{:?}",
+            r.metrics.halt_values
+        );
         assert!(r.metrics.halt_values.contains("4"));
     }
 

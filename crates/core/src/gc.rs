@@ -22,14 +22,19 @@ use std::rc::Rc;
 
 /// Computes the addresses reachable from `roots` through the store
 /// (closure environments and pair fields).
-pub fn reachable_addrs(store: &NaiveStore, roots: impl IntoIterator<Item = AddrK>) -> BTreeSet<AddrK> {
+pub fn reachable_addrs(
+    store: &NaiveStore,
+    roots: impl IntoIterator<Item = AddrK>,
+) -> BTreeSet<AddrK> {
     let mut seen: BTreeSet<AddrK> = BTreeSet::new();
     let mut work: Vec<AddrK> = roots.into_iter().collect();
     while let Some(addr) = work.pop() {
         if !seen.insert(addr.clone()) {
             continue;
         }
-        let Some(values) = store.get(&addr) else { continue };
+        let Some(values) = store.get(&addr) else {
+            continue;
+        };
         for v in values {
             match v {
                 AVal::Basic(_) => {}
@@ -87,7 +92,10 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn addr(i: usize) -> AddrK {
-        AddrK { slot: Slot::Var(Symbol::from_index(i)), time: CallString::empty() }
+        AddrK {
+            slot: Slot::Var(Symbol::from_index(i)),
+            time: CallString::empty(),
+        }
     }
 
     fn store_of(entries: Vec<(AddrK, Vec<ValK>)>) -> NaiveStore {
@@ -115,22 +123,43 @@ mod tests {
     fn closure_environments_keep_addresses_live() {
         let captured = BEnvK::empty().extend([(Symbol::from_index(2), addr(2))]);
         let store = store_of(vec![
-            (addr(0), vec![AVal::Clo { lam: LamId(0), env: captured }]),
+            (
+                addr(0),
+                vec![AVal::Clo {
+                    lam: LamId(0),
+                    env: captured,
+                }],
+            ),
             (addr(2), vec![AVal::Basic(AbsBasic::Int(9))]),
             (addr(3), vec![AVal::Basic(AbsBasic::Int(8))]),
         ]);
         let benv = BEnvK::empty().extend([(Symbol::from_index(0), addr(0))]);
         let collected = collect(&store, &benv);
-        assert!(collected.contains_key(&addr(2)), "captured address must stay live");
+        assert!(
+            collected.contains_key(&addr(2)),
+            "captured address must stay live"
+        );
         assert!(!collected.contains_key(&addr(3)));
     }
 
     #[test]
     fn pairs_keep_both_halves_live() {
-        let car = AddrK { slot: Slot::Car(Label(0)), time: CallString::empty() };
-        let cdr = AddrK { slot: Slot::Cdr(Label(0)), time: CallString::empty() };
+        let car = AddrK {
+            slot: Slot::Car(Label(0)),
+            time: CallString::empty(),
+        };
+        let cdr = AddrK {
+            slot: Slot::Cdr(Label(0)),
+            time: CallString::empty(),
+        };
         let store = store_of(vec![
-            (addr(0), vec![AVal::Pair { car: car.clone(), cdr: cdr.clone() }]),
+            (
+                addr(0),
+                vec![AVal::Pair {
+                    car: car.clone(),
+                    cdr: cdr.clone(),
+                }],
+            ),
             (car.clone(), vec![AVal::Basic(AbsBasic::Int(1))]),
             (cdr.clone(), vec![AVal::Basic(AbsBasic::Nil)]),
         ]);

@@ -23,7 +23,7 @@
 //! assert!(result.metrics.halt_values.contains("42"));
 //! ```
 
-use crate::domain::{AbsBasic, AVal, CallString};
+use crate::domain::{AVal, AbsBasic, CallString};
 use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
 use crate::fxhash::FxHashSet;
 use crate::prim::{classify, PrimSpec};
@@ -34,7 +34,7 @@ use cfa_concrete::base::Slot;
 use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, LamId, LamSort};
 use cfa_syntax::intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A k-CFA abstract address: slot × abstract time (`Var × Callᵏ`).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -46,7 +46,7 @@ pub struct AddrK {
 }
 
 /// A k-CFA binding environment: a *map* from variables to addresses,
-/// stored as a sorted vector behind `Rc`, with its structural hash
+/// stored as a sorted vector behind `Arc`, with its structural hash
 /// **precomputed at construction**.
 ///
 /// Structural equality/ordering means environments are compared by
@@ -56,12 +56,12 @@ pub struct AddrK {
 /// Environments are the deepest keys on the hot path — every config
 /// intern, closure intern, and entry-env metric insert hashes one — so
 /// re-walking the binding vector per hash would dominate the profile.
-/// The cached hash makes those O(1), and equality gets an `Rc` pointer
+/// The cached hash makes those O(1), and equality gets an `Arc` pointer
 /// fast path plus a cheap hash-mismatch early exit.
 #[derive(Clone, Debug)]
 pub struct BEnvK {
     hash: u64,
-    items: Rc<Vec<(Symbol, AddrK)>>,
+    items: Arc<Vec<(Symbol, AddrK)>>,
 }
 
 impl Default for BEnvK {
@@ -73,7 +73,7 @@ impl Default for BEnvK {
 impl PartialEq for BEnvK {
     fn eq(&self, other: &Self) -> bool {
         self.hash == other.hash
-            && (Rc::ptr_eq(&self.items, &other.items) || self.items == other.items)
+            && (Arc::ptr_eq(&self.items, &other.items) || self.items == other.items)
     }
 }
 
@@ -102,7 +102,10 @@ impl BEnvK {
         use std::hash::{Hash as _, Hasher as _};
         let mut h = crate::fxhash::FxHasher::default();
         items.hash(&mut h);
-        BEnvK { hash: h.finish(), items: Rc::new(items) }
+        BEnvK {
+            hash: h.finish(),
+            items: Arc::new(items),
+        }
     }
 
     /// The empty environment.
@@ -185,7 +188,7 @@ pub struct KCfaMachine<'p> {
     /// Values reaching `%halt`.
     halt_values: BTreeSet<ValK>,
     /// Hash-consed environments: structurally equal environments share
-    /// one `Rc`, so equality checks on the hot path are pointer
+    /// one `Arc`, so equality checks on the hot path are pointer
     /// comparisons. Only the interned-engine path canonicalizes; the
     /// reference path keeps the original allocation behavior.
     env_pool: FxHashSet<BEnvK>,
@@ -232,9 +235,14 @@ impl<'p> KCfaMachine<'p> {
                 None => Flow::empty(),
             },
             AExp::Lam(l) => {
-                let captured =
-                    canon_env(&mut self.env_pool, benv.restrict(self.program.free_vars(*l)));
-                Flow::singleton(store.intern(AVal::Clo { lam: *l, env: captured }))
+                let captured = canon_env(
+                    &mut self.env_pool,
+                    benv.restrict(self.program.free_vars(*l)),
+                );
+                Flow::singleton(store.intern(AVal::Clo {
+                    lam: *l,
+                    env: captured,
+                }))
             }
         }
     }
@@ -268,14 +276,26 @@ impl<'p> KCfaMachine<'p> {
             let bindings: Vec<(Symbol, AddrK)> = lam_data
                 .params
                 .iter()
-                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .map(|&p| {
+                    (
+                        p,
+                        AddrK {
+                            slot: Slot::Var(p),
+                            time: t_new.clone(),
+                        },
+                    )
+                })
                 .collect();
             for ((_, addr), values) in bindings.iter().zip(args) {
                 store.join_flow(addr, values);
             }
             let extended = canon_env(&mut self.env_pool, env.extend(bindings));
             self.lam_entry_envs.push((lam, extended.clone()));
-            out.push(KConfig { call: lam_data.body, benv: extended, time: t_new.clone() });
+            out.push(KConfig {
+                call: lam_data.body,
+                benv: extended,
+                time: t_new.clone(),
+            });
         }
     }
 }
@@ -286,7 +306,11 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
     type Val = ValK;
 
     fn initial(&self) -> KConfig {
-        KConfig { call: self.program.entry(), benv: BEnvK::empty(), time: CallString::empty() }
+        KConfig {
+            call: self.program.entry(),
+            benv: BEnvK::empty(),
+            time: CallString::empty(),
+        }
     }
 
     fn step(
@@ -299,25 +323,39 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.benv, store);
-                let arg_sets: Vec<Flow> =
-                    args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
+                let arg_sets: Vec<Flow> = args
+                    .iter()
+                    .map(|a| self.eval(a, &config.benv, store))
+                    .collect();
                 let t_new = self.tick(call_data.label, &config.time);
                 self.apply(config.call, &fset, &arg_sets, &t_new, store, out);
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cset = self.eval(cond, &config.benv, store);
                 let truthy = cset.iter().any(|id| store.val(id).maybe_truthy());
                 let falsy = cset.iter().any(|id| store.val(id).maybe_falsy());
                 if truthy {
-                    out.push(KConfig { call: *then_branch, ..config.clone() });
+                    out.push(KConfig {
+                        call: *then_branch,
+                        ..config.clone()
+                    });
                 }
                 if falsy {
-                    out.push(KConfig { call: *else_branch, ..config.clone() });
+                    out.push(KConfig {
+                        call: *else_branch,
+                        ..config.clone()
+                    });
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<Flow> =
-                    args.iter().map(|a| self.eval(a, &config.benv, store)).collect();
+                let arg_sets: Vec<Flow> = args
+                    .iter()
+                    .map(|a| self.eval(a, &config.benv, store))
+                    .collect();
                 let kset = self.eval(cont, &config.benv, store);
                 let t_new = self.tick(call_data.label, &config.time);
                 let mut result_ids: Vec<u32> = Vec::new();
@@ -327,8 +365,14 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                         result_ids.extend(bs.iter().map(|b| store.intern(AVal::Basic(*b))));
                     }
                     PrimSpec::AllocPair => {
-                        let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
-                        let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                        let car = AddrK {
+                            slot: Slot::Car(call_data.label),
+                            time: t_new.clone(),
+                        };
+                        let cdr = AddrK {
+                            slot: Slot::Cdr(call_data.label),
+                            time: t_new.clone(),
+                        };
                         if let Some(vals) = arg_sets.first() {
                             store.join_flow(&car, vals);
                         }
@@ -343,7 +387,11 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                             for vid in vals.iter() {
                                 let addr = match store.val(vid) {
                                     AVal::Pair { car, cdr } => {
-                                        if want_car { car.clone() } else { cdr.clone() }
+                                        if want_car {
+                                            car.clone()
+                                        } else {
+                                            cdr.clone()
+                                        }
                                     }
                                     _ => continue,
                                 };
@@ -362,25 +410,61 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 let addrs: Vec<(Symbol, AddrK)> = bindings
                     .iter()
                     .map(|(name, _)| {
-                        (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() })
+                        (
+                            *name,
+                            AddrK {
+                                slot: Slot::Var(*name),
+                                time: t_new.clone(),
+                            },
+                        )
                     })
                     .collect();
-                let extended =
-                    canon_env(&mut self.env_pool, config.benv.extend(addrs.iter().cloned()));
+                let extended = canon_env(
+                    &mut self.env_pool,
+                    config.benv.extend(addrs.iter().cloned()),
+                );
                 for ((_, lam), (_, addr)) in bindings.iter().zip(&addrs) {
                     let captured = canon_env(
                         &mut self.env_pool,
                         extended.restrict(self.program.free_vars(*lam)),
                     );
-                    store.join(addr, [AVal::Clo { lam: *lam, env: captured }]);
+                    store.join(
+                        addr,
+                        [AVal::Clo {
+                            lam: *lam,
+                            env: captured,
+                        }],
+                    );
                 }
-                out.push(KConfig { call: *body, benv: extended, time: t_new });
+                out.push(KConfig {
+                    call: *body,
+                    benv: extended,
+                    time: t_new,
+                });
             }
             CallKind::Halt { value } => {
                 let vals = self.eval(value, &config.benv, store);
                 self.halt_values.extend(store.materialize(&vals));
             }
         }
+    }
+}
+
+impl<'p> crate::parallel::ParallelMachine for KCfaMachine<'p> {
+    fn fork(&self) -> Self {
+        KCfaMachine::new(self.program, self.k)
+    }
+
+    fn absorb(&mut self, worker: Self) {
+        for (site, (lams, saw_non_clo)) in worker.operator_flows {
+            let entry = self.operator_flows.entry(site).or_default();
+            entry.0.extend(lams);
+            entry.1 |= saw_non_clo;
+        }
+        self.lam_entry_envs.extend(worker.lam_entry_envs);
+        self.halt_values.extend(worker.halt_values);
+        // `env_pool` is a worker-local hash-consing cache; nothing to
+        // keep.
     }
 }
 
@@ -404,7 +488,11 @@ impl<'p> KCfaMachine<'p> {
             },
             AExp::Lam(l) => {
                 let captured = benv.restrict(self.program.free_vars(*l));
-                std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+                std::iter::once(AVal::Clo {
+                    lam: *l,
+                    env: captured,
+                })
+                .collect()
             }
         }
     }
@@ -433,14 +521,26 @@ impl<'p> KCfaMachine<'p> {
             let bindings: Vec<(Symbol, AddrK)> = lam_data
                 .params
                 .iter()
-                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .map(|&p| {
+                    (
+                        p,
+                        AddrK {
+                            slot: Slot::Var(p),
+                            time: t_new.clone(),
+                        },
+                    )
+                })
                 .collect();
             for ((_, addr), values) in bindings.iter().zip(args) {
                 store.join(addr.clone(), values.iter().cloned());
             }
             let extended = env.extend(bindings);
             self.lam_entry_envs.push((*lam, extended.clone()));
-            out.push(KConfig { call: lam_data.body, benv: extended, time: t_new.clone() });
+            out.push(KConfig {
+                call: lam_data.body,
+                benv: extended,
+                time: t_new.clone(),
+            });
         }
     }
 }
@@ -464,23 +564,37 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval_ref(func, &config.benv, store);
-                let arg_sets: Vec<FlowSet<ValK>> =
-                    args.iter().map(|a| self.eval_ref(a, &config.benv, store)).collect();
+                let arg_sets: Vec<FlowSet<ValK>> = args
+                    .iter()
+                    .map(|a| self.eval_ref(a, &config.benv, store))
+                    .collect();
                 let t_new = self.tick(call_data.label, &config.time);
                 self.apply_ref(config.call, &fset, &arg_sets, &t_new, store, out);
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cset = self.eval_ref(cond, &config.benv, store);
                 if cset.iter().any(AVal::maybe_truthy) {
-                    out.push(KConfig { call: *then_branch, ..config.clone() });
+                    out.push(KConfig {
+                        call: *then_branch,
+                        ..config.clone()
+                    });
                 }
                 if cset.iter().any(AVal::maybe_falsy) {
-                    out.push(KConfig { call: *else_branch, ..config.clone() });
+                    out.push(KConfig {
+                        call: *else_branch,
+                        ..config.clone()
+                    });
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<FlowSet<ValK>> =
-                    args.iter().map(|a| self.eval_ref(a, &config.benv, store)).collect();
+                let arg_sets: Vec<FlowSet<ValK>> = args
+                    .iter()
+                    .map(|a| self.eval_ref(a, &config.benv, store))
+                    .collect();
                 let kset = self.eval_ref(cont, &config.benv, store);
                 let t_new = self.tick(call_data.label, &config.time);
                 let mut results: FlowSet<ValK> = FlowSet::new();
@@ -490,8 +604,14 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
                         results.extend(bs.iter().map(|b| AVal::Basic(*b)));
                     }
                     PrimSpec::AllocPair => {
-                        let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
-                        let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                        let car = AddrK {
+                            slot: Slot::Car(call_data.label),
+                            time: t_new.clone(),
+                        };
+                        let cdr = AddrK {
+                            slot: Slot::Cdr(call_data.label),
+                            time: t_new.clone(),
+                        };
                         if let Some(vals) = arg_sets.first() {
                             store.join(car.clone(), vals.iter().cloned());
                         }
@@ -521,15 +641,31 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
                 let addrs: Vec<(Symbol, AddrK)> = bindings
                     .iter()
                     .map(|(name, _)| {
-                        (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() })
+                        (
+                            *name,
+                            AddrK {
+                                slot: Slot::Var(*name),
+                                time: t_new.clone(),
+                            },
+                        )
                     })
                     .collect();
                 let extended = config.benv.extend(addrs.iter().cloned());
                 for ((_, lam), (_, addr)) in bindings.iter().zip(&addrs) {
                     let captured = extended.restrict(self.program.free_vars(*lam));
-                    store.join(addr.clone(), [AVal::Clo { lam: *lam, env: captured }]);
+                    store.join(
+                        addr.clone(),
+                        [AVal::Clo {
+                            lam: *lam,
+                            env: captured,
+                        }],
+                    );
                 }
-                out.push(KConfig { call: *body, benv: extended, time: t_new });
+                out.push(KConfig {
+                    call: *body,
+                    benv: extended,
+                    time: t_new,
+                });
             }
             CallKind::Halt { value } => {
                 let vals = self.eval_ref(value, &config.benv, store);
@@ -562,7 +698,11 @@ pub fn analyze_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -> Kcf
         &machine.lam_entry_envs,
         &machine.halt_values,
     );
-    KcfaResult { fixpoint, metrics, halt_values: machine.halt_values }
+    KcfaResult {
+        fixpoint,
+        metrics,
+        halt_values: machine.halt_values,
+    }
 }
 
 /// Renders an abstract value for summaries (`3`, `int⊤`, `#<proc:ℓ4>`…).
@@ -644,8 +784,14 @@ mod tests {
 
     #[test]
     fn benv_lookup_and_extend() {
-        let a0 = AddrK { slot: Slot::Var(Symbol::from_index(0)), time: CallString::empty() };
-        let a1 = AddrK { slot: Slot::Var(Symbol::from_index(1)), time: CallString::empty() };
+        let a0 = AddrK {
+            slot: Slot::Var(Symbol::from_index(0)),
+            time: CallString::empty(),
+        };
+        let a1 = AddrK {
+            slot: Slot::Var(Symbol::from_index(1)),
+            time: CallString::empty(),
+        };
         let x = Symbol::from_index(0);
         let y = Symbol::from_index(1);
         let env = BEnvK::empty().extend([(y, a1.clone()), (x, a0.clone())]);
@@ -662,7 +808,10 @@ mod tests {
     fn benv_restrict_keeps_only_requested() {
         let x = Symbol::from_index(0);
         let y = Symbol::from_index(1);
-        let a = AddrK { slot: Slot::Var(x), time: CallString::empty() };
+        let a = AddrK {
+            slot: Slot::Var(x),
+            time: CallString::empty(),
+        };
         let env = BEnvK::empty().extend([(x, a.clone()), (y, a.clone())]);
         let r = env.restrict(&[x]);
         assert_eq!(r.len(), 1);
@@ -673,14 +822,21 @@ mod tests {
     fn constant_program() {
         let r = analyze("42", 0);
         assert!(r.metrics.status.is_complete());
-        assert_eq!(r.metrics.halt_values, ["42".to_owned()].into_iter().collect());
+        assert_eq!(
+            r.metrics.halt_values,
+            ["42".to_owned()].into_iter().collect()
+        );
     }
 
     #[test]
     fn identity_chain_flows_constant() {
         for k in [0, 1, 2] {
             let r = analyze("(define (id x) x) (id (id 42))", k);
-            assert!(r.metrics.halt_values.contains("42"), "k={k}: {:?}", r.metrics.halt_values);
+            assert!(
+                r.metrics.halt_values.contains("42"),
+                "k={k}: {:?}",
+                r.metrics.halt_values
+            );
         }
     }
 
@@ -688,14 +844,22 @@ mod tests {
     fn zero_cfa_merges_identity_arguments() {
         let r = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 0);
         // Under 0CFA both 3 and 4 flow out of id.
-        assert!(r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(
+            r.metrics.halt_values.contains("3"),
+            "{:?}",
+            r.metrics.halt_values
+        );
         assert!(r.metrics.halt_values.contains("4"));
     }
 
     #[test]
     fn one_cfa_distinguishes_identity_arguments() {
         let r = analyze("(define (id x) x) (let ((a (id 3))) (id 4))", 1);
-        assert!(!r.metrics.halt_values.contains("3"), "{:?}", r.metrics.halt_values);
+        assert!(
+            !r.metrics.halt_values.contains("3"),
+            "{:?}",
+            r.metrics.halt_values
+        );
         assert!(r.metrics.halt_values.contains("4"));
     }
 
@@ -710,7 +874,11 @@ mod tests {
     fn literal_condition_prunes_dead_arm() {
         let r = analyze("(if #t 10 20)", 0);
         assert!(r.metrics.halt_values.contains("10"));
-        assert!(!r.metrics.halt_values.contains("20"), "{:?}", r.metrics.halt_values);
+        assert!(
+            !r.metrics.halt_values.contains("20"),
+            "{:?}",
+            r.metrics.halt_values
+        );
     }
 
     #[test]
@@ -722,7 +890,11 @@ mod tests {
         assert!(r.metrics.status.is_complete());
         // The base case returns the literal 0; the recursive tower collapses
         // int arithmetic to int⊤.
-        assert!(r.metrics.halt_values.contains("0"), "{:?}", r.metrics.halt_values);
+        assert!(
+            r.metrics.halt_values.contains("0"),
+            "{:?}",
+            r.metrics.halt_values
+        );
     }
 
     #[test]
@@ -734,7 +906,11 @@ mod tests {
     #[test]
     fn pairs_flow_through_store() {
         let r = analyze("(car (cons 41 99))", 1);
-        assert!(r.metrics.halt_values.contains("41"), "{:?}", r.metrics.halt_values);
+        assert!(
+            r.metrics.halt_values.contains("41"),
+            "{:?}",
+            r.metrics.halt_values
+        );
         assert!(!r.metrics.halt_values.contains("99"));
     }
 
@@ -788,10 +964,7 @@ mod tests {
     #[test]
     fn iteration_limit_reports_incomplete() {
         let r = {
-            let p = cfa_syntax::compile(
-                "(define (f x) (f x)) (f (lambda (y) y))",
-            )
-            .unwrap();
+            let p = cfa_syntax::compile("(define (f x) (f x)) (f (lambda (y) y))").unwrap();
             analyze_kcfa(&p, 1, EngineLimits::iterations(2))
         };
         assert!(!r.metrics.status.is_complete());

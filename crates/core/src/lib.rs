@@ -37,6 +37,7 @@ pub mod fxhash;
 pub mod gc;
 pub mod kcfa;
 pub mod naive;
+pub mod parallel;
 pub mod prim;
 pub mod reference;
 pub mod report;
@@ -45,7 +46,7 @@ pub mod soundness;
 pub mod store;
 pub mod zerocfa_datalog;
 
-pub use domain::{AbsBasic, AVal, CallString};
+pub use domain::{AVal, AbsBasic, CallString};
 pub use engine::{EngineLimits, Status};
 pub use flatcfa::{analyze_mcfa, analyze_poly_kcfa, FlatCfaResult, FlatPolicy};
 pub use kcfa::{analyze_kcfa, KcfaResult};
@@ -53,6 +54,7 @@ pub use naive::{
     analyze_kcfa_naive, analyze_kcfa_naive_gamma, analyze_kcfa_naive_with, Count, GammaOptions,
     NaiveLimits, NaiveResult,
 };
+pub use parallel::{run_fixpoint_parallel, ParallelMachine};
 pub use results::Metrics;
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};
 
@@ -120,8 +122,10 @@ mod tests {
 
     #[test]
     fn panel_names_are_distinct() {
-        let names: std::collections::BTreeSet<String> =
-            Analysis::paper_panel().iter().map(|a| a.short_name()).collect();
+        let names: std::collections::BTreeSet<String> = Analysis::paper_panel()
+            .iter()
+            .map(|a| a.short_name())
+            .collect();
         assert_eq!(names.len(), 4);
     }
 

@@ -14,13 +14,13 @@
 //! addresses are *singular* (stand for at most one concrete address —
 //! the precondition for must-alias reasoning and strong updates).
 
-use crate::domain::{AbsBasic, AVal, CallString};
+use crate::domain::{AVal, AbsBasic, CallString};
 use crate::engine::Status;
 use crate::kcfa::{render_val, AddrK, BEnvK, ValK};
 use crate::prim::{classify, PrimSpec};
 use crate::store::FlowSet;
 use cfa_concrete::base::Slot;
-use cfa_syntax::cps::{AExp, CallKind, CpsProgram, CallId};
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram};
 use cfa_syntax::intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::rc::Rc;
@@ -90,7 +90,10 @@ pub struct NaiveLimits {
 
 impl Default for NaiveLimits {
     fn default() -> Self {
-        NaiveLimits { max_states: 1_000_000, time_budget: None }
+        NaiveLimits {
+            max_states: 1_000_000,
+            time_budget: None,
+        }
     }
 }
 
@@ -166,10 +169,17 @@ fn join(
         return (store.clone(), counts.clone());
     }
     let mut next = (**store).clone();
-    let mut next_counts = if counting { (**counts).clone() } else { BTreeMap::new() };
+    let mut next_counts = if counting {
+        (**counts).clone()
+    } else {
+        BTreeMap::new()
+    };
     for (addr, values) in entries {
         if counting {
-            next_counts.entry(addr.clone()).and_modify(|c| *c = c.bump()).or_insert(Count::One);
+            next_counts
+                .entry(addr.clone())
+                .and_modify(|c| *c = c.bump())
+                .or_insert(Count::One);
         }
         next.entry(addr).or_default().extend(values);
     }
@@ -182,7 +192,11 @@ fn eval(program: &CpsProgram, e: &AExp, benv: &BEnvK, store: &NaiveStore) -> Flo
         AExp::Var(v) => benv.get(*v).map(|a| read(store, a)).unwrap_or_default(),
         AExp::Lam(l) => {
             let captured = benv.restrict(program.free_vars(*l));
-            std::iter::once(AVal::Clo { lam: *l, env: captured }).collect()
+            std::iter::once(AVal::Clo {
+                lam: *l,
+                env: captured,
+            })
+            .collect()
         }
     }
 }
@@ -212,12 +226,13 @@ fn successors(
             // Record super-β evidence: the applied λ, and whether its
             // captured addresses are all singular in this state's μ̂.
             let singular = counting
-                && env.iter().all(|(_, addr)| {
-                    counts.get(addr).copied().unwrap_or(Count::One) == Count::One
-                });
-            let entry = evidence
-                .entry(site)
-                .or_insert(SiteEvidence { lams: BTreeSet::new(), captures_singular: true });
+                && env
+                    .iter()
+                    .all(|(_, addr)| counts.get(addr).copied().unwrap_or(Count::One) == Count::One);
+            let entry = evidence.entry(site).or_insert(SiteEvidence {
+                lams: BTreeSet::new(),
+                captures_singular: true,
+            });
             entry.lams.insert(*lam);
             entry.captures_singular &= singular;
             let lam_data = program.lam(*lam);
@@ -227,7 +242,15 @@ fn successors(
             let bindings: Vec<(Symbol, AddrK)> = lam_data
                 .params
                 .iter()
-                .map(|&p| (p, AddrK { slot: Slot::Var(p), time: t_new.clone() }))
+                .map(|&p| {
+                    (
+                        p,
+                        AddrK {
+                            slot: Slot::Var(p),
+                            time: t_new.clone(),
+                        },
+                    )
+                })
                 .collect();
             let entries: Vec<(AddrK, FlowSet<ValK>)> = bindings
                 .iter()
@@ -254,15 +277,33 @@ fn successors(
                 .map(|a| eval(program, a, &state.benv, &state.store))
                 .collect();
             let t_new = state.time.push(call_data.label, k);
-            apply(&fset, &arg_sets, &t_new, &state.store, &state.counts, evidence, &mut out);
+            apply(
+                &fset,
+                &arg_sets,
+                &t_new,
+                &state.store,
+                &state.counts,
+                evidence,
+                &mut out,
+            );
         }
-        CallKind::If { cond, then_branch, else_branch } => {
+        CallKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let cset = eval(program, cond, &state.benv, &state.store);
             if cset.iter().any(AVal::maybe_truthy) {
-                out.push(NaiveState { call: *then_branch, ..state.clone() });
+                out.push(NaiveState {
+                    call: *then_branch,
+                    ..state.clone()
+                });
             }
             if cset.iter().any(AVal::maybe_falsy) {
-                out.push(NaiveState { call: *else_branch, ..state.clone() });
+                out.push(NaiveState {
+                    call: *else_branch,
+                    ..state.clone()
+                });
             }
         }
         CallKind::PrimCall { op, args, cont } => {
@@ -279,8 +320,14 @@ fn successors(
                 PrimSpec::Abort => return out,
                 PrimSpec::Basics(bs) => results.extend(bs.iter().map(|b| AVal::Basic(*b))),
                 PrimSpec::AllocPair => {
-                    let car = AddrK { slot: Slot::Car(call_data.label), time: t_new.clone() };
-                    let cdr = AddrK { slot: Slot::Cdr(call_data.label), time: t_new.clone() };
+                    let car = AddrK {
+                        slot: Slot::Car(call_data.label),
+                        time: t_new.clone(),
+                    };
+                    let cdr = AddrK {
+                        slot: Slot::Cdr(call_data.label),
+                        time: t_new.clone(),
+                    };
                     let mut entries = Vec::new();
                     if let Some(vals) = arg_sets.first() {
                         entries.push((car.clone(), vals.clone()));
@@ -304,14 +351,30 @@ fn successors(
                 }
             }
             if !results.is_empty() {
-                apply(&kset, &[results], &t_new, &store, &counts, evidence, &mut out);
+                apply(
+                    &kset,
+                    &[results],
+                    &t_new,
+                    &store,
+                    &counts,
+                    evidence,
+                    &mut out,
+                );
             }
         }
         CallKind::Fix { bindings, body } => {
             let t_new = state.time.push(call_data.label, k);
             let addrs: Vec<(Symbol, AddrK)> = bindings
                 .iter()
-                .map(|(name, _)| (*name, AddrK { slot: Slot::Var(*name), time: t_new.clone() }))
+                .map(|(name, _)| {
+                    (
+                        *name,
+                        AddrK {
+                            slot: Slot::Var(*name),
+                            time: t_new.clone(),
+                        },
+                    )
+                })
                 .collect();
             let extended = state.benv.extend(addrs.iter().cloned());
             let entries: Vec<(AddrK, FlowSet<ValK>)> = bindings
@@ -321,7 +384,11 @@ fn successors(
                     let captured = extended.restrict(program.free_vars(*lam));
                     (
                         addr.clone(),
-                        std::iter::once(AVal::Clo { lam: *lam, env: captured }).collect(),
+                        std::iter::once(AVal::Clo {
+                            lam: *lam,
+                            env: captured,
+                        })
+                        .collect(),
                     )
                 })
                 .collect();
@@ -359,7 +426,10 @@ pub fn analyze_kcfa_naive_with(
         program,
         k,
         limits,
-        GammaOptions { abstract_gc, counting: false },
+        GammaOptions {
+            abstract_gc,
+            counting: false,
+        },
     )
 }
 
@@ -415,7 +485,14 @@ pub fn analyze_kcfa_naive_gamma(
                     .or_insert(count);
             }
         }
-        for mut succ in successors(program, k, gamma.counting, &state, &mut halts, &mut evidence) {
+        for mut succ in successors(
+            program,
+            k,
+            gamma.counting,
+            &state,
+            &mut halts,
+            &mut evidence,
+        ) {
             if gamma.abstract_gc {
                 succ.store = crate::gc::collect(&succ.store, &succ.benv);
                 if gamma.counting {
@@ -522,7 +599,10 @@ mod tests {
     #[test]
     fn abstract_gc_strictly_helps_on_worst_case() {
         let p = cfa_syntax::compile(&cfa_workloads_worst(3)).unwrap();
-        let limits = NaiveLimits { max_states: 30_000, time_budget: None };
+        let limits = NaiveLimits {
+            max_states: 30_000,
+            time_budget: None,
+        };
         let plain = analyze_kcfa_naive_with(&p, 1, limits, false);
         let gc = analyze_kcfa_naive_with(&p, 1, limits, true);
         assert!(
@@ -544,9 +624,7 @@ mod tests {
             format!("(lambda (z) {call})")
         };
         for i in (1..=n).rev() {
-            body = format!(
-                "((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))"
-            );
+            body = format!("((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))");
         }
         body
     }
@@ -560,10 +638,16 @@ mod tests {
             &p,
             0,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: true },
+            GammaOptions {
+                abstract_gc: false,
+                counting: true,
+            },
         );
         assert!(!r.counts.is_empty());
-        assert!(r.singular_addrs() < r.counts.len(), "some address must be plural");
+        assert!(
+            r.singular_addrs() < r.counts.len(),
+            "some address must be plural"
+        );
     }
 
     #[test]
@@ -574,7 +658,10 @@ mod tests {
             &p,
             1,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: true },
+            GammaOptions {
+                abstract_gc: false,
+                counting: true,
+            },
         );
         assert!(r.counts.values().all(|&c| c == Count::One));
         assert_eq!(r.singular_ratio(), 1.0);
@@ -583,7 +670,10 @@ mod tests {
     #[test]
     fn context_improves_singularity() {
         let p = cfa_syntax::compile("(define (id x) x) (let ((a (id 3))) (id 4))").unwrap();
-        let gamma = GammaOptions { abstract_gc: false, counting: true };
+        let gamma = GammaOptions {
+            abstract_gc: false,
+            counting: true,
+        };
         let k0 = analyze_kcfa_naive_gamma(&p, 0, NaiveLimits::default(), gamma);
         let k1 = analyze_kcfa_naive_gamma(&p, 1, NaiveLimits::default(), gamma);
         assert!(
@@ -601,13 +691,19 @@ mod tests {
             &p,
             1,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: true },
+            GammaOptions {
+                abstract_gc: false,
+                counting: true,
+            },
         );
         let gc = analyze_kcfa_naive_gamma(
             &p,
             1,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: true, counting: true },
+            GammaOptions {
+                abstract_gc: true,
+                counting: true,
+            },
         );
         assert_eq!(plain.halt_values, gc.halt_values);
         assert!(gc.singular_ratio() >= plain.singular_ratio());
@@ -621,7 +717,10 @@ mod tests {
             &p,
             0,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: true },
+            GammaOptions {
+                abstract_gc: false,
+                counting: true,
+            },
         );
         assert!(!r.super_beta_sites(&p).is_empty());
     }
@@ -634,7 +733,10 @@ mod tests {
         let src = "(define (make n) (lambda () n))
                    (let* ((f (make 1)) (g (make 2))) (f))";
         let p = cfa_syntax::compile(src).unwrap();
-        let gamma = GammaOptions { abstract_gc: false, counting: true };
+        let gamma = GammaOptions {
+            abstract_gc: false,
+            counting: true,
+        };
         let k0 = analyze_kcfa_naive_gamma(&p, 0, NaiveLimits::default(), gamma);
         // The (f) application site applies the single thunk but with a
         // plural capture: some monomorphic user site must be rejected.
@@ -670,7 +772,10 @@ mod tests {
             &p,
             0,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: false },
+            GammaOptions {
+                abstract_gc: false,
+                counting: false,
+            },
         );
         assert!(r.super_beta_sites(&p).is_empty(), "no counting, no license");
     }
@@ -686,7 +791,10 @@ mod tests {
             &p,
             0,
             NaiveLimits::default(),
-            GammaOptions { abstract_gc: false, counting: true },
+            GammaOptions {
+                abstract_gc: false,
+                counting: true,
+            },
         );
         // The (h 1) site sees both λs: not inlinable.
         let poly = r
@@ -706,7 +814,14 @@ mod tests {
              (id (id (id (id (id (id (id (id 1))))))))",
         )
         .unwrap();
-        let r = analyze_kcfa_naive(&p, 1, NaiveLimits { max_states: 10, time_budget: None });
+        let r = analyze_kcfa_naive(
+            &p,
+            1,
+            NaiveLimits {
+                max_states: 10,
+                time_budget: None,
+            },
+        );
         assert_eq!(r.status, Status::IterationLimit);
     }
 }

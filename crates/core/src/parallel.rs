@@ -1,0 +1,818 @@
+//! A work-stealing parallel fixpoint engine over replicated stores.
+//!
+//! [`run_fixpoint_parallel`] shards the worklist of [`crate::engine`]
+//! across N worker threads. The design leans on exactly the two
+//! properties PR 1's interned store introduced for this purpose:
+//!
+//! * **flow sets are immutable epoch-stamped snapshots** — every worker
+//!   owns a full [`AbsStore`] replica, so reads never cross a thread
+//!   boundary and never see a torn set;
+//! * **per-address epochs are the conflict detector** — wake queues
+//!   are deliberately dedup-free (an is-queued bitmap would have to be
+//!   kept coherent against growth arriving from remote merges), so a
+//!   configuration woken by several growth events pops several times
+//!   and the epoch gate absorbs the duplicates in O(|reads|) at pop
+//!   time.
+//!
+//! # How work and facts move
+//!
+//! Configurations are sharded by **first touch**: a fresh configuration
+//! is deduplicated once, globally, through a hash-sharded seen-set,
+//! entered into a stealable queue, and becomes *homed* at whichever
+//! worker first evaluates it — its dependency lists, read set, and
+//! last-run epoch live only there, and every re-evaluation (wakeup) is
+//! pinned to that home. Only never-evaluated configurations migrate
+//! between workers, so no evaluation is ever repeated on another
+//! replica and the total evaluation count stays in the same regime as
+//! the sequential engine's.
+//!
+//! Each evaluation runs against the worker's own replica. When a step
+//! grows an address, the worker wakes its *local* dependents and
+//! broadcasts the grown rows — as `(address, values)` pairs, since
+//! dense ids are replica-local — to every other worker's inbox. A
+//! worker merges inbox batches into its replica before taking new
+//! work; merges that grow an address wake that replica's dependents in
+//! turn. Every generated fact therefore reaches every replica, which is
+//! what keeps pinning sound: growth anywhere eventually becomes growth
+//! at the home replica, which re-wakes exactly the configurations that
+//! read the grown address there.
+//!
+//! # Termination
+//!
+//! A single atomic `pending` counter tracks queued tasks, in-flight
+//! evaluations, and undelivered fact batches; a task's increment is
+//! released only after all work it spawned has been counted. When an
+//! idle worker observes `pending == 0` there is provably no work
+//! anywhere and it raises the done flag.
+//!
+//! # Convergence
+//!
+//! The fixed point of a monotone transfer function is unique, so any
+//! interleaving must reach the same configuration set and store facts
+//! as [`crate::engine::run_fixpoint`] and [`crate::reference`]; the
+//! differential tests in `tests/engine_differential.rs` enforce that on
+//! the Scheme and FJ suites, the worst-case family, and random
+//! programs. Worker replicas are equal at quiescence; the result store
+//! is still assembled by id-remapping union ([`AbsStore::merge_from`])
+//! as a defensive cross-check.
+
+use crate::engine::{AbstractMachine, EngineLimits, FixpointResult, Status, TrackedStore};
+use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use crate::store::AbsStore;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// An [`AbstractMachine`] that can be driven by N workers at once.
+///
+/// Each worker drives its own machine instance (forked up front), so
+/// `step` keeps its `&mut self` freedom — metric logs, memo tables and
+/// environment pools stay thread-local — and the per-worker state is
+/// folded back into the original machine when the run ends.
+pub trait ParallelMachine: AbstractMachine + Send {
+    /// A fresh worker-local instance sharing the immutable program data
+    /// (metric accumulators start empty).
+    fn fork(&self) -> Self;
+
+    /// Folds a worker's accumulated state back into `self`. Called once
+    /// per worker after the fixpoint is reached; the union across
+    /// workers must be order-insensitive.
+    fn absorb(&mut self, worker: Self);
+}
+
+/// Facts in transit between replicas: `(address, grown row values)`.
+/// Value ids are replica-local, so the wire format is value-level; the
+/// receiving replica re-interns (and its hash-consed ids make that one
+/// hash per distinct value).
+type FactBatch<A, V> = Vec<(A, Vec<V>)>;
+
+/// A worker's inbox: fact batches shared (`Arc`, not copied) across
+/// their receivers.
+type Inbox<A, V> = Mutex<Vec<Arc<FactBatch<A, V>>>>;
+
+/// State shared by all workers.
+struct Shared<C, A, V> {
+    /// Per-worker queues of *fresh* (never-evaluated) configurations.
+    /// Owners push/pop the front; thieves steal a batch from the back.
+    /// Tasks carry configurations by value so a stolen task is
+    /// meaningful on any worker; wakeups never enter these queues —
+    /// they are pinned to the home worker's private queue.
+    queues: Vec<Mutex<VecDeque<C>>>,
+    /// Per-worker fact deliveries, shared (not copied) per receiver.
+    inboxes: Vec<Inbox<A, V>>,
+    /// Global dedup of first-time configurations, sharded by hash.
+    seen: Vec<Mutex<FxHashSet<C>>>,
+    /// Queued tasks + in-flight evaluations + undelivered fact batches.
+    pending: AtomicU64,
+    /// Raised once: fixpoint reached or a limit fired.
+    done: AtomicBool,
+    /// Global evaluation counter (for `max_iterations`).
+    evals: AtomicU64,
+    /// The limit that stopped the run, if any (first writer wins).
+    stop_status: Mutex<Option<Status>>,
+}
+
+impl<C, A, V> Shared<C, A, V> {
+    fn stop(&self, status: Status) {
+        let mut slot = self.stop_status.lock().expect("status lock");
+        slot.get_or_insert(status);
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Number of seen-set shards (a power of two well above any sane
+/// thread count, so dedup contention stays negligible).
+const SEEN_SHARDS: usize = 64;
+
+/// Seen-set shard for a configuration. Taken from the *high* hash bits:
+/// the intra-shard `FxHashSet` derives its bucket index from the low
+/// bits of the very same hash, so sharding on those would cluster every
+/// entry of a shard onto 1/64th of the bucket positions.
+fn seen_shard<C: Hash>(cfg: &C) -> usize {
+    let mut h = FxHasher::default();
+    cfg.hash(&mut h);
+    (h.finish() >> 58) as usize % SEEN_SHARDS
+}
+
+/// Per-worker state: a full store replica plus the same scheduling
+/// tables the sequential engine keeps (configs, dependency lists with
+/// pruning, read sets, last-run epochs).
+struct Worker<'s, M: AbstractMachine> {
+    id: usize,
+    machine: M,
+    store: AbsStore<M::Addr, M::Val>,
+    configs: Vec<M::Config>,
+    index: FxHashMap<M::Config, usize>,
+    deps: Vec<Vec<usize>>,
+    config_reads: Vec<Vec<u32>>,
+    last_run_epoch: Vec<Option<u64>>,
+    /// Pinned re-evaluations of locally homed configurations, by local
+    /// index. Worker-private (no lock): only the owner pushes and pops.
+    /// Deliberately dedup-free — the epoch gate absorbs duplicates.
+    wakes: VecDeque<usize>,
+    /// Scratch for [`Worker::wake_dependents`], recycled across calls.
+    woken: Vec<usize>,
+    iterations: u64,
+    skipped: u64,
+    wakeups: u64,
+    delta_facts: u64,
+    shared: &'s Shared<M::Config, M::Addr, M::Val>,
+}
+
+/// What one worker hands back after the run.
+struct WorkerOutput<M: AbstractMachine> {
+    machine: M,
+    store: AbsStore<M::Addr, M::Val>,
+    iterations: u64,
+    skipped: u64,
+    wakeups: u64,
+    delta_facts: u64,
+}
+
+impl<'s, M> Worker<'s, M>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    fn new(id: usize, machine: M, shared: &'s Shared<M::Config, M::Addr, M::Val>) -> Self {
+        Worker {
+            id,
+            machine,
+            store: AbsStore::new(),
+            configs: Vec::new(),
+            index: FxHashMap::default(),
+            deps: Vec::new(),
+            config_reads: Vec::new(),
+            last_run_epoch: Vec::new(),
+            wakes: VecDeque::new(),
+            woken: Vec::new(),
+            iterations: 0,
+            skipped: 0,
+            wakeups: 0,
+            delta_facts: 0,
+            shared,
+        }
+    }
+
+    fn intern_local(&mut self, cfg: M::Config) -> usize {
+        if let Some(&i) = self.index.get(&cfg) {
+            return i;
+        }
+        let i = self.configs.len();
+        self.configs.push(cfg.clone());
+        self.index.insert(cfg, i);
+        self.config_reads.push(Vec::new());
+        self.last_run_epoch.push(None);
+        i
+    }
+
+    /// Pushes a fresh configuration onto this worker's stealable queue,
+    /// counting it pending.
+    fn push_fresh(&self, cfg: M::Config) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.queues[self.id]
+            .lock()
+            .expect("queue lock")
+            .push_back(cfg);
+    }
+
+    fn pop_local(&self) -> Option<M::Config> {
+        self.shared.queues[self.id]
+            .lock()
+            .expect("queue lock")
+            .pop_front()
+    }
+
+    /// Steals up to half of a victim's fresh queue (from the back),
+    /// keeping one task to run and enqueueing the rest locally. Locks
+    /// are never held across each other, so crossed steals cannot
+    /// deadlock.
+    fn steal(&self) -> Option<M::Config> {
+        let n = self.shared.queues.len();
+        for off in 1..n {
+            let victim = (self.id + off) % n;
+            let mut stolen = {
+                let mut q = self.shared.queues[victim].lock().expect("queue lock");
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                q.split_off(len - len.div_ceil(2))
+            };
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                // Moved, not created: pending already counts them.
+                self.shared.queues[self.id]
+                    .lock()
+                    .expect("queue lock")
+                    .append(&mut stolen);
+            }
+            return first;
+        }
+        None
+    }
+
+    /// Wakes the local dependents of the (sorted, unique) grown address
+    /// ids. Wakeups are pinned here — the dependents' scheduling state
+    /// lives in this replica — and carry no is-queued dedup: the epoch
+    /// gate disarms duplicates at pop time.
+    fn wake_dependents(&mut self, grown: &[u32]) {
+        let woken = &mut self.woken;
+        woken.clear();
+        for &a in grown {
+            if let Some(dependents) = self.deps.get(a as usize) {
+                woken.extend_from_slice(dependents);
+            }
+        }
+        woken.sort_unstable();
+        woken.dedup();
+        for &j in woken.iter() {
+            self.wakeups += 1;
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.wakes.push_back(j);
+        }
+    }
+
+    /// Merges one delivered fact batch into the replica and wakes the
+    /// dependents of every address that grew. The batch is shared with
+    /// the other receivers ([`std::sync::Arc`]); values are cloned only
+    /// when first interned locally.
+    fn merge_batch(&mut self, batch: &FactBatch<M::Addr, M::Val>) {
+        let mut grown: Vec<u32> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
+        let mut delta: Vec<u32> = Vec::new();
+        for (addr, values) in batch {
+            let addr_id = self.store.addr_id(addr);
+            ids.clear();
+            ids.extend(values.iter().map(|v| self.store.val_id_ref(v)));
+            ids.sort_unstable();
+            ids.dedup();
+            delta.clear();
+            if self.store.join_ids(addr_id, &ids, &mut delta) {
+                grown.push(addr_id);
+            }
+        }
+        grown.sort_unstable();
+        grown.dedup();
+        self.wake_dependents(&grown);
+    }
+
+    /// Routes never-seen successors into the global seen-set and this
+    /// worker's queue (locality first; stealing rebalances).
+    fn submit_fresh(&self, successors: &mut Vec<M::Config>) {
+        for succ in successors.drain(..) {
+            let fresh = self.shared.seen[seen_shard(&succ)]
+                .lock()
+                .expect("seen lock")
+                .insert(succ.clone());
+            if fresh {
+                self.push_fresh(succ);
+            }
+        }
+    }
+
+    /// Broadcasts the grown rows of this step to every other replica.
+    /// Rows (not deltas) keep the wire format independent of join
+    /// internals; receiving joins dedup for free. The batch is built
+    /// once and shared behind an `Arc` — receivers read it in place.
+    fn broadcast(&self, grown: &[u32]) {
+        let n = self.shared.queues.len();
+        if n == 1 || grown.is_empty() {
+            return;
+        }
+        let batch: Arc<FactBatch<M::Addr, M::Val>> = Arc::new(
+            grown
+                .iter()
+                .map(|&a| {
+                    let addr = self.store.addr(a).clone();
+                    let values = self
+                        .store
+                        .flow_by_id(a)
+                        .iter()
+                        .map(|id| self.store.val(id).clone())
+                        .collect();
+                    (addr, values)
+                })
+                .collect(),
+        );
+        for other in 0..n {
+            if other == self.id {
+                continue;
+            }
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.inboxes[other]
+                .lock()
+                .expect("inbox lock")
+                .push(Arc::clone(&batch));
+        }
+    }
+
+    /// Evaluates one task (by local index): epoch gate, step, dependency
+    /// registration with pruning, successor dedup, local wakeups, fact
+    /// broadcast. Mirrors one iteration of
+    /// [`crate::engine::run_fixpoint`].
+    fn process(
+        &mut self,
+        i: usize,
+        limits: &EngineLimits,
+        successors: &mut Vec<M::Config>,
+        bufs: &mut (Vec<u32>, Vec<u32>, Vec<u32>),
+    ) {
+        // The epoch gate is load-bearing here: the wake queue carries no
+        // is-queued dedup, so a configuration woken by several growth
+        // events before its re-run pops once per event — and every pop
+        // past the first dies here.
+        if let Some(epoch) = self.last_run_epoch[i] {
+            if self.config_reads[i]
+                .iter()
+                .all(|&a| self.store.addr_epoch(a) <= epoch)
+            {
+                self.skipped += 1;
+                self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+        }
+
+        if self.shared.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
+            self.shared.stop(Status::IterationLimit);
+            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+
+        let epoch_at_start = self.store.epoch();
+        self.iterations += 1;
+
+        let config = self.configs[i].clone();
+        successors.clear();
+        let (reads_buf, grew_buf, delta_buf) = bufs;
+        reads_buf.clear();
+        grew_buf.clear();
+        let mut tracked = TrackedStore::wrap(
+            &mut self.store,
+            std::mem::take(reads_buf),
+            std::mem::take(grew_buf),
+            std::mem::take(delta_buf),
+        );
+        self.machine.step(&config, &mut tracked, successors);
+        let (reads, grew, delta, step_delta) = tracked.into_parts();
+        (*reads_buf, *grew_buf, *delta_buf) = (reads, grew, delta);
+        self.delta_facts += step_delta;
+        self.last_run_epoch[i] = Some(epoch_at_start);
+
+        // Dependency registration with stale-dep pruning — the shared
+        // logic of both engines.
+        crate::engine::register_deps(&mut self.deps, &mut self.config_reads, i, reads_buf);
+
+        self.submit_fresh(successors);
+
+        grew_buf.sort_unstable();
+        grew_buf.dedup();
+        self.wake_dependents(grew_buf);
+        self.broadcast(grew_buf);
+
+        // Only now is this task's own pending count released: everything
+        // it spawned is already counted, so pending == 0 implies global
+        // quiescence.
+        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn run(mut self, limits: &EngineLimits, start: Instant) -> WorkerOutput<M> {
+        {
+            // Every replica is seeded identically, so seed facts need no
+            // broadcast.
+            let mut tracked =
+                TrackedStore::wrap(&mut self.store, Vec::new(), Vec::new(), Vec::new());
+            self.machine.seed(&mut tracked);
+        }
+
+        let mut successors: Vec<M::Config> = Vec::new();
+        let mut bufs: (Vec<u32>, Vec<u32>, Vec<u32>) = Default::default();
+        let mut pops: u64 = 0;
+        let mut idle_spins: u32 = 0;
+
+        loop {
+            if self.shared.done.load(Ordering::Acquire) {
+                break;
+            }
+
+            // Merge delivered facts before taking on new evaluations, so
+            // local wakeups are scheduled against the freshest replica.
+            let batches = {
+                let mut inbox = self.shared.inboxes[self.id].lock().expect("inbox lock");
+                std::mem::take(&mut *inbox)
+            };
+            if !batches.is_empty() {
+                for batch in batches {
+                    self.merge_batch(&batch);
+                    self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                idle_spins = 0;
+                continue;
+            }
+
+            // Fresh exploration first — it discovers the configuration
+            // space and is the work that can be stolen; pinned re-runs
+            // after (deferring them coalesces several growth events into
+            // one re-evaluation); stealing only when both are dry.
+            let task: Option<usize> = match self.pop_local() {
+                Some(cfg) => Some(self.intern_local(cfg)),
+                None => match self.wakes.pop_front() {
+                    Some(i) => Some(i),
+                    None => self.steal().map(|cfg| self.intern_local(cfg)),
+                },
+            };
+            let Some(i) = task else {
+                if self.shared.pending.load(Ordering::Acquire) == 0 {
+                    self.shared.done.store(true, Ordering::Release);
+                    break;
+                }
+                idle_spins += 1;
+                if idle_spins < 32 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                continue;
+            };
+            idle_spins = 0;
+
+            pops += 1;
+            if pops.is_multiple_of(64) {
+                if let Some(budget) = limits.time_budget {
+                    if start.elapsed() > budget {
+                        self.shared.stop(Status::TimedOut);
+                        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                        break;
+                    }
+                }
+            }
+
+            self.process(i, limits, &mut successors, &mut bufs);
+        }
+
+        WorkerOutput {
+            machine: self.machine,
+            store: self.store,
+            iterations: self.iterations,
+            skipped: self.skipped,
+            wakeups: self.wakeups,
+            delta_facts: self.delta_facts,
+        }
+    }
+}
+
+/// Runs `machine` to its least fixed point on `threads` worker threads
+/// (or until a limit fires).
+///
+/// The returned [`FixpointResult`] matches [`crate::engine::run_fixpoint`]
+/// on configurations and store facts (the fixed point is unique);
+/// `configs` order is arbitrary, `iterations`/`skipped`/`wakeups` are
+/// summed across workers, and `delta_facts` counts evaluation-side
+/// growth per replica (two workers deriving the same fact independently
+/// both count it).
+pub fn run_fixpoint_parallel<M>(
+    machine: &mut M,
+    threads: usize,
+    limits: EngineLimits,
+) -> FixpointResult<M::Config, M::Addr, M::Val>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    let start = Instant::now();
+    let threads = threads.max(1);
+
+    let shared: Shared<M::Config, M::Addr, M::Val> = Shared {
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+        seen: (0..SEEN_SHARDS)
+            .map(|_| Mutex::new(FxHashSet::default()))
+            .collect(),
+        pending: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        evals: AtomicU64::new(0),
+        stop_status: Mutex::new(None),
+    };
+
+    let root = machine.initial();
+    shared.seen[seen_shard(&root)]
+        .lock()
+        .expect("seen lock")
+        .insert(root.clone());
+    shared.pending.fetch_add(1, Ordering::AcqRel);
+    shared.queues[0].lock().expect("queue lock").push_back(root);
+
+    let mut workers: Vec<Worker<'_, M>> = (0..threads)
+        .map(|id| Worker::new(id, machine.fork(), &shared))
+        .collect();
+
+    let outputs: Vec<WorkerOutput<M>> = if threads == 1 {
+        // Single-worker runs stay on the caller's thread: deterministic,
+        // no spawn cost — and the degenerate case of the same algorithm.
+        vec![workers.pop().expect("one worker").run(&limits, start)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .drain(..)
+                .map(|w| scope.spawn(|| w.run(&limits, start)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    let status = shared
+        .stop_status
+        .into_inner()
+        .expect("status lock")
+        .unwrap_or(Status::Completed);
+
+    let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
+    let (mut iterations, mut skipped, mut wakeups, mut delta_facts) = (0u64, 0u64, 0u64, 0u64);
+    for out in outputs {
+        iterations += out.iterations;
+        skipped += out.skipped;
+        wakeups += out.wakeups;
+        delta_facts += out.delta_facts;
+        store.merge_from(&out.store);
+        machine.absorb(out.machine);
+    }
+
+    let configs: Vec<M::Config> = shared
+        .seen
+        .into_iter()
+        .flat_map(|shard| shard.into_inner().expect("seen lock"))
+        .collect();
+
+    FixpointResult {
+        configs,
+        store,
+        status,
+        iterations,
+        skipped,
+        wakeups,
+        delta_facts,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fixpoint;
+
+    /// The toy machine of the sequential engine tests.
+    #[derive(Clone)]
+    struct Counter {
+        n: u32,
+    }
+
+    impl AbstractMachine for Counter {
+        type Config = u32;
+        type Addr = u32;
+        type Val = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn step(&mut self, c: &u32, s: &mut TrackedStore<'_, u32, u32>, out: &mut Vec<u32>) {
+            let c = *c;
+            if c < self.n {
+                s.join(&(c % 3), [c]);
+                out.push(c + 1);
+            } else {
+                let _ = s.read(&0);
+            }
+        }
+    }
+
+    impl ParallelMachine for Counter {
+        fn fork(&self) -> Self {
+            self.clone()
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_counter() {
+        for threads in [1, 2, 4] {
+            let seq = run_fixpoint(&mut Counter { n: 40 }, EngineLimits::default());
+            let par =
+                run_fixpoint_parallel(&mut Counter { n: 40 }, threads, EngineLimits::default());
+            assert_eq!(par.status, Status::Completed, "threads={threads}");
+            let mut seq_configs = seq.configs.clone();
+            let mut par_configs = par.configs.clone();
+            seq_configs.sort_unstable();
+            par_configs.sort_unstable();
+            assert_eq!(seq_configs, par_configs, "threads={threads}");
+            for addr in 0..3u32 {
+                assert_eq!(
+                    seq.store.read(&addr),
+                    par.store.read(&addr),
+                    "threads={threads}"
+                );
+            }
+            assert_eq!(
+                seq.store.fact_count(),
+                par.store.fact_count(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// The reader (scheduled first) reads two addresses that two later
+    /// configurations grow one step apart. The parallel queues carry no
+    /// is-queued bitmap, so the second growth enqueues a second wakeup;
+    /// by the time it pops, the first re-evaluation has already seen
+    /// both values and the epoch gate must skip it. With one worker the
+    /// schedule is deterministic: root, reader, two growers, the
+    /// justified re-run, then exactly one gate-skipped duplicate.
+    struct TwoGrowers;
+
+    impl AbstractMachine for TwoGrowers {
+        type Config = u32;
+        type Addr = u32;
+        type Val = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn step(&mut self, c: &u32, s: &mut TrackedStore<'_, u32, u32>, out: &mut Vec<u32>) {
+            match *c {
+                // Root: schedule the reader before the growers.
+                0 => out.extend([10, 1, 2]),
+                1 => s.join(&100, [7]),
+                2 => s.join(&101, [8]),
+                10 => {
+                    let _ = s.read(&100);
+                    let _ = s.read(&101);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    impl ParallelMachine for TwoGrowers {
+        fn fork(&self) -> Self {
+            TwoGrowers
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn epoch_gate_fires_on_duplicate_wakeups() {
+        let r = run_fixpoint_parallel(&mut TwoGrowers, 1, EngineLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert_eq!(r.wakeups, 2, "each grower wakes the reader once");
+        assert_eq!(r.skipped, 1, "the duplicate wakeup dies at the epoch gate");
+        assert_eq!(
+            r.iterations, 5,
+            "root, reader, growers, one justified re-run"
+        );
+        assert_eq!(r.store.read(&100), [7].into_iter().collect());
+        assert_eq!(r.store.read(&101), [8].into_iter().collect());
+    }
+
+    /// Feedback machine: the fixpoint needs repeated re-evaluations, so
+    /// wakeups and fact broadcasts cross worker boundaries constantly.
+    struct Feedback;
+
+    impl AbstractMachine for Feedback {
+        type Config = u8;
+        type Addr = u8;
+        type Val = u8;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+            if *c == 0 {
+                s.join(&0, [1u8]);
+                out.extend([1, 2]);
+            } else {
+                let seen = s.read(&(*c % 2));
+                let next: Vec<u8> = seen
+                    .iter()
+                    .map(|id| *s.val(id))
+                    .filter(|&v| v < 40)
+                    .map(|v| v + 1)
+                    .collect();
+                s.join(&((*c + 1) % 2), next);
+            }
+        }
+    }
+
+    impl ParallelMachine for Feedback {
+        fn fork(&self) -> Self {
+            Feedback
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn parallel_feedback_converges_across_thread_counts() {
+        let seq = run_fixpoint(&mut Feedback, EngineLimits::default());
+        for threads in [1, 2, 4] {
+            let par = run_fixpoint_parallel(&mut Feedback, threads, EngineLimits::default());
+            assert_eq!(par.status, Status::Completed, "threads={threads}");
+            assert_eq!(par.store.read(&0), seq.store.read(&0), "threads={threads}");
+            assert_eq!(par.store.read(&1), seq.store.read(&1), "threads={threads}");
+            assert_eq!(par.config_count(), seq.config_count(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn iteration_limit_fires_in_parallel() {
+        let r = run_fixpoint_parallel(
+            &mut Counter { n: 1_000_000 },
+            2,
+            EngineLimits::iterations(100),
+        );
+        assert_eq!(r.status, Status::IterationLimit);
+        assert!(
+            r.iterations <= 100,
+            "evaluations counted globally: {}",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn timeout_fires_in_parallel() {
+        struct Spin;
+        impl AbstractMachine for Spin {
+            type Config = u64;
+            type Addr = u64;
+            type Val = u64;
+            fn initial(&self) -> u64 {
+                0
+            }
+            fn step(&mut self, c: &u64, _s: &mut TrackedStore<'_, u64, u64>, out: &mut Vec<u64>) {
+                std::thread::sleep(Duration::from_millis(1));
+                out.push(c + 1);
+            }
+        }
+        impl ParallelMachine for Spin {
+            fn fork(&self) -> Self {
+                Spin
+            }
+            fn absorb(&mut self, _worker: Self) {}
+        }
+        let r = run_fixpoint_parallel(
+            &mut Spin,
+            2,
+            EngineLimits::timeout(Duration::from_millis(50)),
+        );
+        assert_eq!(r.status, Status::TimedOut);
+    }
+}

@@ -56,14 +56,26 @@ mod tests {
 
     #[test]
     fn arithmetic_widens_to_any_int() {
-        for op in [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Div, PrimOp::Rem] {
+        for op in [
+            PrimOp::Add,
+            PrimOp::Sub,
+            PrimOp::Mul,
+            PrimOp::Div,
+            PrimOp::Rem,
+        ] {
             assert_eq!(classify(op), PrimSpec::Basics(&[AbsBasic::AnyInt]));
         }
     }
 
     #[test]
     fn predicates_yield_any_bool() {
-        for op in [PrimOp::IsNull, PrimOp::IsZero, PrimOp::Not, PrimOp::Eq, PrimOp::Lt] {
+        for op in [
+            PrimOp::IsNull,
+            PrimOp::IsZero,
+            PrimOp::Not,
+            PrimOp::Eq,
+            PrimOp::Lt,
+        ] {
             assert_eq!(classify(op), PrimSpec::Basics(&[AbsBasic::AnyBool]));
         }
     }

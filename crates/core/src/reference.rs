@@ -27,7 +27,10 @@ pub struct RefStore<A, V> {
 
 impl<A: Eq + Hash + Clone, V: Ord + Clone> Default for RefStore<A, V> {
     fn default() -> Self {
-        RefStore { map: HashMap::new(), joins: 0 }
+        RefStore {
+            map: HashMap::new(),
+            joins: 0,
+        }
     }
 }
 
@@ -192,8 +195,11 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
     };
 
     {
-        let mut tracked =
-            RefTrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        let mut tracked = RefTrackedStore {
+            store: &mut store,
+            reads: Vec::new(),
+            grew: Vec::new(),
+        };
         machine.seed(&mut tracked);
     }
     let (root, _) = intern(machine.initial(), &mut configs, &mut index);
@@ -222,8 +228,11 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
 
         let config = configs[i].clone();
         successors.clear();
-        let mut tracked =
-            RefTrackedStore { store: &mut store, reads: Vec::new(), grew: Vec::new() };
+        let mut tracked = RefTrackedStore {
+            store: &mut store,
+            reads: Vec::new(),
+            grew: Vec::new(),
+        };
         machine.step(&config, &mut tracked, &mut successors);
         let RefTrackedStore { reads, grew, .. } = tracked;
 
@@ -247,7 +256,13 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
         }
     }
 
-    RefFixpointResult { configs, store, status, iterations, elapsed: start.elapsed() }
+    RefFixpointResult {
+        configs,
+        store,
+        status,
+        iterations,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -321,8 +336,7 @@ mod tests {
         let delta = crate::engine::run_fixpoint(&mut C2(25), EngineLimits::default());
         let ref_configs: std::collections::BTreeSet<u32> =
             reference.configs.iter().copied().collect();
-        let new_configs: std::collections::BTreeSet<u32> =
-            delta.configs.iter().copied().collect();
+        let new_configs: std::collections::BTreeSet<u32> = delta.configs.iter().copied().collect();
         assert_eq!(ref_configs, new_configs);
         for (addr, set) in reference.store.iter() {
             assert_eq!(delta.store.read(addr), *set, "address {addr}");

@@ -23,7 +23,10 @@ pub struct ReportOptions {
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        ReportOptions { max_rows: 200, call_targets: true }
+        ReportOptions {
+            max_rows: 200,
+            call_targets: true,
+        }
     }
 }
 
@@ -35,11 +38,7 @@ fn render_slot(program: &CpsProgram, slot: &Slot) -> String {
     }
 }
 
-fn push_rows(
-    out: &mut String,
-    rows: BTreeMap<(String, String), Vec<String>>,
-    max_rows: usize,
-) {
+fn push_rows(out: &mut String, rows: BTreeMap<(String, String), Vec<String>>, max_rows: usize) {
     let total = rows.len();
     for (i, ((ctx, slot), vals)) in rows.into_iter().enumerate() {
         if max_rows != 0 && i >= max_rows {
@@ -97,8 +96,10 @@ fn append_call_targets(
 ) {
     let _ = writeln!(out, "call targets ({} sites):", targets.len());
     for (site, lams) in targets {
-        let names: Vec<String> =
-            lams.iter().map(|&l| format!("λ{}", program.lam(l).label)).collect();
+        let names: Vec<String> = lams
+            .iter()
+            .map(|&l| format!("λ{}", program.lam(l).label))
+            .collect();
         let _ = writeln!(
             out,
             "  call@{} -> {{{}}}",
@@ -138,7 +139,14 @@ mod tests {
     fn row_cap_applies() {
         let p = cfa_syntax::compile(&cfa_workloads_like(6)).unwrap();
         let r = analyze_kcfa(&p, 1, EngineLimits::default());
-        let text = report_kcfa(&p, &r, ReportOptions { max_rows: 3, call_targets: false });
+        let text = report_kcfa(
+            &p,
+            &r,
+            ReportOptions {
+                max_rows: 3,
+                call_targets: false,
+            },
+        );
         assert!(text.contains("more rows"), "{text}");
     }
 

@@ -107,7 +107,9 @@ where
     for (key, item) in log {
         per.entry(*key).or_default().insert(item);
     }
-    per.into_iter().map(|(key, items)| (key, items.len())).collect()
+    per.into_iter()
+        .map(|(key, items)| (key, items.len()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //!
 //! The property tests in `tests/` drive these over randomized programs.
 
-use crate::domain::{AbsBasic, AVal, CallString};
+use crate::domain::{AVal, AbsBasic, CallString};
 use crate::flatcfa::{AddrM, FlatCfaResult, MConfig, ValM};
 use crate::kcfa::{AddrK, BEnvK, KConfig, KcfaResult, ValK};
 use cfa_concrete::base::{Addr, Basic, Value};
@@ -73,7 +73,10 @@ fn alpha_benv_k(benv: &BEnv, times: &CtxTable, k: usize) -> BEnvK {
 fn alpha_value_k(v: &Value<BEnv>, times: &CtxTable, k: usize) -> ValK {
     match v {
         Value::Basic(_) => unreachable!("handled by covers_k"),
-        Value::Clo { lam, env } => AVal::Clo { lam: *lam, env: alpha_benv_k(env, times, k) },
+        Value::Clo { lam, env } => AVal::Clo {
+            lam: *lam,
+            env: alpha_benv_k(env, times, k),
+        },
         Value::Pair { car, cdr } => AVal::Pair {
             car: alpha_addr_k(car, times, k),
             cdr: alpha_addr_k(cdr, times, k),
@@ -143,15 +146,13 @@ fn alpha_env_m(ctx: cfa_concrete::base::Ctx, envs: &CtxTable, m: usize) -> CallS
 }
 
 fn alpha_addr_m(addr: &Addr, envs: &CtxTable, m: usize) -> AddrM {
-    AddrM { slot: addr.slot, env: alpha_env_m(addr.ctx, envs, m) }
+    AddrM {
+        slot: addr.slot,
+        env: alpha_env_m(addr.ctx, envs, m),
+    }
 }
 
-fn covers_m(
-    abs: &ValM,
-    conc: &Value<cfa_concrete::base::Ctx>,
-    envs: &CtxTable,
-    m: usize,
-) -> bool {
+fn covers_m(abs: &ValM, conc: &Value<cfa_concrete::base::Ctx>, envs: &CtxTable, m: usize) -> bool {
     match (abs, conc) {
         (AVal::Basic(a), Value::Basic(c)) => basic_covers(*a, *c),
         (AVal::Clo { lam: al, env: ae }, Value::Clo { lam: cl, env: ce }) => {
@@ -177,7 +178,10 @@ pub fn check_mcfa(
 ) -> Result<(), SoundnessViolation> {
     let configs: HashSet<&MConfig> = result.fixpoint.configs.iter().collect();
     for visit in &concrete.trace {
-        let abs = MConfig { call: visit.call, env: alpha_env_m(visit.env, &concrete.envs, m) };
+        let abs = MConfig {
+            call: visit.call,
+            env: alpha_env_m(visit.env, &concrete.envs, m),
+        };
         if !configs.contains(&abs) {
             return Err(SoundnessViolation {
                 detail: format!(

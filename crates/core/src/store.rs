@@ -56,7 +56,10 @@ pub struct ValuePool<T> {
 
 impl<T> Default for ValuePool<T> {
     fn default() -> Self {
-        ValuePool { items: Vec::new(), index: FxHashMap::default() }
+        ValuePool {
+            items: Vec::new(),
+            index: FxHashMap::default(),
+        }
     }
 }
 
@@ -249,6 +252,13 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
         self.vals.intern(value)
     }
 
+    /// Interns a value by reference, cloning only on first sight — the
+    /// path for merging shared fact batches, where most values are
+    /// already interned locally.
+    pub fn val_id_ref(&mut self, value: &V) -> u32 {
+        self.vals.intern_ref(value)
+    }
+
     /// The value with id `id`.
     pub fn val(&self, id: u32) -> &V {
         self.vals.get(id)
@@ -286,7 +296,10 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// `delta`. Returns `true` if the row grew.
     pub fn join_ids(&mut self, addr_id: u32, new_ids: &[u32], delta: &mut Vec<u32>) -> bool {
         self.joins += 1;
-        debug_assert!(new_ids.windows(2).all(|w| w[0] < w[1]), "join_ids needs sorted ids");
+        debug_assert!(
+            new_ids.windows(2).all(|w| w[0] < w[1]),
+            "join_ids needs sorted ids"
+        );
         if self.rows.len() <= addr_id as usize {
             self.rows.resize_with(addr_id as usize + 1, Row::default);
         }
@@ -349,6 +362,43 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
         self.join_ids(id, flow.ids(), delta)
     }
 
+    /// Merges every fact of `other` into `self` — the shard-union step
+    /// of the parallel engine.
+    ///
+    /// The two stores interned values independently, so their dense ids
+    /// disagree; this walks `other`'s rows once, remapping each foreign
+    /// value id to a local id through a memoized translation table
+    /// (each distinct foreign value is interned at most once), and joins
+    /// the remapped id sets row by row. Bound-but-`⊥` rows stay bound,
+    /// preserving the store-entry metric across the merge, and `other`'s
+    /// join counter is carried over so the merged store reports the
+    /// shards' total join traffic (the merge's own bookkeeping joins
+    /// are not counted).
+    pub fn merge_from(&mut self, other: &AbsStore<A, V>) {
+        let joins_before = self.joins;
+        let mut remap: Vec<Option<u32>> = vec![None; other.vals.len()];
+        let mut mapped: Vec<u32> = Vec::new();
+        let mut delta: Vec<u32> = Vec::new();
+        for (i, row) in other.rows.iter().enumerate() {
+            if !row.bound {
+                continue;
+            }
+            let addr_id = self.addr_id(other.addrs.get(i as u32));
+            mapped.clear();
+            if let Some(ids) = &row.ids {
+                mapped.extend(ids.iter().map(|&id| {
+                    *remap[id as usize]
+                        .get_or_insert_with(|| self.vals.intern_ref(other.vals.get(id)))
+                }));
+                mapped.sort_unstable();
+                mapped.dedup();
+            }
+            delta.clear();
+            self.join_ids(addr_id, &mapped, &mut delta);
+        }
+        self.joins = joins_before + other.joins;
+    }
+
     // -- value-level API (post-run consumers & compatibility) ---------
 
     /// Joins `values` into the flow set at `addr`. Returns `true` if the
@@ -391,7 +441,11 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// Total number of `(address, value)` facts — the store's lattice
     /// "height consumed", reported by the experiment harness.
     pub fn fact_count(&self) -> usize {
-        self.rows.iter().filter_map(|r| r.ids.as_ref()).map(|ids| ids.len()).sum()
+        self.rows
+            .iter()
+            .filter_map(|r| r.ids.as_ref())
+            .map(|ids| ids.len())
+            .sum()
     }
 
     /// Number of join operations performed (including no-ops).
@@ -410,16 +464,20 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     where
         V: Ord,
     {
-        self.rows.iter().enumerate().filter(|(_, row)| row.bound).map(|(i, row)| {
-            let set: FlowSet<V> = row
-                .ids
-                .as_deref()
-                .into_iter()
-                .flatten()
-                .map(|&id| self.vals.get(id).clone())
-                .collect();
-            (self.addrs.get(i as u32), set)
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.bound)
+            .map(|(i, row)| {
+                let set: FlowSet<V> = row
+                    .ids
+                    .as_deref()
+                    .into_iter()
+                    .flatten()
+                    .map(|&id| self.vals.get(id).clone())
+                    .collect();
+                (self.addrs.get(i as u32), set)
+            })
     }
 }
 
@@ -510,6 +568,35 @@ mod tests {
         s.join(1, [11]);
         assert!(s.addr_epoch(a) > e1);
         assert_eq!(s.epoch(), s.addr_epoch(a));
+    }
+
+    #[test]
+    fn merge_from_remaps_ids_and_unions_rows() {
+        // The two stores intern in different orders, so their dense ids
+        // disagree; the merge must union by *value*, not by id.
+        let mut a: AbsStore<u32, u32> = AbsStore::new();
+        a.join(1, [10, 20]);
+        a.join(2, []);
+        let mut b: AbsStore<u32, u32> = AbsStore::new();
+        b.join(3, [30]);
+        b.join(1, [40, 20]);
+        a.merge_from(&b);
+        assert_eq!(a.read(&1), [10, 20, 40].into_iter().collect());
+        assert_eq!(a.read(&3), [30].into_iter().collect());
+        assert_eq!(a.len(), 3, "bound-⊥ address 2 stays bound");
+        assert_eq!(a.fact_count(), 4);
+    }
+
+    #[test]
+    fn merge_from_is_idempotent_at_fixpoint() {
+        let mut a: AbsStore<u32, u32> = AbsStore::new();
+        a.join(1, [10]);
+        let b = a.clone();
+        let facts = a.fact_count();
+        let epoch = a.epoch();
+        a.merge_from(&b);
+        assert_eq!(a.fact_count(), facts);
+        assert_eq!(a.epoch(), epoch, "no-op merge performs no growing join");
     }
 
     #[test]

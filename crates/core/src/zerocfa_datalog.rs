@@ -308,7 +308,9 @@ impl<'p> Encoder<'p> {
                     }
                     PrimSpec::ReadCar | PrimSpec::ReadCdr => {
                         let want_car = classify(*op) == PrimSpec::ReadCar;
-                        let Some(AExp::Var(scrutinee)) = args.first() else { continue };
+                        let Some(AExp::Var(scrutinee)) = args.first() else {
+                            continue;
+                        };
                         // Resolve the projection target exactly as the
                         // solver does.
                         enum Target {
@@ -325,7 +327,11 @@ impl<'p> Encoder<'p> {
                         };
                         let s = self.site_const();
                         let x = self.node_const(Node::Var(*scrutinee));
-                        let rel = if want_car { self.rels.projcar } else { self.rels.projcdr };
+                        let rel = if want_car {
+                            self.rels.projcar
+                        } else {
+                            self.rels.projcdr
+                        };
                         self.fact(rel, &[s, x]);
                         match target {
                             Target::Node(n) => {
@@ -369,7 +375,10 @@ impl<'p> Encoder<'p> {
             .rule(
                 r.flow,
                 vec![v("b"), v("val")],
-                vec![(r.edge, vec![v("a"), v("b")]), (r.flow, vec![v("a"), v("val")])],
+                vec![
+                    (r.edge, vec![v("a"), v("b")]),
+                    (r.flow, vec![v("a"), v("val")]),
+                ],
             )
             .expect("edge rule");
         // Application, variable argument.

@@ -23,7 +23,11 @@ struct RelationData {
 
 impl RelationData {
     fn with_arity(arity: usize) -> Self {
-        RelationData { tuples: Vec::new(), set: HashSet::new(), index: vec![HashMap::new(); arity] }
+        RelationData {
+            tuples: Vec::new(),
+            set: HashSet::new(),
+            index: vec![HashMap::new(); arity],
+        }
     }
 
     fn insert(&mut self, tuple: Rc<[Const]>) -> bool {
@@ -68,7 +72,10 @@ impl Database {
     /// An empty database for `schema`.
     pub fn new(schema: &Schema) -> Self {
         Database {
-            rels: schema.rel_ids().map(|r| RelationData::with_arity(schema.arity(r))).collect(),
+            rels: schema
+                .rel_ids()
+                .map(|r| RelationData::with_arity(schema.arity(r)))
+                .collect(),
             arities: schema.rel_ids().map(|r| schema.arity(r)).collect(),
         }
     }
@@ -116,7 +123,10 @@ impl Database {
     /// Positions of tuples in `rel` whose column `col` equals `value`, or
     /// an empty slice.
     pub(crate) fn postings(&self, rel: RelId, col: usize, value: Const) -> &[u32] {
-        self.rels[rel.index()].index[col].get(&value).map(|v| &v[..]).unwrap_or(&[])
+        self.rels[rel.index()].index[col]
+            .get(&value)
+            .map(|v| &v[..])
+            .unwrap_or(&[])
     }
 
     /// A snapshot of per-relation sizes, used to delimit deltas.

@@ -53,16 +53,16 @@ fn join_from(
     out: &mut Vec<Vec<Const>>,
 ) {
     if depth == rule.body.len() {
-        let head: Vec<Const> = rule
-            .head
-            .terms
-            .iter()
-            .map(|t| match t {
-                CTerm::Const(c) => *c,
-                CTerm::Var(i) => bindings[*i as usize]
-                    .expect("range restriction guarantees head vars are bound"),
-            })
-            .collect();
+        let head: Vec<Const> =
+            rule.head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    CTerm::Const(c) => *c,
+                    CTerm::Var(i) => bindings[*i as usize]
+                        .expect("range restriction guarantees head vars are bound"),
+                })
+                .collect();
         out.push(head);
         return;
     }
@@ -81,7 +81,7 @@ fn join_from(
         };
         if let Some(v) = value {
             let len = db.postings(atom.rel, col, v).len();
-            if best.map_or(true, |(_, _, best_len)| len < best_len) {
+            if best.is_none_or(|(_, _, best_len)| len < best_len) {
                 best = Some((col, v, len));
             }
         }
@@ -184,15 +184,22 @@ pub fn semi_naive(rules: &[Rule], db: &mut Database) -> EvalStats {
                         let r = atom.rel.index();
                         match i.cmp(&dpos) {
                             // Atoms before the delta position see old + delta.
-                            std::cmp::Ordering::Less => Window { lo: 0, hi: delta_hi[r] },
+                            std::cmp::Ordering::Less => Window {
+                                lo: 0,
+                                hi: delta_hi[r],
+                            },
                             // The delta atom sees only the delta.
-                            std::cmp::Ordering::Equal => {
-                                Window { lo: delta_lo[r], hi: delta_hi[r] }
-                            }
+                            std::cmp::Ordering::Equal => Window {
+                                lo: delta_lo[r],
+                                hi: delta_hi[r],
+                            },
                             // Atoms after see only old facts (avoids
                             // deriving the same conclusion from two deltas
                             // twice).
-                            std::cmp::Ordering::Greater => Window { lo: 0, hi: delta_lo[r] },
+                            std::cmp::Ordering::Greater => Window {
+                                lo: 0,
+                                hi: delta_lo[r],
+                            },
                         }
                     })
                     .collect();
@@ -240,7 +247,10 @@ pub fn naive(rules: &[Rule], db: &mut Database) -> EvalStats {
             let windows: Vec<Window> = rule
                 .body
                 .iter()
-                .map(|atom| Window { lo: 0, hi: sizes[atom.rel.index()] })
+                .map(|atom| Window {
+                    lo: 0,
+                    hi: sizes[atom.rel.index()],
+                })
                 .collect();
             scratch.clear();
             apply_rule(db, rule, &windows, &mut scratch);
@@ -273,7 +283,12 @@ mod tests {
 
     /// path(x, y) :- edge(x, y).
     /// path(x, z) :- path(x, y), edge(y, z).
-    fn tc_setup() -> (Schema, crate::schema::RelId, crate::schema::RelId, Vec<Rule>) {
+    fn tc_setup() -> (
+        Schema,
+        crate::schema::RelId,
+        crate::schema::RelId,
+        Vec<Rule>,
+    ) {
         let mut schema = Schema::new();
         let edge = schema.declare("edge", 2);
         let path = schema.declare("path", 2);

@@ -67,8 +67,10 @@ impl DatalogProgram {
         head_terms: Vec<Term>,
         body: Vec<(RelId, Vec<Term>)>,
     ) -> Result<(), RuleError> {
-        let body_atoms: Vec<Atom> =
-            body.into_iter().map(|(rel, terms)| Atom::new(rel, terms)).collect();
+        let body_atoms: Vec<Atom> = body
+            .into_iter()
+            .map(|(rel, terms)| Atom::new(rel, terms))
+            .collect();
         let rule = Rule::compile(&self.schema, Atom::new(head, head_terms), body_atoms)?;
         self.rules.push(rule);
         Ok(())

@@ -149,17 +149,29 @@ impl Rule {
                             terms.push(CTerm::Var(i));
                         }
                         None => {
-                            return Err(RuleError::UnboundHeadVar { variable: name.clone() })
+                            return Err(RuleError::UnboundHeadVar {
+                                variable: name.clone(),
+                            })
                         }
                     },
                 }
             }
-            Ok(CAtom { rel: atom.rel, terms })
+            Ok(CAtom {
+                rel: atom.rel,
+                terms,
+            })
         };
-        let cbody: Vec<CAtom> =
-            body.iter().map(|a| compile_atom(a, true)).collect::<Result<_, _>>()?;
+        let cbody: Vec<CAtom> = body
+            .iter()
+            .map(|a| compile_atom(a, true))
+            .collect::<Result<_, _>>()?;
         let chead = compile_atom(&head, false)?;
-        Ok(Rule { head: chead, body: cbody, var_count: vars.len(), var_names })
+        Ok(Rule {
+            head: chead,
+            body: cbody,
+            var_count: vars.len(),
+            var_names,
+        })
     }
 
     /// The head relation.
@@ -187,6 +199,21 @@ impl Rule {
         };
         let body: Vec<String> = self.body.iter().map(&atom).collect();
         format!("{} :- {}.", atom(&self.head), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+impl Const {
+    /// Builds a constant directly from an index — test-only helper.
+    pub(crate) fn from_test(i: u32) -> Const {
+        // Safety of meaning: tests pair these with pools that interned at
+        // least `i + 1` names, or never resolve names at all.
+        let mut pool = crate::pool::ConstPool::new();
+        let mut last = pool.intern("0");
+        for n in 1..=i {
+            last = pool.intern(&n.to_string());
+        }
+        last
     }
 }
 
@@ -228,7 +255,14 @@ mod tests {
             vec![Atom::new(edge, vec![Term::var("x")])],
         )
         .unwrap_err();
-        assert!(matches!(err, RuleError::ArityMismatch { supplied: 1, declared: 2, .. }));
+        assert!(matches!(
+            err,
+            RuleError::ArityMismatch {
+                supplied: 1,
+                declared: 2,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("edge"));
     }
 
@@ -241,7 +275,12 @@ mod tests {
             vec![Atom::new(edge, vec![Term::var("x"), Term::var("y")])],
         )
         .unwrap_err();
-        assert_eq!(err, RuleError::UnboundHeadVar { variable: "w".to_owned() });
+        assert_eq!(
+            err,
+            RuleError::UnboundHeadVar {
+                variable: "w".to_owned()
+            }
+        );
     }
 
     #[test]
@@ -269,20 +308,5 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.var_count, 1);
-    }
-}
-
-#[cfg(test)]
-impl Const {
-    /// Builds a constant directly from an index — test-only helper.
-    pub(crate) fn from_test(i: u32) -> Const {
-        // Safety of meaning: tests pair these with pools that interned at
-        // least `i + 1` names, or never resolve names at all.
-        let mut pool = crate::pool::ConstPool::new();
-        let mut last = pool.intern("0");
-        for n in 1..=i {
-            last = pool.intern(&n.to_string());
-        }
-        last
     }
 }

@@ -16,7 +16,8 @@ fn same_generation() -> (DatalogProgram, RelId, RelId, RelId) {
     let person = p.relation("person", 1);
     let parent = p.relation("parent", 2);
     let sg = p.relation("sg", 2);
-    p.rule(sg, vec![v("x"), v("x")], vec![(person, vec![v("x")])]).unwrap();
+    p.rule(sg, vec![v("x"), v("x")], vec![(person, vec![v("x")])])
+        .unwrap();
     p.rule(
         sg,
         vec![v("x"), v("y")],
@@ -66,31 +67,57 @@ fn nonlinear_transitive_closure_matches_linear() {
     let mut linear = DatalogProgram::new();
     let edge_l = linear.relation("edge", 2);
     let path_l = linear.relation("path", 2);
-    linear.rule(path_l, vec![v("x"), v("y")], vec![(edge_l, vec![v("x"), v("y")])]).unwrap();
+    linear
+        .rule(
+            path_l,
+            vec![v("x"), v("y")],
+            vec![(edge_l, vec![v("x"), v("y")])],
+        )
+        .unwrap();
     linear
         .rule(
             path_l,
             vec![v("x"), v("z")],
-            vec![(path_l, vec![v("x"), v("y")]), (edge_l, vec![v("y"), v("z")])],
+            vec![
+                (path_l, vec![v("x"), v("y")]),
+                (edge_l, vec![v("y"), v("z")]),
+            ],
         )
         .unwrap();
 
     let mut nonlinear = DatalogProgram::new();
     let edge_n = nonlinear.relation("edge", 2);
     let path_n = nonlinear.relation("path", 2);
-    nonlinear.rule(path_n, vec![v("x"), v("y")], vec![(edge_n, vec![v("x"), v("y")])]).unwrap();
+    nonlinear
+        .rule(
+            path_n,
+            vec![v("x"), v("y")],
+            vec![(edge_n, vec![v("x"), v("y")])],
+        )
+        .unwrap();
     nonlinear
         .rule(
             path_n,
             vec![v("x"), v("z")],
-            vec![(path_n, vec![v("x"), v("y")]), (path_n, vec![v("y"), v("z")])],
+            vec![
+                (path_n, vec![v("x"), v("y")]),
+                (path_n, vec![v("y"), v("z")]),
+            ],
         )
         .unwrap();
 
     let mut pool = ConstPool::new();
     let nodes: Vec<_> = (0..10).map(|i| pool.intern(&format!("n{i}"))).collect();
-    let edges: Vec<(usize, usize)> =
-        vec![(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7), (8, 8)];
+    let edges: Vec<(usize, usize)> = vec![
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (3, 4),
+        (4, 5),
+        (6, 7),
+        (8, 8),
+    ];
     let mut db_l = linear.database();
     let mut db_n = nonlinear.database();
     for &(a, b) in &edges {
@@ -116,9 +143,20 @@ fn mutual_recursion_between_relations() {
     let succ = p.relation("succ", 2);
     let even = p.relation("even", 1);
     let odd = p.relation("odd", 1);
-    p.rule(even, vec![v("x")], vec![(zero, vec![v("x")])]).unwrap();
-    p.rule(even, vec![v("y")], vec![(odd, vec![v("x")]), (succ, vec![v("x"), v("y")])]).unwrap();
-    p.rule(odd, vec![v("y")], vec![(even, vec![v("x")]), (succ, vec![v("x"), v("y")])]).unwrap();
+    p.rule(even, vec![v("x")], vec![(zero, vec![v("x")])])
+        .unwrap();
+    p.rule(
+        even,
+        vec![v("y")],
+        vec![(odd, vec![v("x")]), (succ, vec![v("x"), v("y")])],
+    )
+    .unwrap();
+    p.rule(
+        odd,
+        vec![v("y")],
+        vec![(even, vec![v("x")]), (succ, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     let mut pool = ConstPool::new();
     let nums: Vec<_> = (0..=8).map(|i| pool.intern(&i.to_string())).collect();
     let mut db = p.database();
@@ -127,9 +165,9 @@ fn mutual_recursion_between_relations() {
         db.insert(succ, &[w[0], w[1]]);
     }
     p.run(&mut db);
-    for i in 0..=8 {
-        assert_eq!(db.contains(even, &[nums[i]]), i % 2 == 0, "evenness of {i}");
-        assert_eq!(db.contains(odd, &[nums[i]]), i % 2 == 1, "oddness of {i}");
+    for (i, &num) in nums.iter().enumerate().take(9) {
+        assert_eq!(db.contains(even, &[num]), i % 2 == 0, "evenness of {i}");
+        assert_eq!(db.contains(odd, &[num]), i % 2 == 1, "oddness of {i}");
     }
 }
 
@@ -172,7 +210,12 @@ fn derived_facts_can_feed_edb_relations() {
     let edge = p.relation("edge", 2);
     let sym = p.relation("edge_sym_marker", 0);
     let _ = sym;
-    p.rule(edge, vec![v("y"), v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        edge,
+        vec![v("y"), v("x")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     let mut pool = ConstPool::new();
     let a = pool.intern("a");
     let b = pool.intern("b");
@@ -189,7 +232,8 @@ fn zero_arity_relations_work_as_flags() {
     let mut p = DatalogProgram::new();
     let edge = p.relation("edge", 2);
     let flag = p.relation("flag", 0);
-    p.rule(flag, vec![], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(flag, vec![], vec![(edge, vec![v("x"), v("y")])])
+        .unwrap();
     let mut pool = ConstPool::new();
     let a = pool.intern("a");
     let mut db = p.database();
@@ -260,7 +304,12 @@ fn incremental_reruns_reach_the_same_fixpoint() {
     let mut p = DatalogProgram::new();
     let edge = p.relation("edge", 2);
     let path = p.relation("path", 2);
-    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("y")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     p.rule(
         path,
         vec![v("x"), v("z")],
@@ -295,13 +344,16 @@ fn duplicate_rules_do_not_change_the_model() {
     let mut once = DatalogProgram::new();
     let e1 = once.relation("edge", 2);
     let p1 = once.relation("path", 2);
-    once.rule(p1, vec![v("x"), v("y")], vec![(e1, vec![v("x"), v("y")])]).unwrap();
+    once.rule(p1, vec![v("x"), v("y")], vec![(e1, vec![v("x"), v("y")])])
+        .unwrap();
 
     let mut twice = DatalogProgram::new();
     let e2 = twice.relation("edge", 2);
     let p2 = twice.relation("path", 2);
     for _ in 0..2 {
-        twice.rule(p2, vec![v("x"), v("y")], vec![(e2, vec![v("x"), v("y")])]).unwrap();
+        twice
+            .rule(p2, vec![v("x"), v("y")], vec![(e2, vec![v("x"), v("y")])])
+            .unwrap();
     }
 
     let mut pool = ConstPool::new();

@@ -15,7 +15,12 @@ fn tc_program() -> (DatalogProgram, RelId, RelId) {
     let mut p = DatalogProgram::new();
     let edge = p.relation("edge", 2);
     let path = p.relation("path", 2);
-    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("y")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     p.rule(
         path,
         vec![v("x"), v("z")],
@@ -33,23 +38,40 @@ fn mixed_program() -> (DatalogProgram, RelId, Vec<RelId>) {
     let und = p.relation("undirected", 2);
     let hop2 = p.relation("two_hop", 2);
     let node = p.relation("node", 1);
-    p.rule(path, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        path,
+        vec![v("x"), v("y")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     p.rule(
         path,
         vec![v("x"), v("z")],
         vec![(path, vec![v("x"), v("y")]), (path, vec![v("y"), v("z")])],
     )
     .unwrap();
-    p.rule(und, vec![v("x"), v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
-    p.rule(und, vec![v("y"), v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(
+        und,
+        vec![v("x"), v("y")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
+    p.rule(
+        und,
+        vec![v("y"), v("x")],
+        vec![(edge, vec![v("x"), v("y")])],
+    )
+    .unwrap();
     p.rule(
         hop2,
         vec![v("x"), v("z")],
         vec![(und, vec![v("x"), v("y")]), (und, vec![v("y"), v("z")])],
     )
     .unwrap();
-    p.rule(node, vec![v("x")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
-    p.rule(node, vec![v("y")], vec![(edge, vec![v("x"), v("y")])]).unwrap();
+    p.rule(node, vec![v("x")], vec![(edge, vec![v("x"), v("y")])])
+        .unwrap();
+    p.rule(node, vec![v("y")], vec![(edge, vec![v("x"), v("y")])])
+        .unwrap();
     (p, edge, vec![path, und, hop2, node])
 }
 

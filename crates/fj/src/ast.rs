@@ -154,7 +154,14 @@ impl FjProgram {
             .enumerate()
             .map(|(i, c)| (c.name, ClassId(i as u32)))
             .collect();
-        FjProgram { interner, classes, methods, class_index, entry, next_label }
+        FjProgram {
+            interner,
+            classes,
+            methods,
+            class_index,
+            entry,
+            next_label,
+        }
     }
 
     /// The entry method.
@@ -164,7 +171,10 @@ impl FjProgram {
 
     /// The entry statement (first statement of the entry method).
     pub fn entry_stmt(&self) -> StmtId {
-        StmtId { method: self.entry, index: 0 }
+        StmtId {
+            method: self.entry,
+            index: 0,
+        }
     }
 
     /// Class definition by id.
@@ -189,7 +199,10 @@ impl FjProgram {
 
     /// `succ(ℓ)` — the next statement in the same method body.
     pub fn succ(&self, id: StmtId) -> StmtId {
-        StmtId { method: id.method, index: id.index + 1 }
+        StmtId {
+            method: id.method,
+            index: id.index + 1,
+        }
     }
 
     /// Number of classes.

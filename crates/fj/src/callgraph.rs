@@ -23,7 +23,9 @@ pub struct FjCallGraph {
 impl FjCallGraph {
     /// Builds the call graph from an analysis summary.
     pub fn from_metrics(metrics: &FjMetrics) -> Self {
-        FjCallGraph { edges: metrics.call_targets.clone() }
+        FjCallGraph {
+            edges: metrics.call_targets.clone(),
+        }
     }
 
     /// Targets of an invocation site.
@@ -81,13 +83,13 @@ impl FjCallGraph {
             let _ = writeln!(out, "  m{} [label=\"{}\"];", m.0, name(m));
         }
         for (site, targets) in &self.edges {
-            let style = if targets.len() == 1 { "solid" } else { "dashed" };
+            let style = if targets.len() == 1 {
+                "solid"
+            } else {
+                "dashed"
+            };
             for &t in targets {
-                let _ = writeln!(
-                    out,
-                    "  m{} -> m{} [style={style}];",
-                    site.method.0, t.0
-                );
+                let _ = writeln!(out, "  m{} -> m{} [style={style}];", site.method.0, t.0);
             }
         }
         out.push_str("}\n");
@@ -161,7 +163,10 @@ mod tests {
     fn polymorphic_edges_are_dashed() {
         let (p, g) = graph(SRC, 0);
         let dot = g.to_dot(&p);
-        assert!(dot.contains("style=dashed"), "k=0 who() site is polymorphic:\n{dot}");
+        assert!(
+            dot.contains("style=dashed"),
+            "k=0 who() site is polymorphic:\n{dot}"
+        );
     }
 
     #[test]

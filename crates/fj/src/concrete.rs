@@ -128,7 +128,9 @@ pub struct FjLimits {
 
 impl Default for FjLimits {
     fn default() -> Self {
-        FjLimits { max_steps: 1_000_000 }
+        FjLimits {
+            max_steps: 1_000_000,
+        }
     }
 }
 
@@ -196,7 +198,13 @@ pub fn run_fj_traced(program: &FjProgram, limits: FjLimits, trace: bool) -> FjRu
         record_trace: trace,
     };
     let (outcome, steps) = m.run(limits);
-    FjRun { outcome, steps, store: m.store, trace: m.trace, times: m.times }
+    FjRun {
+        outcome,
+        steps,
+        store: m.store,
+        trace: m.trace,
+        times: m.times,
+    }
 }
 
 struct Machine<'p> {
@@ -232,18 +240,33 @@ impl<'p> Machine<'p> {
             .lookup("this")
             .expect("'this' interned by the parser");
 
-        let this_addr = FjAddr { slot: FjSlot::Var(this_sym), ctx: t0 };
+        let this_addr = FjAddr {
+            slot: FjSlot::Var(this_sym),
+            ctx: t0,
+        };
         self.store.insert(
             this_addr,
-            FjValue::Obj { class: main_class, fields: Rc::new(HashMap::new()) },
+            FjValue::Obj {
+                class: main_class,
+                fields: Rc::new(HashMap::new()),
+            },
         );
-        let halt_addr = FjAddr { slot: FjSlot::Kont(entry), ctx: t0 };
+        let halt_addr = FjAddr {
+            slot: FjSlot::Kont(entry),
+            ctx: t0,
+        };
         self.store.insert(halt_addr, FjValue::HaltKont);
 
         let mut benv = HashMap::new();
         benv.insert(this_sym, this_addr);
         for &(_, local) in &main.locals {
-            benv.insert(local, FjAddr { slot: FjSlot::Var(local), ctx: t0 });
+            benv.insert(
+                local,
+                FjAddr {
+                    slot: FjSlot::Var(local),
+                    ctx: t0,
+                },
+            );
         }
         let mut state = State {
             stmt: self.program.entry_stmt(),
@@ -289,7 +312,10 @@ impl<'p> Machine<'p> {
     }
 
     fn read(&self, addr: FjAddr) -> Result<FjValue, FjError> {
-        self.store.get(&addr).cloned().ok_or(FjError::UninitializedRead)
+        self.store
+            .get(&addr)
+            .cloned()
+            .ok_or(FjError::UninitializedRead)
     }
 
     fn read_var(&self, benv: &FjBEnv, v: Symbol) -> Result<FjValue, FjError> {
@@ -297,7 +323,10 @@ impl<'p> Machine<'p> {
     }
 
     fn step(&mut self, state: &State) -> Result<Step, FjError> {
-        let stmt = self.program.stmt(state.stmt).ok_or(FjError::FellOffMethod)?;
+        let stmt = self
+            .program
+            .stmt(state.stmt)
+            .ok_or(FjError::FellOffMethod)?;
         let label = stmt.label;
         match &stmt.kind {
             FjStmtKind::Assign { lhs, rhs } => {
@@ -335,17 +364,20 @@ impl<'p> Machine<'p> {
                         }))
                     }
                     // Method invocation (Fig 6).
-                    FjExpr::Invoke { receiver, method, args } => {
+                    FjExpr::Invoke {
+                        receiver,
+                        method,
+                        args,
+                    } => {
                         let d0 = self.read_var(&state.benv, *receiver)?;
                         let FjValue::Obj { class, .. } = &d0 else {
                             return Err(FjError::NotAnObject(
                                 self.program.name(*receiver).to_owned(),
                             ));
                         };
-                        let mid =
-                            self.program.lookup_method(*class, *method).ok_or_else(|| {
-                                FjError::NoSuchMethod(self.program.name(*method).to_owned())
-                            })?;
+                        let mid = self.program.lookup_method(*class, *method).ok_or_else(|| {
+                            FjError::NoSuchMethod(self.program.name(*method).to_owned())
+                        })?;
                         let target = self.program.method(mid);
                         if target.params.len() != args.len() {
                             return Err(FjError::ArityMismatch {
@@ -365,7 +397,10 @@ impl<'p> Machine<'p> {
                             benv: state.benv.clone(),
                             kont: state.kont,
                         };
-                        let kont_addr = FjAddr { slot: FjSlot::Kont(mid), ctx: t_new };
+                        let kont_addr = FjAddr {
+                            slot: FjSlot::Kont(mid),
+                            ctx: t_new,
+                        };
                         self.store.insert(kont_addr, kont);
 
                         // β′ = [this ↦ β(v0)]; β″ adds params and locals.
@@ -373,15 +408,27 @@ impl<'p> Machine<'p> {
                         let mut callee = HashMap::new();
                         callee.insert(this_sym, self.lookup(&state.benv, *receiver)?);
                         for ((_, p), d) in target.params.iter().zip(arg_vals) {
-                            let a = FjAddr { slot: FjSlot::Var(*p), ctx: t_new };
+                            let a = FjAddr {
+                                slot: FjSlot::Var(*p),
+                                ctx: t_new,
+                            };
                             callee.insert(*p, a);
                             self.store.insert(a, d);
                         }
                         for &(_, l) in &target.locals {
-                            callee.insert(l, FjAddr { slot: FjSlot::Var(l), ctx: t_new });
+                            callee.insert(
+                                l,
+                                FjAddr {
+                                    slot: FjSlot::Var(l),
+                                    ctx: t_new,
+                                },
+                            );
                         }
                         Ok(Step::Continue(State {
-                            stmt: StmtId { method: mid, index: 0 },
+                            stmt: StmtId {
+                                method: mid,
+                                index: 0,
+                            },
                             benv: Rc::new(callee),
                             kont: kont_addr,
                             time: t_new,
@@ -402,11 +449,17 @@ impl<'p> Machine<'p> {
                         let mut record = HashMap::new();
                         for ((_, f), &arg) in field_list.iter().zip(args) {
                             let d = self.read_var(&state.benv, arg)?;
-                            let a = FjAddr { slot: FjSlot::Var(*f), ctx: t_new };
+                            let a = FjAddr {
+                                slot: FjSlot::Var(*f),
+                                ctx: t_new,
+                            };
                             record.insert(*f, a);
                             self.store.insert(a, d);
                         }
-                        let obj = FjValue::Obj { class: cid, fields: Rc::new(record) };
+                        let obj = FjValue::Obj {
+                            class: cid,
+                            fields: Rc::new(record),
+                        };
                         self.store.insert(self.lookup(&state.benv, *lhs)?, obj);
                         Ok(Step::Continue(State {
                             stmt: self.program.succ(state.stmt),
@@ -433,11 +486,21 @@ impl<'p> Machine<'p> {
                 let d = self.read_var(&state.benv, *var)?;
                 match self.read(state.kont)? {
                     FjValue::HaltKont => Ok(Step::Halt(d)),
-                    FjValue::Kont { var: v2, next, benv, kont } => {
+                    FjValue::Kont {
+                        var: v2,
+                        next,
+                        benv,
+                        kont,
+                    } => {
                         let t_new = self.times.tick(label, state.time);
                         let dest = self.lookup(&benv, v2)?;
                         self.store.insert(dest, d);
-                        Ok(Step::Continue(State { stmt: next, benv, kont, time: t_new }))
+                        Ok(Step::Continue(State {
+                            stmt: next,
+                            benv,
+                            kont,
+                            time: t_new,
+                        }))
                     }
                     FjValue::Obj { .. } => Err(FjError::NotAnObject("continuation".into())),
                 }
@@ -457,19 +520,16 @@ mod tests {
 
     #[test]
     fn allocates_and_returns() {
-        let r = run(
-            "class Main extends Object {
+        let r = run("class Main extends Object {
                Main() { super(); }
                Object main() { Object o; o = new Object(); return o; }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("Object"));
     }
 
     #[test]
     fn field_round_trip() {
-        let r = run(
-            "class Box extends Object {
+        let r = run("class Box extends Object {
                Object item;
                Box(Object item0) { super(); this.item = item0; }
                Object get() { return this.item; }
@@ -481,15 +541,13 @@ mod tests {
                  b = new Box(new Main());
                  return b.get();
                }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("Main"));
     }
 
     #[test]
     fn dynamic_dispatch_selects_override() {
-        let r = run(
-            "class A extends Object {
+        let r = run("class A extends Object {
                A() { super(); }
                Object who() { Object o; o = new A(); return o; }
              }
@@ -504,15 +562,13 @@ mod tests {
                  x = new B();
                  return x.who();
                }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("B"));
     }
 
     #[test]
     fn inherited_method_found() {
-        let r = run(
-            "class A extends Object {
+        let r = run("class A extends Object {
                A() { super(); }
                Object mk() { Object o; o = new A(); return o; }
              }
@@ -522,15 +578,13 @@ mod tests {
              class Main extends Object {
                Main() { super(); }
                Object main() { B b; b = new B(); return b.mk(); }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("A"));
     }
 
     #[test]
     fn inherited_fields_bind_in_order() {
-        let r = run(
-            "class A extends Object {
+        let r = run("class A extends Object {
                Object x;
                A(Object x0) { super(); this.x = x0; }
              }
@@ -547,15 +601,13 @@ mod tests {
                  b = new B(new Main(), new Object());
                  return b.getx();
                }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("Main"));
     }
 
     #[test]
     fn nested_calls_via_anf() {
-        let r = run(
-            "class Wrap extends Object {
+        let r = run("class Wrap extends Object {
                Object v;
                Wrap(Object v0) { super(); this.v = v0; }
                Object unwrap() { return this.v; }
@@ -568,15 +620,13 @@ mod tests {
                  w = new Wrap(new Main());
                  return w.rewrap().unwrap();
                }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("Main"));
     }
 
     #[test]
     fn cast_copies_value() {
-        let r = run(
-            "class Main extends Object {
+        let r = run("class Main extends Object {
                Main() { super(); }
                Object main() {
                  Object o;
@@ -585,35 +635,36 @@ mod tests {
                  p = (Main) o;
                  return p;
                }
-             }",
-        );
+             }");
         assert_eq!(r.halted(), Some("Main"));
     }
 
     #[test]
     fn uninitialized_local_read_errors() {
-        let r = run(
-            "class Main extends Object {
+        let r = run("class Main extends Object {
                Main() { super(); }
                Object main() { Object o; return o; }
-             }",
-        );
-        assert!(matches!(r.outcome, FjOutcome::Error(FjError::UninitializedRead)));
+             }");
+        assert!(matches!(
+            r.outcome,
+            FjOutcome::Error(FjError::UninitializedRead)
+        ));
     }
 
     #[test]
     fn missing_method_errors() {
-        let r = run(
-            "class Main extends Object {
+        let r = run("class Main extends Object {
                Main() { super(); }
                Object main() {
                  Object o;
                  o = new Object();
                  return o.nothing();
                }
-             }",
-        );
-        assert!(matches!(r.outcome, FjOutcome::Error(FjError::NoSuchMethod(_))));
+             }");
+        assert!(matches!(
+            r.outcome,
+            FjOutcome::Error(FjError::NoSuchMethod(_))
+        ));
     }
 
     #[test]

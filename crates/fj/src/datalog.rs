@@ -52,12 +52,18 @@ pub struct FjDatalogOptions {
 impl FjDatalogOptions {
     /// Context-insensitive points-to (0-CFA).
     pub fn insensitive() -> Self {
-        FjDatalogOptions { k: 0, cast_filtering: false }
+        FjDatalogOptions {
+            k: 0,
+            cast_filtering: false,
+        }
     }
 
     /// k-call-site-sensitive points-to, unfiltered casts.
     pub fn sensitive(k: usize) -> Self {
-        FjDatalogOptions { k, cast_filtering: false }
+        FjDatalogOptions {
+            k,
+            cast_filtering: false,
+        }
     }
 }
 
@@ -94,7 +100,10 @@ impl FjDatalogResult {
 
     /// Points-to set for a (variable, context) address, or empty.
     pub fn classes_of(&self, var: Symbol, ctx: &[Label]) -> BTreeSet<ClassId> {
-        self.points_to.get(&(var, ctx.to_vec())).cloned().unwrap_or_default()
+        self.points_to
+            .get(&(var, ctx.to_vec()))
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -206,7 +215,10 @@ fn install_rules(p: &mut DatalogProgram, r: &Rels, sentinel: Const, entry_mid: C
     p.rule(
         r.vp,
         vec![v("lhs"), v("ctx"), v("c"), v("ctx")],
-        vec![(r.alloc, vec![v("s"), v("lhs"), v("c")]), (r.reach, vec![v("s"), v("ctx")])],
+        vec![
+            (r.alloc, vec![v("s"), v("lhs"), v("c")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+        ],
     )
     .expect("alloc rule");
     // Constructor field initialization: field f of an object born at ctx
@@ -225,7 +237,10 @@ fn install_rules(p: &mut DatalogProgram, r: &Rels, sentinel: Const, entry_mid: C
     p.rule(
         r.reach,
         vec![v("s2"), v("ctx")],
-        vec![(r.nextlocal, vec![v("s"), v("s2")]), (r.reach, vec![v("s"), v("ctx")])],
+        vec![
+            (r.nextlocal, vec![v("s"), v("s2")]),
+            (r.reach, vec![v("s"), v("ctx")]),
+        ],
     )
     .expect("nextlocal rule");
 
@@ -348,7 +363,10 @@ const THIS_INDEX_SENTINEL_NAME: &str = "iThis";
 /// Datalog points-to frameworks treat deep contexts with constructors,
 /// not tables.
 pub fn analyze_fj_datalog(program: &FjProgram, options: FjDatalogOptions) -> FjDatalogResult {
-    assert!(options.k <= 2, "Datalog encoding tabulates contexts; k ≤ 2 only");
+    assert!(
+        options.k <= 2,
+        "Datalog encoding tabulates contexts; k ≤ 2 only"
+    );
     Encoder::new(program, options).run()
 }
 
@@ -377,7 +395,10 @@ impl<'p> Encoder<'p> {
     fn new(fj: &'p FjProgram, options: FjDatalogOptions) -> Self {
         let mut program = DatalogProgram::new();
         let rels = declare(&mut program);
-        let this_sym = fj.interner().lookup("this").expect("'this' interned by parser");
+        let this_sym = fj
+            .interner()
+            .lookup("this")
+            .expect("'this' interned by parser");
         Encoder {
             fj,
             options,
@@ -454,7 +475,11 @@ impl<'p> Encoder<'p> {
         } else {
             format!(
                 "ctx⟨{}⟩",
-                labels.iter().map(|l| l.0.to_string()).collect::<Vec<_>>().join(",")
+                labels
+                    .iter()
+                    .map(|l| l.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         };
         let c = self.pool.intern(&name);
@@ -483,7 +508,10 @@ impl<'p> Encoder<'p> {
         for mid in self.fj.method_ids() {
             let method = self.fj.method(mid).clone();
             let mc = self.mid_const(mid);
-            let first = self.stmt_const(StmtId { method: mid, index: 0 });
+            let first = self.stmt_const(StmtId {
+                method: mid,
+                index: 0,
+            });
             self.fact(self.rels.firststmt, &[mc, first]);
             let nargs = self.arity_const(method.params.len());
             self.fact(self.rels.marity, &[mc, nargs]);
@@ -499,9 +527,15 @@ impl<'p> Encoder<'p> {
             self.fact(self.rels.formal, &[mc, sentinel, this_c]);
 
             for (index, stmt) in method.body.iter().enumerate() {
-                let sid = StmtId { method: mid, index: index as u32 };
+                let sid = StmtId {
+                    method: mid,
+                    index: index as u32,
+                };
                 let sc = self.stmt_const(sid);
-                let succ_c = self.stmt_const(StmtId { method: mid, index: index as u32 + 1 });
+                let succ_c = self.stmt_const(StmtId {
+                    method: mid,
+                    index: index as u32 + 1,
+                });
                 match &stmt.kind {
                     FjStmtKind::Return { var } => {
                         let rv = self.use_const(*var, mid);
@@ -559,7 +593,11 @@ impl<'p> Encoder<'p> {
                                 }
                                 self.fact(self.rels.nextlocal, &[sc, succ_c]);
                             }
-                            FjExpr::Invoke { receiver, method: mname, args } => {
+                            FjExpr::Invoke {
+                                receiver,
+                                method: mname,
+                                args,
+                            } => {
                                 let recv = self.use_const(*receiver, mid);
                                 let m_c = self.pool.intern(&format!("m:{}", mname.index()));
                                 let n = self.arity_const(args.len());
@@ -615,10 +653,21 @@ impl<'p> Encoder<'p> {
                     .filter(|(_, s)| {
                         matches!(
                             s.kind,
-                            FjStmtKind::Assign { rhs: FjExpr::Invoke { .. }, .. }
+                            FjStmtKind::Assign {
+                                rhs: FjExpr::Invoke { .. },
+                                ..
+                            }
                         )
                     })
-                    .map(|(i, s)| (StmtId { method: mid, index: i as u32 }, s.label))
+                    .map(|(i, s)| {
+                        (
+                            StmtId {
+                                method: mid,
+                                index: i as u32,
+                            },
+                            s.label,
+                        )
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -701,8 +750,10 @@ impl<'p> Encoder<'p> {
                 reachable.insert((s, self.ctx_of[&t[1]].clone()));
             }
         }
-        let halt_classes: BTreeSet<ClassId> =
-            db.tuples(self.rels.haltclass).map(|t| self.class_of[&t[0]]).collect();
+        let halt_classes: BTreeSet<ClassId> = db
+            .tuples(self.rels.haltclass)
+            .map(|t| self.class_of[&t[0]])
+            .collect();
 
         FjDatalogResult {
             call_targets,
@@ -755,8 +806,11 @@ mod tests {
              }",
             FjDatalogOptions::insensitive(),
         );
-        let names: Vec<&str> =
-            r.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        let names: Vec<&str> = r
+            .halt_classes
+            .iter()
+            .map(|&c| p.name(p.class(c).name))
+            .collect();
         assert_eq!(names, vec!["Object"]);
         assert!(r.edb_facts > 0);
         assert!(r.total_facts > r.edb_facts);
@@ -788,8 +842,11 @@ mod tests {
              }",
             FjDatalogOptions::sensitive(1),
         );
-        let names: Vec<&str> =
-            r.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        let names: Vec<&str> = r
+            .halt_classes
+            .iter()
+            .map(|&c| p.name(p.class(c).name))
+            .collect();
         assert_eq!(names, vec!["Marker"]);
     }
 
@@ -820,7 +877,9 @@ mod tests {
              }",
             FjDatalogOptions::insensitive(),
         );
-        let dead = p.class_by_name(p.interner().lookup("Dead").unwrap()).unwrap();
+        let dead = p
+            .class_by_name(p.interner().lookup("Dead").unwrap())
+            .unwrap();
         assert!(!r.halt_classes.contains(&dead));
         // No points-to tuple mentions Dead: its alloc never fires.
         for classes in r.points_to.values() {
@@ -847,8 +906,13 @@ mod tests {
               }
             }";
         let (_, unfiltered) = run(src, FjDatalogOptions::insensitive());
-        let (_, filtered) =
-            run(src, FjDatalogOptions { k: 0, cast_filtering: true });
+        let (_, filtered) = run(
+            src,
+            FjDatalogOptions {
+                k: 0,
+                cast_filtering: true,
+            },
+        );
         assert!(unfiltered.halt_classes.len() >= 2);
         assert_eq!(filtered.halt_classes.len(), 1);
     }

@@ -35,7 +35,9 @@ pub fn reachable_addrs(
         if !seen.insert(addr.clone()) {
             continue;
         }
-        let Some(values) = store.get(&addr) else { continue };
+        let Some(values) = store.get(&addr) else {
+            continue;
+        };
         for v in values {
             match v {
                 FjAVal::HaltKont => {}
@@ -97,11 +99,17 @@ mod tests {
     use std::rc::Rc;
 
     fn var_addr(i: usize) -> FjAddrA {
-        FjAddrA { slot: FjSlot::Var(Symbol::from_index(i)), time: CallString::empty() }
+        FjAddrA {
+            slot: FjSlot::Var(Symbol::from_index(i)),
+            time: CallString::empty(),
+        }
     }
 
     fn kont_addr(m: u32) -> FjAddrA {
-        FjAddrA { slot: FjSlot::Kont(MethodId(m)), time: CallString::empty() }
+        FjAddrA {
+            slot: FjSlot::Kont(MethodId(m)),
+            time: CallString::empty(),
+        }
     }
 
     fn store_of(entries: Vec<(FjAddrA, Vec<FjAVal>)>) -> FjNaiveStore {
@@ -115,7 +123,10 @@ mod tests {
 
     #[test]
     fn unreachable_addresses_are_collected() {
-        let obj = FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() };
+        let obj = FjAVal::Obj {
+            class: ClassId(0),
+            fields: FjBEnvA::empty(),
+        };
         let store = store_of(vec![
             (var_addr(0), vec![obj.clone()]),
             (var_addr(1), vec![obj]),
@@ -132,14 +143,35 @@ mod tests {
     fn object_records_keep_fields_live() {
         let fields = FjBEnvA::empty().extend([(Symbol::from_index(5), var_addr(5))]);
         let store = store_of(vec![
-            (var_addr(0), vec![FjAVal::Obj { class: ClassId(0), fields }]),
-            (var_addr(5), vec![FjAVal::Obj { class: ClassId(1), fields: FjBEnvA::empty() }]),
-            (var_addr(6), vec![FjAVal::Obj { class: ClassId(1), fields: FjBEnvA::empty() }]),
+            (
+                var_addr(0),
+                vec![FjAVal::Obj {
+                    class: ClassId(0),
+                    fields,
+                }],
+            ),
+            (
+                var_addr(5),
+                vec![FjAVal::Obj {
+                    class: ClassId(1),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
+            (
+                var_addr(6),
+                vec![FjAVal::Obj {
+                    class: ClassId(1),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
             (kont_addr(0), vec![FjAVal::HaltKont]),
         ]);
         let benv = FjBEnvA::empty().extend([(Symbol::from_index(0), var_addr(0))]);
         let collected = collect(&store, &benv, &kont_addr(0));
-        assert!(collected.contains_key(&var_addr(5)), "field address must stay live");
+        assert!(
+            collected.contains_key(&var_addr(5)),
+            "field address must stay live"
+        );
         assert!(!collected.contains_key(&var_addr(6)));
     }
 
@@ -150,7 +182,10 @@ mod tests {
         let caller_env = FjBEnvA::empty().extend([(Symbol::from_index(7), var_addr(7))]);
         let kont_val = FjAVal::Kont {
             var: Symbol::from_index(9),
-            next: StmtId { method: MethodId(0), index: 1 },
+            next: StmtId {
+                method: MethodId(0),
+                index: 1,
+            },
             benv: caller_env,
             kont: kont_addr(0),
             time: None,
@@ -158,13 +193,31 @@ mod tests {
         let store = store_of(vec![
             (kont_addr(1), vec![kont_val]),
             (kont_addr(0), vec![FjAVal::HaltKont]),
-            (var_addr(7), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
-            (var_addr(8), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+            (
+                var_addr(7),
+                vec![FjAVal::Obj {
+                    class: ClassId(0),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
+            (
+                var_addr(8),
+                vec![FjAVal::Obj {
+                    class: ClassId(0),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
         ]);
         let benv = FjBEnvA::empty();
         let collected = collect(&store, &benv, &kont_addr(1));
-        assert!(collected.contains_key(&var_addr(7)), "caller frame stays live");
-        assert!(collected.contains_key(&kont_addr(0)), "caller kont stays live");
+        assert!(
+            collected.contains_key(&var_addr(7)),
+            "caller frame stays live"
+        );
+        assert!(
+            collected.contains_key(&kont_addr(0)),
+            "caller kont stays live"
+        );
         assert!(!collected.contains_key(&var_addr(8)));
     }
 
@@ -179,8 +232,20 @@ mod tests {
     #[test]
     fn collection_is_idempotent() {
         let store = store_of(vec![
-            (var_addr(0), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
-            (var_addr(1), vec![FjAVal::Obj { class: ClassId(0), fields: FjBEnvA::empty() }]),
+            (
+                var_addr(0),
+                vec![FjAVal::Obj {
+                    class: ClassId(0),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
+            (
+                var_addr(1),
+                vec![FjAVal::Obj {
+                    class: ClassId(0),
+                    fields: FjBEnvA::empty(),
+                }],
+            ),
             (kont_addr(0), vec![FjAVal::HaltKont]),
         ]);
         let benv = FjBEnvA::empty().extend([(Symbol::from_index(0), var_addr(0))]);

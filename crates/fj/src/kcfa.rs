@@ -29,7 +29,7 @@ use cfa_core::store::{Flow, FlowSet};
 use cfa_syntax::cps::Label;
 use cfa_syntax::intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// An abstract Featherweight Java address: slot × abstract time.
@@ -41,7 +41,7 @@ pub struct FjAddrA {
     pub time: CallString,
 }
 
-/// An abstract binding environment (sorted map behind `Rc`) with its
+/// An abstract binding environment (sorted map behind `Arc`) with its
 /// structural hash precomputed at construction — the same cached-hash
 /// scheme as `cfa_core::kcfa::BEnvK`, for the same reason: configs,
 /// continuations, and object records all embed environments, so their
@@ -49,7 +49,7 @@ pub struct FjAddrA {
 #[derive(Clone, Debug)]
 pub struct FjBEnvA {
     hash: u64,
-    items: Rc<Vec<(Symbol, FjAddrA)>>,
+    items: Arc<Vec<(Symbol, FjAddrA)>>,
 }
 
 impl Default for FjBEnvA {
@@ -61,7 +61,7 @@ impl Default for FjBEnvA {
 impl PartialEq for FjBEnvA {
     fn eq(&self, other: &Self) -> bool {
         self.hash == other.hash
-            && (Rc::ptr_eq(&self.items, &other.items) || self.items == other.items)
+            && (Arc::ptr_eq(&self.items, &other.items) || self.items == other.items)
     }
 }
 
@@ -90,7 +90,10 @@ impl FjBEnvA {
         use std::hash::{Hash as _, Hasher as _};
         let mut h = cfa_core::fxhash::FxHasher::default();
         items.hash(&mut h);
-        FjBEnvA { hash: h.finish(), items: Rc::new(items) }
+        FjBEnvA {
+            hash: h.finish(),
+            items: Arc::new(items),
+        }
     }
 
     /// The empty environment.
@@ -202,12 +205,20 @@ pub struct FjAnalysisOptions {
 impl FjAnalysisOptions {
     /// The paper's literal construction with the given `k`.
     pub fn paper(k: usize) -> Self {
-        FjAnalysisOptions { k, policy: TickPolicy::EveryStatement, cast_filtering: false }
+        FjAnalysisOptions {
+            k,
+            policy: TickPolicy::EveryStatement,
+            cast_filtering: false,
+        }
     }
 
     /// Conventional OO k-CFA with the given `k`.
     pub fn oo(k: usize) -> Self {
-        FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false }
+        FjAnalysisOptions {
+            k,
+            policy: TickPolicy::OnInvocation,
+            cast_filtering: false,
+        }
     }
 }
 
@@ -231,7 +242,10 @@ pub struct FjMachine<'p> {
 impl<'p> FjMachine<'p> {
     /// Creates a machine for `program` with `options`.
     pub fn new(program: &'p FjProgram, options: FjAnalysisOptions) -> Self {
-        let this_sym = program.interner().lookup("this").expect("'this' interned by parser");
+        let this_sym = program
+            .interner()
+            .lookup("this")
+            .expect("'this' interned by parser");
         FjMachine {
             program,
             options,
@@ -298,7 +312,10 @@ impl<'p> AbstractMachine for FjMachine<'p> {
     fn seed(&mut self, store: &mut TrackedStore<'_, FjAddrA, FjAVal>) {
         let entry = self.program.entry();
         let t0 = CallString::empty();
-        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
+        let this_addr = FjAddrA {
+            slot: FjSlot::Var(self.this_sym),
+            time: t0.clone(),
+        };
         store.join(
             &this_addr,
             [FjAVal::Obj {
@@ -306,7 +323,10 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                 fields: FjBEnvA::empty(),
             }],
         );
-        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0 };
+        let halt_addr = FjAddrA {
+            slot: FjSlot::Kont(entry),
+            time: t0,
+        };
         store.join(&halt_addr, [FjAVal::HaltKont]);
     }
 
@@ -314,15 +334,29 @@ impl<'p> AbstractMachine for FjMachine<'p> {
         let entry = self.program.entry();
         let t0 = CallString::empty();
         let main = self.program.method(entry);
-        let mut bindings =
-            vec![(self.this_sym, FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() })];
+        let mut bindings = vec![(
+            self.this_sym,
+            FjAddrA {
+                slot: FjSlot::Var(self.this_sym),
+                time: t0.clone(),
+            },
+        )];
         for &(_, l) in &main.locals {
-            bindings.push((l, FjAddrA { slot: FjSlot::Var(l), time: t0.clone() }));
+            bindings.push((
+                l,
+                FjAddrA {
+                    slot: FjSlot::Var(l),
+                    time: t0.clone(),
+                },
+            ));
         }
         FjConfig {
             stmt: self.program.entry_stmt(),
             benv: FjBEnvA::empty().extend(bindings),
-            kont: FjAddrA { slot: FjSlot::Kont(entry), time: t0.clone() },
+            kont: FjAddrA {
+                slot: FjSlot::Kont(entry),
+                time: t0.clone(),
+            },
             time: t0,
         }
     }
@@ -333,7 +367,9 @@ impl<'p> AbstractMachine for FjMachine<'p> {
         store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
         out: &mut Vec<FjConfig>,
     ) {
-        let Some(stmt) = self.program.stmt(config.stmt) else { return };
+        let Some(stmt) = self.program.stmt(config.stmt) else {
+            return;
+        };
         let label = stmt.label;
         match &stmt.kind {
             FjStmtKind::Assign { lhs, rhs } => {
@@ -365,18 +401,27 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                         self.write_flow(&config.benv, *lhs, &Flow::from_ids(result_ids), store);
                         out.push(succ());
                     }
-                    FjExpr::Invoke { receiver, method, args } => {
+                    FjExpr::Invoke {
+                        receiver,
+                        method,
+                        args,
+                    } => {
                         let receivers = self.read_var(&config.benv, *receiver, store);
                         let arg_sets: Vec<Flow> = args
                             .iter()
                             .map(|&a| self.read_var(&config.benv, a, store))
                             .collect();
                         for rid in receivers.iter() {
-                            let FjAVal::Obj { class, .. } = store.val(rid) else { continue };
+                            let FjAVal::Obj { class, .. } = store.val(rid) else {
+                                continue;
+                            };
                             let Some(mid) = self.program.lookup_method(*class, *method) else {
                                 continue;
                             };
-                            self.call_targets.entry(config.stmt).or_default().insert(mid);
+                            self.call_targets
+                                .entry(config.stmt)
+                                .or_default()
+                                .insert(mid);
                             let target = self.program.method(mid);
                             if target.params.len() != arg_sets.len() {
                                 continue;
@@ -391,26 +436,41 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                     TickPolicy::EveryStatement => None,
                                 },
                             };
-                            let kont_addr =
-                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            let kont_addr = FjAddrA {
+                                slot: FjSlot::Kont(mid),
+                                time: t_new.clone(),
+                            };
                             store.join(&kont_addr, [kont_val]);
 
                             // β̂′ = [this ↦ β̂(v₀)], then params and locals.
-                            let Some(recv_addr) = config.benv.get(*receiver) else { continue };
+                            let Some(recv_addr) = config.benv.get(*receiver) else {
+                                continue;
+                            };
                             let mut bindings = vec![(self.this_sym, recv_addr.clone())];
                             for ((_, p), values) in target.params.iter().zip(&arg_sets) {
-                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                let a = FjAddrA {
+                                    slot: FjSlot::Var(*p),
+                                    time: t_new.clone(),
+                                };
                                 store.join_flow(&a, values);
                                 bindings.push((*p, a));
                             }
                             for &(_, l) in &target.locals {
-                                bindings
-                                    .push((l, FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() }));
+                                bindings.push((
+                                    l,
+                                    FjAddrA {
+                                        slot: FjSlot::Var(l),
+                                        time: t_new.clone(),
+                                    },
+                                ));
                             }
                             let callee = FjBEnvA::empty().extend(bindings);
                             self.method_entry_envs.push((mid, callee.clone()));
                             out.push(FjConfig {
-                                stmt: StmtId { method: mid, index: 0 },
+                                stmt: StmtId {
+                                    method: mid,
+                                    index: 0,
+                                },
                                 benv: callee,
                                 kont: kont_addr,
                                 time: t_new.clone(),
@@ -430,7 +490,10 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                         let mut record = Vec::with_capacity(field_list.len());
                         for ((_, f), &arg) in field_list.iter().zip(args) {
                             let values = self.read_var(&config.benv, arg, store);
-                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            let a = FjAddrA {
+                                slot: FjSlot::Var(*f),
+                                time: t_new.clone(),
+                            };
                             store.join_flow(&a, &values);
                             record.push((*f, a));
                         }
@@ -457,12 +520,7 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                         _ => true,
                                     })
                                     .collect();
-                                self.write_flow(
-                                    &config.benv,
-                                    *lhs,
-                                    &Flow::from_ids(kept),
-                                    store,
-                                );
+                                self.write_flow(&config.benv, *lhs, &Flow::from_ids(kept), store);
                             } else {
                                 self.write_flow(&config.benv, *lhs, &d, store);
                             }
@@ -485,7 +543,13 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 }
                             }
                         }
-                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                        FjAVal::Kont {
+                            var: v2,
+                            next,
+                            benv,
+                            kont,
+                            time,
+                        } => {
                             if let Some(addr) = benv.get(v2) {
                                 store.join_flow(addr, &d);
                             }
@@ -493,13 +557,33 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 (TickPolicy::OnInvocation, Some(t)) => t.clone(),
                                 _ => self.tick(label, &config.time, false),
                             };
-                            out.push(FjConfig { stmt: next, benv, kont, time: t_new });
+                            out.push(FjConfig {
+                                stmt: next,
+                                benv,
+                                kont,
+                                time: t_new,
+                            });
                         }
                         FjAVal::Obj { .. } => {}
                     }
                 }
             }
         }
+    }
+}
+
+impl<'p> cfa_core::parallel::ParallelMachine for FjMachine<'p> {
+    fn fork(&self) -> Self {
+        FjMachine::new(self.program, self.options)
+    }
+
+    fn absorb(&mut self, worker: Self) {
+        self.method_entry_envs.extend(worker.method_entry_envs);
+        self.obj_envs.extend(worker.obj_envs);
+        for (stmt, targets) in worker.call_targets {
+            self.call_targets.entry(stmt).or_default().extend(targets);
+        }
+        self.halt_classes.extend(worker.halt_classes);
     }
 }
 
@@ -545,7 +629,10 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
     fn seed(&mut self, store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>) {
         let entry = self.program.entry();
         let t0 = CallString::empty();
-        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
+        let this_addr = FjAddrA {
+            slot: FjSlot::Var(self.this_sym),
+            time: t0.clone(),
+        };
         store.join(
             this_addr,
             [FjAVal::Obj {
@@ -553,7 +640,10 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
                 fields: FjBEnvA::empty(),
             }],
         );
-        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0 };
+        let halt_addr = FjAddrA {
+            slot: FjSlot::Kont(entry),
+            time: t0,
+        };
         store.join(halt_addr, [FjAVal::HaltKont]);
     }
 
@@ -567,7 +657,9 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
         store: &mut RefTrackedStore<'_, FjAddrA, FjAVal>,
         out: &mut Vec<FjConfig>,
     ) {
-        let Some(stmt) = self.program.stmt(config.stmt) else { return };
+        let Some(stmt) = self.program.stmt(config.stmt) else {
+            return;
+        };
         let label = stmt.label;
         match &stmt.kind {
             FjStmtKind::Assign { lhs, rhs } => {
@@ -597,18 +689,27 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
                         self.write_var_ref(&config.benv, *lhs, result, store);
                         out.push(succ());
                     }
-                    FjExpr::Invoke { receiver, method, args } => {
+                    FjExpr::Invoke {
+                        receiver,
+                        method,
+                        args,
+                    } => {
                         let receivers = self.read_var_ref(&config.benv, *receiver, store);
                         let arg_sets: Vec<FlowSet<FjAVal>> = args
                             .iter()
                             .map(|&a| self.read_var_ref(&config.benv, a, store))
                             .collect();
                         for r in &receivers {
-                            let FjAVal::Obj { class, .. } = r else { continue };
+                            let FjAVal::Obj { class, .. } = r else {
+                                continue;
+                            };
                             let Some(mid) = self.program.lookup_method(*class, *method) else {
                                 continue;
                             };
-                            self.call_targets.entry(config.stmt).or_default().insert(mid);
+                            self.call_targets
+                                .entry(config.stmt)
+                                .or_default()
+                                .insert(mid);
                             let target = self.program.method(mid);
                             if target.params.len() != arg_sets.len() {
                                 continue;
@@ -623,26 +724,39 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
                                     TickPolicy::EveryStatement => None,
                                 },
                             };
-                            let kont_addr =
-                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            let kont_addr = FjAddrA {
+                                slot: FjSlot::Kont(mid),
+                                time: t_new.clone(),
+                            };
                             store.join(kont_addr.clone(), [kont_val]);
-                            let Some(recv_addr) = config.benv.get(*receiver) else { continue };
+                            let Some(recv_addr) = config.benv.get(*receiver) else {
+                                continue;
+                            };
                             let mut bindings = vec![(self.this_sym, recv_addr.clone())];
                             for ((_, p), values) in target.params.iter().zip(&arg_sets) {
-                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                let a = FjAddrA {
+                                    slot: FjSlot::Var(*p),
+                                    time: t_new.clone(),
+                                };
                                 store.join(a.clone(), values.iter().cloned());
                                 bindings.push((*p, a));
                             }
                             for &(_, l) in &target.locals {
                                 bindings.push((
                                     l,
-                                    FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() },
+                                    FjAddrA {
+                                        slot: FjSlot::Var(l),
+                                        time: t_new.clone(),
+                                    },
                                 ));
                             }
                             let callee = FjBEnvA::empty().extend(bindings);
                             self.method_entry_envs.push((mid, callee.clone()));
                             out.push(FjConfig {
-                                stmt: StmtId { method: mid, index: 0 },
+                                stmt: StmtId {
+                                    method: mid,
+                                    index: 0,
+                                },
                                 benv: callee,
                                 kont: kont_addr,
                                 time: t_new.clone(),
@@ -662,7 +776,10 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
                         let mut record = Vec::with_capacity(field_list.len());
                         for ((_, f), &arg) in field_list.iter().zip(args) {
                             let values = self.read_var_ref(&config.benv, arg, store);
-                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            let a = FjAddrA {
+                                slot: FjSlot::Var(*f),
+                                time: t_new.clone(),
+                            };
                             store.join(a.clone(), values);
                             record.push((*f, a));
                         }
@@ -705,7 +822,13 @@ impl<'p> ReferenceMachine for FjMachine<'p> {
                                 }
                             }
                         }
-                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                        FjAVal::Kont {
+                            var: v2,
+                            next,
+                            benv,
+                            kont,
+                            time,
+                        } => {
                             if let Some(addr) = benv.get(*v2) {
                                 store.join(addr.clone(), d.iter().cloned());
                             }
@@ -787,12 +910,19 @@ pub struct FjResult {
 }
 
 /// Runs k-CFA for Featherweight Java.
-pub fn analyze_fj(program: &FjProgram, options: FjAnalysisOptions, limits: EngineLimits) -> FjResult {
+pub fn analyze_fj(
+    program: &FjProgram,
+    options: FjAnalysisOptions,
+    limits: EngineLimits,
+) -> FjResult {
     let mut machine = FjMachine::new(program, options);
     let fixpoint = run_fixpoint(&mut machine, limits);
     let reachable_calls = machine.call_targets.len();
-    let monomorphic_calls =
-        machine.call_targets.values().filter(|targets| targets.len() == 1).count();
+    let monomorphic_calls = machine
+        .call_targets
+        .values()
+        .filter(|targets| targets.len() == 1)
+        .count();
     let time_count = {
         let mut times: BTreeSet<&CallString> = BTreeSet::new();
         for cfg in &fixpoint.configs {
@@ -805,7 +935,11 @@ pub fn analyze_fj(program: &FjProgram, options: FjAnalysisOptions, limits: Engin
             "FJ k-CFA(k={}, {:?}{})",
             options.k,
             options.policy,
-            if options.cast_filtering { ", cast-filtered" } else { "" }
+            if options.cast_filtering {
+                ", cast-filtered"
+            } else {
+                ""
+            }
         ),
         status: fixpoint.status,
         elapsed: fixpoint.elapsed,
@@ -910,7 +1044,13 @@ mod tests {
         );
         // Under 0CFA both call sites merge into `two`, so x.who() is
         // polymorphic.
-        let max_targets = r.metrics.call_targets.values().map(BTreeSet::len).max().unwrap();
+        let max_targets = r
+            .metrics
+            .call_targets
+            .values()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap();
         assert_eq!(max_targets, 2);
     }
 
@@ -994,7 +1134,10 @@ mod tests {
         let unfiltered = analyze_fj(&p, FjAnalysisOptions::paper(0), EngineLimits::default());
         let filtered = analyze_fj(
             &p,
-            FjAnalysisOptions { cast_filtering: true, ..FjAnalysisOptions::paper(0) },
+            FjAnalysisOptions {
+                cast_filtering: true,
+                ..FjAnalysisOptions::paper(0)
+            },
             EngineLimits::default(),
         );
         assert!(unfiltered.metrics.halt_classes.len() >= 2);

@@ -44,9 +44,9 @@ pub mod pretty;
 pub mod soundness;
 
 pub use ast::{ClassId, FjExpr, FjProgram, FjStmt, FjStmtKind, Method, MethodId, StmtId};
-pub use concrete::{run_fj, run_fj_traced, FjLimits, FjOutcome, FjRun};
-pub use kcfa::{analyze_fj, FjAnalysisOptions, FjMetrics, FjResult, TickPolicy};
 pub use callgraph::FjCallGraph;
+pub use concrete::{run_fj, run_fj_traced, FjLimits, FjOutcome, FjRun};
 pub use datalog::{analyze_fj_datalog, FjDatalogOptions, FjDatalogResult};
+pub use kcfa::{analyze_fj, FjAnalysisOptions, FjMetrics, FjResult, TickPolicy};
 pub use naive::{analyze_fj_naive, Count, FjNaiveOptions, FjNaiveResult};
 pub use parse::{parse_fj, FjParseError};

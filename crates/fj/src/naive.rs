@@ -153,7 +153,11 @@ fn join(
         return (store.clone(), counts.clone());
     }
     let mut next = (**store).clone();
-    let mut next_counts = if counting { (**counts).clone() } else { BTreeMap::new() };
+    let mut next_counts = if counting {
+        (**counts).clone()
+    } else {
+        BTreeMap::new()
+    };
     for (addr, values) in entries {
         if counting {
             next_counts
@@ -186,18 +190,34 @@ impl<'p> Search<'p> {
     }
 
     fn read_var(&self, state: &FjNaiveState, v: Symbol) -> FlowSetA {
-        state.benv.get(v).map(|a| read(&state.store, a)).unwrap_or_default()
+        state
+            .benv
+            .get(v)
+            .map(|a| read(&state.store, a))
+            .unwrap_or_default()
     }
 
     fn initial(&self) -> FjNaiveState {
         let entry = self.program.entry();
         let t0 = CallString::empty();
         let main = self.program.method(entry);
-        let this_addr = FjAddrA { slot: FjSlot::Var(self.this_sym), time: t0.clone() };
-        let halt_addr = FjAddrA { slot: FjSlot::Kont(entry), time: t0.clone() };
+        let this_addr = FjAddrA {
+            slot: FjSlot::Var(self.this_sym),
+            time: t0.clone(),
+        };
+        let halt_addr = FjAddrA {
+            slot: FjSlot::Kont(entry),
+            time: t0.clone(),
+        };
         let mut bindings = vec![(self.this_sym, this_addr.clone())];
         for &(_, l) in &main.locals {
-            bindings.push((l, FjAddrA { slot: FjSlot::Var(l), time: t0.clone() }));
+            bindings.push((
+                l,
+                FjAddrA {
+                    slot: FjSlot::Var(l),
+                    time: t0.clone(),
+                },
+            ));
         }
         let empty_store: FjNaiveStore = Rc::new(BTreeMap::new());
         let empty_counts: CountMap = Rc::new(BTreeMap::new());
@@ -210,10 +230,12 @@ impl<'p> Search<'p> {
                 })
                 .collect::<FlowSetA>(),
             ),
-            (halt_addr.clone(), std::iter::once(FjAVal::HaltKont).collect()),
+            (
+                halt_addr.clone(),
+                std::iter::once(FjAVal::HaltKont).collect(),
+            ),
         ];
-        let (store, counts) =
-            join(&empty_store, &empty_counts, self.options.counting, seed);
+        let (store, counts) = join(&empty_store, &empty_counts, self.options.counting, seed);
         FjNaiveState {
             stmt: self.program.entry_stmt(),
             benv: FjBEnvA::empty().extend(bindings),
@@ -225,7 +247,9 @@ impl<'p> Search<'p> {
     }
 
     fn successors(&mut self, state: &FjNaiveState) -> Vec<FjNaiveState> {
-        let Some(stmt) = self.program.stmt(state.stmt) else { return Vec::new() };
+        let Some(stmt) = self.program.stmt(state.stmt) else {
+            return Vec::new();
+        };
         let label = stmt.label;
         let mut out = Vec::new();
         match &stmt.kind {
@@ -237,12 +261,8 @@ impl<'p> Search<'p> {
                             Some(addr) if !values.is_empty() => vec![(addr.clone(), values)],
                             _ => Vec::new(),
                         };
-                        let (store, counts) = join(
-                            &state.store,
-                            &state.counts,
-                            me.options.counting,
-                            entries,
-                        );
+                        let (store, counts) =
+                            join(&state.store, &state.counts, me.options.counting, entries);
                         out.push(FjNaiveState {
                             stmt: me.program.succ(state.stmt),
                             benv: state.benv.clone(),
@@ -297,7 +317,10 @@ impl<'p> Search<'p> {
                         let mut record = Vec::with_capacity(field_list.len());
                         for ((_, f), &arg) in field_list.iter().zip(args) {
                             let values = self.read_var(state, arg);
-                            let a = FjAddrA { slot: FjSlot::Var(*f), time: t_new.clone() };
+                            let a = FjAddrA {
+                                slot: FjSlot::Var(*f),
+                                time: t_new.clone(),
+                            };
                             entries.push((a.clone(), values));
                             record.push((*f, a));
                         }
@@ -319,12 +342,18 @@ impl<'p> Search<'p> {
                             counts,
                         });
                     }
-                    FjExpr::Invoke { receiver, method, args } => {
+                    FjExpr::Invoke {
+                        receiver,
+                        method,
+                        args,
+                    } => {
                         let receivers = self.read_var(state, *receiver);
                         let arg_sets: Vec<FlowSetA> =
                             args.iter().map(|&a| self.read_var(state, a)).collect();
                         for r in &receivers {
-                            let FjAVal::Obj { class, .. } = r else { continue };
+                            let FjAVal::Obj { class, .. } = r else {
+                                continue;
+                            };
                             let Some(mid) = self.program.lookup_method(*class, *method) else {
                                 continue;
                             };
@@ -342,31 +371,40 @@ impl<'p> Search<'p> {
                                     TickPolicy::EveryStatement => None,
                                 },
                             };
-                            let kont_addr =
-                                FjAddrA { slot: FjSlot::Kont(mid), time: t_new.clone() };
+                            let kont_addr = FjAddrA {
+                                slot: FjSlot::Kont(mid),
+                                time: t_new.clone(),
+                            };
                             let mut entries =
                                 vec![(kont_addr.clone(), std::iter::once(kont_val).collect())];
-                            let Some(recv_addr) = state.benv.get(*receiver) else { continue };
+                            let Some(recv_addr) = state.benv.get(*receiver) else {
+                                continue;
+                            };
                             let mut bindings = vec![(self.this_sym, recv_addr.clone())];
                             for ((_, p), values) in target.params.iter().zip(&arg_sets) {
-                                let a = FjAddrA { slot: FjSlot::Var(*p), time: t_new.clone() };
+                                let a = FjAddrA {
+                                    slot: FjSlot::Var(*p),
+                                    time: t_new.clone(),
+                                };
                                 entries.push((a.clone(), values.clone()));
                                 bindings.push((*p, a));
                             }
                             for &(_, l) in &target.locals {
                                 bindings.push((
                                     l,
-                                    FjAddrA { slot: FjSlot::Var(l), time: t_new.clone() },
+                                    FjAddrA {
+                                        slot: FjSlot::Var(l),
+                                        time: t_new.clone(),
+                                    },
                                 ));
                             }
-                            let (store, counts) = join(
-                                &state.store,
-                                &state.counts,
-                                self.options.counting,
-                                entries,
-                            );
+                            let (store, counts) =
+                                join(&state.store, &state.counts, self.options.counting, entries);
                             out.push(FjNaiveState {
-                                stmt: StmtId { method: mid, index: 0 },
+                                stmt: StmtId {
+                                    method: mid,
+                                    index: 0,
+                                },
                                 benv: FjBEnvA::empty().extend(bindings),
                                 store,
                                 kont: kont_addr,
@@ -389,19 +427,21 @@ impl<'p> Search<'p> {
                                 }
                             }
                         }
-                        FjAVal::Kont { var: v2, next, benv, kont, time } => {
+                        FjAVal::Kont {
+                            var: v2,
+                            next,
+                            benv,
+                            kont,
+                            time,
+                        } => {
                             let entries = match benv.get(*v2) {
                                 Some(addr) if !d.is_empty() => {
                                     vec![(addr.clone(), d.clone())]
                                 }
                                 _ => Vec::new(),
                             };
-                            let (store, counts) = join(
-                                &state.store,
-                                &state.counts,
-                                self.options.counting,
-                                entries,
-                            );
+                            let (store, counts) =
+                                join(&state.store, &state.counts, self.options.counting, entries);
                             let t_new = match (self.options.analysis.policy, time) {
                                 (TickPolicy::OnInvocation, Some(t)) => t.clone(),
                                 _ => self.tick(label, &state.time, false),
@@ -427,7 +467,10 @@ impl<'p> Search<'p> {
 /// Runs the naive reachable-states search for Featherweight Java.
 pub fn analyze_fj_naive(program: &FjProgram, options: FjNaiveOptions) -> FjNaiveResult {
     let start = Instant::now();
-    let this_sym = program.interner().lookup("this").expect("'this' interned by parser");
+    let this_sym = program
+        .interner()
+        .lookup("this")
+        .expect("'this' interned by parser");
     let mut search = Search {
         program,
         options,
@@ -448,7 +491,7 @@ pub fn analyze_fj_naive(program: &FjProgram, options: FjNaiveOptions) -> FjNaive
             status = Status::IterationLimit;
             break;
         }
-        if processed % 64 == 0 {
+        if processed.is_multiple_of(64) {
             if let Some(budget) = options.time_budget {
                 if start.elapsed() > budget {
                     status = Status::TimedOut;
@@ -492,8 +535,11 @@ pub fn analyze_fj_naive(program: &FjProgram, options: FjNaiveOptions) -> FjNaive
         }
     }
 
-    let singular_addrs =
-        search.global_counts.values().filter(|&&c| c == Count::One).count();
+    let singular_addrs = search
+        .global_counts
+        .values()
+        .filter(|&&c| c == Count::One)
+        .count();
     let total_addrs = search.global_counts.len();
     FjNaiveResult {
         state_count: seen.len(),
@@ -646,7 +692,10 @@ mod tests {
         let p = parse_fj(DISPATCH).unwrap();
         let r = analyze_fj_naive(
             &p,
-            FjNaiveOptions { max_states: 2, ..FjNaiveOptions::paper(1) },
+            FjNaiveOptions {
+                max_states: 2,
+                ..FjNaiveOptions::paper(1)
+            },
         );
         assert_eq!(r.status, Status::IterationLimit);
     }

@@ -41,7 +41,11 @@ pub struct FjParseError {
 
 impl fmt::Display for FjParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FJ parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "FJ parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -78,7 +82,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn tokens(src: &'a str) -> Result<Vec<(Tok, usize)>, FjParseError> {
-        let mut lx = Lexer { src: src.as_bytes(), at: 0 };
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            at: 0,
+        };
         let mut out = Vec::new();
         loop {
             lx.skip_trivia();
@@ -205,8 +212,15 @@ struct RawMethod {
 }
 
 enum RawStmt {
-    Decl { ty: String, name: String, init: Option<ExprTree> },
-    Assign { lhs: String, rhs: ExprTree },
+    Decl {
+        ty: String,
+        name: String,
+        init: Option<ExprTree>,
+    },
+    Assign {
+        lhs: String,
+        rhs: ExprTree,
+    },
     Return(ExprTree),
 }
 
@@ -241,7 +255,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> FjParseError {
-        FjParseError { offset: self.offset(), message: message.into() }
+        FjParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), FjParseError> {
@@ -303,7 +320,13 @@ impl Parser {
             }
         }
         self.expect(&Tok::RBrace, "'}'")?;
-        Ok(RawClass { name, superclass, fields, ctor, methods })
+        Ok(RawClass {
+            name,
+            superclass,
+            fields,
+            ctor,
+            methods,
+        })
     }
 
     fn params(&mut self) -> Result<Vec<(String, String)>, FjParseError> {
@@ -355,7 +378,11 @@ impl Parser {
             assignments.push((field, param));
         }
         self.expect(&Tok::RBrace, "'}'")?;
-        Ok(RawCtor { params, super_args, assignments })
+        Ok(RawCtor {
+            params,
+            super_args,
+            assignments,
+        })
     }
 
     fn method_rest(&mut self, ret: String, name: String) -> Result<RawMethod, FjParseError> {
@@ -366,7 +393,12 @@ impl Parser {
             body.push(self.stmt()?);
         }
         self.expect(&Tok::RBrace, "'}'")?;
-        Ok(RawMethod { ret, name, params, body })
+        Ok(RawMethod {
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     fn stmt(&mut self) -> Result<RawStmt, FjParseError> {
@@ -390,7 +422,11 @@ impl Parser {
                             None
                         };
                         self.expect(&Tok::Semi, "';'")?;
-                        Ok(RawStmt::Decl { ty: first, name: second, init })
+                        Ok(RawStmt::Decl {
+                            ty: first,
+                            name: second,
+                            init,
+                        })
                     }
                     // `name = expr ;`
                     Tok::Eq => {
@@ -506,7 +542,10 @@ impl Normalizer {
                 let (_, tmp) = self.temp();
                 temps.push((object_sym, tmp));
                 let label = self.label();
-                stmts.push(FjStmt { kind: FjStmtKind::Assign { lhs: tmp, rhs }, label });
+                stmts.push(FjStmt {
+                    kind: FjStmtKind::Assign { lhs: tmp, rhs },
+                    label,
+                });
                 tmp
             }
         }
@@ -527,7 +566,10 @@ impl Normalizer {
             ExprTree::Var(name) => FjExpr::Var(self.interner.intern(name)),
             ExprTree::FieldRead(obj, field) => {
                 let object = self.atomize(obj, this, stmts, temps, object_sym);
-                FjExpr::FieldRead { object, field: self.interner.intern(field) }
+                FjExpr::FieldRead {
+                    object,
+                    field: self.interner.intern(field),
+                }
             }
             ExprTree::Invoke(recv, method, args) => {
                 let receiver = self.atomize(recv, this, stmts, temps, object_sym);
@@ -535,18 +577,28 @@ impl Normalizer {
                     .iter()
                     .map(|a| self.atomize(a, this, stmts, temps, object_sym))
                     .collect();
-                FjExpr::Invoke { receiver, method: self.interner.intern(method), args }
+                FjExpr::Invoke {
+                    receiver,
+                    method: self.interner.intern(method),
+                    args,
+                }
             }
             ExprTree::New(class, args) => {
                 let args = args
                     .iter()
                     .map(|a| self.atomize(a, this, stmts, temps, object_sym))
                     .collect();
-                FjExpr::New { class: self.interner.intern(class), args }
+                FjExpr::New {
+                    class: self.interner.intern(class),
+                    args,
+                }
             }
             ExprTree::Cast(class, inner) => {
                 let var = self.atomize(inner, this, stmts, temps, object_sym);
-                FjExpr::Cast { class: self.interner.intern(class), var }
+                FjExpr::Cast {
+                    class: self.interner.intern(class),
+                    var,
+                }
             }
         }
     }
@@ -569,7 +621,11 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
     let mut parser = Parser { toks, at: 0 };
     let raw_classes = parser.program()?;
 
-    let mut norm = Normalizer { interner: Interner::new(), next_label: 0, next_temp: 0 };
+    let mut norm = Normalizer {
+        interner: Interner::new(),
+        next_label: 0,
+        next_temp: 0,
+    };
     let object_sym = norm.interner.intern("Object");
     let this_sym = norm.interner.intern("this");
 
@@ -598,7 +654,12 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
             .iter()
             .map(|(ty, f)| (norm.interner.intern(ty), norm.interner.intern(f)))
             .collect();
-        classes.push(ClassDef { name, superclass, fields, methods: Vec::new() });
+        classes.push(ClassDef {
+            name,
+            superclass,
+            fields,
+            methods: Vec::new(),
+        });
     }
 
     // Validate superclasses exist.
@@ -614,8 +675,8 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
     // Second pass: methods (A-normalized) and constructor validation.
     for (raw_idx, raw) in raw_classes.iter().enumerate() {
         let class_id = ClassId(raw_idx as u32 + 1); // offset past Object
-        // Constructor shape check: super args + own assignments cover all
-        // fields positionally.
+                                                    // Constructor shape check: super args + own assignments cover all
+                                                    // fields positionally.
         if let Some(ctor) = &raw.ctor {
             let own_assigned: Vec<&String> = ctor.assignments.iter().map(|(f, _)| f).collect();
             for (_, f) in &raw.fields {
@@ -680,12 +741,18 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
                         let lhs = norm.interner.intern(lhs);
                         let rhs = norm.lower(rhs, this_sym, &mut stmts, &mut locals, object_sym);
                         let label = norm.label();
-                        stmts.push(FjStmt { kind: FjStmtKind::Assign { lhs, rhs }, label });
+                        stmts.push(FjStmt {
+                            kind: FjStmtKind::Assign { lhs, rhs },
+                            label,
+                        });
                     }
                     RawStmt::Return(e) => {
                         let var = norm.atomize(e, this_sym, &mut stmts, &mut locals, object_sym);
                         let label = norm.label();
-                        stmts.push(FjStmt { kind: FjStmtKind::Return { var }, label });
+                        stmts.push(FjStmt {
+                            kind: FjStmtKind::Return { var },
+                            label,
+                        });
                         saw_return = true;
                     }
                 }
@@ -698,7 +765,13 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
             }
             let _ = &m.ret;
             let method_id = MethodId(methods.len() as u32);
-            methods.push(Method { owner: class_id, name, params, locals, body: stmts });
+            methods.push(Method {
+                owner: class_id,
+                name,
+                params,
+                locals,
+                body: stmts,
+            });
             classes[class_id.0 as usize].methods.push(method_id);
         }
     }
@@ -715,19 +788,30 @@ pub fn parse_fj(src: &str) -> Result<FjProgram, FjParseError> {
     let main_class = classes
         .iter()
         .position(|c| c.name == main_class_sym)
-        .ok_or_else(|| FjParseError { offset: 0, message: "class 'Main' not found".into() })?;
+        .ok_or_else(|| FjParseError {
+            offset: 0,
+            message: "class 'Main' not found".into(),
+        })?;
     let entry = classes[main_class]
         .methods
         .iter()
         .copied()
-        .find(|&m| methods[m.0 as usize].name == main_method_sym && methods[m.0 as usize].params.is_empty())
+        .find(|&m| {
+            methods[m.0 as usize].name == main_method_sym && methods[m.0 as usize].params.is_empty()
+        })
         .ok_or_else(|| FjParseError {
             offset: 0,
             message: "class 'Main' must define a nullary method 'main'".into(),
         })?;
 
     let next_label = norm.next_label;
-    Ok(FjProgram::new(norm.interner, classes, methods, entry, next_label))
+    Ok(FjProgram::new(
+        norm.interner,
+        classes,
+        methods,
+        entry,
+        next_label,
+    ))
 }
 
 #[cfg(test)]
@@ -832,7 +916,10 @@ mod tests {
         let id = p.interner().lookup("id").unwrap();
         let m = p.lookup_method(b, id).expect("inherited method");
         assert_eq!(p.name(p.method(m).name), "id");
-        assert!(p.is_subclass(b, p.class_by_name(p.interner().lookup("A").unwrap()).unwrap()));
+        assert!(p.is_subclass(
+            b,
+            p.class_by_name(p.interner().lookup("A").unwrap()).unwrap()
+        ));
     }
 
     #[test]
@@ -902,7 +989,10 @@ mod tests {
         .unwrap();
         assert!(p.method(p.entry()).body.iter().any(|s| matches!(
             &s.kind,
-            FjStmtKind::Assign { rhs: FjExpr::Cast { .. }, .. }
+            FjStmtKind::Assign {
+                rhs: FjExpr::Cast { .. },
+                ..
+            }
         )));
     }
 }

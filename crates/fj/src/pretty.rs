@@ -34,8 +34,10 @@ pub fn pretty_fj(program: &FjProgram) -> String {
                 .map(|(ty, f)| format!("{} {}0", program.name(*ty), program.name(*f)))
                 .collect();
             let inherited = all.len() - class.fields.len();
-            let supers: Vec<String> =
-                all[..inherited].iter().map(|(_, f)| format!("{}0", program.name(*f))).collect();
+            let supers: Vec<String> = all[..inherited]
+                .iter()
+                .map(|(_, f)| format!("{}0", program.name(*f)))
+                .collect();
             let mut body = format!("super({});", supers.join(", "));
             for (_, f) in &class.fields {
                 let name = program.name(*f);
@@ -58,7 +60,12 @@ pub fn pretty_fj(program: &FjProgram) -> String {
                 .iter()
                 .map(|(ty, v)| format!("{} {}", program.name(*ty), program.name(*v)))
                 .collect();
-            let _ = writeln!(out, "  Object {}({}) {{", program.name(method.name), params.join(", "));
+            let _ = writeln!(
+                out,
+                "  Object {}({}) {{",
+                program.name(method.name),
+                params.join(", ")
+            );
             for (ty, local) in &method.locals {
                 let _ = writeln!(out, "    {} {};", program.name(*ty), program.name(*local));
             }
@@ -87,9 +94,18 @@ fn pretty_expr(program: &FjProgram, e: &FjExpr) -> String {
         FjExpr::FieldRead { object, field } => {
             format!("{}.{}", program.name(*object), program.name(*field))
         }
-        FjExpr::Invoke { receiver, method, args } => {
+        FjExpr::Invoke {
+            receiver,
+            method,
+            args,
+        } => {
             let args: Vec<&str> = args.iter().map(|&a| program.name(a)).collect();
-            format!("{}.{}({})", program.name(*receiver), program.name(*method), args.join(", "))
+            format!(
+                "{}.{}({})",
+                program.name(*receiver),
+                program.name(*method),
+                args.join(", ")
+            )
         }
         FjExpr::New { class, args } => {
             let args: Vec<&str> = args.iter().map(|&a| program.name(a)).collect();
@@ -125,8 +141,8 @@ mod tests {
     fn rendering_is_reparseable() {
         let program = parse_fj(SRC).unwrap();
         let printed = pretty_fj(&program);
-        let reparsed = parse_fj(&printed)
-            .unwrap_or_else(|e| panic!("round-trip failed: {e}\n{printed}"));
+        let reparsed =
+            parse_fj(&printed).unwrap_or_else(|e| panic!("round-trip failed: {e}\n{printed}"));
         assert_eq!(reparsed.class_count(), program.class_count());
         assert_eq!(reparsed.method_count(), program.method_count());
         assert_eq!(reparsed.stmt_count(), program.stmt_count());
@@ -143,7 +159,10 @@ mod tests {
         )
         .unwrap();
         let printed = pretty_fj(&program);
-        assert!(printed.contains("_t"), "normalizer temporaries shown:\n{printed}");
+        assert!(
+            printed.contains("_t"),
+            "normalizer temporaries shown:\n{printed}"
+        );
         // Temporaries use parseable names, so even normalized output
         // round-trips.
         parse_fj(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));

@@ -35,7 +35,10 @@ fn alpha_time(ctx: cfa_concrete::base::Ctx, times: &CtxTable, k: usize) -> CallS
 }
 
 fn alpha_addr(addr: &FjAddr, times: &CtxTable, k: usize) -> FjAddrA {
-    FjAddrA { slot: addr.slot, time: alpha_time(addr.ctx, times, k) }
+    FjAddrA {
+        slot: addr.slot,
+        time: alpha_time(addr.ctx, times, k),
+    }
 }
 
 fn alpha_benv(benv: &FjBEnv, times: &CtxTable, k: usize) -> FjBEnvA {
@@ -44,10 +47,16 @@ fn alpha_benv(benv: &FjBEnv, times: &CtxTable, k: usize) -> FjBEnvA {
 
 fn alpha_value(v: &FjValue, times: &CtxTable, k: usize) -> FjAVal {
     match v {
-        FjValue::Obj { class, fields } => {
-            FjAVal::Obj { class: *class, fields: alpha_benv(fields, times, k) }
-        }
-        FjValue::Kont { var, next, benv, kont } => FjAVal::Kont {
+        FjValue::Obj { class, fields } => FjAVal::Obj {
+            class: *class,
+            fields: alpha_benv(fields, times, k),
+        },
+        FjValue::Kont {
+            var,
+            next,
+            benv,
+            kont,
+        } => FjAVal::Kont {
             var: *var,
             next: *next,
             benv: alpha_benv(benv, times, k),
@@ -99,9 +108,7 @@ pub fn check_fj(
         let flow = result.fixpoint.store.read(&abs_addr);
         if !flow.contains(&abs_val) {
             return Err(FjSoundnessViolation {
-                detail: format!(
-                    "store binding not covered: {addr:?} (abstract {abs_addr:?})"
-                ),
+                detail: format!("store binding not covered: {addr:?} (abstract {abs_addr:?})"),
             });
         }
     }
@@ -163,10 +170,12 @@ mod tests {
             let program = parse_fj(src).unwrap();
             let concrete = run_fj_traced(&program, FjLimits::default(), true);
             for k in [0, 1, 2, 3] {
-                let result =
-                    analyze_fj(&program, FjAnalysisOptions::paper(k), EngineLimits::default());
-                check_fj(&program, k, &concrete, &result)
-                    .unwrap_or_else(|e| panic!("k={k}: {e}"));
+                let result = analyze_fj(
+                    &program,
+                    FjAnalysisOptions::paper(k),
+                    EngineLimits::default(),
+                );
+                check_fj(&program, k, &concrete, &result).unwrap_or_else(|e| panic!("k={k}: {e}"));
             }
         }
     }
@@ -178,8 +187,11 @@ mod tests {
             let program = parse_fj(&src).unwrap();
             let concrete = run_fj_traced(&program, FjLimits::default(), true);
             for k in [0, 1] {
-                let result =
-                    analyze_fj(&program, FjAnalysisOptions::paper(k), EngineLimits::default());
+                let result = analyze_fj(
+                    &program,
+                    FjAnalysisOptions::paper(k),
+                    EngineLimits::default(),
+                );
                 check_fj(&program, k, &concrete, &result)
                     .unwrap_or_else(|e| panic!("N={n} M={m} k={k}: {e}"));
             }

@@ -40,7 +40,11 @@ pub fn cps_convert(program: &ScmProgram) -> CpsProgram {
         fresh_counter: 0,
     };
     let scope = Scope::default();
-    let entry = converter.convert(&program.body, &scope, MetaK::ctx(|c, atom| c.builder.call_halt(atom)));
+    let entry = converter.convert(
+        &program.body,
+        &scope,
+        MetaK::ctx(|c, atom| c.builder.call_halt(atom)),
+    );
     converter.builder.finish(entry)
 }
 
@@ -93,7 +97,11 @@ struct Converter {
 impl Converter {
     /// A fresh symbol derived from `base`, e.g. `x` ↦ `x.7`.
     fn fresh_from(&mut self, base: Symbol) -> Symbol {
-        let name = format!("{}.{}", self.builder.interner().resolve(base), self.fresh_counter);
+        let name = format!(
+            "{}.{}",
+            self.builder.interner().resolve(base),
+            self.fresh_counter
+        );
         self.fresh_counter += 1;
         self.builder.intern(&name)
     }
@@ -147,7 +155,11 @@ impl Converter {
                     c.builder.call_app(fa, arg_atoms)
                 })
             }),
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.atomize(cond, scope, |c, cond_atom| match k {
                     MetaK::Atom(ka) => {
                         let t = c.convert(then_branch, scope, MetaK::Atom(ka));
@@ -166,7 +178,9 @@ impl Converter {
                     }
                 })
             }
-            Expr::Let { bindings, body } => self.convert_let(bindings, body, scope, scope.clone(), k),
+            Expr::Let { bindings, body } => {
+                self.convert_let(bindings, body, scope, scope.clone(), k)
+            }
             Expr::Letrec { bindings, body } => {
                 let mut inner = scope.clone();
                 let mut renamed = Vec::with_capacity(bindings.len());
@@ -277,7 +291,13 @@ impl Converter {
                 }),
             }
         }
-        go(self, es, scope, Vec::with_capacity(es.len()), Box::new(then))
+        go(
+            self,
+            es,
+            scope,
+            Vec::with_capacity(es.len()),
+            Box::new(then),
+        )
     }
 }
 
@@ -342,7 +362,10 @@ mod tests {
             .map(|l| l.params[0])
             .collect();
         assert_eq!(param_syms.len(), 2);
-        assert_ne!(param_syms[0], param_syms[1], "shadowed x must be renamed apart");
+        assert_ne!(
+            param_syms[0], param_syms[1],
+            "shadowed x must be renamed apart"
+        );
     }
 
     #[test]
@@ -361,7 +384,12 @@ mod tests {
         let p = convert("(+ (if #t 1 2) 10)");
         let mut join_targets = Vec::new();
         for c in p.call_ids() {
-            if let CallKind::If { then_branch, else_branch, .. } = &p.call(c).kind {
+            if let CallKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } = &p.call(c).kind
+            {
                 for b in [*then_branch, *else_branch] {
                     if let CallKind::App { func, .. } = &p.call(b).kind {
                         join_targets.push(*func);
@@ -370,7 +398,10 @@ mod tests {
             }
         }
         assert_eq!(join_targets.len(), 2);
-        assert_eq!(join_targets[0], join_targets[1], "both branches call the join variable");
+        assert_eq!(
+            join_targets[0], join_targets[1],
+            "both branches call the join variable"
+        );
         assert!(matches!(join_targets[0], AExp::Var(_)));
     }
 
@@ -401,7 +432,9 @@ mod tests {
         // not treat the let as a procedure call.
         let p = convert("(let ((x 1)) x)");
         match &p.call(p.entry()).kind {
-            CallKind::App { func: AExp::Lam(l), .. } => {
+            CallKind::App {
+                func: AExp::Lam(l), ..
+            } => {
                 assert_eq!(p.lam(*l).sort, LamSort::Cont);
             }
             other => panic!("expected cont application, got {other:?}"),
@@ -423,13 +456,22 @@ mod tests {
         let inner = p
             .lam_ids()
             .map(|l| (l, p.lam(l)))
-            .find(|(_, l)| l.sort == LamSort::Proc && l.params.len() == 2 && {
-                // the inner lambda's first param is derived from y
-                p.name(l.params[0]).starts_with("y")
+            .find(|(_, l)| {
+                l.sort == LamSort::Proc && l.params.len() == 2 && {
+                    // the inner lambda's first param is derived from y
+                    p.name(l.params[0]).starts_with("y")
+                }
             })
             .map(|(id, _)| id)
             .expect("inner lambda present");
-        let free: Vec<_> = p.free_vars(inner).iter().map(|s| p.name(*s).to_owned()).collect();
-        assert!(free.iter().any(|n| n.starts_with("x")), "free vars: {free:?}");
+        let free: Vec<_> = p
+            .free_vars(inner)
+            .iter()
+            .map(|s| p.name(*s).to_owned())
+            .collect();
+        assert!(
+            free.iter().any(|n| n.starts_with("x")),
+            "free vars: {free:?}"
+        );
     }
 }

@@ -201,8 +201,8 @@ impl PrimOp {
     pub fn arity(self) -> Option<usize> {
         use PrimOp::*;
         Some(match self {
-            Car | Cdr | IsPair | IsNull | IsZero | IsNumber | IsBool | IsProcedure
-            | IsSymbol | IsString | Not | ToString | Error => 1,
+            Car | Cdr | IsPair | IsNull | IsZero | IsNumber | IsBool | IsProcedure | IsSymbol
+            | IsString | Not | ToString | Error => 1,
             Cons | NumEq | Lt | Le | Gt | Ge | Eq | Sub | Div | Rem => 2,
             Add | Mul | StringAppend => return None, // variadic
         })
@@ -452,7 +452,10 @@ impl CpsBuilder {
     /// produced by an earlier pipeline stage (e.g. the Scheme parser)
     /// remain valid in the finished program.
     pub fn with_interner(interner: Interner) -> Self {
-        CpsBuilder { interner, ..Self::default() }
+        CpsBuilder {
+            interner,
+            ..Self::default()
+        }
     }
 
     /// Interns a name.
@@ -474,7 +477,12 @@ impl CpsBuilder {
     /// Adds a λ-term.
     pub fn lam(&mut self, params: Vec<Symbol>, body: CallId, sort: LamSort) -> LamId {
         let label = self.fresh_label();
-        self.lams.push(Lam { params, body, sort, label });
+        self.lams.push(Lam {
+            params,
+            body,
+            sort,
+            label,
+        });
         LamId(self.lams.len() as u32 - 1)
     }
 
@@ -492,7 +500,11 @@ impl CpsBuilder {
 
     /// Adds a branch call.
     pub fn call_if(&mut self, cond: AExp, then_branch: CallId, else_branch: CallId) -> CallId {
-        self.call(CallKind::If { cond, then_branch, else_branch })
+        self.call(CallKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     /// Adds a primitive call.
@@ -539,7 +551,11 @@ fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
     // Lams form a tree (each body call belongs to exactly one lam), so a
     // straightforward recursion terminates. We memoize per-lam results
     // because `AExp::Lam` references are shared with the enclosing call.
-    fn aexp_free(p: &CpsProgram, e: &AExp, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+    fn aexp_free(
+        p: &CpsProgram,
+        e: &AExp,
+        memo: &mut Vec<Option<BTreeSet<Symbol>>>,
+    ) -> BTreeSet<Symbol> {
         match e {
             AExp::Var(v) => std::iter::once(*v).collect(),
             AExp::Lit(_) => BTreeSet::new(),
@@ -547,7 +563,11 @@ fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
         }
     }
 
-    fn call_free(p: &CpsProgram, c: CallId, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+    fn call_free(
+        p: &CpsProgram,
+        c: CallId,
+        memo: &mut Vec<Option<BTreeSet<Symbol>>>,
+    ) -> BTreeSet<Symbol> {
         let call = p.call(c);
         match &call.kind {
             CallKind::App { func, args } => {
@@ -557,7 +577,11 @@ fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
                 }
                 s
             }
-            CallKind::If { cond, then_branch, else_branch } => {
+            CallKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut s = aexp_free(p, cond, memo);
                 s.extend(call_free(p, *then_branch, memo));
                 s.extend(call_free(p, *else_branch, memo));
@@ -584,7 +608,11 @@ fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
         }
     }
 
-    fn lam_free(p: &CpsProgram, l: LamId, memo: &mut Vec<Option<BTreeSet<Symbol>>>) -> BTreeSet<Symbol> {
+    fn lam_free(
+        p: &CpsProgram,
+        l: LamId,
+        memo: &mut Vec<Option<BTreeSet<Symbol>>>,
+    ) -> BTreeSet<Symbol> {
         if let Some(cached) = &memo[l.0 as usize] {
             return cached.clone();
         }
@@ -688,12 +716,32 @@ mod tests {
     #[test]
     fn primop_names_round_trip() {
         for op in [
-            PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Div, PrimOp::Rem,
-            PrimOp::NumEq, PrimOp::Lt, PrimOp::Le, PrimOp::Gt, PrimOp::Ge,
-            PrimOp::Eq, PrimOp::Cons, PrimOp::Car, PrimOp::Cdr, PrimOp::IsPair,
-            PrimOp::IsNull, PrimOp::IsZero, PrimOp::IsNumber, PrimOp::IsBool,
-            PrimOp::IsProcedure, PrimOp::IsSymbol, PrimOp::IsString, PrimOp::Not,
-            PrimOp::StringAppend, PrimOp::ToString, PrimOp::Error,
+            PrimOp::Add,
+            PrimOp::Sub,
+            PrimOp::Mul,
+            PrimOp::Div,
+            PrimOp::Rem,
+            PrimOp::NumEq,
+            PrimOp::Lt,
+            PrimOp::Le,
+            PrimOp::Gt,
+            PrimOp::Ge,
+            PrimOp::Eq,
+            PrimOp::Cons,
+            PrimOp::Car,
+            PrimOp::Cdr,
+            PrimOp::IsPair,
+            PrimOp::IsNull,
+            PrimOp::IsZero,
+            PrimOp::IsNumber,
+            PrimOp::IsBool,
+            PrimOp::IsProcedure,
+            PrimOp::IsSymbol,
+            PrimOp::IsString,
+            PrimOp::Not,
+            PrimOp::StringAppend,
+            PrimOp::ToString,
+            PrimOp::Error,
         ] {
             assert_eq!(PrimOp::from_name(op.name()), Some(op), "{op:?}");
         }

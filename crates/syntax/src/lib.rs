@@ -33,7 +33,9 @@ pub mod scheme;
 pub mod sexpr;
 
 pub use convert::cps_convert;
-pub use cps::{AExp, Call, CallId, CallKind, CpsBuilder, CpsProgram, Label, Lam, LamId, LamSort, Lit, PrimOp};
+pub use cps::{
+    AExp, Call, CallId, CallKind, CpsBuilder, CpsProgram, Label, Lam, LamId, LamSort, Lit, PrimOp,
+};
 pub use intern::{Interner, Symbol};
 pub use scheme::{parse_program, ParseError, ScmProgram};
 

@@ -32,7 +32,11 @@ pub struct PrettyOptions {
 
 impl Default for PrettyOptions {
     fn default() -> Self {
-        PrettyOptions { show_labels: false, mark_conts: true, indent: 2 }
+        PrettyOptions {
+            show_labels: false,
+            mark_conts: true,
+            indent: 2,
+        }
     }
 }
 
@@ -100,7 +104,11 @@ fn write_aexp(p: &CpsProgram, e: &AExp, depth: usize, opts: PrettyOptions, out: 
 
 fn write_lam(p: &CpsProgram, id: LamId, depth: usize, opts: PrettyOptions, out: &mut String) {
     let lam = p.lam(id);
-    let head = if opts.mark_conts && lam.sort == LamSort::Cont { "λκ" } else { "λ" };
+    let head = if opts.mark_conts && lam.sort == LamSort::Cont {
+        "λκ"
+    } else {
+        "λ"
+    };
     out.push('(');
     out.push_str(head);
     if opts.show_labels {
@@ -134,7 +142,11 @@ fn write_call(p: &CpsProgram, id: CallId, depth: usize, opts: PrettyOptions, out
             }
             out.push(')');
         }
-        CallKind::If { cond, then_branch, else_branch } => {
+        CallKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.push_str("(%if ");
             write_aexp(p, cond, depth, opts, out);
             out.push('\n');
@@ -221,7 +233,10 @@ mod tests {
         let p = cps_convert(&parse_program("((lambda (x) x) 1)").unwrap());
         let text = pretty_program_with(
             &p,
-            PrettyOptions { show_labels: true, ..PrettyOptions::default() },
+            PrettyOptions {
+                show_labels: true,
+                ..PrettyOptions::default()
+            },
         );
         assert!(text.contains("@ℓ"), "{text}");
     }

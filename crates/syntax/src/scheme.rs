@@ -100,9 +100,11 @@ impl Expr {
             Expr::App { func, args } => {
                 1 + func.size() + args.iter().map(Expr::size).sum::<usize>()
             }
-            Expr::If { cond, then_branch, else_branch } => {
-                1 + cond.size() + then_branch.size() + else_branch.size()
-            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => 1 + cond.size() + then_branch.size() + else_branch.size(),
             Expr::Let { bindings, body } | Expr::Letrec { bindings, body } => {
                 1 + bindings.iter().map(|(_, e)| e.size()).sum::<usize>() + body.size()
             }
@@ -134,7 +136,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn at(pos: Pos, message: impl Into<String>) -> Self {
-        ParseError { pos: Some(pos), message: message.into() }
+        ParseError {
+            pos: Some(pos),
+            message: message.into(),
+        }
     }
 }
 
@@ -151,7 +156,10 @@ impl std::error::Error for ParseError {}
 
 impl From<sexpr::ReadError> for ParseError {
     fn from(e: sexpr::ReadError) -> Self {
-        ParseError { pos: Some(e.pos), message: e.message }
+        ParseError {
+            pos: Some(e.pos),
+            message: e.message,
+        }
     }
 }
 
@@ -174,7 +182,10 @@ impl From<sexpr::ReadError> for ParseError {
 pub fn parse_program(src: &str) -> Result<ScmProgram, ParseError> {
     let forms = sexpr::parse_all(src)?;
     if forms.is_empty() {
-        return Err(ParseError { pos: None, message: "empty program".into() });
+        return Err(ParseError {
+            pos: None,
+            message: "empty program".into(),
+        });
     }
     let mut parser = Parser::new(Interner::new());
 
@@ -203,9 +214,15 @@ pub fn parse_program(src: &str) -> Result<ScmProgram, ParseError> {
     let body = if defines.is_empty() {
         body
     } else {
-        Expr::Letrec { bindings: defines, body: Box::new(body) }
+        Expr::Letrec {
+            bindings: defines,
+            body: Box::new(body),
+        }
     };
-    Ok(ScmProgram { interner: parser.interner, body })
+    Ok(ScmProgram {
+        interner: parser.interner,
+        body,
+    })
 }
 
 /// Parses a single expression (no `define`s) into an [`Expr`] using the
@@ -276,7 +293,13 @@ impl Parser {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 let body = self.parse_body(form.pos(), body)?;
-                Ok((name, Expr::Lambda { params, body: Box::new(body) }))
+                Ok((
+                    name,
+                    Expr::Lambda {
+                        params,
+                        body: Box::new(body),
+                    },
+                ))
             }
             // (define x e)
             [_, Sexpr::Symbol(_, name), value] => {
@@ -315,9 +338,10 @@ impl Parser {
             }
             Sexpr::Symbol(pos, name) => match name.as_str() {
                 "else" | "define" | "lambda" | "let" | "let*" | "letrec" | "if" | "cond"
-                | "begin" | "and" | "or" | "quote" | "when" | "unless" => {
-                    Err(ParseError::at(*pos, format!("'{name}' used as an expression")))
-                }
+                | "begin" | "and" | "or" | "quote" | "when" | "unless" => Err(ParseError::at(
+                    *pos,
+                    format!("'{name}' used as an expression"),
+                )),
                 _ => {
                     let sym = self.intern(&name.clone());
                     Ok(Expr::Var(sym))
@@ -337,7 +361,7 @@ impl Parser {
                         "begin" => return self.parse_body(*pos, &items[1..]),
                         "and" => return self.parse_and(&items[1..]),
                         "or" => return self.parse_or(&items[1..]),
-                        "cond" => return self.parse_cond(*pos, &items[1..]),
+                        "cond" => return self.parse_cond(&items[1..]),
                         "when" => return self.parse_when(*pos, items, true),
                         "unless" => return self.parse_when(*pos, items, false),
                         "quote" => return self.parse_quote(*pos, items),
@@ -366,7 +390,10 @@ impl Parser {
                     .iter()
                     .map(|e| self.parse_expr(e))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Expr::App { func: Box::new(func), args })
+                Ok(Expr::App {
+                    func: Box::new(func),
+                    args,
+                })
             }
         }
     }
@@ -386,11 +413,19 @@ impl Parser {
             if args.len() != arity {
                 return Err(ParseError::at(
                     pos,
-                    format!("primitive '{}' expects {} argument(s), got {}", op, arity, args.len()),
+                    format!(
+                        "primitive '{}' expects {} argument(s), got {}",
+                        op,
+                        arity,
+                        args.len()
+                    ),
                 ));
             }
         } else if args.is_empty() {
-            return Err(ParseError::at(pos, format!("primitive '{op}' needs arguments")));
+            return Err(ParseError::at(
+                pos,
+                format!("primitive '{op}' needs arguments"),
+            ));
         }
         Ok(Expr::Prim { op, args })
     }
@@ -410,7 +445,10 @@ impl Parser {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let body = self.parse_body(pos, &items[2..])?;
-        Ok(Expr::Lambda { params, body: Box::new(body) })
+        Ok(Expr::Lambda {
+            params,
+            body: Box::new(body),
+        })
     }
 
     fn parse_if(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
@@ -448,7 +486,12 @@ impl Parser {
             .collect()
     }
 
-    fn parse_let(&mut self, pos: Pos, items: &[Sexpr], sequential: bool) -> Result<Expr, ParseError> {
+    fn parse_let(
+        &mut self,
+        pos: Pos,
+        items: &[Sexpr],
+        sequential: bool,
+    ) -> Result<Expr, ParseError> {
         if items.len() < 3 {
             return Err(ParseError::at(pos, "malformed let"));
         }
@@ -456,12 +499,18 @@ impl Parser {
         let body = self.parse_body(pos, &items[2..])?;
         if sequential {
             // let* unfolds into nested lets.
-            Ok(bindings.into_iter().rev().fold(body, |acc, (name, value)| Expr::Let {
-                bindings: vec![(name, value)],
-                body: Box::new(acc),
-            }))
+            Ok(bindings
+                .into_iter()
+                .rev()
+                .fold(body, |acc, (name, value)| Expr::Let {
+                    bindings: vec![(name, value)],
+                    body: Box::new(acc),
+                }))
         } else {
-            Ok(Expr::Let { bindings, body: Box::new(body) })
+            Ok(Expr::Let {
+                bindings,
+                body: Box::new(body),
+            })
         }
     }
 
@@ -479,7 +528,10 @@ impl Parser {
             }
         }
         let body = self.parse_body(pos, &items[2..])?;
-        Ok(Expr::Letrec { bindings, body: Box::new(body) })
+        Ok(Expr::Letrec {
+            bindings,
+            body: Box::new(body),
+        })
     }
 
     fn parse_and(&mut self, items: &[Sexpr]) -> Result<Expr, ParseError> {
@@ -521,7 +573,7 @@ impl Parser {
         }
     }
 
-    fn parse_cond(&mut self, pos: Pos, clauses: &[Sexpr]) -> Result<Expr, ParseError> {
+    fn parse_cond(&mut self, clauses: &[Sexpr]) -> Result<Expr, ParseError> {
         match clauses {
             [] => Ok(Expr::Lit(Lit::Void)),
             [clause, rest @ ..] => {
@@ -543,7 +595,7 @@ impl Parser {
                 } else {
                     test.clone()
                 };
-                let alternative = self.parse_cond(pos, rest)?;
+                let alternative = self.parse_cond(rest)?;
                 Ok(Expr::If {
                     cond: Box::new(test),
                     then_branch: Box::new(consequent),
@@ -553,7 +605,12 @@ impl Parser {
         }
     }
 
-    fn parse_when(&mut self, pos: Pos, items: &[Sexpr], positive: bool) -> Result<Expr, ParseError> {
+    fn parse_when(
+        &mut self,
+        pos: Pos,
+        items: &[Sexpr],
+        positive: bool,
+    ) -> Result<Expr, ParseError> {
         if items.len() < 3 {
             return Err(ParseError::at(pos, "malformed when/unless"));
         }
@@ -600,10 +657,13 @@ impl Parser {
 
 /// Builds `(cons e₁ (cons … '()))`.
 fn make_list(elems: Vec<Expr>) -> Expr {
-    elems.into_iter().rev().fold(Expr::Lit(Lit::Nil), |acc, e| Expr::Prim {
-        op: PrimOp::Cons,
-        args: vec![e, acc],
-    })
+    elems
+        .into_iter()
+        .rev()
+        .fold(Expr::Lit(Lit::Nil), |acc, e| Expr::Prim {
+            op: PrimOp::Cons,
+            args: vec![e, acc],
+        })
 }
 
 #[cfg(test)]
@@ -683,7 +743,10 @@ mod tests {
         assert!(matches!(parse("'foo"), Expr::Lit(Lit::Sym(_))));
         // '(1 2) is (cons 1 (cons 2 '()))
         match parse("'(1 2)") {
-            Expr::Prim { op: PrimOp::Cons, args } => {
+            Expr::Prim {
+                op: PrimOp::Cons,
+                args,
+            } => {
                 assert_eq!(args[0], Expr::Lit(Lit::Int(1)));
             }
             other => panic!("expected cons, got {other:?}"),
@@ -694,7 +757,10 @@ mod tests {
     fn list_desugars_to_cons() {
         assert!(matches!(
             parse("(list 1 2 3)"),
-            Expr::Prim { op: PrimOp::Cons, .. }
+            Expr::Prim {
+                op: PrimOp::Cons,
+                ..
+            }
         ));
         assert_eq!(parse("(list)"), Expr::Lit(Lit::Nil));
     }
@@ -702,7 +768,10 @@ mod tests {
     #[test]
     fn unary_minus_negates() {
         match parse("(- 5)") {
-            Expr::Prim { op: PrimOp::Sub, args } => {
+            Expr::Prim {
+                op: PrimOp::Sub,
+                args,
+            } => {
                 assert_eq!(args[0], Expr::Lit(Lit::Int(0)));
                 assert_eq!(args[1], Expr::Lit(Lit::Int(5)));
             }

@@ -125,15 +125,26 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(src: &'a str) -> Self {
-        Reader { src: src.as_bytes(), at: 0, line: 1, col: 1 }
+        Reader {
+            src: src.as_bytes(),
+            at: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ReadError {
-        ReadError { pos: self.pos(), message: message.into() }
+        ReadError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -183,11 +194,7 @@ impl<'a> Reader<'a> {
                 loop {
                     self.skip_trivia();
                     match self.peek() {
-                        None => {
-                            return Err(self.error(format!(
-                                "unclosed list starting at {pos}"
-                            )))
-                        }
+                        None => return Err(self.error(format!("unclosed list starting at {pos}"))),
                         Some(c) if c == close => {
                             self.bump();
                             return Ok(Sexpr::List(pos, items));
@@ -227,10 +234,9 @@ impl<'a> Reader<'a> {
                     Some(b'\\') => out.push('\\'),
                     Some(b'"') => out.push('"'),
                     Some(other) => {
-                        return Err(self.error(format!(
-                            "unknown string escape '\\{}'",
-                            other as char
-                        )))
+                        return Err(
+                            self.error(format!("unknown string escape '\\{}'", other as char))
+                        )
                     }
                     None => return Err(self.error("unterminated string escape")),
                 },
@@ -262,7 +268,11 @@ impl<'a> Reader<'a> {
             return Err(self.error("expected an atom"));
         }
         // A token is an integer iff it parses as one. `-` alone or `1+` are symbols.
-        if text.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
+        if text
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
             || (text.len() > 1
                 && (text.starts_with('-') || text.starts_with('+'))
                 && text[1..].chars().all(|c| c.is_ascii_digit()))
@@ -314,7 +324,10 @@ mod tests {
 
     #[test]
     fn reads_atoms() {
-        assert_eq!(parse_one("42").unwrap(), Sexpr::Int(Pos { line: 1, col: 1 }, 42));
+        assert_eq!(
+            parse_one("42").unwrap(),
+            Sexpr::Int(Pos { line: 1, col: 1 }, 42)
+        );
         assert_eq!(
             parse_one("-17").unwrap(),
             Sexpr::Int(Pos { line: 1, col: 1 }, -17)

@@ -144,7 +144,10 @@ fn labels_are_dense_and_unique() {
         let n = labels.len();
         labels.dedup();
         assert_eq!(labels.len(), n, "{src}: duplicate labels");
-        assert!(labels.iter().all(|&l| l < p.label_count()), "{src}: label range");
+        assert!(
+            labels.iter().all(|&l| l < p.label_count()),
+            "{src}: label range"
+        );
     }
 }
 

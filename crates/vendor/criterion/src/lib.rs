@@ -25,7 +25,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id from a function name and a displayable parameter.
     pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 }
 
@@ -67,12 +69,19 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
         println!("group {name}");
-        BenchmarkGroup { _criterion: self, samples: 3, _measurement: measurement::WallTime }
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 3,
+            _measurement: measurement::WallTime,
+        }
     }
 
     /// Runs one standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { samples: 3, median: Duration::ZERO };
+        let mut b = Bencher {
+            samples: 3,
+            median: Duration::ZERO,
+        };
         f(&mut b);
         println!("  {name}: {:?} (median of {})", b.median, b.samples);
         self
@@ -105,11 +114,19 @@ impl<M> BenchmarkGroup<'_, M> {
     }
 
     /// Benchmarks `f` against a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.samples, median: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.samples,
+            median: Duration::ZERO,
+        };
         f(&mut b, input);
         println!("  {id}: {:?} (median of {})", b.median, self.samples);
         self
@@ -117,7 +134,10 @@ impl<M> BenchmarkGroup<'_, M> {
 
     /// Benchmarks a closure with no input.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { samples: self.samples, median: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.samples,
+            median: Duration::ZERO,
+        };
         f(&mut b);
         println!("  {name}: {:?} (median of {})", b.median, self.samples);
         self

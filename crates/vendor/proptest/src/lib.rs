@@ -20,7 +20,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespaced module access (`prop::collection::vec`).
     pub mod prop {
@@ -126,7 +128,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             lhs != rhs,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), lhs
+            stringify!($a),
+            stringify!($b),
+            lhs
         );
     }};
 }

@@ -315,7 +315,11 @@ fn parse_simple_regex(pattern: &str) -> Vec<RegexAtom> {
             }
             _ => (1, 1),
         };
-        atoms.push(RegexAtom { chars: set, min, max });
+        atoms.push(RegexAtom {
+            chars: set,
+            min,
+            max,
+        });
     }
     atoms
 }
@@ -365,7 +369,8 @@ mod tests {
             assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s:?}");
             assert!(
-                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "{s:?}"
             );
         }
@@ -384,9 +389,11 @@ mod tests {
                 Tree::Node(ts) => 1 + ts.iter().map(size).sum::<usize>(),
             }
         }
-        let strat = any::<i64>().prop_map(Tree::Leaf).prop_recursive(4, 32, 5, |inner| {
-            crate::collection::vec(inner, 0..5).prop_map(Tree::Node)
-        });
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 5, |inner| {
+                crate::collection::vec(inner, 0..5).prop_map(Tree::Node)
+            });
         let mut r = rng();
         for _ in 0..100 {
             let t = strat.generate(&mut r);
@@ -398,8 +405,7 @@ mod tests {
     fn union_draws_all_options() {
         let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
         let mut r = rng();
-        let draws: std::collections::BTreeSet<u8> =
-            (0..100).map(|_| u.generate(&mut r)).collect();
+        let draws: std::collections::BTreeSet<u8> = (0..100).map(|_| u.generate(&mut r)).collect();
         assert_eq!(draws.len(), 2);
     }
 }

@@ -20,14 +20,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Self::default() }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 

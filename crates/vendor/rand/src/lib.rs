@@ -104,7 +104,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+            StdRng {
+                state: seed.wrapping_add(0x9e3779b97f4a7c15),
+            }
         }
     }
 

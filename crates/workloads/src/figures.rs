@@ -22,7 +22,10 @@ use std::fmt::Write as _;
 /// it by name after CPS conversion (the converter renames it to
 /// `paradox-probe.<n>`).
 pub fn fn_program(n: usize, m: usize) -> String {
-    assert!(n > 0 && m > 0, "need at least one caller and one inner call");
+    assert!(
+        n > 0 && m > 0,
+        "need at least one caller and one inner call"
+    );
     let mut src = String::new();
     // foo closes x, then cx closes y; the innermost lambda reads both.
     src.push_str(
@@ -46,7 +49,10 @@ pub fn fn_program(n: usize, m: usize) -> String {
 /// and `y` simultaneously; `baz` is the method whose analysis contexts
 /// the experiment counts.
 pub fn oo_program(n: usize, m: usize) -> String {
-    assert!(n > 0 && m > 0, "need at least one caller and one inner call");
+    assert!(
+        n > 0 && m > 0,
+        "need at least one caller and one inner call"
+    );
     let mut src = String::new();
     src.push_str(
         "class ClosureX extends Object {

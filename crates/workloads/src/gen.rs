@@ -88,7 +88,11 @@ impl Gen {
 
     fn bool_expr(&mut self, scope: &[String], depth: usize) -> String {
         if depth == 0 || !self.spend() {
-            return if self.rng.gen() { "#t".into() } else { "#f".into() };
+            return if self.rng.gen() {
+                "#t".into()
+            } else {
+                "#f".into()
+            };
         }
         match self.rng.gen_range(0..5) {
             0 => format!("(zero? {})", self.int_expr(scope, depth - 1)),
@@ -103,7 +107,13 @@ impl Gen {
                 self.bool_expr(scope, depth - 1),
                 self.bool_expr(scope, depth - 1)
             ),
-            _ => if self.rng.gen() { "#t".into() } else { "#f".into() },
+            _ => {
+                if self.rng.gen() {
+                    "#t".into()
+                } else {
+                    "#f".into()
+                }
+            }
         }
     }
 
@@ -160,7 +170,11 @@ impl Gen {
 /// cfa_syntax::compile(&src).expect("generated programs are well-formed");
 /// ```
 pub fn random_program(seed: u64, size: usize) -> String {
-    let mut g = Gen { rng: StdRng::seed_from_u64(seed), fuel: size, counter: 0 };
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        fuel: size,
+        counter: 0,
+    };
     let depth = 3 + (size / 10).min(5);
     g.ho_expr(&[], depth)
 }

@@ -34,7 +34,10 @@ pub struct FjGenConfig {
 
 impl Default for FjGenConfig {
     fn default() -> Self {
-        FjGenConfig { classes: 4, main_statements: 8 }
+        FjGenConfig {
+            classes: 4,
+            main_statements: 8,
+        }
     }
 }
 
@@ -52,7 +55,9 @@ impl Default for FjGenConfig {
 /// assert!(src.contains("class Main"));
 /// ```
 pub fn random_fj_program(seed: u64, config: FjGenConfig) -> String {
-    let mut g = FjGen { rng: StdRng::seed_from_u64(seed) };
+    let mut g = FjGen {
+        rng: StdRng::seed_from_u64(seed),
+    };
     let n = config.classes.max(2);
     let mut out = String::new();
     let class_names: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
@@ -85,7 +90,11 @@ pub fn random_fj_program(seed: u64, config: FjGenConfig) -> String {
             "  {name}({}) {{ super({}); {} }}",
             params.join(", "),
             super_args.join(", "),
-            if has_own_field { format!("this.f{i} = q{i};") } else { String::new() }
+            if has_own_field {
+                format!("this.f{i} = q{i};")
+            } else {
+                String::new()
+            }
         );
         // A get() method: returns this, a new object, or a field.
         let body = if has_own_field && g.rng.gen_bool(0.5) {
@@ -174,7 +183,9 @@ pub fn random_fj_program(seed: u64, config: FjGenConfig) -> String {
 /// text (the generator's own bookkeeping).
 fn ctor_arity(generated: &str, class: &str) -> usize {
     let marker = format!("  {class}(");
-    let Some(start) = generated.find(&marker) else { return 0 };
+    let Some(start) = generated.find(&marker) else {
+        return 0;
+    };
     let rest = &generated[start + marker.len()..];
     let end = rest.find(')').unwrap_or(0);
     let params = &rest[..end];
@@ -223,8 +234,20 @@ mod tests {
 
     #[test]
     fn config_scales_size() {
-        let small = random_fj_program(1, FjGenConfig { classes: 2, main_statements: 2 });
-        let large = random_fj_program(1, FjGenConfig { classes: 8, main_statements: 20 });
+        let small = random_fj_program(
+            1,
+            FjGenConfig {
+                classes: 2,
+                main_statements: 2,
+            },
+        );
+        let large = random_fj_program(
+            1,
+            FjGenConfig {
+                classes: 8,
+                main_statements: 20,
+            },
+        );
         assert!(large.len() > small.len());
     }
 }

@@ -414,22 +414,62 @@ pub const STREAM: &str = r#"
 /// the paper's seven rows.
 pub fn extended_suite() -> Vec<SuiteProgram> {
     vec![
-        SuiteProgram { name: "blur", description: "η-expanded blurring loop", source: BLUR },
-        SuiteProgram { name: "loop2", description: "mutually recursive closure loops", source: LOOP2 },
-        SuiteProgram { name: "mj09", description: "Midtgaard–Jensen escape example", source: MJ09 },
-        SuiteProgram { name: "primtest", description: "trial-division primality", source: PRIMTEST },
-        SuiteProgram { name: "church", description: "Church-numeral arithmetic", source: CHURCH },
-        SuiteProgram { name: "ycomb", description: "Y-combinator recursions", source: YCOMB },
-        SuiteProgram { name: "stream", description: "lazy streams via thunks", source: STREAM },
+        SuiteProgram {
+            name: "blur",
+            description: "η-expanded blurring loop",
+            source: BLUR,
+        },
+        SuiteProgram {
+            name: "loop2",
+            description: "mutually recursive closure loops",
+            source: LOOP2,
+        },
+        SuiteProgram {
+            name: "mj09",
+            description: "Midtgaard–Jensen escape example",
+            source: MJ09,
+        },
+        SuiteProgram {
+            name: "primtest",
+            description: "trial-division primality",
+            source: PRIMTEST,
+        },
+        SuiteProgram {
+            name: "church",
+            description: "Church-numeral arithmetic",
+            source: CHURCH,
+        },
+        SuiteProgram {
+            name: "ycomb",
+            description: "Y-combinator recursions",
+            source: YCOMB,
+        },
+        SuiteProgram {
+            name: "stream",
+            description: "lazy streams via thunks",
+            source: STREAM,
+        },
     ]
 }
 
 /// The full suite, in the paper's row order.
 pub fn suite() -> Vec<SuiteProgram> {
     vec![
-        SuiteProgram { name: "eta", description: "eta-expansion chains", source: ETA },
-        SuiteProgram { name: "map", description: "higher-order list processing", source: MAP },
-        SuiteProgram { name: "sat", description: "back-tracking SAT solver", source: SAT },
+        SuiteProgram {
+            name: "eta",
+            description: "eta-expansion chains",
+            source: ETA,
+        },
+        SuiteProgram {
+            name: "map",
+            description: "higher-order list processing",
+            source: MAP,
+        },
+        SuiteProgram {
+            name: "sat",
+            description: "back-tracking SAT solver",
+            source: SAT,
+        },
         SuiteProgram {
             name: "regex",
             description: "regex matching via derivatives",
@@ -460,8 +500,7 @@ mod tests {
     #[test]
     fn all_programs_compile() {
         for p in suite() {
-            let cps = cfa_syntax::compile(p.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let cps = cfa_syntax::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(cps.term_count() > 50, "{} too small", p.name);
         }
     }

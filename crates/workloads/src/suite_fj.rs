@@ -332,8 +332,7 @@ mod tests {
 
     #[test]
     fn suite_has_six_distinct_programs() {
-        let names: std::collections::BTreeSet<&str> =
-            fj_suite().iter().map(|p| p.name).collect();
+        let names: std::collections::BTreeSet<&str> = fj_suite().iter().map(|p| p.name).collect();
         assert_eq!(names.len(), 6);
     }
 
@@ -341,7 +340,11 @@ mod tests {
     fn sources_declare_main() {
         for p in fj_suite() {
             assert!(p.source.contains("class Main"), "{} lacks Main", p.name);
-            assert!(p.source.contains("Object main()"), "{} lacks main()", p.name);
+            assert!(
+                p.source.contains("Object main()"),
+                "{} lacks main()",
+                p.name
+            );
         }
     }
 }

@@ -49,9 +49,7 @@ pub fn worst_case_source(n: usize) -> String {
     };
     // Wrap outward: ((lambda (fi) (begin (fi 0) (fi 1))) (lambda (xi) body)).
     for i in (1..=n).rev() {
-        body = format!(
-            "((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))"
-        );
+        body = format!("((lambda (f{i}) (begin (f{i} 0) (f{i} 1))) (lambda (x{i}) {body}))");
     }
     body
 }
@@ -118,11 +116,7 @@ mod tests {
     #[test]
     fn inner_lambda_has_all_free_variables() {
         let cps = cfa_syntax::compile(&worst_case_source(5)).unwrap();
-        let max_free = cps
-            .lam_ids()
-            .map(|l| cps.free_vars(l).len())
-            .max()
-            .unwrap();
+        let max_free = cps.lam_ids().map(|l| cps.free_vars(l).len()).max().unwrap();
         assert!(max_free >= 5, "inner λ must close over all n variables");
     }
 

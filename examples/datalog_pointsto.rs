@@ -10,9 +10,7 @@
 
 use cfa::analysis::EngineLimits;
 use cfa::fj::kcfa::TickPolicy;
-use cfa::fj::{
-    analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions,
-};
+use cfa::fj::{analyze_fj, analyze_fj_datalog, parse_fj, FjAnalysisOptions, FjDatalogOptions};
 
 const PROGRAM: &str = "
     class Shape extends Object {
@@ -64,14 +62,21 @@ fn main() {
                 .collect();
             println!("  stmt {:?} -> {}", site, names.join(", "));
         }
-        let halts: Vec<&str> =
-            result.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+        let halts: Vec<&str> = result
+            .halt_classes
+            .iter()
+            .map(|&c| program.name(program.class(c).name))
+            .collect();
         println!("main() returns: {}", halts.join(", "));
 
         // The worklist machine agrees exactly.
         let machine = analyze_fj(
             &program,
-            FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+            FjAnalysisOptions {
+                k,
+                policy: TickPolicy::OnInvocation,
+                cast_filtering: false,
+            },
             EngineLimits::default(),
         );
         assert_eq!(machine.metrics.call_targets, result.call_targets);
@@ -83,8 +88,11 @@ fn main() {
     // k=1 keeps the two measure() receivers apart: only Square reaches
     // halt. k=0 merges them.
     let k1 = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(1));
-    let names: Vec<&str> =
-        k1.halt_classes.iter().map(|&c| program.name(program.class(c).name)).collect();
+    let names: Vec<&str> = k1
+        .halt_classes
+        .iter()
+        .map(|&c| program.name(program.class(c).name))
+        .collect();
     assert_eq!(names, vec!["Square"]);
     let k0 = analyze_fj_datalog(&program, FjDatalogOptions::insensitive());
     assert_eq!(k0.halt_classes.len(), 2);

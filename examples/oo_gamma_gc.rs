@@ -41,7 +41,10 @@ fn main() {
     println!("per-state OO k-CFA (k = 1) on the Cell/wrap program");
     println!();
     println!("                    plain      with abstract GC");
-    println!("states:        {:>10} {:>21}", plain.state_count, gc.state_count);
+    println!(
+        "states:        {:>10} {:>21}",
+        plain.state_count, gc.state_count
+    );
     println!(
         "singular:      {:>9.1}% {:>20.1}%",
         100.0 * plain.singular_ratio(),
@@ -54,8 +57,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    println!("main returns:  {:>10} {:>21}", classes(&plain), classes(&gc));
-    assert_eq!(plain.halt_classes, gc.halt_classes, "GC must be precision-sound");
+    println!(
+        "main returns:  {:>10} {:>21}",
+        classes(&plain),
+        classes(&gc)
+    );
+    assert_eq!(
+        plain.halt_classes, gc.halt_classes,
+        "GC must be precision-sound"
+    );
     assert!(gc.state_count <= plain.state_count);
 
     println!();

@@ -26,8 +26,14 @@ fn main() {
     // 2. Run it for real on both concrete machines.
     let shared = cfa::concrete::run_shared(&program, Limits::default());
     let flat = cfa::concrete::run_flat(&program, Limits::default());
-    println!("Concrete result (shared environments): {:?}", shared.outcome.value());
-    println!("Concrete result (flat environments):   {:?}\n", flat.outcome.value());
+    println!(
+        "Concrete result (shared environments): {:?}",
+        shared.outcome.value()
+    );
+    println!(
+        "Concrete result (flat environments):   {:?}\n",
+        flat.outcome.value()
+    );
 
     // 3. Analyze with the paper's four analyses.
     println!(

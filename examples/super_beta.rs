@@ -20,16 +20,25 @@ const SRC: &str = "(define (make n) (lambda () n))
 
 fn main() {
     let program = cfa::compile(SRC).expect("example compiles");
-    let gamma = GammaOptions { abstract_gc: false, counting: true };
+    let gamma = GammaOptions {
+        abstract_gc: false,
+        counting: true,
+    };
 
     println!("program:\n  (define (make n) (lambda () n))");
     println!("  (let* ((f (make 1)) (g (make 2))) (f))");
     println!();
-    println!("{:>5} {:>12} {:>18} {:>14}", "k", "user sites", "monomorphic", "super-β safe");
+    println!(
+        "{:>5} {:>12} {:>18} {:>14}",
+        "k", "user sites", "monomorphic", "super-β safe"
+    );
     for k in [0usize, 1] {
         let r = analyze_kcfa_naive_gamma(&program, k, NaiveLimits::default(), gamma);
-        let user_sites =
-            r.site_evidence.keys().filter(|&&s| program.is_user_call(s)).count();
+        let user_sites = r
+            .site_evidence
+            .keys()
+            .filter(|&&s| program.is_user_call(s))
+            .count();
         let mono = r
             .site_evidence
             .iter()

@@ -9,7 +9,10 @@ use cfa::analysis::{analyze_kcfa, analyze_mcfa, EngineLimits};
 use std::time::Duration;
 
 fn main() {
-    println!("{:>3} {:>6} {:>14} {:>14} {:>16} {:>16}", "n", "terms", "k=1 time", "m=1 time", "k=1 envs", "m=1 envs");
+    println!(
+        "{:>3} {:>6} {:>14} {:>14} {:>16} {:>16}",
+        "n", "terms", "k=1 time", "m=1 time", "k=1 envs", "m=1 envs"
+    );
     for n in [2usize, 4, 6, 8, 10, 12] {
         let src = cfa::workloads::worst_case_source(n);
         let program = cfa::compile(&src).expect("compiles");

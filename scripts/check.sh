@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build plus the full test suite.
+# Tier-1 verification: release build, full test suite, rustfmt, clippy.
 # Run from anywhere; works on a fresh checkout with no network access
 # (external dev-dependencies are vendored under crates/vendor/).
+# Mirrors .github/workflows/ci.yml so the local gate matches CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo fmt --all --check
+# Lint every first-party crate; the vendored stand-ins (rand, proptest,
+# criterion) are build inputs, not code we hold to clippy.
+cargo clippy --workspace --exclude rand --exclude proptest --exclude criterion \
+    --all-targets -- -D warnings
 
 echo "tier-1 check passed"

@@ -29,7 +29,10 @@ fn project(v: &cfa::analysis::kcfa::ValK) -> Val0 {
 }
 
 fn programs() -> Vec<String> {
-    let mut out: Vec<String> = cfa::workloads::suite().iter().map(|p| p.source.to_owned()).collect();
+    let mut out: Vec<String> = cfa::workloads::suite()
+        .iter()
+        .map(|p| p.source.to_owned())
+        .collect();
     out.push(cfa::workloads::worst_case_source(3));
     out.push(cfa::workloads::fn_program(2, 2));
     for seed in 0..20 {
@@ -84,7 +87,11 @@ fn datalog_zerocfa_equals_constraint_solver_everywhere() {
                 program.name(v)
             );
         }
-        assert_eq!(solver.halt_flow(), datalog.halt_flow(), "{src}: halt flows disagree");
+        assert_eq!(
+            solver.halt_flow(),
+            datalog.halt_flow(),
+            "{src}: halt flows disagree"
+        );
     }
 }
 
@@ -114,7 +121,10 @@ fn naive_k0_halts_subset_of_worklist_k0() {
         let naive = analyze_kcfa_naive(
             &program,
             0,
-            NaiveLimits { max_states: 100_000, time_budget: Some(std::time::Duration::from_secs(10)) },
+            NaiveLimits {
+                max_states: 100_000,
+                time_budget: Some(std::time::Duration::from_secs(10)),
+            },
         );
         assert!(
             naive.halt_values.is_subset(&k0.metrics.halt_values),

@@ -10,9 +10,9 @@
 //! handwritten programs, the Figure 1 paradox programs, and randomly
 //! generated FJ programs.
 
-use cfa::fj::kcfa::{analyze_fj, FjAnalysisOptions, FjAVal, TickPolicy};
-use cfa::fj::{analyze_fj_datalog, parse_fj, FjDatalogOptions, FjProgram};
 use cfa::analysis::EngineLimits;
+use cfa::fj::kcfa::{analyze_fj, FjAVal, FjAnalysisOptions, TickPolicy};
+use cfa::fj::{analyze_fj_datalog, parse_fj, FjDatalogOptions, FjProgram};
 use cfa::syntax::cps::Label;
 use cfa::syntax::intern::Symbol;
 use cfa::workloads::figures::oo_program;
@@ -29,7 +29,9 @@ fn machine_points_to(program: &FjProgram, result: &cfa::fj::kcfa::FjResult) -> P
     let this_sym = program.interner().lookup("this").unwrap();
     let mut out: PointsTo = BTreeMap::new();
     for (addr, values) in result.fixpoint.store.iter() {
-        let cfa::fj::concrete::FjSlot::Var(sym) = addr.slot else { continue };
+        let cfa::fj::concrete::FjSlot::Var(sym) = addr.slot else {
+            continue;
+        };
         if sym == this_sym {
             continue;
         }
@@ -41,7 +43,9 @@ fn machine_points_to(program: &FjProgram, result: &cfa::fj::kcfa::FjResult) -> P
             })
             .collect();
         if !classes.is_empty() {
-            out.entry((sym, addr.time.labels().to_vec())).or_default().extend(classes);
+            out.entry((sym, addr.time.labels().to_vec()))
+                .or_default()
+                .extend(classes);
         }
     }
     out
@@ -53,10 +57,17 @@ fn assert_agreement(src: &str, k: usize, what: &str) {
     let program = parse_fj(src).unwrap_or_else(|e| panic!("{what}: parse error: {e}"));
     let machine = analyze_fj(
         &program,
-        FjAnalysisOptions { k, policy: TickPolicy::OnInvocation, cast_filtering: false },
+        FjAnalysisOptions {
+            k,
+            policy: TickPolicy::OnInvocation,
+            cast_filtering: false,
+        },
         EngineLimits::default(),
     );
-    assert!(machine.metrics.status.is_complete(), "{what}: machine hit limits");
+    assert!(
+        machine.metrics.status.is_complete(),
+        "{what}: machine hit limits"
+    );
     let datalog = analyze_fj_datalog(&program, FjDatalogOptions::sensitive(k));
 
     // Call graphs agree.
@@ -71,7 +82,10 @@ fn assert_agreement(src: &str, k: usize, what: &str) {
     );
     // Points-to sets agree address for address.
     let machine_pt = machine_points_to(&program, &machine);
-    assert_eq!(machine_pt, datalog.points_to, "{what} (k={k}): points-to sets differ");
+    assert_eq!(
+        machine_pt, datalog.points_to,
+        "{what} (k={k}): points-to sets differ"
+    );
 }
 
 #[test]
@@ -187,7 +201,13 @@ fn random_programs_agree_insensitively() {
 #[test]
 fn random_programs_agree_at_k1() {
     for seed in 0..24 {
-        let src = random_fj_program(seed, FjGenConfig { classes: 3, main_statements: 6 });
+        let src = random_fj_program(
+            seed,
+            FjGenConfig {
+                classes: 3,
+                main_statements: 6,
+            },
+        );
         assert_agreement(&src, 1, &format!("random seed {seed}"));
     }
 }
@@ -195,7 +215,13 @@ fn random_programs_agree_at_k1() {
 #[test]
 fn larger_random_programs_agree_at_k1() {
     for seed in [100, 101, 102, 103] {
-        let src = random_fj_program(seed, FjGenConfig { classes: 6, main_statements: 12 });
+        let src = random_fj_program(
+            seed,
+            FjGenConfig {
+                classes: 6,
+                main_statements: 12,
+            },
+        );
         assert_agreement(&src, 1, &format!("random seed {seed}"));
     }
 }

@@ -3,8 +3,9 @@
 //!
 //! The fixed point of a monotone transfer function is unique, so the
 //! rebuilt hot path (interned values, zero-copy flow sets, epoch-gated
-//! scheduling — `cfa_core::engine`) and the retained pre-interning
-//! engine (`cfa_core::reference`) must agree on
+//! scheduling — `cfa_core::engine`), the work-stealing parallel engine
+//! (`cfa_core::parallel` — any interleaving, any thread count) and the
+//! retained pre-interning engine (`cfa_core::reference`) must agree on
 //!
 //! * the set of reached configurations, and
 //! * every `(address, flow set)` fact in the final store,
@@ -12,9 +13,10 @@
 //! for every analysis family, on the curated workloads suite (Scheme and
 //! Featherweight Java) and on randomized programs.
 
-use cfa::analysis::engine::{run_fixpoint, AbstractMachine, EngineLimits};
+use cfa::analysis::engine::{run_fixpoint, EngineLimits};
 use cfa::analysis::flatcfa::{FlatCfaMachine, FlatPolicy};
 use cfa::analysis::kcfa::KCfaMachine;
+use cfa::analysis::parallel::{run_fixpoint_parallel, ParallelMachine};
 use cfa::analysis::reference::{run_fixpoint_reference, ReferenceMachine};
 use cfa::fj::kcfa::{FjAnalysisOptions, FjMachine};
 use cfa::fj::parse_fj;
@@ -22,37 +24,61 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::hash::Hash;
 
-/// Runs both engines over fresh machine instances and asserts identical
-/// configuration sets and stores.
+/// Thread count for the parallel runs: enough workers that task
+/// migration, fact broadcast, and steals all actually happen.
+const PAR_THREADS: usize = 3;
+
+/// Runs all three engines over fresh machine instances and asserts
+/// identical configuration sets and stores.
 fn assert_engines_agree<M, R, F, G>(label: &str, mk_new: F, mk_ref: G)
 where
-    M: AbstractMachine,
+    M: ParallelMachine,
     R: ReferenceMachine<Config = M::Config, Addr = M::Addr, Val = M::Val>,
-    M::Config: Hash + Eq + Clone + std::fmt::Debug,
-    M::Addr: Ord + Clone + std::fmt::Debug,
-    M::Val: Ord + Clone + Hash + std::fmt::Debug,
-    F: FnOnce() -> M,
+    M::Config: Hash + Eq + Clone + Send + Sync + std::fmt::Debug,
+    M::Addr: Ord + Clone + Send + Sync + std::fmt::Debug,
+    M::Val: Ord + Clone + Hash + Send + Sync + std::fmt::Debug,
+    F: Fn() -> M,
     G: FnOnce() -> R,
 {
     let mut new_machine = mk_new();
+    let mut par_machine = mk_new();
     let mut ref_machine = mk_ref();
     let new = run_fixpoint(&mut new_machine, EngineLimits::default());
+    let par = run_fixpoint_parallel(&mut par_machine, PAR_THREADS, EngineLimits::default());
     let reference = run_fixpoint_reference(&mut ref_machine, EngineLimits::default());
     assert!(new.status.is_complete(), "{label}: delta engine incomplete");
-    assert!(reference.status.is_complete(), "{label}: reference engine incomplete");
+    assert!(
+        par.status.is_complete(),
+        "{label}: parallel engine incomplete"
+    );
+    assert!(
+        reference.status.is_complete(),
+        "{label}: reference engine incomplete"
+    );
 
     let new_configs: HashSet<&M::Config> = new.configs.iter().collect();
+    let par_configs: HashSet<&M::Config> = par.configs.iter().collect();
     let ref_configs: HashSet<&M::Config> = reference.configs.iter().collect();
-    assert_eq!(new_configs, ref_configs, "{label}: reached configurations differ");
+    assert_eq!(
+        new_configs, ref_configs,
+        "{label}: reached configurations differ"
+    );
+    assert_eq!(
+        par_configs, ref_configs,
+        "{label}: parallel configurations differ"
+    );
 
     let new_store: BTreeMap<M::Addr, BTreeSet<M::Val>> =
         new.store.iter().map(|(a, set)| (a.clone(), set)).collect();
+    let par_store: BTreeMap<M::Addr, BTreeSet<M::Val>> =
+        par.store.iter().map(|(a, set)| (a.clone(), set)).collect();
     let ref_store: BTreeMap<M::Addr, BTreeSet<M::Val>> = reference
         .store
         .iter()
         .map(|(a, set)| (a.clone(), set.clone()))
         .collect();
     assert_eq!(new_store, ref_store, "{label}: final stores differ");
+    assert_eq!(par_store, ref_store, "{label}: parallel store differs");
 }
 
 fn check_scheme(src: &str, name: &str) {
@@ -64,7 +90,10 @@ fn check_scheme(src: &str, name: &str) {
             || KCfaMachine::new(&p, k),
         );
     }
-    for (policy, tag) in [(FlatPolicy::TopMFrames, "m-CFA"), (FlatPolicy::LastKCalls, "poly-k")] {
+    for (policy, tag) in [
+        (FlatPolicy::TopMFrames, "m-CFA"),
+        (FlatPolicy::LastKCalls, "poly-k"),
+    ] {
         for bound in [0usize, 1, 2] {
             assert_engines_agree(
                 &format!("{name} {tag} bound={bound}"),

@@ -4,7 +4,7 @@
 //! points-to sets — and the Datalog fixpoint is monotone in its inputs.
 
 use cfa::analysis::EngineLimits;
-use cfa::fj::kcfa::{analyze_fj, FjAnalysisOptions, FjAVal, TickPolicy};
+use cfa::fj::kcfa::{analyze_fj, FjAVal, FjAnalysisOptions, TickPolicy};
 use cfa::fj::{analyze_fj_datalog, parse_fj, FjDatalogOptions};
 use cfa::workloads::gen_fj::{random_fj_program, FjGenConfig};
 use proptest::prelude::*;

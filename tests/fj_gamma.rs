@@ -75,8 +75,11 @@ fn concrete_halt_class_is_predicted_by_gc_analysis() {
         // Rendered as `ClassName@ctx`.
         let class_name = halted.split('@').next().unwrap();
         let gc = analyze_fj_naive(&p, FjNaiveOptions::paper(1).with_gc());
-        let predicted: Vec<&str> =
-            gc.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+        let predicted: Vec<&str> = gc
+            .halt_classes
+            .iter()
+            .map(|&c| p.name(p.class(c).name))
+            .collect();
         assert!(
             predicted.contains(&class_name),
             "seed {seed}: concrete halt {class_name} not in GC'd prediction {predicted:?}"
@@ -117,7 +120,10 @@ fn counting_is_sound_against_concrete_allocation_multiplicity() {
         }
     }
     assert!(checked_groups > 100, "the corpus must exercise counting");
-    assert!(plural_groups > 0, "the corpus must include plural allocations");
+    assert!(
+        plural_groups > 0,
+        "the corpus must include plural allocations"
+    );
 }
 
 #[test]
@@ -134,5 +140,8 @@ fn higher_k_is_more_singular() {
             improved += 1;
         }
     }
-    assert!(improved >= 3, "k=1 should improve singularity on several programs ({improved})");
+    assert!(
+        improved >= 3,
+        "k=1 should improve singularity on several programs ({improved})"
+    );
 }

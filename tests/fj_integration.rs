@@ -66,8 +66,20 @@ fn k1_devirtualizes_what_k0_cannot() {
     let k0 = analyze_fj(&program, FjAnalysisOptions::oo(0), EngineLimits::default());
     let k1 = analyze_fj(&program, FjAnalysisOptions::oo(1), EngineLimits::default());
     // 0CFA merges the two choose() calls, so x.who() sees A and B.
-    let k0_max = k0.metrics.call_targets.values().map(|t| t.len()).max().unwrap();
-    let k1_max = k1.metrics.call_targets.values().map(|t| t.len()).max().unwrap();
+    let k0_max = k0
+        .metrics
+        .call_targets
+        .values()
+        .map(|t| t.len())
+        .max()
+        .unwrap();
+    let k1_max = k1
+        .metrics
+        .call_targets
+        .values()
+        .map(|t| t.len())
+        .max()
+        .unwrap();
     assert_eq!(k0_max, 2, "0CFA must be polymorphic at x.who()");
     assert_eq!(k1_max, 1, "1-CFA must devirtualize every site");
 }
@@ -78,11 +90,14 @@ fn reachable_methods_cover_concrete_trace() {
     let src = cfa::workloads::oo_program(3, 3);
     let program = parse_fj(&src).unwrap();
     let run = run_fj_traced(&program, FjLimits::default(), true);
-    let r = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+    let r = analyze_fj(
+        &program,
+        FjAnalysisOptions::paper(1),
+        EngineLimits::default(),
+    );
     use std::collections::BTreeSet;
     let concrete_methods: BTreeSet<_> = run.trace.iter().map(|v| v.stmt.method).collect();
-    let abstract_methods: BTreeSet<_> =
-        r.fixpoint.configs.iter().map(|c| c.stmt.method).collect();
+    let abstract_methods: BTreeSet<_> = r.fixpoint.configs.iter().map(|c| c.stmt.method).collect();
     assert!(
         concrete_methods.is_subset(&abstract_methods),
         "concrete {concrete_methods:?} ⊄ abstract {abstract_methods:?}"
@@ -96,11 +111,18 @@ fn policies_agree_on_halt_classes() {
     for (n, m) in [(2, 2), (3, 5)] {
         let src = cfa::workloads::oo_program(n, m);
         let program = parse_fj(&src).unwrap();
-        let paper = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+        let paper = analyze_fj(
+            &program,
+            FjAnalysisOptions::paper(1),
+            EngineLimits::default(),
+        );
         let oo = analyze_fj(&program, FjAnalysisOptions::oo(1), EngineLimits::default());
         assert!(paper.metrics.status.is_complete());
         assert!(oo.metrics.status.is_complete());
-        assert_eq!(paper.metrics.halt_classes, oo.metrics.halt_classes, "N={n} M={m}");
+        assert_eq!(
+            paper.metrics.halt_classes, oo.metrics.halt_classes,
+            "N={n} M={m}"
+        );
     }
 }
 
@@ -126,7 +148,11 @@ fn paper_policy_is_polynomial_on_paradox_family() {
     for (n, m) in [(2, 2), (4, 4), (8, 8)] {
         let src = cfa::workloads::oo_program(n, m);
         let program = parse_fj(&src).unwrap();
-        let r = analyze_fj(&program, FjAnalysisOptions::paper(1), EngineLimits::default());
+        let r = analyze_fj(
+            &program,
+            FjAnalysisOptions::paper(1),
+            EngineLimits::default(),
+        );
         assert!(r.metrics.status.is_complete());
         let configs = r.metrics.config_count;
         // Growth must be at most ~linear in program size between steps

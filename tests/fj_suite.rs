@@ -5,8 +5,7 @@
 
 use cfa::analysis::EngineLimits;
 use cfa::fj::{
-    analyze_fj, analyze_fj_datalog, parse_fj, run_fj, FjAnalysisOptions, FjDatalogOptions,
-    FjLimits,
+    analyze_fj, analyze_fj_datalog, parse_fj, run_fj, FjAnalysisOptions, FjDatalogOptions, FjLimits,
 };
 use cfa::workloads::suite_fj::fj_suite;
 
@@ -42,7 +41,11 @@ fn all_programs_complete_under_every_analysis() {
                 prog.name,
                 options
             );
-            assert!(r.metrics.reachable_calls > 0, "{}: nothing analyzed", prog.name);
+            assert!(
+                r.metrics.reachable_calls > 0,
+                "{}: nothing analyzed",
+                prog.name
+            );
         }
     }
 }
@@ -56,8 +59,12 @@ fn concrete_halt_class_is_predicted_by_every_analysis() {
         let class_name = halted.split('@').next().unwrap().to_owned();
         for k in [0, 1] {
             let r = analyze_fj(&p, FjAnalysisOptions::oo(k), EngineLimits::default());
-            let predicted: Vec<&str> =
-                r.metrics.halt_classes.iter().map(|&c| p.name(p.class(c).name)).collect();
+            let predicted: Vec<&str> = r
+                .metrics
+                .halt_classes
+                .iter()
+                .map(|&c| p.name(p.class(c).name))
+                .collect();
             assert!(
                 predicted.contains(&class_name.as_str()),
                 "{} k={k}: concrete {class_name} not predicted {predicted:?}",

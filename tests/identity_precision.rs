@@ -32,8 +32,14 @@ fn without_intervening_call_all_sensitive_analyses_agree() {
 
 #[test]
 fn zero_cfa_merges_both() {
-    assert_eq!(halts(IDENTITY_PLAIN, Analysis::KCfa { k: 0 }), set(&["3", "4"]));
-    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 0 }), set(&["3", "4"]));
+    assert_eq!(
+        halts(IDENTITY_PLAIN, Analysis::KCfa { k: 0 }),
+        set(&["3", "4"])
+    );
+    assert_eq!(
+        halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 0 }),
+        set(&["3", "4"])
+    );
 }
 
 #[test]
@@ -43,8 +49,14 @@ fn intervening_call_degrades_poly_kcfa_only() {
         set(&["3", "4"]),
         "naive poly 1CFA must merge after the intervening call"
     );
-    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 1 }), set(&["4"]));
-    assert_eq!(halts(IDENTITY_WITH_CALL, Analysis::MCfa { m: 1 }), set(&["4"]));
+    assert_eq!(
+        halts(IDENTITY_WITH_CALL, Analysis::KCfa { k: 1 }),
+        set(&["4"])
+    );
+    assert_eq!(
+        halts(IDENTITY_WITH_CALL, Analysis::MCfa { m: 1 }),
+        set(&["4"])
+    );
 }
 
 #[test]
@@ -56,5 +68,8 @@ fn deeper_poly_context_eventually_recovers_precision() {
     let recovery_k = (1..=6)
         .find(|&k| halts(IDENTITY_WITH_CALL, Analysis::PolyKCfa { k }) == set(&["4"]))
         .expect("some finite k recovers precision");
-    assert!(recovery_k > 1, "k=1 must NOT recover (got recovery at {recovery_k})");
+    assert!(
+        recovery_k > 1,
+        "k=1 must NOT recover (got recovery at {recovery_k})"
+    );
 }

@@ -26,8 +26,16 @@ fn suite_runs_everywhere() {
 
         for analysis in Analysis::paper_panel() {
             let m = cfa::analyze(&program, analysis, EngineLimits::default());
-            assert!(m.status.is_complete(), "{} under {analysis} did not finish", p.name);
-            assert!(m.reachable_user_calls > 0, "{} under {analysis}: empty analysis", p.name);
+            assert!(
+                m.status.is_complete(),
+                "{} under {analysis} did not finish",
+                p.name
+            );
+            assert!(
+                m.reachable_user_calls > 0,
+                "{} under {analysis}: empty analysis",
+                p.name
+            );
         }
     }
 }
@@ -48,7 +56,10 @@ fn suite_concrete_results_are_stable() {
     for p in cfa::workloads::suite() {
         let program = cfa::compile(p.source).unwrap();
         let run = cfa::concrete::run_shared(&program, Limits::default());
-        let value = run.outcome.value().unwrap_or_else(|| panic!("{} failed: {:?}", p.name, run.outcome));
+        let value = run
+            .outcome
+            .value()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", p.name, run.outcome));
         if let Some((_, check)) = expected.iter().find(|(n, _)| *n == p.name) {
             // `interp` is validated precisely in its own test below.
             if p.name != "interp" {
@@ -73,7 +84,9 @@ fn abstract_halt_covers_concrete() {
     for p in cfa::workloads::suite() {
         let program = cfa::compile(p.source).unwrap();
         let run = cfa::concrete::run_shared(&program, Limits::default());
-        let Some(value) = run.outcome.value() else { continue };
+        let Some(value) = run.outcome.value() else {
+            continue;
+        };
         for analysis in Analysis::paper_panel() {
             let m = cfa::analyze(&program, analysis, EngineLimits::default());
             let covered = m.halt_values.iter().any(|abs| {
@@ -159,7 +172,12 @@ fn extended_suite_runs_everywhere() {
             .outcome
             .value()
             .unwrap_or_else(|| panic!("{} did not halt: {:?}", p.name, shared.outcome));
-        assert_eq!(Some(value), flat.outcome.value(), "{}: machines disagree", p.name);
+        assert_eq!(
+            Some(value),
+            flat.outcome.value(),
+            "{}: machines disagree",
+            p.name
+        );
         for analysis in Analysis::paper_panel() {
             let m = cfa::analyze(&program, analysis, EngineLimits::default());
             assert!(m.status.is_complete(), "{} under {analysis}", p.name);

@@ -116,7 +116,10 @@ fn naive_search_explodes_before_single_store() {
     let naive = analyze_kcfa_naive(
         &program,
         1,
-        NaiveLimits { max_states: 10_000, time_budget: Some(Duration::from_secs(20)) },
+        NaiveLimits {
+            max_states: 10_000,
+            time_budget: Some(Duration::from_secs(20)),
+        },
     );
     let fast = analyze_kcfa(&program, 1, EngineLimits::default());
     assert!(
