@@ -1,19 +1,30 @@
-//! Engine benchmark — the interned delta-driven engine vs. the retained
-//! original engine, measured in the same process on the same workloads.
+//! Engine benchmark — the interned delta-driven engine (in both
+//! evaluation modes) vs. the retained original engine, measured in the
+//! same process on the same workloads.
 //!
 //! Runs the depth-sweep k-CFA workload (the suite programs the
 //! `depth_sweep` experiment uses, plus the paper's worst-case family)
-//! through `cfa_core::engine::run_fixpoint`,
-//! `cfa_core::parallel::run_fixpoint_parallel` (at [`PAR_THREADS`]
-//! workers), and `cfa_core::reference::run_fixpoint_reference`, and
-//! emits `BENCH_engine.json` with wall times, iteration counts, join
-//! counts, and peak fact counts, so future PRs have a perf trajectory
+//! through four engines:
+//!
+//! * `semi_naive` — `cfa_core::engine::run_fixpoint` (the default:
+//!   semi-naive delta-aware transfer functions);
+//! * `new` — the same engine under `EvalMode::FullReeval`, i.e. the
+//!   PR-2 sequential engine (full re-evaluation on every wakeup), kept
+//!   as the baseline the semi-naive column is judged against;
+//! * `parallel` — `cfa_core::parallel::run_fixpoint_parallel` at
+//!   [`PAR_THREADS`] workers (semi-naive);
+//! * `reference` — the retained pre-interning engine.
+//!
+//! Emits `BENCH_engine.json` with wall times, iteration counts, join
+//! counts, **value-join volumes** (ids scanned by joins — the number
+//! semi-naive evaluation shrinks), `delta_facts`, and `delta_applies`
+//! (narrowed application sites), so future PRs have a perf trajectory
 //! to compare against.
 //!
 //! Usage: `cargo run -p cfa-bench --release --bin engine_bench`
 //! (writes BENCH_engine.json into the current directory).
 
-use cfa_core::engine::{run_fixpoint, EngineLimits};
+use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode};
 use cfa_core::kcfa::KCfaMachine;
 use cfa_core::parallel::run_fixpoint_parallel;
 use cfa_core::reference::run_fixpoint_reference;
@@ -29,31 +40,35 @@ struct Cell {
     seconds: f64,
     iterations: u64,
     joins: u64,
+    value_joins: u64,
     facts: usize,
     configs: usize,
     skipped: u64,
     wakeups: u64,
     delta_facts: u64,
+    delta_applies: u64,
 }
 
 /// Best-of-N timing of the delta engine on one `(program, k)` cell.
-fn run_new(program: &CpsProgram, k: usize, runs: usize) -> Cell {
+fn run_new(program: &CpsProgram, k: usize, runs: usize, mode: EvalMode) -> Cell {
     let mut best: Option<Cell> = None;
     for _ in 0..runs {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
-        let r = run_fixpoint(&mut machine, EngineLimits::default());
+        let r = run_fixpoint_with(&mut machine, EngineLimits::default(), mode);
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
         let cell = Cell {
             seconds,
             iterations: r.iterations,
             joins: r.store.join_count(),
+            value_joins: r.store.value_join_count(),
             facts: r.store.fact_count(),
             configs: r.config_count(),
             skipped: r.skipped,
             wakeups: r.wakeups,
             delta_facts: r.delta_facts,
+            delta_applies: r.delta_applies,
         };
         if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
             best = Some(cell);
@@ -75,11 +90,13 @@ fn run_parallel(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             seconds,
             iterations: r.iterations,
             joins: r.store.join_count(),
+            value_joins: r.store.value_join_count(),
             facts: r.store.fact_count(),
             configs: r.config_count(),
             skipped: r.skipped,
             wakeups: r.wakeups,
             delta_facts: r.delta_facts,
+            delta_applies: r.delta_applies,
         };
         if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
             best = Some(cell);
@@ -101,11 +118,13 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             seconds,
             iterations: r.iterations,
             joins: r.store.join_count(),
+            value_joins: 0,
             facts: r.store.fact_count(),
             configs: r.config_count(),
             skipped: 0,
             wakeups: 0,
             delta_facts: 0,
+            delta_applies: 0,
         };
         if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
             best = Some(cell);
@@ -118,9 +137,18 @@ fn cell_json(out: &mut String, tag: &str, c: &Cell) {
     let _ = write!(
         out,
         "\"{tag}\": {{\"seconds\": {:.6}, \"iterations\": {}, \"joins\": {}, \
-         \"facts\": {}, \"configs\": {}, \"skipped\": {}, \"wakeups\": {}, \
-         \"delta_facts\": {}}}",
-        c.seconds, c.iterations, c.joins, c.facts, c.configs, c.skipped, c.wakeups, c.delta_facts
+         \"value_joins\": {}, \"facts\": {}, \"configs\": {}, \"skipped\": {}, \
+         \"wakeups\": {}, \"delta_facts\": {}, \"delta_applies\": {}}}",
+        c.seconds,
+        c.iterations,
+        c.joins,
+        c.value_joins,
+        c.facts,
+        c.configs,
+        c.skipped,
+        c.wakeups,
+        c.delta_facts,
+        c.delta_applies
     );
 }
 
@@ -142,63 +170,73 @@ fn main() {
 
     let runs = 3;
     let mut rows: Vec<String> = Vec::new();
-    let (mut total_new, mut total_par, mut total_ref) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut total_semi, mut total_new, mut total_par, mut total_ref) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let mut peak_facts = 0usize;
 
     println!(
-        "{:>14} {:>3} | {:>12} {:>12} {:>12} {:>8} {:>8} | {:>9} {:>9}",
+        "{:>14} {:>3} | {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} | {:>12} {:>12}",
         "program",
         "k",
-        "delta (s)",
+        "semi (s)",
+        "full (s)",
         "par4 (s)",
-        "reference(s)",
-        "speedup",
-        "par-spd",
-        "configs",
-        "facts"
+        "ref (s)",
+        "semi-spd",
+        "ref-spd",
+        "vjoins semi",
+        "vjoins full"
     );
     for (name, source) in &workload {
         let program = cfa_syntax::compile(source).expect("workload compiles");
         for k in 0..=2usize {
-            let new = run_new(&program, k, runs);
+            let semi = run_new(&program, k, runs, EvalMode::SemiNaive);
+            let new = run_new(&program, k, runs, EvalMode::FullReeval);
             let parallel = run_parallel(&program, k, runs);
             let reference = run_reference(&program, k, runs);
-            assert_eq!(
-                new.facts, reference.facts,
-                "{name} k={k}: fixpoints diverge"
+            for (tag, cell) in [
+                ("semi-naive", &semi),
+                ("full", &new),
+                ("parallel", &parallel),
+            ] {
+                assert_eq!(
+                    cell.facts, reference.facts,
+                    "{name} k={k}: {tag} fixpoint diverges"
+                );
+                assert_eq!(
+                    cell.configs, reference.configs,
+                    "{name} k={k}: {tag} config counts diverge"
+                );
+            }
+            assert!(
+                semi.value_joins <= new.value_joins,
+                "{name} k={k}: semi-naive scanned more ids"
             );
-            assert_eq!(
-                new.configs, reference.configs,
-                "{name} k={k}: config counts diverge"
-            );
-            assert_eq!(
-                parallel.facts, reference.facts,
-                "{name} k={k}: parallel facts diverge"
-            );
-            assert_eq!(
-                parallel.configs, reference.configs,
-                "{name} k={k}: parallel config counts diverge"
-            );
+            total_semi += semi.seconds;
             total_new += new.seconds;
             total_par += parallel.seconds;
             total_ref += reference.seconds;
-            peak_facts = peak_facts.max(new.facts);
+            peak_facts = peak_facts.max(semi.facts);
             let speedup = reference.seconds / new.seconds.max(1e-9);
-            let par_speedup = new.seconds / parallel.seconds.max(1e-9);
+            let par_speedup = semi.seconds / parallel.seconds.max(1e-9);
+            let semi_speedup = new.seconds / semi.seconds.max(1e-9);
             println!(
-                "{:>14} {:>3} | {:>12.4} {:>12.4} {:>12.4} {:>7.2}x {:>7.2}x | {:>9} {:>9}",
+                "{:>14} {:>3} | {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>7.2}x {:>7.2}x | {:>12} {:>12}",
                 name,
                 k,
+                semi.seconds,
                 new.seconds,
                 parallel.seconds,
                 reference.seconds,
+                semi_speedup,
                 speedup,
-                par_speedup,
-                new.configs,
-                new.facts
+                semi.value_joins,
+                new.value_joins
             );
             let mut row = String::new();
             let _ = write!(row, "    {{\"program\": \"{name}\", \"k\": {k}, ");
+            cell_json(&mut row, "semi_naive", &semi);
+            row.push_str(", ");
             cell_json(&mut row, "new", &new);
             row.push_str(", ");
             cell_json(&mut row, "parallel", &parallel);
@@ -206,18 +244,21 @@ fn main() {
             cell_json(&mut row, "reference", &reference);
             let _ = write!(
                 row,
-                ", \"speedup\": {speedup:.3}, \"speedup_parallel\": {par_speedup:.3}}}"
+                ", \"speedup\": {speedup:.3}, \"speedup_semi_naive\": {semi_speedup:.3}, \
+                 \"speedup_parallel\": {par_speedup:.3}}}"
             );
             rows.push(row);
         }
     }
 
     let speedup = total_ref / total_new.max(1e-9);
-    let par_speedup = total_new / total_par.max(1e-9);
+    let semi_speedup = total_new / total_semi.max(1e-9);
+    let par_speedup = total_semi / total_par.max(1e-9);
     println!();
     println!(
-        "total: delta {total_new:.3}s, parallel({PAR_THREADS}t) {total_par:.3}s, reference \
-         {total_ref:.3}s — {speedup:.2}x vs reference, {par_speedup:.2}x parallel vs delta, \
+        "total: semi-naive {total_semi:.3}s, full {total_new:.3}s, parallel({PAR_THREADS}t) \
+         {total_par:.3}s, reference {total_ref:.3}s — {semi_speedup:.2}x semi-naive vs full, \
+         {speedup:.2}x full vs reference, {par_speedup:.2}x parallel vs semi-naive, \
          peak {peak_facts} facts"
     );
 
@@ -226,10 +267,12 @@ fn main() {
     let _ = writeln!(json, "  \"runs_per_cell\": {runs},");
     let _ = writeln!(json, "  \"parallel_threads\": {PAR_THREADS},");
     let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
+    let _ = writeln!(json, "  \"total_seconds_semi_naive\": {total_semi:.6},");
     let _ = writeln!(json, "  \"total_seconds_new\": {total_new:.6},");
     let _ = writeln!(json, "  \"total_seconds_parallel\": {total_par:.6},");
     let _ = writeln!(json, "  \"total_seconds_reference\": {total_ref:.6},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_semi_naive\": {semi_speedup:.3},");
     let _ = writeln!(json, "  \"speedup_parallel\": {par_speedup:.3},");
     let _ = writeln!(json, "  \"peak_fact_count\": {peak_facts},");
     let _ = writeln!(json, "  \"cells\": [");

@@ -25,7 +25,19 @@
 //!   queues make duplicate wakeups routine;
 //! * joins report the **delta of newly added value ids**, surfaced in
 //!   [`FixpointResult::delta_facts`] — the amount of real lattice growth
-//!   the run performed, as opposed to raw join calls.
+//!   the run performed, as opposed to raw join calls;
+//! * re-evaluations are **semi-naive**: the engine hands the machine the
+//!   store epoch of the configuration's last evaluation (its
+//!   *baseline*), and [`TrackedStore::read_with_delta`] splits every
+//!   read into `(all, new)` — the full flow set plus the values added
+//!   since the baseline. Machines use the split at application sites to
+//!   join `new closures × all args ∪ old closures × new args` instead
+//!   of the full product (the Datalog semi-naive rule instantiated for
+//!   transfer functions). First visits and snapshot loss
+//!   ([`crate::store::AbsStore::trim_delta_logs`]) degrade to `new =
+//!   all`, i.e. full re-evaluation; [`EvalMode::FullReeval`] forces
+//!   that degradation everywhere, which is the pre-semi-naive engine,
+//!   kept selectable for differential tests and benchmarks.
 //!
 //! The computed fixpoint is identical to the naive §3.7 transfer and to
 //! the original clone-based engine (the fixed point of a monotone
@@ -74,24 +86,99 @@ pub trait AbstractMachine {
     );
 }
 
+/// A flow set split against a configuration's baseline epoch: the full
+/// current set plus the part that arrived after the baseline.
+///
+/// On a first visit (or after snapshot loss) `new` equals `all`, so
+/// semi-naive code degrades to a full evaluation without a special
+/// case. `new` always over-approximates the truly unseen values —
+/// re-processing an already-seen value is a harmless idempotent join —
+/// and both flows are sorted id sets.
+#[derive(Clone, Debug)]
+pub struct DeltaFlow {
+    /// The full current flow set.
+    pub all: Flow,
+    /// The values added since the reader's baseline (== `all` when no
+    /// baseline applies).
+    pub new: Flow,
+}
+
+impl DeltaFlow {
+    /// The empty split (`⊥`/`⊥`).
+    pub fn empty() -> Self {
+        DeltaFlow {
+            all: Flow::empty(),
+            new: Flow::empty(),
+        }
+    }
+
+    /// Wraps a machine-*constructed* flow (literals, λ-closures, primop
+    /// results): new on a first (full) visit, already-seen on
+    /// re-evaluations — the same construction flowed last time.
+    pub fn constructed(flow: Flow, first_visit: bool) -> Self {
+        let new = if first_visit {
+            flow.clone()
+        } else {
+            Flow::empty()
+        };
+        DeltaFlow { all: flow, new }
+    }
+
+    /// Upgrades this closure flow to all-new when every id in
+    /// `results` is new: the reader's previous evaluation may then have
+    /// produced no results at all, in which case the closures here were
+    /// never applied and must receive the full product rather than the
+    /// semi-naive narrowing. (If a previous evaluation *did* have
+    /// results, at least one old id survives in `results.all` — unless
+    /// every old id also re-arrived through a new source, where the
+    /// upgrade is a harmless idempotent over-approximation.)
+    pub fn upgraded_if_all_new(self, results: &DeltaFlow) -> DeltaFlow {
+        if results.new.len() == results.all.len() {
+            DeltaFlow {
+                all: self.all.clone(),
+                new: self.all,
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Whether anything new arrived since the baseline.
+    pub fn has_new(&self) -> bool {
+        !self.new.is_empty()
+    }
+
+    /// Whether `id` is part of the post-baseline growth.
+    pub fn is_new(&self, id: u32) -> bool {
+        self.new.contains(id)
+    }
+}
+
 /// A store view that records which addresses were read (for dependency
 /// tracking) and which grew (to schedule re-analysis).
 ///
 /// Reads hand out zero-copy [`Flow`] views; joins are id-level sorted
 /// merges. Use [`TrackedStore::val`] to resolve an id from a flow back
-/// to the abstract value it denotes.
+/// to the abstract value it denotes. When the engine re-evaluates a
+/// configuration it sets the view's *baseline* — the store epoch of the
+/// configuration's previous evaluation — which powers the semi-naive
+/// [`TrackedStore::read_with_delta`] split.
 #[derive(Debug)]
 pub struct TrackedStore<'a, A, V> {
     store: &'a mut AbsStore<A, V>,
+    /// Epoch of the reader's last complete evaluation (None: first
+    /// visit, or delta evaluation disabled).
+    baseline: Option<u64>,
     reads: Vec<u32>,
     grew: Vec<u32>,
     delta: Vec<u32>,
     delta_facts: u64,
+    delta_applies: u64,
 }
 
 impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V> {
     fn new(store: &'a mut AbsStore<A, V>) -> Self {
-        Self::wrap(store, Vec::new(), Vec::new(), Vec::new())
+        Self::wrap(store, None, Vec::new(), Vec::new(), Vec::new())
     }
 
     /// Wraps `store` reusing caller-provided scratch buffers (the
@@ -99,23 +186,32 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
     /// like [`run_fixpoint`] does).
     pub(crate) fn wrap(
         store: &'a mut AbsStore<A, V>,
+        baseline: Option<u64>,
         reads: Vec<u32>,
         grew: Vec<u32>,
         delta: Vec<u32>,
     ) -> Self {
         TrackedStore {
             store,
+            baseline,
             reads,
             grew,
             delta,
             delta_facts: 0,
+            delta_applies: 0,
         }
     }
 
     /// Disassembles the view into its tracking state: `(reads, grew,
-    /// delta, delta_facts)`.
-    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>, u64) {
-        (self.reads, self.grew, self.delta, self.delta_facts)
+    /// delta, delta_facts, delta_applies)`.
+    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>, u64, u64) {
+        (
+            self.reads,
+            self.grew,
+            self.delta,
+            self.delta_facts,
+            self.delta_applies,
+        )
     }
 
     /// Reads the flow set at `addr`, recording the dependency.
@@ -123,6 +219,42 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
         let id = self.store.addr_id(addr);
         self.reads.push(id);
         self.store.flow_by_id(id)
+    }
+
+    /// Reads the flow set at `addr` split against the baseline: the
+    /// full set and the values added since this configuration's last
+    /// evaluation. Records the dependency exactly like
+    /// [`TrackedStore::read`].
+    ///
+    /// Without a baseline (first visit, [`EvalMode::FullReeval`]) or
+    /// when the store's delta logs were trimmed past the baseline,
+    /// `new == all`.
+    pub fn read_with_delta(&mut self, addr: &A) -> DeltaFlow {
+        let id = self.store.addr_id(addr);
+        self.reads.push(id);
+        let all = self.store.flow_by_id(id);
+        let new = match self.baseline {
+            Some(epoch) => self
+                .store
+                .delta_flow_since(id, epoch)
+                .unwrap_or_else(|| all.clone()),
+            None => all.clone(),
+        };
+        DeltaFlow { all, new }
+    }
+
+    /// Whether this evaluation has no usable baseline — machines must
+    /// treat every value as new (full evaluation).
+    pub fn first_visit(&self) -> bool {
+        self.baseline.is_none()
+    }
+
+    /// Records one application site processed in narrowed (semi-naive)
+    /// form — i.e. an already-seen closure paired only with argument
+    /// deltas, or skipped outright. Surfaced as
+    /// [`FixpointResult::delta_applies`].
+    pub fn note_delta_apply(&mut self) {
+        self.delta_applies += 1;
     }
 
     /// Joins values into `addr`, recording growth.
@@ -163,6 +295,21 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
     pub fn peek(&self, addr: &A) -> Flow {
         self.store.read_flow(addr)
     }
+}
+
+/// How woken configurations are re-evaluated.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EvalMode {
+    /// Semi-naive: re-evaluations receive a baseline epoch, so
+    /// delta-aware machines join only the growth (the default).
+    #[default]
+    SemiNaive,
+    /// Full re-evaluation: no baseline is ever passed, so every
+    /// evaluation behaves like a first visit. This is exactly the
+    /// pre-semi-naive engine; differential tests and `engine_bench`
+    /// run it against [`EvalMode::SemiNaive`] to prove the fixpoints
+    /// match and measure the saved join traffic.
+    FullReeval,
 }
 
 /// Why the engine stopped.
@@ -243,6 +390,12 @@ pub struct FixpointResult<C, A, V> {
     /// Total `(address, value)` facts added across all joins — the real
     /// lattice growth (compare with the raw join count in the store).
     pub delta_facts: u64,
+    /// Application sites processed in narrowed semi-naive form (an
+    /// already-seen closure paired with argument deltas only, or
+    /// skipped because nothing it reads grew). Zero under
+    /// [`EvalMode::FullReeval`] and for machines that never call
+    /// [`TrackedStore::note_delta_apply`].
+    pub delta_applies: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -303,10 +456,23 @@ pub(crate) fn register_deps(
     std::mem::swap(&mut config_reads[i], reads_buf);
 }
 
-/// Runs `machine` to its least fixed point (or until a limit fires).
+/// Runs `machine` to its least fixed point (or until a limit fires),
+/// with semi-naive re-evaluation ([`EvalMode::SemiNaive`]).
 pub fn run_fixpoint<M: AbstractMachine>(
     machine: &mut M,
     limits: EngineLimits,
+) -> FixpointResult<M::Config, M::Addr, M::Val> {
+    run_fixpoint_with(machine, limits, EvalMode::SemiNaive)
+}
+
+/// Runs `machine` to its least fixed point under an explicit
+/// [`EvalMode`]. The computed fixpoint is mode-independent (it is the
+/// unique least fixed point); the mode only changes how much work
+/// re-evaluations redo.
+pub fn run_fixpoint_with<M: AbstractMachine>(
+    machine: &mut M,
+    limits: EngineLimits,
+    mode: EvalMode,
 ) -> FixpointResult<M::Config, M::Addr, M::Val> {
     let start = Instant::now();
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
@@ -361,6 +527,7 @@ pub fn run_fixpoint<M: AbstractMachine>(
     let mut skipped: u64 = 0;
     let mut wakeups: u64 = 0;
     let mut delta_facts: u64 = 0;
+    let mut delta_applies: u64 = 0;
     let mut status = Status::Completed;
     let mut successors: Vec<M::Config> = Vec::new();
     // Reused scratch buffers for the per-step tracking vectors.
@@ -413,23 +580,25 @@ pub fn run_fixpoint<M: AbstractMachine>(
         successors.clear();
         reads_buf.clear();
         grew_buf.clear();
-        let mut tracked = TrackedStore {
-            store: &mut store,
-            reads: std::mem::take(&mut reads_buf),
-            grew: std::mem::take(&mut grew_buf),
-            delta: std::mem::take(&mut delta_buf),
-            delta_facts: 0,
+        // The baseline for semi-naive reads: the epoch this config's
+        // previous evaluation started at. FullReeval withholds it, so
+        // delta-aware machines degrade to the full product.
+        let baseline = match mode {
+            EvalMode::SemiNaive => last_run_epoch[i],
+            EvalMode::FullReeval => None,
         };
+        let mut tracked = TrackedStore::wrap(
+            &mut store,
+            baseline,
+            std::mem::take(&mut reads_buf),
+            std::mem::take(&mut grew_buf),
+            std::mem::take(&mut delta_buf),
+        );
         machine.step(&config, &mut tracked, &mut successors);
-        let TrackedStore {
-            reads,
-            grew,
-            delta,
-            delta_facts: step_delta,
-            ..
-        } = tracked;
+        let (reads, grew, delta, step_delta, step_applies) = tracked.into_parts();
         (reads_buf, grew_buf, delta_buf) = (reads, grew, delta);
         delta_facts += step_delta;
+        delta_applies += step_applies;
         last_run_epoch[i] = Some(epoch_at_start);
 
         register_deps(&mut deps, &mut config_reads, i, &mut reads_buf);
@@ -472,6 +641,7 @@ pub fn run_fixpoint<M: AbstractMachine>(
         skipped,
         wakeups,
         delta_facts,
+        delta_applies,
         elapsed: start.elapsed(),
     }
 }
@@ -651,6 +821,151 @@ mod tests {
         // once each; the terminal config once.
         assert_eq!(r.iterations, 1 + (2 + noise as u64) + 1);
         assert_eq!(r.store.read(&1).len(), noise as usize);
+    }
+
+    /// A delta-aware copier: configs `1..=writes` grow address 0 one
+    /// value at a time; config 100 (scheduled before any write lands)
+    /// semi-naively copies **only the delta** of address 0 into
+    /// address 1. If the engine ever hands it a wrong baseline — or the
+    /// store loses part of a delta — address 1 ends up a strict subset
+    /// of address 0.
+    struct DeltaCopier {
+        writes: u8,
+    }
+
+    impl AbstractMachine for DeltaCopier {
+        type Config = u8;
+        type Addr = u8;
+        type Val = u8;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+            match *c {
+                0 => out.extend([100, 1]),
+                100 => {
+                    let d = s.read_with_delta(&0);
+                    s.join_flow(&1, &d.new);
+                }
+                c if c <= self.writes => {
+                    s.join(&0, [c]);
+                    out.push(c + 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn semi_naive_delta_copy_reaches_the_full_fixpoint() {
+        let r = run_fixpoint(&mut DeltaCopier { writes: 9 }, EngineLimits::default());
+        assert_eq!(r.status, Status::Completed);
+        assert_eq!(r.store.read(&0), (1u8..=9).collect());
+        assert_eq!(
+            r.store.read(&1),
+            r.store.read(&0),
+            "delta copies must accumulate to the full set"
+        );
+        assert!(r.wakeups >= 2, "the copier re-ran on growth");
+    }
+
+    #[test]
+    fn eval_modes_compute_identical_fixpoints() {
+        let semi = run_fixpoint_with(
+            &mut DeltaCopier { writes: 9 },
+            EngineLimits::default(),
+            EvalMode::SemiNaive,
+        );
+        let full = run_fixpoint_with(
+            &mut DeltaCopier { writes: 9 },
+            EngineLimits::default(),
+            EvalMode::FullReeval,
+        );
+        assert_eq!(semi.store.read(&0), full.store.read(&0));
+        assert_eq!(semi.store.read(&1), full.store.read(&1));
+        assert_eq!(semi.configs, full.configs, "identical exploration order");
+        assert_eq!(semi.iterations, full.iterations, "identical scheduling");
+        assert_eq!(semi.delta_facts, full.delta_facts, "same lattice growth");
+        // Semi-naive feeds strictly fewer value ids through joins: every
+        // re-run of the copier re-joins the whole set under FullReeval.
+        assert!(
+            semi.store.value_join_count() < full.store.value_join_count(),
+            "semi-naive {} !< full {}",
+            semi.store.value_join_count(),
+            full.store.value_join_count()
+        );
+    }
+
+    #[test]
+    fn snapshot_loss_degrades_delta_reads_to_full() {
+        let mut store: AbsStore<u8, u8> = AbsStore::new();
+        store.join(0, [1, 2]);
+        let lost_baseline = 0u64; // predates the growth below the trim
+        store.trim_delta_logs();
+        let kept_baseline = store.epoch();
+        store.join(0, [3]);
+        {
+            let mut t = TrackedStore::wrap(
+                &mut store,
+                Some(lost_baseline),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            );
+            let d = t.read_with_delta(&0);
+            assert_eq!(d.all.len(), 3);
+            assert_eq!(d.new.len(), 3, "snapshot loss must degrade to new == all");
+        }
+        {
+            let mut t = TrackedStore::wrap(
+                &mut store,
+                Some(kept_baseline),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            );
+            let d = t.read_with_delta(&0);
+            assert_eq!(d.all.len(), 3);
+            assert_eq!(
+                d.new.len(),
+                1,
+                "post-trim baselines keep exact deltas: {:?}",
+                d.new
+            );
+        }
+    }
+
+    #[test]
+    fn full_reeval_never_passes_a_baseline() {
+        struct AssertFirst {
+            evals: u32,
+        }
+        impl AbstractMachine for AssertFirst {
+            type Config = u8;
+            type Addr = u8;
+            type Val = u8;
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+                assert!(s.first_visit(), "FullReeval must withhold the baseline");
+                self.evals += 1;
+                match *c {
+                    0 => {
+                        let _ = s.read(&0);
+                        out.push(1);
+                    }
+                    1 => s.join(&0, [1u8]),
+                    _ => {}
+                }
+            }
+        }
+        let mut m = AssertFirst { evals: 0 };
+        let r = run_fixpoint_with(&mut m, EngineLimits::default(), EvalMode::FullReeval);
+        assert_eq!(r.status, Status::Completed);
+        assert!(m.evals >= 3, "config 0 re-ran after the growth");
     }
 
     #[test]

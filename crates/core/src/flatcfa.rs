@@ -28,7 +28,9 @@
 //! ```
 
 use crate::domain::{AVal, AbsBasic, CallString};
-use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
+use crate::engine::{
+    run_fixpoint, AbstractMachine, DeltaFlow, EngineLimits, FixpointResult, TrackedStore,
+};
 use crate::kcfa::{build_metrics, render_val};
 use crate::prim::{classify, PrimSpec};
 use crate::reference::{RefTrackedStore, ReferenceMachine};
@@ -93,17 +95,28 @@ impl<'p> FlatCfaMachine<'p> {
         }
     }
 
-    fn eval(&self, e: &AExp, env: &CallString, store: &mut TrackedStore<'_, AddrM, ValM>) -> Flow {
+    fn eval(
+        &self,
+        e: &AExp,
+        env: &CallString,
+        store: &mut TrackedStore<'_, AddrM, ValM>,
+    ) -> DeltaFlow {
         match e {
-            AExp::Lit(l) => Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
-            AExp::Var(v) => store.read(&AddrM {
+            AExp::Lit(l) => DeltaFlow::constructed(
+                Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
+                store.first_visit(),
+            ),
+            AExp::Var(v) => store.read_with_delta(&AddrM {
                 slot: Slot::Var(*v),
                 env: env.clone(),
             }),
-            AExp::Lam(l) => Flow::singleton(store.intern(AVal::Clo {
-                lam: *l,
-                env: env.clone(),
-            })),
+            AExp::Lam(l) => DeltaFlow::constructed(
+                Flow::singleton(store.intern(AVal::Clo {
+                    lam: *l,
+                    env: env.clone(),
+                })),
+                store.first_visit(),
+            ),
         }
     }
 
@@ -114,12 +127,19 @@ impl<'p> FlatCfaMachine<'p> {
     /// Both the parameter binding and the free-variable copy are pure
     /// id-set merges — the flat machine's hottest loop never touches a
     /// value.
+    ///
+    /// Semi-naive: closures already applied on this configuration's
+    /// previous evaluation receive only the argument and free-variable
+    /// *deltas*; their successor configuration was pushed before. The
+    /// free-variable sources are still read for every closure — the
+    /// reads are this configuration's dependency set, and a dropped
+    /// read would silence future wakeups.
     fn apply(
         &mut self,
         site: CallId,
         label: Label,
-        fset: &Flow,
-        args: &[Flow],
+        fset: &DeltaFlow,
+        args: &[DeltaFlow],
         current: &CallString,
         store: &mut TrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
@@ -127,7 +147,7 @@ impl<'p> FlatCfaMachine<'p> {
         let policy = self.policy;
         let bound = self.bound;
         let flows = self.operator_flows.entry(site).or_default();
-        for fid in fset.iter() {
+        for fid in fset.all.iter() {
             let (lam, saved) = match store.val(fid) {
                 AVal::Clo { lam, env } => (*lam, env.clone()),
                 _ => {
@@ -140,6 +160,7 @@ impl<'p> FlatCfaMachine<'p> {
             if lam_data.params.len() != args.len() {
                 continue;
             }
+            let is_new = fset.is_new(fid);
             // n̂ew(call, ρ̂, lam, ρ̂′), inlined from `new_env`.
             let fresh = match policy {
                 FlatPolicy::TopMFrames => match lam_data.sort {
@@ -149,13 +170,15 @@ impl<'p> FlatCfaMachine<'p> {
                 FlatPolicy::LastKCalls => current.push(label, bound),
             };
             for (&p, values) in lam_data.params.iter().zip(args) {
-                store.join_flow(
-                    &AddrM {
-                        slot: Slot::Var(p),
-                        env: fresh.clone(),
-                    },
-                    values,
-                );
+                if is_new || values.has_new() {
+                    store.join_flow(
+                        &AddrM {
+                            slot: Slot::Var(p),
+                            env: fresh.clone(),
+                        },
+                        if is_new { &values.all } else { &values.new },
+                    );
+                }
             }
             for &fv in self.program.free_vars(lam) {
                 let from = AddrM {
@@ -167,9 +190,15 @@ impl<'p> FlatCfaMachine<'p> {
                     env: fresh.clone(),
                 };
                 if from != to {
-                    let values = store.read(&from);
-                    store.join_flow(&to, &values);
+                    let values = store.read_with_delta(&from);
+                    if is_new || values.has_new() {
+                        store.join_flow(&to, if is_new { &values.all } else { &values.new });
+                    }
                 }
+            }
+            if !is_new {
+                store.note_delta_apply();
+                continue;
             }
             self.lam_entry_envs.push((lam, fresh.clone()));
             out.push(MConfig {
@@ -202,7 +231,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.env, store);
-                let arg_sets: Vec<Flow> = args
+                let arg_sets: Vec<DeltaFlow> = args
                     .iter()
                     .map(|a| self.eval(a, &config.env, store))
                     .collect();
@@ -221,7 +250,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 then_branch,
                 else_branch,
             } => {
-                let cset = self.eval(cond, &config.env, store);
+                let cset = self.eval(cond, &config.env, store).all;
                 if cset.iter().any(|id| store.val(id).maybe_truthy()) {
                     out.push(MConfig {
                         call: *then_branch,
@@ -236,16 +265,21 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<Flow> = args
+                let arg_sets: Vec<DeltaFlow> = args
                     .iter()
                     .map(|a| self.eval(a, &config.env, store))
                     .collect();
                 let kset = self.eval(cont, &config.env, store);
+                let first = store.first_visit();
                 let mut result_ids: Vec<u32> = Vec::new();
+                let mut result_new_ids: Vec<u32> = Vec::new();
                 match classify(*op) {
                     PrimSpec::Abort => return,
                     PrimSpec::Basics(bs) => {
                         result_ids.extend(bs.iter().map(|b| store.intern(AVal::Basic(*b))));
+                        if first {
+                            result_new_ids.extend_from_slice(&result_ids);
+                        }
                     }
                     PrimSpec::AllocPair => {
                         // Pairs are allocated in the *current* abstract
@@ -259,17 +293,25 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                             env: config.env.clone(),
                         };
                         if let Some(vals) = arg_sets.first() {
-                            store.join_flow(&car, vals);
+                            if first || vals.has_new() {
+                                store.join_flow(&car, if first { &vals.all } else { &vals.new });
+                            }
                         }
                         if let Some(vals) = arg_sets.get(1) {
-                            store.join_flow(&cdr, vals);
+                            if first || vals.has_new() {
+                                store.join_flow(&cdr, if first { &vals.all } else { &vals.new });
+                            }
                         }
-                        result_ids.push(store.intern(AVal::Pair { car, cdr }));
+                        let pid = store.intern(AVal::Pair { car, cdr });
+                        result_ids.push(pid);
+                        if first {
+                            result_new_ids.push(pid);
+                        }
                     }
                     PrimSpec::ReadCar | PrimSpec::ReadCdr => {
                         let want_car = classify(*op) == PrimSpec::ReadCar;
                         if let Some(vals) = arg_sets.first() {
-                            for vid in vals.iter() {
+                            for vid in vals.all.iter() {
                                 let addr = match store.val(vid) {
                                     AVal::Pair { car, cdr } => {
                                         if want_car {
@@ -280,13 +322,26 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                                     }
                                     _ => continue,
                                 };
-                                result_ids.extend(store.read(&addr).iter());
+                                let cell = store.read_with_delta(&addr);
+                                result_ids.extend(cell.all.iter());
+                                if vals.is_new(vid) {
+                                    result_new_ids.extend(cell.all.iter());
+                                } else {
+                                    result_new_ids.extend(cell.new.iter());
+                                }
                             }
                         }
                     }
                 }
                 if !result_ids.is_empty() {
-                    let results = Flow::from_ids(result_ids);
+                    let results = DeltaFlow {
+                        all: Flow::from_ids(result_ids),
+                        new: Flow::from_ids(result_new_ids),
+                    };
+                    // All-new results ⇒ the previous evaluation may
+                    // have had none, so the continuations were never
+                    // applied — run them in full.
+                    let kset = kset.upgraded_if_all_new(&results);
                     self.apply(
                         config.call,
                         call_data.label,
@@ -317,8 +372,10 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 });
             }
             CallKind::Halt { value } => {
+                // Only the growth is new to the accumulator (see the
+                // k-CFA machine for the pinning argument).
                 let vals = self.eval(value, &config.env, store);
-                self.halt_values.extend(store.materialize(&vals));
+                self.halt_values.extend(store.materialize(&vals.new));
             }
         }
     }

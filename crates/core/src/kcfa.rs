@@ -24,7 +24,9 @@
 //! ```
 
 use crate::domain::{AVal, AbsBasic, CallString};
-use crate::engine::{run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, TrackedStore};
+use crate::engine::{
+    run_fixpoint, AbstractMachine, DeltaFlow, EngineLimits, FixpointResult, TrackedStore,
+};
 use crate::fxhash::FxHashSet;
 use crate::prim::{classify, PrimSpec};
 use crate::reference::{RefTrackedStore, ReferenceMachine};
@@ -223,46 +225,66 @@ impl<'p> KCfaMachine<'p> {
         time.push(label, self.k)
     }
 
-    /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow of interned value ids.
+    /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow of interned value ids,
+    /// split against the configuration's baseline ([`DeltaFlow`]).
     ///
     /// Variable reads hand back the store row's shared id set — no set
-    /// is cloned and no value is touched.
-    fn eval(&mut self, e: &AExp, benv: &BEnvK, store: &mut TrackedStore<'_, AddrK, ValK>) -> Flow {
+    /// is cloned and no value is touched; literals and λ-closures count
+    /// as new only on a full (first) visit.
+    fn eval(
+        &mut self,
+        e: &AExp,
+        benv: &BEnvK,
+        store: &mut TrackedStore<'_, AddrK, ValK>,
+    ) -> DeltaFlow {
         match e {
-            AExp::Lit(l) => Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
+            AExp::Lit(l) => DeltaFlow::constructed(
+                Flow::singleton(store.intern(AVal::Basic(AbsBasic::from_lit(*l)))),
+                store.first_visit(),
+            ),
             AExp::Var(v) => match benv.get(*v) {
-                Some(addr) => store.read(addr),
-                None => Flow::empty(),
+                Some(addr) => store.read_with_delta(addr),
+                None => DeltaFlow::empty(),
             },
             AExp::Lam(l) => {
                 let captured = canon_env(
                     &mut self.env_pool,
                     benv.restrict(self.program.free_vars(*l)),
                 );
-                Flow::singleton(store.intern(AVal::Clo {
-                    lam: *l,
-                    env: captured,
-                }))
+                DeltaFlow::constructed(
+                    Flow::singleton(store.intern(AVal::Clo {
+                        lam: *l,
+                        env: captured,
+                    })),
+                    store.first_visit(),
+                )
             }
         }
     }
 
     /// Applies every closure in `fset` to `args` at the new time,
     /// recording call-graph and environment metrics for `site`.
-    /// Argument flows are joined id-to-id ([`TrackedStore::join_flow`]).
+    ///
+    /// Semi-naive: a closure that is *new* since the configuration's
+    /// last evaluation is applied to the full argument flows; a closure
+    /// already applied last time only receives the argument *deltas* —
+    /// its parameter joins, environment extension, and successor were
+    /// all produced before, so `new f × all args ∪ old f × new args`
+    /// covers every pair the full product would. Argument flows are
+    /// joined id-to-id ([`TrackedStore::join_flow`]).
     fn apply(
         &mut self,
         site: CallId,
-        fset: &Flow,
-        args: &[Flow],
+        fset: &DeltaFlow,
+        args: &[DeltaFlow],
         t_new: &CallString,
         store: &mut TrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
         let flows = self.operator_flows.entry(site).or_default();
-        for fid in fset.iter() {
-            let (lam, env) = match store.val(fid) {
-                AVal::Clo { lam, env } => (*lam, env.clone()),
+        for fid in fset.all.iter() {
+            let lam = match store.val(fid) {
+                AVal::Clo { lam, .. } => *lam,
                 _ => {
                     flows.1 = true;
                     continue;
@@ -273,6 +295,27 @@ impl<'p> KCfaMachine<'p> {
             if lam_data.params.len() != args.len() {
                 continue;
             }
+            if !fset.is_new(fid) {
+                // Already-applied closure: join only the argument
+                // growth into the (deterministic) parameter addresses.
+                for (&p, a) in lam_data.params.iter().zip(args) {
+                    if a.has_new() {
+                        store.join_flow(
+                            &AddrK {
+                                slot: Slot::Var(p),
+                                time: t_new.clone(),
+                            },
+                            &a.new,
+                        );
+                    }
+                }
+                store.note_delta_apply();
+                continue;
+            }
+            let env = match store.val(fid) {
+                AVal::Clo { env, .. } => env.clone(),
+                _ => unreachable!("checked above"),
+            };
             let bindings: Vec<(Symbol, AddrK)> = lam_data
                 .params
                 .iter()
@@ -287,7 +330,7 @@ impl<'p> KCfaMachine<'p> {
                 })
                 .collect();
             for ((_, addr), values) in bindings.iter().zip(args) {
-                store.join_flow(addr, values);
+                store.join_flow(addr, &values.all);
             }
             let extended = canon_env(&mut self.env_pool, env.extend(bindings));
             self.lam_entry_envs.push((lam, extended.clone()));
@@ -323,7 +366,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.benv, store);
-                let arg_sets: Vec<Flow> = args
+                let arg_sets: Vec<DeltaFlow> = args
                     .iter()
                     .map(|a| self.eval(a, &config.benv, store))
                     .collect();
@@ -335,7 +378,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 then_branch,
                 else_branch,
             } => {
-                let cset = self.eval(cond, &config.benv, store);
+                let cset = self.eval(cond, &config.benv, store).all;
                 let truthy = cset.iter().any(|id| store.val(id).maybe_truthy());
                 let falsy = cset.iter().any(|id| store.val(id).maybe_falsy());
                 if truthy {
@@ -352,17 +395,22 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 }
             }
             CallKind::PrimCall { op, args, cont } => {
-                let arg_sets: Vec<Flow> = args
+                let arg_sets: Vec<DeltaFlow> = args
                     .iter()
                     .map(|a| self.eval(a, &config.benv, store))
                     .collect();
                 let kset = self.eval(cont, &config.benv, store);
                 let t_new = self.tick(call_data.label, &config.time);
+                let first = store.first_visit();
                 let mut result_ids: Vec<u32> = Vec::new();
+                let mut result_new_ids: Vec<u32> = Vec::new();
                 match classify(*op) {
                     PrimSpec::Abort => return,
                     PrimSpec::Basics(bs) => {
                         result_ids.extend(bs.iter().map(|b| store.intern(AVal::Basic(*b))));
+                        if first {
+                            result_new_ids.extend_from_slice(&result_ids);
+                        }
                     }
                     PrimSpec::AllocPair => {
                         let car = AddrK {
@@ -373,18 +421,29 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                             slot: Slot::Cdr(call_data.label),
                             time: t_new.clone(),
                         };
+                        // The cell addresses are deterministic, so a
+                        // re-evaluation only forwards the argument
+                        // growth into them.
                         if let Some(vals) = arg_sets.first() {
-                            store.join_flow(&car, vals);
+                            if first || vals.has_new() {
+                                store.join_flow(&car, if first { &vals.all } else { &vals.new });
+                            }
                         }
                         if let Some(vals) = arg_sets.get(1) {
-                            store.join_flow(&cdr, vals);
+                            if first || vals.has_new() {
+                                store.join_flow(&cdr, if first { &vals.all } else { &vals.new });
+                            }
                         }
-                        result_ids.push(store.intern(AVal::Pair { car, cdr }));
+                        let pid = store.intern(AVal::Pair { car, cdr });
+                        result_ids.push(pid);
+                        if first {
+                            result_new_ids.push(pid);
+                        }
                     }
                     PrimSpec::ReadCar | PrimSpec::ReadCdr => {
                         let want_car = classify(*op) == PrimSpec::ReadCar;
                         if let Some(vals) = arg_sets.first() {
-                            for vid in vals.iter() {
+                            for vid in vals.all.iter() {
                                 let addr = match store.val(vid) {
                                     AVal::Pair { car, cdr } => {
                                         if want_car {
@@ -395,13 +454,28 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                                     }
                                     _ => continue,
                                 };
-                                result_ids.extend(store.read(&addr).iter());
+                                // A new pair contributes its full cell;
+                                // an old pair only the cell's growth.
+                                let cell = store.read_with_delta(&addr);
+                                result_ids.extend(cell.all.iter());
+                                if vals.is_new(vid) {
+                                    result_new_ids.extend(cell.all.iter());
+                                } else {
+                                    result_new_ids.extend(cell.new.iter());
+                                }
                             }
                         }
                     }
                 }
                 if !result_ids.is_empty() {
-                    let results = Flow::from_ids(result_ids);
+                    let results = DeltaFlow {
+                        all: Flow::from_ids(result_ids),
+                        new: Flow::from_ids(result_new_ids),
+                    };
+                    // All-new results ⇒ the previous evaluation may
+                    // have had none, so the continuations were never
+                    // applied — run them in full.
+                    let kset = kset.upgraded_if_all_new(&results);
                     self.apply(config.call, &kset, &[results], &t_new, store, out);
                 }
             }
@@ -443,8 +517,12 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                 });
             }
             CallKind::Halt { value } => {
+                // Only the growth is new to the accumulator; the rest
+                // was recorded by this configuration's earlier visits
+                // (re-evaluations stay on the worker that owns the
+                // accumulator — configurations are pinned).
                 let vals = self.eval(value, &config.benv, store);
-                self.halt_values.extend(store.materialize(&vals));
+                self.halt_values.extend(store.materialize(&vals.new));
             }
         }
     }

@@ -47,14 +47,14 @@ pub mod store;
 pub mod zerocfa_datalog;
 
 pub use domain::{AVal, AbsBasic, CallString};
-pub use engine::{EngineLimits, Status};
+pub use engine::{DeltaFlow, EngineLimits, EvalMode, Status};
 pub use flatcfa::{analyze_mcfa, analyze_poly_kcfa, FlatCfaResult, FlatPolicy};
 pub use kcfa::{analyze_kcfa, KcfaResult};
 pub use naive::{
     analyze_kcfa_naive, analyze_kcfa_naive_gamma, analyze_kcfa_naive_with, Count, GammaOptions,
     NaiveLimits, NaiveResult,
 };
-pub use parallel::{run_fixpoint_parallel, ParallelMachine};
+pub use parallel::{run_fixpoint_parallel, run_fixpoint_parallel_with, ParallelMachine};
 pub use results::Metrics;
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};
 

@@ -56,7 +56,9 @@
 //! is still assembled by id-remapping union ([`AbsStore::merge_from`])
 //! as a defensive cross-check.
 
-use crate::engine::{AbstractMachine, EngineLimits, FixpointResult, Status, TrackedStore};
+use crate::engine::{
+    AbstractMachine, EngineLimits, EvalMode, FixpointResult, Status, TrackedStore,
+};
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::store::AbsStore;
 use std::collections::VecDeque;
@@ -158,6 +160,8 @@ struct Worker<'s, M: AbstractMachine> {
     skipped: u64,
     wakeups: u64,
     delta_facts: u64,
+    delta_applies: u64,
+    mode: EvalMode,
     shared: &'s Shared<M::Config, M::Addr, M::Val>,
 }
 
@@ -169,6 +173,7 @@ struct WorkerOutput<M: AbstractMachine> {
     skipped: u64,
     wakeups: u64,
     delta_facts: u64,
+    delta_applies: u64,
 }
 
 impl<'s, M> Worker<'s, M>
@@ -178,7 +183,12 @@ where
     M::Addr: Send + Sync + Ord,
     M::Val: Send + Sync,
 {
-    fn new(id: usize, machine: M, shared: &'s Shared<M::Config, M::Addr, M::Val>) -> Self {
+    fn new(
+        id: usize,
+        machine: M,
+        mode: EvalMode,
+        shared: &'s Shared<M::Config, M::Addr, M::Val>,
+    ) -> Self {
         Worker {
             id,
             machine,
@@ -194,6 +204,8 @@ where
             skipped: 0,
             wakeups: 0,
             delta_facts: 0,
+            delta_applies: 0,
+            mode,
             shared,
         }
     }
@@ -391,16 +403,27 @@ where
         let (reads_buf, grew_buf, delta_buf) = bufs;
         reads_buf.clear();
         grew_buf.clear();
+        // The semi-naive baseline works per replica: this config is
+        // pinned here, its last evaluation ran against this store, and
+        // facts merged from other replicas land in this store's delta
+        // logs — so the epochs line up exactly as in the sequential
+        // engine.
+        let baseline = match self.mode {
+            EvalMode::SemiNaive => self.last_run_epoch[i],
+            EvalMode::FullReeval => None,
+        };
         let mut tracked = TrackedStore::wrap(
             &mut self.store,
+            baseline,
             std::mem::take(reads_buf),
             std::mem::take(grew_buf),
             std::mem::take(delta_buf),
         );
         self.machine.step(&config, &mut tracked, successors);
-        let (reads, grew, delta, step_delta) = tracked.into_parts();
+        let (reads, grew, delta, step_delta, step_applies) = tracked.into_parts();
         (*reads_buf, *grew_buf, *delta_buf) = (reads, grew, delta);
         self.delta_facts += step_delta;
+        self.delta_applies += step_applies;
         self.last_run_epoch[i] = Some(epoch_at_start);
 
         // Dependency registration with stale-dep pruning — the shared
@@ -425,7 +448,7 @@ where
             // Every replica is seeded identically, so seed facts need no
             // broadcast.
             let mut tracked =
-                TrackedStore::wrap(&mut self.store, Vec::new(), Vec::new(), Vec::new());
+                TrackedStore::wrap(&mut self.store, None, Vec::new(), Vec::new(), Vec::new());
             self.machine.seed(&mut tracked);
         }
 
@@ -501,6 +524,7 @@ where
             skipped: self.skipped,
             wakeups: self.wakeups,
             delta_facts: self.delta_facts,
+            delta_applies: self.delta_applies,
         }
     }
 }
@@ -518,6 +542,24 @@ pub fn run_fixpoint_parallel<M>(
     machine: &mut M,
     threads: usize,
     limits: EngineLimits,
+) -> FixpointResult<M::Config, M::Addr, M::Val>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    run_fixpoint_parallel_with(machine, threads, limits, EvalMode::SemiNaive)
+}
+
+/// [`run_fixpoint_parallel`] under an explicit [`EvalMode`] — the
+/// fixpoint is mode-independent; the mode only changes how much of the
+/// product each re-evaluation redoes.
+pub fn run_fixpoint_parallel_with<M>(
+    machine: &mut M,
+    threads: usize,
+    limits: EngineLimits,
+    mode: EvalMode,
 ) -> FixpointResult<M::Config, M::Addr, M::Val>
 where
     M: ParallelMachine,
@@ -549,7 +591,7 @@ where
     shared.queues[0].lock().expect("queue lock").push_back(root);
 
     let mut workers: Vec<Worker<'_, M>> = (0..threads)
-        .map(|id| Worker::new(id, machine.fork(), &shared))
+        .map(|id| Worker::new(id, machine.fork(), mode, &shared))
         .collect();
 
     let outputs: Vec<WorkerOutput<M>> = if threads == 1 {
@@ -576,12 +618,14 @@ where
         .unwrap_or(Status::Completed);
 
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
-    let (mut iterations, mut skipped, mut wakeups, mut delta_facts) = (0u64, 0u64, 0u64, 0u64);
+    let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
+    let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
     for out in outputs {
         iterations += out.iterations;
         skipped += out.skipped;
         wakeups += out.wakeups;
         delta_facts += out.delta_facts;
+        delta_applies += out.delta_applies;
         store.merge_from(&out.store);
         machine.absorb(out.machine);
     }
@@ -600,6 +644,7 @@ where
         skipped,
         wakeups,
         delta_facts,
+        delta_applies,
         elapsed: start.elapsed(),
     }
 }

@@ -11,6 +11,13 @@
 //!
 //! Nothing here should be used on new code paths: the clone-per-read
 //! [`RefStore`] is the cost model the new engine exists to beat.
+//!
+//! The oracle deliberately has **no delta interface**: a
+//! [`ReferenceMachine`] step always sees materialized full value sets
+//! and always re-derives the full product, so it cannot share a
+//! semi-naive bug with the engines it checks. The shared runner
+//! (`cfa_testsupport::assert_engines_agree`) compares it against the
+//! delta engine in both evaluation modes, sequential and parallel.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::hash::Hash;

@@ -22,8 +22,16 @@
 //!   counter at the address's last growth. Readers (the worklist engine)
 //!   compare epochs to decide whether a dependent configuration can
 //!   possibly observe anything new, and [`AbsStore::join_ids`] reports
-//!   the exact *delta* of newly added ids so future incremental transfer
-//!   functions can re-process only the growth.
+//!   the exact *delta* of newly added ids;
+//! * every row additionally keeps an **append-only delta log**: the ids
+//!   in arrival order, with epoch marks. [`AbsStore::delta_ids_since`]
+//!   answers "which values landed at this address after epoch `e`?" in
+//!   O(log joins + |delta|) — the query semi-naive transfer functions
+//!   ask on every re-evaluation (new closures × all args ∪ all closures
+//!   × new args instead of the full product). Logs can be dropped
+//!   ([`AbsStore::trim_delta_logs`]) to reclaim memory; queries that
+//!   reach behind the trim report the loss and callers fall back to
+//!   full re-evaluation.
 //!
 //! Joins are copy-on-grow: a growing join allocates one merged vector
 //! and swaps the `Arc`, leaving previously handed-out views untouched
@@ -186,11 +194,18 @@ impl Flow {
 /// One bound address: its current id set, whether a join ever touched it
 /// (even an empty one — the paper's `⊥`-bound addresses are observable
 /// in the store-entry metric), and the global epoch of its last growth.
+///
+/// `log` holds the row's ids in arrival order; `marks` are `(epoch,
+/// end offset into log)` checkpoints, one per growing join, kept in
+/// strictly increasing epoch order. Together they answer delta-since
+/// queries with a binary search and a slice.
 #[derive(Clone, Debug, Default)]
 struct Row {
     ids: Option<Arc<Vec<u32>>>,
     bound: bool,
     epoch: u64,
+    log: Vec<u32>,
+    marks: Vec<(u64, u32)>,
 }
 
 /// A monotone map from abstract addresses to flow sets.
@@ -203,7 +218,11 @@ pub struct AbsStore<A, V> {
     vals: ValuePool<V>,
     rows: Vec<Row>,
     joins: u64,
+    value_joins: u64,
     epoch: u64,
+    /// Delta queries reaching behind this epoch fail: the logs before it
+    /// were dropped by [`AbsStore::trim_delta_logs`].
+    log_floor: u64,
     bound_count: usize,
 }
 
@@ -214,7 +233,9 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> Default for AbsStore<A, V> {
             vals: ValuePool::new(),
             rows: Vec::new(),
             joins: 0,
+            value_joins: 0,
             epoch: 0,
+            log_floor: 0,
             bound_count: 0,
         }
     }
@@ -296,6 +317,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// `delta`. Returns `true` if the row grew.
     pub fn join_ids(&mut self, addr_id: u32, new_ids: &[u32], delta: &mut Vec<u32>) -> bool {
         self.joins += 1;
+        self.value_joins += new_ids.len() as u64;
         debug_assert!(
             new_ids.windows(2).all(|w| w[0] < w[1]),
             "join_ids needs sorted ids"
@@ -353,7 +375,56 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
         row.ids = Some(Arc::new(merged));
         self.epoch += 1;
         row.epoch = self.epoch;
+        // Append the growth to the row's delta log, checkpointed by the
+        // epoch that produced it.
+        row.log.extend_from_slice(&delta[delta_start..]);
+        let end = u32::try_from(row.log.len()).expect("delta log overflow");
+        row.marks.push((self.epoch, end));
         true
+    }
+
+    /// The ids added to the row of `addr_id` strictly after epoch
+    /// `since`, in arrival order (distinct, but not sorted).
+    ///
+    /// Returns `None` when the answer is unknowable — the logs covering
+    /// that span were dropped by [`AbsStore::trim_delta_logs`]
+    /// (*snapshot loss*); callers must fall back to treating the whole
+    /// row as new. An unbound or never-grown row yields an empty slice.
+    pub fn delta_ids_since(&self, addr_id: u32, since: u64) -> Option<&[u32]> {
+        if since < self.log_floor {
+            return None;
+        }
+        let Some(row) = self.rows.get(addr_id as usize) else {
+            return Some(&[]);
+        };
+        // First mark with epoch > since; everything from its start
+        // offset onward is the delta.
+        let idx = row.marks.partition_point(|&(e, _)| e <= since);
+        let start = if idx == 0 {
+            0
+        } else {
+            row.marks[idx - 1].1 as usize
+        };
+        Some(&row.log[start..])
+    }
+
+    /// [`AbsStore::delta_ids_since`] as a sorted [`Flow`] (`None` on
+    /// snapshot loss).
+    pub fn delta_flow_since(&self, addr_id: u32, since: u64) -> Option<Flow> {
+        self.delta_ids_since(addr_id, since)
+            .map(|ids| Flow::from_ids(ids.to_vec()))
+    }
+
+    /// Drops every row's delta log, reclaiming the memory. Subsequent
+    /// delta queries for epochs before the current one report snapshot
+    /// loss (`None`); queries baselined at or after the trim keep
+    /// working, since logging continues from here.
+    pub fn trim_delta_logs(&mut self) {
+        for row in &mut self.rows {
+            row.log = Vec::new();
+            row.marks = Vec::new();
+        }
+        self.log_floor = self.epoch;
     }
 
     /// Joins a [`Flow`] into `addr` (id-level; no values are touched).
@@ -376,6 +447,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// are not counted).
     pub fn merge_from(&mut self, other: &AbsStore<A, V>) {
         let joins_before = self.joins;
+        let value_joins_before = self.value_joins;
         let mut remap: Vec<Option<u32>> = vec![None; other.vals.len()];
         let mut mapped: Vec<u32> = Vec::new();
         let mut delta: Vec<u32> = Vec::new();
@@ -397,6 +469,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
             self.join_ids(addr_id, &mapped, &mut delta);
         }
         self.joins = joins_before + other.joins;
+        self.value_joins = value_joins_before + other.value_joins;
     }
 
     // -- value-level API (post-run consumers & compatibility) ---------
@@ -451,6 +524,14 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// Number of join operations performed (including no-ops).
     pub fn join_count(&self) -> u64 {
         self.joins
+    }
+
+    /// Total value ids fed into joins (Σ |input set| over all join
+    /// calls) — the work a join actually scans. Semi-naive transfer
+    /// functions exist to shrink this number; the raw call count above
+    /// barely moves.
+    pub fn value_join_count(&self) -> u64 {
+        self.value_joins
     }
 
     /// Number of distinct interned values.
@@ -597,6 +678,148 @@ mod tests {
         a.merge_from(&b);
         assert_eq!(a.fact_count(), facts);
         assert_eq!(a.epoch(), epoch, "no-op merge performs no growing join");
+    }
+
+    #[test]
+    fn delta_since_returns_exactly_the_later_growth() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [10, 20]);
+        let a = s.addr_id(&1);
+        let e1 = s.epoch();
+        s.join(1, [20, 30]);
+        s.join(1, [40]);
+        // Since the beginning: everything, in arrival order.
+        let all: Vec<u32> = s.delta_ids_since(a, 0).unwrap().to_vec();
+        assert_eq!(all.len(), 4);
+        // Since e1: only the two later waves.
+        let late = s.delta_ids_since(a, e1).unwrap();
+        let late_vals: BTreeSet<u32> = late.iter().map(|&id| *s.val(id)).collect();
+        assert_eq!(late_vals, [30u32, 40].into_iter().collect());
+        // Since the current epoch: nothing.
+        assert_eq!(s.delta_ids_since(a, s.epoch()).unwrap(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn delta_since_spans_two_waves_without_losing_the_first() {
+        // The classic semi-naive reset bug: growth arriving in two
+        // separate waves must both be visible to a reader baselined
+        // before wave one.
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        let a = s.addr_id(&1);
+        let base = s.epoch();
+        s.join(1, [1, 2]); // wave 1
+        s.join(2, [99]); // unrelated traffic in between
+        s.join(1, [3]); // wave 2
+        let delta: BTreeSet<u32> = s
+            .delta_ids_since(a, base)
+            .unwrap()
+            .iter()
+            .map(|&id| *s.val(id))
+            .collect();
+        assert_eq!(delta, [1u32, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn trimmed_logs_report_snapshot_loss_then_resume() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [10]);
+        let a = s.addr_id(&1);
+        let pre_trim = s.epoch();
+        s.trim_delta_logs();
+        // Baselines behind the trim are unanswerable.
+        assert!(s.delta_ids_since(a, 0).is_none());
+        // At-or-after the trim, logging has resumed.
+        assert_eq!(s.delta_ids_since(a, pre_trim).unwrap(), &[] as &[u32]);
+        s.join(1, [11]);
+        let post: Vec<u32> = s
+            .delta_ids_since(a, pre_trim)
+            .unwrap()
+            .iter()
+            .map(|&id| *s.val(id))
+            .collect();
+        assert_eq!(post, vec![11]);
+    }
+
+    #[test]
+    fn merge_from_appends_to_delta_logs() {
+        // A broadcast merge must leave the receiving replica's delta
+        // logs as if the facts had been joined locally: a config
+        // baselined before the merge sees the merged growth as delta.
+        let mut home: AbsStore<u32, u32> = AbsStore::new();
+        home.join(1, [10]);
+        let a = home.addr_id(&1);
+        let baseline = home.epoch();
+        let mut remote: AbsStore<u32, u32> = AbsStore::new();
+        remote.join(1, [20, 10]);
+        remote.join(3, [30]);
+        home.merge_from(&remote);
+        let delta: BTreeSet<u32> = home
+            .delta_ids_since(a, baseline)
+            .unwrap()
+            .iter()
+            .map(|&id| *home.val(id))
+            .collect();
+        assert_eq!(delta, [20u32].into_iter().collect(), "only 20 is new");
+        let a3 = home.lookup_addr(&3).unwrap();
+        let delta3: BTreeSet<u32> = home
+            .delta_ids_since(a3, baseline)
+            .unwrap()
+            .iter()
+            .map(|&id| *home.val(id))
+            .collect();
+        assert_eq!(delta3, [30u32].into_iter().collect());
+    }
+
+    #[test]
+    fn merged_deltas_match_a_sequential_schedule() {
+        // Deterministic 2-worker scenario: the home replica joins some
+        // facts locally and receives the rest via merge_from (the
+        // broadcast-merge path). A sequential store applies the same
+        // facts in the same order directly. The pending deltas for a
+        // config baselined at the common start must coincide.
+        let mut seq: AbsStore<u32, u32> = AbsStore::new();
+        let mut home: AbsStore<u32, u32> = AbsStore::new();
+        let (sa, ha) = (seq.addr_id(&7), home.addr_id(&7));
+        let baseline_seq = seq.epoch();
+        let baseline_home = home.epoch();
+
+        // Step 1: home-local growth.
+        seq.join(7, [1, 2]);
+        home.join(7, [1, 2]);
+        // Step 2: remote worker growth, delivered by merge.
+        let mut remote: AbsStore<u32, u32> = AbsStore::new();
+        remote.join(7, [2, 3]);
+        remote.join(8, [4]);
+        seq.join(7, [2, 3]);
+        seq.join(8, [4]);
+        home.merge_from(&remote);
+        // Step 3: more home-local growth after the merge.
+        seq.join(7, [5]);
+        home.join(7, [5]);
+
+        let seq_delta: BTreeSet<u32> = seq
+            .delta_ids_since(sa, baseline_seq)
+            .unwrap()
+            .iter()
+            .map(|&id| *seq.val(id))
+            .collect();
+        let home_delta: BTreeSet<u32> = home
+            .delta_ids_since(ha, baseline_home)
+            .unwrap()
+            .iter()
+            .map(|&id| *home.val(id))
+            .collect();
+        assert_eq!(seq_delta, home_delta);
+        assert_eq!(seq_delta, [1u32, 2, 3, 5].into_iter().collect());
+        assert_eq!(seq.fact_count(), home.fact_count());
+    }
+
+    #[test]
+    fn value_join_count_tracks_input_sizes() {
+        let mut s: AbsStore<u32, u32> = AbsStore::new();
+        s.join(1, [1, 2, 3]);
+        s.join(1, [3]);
+        assert_eq!(s.value_join_count(), 4);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::ast::{ClassId, FjExpr, FjProgram, FjStmtKind, MethodId, StmtId};
 use crate::concrete::{FjAddr as ConcAddr, FjSlot};
 use cfa_core::domain::CallString;
 use cfa_core::engine::{
-    run_fixpoint, AbstractMachine, EngineLimits, FixpointResult, Status, TrackedStore,
+    run_fixpoint, AbstractMachine, DeltaFlow, EngineLimits, FixpointResult, Status, TrackedStore,
 };
 use cfa_core::reference::{RefTrackedStore, ReferenceMachine};
 use cfa_core::store::{Flow, FlowSet};
@@ -265,15 +265,18 @@ impl<'p> FjMachine<'p> {
         }
     }
 
+    /// Reads a variable split against the configuration's baseline
+    /// ([`DeltaFlow`]): the full flow plus what arrived since the last
+    /// evaluation.
     fn read_var(
         &self,
         benv: &FjBEnvA,
         v: Symbol,
         store: &mut TrackedStore<'_, FjAddrA, FjAVal>,
-    ) -> Flow {
+    ) -> DeltaFlow {
         match benv.get(v) {
-            Some(addr) => store.read(addr),
-            None => Flow::empty(),
+            Some(addr) => store.read_with_delta(addr),
+            None => DeltaFlow::empty(),
         }
     }
 
@@ -383,22 +386,43 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                 match rhs {
                     FjExpr::Var(v2) => {
                         let d = self.read_var(&config.benv, *v2, store);
-                        self.write_flow(&config.benv, *lhs, &d, store);
+                        if store.first_visit() || d.has_new() {
+                            self.write_flow(&config.benv, *lhs, &d.new, store);
+                        }
                         out.push(succ());
                     }
                     FjExpr::FieldRead { object, field } => {
                         let objs = self.read_var(&config.benv, *object, store);
-                        let mut result_ids: Vec<u32> = Vec::new();
-                        for oid in objs.iter() {
+                        let first = store.first_visit();
+                        // Only the new part is ever written: the full
+                        // cell contents already reached `lhs` on the
+                        // evaluation that first saw each object.
+                        let mut result_new_ids: Vec<u32> = Vec::new();
+                        for oid in objs.all.iter() {
                             let faddr = match store.val(oid) {
                                 FjAVal::Obj { fields, .. } => fields.get(*field).cloned(),
                                 _ => None,
                             };
                             if let Some(faddr) = faddr {
-                                result_ids.extend(store.read(&faddr).iter());
+                                // A new object contributes its full
+                                // field cell; an old object only the
+                                // cell's growth.
+                                let cell = store.read_with_delta(&faddr);
+                                if objs.is_new(oid) {
+                                    result_new_ids.extend(cell.all.iter());
+                                } else {
+                                    result_new_ids.extend(cell.new.iter());
+                                }
                             }
                         }
-                        self.write_flow(&config.benv, *lhs, &Flow::from_ids(result_ids), store);
+                        if first || !result_new_ids.is_empty() {
+                            self.write_flow(
+                                &config.benv,
+                                *lhs,
+                                &Flow::from_ids(result_new_ids),
+                                store,
+                            );
+                        }
                         out.push(succ());
                     }
                     FjExpr::Invoke {
@@ -407,11 +431,11 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                         args,
                     } => {
                         let receivers = self.read_var(&config.benv, *receiver, store);
-                        let arg_sets: Vec<Flow> = args
+                        let arg_sets: Vec<DeltaFlow> = args
                             .iter()
                             .map(|&a| self.read_var(&config.benv, a, store))
                             .collect();
-                        for rid in receivers.iter() {
+                        for rid in receivers.all.iter() {
                             let FjAVal::Obj { class, .. } = store.val(rid) else {
                                 continue;
                             };
@@ -424,6 +448,25 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                 .insert(mid);
                             let target = self.program.method(mid);
                             if target.params.len() != arg_sets.len() {
+                                continue;
+                            }
+                            if !receivers.is_new(rid) {
+                                // Semi-naive: this receiver was fully
+                                // invoked on a previous evaluation; the
+                                // continuation and callee environment
+                                // exist, only argument growth is left.
+                                for ((_, p), values) in target.params.iter().zip(&arg_sets) {
+                                    if values.has_new() {
+                                        store.join_flow(
+                                            &FjAddrA {
+                                                slot: FjSlot::Var(*p),
+                                                time: t_new.clone(),
+                                            },
+                                            &values.new,
+                                        );
+                                    }
+                                }
+                                store.note_delta_apply();
                                 continue;
                             }
                             let kont_val = FjAVal::Kont {
@@ -452,7 +495,7 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                                     slot: FjSlot::Var(*p),
                                     time: t_new.clone(),
                                 };
-                                store.join_flow(&a, values);
+                                store.join_flow(&a, &values.all);
                                 bindings.push((*p, a));
                             }
                             for &(_, l) in &target.locals {
@@ -487,45 +530,69 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                             out.push(succ());
                             return;
                         }
-                        let mut record = Vec::with_capacity(field_list.len());
-                        for ((_, f), &arg) in field_list.iter().zip(args) {
-                            let values = self.read_var(&config.benv, arg, store);
-                            let a = FjAddrA {
-                                slot: FjSlot::Var(*f),
-                                time: t_new.clone(),
-                            };
-                            store.join_flow(&a, &values);
-                            record.push((*f, a));
+                        if store.first_visit() {
+                            let mut record = Vec::with_capacity(field_list.len());
+                            for ((_, f), &arg) in field_list.iter().zip(args) {
+                                let values = self.read_var(&config.benv, arg, store);
+                                let a = FjAddrA {
+                                    slot: FjSlot::Var(*f),
+                                    time: t_new.clone(),
+                                };
+                                store.join_flow(&a, &values.all);
+                                record.push((*f, a));
+                            }
+                            let fields = FjBEnvA::empty().extend(record);
+                            self.obj_envs.push((cid, fields.clone()));
+                            self.write_var(
+                                &config.benv,
+                                *lhs,
+                                [FjAVal::Obj { class: cid, fields }],
+                                store,
+                            );
+                        } else {
+                            // Semi-naive: the object record and its
+                            // write to `lhs` are deterministic and
+                            // already in the store; only the argument
+                            // growth flows into the field cells.
+                            for ((_, f), &arg) in field_list.iter().zip(args) {
+                                let values = self.read_var(&config.benv, arg, store);
+                                if values.has_new() {
+                                    store.join_flow(
+                                        &FjAddrA {
+                                            slot: FjSlot::Var(*f),
+                                            time: t_new.clone(),
+                                        },
+                                        &values.new,
+                                    );
+                                }
+                            }
+                            store.note_delta_apply();
                         }
-                        let fields = FjBEnvA::empty().extend(record);
-                        self.obj_envs.push((cid, fields.clone()));
-                        self.write_var(
-                            &config.benv,
-                            *lhs,
-                            [FjAVal::Obj { class: cid, fields }],
-                            store,
-                        );
                         out.push(succ());
                     }
                     FjExpr::Cast { class, var } => {
                         let d = self.read_var(&config.benv, *var, store);
-                        if self.options.cast_filtering {
-                            if let Some(target) = self.program.class_by_name(*class) {
-                                let kept: Vec<u32> = d
-                                    .iter()
-                                    .filter(|&id| match store.val(id) {
-                                        FjAVal::Obj { class: c, .. } => {
-                                            self.program.is_subclass(*c, target)
-                                        }
-                                        _ => true,
-                                    })
-                                    .collect();
-                                self.write_flow(&config.benv, *lhs, &Flow::from_ids(kept), store);
-                            } else {
-                                self.write_flow(&config.benv, *lhs, &d, store);
+                        let first = store.first_visit();
+                        let kept = if self.options.cast_filtering {
+                            match self.program.class_by_name(*class) {
+                                Some(target) => Flow::from_ids(
+                                    d.new
+                                        .iter()
+                                        .filter(|&id| match store.val(id) {
+                                            FjAVal::Obj { class: c, .. } => {
+                                                self.program.is_subclass(*c, target)
+                                            }
+                                            _ => true,
+                                        })
+                                        .collect(),
+                                ),
+                                None => d.new,
                             }
                         } else {
-                            self.write_flow(&config.benv, *lhs, &d, store);
+                            d.new
+                        };
+                        if first || !kept.is_empty() {
+                            self.write_flow(&config.benv, *lhs, &kept, store);
                         }
                         out.push(succ());
                     }
@@ -533,11 +600,16 @@ impl<'p> AbstractMachine for FjMachine<'p> {
             }
             FjStmtKind::Return { var } => {
                 let d = self.read_var(&config.benv, *var, store);
-                let konts = store.read(&config.kont);
-                for kid in konts.iter() {
+                let konts = store.read_with_delta(&config.kont);
+                for kid in konts.all.iter() {
+                    let is_new_k = konts.is_new(kid);
                     match store.val(kid).clone() {
                         FjAVal::HaltKont => {
-                            for vid in d.iter() {
+                            // A new halt continuation records the full
+                            // return flow; a re-observed one only the
+                            // growth.
+                            let src = if is_new_k { &d.all } else { &d.new };
+                            for vid in src.iter() {
                                 if let FjAVal::Obj { class, .. } = store.val(vid) {
                                     self.halt_classes.insert(*class);
                                 }
@@ -550,8 +622,21 @@ impl<'p> AbstractMachine for FjMachine<'p> {
                             kont,
                             time,
                         } => {
+                            if !is_new_k {
+                                // Semi-naive: the resume configuration
+                                // was pushed when this continuation was
+                                // first observed; only the return-value
+                                // growth is left to deliver.
+                                if d.has_new() {
+                                    if let Some(addr) = benv.get(v2) {
+                                        store.join_flow(addr, &d.new);
+                                    }
+                                }
+                                store.note_delta_apply();
+                                continue;
+                            }
                             if let Some(addr) = benv.get(v2) {
-                                store.join_flow(addr, &d);
+                                store.join_flow(addr, &d.all);
                             }
                             let t_new = match (self.options.policy, &time) {
                                 (TickPolicy::OnInvocation, Some(t)) => t.clone(),

@@ -1,0 +1,193 @@
+//! Shared test harness for the differential and property suites.
+//!
+//! Every integration suite needs the same three ingredients, previously
+//! re-declared ad hoc per file:
+//!
+//! * **random-program generators** — re-exported from
+//!   [`cfa_workloads::gen`] (mini-Scheme) and [`cfa_workloads::gen_fj`]
+//!   (Featherweight Java), plus the curated [`scheme_corpus`];
+//! * **the engine-quad runner** — [`assert_engines_agree`] runs a
+//!   machine through the sequential engine in both [`EvalMode`]s, the
+//!   parallel engine (at [`PAR_THREADS`] workers) in both modes, and
+//!   the retained reference engine, and asserts all five reach the
+//!   identical fixpoint (the fixed point of a monotone transfer
+//!   function is unique, so any divergence is a bug);
+//! * **fixpoint-equality assertions** — [`Fixpoint`] is the canonical
+//!   comparable form (configuration set + materialized store), with
+//!   conversions from both engine result types.
+//!
+//! The analysis-family sweeps [`check_scheme_program`] and
+//! [`check_fj_program`] run the quad across every machine the paper
+//! compares (k-CFA, m-CFA, poly-k-CFA, FJ under both tick policies).
+
+#![warn(missing_docs)]
+
+use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode};
+use cfa_core::flatcfa::{FlatCfaMachine, FlatPolicy};
+use cfa_core::kcfa::KCfaMachine;
+use cfa_core::parallel::{run_fixpoint_parallel_with, ParallelMachine};
+use cfa_core::reference::{run_fixpoint_reference, ReferenceMachine};
+use cfa_fj::kcfa::{FjAnalysisOptions, FjMachine};
+use cfa_fj::parse_fj;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+pub use cfa_workloads::gen::random_program as random_scheme_program;
+pub use cfa_workloads::gen_fj::{random_fj_program, FjGenConfig};
+
+/// Thread count for the parallel runs: enough workers that task
+/// migration, fact broadcast, and steals all actually happen.
+pub const PAR_THREADS: usize = 3;
+
+/// A fixpoint in canonical, comparable form: the set of reached
+/// configurations and the fully materialized store.
+#[derive(PartialEq, Eq, Debug)]
+pub struct Fixpoint<C: Eq + Hash, A: Ord, V: Ord> {
+    /// Reached configurations (order-insensitive).
+    pub configs: HashSet<C>,
+    /// Every `(address, flow set)` fact of the final store.
+    pub store: BTreeMap<A, BTreeSet<V>>,
+}
+
+/// Canonicalizes a delta/parallel engine result.
+pub fn fixpoint_of<C, A, V>(r: &cfa_core::engine::FixpointResult<C, A, V>) -> Fixpoint<C, A, V>
+where
+    C: Eq + Hash + Clone,
+    A: Ord + Clone + Eq + Hash,
+    V: Ord + Clone + Eq + Hash,
+{
+    Fixpoint {
+        configs: r.configs.iter().cloned().collect(),
+        store: r.store.iter().map(|(a, set)| (a.clone(), set)).collect(),
+    }
+}
+
+/// Canonicalizes a reference engine result.
+pub fn fixpoint_of_reference<C, A, V>(
+    r: &cfa_core::reference::RefFixpointResult<C, A, V>,
+) -> Fixpoint<C, A, V>
+where
+    C: Eq + Hash + Clone,
+    A: Ord + Clone + Eq + Hash,
+    V: Ord + Clone,
+{
+    Fixpoint {
+        configs: r.configs.iter().cloned().collect(),
+        store: r
+            .store
+            .iter()
+            .map(|(a, set)| (a.clone(), set.clone()))
+            .collect(),
+    }
+}
+
+/// Runs fresh machine instances through all five engines — sequential
+/// and parallel ([`PAR_THREADS`] workers), each in both semi-naive and
+/// full-re-evaluation mode, plus the retained reference engine — and
+/// asserts identical configuration sets and stores everywhere.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) when any engine fails to
+/// complete or any fixpoint diverges from the reference.
+pub fn assert_engines_agree<M, R, F, G>(label: &str, mk_new: F, mk_ref: G)
+where
+    M: ParallelMachine,
+    R: ReferenceMachine<Config = M::Config, Addr = M::Addr, Val = M::Val>,
+    M::Config: Hash + Eq + Clone + Send + Sync + Debug,
+    M::Addr: Ord + Clone + Send + Sync + Debug,
+    M::Val: Ord + Clone + Hash + Send + Sync + Debug,
+    F: Fn() -> M,
+    G: FnOnce() -> R,
+{
+    let limits = EngineLimits::default;
+    let reference = run_fixpoint_reference(&mut mk_ref(), limits());
+    assert!(
+        reference.status.is_complete(),
+        "{label}: reference engine incomplete"
+    );
+    let expected = fixpoint_of_reference(&reference);
+
+    for mode in [EvalMode::SemiNaive, EvalMode::FullReeval] {
+        let r = run_fixpoint_with(&mut mk_new(), limits(), mode);
+        assert!(
+            r.status.is_complete(),
+            "{label}: sequential {mode:?} engine incomplete"
+        );
+        assert_eq!(
+            fixpoint_of(&r),
+            expected,
+            "{label}: sequential {mode:?} fixpoint diverges from reference"
+        );
+
+        let p = run_fixpoint_parallel_with(&mut mk_new(), PAR_THREADS, limits(), mode);
+        assert!(
+            p.status.is_complete(),
+            "{label}: parallel {mode:?} engine incomplete"
+        );
+        assert_eq!(
+            fixpoint_of(&p),
+            expected,
+            "{label}: parallel {mode:?} fixpoint diverges from reference"
+        );
+    }
+}
+
+/// Runs [`assert_engines_agree`] for every CPS analysis family on one
+/// mini-Scheme program: k-CFA at the given `ks`, and both flat-policy
+/// machines (m-CFA, poly-k) at bounds 0..=2.
+pub fn check_scheme_program(src: &str, name: &str, ks: &[usize]) {
+    let p = cfa_syntax::compile(src).expect("program compiles");
+    for &k in ks {
+        assert_engines_agree(
+            &format!("{name} k-CFA k={k}"),
+            || KCfaMachine::new(&p, k),
+            || KCfaMachine::new(&p, k),
+        );
+    }
+    for (policy, tag) in [
+        (FlatPolicy::TopMFrames, "m-CFA"),
+        (FlatPolicy::LastKCalls, "poly-k"),
+    ] {
+        for bound in [0usize, 1, 2] {
+            assert_engines_agree(
+                &format!("{name} {tag} bound={bound}"),
+                || FlatCfaMachine::new(&p, bound, policy),
+                || FlatCfaMachine::new(&p, bound, policy),
+            );
+        }
+    }
+}
+
+/// Runs [`assert_engines_agree`] for the Featherweight Java machine on
+/// one program, under both tick policies at the given `ks`.
+pub fn check_fj_program(src: &str, name: &str, ks: &[usize]) {
+    let p = parse_fj(src).expect("program parses");
+    for &k in ks {
+        for options in [FjAnalysisOptions::paper(k), FjAnalysisOptions::oo(k)] {
+            assert_engines_agree(
+                &format!("{name} FJ {options:?}"),
+                || FjMachine::new(&p, options),
+                || FjMachine::new(&p, options),
+            );
+        }
+    }
+}
+
+/// The cross-suite Scheme corpus: every workloads-suite program, the
+/// paper's worst-case family, the Figure 1 `fn` program, and a band of
+/// random programs — the program list the cross-validation suites
+/// previously re-declared inline.
+pub fn scheme_corpus() -> Vec<String> {
+    let mut out: Vec<String> = cfa_workloads::suite()
+        .iter()
+        .map(|p| p.source.to_owned())
+        .collect();
+    out.push(cfa_workloads::worst_case_source(3));
+    out.push(cfa_workloads::fn_program(2, 2));
+    for seed in 0..20 {
+        out.push(random_scheme_program(seed, 30));
+    }
+    out
+}

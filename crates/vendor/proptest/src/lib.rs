@@ -8,9 +8,18 @@
 //! `proptest!` / `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream: generation is deterministic per test name
-//! (no `PROPTEST_CASES` env handling, no persistence files) and failing
-//! cases are reported but **not shrunk**. Regex strategies support only
-//! the simple `[class]{m,n}` concatenation patterns used in-repo.
+//! (no persistence files) and failing cases are reported but **not
+//! shrunk**. Regex strategies support only the simple `[class]{m,n}`
+//! concatenation patterns used in-repo.
+//!
+//! Two environment variables keep CI runs deterministic and bounded:
+//!
+//! * `PROPTEST_CASES` **caps** the per-property case count (a property
+//!   asking for fewer cases keeps its own number);
+//! * `PROPTEST_SEED` perturbs the per-test deterministic RNG stream
+//!   (default 0 — the historical stream). Failure messages always name
+//!   the active seed so a red CI run is reproducible locally with
+//!   `PROPTEST_SEED=<seed> cargo test <name>`.
 
 pub mod collection;
 pub mod strategy;
@@ -31,13 +40,26 @@ pub mod prelude {
     }
 }
 
+/// Parses an environment variable as an integer, ignoring it when
+/// unset, empty, or malformed.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 /// Runs `cases` deterministic test cases of `body`, panicking with the
-/// failure message on the first failed case. Backs the `proptest!` macro.
+/// failure message on the first failed case. Backs the `proptest!`
+/// macro. `PROPTEST_CASES` caps the case count; `PROPTEST_SEED` selects
+/// the (deterministic) case stream and is echoed on failure.
 pub fn run_cases<F>(test_name: &str, cases: u32, mut body: F)
 where
     F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
 {
-    let mut rng = test_runner::TestRng::deterministic(test_name);
+    let cases = match env_u64("PROPTEST_CASES") {
+        Some(cap) => cases.min(u32::try_from(cap).unwrap_or(u32::MAX)).max(1),
+        None => cases,
+    };
+    let seed = env_u64("PROPTEST_SEED").unwrap_or(0);
+    let mut rng = test_runner::TestRng::deterministic_seeded(test_name, seed);
     let mut rejected = 0u32;
     let mut ran = 0u32;
     while ran < cases {
@@ -52,7 +74,10 @@ where
                 }
             }
             Err(test_runner::TestCaseError::Fail(msg)) => {
-                panic!("{test_name}: property failed at case {ran}: {msg}");
+                panic!(
+                    "{test_name}: property failed at case {ran} under seed {seed} \
+                     (reproduce with PROPTEST_SEED={seed} cargo test {test_name}): {msg}"
+                );
             }
         }
     }

@@ -47,12 +47,22 @@ impl TestRng {
     /// Seeds from the FNV-1a hash of `name`: every run of a given test
     /// explores the same cases.
     pub fn deterministic(name: &str) -> Self {
+        Self::deterministic_seeded(name, 0)
+    }
+
+    /// Seeds from the FNV-1a hash of `name` perturbed by `seed`
+    /// (`PROPTEST_SEED`): seed 0 is the historical default stream, any
+    /// other value explores a different — still fully reproducible —
+    /// band of cases.
+    pub fn deterministic_seeded(name: &str, seed: u64) -> Self {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        TestRng { state: h }
+        TestRng {
+            state: h ^ seed.wrapping_mul(0x9e3779b97f4a7c15),
+        }
     }
 
     /// Next 64 random bits.

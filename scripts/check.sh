@@ -6,6 +6,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Property suites run deterministically and under budget: the seed pins
+# the per-test case stream (and is echoed in every failure message, so a
+# red run reproduces locally with the same PROPTEST_SEED), the cap
+# bounds per-property case counts. Override either from the environment
+# to widen a run, e.g. PROPTEST_CASES=256 ./scripts/check.sh
+export PROPTEST_SEED="${PROPTEST_SEED:-0}"
+export PROPTEST_CASES="${PROPTEST_CASES:-16}"
+echo "property suites: PROPTEST_SEED=${PROPTEST_SEED} PROPTEST_CASES=${PROPTEST_CASES}"
+
 cargo build --release
 cargo test -q
 cargo fmt --all --check

@@ -28,17 +28,10 @@ fn project(v: &cfa::analysis::kcfa::ValK) -> Val0 {
     }
 }
 
+/// The shared cross-suite corpus (suite + worst-case + figures +
+/// random band) — see `cfa_testsupport::scheme_corpus`.
 fn programs() -> Vec<String> {
-    let mut out: Vec<String> = cfa::workloads::suite()
-        .iter()
-        .map(|p| p.source.to_owned())
-        .collect();
-    out.push(cfa::workloads::worst_case_source(3));
-    out.push(cfa::workloads::fn_program(2, 2));
-    for seed in 0..20 {
-        out.push(cfa::workloads::gen::random_program(seed, 30));
-    }
-    out
+    cfa_testsupport::scheme_corpus()
 }
 
 #[test]

@@ -1,121 +1,22 @@
-//! Differential tests: the delta-driven interned engine must compute
-//! *exactly* the fixpoint of the retained original engine.
+//! Differential tests: every engine must compute *exactly* the fixpoint
+//! of the retained original engine.
 //!
 //! The fixed point of a monotone transfer function is unique, so the
-//! rebuilt hot path (interned values, zero-copy flow sets, epoch-gated
-//! scheduling — `cfa_core::engine`), the work-stealing parallel engine
-//! (`cfa_core::parallel` — any interleaving, any thread count) and the
-//! retained pre-interning engine (`cfa_core::reference`) must agree on
+//! rebuilt hot path (`cfa_core::engine`) in both evaluation modes
+//! (semi-naive delta transfer functions and full re-evaluation), the
+//! work-stealing parallel engine (`cfa_core::parallel` — any
+//! interleaving, any thread count, both modes) and the retained
+//! pre-interning engine (`cfa_core::reference`) must agree on
 //!
 //! * the set of reached configurations, and
 //! * every `(address, flow set)` fact in the final store,
 //!
 //! for every analysis family, on the curated workloads suite (Scheme and
-//! Featherweight Java) and on randomized programs.
+//! Featherweight Java) and on randomized programs. The shared
+//! engine-quad runner lives in `cfa_testsupport`.
 
-use cfa::analysis::engine::{run_fixpoint, EngineLimits};
-use cfa::analysis::flatcfa::{FlatCfaMachine, FlatPolicy};
-use cfa::analysis::kcfa::KCfaMachine;
-use cfa::analysis::parallel::{run_fixpoint_parallel, ParallelMachine};
-use cfa::analysis::reference::{run_fixpoint_reference, ReferenceMachine};
-use cfa::fj::kcfa::{FjAnalysisOptions, FjMachine};
-use cfa::fj::parse_fj;
+use cfa_testsupport::{check_fj_program, check_scheme_program};
 use proptest::prelude::*;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::hash::Hash;
-
-/// Thread count for the parallel runs: enough workers that task
-/// migration, fact broadcast, and steals all actually happen.
-const PAR_THREADS: usize = 3;
-
-/// Runs all three engines over fresh machine instances and asserts
-/// identical configuration sets and stores.
-fn assert_engines_agree<M, R, F, G>(label: &str, mk_new: F, mk_ref: G)
-where
-    M: ParallelMachine,
-    R: ReferenceMachine<Config = M::Config, Addr = M::Addr, Val = M::Val>,
-    M::Config: Hash + Eq + Clone + Send + Sync + std::fmt::Debug,
-    M::Addr: Ord + Clone + Send + Sync + std::fmt::Debug,
-    M::Val: Ord + Clone + Hash + Send + Sync + std::fmt::Debug,
-    F: Fn() -> M,
-    G: FnOnce() -> R,
-{
-    let mut new_machine = mk_new();
-    let mut par_machine = mk_new();
-    let mut ref_machine = mk_ref();
-    let new = run_fixpoint(&mut new_machine, EngineLimits::default());
-    let par = run_fixpoint_parallel(&mut par_machine, PAR_THREADS, EngineLimits::default());
-    let reference = run_fixpoint_reference(&mut ref_machine, EngineLimits::default());
-    assert!(new.status.is_complete(), "{label}: delta engine incomplete");
-    assert!(
-        par.status.is_complete(),
-        "{label}: parallel engine incomplete"
-    );
-    assert!(
-        reference.status.is_complete(),
-        "{label}: reference engine incomplete"
-    );
-
-    let new_configs: HashSet<&M::Config> = new.configs.iter().collect();
-    let par_configs: HashSet<&M::Config> = par.configs.iter().collect();
-    let ref_configs: HashSet<&M::Config> = reference.configs.iter().collect();
-    assert_eq!(
-        new_configs, ref_configs,
-        "{label}: reached configurations differ"
-    );
-    assert_eq!(
-        par_configs, ref_configs,
-        "{label}: parallel configurations differ"
-    );
-
-    let new_store: BTreeMap<M::Addr, BTreeSet<M::Val>> =
-        new.store.iter().map(|(a, set)| (a.clone(), set)).collect();
-    let par_store: BTreeMap<M::Addr, BTreeSet<M::Val>> =
-        par.store.iter().map(|(a, set)| (a.clone(), set)).collect();
-    let ref_store: BTreeMap<M::Addr, BTreeSet<M::Val>> = reference
-        .store
-        .iter()
-        .map(|(a, set)| (a.clone(), set.clone()))
-        .collect();
-    assert_eq!(new_store, ref_store, "{label}: final stores differ");
-    assert_eq!(par_store, ref_store, "{label}: parallel store differs");
-}
-
-fn check_scheme(src: &str, name: &str) {
-    let p = cfa::compile(src).expect("program compiles");
-    for k in [0usize, 1] {
-        assert_engines_agree(
-            &format!("{name} k-CFA k={k}"),
-            || KCfaMachine::new(&p, k),
-            || KCfaMachine::new(&p, k),
-        );
-    }
-    for (policy, tag) in [
-        (FlatPolicy::TopMFrames, "m-CFA"),
-        (FlatPolicy::LastKCalls, "poly-k"),
-    ] {
-        for bound in [0usize, 1, 2] {
-            assert_engines_agree(
-                &format!("{name} {tag} bound={bound}"),
-                || FlatCfaMachine::new(&p, bound, policy),
-                || FlatCfaMachine::new(&p, bound, policy),
-            );
-        }
-    }
-}
-
-fn check_fj(src: &str, name: &str) {
-    let p = parse_fj(src).expect("program parses");
-    for k in [0usize, 1] {
-        for options in [FjAnalysisOptions::paper(k), FjAnalysisOptions::oo(k)] {
-            assert_engines_agree(
-                &format!("{name} FJ {options:?}"),
-                || FjMachine::new(&p, options),
-                || FjMachine::new(&p, options),
-            );
-        }
-    }
-}
 
 /// Every Scheme program of the workloads suite, at every CPS analysis
 /// family. The two heavyweights are exercised at k = 0 only to keep the
@@ -125,14 +26,14 @@ fn suite_scheme_fixpoints_are_identical() {
     for prog in cfa::workloads::suite() {
         if matches!(prog.name, "interp" | "scm2c") {
             let p = cfa::compile(prog.source).expect("suite compiles");
-            assert_engines_agree(
+            cfa_testsupport::assert_engines_agree(
                 &format!("{} k-CFA k=0", prog.name),
-                || KCfaMachine::new(&p, 0),
-                || KCfaMachine::new(&p, 0),
+                || cfa::analysis::kcfa::KCfaMachine::new(&p, 0),
+                || cfa::analysis::kcfa::KCfaMachine::new(&p, 0),
             );
             continue;
         }
-        check_scheme(prog.source, prog.name);
+        check_scheme_program(prog.source, prog.name, &[0, 1]);
     }
 }
 
@@ -140,7 +41,7 @@ fn suite_scheme_fixpoints_are_identical() {
 #[test]
 fn suite_fj_fixpoints_are_identical() {
     for prog in cfa::workloads::fj_suite() {
-        check_fj(prog.source, prog.name);
+        check_fj_program(prog.source, prog.name, &[0, 1]);
     }
 }
 
@@ -149,7 +50,7 @@ fn suite_fj_fixpoints_are_identical() {
 fn worst_case_fixpoints_are_identical() {
     for n in [2usize, 4] {
         let src = cfa::workloads::worst_case_source(n);
-        check_scheme(&src, &format!("worst-case n={n}"));
+        check_scheme_program(&src, &format!("worst-case n={n}"), &[0, 1]);
     }
 }
 
@@ -159,14 +60,14 @@ proptest! {
     /// Randomized Scheme programs: identical fixpoints across engines.
     #[test]
     fn random_scheme_fixpoints_are_identical(seed in 0u64..10_000) {
-        let src = cfa::workloads::gen::random_program(seed, 35);
-        check_scheme(&src, &format!("random seed={seed}"));
+        let src = cfa_testsupport::random_scheme_program(seed, 35);
+        check_scheme_program(&src, &format!("random seed={seed}"), &[0, 1]);
     }
 
     /// Randomized Featherweight Java programs: identical fixpoints.
     #[test]
     fn random_fj_fixpoints_are_identical(seed in 0u64..10_000) {
-        let src = cfa::workloads::gen_fj::random_fj_program(seed, Default::default());
-        check_fj(&src, &format!("random FJ seed={seed}"));
+        let src = cfa_testsupport::random_fj_program(seed, Default::default());
+        check_fj_program(&src, &format!("random FJ seed={seed}"), &[0, 1]);
     }
 }
