@@ -1,38 +1,48 @@
 //! Engine benchmark — the interned delta-driven engine (in both
-//! evaluation modes) vs. the retained original engine, measured in the
-//! same process on the same workloads.
+//! evaluation modes), both parallel store backends, and the retained
+//! original engine, measured in the same process on the same workloads.
 //!
 //! Runs the depth-sweep k-CFA workload (the suite programs the
 //! `depth_sweep` experiment uses, plus the paper's worst-case family)
-//! through four engines:
+//! through five engines:
 //!
 //! * `semi_naive` — `cfa_core::engine::run_fixpoint` (the default:
 //!   semi-naive delta-aware transfer functions);
 //! * `new` — the same engine under `EvalMode::FullReeval`, i.e. the
 //!   PR-2 sequential engine (full re-evaluation on every wakeup), kept
 //!   as the baseline the semi-naive column is judged against;
-//! * `parallel` — `cfa_core::parallel::run_fixpoint_parallel` at
-//!   [`PAR_THREADS`] workers (semi-naive);
+//! * `parallel` — the replicated backend
+//!   (`cfa_core::parallel::run_fixpoint_parallel`, per-worker store
+//!   copies + all-to-all fact broadcast) at [`PAR_THREADS`] workers;
+//! * `sharded` — the shared address-sharded store backend
+//!   (`cfa_core::shardstore::run_fixpoint_sharded`) at the same thread
+//!   count — same fixpoint, O(program) store memory instead of
+//!   O(program × threads);
 //! * `reference` — the retained pre-interning engine.
 //!
 //! Emits `BENCH_engine.json` with wall times, iteration counts, join
 //! counts, **value-join volumes** (ids scanned by joins — the number
-//! semi-naive evaluation shrinks), `delta_facts`, and `delta_applies`
-//! (narrowed application sites), so future PRs have a perf trajectory
+//! semi-naive evaluation shrinks), `delta_facts`, `delta_applies`
+//! (narrowed application sites), **`store_bytes`** (approximate
+//! store-resident bytes: summed replicas for `parallel`, the one shared
+//! store for `sharded` — the replication-memory cut as a measured
+//! number), and the scheduler counters (`steals`, `failed_steals`,
+//! `idle_spins`, `inbox_batches`), so future PRs have a perf trajectory
 //! to compare against.
 //!
 //! Usage: `cargo run -p cfa-bench --release --bin engine_bench`
 //! (writes BENCH_engine.json into the current directory).
 
-use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode};
+use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode, FixpointResult};
 use cfa_core::kcfa::KCfaMachine;
 use cfa_core::parallel::run_fixpoint_parallel;
 use cfa_core::reference::run_fixpoint_reference;
+use cfa_core::shardstore::run_fixpoint_sharded;
 use cfa_syntax::cps::CpsProgram;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Worker threads for the parallel column.
+/// Worker threads for the parallel columns.
 const PAR_THREADS: usize = 4;
 
 /// One measured engine run.
@@ -47,74 +57,94 @@ struct Cell {
     wakeups: u64,
     delta_facts: u64,
     delta_applies: u64,
+    store_bytes: u64,
+    steals: u64,
+    failed_steals: u64,
+    idle_spins: u64,
+    inbox_batches: u64,
 }
 
-/// Best-of-N timing of the delta engine on one `(program, k)` cell.
-fn run_new(program: &CpsProgram, k: usize, runs: usize, mode: EvalMode) -> Cell {
+fn cell_of<C, A, V>(r: &FixpointResult<C, A, V>, seconds: f64) -> Cell
+where
+    A: Eq + std::hash::Hash + Clone,
+    V: Eq + std::hash::Hash + Clone,
+{
+    Cell {
+        seconds,
+        iterations: r.iterations,
+        joins: r.store.join_count(),
+        value_joins: r.store.value_join_count(),
+        facts: r.store.fact_count(),
+        configs: r.config_count(),
+        skipped: r.skipped,
+        wakeups: r.wakeups,
+        delta_facts: r.delta_facts,
+        delta_applies: r.delta_applies,
+        store_bytes: r.sched.store_resident_bytes,
+        steals: r.sched.steals,
+        failed_steals: r.sched.failed_steals,
+        idle_spins: r.sched.idle_spins,
+        inbox_batches: r.sched.inbox_batches,
+    }
+}
+
+/// Best-of-N over one engine-runner closure.
+fn best_of<F: FnMut() -> Cell>(runs: usize, mut run: F) -> Cell {
     let mut best: Option<Cell> = None;
     for _ in 0..runs {
+        let cell = run();
+        if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
+            best = Some(cell);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// Best-of-N timing of the sequential delta engine on one cell.
+fn run_new(program: &CpsProgram, k: usize, runs: usize, mode: EvalMode) -> Cell {
+    best_of(runs, || {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
         let r = run_fixpoint_with(&mut machine, EngineLimits::default(), mode);
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
-        let cell = Cell {
-            seconds,
-            iterations: r.iterations,
-            joins: r.store.join_count(),
-            value_joins: r.store.value_join_count(),
-            facts: r.store.fact_count(),
-            configs: r.config_count(),
-            skipped: r.skipped,
-            wakeups: r.wakeups,
-            delta_facts: r.delta_facts,
-            delta_applies: r.delta_applies,
-        };
-        if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
-            best = Some(cell);
-        }
-    }
-    best.expect("at least one run")
+        cell_of(&r, seconds)
+    })
 }
 
-/// Best-of-N timing of the parallel engine on one `(program, k)` cell.
+/// Best-of-N timing of the replicated parallel engine on one cell.
 fn run_parallel(program: &CpsProgram, k: usize, runs: usize) -> Cell {
-    let mut best: Option<Cell> = None;
-    for _ in 0..runs {
+    best_of(runs, || {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
         let r = run_fixpoint_parallel(&mut machine, PAR_THREADS, EngineLimits::default());
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
-        let cell = Cell {
-            seconds,
-            iterations: r.iterations,
-            joins: r.store.join_count(),
-            value_joins: r.store.value_join_count(),
-            facts: r.store.fact_count(),
-            configs: r.config_count(),
-            skipped: r.skipped,
-            wakeups: r.wakeups,
-            delta_facts: r.delta_facts,
-            delta_applies: r.delta_applies,
-        };
-        if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
-            best = Some(cell);
-        }
-    }
-    best.expect("at least one run")
+        cell_of(&r, seconds)
+    })
 }
 
-/// Best-of-N timing of the reference engine on one `(program, k)` cell.
+/// Best-of-N timing of the sharded parallel engine on one cell.
+fn run_sharded(program: &CpsProgram, k: usize, runs: usize) -> Cell {
+    best_of(runs, || {
+        let mut machine = KCfaMachine::new(program, k);
+        let start = Instant::now();
+        let r = run_fixpoint_sharded(&mut machine, PAR_THREADS, EngineLimits::default());
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(r.status.is_complete(), "bench cells must complete");
+        cell_of(&r, seconds)
+    })
+}
+
+/// Best-of-N timing of the reference engine on one cell.
 fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
-    let mut best: Option<Cell> = None;
-    for _ in 0..runs {
+    best_of(runs, || {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
         let r = run_fixpoint_reference(&mut machine, EngineLimits::default());
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
-        let cell = Cell {
+        Cell {
             seconds,
             iterations: r.iterations,
             joins: r.store.join_count(),
@@ -125,12 +155,13 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             wakeups: 0,
             delta_facts: 0,
             delta_applies: 0,
-        };
-        if best.as_ref().is_none_or(|b| cell.seconds < b.seconds) {
-            best = Some(cell);
+            store_bytes: 0,
+            steals: 0,
+            failed_steals: 0,
+            idle_spins: 0,
+            inbox_batches: 0,
         }
-    }
-    best.expect("at least one run")
+    })
 }
 
 fn cell_json(out: &mut String, tag: &str, c: &Cell) {
@@ -138,7 +169,9 @@ fn cell_json(out: &mut String, tag: &str, c: &Cell) {
         out,
         "\"{tag}\": {{\"seconds\": {:.6}, \"iterations\": {}, \"joins\": {}, \
          \"value_joins\": {}, \"facts\": {}, \"configs\": {}, \"skipped\": {}, \
-         \"wakeups\": {}, \"delta_facts\": {}, \"delta_applies\": {}}}",
+         \"wakeups\": {}, \"delta_facts\": {}, \"delta_applies\": {}, \
+         \"store_bytes\": {}, \"steals\": {}, \"failed_steals\": {}, \
+         \"idle_spins\": {}, \"inbox_batches\": {}}}",
         c.seconds,
         c.iterations,
         c.joins,
@@ -148,7 +181,12 @@ fn cell_json(out: &mut String, tag: &str, c: &Cell) {
         c.skipped,
         c.wakeups,
         c.delta_facts,
-        c.delta_applies
+        c.delta_applies,
+        c.store_bytes,
+        c.steals,
+        c.failed_steals,
+        c.idle_spins,
+        c.inbox_batches
     );
 }
 
@@ -170,22 +208,26 @@ fn main() {
 
     let runs = 3;
     let mut rows: Vec<String> = Vec::new();
-    let (mut total_semi, mut total_new, mut total_par, mut total_ref) =
-        (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut total_semi, mut total_new, mut total_par, mut total_sh, mut total_ref) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let mut peak_facts = 0usize;
+    // The acceptance metric of the sharded backend: its store-resident
+    // bytes vs the replicated backend's, on the heaviest cell.
+    let (mut interp2_sharded_bytes, mut interp2_replicated_bytes) = (0u64, 0u64);
 
     println!(
-        "{:>14} {:>3} | {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} | {:>12} {:>12}",
+        "{:>14} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>11} {:>11}",
         "program",
         "k",
         "semi (s)",
         "full (s)",
         "par4 (s)",
+        "shard4(s)",
         "ref (s)",
         "semi-spd",
-        "ref-spd",
-        "vjoins semi",
-        "vjoins full"
+        "byte-rat",
+        "par bytes",
+        "shard bytes"
     );
     for (name, source) in &workload {
         let program = cfa_syntax::compile(source).expect("workload compiles");
@@ -193,11 +235,13 @@ fn main() {
             let semi = run_new(&program, k, runs, EvalMode::SemiNaive);
             let new = run_new(&program, k, runs, EvalMode::FullReeval);
             let parallel = run_parallel(&program, k, runs);
+            let sharded = run_sharded(&program, k, runs);
             let reference = run_reference(&program, k, runs);
             for (tag, cell) in [
                 ("semi-naive", &semi),
                 ("full", &new),
                 ("parallel", &parallel),
+                ("sharded", &sharded),
             ] {
                 assert_eq!(
                     cell.facts, reference.facts,
@@ -215,23 +259,31 @@ fn main() {
             total_semi += semi.seconds;
             total_new += new.seconds;
             total_par += parallel.seconds;
+            total_sh += sharded.seconds;
             total_ref += reference.seconds;
             peak_facts = peak_facts.max(semi.facts);
+            if name == "interp" && k == 2 {
+                interp2_sharded_bytes = sharded.store_bytes;
+                interp2_replicated_bytes = parallel.store_bytes;
+            }
             let speedup = reference.seconds / new.seconds.max(1e-9);
             let par_speedup = semi.seconds / parallel.seconds.max(1e-9);
+            let sharded_speedup = semi.seconds / sharded.seconds.max(1e-9);
             let semi_speedup = new.seconds / semi.seconds.max(1e-9);
+            let byte_ratio = sharded.store_bytes as f64 / (parallel.store_bytes.max(1)) as f64;
             println!(
-                "{:>14} {:>3} | {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>7.2}x {:>7.2}x | {:>12} {:>12}",
+                "{:>14} {:>3} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>7.2}x {:>7.2}x | {:>11} {:>11}",
                 name,
                 k,
                 semi.seconds,
                 new.seconds,
                 parallel.seconds,
+                sharded.seconds,
                 reference.seconds,
                 semi_speedup,
-                speedup,
-                semi.value_joins,
-                new.value_joins
+                byte_ratio,
+                parallel.store_bytes,
+                sharded.store_bytes
             );
             let mut row = String::new();
             let _ = write!(row, "    {{\"program\": \"{name}\", \"k\": {k}, ");
@@ -240,12 +292,16 @@ fn main() {
             cell_json(&mut row, "new", &new);
             row.push_str(", ");
             cell_json(&mut row, "parallel", &parallel);
+            row.push_str(", ");
+            cell_json(&mut row, "sharded", &sharded);
             let _ = write!(row, ", \"parallel_threads\": {PAR_THREADS}, ");
             cell_json(&mut row, "reference", &reference);
             let _ = write!(
                 row,
                 ", \"speedup\": {speedup:.3}, \"speedup_semi_naive\": {semi_speedup:.3}, \
-                 \"speedup_parallel\": {par_speedup:.3}}}"
+                 \"speedup_parallel\": {par_speedup:.3}, \
+                 \"speedup_sharded\": {sharded_speedup:.3}, \
+                 \"sharded_byte_ratio\": {byte_ratio:.3}}}"
             );
             rows.push(row);
         }
@@ -254,12 +310,20 @@ fn main() {
     let speedup = total_ref / total_new.max(1e-9);
     let semi_speedup = total_new / total_semi.max(1e-9);
     let par_speedup = total_semi / total_par.max(1e-9);
+    let sharded_vs_par = total_par / total_sh.max(1e-9);
+    let interp2_byte_ratio =
+        interp2_sharded_bytes as f64 / (interp2_replicated_bytes.max(1)) as f64;
     println!();
     println!(
         "total: semi-naive {total_semi:.3}s, full {total_new:.3}s, parallel({PAR_THREADS}t) \
-         {total_par:.3}s, reference {total_ref:.3}s — {semi_speedup:.2}x semi-naive vs full, \
-         {speedup:.2}x full vs reference, {par_speedup:.2}x parallel vs semi-naive, \
+         {total_par:.3}s, sharded({PAR_THREADS}t) {total_sh:.3}s, reference {total_ref:.3}s — \
+         {semi_speedup:.2}x semi-naive vs full, {speedup:.2}x full vs reference, \
+         {par_speedup:.2}x parallel vs semi-naive, {sharded_vs_par:.2}x sharded vs parallel, \
          peak {peak_facts} facts"
+    );
+    println!(
+        "interp k=2 store bytes: sharded {interp2_sharded_bytes} vs replicated \
+         {interp2_replicated_bytes} ({interp2_byte_ratio:.3}x)"
     );
 
     let mut json = String::from("{\n");
@@ -270,10 +334,19 @@ fn main() {
     let _ = writeln!(json, "  \"total_seconds_semi_naive\": {total_semi:.6},");
     let _ = writeln!(json, "  \"total_seconds_new\": {total_new:.6},");
     let _ = writeln!(json, "  \"total_seconds_parallel\": {total_par:.6},");
+    let _ = writeln!(json, "  \"total_seconds_sharded\": {total_sh:.6},");
     let _ = writeln!(json, "  \"total_seconds_reference\": {total_ref:.6},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"speedup_semi_naive\": {semi_speedup:.3},");
     let _ = writeln!(json, "  \"speedup_parallel\": {par_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_sharded_vs_parallel\": {sharded_vs_par:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"interp_k2_sharded_byte_ratio\": {interp2_byte_ratio:.3},"
+    );
     let _ = writeln!(json, "  \"peak_fact_count\": {peak_facts},");
     let _ = writeln!(json, "  \"cells\": [");
     let _ = writeln!(json, "{}", rows.join(",\n"));

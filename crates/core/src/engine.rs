@@ -163,8 +163,29 @@ impl DeltaFlow {
 /// configuration it sets the view's *baseline* — the store epoch of the
 /// configuration's previous evaluation — which powers the semi-naive
 /// [`TrackedStore::read_with_delta`] split.
+///
+/// The view is backend-polymorphic: the sequential engine and the
+/// replicated parallel workers wrap a thread-local [`AbsStore`]; the
+/// sharded parallel workers wrap a [`crate::shardstore::ShardView`]
+/// onto the globally shared store (reads snapshot any row, writes go
+/// through the shared row, and growth notifications route to the row's
+/// owner shard). Machines see one API either way.
 #[derive(Debug)]
 pub struct TrackedStore<'a, A, V> {
+    view: View<'a, A, V>,
+    delta_facts: u64,
+    delta_applies: u64,
+}
+
+#[derive(Debug)]
+enum View<'a, A, V> {
+    Local(LocalView<'a, A, V>),
+    Shard(crate::shardstore::ShardView<'a, A, V>),
+}
+
+/// The single-owner backend: a mutable borrow of one [`AbsStore`].
+#[derive(Debug)]
+struct LocalView<'a, A, V> {
     store: &'a mut AbsStore<A, V>,
     /// Epoch of the reader's last complete evaluation (None: first
     /// visit, or delta evaluation disabled).
@@ -172,8 +193,6 @@ pub struct TrackedStore<'a, A, V> {
     reads: Vec<u32>,
     grew: Vec<u32>,
     delta: Vec<u32>,
-    delta_facts: u64,
-    delta_applies: u64,
 }
 
 impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V> {
@@ -192,33 +211,61 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
         delta: Vec<u32>,
     ) -> Self {
         TrackedStore {
-            store,
-            baseline,
-            reads,
-            grew,
-            delta,
+            view: View::Local(LocalView {
+                store,
+                baseline,
+                reads,
+                grew,
+                delta,
+            }),
             delta_facts: 0,
             delta_applies: 0,
         }
     }
 
-    /// Disassembles the view into its tracking state: `(reads, grew,
-    /// delta, delta_facts, delta_applies)`.
+    /// Wraps a sharded worker's view of the global store.
+    pub(crate) fn wrap_shard(view: crate::shardstore::ShardView<'a, A, V>) -> Self {
+        TrackedStore {
+            view: View::Shard(view),
+            delta_facts: 0,
+            delta_applies: 0,
+        }
+    }
+
+    /// Disassembles a local view into its tracking state: `(reads,
+    /// grew, delta, delta_facts, delta_applies)`.
     pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>, u64, u64) {
-        (
-            self.reads,
-            self.grew,
-            self.delta,
-            self.delta_facts,
-            self.delta_applies,
-        )
+        match self.view {
+            View::Local(v) => (
+                v.reads,
+                v.grew,
+                v.delta,
+                self.delta_facts,
+                self.delta_applies,
+            ),
+            View::Shard(_) => unreachable!("into_parts is the local-backend accessor"),
+        }
+    }
+
+    /// Disassembles a sharded view: `(shard view, delta_facts,
+    /// delta_applies)`.
+    pub(crate) fn into_shard_parts(self) -> (crate::shardstore::ShardView<'a, A, V>, u64, u64) {
+        match self.view {
+            View::Shard(v) => (v, self.delta_facts, self.delta_applies),
+            View::Local(_) => unreachable!("into_shard_parts is the sharded-backend accessor"),
+        }
     }
 
     /// Reads the flow set at `addr`, recording the dependency.
     pub fn read(&mut self, addr: &A) -> Flow {
-        let id = self.store.addr_id(addr);
-        self.reads.push(id);
-        self.store.flow_by_id(id)
+        match &mut self.view {
+            View::Local(v) => {
+                let id = v.store.addr_id(addr);
+                v.reads.push(id);
+                v.store.flow_by_id(id)
+            }
+            View::Shard(v) => v.read(addr),
+        }
     }
 
     /// Reads the flow set at `addr` split against the baseline: the
@@ -230,23 +277,31 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
     /// when the store's delta logs were trimmed past the baseline,
     /// `new == all`.
     pub fn read_with_delta(&mut self, addr: &A) -> DeltaFlow {
-        let id = self.store.addr_id(addr);
-        self.reads.push(id);
-        let all = self.store.flow_by_id(id);
-        let new = match self.baseline {
-            Some(epoch) => self
-                .store
-                .delta_flow_since(id, epoch)
-                .unwrap_or_else(|| all.clone()),
-            None => all.clone(),
-        };
-        DeltaFlow { all, new }
+        match &mut self.view {
+            View::Local(v) => {
+                let id = v.store.addr_id(addr);
+                v.reads.push(id);
+                let all = v.store.flow_by_id(id);
+                let new = match v.baseline {
+                    Some(epoch) => v
+                        .store
+                        .delta_flow_since(id, epoch)
+                        .unwrap_or_else(|| all.clone()),
+                    None => all.clone(),
+                };
+                DeltaFlow { all, new }
+            }
+            View::Shard(v) => v.read_with_delta(addr),
+        }
     }
 
     /// Whether this evaluation has no usable baseline — machines must
     /// treat every value as new (full evaluation).
     pub fn first_visit(&self) -> bool {
-        self.baseline.is_none()
+        match &self.view {
+            View::Local(v) => v.baseline.is_none(),
+            View::Shard(v) => v.first_visit(),
+        }
     }
 
     /// Records one application site processed in narrowed (semi-naive)
@@ -259,41 +314,60 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> TrackedStore<'a, A, V
 
     /// Joins values into `addr`, recording growth.
     pub fn join(&mut self, addr: &A, values: impl IntoIterator<Item = V>) {
-        let ids: Vec<u32> = values.into_iter().map(|v| self.store.val_id(v)).collect();
+        let ids: Vec<u32> = values.into_iter().map(|v| self.intern(v)).collect();
         self.join_flow(addr, &Flow::from_ids(ids));
     }
 
     /// Joins an id-level flow into `addr` — the zero-copy path for
     /// "copy the values at one address to another".
     pub fn join_flow(&mut self, addr: &A, flow: &Flow) {
-        let id = self.store.addr_id(addr);
-        self.delta.clear();
-        if self.store.join_ids(id, flow.ids(), &mut self.delta) {
-            self.grew.push(id);
-            self.delta_facts += self.delta.len() as u64;
+        match &mut self.view {
+            View::Local(v) => {
+                let id = v.store.addr_id(addr);
+                v.delta.clear();
+                if v.store.join_ids(id, flow.ids(), &mut v.delta) {
+                    v.grew.push(id);
+                    self.delta_facts += v.delta.len() as u64;
+                }
+            }
+            View::Shard(v) => {
+                self.delta_facts += v.join_ids(addr, flow.ids());
+            }
         }
     }
 
     /// Resolves a value id from a [`Flow`] to the value it denotes.
     pub fn val(&self, id: u32) -> &V {
-        self.store.val(id)
+        match &self.view {
+            View::Local(v) => v.store.val(id),
+            View::Shard(v) => v.val(id),
+        }
     }
 
     /// Interns a value, returning its id (for building result flows).
     pub fn intern(&mut self, value: V) -> u32 {
-        self.store.val_id(value)
+        match &mut self.view {
+            View::Local(v) => v.store.val_id(value),
+            View::Shard(v) => v.intern(value),
+        }
     }
 
     /// Materializes a flow into a value set (for machine-side metric
     /// accumulators; not a hot-path operation).
     pub fn materialize(&self, flow: &Flow) -> FlowSet<V> {
-        self.store.materialize(flow)
+        match &self.view {
+            View::Local(v) => v.store.materialize(flow),
+            View::Shard(v) => v.materialize(flow),
+        }
     }
 
     /// Reads without recording a dependency. Use only for metrics, never
     /// for values that influence successor computation.
     pub fn peek(&self, addr: &A) -> Flow {
-        self.store.read_flow(addr)
+        match &self.view {
+            View::Local(v) => v.store.read_flow(addr),
+            View::Shard(v) => v.peek(addr),
+        }
     }
 }
 
@@ -337,6 +411,15 @@ pub struct EngineLimits {
     pub max_iterations: u64,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Optional store-bytes watermark: when the (approximate) bytes
+    /// held by a store's **delta logs** — the portion a trim reclaims,
+    /// tracked incrementally so the check is O(1) — exceed this, the
+    /// logs are trimmed ([`AbsStore::trim_delta_logs`]) to reclaim the
+    /// doubled-row memory. Configurations whose semi-naive baseline
+    /// predates the trim hit the snapshot-loss fallback and soundly
+    /// re-evaluate in full (`new == all`). `None` (the default) never
+    /// trims.
+    pub store_bytes_watermark: Option<usize>,
 }
 
 impl Default for EngineLimits {
@@ -344,6 +427,7 @@ impl Default for EngineLimits {
         EngineLimits {
             max_iterations: u64::MAX,
             time_budget: None,
+            store_bytes_watermark: None,
         }
     }
 }
@@ -363,6 +447,53 @@ impl EngineLimits {
             time_budget: Some(budget),
             ..Self::default()
         }
+    }
+
+    /// A store-bytes watermark above which delta logs are trimmed.
+    pub fn store_watermark(bytes: usize) -> Self {
+        EngineLimits {
+            store_bytes_watermark: Some(bytes),
+            ..Self::default()
+        }
+    }
+}
+
+/// Scheduler observability counters, accumulated across workers.
+///
+/// The sequential engine reports only `store_resident_bytes`; the
+/// parallel backends fill in the scheduling traffic (ROADMAP: "measure
+/// steal rates and idle spins first"). All counters are totals over the
+/// whole run except `max_inbox_depth`, which is the deepest single
+/// inbox drain any worker performed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Successful steals (a task taken from another worker's queue).
+    pub steals: u64,
+    /// Steal attempts that scanned every victim and found nothing.
+    pub failed_steals: u64,
+    /// Idle loop iterations with no task, no message, and no steal.
+    pub idle_spins: u64,
+    /// Inter-worker messages processed (fact batches for the replicated
+    /// backend; join/dep/wake messages for the sharded backend).
+    pub inbox_batches: u64,
+    /// Deepest single inbox drain (messages taken in one swap).
+    pub max_inbox_depth: u64,
+    /// Approximate store-resident bytes at quiescence: the one store of
+    /// a sequential run, the *sum over replicas* for the replicated
+    /// parallel backend (that is the memory the broadcast design pays),
+    /// the single shared store for the sharded backend.
+    pub store_resident_bytes: u64,
+}
+
+impl SchedStats {
+    /// Folds one worker's counters into the run totals.
+    pub(crate) fn absorb(&mut self, other: &SchedStats) {
+        self.steals += other.steals;
+        self.failed_steals += other.failed_steals;
+        self.idle_spins += other.idle_spins;
+        self.inbox_batches += other.inbox_batches;
+        self.max_inbox_depth = self.max_inbox_depth.max(other.max_inbox_depth);
+        self.store_resident_bytes += other.store_resident_bytes;
     }
 }
 
@@ -396,6 +527,9 @@ pub struct FixpointResult<C, A, V> {
     /// [`EvalMode::FullReeval`] and for machines that never call
     /// [`TrackedStore::note_delta_apply`].
     pub delta_applies: u64,
+    /// Scheduler observability: steals, idle spins, message traffic,
+    /// and approximate store-resident bytes.
+    pub sched: SchedStats,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -553,6 +687,16 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
                     break;
                 }
             }
+            // Store-bytes watermark: trim the delta logs when they
+            // outgrow the budget (O(1) — the store tracks log bytes
+            // incrementally). Baselines behind the trim degrade to
+            // full re-evaluation via the snapshot-loss fallback —
+            // sound, just less incremental.
+            if let Some(watermark) = limits.store_bytes_watermark {
+                if store.delta_log_bytes() > watermark {
+                    store.trim_delta_logs();
+                }
+            }
         }
         let i = queue.pop_front().expect("peeked element present");
         queued[i] = false;
@@ -633,6 +777,10 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         }
     }
 
+    let sched = SchedStats {
+        store_resident_bytes: store.approx_bytes() as u64,
+        ..SchedStats::default()
+    };
     FixpointResult {
         configs,
         store,
@@ -642,6 +790,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         wakeups,
         delta_facts,
         delta_applies,
+        sched,
         elapsed: start.elapsed(),
     }
 }

@@ -42,6 +42,7 @@ pub mod prim;
 pub mod reference;
 pub mod report;
 pub mod results;
+pub mod shardstore;
 pub mod soundness;
 pub mod store;
 pub mod zerocfa_datalog;
@@ -54,8 +55,12 @@ pub use naive::{
     analyze_kcfa_naive, analyze_kcfa_naive_gamma, analyze_kcfa_naive_with, Count, GammaOptions,
     NaiveLimits, NaiveResult,
 };
-pub use parallel::{run_fixpoint_parallel, run_fixpoint_parallel_with, ParallelMachine};
+pub use parallel::{
+    run_fixpoint_parallel, run_fixpoint_parallel_on, run_fixpoint_parallel_with, ParallelMachine,
+    Replicated, Sharded, StoreBackend,
+};
 pub use results::Metrics;
+pub use shardstore::{run_fixpoint_sharded, run_fixpoint_sharded_with};
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};
 
 use cfa_syntax::cps::CpsProgram;

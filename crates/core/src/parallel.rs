@@ -1,4 +1,7 @@
-//! A work-stealing parallel fixpoint engine over replicated stores.
+//! A work-stealing parallel fixpoint engine over replicated stores —
+//! the [`Replicated`] arm of the [`StoreBackend`] pair (the other arm,
+//! one globally shared address-sharded store, lives in
+//! [`crate::shardstore`]).
 //!
 //! [`run_fixpoint_parallel`] shards the worklist of [`crate::engine`]
 //! across N worker threads. The design leans on exactly the two
@@ -57,7 +60,7 @@
 //! as a defensive cross-check.
 
 use crate::engine::{
-    AbstractMachine, EngineLimits, EvalMode, FixpointResult, Status, TrackedStore,
+    AbstractMachine, EngineLimits, EvalMode, FixpointResult, SchedStats, Status, TrackedStore,
 };
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::store::AbsStore;
@@ -125,14 +128,15 @@ impl<C, A, V> Shared<C, A, V> {
 }
 
 /// Number of seen-set shards (a power of two well above any sane
-/// thread count, so dedup contention stays negligible).
-const SEEN_SHARDS: usize = 64;
+/// thread count, so dedup contention stays negligible). Shared with
+/// the sharded backend, which uses the identical dedup fabric.
+pub(crate) const SEEN_SHARDS: usize = 64;
 
 /// Seen-set shard for a configuration. Taken from the *high* hash bits:
 /// the intra-shard `FxHashSet` derives its bucket index from the low
 /// bits of the very same hash, so sharding on those would cluster every
 /// entry of a shard onto 1/64th of the bucket positions.
-fn seen_shard<C: Hash>(cfg: &C) -> usize {
+pub(crate) fn seen_shard<C: Hash>(cfg: &C) -> usize {
     let mut h = FxHasher::default();
     cfg.hash(&mut h);
     (h.finish() >> 58) as usize % SEEN_SHARDS
@@ -161,6 +165,7 @@ struct Worker<'s, M: AbstractMachine> {
     wakeups: u64,
     delta_facts: u64,
     delta_applies: u64,
+    sched: SchedStats,
     mode: EvalMode,
     shared: &'s Shared<M::Config, M::Addr, M::Val>,
 }
@@ -174,6 +179,7 @@ struct WorkerOutput<M: AbstractMachine> {
     wakeups: u64,
     delta_facts: u64,
     delta_applies: u64,
+    sched: SchedStats,
 }
 
 impl<'s, M> Worker<'s, M>
@@ -205,6 +211,7 @@ where
             wakeups: 0,
             delta_facts: 0,
             delta_applies: 0,
+            sched: SchedStats::default(),
             mode,
             shared,
         }
@@ -243,7 +250,7 @@ where
     /// keeping one task to run and enqueueing the rest locally. Locks
     /// are never held across each other, so crossed steals cannot
     /// deadlock.
-    fn steal(&self) -> Option<M::Config> {
+    fn steal(&mut self) -> Option<M::Config> {
         let n = self.shared.queues.len();
         for off in 1..n {
             let victim = (self.id + off) % n;
@@ -263,8 +270,10 @@ where
                     .expect("queue lock")
                     .append(&mut stolen);
             }
+            self.sched.steals += 1;
             return first;
         }
+        self.sched.failed_steals += 1;
         None
     }
 
@@ -469,6 +478,8 @@ where
                 std::mem::take(&mut *inbox)
             };
             if !batches.is_empty() {
+                self.sched.inbox_batches += batches.len() as u64;
+                self.sched.max_inbox_depth = self.sched.max_inbox_depth.max(batches.len() as u64);
                 for batch in batches {
                     self.merge_batch(&batch);
                     self.shared.pending.fetch_sub(1, Ordering::AcqRel);
@@ -494,6 +505,7 @@ where
                     break;
                 }
                 idle_spins += 1;
+                self.sched.idle_spins += 1;
                 if idle_spins < 32 {
                     std::thread::yield_now();
                 } else {
@@ -512,10 +524,24 @@ where
                         break;
                     }
                 }
+                // Store-bytes watermark, per replica: the broadcast
+                // design multiplies log memory by the worker count, so
+                // each replica holds itself to its share (O(1) — log
+                // bytes are tracked incrementally).
+                if let Some(watermark) = limits.store_bytes_watermark {
+                    let share = watermark / self.shared.queues.len();
+                    if self.store.delta_log_bytes() > share {
+                        self.store.trim_delta_logs();
+                    }
+                }
             }
 
             self.process(i, limits, &mut successors, &mut bufs);
         }
+
+        // Measure the replica before the driver unions it away: the sum
+        // across workers is the memory the replication design pays.
+        self.sched.store_resident_bytes = self.store.approx_bytes() as u64;
 
         WorkerOutput {
             machine: self.machine,
@@ -525,6 +551,7 @@ where
             wakeups: self.wakeups,
             delta_facts: self.delta_facts,
             delta_applies: self.delta_applies,
+            sched: self.sched,
         }
     }
 }
@@ -620,12 +647,14 @@ where
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
     let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
     let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
+    let mut sched = SchedStats::default();
     for out in outputs {
         iterations += out.iterations;
         skipped += out.skipped;
         wakeups += out.wakeups;
         delta_facts += out.delta_facts;
         delta_applies += out.delta_applies;
+        sched.absorb(&out.sched);
         store.merge_from(&out.store);
         machine.absorb(out.machine);
     }
@@ -645,8 +674,106 @@ where
         wakeups,
         delta_facts,
         delta_applies,
+        sched,
         elapsed: start.elapsed(),
     }
+}
+
+/// A parallel store backend, as a type-level selector: how N workers
+/// share the abstract store.
+///
+/// [`run_fixpoint_parallel_on`] is generic over this, so callers (the
+/// differential harness, the benchmarks, the CI backend matrix) can
+/// run the *same* machine through both designs:
+///
+/// * [`Replicated`] — per-worker store replicas with all-to-all fact
+///   broadcast (this module). Memory O(program × threads); no shared
+///   rows, so evaluations never contend on a lock.
+/// * [`Sharded`] — one globally shared, address-sharded store
+///   ([`crate::shardstore`]). Memory O(program); facts are interned
+///   once and never re-joined per replica; writes and wakeups route
+///   point-to-point to row owners.
+pub trait StoreBackend {
+    /// Short backend name (bench columns, env-var selection).
+    const NAME: &'static str;
+
+    /// Runs `machine` to its least fixed point on `threads` workers
+    /// under this backend.
+    fn run_fixpoint<M>(
+        machine: &mut M,
+        threads: usize,
+        limits: EngineLimits,
+        mode: EvalMode,
+    ) -> FixpointResult<M::Config, M::Addr, M::Val>
+    where
+        M: ParallelMachine,
+        M::Config: Send + Sync,
+        M::Addr: Send + Sync + Ord,
+        M::Val: Send + Sync;
+}
+
+/// Per-worker store replicas + all-to-all fact broadcast (the backend
+/// implemented by this module).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Replicated;
+
+impl StoreBackend for Replicated {
+    const NAME: &'static str = "replicated";
+
+    fn run_fixpoint<M>(
+        machine: &mut M,
+        threads: usize,
+        limits: EngineLimits,
+        mode: EvalMode,
+    ) -> FixpointResult<M::Config, M::Addr, M::Val>
+    where
+        M: ParallelMachine,
+        M::Config: Send + Sync,
+        M::Addr: Send + Sync + Ord,
+        M::Val: Send + Sync,
+    {
+        run_fixpoint_parallel_with(machine, threads, limits, mode)
+    }
+}
+
+/// One shared, address-sharded store ([`crate::shardstore`]).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Sharded;
+
+impl StoreBackend for Sharded {
+    const NAME: &'static str = "sharded";
+
+    fn run_fixpoint<M>(
+        machine: &mut M,
+        threads: usize,
+        limits: EngineLimits,
+        mode: EvalMode,
+    ) -> FixpointResult<M::Config, M::Addr, M::Val>
+    where
+        M: ParallelMachine,
+        M::Config: Send + Sync,
+        M::Addr: Send + Sync + Ord,
+        M::Val: Send + Sync,
+    {
+        crate::shardstore::run_fixpoint_sharded_with(machine, threads, limits, mode)
+    }
+}
+
+/// [`run_fixpoint_parallel_with`], generic over the store backend.
+pub fn run_fixpoint_parallel_on<B, M>(
+    machine: &mut M,
+    threads: usize,
+    limits: EngineLimits,
+    mode: EvalMode,
+) -> FixpointResult<M::Config, M::Addr, M::Val>
+where
+    B: StoreBackend,
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    B::run_fixpoint(machine, threads, limits, mode)
 }
 
 #[cfg(test)]

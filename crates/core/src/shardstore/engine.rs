@@ -1,0 +1,1022 @@
+//! The sharded parallel fixpoint engine: N workers race monotonically
+//! on **one** [`SharedStore`] instead of broadcasting facts between N
+//! replicas.
+//!
+//! # How work and facts move
+//!
+//! Configurations are sharded by first touch exactly as in
+//! [`crate::parallel`]: global hash-sharded dedup, stealable fresh
+//! queues, wakeups pinned to the home worker. What changes is the
+//! store side:
+//!
+//! * **reads** go straight to the shared store from any thread
+//!   (epoch-stamped snapshots under a per-row mutex, epoch gates on a
+//!   lock-free atomic);
+//! * **writes** go through the shared row from any thread (the row
+//!   mutex serializes them), so a worker's successors immediately read
+//!   the arguments their parent just bound — the property that keeps
+//!   the evaluation count in the replicated engine's regime. No fact
+//!   is ever re-interned or re-joined per replica, which removes the
+//!   all-to-all broadcast quadratic and makes store memory O(program)
+//!   instead of O(program × threads). What *is* routed to the shard
+//!   that owns a grown row is the **growth notification**
+//!   ([`Msg::Grew`]) — addresses, never facts;
+//! * **dependents are indexed at the row's owner**: after an
+//!   evaluation, the home worker registers `(worker, config)` in the
+//!   owner's dependency lists ([`Msg::Deps`]), and growth wakes exactly
+//!   the registered dependents, point-to-point ([`Msg::Wakes`]) —
+//!   never every replica.
+//!
+//! # The stale-snapshot race
+//!
+//! A reader can snapshot a row, and the owner can grow that row and
+//! wake its *current* dependents before the reader's registration
+//! arrives. Registrations therefore carry the epoch the reader
+//! observed; the owner compares it against the row's current epoch when
+//! it processes the registration and immediately wakes the reader if
+//! the row has moved past it. Every read is thus covered: growth before
+//! the read is in the snapshot, growth after it either finds the
+//! dependent registered or is caught by the registration-time check.
+//! (`tests/store_backends.rs` forces this interleaving with a
+//! rendezvous machine.)
+//!
+//! # Semi-naive deltas without replicas
+//!
+//! A configuration's baseline is not one global epoch (racy on a shared
+//! store — a concurrent owner may publish growth stamped below a
+//! just-read counter) but the **per-row epochs its last evaluation
+//! observed**, recorded under the same lock as each snapshot. Delta
+//! reads answer "what landed after the epoch I actually saw", served
+//! from the owner-written per-row delta logs.
+//!
+//! # Termination and result
+//!
+//! The single pending counter of the replicated engine carries over
+//! unchanged: queued tasks + in-flight evaluations + undelivered
+//! messages + queued wakeups; `pending == 0` observed by an idle worker
+//! proves global quiescence. The result needs **no `merge_from`
+//! union** — the shared store *is* the fixpoint; it drains into an
+//! ordinary [`crate::store::AbsStore`] without re-interning a value.
+
+use super::store::{ShardBufs, ShardView, SharedStore};
+use crate::engine::{EngineLimits, EvalMode, FixpointResult, SchedStats, Status, TrackedStore};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::parallel::{seen_shard, ParallelMachine, SEEN_SHARDS};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// An inter-worker message. Everything is id-level — the global
+/// interner is what keeps the wire format free of values.
+enum Msg {
+    /// Rows owned by the receiving worker grew (sorted, unique address
+    /// ids): wake their registered dependents. The facts themselves are
+    /// already in the shared store — growth notifications carry
+    /// addresses, never values.
+    Grew(Vec<u32>),
+    /// Dependency registration from `worker`: `adds` are
+    /// `(addr_id, observed epoch, config index at `worker`)` — the
+    /// observed epoch powers the stale-snapshot check — and `dels`
+    /// deregister `(addr_id, config index)` pairs whose read sets
+    /// shrank.
+    Deps {
+        worker: u32,
+        adds: Vec<(u32, u64, u32)>,
+        dels: Vec<(u32, u32)>,
+    },
+    /// Wake the given config indexes homed at the receiving worker.
+    Wakes(Vec<u32>),
+}
+
+/// State shared by all workers (the scheduling fabric; the store is a
+/// separate shared reference).
+struct Shared<C> {
+    /// Per-worker queues of fresh (never-evaluated) configurations;
+    /// owners pop the front, thieves steal a batch from the back.
+    queues: Vec<Mutex<VecDeque<C>>>,
+    /// Per-worker message inboxes.
+    inboxes: Vec<Mutex<Vec<Msg>>>,
+    /// Global dedup of first-time configurations, sharded by hash.
+    seen: Vec<Mutex<FxHashSet<C>>>,
+    /// Queued tasks + in-flight evaluations + undelivered messages +
+    /// queued wakeups.
+    pending: AtomicU64,
+    /// Raised once: fixpoint reached or a limit fired.
+    done: AtomicBool,
+    /// Global evaluation counter (for `max_iterations`).
+    evals: AtomicU64,
+    /// The limit that stopped the run, if any (first writer wins).
+    stop_status: Mutex<Option<Status>>,
+}
+
+impl<C> Shared<C> {
+    fn stop(&self, status: Status) {
+        let mut slot = self.stop_status.lock().expect("status lock");
+        slot.get_or_insert(status);
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn inbox(&self, id: usize) -> MutexGuard<'_, Vec<Msg>> {
+        self.inboxes[id].lock().expect("inbox lock")
+    }
+}
+
+/// Per-owner outgoing dependency batch.
+#[derive(Default)]
+struct DepBatch {
+    adds: Vec<(u32, u64, u32)>,
+    dels: Vec<(u32, u32)>,
+}
+
+/// One worker: the home of the configurations it first evaluated (their
+/// read sets and wake queue) and the owner of its row shard (their
+/// dependency lists and delta logs).
+struct Worker<'s, M: ParallelMachine> {
+    id: usize,
+    machine: M,
+    store: &'s SharedStore<M::Addr, M::Val>,
+    shared: &'s Shared<M::Config>,
+    /// Locally homed configurations.
+    configs: Vec<M::Config>,
+    index: FxHashMap<M::Config, usize>,
+    /// Per homed config: the `(addr_id, observed epoch)` pairs of its
+    /// last evaluation, sorted by address id — gate input and
+    /// semi-naive baselines in one.
+    config_reads: Vec<Vec<(u32, u64)>>,
+    evaluated: Vec<bool>,
+    /// Dependents of *owned* rows: addr id → sorted `(worker, config)`.
+    deps: FxHashMap<u32, Vec<(u32, u32)>>,
+    /// Pinned re-evaluations of homed configs. Dedup-free; the epoch
+    /// gate absorbs duplicates.
+    wakes: VecDeque<usize>,
+    bufs: ShardBufs,
+    /// Per-target outgoing wake batches (scratch, drained per flush).
+    out_wakes: Vec<Vec<u32>>,
+    /// Per-owner outgoing dependency batches (scratch).
+    out_deps: Vec<DepBatch>,
+    /// Per-owner outgoing growth notifications (scratch).
+    out_grew: Vec<Vec<u32>>,
+    /// Local wake scratch.
+    woken: Vec<usize>,
+    iterations: u64,
+    skipped: u64,
+    wakeups: u64,
+    delta_facts: u64,
+    delta_applies: u64,
+    joins: u64,
+    value_joins: u64,
+    sched: SchedStats,
+    mode: EvalMode,
+}
+
+/// What one worker hands back after the run.
+struct WorkerOutput<M> {
+    machine: M,
+    iterations: u64,
+    skipped: u64,
+    wakeups: u64,
+    delta_facts: u64,
+    delta_applies: u64,
+    joins: u64,
+    value_joins: u64,
+    sched: SchedStats,
+}
+
+impl<'s, M> Worker<'s, M>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    fn new(
+        id: usize,
+        machine: M,
+        mode: EvalMode,
+        store: &'s SharedStore<M::Addr, M::Val>,
+        shared: &'s Shared<M::Config>,
+    ) -> Self {
+        let threads = store.shard_count();
+        Worker {
+            id,
+            machine,
+            store,
+            shared,
+            configs: Vec::new(),
+            index: FxHashMap::default(),
+            config_reads: Vec::new(),
+            evaluated: Vec::new(),
+            deps: FxHashMap::default(),
+            wakes: VecDeque::new(),
+            bufs: ShardBufs::default(),
+            out_wakes: (0..threads).map(|_| Vec::new()).collect(),
+            out_deps: (0..threads).map(|_| DepBatch::default()).collect(),
+            out_grew: (0..threads).map(|_| Vec::new()).collect(),
+            woken: Vec::new(),
+            iterations: 0,
+            skipped: 0,
+            wakeups: 0,
+            delta_facts: 0,
+            delta_applies: 0,
+            joins: 0,
+            value_joins: 0,
+            sched: SchedStats::default(),
+            mode,
+        }
+    }
+
+    fn intern_local(&mut self, cfg: M::Config) -> usize {
+        if let Some(&i) = self.index.get(&cfg) {
+            return i;
+        }
+        let i = self.configs.len();
+        self.configs.push(cfg.clone());
+        self.index.insert(cfg, i);
+        self.config_reads.push(Vec::new());
+        self.evaluated.push(false);
+        i
+    }
+
+    fn push_fresh(&self, cfg: M::Config) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.queues[self.id]
+            .lock()
+            .expect("queue lock")
+            .push_back(cfg);
+    }
+
+    fn pop_local(&self) -> Option<M::Config> {
+        self.shared.queues[self.id]
+            .lock()
+            .expect("queue lock")
+            .pop_front()
+    }
+
+    /// Steals up to half of a victim's fresh queue (same discipline and
+    /// deadlock argument as the replicated engine).
+    fn steal(&mut self) -> Option<M::Config> {
+        let n = self.shared.queues.len();
+        for off in 1..n {
+            let victim = (self.id + off) % n;
+            let mut stolen = {
+                let mut q = self.shared.queues[victim].lock().expect("queue lock");
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                q.split_off(len - len.div_ceil(2))
+            };
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                self.shared.queues[self.id]
+                    .lock()
+                    .expect("queue lock")
+                    .append(&mut stolen);
+            }
+            self.sched.steals += 1;
+            return first;
+        }
+        self.sched.failed_steals += 1;
+        None
+    }
+
+    /// Routes never-seen successors through the global dedup into this
+    /// worker's stealable queue.
+    fn submit_fresh(&self, successors: &mut Vec<M::Config>) {
+        for succ in successors.drain(..) {
+            let fresh = self.shared.seen[seen_shard(&succ)]
+                .lock()
+                .expect("seen lock")
+                .insert(succ.clone());
+            if fresh {
+                self.push_fresh(succ);
+            }
+        }
+    }
+
+    /// Wakes the dependents of every *self-owned* row among the
+    /// (sorted, unique) grown rows — rows owned elsewhere are ignored
+    /// (their owners are notified separately). Homed dependents enter
+    /// the local wake queue, remote ones are batched per target worker
+    /// (flushed by [`Worker::flush_wakes`]).
+    fn wake_dependents_of(&mut self, grown: &[u32]) {
+        debug_assert!(self.woken.is_empty(), "woken scratch left dirty");
+        for &a in grown {
+            if self.store.owner(a) != self.id {
+                continue;
+            }
+            if let Some(list) = self.deps.get(&a) {
+                for &(w, c) in list {
+                    if w as usize == self.id {
+                        self.woken.push(c as usize);
+                    } else {
+                        self.out_wakes[w as usize].push(c);
+                    }
+                }
+            }
+        }
+        self.woken.sort_unstable();
+        self.woken.dedup();
+        for idx in 0..self.woken.len() {
+            let j = self.woken[idx];
+            self.wakeups += 1;
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.wakes.push_back(j);
+        }
+        self.woken.clear();
+    }
+
+    /// Ships the batched remote wakes, one message per target.
+    fn flush_wakes(&mut self) {
+        for target in 0..self.out_wakes.len() {
+            if self.out_wakes[target].is_empty() {
+                continue;
+            }
+            let mut batch = std::mem::take(&mut self.out_wakes[target]);
+            batch.sort_unstable();
+            batch.dedup();
+            self.wakeups += batch.len() as u64;
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.inbox(target).push(Msg::Wakes(batch));
+        }
+    }
+
+    /// Ships the batched dependency registrations, one message per
+    /// owner.
+    fn flush_deps(&mut self) {
+        for owner in 0..self.out_deps.len() {
+            let batch = &mut self.out_deps[owner];
+            if batch.adds.is_empty() && batch.dels.is_empty() {
+                continue;
+            }
+            let msg = Msg::Deps {
+                worker: self.id as u32,
+                adds: std::mem::take(&mut batch.adds),
+                dels: std::mem::take(&mut batch.dels),
+            };
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.inbox(owner).push(msg);
+        }
+    }
+
+    /// Partitions one evaluation's grown rows (sorted, unique): wakes
+    /// local dependents of self-owned rows, batches growth
+    /// notifications for foreign owners, and ships both.
+    fn announce_growth(&mut self, grown: &[u32]) {
+        for &a in grown {
+            let owner = self.store.owner(a);
+            if owner != self.id {
+                self.out_grew[owner].push(a);
+            }
+        }
+        self.wake_dependents_of(grown);
+        self.flush_wakes();
+        for owner in 0..self.out_grew.len() {
+            if self.out_grew[owner].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.out_grew[owner]);
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.inbox(owner).push(Msg::Grew(batch));
+        }
+    }
+
+    /// Registers config `i`'s new read set: diffs it against the
+    /// previous one, applies self-owned adds/dels in place (with the
+    /// stale-snapshot wake check), batches foreign ones per owner, and
+    /// installs the new read set.
+    fn register_deps(&mut self, i: usize, new_reads: &mut Vec<(u32, u64)>) {
+        let me = (self.id as u32, i as u32);
+        // Walk old and new (both sorted by addr id).
+        let mut stale_self_wake = false;
+        {
+            let old = std::mem::take(&mut self.config_reads[i]);
+            let (mut oi, mut ni) = (0, 0);
+            while oi < old.len() || ni < new_reads.len() {
+                let oa = old.get(oi).map(|&(a, _)| a);
+                let na = new_reads.get(ni).map(|&(a, _)| a);
+                let drop_old = match (oa, na) {
+                    (Some(a), Some(b)) if a == b => {
+                        oi += 1;
+                        ni += 1;
+                        continue;
+                    }
+                    (Some(a), Some(b)) => a < b,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => unreachable!("loop condition"),
+                };
+                if drop_old {
+                    // Dropped address: deregister.
+                    let a = old[oi].0;
+                    let owner = self.store.owner(a);
+                    if owner == self.id {
+                        if let Some(list) = self.deps.get_mut(&a) {
+                            if let Ok(pos) = list.binary_search(&me) {
+                                list.remove(pos);
+                            }
+                        }
+                    } else {
+                        self.out_deps[owner].dels.push((a, i as u32));
+                    }
+                    oi += 1;
+                } else {
+                    // Added address: register with the observed epoch
+                    // for the stale-snapshot check.
+                    let (b, e) = new_reads[ni];
+                    let owner = self.store.owner(b);
+                    if owner == self.id {
+                        let list = self.deps.entry(b).or_default();
+                        if let Err(pos) = list.binary_search(&me) {
+                            list.insert(pos, me);
+                        }
+                        if self.store.addr_epoch(b) > e {
+                            stale_self_wake = true;
+                        }
+                    } else {
+                        self.out_deps[owner].adds.push((b, e, i as u32));
+                    }
+                    ni += 1;
+                }
+            }
+        }
+        if stale_self_wake {
+            self.wakeups += 1;
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.wakes.push_back(i);
+        }
+        std::mem::swap(&mut self.config_reads[i], new_reads);
+        self.evaluated[i] = true;
+        self.flush_deps();
+    }
+
+    /// Processes one delivered message.
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Grew(addrs) => {
+                debug_assert!(
+                    addrs.iter().all(|&a| self.store.owner(a) == self.id),
+                    "misrouted growth notification"
+                );
+                self.wake_dependents_of(&addrs);
+                self.flush_wakes();
+            }
+            Msg::Deps { worker, adds, dels } => {
+                for (a, seen_epoch, cfg) in adds {
+                    debug_assert_eq!(self.store.owner(a), self.id, "misrouted dep");
+                    let key = (worker, cfg);
+                    let list = self.deps.entry(a).or_default();
+                    if let Err(pos) = list.binary_search(&key) {
+                        list.insert(pos, key);
+                    }
+                    // Stale-snapshot check: the row moved past the epoch
+                    // the reader observed before this registration
+                    // landed — wake it now or it would wait forever.
+                    // Self-owned registrations never arrive by message
+                    // (register_deps applies them in place), so the
+                    // sender is always remote.
+                    debug_assert_ne!(worker as usize, self.id, "self-registration by message");
+                    if self.store.addr_epoch(a) > seen_epoch {
+                        self.out_wakes[worker as usize].push(cfg);
+                    }
+                }
+                for (a, cfg) in dels {
+                    if let Some(list) = self.deps.get_mut(&a) {
+                        if let Ok(pos) = list.binary_search(&(worker, cfg)) {
+                            list.remove(pos);
+                        }
+                    }
+                }
+                self.flush_wakes();
+            }
+            Msg::Wakes(cfgs) => {
+                for c in cfgs {
+                    self.shared.pending.fetch_add(1, Ordering::AcqRel);
+                    self.wakes.push_back(c as usize);
+                }
+            }
+        }
+        // Only now is the message's own pending released: everything it
+        // spawned (wakes, forwarded messages) is already counted.
+        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Evaluates one homed configuration (by local index).
+    fn process(&mut self, i: usize, limits: &EngineLimits, successors: &mut Vec<M::Config>) {
+        // Epoch gate on lock-free row epochs: skip when no read row
+        // moved past the epoch this config actually observed. Wake
+        // queues are dedup-free, so duplicate pops die here.
+        if self.evaluated[i]
+            && self.config_reads[i]
+                .iter()
+                .all(|&(a, e)| self.store.addr_epoch(a) <= e)
+        {
+            self.skipped += 1;
+            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+
+        if self.shared.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
+            self.shared.stop(Status::IterationLimit);
+            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        self.iterations += 1;
+
+        let config = self.configs[i].clone();
+        successors.clear();
+        let baseline = self.mode == EvalMode::SemiNaive && self.evaluated[i];
+        let bufs = std::mem::take(&mut self.bufs);
+        let prev_reads: &[(u32, u64)] = if baseline { &self.config_reads[i] } else { &[] };
+        let view = ShardView::new(self.store, self.id, prev_reads, baseline, false, bufs);
+        let mut tracked = TrackedStore::wrap_shard(view);
+        self.machine.step(&config, &mut tracked, successors);
+        let (view, step_delta_facts, step_delta_applies) = tracked.into_shard_parts();
+        let (mut bufs, step_joins, step_value_joins) = view.into_bufs();
+        self.delta_facts += step_delta_facts;
+        self.delta_applies += step_delta_applies;
+        self.joins += step_joins;
+        self.value_joins += step_value_joins;
+
+        // Canonicalize the read set: sorted by address, earliest
+        // observed epoch per address (reading conservatively early
+        // epochs only widens the next delta — sound).
+        bufs.reads.sort_unstable();
+        bufs.reads.dedup_by_key(|&mut (a, _)| a);
+        self.register_deps(i, &mut bufs.reads);
+
+        self.submit_fresh(successors);
+
+        bufs.grew.sort_unstable();
+        bufs.grew.dedup();
+        self.announce_growth(&bufs.grew);
+        self.bufs = bufs;
+
+        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn run(mut self, limits: &EngineLimits, start: Instant) -> WorkerOutput<M> {
+        {
+            // Every worker runs the (deterministic) seed, applying only
+            // the rows it owns — each row is seeded exactly once, by its
+            // owner, with no message traffic.
+            let bufs = std::mem::take(&mut self.bufs);
+            let view = ShardView::new(self.store, self.id, &[], false, true, bufs);
+            let mut tracked = TrackedStore::wrap_shard(view);
+            self.machine.seed(&mut tracked);
+            let (view, _, _) = tracked.into_shard_parts();
+            let (mut bufs, seed_joins, seed_value_joins) = view.into_bufs();
+            self.joins += seed_joins;
+            self.value_joins += seed_value_joins;
+            // No dependents can be registered yet; drop the grow set.
+            bufs.grew.clear();
+            self.bufs = bufs;
+        }
+
+        let mut successors: Vec<M::Config> = Vec::new();
+        let mut pops: u64 = 0;
+        let mut idle_spins: u32 = 0;
+
+        loop {
+            if self.shared.done.load(Ordering::Acquire) {
+                break;
+            }
+
+            // Messages first: routed joins and registrations must land
+            // before this worker commits to idling.
+            let msgs = {
+                let mut inbox = self.shared.inbox(self.id);
+                std::mem::take(&mut *inbox)
+            };
+            if !msgs.is_empty() {
+                self.sched.inbox_batches += msgs.len() as u64;
+                self.sched.max_inbox_depth = self.sched.max_inbox_depth.max(msgs.len() as u64);
+                for msg in msgs {
+                    self.handle_msg(msg);
+                }
+                idle_spins = 0;
+                continue;
+            }
+
+            let task: Option<usize> = match self.pop_local() {
+                Some(cfg) => Some(self.intern_local(cfg)),
+                None => match self.wakes.pop_front() {
+                    Some(i) => Some(i),
+                    None => self.steal().map(|cfg| self.intern_local(cfg)),
+                },
+            };
+            let Some(i) = task else {
+                if self.shared.pending.load(Ordering::Acquire) == 0 {
+                    self.shared.done.store(true, Ordering::Release);
+                    break;
+                }
+                idle_spins += 1;
+                self.sched.idle_spins += 1;
+                if idle_spins < 32 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                continue;
+            };
+            idle_spins = 0;
+
+            pops += 1;
+            if pops.is_multiple_of(64) {
+                if let Some(budget) = limits.time_budget {
+                    if start.elapsed() > budget {
+                        self.shared.stop(Status::TimedOut);
+                        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                        break;
+                    }
+                }
+                // Watermark: the store tracks total delta-log bytes
+                // (the portion a trim reclaims) in one atomic;
+                // whichever worker notices the overrun trims every
+                // row — rows of idle owners included, since trimming
+                // is safe from any thread.
+                if let Some(watermark) = limits.store_bytes_watermark {
+                    if self.store.delta_log_bytes() > watermark {
+                        self.store.trim_delta_logs();
+                    }
+                }
+            }
+
+            self.process(i, limits, &mut successors);
+        }
+
+        WorkerOutput {
+            machine: self.machine,
+            iterations: self.iterations,
+            skipped: self.skipped,
+            wakeups: self.wakeups,
+            delta_facts: self.delta_facts,
+            delta_applies: self.delta_applies,
+            joins: self.joins,
+            value_joins: self.value_joins,
+            sched: self.sched,
+        }
+    }
+}
+
+/// Runs `machine` to its least fixed point on `threads` workers over
+/// one shared address-sharded store (semi-naive re-evaluation).
+///
+/// The returned [`FixpointResult`] matches the sequential and
+/// replicated engines on configurations and store facts (the fixed
+/// point is unique). `delta_facts` counts each fact once, at the owner
+/// that applied it — unlike the replicated backend, whose per-replica
+/// broadcast multi-counts independent derivations.
+pub fn run_fixpoint_sharded<M>(
+    machine: &mut M,
+    threads: usize,
+    limits: EngineLimits,
+) -> FixpointResult<M::Config, M::Addr, M::Val>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    run_fixpoint_sharded_with(machine, threads, limits, EvalMode::SemiNaive)
+}
+
+/// [`run_fixpoint_sharded`] under an explicit [`EvalMode`].
+pub fn run_fixpoint_sharded_with<M>(
+    machine: &mut M,
+    threads: usize,
+    limits: EngineLimits,
+    mode: EvalMode,
+) -> FixpointResult<M::Config, M::Addr, M::Val>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    let start = Instant::now();
+    let threads = threads.max(1);
+
+    let store: SharedStore<M::Addr, M::Val> = SharedStore::new(threads);
+    let shared: Shared<M::Config> = Shared {
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+        seen: (0..SEEN_SHARDS)
+            .map(|_| Mutex::new(FxHashSet::default()))
+            .collect(),
+        pending: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        evals: AtomicU64::new(0),
+        stop_status: Mutex::new(None),
+    };
+
+    let root = machine.initial();
+    shared.seen[seen_shard(&root)]
+        .lock()
+        .expect("seen lock")
+        .insert(root.clone());
+    shared.pending.fetch_add(1, Ordering::AcqRel);
+    shared.queues[0].lock().expect("queue lock").push_back(root);
+
+    let mut workers: Vec<Worker<'_, M>> = (0..threads)
+        .map(|id| Worker::new(id, machine.fork(), mode, &store, &shared))
+        .collect();
+
+    let outputs: Vec<WorkerOutput<M>> = if threads == 1 {
+        vec![workers.pop().expect("one worker").run(&limits, start)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .drain(..)
+                .map(|w| scope.spawn(|| w.run(&limits, start)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    let status = shared
+        .stop_status
+        .into_inner()
+        .expect("status lock")
+        .unwrap_or(Status::Completed);
+
+    let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
+    let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
+    let (mut joins, mut value_joins) = (0u64, 0u64);
+    let mut sched = SchedStats::default();
+    for out in outputs {
+        iterations += out.iterations;
+        skipped += out.skipped;
+        wakeups += out.wakeups;
+        delta_facts += out.delta_facts;
+        delta_applies += out.delta_applies;
+        joins += out.joins;
+        value_joins += out.value_joins;
+        sched.absorb(&out.sched);
+        machine.absorb(out.machine);
+    }
+
+    // The shared store *is* the result: measure it, then drain it into
+    // an ordinary AbsStore without re-interning a single value.
+    sched.store_resident_bytes = store.approx_bytes() as u64;
+    let store = store.into_abs_store(joins, value_joins);
+
+    let configs: Vec<M::Config> = shared
+        .seen
+        .into_iter()
+        .flat_map(|shard| shard.into_inner().expect("seen lock"))
+        .collect();
+
+    FixpointResult {
+        configs,
+        store,
+        status,
+        iterations,
+        skipped,
+        wakeups,
+        delta_facts,
+        delta_applies,
+        sched,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_fixpoint, AbstractMachine};
+
+    /// The toy machine of the engine tests.
+    #[derive(Clone)]
+    struct Counter {
+        n: u32,
+    }
+
+    impl AbstractMachine for Counter {
+        type Config = u32;
+        type Addr = u32;
+        type Val = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn step(&mut self, c: &u32, s: &mut TrackedStore<'_, u32, u32>, out: &mut Vec<u32>) {
+            let c = *c;
+            if c < self.n {
+                s.join(&(c % 3), [c]);
+                out.push(c + 1);
+            } else {
+                let _ = s.read(&0);
+            }
+        }
+    }
+
+    impl ParallelMachine for Counter {
+        fn fork(&self) -> Self {
+            self.clone()
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_counter() {
+        for threads in [1, 2, 4] {
+            let seq = run_fixpoint(&mut Counter { n: 40 }, EngineLimits::default());
+            let par =
+                run_fixpoint_sharded(&mut Counter { n: 40 }, threads, EngineLimits::default());
+            assert_eq!(par.status, Status::Completed, "threads={threads}");
+            let mut seq_configs = seq.configs.clone();
+            let mut par_configs = par.configs.clone();
+            seq_configs.sort_unstable();
+            par_configs.sort_unstable();
+            assert_eq!(seq_configs, par_configs, "threads={threads}");
+            for addr in 0..3u32 {
+                assert_eq!(
+                    seq.store.read(&addr),
+                    par.store.read(&addr),
+                    "threads={threads}"
+                );
+            }
+            assert_eq!(
+                seq.store.fact_count(),
+                par.store.fact_count(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.delta_facts, par.delta_facts,
+                "sharded growth is counted once per fact (threads={threads})"
+            );
+        }
+    }
+
+    /// Feedback machine: convergence requires many cross-config wakeups.
+    struct Feedback;
+
+    impl AbstractMachine for Feedback {
+        type Config = u8;
+        type Addr = u8;
+        type Val = u8;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+            if *c == 0 {
+                s.join(&0, [1u8]);
+                out.extend([1, 2]);
+            } else {
+                let seen = s.read(&(*c % 2));
+                let next: Vec<u8> = seen
+                    .iter()
+                    .map(|id| *s.val(id))
+                    .filter(|&v| v < 40)
+                    .map(|v| v + 1)
+                    .collect();
+                s.join(&((*c + 1) % 2), next);
+            }
+        }
+    }
+
+    impl ParallelMachine for Feedback {
+        fn fork(&self) -> Self {
+            Feedback
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn sharded_feedback_converges_across_thread_counts() {
+        let seq = run_fixpoint(&mut Feedback, EngineLimits::default());
+        for threads in [1, 2, 4] {
+            let par = run_fixpoint_sharded(&mut Feedback, threads, EngineLimits::default());
+            assert_eq!(par.status, Status::Completed, "threads={threads}");
+            assert_eq!(par.store.read(&0), seq.store.read(&0), "threads={threads}");
+            assert_eq!(par.store.read(&1), seq.store.read(&1), "threads={threads}");
+            assert_eq!(par.config_count(), seq.config_count(), "threads={threads}");
+        }
+    }
+
+    /// Both evaluation modes compute the same fixpoint over the shared
+    /// store (semi-naive only narrows join inputs).
+    #[test]
+    fn sharded_modes_agree_and_semi_naive_scans_less() {
+        let semi = run_fixpoint_sharded_with(
+            &mut Feedback,
+            2,
+            EngineLimits::default(),
+            EvalMode::SemiNaive,
+        );
+        let full = run_fixpoint_sharded_with(
+            &mut Feedback,
+            2,
+            EngineLimits::default(),
+            EvalMode::FullReeval,
+        );
+        assert_eq!(semi.store.read(&0), full.store.read(&0));
+        assert_eq!(semi.store.read(&1), full.store.read(&1));
+        assert_eq!(semi.store.fact_count(), full.store.fact_count());
+    }
+
+    #[test]
+    fn iteration_limit_fires_sharded() {
+        let r = run_fixpoint_sharded(
+            &mut Counter { n: 1_000_000 },
+            2,
+            EngineLimits::iterations(100),
+        );
+        assert_eq!(r.status, Status::IterationLimit);
+        assert!(r.iterations <= 100, "globally counted: {}", r.iterations);
+    }
+
+    #[test]
+    fn timeout_fires_sharded() {
+        struct Spin;
+        impl AbstractMachine for Spin {
+            type Config = u64;
+            type Addr = u64;
+            type Val = u64;
+            fn initial(&self) -> u64 {
+                0
+            }
+            fn step(&mut self, c: &u64, _s: &mut TrackedStore<'_, u64, u64>, out: &mut Vec<u64>) {
+                std::thread::sleep(Duration::from_millis(1));
+                out.push(c + 1);
+            }
+        }
+        impl ParallelMachine for Spin {
+            fn fork(&self) -> Self {
+                Spin
+            }
+            fn absorb(&mut self, _worker: Self) {}
+        }
+        let r = run_fixpoint_sharded(
+            &mut Spin,
+            2,
+            EngineLimits::timeout(Duration::from_millis(50)),
+        );
+        assert_eq!(r.status, Status::TimedOut);
+    }
+
+    /// A machine whose seed joins rows from every worker: each row must
+    /// end up seeded exactly once (by its owner), and the root must see
+    /// the seeds even if it races ahead of a slower seeder.
+    struct Seeded;
+
+    impl AbstractMachine for Seeded {
+        type Config = u16;
+        type Addr = u16;
+        type Val = u16;
+
+        fn initial(&self) -> u16 {
+            0
+        }
+
+        fn seed(&mut self, s: &mut TrackedStore<'_, u16, u16>) {
+            for a in 0..32u16 {
+                s.join(&a, [a + 100]);
+            }
+        }
+
+        fn step(&mut self, c: &u16, s: &mut TrackedStore<'_, u16, u16>, out: &mut Vec<u16>) {
+            if *c < 32 {
+                // Copy each seeded row into an output row.
+                let f = s.read(c);
+                s.join_flow(&(*c + 1000), &f);
+                out.push(c + 1);
+            }
+        }
+    }
+
+    impl ParallelMachine for Seeded {
+        fn fork(&self) -> Self {
+            Seeded
+        }
+        fn absorb(&mut self, _worker: Self) {}
+    }
+
+    #[test]
+    fn every_row_is_seeded_exactly_once_by_its_owner() {
+        for threads in [1, 3, 4] {
+            let r = run_fixpoint_sharded(&mut Seeded, threads, EngineLimits::default());
+            assert_eq!(r.status, Status::Completed, "threads={threads}");
+            for a in 0..32u16 {
+                assert_eq!(
+                    r.store.read(&a),
+                    [a + 100].into_iter().collect(),
+                    "seed row {a} (threads={threads})"
+                );
+                assert_eq!(
+                    r.store.read(&(a + 1000)),
+                    [a + 100].into_iter().collect(),
+                    "copied row {a} (threads={threads})"
+                );
+            }
+        }
+    }
+}

@@ -77,6 +77,28 @@ impl<T: Eq + Hash + Clone> ValuePool<T> {
         Self::default()
     }
 
+    /// Rebuilds a pool from items already in id order — the final step
+    /// of a sharded run, where the global concurrent interner drains
+    /// into an ordinary [`ValuePool`] (ids are preserved verbatim; each
+    /// item is hashed once to rebuild the lookup index).
+    pub(crate) fn from_items(items: Vec<T>) -> Self {
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (item.clone(), i as u32))
+            .collect();
+        ValuePool { items, index }
+    }
+
+    /// Approximate resident bytes: the item vector plus the lookup
+    /// index. Heap owned *inside* items (strings, shared environments)
+    /// is not chased — the estimate compares store configurations, it
+    /// does not audit the allocator.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<T>()
+            + self.index.capacity() * (std::mem::size_of::<T>() + std::mem::size_of::<(u32, u64)>())
+    }
+
     /// Interns `item`, returning its dense id.
     pub fn intern(&mut self, item: T) -> u32 {
         if let Some(&id) = self.index.get(&item) {
@@ -200,12 +222,12 @@ impl Flow {
 /// strictly increasing epoch order. Together they answer delta-since
 /// queries with a binary search and a slice.
 #[derive(Clone, Debug, Default)]
-struct Row {
-    ids: Option<Arc<Vec<u32>>>,
-    bound: bool,
-    epoch: u64,
-    log: Vec<u32>,
-    marks: Vec<(u64, u32)>,
+pub(crate) struct Row {
+    pub(crate) ids: Option<Arc<Vec<u32>>>,
+    pub(crate) bound: bool,
+    pub(crate) epoch: u64,
+    pub(crate) log: Vec<u32>,
+    pub(crate) marks: Vec<(u64, u32)>,
 }
 
 /// A monotone map from abstract addresses to flow sets.
@@ -223,6 +245,10 @@ pub struct AbsStore<A, V> {
     /// Delta queries reaching behind this epoch fail: the logs before it
     /// were dropped by [`AbsStore::trim_delta_logs`].
     log_floor: u64,
+    /// Approximate bytes held by the rows' delta logs — maintained
+    /// incrementally so the engine's watermark check is O(1), not a
+    /// row walk. Reset by [`AbsStore::trim_delta_logs`].
+    log_bytes: usize,
     bound_count: usize,
 }
 
@@ -236,6 +262,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> Default for AbsStore<A, V> {
             value_joins: 0,
             epoch: 0,
             log_floor: 0,
+            log_bytes: 0,
             bound_count: 0,
         }
     }
@@ -245,6 +272,39 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// An empty store (`⊥`).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Assembles a store from already-consistent parts — how a sharded
+    /// run's global store becomes an ordinary [`AbsStore`] result
+    /// without re-interning a single value (ids are process-global).
+    pub(crate) fn assemble(
+        addrs: ValuePool<A>,
+        vals: ValuePool<V>,
+        rows: Vec<Row>,
+        joins: u64,
+        value_joins: u64,
+        epoch: u64,
+        log_floor: u64,
+    ) -> Self {
+        let bound_count = rows.iter().filter(|r| r.bound).count();
+        let log_bytes = rows
+            .iter()
+            .map(|r| {
+                r.log.len() * std::mem::size_of::<u32>()
+                    + r.marks.len() * std::mem::size_of::<(u64, u32)>()
+            })
+            .sum();
+        AbsStore {
+            addrs,
+            vals,
+            rows,
+            joins,
+            value_joins,
+            epoch,
+            log_floor,
+            log_bytes,
+            bound_count,
+        }
     }
 
     // -- id-level API (the hot path) ----------------------------------
@@ -380,6 +440,8 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
         row.log.extend_from_slice(&delta[delta_start..]);
         let end = u32::try_from(row.log.len()).expect("delta log overflow");
         row.marks.push((self.epoch, end));
+        self.log_bytes += (delta.len() - delta_start) * std::mem::size_of::<u32>()
+            + std::mem::size_of::<(u64, u32)>();
         true
     }
 
@@ -425,6 +487,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
             row.marks = Vec::new();
         }
         self.log_floor = self.epoch;
+        self.log_bytes = 0;
     }
 
     /// Joins a [`Flow`] into `addr` (id-level; no values are touched).
@@ -537,6 +600,42 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> AbsStore<A, V> {
     /// Number of distinct interned values.
     pub fn distinct_values(&self) -> usize {
         self.vals.len()
+    }
+
+    /// Approximate bytes currently held by the delta logs — what a
+    /// trim would reclaim. Maintained incrementally (O(1) to read);
+    /// the engines key `EngineLimits::store_bytes_watermark` on this.
+    pub fn delta_log_bytes(&self) -> usize {
+        self.log_bytes
+    }
+
+    /// The epoch floor below which delta queries report snapshot loss.
+    /// Zero until [`AbsStore::trim_delta_logs`] runs; afterwards the
+    /// epoch of the most recent trim — engine-level tests use this to
+    /// prove a watermark trim actually fired.
+    pub fn delta_log_floor(&self) -> u64 {
+        self.log_floor
+    }
+
+    /// Approximate resident bytes of the store: the interner pools, the
+    /// row table, the flow snapshots, and the delta logs. Heap owned
+    /// inside individual values is not chased, so treat this as a
+    /// comparison metric across engine configurations rather than an
+    /// allocator audit. The engine's `store_bytes_watermark` keys delta
+    /// log trimming on this number.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>()
+            + self.addrs.approx_bytes()
+            + self.vals.approx_bytes()
+            + self.rows.capacity() * std::mem::size_of::<Row>();
+        for row in &self.rows {
+            if let Some(ids) = &row.ids {
+                bytes += ids.len() * std::mem::size_of::<u32>();
+            }
+            bytes += row.log.capacity() * std::mem::size_of::<u32>()
+                + row.marks.capacity() * std::mem::size_of::<(u64, u32)>();
+        }
+        bytes
     }
 
     /// Iterates over `(address, materialized flow set)` pairs for every

@@ -6,12 +6,16 @@
 //! * **random-program generators** — re-exported from
 //!   [`cfa_workloads::gen`] (mini-Scheme) and [`cfa_workloads::gen_fj`]
 //!   (Featherweight Java), plus the curated [`scheme_corpus`];
-//! * **the engine-quad runner** — [`assert_engines_agree`] runs a
-//!   machine through the sequential engine in both [`EvalMode`]s, the
-//!   parallel engine (at [`PAR_THREADS`] workers) in both modes, and
-//!   the retained reference engine, and asserts all five reach the
-//!   identical fixpoint (the fixed point of a monotone transfer
-//!   function is unique, so any divergence is a bug);
+//! * **the engine-matrix runner** — [`assert_engines_agree`] runs a
+//!   machine through the sequential engine, the replicated parallel
+//!   engine, and the sharded parallel engine (both parallel backends at
+//!   [`PAR_THREADS`] workers), each in both [`EvalMode`]s — six engines
+//!   — plus the retained reference engine as oracle, and asserts all
+//!   seven reach the identical fixpoint (the fixed point of a monotone
+//!   transfer function is unique, so any divergence is a bug). The
+//!   `CFA_STORE_BACKEND` environment variable (`replicated`, `sharded`,
+//!   or the default `both`) narrows the parallel side — the CI matrix
+//!   leg uses it to gate each backend in isolation;
 //! * **fixpoint-equality assertions** — [`Fixpoint`] is the canonical
 //!   comparable form (configuration set + materialized store), with
 //!   conversions from both engine result types.
@@ -25,7 +29,7 @@
 use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode};
 use cfa_core::flatcfa::{FlatCfaMachine, FlatPolicy};
 use cfa_core::kcfa::KCfaMachine;
-use cfa_core::parallel::{run_fixpoint_parallel_with, ParallelMachine};
+use cfa_core::parallel::{run_fixpoint_parallel_on, ParallelMachine, Replicated, Sharded};
 use cfa_core::reference::{run_fixpoint_reference, ReferenceMachine};
 use cfa_fj::kcfa::{FjAnalysisOptions, FjMachine};
 use cfa_fj::parse_fj;
@@ -37,8 +41,37 @@ pub use cfa_workloads::gen::random_program as random_scheme_program;
 pub use cfa_workloads::gen_fj::{random_fj_program, FjGenConfig};
 
 /// Thread count for the parallel runs: enough workers that task
-/// migration, fact broadcast, and steals all actually happen.
+/// migration, fact broadcast/routing, and steals all actually happen.
 pub const PAR_THREADS: usize = 3;
+
+/// Which parallel store backends the differential runner exercises.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BackendSelection {
+    /// Run the replicated (per-worker store copies) backend.
+    pub replicated: bool,
+    /// Run the sharded (one shared store) backend.
+    pub sharded: bool,
+}
+
+/// Reads `CFA_STORE_BACKEND` (`replicated` | `sharded` | `both`,
+/// default `both`). The CI backend matrix sets this per leg.
+pub fn backend_selection() -> BackendSelection {
+    match std::env::var("CFA_STORE_BACKEND").as_deref() {
+        Ok("replicated") => BackendSelection {
+            replicated: true,
+            sharded: false,
+        },
+        Ok("sharded") => BackendSelection {
+            replicated: false,
+            sharded: true,
+        },
+        Ok("both") | Err(_) => BackendSelection {
+            replicated: true,
+            sharded: true,
+        },
+        Ok(other) => panic!("CFA_STORE_BACKEND={other:?}: expected replicated|sharded|both"),
+    }
+}
 
 /// A fixpoint in canonical, comparable form: the set of reached
 /// configurations and the fully materialized store.
@@ -82,10 +115,15 @@ where
     }
 }
 
-/// Runs fresh machine instances through all five engines — sequential
-/// and parallel ([`PAR_THREADS`] workers), each in both semi-naive and
-/// full-re-evaluation mode, plus the retained reference engine — and
-/// asserts identical configuration sets and stores everywhere.
+/// Runs fresh machine instances through the engine matrix — sequential,
+/// replicated-parallel, and sharded-parallel ([`PAR_THREADS`] workers),
+/// each in both semi-naive and full-re-evaluation mode (six engines),
+/// plus the retained reference engine as oracle — and asserts identical
+/// configuration sets and stores everywhere.
+///
+/// The parallel backends honor [`backend_selection`] (the
+/// `CFA_STORE_BACKEND` environment variable), so a CI matrix leg can
+/// gate each backend in isolation; by default both run.
 ///
 /// # Panics
 ///
@@ -102,6 +140,7 @@ where
     G: FnOnce() -> R,
 {
     let limits = EngineLimits::default;
+    let backends = backend_selection();
     let reference = run_fixpoint_reference(&mut mk_ref(), limits());
     assert!(
         reference.status.is_complete(),
@@ -121,16 +160,37 @@ where
             "{label}: sequential {mode:?} fixpoint diverges from reference"
         );
 
-        let p = run_fixpoint_parallel_with(&mut mk_new(), PAR_THREADS, limits(), mode);
-        assert!(
-            p.status.is_complete(),
-            "{label}: parallel {mode:?} engine incomplete"
-        );
-        assert_eq!(
-            fixpoint_of(&p),
-            expected,
-            "{label}: parallel {mode:?} fixpoint diverges from reference"
-        );
+        if backends.replicated {
+            let p = run_fixpoint_parallel_on::<Replicated, M>(
+                &mut mk_new(),
+                PAR_THREADS,
+                limits(),
+                mode,
+            );
+            assert!(
+                p.status.is_complete(),
+                "{label}: replicated-parallel {mode:?} engine incomplete"
+            );
+            assert_eq!(
+                fixpoint_of(&p),
+                expected,
+                "{label}: replicated-parallel {mode:?} fixpoint diverges from reference"
+            );
+        }
+
+        if backends.sharded {
+            let s =
+                run_fixpoint_parallel_on::<Sharded, M>(&mut mk_new(), PAR_THREADS, limits(), mode);
+            assert!(
+                s.status.is_complete(),
+                "{label}: sharded-parallel {mode:?} engine incomplete"
+            );
+            assert_eq!(
+                fixpoint_of(&s),
+                expected,
+                "{label}: sharded-parallel {mode:?} fixpoint diverges from reference"
+            );
+        }
     }
 }
 

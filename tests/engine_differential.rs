@@ -4,9 +4,11 @@
 //! The fixed point of a monotone transfer function is unique, so the
 //! rebuilt hot path (`cfa_core::engine`) in both evaluation modes
 //! (semi-naive delta transfer functions and full re-evaluation), the
-//! work-stealing parallel engine (`cfa_core::parallel` — any
-//! interleaving, any thread count, both modes) and the retained
-//! pre-interning engine (`cfa_core::reference`) must agree on
+//! work-stealing parallel engine under **both store backends** —
+//! replicated (`cfa_core::parallel`) and shared address-sharded
+//! (`cfa_core::shardstore`), any interleaving, any thread count, both
+//! modes — and the retained pre-interning engine
+//! (`cfa_core::reference`) must agree on
 //!
 //! * the set of reached configurations, and
 //! * every `(address, flow set)` fact in the final store,

@@ -2,10 +2,10 @@
 //!
 //! For random programs and random machine/context configurations, the
 //! semi-naive fixpoint must equal the full-re-evaluation fixpoint must
-//! equal the reference fixpoint — for both the sequential engine and
-//! the 3-thread parallel engine. `cfa_testsupport::assert_engines_agree`
-//! (called through the per-family sweeps) runs exactly that engine
-//! quad + oracle.
+//! equal the reference fixpoint — for the sequential engine and both
+//! 3-thread parallel backends (replicated and sharded stores).
+//! `cfa_testsupport::assert_engines_agree` (called through the
+//! per-family sweeps) runs exactly that six-engine matrix + oracle.
 //!
 //! Beyond agreement, the suite checks the *point* of semi-naive
 //! evaluation: on feedback-heavy workloads the delta engine feeds
@@ -40,6 +40,37 @@ proptest! {
     ) {
         let src = cfa_testsupport::random_fj_program(seed, Default::default());
         check_fj_program(&src, &format!("semi-naive FJ seed={seed}"), &[k]);
+    }
+
+    /// The sharded backend keeps exact per-row semi-naive deltas on the
+    /// *shared* store (no replica pinning): for random programs, its
+    /// semi-naive fixpoint matches its own full re-evaluation and the
+    /// sequential engine — facts, bound addresses, and configurations.
+    #[test]
+    fn sharded_semi_naive_equals_full_equals_sequential(
+        seed in 0u64..10_000,
+        k in 0usize..2,
+    ) {
+        use cfa::analysis::shardstore::run_fixpoint_sharded_with;
+        if !cfa_testsupport::backend_selection().sharded {
+            // Honor the CI backend matrix: the replicated-only leg must
+            // not exercise the sharded engine.
+            return Ok(());
+        }
+        let src = random_scheme_program(seed, 30);
+        let p = cfa::compile(&src).expect("generated programs compile");
+        let seq = run_fixpoint_with(
+            &mut KCfaMachine::new(&p, k), EngineLimits::default(), EvalMode::SemiNaive);
+        for mode in [EvalMode::SemiNaive, EvalMode::FullReeval] {
+            let sh = run_fixpoint_sharded_with(
+                &mut KCfaMachine::new(&p, k), 3, EngineLimits::default(), mode);
+            prop_assert!(sh.status.is_complete(), "seed {} {:?}", seed, mode);
+            prop_assert_eq!(
+                cfa_testsupport::fixpoint_of(&sh),
+                cfa_testsupport::fixpoint_of(&seq),
+                "seed {} {:?}: sharded fixpoint diverges", seed, mode
+            );
+        }
     }
 
     /// Sequential scheduling is deterministic, so the two modes must
