@@ -404,7 +404,25 @@ impl Status {
     }
 }
 
-/// Resource limits for a run.
+/// Resource limits (and scheduling knobs) for a run.
+///
+/// # Examples
+///
+/// Limits compose with struct-update syntax; the default is unbounded:
+///
+/// ```
+/// use cfa_core::engine::EngineLimits;
+/// use std::time::Duration;
+///
+/// let limits = EngineLimits {
+///     max_iterations: 10_000,
+///     time_budget: Some(Duration::from_secs(5)),
+///     ..EngineLimits::default()
+/// };
+/// assert_eq!(limits.max_iterations, 10_000);
+/// assert_eq!(EngineLimits::default().max_iterations, u64::MAX);
+/// assert_eq!(EngineLimits::iterations(100).max_iterations, 100);
+/// ```
 #[derive(Copy, Clone, Debug)]
 pub struct EngineLimits {
     /// Maximum number of configuration evaluations.
@@ -420,6 +438,13 @@ pub struct EngineLimits {
     /// re-evaluate in full (`new == all`). `None` (the default) never
     /// trims.
     pub store_bytes_watermark: Option<usize>,
+    /// Wake-batch coalescing policy of the parallel fabric
+    /// ([`crate::fabric::WakeBatching`]) — how much of its message
+    /// inbox a worker drains before returning to evaluation. Not a
+    /// resource limit, but carried here so every parallel entry point
+    /// inherits the scheduling knob without another parameter; the
+    /// sequential engine (which has no inbox) ignores it.
+    pub wake_batching: crate::fabric::WakeBatching,
 }
 
 impl Default for EngineLimits {
@@ -428,6 +453,7 @@ impl Default for EngineLimits {
             max_iterations: u64::MAX,
             time_budget: None,
             store_bytes_watermark: None,
+            wake_batching: crate::fabric::WakeBatching::default(),
         }
     }
 }
@@ -476,7 +502,14 @@ pub struct SchedStats {
     /// Inter-worker messages processed (fact batches for the replicated
     /// backend; join/dep/wake messages for the sharded backend).
     pub inbox_batches: u64,
-    /// Deepest single inbox drain (messages taken in one swap).
+    /// Non-empty inbox drains performed (`inbox_batches /
+    /// inbox_drains` is the average batch one drain delivered;
+    /// [`crate::fabric::WakeBatching::Adaptive`] sizes its bounded
+    /// drains by the average *observed* depth, which delivered batch
+    /// sizes under-report once the bound kicks in).
+    pub inbox_drains: u64,
+    /// Deepest inbox observed at any single drain (messages waiting,
+    /// whether or not that drain delivered them all).
     pub max_inbox_depth: u64,
     /// Approximate store-resident bytes at quiescence: the one store of
     /// a sequential run, the *sum over replicas* for the replicated
@@ -492,6 +525,7 @@ impl SchedStats {
         self.failed_steals += other.failed_steals;
         self.idle_spins += other.idle_spins;
         self.inbox_batches += other.inbox_batches;
+        self.inbox_drains += other.inbox_drains;
         self.max_inbox_depth = self.max_inbox_depth.max(other.max_inbox_depth);
         self.store_resident_bytes += other.store_resident_bytes;
     }
@@ -592,6 +626,18 @@ pub(crate) fn register_deps(
 
 /// Runs `machine` to its least fixed point (or until a limit fires),
 /// with semi-naive re-evaluation ([`EvalMode::SemiNaive`]).
+///
+/// # Examples
+///
+/// ```
+/// use cfa_core::engine::{run_fixpoint, EngineLimits, Status};
+/// use cfa_core::kcfa::KCfaMachine;
+///
+/// let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+/// let r = run_fixpoint(&mut KCfaMachine::new(&p, 1), EngineLimits::default());
+/// assert_eq!(r.status, Status::Completed);
+/// assert!(r.store.fact_count() > 0, "the identity application binds x");
+/// ```
 pub fn run_fixpoint<M: AbstractMachine>(
     machine: &mut M,
     limits: EngineLimits,

@@ -1,0 +1,657 @@
+//! The parallel scheduling fabric: one generic worker driver that both
+//! store backends run on.
+//!
+//! PR 2 (replicated stores) and PR 4 (one shared address-sharded store)
+//! each hand-rolled the same worker loop — steal discipline, idle
+//! backoff, pending-counter termination, pop-keyed limit checks — and
+//! the ROADMAP warned that scheduling fixes of the PR 2 class (stale
+//! dependency wakeups, timeout starvation) must never be applied to
+//! only one copy. This module is that extraction: the loop exists once,
+//! parameterized over a [`BackendWorker`] that contributes only the
+//! store-specific operations (how facts move, how dependencies
+//! register, what a message means).
+//!
+//! # What the fabric owns
+//!
+//! * **stealable fresh-config deques** — one per worker; owners pop the
+//!   front, thieves steal half from the back (the steal's two queue
+//!   locks are never held across each other, so crossed steals cannot
+//!   deadlock);
+//! * **hash-sharded global dedup** of first-time configurations
+//!   ([`WorkerCtx::submit_fresh`]);
+//! * **pinned wakeups** — re-evaluations of a configuration run only on
+//!   its home worker (where its read set and last-run state live), via
+//!   a worker-private dedup-free wake queue whose duplicate pops the
+//!   backend's epoch gate absorbs;
+//! * **the pending-counter termination protocol** — one atomic counts
+//!   queued tasks + in-flight evaluations + undelivered messages +
+//!   queued wakeups; a task or message releases its own count only
+//!   after everything it spawned has been counted, so `pending == 0`
+//!   observed by an idle worker proves global quiescence
+//!   ([`Fabric::finish`] asserts it on every completed run);
+//! * **pop-keyed limit checks** — the wall clock and the store-bytes
+//!   watermark are consulted every [`LIMIT_CHECK_CADENCE`] *pops*
+//!   (evaluations and gate-skips alike), so a long run of skipped pops
+//!   can never starve the timeout — the PR 2 fix, now in one place;
+//! * **the iteration budget** — a global evaluation counter claimed
+//!   before each step;
+//! * **idle-spin backoff** and the [`SchedStats`] accounting for all of
+//!   the above;
+//! * **adaptive wake-batch coalescing** ([`WakeBatching`]) — how much
+//!   of the inbox one drain takes before the worker returns to
+//!   evaluating.
+//!
+//! # What a backend contributes
+//!
+//! The [`BackendWorker`] hooks are exactly the store-specific residue:
+//! how a configuration is interned and epoch-gated against *its* store
+//! view, what one evaluation does (step, dependency registration,
+//! growth announcement), what an inter-worker message means (a
+//! replicated fact batch to merge; a sharded growth / dependency /
+//! wake routing message), and what the store-bytes watermark trims.
+//! The replicated backend ([`crate::parallel`]) and the sharded
+//! backend ([`crate::shardstore`]) implement it; the differential
+//! suites prove both reach the sequential engine's fixpoint through
+//! this one loop.
+
+use crate::engine::{EngineLimits, EvalMode, SchedStats, Status};
+use crate::fxhash::{FxHashSet, FxHasher};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of seen-set shards (a power of two well above any sane
+/// thread count, so dedup contention stays negligible).
+const SEEN_SHARDS: usize = 64;
+
+/// Pops between wall-clock / watermark checks. Keyed on *total* pops
+/// (evaluations + gate-skips): a long run of skipped pops must still
+/// consult the clock, or it could overrun `time_budget` unnoticed.
+pub const LIMIT_CHECK_CADENCE: u64 = 64;
+
+/// Smallest bounded inbox drain under [`WakeBatching::Adaptive`].
+const MIN_DRAIN_BATCH: usize = 8;
+
+/// Largest bounded inbox drain under [`WakeBatching::Adaptive`].
+const MAX_DRAIN_BATCH: usize = 512;
+
+/// Seen-set shard for a configuration. Taken from the *high* hash bits:
+/// the intra-shard `FxHashSet` derives its bucket index from the low
+/// bits of the very same hash, so sharding on those would cluster every
+/// entry of a shard onto 1/64th of the bucket positions.
+fn seen_shard<C: Hash>(cfg: &C) -> usize {
+    let mut h = FxHasher::default();
+    cfg.hash(&mut h);
+    (h.finish() >> 58) as usize % SEEN_SHARDS
+}
+
+/// How a worker drains its message inbox — the wake-batch coalescing
+/// policy.
+///
+/// Messages (fact batches, growth notifications, dependency
+/// registrations, remote wakeups) arrive in per-worker inboxes and are
+/// always delivered before new evaluations are taken on. The policy
+/// decides *how many* one drain takes:
+///
+/// * [`WakeBatching::Adaptive`] (the default) takes a bounded batch
+///   sized by the worker's observed average inbox depth (clamped to
+///   8..=512), then returns to evaluating. Workers that historically
+///   see deep inboxes take bigger gulps (amortizing the inbox lock);
+///   workers with shallow traffic take small ones, so evaluations —
+///   and the wake coalescing that deferring pinned re-runs buys —
+///   interleave with delivery instead of stalling behind a deep inbox.
+/// * [`WakeBatching::DrainAll`] takes the whole inbox and delivers
+///   every message before the next evaluation — the pre-fabric
+///   behavior, kept selectable so `engine_bench` can measure the
+///   before/after cells.
+///
+/// Carried on [`EngineLimits::wake_batching`]; ignored by the
+/// sequential engine (which has no inbox).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum WakeBatching {
+    /// Bounded drains sized by the observed average inbox depth.
+    #[default]
+    Adaptive,
+    /// Unbounded drains: deliver everything before evaluating.
+    DrainAll,
+}
+
+/// State shared by all workers of one parallel run: the scheduling
+/// fabric. `C` is the machine's configuration type, `M` the backend's
+/// inter-worker message type.
+#[derive(Debug)]
+pub struct Fabric<C, M> {
+    /// Per-worker queues of *fresh* (never-evaluated) configurations.
+    /// Owners push/pop the front; thieves steal a batch from the back.
+    /// Tasks carry configurations by value so a stolen task is
+    /// meaningful on any worker; wakeups never enter these queues —
+    /// they are pinned to the home worker's private queue.
+    queues: Vec<Mutex<VecDeque<C>>>,
+    /// Per-worker message inboxes (ring buffers: senders push the
+    /// back, bounded drains pop the front in O(batch)).
+    inboxes: Vec<Mutex<VecDeque<M>>>,
+    /// Global dedup of first-time configurations, sharded by hash.
+    seen: Vec<Mutex<FxHashSet<C>>>,
+    /// Queued tasks + in-flight evaluations + undelivered messages +
+    /// queued wakeups.
+    pending: AtomicU64,
+    /// Raised once: fixpoint reached or a limit fired.
+    done: AtomicBool,
+    /// Global evaluation counter (for `max_iterations`).
+    evals: AtomicU64,
+    /// The limit that stopped the run, if any (first writer wins).
+    stop_status: Mutex<Option<Status>>,
+}
+
+impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
+    /// An empty fabric for `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Fabric {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inboxes: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            seen: (0..SEEN_SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect(),
+            pending: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            evals: AtomicU64::new(0),
+            stop_status: Mutex::new(None),
+        }
+    }
+
+    /// Number of workers this fabric schedules.
+    pub fn threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Seeds the run: marks `root` seen and queues it at worker 0.
+    pub fn submit_root(&self, root: C) {
+        self.seen[seen_shard(&root)]
+            .lock()
+            .expect("seen lock")
+            .insert(root.clone());
+        self.pending_add();
+        self.queues[0].lock().expect("queue lock").push_back(root);
+    }
+
+    /// Records the limit that stopped the run (first writer wins) and
+    /// raises the done flag.
+    fn stop(&self, status: Status) {
+        let mut slot = self.stop_status.lock().expect("status lock");
+        slot.get_or_insert(status);
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn pending_add(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn pending_sub(&self) {
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Tears the fabric down after all workers have returned: the final
+    /// [`Status`] and the global configuration set (the drained dedup).
+    ///
+    /// # Panics
+    ///
+    /// On a [`Status::Completed`] run the pending counter must be
+    /// exactly zero — queued tasks, in-flight evaluations, undelivered
+    /// messages, and queued wakeups have all been released — and this
+    /// asserts it: a nonzero count would mean the termination protocol
+    /// lost or double-counted work.
+    pub fn finish(self) -> (Status, Vec<C>) {
+        let status = self
+            .stop_status
+            .into_inner()
+            .expect("status lock")
+            .unwrap_or(Status::Completed);
+        if status == Status::Completed {
+            assert_eq!(
+                self.pending.load(Ordering::Acquire),
+                0,
+                "completed run with nonzero pending: termination protocol broken"
+            );
+        }
+        let configs = self
+            .seen
+            .into_iter()
+            .flat_map(|shard| shard.into_inner().expect("seen lock"))
+            .collect();
+        (status, configs)
+    }
+}
+
+/// One worker's handle onto the fabric: its identity, its private wake
+/// queue, and the scheduling counters the driver accumulates. Backends
+/// receive `&mut WorkerCtx` in every hook and use it to submit fresh
+/// configurations, schedule wakeups, and route messages — they never
+/// touch the shared state directly.
+#[derive(Debug)]
+pub struct WorkerCtx<'f, C, M> {
+    id: usize,
+    fabric: &'f Fabric<C, M>,
+    mode: EvalMode,
+    batching: WakeBatching,
+    /// Pinned re-evaluations of locally homed configurations, by local
+    /// index. Worker-private (no lock): only the owner pushes and pops.
+    /// Deliberately dedup-free — the backend's epoch gate absorbs
+    /// duplicate pops in O(|reads|).
+    wakes: VecDeque<usize>,
+    /// Dependent re-enqueues this worker scheduled (local wakes plus
+    /// remote wakes it shipped).
+    pub wakeups: u64,
+    /// `(address, value)` facts this worker's evaluations added.
+    pub delta_facts: u64,
+    /// Application sites this worker processed in narrowed semi-naive
+    /// form.
+    pub delta_applies: u64,
+    /// Scheduler observability counters.
+    pub sched: SchedStats,
+    /// Sum of inbox depths observed at each non-empty drain — the
+    /// adaptive batching signal (`depth_sum / sched.inbox_drains` is
+    /// the average depth this worker actually finds waiting).
+    depth_sum: u64,
+    iterations: u64,
+    skipped: u64,
+}
+
+impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
+    fn new(id: usize, fabric: &'f Fabric<C, M>, mode: EvalMode, batching: WakeBatching) -> Self {
+        WorkerCtx {
+            id,
+            fabric,
+            mode,
+            batching,
+            wakes: VecDeque::new(),
+            wakeups: 0,
+            delta_facts: 0,
+            delta_applies: 0,
+            sched: SchedStats::default(),
+            depth_sum: 0,
+            iterations: 0,
+            skipped: 0,
+        }
+    }
+
+    /// This worker's index (0-based; also its shard id under the
+    /// sharded backend).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total workers in the run.
+    pub fn threads(&self) -> usize {
+        self.fabric.threads()
+    }
+
+    /// The evaluation mode of the run (semi-naive vs full
+    /// re-evaluation).
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Ships `msg` to `target`'s inbox, counting it pending until the
+    /// receiver processes it.
+    pub fn send(&self, target: usize, msg: M) {
+        self.fabric.pending_add();
+        self.fabric.inboxes[target]
+            .lock()
+            .expect("inbox lock")
+            .push_back(msg);
+    }
+
+    /// Routes never-seen successors through the global dedup into this
+    /// worker's stealable queue (locality first; stealing rebalances).
+    pub fn submit_fresh(&self, successors: &mut Vec<C>) {
+        for succ in successors.drain(..) {
+            let fresh = self.fabric.seen[seen_shard(&succ)]
+                .lock()
+                .expect("seen lock")
+                .insert(succ.clone());
+            if fresh {
+                self.fabric.pending_add();
+                self.fabric.queues[self.id]
+                    .lock()
+                    .expect("queue lock")
+                    .push_back(succ);
+            }
+        }
+    }
+
+    /// Schedules a wakeup of locally homed task `i`, counting it both
+    /// pending and as a wakeup.
+    pub fn wake_local(&mut self, i: usize) {
+        self.wakeups += 1;
+        self.fabric.pending_add();
+        self.wakes.push_back(i);
+    }
+
+    /// Enqueues a wakeup delivered *by message* — the sender already
+    /// counted it as a wakeup; only the pending count is added here.
+    pub fn deliver_wake(&mut self, i: usize) {
+        self.fabric.pending_add();
+        self.wakes.push_back(i);
+    }
+
+    fn pop_local(&self) -> Option<C> {
+        self.fabric.queues[self.id]
+            .lock()
+            .expect("queue lock")
+            .pop_front()
+    }
+
+    /// Steals up to half of a victim's fresh queue (from the back),
+    /// keeping one task to run and enqueueing the rest locally. Locks
+    /// are never held across each other, so crossed steals cannot
+    /// deadlock. Stolen tasks were already counted pending when first
+    /// queued — moving them counts nothing.
+    fn steal(&mut self) -> Option<C> {
+        let n = self.fabric.queues.len();
+        for off in 1..n {
+            let victim = (self.id + off) % n;
+            let mut stolen = {
+                let mut q = self.fabric.queues[victim].lock().expect("queue lock");
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                q.split_off(len - len.div_ceil(2))
+            };
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                self.fabric.queues[self.id]
+                    .lock()
+                    .expect("queue lock")
+                    .append(&mut stolen);
+            }
+            self.sched.steals += 1;
+            return first;
+        }
+        self.sched.failed_steals += 1;
+        None
+    }
+
+    /// How many messages the next inbox drain may take.
+    fn drain_limit(&self) -> usize {
+        match self.batching {
+            WakeBatching::DrainAll => usize::MAX,
+            WakeBatching::Adaptive => {
+                // Sized by the *observed* inbox depth (what was waiting
+                // when this worker drained), never by the delivered
+                // batch sizes — those are themselves capped by the
+                // limit, and averaging them would pin the limit at
+                // MIN_DRAIN_BATCH forever.
+                match self.depth_sum.checked_div(self.sched.inbox_drains) {
+                    None => MIN_DRAIN_BATCH,
+                    Some(avg) => usize::try_from(avg)
+                        .unwrap_or(MAX_DRAIN_BATCH)
+                        .clamp(MIN_DRAIN_BATCH, MAX_DRAIN_BATCH),
+                }
+            }
+        }
+    }
+
+    /// Takes one bounded batch from this worker's inbox (FIFO order
+    /// preserved; empty when the inbox is), recording the observed
+    /// depth and the drain counters.
+    fn drain_inbox(&mut self) -> VecDeque<M> {
+        let limit = self.drain_limit();
+        let mut inbox = self.fabric.inboxes[self.id].lock().expect("inbox lock");
+        let depth = inbox.len();
+        if depth == 0 {
+            return VecDeque::new();
+        }
+        self.sched.inbox_drains += 1;
+        self.sched.max_inbox_depth = self.sched.max_inbox_depth.max(depth as u64);
+        self.depth_sum += depth as u64;
+        let msgs = if depth <= limit {
+            std::mem::take(&mut *inbox)
+        } else {
+            // Front drain of a ring buffer: O(limit), no shifting of
+            // the messages left behind.
+            inbox.drain(..limit).collect()
+        };
+        self.sched.inbox_batches += msgs.len() as u64;
+        msgs
+    }
+}
+
+/// The store-specific half of a parallel worker: what the fabric's
+/// generic driver ([`drive`]) calls into.
+///
+/// Implementations hold the worker's store view and its per-config
+/// scheduling state (read sets, last-run epochs, dependency lists);
+/// the fabric holds everything else. Every hook receives the worker's
+/// [`WorkerCtx`] to submit fresh configurations, schedule wakeups, and
+/// route messages.
+pub trait BackendWorker: Send {
+    /// The machine's configuration type (tasks move between workers by
+    /// value).
+    type Config: Clone + Eq + Hash + Send + Sync;
+    /// The backend's inter-worker message: a replicated fact batch, or
+    /// a sharded growth / dependency / wake routing message.
+    type Msg: Send;
+
+    /// Seeds the worker's store view before the loop starts (e.g. the
+    /// Featherweight Java machine pre-binds the `Main` receiver).
+    fn seed(&mut self, ctx: &mut WorkerCtx<'_, Self::Config, Self::Msg>);
+
+    /// Interns a fresh or stolen configuration into this worker's local
+    /// tables, returning its task index. The configuration is homed
+    /// here from now on: wakeups for it are pinned to this worker.
+    fn intern(&mut self, cfg: Self::Config) -> usize;
+
+    /// The epoch gate: `true` when re-evaluating task `i` is provably a
+    /// no-op (no address it last read has grown past the epoch that
+    /// evaluation observed). The fabric's wake queues are dedup-free,
+    /// so duplicate wakeups die here — this gate is load-bearing, not
+    /// an optimization.
+    fn gated(&self, i: usize) -> bool;
+
+    /// Evaluates task `i`: step the machine against the store view,
+    /// register dependencies (with stale-dep pruning), submit fresh
+    /// successors, and announce growth (local wakes + routed messages).
+    fn evaluate(&mut self, i: usize, ctx: &mut WorkerCtx<'_, Self::Config, Self::Msg>);
+
+    /// Delivers one inter-worker message. The fabric releases the
+    /// message's pending count after this returns, so everything the
+    /// delivery spawns (wakes, forwarded messages) must be counted
+    /// inside.
+    fn on_msg(&mut self, msg: Self::Msg, ctx: &mut WorkerCtx<'_, Self::Config, Self::Msg>);
+
+    /// Enforces [`EngineLimits::store_bytes_watermark`], called on the
+    /// pop cadence: trim delta logs if this worker's store (or its
+    /// share of it) outgrew `watermark`.
+    fn enforce_watermark(&mut self, watermark: usize, threads: usize);
+
+    /// Final accounting after the loop exits (e.g. measuring
+    /// store-resident bytes into `sched` before the driver unions the
+    /// replica away).
+    fn finish(&mut self, sched: &mut SchedStats);
+}
+
+/// What one worker hands back from [`drive`]: its backend (store view,
+/// machine, backend-specific counters) plus the fabric-accumulated
+/// scheduling counters.
+#[derive(Debug)]
+pub struct WorkerReport<B> {
+    /// The backend worker, for the caller to drain (machine absorb,
+    /// store merge, counter sums).
+    pub backend: B,
+    /// Evaluations this worker performed.
+    pub iterations: u64,
+    /// Pops absorbed by the epoch gate.
+    pub skipped: u64,
+    /// Wakeups this worker scheduled.
+    pub wakeups: u64,
+    /// Facts this worker's evaluations added.
+    pub delta_facts: u64,
+    /// Narrowed semi-naive application sites.
+    pub delta_applies: u64,
+    /// Scheduling counters.
+    pub sched: SchedStats,
+}
+
+/// The unified worker loop — the one place every scheduling invariant
+/// lives. See the module docs for the protocol; the order of business
+/// each turn is: done flag, inbox (bounded by [`WakeBatching`]), fresh
+/// work, pinned wakeups, steal, termination check / idle backoff; per
+/// pop: cadenced wall-clock + watermark checks, epoch gate, iteration
+/// claim, evaluation.
+fn run_worker<B: BackendWorker>(
+    mut backend: B,
+    mut ctx: WorkerCtx<'_, B::Config, B::Msg>,
+    limits: &EngineLimits,
+    start: Instant,
+) -> WorkerReport<B> {
+    backend.seed(&mut ctx);
+
+    let mut pops: u64 = 0;
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        if ctx.fabric.done.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Deliver messages before taking on new evaluations, so local
+        // wakeups are scheduled against the freshest store view. Under
+        // adaptive batching a bounded batch is taken and the worker
+        // falls through to evaluate; under drain-all the whole inbox is
+        // delivered first (the pre-fabric discipline).
+        let msgs = ctx.drain_inbox();
+        if !msgs.is_empty() {
+            for msg in msgs {
+                backend.on_msg(msg, &mut ctx);
+                // Only now is the message's own pending released:
+                // everything it spawned is already counted.
+                ctx.fabric.pending_sub();
+            }
+            idle_spins = 0;
+            if ctx.batching == WakeBatching::DrainAll {
+                continue;
+            }
+        }
+
+        // Fresh exploration first — it discovers the configuration
+        // space and is the work that can be stolen; pinned re-runs
+        // after (deferring them coalesces several growth events into
+        // one re-evaluation); stealing only when both are dry.
+        let task: Option<usize> = match ctx.pop_local() {
+            Some(cfg) => Some(backend.intern(cfg)),
+            None => match ctx.wakes.pop_front() {
+                Some(i) => Some(i),
+                None => ctx.steal().map(|cfg| backend.intern(cfg)),
+            },
+        };
+        let Some(i) = task else {
+            if ctx.fabric.pending.load(Ordering::Acquire) == 0 {
+                ctx.fabric.done.store(true, Ordering::Release);
+                break;
+            }
+            idle_spins += 1;
+            ctx.sched.idle_spins += 1;
+            if idle_spins < 32 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            continue;
+        };
+        idle_spins = 0;
+
+        pops += 1;
+        if pops.is_multiple_of(LIMIT_CHECK_CADENCE) {
+            if let Some(budget) = limits.time_budget {
+                if start.elapsed() > budget {
+                    ctx.fabric.stop(Status::TimedOut);
+                    ctx.fabric.pending_sub();
+                    break;
+                }
+            }
+            if let Some(watermark) = limits.store_bytes_watermark {
+                backend.enforce_watermark(watermark, ctx.fabric.threads());
+            }
+        }
+
+        // The epoch gate is load-bearing here: the wake queue carries
+        // no is-queued dedup, so a configuration woken by several
+        // growth events before its re-run pops once per event — and
+        // every pop past the first dies here.
+        if backend.gated(i) {
+            ctx.skipped += 1;
+            ctx.fabric.pending_sub();
+            continue;
+        }
+
+        if ctx.fabric.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
+            ctx.fabric.stop(Status::IterationLimit);
+            ctx.fabric.pending_sub();
+            continue;
+        }
+        ctx.iterations += 1;
+
+        backend.evaluate(i, &mut ctx);
+        // Only now is this task's own pending count released:
+        // everything it spawned is already counted, so pending == 0
+        // implies global quiescence.
+        ctx.fabric.pending_sub();
+    }
+
+    backend.finish(&mut ctx.sched);
+
+    WorkerReport {
+        backend,
+        iterations: ctx.iterations,
+        skipped: ctx.skipped,
+        wakeups: ctx.wakeups,
+        delta_facts: ctx.delta_facts,
+        delta_applies: ctx.delta_applies,
+        sched: ctx.sched,
+    }
+}
+
+/// Runs one backend worker per fabric slot to quiescence (or until a
+/// limit fires) and returns their reports. `backends.len()` must equal
+/// [`Fabric::threads`]. Single-worker runs stay on the caller's thread:
+/// deterministic, no spawn cost — and the degenerate case of the same
+/// algorithm.
+pub fn drive<B: BackendWorker>(
+    fabric: &Fabric<B::Config, B::Msg>,
+    backends: Vec<B>,
+    mode: EvalMode,
+    limits: &EngineLimits,
+    start: Instant,
+) -> Vec<WorkerReport<B>> {
+    assert_eq!(
+        backends.len(),
+        fabric.threads(),
+        "one backend worker per fabric slot"
+    );
+    let mut backends = backends;
+    let ctx_for = |id: usize| WorkerCtx::new(id, fabric, mode, limits.wake_batching);
+
+    if backends.len() == 1 {
+        let backend = backends.pop().expect("one worker");
+        vec![run_worker(backend, ctx_for(0), limits, start)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = backends
+                .drain(..)
+                .enumerate()
+                .map(|(id, backend)| {
+                    let ctx = ctx_for(id);
+                    scope.spawn(move || run_worker(backend, ctx, limits, start))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+}

@@ -32,6 +32,7 @@ pub mod callgraph;
 pub mod constraints;
 pub mod domain;
 pub mod engine;
+pub mod fabric;
 pub mod flatcfa;
 pub mod fxhash;
 pub mod gc;
@@ -49,6 +50,7 @@ pub mod zerocfa_datalog;
 
 pub use domain::{AVal, AbsBasic, CallString};
 pub use engine::{DeltaFlow, EngineLimits, EvalMode, Status};
+pub use fabric::WakeBatching;
 pub use flatcfa::{analyze_mcfa, analyze_poly_kcfa, FlatCfaResult, FlatPolicy};
 pub use kcfa::{analyze_kcfa, KcfaResult};
 pub use naive::{

@@ -1,7 +1,10 @@
 //! A work-stealing parallel fixpoint engine over replicated stores —
 //! the [`Replicated`] arm of the [`StoreBackend`] pair (the other arm,
 //! one globally shared address-sharded store, lives in
-//! [`crate::shardstore`]).
+//! [`crate::shardstore`]). Scheduling — steal discipline, pinned
+//! wakeups, pending-counter termination, limit checks — is the generic
+//! [`crate::fabric`] driver; this module contributes only the
+//! store-specific half ([`fabric::BackendWorker`]).
 //!
 //! [`run_fixpoint_parallel`] shards the worklist of [`crate::engine`]
 //! across N worker threads. The design leans on exactly the two
@@ -20,14 +23,14 @@
 //! # How work and facts move
 //!
 //! Configurations are sharded by **first touch**: a fresh configuration
-//! is deduplicated once, globally, through a hash-sharded seen-set,
-//! entered into a stealable queue, and becomes *homed* at whichever
-//! worker first evaluates it — its dependency lists, read set, and
-//! last-run epoch live only there, and every re-evaluation (wakeup) is
-//! pinned to that home. Only never-evaluated configurations migrate
-//! between workers, so no evaluation is ever repeated on another
-//! replica and the total evaluation count stays in the same regime as
-//! the sequential engine's.
+//! is deduplicated once, globally, through the fabric's hash-sharded
+//! seen-set, entered into a stealable queue, and becomes *homed* at
+//! whichever worker first evaluates it — its dependency lists, read
+//! set, and last-run epoch live only there, and every re-evaluation
+//! (wakeup) is pinned to that home. Only never-evaluated configurations
+//! migrate between workers, so no evaluation is ever repeated on
+//! another replica and the total evaluation count stays in the same
+//! regime as the sequential engine's.
 //!
 //! Each evaluation runs against the worker's own replica. When a step
 //! grows an address, the worker wakes its *local* dependents and
@@ -42,11 +45,11 @@
 //!
 //! # Termination
 //!
-//! A single atomic `pending` counter tracks queued tasks, in-flight
-//! evaluations, and undelivered fact batches; a task's increment is
-//! released only after all work it spawned has been counted. When an
-//! idle worker observes `pending == 0` there is provably no work
-//! anywhere and it raises the done flag.
+//! The fabric's single atomic `pending` counter tracks queued tasks,
+//! in-flight evaluations, and undelivered fact batches; a task's
+//! increment is released only after all work it spawned has been
+//! counted. When an idle worker observes `pending == 0` there is
+//! provably no work anywhere and it raises the done flag.
 //!
 //! # Convergence
 //!
@@ -60,15 +63,13 @@
 //! as a defensive cross-check.
 
 use crate::engine::{
-    AbstractMachine, EngineLimits, EvalMode, FixpointResult, SchedStats, Status, TrackedStore,
+    AbstractMachine, EngineLimits, EvalMode, FixpointResult, SchedStats, TrackedStore,
 };
-use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use crate::fabric::{self, Fabric, WorkerCtx};
+use crate::fxhash::FxHashMap;
 use crate::store::AbsStore;
-use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// An [`AbstractMachine`] that can be driven by N workers at once.
 ///
@@ -93,60 +94,15 @@ pub trait ParallelMachine: AbstractMachine + Send {
 /// hash per distinct value).
 type FactBatch<A, V> = Vec<(A, Vec<V>)>;
 
-/// A worker's inbox: fact batches shared (`Arc`, not copied) across
-/// their receivers.
-type Inbox<A, V> = Mutex<Vec<Arc<FactBatch<A, V>>>>;
+/// The replicated backend's inter-worker message: a fact batch shared
+/// (`Arc`, not copied) across its receivers.
+type Batch<M> = Arc<FactBatch<<M as AbstractMachine>::Addr, <M as AbstractMachine>::Val>>;
 
-/// State shared by all workers.
-struct Shared<C, A, V> {
-    /// Per-worker queues of *fresh* (never-evaluated) configurations.
-    /// Owners push/pop the front; thieves steal a batch from the back.
-    /// Tasks carry configurations by value so a stolen task is
-    /// meaningful on any worker; wakeups never enter these queues —
-    /// they are pinned to the home worker's private queue.
-    queues: Vec<Mutex<VecDeque<C>>>,
-    /// Per-worker fact deliveries, shared (not copied) per receiver.
-    inboxes: Vec<Inbox<A, V>>,
-    /// Global dedup of first-time configurations, sharded by hash.
-    seen: Vec<Mutex<FxHashSet<C>>>,
-    /// Queued tasks + in-flight evaluations + undelivered fact batches.
-    pending: AtomicU64,
-    /// Raised once: fixpoint reached or a limit fired.
-    done: AtomicBool,
-    /// Global evaluation counter (for `max_iterations`).
-    evals: AtomicU64,
-    /// The limit that stopped the run, if any (first writer wins).
-    stop_status: Mutex<Option<Status>>,
-}
-
-impl<C, A, V> Shared<C, A, V> {
-    fn stop(&self, status: Status) {
-        let mut slot = self.stop_status.lock().expect("status lock");
-        slot.get_or_insert(status);
-        self.done.store(true, Ordering::Release);
-    }
-}
-
-/// Number of seen-set shards (a power of two well above any sane
-/// thread count, so dedup contention stays negligible). Shared with
-/// the sharded backend, which uses the identical dedup fabric.
-pub(crate) const SEEN_SHARDS: usize = 64;
-
-/// Seen-set shard for a configuration. Taken from the *high* hash bits:
-/// the intra-shard `FxHashSet` derives its bucket index from the low
-/// bits of the very same hash, so sharding on those would cluster every
-/// entry of a shard onto 1/64th of the bucket positions.
-pub(crate) fn seen_shard<C: Hash>(cfg: &C) -> usize {
-    let mut h = FxHasher::default();
-    cfg.hash(&mut h);
-    (h.finish() >> 58) as usize % SEEN_SHARDS
-}
-
-/// Per-worker state: a full store replica plus the same scheduling
-/// tables the sequential engine keeps (configs, dependency lists with
-/// pruning, read sets, last-run epochs).
-struct Worker<'s, M: AbstractMachine> {
-    id: usize,
+/// The store-specific half of a replicated worker: a full store replica
+/// plus the same scheduling tables the sequential engine keeps
+/// (configs, dependency lists with pruning, read sets, last-run
+/// epochs). The loop that drives it is [`crate::fabric`].
+struct ReplicatedWorker<M: AbstractMachine> {
     machine: M,
     store: AbsStore<M::Addr, M::Val>,
     configs: Vec<M::Config>,
@@ -154,49 +110,24 @@ struct Worker<'s, M: AbstractMachine> {
     deps: Vec<Vec<usize>>,
     config_reads: Vec<Vec<u32>>,
     last_run_epoch: Vec<Option<u64>>,
-    /// Pinned re-evaluations of locally homed configurations, by local
-    /// index. Worker-private (no lock): only the owner pushes and pops.
-    /// Deliberately dedup-free — the epoch gate absorbs duplicates.
-    wakes: VecDeque<usize>,
-    /// Scratch for [`Worker::wake_dependents`], recycled across calls.
+    /// Scratch for [`ReplicatedWorker::wake_dependents`], recycled
+    /// across calls.
     woken: Vec<usize>,
-    iterations: u64,
-    skipped: u64,
-    wakeups: u64,
-    delta_facts: u64,
-    delta_applies: u64,
-    sched: SchedStats,
-    mode: EvalMode,
-    shared: &'s Shared<M::Config, M::Addr, M::Val>,
+    /// Successor scratch, recycled across evaluations.
+    successors: Vec<M::Config>,
+    /// Tracking-buffer scratch (reads, grew, delta), recycled likewise.
+    bufs: (Vec<u32>, Vec<u32>, Vec<u32>),
 }
 
-/// What one worker hands back after the run.
-struct WorkerOutput<M: AbstractMachine> {
-    machine: M,
-    store: AbsStore<M::Addr, M::Val>,
-    iterations: u64,
-    skipped: u64,
-    wakeups: u64,
-    delta_facts: u64,
-    delta_applies: u64,
-    sched: SchedStats,
-}
-
-impl<'s, M> Worker<'s, M>
+impl<M> ReplicatedWorker<M>
 where
     M: ParallelMachine,
     M::Config: Send + Sync,
     M::Addr: Send + Sync + Ord,
     M::Val: Send + Sync,
 {
-    fn new(
-        id: usize,
-        machine: M,
-        mode: EvalMode,
-        shared: &'s Shared<M::Config, M::Addr, M::Val>,
-    ) -> Self {
-        Worker {
-            id,
+    fn new(machine: M) -> Self {
+        ReplicatedWorker {
             machine,
             store: AbsStore::new(),
             configs: Vec::new(),
@@ -204,84 +135,17 @@ where
             deps: Vec::new(),
             config_reads: Vec::new(),
             last_run_epoch: Vec::new(),
-            wakes: VecDeque::new(),
             woken: Vec::new(),
-            iterations: 0,
-            skipped: 0,
-            wakeups: 0,
-            delta_facts: 0,
-            delta_applies: 0,
-            sched: SchedStats::default(),
-            mode,
-            shared,
+            successors: Vec::new(),
+            bufs: Default::default(),
         }
-    }
-
-    fn intern_local(&mut self, cfg: M::Config) -> usize {
-        if let Some(&i) = self.index.get(&cfg) {
-            return i;
-        }
-        let i = self.configs.len();
-        self.configs.push(cfg.clone());
-        self.index.insert(cfg, i);
-        self.config_reads.push(Vec::new());
-        self.last_run_epoch.push(None);
-        i
-    }
-
-    /// Pushes a fresh configuration onto this worker's stealable queue,
-    /// counting it pending.
-    fn push_fresh(&self, cfg: M::Config) {
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        self.shared.queues[self.id]
-            .lock()
-            .expect("queue lock")
-            .push_back(cfg);
-    }
-
-    fn pop_local(&self) -> Option<M::Config> {
-        self.shared.queues[self.id]
-            .lock()
-            .expect("queue lock")
-            .pop_front()
-    }
-
-    /// Steals up to half of a victim's fresh queue (from the back),
-    /// keeping one task to run and enqueueing the rest locally. Locks
-    /// are never held across each other, so crossed steals cannot
-    /// deadlock.
-    fn steal(&mut self) -> Option<M::Config> {
-        let n = self.shared.queues.len();
-        for off in 1..n {
-            let victim = (self.id + off) % n;
-            let mut stolen = {
-                let mut q = self.shared.queues[victim].lock().expect("queue lock");
-                let len = q.len();
-                if len == 0 {
-                    continue;
-                }
-                q.split_off(len - len.div_ceil(2))
-            };
-            let first = stolen.pop_front();
-            if !stolen.is_empty() {
-                // Moved, not created: pending already counts them.
-                self.shared.queues[self.id]
-                    .lock()
-                    .expect("queue lock")
-                    .append(&mut stolen);
-            }
-            self.sched.steals += 1;
-            return first;
-        }
-        self.sched.failed_steals += 1;
-        None
     }
 
     /// Wakes the local dependents of the (sorted, unique) grown address
     /// ids. Wakeups are pinned here — the dependents' scheduling state
     /// lives in this replica — and carry no is-queued dedup: the epoch
     /// gate disarms duplicates at pop time.
-    fn wake_dependents(&mut self, grown: &[u32]) {
+    fn wake_dependents(&mut self, grown: &[u32], ctx: &mut WorkerCtx<'_, M::Config, Batch<M>>) {
         let woken = &mut self.woken;
         woken.clear();
         for &a in grown {
@@ -292,47 +156,7 @@ where
         woken.sort_unstable();
         woken.dedup();
         for &j in woken.iter() {
-            self.wakeups += 1;
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.wakes.push_back(j);
-        }
-    }
-
-    /// Merges one delivered fact batch into the replica and wakes the
-    /// dependents of every address that grew. The batch is shared with
-    /// the other receivers ([`std::sync::Arc`]); values are cloned only
-    /// when first interned locally.
-    fn merge_batch(&mut self, batch: &FactBatch<M::Addr, M::Val>) {
-        let mut grown: Vec<u32> = Vec::new();
-        let mut ids: Vec<u32> = Vec::new();
-        let mut delta: Vec<u32> = Vec::new();
-        for (addr, values) in batch {
-            let addr_id = self.store.addr_id(addr);
-            ids.clear();
-            ids.extend(values.iter().map(|v| self.store.val_id_ref(v)));
-            ids.sort_unstable();
-            ids.dedup();
-            delta.clear();
-            if self.store.join_ids(addr_id, &ids, &mut delta) {
-                grown.push(addr_id);
-            }
-        }
-        grown.sort_unstable();
-        grown.dedup();
-        self.wake_dependents(&grown);
-    }
-
-    /// Routes never-seen successors into the global seen-set and this
-    /// worker's queue (locality first; stealing rebalances).
-    fn submit_fresh(&self, successors: &mut Vec<M::Config>) {
-        for succ in successors.drain(..) {
-            let fresh = self.shared.seen[seen_shard(&succ)]
-                .lock()
-                .expect("seen lock")
-                .insert(succ.clone());
-            if fresh {
-                self.push_fresh(succ);
-            }
+            ctx.wake_local(j);
         }
     }
 
@@ -340,12 +164,12 @@ where
     /// Rows (not deltas) keep the wire format independent of join
     /// internals; receiving joins dedup for free. The batch is built
     /// once and shared behind an `Arc` — receivers read it in place.
-    fn broadcast(&self, grown: &[u32]) {
-        let n = self.shared.queues.len();
+    fn broadcast(&self, grown: &[u32], ctx: &mut WorkerCtx<'_, M::Config, Batch<M>>) {
+        let n = ctx.threads();
         if n == 1 || grown.is_empty() {
             return;
         }
-        let batch: Arc<FactBatch<M::Addr, M::Val>> = Arc::new(
+        let batch: Batch<M> = Arc::new(
             grown
                 .iter()
                 .map(|&a| {
@@ -361,55 +185,62 @@ where
                 .collect(),
         );
         for other in 0..n {
-            if other == self.id {
+            if other == ctx.id() {
                 continue;
             }
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.shared.inboxes[other]
-                .lock()
-                .expect("inbox lock")
-                .push(Arc::clone(&batch));
+            ctx.send(other, Arc::clone(&batch));
+        }
+    }
+}
+
+impl<M> fabric::BackendWorker for ReplicatedWorker<M>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    type Config = M::Config;
+    type Msg = Batch<M>;
+
+    fn seed(&mut self, _ctx: &mut WorkerCtx<'_, M::Config, Batch<M>>) {
+        // Every replica is seeded identically, so seed facts need no
+        // broadcast.
+        let mut tracked =
+            TrackedStore::wrap(&mut self.store, None, Vec::new(), Vec::new(), Vec::new());
+        self.machine.seed(&mut tracked);
+    }
+
+    fn intern(&mut self, cfg: M::Config) -> usize {
+        if let Some(&i) = self.index.get(&cfg) {
+            return i;
+        }
+        let i = self.configs.len();
+        self.configs.push(cfg.clone());
+        self.index.insert(cfg, i);
+        self.config_reads.push(Vec::new());
+        self.last_run_epoch.push(None);
+        i
+    }
+
+    fn gated(&self, i: usize) -> bool {
+        match self.last_run_epoch[i] {
+            Some(epoch) => self.config_reads[i]
+                .iter()
+                .all(|&a| self.store.addr_epoch(a) <= epoch),
+            None => false,
         }
     }
 
-    /// Evaluates one task (by local index): epoch gate, step, dependency
+    /// Evaluates one task (by local index): step, dependency
     /// registration with pruning, successor dedup, local wakeups, fact
     /// broadcast. Mirrors one iteration of
     /// [`crate::engine::run_fixpoint`].
-    fn process(
-        &mut self,
-        i: usize,
-        limits: &EngineLimits,
-        successors: &mut Vec<M::Config>,
-        bufs: &mut (Vec<u32>, Vec<u32>, Vec<u32>),
-    ) {
-        // The epoch gate is load-bearing here: the wake queue carries no
-        // is-queued dedup, so a configuration woken by several growth
-        // events before its re-run pops once per event — and every pop
-        // past the first dies here.
-        if let Some(epoch) = self.last_run_epoch[i] {
-            if self.config_reads[i]
-                .iter()
-                .all(|&a| self.store.addr_epoch(a) <= epoch)
-            {
-                self.skipped += 1;
-                self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-                return;
-            }
-        }
-
-        if self.shared.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
-            self.shared.stop(Status::IterationLimit);
-            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-            return;
-        }
-
+    fn evaluate(&mut self, i: usize, ctx: &mut WorkerCtx<'_, M::Config, Batch<M>>) {
         let epoch_at_start = self.store.epoch();
-        self.iterations += 1;
-
         let config = self.configs[i].clone();
-        successors.clear();
-        let (reads_buf, grew_buf, delta_buf) = bufs;
+        self.successors.clear();
+        let (reads_buf, grew_buf, delta_buf) = &mut self.bufs;
         reads_buf.clear();
         grew_buf.clear();
         // The semi-naive baseline works per replica: this config is
@@ -417,7 +248,7 @@ where
         // facts merged from other replicas land in this store's delta
         // logs — so the epochs line up exactly as in the sequential
         // engine.
-        let baseline = match self.mode {
+        let baseline = match ctx.mode() {
             EvalMode::SemiNaive => self.last_run_epoch[i],
             EvalMode::FullReeval => None,
         };
@@ -428,131 +259,66 @@ where
             std::mem::take(grew_buf),
             std::mem::take(delta_buf),
         );
-        self.machine.step(&config, &mut tracked, successors);
+        self.machine
+            .step(&config, &mut tracked, &mut self.successors);
         let (reads, grew, delta, step_delta, step_applies) = tracked.into_parts();
-        (*reads_buf, *grew_buf, *delta_buf) = (reads, grew, delta);
-        self.delta_facts += step_delta;
-        self.delta_applies += step_applies;
+        self.bufs = (reads, grew, delta);
+        ctx.delta_facts += step_delta;
+        ctx.delta_applies += step_applies;
         self.last_run_epoch[i] = Some(epoch_at_start);
 
         // Dependency registration with stale-dep pruning — the shared
         // logic of both engines.
-        crate::engine::register_deps(&mut self.deps, &mut self.config_reads, i, reads_buf);
+        crate::engine::register_deps(&mut self.deps, &mut self.config_reads, i, &mut self.bufs.0);
 
-        self.submit_fresh(successors);
+        ctx.submit_fresh(&mut self.successors);
 
-        grew_buf.sort_unstable();
-        grew_buf.dedup();
-        self.wake_dependents(grew_buf);
-        self.broadcast(grew_buf);
-
-        // Only now is this task's own pending count released: everything
-        // it spawned is already counted, so pending == 0 implies global
-        // quiescence.
-        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+        let mut grew = std::mem::take(&mut self.bufs.1);
+        grew.sort_unstable();
+        grew.dedup();
+        self.wake_dependents(&grew, ctx);
+        self.broadcast(&grew, ctx);
+        self.bufs.1 = grew;
     }
 
-    fn run(mut self, limits: &EngineLimits, start: Instant) -> WorkerOutput<M> {
-        {
-            // Every replica is seeded identically, so seed facts need no
-            // broadcast.
-            let mut tracked =
-                TrackedStore::wrap(&mut self.store, None, Vec::new(), Vec::new(), Vec::new());
-            self.machine.seed(&mut tracked);
+    /// Merges one delivered fact batch into the replica and wakes the
+    /// dependents of every address that grew. The batch is shared with
+    /// the other receivers ([`std::sync::Arc`]); values are cloned only
+    /// when first interned locally.
+    fn on_msg(&mut self, batch: Batch<M>, ctx: &mut WorkerCtx<'_, M::Config, Batch<M>>) {
+        let mut grown: Vec<u32> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
+        let mut delta: Vec<u32> = Vec::new();
+        for (addr, values) in batch.iter() {
+            let addr_id = self.store.addr_id(addr);
+            ids.clear();
+            ids.extend(values.iter().map(|v| self.store.val_id_ref(v)));
+            ids.sort_unstable();
+            ids.dedup();
+            delta.clear();
+            if self.store.join_ids(addr_id, &ids, &mut delta) {
+                grown.push(addr_id);
+            }
         }
+        grown.sort_unstable();
+        grown.dedup();
+        self.wake_dependents(&grown, ctx);
+    }
 
-        let mut successors: Vec<M::Config> = Vec::new();
-        let mut bufs: (Vec<u32>, Vec<u32>, Vec<u32>) = Default::default();
-        let mut pops: u64 = 0;
-        let mut idle_spins: u32 = 0;
-
-        loop {
-            if self.shared.done.load(Ordering::Acquire) {
-                break;
-            }
-
-            // Merge delivered facts before taking on new evaluations, so
-            // local wakeups are scheduled against the freshest replica.
-            let batches = {
-                let mut inbox = self.shared.inboxes[self.id].lock().expect("inbox lock");
-                std::mem::take(&mut *inbox)
-            };
-            if !batches.is_empty() {
-                self.sched.inbox_batches += batches.len() as u64;
-                self.sched.max_inbox_depth = self.sched.max_inbox_depth.max(batches.len() as u64);
-                for batch in batches {
-                    self.merge_batch(&batch);
-                    self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-                }
-                idle_spins = 0;
-                continue;
-            }
-
-            // Fresh exploration first — it discovers the configuration
-            // space and is the work that can be stolen; pinned re-runs
-            // after (deferring them coalesces several growth events into
-            // one re-evaluation); stealing only when both are dry.
-            let task: Option<usize> = match self.pop_local() {
-                Some(cfg) => Some(self.intern_local(cfg)),
-                None => match self.wakes.pop_front() {
-                    Some(i) => Some(i),
-                    None => self.steal().map(|cfg| self.intern_local(cfg)),
-                },
-            };
-            let Some(i) = task else {
-                if self.shared.pending.load(Ordering::Acquire) == 0 {
-                    self.shared.done.store(true, Ordering::Release);
-                    break;
-                }
-                idle_spins += 1;
-                self.sched.idle_spins += 1;
-                if idle_spins < 32 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-                continue;
-            };
-            idle_spins = 0;
-
-            pops += 1;
-            if pops.is_multiple_of(64) {
-                if let Some(budget) = limits.time_budget {
-                    if start.elapsed() > budget {
-                        self.shared.stop(Status::TimedOut);
-                        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-                        break;
-                    }
-                }
-                // Store-bytes watermark, per replica: the broadcast
-                // design multiplies log memory by the worker count, so
-                // each replica holds itself to its share (O(1) — log
-                // bytes are tracked incrementally).
-                if let Some(watermark) = limits.store_bytes_watermark {
-                    let share = watermark / self.shared.queues.len();
-                    if self.store.delta_log_bytes() > share {
-                        self.store.trim_delta_logs();
-                    }
-                }
-            }
-
-            self.process(i, limits, &mut successors, &mut bufs);
+    fn enforce_watermark(&mut self, watermark: usize, threads: usize) {
+        // Per replica: the broadcast design multiplies log memory by
+        // the worker count, so each replica holds itself to its share
+        // (O(1) — log bytes are tracked incrementally).
+        let share = watermark / threads;
+        if self.store.delta_log_bytes() > share {
+            self.store.trim_delta_logs();
         }
+    }
 
+    fn finish(&mut self, sched: &mut SchedStats) {
         // Measure the replica before the driver unions it away: the sum
         // across workers is the memory the replication design pays.
-        self.sched.store_resident_bytes = self.store.approx_bytes() as u64;
-
-        WorkerOutput {
-            machine: self.machine,
-            store: self.store,
-            iterations: self.iterations,
-            skipped: self.skipped,
-            wakeups: self.wakeups,
-            delta_facts: self.delta_facts,
-            delta_applies: self.delta_applies,
-            sched: self.sched,
-        }
+        sched.store_resident_bytes = self.store.approx_bytes() as u64;
     }
 }
 
@@ -597,73 +363,29 @@ where
     let start = Instant::now();
     let threads = threads.max(1);
 
-    let shared: Shared<M::Config, M::Addr, M::Val> = Shared {
-        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-        inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
-        seen: (0..SEEN_SHARDS)
-            .map(|_| Mutex::new(FxHashSet::default()))
-            .collect(),
-        pending: AtomicU64::new(0),
-        done: AtomicBool::new(false),
-        evals: AtomicU64::new(0),
-        stop_status: Mutex::new(None),
-    };
+    let fabric: Fabric<M::Config, Batch<M>> = Fabric::new(threads);
+    fabric.submit_root(machine.initial());
 
-    let root = machine.initial();
-    shared.seen[seen_shard(&root)]
-        .lock()
-        .expect("seen lock")
-        .insert(root.clone());
-    shared.pending.fetch_add(1, Ordering::AcqRel);
-    shared.queues[0].lock().expect("queue lock").push_back(root);
-
-    let mut workers: Vec<Worker<'_, M>> = (0..threads)
-        .map(|id| Worker::new(id, machine.fork(), mode, &shared))
+    let backends: Vec<ReplicatedWorker<M>> = (0..threads)
+        .map(|_| ReplicatedWorker::new(machine.fork()))
         .collect();
-
-    let outputs: Vec<WorkerOutput<M>> = if threads == 1 {
-        // Single-worker runs stay on the caller's thread: deterministic,
-        // no spawn cost — and the degenerate case of the same algorithm.
-        vec![workers.pop().expect("one worker").run(&limits, start)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .drain(..)
-                .map(|w| scope.spawn(|| w.run(&limits, start)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-
-    let status = shared
-        .stop_status
-        .into_inner()
-        .expect("status lock")
-        .unwrap_or(Status::Completed);
+    let reports = fabric::drive(&fabric, backends, mode, &limits, start);
+    let (status, configs) = fabric.finish();
 
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
     let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
     let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
     let mut sched = SchedStats::default();
-    for out in outputs {
-        iterations += out.iterations;
-        skipped += out.skipped;
-        wakeups += out.wakeups;
-        delta_facts += out.delta_facts;
-        delta_applies += out.delta_applies;
-        sched.absorb(&out.sched);
-        store.merge_from(&out.store);
-        machine.absorb(out.machine);
+    for report in reports {
+        iterations += report.iterations;
+        skipped += report.skipped;
+        wakeups += report.wakeups;
+        delta_facts += report.delta_facts;
+        delta_applies += report.delta_applies;
+        sched.absorb(&report.sched);
+        store.merge_from(&report.backend.store);
+        machine.absorb(report.backend.machine);
     }
-
-    let configs: Vec<M::Config> = shared
-        .seen
-        .into_iter()
-        .flat_map(|shard| shard.into_inner().expect("seen lock"))
-        .collect();
 
     FixpointResult {
         configs,
@@ -760,6 +482,32 @@ impl StoreBackend for Sharded {
 }
 
 /// [`run_fixpoint_parallel_with`], generic over the store backend.
+///
+/// # Examples
+///
+/// ```
+/// use cfa_core::engine::{EngineLimits, EvalMode};
+/// use cfa_core::kcfa::KCfaMachine;
+/// use cfa_core::parallel::{run_fixpoint_parallel_on, Replicated, Sharded};
+///
+/// let p = cfa_syntax::compile("((lambda (x) x) 1)").unwrap();
+/// let rep = run_fixpoint_parallel_on::<Replicated, _>(
+///     &mut KCfaMachine::new(&p, 1),
+///     2,
+///     EngineLimits::default(),
+///     EvalMode::SemiNaive,
+/// );
+/// let sh = run_fixpoint_parallel_on::<Sharded, _>(
+///     &mut KCfaMachine::new(&p, 1),
+///     2,
+///     EngineLimits::default(),
+///     EvalMode::SemiNaive,
+/// );
+/// // The fixed point of a monotone transfer function is unique, so
+/// // both backends reach identical facts.
+/// assert_eq!(rep.store.fact_count(), sh.store.fact_count());
+/// assert_eq!(rep.config_count(), sh.config_count());
+/// ```
 pub fn run_fixpoint_parallel_on<B, M>(
     machine: &mut M,
     threads: usize,
@@ -779,7 +527,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_fixpoint;
+    use crate::engine::{run_fixpoint, Status};
+    use std::time::Duration;
 
     /// The toy machine of the sequential engine tests.
     #[derive(Clone)]
@@ -941,6 +690,24 @@ mod tests {
             assert_eq!(par.store.read(&0), seq.store.read(&0), "threads={threads}");
             assert_eq!(par.store.read(&1), seq.store.read(&1), "threads={threads}");
             assert_eq!(par.config_count(), seq.config_count(), "threads={threads}");
+        }
+    }
+
+    /// Both drain policies compute the same fixpoint — bounded batches
+    /// only reorder deliveries relative to evaluations.
+    #[test]
+    fn wake_batching_policies_agree() {
+        use crate::fabric::WakeBatching;
+        let seq = run_fixpoint(&mut Feedback, EngineLimits::default());
+        for batching in [WakeBatching::Adaptive, WakeBatching::DrainAll] {
+            let limits = EngineLimits {
+                wake_batching: batching,
+                ..EngineLimits::default()
+            };
+            let par = run_fixpoint_parallel(&mut Feedback, 3, limits);
+            assert_eq!(par.status, Status::Completed, "{batching:?}");
+            assert_eq!(par.store.read(&0), seq.store.read(&0), "{batching:?}");
+            assert_eq!(par.store.read(&1), seq.store.read(&1), "{batching:?}");
         }
     }
 

@@ -1,6 +1,8 @@
 //! The sharded parallel fixpoint engine: N workers race monotonically
 //! on **one** [`SharedStore`] instead of broadcasting facts between N
-//! replicas.
+//! replicas. Scheduling (steal discipline, pinned wakeups, termination,
+//! limit checks) is the generic [`crate::fabric`] driver; this module
+//! contributes the store-specific half ([`fabric::BackendWorker`]).
 //!
 //! # How work and facts move
 //!
@@ -20,11 +22,11 @@
 //!   all-to-all broadcast quadratic and makes store memory O(program)
 //!   instead of O(program × threads). What *is* routed to the shard
 //!   that owns a grown row is the **growth notification**
-//!   ([`Msg::Grew`]) — addresses, never facts;
+//!   (`Msg::Grew`) — addresses, never facts;
 //! * **dependents are indexed at the row's owner**: after an
 //!   evaluation, the home worker registers `(worker, config)` in the
-//!   owner's dependency lists ([`Msg::Deps`]), and growth wakes exactly
-//!   the registered dependents, point-to-point ([`Msg::Wakes`]) —
+//!   owner's dependency lists (`Msg::Deps`), and growth wakes exactly
+//!   the registered dependents, point-to-point (`Msg::Wakes`) —
 //!   never every replica.
 //!
 //! # The stale-snapshot race
@@ -51,21 +53,19 @@
 //!
 //! # Termination and result
 //!
-//! The single pending counter of the replicated engine carries over
-//! unchanged: queued tasks + in-flight evaluations + undelivered
-//! messages + queued wakeups; `pending == 0` observed by an idle worker
-//! proves global quiescence. The result needs **no `merge_from`
-//! union** — the shared store *is* the fixpoint; it drains into an
-//! ordinary [`crate::store::AbsStore`] without re-interning a value.
+//! The fabric's single pending counter carries over unchanged: queued
+//! tasks + in-flight evaluations + undelivered messages + queued
+//! wakeups; `pending == 0` observed by an idle worker proves global
+//! quiescence. The result needs **no `merge_from` union** — the shared
+//! store *is* the fixpoint; it drains into an ordinary
+//! [`crate::store::AbsStore`] without re-interning a value.
 
 use super::store::{ShardBufs, ShardView, SharedStore};
-use crate::engine::{EngineLimits, EvalMode, FixpointResult, SchedStats, Status, TrackedStore};
-use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::parallel::{seen_shard, ParallelMachine, SEEN_SHARDS};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use crate::engine::{EngineLimits, EvalMode, FixpointResult, SchedStats, TrackedStore};
+use crate::fabric::{self, Fabric, WorkerCtx};
+use crate::fxhash::FxHashMap;
+use crate::parallel::ParallelMachine;
+use std::time::Instant;
 
 /// An inter-worker message. Everything is id-level — the global
 /// interner is what keeps the wire format free of values.
@@ -89,39 +89,6 @@ enum Msg {
     Wakes(Vec<u32>),
 }
 
-/// State shared by all workers (the scheduling fabric; the store is a
-/// separate shared reference).
-struct Shared<C> {
-    /// Per-worker queues of fresh (never-evaluated) configurations;
-    /// owners pop the front, thieves steal a batch from the back.
-    queues: Vec<Mutex<VecDeque<C>>>,
-    /// Per-worker message inboxes.
-    inboxes: Vec<Mutex<Vec<Msg>>>,
-    /// Global dedup of first-time configurations, sharded by hash.
-    seen: Vec<Mutex<FxHashSet<C>>>,
-    /// Queued tasks + in-flight evaluations + undelivered messages +
-    /// queued wakeups.
-    pending: AtomicU64,
-    /// Raised once: fixpoint reached or a limit fired.
-    done: AtomicBool,
-    /// Global evaluation counter (for `max_iterations`).
-    evals: AtomicU64,
-    /// The limit that stopped the run, if any (first writer wins).
-    stop_status: Mutex<Option<Status>>,
-}
-
-impl<C> Shared<C> {
-    fn stop(&self, status: Status) {
-        let mut slot = self.stop_status.lock().expect("status lock");
-        slot.get_or_insert(status);
-        self.done.store(true, Ordering::Release);
-    }
-
-    fn inbox(&self, id: usize) -> MutexGuard<'_, Vec<Msg>> {
-        self.inboxes[id].lock().expect("inbox lock")
-    }
-}
-
 /// Per-owner outgoing dependency batch.
 #[derive(Default)]
 struct DepBatch {
@@ -129,14 +96,13 @@ struct DepBatch {
     dels: Vec<(u32, u32)>,
 }
 
-/// One worker: the home of the configurations it first evaluated (their
-/// read sets and wake queue) and the owner of its row shard (their
-/// dependency lists and delta logs).
-struct Worker<'s, M: ParallelMachine> {
-    id: usize,
+/// The store-specific half of a sharded worker: the home of the
+/// configurations it first evaluated (their read sets) and the owner of
+/// its row shard (their dependency lists). The loop that drives it is
+/// [`crate::fabric`].
+struct ShardedWorker<'s, M: ParallelMachine> {
     machine: M,
     store: &'s SharedStore<M::Addr, M::Val>,
-    shared: &'s Shared<M::Config>,
     /// Locally homed configurations.
     configs: Vec<M::Config>,
     index: FxHashMap<M::Config, usize>,
@@ -147,9 +113,6 @@ struct Worker<'s, M: ParallelMachine> {
     evaluated: Vec<bool>,
     /// Dependents of *owned* rows: addr id → sorted `(worker, config)`.
     deps: FxHashMap<u32, Vec<(u32, u32)>>,
-    /// Pinned re-evaluations of homed configs. Dedup-free; the epoch
-    /// gate absorbs duplicates.
-    wakes: VecDeque<usize>,
     bufs: ShardBufs,
     /// Per-target outgoing wake batches (scratch, drained per flush).
     out_wakes: Vec<Vec<u32>>,
@@ -159,139 +122,37 @@ struct Worker<'s, M: ParallelMachine> {
     out_grew: Vec<Vec<u32>>,
     /// Local wake scratch.
     woken: Vec<usize>,
-    iterations: u64,
-    skipped: u64,
-    wakeups: u64,
-    delta_facts: u64,
-    delta_applies: u64,
+    /// Successor scratch, recycled across evaluations.
+    successors: Vec<M::Config>,
     joins: u64,
     value_joins: u64,
-    sched: SchedStats,
-    mode: EvalMode,
 }
 
-/// What one worker hands back after the run.
-struct WorkerOutput<M> {
-    machine: M,
-    iterations: u64,
-    skipped: u64,
-    wakeups: u64,
-    delta_facts: u64,
-    delta_applies: u64,
-    joins: u64,
-    value_joins: u64,
-    sched: SchedStats,
-}
-
-impl<'s, M> Worker<'s, M>
+impl<'s, M> ShardedWorker<'s, M>
 where
     M: ParallelMachine,
     M::Config: Send + Sync,
     M::Addr: Send + Sync + Ord,
     M::Val: Send + Sync,
 {
-    fn new(
-        id: usize,
-        machine: M,
-        mode: EvalMode,
-        store: &'s SharedStore<M::Addr, M::Val>,
-        shared: &'s Shared<M::Config>,
-    ) -> Self {
+    fn new(machine: M, store: &'s SharedStore<M::Addr, M::Val>) -> Self {
         let threads = store.shard_count();
-        Worker {
-            id,
+        ShardedWorker {
             machine,
             store,
-            shared,
             configs: Vec::new(),
             index: FxHashMap::default(),
             config_reads: Vec::new(),
             evaluated: Vec::new(),
             deps: FxHashMap::default(),
-            wakes: VecDeque::new(),
             bufs: ShardBufs::default(),
             out_wakes: (0..threads).map(|_| Vec::new()).collect(),
             out_deps: (0..threads).map(|_| DepBatch::default()).collect(),
             out_grew: (0..threads).map(|_| Vec::new()).collect(),
             woken: Vec::new(),
-            iterations: 0,
-            skipped: 0,
-            wakeups: 0,
-            delta_facts: 0,
-            delta_applies: 0,
+            successors: Vec::new(),
             joins: 0,
             value_joins: 0,
-            sched: SchedStats::default(),
-            mode,
-        }
-    }
-
-    fn intern_local(&mut self, cfg: M::Config) -> usize {
-        if let Some(&i) = self.index.get(&cfg) {
-            return i;
-        }
-        let i = self.configs.len();
-        self.configs.push(cfg.clone());
-        self.index.insert(cfg, i);
-        self.config_reads.push(Vec::new());
-        self.evaluated.push(false);
-        i
-    }
-
-    fn push_fresh(&self, cfg: M::Config) {
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        self.shared.queues[self.id]
-            .lock()
-            .expect("queue lock")
-            .push_back(cfg);
-    }
-
-    fn pop_local(&self) -> Option<M::Config> {
-        self.shared.queues[self.id]
-            .lock()
-            .expect("queue lock")
-            .pop_front()
-    }
-
-    /// Steals up to half of a victim's fresh queue (same discipline and
-    /// deadlock argument as the replicated engine).
-    fn steal(&mut self) -> Option<M::Config> {
-        let n = self.shared.queues.len();
-        for off in 1..n {
-            let victim = (self.id + off) % n;
-            let mut stolen = {
-                let mut q = self.shared.queues[victim].lock().expect("queue lock");
-                let len = q.len();
-                if len == 0 {
-                    continue;
-                }
-                q.split_off(len - len.div_ceil(2))
-            };
-            let first = stolen.pop_front();
-            if !stolen.is_empty() {
-                self.shared.queues[self.id]
-                    .lock()
-                    .expect("queue lock")
-                    .append(&mut stolen);
-            }
-            self.sched.steals += 1;
-            return first;
-        }
-        self.sched.failed_steals += 1;
-        None
-    }
-
-    /// Routes never-seen successors through the global dedup into this
-    /// worker's stealable queue.
-    fn submit_fresh(&self, successors: &mut Vec<M::Config>) {
-        for succ in successors.drain(..) {
-            let fresh = self.shared.seen[seen_shard(&succ)]
-                .lock()
-                .expect("seen lock")
-                .insert(succ.clone());
-            if fresh {
-                self.push_fresh(succ);
-            }
         }
     }
 
@@ -299,16 +160,17 @@ where
     /// (sorted, unique) grown rows — rows owned elsewhere are ignored
     /// (their owners are notified separately). Homed dependents enter
     /// the local wake queue, remote ones are batched per target worker
-    /// (flushed by [`Worker::flush_wakes`]).
-    fn wake_dependents_of(&mut self, grown: &[u32]) {
+    /// (flushed by [`ShardedWorker::flush_wakes`]).
+    fn wake_dependents_of(&mut self, grown: &[u32], ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
         debug_assert!(self.woken.is_empty(), "woken scratch left dirty");
+        let me = ctx.id();
         for &a in grown {
-            if self.store.owner(a) != self.id {
+            if self.store.owner(a) != me {
                 continue;
             }
             if let Some(list) = self.deps.get(&a) {
                 for &(w, c) in list {
-                    if w as usize == self.id {
+                    if w as usize == me {
                         self.woken.push(c as usize);
                     } else {
                         self.out_wakes[w as usize].push(c);
@@ -320,15 +182,13 @@ where
         self.woken.dedup();
         for idx in 0..self.woken.len() {
             let j = self.woken[idx];
-            self.wakeups += 1;
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.wakes.push_back(j);
+            ctx.wake_local(j);
         }
         self.woken.clear();
     }
 
     /// Ships the batched remote wakes, one message per target.
-    fn flush_wakes(&mut self) {
+    fn flush_wakes(&mut self, ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
         for target in 0..self.out_wakes.len() {
             if self.out_wakes[target].is_empty() {
                 continue;
@@ -336,49 +196,46 @@ where
             let mut batch = std::mem::take(&mut self.out_wakes[target]);
             batch.sort_unstable();
             batch.dedup();
-            self.wakeups += batch.len() as u64;
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.shared.inbox(target).push(Msg::Wakes(batch));
+            ctx.wakeups += batch.len() as u64;
+            ctx.send(target, Msg::Wakes(batch));
         }
     }
 
     /// Ships the batched dependency registrations, one message per
     /// owner.
-    fn flush_deps(&mut self) {
+    fn flush_deps(&mut self, ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
         for owner in 0..self.out_deps.len() {
             let batch = &mut self.out_deps[owner];
             if batch.adds.is_empty() && batch.dels.is_empty() {
                 continue;
             }
             let msg = Msg::Deps {
-                worker: self.id as u32,
+                worker: ctx.id() as u32,
                 adds: std::mem::take(&mut batch.adds),
                 dels: std::mem::take(&mut batch.dels),
             };
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.shared.inbox(owner).push(msg);
+            ctx.send(owner, msg);
         }
     }
 
     /// Partitions one evaluation's grown rows (sorted, unique): wakes
     /// local dependents of self-owned rows, batches growth
     /// notifications for foreign owners, and ships both.
-    fn announce_growth(&mut self, grown: &[u32]) {
+    fn announce_growth(&mut self, grown: &[u32], ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
         for &a in grown {
             let owner = self.store.owner(a);
-            if owner != self.id {
+            if owner != ctx.id() {
                 self.out_grew[owner].push(a);
             }
         }
-        self.wake_dependents_of(grown);
-        self.flush_wakes();
+        self.wake_dependents_of(grown, ctx);
+        self.flush_wakes(ctx);
         for owner in 0..self.out_grew.len() {
             if self.out_grew[owner].is_empty() {
                 continue;
             }
             let batch = std::mem::take(&mut self.out_grew[owner]);
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.shared.inbox(owner).push(Msg::Grew(batch));
+            ctx.send(owner, Msg::Grew(batch));
         }
     }
 
@@ -386,8 +243,13 @@ where
     /// previous one, applies self-owned adds/dels in place (with the
     /// stale-snapshot wake check), batches foreign ones per owner, and
     /// installs the new read set.
-    fn register_deps(&mut self, i: usize, new_reads: &mut Vec<(u32, u64)>) {
-        let me = (self.id as u32, i as u32);
+    fn register_deps(
+        &mut self,
+        i: usize,
+        new_reads: &mut Vec<(u32, u64)>,
+        ctx: &mut WorkerCtx<'_, M::Config, Msg>,
+    ) {
+        let me = (ctx.id() as u32, i as u32);
         // Walk old and new (both sorted by addr id).
         let mut stale_self_wake = false;
         {
@@ -411,7 +273,7 @@ where
                     // Dropped address: deregister.
                     let a = old[oi].0;
                     let owner = self.store.owner(a);
-                    if owner == self.id {
+                    if owner == ctx.id() {
                         if let Some(list) = self.deps.get_mut(&a) {
                             if let Ok(pos) = list.binary_search(&me) {
                                 list.remove(pos);
@@ -426,7 +288,7 @@ where
                     // for the stale-snapshot check.
                     let (b, e) = new_reads[ni];
                     let owner = self.store.owner(b);
-                    if owner == self.id {
+                    if owner == ctx.id() {
                         let list = self.deps.entry(b).or_default();
                         if let Err(pos) = list.binary_search(&me) {
                             list.insert(pos, me);
@@ -442,29 +304,113 @@ where
             }
         }
         if stale_self_wake {
-            self.wakeups += 1;
-            self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.wakes.push_back(i);
+            ctx.wake_local(i);
         }
         std::mem::swap(&mut self.config_reads[i], new_reads);
         self.evaluated[i] = true;
-        self.flush_deps();
+        self.flush_deps(ctx);
+    }
+}
+
+impl<M> fabric::BackendWorker for ShardedWorker<'_, M>
+where
+    M: ParallelMachine,
+    M::Config: Send + Sync,
+    M::Addr: Send + Sync + Ord,
+    M::Val: Send + Sync,
+{
+    type Config = M::Config;
+    type Msg = Msg;
+
+    fn seed(&mut self, ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
+        // Every worker runs the (deterministic) seed, applying only
+        // the rows it owns — each row is seeded exactly once, by its
+        // owner, with no message traffic.
+        let bufs = std::mem::take(&mut self.bufs);
+        let view = ShardView::new(self.store, ctx.id(), &[], false, true, bufs);
+        let mut tracked = TrackedStore::wrap_shard(view);
+        self.machine.seed(&mut tracked);
+        let (view, _, _) = tracked.into_shard_parts();
+        let (mut bufs, seed_joins, seed_value_joins) = view.into_bufs();
+        self.joins += seed_joins;
+        self.value_joins += seed_value_joins;
+        // No dependents can be registered yet; drop the grow set.
+        bufs.grew.clear();
+        self.bufs = bufs;
     }
 
-    /// Processes one delivered message.
-    fn handle_msg(&mut self, msg: Msg) {
+    fn intern(&mut self, cfg: M::Config) -> usize {
+        if let Some(&i) = self.index.get(&cfg) {
+            return i;
+        }
+        let i = self.configs.len();
+        self.configs.push(cfg.clone());
+        self.index.insert(cfg, i);
+        self.config_reads.push(Vec::new());
+        self.evaluated.push(false);
+        i
+    }
+
+    fn gated(&self, i: usize) -> bool {
+        // Epoch gate on lock-free row epochs: skip when no read row
+        // moved past the epoch this config actually observed.
+        self.evaluated[i]
+            && self.config_reads[i]
+                .iter()
+                .all(|&(a, e)| self.store.addr_epoch(a) <= e)
+    }
+
+    /// Evaluates one homed configuration (by local index).
+    fn evaluate(&mut self, i: usize, ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
+        let config = self.configs[i].clone();
+        self.successors.clear();
+        let baseline = ctx.mode() == EvalMode::SemiNaive && self.evaluated[i];
+        let bufs = std::mem::take(&mut self.bufs);
+        let prev_reads: &[(u32, u64)] = if baseline { &self.config_reads[i] } else { &[] };
+        let view = ShardView::new(self.store, ctx.id(), prev_reads, baseline, false, bufs);
+        let mut tracked = TrackedStore::wrap_shard(view);
+        self.machine
+            .step(&config, &mut tracked, &mut self.successors);
+        let (view, step_delta_facts, step_delta_applies) = tracked.into_shard_parts();
+        let (mut bufs, step_joins, step_value_joins) = view.into_bufs();
+        ctx.delta_facts += step_delta_facts;
+        ctx.delta_applies += step_delta_applies;
+        self.joins += step_joins;
+        self.value_joins += step_value_joins;
+
+        // Canonicalize the read set: sorted by address, earliest
+        // observed epoch per address (reading conservatively early
+        // epochs only widens the next delta — sound).
+        bufs.reads.sort_unstable();
+        bufs.reads.dedup_by_key(|&mut (a, _)| a);
+        self.register_deps(i, &mut bufs.reads, ctx);
+
+        ctx.submit_fresh(&mut self.successors);
+
+        bufs.grew.sort_unstable();
+        bufs.grew.dedup();
+        let grew = std::mem::take(&mut bufs.grew);
+        self.bufs = bufs;
+        self.announce_growth(&grew, ctx);
+        self.bufs.grew = grew;
+    }
+
+    /// Processes one delivered message. The fabric releases the
+    /// message's pending count after this returns — everything the
+    /// delivery spawns (wakes, forwarded messages) is counted inside.
+    fn on_msg(&mut self, msg: Msg, ctx: &mut WorkerCtx<'_, M::Config, Msg>) {
         match msg {
             Msg::Grew(addrs) => {
                 debug_assert!(
-                    addrs.iter().all(|&a| self.store.owner(a) == self.id),
+                    addrs.iter().all(|&a| self.store.owner(a) == ctx.id()),
                     "misrouted growth notification"
                 );
-                self.wake_dependents_of(&addrs);
-                self.flush_wakes();
+                self.wake_dependents_of(&addrs, ctx);
+                self.flush_wakes(ctx);
             }
             Msg::Deps { worker, adds, dels } => {
                 for (a, seen_epoch, cfg) in adds {
-                    debug_assert_eq!(self.store.owner(a), self.id, "misrouted dep");
+                    debug_assert_eq!(self.store.owner(a), ctx.id(), "misrouted dep");
                     let key = (worker, cfg);
                     let list = self.deps.entry(a).or_default();
                     if let Err(pos) = list.binary_search(&key) {
@@ -476,7 +422,7 @@ where
                     // Self-owned registrations never arrive by message
                     // (register_deps applies them in place), so the
                     // sender is always remote.
-                    debug_assert_ne!(worker as usize, self.id, "self-registration by message");
+                    debug_assert_ne!(worker as usize, ctx.id(), "self-registration by message");
                     if self.store.addr_epoch(a) > seen_epoch {
                         self.out_wakes[worker as usize].push(cfg);
                     }
@@ -488,175 +434,32 @@ where
                         }
                     }
                 }
-                self.flush_wakes();
+                self.flush_wakes(ctx);
             }
             Msg::Wakes(cfgs) => {
                 for c in cfgs {
-                    self.shared.pending.fetch_add(1, Ordering::AcqRel);
-                    self.wakes.push_back(c as usize);
+                    // The sender counted these as wakeups when it
+                    // shipped the batch; only the pending count and the
+                    // queue entry land here.
+                    ctx.deliver_wake(c as usize);
                 }
             }
         }
-        // Only now is the message's own pending released: everything it
-        // spawned (wakes, forwarded messages) is already counted.
-        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Evaluates one homed configuration (by local index).
-    fn process(&mut self, i: usize, limits: &EngineLimits, successors: &mut Vec<M::Config>) {
-        // Epoch gate on lock-free row epochs: skip when no read row
-        // moved past the epoch this config actually observed. Wake
-        // queues are dedup-free, so duplicate pops die here.
-        if self.evaluated[i]
-            && self.config_reads[i]
-                .iter()
-                .all(|&(a, e)| self.store.addr_epoch(a) <= e)
-        {
-            self.skipped += 1;
-            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-            return;
+    fn enforce_watermark(&mut self, watermark: usize, _threads: usize) {
+        // The store tracks total delta-log bytes (the portion a trim
+        // reclaims) in one atomic; whichever worker notices the overrun
+        // trims every row — rows of idle owners included, since
+        // trimming is safe from any thread.
+        if self.store.delta_log_bytes() > watermark {
+            self.store.trim_delta_logs();
         }
-
-        if self.shared.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
-            self.shared.stop(Status::IterationLimit);
-            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-            return;
-        }
-        self.iterations += 1;
-
-        let config = self.configs[i].clone();
-        successors.clear();
-        let baseline = self.mode == EvalMode::SemiNaive && self.evaluated[i];
-        let bufs = std::mem::take(&mut self.bufs);
-        let prev_reads: &[(u32, u64)] = if baseline { &self.config_reads[i] } else { &[] };
-        let view = ShardView::new(self.store, self.id, prev_reads, baseline, false, bufs);
-        let mut tracked = TrackedStore::wrap_shard(view);
-        self.machine.step(&config, &mut tracked, successors);
-        let (view, step_delta_facts, step_delta_applies) = tracked.into_shard_parts();
-        let (mut bufs, step_joins, step_value_joins) = view.into_bufs();
-        self.delta_facts += step_delta_facts;
-        self.delta_applies += step_delta_applies;
-        self.joins += step_joins;
-        self.value_joins += step_value_joins;
-
-        // Canonicalize the read set: sorted by address, earliest
-        // observed epoch per address (reading conservatively early
-        // epochs only widens the next delta — sound).
-        bufs.reads.sort_unstable();
-        bufs.reads.dedup_by_key(|&mut (a, _)| a);
-        self.register_deps(i, &mut bufs.reads);
-
-        self.submit_fresh(successors);
-
-        bufs.grew.sort_unstable();
-        bufs.grew.dedup();
-        self.announce_growth(&bufs.grew);
-        self.bufs = bufs;
-
-        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
     }
 
-    fn run(mut self, limits: &EngineLimits, start: Instant) -> WorkerOutput<M> {
-        {
-            // Every worker runs the (deterministic) seed, applying only
-            // the rows it owns — each row is seeded exactly once, by its
-            // owner, with no message traffic.
-            let bufs = std::mem::take(&mut self.bufs);
-            let view = ShardView::new(self.store, self.id, &[], false, true, bufs);
-            let mut tracked = TrackedStore::wrap_shard(view);
-            self.machine.seed(&mut tracked);
-            let (view, _, _) = tracked.into_shard_parts();
-            let (mut bufs, seed_joins, seed_value_joins) = view.into_bufs();
-            self.joins += seed_joins;
-            self.value_joins += seed_value_joins;
-            // No dependents can be registered yet; drop the grow set.
-            bufs.grew.clear();
-            self.bufs = bufs;
-        }
-
-        let mut successors: Vec<M::Config> = Vec::new();
-        let mut pops: u64 = 0;
-        let mut idle_spins: u32 = 0;
-
-        loop {
-            if self.shared.done.load(Ordering::Acquire) {
-                break;
-            }
-
-            // Messages first: routed joins and registrations must land
-            // before this worker commits to idling.
-            let msgs = {
-                let mut inbox = self.shared.inbox(self.id);
-                std::mem::take(&mut *inbox)
-            };
-            if !msgs.is_empty() {
-                self.sched.inbox_batches += msgs.len() as u64;
-                self.sched.max_inbox_depth = self.sched.max_inbox_depth.max(msgs.len() as u64);
-                for msg in msgs {
-                    self.handle_msg(msg);
-                }
-                idle_spins = 0;
-                continue;
-            }
-
-            let task: Option<usize> = match self.pop_local() {
-                Some(cfg) => Some(self.intern_local(cfg)),
-                None => match self.wakes.pop_front() {
-                    Some(i) => Some(i),
-                    None => self.steal().map(|cfg| self.intern_local(cfg)),
-                },
-            };
-            let Some(i) = task else {
-                if self.shared.pending.load(Ordering::Acquire) == 0 {
-                    self.shared.done.store(true, Ordering::Release);
-                    break;
-                }
-                idle_spins += 1;
-                self.sched.idle_spins += 1;
-                if idle_spins < 32 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-                continue;
-            };
-            idle_spins = 0;
-
-            pops += 1;
-            if pops.is_multiple_of(64) {
-                if let Some(budget) = limits.time_budget {
-                    if start.elapsed() > budget {
-                        self.shared.stop(Status::TimedOut);
-                        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
-                        break;
-                    }
-                }
-                // Watermark: the store tracks total delta-log bytes
-                // (the portion a trim reclaims) in one atomic;
-                // whichever worker notices the overrun trims every
-                // row — rows of idle owners included, since trimming
-                // is safe from any thread.
-                if let Some(watermark) = limits.store_bytes_watermark {
-                    if self.store.delta_log_bytes() > watermark {
-                        self.store.trim_delta_logs();
-                    }
-                }
-            }
-
-            self.process(i, limits, &mut successors);
-        }
-
-        WorkerOutput {
-            machine: self.machine,
-            iterations: self.iterations,
-            skipped: self.skipped,
-            wakeups: self.wakeups,
-            delta_facts: self.delta_facts,
-            delta_applies: self.delta_applies,
-            joins: self.joins,
-            value_joins: self.value_joins,
-            sched: self.sched,
-        }
+    fn finish(&mut self, _sched: &mut SchedStats) {
+        // Store-resident bytes are measured once, on the shared store,
+        // by the driver — not per worker.
     }
 }
 
@@ -699,77 +502,35 @@ where
     let threads = threads.max(1);
 
     let store: SharedStore<M::Addr, M::Val> = SharedStore::new(threads);
-    let shared: Shared<M::Config> = Shared {
-        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-        inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
-        seen: (0..SEEN_SHARDS)
-            .map(|_| Mutex::new(FxHashSet::default()))
-            .collect(),
-        pending: AtomicU64::new(0),
-        done: AtomicBool::new(false),
-        evals: AtomicU64::new(0),
-        stop_status: Mutex::new(None),
-    };
+    let fabric: Fabric<M::Config, Msg> = Fabric::new(threads);
+    fabric.submit_root(machine.initial());
 
-    let root = machine.initial();
-    shared.seen[seen_shard(&root)]
-        .lock()
-        .expect("seen lock")
-        .insert(root.clone());
-    shared.pending.fetch_add(1, Ordering::AcqRel);
-    shared.queues[0].lock().expect("queue lock").push_back(root);
-
-    let mut workers: Vec<Worker<'_, M>> = (0..threads)
-        .map(|id| Worker::new(id, machine.fork(), mode, &store, &shared))
+    let backends: Vec<ShardedWorker<'_, M>> = (0..threads)
+        .map(|_| ShardedWorker::new(machine.fork(), &store))
         .collect();
-
-    let outputs: Vec<WorkerOutput<M>> = if threads == 1 {
-        vec![workers.pop().expect("one worker").run(&limits, start)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .drain(..)
-                .map(|w| scope.spawn(|| w.run(&limits, start)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-
-    let status = shared
-        .stop_status
-        .into_inner()
-        .expect("status lock")
-        .unwrap_or(Status::Completed);
+    let reports = fabric::drive(&fabric, backends, mode, &limits, start);
+    let (status, configs) = fabric.finish();
 
     let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
     let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
     let (mut joins, mut value_joins) = (0u64, 0u64);
     let mut sched = SchedStats::default();
-    for out in outputs {
-        iterations += out.iterations;
-        skipped += out.skipped;
-        wakeups += out.wakeups;
-        delta_facts += out.delta_facts;
-        delta_applies += out.delta_applies;
-        joins += out.joins;
-        value_joins += out.value_joins;
-        sched.absorb(&out.sched);
-        machine.absorb(out.machine);
+    for report in reports {
+        iterations += report.iterations;
+        skipped += report.skipped;
+        wakeups += report.wakeups;
+        delta_facts += report.delta_facts;
+        delta_applies += report.delta_applies;
+        joins += report.backend.joins;
+        value_joins += report.backend.value_joins;
+        sched.absorb(&report.sched);
+        machine.absorb(report.backend.machine);
     }
 
     // The shared store *is* the result: measure it, then drain it into
     // an ordinary AbsStore without re-interning a single value.
     sched.store_resident_bytes = store.approx_bytes() as u64;
     let store = store.into_abs_store(joins, value_joins);
-
-    let configs: Vec<M::Config> = shared
-        .seen
-        .into_iter()
-        .flat_map(|shard| shard.into_inner().expect("seen lock"))
-        .collect();
 
     FixpointResult {
         configs,
@@ -788,7 +549,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run_fixpoint, AbstractMachine};
+    use crate::engine::{run_fixpoint, AbstractMachine, Status};
+    use std::time::Duration;
 
     /// The toy machine of the engine tests.
     #[derive(Clone)]

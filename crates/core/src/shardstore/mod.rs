@@ -9,7 +9,7 @@
 //! licenses: the store is a single join-semilattice that workers race
 //! on monotonically, so it can simply be *shared* —
 //!
-//! * [`pool`] — a global concurrent interner (sharded index, chunked
+//! * `pool` — a global concurrent interner (sharded index, chunked
 //!   append-only slots, lock-free `get`). Ids are process-global; a
 //!   fact is interned once, ever;
 //! * [`store`] — [`SharedStore`]: rows partitioned by address-id hash

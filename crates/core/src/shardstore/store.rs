@@ -4,9 +4,9 @@
 //! One [`SharedStore`] serves every worker:
 //!
 //! * values and addresses intern through the global
-//!   [`super::pool::ConcurrentPool`]s — ids are process-global, so a
+//!   `ConcurrentPool`s (the crate-private `pool` module) — ids are process-global, so a
 //!   fact is interned exactly once for the whole run;
-//! * each address id maps to one [`RowSlot`]; rows are *owned* by the
+//! * each address id maps to one row slot; rows are *owned* by the
 //!   shard `owner(addr_id)` (a hash of the id). Writes go through the
 //!   row mutex from any thread (immediate read-your-writes); reads
 //!   briefly lock the row and clone the epoch-stamped `Arc<Vec<u32>>`

@@ -40,6 +40,8 @@ use std::hash::Hash;
 pub use cfa_workloads::gen::random_program as random_scheme_program;
 pub use cfa_workloads::gen_fj::{random_fj_program, FjGenConfig};
 
+pub mod rendezvous;
+
 /// Thread count for the parallel runs: enough workers that task
 /// migration, fact broadcast/routing, and steals all actually happen.
 pub const PAR_THREADS: usize = 3;

@@ -1,0 +1,106 @@
+//! The forced-interleaving rendezvous machine: the one test machine
+//! that *deterministically* provokes the sharded backend's
+//! stale-snapshot race, shared by `tests/store_backends.rs` (which
+//! pins the wakeup protocol) and `tests/fabric.rs` (which pins the
+//! unified driver's counter identity on the same interleaving) — one
+//! definition, so a change to the protocol cannot silently leave one
+//! suite testing the old interleaving.
+
+use cfa_core::engine::{AbstractMachine, TrackedStore};
+use cfa_core::parallel::ParallelMachine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spins until `flag` is set, or a generous deadline passes — the
+/// caller then proceeds and still asserts the fixpoint; it just stops
+/// forcing the interleaving.
+pub fn await_flag(flag: &AtomicBool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !flag.load(Ordering::Acquire) && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+/// A two-party rendezvous machine that forces the stale-snapshot race
+/// of the sharded backend:
+///
+/// * the **reader** (config 10) snapshots address 5 *before* the writer
+///   has produced anything, then — still inside its step, i.e. before
+///   its dependency on address 5 is registered at the owner — waits
+///   until the writer's join call has happened;
+/// * the **writer** (config 20) waits for the reader to be mid-step,
+///   then joins 42 into address 5.
+///
+/// The reader's registration therefore arrives at the owner *after*
+/// (or racing with) the growth it missed. Soundness demands the owner's
+/// registration-time epoch check wake the reader anyway; the reader's
+/// re-evaluation copies address 5 into address 6, which is what callers
+/// assert. Without the stale-snapshot check the run still terminates —
+/// with address 6 empty.
+#[derive(Clone, Debug)]
+pub struct Rendezvous {
+    /// Set by the reader once it holds a (possibly stale) snapshot and
+    /// is parked mid-step.
+    pub reader_in_step: Arc<AtomicBool>,
+    /// Set by the writer after its join has landed.
+    pub writer_joined: Arc<AtomicBool>,
+}
+
+impl Rendezvous {
+    /// A fresh machine with both flags down.
+    pub fn new() -> Self {
+        Rendezvous {
+            reader_in_step: Arc::new(AtomicBool::new(false)),
+            writer_joined: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl Default for Rendezvous {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AbstractMachine for Rendezvous {
+    type Config = u8;
+    type Addr = u8;
+    type Val = u8;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+        match *c {
+            0 => out.extend([10, 20]),
+            10 => {
+                // Snapshot first — on the forced schedule this sees ⊥
+                // and records a pre-growth epoch.
+                let seen = s.read(&5);
+                if seen.is_empty() {
+                    self.reader_in_step.store(true, Ordering::Release);
+                    // Hold the step open until the writer has joined, so
+                    // our dependency registration happens after (or
+                    // racing) the growth.
+                    await_flag(&self.writer_joined);
+                }
+                s.join_flow(&6, &seen);
+            }
+            20 => {
+                await_flag(&self.reader_in_step);
+                s.join(&5, [42u8]);
+                self.writer_joined.store(true, Ordering::Release);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl ParallelMachine for Rendezvous {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+    fn absorb(&mut self, _worker: Self) {}
+}

@@ -22,5 +22,10 @@ cargo fmt --all --check
 # criterion) are build inputs, not code we hold to clippy.
 cargo clippy --workspace --exclude rand --exclude proptest --exclude criterion \
     --all-targets -- -D warnings
+# Rustdoc must build warning-free: `missing_docs` is `warn` in the
+# first-party crates, so an undocumented public item or broken
+# intra-doc link fails here (doc-examples run as tests above).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
+    --exclude rand --exclude proptest --exclude criterion
 
 echo "tier-1 check passed"

@@ -1,0 +1,158 @@
+//! Fabric-level regression tests: both store backends run through the
+//! one generic driver (`cfa_core::fabric`), so the scheduling
+//! invariants must hold *identically* for both — this file pins them,
+//! guarding against backend-specific drift returning.
+//!
+//! The load-bearing counter identity, asserted on every completed run:
+//!
+//! ```text
+//! iterations + skipped == config_count + wakeups
+//! ```
+//!
+//! Every fresh configuration is deduplicated once and popped exactly
+//! once (`config_count` pops), every scheduled wakeup is popped exactly
+//! once (`wakeups` pops), and every pop either evaluates (`iterations`)
+//! or dies at the epoch gate (`skipped`). A lost wakeup breaks the
+//! identity from the right (a scheduled wake never popped would also
+//! deadlock termination — the fabric's pending counter is asserted
+//! zero on completion inside `Fabric::finish`); a double-delivered or
+//! phantom pop breaks it from the left.
+
+use cfa::analysis::engine::{AbstractMachine, EngineLimits, EvalMode, Status, TrackedStore};
+use cfa::analysis::fabric::WakeBatching;
+use cfa::analysis::parallel::{
+    run_fixpoint_parallel_on, ParallelMachine, Replicated, Sharded, StoreBackend,
+};
+use cfa_testsupport::rendezvous::Rendezvous;
+
+/// A feedback machine whose fixpoint needs many cross-config wakeups —
+/// dense scheduling traffic without forced interleavings.
+struct Feedback;
+
+impl AbstractMachine for Feedback {
+    type Config = u8;
+    type Addr = u8;
+    type Val = u8;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+        if *c == 0 {
+            s.join(&0, [1u8]);
+            out.extend([1, 2, 3]);
+        } else {
+            let seen = s.read(&(*c % 3));
+            let next: Vec<u8> = seen
+                .iter()
+                .map(|id| *s.val(id))
+                .filter(|&v| v < 60)
+                .map(|v| v + 1)
+                .collect();
+            s.join(&((*c + 1) % 3), next);
+        }
+    }
+}
+
+impl ParallelMachine for Feedback {
+    fn fork(&self) -> Self {
+        Feedback
+    }
+    fn absorb(&mut self, _worker: Self) {}
+}
+
+/// Asserts the fabric counter identity on a completed run.
+fn assert_sched_identity<C, A, V>(r: &cfa::analysis::engine::FixpointResult<C, A, V>, label: &str) {
+    assert_eq!(r.status, Status::Completed, "{label}");
+    assert_eq!(
+        r.iterations + r.skipped,
+        r.config_count() as u64 + r.wakeups,
+        "{label}: every fresh config and every scheduled wakeup must be \
+         popped exactly once (iterations {} + skipped {} vs configs {} + \
+         wakeups {})",
+        r.iterations,
+        r.skipped,
+        r.config_count(),
+        r.wakeups
+    );
+}
+
+fn rendezvous_through<B: StoreBackend>(batching: WakeBatching) {
+    let limits = EngineLimits {
+        wake_batching: batching,
+        ..EngineLimits::default()
+    };
+    for round in 0..10 {
+        let mut machine = Rendezvous::new();
+        let r = run_fixpoint_parallel_on::<B, _>(&mut machine, 2, limits, EvalMode::SemiNaive);
+        let label = format!("{} {batching:?} round {round}", B::NAME);
+        assert_sched_identity(&r, &label);
+        assert_eq!(
+            r.store.read(&5),
+            [42u8].into_iter().collect(),
+            "{label}: the write landed"
+        );
+        assert_eq!(
+            r.store.read(&6),
+            [42u8].into_iter().collect(),
+            "{label}: the reader re-ran after its stale snapshot"
+        );
+    }
+}
+
+/// The forced stale-snapshot interleaving, through the unified driver,
+/// on both backends and both drain policies: no wakeup may be lost and
+/// the counter identity must hold identically.
+#[test]
+fn rendezvous_sched_invariants_hold_for_both_backends() {
+    for batching in [WakeBatching::Adaptive, WakeBatching::DrainAll] {
+        rendezvous_through::<Replicated>(batching);
+        rendezvous_through::<Sharded>(batching);
+    }
+}
+
+/// Dense wakeup traffic through the unified driver: the counter
+/// identity and the fixpoint hold for both backends across thread
+/// counts, modes, and drain policies.
+#[test]
+fn feedback_sched_invariants_hold_for_both_backends() {
+    let expect = cfa::analysis::engine::run_fixpoint(&mut Feedback, EngineLimits::default());
+    for batching in [WakeBatching::Adaptive, WakeBatching::DrainAll] {
+        let limits = EngineLimits {
+            wake_batching: batching,
+            ..EngineLimits::default()
+        };
+        for threads in [1, 2, 4] {
+            for mode in [EvalMode::SemiNaive, EvalMode::FullReeval] {
+                let rep =
+                    run_fixpoint_parallel_on::<Replicated, _>(&mut Feedback, threads, limits, mode);
+                let sh =
+                    run_fixpoint_parallel_on::<Sharded, _>(&mut Feedback, threads, limits, mode);
+                for (r, name) in [(&rep, "replicated"), (&sh, "sharded")] {
+                    let label = format!("{name} {batching:?} threads={threads} {mode:?}");
+                    assert_sched_identity(r, &label);
+                    for a in 0..3u8 {
+                        assert_eq!(
+                            r.store.read(&a),
+                            expect.store.read(&a),
+                            "{label}: fixpoint agrees with sequential"
+                        );
+                    }
+                    assert_eq!(r.config_count(), expect.config_count(), "{label}");
+                }
+            }
+        }
+    }
+}
+
+/// The sequential engine satisfies the same identity (its wakeups are
+/// exact, so `skipped` is zero) — the invariant is engine-wide, not a
+/// parallel artifact.
+#[test]
+fn sequential_engine_satisfies_the_identity() {
+    let r = cfa::analysis::engine::run_fixpoint(&mut Feedback, EngineLimits::default());
+    assert_eq!(r.status, Status::Completed);
+    assert_eq!(r.skipped, 0, "sequential wakeups are exact");
+    assert_eq!(r.iterations, r.config_count() as u64 + r.wakeups);
+}

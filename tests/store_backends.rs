@@ -12,92 +12,8 @@ use cfa::analysis::engine::{
 };
 use cfa::analysis::parallel::ParallelMachine;
 use cfa::analysis::shardstore::{run_fixpoint_sharded, run_fixpoint_sharded_with};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// Spin until `flag` is set (or a generous deadline passes — the test
-/// then proceeds and still asserts the fixpoint, it just stops forcing
-/// the interleaving).
-fn await_flag(flag: &AtomicBool) {
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while !flag.load(Ordering::Acquire) && Instant::now() < deadline {
-        std::thread::yield_now();
-    }
-}
-
-/// A two-party rendezvous machine that forces the stale-snapshot race
-/// of the sharded backend:
-///
-/// * the **reader** (config 10) snapshots address 5 *before* the writer
-///   has produced anything, then — still inside its step, i.e. before
-///   its dependency on address 5 is registered at the owner — waits
-///   until the writer's join call has happened;
-/// * the **writer** (config 20) waits for the reader to be mid-step,
-///   then joins 42 into address 5.
-///
-/// The reader's registration therefore arrives at the owner *after*
-/// (or racing with) the growth it missed. Soundness demands the owner's
-/// registration-time epoch check wake the reader anyway; the reader's
-/// re-evaluation copies address 5 into address 6, which is what the
-/// test asserts. Without the stale-snapshot check the run still
-/// terminates — with address 6 empty.
-#[derive(Clone)]
-struct Rendezvous {
-    reader_in_step: Arc<AtomicBool>,
-    writer_joined: Arc<AtomicBool>,
-}
-
-impl Rendezvous {
-    fn new() -> Self {
-        Rendezvous {
-            reader_in_step: Arc::new(AtomicBool::new(false)),
-            writer_joined: Arc::new(AtomicBool::new(false)),
-        }
-    }
-}
-
-impl AbstractMachine for Rendezvous {
-    type Config = u8;
-    type Addr = u8;
-    type Val = u8;
-
-    fn initial(&self) -> u8 {
-        0
-    }
-
-    fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
-        match *c {
-            0 => out.extend([10, 20]),
-            10 => {
-                // Snapshot first — on the forced schedule this sees ⊥
-                // and records a pre-growth epoch.
-                let seen = s.read(&5);
-                if seen.is_empty() {
-                    self.reader_in_step.store(true, Ordering::Release);
-                    // Hold the step open until the writer has joined, so
-                    // our dependency registration happens after (or
-                    // racing) the growth.
-                    await_flag(&self.writer_joined);
-                }
-                s.join_flow(&6, &seen);
-            }
-            20 => {
-                await_flag(&self.reader_in_step);
-                s.join(&5, [42u8]);
-                self.writer_joined.store(true, Ordering::Release);
-            }
-            _ => {}
-        }
-    }
-}
-
-impl ParallelMachine for Rendezvous {
-    fn fork(&self) -> Self {
-        self.clone()
-    }
-    fn absorb(&mut self, _worker: Self) {}
-}
+use cfa_testsupport::rendezvous::Rendezvous;
+use std::sync::atomic::Ordering;
 
 /// A reader whose snapshot goes stale before its dependency lands must
 /// still be woken (sharded backend, 2 workers, many interleavings —
