@@ -38,7 +38,7 @@
 //! Usage: `cargo run -p cfa-bench --release --bin engine_bench`
 //! (writes BENCH_engine.json into the current directory).
 
-use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode, FixpointResult};
+use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode, FixpointResult, Status};
 use cfa_core::fabric::WakeBatching;
 use cfa_core::kcfa::KCfaMachine;
 use cfa_core::parallel::run_fixpoint_parallel;
@@ -53,6 +53,10 @@ const PAR_THREADS: usize = 4;
 
 /// One measured engine run.
 struct Cell {
+    /// Why the run stopped — always `completed` today (cells assert
+    /// it), recorded so an interrupted future cell is visible in the
+    /// JSON instead of silently shaped like a fast run.
+    status: &'static str,
     seconds: f64,
     iterations: u64,
     joins: u64,
@@ -71,12 +75,25 @@ struct Cell {
     inbox_drains: u64,
 }
 
+/// A JSON-safe tag for a run status (the `Aborted` payload carries
+/// free-form panic text; the tag alone is recorded).
+fn status_tag(s: &Status) -> &'static str {
+    match s {
+        Status::Completed => "completed",
+        Status::IterationLimit => "iteration_limit",
+        Status::TimedOut => "timed_out",
+        Status::Cancelled => "cancelled",
+        Status::Aborted { .. } => "aborted",
+    }
+}
+
 fn cell_of<C, A, V>(r: &FixpointResult<C, A, V>, seconds: f64) -> Cell
 where
     A: Eq + std::hash::Hash + Clone,
     V: Eq + std::hash::Hash + Clone,
 {
     Cell {
+        status: status_tag(&r.status),
         seconds,
         iterations: r.iterations,
         joins: r.store.join_count(),
@@ -130,7 +147,7 @@ fn run_parallel(program: &CpsProgram, k: usize, runs: usize, batching: WakeBatch
     best_of(runs, || {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
-        let r = run_fixpoint_parallel(&mut machine, PAR_THREADS, limits);
+        let r = run_fixpoint_parallel(&mut machine, PAR_THREADS, limits.clone());
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
         cell_of(&r, seconds)
@@ -147,7 +164,7 @@ fn run_sharded(program: &CpsProgram, k: usize, runs: usize, batching: WakeBatchi
     best_of(runs, || {
         let mut machine = KCfaMachine::new(program, k);
         let start = Instant::now();
-        let r = run_fixpoint_sharded(&mut machine, PAR_THREADS, limits);
+        let r = run_fixpoint_sharded(&mut machine, PAR_THREADS, limits.clone());
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
         cell_of(&r, seconds)
@@ -163,6 +180,7 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
         let seconds = start.elapsed().as_secs_f64();
         assert!(r.status.is_complete(), "bench cells must complete");
         Cell {
+            status: status_tag(&r.status),
             seconds,
             iterations: r.iterations,
             joins: r.store.join_count(),
@@ -186,11 +204,12 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
 fn cell_json(out: &mut String, tag: &str, c: &Cell) {
     let _ = write!(
         out,
-        "\"{tag}\": {{\"seconds\": {:.6}, \"iterations\": {}, \"joins\": {}, \
+        "\"{tag}\": {{\"status\": \"{}\", \"seconds\": {:.6}, \"iterations\": {}, \"joins\": {}, \
          \"value_joins\": {}, \"facts\": {}, \"configs\": {}, \"skipped\": {}, \
          \"wakeups\": {}, \"delta_facts\": {}, \"delta_applies\": {}, \
          \"store_bytes\": {}, \"steals\": {}, \"failed_steals\": {}, \
          \"idle_spins\": {}, \"inbox_batches\": {}, \"inbox_drains\": {}}}",
+        c.status,
         c.seconds,
         c.iterations,
         c.joins,

@@ -29,8 +29,9 @@ pub fn run_cell(program: &CpsProgram, analysis: Analysis, budget: Duration) -> M
 /// Formats a run the way the paper's §6.1.1 table does: `ϵ` for less
 /// than a second, `∞` for a timeout, otherwise seconds/minutes.
 pub fn fmt_cell(metrics: &Metrics) -> String {
-    match metrics.status {
+    match &metrics.status {
         Status::TimedOut | Status::IterationLimit => "∞".to_owned(),
+        Status::Cancelled | Status::Aborted { .. } => "✗".to_owned(),
         Status::Completed => fmt_duration(metrics.elapsed),
     }
 }

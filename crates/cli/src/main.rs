@@ -12,8 +12,18 @@
 //! cfa fj-datalog [--k K] FILE.java  # points-to on the Datalog road
 //! cfa fj-gc [--k K] FILE.java       # ΓCFA: abstract GC + counting
 //! ```
+//!
+//! The analysis-running subcommands read their [`EngineLimits`] from
+//! the environment: `CFA_MAX_ITERS`, `CFA_TIME_BUDGET_MS`, and
+//! `CFA_FAULT_PLAN` (see `cfa_core::fabric::FaultPlan::parse`).
+//!
+//! Exit codes: `0` success, `1` input/analysis errors, `2` usage, and
+//! one distinct code per early-stop [`Status`] — `3` timed out, `4`
+//! iteration limit, `5` cancelled, `6` aborted — each with a one-line
+//! stderr diagnostic, so scripts can tell a budget overrun from a
+//! contained crash without parsing stdout.
 
-use cfa_core::engine::EngineLimits;
+use cfa_core::engine::{EngineLimits, Status};
 use cfa_core::Analysis;
 use std::process::ExitCode;
 
@@ -31,6 +41,36 @@ fn usage() -> ExitCode {
   cfa fj-gc [--k K] FILE.java"
     );
     ExitCode::from(2)
+}
+
+/// Limits for the analysis-running subcommands, read from the
+/// environment (`CFA_MAX_ITERS`, `CFA_TIME_BUDGET_MS`,
+/// `CFA_FAULT_PLAN`); unset variables leave the defaults.
+fn run_limits() -> EngineLimits {
+    EngineLimits::from_env()
+}
+
+/// Maps an early-stop status to its diagnostic and distinct exit code:
+/// `3` timed out, `4` iteration limit, `5` cancelled, `6` aborted.
+/// `Ok(())` on completion.
+fn check_status(status: &Status) -> Result<(), ExitCode> {
+    let (code, line) = match status {
+        Status::Completed => return Ok(()),
+        Status::TimedOut => (
+            3u8,
+            "analysis timed out (raise CFA_TIME_BUDGET_MS)".to_owned(),
+        ),
+        Status::IterationLimit => (
+            4,
+            "analysis hit the iteration limit (raise CFA_MAX_ITERS)".to_owned(),
+        ),
+        Status::Cancelled => (5, "analysis was cancelled".to_owned()),
+        Status::Aborted { config, message } => {
+            (6, format!("analysis aborted at {config}: {message}"))
+        }
+    };
+    eprintln!("cfa: {line}");
+    Err(ExitCode::from(code))
 }
 
 fn main() -> ExitCode {
@@ -66,7 +106,12 @@ fn cmd_dot(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = cfa_core::analyze_kcfa(&program, 1, EngineLimits::default());
+    let result = cfa_core::analyze_kcfa(&program, 1, run_limits());
+    // An interrupted analysis would render a partial (misleading)
+    // graph; fail with the status's exit code instead.
+    if let Err(code) = check_status(&result.metrics.status) {
+        return code;
+    }
     let graph = cfa_core::callgraph::CallGraph::from_metrics(&program, &result.metrics);
     print!("{}", graph.to_dot(&program));
     ExitCode::SUCCESS
@@ -165,25 +210,42 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         if report {
             // Full per-context flow report (Figures 1/2 style).
             let opts = cfa_core::report::ReportOptions::default();
-            let text = match analysis {
+            let (text, status) = match analysis {
                 Analysis::KCfa { k } => {
-                    let r = cfa_core::analyze_kcfa(&program, k, EngineLimits::default());
-                    cfa_core::report::report_kcfa(&program, &r, opts)
+                    let r = cfa_core::analyze_kcfa(&program, k, run_limits());
+                    (
+                        cfa_core::report::report_kcfa(&program, &r, opts),
+                        r.metrics.status,
+                    )
                 }
                 Analysis::MCfa { m } => {
-                    let r = cfa_core::analyze_mcfa(&program, m, EngineLimits::default());
-                    cfa_core::report::report_flat(&program, &r, opts)
+                    let r = cfa_core::analyze_mcfa(&program, m, run_limits());
+                    (
+                        cfa_core::report::report_flat(&program, &r, opts),
+                        r.metrics.status,
+                    )
                 }
                 Analysis::PolyKCfa { k } => {
-                    let r = cfa_core::analyze_poly_kcfa(&program, k, EngineLimits::default());
-                    cfa_core::report::report_flat(&program, &r, opts)
+                    let r = cfa_core::analyze_poly_kcfa(&program, k, run_limits());
+                    (
+                        cfa_core::report::report_flat(&program, &r, opts),
+                        r.metrics.status,
+                    )
                 }
             };
             println!("{text}");
+            if let Err(code) = check_status(&status) {
+                return code;
+            }
         } else {
-            let m = cfa_core::analyze(&program, analysis, EngineLimits::default());
+            let m = cfa_core::analyze(&program, analysis, run_limits());
             print_metrics(&m);
             println!();
+            // The metrics above already name the status; the exit code
+            // and stderr line make it machine-visible.
+            if let Err(code) = check_status(&m.status) {
+                return code;
+            }
         }
     }
     ExitCode::SUCCESS
@@ -270,7 +332,7 @@ fn cmd_fj(args: &[String]) -> ExitCode {
         policy,
         cast_filtering: false,
     };
-    let r = cfa_fj::analyze_fj(&program, options, EngineLimits::default());
+    let r = cfa_fj::analyze_fj(&program, options, run_limits());
     let m = &r.metrics;
     println!("{program}");
     println!("== {} ==", m.analysis);
@@ -288,6 +350,9 @@ fn cmd_fj(args: &[String]) -> ExitCode {
         .map(|&c| program.name(program.class(c).name))
         .collect();
     println!("  result classes: {{{}}}", classes.join(", "));
+    if let Err(code) = check_status(&m.status) {
+        return code;
+    }
     ExitCode::SUCCESS
 }
 
@@ -362,11 +427,10 @@ fn cmd_fj_dot(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let r = cfa_fj::analyze_fj(
-        &program,
-        cfa_fj::FjAnalysisOptions::oo(k),
-        EngineLimits::default(),
-    );
+    let r = cfa_fj::analyze_fj(&program, cfa_fj::FjAnalysisOptions::oo(k), run_limits());
+    if let Err(code) = check_status(&r.metrics.status) {
+        return code;
+    }
     let graph = cfa_fj::FjCallGraph::from_metrics(&r.metrics);
     print!("{}", graph.to_dot(&program));
     ExitCode::SUCCESS
@@ -388,11 +452,12 @@ fn cmd_fj_datalog(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let d = cfa_fj::analyze_fj_datalog(&program, cfa_fj::FjDatalogOptions::sensitive(k));
-    let machine = cfa_fj::analyze_fj(
-        &program,
-        cfa_fj::FjAnalysisOptions::oo(k),
-        EngineLimits::default(),
-    );
+    let machine = cfa_fj::analyze_fj(&program, cfa_fj::FjAnalysisOptions::oo(k), run_limits());
+    // A partial machine run would spuriously disagree with the Datalog
+    // fixpoint; surface the early stop instead.
+    if let Err(code) = check_status(&machine.metrics.status) {
+        return code;
+    }
     println!("== FJ points-to in Datalog (k = {k}) ==");
     println!(
         "  facts:    {} input, {} at fixpoint",

@@ -193,6 +193,84 @@ fn fj_datalog_rejects_deep_contexts() {
 }
 
 #[test]
+fn iteration_limit_exits_with_code_4() {
+    let file = write_temp("iters.scm", "(define (id x) x) (id (id 1))");
+    let out = cfa()
+        .arg("analyze")
+        .arg(&file)
+        .env("CFA_MAX_ITERS", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("CFA_MAX_ITERS"), "{err}");
+}
+
+#[test]
+fn time_budget_overrun_exits_with_code_3() {
+    let file = write_temp("budget.scm", "(define (id x) x) (id (id 1))");
+    let out = cfa()
+        .arg("analyze")
+        .arg(&file)
+        .env("CFA_TIME_BUDGET_MS", "0")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("timed out"), "{err}");
+}
+
+#[test]
+fn injected_cancellation_exits_with_code_5() {
+    // The sequential engine checks the token every 256 pops, so the
+    // workload must outlive that cadence for the flip to be observed.
+    let file = write_temp("cancel.scm", &cfa_workloads::worst_case_source(7));
+    let out = cfa()
+        .arg("analyze")
+        .arg(&file)
+        .env("CFA_FAULT_PLAN", "cancel_pop=1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cancelled"), "{err}");
+}
+
+#[test]
+fn injected_panic_exits_with_code_6_not_a_crash() {
+    let file = write_temp("abort.scm", "(define (id x) x) (id (id 1))");
+    let out = cfa()
+        .arg("analyze")
+        .arg(&file)
+        .env("CFA_FAULT_PLAN", "panic_eval=3")
+        .output()
+        .unwrap();
+    // 6, not the 101 of an uncaught panic: the abort was contained.
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("analysis aborted at"), "{err}");
+    // The partial metrics still printed, naming the status.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Aborted"), "{text}");
+}
+
+#[test]
+fn dot_suppresses_partial_graphs() {
+    let file = write_temp("partial.scm", "(define (f x) x) (f (f 1))");
+    let out = cfa()
+        .arg("dot")
+        .arg(&file)
+        .env("CFA_MAX_ITERS", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "an interrupted analysis must not emit a partial graph"
+    );
+}
+
+#[test]
 fn fj_gc_reports_precision_neutral_collection() {
     let file = write_temp("gc.java", DISPATCH_JAVA);
     let out = cfa()

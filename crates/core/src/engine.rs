@@ -58,8 +58,9 @@ use std::time::{Duration, Instant};
 /// An abstract transition system with a single-threaded store.
 pub trait AbstractMachine {
     /// A configuration: the store-less part of an abstract state (e.g.
-    /// `(call, β̂, t̂)` for k-CFA).
-    type Config: Clone + Eq + Hash;
+    /// `(call, β̂, t̂)` for k-CFA). `Debug` is required so a panicking
+    /// evaluation can name the configuration in [`Status::Aborted`].
+    type Config: Clone + Eq + Hash + std::fmt::Debug;
     /// Abstract addresses.
     type Addr: Clone + Eq + Hash;
     /// Abstract values.
@@ -387,7 +388,13 @@ pub enum EvalMode {
 }
 
 /// Why the engine stopped.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+///
+/// Every non-[`Completed`](Status::Completed) status still comes with a
+/// well-formed *partial* [`FixpointResult`]: the store holds only facts
+/// the transfer functions legitimately derived, so by monotonicity it
+/// is a subset of the completed run's fixpoint (`tests/faults.rs` pins
+/// exactly that).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Status {
     /// The least fixed point was reached.
     Completed,
@@ -395,12 +402,76 @@ pub enum Status {
     IterationLimit,
     /// The wall-clock deadline passed first.
     TimedOut,
+    /// The run observed its [`CancelToken`] and stopped cooperatively.
+    Cancelled,
+    /// The run was aborted: a transfer function panicked (caught and
+    /// contained — the process and sibling runs survive), or the stall
+    /// watchdog detected a hung scheduler.
+    Aborted {
+        /// `Debug` rendering of the configuration whose evaluation
+        /// panicked; [`Status::STALL_WATCHDOG`] when the stall watchdog
+        /// fired instead.
+        config: String,
+        /// The panic payload (or the watchdog's diagnostic dump).
+        message: String,
+    },
 }
 
 impl Status {
+    /// The sentinel `config` of an [`Status::Aborted`] raised by the
+    /// stall watchdog rather than a panicking evaluation.
+    pub const STALL_WATCHDOG: &'static str = "<stall-watchdog>";
+
     /// Whether the analysis ran to completion.
-    pub fn is_complete(self) -> bool {
-        self == Status::Completed
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Status::Completed)
+    }
+
+    /// Whether the run was aborted (panic or watchdog) — the one status
+    /// that signals a *fault* rather than an exhausted budget or an
+    /// external request.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, Status::Aborted { .. })
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Clone it freely: all clones observe the same flag. Hand one to a run
+/// via [`EngineLimits::cancel`] and flip it from any thread with
+/// [`CancelToken::cancel`]; the run stops with [`Status::Cancelled`] at
+/// its next pop-keyed limit check, returning the usual well-formed
+/// partial result.
+///
+/// ```
+/// use cfa_core::engine::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(std::sync::atomic::Ordering::Acquire)
     }
 }
 
@@ -423,12 +494,31 @@ impl Status {
 /// assert_eq!(EngineLimits::default().max_iterations, u64::MAX);
 /// assert_eq!(EngineLimits::iterations(100).max_iterations, 100);
 /// ```
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineLimits {
     /// Maximum number of configuration evaluations.
     pub max_iterations: u64,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Optional cooperative-cancellation token, checked at the same
+    /// pop-keyed cadence as the wall clock. `None` (the default) means
+    /// the run is not externally cancellable.
+    pub cancel: Option<CancelToken>,
+    /// Stall-watchdog threshold for the parallel fabric: if the pending
+    /// counter stays nonzero while *every* worker is idle for longer
+    /// than this, the run aborts with a diagnostic dump instead of
+    /// hanging forever ([`Status::Aborted`] with
+    /// [`Status::STALL_WATCHDOG`]). All-idle-with-work-pending is a
+    /// terminal state — idle workers send no messages, so nothing can
+    /// wake them — hence a true scheduler bug, never normal latency.
+    /// `None` disables the watchdog; the sequential engine ignores it.
+    pub stall_timeout: Option<Duration>,
+    /// Optional deterministic fault plan
+    /// ([`crate::fabric::FaultPlan`]): injected panics, forced
+    /// cancellation, and forced delta-log trims, keyed on exact pop and
+    /// evaluation counts. `None` (the default) arms nothing and costs
+    /// one branch per pop.
+    pub fault_plan: Option<std::sync::Arc<crate::fabric::FaultPlan>>,
     /// Optional store-bytes watermark: when the (approximate) bytes
     /// held by a store's **delta logs** — the portion a trim reclaims,
     /// tracked incrementally so the check is O(1) — exceed this, the
@@ -452,6 +542,9 @@ impl Default for EngineLimits {
         EngineLimits {
             max_iterations: u64::MAX,
             time_budget: None,
+            cancel: None,
+            stall_timeout: Some(Duration::from_secs(30)),
+            fault_plan: None,
             store_bytes_watermark: None,
             wake_batching: crate::fabric::WakeBatching::default(),
         }
@@ -481,6 +574,46 @@ impl EngineLimits {
             store_bytes_watermark: Some(bytes),
             ..Self::default()
         }
+    }
+
+    /// Unbounded limits observing `token` — the run stops with
+    /// [`Status::Cancelled`] once the token is flipped.
+    pub fn cancellable(token: CancelToken) -> Self {
+        EngineLimits {
+            cancel: Some(token),
+            ..Self::default()
+        }
+    }
+
+    /// Limits read from the environment, for operational entry points
+    /// (the CLI): `CFA_MAX_ITERS` (evaluation budget),
+    /// `CFA_TIME_BUDGET_MS` (wall-clock budget in milliseconds), and
+    /// `CFA_FAULT_PLAN` (a deterministic fault plan — see
+    /// [`crate::fabric::FaultPlan::parse`]; arming a `cancel@pop=N`
+    /// clause installs the plan's token as this limit's
+    /// [`CancelToken`]). Unset variables leave the default (unbounded);
+    /// a malformed value panics with the offending text, since
+    /// silently ignoring an operator's budget would be worse.
+    pub fn from_env() -> Self {
+        let mut limits = Self::default();
+        if let Ok(v) = std::env::var("CFA_MAX_ITERS") {
+            limits.max_iterations = v
+                .parse()
+                .unwrap_or_else(|e| panic!("CFA_MAX_ITERS={v:?}: {e}"));
+        }
+        if let Ok(v) = std::env::var("CFA_TIME_BUDGET_MS") {
+            let ms: u64 = v
+                .parse()
+                .unwrap_or_else(|e| panic!("CFA_TIME_BUDGET_MS={v:?}: {e}"));
+            limits.time_budget = Some(Duration::from_millis(ms));
+        }
+        if let Ok(v) = std::env::var("CFA_FAULT_PLAN") {
+            let plan = crate::fabric::FaultPlan::parse(&v)
+                .unwrap_or_else(|e| panic!("CFA_FAULT_PLAN={v:?}: {e}"));
+            limits.cancel = Some(plan.cancel_token());
+            limits.fault_plan = Some(std::sync::Arc::new(plan));
+        }
+        limits
     }
 }
 
@@ -572,6 +705,19 @@ impl<C, A, V> FixpointResult<C, A, V> {
     /// Number of distinct configurations reached.
     pub fn config_count(&self) -> usize {
         self.configs.len()
+    }
+}
+
+/// Renders a caught panic payload for [`Status::Aborted`]: `panic!`
+/// with a literal yields `&str`, formatted panics yield `String`,
+/// anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -712,6 +858,9 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
     let mut successors: Vec<M::Config> = Vec::new();
     // Reused scratch buffers for the per-step tracking vectors.
     let (mut reads_buf, mut grew_buf, mut delta_buf) = (Vec::new(), Vec::new(), Vec::new());
+    // Fault-injection hooks (None in production runs — one dead branch
+    // per pop). The sequential engine counts as worker 0.
+    let fault_plan = limits.fault_plan.as_deref();
 
     while let Some(&_head) = queue.front() {
         // Check limits *before* popping: a config that the budget cuts
@@ -727,6 +876,12 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         // long run of gate-skipped pops must still consult the clock, or
         // it could overrun `time_budget` without ever noticing.
         if (iterations + skipped).is_multiple_of(256) {
+            if let Some(token) = &limits.cancel {
+                if token.is_cancelled() {
+                    status = Status::Cancelled;
+                    break;
+                }
+            }
             if let Some(budget) = limits.time_budget {
                 if start.elapsed() > budget {
                     status = Status::TimedOut;
@@ -746,6 +901,16 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         }
         let i = queue.pop_front().expect("peeked element present");
         queued[i] = false;
+
+        if let Some(plan) = fault_plan {
+            let faults = plan.on_pop();
+            if faults.trim {
+                store.trim_delta_logs();
+            }
+            // `leak` targets the parallel fabric's pending counter;
+            // the sequential engine has no termination protocol to
+            // violate, so that clause is a no-op here.
+        }
 
         // Epoch gate: if this config already ran and none of the
         // addresses it read has grown since, re-evaluation is a no-op.
@@ -784,11 +949,28 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
             std::mem::take(&mut grew_buf),
             std::mem::take(&mut delta_buf),
         );
-        machine.step(&config, &mut tracked, &mut successors);
+        // Panic isolation: a panicking transfer function aborts the
+        // *run*, not the process. Whatever the step joined before
+        // panicking was legitimately derived (joins are idempotent and
+        // monotone), so the partial store stays sound — the result is
+        // simply a subset of the fixpoint.
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = fault_plan {
+                plan.on_eval(0);
+            }
+            machine.step(&config, &mut tracked, &mut successors)
+        }));
         let (reads, grew, delta, step_delta, step_applies) = tracked.into_parts();
         (reads_buf, grew_buf, delta_buf) = (reads, grew, delta);
         delta_facts += step_delta;
         delta_applies += step_applies;
+        if let Err(payload) = step {
+            status = Status::Aborted {
+                config: format!("{config:?}"),
+                message: panic_message(payload.as_ref()),
+            };
+            break;
+        }
         last_run_epoch[i] = Some(epoch_at_start);
 
         register_deps(&mut deps, &mut config_reads, i, &mut reads_buf);

@@ -54,13 +54,34 @@
 //! suites prove both reach the sequential engine's fixpoint through
 //! this one loop.
 
-use crate::engine::{EngineLimits, EvalMode, SchedStats, Status};
+use crate::engine::{panic_message, CancelToken, EngineLimits, EvalMode, SchedStats, Status};
 use crate::fxhash::{FxHashSet, FxHasher};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Poison-recovering locking, used for every mutex the fabric and the
+/// sharded store share across workers.
+///
+/// Every structure guarded this way is join-semilattice data (dedup
+/// sets, idempotent joins, FIFO queues of by-value tasks): a panic
+/// mid-update can at worst leave a *smaller* value than intended, never
+/// a corrupt one, so the data behind a poisoned lock is still soundly
+/// usable — a torn write is soundly re-joinable, and an aborted run
+/// must be able to drain it into a partial result.
+pub(crate) trait LockRecovered<T: ?Sized> {
+    /// Locks, unwrapping [`std::sync::PoisonError`] into its guard.
+    fn lock_recovered(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T: ?Sized> LockRecovered<T> for Mutex<T> {
+    fn lock_recovered(&self) -> MutexGuard<'_, T> {
+        self.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
 
 /// Number of seen-set shards (a power of two well above any sane
 /// thread count, so dedup contention stays negligible).
@@ -118,6 +139,160 @@ pub enum WakeBatching {
     DrainAll,
 }
 
+/// A deterministic fault-injection plan, threaded through cheap atomic
+/// hooks in the worker loop (one `Option` branch per pop when unarmed —
+/// `engine_bench` pins that this costs nothing).
+///
+/// Clauses are keyed on exact global pop / evaluation counts, so a
+/// fault lands at the same logical point on every run regardless of
+/// thread interleaving:
+///
+/// * **panic at evaluation N** (optionally only counting worker W's
+///   evaluations) — exercises the panic-isolation path end to end:
+///   `catch_unwind`, abort broadcast, drain, join, partial result;
+/// * **cancel at pop N** — flips the plan's [`CancelToken`] (install it
+///   via [`FaultPlan::cancel_token`] as the run's
+///   [`EngineLimits::cancel`]), pinning the cancellation-latency bound;
+/// * **trim at pop N** — forces a delta-log trim mid-run (watermark 0),
+///   exercising the snapshot-loss fallback without memory pressure;
+/// * **leak pending at pop N** — deliberately breaks the termination
+///   protocol (one phantom pending count), proving the stall watchdog
+///   turns a would-be hang into a diagnostic abort.
+///
+/// Carried on [`EngineLimits::fault_plan`]; the CLI arms one from the
+/// `CFA_FAULT_PLAN` environment variable (see [`FaultPlan::parse`]).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Panic when the global (or per-worker) evaluation count reaches
+    /// this 1-based value.
+    panic_at_eval: Option<u64>,
+    /// Restrict the panic clause's counting to this worker id.
+    panic_worker: Option<usize>,
+    /// Flip the cancel token when the global pop count reaches this.
+    cancel_at_pop: Option<u64>,
+    /// Force a watermark-0 delta-log trim at this global pop count.
+    trim_at_pop: Option<u64>,
+    /// Add one phantom pending count at this global pop count.
+    leak_at_pop: Option<u64>,
+    evals: AtomicU64,
+    pops: AtomicU64,
+    token: CancelToken,
+}
+
+/// Pop-keyed side effects [`FaultPlan::on_pop`] asks the worker loop to
+/// perform (the plan itself owns the cancel flip).
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct PopFaults {
+    /// Force `enforce_watermark(0, ..)` on this worker now.
+    pub trim: bool,
+    /// Add one phantom pending count (watchdog test hook).
+    pub leak: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (no clauses armed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a panic on the `nth` (1-based) counted evaluation.
+    pub fn panic_at_eval(mut self, nth: u64) -> Self {
+        self.panic_at_eval = Some(nth);
+        self
+    }
+
+    /// Restricts the panic clause to count only worker `w`'s
+    /// evaluations.
+    pub fn on_worker(mut self, w: usize) -> Self {
+        self.panic_worker = Some(w);
+        self
+    }
+
+    /// Arms a cancellation at the `nth` (1-based) global pop.
+    pub fn cancel_at_pop(mut self, nth: u64) -> Self {
+        self.cancel_at_pop = Some(nth);
+        self
+    }
+
+    /// Arms a forced delta-log trim at the `nth` (1-based) global pop.
+    pub fn trim_at_pop(mut self, nth: u64) -> Self {
+        self.trim_at_pop = Some(nth);
+        self
+    }
+
+    /// Arms a phantom pending count at the `nth` (1-based) global pop —
+    /// a deliberate termination-protocol violation for exercising the
+    /// stall watchdog.
+    pub fn leak_pending_at_pop(mut self, nth: u64) -> Self {
+        self.leak_at_pop = Some(nth);
+        self
+    }
+
+    /// The token the `cancel_at_pop` clause flips. Install it as the
+    /// run's [`EngineLimits::cancel`] so the injected cancellation is
+    /// observed exactly like an external one.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Parses the `CFA_FAULT_PLAN` knob: comma-separated `key=value`
+    /// clauses, e.g. `panic_eval=40,panic_worker=1` or
+    /// `cancel_pop=100`. Keys: `panic_eval`, `panic_worker`,
+    /// `cancel_pop`, `trim_pop`, `leak_pop`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause {clause:?} is not key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("clause {clause:?}: {e}"))?;
+            match key.trim() {
+                "panic_eval" => plan.panic_at_eval = Some(n),
+                "panic_worker" => plan.panic_worker = Some(n as usize),
+                "cancel_pop" => plan.cancel_at_pop = Some(n),
+                "trim_pop" => plan.trim_at_pop = Some(n),
+                "leak_pop" => plan.leak_at_pop = Some(n),
+                other => return Err(format!("unknown fault clause key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Pop hook: counts one pop and fires any pop-keyed clause landing
+    /// exactly on it. Called by the worker loop once per pop *only when
+    /// a plan is armed*.
+    pub(crate) fn on_pop(&self) -> PopFaults {
+        let n = self.pops.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.cancel_at_pop == Some(n) {
+            self.token.cancel();
+        }
+        PopFaults {
+            trim: self.trim_at_pop == Some(n),
+            leak: self.leak_at_pop == Some(n),
+        }
+    }
+
+    /// Evaluation hook: counts one evaluation on `worker` and panics
+    /// when the armed clause lands on it. Runs *inside* the loop's
+    /// `catch_unwind`, so the injected panic takes the exact path a
+    /// real transfer-function panic takes.
+    pub(crate) fn on_eval(&self, worker: usize) {
+        let Some(nth) = self.panic_at_eval else {
+            return;
+        };
+        if self.panic_worker.is_some_and(|w| w != worker) {
+            return;
+        }
+        let n = self.evals.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == nth {
+            panic!("injected fault: panic at evaluation {nth} (worker {worker})");
+        }
+    }
+}
+
 /// State shared by all workers of one parallel run: the scheduling
 /// fabric. `C` is the machine's configuration type, `M` the backend's
 /// inter-worker message type.
@@ -143,6 +318,28 @@ pub struct Fabric<C, M> {
     evals: AtomicU64,
     /// The limit that stopped the run, if any (first writer wins).
     stop_status: Mutex<Option<Status>>,
+    /// Per-worker idle flags and last-published counters, for the stall
+    /// watchdog: updated only on idle transitions, so the hot loop pays
+    /// nothing.
+    meters: Vec<WorkerMeter>,
+    /// Milliseconds-since-start (plus one, so zero means "not all
+    /// idle") of the moment every worker was first observed idle with
+    /// work still pending. Reset whenever any worker finds work.
+    all_idle_since: AtomicU64,
+}
+
+/// One worker's watchdog mirror: its idle flag plus the scheduling
+/// counters it last published (on entering idle — exact at the only
+/// moment the watchdog reads them, since an idle worker's counters
+/// don't move).
+#[derive(Debug, Default)]
+struct WorkerMeter {
+    idle: AtomicBool,
+    pops: AtomicU64,
+    iterations: AtomicU64,
+    skipped: AtomicU64,
+    steals: AtomicU64,
+    idle_spins: AtomicU64,
 }
 
 impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
@@ -159,6 +356,8 @@ impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
             done: AtomicBool::new(false),
             evals: AtomicU64::new(0),
             stop_status: Mutex::new(None),
+            meters: (0..threads).map(|_| WorkerMeter::default()).collect(),
+            all_idle_since: AtomicU64::new(0),
         }
     }
 
@@ -170,17 +369,16 @@ impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
     /// Seeds the run: marks `root` seen and queues it at worker 0.
     pub fn submit_root(&self, root: C) {
         self.seen[seen_shard(&root)]
-            .lock()
-            .expect("seen lock")
+            .lock_recovered()
             .insert(root.clone());
         self.pending_add();
-        self.queues[0].lock().expect("queue lock").push_back(root);
+        self.queues[0].lock_recovered().push_back(root);
     }
 
     /// Records the limit that stopped the run (first writer wins) and
     /// raises the done flag.
     fn stop(&self, status: Status) {
-        let mut slot = self.stop_status.lock().expect("status lock");
+        let mut slot = self.stop_status.lock_recovered();
         slot.get_or_insert(status);
         self.done.store(true, Ordering::Release);
     }
@@ -207,7 +405,7 @@ impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
         let status = self
             .stop_status
             .into_inner()
-            .expect("status lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .unwrap_or(Status::Completed);
         if status == Status::Completed {
             assert_eq!(
@@ -219,9 +417,97 @@ impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
         let configs = self
             .seen
             .into_iter()
-            .flat_map(|shard| shard.into_inner().expect("seen lock"))
+            .flat_map(|shard| {
+                shard
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
             .collect();
         (status, configs)
+    }
+
+    /// Publishes worker `id`'s counters and marks it idle — called on
+    /// each turn of the idle loop, never on the evaluation hot path.
+    fn note_idle(&self, id: usize, ctx_pops: u64, sched: &SchedStats, iters: u64, skipped: u64) {
+        let m = &self.meters[id];
+        m.pops.store(ctx_pops, Ordering::Relaxed);
+        m.iterations.store(iters, Ordering::Relaxed);
+        m.skipped.store(skipped, Ordering::Relaxed);
+        m.steals.store(sched.steals, Ordering::Relaxed);
+        m.idle_spins.store(sched.idle_spins, Ordering::Relaxed);
+        m.idle.store(true, Ordering::Release);
+    }
+
+    /// Marks worker `id` busy again and resets the all-idle stall
+    /// clock — called once per idle→busy transition.
+    fn note_busy(&self, id: usize) {
+        self.meters[id].idle.store(false, Ordering::Release);
+        self.all_idle_since.store(0, Ordering::Release);
+    }
+
+    /// The stall watchdog: with work still pending and *every* worker
+    /// idle, starts (or reads) the all-idle clock; once the state has
+    /// persisted past `threshold`, returns the diagnostic dump to abort
+    /// with. All-idle-with-pending is terminal — idle workers send no
+    /// messages and steal from empty queues, so nothing can wake
+    /// anyone — which is exactly why it is safe to call it a bug rather
+    /// than latency.
+    fn check_stall(&self, threshold: Duration, start: Instant) -> Option<String> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if !self.meters.iter().all(|m| m.idle.load(Ordering::Acquire)) {
+            return None;
+        }
+        let now = start.elapsed().as_millis() as u64 + 1;
+        let since = self.all_idle_since.load(Ordering::Acquire);
+        if since == 0 {
+            let _ =
+                self.all_idle_since
+                    .compare_exchange(0, now, Ordering::AcqRel, Ordering::Acquire);
+            return None;
+        }
+        if now.saturating_sub(since) < threshold.as_millis() as u64 {
+            return None;
+        }
+        // Re-validate before aborting: a worker that found work in the
+        // meantime has reset the clock.
+        if self.all_idle_since.load(Ordering::Acquire) == since
+            && self.meters.iter().all(|m| m.idle.load(Ordering::Acquire))
+            && self.pending.load(Ordering::Acquire) > 0
+        {
+            Some(self.stall_dump())
+        } else {
+            None
+        }
+    }
+
+    /// The watchdog's diagnostic: the pending count plus, per worker,
+    /// the last-published scheduling counters and the live inbox/queue
+    /// depths — enough to tell a lost wakeup (pending counted, no queue
+    /// holds it) from an undrained inbox or an unpopped queue.
+    fn stall_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "stall watchdog: pending={} with all {} workers idle;",
+            self.pending.load(Ordering::Acquire),
+            self.threads()
+        );
+        for (id, m) in self.meters.iter().enumerate() {
+            let inbox_depth = self.inboxes[id].lock_recovered().len();
+            let queue_depth = self.queues[id].lock_recovered().len();
+            let _ = write!(
+                out,
+                " [worker {id}: pops={} iterations={} skipped={} steals={} \
+                 idle_spins={} inbox_depth={inbox_depth} queue_depth={queue_depth}]",
+                m.pops.load(Ordering::Relaxed),
+                m.iterations.load(Ordering::Relaxed),
+                m.skipped.load(Ordering::Relaxed),
+                m.steals.load(Ordering::Relaxed),
+                m.idle_spins.load(Ordering::Relaxed),
+            );
+        }
+        out
     }
 }
 
@@ -298,10 +584,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
     /// receiver processes it.
     pub fn send(&self, target: usize, msg: M) {
         self.fabric.pending_add();
-        self.fabric.inboxes[target]
-            .lock()
-            .expect("inbox lock")
-            .push_back(msg);
+        self.fabric.inboxes[target].lock_recovered().push_back(msg);
     }
 
     /// Routes never-seen successors through the global dedup into this
@@ -338,10 +621,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
     }
 
     fn pop_local(&self) -> Option<C> {
-        self.fabric.queues[self.id]
-            .lock()
-            .expect("queue lock")
-            .pop_front()
+        self.fabric.queues[self.id].lock_recovered().pop_front()
     }
 
     /// Steals up to half of a victim's fresh queue (from the back),
@@ -354,7 +634,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
         for off in 1..n {
             let victim = (self.id + off) % n;
             let mut stolen = {
-                let mut q = self.fabric.queues[victim].lock().expect("queue lock");
+                let mut q = self.fabric.queues[victim].lock_recovered();
                 let len = q.len();
                 if len == 0 {
                     continue;
@@ -400,7 +680,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
     /// depth and the drain counters.
     fn drain_inbox(&mut self) -> VecDeque<M> {
         let limit = self.drain_limit();
-        let mut inbox = self.fabric.inboxes[self.id].lock().expect("inbox lock");
+        let mut inbox = self.fabric.inboxes[self.id].lock_recovered();
         let depth = inbox.len();
         if depth == 0 {
             return VecDeque::new();
@@ -430,8 +710,9 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
 /// route messages.
 pub trait BackendWorker: Send {
     /// The machine's configuration type (tasks move between workers by
-    /// value).
-    type Config: Clone + Eq + Hash + Send + Sync;
+    /// value; `Debug` so an aborted run can name the panicking
+    /// configuration).
+    type Config: Clone + Eq + Hash + Send + Sync + std::fmt::Debug;
     /// The backend's inter-worker message: a replicated fact batch, or
     /// a sharded growth / dependency / wake routing message.
     type Msg: Send;
@@ -456,6 +737,10 @@ pub trait BackendWorker: Send {
     /// register dependencies (with stale-dep pruning), submit fresh
     /// successors, and announce growth (local wakes + routed messages).
     fn evaluate(&mut self, i: usize, ctx: &mut WorkerCtx<'_, Self::Config, Self::Msg>);
+
+    /// `Debug`-renders task `i`'s configuration, for
+    /// [`Status::Aborted`]'s diagnostic when its evaluation panics.
+    fn describe(&self, i: usize) -> String;
 
     /// Delivers one inter-worker message. The fabric releases the
     /// message's pending count after this returns, so everything the
@@ -499,19 +784,42 @@ pub struct WorkerReport<B> {
 /// The unified worker loop — the one place every scheduling invariant
 /// lives. See the module docs for the protocol; the order of business
 /// each turn is: done flag, inbox (bounded by [`WakeBatching`]), fresh
-/// work, pinned wakeups, steal, termination check / idle backoff; per
-/// pop: cadenced wall-clock + watermark checks, epoch gate, iteration
-/// claim, evaluation.
+/// work, pinned wakeups, steal, termination check / idle backoff /
+/// stall watchdog; per pop: fault hooks, cadenced cancel + wall-clock +
+/// watermark checks, epoch gate, iteration claim, contained evaluation.
+///
+/// # Fault containment
+///
+/// `seed` and `evaluate` — the two hooks that run machine (user) code —
+/// execute under `catch_unwind`. A caught panic records
+/// [`Status::Aborted`] (naming the panicking configuration and the
+/// panic payload) via [`Fabric::stop`], which raises the shared done
+/// flag: the *first* worker to observe any stop condition — panic,
+/// cancellation, deadline, iteration cap, stall — broadcasts it this
+/// way, and every other worker exits at its next loop top without
+/// taking another task, so shutdown latency is bounded by one in-flight
+/// evaluation per worker. The panicking task's pending count is
+/// released before breaking, so the counter stays reconciled; the
+/// partial result is assembled from whatever every worker had derived,
+/// which by monotonicity is a subset of the true fixpoint.
 fn run_worker<B: BackendWorker>(
     mut backend: B,
     mut ctx: WorkerCtx<'_, B::Config, B::Msg>,
     limits: &EngineLimits,
     start: Instant,
 ) -> WorkerReport<B> {
-    backend.seed(&mut ctx);
+    if let Err(payload) =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.seed(&mut ctx)))
+    {
+        ctx.fabric.stop(Status::Aborted {
+            config: "<seed>".to_owned(),
+            message: panic_message(payload.as_ref()),
+        });
+    }
 
     let mut pops: u64 = 0;
     let mut idle_spins: u32 = 0;
+    let fault_plan = limits.fault_plan.as_deref();
 
     loop {
         if ctx.fabric.done.load(Ordering::Acquire) {
@@ -531,7 +839,10 @@ fn run_worker<B: BackendWorker>(
                 // everything it spawned is already counted.
                 ctx.fabric.pending_sub();
             }
-            idle_spins = 0;
+            if idle_spins != 0 {
+                ctx.fabric.note_busy(ctx.id);
+                idle_spins = 0;
+            }
             if ctx.batching == WakeBatching::DrainAll {
                 continue;
             }
@@ -553,6 +864,21 @@ fn run_worker<B: BackendWorker>(
                 ctx.fabric.done.store(true, Ordering::Release);
                 break;
             }
+            // Publish counters and the idle flag for the stall
+            // watchdog (idle loop only — the hot path pays nothing),
+            // then check whether all-idle-with-pending has persisted
+            // past the threshold.
+            ctx.fabric
+                .note_idle(ctx.id, pops, &ctx.sched, ctx.iterations, ctx.skipped);
+            if let Some(threshold) = limits.stall_timeout {
+                if let Some(dump) = ctx.fabric.check_stall(threshold, start) {
+                    ctx.fabric.stop(Status::Aborted {
+                        config: Status::STALL_WATCHDOG.to_owned(),
+                        message: dump,
+                    });
+                    break;
+                }
+            }
             idle_spins += 1;
             ctx.sched.idle_spins += 1;
             if idle_spins < 32 {
@@ -562,10 +888,27 @@ fn run_worker<B: BackendWorker>(
             }
             continue;
         };
-        idle_spins = 0;
+        if idle_spins != 0 {
+            ctx.fabric.note_busy(ctx.id);
+            idle_spins = 0;
+        }
 
         pops += 1;
+        let pop_faults = fault_plan.map(FaultPlan::on_pop).unwrap_or_default();
+        if pop_faults.leak {
+            ctx.fabric.pending_add();
+        }
+        if pop_faults.trim {
+            backend.enforce_watermark(0, ctx.fabric.threads());
+        }
         if pops.is_multiple_of(LIMIT_CHECK_CADENCE) {
+            if let Some(token) = &limits.cancel {
+                if token.is_cancelled() {
+                    ctx.fabric.stop(Status::Cancelled);
+                    ctx.fabric.pending_sub();
+                    break;
+                }
+            }
             if let Some(budget) = limits.time_budget {
                 if start.elapsed() > budget {
                     ctx.fabric.stop(Status::TimedOut);
@@ -595,11 +938,27 @@ fn run_worker<B: BackendWorker>(
         }
         ctx.iterations += 1;
 
-        backend.evaluate(i, &mut ctx);
+        // Contained evaluation: the injected-fault hook runs inside the
+        // same catch_unwind as the machine's transfer function, so an
+        // injected panic exercises exactly the real abort path.
+        let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = fault_plan {
+                plan.on_eval(ctx.id);
+            }
+            backend.evaluate(i, &mut ctx)
+        }));
         // Only now is this task's own pending count released:
         // everything it spawned is already counted, so pending == 0
-        // implies global quiescence.
+        // implies global quiescence. Released on the panic path too, so
+        // an aborted run's counter stays reconciled.
         ctx.fabric.pending_sub();
+        if let Err(payload) = evaluated {
+            ctx.fabric.stop(Status::Aborted {
+                config: backend.describe(i),
+                message: panic_message(payload.as_ref()),
+            });
+            break;
+        }
     }
 
     backend.finish(&mut ctx.sched);
@@ -648,10 +1007,25 @@ pub fn drive<B: BackendWorker>(
                     scope.spawn(move || run_worker(backend, ctx, limits, start))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            // Machine panics are contained inside run_worker, so a
+            // worker thread dying here means a fabric bug — still, the
+            // run (and the process) must survive it: record the abort
+            // *immediately* so the remaining workers observe the done
+            // flag and drain instead of spinning on work the dead
+            // worker will never release, then keep joining. The dead
+            // worker's report (its replica, its counters) is lost; the
+            // partial result is assembled from the survivors.
+            let mut reports = Vec::with_capacity(handles.len());
+            for h in handles {
+                match h.join() {
+                    Ok(report) => reports.push(report),
+                    Err(payload) => fabric.stop(Status::Aborted {
+                        config: "<worker>".to_owned(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            }
+            reports
         })
     }
 }

@@ -836,7 +836,7 @@ where
     let lam_env_counts = crate::results::distinct_counts(lam_entry_envs);
     Metrics {
         analysis,
-        status: fixpoint.status,
+        status: fixpoint.status.clone(),
         elapsed: fixpoint.elapsed,
         iterations: fixpoint.iterations,
         config_count: fixpoint.config_count(),

@@ -281,6 +281,10 @@ where
         self.bufs.1 = grew;
     }
 
+    fn describe(&self, i: usize) -> String {
+        format!("{:?}", self.configs[i])
+    }
+
     /// Merges one delivered fact batch into the replica and wakes the
     /// dependents of every address that grew. The batch is shared with
     /// the other receivers ([`std::sync::Arc`]); values are cloned only

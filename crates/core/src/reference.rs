@@ -126,7 +126,9 @@ impl<'a, A: Eq + Hash + Clone, V: Ord + Clone> RefTrackedStore<'a, A, V> {
 /// materialized value sets.
 pub trait ReferenceMachine {
     /// A configuration (see [`crate::engine::AbstractMachine::Config`]).
-    type Config: Clone + Eq + Hash;
+    /// `Debug` lets an aborted oracle run name the panicking
+    /// configuration, as the main engine does.
+    type Config: Clone + Eq + Hash + std::fmt::Debug;
     /// Abstract addresses.
     type Addr: Clone + Eq + Hash;
     /// Abstract values.
@@ -173,8 +175,14 @@ impl<C, A, V> RefFixpointResult<C, A, V> {
 
 /// Runs `machine` to its least fixed point with the original scheduling
 /// and store representation (kept byte-for-byte from the pre-interning
-/// engine, including its quirks: duplicate read-deps are registered
-/// per occurrence, and the iteration-limit check runs after the pop).
+/// engine, including its quirk of registering duplicate read-deps per
+/// occurrence — but *not* its limit-check quirks: the oracle now shares
+/// the main engine's discipline of checking limits before the pop,
+/// keyed on the pop count, so an oracle run can't silently overrun its
+/// `time_budget` and a budget-cut configuration stays queued; it also
+/// honors [`EngineLimits::cancel`] and contains transfer-function
+/// panics the same way, returning [`Status::Aborted`] instead of
+/// unwinding into the caller).
 pub fn run_fixpoint_reference<M: ReferenceMachine>(
     machine: &mut M,
     limits: EngineLimits,
@@ -217,13 +225,26 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
     let mut status = Status::Completed;
     let mut successors: Vec<M::Config> = Vec::new();
 
-    while let Some(i) = queue.pop_front() {
-        queued.remove(&i);
+    // The reference has no epoch gate, so every pop evaluates and the
+    // pop count equals `iterations` — the counter is still kept
+    // separate so the oracle's limit checks read exactly like the main
+    // engine's pop-keyed ones (the PR 2 fix, ported here).
+    let mut pops: u64 = 0;
+
+    while queue.front().is_some() {
+        // Check limits *before* popping (the main engine's discipline):
+        // a configuration the budget cuts off stays queued.
         if iterations >= limits.max_iterations {
             status = Status::IterationLimit;
             break;
         }
-        if iterations.is_multiple_of(256) {
+        if pops.is_multiple_of(256) {
+            if let Some(token) = &limits.cancel {
+                if token.is_cancelled() {
+                    status = Status::Cancelled;
+                    break;
+                }
+            }
             if let Some(budget) = limits.time_budget {
                 if start.elapsed() > budget {
                     status = Status::TimedOut;
@@ -231,6 +252,9 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
                 }
             }
         }
+        let i = queue.pop_front().expect("peeked element present");
+        queued.remove(&i);
+        pops += 1;
         iterations += 1;
 
         let config = configs[i].clone();
@@ -240,7 +264,16 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
             reads: Vec::new(),
             grew: Vec::new(),
         };
-        machine.step(&config, &mut tracked, &mut successors);
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            machine.step(&config, &mut tracked, &mut successors)
+        }));
+        if let Err(payload) = step {
+            status = Status::Aborted {
+                config: format!("{config:?}"),
+                message: crate::engine::panic_message(payload.as_ref()),
+            };
+            break;
+        }
         let RefTrackedStore { reads, grew, .. } = tracked;
 
         for addr in reads {

@@ -395,6 +395,10 @@ where
         self.bufs.grew = grew;
     }
 
+    fn describe(&self, i: usize) -> String {
+        format!("{:?}", self.configs[i])
+    }
+
     /// Processes one delivered message. The fabric releases the
     /// message's pending count after this returns — everything the
     /// delivery spawns (wakes, forwarded messages) is counted inside.

@@ -29,6 +29,7 @@
 //! missed.
 
 use super::pool::{ChunkVec, ConcurrentPool};
+use crate::fabric::LockRecovered as _;
 use crate::store::{AbsStore, Flow, Row, ValuePool};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -156,7 +157,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
         match self.rows.get(addr_id as usize) {
             None => (Flow::empty(), 0),
             Some(slot) => {
-                let inner = slot.inner.lock().expect("row lock");
+                let inner = slot.inner.lock_recovered();
                 let flow = match &inner.ids {
                     Some(arc) => Flow::Shared(Arc::clone(arc)),
                     None => Flow::empty(),
@@ -180,7 +181,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
         let Some(slot) = self.rows.get(addr_id as usize) else {
             return (Flow::empty(), 0, None);
         };
-        let inner = slot.inner.lock().expect("row lock");
+        let inner = slot.inner.lock_recovered();
         let flow = match &inner.ids {
             Some(arc) => Flow::Shared(Arc::clone(arc)),
             None => Flow::empty(),
@@ -220,7 +221,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
             "join_row needs sorted ids"
         );
         let slot = self.rows.get_or_alloc(addr_id as usize);
-        let mut inner = slot.inner.lock().expect("row lock");
+        let mut inner = slot.inner.lock_recovered();
         inner.bound = true;
         let delta_start = delta.len();
         match &inner.ids {
@@ -299,7 +300,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
         self.log_bytes.store(0, Ordering::Release);
         for id in 0..self.addrs.len() {
             if let Some(slot) = self.rows.get(id) {
-                let mut inner = slot.inner.lock().expect("row lock");
+                let mut inner = slot.inner.lock_recovered();
                 inner.log = Vec::new();
                 inner.marks = Vec::new();
                 inner.floor = inner.epoch;
@@ -317,7 +318,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
             + self.rows.allocated_slots() * std::mem::size_of::<RowSlot>();
         for id in 0..self.addrs.len() {
             if let Some(slot) = self.rows.get(id) {
-                let inner = slot.inner.lock().expect("row lock");
+                let inner = slot.inner.lock_recovered();
                 if let Some(ids) = &inner.ids {
                     bytes += ids.len() * std::mem::size_of::<u32>();
                 }
@@ -342,7 +343,7 @@ impl<A: Eq + Hash + Clone, V: Eq + Hash + Clone> SharedStore<A, V> {
             match self.rows.get(id) {
                 None => rows.push(Row::default()),
                 Some(slot) => {
-                    let inner = std::mem::take(&mut *slot.inner.lock().expect("row lock"));
+                    let inner = std::mem::take(&mut *slot.inner.lock_recovered());
                     log_floor = log_floor.max(inner.floor);
                     rows.push(Row {
                         ids: inner.ids,

@@ -1026,7 +1026,7 @@ pub fn analyze_fj(
                 ""
             }
         ),
-        status: fixpoint.status,
+        status: fixpoint.status.clone(),
         elapsed: fixpoint.elapsed,
         iterations: fixpoint.iterations,
         config_count: fixpoint.config_count(),

@@ -18,7 +18,12 @@
 //!   leg uses it to gate each backend in isolation;
 //! * **fixpoint-equality assertions** — [`Fixpoint`] is the canonical
 //!   comparable form (configuration set + materialized store), with
-//!   conversions from both engine result types.
+//!   conversions from both engine result types;
+//! * **fault-injection plumbing** — [`limits_with_plan`] arms a
+//!   [`FaultPlan`] on fresh limits (cancel token wired through),
+//!   [`assert_fixpoint_subset`] checks the partial-run soundness
+//!   contract, and [`quiet_injected_panics`] keeps deliberately
+//!   injected panics out of the test output.
 //!
 //! The analysis-family sweeps [`check_scheme_program`] and
 //! [`check_fj_program`] run the quad across every machine the paper
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 
 use cfa_core::engine::{run_fixpoint_with, EngineLimits, EvalMode};
+use cfa_core::fabric::FaultPlan;
 use cfa_core::flatcfa::{FlatCfaMachine, FlatPolicy};
 use cfa_core::kcfa::KCfaMachine;
 use cfa_core::parallel::{run_fixpoint_parallel_on, ParallelMachine, Replicated, Sharded};
@@ -37,6 +43,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
 
+pub use cfa_core::fabric::FaultPlan as EngineFaultPlan;
 pub use cfa_workloads::gen::random_program as random_scheme_program;
 pub use cfa_workloads::gen_fj::{random_fj_program, FjGenConfig};
 
@@ -232,6 +239,80 @@ pub fn check_fj_program(src: &str, name: &str, ks: &[usize]) {
                 &format!("{name} FJ {options:?}"),
                 || FjMachine::new(&p, options),
                 || FjMachine::new(&p, options),
+            );
+        }
+    }
+}
+
+/// The marker every deliberately injected panic message carries.
+/// [`quiet_injected_panics`] suppresses the default panic banner for
+/// payloads containing it, so fault-injection suites don't spray
+/// "thread panicked" noise over a passing run.
+pub const INJECTED_FAULT_MARKER: &str = "injected fault:";
+
+/// Installs (once, process-wide) a panic hook that swallows the default
+/// backtrace banner for panics whose payload contains
+/// [`INJECTED_FAULT_MARKER`]. Every other panic is forwarded to the
+/// previous hook unchanged, so genuine failures still print.
+pub fn quiet_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if !message.is_some_and(|m| m.contains(INJECTED_FAULT_MARKER)) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Builds [`EngineLimits`] with `plan` armed, mirroring what
+/// `EngineLimits::from_env` does for `CFA_FAULT_PLAN`: the plan's
+/// cancel token is installed as the limits' cancellation token so
+/// `cancel_pop` faults are actually observed by the engines.
+pub fn limits_with_plan(plan: FaultPlan) -> EngineLimits {
+    let plan = std::sync::Arc::new(plan);
+    let mut limits = EngineLimits::cancellable(plan.cancel_token());
+    limits.fault_plan = Some(plan);
+    limits
+}
+
+/// Asserts every fact of `partial` appears in `full` — the soundness
+/// contract for interrupted runs: a monotone engine only ever *adds*
+/// configurations and store facts, so any prefix of a run (aborted,
+/// cancelled, or iteration-limited) must be a subset of the completed
+/// fixpoint.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first configuration or
+/// `(address, value)` fact present in `partial` but not in `full`.
+pub fn assert_fixpoint_subset<C, A, V>(
+    label: &str,
+    partial: &Fixpoint<C, A, V>,
+    full: &Fixpoint<C, A, V>,
+) where
+    C: Eq + Hash + Debug,
+    A: Ord + Debug,
+    V: Ord + Debug,
+{
+    for config in &partial.configs {
+        assert!(
+            full.configs.contains(config),
+            "{label}: partial-run config {config:?} missing from the completed fixpoint"
+        );
+    }
+    for (addr, vals) in &partial.store {
+        let full_vals = full.store.get(addr);
+        for val in vals {
+            assert!(
+                full_vals.is_some_and(|f| f.contains(val)),
+                "{label}: partial-run fact {addr:?} ↦ {val:?} missing from the completed fixpoint"
             );
         }
     }

@@ -17,7 +17,7 @@ fn main() {
         let src = cfa::workloads::worst_case_source(n);
         let program = cfa::compile(&src).expect("compiles");
         let budget = EngineLimits::timeout(Duration::from_secs(10));
-        let k1 = analyze_kcfa(&program, 1, budget);
+        let k1 = analyze_kcfa(&program, 1, budget.clone());
         let m1 = analyze_mcfa(&program, 1, budget);
         println!(
             "{n:>3} {:>6} {:>14} {:>14} {:>16} {:>16}",

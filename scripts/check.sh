@@ -17,6 +17,13 @@ echo "property suites: PROPTEST_SEED=${PROPTEST_SEED} PROPTEST_CASES=${PROPTEST_
 
 cargo build --release
 cargo test -q
+# Fault-injection suite per store backend, mirroring CI's `faults`
+# matrix legs (the plain `cargo test` run above covers the default
+# CFA_STORE_BACKEND=both).
+for backend in replicated sharded; do
+    echo "fault-injection suite: CFA_STORE_BACKEND=${backend}"
+    CFA_STORE_BACKEND="${backend}" cargo test -q --test faults
+done
 cargo fmt --all --check
 # Lint every first-party crate; the vendored stand-ins (rand, proptest,
 # criterion) are build inputs, not code we hold to clippy.

@@ -85,7 +85,8 @@ fn rendezvous_through<B: StoreBackend>(batching: WakeBatching) {
     };
     for round in 0..10 {
         let mut machine = Rendezvous::new();
-        let r = run_fixpoint_parallel_on::<B, _>(&mut machine, 2, limits, EvalMode::SemiNaive);
+        let r =
+            run_fixpoint_parallel_on::<B, _>(&mut machine, 2, limits.clone(), EvalMode::SemiNaive);
         let label = format!("{} {batching:?} round {round}", B::NAME);
         assert_sched_identity(&r, &label);
         assert_eq!(
@@ -125,10 +126,18 @@ fn feedback_sched_invariants_hold_for_both_backends() {
         };
         for threads in [1, 2, 4] {
             for mode in [EvalMode::SemiNaive, EvalMode::FullReeval] {
-                let rep =
-                    run_fixpoint_parallel_on::<Replicated, _>(&mut Feedback, threads, limits, mode);
-                let sh =
-                    run_fixpoint_parallel_on::<Sharded, _>(&mut Feedback, threads, limits, mode);
+                let rep = run_fixpoint_parallel_on::<Replicated, _>(
+                    &mut Feedback,
+                    threads,
+                    limits.clone(),
+                    mode,
+                );
+                let sh = run_fixpoint_parallel_on::<Sharded, _>(
+                    &mut Feedback,
+                    threads,
+                    limits.clone(),
+                    mode,
+                );
                 for (r, name) in [(&rep, "replicated"), (&sh, "sharded")] {
                     let label = format!("{name} {batching:?} threads={threads} {mode:?}");
                     assert_sched_identity(r, &label);

@@ -1,0 +1,672 @@
+//! Fault-injection suite for the hardened fixpoint fabric.
+//!
+//! Every test here interrupts a run mid-flight — injected transfer
+//! panic, cooperative cancellation, forced delta-log trim, deliberate
+//! termination-protocol violation — and checks the three robustness
+//! contracts the engine now guarantees:
+//!
+//! 1. **the process survives**: a panicking configuration aborts the
+//!    *run*, all workers drain and join, and the caller gets a
+//!    well-formed [`Status::Aborted`] naming the panicking config;
+//! 2. **interruption is prompt**: a cancellation request is observed
+//!    within one limit-check cadence per worker
+//!    ([`LIMIT_CHECK_CADENCE`] pops), never "whenever the run ends";
+//! 3. **partials are sound**: whatever an interrupted run has in its
+//!    store is a subset of the completed fixpoint — monotone engines
+//!    only ever add facts, so a prefix of a run is never wrong, merely
+//!    incomplete.
+//!
+//! Faults are keyed on exact global pop/evaluation counts
+//! ([`FaultPlan`]), so each scenario lands at the same logical point on
+//! every backend and run. The parallel scenarios honor
+//! `CFA_STORE_BACKEND` like the differential suites, so the CI matrix
+//! can gate each backend in isolation.
+
+use cfa::analysis::engine::{
+    run_fixpoint_with, AbstractMachine, CancelToken, EngineLimits, EvalMode, Status, TrackedStore,
+};
+use cfa::analysis::fabric::{FaultPlan, LIMIT_CHECK_CADENCE};
+use cfa::analysis::kcfa::KCfaMachine;
+use cfa::analysis::parallel::{
+    run_fixpoint_parallel_on, ParallelMachine, Replicated, Sharded, StoreBackend,
+};
+use cfa::analysis::reference::{run_fixpoint_reference, RefTrackedStore, ReferenceMachine};
+use cfa::CpsProgram;
+use cfa_testsupport::{
+    assert_fixpoint_subset, backend_selection, fixpoint_of, fixpoint_of_reference,
+    limits_with_plan, quiet_injected_panics, PAR_THREADS,
+};
+use std::time::Duration;
+
+const MODES: [EvalMode; 2] = [EvalMode::SemiNaive, EvalMode::FullReeval];
+
+/// The workload all injections land on: the suite's `regex` program at
+/// k = 1 — roughly 2,500 sequential evaluations over 1,100+
+/// configurations, large enough that every pop- or eval-keyed clause
+/// fires mid-run on every backend and thread count.
+fn regex() -> CpsProgram {
+    let src = cfa::workloads::suite()
+        .iter()
+        .find(|p| p.name == "regex")
+        .expect("regex is in the workloads suite")
+        .source;
+    cfa::compile(src).expect("suite program compiles")
+}
+
+/// An injected panic at evaluation 50 must leave the process alive,
+/// join every worker, and return `Aborted` naming a real configuration
+/// whose partial store is a subset of the completed fixpoint.
+fn injected_panic_is_contained<B: StoreBackend>(mode: EvalMode) {
+    quiet_injected_panics();
+    let p = regex();
+    let full = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), EngineLimits::default(), mode);
+    assert!(full.status.is_complete());
+    let full = fixpoint_of(&full);
+
+    let limits = limits_with_plan(FaultPlan::new().panic_at_eval(50));
+    let r =
+        run_fixpoint_parallel_on::<B, _>(&mut KCfaMachine::new(&p, 1), PAR_THREADS, limits, mode);
+    let Status::Aborted { config, message } = &r.status else {
+        panic!("{}/{mode:?}: expected Aborted, got {:?}", B::NAME, r.status);
+    };
+    assert!(
+        message.contains("injected fault: panic at evaluation 50"),
+        "{}/{mode:?}: abort message {message:?} does not carry the panic payload",
+        B::NAME
+    );
+    assert!(
+        !config.is_empty() && config != "<seed>" && config != "<worker>",
+        "{}/{mode:?}: abort should name the evaluating configuration, got {config:?}",
+        B::NAME
+    );
+    assert_fixpoint_subset(
+        &format!("{}/{mode:?} post-panic partial", B::NAME),
+        &fixpoint_of(&r),
+        &full,
+    );
+}
+
+#[test]
+fn injected_panic_is_contained_on_every_backend() {
+    let backends = backend_selection();
+    for mode in MODES {
+        if backends.replicated {
+            injected_panic_is_contained::<Replicated>(mode);
+        }
+        if backends.sharded {
+            injected_panic_is_contained::<Sharded>(mode);
+        }
+    }
+}
+
+/// A two-party machine whose steps 1 and 2 each spin until the other
+/// has started (bounded by a short deadline): with two workers, worker
+/// 0 blocks inside one step, so worker 1 *must* pick up the other —
+/// the deterministic way to land a fault on a non-zero worker id,
+/// which cheap workloads can't guarantee (one fast worker may drain
+/// the whole queue alone).
+#[derive(Clone)]
+struct TwoParty {
+    a_started: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    b_started: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl TwoParty {
+    fn new() -> Self {
+        TwoParty {
+            a_started: Default::default(),
+            b_started: Default::default(),
+        }
+    }
+
+    fn await_peer(flag: &std::sync::atomic::AtomicBool) {
+        let deadline = std::time::Instant::now() + Duration::from_millis(500);
+        while !flag.load(std::sync::atomic::Ordering::Acquire)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl AbstractMachine for TwoParty {
+    type Config = u8;
+    type Addr = u8;
+    type Val = u8;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&mut self, c: &u8, s: &mut TrackedStore<'_, u8, u8>, out: &mut Vec<u8>) {
+        use std::sync::atomic::Ordering;
+        match *c {
+            0 => out.extend([1, 2]),
+            1 => {
+                self.a_started.store(true, Ordering::Release);
+                Self::await_peer(&self.b_started);
+                s.join(&1, [1u8]);
+            }
+            2 => {
+                self.b_started.store(true, Ordering::Release);
+                Self::await_peer(&self.a_started);
+                s.join(&2, [2u8]);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl ParallelMachine for TwoParty {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn absorb(&mut self, _worker: Self) {}
+}
+
+/// The `panic_worker` clause scopes the eval count to one worker, so
+/// the abort path is exercised from a non-zero worker id too.
+fn worker_scoped_panic_is_contained<B: StoreBackend>() {
+    quiet_injected_panics();
+    let limits = limits_with_plan(FaultPlan::new().panic_at_eval(1).on_worker(1));
+    let r = run_fixpoint_parallel_on::<B, _>(&mut TwoParty::new(), 2, limits, EvalMode::SemiNaive);
+    let Status::Aborted { message, .. } = &r.status else {
+        panic!("{}: expected Aborted, got {:?}", B::NAME, r.status);
+    };
+    assert!(
+        message.contains("worker 1"),
+        "{}: abort message {message:?} should come from worker 1",
+        B::NAME
+    );
+}
+
+#[test]
+fn worker_scoped_panic_is_contained_on_every_backend() {
+    let backends = backend_selection();
+    if backends.replicated {
+        worker_scoped_panic_is_contained::<Replicated>();
+    }
+    if backends.sharded {
+        worker_scoped_panic_is_contained::<Sharded>();
+    }
+}
+
+/// Cancellation is observed within one limit-check cadence per worker:
+/// after the token flips at global pop `N`, each of the `t` workers
+/// performs at most `LIMIT_CHECK_CADENCE` further pops before its next
+/// check (×2 slack for pops counted while the flip is in flight).
+fn cancellation_lands_within_bound<B: StoreBackend>(mode: EvalMode) {
+    const CANCEL_AT: u64 = 400;
+    let p = regex();
+    let limits = limits_with_plan(FaultPlan::new().cancel_at_pop(CANCEL_AT));
+    let r =
+        run_fixpoint_parallel_on::<B, _>(&mut KCfaMachine::new(&p, 1), PAR_THREADS, limits, mode);
+    assert_eq!(r.status, Status::Cancelled, "{}/{mode:?}", B::NAME);
+    let pops = r.iterations + r.skipped;
+    let bound = CANCEL_AT + (PAR_THREADS as u64) * LIMIT_CHECK_CADENCE * 2;
+    assert!(
+        pops <= bound,
+        "{}/{mode:?}: {pops} pops despite cancellation at pop {CANCEL_AT} (bound {bound})",
+        B::NAME
+    );
+    let full = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), EngineLimits::default(), mode);
+    assert_fixpoint_subset(
+        &format!("{}/{mode:?} cancelled partial", B::NAME),
+        &fixpoint_of(&r),
+        &fixpoint_of(&full),
+    );
+}
+
+#[test]
+fn cancellation_lands_within_bound_on_every_backend() {
+    let backends = backend_selection();
+    for mode in MODES {
+        if backends.replicated {
+            cancellation_lands_within_bound::<Replicated>(mode);
+        }
+        if backends.sharded {
+            cancellation_lands_within_bound::<Sharded>(mode);
+        }
+    }
+}
+
+/// A forced watermark-0 delta-log trim mid-run degrades baselines to
+/// the snapshot-loss fallback but must not change the fixpoint.
+fn forced_trim_preserves_fixpoint<B: StoreBackend>(mode: EvalMode) {
+    let p = regex();
+    let full = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), EngineLimits::default(), mode);
+    let limits = limits_with_plan(FaultPlan::new().trim_at_pop(100));
+    let r =
+        run_fixpoint_parallel_on::<B, _>(&mut KCfaMachine::new(&p, 1), PAR_THREADS, limits, mode);
+    assert!(
+        r.status.is_complete(),
+        "{}/{mode:?}: forced trim should not stop the run, got {:?}",
+        B::NAME,
+        r.status
+    );
+    assert_eq!(
+        fixpoint_of(&r),
+        fixpoint_of(&full),
+        "{}/{mode:?}: forced mid-run trim changed the fixpoint",
+        B::NAME
+    );
+}
+
+#[test]
+fn forced_trim_preserves_fixpoint_on_every_backend() {
+    let backends = backend_selection();
+    for mode in MODES {
+        if backends.replicated {
+            forced_trim_preserves_fixpoint::<Replicated>(mode);
+        }
+        if backends.sharded {
+            forced_trim_preserves_fixpoint::<Sharded>(mode);
+        }
+    }
+}
+
+/// A leaked pending count is a deliberate termination-protocol
+/// violation: pending never reaches zero, every worker goes idle, and
+/// without the watchdog the run would hang forever. The watchdog must
+/// turn that hang into a diagnostic abort.
+fn leaked_pending_trips_watchdog<B: StoreBackend>() {
+    let p = regex();
+    let mut limits = limits_with_plan(FaultPlan::new().leak_pending_at_pop(5));
+    limits.stall_timeout = Some(Duration::from_millis(200));
+    let r = run_fixpoint_parallel_on::<B, _>(
+        &mut KCfaMachine::new(&p, 1),
+        PAR_THREADS,
+        limits,
+        EvalMode::SemiNaive,
+    );
+    let Status::Aborted { config, message } = &r.status else {
+        panic!(
+            "{}: expected the watchdog to abort, got {:?}",
+            B::NAME,
+            r.status
+        );
+    };
+    assert_eq!(config.as_str(), Status::STALL_WATCHDOG, "{}", B::NAME);
+    assert!(
+        message.contains("pending"),
+        "{}: watchdog dump {message:?} should report the stuck pending count",
+        B::NAME
+    );
+}
+
+#[test]
+fn leaked_pending_trips_watchdog_on_every_backend() {
+    let backends = backend_selection();
+    if backends.replicated {
+        leaked_pending_trips_watchdog::<Replicated>();
+    }
+    if backends.sharded {
+        leaked_pending_trips_watchdog::<Sharded>();
+    }
+}
+
+/// The sequential engine shares the fault hooks (it counts as worker
+/// 0), so the same plan aborts it the same way.
+#[test]
+fn sequential_engine_contains_injected_panic() {
+    quiet_injected_panics();
+    let p = regex();
+    for mode in MODES {
+        let full = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), EngineLimits::default(), mode);
+        let limits = limits_with_plan(FaultPlan::new().panic_at_eval(50));
+        let r = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), limits, mode);
+        let Status::Aborted { config, message } = &r.status else {
+            panic!("sequential/{mode:?}: expected Aborted, got {:?}", r.status);
+        };
+        assert!(message.contains("injected fault: panic at evaluation 50"));
+        assert!(!config.is_empty());
+        assert_fixpoint_subset(
+            &format!("sequential/{mode:?} post-panic partial"),
+            &fixpoint_of(&r),
+            &fixpoint_of(&full),
+        );
+    }
+}
+
+/// The sequential engine observes an injected cancellation within its
+/// own (coarser, 256-pop) cadence.
+#[test]
+fn sequential_engine_cancellation_lands_within_bound() {
+    const CANCEL_AT: u64 = 400;
+    let p = regex();
+    let limits = limits_with_plan(FaultPlan::new().cancel_at_pop(CANCEL_AT));
+    let r = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), limits, EvalMode::SemiNaive);
+    assert_eq!(r.status, Status::Cancelled);
+    assert!(
+        r.iterations + r.skipped <= CANCEL_AT + 256 * 2,
+        "sequential engine overran the injected cancellation: {} pops",
+        r.iterations + r.skipped
+    );
+}
+
+/// A token cancelled before the run starts stops every engine at its
+/// very first limit check, before any evaluation.
+#[test]
+fn pre_cancelled_token_stops_every_engine_immediately() {
+    let p = regex();
+    let token = CancelToken::new();
+    token.cancel();
+
+    let r = run_fixpoint_with(
+        &mut KCfaMachine::new(&p, 1),
+        EngineLimits::cancellable(token.clone()),
+        EvalMode::SemiNaive,
+    );
+    assert_eq!(r.status, Status::Cancelled);
+    assert_eq!(
+        r.iterations, 0,
+        "sequential engine evaluated despite cancellation"
+    );
+
+    let r = run_fixpoint_reference(
+        &mut KCfaMachine::new(&p, 1),
+        EngineLimits::cancellable(token.clone()),
+    );
+    assert_eq!(r.status, Status::Cancelled);
+    assert_eq!(
+        r.iterations, 0,
+        "reference engine evaluated despite cancellation"
+    );
+
+    let backends = backend_selection();
+    if backends.replicated {
+        let r = run_fixpoint_parallel_on::<Replicated, _>(
+            &mut KCfaMachine::new(&p, 1),
+            PAR_THREADS,
+            EngineLimits::cancellable(token.clone()),
+            EvalMode::SemiNaive,
+        );
+        assert_eq!(r.status, Status::Cancelled);
+    }
+    if backends.sharded {
+        let r = run_fixpoint_parallel_on::<Sharded, _>(
+            &mut KCfaMachine::new(&p, 1),
+            PAR_THREADS,
+            EngineLimits::cancellable(token),
+            EvalMode::SemiNaive,
+        );
+        assert_eq!(r.status, Status::Cancelled);
+    }
+}
+
+/// A machine whose transfer function itself panics (no injection
+/// plumbing involved) — the containment the fault plan merely
+/// simulates. The chain 0 → 1 → … guarantees config 7 is evaluated on
+/// every backend; `Aborted` must name it.
+#[derive(Clone)]
+struct PoisonPill;
+
+impl AbstractMachine for PoisonPill {
+    type Config = u32;
+    type Addr = u32;
+    type Val = u32;
+
+    fn initial(&self) -> u32 {
+        0
+    }
+
+    fn step(&mut self, c: &u32, s: &mut TrackedStore<'_, u32, u32>, out: &mut Vec<u32>) {
+        if *c == 7 {
+            panic!("injected fault: poison pill at config 7");
+        }
+        s.join(c, [*c]);
+        if *c < 20 {
+            out.push(c + 1);
+        }
+    }
+}
+
+impl ParallelMachine for PoisonPill {
+    fn fork(&self) -> Self {
+        PoisonPill
+    }
+
+    fn absorb(&mut self, _worker: Self) {}
+}
+
+impl ReferenceMachine for PoisonPill {
+    type Config = u32;
+    type Addr = u32;
+    type Val = u32;
+
+    fn initial(&self) -> u32 {
+        0
+    }
+
+    fn step(&mut self, c: &u32, s: &mut RefTrackedStore<'_, u32, u32>, out: &mut Vec<u32>) {
+        if *c == 7 {
+            panic!("injected fault: poison pill at config 7");
+        }
+        s.join(*c, [*c]);
+        if *c < 20 {
+            out.push(c + 1);
+        }
+    }
+}
+
+#[test]
+fn transfer_function_panic_names_the_config_on_every_engine() {
+    quiet_injected_panics();
+    let expect_poisoned = |status: &Status, engine: &str| {
+        let Status::Aborted { config, message } = status else {
+            panic!("{engine}: expected Aborted, got {status:?}");
+        };
+        assert_eq!(config.as_str(), "7", "{engine}: abort should name config 7");
+        assert!(message.contains("poison pill"), "{engine}: {message:?}");
+    };
+
+    for mode in MODES {
+        let r = run_fixpoint_with(&mut PoisonPill, EngineLimits::default(), mode);
+        expect_poisoned(&r.status, &format!("sequential/{mode:?}"));
+
+        let backends = backend_selection();
+        if backends.replicated {
+            let r = run_fixpoint_parallel_on::<Replicated, _>(
+                &mut PoisonPill,
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            expect_poisoned(&r.status, &format!("replicated/{mode:?}"));
+        }
+        if backends.sharded {
+            let r = run_fixpoint_parallel_on::<Sharded, _>(
+                &mut PoisonPill,
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            expect_poisoned(&r.status, &format!("sharded/{mode:?}"));
+        }
+    }
+
+    let r = run_fixpoint_reference(&mut PoisonPill, EngineLimits::default());
+    expect_poisoned(&r.status, "reference");
+}
+
+/// A panicking `seed` is contained too, tagged `<seed>` (there is no
+/// configuration to blame yet).
+#[derive(Clone)]
+struct PoisonSeed;
+
+impl AbstractMachine for PoisonSeed {
+    type Config = u32;
+    type Addr = u32;
+    type Val = u32;
+
+    fn initial(&self) -> u32 {
+        0
+    }
+
+    fn seed(&mut self, _store: &mut TrackedStore<'_, u32, u32>) {
+        panic!("injected fault: poisoned seed");
+    }
+
+    fn step(&mut self, _c: &u32, _s: &mut TrackedStore<'_, u32, u32>, _out: &mut Vec<u32>) {}
+}
+
+impl ParallelMachine for PoisonSeed {
+    fn fork(&self) -> Self {
+        PoisonSeed
+    }
+
+    fn absorb(&mut self, _worker: Self) {}
+}
+
+#[test]
+fn seed_panic_is_contained_on_every_backend() {
+    quiet_injected_panics();
+    let backends = backend_selection();
+    let expect_seed_abort = |status: &Status, engine: &str| {
+        let Status::Aborted { config, message } = status else {
+            panic!("{engine}: expected Aborted, got {status:?}");
+        };
+        assert_eq!(config.as_str(), "<seed>", "{engine}");
+        assert!(message.contains("poisoned seed"), "{engine}: {message:?}");
+    };
+    if backends.replicated {
+        let r = run_fixpoint_parallel_on::<Replicated, _>(
+            &mut PoisonSeed,
+            PAR_THREADS,
+            EngineLimits::default(),
+            EvalMode::SemiNaive,
+        );
+        expect_seed_abort(&r.status, "replicated");
+    }
+    if backends.sharded {
+        let r = run_fixpoint_parallel_on::<Sharded, _>(
+            &mut PoisonSeed,
+            PAR_THREADS,
+            EngineLimits::default(),
+            EvalMode::SemiNaive,
+        );
+        expect_seed_abort(&r.status, "sharded");
+    }
+}
+
+/// Satellite: an iteration-limited run on the *sharded* backend leaves
+/// a well-formed partial store — every row readable, every fact a
+/// subset of the completed fixpoint — even though workers stopped
+/// mid-protocol with messages still in flight.
+#[test]
+fn sharded_iteration_limit_partial_is_well_formed() {
+    let p = regex();
+    for mode in MODES {
+        let r = run_fixpoint_parallel_on::<Sharded, _>(
+            &mut KCfaMachine::new(&p, 1),
+            PAR_THREADS,
+            EngineLimits::iterations(300),
+            mode,
+        );
+        assert_eq!(r.status, Status::IterationLimit, "{mode:?}");
+        assert!(r.iterations > 0, "{mode:?}: the run did start");
+        let partial = fixpoint_of(&r);
+        assert!(
+            !partial.configs.is_empty(),
+            "{mode:?}: partial run discovered configurations"
+        );
+        let full = run_fixpoint_with(&mut KCfaMachine::new(&p, 1), EngineLimits::default(), mode);
+        assert_fixpoint_subset(
+            &format!("sharded/{mode:?} iteration-limited partial"),
+            &partial,
+            &fixpoint_of(&full),
+        );
+    }
+}
+
+/// Satellite: the reference oracle shares the main engine's pre-pop,
+/// pop-keyed limit discipline. A zero budget must stop it at the very
+/// first check, before any evaluation — the old per-iteration check
+/// ran the transfer function first and could overrun silently.
+#[test]
+fn reference_time_budget_checked_before_first_pop() {
+    let p = regex();
+    let r = run_fixpoint_reference(
+        &mut KCfaMachine::new(&p, 1),
+        EngineLimits::timeout(Duration::ZERO),
+    );
+    assert_eq!(r.status, Status::TimedOut);
+    assert_eq!(
+        r.iterations, 0,
+        "the oracle must consult the clock before popping, not after evaluating"
+    );
+}
+
+/// An unbounded machine under a small budget: the oracle must return
+/// `TimedOut` promptly instead of chasing the infinite frontier.
+struct InfiniteChain;
+
+impl ReferenceMachine for InfiniteChain {
+    type Config = u64;
+    type Addr = u64;
+    type Val = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn step(&mut self, c: &u64, _s: &mut RefTrackedStore<'_, u64, u64>, out: &mut Vec<u64>) {
+        out.push(c + 1);
+    }
+}
+
+#[test]
+fn reference_time_budget_cannot_be_overrun() {
+    let budget = Duration::from_millis(20);
+    let start = std::time::Instant::now();
+    let r = run_fixpoint_reference(&mut InfiniteChain, EngineLimits::timeout(budget));
+    assert_eq!(r.status, Status::TimedOut);
+    // The check fires every 256 pops of a near-instant step; seconds of
+    // slack still catches a per-iteration (or absent) discipline that
+    // would chase the infinite frontier until max_iterations.
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "oracle overran its time budget: ran {:?}",
+        start.elapsed()
+    );
+}
+
+/// The oracle's iteration-limited partial obeys the same soundness
+/// contract as the main engines' partials.
+#[test]
+fn reference_iteration_limit_partial_is_sound() {
+    let p = regex();
+    let full = run_fixpoint_reference(&mut KCfaMachine::new(&p, 1), EngineLimits::default());
+    assert!(full.status.is_complete());
+    let r = run_fixpoint_reference(&mut KCfaMachine::new(&p, 1), EngineLimits::iterations(300));
+    assert_eq!(r.status, Status::IterationLimit);
+    assert_eq!(r.iterations, 300);
+    assert_fixpoint_subset(
+        "reference iteration-limited partial",
+        &fixpoint_of_reference(&r),
+        &fixpoint_of_reference(&full),
+    );
+}
+
+/// The `CFA_FAULT_PLAN` grammar: well-formed plans parse, junk is
+/// rejected with a message naming the bad clause.
+#[test]
+fn fault_plan_parse_grammar() {
+    assert!(FaultPlan::parse("panic_eval=40,panic_worker=1").is_ok());
+    assert!(FaultPlan::parse("cancel_pop=100").is_ok());
+    assert!(FaultPlan::parse(" trim_pop = 3 , leak_pop = 9 ").is_ok());
+    assert!(
+        FaultPlan::parse("").is_ok(),
+        "empty plan is the unarmed plan"
+    );
+    assert!(FaultPlan::parse("panic_eval")
+        .unwrap_err()
+        .contains("key=value"));
+    assert!(FaultPlan::parse("panic_eval=x")
+        .unwrap_err()
+        .contains("panic_eval=x"));
+    assert!(FaultPlan::parse("explode=1")
+        .unwrap_err()
+        .contains("explode"));
+}

@@ -147,7 +147,7 @@ fn watermark_is_sound_under_both_parallel_backends() {
         let rep = cfa::analysis::parallel::run_fixpoint_parallel_with(
             &mut Grower { writes: 600 },
             threads,
-            limits,
+            limits.clone(),
             EvalMode::SemiNaive,
         );
         assert_eq!(
@@ -161,7 +161,7 @@ fn watermark_is_sound_under_both_parallel_backends() {
         let sh = run_fixpoint_sharded_with(
             &mut Grower { writes: 600 },
             threads,
-            limits,
+            limits.clone(),
             EvalMode::SemiNaive,
         );
         assert_eq!(sh.status, Status::Completed, "sharded threads={threads}");
