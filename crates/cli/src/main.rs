@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cfa analyze [--kcfa K | --mcfa M | --poly K] [--all] FILE.scm
+//! cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
 //! cfa run FILE.scm                  # concrete execution (shared envs)
 //! cfa cps FILE.scm                  # print the CPS conversion
 //! cfa dot FILE.scm                  # 1-CFA call graph as Graphviz dot
@@ -31,6 +32,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   cfa analyze [--kcfa K | --mcfa M | --poly K | --all] [--report] FILE.scm
+  cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
   cfa run FILE.scm
   cfa cps FILE.scm
   cfa dot FILE.scm
@@ -80,6 +82,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "analyze" => cmd_analyze(rest),
+        "races" => cmd_races(rest),
         "run" => cmd_run(rest),
         "cps" => cmd_cps(rest),
         "dot" => cmd_dot(rest),
@@ -247,6 +250,89 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 return code;
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm` —
+/// run the static race detector over the chosen abstract-thread
+/// analysis (default `--kcfa 1`) and print the report as text or JSON.
+fn cmd_races(args: &[String]) -> ExitCode {
+    let mut analysis = Analysis::KCfa { k: 1 };
+    let mut json = false;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--kcfa" | "--mcfa" | "--poly" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(depth) = parse_usize(value, "context depth") else {
+                    return usage();
+                };
+                analysis = match args[i].as_str() {
+                    "--kcfa" => Analysis::KCfa { k: depth },
+                    "--mcfa" => Analysis::MCfa { m: depth },
+                    _ => Analysis::PolyKCfa { k: depth },
+                };
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match read_file(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_syntax::compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (report, status) = match analysis {
+        Analysis::KCfa { k } => {
+            let r = cfa_core::analyze_kcfa(&program, k, run_limits());
+            (
+                cfa_core::races_kcfa(&program, k, &r.fixpoint),
+                r.metrics.status,
+            )
+        }
+        Analysis::MCfa { m } => {
+            let r = cfa_core::analyze_mcfa(&program, m, run_limits());
+            (
+                cfa_core::races_mcfa(&program, m, &r.fixpoint),
+                r.metrics.status,
+            )
+        }
+        Analysis::PolyKCfa { k } => {
+            let r = cfa_core::analyze_poly_kcfa(&program, k, run_limits());
+            (
+                cfa_core::races_poly_kcfa(&program, k, &r.fixpoint),
+                r.metrics.status,
+            )
+        }
+    };
+    // A truncated fixpoint would silently under-report races; make the
+    // early stop the outcome instead of printing a partial report.
+    if let Err(code) = check_status(&status) {
+        return code;
+    }
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
     }
     ExitCode::SUCCESS
 }

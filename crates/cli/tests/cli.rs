@@ -102,6 +102,70 @@ fn analyze_report_prints_flow_table() {
     assert!(text.contains("call targets"), "{text}");
 }
 
+const RACY_SCHEME: &str = "(let ((a (atom 0)))
+   (let ((t (spawn (reset! a 1))))
+     (deref a)))";
+
+const JOINED_SCHEME: &str = "(let ((a (atom 0)))
+   (let ((t (spawn (reset! a 1))))
+     (begin (join t) (deref a))))";
+
+#[test]
+fn races_reports_unjoined_conflict() {
+    let file = write_temp("racy.scm", RACY_SCHEME);
+    let out = cfa()
+        .args(["races", "--kcfa", "1"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 race"), "{text}");
+    assert!(text.contains("read/write"), "{text}");
+    assert!(text.contains("fix:"), "{text}");
+}
+
+#[test]
+fn races_silent_on_joined_program() {
+    let file = write_temp("joined.scm", JOINED_SCHEME);
+    let out = cfa().arg("races").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 races"), "{text}");
+    assert!(text.contains("no races found"), "{text}");
+}
+
+#[test]
+fn races_json_is_stable_shape() {
+    let file = write_temp("racy-json.scm", RACY_SCHEME);
+    let out = cfa()
+        .args(["races", "--mcfa", "1", "--json"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.trim();
+    assert!(line.starts_with("{\"analysis\":\"m=1\""), "{line}");
+    assert!(line.contains("\"races\":[{"), "{line}");
+    assert!(line.contains("\"kind\":\"read/write\""), "{line}");
+    assert!(line.ends_with("}"), "{line}");
+}
+
+#[test]
+fn races_suppresses_partial_reports() {
+    let file = write_temp("races-partial.scm", RACY_SCHEME);
+    let out = cfa()
+        .arg("races")
+        .arg(&file)
+        .env("CFA_MAX_ITERS", "1")
+        .output()
+        .unwrap();
+    // A truncated fixpoint must not print a (misleadingly empty) report.
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(out.stdout.is_empty());
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let out = cfa().arg("bogus-subcommand").output().unwrap();

@@ -31,6 +31,14 @@ pub enum Slot {
     Car(Label),
     /// The cdr of the pair allocated at this site label.
     Cdr(Label),
+    /// The contents of the atomic reference cell allocated at this
+    /// `atom` site label.
+    Atom(Label),
+    /// The result of the thread spawned at this `spawn` site label.
+    /// Unused by the concrete machines (which keep thread results in a
+    /// side table); the abstract machines join a thread's possible
+    /// results here and `%join` reads them back.
+    ThreadRet(Label),
 }
 
 /// A concrete store address: slot × binding context.
@@ -93,12 +101,37 @@ pub enum Value<E> {
         /// Address of the cdr.
         cdr: Addr,
     },
+    /// A thread handle produced by `spawn`; `join` synchronizes on the
+    /// identified thread's result.
+    Thread(u64),
+    /// The thread-return continuation a machine passes to a spawned
+    /// thunk; applying it delivers the thread's result.
+    RetK(u64),
+    /// An atomic reference cell; the current contents live in the store
+    /// and may be overwritten by `reset!`/`cas!`.
+    Atom {
+        /// Address of the cell contents.
+        cell: Addr,
+    },
 }
 
 impl<E> Value<E> {
     /// `#f` is the only false value (Scheme truthiness).
     pub fn is_truthy(&self) -> bool {
         !matches!(self, Value::Basic(Basic::Bool(false)))
+    }
+}
+
+/// Pointer-style equality (`eq?` and the `cas!` comparison): basics by
+/// value, heap objects by identity.
+pub fn shallow_eq<E: PartialEq>(a: &Value<E>, b: &Value<E>) -> bool {
+    match (a, b) {
+        (Value::Basic(x), Value::Basic(y)) => x == y,
+        (Value::Pair { car: x, .. }, Value::Pair { car: y, .. }) => x == y,
+        (Value::Clo { lam: x, env: ex }, Value::Clo { lam: y, env: ey }) => x == y && ex == ey,
+        (Value::Thread(x), Value::Thread(y)) => x == y,
+        (Value::Atom { cell: x }, Value::Atom { cell: y }) => x == y,
+        _ => false,
     }
 }
 
@@ -123,6 +156,8 @@ pub enum RuntimeError {
         /// Description of the offense.
         detail: String,
     },
+    /// `join` was applied to a value that is not a thread handle.
+    JoinNonThread(String),
     /// The program invoked `(error v)`.
     UserError(String),
     /// A store address was read before being written (machine bug or
@@ -141,6 +176,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::PrimTypeError { op, detail } => {
                 write!(f, "primitive '{op}' type error: {detail}")
             }
+            RuntimeError::JoinNonThread(d) => write!(f, "join of a non-thread: {d}"),
             RuntimeError::UserError(msg) => write!(f, "error: {msg}"),
             RuntimeError::DanglingAddress => write!(f, "dangling store address"),
         }
@@ -217,6 +253,24 @@ impl<E: Clone> Store<E> {
             "concrete store must bind each address once: {addr:?}"
         );
         self.map.insert(addr, value);
+    }
+
+    /// Overwrites the already-bound `addr` — atomic-cell writes
+    /// (`reset!`/`cas!`) are the one exception to the bind-once
+    /// discipline of concrete stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::DanglingAddress`] if `addr` was never
+    /// bound.
+    pub fn update(&mut self, addr: Addr, value: Value<E>) -> Result<(), RuntimeError> {
+        match self.map.get_mut(&addr) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(RuntimeError::DanglingAddress),
+        }
     }
 
     /// Reads `addr`.
@@ -321,12 +375,7 @@ pub fn eval_prim<E: Clone + PartialEq>(
         Le => bool_v(int(op, &args[0])? <= int(op, &args[1])?),
         Gt => bool_v(int(op, &args[0])? > int(op, &args[1])?),
         Ge => bool_v(int(op, &args[0])? >= int(op, &args[1])?),
-        Eq => bool_v(match (&args[0], &args[1]) {
-            (Value::Basic(a), Value::Basic(b)) => a == b,
-            (Value::Pair { car: a, .. }, Value::Pair { car: b, .. }) => a == b,
-            (Value::Clo { lam: a, env: ea }, Value::Clo { lam: b, env: eb }) => a == b && ea == eb,
-            _ => false,
-        }),
+        Eq => bool_v(shallow_eq(&args[0], &args[1])),
         Cons => {
             let car = alloc(Slot::Car(site));
             let cdr = alloc(Slot::Cdr(site));
@@ -386,6 +435,49 @@ pub fn eval_prim<E: Clone + PartialEq>(
             let text = render_value(&args[0], store, strings, program, 8);
             return Err(RuntimeError::UserError(text));
         }
+        AtomNew => {
+            let cell = alloc(Slot::Atom(site));
+            store.insert(cell, args[0].clone());
+            Value::Atom { cell }
+        }
+        AtomRead => match &args[0] {
+            Value::Atom { cell } => store.read(*cell)?,
+            _ => {
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "expected an atom".into(),
+                })
+            }
+        },
+        AtomSet => match &args[0] {
+            Value::Atom { cell } => {
+                store.update(*cell, args[1].clone())?;
+                args[1].clone()
+            }
+            _ => {
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "expected an atom".into(),
+                })
+            }
+        },
+        AtomCas => match &args[0] {
+            Value::Atom { cell } => {
+                let current = store.read(*cell)?;
+                if shallow_eq(&current, &args[1]) {
+                    store.update(*cell, args[2].clone())?;
+                    bool_v(true)
+                } else {
+                    bool_v(false)
+                }
+            }
+            _ => {
+                return Err(RuntimeError::PrimTypeError {
+                    op,
+                    detail: "expected an atom".into(),
+                })
+            }
+        },
     })
 }
 
@@ -407,6 +499,18 @@ pub fn render_value<E: Clone>(
         Value::Basic(Basic::Str(s)) => format!("{:?}", strings.resolve(*s)),
         Value::Basic(Basic::Sym(s)) => strings.resolve(*s).to_owned(),
         Value::Clo { lam, .. } => format!("#<procedure:{:?}>", program.lam(*lam).label),
+        Value::Thread(id) => format!("#<thread:{id}>"),
+        Value::RetK(id) => format!("#<thread-return:{id}>"),
+        Value::Atom { cell } => {
+            if depth == 0 {
+                return "#<atom …>".to_owned();
+            }
+            let contents = store
+                .read(*cell)
+                .map(|v| render_value(&v, store, strings, program, depth - 1))
+                .unwrap_or_else(|_| "?".to_owned());
+            format!("#<atom {contents}>")
+        }
         Value::Pair { car, cdr } => {
             if depth == 0 {
                 return "(…)".to_owned();

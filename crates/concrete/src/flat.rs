@@ -76,6 +76,9 @@ pub fn run_flat_traced(program: &CpsProgram, limits: Limits, trace: bool) -> Fla
         strings: program.interner().clone(),
         trace: Vec::new(),
         record_trace: trace,
+        pending: Vec::new(),
+        thread_results: std::collections::HashMap::new(),
+        next_tid: 0,
     };
     let (outcome, steps) = m.run(limits);
     FlatRun {
@@ -95,6 +98,12 @@ struct FlatMachine<'p> {
     strings: Interner,
     trace: Vec<FlatVisit>,
     record_trace: bool,
+    /// Suspended parent states awaiting a child thread's completion
+    /// (same eager-at-spawn scheduler as the shared machine).
+    pending: Vec<(CallId, Ctx)>,
+    /// Results of completed threads, keyed by thread id.
+    thread_results: std::collections::HashMap<u64, FlatValue>,
+    next_tid: u64,
 }
 
 enum Step {
@@ -153,6 +162,23 @@ impl<'p> FlatMachine<'p> {
         call_label: cfa_syntax::cps::Label,
         current: Ctx,
     ) -> Result<Step, RuntimeError> {
+        if let Value::RetK(tid) = f {
+            // A thread-return continuation: record the thread's result
+            // and resume the most recently suspended parent.
+            if args.len() != 1 {
+                return Err(RuntimeError::ArityMismatch {
+                    expected: 1,
+                    actual: args.len(),
+                });
+            }
+            self.thread_results
+                .insert(tid, args.into_iter().next().expect("len checked"));
+            let (call, env) = self
+                .pending
+                .pop()
+                .expect("eager scheduler: a finishing thread always has a suspended parent");
+            return Ok(Step::Continue(call, env));
+        }
         let Value::Clo { lam, env: saved } = f else {
             return Err(RuntimeError::NotAProcedure(render_value(
                 &f,
@@ -268,6 +294,39 @@ impl<'p> FlatMachine<'p> {
                 }
                 Ok(Step::Continue(*body, env))
             }
+            CallKind::Spawn { thunk, cont } => {
+                let thunk_v = self.eval(thunk, env)?;
+                let k = self.eval(cont, env)?;
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                // Suspend the parent: bind the thread handle into the
+                // parent continuation now, run its body after the child
+                // finishes.
+                let resume = self.apply(k, vec![Value::Thread(tid)], call_data.label, env)?;
+                let Step::Continue(rc, re) = resume else {
+                    unreachable!("continuations are closures, not %halt");
+                };
+                self.pending.push((rc, re));
+                // Run the child to completion: its continuation is the
+                // thread-return continuation for `tid`.
+                self.apply(thunk_v, vec![Value::RetK(tid)], call_data.label, env)
+            }
+            CallKind::Join { target, cont } => {
+                let t = self.eval(target, env)?;
+                let k = self.eval(cont, env)?;
+                let Value::Thread(tid) = t else {
+                    return Err(RuntimeError::JoinNonThread(render_value(
+                        &t,
+                        &self.store,
+                        &self.strings,
+                        self.program,
+                        4,
+                    )));
+                };
+                // Eager scheduling means the child has already finished.
+                let v = self.thread_results[&tid].clone();
+                self.apply(k, vec![v], call_data.label, env)
+            }
             CallKind::Halt { value } => {
                 let v = self.eval(value, env)?;
                 Ok(Step::Halt(v))
@@ -376,6 +435,19 @@ mod tests {
     fn errors_propagate() {
         assert!(eval_scheme_flat("(car 5)", Limits::default()).is_err());
         assert!(eval_scheme_flat("(undefined-var 1)", Limits::default()).is_err());
+    }
+
+    #[test]
+    fn spawn_join_and_atoms() {
+        assert_eq!(eval("(join (spawn 42))"), "42");
+        assert_eq!(eval("(let ((t (spawn (+ 1 2)))) (+ (join t) 10))"), "13");
+        assert_eq!(
+            eval("(let ((c (atom 0))) (let ((t (spawn (reset! c 5)))) (join t) (deref c)))"),
+            "5"
+        );
+        assert_eq!(eval("(let ((c (atom 0))) (cas! c 0 7) (deref c))"), "7");
+        assert_eq!(eval("(join (spawn (join (spawn 3))))"), "3");
+        assert!(eval_scheme_flat("(join 5)", Limits::default()).is_err());
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub fn run_shared_traced(program: &CpsProgram, limits: Limits, trace: bool) -> S
         strings: program.interner().clone(),
         trace: Vec::new(),
         record_trace: trace,
+        pending: Vec::new(),
+        thread_results: HashMap::new(),
+        next_tid: 0,
     };
     let (outcome, steps) = m.run(limits);
     SharedRun {
@@ -97,6 +100,16 @@ struct SharedMachine<'p> {
     strings: Interner,
     trace: Vec<SharedVisit>,
     record_trace: bool,
+    /// Suspended parent states awaiting a child thread's completion.
+    ///
+    /// The concrete machines use a deterministic *eager-at-spawn*
+    /// scheduler: `spawn` runs the child to completion immediately and
+    /// pushes the parent's resume state here; the child's thread-return
+    /// continuation pops it. LIFO order matches the spawn nesting.
+    pending: Vec<(CallId, BEnv, Ctx)>,
+    /// Results of completed threads, keyed by thread id.
+    thread_results: HashMap<u64, SharedValue>,
+    next_tid: u64,
 }
 
 impl<'p> SharedMachine<'p> {
@@ -169,6 +182,23 @@ impl<'p> SharedMachine<'p> {
         args: Vec<SharedValue>,
         t_new: Ctx,
     ) -> Result<Step, RuntimeError> {
+        if let Value::RetK(tid) = f {
+            // A thread-return continuation: record the thread's result
+            // and resume the most recently suspended parent.
+            if args.len() != 1 {
+                return Err(RuntimeError::ArityMismatch {
+                    expected: 1,
+                    actual: args.len(),
+                });
+            }
+            self.thread_results
+                .insert(tid, args.into_iter().next().expect("len checked"));
+            let (call, benv, time) = self
+                .pending
+                .pop()
+                .expect("eager scheduler: a finishing thread always has a suspended parent");
+            return Ok(Step::Continue(call, benv, time));
+        }
         let Value::Clo { lam, env } = f else {
             return Err(RuntimeError::NotAProcedure(render_value(
                 &f,
@@ -264,6 +294,42 @@ impl<'p> SharedMachine<'p> {
                     self.store.insert(addr, clo);
                 }
                 Ok(Step::Continue(*body, extended, t_new))
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let thunk_v = self.eval(thunk, benv)?;
+                let k = self.eval(cont, benv)?;
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                // Suspend the parent: bind the thread handle into the
+                // parent continuation now, run its body after the child
+                // finishes.
+                let t_parent = self.times.tick(call_data.label, time);
+                let resume = self.apply(k, vec![Value::Thread(tid)], t_parent)?;
+                let Step::Continue(rc, rb, rt) = resume else {
+                    unreachable!("continuations are closures, not %halt");
+                };
+                self.pending.push((rc, rb, rt));
+                // Run the child to completion: its continuation is the
+                // thread-return continuation for `tid`.
+                let t_child = self.times.tick(call_data.label, t_parent);
+                self.apply(thunk_v, vec![Value::RetK(tid)], t_child)
+            }
+            CallKind::Join { target, cont } => {
+                let t = self.eval(target, benv)?;
+                let k = self.eval(cont, benv)?;
+                let Value::Thread(tid) = t else {
+                    return Err(RuntimeError::JoinNonThread(render_value(
+                        &t,
+                        &self.store,
+                        &self.strings,
+                        self.program,
+                        4,
+                    )));
+                };
+                // Eager scheduling means the child has already finished.
+                let v = self.thread_results[&tid].clone();
+                let t_new = self.times.tick(call_data.label, time);
+                self.apply(k, vec![v], t_new)
             }
             CallKind::Halt { value } => {
                 let v = self.eval(value, benv)?;
@@ -408,6 +474,28 @@ mod tests {
         let run = run_shared_traced(&p, Limits::default(), true);
         // Every allocation produced a distinct time.
         assert!(run.times.len() > 1);
+    }
+
+    #[test]
+    fn spawn_join_and_atoms() {
+        assert_eq!(eval("(join (spawn 42))"), "42");
+        assert_eq!(eval("(let ((t (spawn (+ 1 2)))) (+ (join t) 10))"), "13");
+        assert_eq!(
+            eval("(let ((c (atom 0))) (let ((t (spawn (reset! c 5)))) (join t) (deref c)))"),
+            "5"
+        );
+        assert_eq!(eval("(let ((c (atom 0))) (cas! c 0 1))"), "#t");
+        assert_eq!(eval("(let ((c (atom 0))) (cas! c 9 1))"), "#f");
+        assert_eq!(eval("(let ((c (atom 0))) (cas! c 0 7) (deref c))"), "7");
+        assert_eq!(eval("(join (spawn (join (spawn 3))))"), "3");
+        assert_eq!(
+            eval(
+                "(let ((a (spawn 1)) (b (spawn 2)))
+                   (+ (join a) (join b)))"
+            ),
+            "3"
+        );
+        assert!(eval_scheme("(join 5)", Limits::default()).is_err());
     }
 
     #[test]

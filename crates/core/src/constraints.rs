@@ -32,6 +32,12 @@ pub enum Val0 {
     Basic(AbsBasic),
     /// A pair allocated at this `cons` site.
     Pair(Label),
+    /// A thread handle (context-insensitive: all spawns collapse).
+    Tid,
+    /// A thread-return continuation.
+    RetK,
+    /// An atom allocated at this `atom` site.
+    Atom(Label),
 }
 
 /// A flow node.
@@ -45,6 +51,13 @@ pub enum Node {
     Cdr(Label),
     /// Values reaching `%halt`.
     Halt,
+    /// Results of *every* thread, merged. Context-insensitive 0CFA
+    /// cannot tell spawn sites apart without per-site nodes, and the
+    /// cross-validation contract only needs an over-approximation, so
+    /// one global node is the simplest sound choice.
+    ThreadRet,
+    /// Contents of *every* atom cell, merged (same rationale).
+    AtomCell,
 }
 
 /// The solved constraint system.
@@ -192,6 +205,23 @@ impl<'p> Solver<'p> {
         }
     }
 
+    /// Resolves `cont` to a flow target: the first parameter of a
+    /// literal λ, or an `IntoCont` indirection for a continuation
+    /// variable. `None` when nothing can receive the flow.
+    fn cont_target(&self, cont: &AExp) -> Option<Rhs> {
+        match cont {
+            AExp::Lam(l) => {
+                let lam = self.program.lam(*l);
+                lam.params.first().map(|&p| Rhs::Node(Node::Var(p)))
+            }
+            AExp::Var(k) => Some(Rhs::IntoCont(
+                Box::new(Rhs::Node(Node::Var(*k))),
+                Node::Var(*k),
+            )),
+            AExp::Lit(_) => None,
+        }
+    }
+
     fn generate(&mut self) {
         for call_id in self.program.call_ids() {
             let call = self.program.call(call_id).clone();
@@ -278,7 +308,71 @@ impl<'p> Solver<'p> {
                             let _ = a0;
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        if let Some(a0) = args.first() {
+                            let rhs = self.atom(a0);
+                            self.flow_rhs(&rhs, Node::AtomCell);
+                        }
+                        let consts: BTreeSet<Val0> =
+                            std::iter::once(Val0::Atom(call.label)).collect();
+                        self.flow_into_cont(cont, Rhs::Consts(consts));
+                    }
+                    PrimSpec::ReadAtom => {
+                        // Global cell: every deref may see every write.
+                        if let Some(target) = self.cont_target(cont) {
+                            self.flow_rule_target(Node::AtomCell, target);
+                        }
+                    }
+                    PrimSpec::WriteAtom => {
+                        if let Some(a1) = args.get(1) {
+                            let rhs = self.atom(a1);
+                            self.flow_rhs(&rhs, Node::AtomCell);
+                            self.flow_into_cont(cont, rhs);
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        if let Some(a2) = args.get(2) {
+                            let rhs = self.atom(a2);
+                            self.flow_rhs(&rhs, Node::AtomCell);
+                        }
+                        let consts: BTreeSet<Val0> =
+                            std::iter::once(Val0::Basic(AbsBasic::AnyBool)).collect();
+                        self.flow_into_cont(cont, Rhs::Consts(consts));
+                    }
                 },
+                CallKind::Spawn { thunk, cont } => {
+                    // The thunk is applied to a thread-return
+                    // continuation; the parent continues with a handle.
+                    let retk: BTreeSet<Val0> = std::iter::once(Val0::RetK).collect();
+                    match thunk {
+                        AExp::Lam(l) => {
+                            let lam = self.program.lam(*l).clone();
+                            if let [param] = lam.params[..] {
+                                self.add_values(Node::Var(param), retk);
+                            }
+                        }
+                        AExp::Var(f) => {
+                            let rule = ApplyRule {
+                                args: vec![Rhs::Consts(retk)],
+                            };
+                            self.apply_triggers
+                                .entry(Node::Var(*f))
+                                .or_default()
+                                .push(rule);
+                            self.worklist.push_back(Node::Var(*f));
+                        }
+                        AExp::Lit(_) => {}
+                    }
+                    let tid: BTreeSet<Val0> = std::iter::once(Val0::Tid).collect();
+                    self.flow_into_cont(cont, Rhs::Consts(tid));
+                }
+                CallKind::Join { cont, .. } => {
+                    // Global node: joining any handle may yield any
+                    // thread's result.
+                    if let Some(target) = self.cont_target(cont) {
+                        self.flow_rule_target(Node::ThreadRet, target);
+                    }
+                }
                 CallKind::Fix { bindings, .. } => {
                     for (name, lam) in bindings {
                         self.add_values(Node::Var(*name), [Val0::Lam(*lam)]);
@@ -301,6 +395,17 @@ impl<'p> Solver<'p> {
         }
         if let Some(rules) = self.apply_triggers.get(&node).cloned() {
             for value in &values {
+                // A thread-return continuation in operator position
+                // routes its single argument to the global ThreadRet
+                // node (the child thread's result).
+                if let Val0::RetK = value {
+                    for rule in &rules {
+                        if let [arg] = &rule.args[..] {
+                            self.flow_rule_rhs(arg.clone(), Node::ThreadRet);
+                        }
+                    }
+                    continue;
+                }
                 let Val0::Lam(l) = value else { continue };
                 let lam = self.program.lam(*l).clone();
                 for rule in &rules {

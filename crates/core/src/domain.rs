@@ -260,6 +260,28 @@ pub enum AVal<E, A> {
         /// Address of the cdr.
         cdr: A,
     },
+    /// An abstract thread handle produced by `%spawn`. It carries the
+    /// abstract address where the spawned thread's result accumulates;
+    /// `%join` synchronizes by reading that address. Machines mint `ret`
+    /// from the spawn site and the child's thread-id context, so the
+    /// handle also identifies the abstract thread.
+    Tid {
+        /// The thread's abstract result address.
+        ret: A,
+    },
+    /// The thread-return continuation passed to a spawned thunk:
+    /// applying it joins the argument into the thread's result address
+    /// and produces no successor (the abstract thread halts).
+    RetK {
+        /// The thread's abstract result address.
+        ret: A,
+    },
+    /// An abstract atomic reference cell (`atom`); the contents
+    /// accumulate monotonically at `cell`.
+    Atom {
+        /// Address of the cell contents.
+        cell: A,
+    },
 }
 
 impl<E, A> AVal<E, A> {

@@ -52,13 +52,20 @@ pub struct AddrM {
 /// A flat-environment abstract value: closures capture a call string.
 pub type ValM = AVal<CallString, AddrM>;
 
-/// A flat-environment configuration `(call, ρ̂)`.
+/// A flat-environment configuration `(call, ρ̂, θ̂)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MConfig {
     /// Current call site.
     pub call: CallId,
     /// Current abstract environment.
     pub env: CallString,
+    /// The abstract thread id: the bounded string of spawn-site labels
+    /// that created this thread (empty for the main thread). Bounded by
+    /// `max(bound,1)`, so the abstract thread pool stays finite and
+    /// spawned threads are distinct from the main thread even at
+    /// bound 0. Independent of `env` — it never participates in the
+    /// flat-environment context policy.
+    pub tid: CallString,
 }
 
 /// The context-allocation policy for the flat-environment machine.
@@ -92,6 +99,21 @@ impl<'p> FlatCfaMachine<'p> {
             operator_flows: HashMap::new(),
             lam_entry_envs: Vec::new(),
             halt_values: BTreeSet::new(),
+        }
+    }
+
+    /// Bound on the abstract thread-id string. At least 1 even for
+    /// bound = 0, so spawned threads stay distinct from the main thread.
+    pub(crate) fn tid_bound(&self) -> usize {
+        self.bound.max(1)
+    }
+
+    /// The abstract result address of the thread spawned at `label` by
+    /// thread `child_tid`.
+    fn thread_ret_addr(label: Label, child_tid: &CallString) -> AddrM {
+        AddrM {
+            slot: Slot::ThreadRet(label),
+            env: child_tid.clone(),
         }
     }
 
@@ -141,6 +163,7 @@ impl<'p> FlatCfaMachine<'p> {
         fset: &DeltaFlow,
         args: &[DeltaFlow],
         current: &CallString,
+        tid: &CallString,
         store: &mut TrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
     ) {
@@ -148,6 +171,21 @@ impl<'p> FlatCfaMachine<'p> {
         let bound = self.bound;
         let flows = self.operator_flows.entry(site).or_default();
         for fid in fset.all.iter() {
+            if let AVal::RetK { ret } = store.val(fid) {
+                // A thread-return continuation: the abstract thread
+                // halts here, delivering its result into the thread's
+                // result address (no successor configuration).
+                let ret = ret.clone();
+                if let [a] = args {
+                    if fset.is_new(fid) {
+                        store.join_flow(&ret, &a.all);
+                    } else if a.has_new() {
+                        store.join_flow(&ret, &a.new);
+                        store.note_delta_apply();
+                    }
+                }
+                continue;
+            }
             let (lam, saved) = match store.val(fid) {
                 AVal::Clo { lam, env } => (*lam, env.clone()),
                 _ => {
@@ -204,6 +242,7 @@ impl<'p> FlatCfaMachine<'p> {
             out.push(MConfig {
                 call: lam_data.body,
                 env: fresh,
+                tid: tid.clone(),
             });
         }
     }
@@ -218,6 +257,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
         MConfig {
             call: self.program.entry(),
             env: CallString::empty(),
+            tid: CallString::empty(),
         }
     }
 
@@ -241,6 +281,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                     &fset,
                     &arg_sets,
                     &config.env,
+                    &config.tid,
                     store,
                     out,
                 );
@@ -254,13 +295,13 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 if cset.iter().any(|id| store.val(id).maybe_truthy()) {
                     out.push(MConfig {
                         call: *then_branch,
-                        env: config.env.clone(),
+                        ..config.clone()
                     });
                 }
                 if cset.iter().any(|id| store.val(id).maybe_falsy()) {
                     out.push(MConfig {
                         call: *else_branch,
-                        env: config.env.clone(),
+                        ..config.clone()
                     });
                 }
             }
@@ -332,6 +373,83 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                             }
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        // Atom cells are allocated in the *current*
+                        // abstract environment, like pairs.
+                        let cell = AddrM {
+                            slot: Slot::Atom(call_data.label),
+                            env: config.env.clone(),
+                        };
+                        if let Some(vals) = arg_sets.first() {
+                            if first || vals.has_new() {
+                                store.join_flow(&cell, if first { &vals.all } else { &vals.new });
+                            }
+                        }
+                        let aid = store.intern(AVal::Atom { cell });
+                        result_ids.push(aid);
+                        if first {
+                            result_new_ids.push(aid);
+                        }
+                    }
+                    PrimSpec::ReadAtom => {
+                        if let Some(vals) = arg_sets.first() {
+                            for vid in vals.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                let cell = store.read_with_delta(&addr);
+                                result_ids.extend(cell.all.iter());
+                                if vals.is_new(vid) {
+                                    result_new_ids.extend(cell.all.iter());
+                                } else {
+                                    result_new_ids.extend(cell.new.iter());
+                                }
+                            }
+                        }
+                    }
+                    PrimSpec::WriteAtom => {
+                        // (reset! a v): a join into every cell reaching
+                        // `a` (abstract stores are monotone); result `v`.
+                        if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(1)) {
+                            for vid in atoms.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                if atoms.is_new(vid) {
+                                    store.join_flow(&addr, &vals.all);
+                                } else if vals.has_new() {
+                                    store.join_flow(&addr, &vals.new);
+                                }
+                            }
+                            result_ids.extend(vals.all.iter());
+                            result_new_ids.extend(vals.new.iter());
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        // (cas! a expected new): the swap may or may not
+                        // happen abstractly — join the replacement into
+                        // the cell and produce bool⊤.
+                        if let (Some(atoms), Some(news)) = (arg_sets.first(), arg_sets.get(2)) {
+                            for vid in atoms.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                if atoms.is_new(vid) {
+                                    store.join_flow(&addr, &news.all);
+                                } else if news.has_new() {
+                                    store.join_flow(&addr, &news.new);
+                                }
+                            }
+                        }
+                        let bid = store.intern(AVal::Basic(AbsBasic::AnyBool));
+                        result_ids.push(bid);
+                        if first {
+                            result_new_ids.push(bid);
+                        }
+                    }
                 }
                 if !result_ids.is_empty() {
                     let results = DeltaFlow {
@@ -348,6 +466,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                         &kset,
                         &[results],
                         &config.env,
+                        &config.tid,
                         store,
                         out,
                     );
@@ -368,8 +487,80 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
                 }
                 out.push(MConfig {
                     call: *body,
-                    env: config.env.clone(),
+                    ..config.clone()
                 });
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let tset = self.eval(thunk, &config.env, store);
+                let kset = self.eval(cont, &config.env, store);
+                let child_tid = config.tid.push(call_data.label, self.tid_bound());
+                let ret = Self::thread_ret_addr(call_data.label, &child_tid);
+                let first = store.first_visit();
+                // Child: every thunk closure starts a new abstract
+                // thread; its successors carry the child's thread id.
+                let retk_id = store.intern(AVal::RetK { ret: ret.clone() });
+                let retk = DeltaFlow::constructed(Flow::singleton(retk_id), first);
+                self.apply(
+                    config.call,
+                    call_data.label,
+                    &tset,
+                    &[retk],
+                    &config.env,
+                    &child_tid,
+                    store,
+                    out,
+                );
+                // Parent: continues immediately with the thread handle.
+                let tid_id = store.intern(AVal::Tid { ret });
+                let handle = DeltaFlow::constructed(Flow::singleton(tid_id), first);
+                self.apply(
+                    config.call,
+                    call_data.label,
+                    &kset,
+                    &[handle],
+                    &config.env,
+                    &config.tid,
+                    store,
+                    out,
+                );
+            }
+            CallKind::Join { target, cont } => {
+                let tset = self.eval(target, &config.env, store);
+                let kset = self.eval(cont, &config.env, store);
+                let mut result_ids: Vec<u32> = Vec::new();
+                let mut result_new_ids: Vec<u32> = Vec::new();
+                for vid in tset.all.iter() {
+                    let ret = match store.val(vid) {
+                        AVal::Tid { ret } => ret.clone(),
+                        _ => continue,
+                    };
+                    // Reading `ret` registers a dependency: this config
+                    // re-wakes when the child produces its result.
+                    let cell = store.read_with_delta(&ret);
+                    result_ids.extend(cell.all.iter());
+                    if tset.is_new(vid) {
+                        result_new_ids.extend(cell.all.iter());
+                    } else {
+                        result_new_ids.extend(cell.new.iter());
+                    }
+                }
+                if !result_ids.is_empty() {
+                    let results = DeltaFlow {
+                        all: Flow::from_ids(result_ids),
+                        new: Flow::from_ids(result_new_ids),
+                    };
+                    let kset = kset.upgraded_if_all_new(&results);
+                    self.apply(
+                        config.call,
+                        call_data.label,
+                        &kset,
+                        &[results],
+                        &config.env,
+                        &config.tid,
+                        store,
+                        out,
+                    );
+                }
             }
             CallKind::Halt { value } => {
                 // Only the growth is new to the accumulator (see the
@@ -402,8 +593,9 @@ impl<'p> crate::parallel::ParallelMachine for FlatCfaMachine<'p> {
 // ---------------------------------------------------------------------
 
 impl<'p> FlatCfaMachine<'p> {
-    /// The original value-level `Ê`, kept for [`ReferenceMachine`].
-    fn eval_ref(
+    /// The original value-level `Ê`, kept for [`ReferenceMachine`] and
+    /// reused by the race detector's post-fixpoint fact extraction.
+    pub(crate) fn eval_ref(
         &self,
         e: &AExp,
         env: &CallString,
@@ -432,6 +624,7 @@ impl<'p> FlatCfaMachine<'p> {
         fset: &FlowSet<ValM>,
         args: &[FlowSet<ValM>],
         current: &CallString,
+        tid: &CallString,
         store: &mut RefTrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
     ) {
@@ -439,6 +632,14 @@ impl<'p> FlatCfaMachine<'p> {
         let bound = self.bound;
         let flows = self.operator_flows.entry(site).or_default();
         for f in fset {
+            if let AVal::RetK { ret } = f {
+                // Thread-return continuation: deliver the result, no
+                // successor (the abstract thread halts).
+                if let [a] = args {
+                    store.join(ret.clone(), a.iter().cloned());
+                }
+                continue;
+            }
             let AVal::Clo { lam, env: saved } = f else {
                 flows.1 = true;
                 continue;
@@ -482,6 +683,7 @@ impl<'p> FlatCfaMachine<'p> {
             out.push(MConfig {
                 call: lam_data.body,
                 env: fresh,
+                tid: tid.clone(),
             });
         }
     }
@@ -516,6 +718,7 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                     &fset,
                     &arg_sets,
                     &config.env,
+                    &config.tid,
                     store,
                     out,
                 );
@@ -529,13 +732,13 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                 if cset.iter().any(AVal::maybe_truthy) {
                     out.push(MConfig {
                         call: *then_branch,
-                        env: config.env.clone(),
+                        ..config.clone()
                     });
                 }
                 if cset.iter().any(AVal::maybe_falsy) {
                     out.push(MConfig {
                         call: *else_branch,
-                        env: config.env.clone(),
+                        ..config.clone()
                     });
                 }
             }
@@ -579,6 +782,45 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                             }
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        let cell = AddrM {
+                            slot: Slot::Atom(call_data.label),
+                            env: config.env.clone(),
+                        };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join(cell.clone(), vals.iter().cloned());
+                        }
+                        results.insert(AVal::Atom { cell });
+                    }
+                    PrimSpec::ReadAtom => {
+                        if let Some(vals) = arg_sets.first() {
+                            for v in vals {
+                                if let AVal::Atom { cell } = v {
+                                    results.extend(store.read(&cell.clone()));
+                                }
+                            }
+                        }
+                    }
+                    PrimSpec::WriteAtom => {
+                        if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(1)) {
+                            for v in atoms {
+                                if let AVal::Atom { cell } = v {
+                                    store.join(cell.clone(), vals.iter().cloned());
+                                }
+                            }
+                            results.extend(vals.iter().cloned());
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        if let (Some(atoms), Some(news)) = (arg_sets.first(), arg_sets.get(2)) {
+                            for v in atoms {
+                                if let AVal::Atom { cell } = v {
+                                    store.join(cell.clone(), news.iter().cloned());
+                                }
+                            }
+                        }
+                        results.insert(AVal::Basic(AbsBasic::AnyBool));
+                    }
                 }
                 if !results.is_empty() {
                     self.apply_ref(
@@ -587,6 +829,7 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                         &kset,
                         &[results],
                         &config.env,
+                        &config.tid,
                         store,
                         out,
                     );
@@ -607,8 +850,59 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
                 }
                 out.push(MConfig {
                     call: *body,
-                    env: config.env.clone(),
+                    ..config.clone()
                 });
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let tset = self.eval_ref(thunk, &config.env, store);
+                let kset = self.eval_ref(cont, &config.env, store);
+                let child_tid = config.tid.push(call_data.label, self.tid_bound());
+                let ret = Self::thread_ret_addr(call_data.label, &child_tid);
+                let retk: FlowSet<ValM> =
+                    std::iter::once(AVal::RetK { ret: ret.clone() }).collect();
+                self.apply_ref(
+                    config.call,
+                    call_data.label,
+                    &tset,
+                    &[retk],
+                    &config.env,
+                    &child_tid,
+                    store,
+                    out,
+                );
+                let handle: FlowSet<ValM> = std::iter::once(AVal::Tid { ret }).collect();
+                self.apply_ref(
+                    config.call,
+                    call_data.label,
+                    &kset,
+                    &[handle],
+                    &config.env,
+                    &config.tid,
+                    store,
+                    out,
+                );
+            }
+            CallKind::Join { target, cont } => {
+                let tset = self.eval_ref(target, &config.env, store);
+                let kset = self.eval_ref(cont, &config.env, store);
+                let mut results: FlowSet<ValM> = FlowSet::new();
+                for v in &tset {
+                    if let AVal::Tid { ret } = v {
+                        results.extend(store.read(&ret.clone()));
+                    }
+                }
+                if !results.is_empty() {
+                    self.apply_ref(
+                        config.call,
+                        call_data.label,
+                        &kset,
+                        &[results],
+                        &config.env,
+                        &config.tid,
+                        store,
+                        out,
+                    );
+                }
             }
             CallKind::Halt { value } => {
                 let vals = self.eval_ref(value, &config.env, store);
@@ -881,6 +1175,40 @@ mod tests {
             "m=2 covers the depth-2 chain: {:?}",
             r.metrics.halt_values
         );
+    }
+
+    #[test]
+    fn spawn_join_flows_thread_result() {
+        for bound in [0, 1, 2] {
+            let r = mcfa("(join (spawn 42))", bound);
+            assert!(r.metrics.status.is_complete());
+            assert!(
+                r.metrics.halt_values.contains("42"),
+                "m={bound}: {:?}",
+                r.metrics.halt_values
+            );
+            let r = poly("(join (spawn 42))", bound);
+            assert!(
+                r.metrics.halt_values.contains("42"),
+                "poly k={bound}: {:?}",
+                r.metrics.halt_values
+            );
+        }
+    }
+
+    #[test]
+    fn atom_writes_visible_after_join() {
+        let r = mcfa(
+            "(let ((c (atom 0))) (let ((t (spawn (reset! c 5)))) (join t) (deref c)))",
+            1,
+        );
+        assert!(
+            r.metrics.halt_values.contains("5"),
+            "{:?}",
+            r.metrics.halt_values
+        );
+        let r = mcfa("(let ((c (atom 0))) (cas! c 0 1))", 1);
+        assert!(r.metrics.halt_values.contains("bool⊤"));
     }
 
     /// Recursion terminates and every reached context respects the

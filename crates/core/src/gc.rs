@@ -52,6 +52,16 @@ pub fn reachable_addrs(
                         }
                     }
                 }
+                AVal::Tid { ret } | AVal::RetK { ret } => {
+                    if !seen.contains(ret) {
+                        work.push(ret.clone());
+                    }
+                }
+                AVal::Atom { cell } => {
+                    if !seen.contains(cell) {
+                        work.push(cell.clone());
+                    }
+                }
             }
         }
     }

@@ -165,7 +165,7 @@ impl BEnvK {
 /// A k-CFA abstract value.
 pub type ValK = AVal<BEnvK, AddrK>;
 
-/// A k-CFA configuration: the store-less state component `(call, β̂, t̂)`.
+/// A k-CFA configuration: the store-less state component `(call, β̂, t̂, θ̂)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct KConfig {
     /// Current call site.
@@ -174,6 +174,11 @@ pub struct KConfig {
     pub benv: BEnvK,
     /// Current abstract time.
     pub time: CallString,
+    /// The abstract thread id: the bounded string of spawn-site labels
+    /// that created this thread (empty for the main thread). This is the
+    /// bounded-thread-pool component: at most `max(k,1)` spawn sites are
+    /// remembered, so the abstract thread pool is finite.
+    pub tid: CallString,
 }
 
 /// The k-CFA abstract machine (drives the generic engine).
@@ -225,6 +230,22 @@ impl<'p> KCfaMachine<'p> {
         time.push(label, self.k)
     }
 
+    /// Bound on the abstract thread-id string. At least 1 even for
+    /// k = 0, so spawned threads stay distinct from the main thread.
+    pub(crate) fn tid_bound(&self) -> usize {
+        self.k.max(1)
+    }
+
+    /// The abstract result address of the thread spawned at `label` by
+    /// thread `child_tid` (the *child's* id: spawn site pushed onto the
+    /// parent's id).
+    fn thread_ret_addr(label: cfa_syntax::cps::Label, child_tid: &CallString) -> AddrK {
+        AddrK {
+            slot: Slot::ThreadRet(label),
+            time: child_tid.clone(),
+        }
+    }
+
     /// `Ê(e, β̂, σ̂)` — evaluate an atom to a flow of interned value ids,
     /// split against the configuration's baseline ([`DeltaFlow`]).
     ///
@@ -272,17 +293,35 @@ impl<'p> KCfaMachine<'p> {
     /// all produced before, so `new f × all args ∪ old f × new args`
     /// covers every pair the full product would. Argument flows are
     /// joined id-to-id ([`TrackedStore::join_flow`]).
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &mut self,
         site: CallId,
         fset: &DeltaFlow,
         args: &[DeltaFlow],
         t_new: &CallString,
+        tid: &CallString,
         store: &mut TrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
         let flows = self.operator_flows.entry(site).or_default();
         for fid in fset.all.iter() {
+            if let AVal::RetK { ret } = store.val(fid) {
+                // A thread-return continuation: the abstract thread
+                // halts here, delivering its result into the thread's
+                // result address (no successor configuration). The
+                // dependency tracker wakes any `%join` reading `ret`.
+                let ret = ret.clone();
+                if let [a] = args {
+                    if fset.is_new(fid) {
+                        store.join_flow(&ret, &a.all);
+                    } else if a.has_new() {
+                        store.join_flow(&ret, &a.new);
+                        store.note_delta_apply();
+                    }
+                }
+                continue;
+            }
             let lam = match store.val(fid) {
                 AVal::Clo { lam, .. } => *lam,
                 _ => {
@@ -338,6 +377,7 @@ impl<'p> KCfaMachine<'p> {
                 call: lam_data.body,
                 benv: extended,
                 time: t_new.clone(),
+                tid: tid.clone(),
             });
         }
     }
@@ -353,6 +393,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
             call: self.program.entry(),
             benv: BEnvK::empty(),
             time: CallString::empty(),
+            tid: CallString::empty(),
         }
     }
 
@@ -371,7 +412,15 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                     .map(|a| self.eval(a, &config.benv, store))
                     .collect();
                 let t_new = self.tick(call_data.label, &config.time);
-                self.apply(config.call, &fset, &arg_sets, &t_new, store, out);
+                self.apply(
+                    config.call,
+                    &fset,
+                    &arg_sets,
+                    &t_new,
+                    &config.tid,
+                    store,
+                    out,
+                );
             }
             CallKind::If {
                 cond,
@@ -466,6 +515,82 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                             }
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        let cell = AddrK {
+                            slot: Slot::Atom(call_data.label),
+                            time: t_new.clone(),
+                        };
+                        if let Some(vals) = arg_sets.first() {
+                            if first || vals.has_new() {
+                                store.join_flow(&cell, if first { &vals.all } else { &vals.new });
+                            }
+                        }
+                        let aid = store.intern(AVal::Atom { cell });
+                        result_ids.push(aid);
+                        if first {
+                            result_new_ids.push(aid);
+                        }
+                    }
+                    PrimSpec::ReadAtom => {
+                        if let Some(vals) = arg_sets.first() {
+                            for vid in vals.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                let cell = store.read_with_delta(&addr);
+                                result_ids.extend(cell.all.iter());
+                                if vals.is_new(vid) {
+                                    result_new_ids.extend(cell.all.iter());
+                                } else {
+                                    result_new_ids.extend(cell.new.iter());
+                                }
+                            }
+                        }
+                    }
+                    PrimSpec::WriteAtom => {
+                        // (reset! a v): the abstract store is monotone,
+                        // so the overwrite is a join into every cell
+                        // reaching `a`; the result is `v` itself.
+                        if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(1)) {
+                            for vid in atoms.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                if atoms.is_new(vid) {
+                                    store.join_flow(&addr, &vals.all);
+                                } else if vals.has_new() {
+                                    store.join_flow(&addr, &vals.new);
+                                }
+                            }
+                            result_ids.extend(vals.all.iter());
+                            result_new_ids.extend(vals.new.iter());
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        // (cas! a expected new): the swap may or may not
+                        // happen abstractly — join the replacement into
+                        // the cell and produce bool⊤.
+                        if let (Some(atoms), Some(news)) = (arg_sets.first(), arg_sets.get(2)) {
+                            for vid in atoms.all.iter() {
+                                let addr = match store.val(vid) {
+                                    AVal::Atom { cell } => cell.clone(),
+                                    _ => continue,
+                                };
+                                if atoms.is_new(vid) {
+                                    store.join_flow(&addr, &news.all);
+                                } else if news.has_new() {
+                                    store.join_flow(&addr, &news.new);
+                                }
+                            }
+                        }
+                        let bid = store.intern(AVal::Basic(AbsBasic::AnyBool));
+                        result_ids.push(bid);
+                        if first {
+                            result_new_ids.push(bid);
+                        }
+                    }
                 }
                 if !result_ids.is_empty() {
                     let results = DeltaFlow {
@@ -476,7 +601,15 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                     // have had none, so the continuations were never
                     // applied — run them in full.
                     let kset = kset.upgraded_if_all_new(&results);
-                    self.apply(config.call, &kset, &[results], &t_new, store, out);
+                    self.apply(
+                        config.call,
+                        &kset,
+                        &[results],
+                        &t_new,
+                        &config.tid,
+                        store,
+                        out,
+                    );
                 }
             }
             CallKind::Fix { bindings, body } => {
@@ -514,7 +647,74 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
                     call: *body,
                     benv: extended,
                     time: t_new,
+                    tid: config.tid.clone(),
                 });
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let tset = self.eval(thunk, &config.benv, store);
+                let kset = self.eval(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let child_tid = config.tid.push(call_data.label, self.tid_bound());
+                let ret = Self::thread_ret_addr(call_data.label, &child_tid);
+                let first = store.first_visit();
+                // Child: every thunk closure starts a new abstract
+                // thread whose continuation is the thread-return
+                // continuation for `ret`; its successors carry the
+                // child's thread id.
+                let retk_id = store.intern(AVal::RetK { ret: ret.clone() });
+                let retk = DeltaFlow::constructed(Flow::singleton(retk_id), first);
+                self.apply(config.call, &tset, &[retk], &t_new, &child_tid, store, out);
+                // Parent: continues immediately with the thread handle.
+                let tid_id = store.intern(AVal::Tid { ret });
+                let handle = DeltaFlow::constructed(Flow::singleton(tid_id), first);
+                self.apply(
+                    config.call,
+                    &kset,
+                    &[handle],
+                    &t_new,
+                    &config.tid,
+                    store,
+                    out,
+                );
+            }
+            CallKind::Join { target, cont } => {
+                let tset = self.eval(target, &config.benv, store);
+                let kset = self.eval(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let mut result_ids: Vec<u32> = Vec::new();
+                let mut result_new_ids: Vec<u32> = Vec::new();
+                for vid in tset.all.iter() {
+                    let ret = match store.val(vid) {
+                        AVal::Tid { ret } => ret.clone(),
+                        _ => continue,
+                    };
+                    // Reading `ret` registers a dependency: if the
+                    // child has produced nothing yet, this config is
+                    // re-woken when it does — blocking for free.
+                    let cell = store.read_with_delta(&ret);
+                    result_ids.extend(cell.all.iter());
+                    if tset.is_new(vid) {
+                        result_new_ids.extend(cell.all.iter());
+                    } else {
+                        result_new_ids.extend(cell.new.iter());
+                    }
+                }
+                if !result_ids.is_empty() {
+                    let results = DeltaFlow {
+                        all: Flow::from_ids(result_ids),
+                        new: Flow::from_ids(result_new_ids),
+                    };
+                    let kset = kset.upgraded_if_all_new(&results);
+                    self.apply(
+                        config.call,
+                        &kset,
+                        &[results],
+                        &t_new,
+                        &config.tid,
+                        store,
+                        out,
+                    );
+                }
             }
             CallKind::Halt { value } => {
                 // Only the growth is new to the accumulator; the rest
@@ -551,8 +751,9 @@ impl<'p> crate::parallel::ParallelMachine for KCfaMachine<'p> {
 // ---------------------------------------------------------------------
 
 impl<'p> KCfaMachine<'p> {
-    /// The original value-level `Ê`, kept for [`ReferenceMachine`].
-    fn eval_ref(
+    /// The original value-level `Ê`, kept for [`ReferenceMachine`] and
+    /// reused by the race detector's post-fixpoint fact extraction.
+    pub(crate) fn eval_ref(
         &self,
         e: &AExp,
         benv: &BEnvK,
@@ -576,17 +777,27 @@ impl<'p> KCfaMachine<'p> {
     }
 
     /// The original value-level apply, kept for [`ReferenceMachine`].
+    #[allow(clippy::too_many_arguments)]
     fn apply_ref(
         &mut self,
         site: CallId,
         fset: &FlowSet<ValK>,
         args: &[FlowSet<ValK>],
         t_new: &CallString,
+        tid: &CallString,
         store: &mut RefTrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
         let flows = self.operator_flows.entry(site).or_default();
         for f in fset {
+            if let AVal::RetK { ret } = f {
+                // Thread-return continuation: deliver the result, no
+                // successor (the abstract thread halts).
+                if let [a] = args {
+                    store.join(ret.clone(), a.iter().cloned());
+                }
+                continue;
+            }
             let AVal::Clo { lam, env } = f else {
                 flows.1 = true;
                 continue;
@@ -618,6 +829,7 @@ impl<'p> KCfaMachine<'p> {
                 call: lam_data.body,
                 benv: extended,
                 time: t_new.clone(),
+                tid: tid.clone(),
             });
         }
     }
@@ -647,7 +859,15 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
                     .map(|a| self.eval_ref(a, &config.benv, store))
                     .collect();
                 let t_new = self.tick(call_data.label, &config.time);
-                self.apply_ref(config.call, &fset, &arg_sets, &t_new, store, out);
+                self.apply_ref(
+                    config.call,
+                    &fset,
+                    &arg_sets,
+                    &t_new,
+                    &config.tid,
+                    store,
+                    out,
+                );
             }
             CallKind::If {
                 cond,
@@ -709,9 +929,56 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
                             }
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        let cell = AddrK {
+                            slot: Slot::Atom(call_data.label),
+                            time: t_new.clone(),
+                        };
+                        if let Some(vals) = arg_sets.first() {
+                            store.join(cell.clone(), vals.iter().cloned());
+                        }
+                        results.insert(AVal::Atom { cell });
+                    }
+                    PrimSpec::ReadAtom => {
+                        if let Some(vals) = arg_sets.first() {
+                            for v in vals {
+                                if let AVal::Atom { cell } = v {
+                                    results.extend(store.read(&cell.clone()));
+                                }
+                            }
+                        }
+                    }
+                    PrimSpec::WriteAtom => {
+                        if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(1)) {
+                            for v in atoms {
+                                if let AVal::Atom { cell } = v {
+                                    store.join(cell.clone(), vals.iter().cloned());
+                                }
+                            }
+                            results.extend(vals.iter().cloned());
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        if let (Some(atoms), Some(news)) = (arg_sets.first(), arg_sets.get(2)) {
+                            for v in atoms {
+                                if let AVal::Atom { cell } = v {
+                                    store.join(cell.clone(), news.iter().cloned());
+                                }
+                            }
+                        }
+                        results.insert(AVal::Basic(AbsBasic::AnyBool));
+                    }
                 }
                 if !results.is_empty() {
-                    self.apply_ref(config.call, &kset, &[results], &t_new, store, out);
+                    self.apply_ref(
+                        config.call,
+                        &kset,
+                        &[results],
+                        &t_new,
+                        &config.tid,
+                        store,
+                        out,
+                    );
                 }
             }
             CallKind::Fix { bindings, body } => {
@@ -743,7 +1010,50 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
                     call: *body,
                     benv: extended,
                     time: t_new,
+                    tid: config.tid.clone(),
                 });
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let tset = self.eval_ref(thunk, &config.benv, store);
+                let kset = self.eval_ref(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let child_tid = config.tid.push(call_data.label, self.tid_bound());
+                let ret = Self::thread_ret_addr(call_data.label, &child_tid);
+                let retk: FlowSet<ValK> =
+                    std::iter::once(AVal::RetK { ret: ret.clone() }).collect();
+                self.apply_ref(config.call, &tset, &[retk], &t_new, &child_tid, store, out);
+                let handle: FlowSet<ValK> = std::iter::once(AVal::Tid { ret }).collect();
+                self.apply_ref(
+                    config.call,
+                    &kset,
+                    &[handle],
+                    &t_new,
+                    &config.tid,
+                    store,
+                    out,
+                );
+            }
+            CallKind::Join { target, cont } => {
+                let tset = self.eval_ref(target, &config.benv, store);
+                let kset = self.eval_ref(cont, &config.benv, store);
+                let t_new = self.tick(call_data.label, &config.time);
+                let mut results: FlowSet<ValK> = FlowSet::new();
+                for v in &tset {
+                    if let AVal::Tid { ret } = v {
+                        results.extend(store.read(&ret.clone()));
+                    }
+                }
+                if !results.is_empty() {
+                    self.apply_ref(
+                        config.call,
+                        &kset,
+                        &[results],
+                        &t_new,
+                        &config.tid,
+                        store,
+                        out,
+                    );
+                }
             }
             CallKind::Halt { value } => {
                 let vals = self.eval_ref(value, &config.benv, store);
@@ -790,6 +1100,9 @@ pub fn render_val<E, A>(program: &CpsProgram, v: &AVal<E, A>) -> String {
         AVal::Basic(b) => b.to_string(),
         AVal::Clo { lam, .. } => format!("#<proc:{:?}>", program.lam(*lam).label),
         AVal::Pair { .. } => "#<pair>".to_owned(),
+        AVal::Tid { .. } => "#<thread>".to_owned(),
+        AVal::RetK { .. } => "#<thread-return>".to_owned(),
+        AVal::Atom { .. } => "#<atom>".to_owned(),
     }
 }
 
@@ -1037,6 +1350,55 @@ mod tests {
         let r = analyze("(error 'boom)", 0);
         assert!(r.metrics.halt_values.is_empty());
         assert!(r.metrics.status.is_complete());
+    }
+
+    #[test]
+    fn spawn_join_flows_thread_result() {
+        for k in [0, 1, 2] {
+            let r = analyze("(join (spawn 42))", k);
+            assert!(r.metrics.status.is_complete());
+            assert!(
+                r.metrics.halt_values.contains("42"),
+                "k={k}: {:?}",
+                r.metrics.halt_values
+            );
+        }
+    }
+
+    #[test]
+    fn atom_cells_accumulate_writes() {
+        let r = analyze("(let ((c (atom 1))) (deref c))", 1);
+        assert!(r.metrics.halt_values.contains("1"));
+        let r = analyze(
+            "(let ((c (atom 0))) (let ((t (spawn (reset! c 5)))) (join t) (deref c)))",
+            1,
+        );
+        // The abstract cell holds both the initial value and the write.
+        assert!(
+            r.metrics.halt_values.contains("5"),
+            "{:?}",
+            r.metrics.halt_values
+        );
+        assert!(r.metrics.halt_values.contains("0"));
+    }
+
+    #[test]
+    fn cas_widens_to_any_bool() {
+        let r = analyze("(let ((c (atom 0))) (cas! c 0 1))", 0);
+        assert!(
+            r.metrics.halt_values.contains("bool⊤"),
+            "{:?}",
+            r.metrics.halt_values
+        );
+    }
+
+    #[test]
+    fn spawned_threads_get_distinct_tids_even_at_k0() {
+        let p = cfa_syntax::compile("(join (spawn 7))").unwrap();
+        let r = analyze_kcfa(&p, 0, EngineLimits::default());
+        let tids: std::collections::BTreeSet<CallString> =
+            r.fixpoint.configs.iter().map(|c| c.tid.clone()).collect();
+        assert!(tids.len() >= 2, "main + child expected: {tids:?}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod kcfa;
 pub mod naive;
 pub mod parallel;
 pub mod prim;
+pub mod races;
 pub mod reference;
 pub mod report;
 pub mod results;
@@ -61,6 +62,7 @@ pub use parallel::{
     run_fixpoint_parallel, run_fixpoint_parallel_on, run_fixpoint_parallel_with, ParallelMachine,
     Replicated, Sharded, StoreBackend,
 };
+pub use races::{races_kcfa, races_mcfa, races_poly_kcfa, Race, RaceKind, RaceReport};
 pub use results::Metrics;
 pub use shardstore::{run_fixpoint_sharded, run_fixpoint_sharded_with};
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};

@@ -349,6 +349,57 @@ fn successors(
                         }
                     }
                 }
+                PrimSpec::AllocAtom => {
+                    let cell = AddrK {
+                        slot: Slot::Atom(call_data.label),
+                        time: t_new.clone(),
+                    };
+                    let mut entries = Vec::new();
+                    if let Some(vals) = arg_sets.first() {
+                        entries.push((cell.clone(), vals.clone()));
+                    }
+                    (store, counts) = join(&store, &counts, counting, entries);
+                    results.insert(AVal::Atom { cell });
+                }
+                PrimSpec::ReadAtom => {
+                    if let Some(vals) = arg_sets.first() {
+                        for v in vals {
+                            if let AVal::Atom { cell } = v {
+                                results.extend(read(&store, cell));
+                            }
+                        }
+                    }
+                }
+                PrimSpec::WriteAtom => {
+                    // Monotone store: a write joins into every possible
+                    // cell; the expression's value is the new contents.
+                    if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(1)) {
+                        let entries: Vec<(AddrK, FlowSet<ValK>)> = atoms
+                            .iter()
+                            .filter_map(|v| match v {
+                                AVal::Atom { cell } => Some((cell.clone(), vals.clone())),
+                                _ => None,
+                            })
+                            .collect();
+                        (store, counts) = join(&store, &counts, counting, entries);
+                        results.extend(vals.iter().cloned());
+                    }
+                }
+                PrimSpec::CasAtom => {
+                    // cas! may or may not succeed abstractly: join the
+                    // replacement into the cell, answer boolean ⊤.
+                    if let (Some(atoms), Some(vals)) = (arg_sets.first(), arg_sets.get(2)) {
+                        let entries: Vec<(AddrK, FlowSet<ValK>)> = atoms
+                            .iter()
+                            .filter_map(|v| match v {
+                                AVal::Atom { cell } => Some((cell.clone(), vals.clone())),
+                                _ => None,
+                            })
+                            .collect();
+                        (store, counts) = join(&store, &counts, counting, entries);
+                        results.insert(AVal::Basic(AbsBasic::AnyBool));
+                    }
+                }
             }
             if !results.is_empty() {
                 apply(
@@ -400,6 +451,72 @@ fn successors(
                 time: t_new,
                 counts: next_counts,
             });
+        }
+        // Thread forms. The naive search gives every state its own
+        // store, so writes made on the child branch can never reach the
+        // parent branch: `spawn` forks two independent branches (one
+        // entering the thunk with a thread-return continuation, one
+        // continuing the parent with the handle), and a parent-side
+        // `join` only sees thread results that were recorded in *its
+        // own* store — i.e. none. Both thread bodies still get
+        // analyzed, but cross-thread value flow is not modeled here.
+        // Concurrent programs should be analyzed on the shared-store
+        // engine (§3.7 and `crate::kcfa`/`crate::flatcfa`), which the
+        // race detector builds on; this machine remains the sequential
+        // §3.6 reference.
+        CallKind::Spawn { thunk, cont } => {
+            let tset = eval(program, thunk, &state.benv, &state.store);
+            let kset = eval(program, cont, &state.benv, &state.store);
+            let t_new = state.time.push(call_data.label, k);
+            let ret = AddrK {
+                slot: Slot::ThreadRet(call_data.label),
+                time: t_new.clone(),
+            };
+            // Child branch: enter the thunk; its continuation is the
+            // thread-return continuation for `ret`.
+            let retk: FlowSet<ValK> = std::iter::once(AVal::RetK { ret: ret.clone() }).collect();
+            apply(
+                &tset,
+                &[retk],
+                &t_new,
+                &state.store,
+                &state.counts,
+                evidence,
+                &mut out,
+            );
+            // Parent branch: continue with the thread handle.
+            let handle: FlowSet<ValK> = std::iter::once(AVal::Tid { ret }).collect();
+            apply(
+                &kset,
+                &[handle],
+                &t_new,
+                &state.store,
+                &state.counts,
+                evidence,
+                &mut out,
+            );
+        }
+        CallKind::Join { target, cont } => {
+            let tset = eval(program, target, &state.benv, &state.store);
+            let kset = eval(program, cont, &state.benv, &state.store);
+            let t_new = state.time.push(call_data.label, k);
+            let mut results: FlowSet<ValK> = FlowSet::new();
+            for v in &tset {
+                if let AVal::Tid { ret } = v {
+                    results.extend(read(&state.store, ret));
+                }
+            }
+            if !results.is_empty() {
+                apply(
+                    &kset,
+                    &[results],
+                    &t_new,
+                    &state.store,
+                    &state.counts,
+                    evidence,
+                    &mut out,
+                );
+            }
         }
         CallKind::Halt { value } => {
             halts.extend(eval(program, value, &state.benv, &state.store));

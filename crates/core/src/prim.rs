@@ -22,6 +22,16 @@ pub enum PrimSpec {
     Abort,
     /// Produces exactly these abstract constants.
     Basics(&'static [AbsBasic]),
+    /// Allocates an atomic reference cell (`atom`).
+    AllocAtom,
+    /// Reads an atomic reference cell (`deref`).
+    ReadAtom,
+    /// Unconditionally overwrites an atomic reference cell (`reset!`) —
+    /// the unsynchronized write the race detector looks for.
+    WriteAtom,
+    /// Compare-and-swap on an atomic reference cell (`cas!`): abstractly
+    /// both a read and a (synchronized) write.
+    CasAtom,
 }
 
 /// Returns the abstract behavior of `op`.
@@ -35,6 +45,10 @@ pub fn classify(op: PrimOp) -> PrimSpec {
         Car => PrimSpec::ReadCar,
         Cdr => PrimSpec::ReadCdr,
         Error => PrimSpec::Abort,
+        AtomNew => PrimSpec::AllocAtom,
+        AtomRead => PrimSpec::ReadAtom,
+        AtomSet => PrimSpec::WriteAtom,
+        AtomCas => PrimSpec::CasAtom,
         Add | Sub | Mul | Div | Rem => PrimSpec::Basics(ANY_INT),
         NumEq | Lt | Le | Gt | Ge | Eq | IsPair | IsNull | IsZero | IsNumber | IsBool
         | IsProcedure | IsSymbol | IsString | Not => PrimSpec::Basics(ANY_BOOL),

@@ -1,0 +1,963 @@
+//! A static race detector for concurrent higher-order programs — the
+//! client analysis built on the abstract-thread domain.
+//!
+//! After one of the thread-aware analyses ([`crate::kcfa`] or
+//! [`crate::flatcfa`]) reaches its fixpoint, this module re-examines the
+//! saturated configuration graph and reports pairs of atom-cell accesses
+//! that **may happen in parallel** without ordering:
+//!
+//! 1. **Thread graph.** Every reached configuration becomes a node,
+//!    tagged with its abstract thread id. Successor edges are recovered
+//!    by re-stepping each configuration with the value-level
+//!    [`ReferenceMachine`] against the final store (at saturation this
+//!    reproduces exactly the engine's edges; the differential suite
+//!    checks that equivalence). Spawn nodes record the child thread they
+//!    create; join nodes record the thread they *must* wait for (when
+//!    the handle flow is a singleton thread id); primitive calls on
+//!    atoms record `(cell, access-kind)` facts.
+//! 2. **Must-joined dataflow.** A forward analysis computes, for every
+//!    node, the set of threads that have certainly completed on *all*
+//!    paths reaching it (gen at singleton joins, kill at re-spawns,
+//!    intersection at merges). Spawn edges propagate into the child, so
+//!    a child inherits the orderings its parent established — this is
+//!    what orders sequential `spawn`/`join` sibling chains.
+//! 3. **Spawn ordering.** An access `a` is ordered before every action
+//!    of thread `U` if, for each spawn site `s` of `U`, `a` can only
+//!    execute before `s` fires (`a →* s` and not `s →* a` in the
+//!    graph). This orders main-thread initialization against later
+//!    workers.
+//! 4. **Pair enumeration.** Two accesses to the same abstract cell from
+//!    different abstract threads race if at least one writes, they are
+//!    not both `cas!` (compare-and-swap is the synchronized update), and
+//!    neither ordering argument applies.
+//!
+//! The detector is *sound relative to the fixpoint*: with a completed
+//! run, every concrete race on an atom cell is covered by a reported
+//! abstract pair. Two deliberate caveats, both documented here because
+//! they bound that claim:
+//!
+//! - **Same-thread pairs are not reported.** One abstract thread id can
+//!   stand for several concrete threads when a spawn site re-executes
+//!   (a loop spawning workers); conflicts *within* such a family are
+//!   invisible at this abstraction. Raising `k`/`m` splits the family.
+//! - **The `atom` initialization write is ignored.** The cell is not
+//!   shared before the allocating primitive returns it.
+//!
+//! The report renders as stable, sorted text or JSON (no external
+//! serializer), and each race carries a concrete ordering/fence
+//! suggestion: which thread to `join`, or which `reset!` to turn into a
+//! `cas!`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cfa_concrete::base::Slot;
+use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, Label};
+
+use crate::domain::{AVal, CallString};
+use crate::engine::FixpointResult;
+use crate::flatcfa::{AddrM, FlatCfaMachine, FlatPolicy, MConfig, ValM};
+use crate::kcfa::{AddrK, KCfaMachine, KConfig, ValK};
+use crate::prim::{classify, PrimSpec};
+use crate::reference::{RefStore, RefTrackedStore, ReferenceMachine};
+
+/// How a primitive touches an atom cell.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum AccessKind {
+    /// `deref` — a plain read.
+    Read,
+    /// `reset!` — an unsynchronized write.
+    Write,
+    /// `cas!` — a synchronized (compare-and-swap) write.
+    Cas,
+}
+
+impl AccessKind {
+    /// The source-level primitive name.
+    fn op(self) -> &'static str {
+        match self {
+            AccessKind::Read => "deref",
+            AccessKind::Write => "reset!",
+            AccessKind::Cas => "cas!",
+        }
+    }
+
+    /// Whether the access mutates the cell.
+    fn writes(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Cas)
+    }
+}
+
+/// A machine-independent name for an abstract atom cell: allocation
+/// site × allocation context. Both machines' cell addresses project
+/// onto this shape (`AddrK.time` and `AddrM.env` are both call
+/// strings), which is what lets one analysis pass serve both.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct CellKey {
+    label: Label,
+    ctx: CallString,
+}
+
+/// What a thread-graph node does, as far as the detector cares.
+enum NodeKind {
+    /// Spawns the thread with id `child`.
+    Spawn { child: CallString },
+    /// Joins; `must` is the joined thread when the handle flow proves a
+    /// unique target (the only case that establishes ordering).
+    Join { must: Option<CallString> },
+    /// Touches atom cells.
+    Access(Vec<(CellKey, AccessKind)>),
+    /// Anything else.
+    Other,
+}
+
+/// One saturated configuration, with the facts extracted from it.
+struct Node {
+    tid: CallString,
+    site: Label,
+    kind: NodeKind,
+}
+
+/// The machine-independent view of the saturated configuration graph.
+struct ThreadGraph {
+    nodes: Vec<Node>,
+    succs: Vec<Vec<usize>>,
+    tids: BTreeSet<CallString>,
+    entry: usize,
+}
+
+/// What the detector needs from a machine beyond [`ReferenceMachine`]:
+/// access to thread ids, the value-level evaluator, and the projections
+/// from machine values/addresses onto the machine-independent facts.
+trait ThreadedMachine: ReferenceMachine {
+    /// The abstract thread id of a configuration.
+    fn tid(config: &Self::Config) -> &CallString;
+    /// The call site a configuration is about to execute.
+    fn call(config: &Self::Config) -> CallId;
+    /// The spawn-string bound (abstract thread-pool size).
+    fn spawn_bound(&self) -> usize;
+    /// Value-level atomic-expression evaluation in `config`'s environment.
+    fn eval(
+        &self,
+        e: &AExp,
+        config: &Self::Config,
+        store: &mut RefTrackedStore<'_, Self::Addr, Self::Val>,
+    ) -> BTreeSet<Self::Val>;
+    /// Splits an address into its slot and context components.
+    fn addr_parts(addr: &Self::Addr) -> (&Slot, &CallString);
+    /// Projects a thread handle to its result address, if `v` is one.
+    fn as_tid(v: &Self::Val) -> Option<&Self::Addr>;
+    /// Projects an atom value to its cell address, if `v` is one.
+    fn as_atom(v: &Self::Val) -> Option<&Self::Addr>;
+}
+
+impl ThreadedMachine for KCfaMachine<'_> {
+    fn tid(config: &KConfig) -> &CallString {
+        &config.tid
+    }
+
+    fn call(config: &KConfig) -> CallId {
+        config.call
+    }
+
+    fn spawn_bound(&self) -> usize {
+        self.tid_bound()
+    }
+
+    fn eval(
+        &self,
+        e: &AExp,
+        config: &KConfig,
+        store: &mut RefTrackedStore<'_, AddrK, ValK>,
+    ) -> BTreeSet<ValK> {
+        self.eval_ref(e, &config.benv, store)
+    }
+
+    fn addr_parts(addr: &AddrK) -> (&Slot, &CallString) {
+        (&addr.slot, &addr.time)
+    }
+
+    fn as_tid(v: &ValK) -> Option<&AddrK> {
+        match v {
+            AVal::Tid { ret } => Some(ret),
+            _ => None,
+        }
+    }
+
+    fn as_atom(v: &ValK) -> Option<&AddrK> {
+        match v {
+            AVal::Atom { cell } => Some(cell),
+            _ => None,
+        }
+    }
+}
+
+impl ThreadedMachine for FlatCfaMachine<'_> {
+    fn tid(config: &MConfig) -> &CallString {
+        &config.tid
+    }
+
+    fn call(config: &MConfig) -> CallId {
+        config.call
+    }
+
+    fn spawn_bound(&self) -> usize {
+        self.tid_bound()
+    }
+
+    fn eval(
+        &self,
+        e: &AExp,
+        config: &MConfig,
+        store: &mut RefTrackedStore<'_, AddrM, ValM>,
+    ) -> BTreeSet<ValM> {
+        self.eval_ref(e, &config.env, store)
+    }
+
+    fn addr_parts(addr: &AddrM) -> (&Slot, &CallString) {
+        (&addr.slot, &addr.env)
+    }
+
+    fn as_tid(v: &ValM) -> Option<&AddrM> {
+        match v {
+            AVal::Tid { ret } => Some(ret),
+            _ => None,
+        }
+    }
+
+    fn as_atom(v: &ValM) -> Option<&AddrM> {
+        match v {
+            AVal::Atom { cell } => Some(cell),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the thread graph by re-stepping every saturated configuration
+/// against the final store.
+///
+/// At a completed fixpoint every reference-step successor is itself a
+/// saturated configuration; if the run was cut short by limits, unknown
+/// successors are dropped and the graph (like the analysis itself)
+/// under-approximates that frontier.
+fn build_graph<M: ThreadedMachine>(
+    machine: &mut M,
+    program: &CpsProgram,
+    configs: &[M::Config],
+    store: &mut RefStore<M::Addr, M::Val>,
+) -> ThreadGraph {
+    let index: HashMap<&M::Config, usize> =
+        configs.iter().enumerate().map(|(i, c)| (c, i)).collect();
+    let entry = index.get(&machine.initial()).copied().unwrap_or(0);
+    let mut nodes = Vec::with_capacity(configs.len());
+    let mut succs = Vec::with_capacity(configs.len());
+    let mut tids = BTreeSet::new();
+    for config in configs {
+        let tid = M::tid(config).clone();
+        tids.insert(tid.clone());
+        let mut out = Vec::new();
+        {
+            let mut tracked = RefTrackedStore::wrap(store);
+            machine.step(config, &mut tracked, &mut out);
+        }
+        let mut edges = BTreeSet::new();
+        for succ in &out {
+            if let Some(&j) = index.get(succ) {
+                edges.insert(j);
+            }
+        }
+        succs.push(edges.into_iter().collect());
+
+        let call = program.call(M::call(config));
+        let kind = match &call.kind {
+            CallKind::Spawn { .. } => NodeKind::Spawn {
+                child: tid.push(call.label, machine.spawn_bound()),
+            },
+            CallKind::Join { target, .. } => {
+                let mut tracked = RefTrackedStore::wrap(store);
+                let handles = machine.eval(target, config, &mut tracked);
+                let mut targets = BTreeSet::new();
+                let mut only_tids = !handles.is_empty();
+                for v in &handles {
+                    match M::as_tid(v) {
+                        Some(ret) => {
+                            let (slot, ctx) = M::addr_parts(ret);
+                            if matches!(slot, Slot::ThreadRet(_)) {
+                                targets.insert(ctx.clone());
+                            } else {
+                                only_tids = false;
+                            }
+                        }
+                        None => only_tids = false,
+                    }
+                }
+                let must = if only_tids && targets.len() == 1 {
+                    targets.iter().next().cloned()
+                } else {
+                    None
+                };
+                NodeKind::Join { must }
+            }
+            CallKind::PrimCall { op, args, .. } => {
+                let access = match classify(*op) {
+                    PrimSpec::ReadAtom => Some(AccessKind::Read),
+                    PrimSpec::WriteAtom => Some(AccessKind::Write),
+                    PrimSpec::CasAtom => Some(AccessKind::Cas),
+                    _ => None,
+                };
+                match (access, args.first()) {
+                    (Some(kind), Some(target)) => {
+                        let mut tracked = RefTrackedStore::wrap(store);
+                        let cells: Vec<(CellKey, AccessKind)> = machine
+                            .eval(target, config, &mut tracked)
+                            .iter()
+                            .filter_map(M::as_atom)
+                            .filter_map(|cell| {
+                                let (slot, ctx) = M::addr_parts(cell);
+                                match slot {
+                                    Slot::Atom(label) => Some((
+                                        CellKey {
+                                            label: *label,
+                                            ctx: ctx.clone(),
+                                        },
+                                        kind,
+                                    )),
+                                    _ => None,
+                                }
+                            })
+                            .collect();
+                        if cells.is_empty() {
+                            NodeKind::Other
+                        } else {
+                            NodeKind::Access(cells)
+                        }
+                    }
+                    _ => NodeKind::Other,
+                }
+            }
+            _ => NodeKind::Other,
+        };
+        nodes.push(Node {
+            tid,
+            site: call.label,
+            kind,
+        });
+    }
+    ThreadGraph {
+        nodes,
+        succs,
+        tids,
+        entry,
+    }
+}
+
+/// Forward must-analysis: for each node, the threads certainly joined on
+/// every path from the entry. Optimistic initialization (unvisited = ⊤),
+/// intersection at merges; a spawn kills its child (a re-spawn
+/// invalidates the old completion), a singleton-target join generates.
+/// Nodes unreachable from the entry keep ∅ — no ordering claims there.
+fn must_joined(graph: &ThreadGraph) -> Vec<BTreeSet<CallString>> {
+    let n = graph.nodes.len();
+    let mut inv: Vec<Option<BTreeSet<CallString>>> = vec![None; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    inv[graph.entry] = Some(BTreeSet::new());
+    let mut work = vec![graph.entry];
+    while let Some(i) = work.pop() {
+        let mut out = inv[i].clone().expect("worklist nodes are initialized");
+        match &graph.nodes[i].kind {
+            NodeKind::Spawn { child } => {
+                out.remove(child);
+            }
+            NodeKind::Join { must: Some(u) } => {
+                out.insert(u.clone());
+            }
+            _ => {}
+        }
+        for &j in &graph.succs[i] {
+            let changed = match &mut inv[j] {
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+                Some(cur) => {
+                    let before = cur.len();
+                    cur.retain(|t| out.contains(t));
+                    cur.len() != before
+                }
+            };
+            if changed {
+                work.push(j);
+            }
+        }
+    }
+    inv.into_iter().map(Option::unwrap_or_default).collect()
+}
+
+/// Nodes reachable from `start` (inclusive) along `edges`.
+fn reach(edges: &[Vec<usize>], start: usize) -> Vec<bool> {
+    let mut seen = vec![false; edges.len()];
+    seen[start] = true;
+    let mut work = vec![start];
+    while let Some(i) = work.pop() {
+        for &j in &edges[i] {
+            if !seen[j] {
+                seen[j] = true;
+                work.push(j);
+            }
+        }
+    }
+    seen
+}
+
+/// Renders a thread id (`main` for the empty spawn string).
+fn render_tid(tid: &CallString) -> String {
+    if tid.is_empty() {
+        "main".to_string()
+    } else {
+        tid.to_string()
+    }
+}
+
+/// Renders a cell by its allocation site, matching the store report's
+/// `atom@ℓ` convention. The allocation *context* is deliberately
+/// dropped: it is machine-specific (k-CFA stamps cells with times,
+/// m-CFA with flat environments), and collapsing it makes the reports
+/// of all three analyses comparable. Pair formation upstream still
+/// distinguishes contexts; same-site races from different contexts
+/// simply merge into one report entry.
+fn render_cell(label: Label) -> String {
+    format!("atom@{label}")
+}
+
+/// One side of a racing pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AccessDesc {
+    /// The abstract thread performing the access (`main` or a spawn
+    /// string like `⟨5⟩`).
+    pub thread: String,
+    /// The call-site label of the primitive.
+    pub site: Label,
+    /// The source-level primitive: `deref`, `reset!`, or `cas!`.
+    pub op: &'static str,
+}
+
+/// The conflict class of a race.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RaceKind {
+    /// A read overlapping a write.
+    ReadWrite,
+    /// Two overlapping writes.
+    WriteWrite,
+}
+
+impl RaceKind {
+    /// The stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RaceKind::ReadWrite => "read/write",
+            RaceKind::WriteWrite => "write/write",
+        }
+    }
+}
+
+/// One reported race: an unordered conflicting pair on one cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Race {
+    /// The abstract cell (allocation site and context).
+    pub cell: String,
+    /// Read/write or write/write.
+    pub kind: RaceKind,
+    /// Canonically first endpoint (sorted by thread, site, op).
+    pub first: AccessDesc,
+    /// Canonically second endpoint.
+    pub second: AccessDesc,
+    /// A concrete ordering/fence suggestion.
+    pub suggestion: String,
+}
+
+/// The race detector's full output for one analysis run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceReport {
+    /// The producing analysis (`k=1`, `m=1`, `poly k=1`).
+    pub analysis: String,
+    /// All abstract threads seen, sorted (`main` first).
+    pub threads: Vec<String>,
+    /// Number of atom-access facts examined.
+    pub accesses: usize,
+    /// The races, deduplicated and stably sorted.
+    pub races: Vec<Race>,
+}
+
+/// Builds the fix suggestion for a canonically ordered pair.
+fn suggestion(first: (&str, Label, AccessKind), second: (&str, Label, AccessKind)) -> String {
+    let (ft, fs, fk) = first;
+    let (st, ss, sk) = second;
+    match (fk, sk) {
+        // A plain write racing a cas!: upgrading the plain write
+        // restores the all-cas exemption.
+        (AccessKind::Write, AccessKind::Cas) => {
+            format!("make the reset! at ℓ{fs} a cas! so every update of the cell synchronizes")
+        }
+        (AccessKind::Cas, AccessKind::Write) => {
+            format!("make the reset! at ℓ{ss} a cas! so every update of the cell synchronizes")
+        }
+        (AccessKind::Write, AccessKind::Write) => {
+            format!("order threads {ft} and {st} with join, or perform both updates with cas!")
+        }
+        // Read racing some write: order the reader after the writer.
+        (AccessKind::Read, _) => {
+            format!("join thread {st} before the deref at ℓ{fs}, or fold the read into a cas!")
+        }
+        (_, AccessKind::Read) => {
+            format!("join thread {ft} before the deref at ℓ{ss}, or fold the read into a cas!")
+        }
+        // Both-cas pairs are exempt before this point.
+        (AccessKind::Cas, AccessKind::Cas) => unreachable!("cas/cas pairs are not races"),
+    }
+}
+
+/// Runs steps 2–4 over a finished thread graph.
+fn analyze_graph(graph: &ThreadGraph, analysis: &str) -> RaceReport {
+    let n = graph.nodes.len();
+    let must_in = must_joined(graph);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ss) in graph.succs.iter().enumerate() {
+        for &j in ss {
+            preds[j].push(i);
+        }
+    }
+    let mut spawn_sites: BTreeMap<&CallString, Vec<usize>> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let NodeKind::Spawn { child } = &node.kind {
+            spawn_sites.entry(child).or_default().push(i);
+        }
+    }
+    let mut fwd: HashMap<usize, Vec<bool>> = HashMap::new();
+    let mut bwd: HashMap<usize, Vec<bool>> = HashMap::new();
+    for sites in spawn_sites.values() {
+        for &s in sites {
+            fwd.entry(s).or_insert_with(|| reach(&graph.succs, s));
+            bwd.entry(s).or_insert_with(|| reach(&preds, s));
+        }
+    }
+
+    struct Acc<'g> {
+        node: usize,
+        tid: &'g CallString,
+        site: Label,
+        cell: &'g CellKey,
+        kind: AccessKind,
+    }
+    let mut accesses = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let NodeKind::Access(cells) = &node.kind {
+            for (cell, kind) in cells {
+                accesses.push(Acc {
+                    node: i,
+                    tid: &node.tid,
+                    site: node.site,
+                    cell,
+                    kind: *kind,
+                });
+            }
+        }
+    }
+
+    // `x` finishes before thread `u` even starts: every spawn of `u` is
+    // causally after `x` and never loops back.
+    let before_all_spawns = |x: &Acc, u: &CallString| -> bool {
+        match spawn_sites.get(u) {
+            Some(sites) => sites.iter().all(|s| bwd[s][x.node] && !fwd[s][x.node]),
+            // `u` has no spawn node (the main thread): nothing precedes it.
+            None => false,
+        }
+    };
+    let ordered = |a: &Acc, b: &Acc| -> bool {
+        must_in[a.node].contains(b.tid)
+            || must_in[b.node].contains(a.tid)
+            || before_all_spawns(a, b.tid)
+            || before_all_spawns(b, a.tid)
+    };
+
+    // Dedupe site-level pairs (one source conflict shows up once, no
+    // matter how many configurations or contexts cover it), sorted for
+    // stability.
+    type Endpoint = (String, Label, AccessKind);
+    let mut pairs: BTreeSet<(Label, Endpoint, Endpoint)> = BTreeSet::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in &accesses[i + 1..] {
+            if a.tid == b.tid || a.cell != b.cell {
+                continue;
+            }
+            if !a.kind.writes() && !b.kind.writes() {
+                continue;
+            }
+            if a.kind == AccessKind::Cas && b.kind == AccessKind::Cas {
+                continue;
+            }
+            if ordered(a, b) {
+                continue;
+            }
+            let ea = (render_tid(a.tid), a.site, a.kind);
+            let eb = (render_tid(b.tid), b.site, b.kind);
+            let (first, second) = if ea <= eb { (ea, eb) } else { (eb, ea) };
+            pairs.insert((a.cell.label, first, second));
+        }
+    }
+
+    let races = pairs
+        .into_iter()
+        .map(|(cell, first, second)| {
+            let kind = if first.2.writes() && second.2.writes() {
+                RaceKind::WriteWrite
+            } else {
+                RaceKind::ReadWrite
+            };
+            let hint = suggestion(
+                (first.0.as_str(), first.1, first.2),
+                (second.0.as_str(), second.1, second.2),
+            );
+            Race {
+                cell: render_cell(cell),
+                kind,
+                first: AccessDesc {
+                    thread: first.0,
+                    site: first.1,
+                    op: first.2.op(),
+                },
+                second: AccessDesc {
+                    thread: second.0,
+                    site: second.1,
+                    op: second.2.op(),
+                },
+                suggestion: hint,
+            }
+        })
+        .collect();
+
+    RaceReport {
+        analysis: analysis.to_string(),
+        threads: graph.tids.iter().map(render_tid).collect(),
+        accesses: accesses.len(),
+        races,
+    }
+}
+
+/// Copies the interned engine store into a value-level reference store.
+fn materialize_store<A, V, I>(entries: I) -> RefStore<A, V>
+where
+    A: Clone + Eq + std::hash::Hash,
+    V: Ord + Clone,
+    I: IntoIterator<Item = (A, BTreeSet<V>)>,
+{
+    let mut store = RefStore::new();
+    for (addr, values) in entries {
+        store.join(addr, values);
+    }
+    store
+}
+
+/// Runs the race detector over a saturated k-CFA fixpoint (from
+/// [`crate::kcfa::analyze_kcfa`] — field `fixpoint` — or any engine
+/// backend run on a [`KCfaMachine`] with the same `program` and `k`;
+/// all backends compute the identical fixpoint, so the report is
+/// engine-independent).
+pub fn races_kcfa(
+    program: &CpsProgram,
+    k: usize,
+    fixpoint: &FixpointResult<KConfig, AddrK, ValK>,
+) -> RaceReport {
+    let mut machine = KCfaMachine::new(program, k);
+    let mut store = materialize_store(fixpoint.store.iter().map(|(a, vs)| (a.clone(), vs)));
+    let graph = build_graph(&mut machine, program, &fixpoint.configs, &mut store);
+    analyze_graph(&graph, &format!("k={k}"))
+}
+
+/// Runs the race detector over a saturated m-CFA fixpoint (from
+/// [`crate::flatcfa::analyze_mcfa`] — field `fixpoint` — or any engine
+/// backend run on a [`FlatCfaMachine`] with [`FlatPolicy::TopMFrames`]
+/// and the same `program` and `m`).
+pub fn races_mcfa(
+    program: &CpsProgram,
+    m: usize,
+    fixpoint: &FixpointResult<MConfig, AddrM, ValM>,
+) -> RaceReport {
+    let mut machine = FlatCfaMachine::new(program, m, FlatPolicy::TopMFrames);
+    let mut store = materialize_store(fixpoint.store.iter().map(|(a, vs)| (a.clone(), vs)));
+    let graph = build_graph(&mut machine, program, &fixpoint.configs, &mut store);
+    analyze_graph(&graph, &format!("m={m}"))
+}
+
+/// Runs the race detector over a saturated polynomial-k-CFA fixpoint
+/// (from [`crate::flatcfa::analyze_poly_kcfa`] — field `fixpoint` — or
+/// any engine backend run on a [`FlatCfaMachine`] with
+/// [`FlatPolicy::LastKCalls`] and the same `program` and `k`).
+pub fn races_poly_kcfa(
+    program: &CpsProgram,
+    k: usize,
+    fixpoint: &FixpointResult<MConfig, AddrM, ValM>,
+) -> RaceReport {
+    let mut machine = FlatCfaMachine::new(program, k, FlatPolicy::LastKCalls);
+    let mut store = materialize_store(fixpoint.store.iter().map(|(a, vs)| (a.clone(), vs)));
+    let graph = build_graph(&mut machine, program, &fixpoint.configs, &mut store);
+    analyze_graph(&graph, &format!("poly k={k}"))
+}
+
+impl RaceReport {
+    /// Renders the human-readable report (stable across runs).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "race report ({}): {} race{} across {} thread{}, {} atom access{}\n",
+            self.analysis,
+            self.races.len(),
+            if self.races.len() == 1 { "" } else { "s" },
+            self.threads.len(),
+            if self.threads.len() == 1 { "" } else { "s" },
+            self.accesses,
+            if self.accesses == 1 { "" } else { "es" },
+        ));
+        s.push_str(&format!("  threads: {}\n", self.threads.join(", ")));
+        for (i, race) in self.races.iter().enumerate() {
+            s.push_str(&format!(
+                "  {}. {} on {}\n",
+                i + 1,
+                race.kind.as_str(),
+                race.cell
+            ));
+            for end in [&race.first, &race.second] {
+                s.push_str(&format!(
+                    "     {} at ℓ{} by thread {}\n",
+                    end.op, end.site, end.thread
+                ));
+            }
+            s.push_str(&format!("     fix: {}\n", race.suggestion));
+        }
+        if self.races.is_empty() {
+            s.push_str("  no races found\n");
+        }
+        s
+    }
+
+    /// Renders the report as JSON (hand-rolled; the schema is documented
+    /// in the repository README).
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn access(a: &AccessDesc) -> String {
+            format!(
+                "{{\"thread\":\"{}\",\"site\":{},\"op\":\"{}\"}}",
+                esc(&a.thread),
+                a.site,
+                esc(a.op)
+            )
+        }
+        let threads: Vec<String> = self
+            .threads
+            .iter()
+            .map(|t| format!("\"{}\"", esc(t)))
+            .collect();
+        let races: Vec<String> = self
+            .races
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"cell\":\"{}\",\"kind\":\"{}\",\"first\":{},\"second\":{},\"suggestion\":\"{}\"}}",
+                    esc(&r.cell),
+                    r.kind.as_str(),
+                    access(&r.first),
+                    access(&r.second),
+                    esc(&r.suggestion)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"analysis\":\"{}\",\"threads\":[{}],\"accesses\":{},\"races\":[{}]}}",
+            esc(&self.analysis),
+            threads.join(","),
+            self.accesses,
+            races.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::flatcfa::{analyze_mcfa, analyze_poly_kcfa};
+    use crate::kcfa::analyze_kcfa;
+
+    fn report_k(src: &str, k: usize) -> RaceReport {
+        let p = cfa_syntax::compile(src).unwrap();
+        let r = analyze_kcfa(&p, k, EngineLimits::default());
+        assert!(r.metrics.status.is_complete(), "fixpoint incomplete");
+        races_kcfa(&p, k, &r.fixpoint)
+    }
+
+    fn report_m(src: &str, m: usize) -> RaceReport {
+        let p = cfa_syntax::compile(src).unwrap();
+        let r = analyze_mcfa(&p, m, EngineLimits::default());
+        assert!(r.metrics.status.is_complete(), "fixpoint incomplete");
+        races_mcfa(&p, m, &r.fixpoint)
+    }
+
+    const UNJOINED_READ: &str = "(let ((a (atom 0)))
+           (let ((t (spawn (reset! a 1))))
+             (deref a)))";
+
+    const JOINED_READ: &str = "(let ((a (atom 0)))
+           (let ((t (spawn (reset! a 1))))
+             (begin (join t) (deref a))))";
+
+    const SIBLING_WRITES: &str = "(let ((a (atom 0)))
+           (let ((t1 (spawn (reset! a 1))))
+             (let ((t2 (spawn (reset! a 2))))
+               (begin (join t1) (join t2)))))";
+
+    const CAS_GUARDED: &str = "(let ((a (atom 0)))
+           (let ((t (spawn (cas! a 0 1))))
+             (begin (cas! a 0 2) (join t))))";
+
+    #[test]
+    fn unjoined_read_races_with_child_write() {
+        for report in [report_k(UNJOINED_READ, 1), report_m(UNJOINED_READ, 1)] {
+            assert_eq!(report.races.len(), 1, "{}", report.render_text());
+            let race = &report.races[0];
+            assert_eq!(race.kind, RaceKind::ReadWrite);
+            assert_eq!(race.first.op, "deref");
+            assert_eq!(race.first.thread, "main");
+            assert_eq!(race.second.op, "reset!");
+        }
+    }
+
+    #[test]
+    fn join_orders_child_write_before_read() {
+        for report in [report_k(JOINED_READ, 1), report_m(JOINED_READ, 1)] {
+            assert!(report.races.is_empty(), "{}", report.render_text());
+            assert_eq!(report.threads.len(), 2);
+            assert!(report.accesses >= 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_sibling_writes_race() {
+        let report = report_k(SIBLING_WRITES, 1);
+        assert_eq!(report.races.len(), 1, "{}", report.render_text());
+        assert_eq!(report.races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(report.threads.len(), 3);
+    }
+
+    #[test]
+    fn sequential_spawn_join_chain_is_ordered() {
+        let src = "(let ((a (atom 0)))
+               (let ((t1 (spawn (reset! a 1))))
+                 (begin
+                   (join t1)
+                   (let ((t2 (spawn (reset! a 2))))
+                     (begin (join t2) (deref a))))))";
+        for report in [report_k(src, 1), report_m(src, 1)] {
+            assert!(report.races.is_empty(), "{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn cas_guarded_updates_do_not_race() {
+        for report in [report_k(CAS_GUARDED, 1), report_m(CAS_GUARDED, 1)] {
+            assert!(report.races.is_empty(), "{}", report.render_text());
+            assert!(report.accesses >= 2);
+        }
+    }
+
+    #[test]
+    fn plain_write_racing_cas_suggests_upgrading_it() {
+        let src = "(let ((a (atom 0)))
+               (let ((t (spawn (cas! a 0 1))))
+                 (begin (reset! a 2) (join t))))";
+        let report = report_k(src, 1);
+        assert_eq!(report.races.len(), 1, "{}", report.render_text());
+        let race = &report.races[0];
+        assert_eq!(race.kind, RaceKind::WriteWrite);
+        assert!(
+            race.suggestion.contains("cas!"),
+            "suggestion should point at cas!: {}",
+            race.suggestion
+        );
+    }
+
+    #[test]
+    fn main_write_before_spawn_is_ordered() {
+        let src = "(let ((a (atom 0)))
+               (begin
+                 (reset! a 1)
+                 (let ((t (spawn (deref a))))
+                   (join t))))";
+        for report in [report_k(src, 1), report_m(src, 1)] {
+            assert!(report.races.is_empty(), "{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn analyses_agree_on_the_golden_suite() {
+        // The detector is machine-independent: k-CFA, m-CFA, and poly
+        // k-CFA see the same races on the golden programs (only the
+        // analysis banner differs).
+        for src in [UNJOINED_READ, JOINED_READ, SIBLING_WRITES, CAS_GUARDED] {
+            let p = cfa_syntax::compile(src).unwrap();
+            let k = races_kcfa(
+                &p,
+                1,
+                &analyze_kcfa(&p, 1, EngineLimits::default()).fixpoint,
+            );
+            let m = races_mcfa(
+                &p,
+                1,
+                &analyze_mcfa(&p, 1, EngineLimits::default()).fixpoint,
+            );
+            let pk = races_poly_kcfa(
+                &p,
+                1,
+                &analyze_poly_kcfa(&p, 1, EngineLimits::default()).fixpoint,
+            );
+            assert_eq!(k.races, m.races, "{src}");
+            assert_eq!(k.races, pk.races, "{src}");
+        }
+    }
+
+    #[test]
+    fn text_and_json_are_stable() {
+        let report = report_k(UNJOINED_READ, 1);
+        let text = report.render_text();
+        assert!(text.contains("read/write"), "{text}");
+        assert!(text.contains("by thread main"), "{text}");
+        assert!(text.contains("fix:"), "{text}");
+        let json = report.render_json();
+        assert!(json.starts_with("{\"analysis\":\"k=1\""), "{json}");
+        assert!(json.contains("\"kind\":\"read/write\""), "{json}");
+        assert!(json.contains("\"op\":\"deref\""), "{json}");
+        // Hand-rolled JSON must stay parseable by shape: balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn sequential_programs_report_nothing() {
+        let src = "(define (f x) (+ x 1)) (f 41)";
+        let report = report_k(src, 0);
+        assert!(report.races.is_empty());
+        assert_eq!(report.threads, vec!["main".to_string()]);
+        assert_eq!(report.accesses, 0);
+    }
+}

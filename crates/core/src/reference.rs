@@ -103,6 +103,17 @@ pub struct RefTrackedStore<'a, A, V> {
 }
 
 impl<'a, A: Eq + Hash + Clone, V: Ord + Clone> RefTrackedStore<'a, A, V> {
+    /// Wraps a store for a one-off step outside the engine loop — how
+    /// the race detector re-steps saturated configurations against the
+    /// final store. Recorded reads and growth are simply discarded.
+    pub(crate) fn wrap(store: &'a mut RefStore<A, V>) -> Self {
+        RefTrackedStore {
+            store,
+            reads: Vec::new(),
+            grew: Vec::new(),
+        }
+    }
+
     /// Reads the flow set at `addr`, recording the dependency.
     pub fn read(&mut self, addr: &A) -> BTreeSet<V> {
         self.reads.push(addr.clone());

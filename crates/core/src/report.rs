@@ -35,6 +35,8 @@ fn render_slot(program: &CpsProgram, slot: &Slot) -> String {
         Slot::Var(v) => program.name(*v).to_owned(),
         Slot::Car(l) => format!("car@{l}"),
         Slot::Cdr(l) => format!("cdr@{l}"),
+        Slot::Atom(l) => format!("atom@{l}"),
+        Slot::ThreadRet(l) => format!("thread-ret@{l}"),
     }
 }
 

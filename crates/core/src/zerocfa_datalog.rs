@@ -142,6 +142,8 @@ impl<'p> Encoder<'p> {
             Node::Car(l) => format!("car{}", l.0),
             Node::Cdr(l) => format!("cdr{}", l.0),
             Node::Halt => "halt".to_owned(),
+            Node::ThreadRet => "threadret".to_owned(),
+            Node::AtomCell => "atomcell".to_owned(),
         };
         let c = self.pool.intern(&name);
         self.node_of.insert(c, n);
@@ -153,6 +155,9 @@ impl<'p> Encoder<'p> {
             Val0::Lam(l) => format!("lam{}", l.0),
             Val0::Basic(b) => format!("basic:{b:?}"),
             Val0::Pair(l) => format!("pair{}", l.0),
+            Val0::Tid => "tid".to_owned(),
+            Val0::RetK => "retk".to_owned(),
+            Val0::Atom(l) => format!("atom{}", l.0),
         };
         let c = self.pool.intern(&name);
         self.val_of.insert(c, val);
@@ -260,6 +265,59 @@ impl<'p> Encoder<'p> {
         }
     }
 
+    /// `atom ⊆ cont` for an arbitrary atom (the solver's
+    /// `flow_into_cont` with a node RHS).
+    fn flow_atom_into_cont(&mut self, cont: &AExp, arg: &AExp) {
+        match cont {
+            AExp::Lam(l) => {
+                if let Some(&param) = self.cps.lam(*l).params.first() {
+                    self.flow_atom(arg, Node::Var(param));
+                }
+            }
+            AExp::Var(k) => {
+                let s = self.site_const();
+                let f = self.node_const(Node::Var(*k));
+                let n = self.arity_const(1);
+                self.fact(self.rels.app, &[s, f, n]);
+                let ic = self.idx_const(0);
+                match self.atom(arg) {
+                    Ok(node) => {
+                        let a = self.node_const(node);
+                        self.fact(self.rels.appargn, &[s, ic, a]);
+                    }
+                    Err(val) => {
+                        let val_c = self.val_const(val);
+                        self.fact(self.rels.appargc, &[s, ic, val_c]);
+                    }
+                }
+            }
+            AExp::Lit(_) => {}
+        }
+    }
+
+    /// `node ⊆ cont` for a global node (the solver's
+    /// `flow_rule_target`): a direct edge into a λ continuation, an app
+    /// site when the continuation is a variable.
+    fn flow_node_into_cont(&mut self, cont: &AExp, from: Node) {
+        match cont {
+            AExp::Lam(l) => {
+                if let Some(&param) = self.cps.lam(*l).params.first() {
+                    self.subset(from, Node::Var(param));
+                }
+            }
+            AExp::Var(k) => {
+                let s = self.site_const();
+                let f = self.node_const(Node::Var(*k));
+                let n = self.arity_const(1);
+                self.fact(self.rels.app, &[s, f, n]);
+                let ic = self.idx_const(0);
+                let a = self.node_const(from);
+                self.fact(self.rels.appargn, &[s, ic, a]);
+            }
+            AExp::Lit(_) => {}
+        }
+    }
+
     fn generate(&mut self) {
         // λ structure facts.
         for lam_id in self.cps.lam_ids() {
@@ -344,7 +402,55 @@ impl<'p> Encoder<'p> {
                             }
                         }
                     }
+                    PrimSpec::AllocAtom => {
+                        if let Some(a0) = args.first() {
+                            self.flow_atom(a0, Node::AtomCell);
+                        }
+                        self.flow_value_into_cont(cont, &[Val0::Atom(call.label)]);
+                    }
+                    PrimSpec::ReadAtom => {
+                        self.flow_node_into_cont(cont, Node::AtomCell);
+                    }
+                    PrimSpec::WriteAtom => {
+                        if let Some(a1) = args.get(1) {
+                            self.flow_atom(a1, Node::AtomCell);
+                            self.flow_atom_into_cont(cont, a1);
+                        }
+                    }
+                    PrimSpec::CasAtom => {
+                        if let Some(a2) = args.get(2) {
+                            self.flow_atom(a2, Node::AtomCell);
+                        }
+                        self.flow_value_into_cont(cont, &[Val0::Basic(AbsBasic::AnyBool)]);
+                    }
                 },
+                CallKind::Spawn { thunk, cont } => {
+                    // Mirror of the solver: the thunk's continuation
+                    // parameter receives the thread-return continuation,
+                    // the parent continuation receives a handle.
+                    match thunk {
+                        AExp::Lam(l) => {
+                            let lam = self.cps.lam(*l).clone();
+                            if let [param] = lam.params[..] {
+                                self.seed(Node::Var(param), Val0::RetK);
+                            }
+                        }
+                        AExp::Var(f) => {
+                            let s = self.site_const();
+                            let fc = self.node_const(Node::Var(*f));
+                            let n = self.arity_const(1);
+                            self.fact(self.rels.app, &[s, fc, n]);
+                            let ic = self.idx_const(0);
+                            let retk = self.val_const(Val0::RetK);
+                            self.fact(self.rels.appargc, &[s, ic, retk]);
+                        }
+                        AExp::Lit(_) => {}
+                    }
+                    self.flow_value_into_cont(cont, &[Val0::Tid]);
+                }
+                CallKind::Join { cont, .. } => {
+                    self.flow_node_into_cont(cont, Node::ThreadRet);
+                }
                 CallKind::Fix { bindings, .. } => {
                     for &(name, lam) in bindings {
                         self.seed(Node::Var(name), Val0::Lam(lam));
@@ -410,6 +516,41 @@ impl<'p> Encoder<'p> {
                 ],
             )
             .expect("app const rule");
+        // A thread-return continuation in operator position routes the
+        // single argument of the site to the global ThreadRet node
+        // (mirror of the solver's RetK branch in `fire`).
+        let retk = {
+            let c = self.val_const(Val0::RetK);
+            Term::Const(c)
+        };
+        let threadret = {
+            let c = self.node_const(Node::ThreadRet);
+            Term::Const(c)
+        };
+        let r = &self.rels;
+        self.program
+            .rule(
+                r.flow,
+                vec![threadret.clone(), v("val")],
+                vec![
+                    (r.app, vec![v("s"), v("f"), Term::Const(one)]),
+                    (r.flow, vec![v("f"), retk.clone()]),
+                    (r.appargn, vec![v("s"), Term::Const(zero), v("a")]),
+                    (r.flow, vec![v("a"), v("val")]),
+                ],
+            )
+            .expect("retk node rule");
+        self.program
+            .rule(
+                r.flow,
+                vec![threadret, v("val")],
+                vec![
+                    (r.app, vec![v("s"), v("f"), Term::Const(one)]),
+                    (r.flow, vec![v("f"), retk]),
+                    (r.appargc, vec![v("s"), Term::Const(zero), v("val")]),
+                ],
+            )
+            .expect("retk const rule");
         // Projections to a direct node target.
         for (proj, pair) in [(r.projcar, r.paircar), (r.projcdr, r.paircdr)] {
             self.program

@@ -201,6 +201,22 @@ impl Converter {
                 let kont = c.reify(k);
                 c.builder.call_prim(*op, atoms, kont)
             }),
+            Expr::Spawn(body) => {
+                // (spawn e) ≡ (%spawn (λproc (%k) ⟦e⟧ in %k) κ): the thread
+                // body becomes a procedure whose only parameter is the
+                // thread-return continuation the machine supplies.
+                let thunk = Expr::Lambda {
+                    params: vec![],
+                    body: body.clone(),
+                };
+                let lam = self.convert_lambda(&thunk, scope);
+                let kont = self.reify(k);
+                self.builder.call_spawn(AExp::Lam(lam), kont)
+            }
+            Expr::Join(handle) => self.atomize(handle, scope, |c, target| {
+                let kont = c.reify(k);
+                c.builder.call_join(target, kont)
+            }),
         }
     }
 

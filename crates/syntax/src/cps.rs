@@ -128,6 +128,18 @@ pub enum PrimOp {
     ToString,
     /// Abort execution with an error value.
     Error,
+    /// Allocate a mutable atomic reference cell (`atom`).
+    AtomNew,
+    /// Read an atomic reference cell (`deref`).
+    AtomRead,
+    /// Unconditionally overwrite an atomic reference cell (`reset!`) —
+    /// the *unsynchronized* write, which is what makes data races
+    /// expressible.
+    AtomSet,
+    /// Compare-and-swap an atomic reference cell (`cas!`): writes the
+    /// new value only if the current content equals the expected one,
+    /// returning whether the swap happened.
+    AtomCas,
 }
 
 impl PrimOp {
@@ -160,6 +172,10 @@ impl PrimOp {
             PrimOp::StringAppend => "string-append",
             PrimOp::ToString => "->string",
             PrimOp::Error => "error",
+            PrimOp::AtomNew => "atom",
+            PrimOp::AtomRead => "deref",
+            PrimOp::AtomSet => "reset!",
+            PrimOp::AtomCas => "cas!",
         }
     }
 
@@ -193,6 +209,10 @@ impl PrimOp {
             "string-append" => StringAppend,
             "->string" | "number->string" | "symbol->string" => ToString,
             "error" => Error,
+            "atom" => AtomNew,
+            "deref" => AtomRead,
+            "reset!" => AtomSet,
+            "cas!" => AtomCas,
             _ => return None,
         })
     }
@@ -202,8 +222,9 @@ impl PrimOp {
         use PrimOp::*;
         Some(match self {
             Car | Cdr | IsPair | IsNull | IsZero | IsNumber | IsBool | IsProcedure | IsSymbol
-            | IsString | Not | ToString | Error => 1,
-            Cons | NumEq | Lt | Le | Gt | Ge | Eq | Sub | Div | Rem => 2,
+            | IsString | Not | ToString | Error | AtomNew | AtomRead => 1,
+            Cons | NumEq | Lt | Le | Gt | Ge | Eq | Sub | Div | Rem | AtomSet => 2,
+            AtomCas => 3,
             Add | Mul | StringAppend => return None, // variadic
         })
     }
@@ -260,6 +281,26 @@ pub enum CallKind {
         bindings: Vec<(Symbol, LamId)>,
         /// Body call evaluated under the new bindings.
         body: CallId,
+    },
+    /// `(%spawn thunk k)` — start an abstract thread running `thunk`
+    /// (a nullary-source procedure closed over its free variables) and
+    /// pass a thread handle to the continuation `k`. The spawned
+    /// thread's final value is deposited at its abstract result
+    /// address, where `%join` synchronizes on it.
+    Spawn {
+        /// The thread body: a procedure atom expecting only the
+        /// thread-return continuation.
+        thunk: AExp,
+        /// Continuation receiving the thread handle in the parent.
+        cont: AExp,
+    },
+    /// `(%join t k)` — block until the thread behind handle `t` has
+    /// produced its result, then pass that result to `k`.
+    Join {
+        /// The thread-handle atom.
+        target: AExp,
+        /// Continuation receiving the joined thread's result.
+        cont: AExp,
     },
     /// `(%halt e)` — terminate the program with a final value.
     Halt {
@@ -371,6 +412,7 @@ impl CpsProgram {
                 CallKind::If { .. } => 1,
                 CallKind::PrimCall { args, .. } => 2 + args.len(),
                 CallKind::Fix { bindings, .. } => bindings.len(),
+                CallKind::Spawn { .. } | CallKind::Join { .. } => 2,
                 CallKind::Halt { .. } => 1,
             };
         }
@@ -517,6 +559,16 @@ impl CpsBuilder {
         self.call(CallKind::Fix { bindings, body })
     }
 
+    /// Adds a `%spawn` call.
+    pub fn call_spawn(&mut self, thunk: AExp, cont: AExp) -> CallId {
+        self.call(CallKind::Spawn { thunk, cont })
+    }
+
+    /// Adds a `%join` call.
+    pub fn call_join(&mut self, target: AExp, cont: AExp) -> CallId {
+        self.call(CallKind::Join { target, cont })
+    }
+
     /// Adds a `%halt` call.
     pub fn call_halt(&mut self, value: AExp) -> CallId {
         self.call(CallKind::Halt { value })
@@ -602,6 +654,16 @@ fn compute_free_vars(p: &CpsProgram) -> Vec<Vec<Symbol>> {
                 for (v, _) in bindings {
                     s.remove(v);
                 }
+                s
+            }
+            CallKind::Spawn { thunk, cont } => {
+                let mut s = aexp_free(p, thunk, memo);
+                s.extend(aexp_free(p, cont, memo));
+                s
+            }
+            CallKind::Join { target, cont } => {
+                let mut s = aexp_free(p, target, memo);
+                s.extend(aexp_free(p, cont, memo));
                 s
             }
             CallKind::Halt { value } => aexp_free(p, value, memo),
@@ -742,6 +804,10 @@ mod tests {
             PrimOp::StringAppend,
             PrimOp::ToString,
             PrimOp::Error,
+            PrimOp::AtomNew,
+            PrimOp::AtomRead,
+            PrimOp::AtomSet,
+            PrimOp::AtomCas,
         ] {
             assert_eq!(PrimOp::from_name(op.name()), Some(op), "{op:?}");
         }

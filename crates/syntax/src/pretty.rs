@@ -186,6 +186,20 @@ fn write_call(p: &CpsProgram, id: CallId, depth: usize, opts: PrettyOptions, out
             write_call(p, *body, depth + 1, opts, out);
             out.push(')');
         }
+        CallKind::Spawn { thunk, cont } => {
+            out.push_str("(%spawn ");
+            write_aexp(p, thunk, depth, opts, out);
+            out.push(' ');
+            write_aexp(p, cont, depth, opts, out);
+            out.push(')');
+        }
+        CallKind::Join { target, cont } => {
+            out.push_str("(%join ");
+            write_aexp(p, target, depth, opts, out);
+            out.push(' ');
+            write_aexp(p, cont, depth, opts, out);
+            out.push(')');
+        }
         CallKind::Halt { value } => {
             out.push_str("(%halt ");
             write_aexp(p, value, depth, opts, out);
@@ -226,6 +240,13 @@ mod tests {
     fn prints_fix() {
         let text = pp("(define (f x) (f x)) (f 1)");
         assert!(text.contains("(%fix"), "{text}");
+    }
+
+    #[test]
+    fn prints_spawn_and_join() {
+        let text = pp("(let ((t (spawn 1))) (join t))");
+        assert!(text.contains("(%spawn"), "{text}");
+        assert!(text.contains("(%join"), "{text}");
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub enum Expr {
         /// Arguments.
         args: Vec<Expr>,
     },
+    /// `(spawn e)` — evaluate `e` in a new thread; the whole form
+    /// evaluates to a thread handle in the parent.
+    Spawn(Box<Expr>),
+    /// `(join e)` — wait for the thread behind the handle `e` and
+    /// evaluate to its result.
+    Join(Box<Expr>),
 }
 
 impl Expr {
@@ -109,6 +115,7 @@ impl Expr {
                 1 + bindings.iter().map(|(_, e)| e.size()).sum::<usize>() + body.size()
             }
             Expr::Prim { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Spawn(body) | Expr::Join(body) => 1 + body.size(),
         }
     }
 }
@@ -338,10 +345,9 @@ impl Parser {
             }
             Sexpr::Symbol(pos, name) => match name.as_str() {
                 "else" | "define" | "lambda" | "let" | "let*" | "letrec" | "if" | "cond"
-                | "begin" | "and" | "or" | "quote" | "when" | "unless" => Err(ParseError::at(
-                    *pos,
-                    format!("'{name}' used as an expression"),
-                )),
+                | "begin" | "and" | "or" | "quote" | "when" | "unless" | "spawn" | "join" => Err(
+                    ParseError::at(*pos, format!("'{name}' used as an expression")),
+                ),
                 _ => {
                     let sym = self.intern(&name.clone());
                     Ok(Expr::Var(sym))
@@ -365,6 +371,8 @@ impl Parser {
                         "when" => return self.parse_when(*pos, items, true),
                         "unless" => return self.parse_when(*pos, items, false),
                         "quote" => return self.parse_quote(*pos, items),
+                        "spawn" => return self.parse_spawn(*pos, items, true),
+                        "join" => return self.parse_spawn(*pos, items, false),
                         "define" => {
                             return Err(ParseError::at(*pos, "define is only allowed at top level"))
                         }
@@ -625,6 +633,19 @@ impl Parser {
         })
     }
 
+    /// `(spawn body…)` (the body is an implicit `begin`) or `(join e)`.
+    fn parse_spawn(&mut self, pos: Pos, items: &[Sexpr], spawn: bool) -> Result<Expr, ParseError> {
+        if spawn {
+            let body = self.parse_body(pos, &items[1..])?;
+            Ok(Expr::Spawn(Box::new(body)))
+        } else {
+            match items {
+                [_, handle] => Ok(Expr::Join(Box::new(self.parse_expr(handle)?))),
+                _ => Err(ParseError::at(pos, "join expects exactly one handle")),
+            }
+        }
+    }
+
     fn parse_quote(&mut self, pos: Pos, items: &[Sexpr]) -> Result<Expr, ParseError> {
         if items.len() != 2 {
             return Err(ParseError::at(pos, "malformed quote"));
@@ -807,6 +828,39 @@ mod tests {
     fn when_unless_desugar() {
         assert!(matches!(parse("(when 1 2)"), Expr::If { .. }));
         assert!(matches!(parse("(unless 1 2)"), Expr::If { .. }));
+    }
+
+    #[test]
+    fn spawn_and_join_parse() {
+        match parse("(spawn 1 2)") {
+            Expr::Spawn(body) => assert!(matches!(*body, Expr::Let { .. })),
+            other => panic!("expected spawn, got {other:?}"),
+        }
+        assert!(matches!(parse("(join x)"), Expr::Join(_)));
+        assert!(parse_program("(spawn)").is_err());
+        assert!(parse_program("(join a b)").is_err());
+        assert!(parse_program("(f spawn)").is_err());
+    }
+
+    #[test]
+    fn atomic_ref_prims_parse_with_arity() {
+        assert!(matches!(
+            parse("(atom 0)"),
+            Expr::Prim {
+                op: PrimOp::AtomNew,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("(cas! x 0 1)"),
+            Expr::Prim {
+                op: PrimOp::AtomCas,
+                ..
+            }
+        ));
+        assert!(parse_program("(deref)").is_err());
+        assert!(parse_program("(reset! x)").is_err());
+        assert!(parse_program("(cas! x 1)").is_err());
     }
 
     #[test]

@@ -96,6 +96,14 @@ fn closed(p: &CpsProgram) -> bool {
                 check(cont);
             }
             CallKind::Fix { .. } => {}
+            CallKind::Spawn { thunk, cont } => {
+                check(thunk);
+                check(cont);
+            }
+            CallKind::Join { target, cont } => {
+                check(target);
+                check(cont);
+            }
             CallKind::Halt { value } => check(value),
         }
     }
@@ -111,6 +119,8 @@ const SOURCES: &[&str] = &[
        (odd 3))",
     "(cond ((zero? 1) 'a) ((zero? 0) 'b) (else 'c))",
     "(and 1 (or #f 2) 3)",
+    "(let ((c (atom 0))) (let ((t (spawn (reset! c 1)))) (join t) (deref c)))",
+    "(let ((c (atom 0))) (let ((t (spawn (cas! c 0 1)))) (join t)))",
 ];
 
 #[test]

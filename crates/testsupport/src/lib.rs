@@ -44,6 +44,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 pub use cfa_core::fabric::FaultPlan as EngineFaultPlan;
+pub use cfa_workloads::gen::random_concurrent_program as random_concurrent_scheme_program;
 pub use cfa_workloads::gen::random_program as random_scheme_program;
 pub use cfa_workloads::gen_fj::{random_fj_program, FjGenConfig};
 
@@ -333,4 +334,99 @@ pub fn scheme_corpus() -> Vec<String> {
         out.push(random_scheme_program(seed, 30));
     }
     out
+}
+
+/// The concurrent Scheme corpus: the golden race-detector programs
+/// (racy, join-synchronized, and CAS-guarded shapes) plus a band of
+/// random spawn/join/atom programs.
+///
+/// Kept separate from [`scheme_corpus`] on purpose: the naive
+/// per-state-store machine and the concrete/abstract soundness
+/// comparison only support sequential programs, while this corpus is
+/// for the suites that must agree across *engines* (sequential,
+/// replicated-parallel, sharded-parallel, reference) and for the race
+/// detector's property tests.
+pub fn concurrent_scheme_corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = golden_racy_programs()
+        .iter()
+        .chain(golden_synchronized_programs().iter())
+        .map(|&(name, src)| (name.to_owned(), src.to_owned()))
+        .collect();
+    for seed in 0..12 {
+        out.push((
+            format!("random-concurrent seed={seed}"),
+            random_concurrent_scheme_program(seed, 25),
+        ));
+    }
+    out
+}
+
+/// Golden concurrent programs that each contain a seeded race. The race
+/// detector must report at least one race on every one of these (zero
+/// false negatives).
+pub fn golden_racy_programs() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "unjoined read vs child write",
+            "(let ((a (atom 0)))
+               (let ((t (spawn (reset! a 1))))
+                 (deref a)))",
+        ),
+        (
+            "concurrent sibling writes",
+            "(let ((a (atom 0)))
+               (let ((t1 (spawn (reset! a 1))))
+                 (let ((t2 (spawn (reset! a 2))))
+                   (begin (join t1) (join t2)))))",
+        ),
+        (
+            "plain write racing a cas",
+            "(let ((a (atom 0)))
+               (let ((t (spawn (cas! a 0 1))))
+                 (begin (reset! a 2) (join t))))",
+        ),
+        (
+            "child read vs later main write",
+            "(let ((a (atom 0)))
+               (let ((t (spawn (deref a))))
+                 (begin (reset! a 1) (join t))))",
+        ),
+    ]
+}
+
+/// Golden concurrent programs whose accesses are fully ordered by
+/// `join` or guarded by `cas!`. The race detector must report nothing
+/// on any of these (zero false positives on synchronized code).
+pub fn golden_synchronized_programs() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "join before read",
+            "(let ((a (atom 0)))
+               (let ((t (spawn (reset! a 1))))
+                 (begin (join t) (deref a))))",
+        ),
+        (
+            "sequential spawn/join chain",
+            "(let ((a (atom 0)))
+               (let ((t1 (spawn (reset! a 1))))
+                 (begin
+                   (join t1)
+                   (let ((t2 (spawn (reset! a 2))))
+                     (begin (join t2) (deref a))))))",
+        ),
+        (
+            "all updates via cas",
+            "(let ((a (atom 0)))
+               (let ((t (spawn (cas! a 0 1))))
+                 (begin (cas! a 0 2) (join t))))",
+        ),
+        (
+            "main write before any spawn",
+            "(let ((a (atom 0)))
+               (begin
+                 (reset! a 1)
+                 (let ((t (spawn (deref a))))
+                   (join t))))",
+        ),
+    ]
 }

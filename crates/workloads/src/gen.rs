@@ -160,6 +160,32 @@ impl Gen {
     }
 }
 
+impl Gen {
+    /// One operation on a random atom cell: `deref`, `reset!`, or `cas!`
+    /// (reads twice as likely, so generated threads actually observe
+    /// each other).
+    fn atom_op(&mut self, atoms: &[String], depth: usize) -> String {
+        let a = atoms[self.rng.gen_range(0..atoms.len())].clone();
+        match self.rng.gen_range(0..4) {
+            0 | 1 => format!("(deref {a})"),
+            2 => format!("(reset! {a} {})", self.int_expr(&[], depth)),
+            _ => format!(
+                "(cas! {a} {} {})",
+                self.int_expr(&[], depth),
+                self.int_expr(&[], depth)
+            ),
+        }
+    }
+
+    /// A spawned thread body: a short sequence of atom operations
+    /// (`spawn` takes a body sequence, so no `begin` is needed).
+    fn thread_body(&mut self, atoms: &[String], depth: usize) -> String {
+        let steps = self.rng.gen_range(1..4);
+        let ops: Vec<String> = (0..steps).map(|_| self.atom_op(atoms, depth)).collect();
+        ops.join(" ")
+    }
+}
+
 /// Generates a closed, recursion-free program from `seed`; `size`
 /// bounds the expression fuel (larger = bigger programs).
 ///
@@ -179,6 +205,61 @@ pub fn random_program(seed: u64, size: usize) -> String {
     g.ho_expr(&[], depth)
 }
 
+/// Generates a closed *concurrent* program from `seed`: a few shared
+/// atom cells, one to three spawned threads hammering them with
+/// `deref`/`reset!`/`cas!`, and a main thread that joins a random
+/// subset of the handles before its own final access — so the family
+/// covers racy, partially synchronized, and fully joined shapes.
+///
+/// Like [`random_program`] the output is recursion-free; unlike it, the
+/// result exercises the abstract-thread domain, so it belongs in the
+/// engine-agreement differential suites (all store backends and eval
+/// modes must compute the same fixpoint) but **not** in the suites that
+/// compare against the per-state-store naive machine, which cannot
+/// model cross-thread store flow.
+///
+/// # Examples
+///
+/// ```
+/// let src = cfa_workloads::gen::random_concurrent_program(42, 25);
+/// cfa_syntax::compile(&src).expect("generated programs are well-formed");
+/// assert!(src.contains("spawn"));
+/// ```
+pub fn random_concurrent_program(seed: u64, size: usize) -> String {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        fuel: size,
+        counter: 0,
+    };
+    let depth = 2;
+    let atoms: Vec<String> = (0..g.rng.gen_range(1..3)).map(|_| g.fresh()).collect();
+    let handles: Vec<String> = (0..g.rng.gen_range(1..4)).map(|_| g.fresh()).collect();
+    let bodies: Vec<String> = handles
+        .iter()
+        .map(|_| g.thread_body(&atoms, depth))
+        .collect();
+
+    // Main-thread tail: join a random subset of the handles, touch a
+    // cell, and end on an integer so the program has a plain result.
+    let mut tail: Vec<String> = handles
+        .iter()
+        .filter(|_| g.rng.gen())
+        .map(|h| format!("(join {h})"))
+        .collect();
+    tail.push(g.atom_op(&atoms, depth));
+    tail.push(g.int_expr(&[], depth));
+    let mut body = format!("(begin {})", tail.join(" "));
+
+    for (h, thread) in handles.iter().zip(&bodies).rev() {
+        body = format!("(let (({h} (spawn {thread}))) {body})");
+    }
+    for a in atoms.iter().rev() {
+        let init = g.rng.gen_range(0..10);
+        body = format!("(let (({a} (atom {init}))) {body})");
+    }
+    body
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +275,44 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(random_program(7, 30), random_program(7, 30));
+        assert_eq!(
+            random_concurrent_program(7, 25),
+            random_concurrent_program(7, 25)
+        );
+    }
+
+    #[test]
+    fn generated_concurrent_programs_compile_and_spawn() {
+        for seed in 0..100 {
+            let src = random_concurrent_program(seed, 25);
+            cfa_syntax::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert!(
+                src.contains("(spawn "),
+                "seed {seed} spawned nothing:\n{src}"
+            );
+            assert!(
+                src.contains("(atom "),
+                "seed {seed} allocated no cell:\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_family_varies_synchronization() {
+        // The family must cover both ends: some programs join every
+        // handle, some join none — that spread is what gives the race
+        // detector's property tests their racy and synchronized inputs.
+        let mut with_join = 0;
+        let mut without_join = 0;
+        for seed in 0..50 {
+            if random_concurrent_program(seed, 25).contains("(join ") {
+                with_join += 1;
+            } else {
+                without_join += 1;
+            }
+        }
+        assert!(with_join >= 5, "only {with_join} programs join");
+        assert!(without_join >= 5, "only {without_join} programs skip joins");
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod suite_fj;
 pub mod worstcase;
 
 pub use figures::{fn_program, oo_program};
+pub use gen::{random_concurrent_program, random_program};
 pub use suite::{extended_suite, suite, SuiteProgram, IDENTITY_PLAIN, IDENTITY_WITH_CALL};
 pub use suite_fj::{fj_suite, FjSuiteProgram};
 pub use worstcase::{paper_series, paper_series_programs, worst_case_source, WorstCase};

@@ -24,6 +24,16 @@ for backend in replicated sharded; do
     echo "fault-injection suite: CFA_STORE_BACKEND=${backend}"
     CFA_STORE_BACKEND="${backend}" cargo test -q --test faults
 done
+# Golden race-detector suite per store backend × evaluation mode,
+# mirroring CI's `races` matrix legs (the plain `cargo test` run above
+# covers the unpinned sweep: both backends, both modes).
+for backend in replicated sharded; do
+    for mode in semi-naive full-reeval; do
+        echo "golden race suite: CFA_STORE_BACKEND=${backend} CFA_EVAL_MODE=${mode}"
+        CFA_STORE_BACKEND="${backend}" CFA_EVAL_MODE="${mode}" \
+            cargo test -q --test races_golden
+    done
+done
 cargo fmt --all --check
 # Lint every first-party crate; the vendored stand-ins (rand, proptest,
 # criterion) are build inputs, not code we hold to clippy.

@@ -25,6 +25,12 @@ fn project(v: &cfa::analysis::kcfa::ValK) -> Val0 {
             Slot::Car(l) => Val0::Pair(l),
             _ => unreachable!("pair car address must be a Car slot"),
         },
+        AVal::Tid { .. } => Val0::Tid,
+        AVal::RetK { .. } => Val0::RetK,
+        AVal::Atom { cell } => match cell.slot {
+            Slot::Atom(l) => Val0::Atom(l),
+            _ => unreachable!("atom cell address must be an Atom slot"),
+        },
     }
 }
 

@@ -56,6 +56,19 @@ fn worst_case_fixpoints_are_identical() {
     }
 }
 
+/// The concurrent corpus: golden race-detector programs plus random
+/// spawn/join/atom programs. These exercise the abstract-thread domain
+/// (thread-return addresses, join blocking, atom cells), where a store
+/// backend that mishandled cross-thread flow would diverge. The naive
+/// per-state-store machine is deliberately absent here — it cannot
+/// model cross-thread store flow (see `cfa_core::naive`).
+#[test]
+fn concurrent_fixpoints_are_identical() {
+    for (name, src) in cfa_testsupport::concurrent_scheme_corpus() {
+        check_scheme_program(&src, &name, &[0, 1]);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -71,5 +84,13 @@ proptest! {
     fn random_fj_fixpoints_are_identical(seed in 0u64..10_000) {
         let src = cfa_testsupport::random_fj_program(seed, Default::default());
         check_fj_program(&src, &format!("random FJ seed={seed}"), &[0, 1]);
+    }
+
+    /// Randomized concurrent Scheme programs: identical fixpoints across
+    /// engines on the abstract-thread domain.
+    #[test]
+    fn random_concurrent_fixpoints_are_identical(seed in 0u64..10_000) {
+        let src = cfa_testsupport::random_concurrent_scheme_program(seed, 25);
+        check_scheme_program(&src, &format!("random concurrent seed={seed}"), &[0, 1]);
     }
 }

@@ -1,0 +1,161 @@
+//! Golden race-detector suite (the acceptance gate for the static race
+//! client):
+//!
+//! * every seeded race in the racy programs is reported — zero false
+//!   negatives;
+//! * the join-synchronized and CAS-guarded programs produce zero
+//!   reports;
+//! * the report is byte-identical no matter which engine computed the
+//!   fixpoint — sequential, replicated-parallel, and sharded-parallel,
+//!   each in both evaluation modes (the parallel side honors
+//!   `CFA_STORE_BACKEND`, so the CI matrix gates each backend in
+//!   isolation).
+
+use cfa::analysis::engine::{run_fixpoint_with, EngineLimits, EvalMode};
+use cfa::analysis::flatcfa::{FlatCfaMachine, FlatPolicy};
+use cfa::analysis::kcfa::KCfaMachine;
+use cfa::analysis::races::{races_kcfa, races_mcfa, RaceReport};
+use cfa::analysis::{run_fixpoint_parallel_on, Replicated, Sharded};
+use cfa_testsupport::{
+    backend_selection, golden_racy_programs, golden_synchronized_programs, PAR_THREADS,
+};
+
+/// Which evaluation modes to sweep. `CFA_EVAL_MODE` narrows the run to
+/// one mode (`semi-naive` or `full-reeval`) so the CI race matrix can
+/// pin backend × mode per leg; anything else (including unset) means
+/// both.
+fn selected_modes() -> Vec<EvalMode> {
+    match std::env::var("CFA_EVAL_MODE").as_deref() {
+        Ok("semi-naive") => vec![EvalMode::SemiNaive],
+        Ok("full-reeval") => vec![EvalMode::FullReeval],
+        _ => vec![EvalMode::SemiNaive, EvalMode::FullReeval],
+    }
+}
+
+/// Race reports for one program from every selected engine, labeled.
+fn kcfa_reports(src: &str, k: usize) -> Vec<(String, RaceReport)> {
+    let p = cfa::compile(src).expect("golden program compiles");
+    let backends = backend_selection();
+    let mut out = Vec::new();
+    for mode in selected_modes() {
+        let r = run_fixpoint_with(&mut KCfaMachine::new(&p, k), EngineLimits::default(), mode);
+        assert!(r.status.is_complete(), "sequential {mode:?} incomplete");
+        out.push((format!("sequential {mode:?}"), races_kcfa(&p, k, &r)));
+        if backends.replicated {
+            let r = run_fixpoint_parallel_on::<Replicated, _>(
+                &mut KCfaMachine::new(&p, k),
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            assert!(r.status.is_complete(), "replicated {mode:?} incomplete");
+            out.push((format!("replicated {mode:?}"), races_kcfa(&p, k, &r)));
+        }
+        if backends.sharded {
+            let r = run_fixpoint_parallel_on::<Sharded, _>(
+                &mut KCfaMachine::new(&p, k),
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            assert!(r.status.is_complete(), "sharded {mode:?} incomplete");
+            out.push((format!("sharded {mode:?}"), races_kcfa(&p, k, &r)));
+        }
+    }
+    out
+}
+
+/// Same engine sweep for the m-CFA machine.
+fn mcfa_reports(src: &str, m: usize) -> Vec<(String, RaceReport)> {
+    let p = cfa::compile(src).expect("golden program compiles");
+    let backends = backend_selection();
+    let mk = || FlatCfaMachine::new(&p, m, FlatPolicy::TopMFrames);
+    let mut out = Vec::new();
+    for mode in selected_modes() {
+        let r = run_fixpoint_with(&mut mk(), EngineLimits::default(), mode);
+        assert!(r.status.is_complete(), "sequential {mode:?} incomplete");
+        out.push((format!("sequential {mode:?}"), races_mcfa(&p, m, &r)));
+        if backends.replicated {
+            let r = run_fixpoint_parallel_on::<Replicated, _>(
+                &mut mk(),
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            assert!(r.status.is_complete(), "replicated {mode:?} incomplete");
+            out.push((format!("replicated {mode:?}"), races_mcfa(&p, m, &r)));
+        }
+        if backends.sharded {
+            let r = run_fixpoint_parallel_on::<Sharded, _>(
+                &mut mk(),
+                PAR_THREADS,
+                EngineLimits::default(),
+                mode,
+            );
+            assert!(r.status.is_complete(), "sharded {mode:?} incomplete");
+            out.push((format!("sharded {mode:?}"), races_mcfa(&p, m, &r)));
+        }
+    }
+    out
+}
+
+/// Asserts all engine-labeled reports agree, returning the canonical one.
+fn assert_engines_agree_on_report(name: &str, reports: Vec<(String, RaceReport)>) -> RaceReport {
+    let (_, canonical) = reports.first().expect("at least one engine ran").clone();
+    for (engine, report) in &reports {
+        assert_eq!(
+            report, &canonical,
+            "{name}: {engine} report diverges from {}",
+            reports[0].0
+        );
+    }
+    canonical
+}
+
+#[test]
+fn racy_programs_all_report_races_everywhere() {
+    for &(name, src) in golden_racy_programs() {
+        for k in [0usize, 1] {
+            let report = assert_engines_agree_on_report(name, kcfa_reports(src, k));
+            assert!(
+                !report.races.is_empty(),
+                "{name} (k={k}): seeded race missed\n{}",
+                report.render_text()
+            );
+        }
+        let report = assert_engines_agree_on_report(name, mcfa_reports(src, 1));
+        assert!(
+            !report.races.is_empty(),
+            "{name} (m=1): seeded race missed\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn synchronized_programs_stay_silent_everywhere() {
+    for &(name, src) in golden_synchronized_programs() {
+        let report = assert_engines_agree_on_report(name, kcfa_reports(src, 1));
+        assert!(
+            report.races.is_empty(),
+            "{name} (k=1): false positive on synchronized program\n{}",
+            report.render_text()
+        );
+        let report = assert_engines_agree_on_report(name, mcfa_reports(src, 1));
+        assert!(
+            report.races.is_empty(),
+            "{name} (m=1): false positive on synchronized program\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn random_concurrent_reports_are_engine_independent() {
+    // The random family has no expected race count, but whatever the
+    // detector says must not depend on which engine ran the fixpoint.
+    for seed in 0..8u64 {
+        let src = cfa_testsupport::random_concurrent_scheme_program(seed, 25);
+        assert_engines_agree_on_report(&format!("seed {seed}"), kcfa_reports(&src, 1));
+    }
+}
