@@ -17,10 +17,18 @@
 //!    atoms record `(cell, access-kind)` facts.
 //! 2. **Must-joined dataflow.** A forward analysis computes, for every
 //!    node, the set of threads that have certainly completed on *all*
-//!    paths reaching it (gen at singleton joins, kill at re-spawns,
-//!    intersection at merges). Spawn edges propagate into the child, so
-//!    a child inherits the orderings its parent established — this is
-//!    what orders sequential `spawn`/`join` sibling chains.
+//!    paths reaching it (gen at joins, kill at re-spawns, intersection
+//!    at merges). A join generates only when the joined family provably
+//!    has a *single concrete member*: the handle flow names a unique
+//!    thread id, that id has exactly one spawn node, the spawn node is
+//!    not on a graph cycle (a looping spawn site re-fires), and the
+//!    spawning thread is itself a singleton family (recursively, with
+//!    `main` as the base case). Joining one handle of a multi-member
+//!    family finishes *that* member only — the siblings keep running —
+//!    so such joins must not order anything. Spawn edges propagate into
+//!    the child, so a child inherits the orderings its parent
+//!    established — this is what orders sequential `spawn`/`join`
+//!    sibling chains.
 //! 3. **Spawn ordering.** An access `a` is ordered before every action
 //!    of thread `U` if, for each spawn site `s` of `U`, `a` can only
 //!    execute before `s` fires (`a →* s` and not `s →* a` in the
@@ -38,8 +46,12 @@
 //!
 //! - **Same-thread pairs are not reported.** One abstract thread id can
 //!   stand for several concrete threads when a spawn site re-executes
-//!   (a loop spawning workers); conflicts *within* such a family are
-//!   invisible at this abstraction. Raising `k`/`m` splits the family.
+//!   (a loop spawning workers, a helper called twice); conflicts
+//!   *within* such a family are invisible at this abstraction. Note
+//!   that the thread id is a string of spawn-site labels only, so
+//!   raising `k`/`m` splits a family only when the re-executions occur
+//!   under distinct *parent spawn chains*; re-executions of one spawn
+//!   site by a single thread share an abstract id at every bound.
 //! - **The `atom` initialization write is ignored.** The cell is not
 //!   shared before the allocating primitive returns it.
 //!
@@ -122,7 +134,12 @@ struct ThreadGraph {
     nodes: Vec<Node>,
     succs: Vec<Vec<usize>>,
     tids: BTreeSet<CallString>,
-    entry: usize,
+    /// The initial configuration's node, when it is among the reached
+    /// configs. `None` means the config set and the machine disagree
+    /// (e.g. a fixpoint computed with different parameters was passed
+    /// in); the must-join analysis then claims nothing rather than
+    /// seeding from an arbitrary node.
+    entry: Option<usize>,
 }
 
 /// What the detector needs from a machine beyond [`ReferenceMachine`]:
@@ -247,7 +264,7 @@ fn build_graph<M: ThreadedMachine>(
 ) -> ThreadGraph {
     let index: HashMap<&M::Config, usize> =
         configs.iter().enumerate().map(|(i, c)| (c, i)).collect();
-    let entry = index.get(&machine.initial()).copied().unwrap_or(0);
+    let entry = index.get(&machine.initial()).copied();
     let mut nodes = Vec::with_capacity(configs.len());
     let mut succs = Vec::with_capacity(configs.len());
     let mut tids = BTreeSet::new();
@@ -350,26 +367,91 @@ fn build_graph<M: ThreadedMachine>(
     }
 }
 
+/// Whether `s` lies on a cycle of `edges` (some successor path leads
+/// back to `s`): a node a concrete run can visit more than once.
+fn on_cycle(edges: &[Vec<usize>], s: usize) -> bool {
+    let mut seen = vec![false; edges.len()];
+    let mut work = Vec::new();
+    for &j in &edges[s] {
+        if !seen[j] {
+            seen[j] = true;
+            work.push(j);
+        }
+    }
+    while let Some(i) = work.pop() {
+        if i == s {
+            return true;
+        }
+        for &j in &edges[i] {
+            if !seen[j] {
+                seen[j] = true;
+                work.push(j);
+            }
+        }
+    }
+    false
+}
+
+/// The abstract thread ids whose family provably has at most one
+/// concrete member. `main` always qualifies; a spawned id qualifies
+/// when it has exactly one spawn node, that node is not on a cycle (a
+/// looping spawn re-fires), and the spawning thread is itself a
+/// singleton family (a family parent runs its spawn once *per member*).
+/// Computed as a least fixpoint from below, so a spawn chain that feeds
+/// back into itself through thread-id truncation stays out.
+fn singleton_tids(graph: &ThreadGraph) -> BTreeSet<CallString> {
+    let mut spawns: BTreeMap<&CallString, Vec<usize>> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let NodeKind::Spawn { child } = &node.kind {
+            spawns.entry(child).or_default().push(i);
+        }
+    }
+    let mut singles = BTreeSet::new();
+    singles.insert(CallString::empty());
+    loop {
+        let mut changed = false;
+        for (tid, sites) in &spawns {
+            if singles.contains(*tid) || sites.len() != 1 {
+                continue;
+            }
+            let s = sites[0];
+            if singles.contains(&graph.nodes[s].tid) && !on_cycle(&graph.succs, s) {
+                singles.insert((*tid).clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    singles
+}
+
 /// Forward must-analysis: for each node, the threads certainly joined on
 /// every path from the entry. Optimistic initialization (unvisited = ⊤),
 /// intersection at merges; a spawn kills its child (a re-spawn
-/// invalidates the old completion), a singleton-target join generates.
-/// Nodes unreachable from the entry keep ∅ — no ordering claims there.
+/// invalidates the old completion), and a join generates only when its
+/// unique target is a singleton family ([`singleton_tids`]) — joining
+/// one handle of a multi-member family leaves the siblings running, so
+/// nothing completes for certain. Nodes unreachable from the entry keep
+/// ∅ — no ordering claims there — and a missing entry (the initial
+/// config absent from `configs`) yields ∅ everywhere.
 fn must_joined(graph: &ThreadGraph) -> Vec<BTreeSet<CallString>> {
     let n = graph.nodes.len();
     let mut inv: Vec<Option<BTreeSet<CallString>>> = vec![None; n];
-    if n == 0 {
-        return Vec::new();
-    }
-    inv[graph.entry] = Some(BTreeSet::new());
-    let mut work = vec![graph.entry];
+    let Some(entry) = graph.entry else {
+        return vec![BTreeSet::new(); n];
+    };
+    let singles = singleton_tids(graph);
+    inv[entry] = Some(BTreeSet::new());
+    let mut work = vec![entry];
     while let Some(i) = work.pop() {
         let mut out = inv[i].clone().expect("worklist nodes are initialized");
         match &graph.nodes[i].kind {
             NodeKind::Spawn { child } => {
                 out.remove(child);
             }
-            NodeKind::Join { must: Some(u) } => {
+            NodeKind::Join { must: Some(u) } if singles.contains(u) => {
                 out.insert(u.clone());
             }
             _ => {}
@@ -830,6 +912,16 @@ mod tests {
            (let ((t (spawn (cas! a 0 1))))
              (begin (cas! a 0 2) (join t))))";
 
+    // One spawn site executed twice (helper called from two call
+    // sites), only one handle joined: the un-joined sibling shares the
+    // joined member's abstract thread id, so the join must not order
+    // the family's writes before the deref.
+    const DOUBLE_SPAWN_SINGLE_JOIN: &str = "(let ((a (atom 0)))
+           (let ((mk (lambda (x) (spawn (reset! a 1)))))
+             (let ((h1 (mk 0)))
+               (let ((h2 (mk 0)))
+                 (begin (join h1) (deref a))))))";
+
     #[test]
     fn unjoined_read_races_with_child_write() {
         for report in [report_k(UNJOINED_READ, 1), report_m(UNJOINED_READ, 1)] {
@@ -897,6 +989,57 @@ mod tests {
     }
 
     #[test]
+    fn joining_one_member_of_a_spawn_family_does_not_order_its_siblings() {
+        for report in [
+            report_k(DOUBLE_SPAWN_SINGLE_JOIN, 1),
+            report_m(DOUBLE_SPAWN_SINGLE_JOIN, 1),
+        ] {
+            assert_eq!(report.races.len(), 1, "{}", report.render_text());
+            let race = &report.races[0];
+            assert_eq!(race.kind, RaceKind::ReadWrite);
+            assert_eq!(race.first.op, "deref");
+            assert_eq!(race.first.thread, "main");
+            assert_eq!(race.second.op, "reset!");
+        }
+    }
+
+    #[test]
+    fn joining_every_member_of_a_singleton_chain_still_orders() {
+        // The dual of the family case: two distinct spawn *sites*, each
+        // fired once, both joined — every family is a provable
+        // singleton, so the joins order both writes before the read.
+        let src = "(let ((a (atom 0)))
+               (let ((t1 (spawn (reset! a 1))))
+                 (let ((t2 (spawn (reset! a 2))))
+                   (begin (join t1) (join t2) (deref a)))))";
+        for report in [report_k(src, 1), report_m(src, 1)] {
+            let unordered_read = report
+                .races
+                .iter()
+                .any(|r| r.first.op == "deref" || r.second.op == "deref");
+            assert!(!unordered_read, "{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn loop_spawned_family_join_does_not_order() {
+        // A recursive loop re-firing one spawn site: the spawn node is
+        // on a graph cycle, so the family is multi-member and joining
+        // one handle leaves siblings running.
+        let src = "(let ((a (atom 0)))
+               (letrec ((go (lambda (n)
+                              (if (= n 0)
+                                  (spawn (reset! a 1))
+                                  (go (- n 1))))))
+                 (let ((h (go 3)))
+                   (begin (join h) (deref a)))))";
+        for report in [report_k(src, 1), report_m(src, 1)] {
+            assert_eq!(report.races.len(), 1, "{}", report.render_text());
+            assert_eq!(report.races[0].kind, RaceKind::ReadWrite);
+        }
+    }
+
+    #[test]
     fn main_write_before_spawn_is_ordered() {
         let src = "(let ((a (atom 0)))
                (begin
@@ -913,7 +1056,13 @@ mod tests {
         // The detector is machine-independent: k-CFA, m-CFA, and poly
         // k-CFA see the same races on the golden programs (only the
         // analysis banner differs).
-        for src in [UNJOINED_READ, JOINED_READ, SIBLING_WRITES, CAS_GUARDED] {
+        for src in [
+            UNJOINED_READ,
+            JOINED_READ,
+            SIBLING_WRITES,
+            CAS_GUARDED,
+            DOUBLE_SPAWN_SINGLE_JOIN,
+        ] {
             let p = cfa_syntax::compile(src).unwrap();
             let k = races_kcfa(
                 &p,
