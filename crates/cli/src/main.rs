@@ -4,6 +4,7 @@
 //! ```text
 //! cfa analyze [--kcfa K | --mcfa M | --poly K] [--all] FILE.scm
 //! cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
+//! cfa serve [--backend B]           # pooled query server over stdin
 //! cfa run FILE.scm                  # concrete execution (shared envs)
 //! cfa cps FILE.scm                  # print the CPS conversion
 //! cfa dot FILE.scm                  # 1-CFA call graph as Graphviz dot
@@ -33,6 +34,7 @@ fn usage() -> ExitCode {
         "usage:
   cfa analyze [--kcfa K | --mcfa M | --poly K | --all] [--report] FILE.scm
   cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
+  cfa serve [--backend replicated|sharded]
   cfa run FILE.scm
   cfa cps FILE.scm
   cfa dot FILE.scm
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "analyze" => cmd_analyze(rest),
         "races" => cmd_races(rest),
+        "serve" => cmd_serve(rest),
         "run" => cmd_run(rest),
         "cps" => cmd_cps(rest),
         "dot" => cmd_dot(rest),
@@ -335,6 +338,230 @@ fn cmd_races(args: &[String]) -> ExitCode {
         print!("{}", report.render_text());
     }
     ExitCode::SUCCESS
+}
+
+/// `cfa serve [--backend replicated|sharded]` — a pooled query server.
+///
+/// Requests arrive on stdin as a header line, the mini-Scheme source,
+/// and a lone `.` terminator:
+///
+/// ```text
+/// callgraph k=1
+/// (define (id x) x) (id 42)
+/// .
+/// races k=0
+/// ...source...
+/// .
+/// ```
+///
+/// Every request is submitted to one long-lived [`AnalysisPool`]
+/// (sized by `CFA_POOL_THREADS` / `CFA_POOL_QUEUE_DEPTH`) as soon as
+/// its terminator is read, so queries analyze concurrently; responses
+/// are printed in request order, each as an `ok N ...` or `err N ...`
+/// header followed by the payload and a lone `.`:
+///
+/// * `callgraph` answers `ok N callgraph sites=S edges=E` and the
+///   1-CFA-style call graph in Graphviz dot;
+/// * `races` answers `ok N races count=R` and the race report JSON.
+///
+/// A malformed request, a program that does not compile, or an
+/// analysis stopped early (timeout, iteration limit, fault) answers
+/// `err N <reason>` — the server keeps serving.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut backend = "replicated".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                backend = value.clone();
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    match backend.as_str() {
+        "replicated" => run_serve::<cfa_core::Replicated>(),
+        "sharded" => run_serve::<cfa_core::Sharded>(),
+        other => {
+            eprintln!("cfa: unknown store backend '{other}' (use replicated or sharded)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// What a `serve` query asks of the fixpoint.
+enum QueryKind {
+    Callgraph,
+    Races,
+}
+
+/// One admitted `serve` request: the submitted job plus what to render
+/// from it — or an error already known at parse time, held in line so
+/// responses stay in request order.
+enum PendingReply {
+    Job {
+        kind: QueryKind,
+        k: usize,
+        program: std::sync::Arc<cfa_syntax::cps::CpsProgram>,
+        job: cfa_core::kcfa::KcfaJob,
+    },
+    Malformed(String),
+}
+
+fn run_serve<B: cfa_core::PoolBackend>() -> ExitCode {
+    use std::io::BufRead as _;
+    use std::io::Write as _;
+
+    let pool = cfa_core::AnalysisPool::new(cfa_core::PoolConfig::from_env());
+    let stdin = std::io::stdin().lock();
+    let mut lines = stdin.lines();
+    let mut pending: std::collections::VecDeque<(u64, PendingReply)> =
+        std::collections::VecDeque::new();
+    let mut next_id = 0u64;
+
+    let drain_one = |id: u64, reply: PendingReply| {
+        let mut out = std::io::stdout().lock();
+        match reply {
+            PendingReply::Malformed(reason) => {
+                let _ = writeln!(out, "err {id} {reason}\n.");
+            }
+            PendingReply::Job {
+                kind,
+                k,
+                program,
+                job,
+            } => {
+                let r = job.wait();
+                if let Err(_code) = check_status(&r.metrics.status) {
+                    // check_status printed the one-line diagnostic;
+                    // mirror it into the protocol and keep serving.
+                    let _ = writeln!(out, "err {id} analysis stopped: {:?}\n.", r.metrics.status);
+                    return;
+                }
+                match kind {
+                    QueryKind::Callgraph => {
+                        let graph =
+                            cfa_core::callgraph::CallGraph::from_metrics(&program, &r.metrics);
+                        let _ = writeln!(
+                            out,
+                            "ok {id} callgraph k={k} sites={} edges={}",
+                            graph.site_count(),
+                            graph.edge_count()
+                        );
+                        let _ = write!(out, "{}", graph.to_dot(&program));
+                        let _ = writeln!(out, ".");
+                    }
+                    QueryKind::Races => {
+                        let report = cfa_core::races_kcfa(&program, k, &r.fixpoint);
+                        let _ = writeln!(out, "ok {id} races k={k} count={}", report.races.len());
+                        let _ = writeln!(out, "{}", report.render_json());
+                        let _ = writeln!(out, ".");
+                    }
+                }
+            }
+        }
+        let _ = out.flush();
+    };
+
+    loop {
+        let header = match lines.next() {
+            None => break,
+            Some(Err(e)) => {
+                eprintln!("cfa: stdin: {e}");
+                break;
+            }
+            Some(Ok(line)) => line,
+        };
+        if header.trim().is_empty() {
+            continue;
+        }
+        // Gather the request body up to the lone-`.` terminator before
+        // deciding anything, so a malformed header cannot desync the
+        // stream.
+        let mut source = String::new();
+        loop {
+            match lines.next() {
+                None => break,
+                Some(Err(e)) => {
+                    eprintln!("cfa: stdin: {e}");
+                    break;
+                }
+                Some(Ok(line)) => {
+                    if line.trim() == "." {
+                        break;
+                    }
+                    source.push_str(&line);
+                    source.push('\n');
+                }
+            }
+        }
+        let id = next_id;
+        next_id += 1;
+        let reply = parse_serve_request::<B>(&pool, &header, &source);
+        pending.push_back((id, reply));
+        // Opportunistically flush any responses that are already done,
+        // preserving request order.
+        loop {
+            let ready = match pending.front() {
+                Some((_, PendingReply::Malformed(_))) => true,
+                Some((_, PendingReply::Job { job, .. })) => job.is_finished(),
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let (id, reply) = pending.pop_front().expect("front checked");
+            drain_one(id, reply);
+        }
+    }
+    // EOF: answer everything still in flight, in order.
+    for (id, reply) in pending {
+        drain_one(id, reply);
+    }
+    pool.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Parses one `serve` header + body into a submitted job (or an
+/// in-line error). Headers are `callgraph k=N` / `races k=N`.
+fn parse_serve_request<B: cfa_core::PoolBackend>(
+    pool: &cfa_core::AnalysisPool,
+    header: &str,
+    source: &str,
+) -> PendingReply {
+    let mut parts = header.split_whitespace();
+    let kind = match parts.next() {
+        Some("callgraph") => QueryKind::Callgraph,
+        Some("races") => QueryKind::Races,
+        other => {
+            return PendingReply::Malformed(format!(
+                "unknown query {:?} (use callgraph or races)",
+                other.unwrap_or("")
+            ))
+        }
+    };
+    let mut k = 1usize;
+    for part in parts {
+        match part.strip_prefix("k=").map(str::parse) {
+            Some(Ok(depth)) => k = depth,
+            _ => return PendingReply::Malformed(format!("bad parameter {part:?} (use k=N)")),
+        }
+    }
+    let program = match cfa_syntax::compile(source) {
+        Ok(p) => std::sync::Arc::new(p),
+        Err(e) => return PendingReply::Malformed(format!("compile error: {e}")),
+    };
+    let job =
+        cfa_core::kcfa::submit_kcfa::<B>(pool, std::sync::Arc::clone(&program), k, run_limits());
+    PendingReply::Job {
+        kind,
+        k,
+        program,
+        job,
+    }
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {

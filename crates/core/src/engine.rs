@@ -589,11 +589,12 @@ impl EngineLimits {
     /// (the CLI): `CFA_MAX_ITERS` (evaluation budget),
     /// `CFA_TIME_BUDGET_MS` (wall-clock budget in milliseconds), and
     /// `CFA_FAULT_PLAN` (a deterministic fault plan — see
-    /// [`crate::fabric::FaultPlan::parse`]; arming a `cancel@pop=N`
-    /// clause installs the plan's token as this limit's
-    /// [`CancelToken`]). Unset variables leave the default (unbounded);
-    /// a malformed value panics with the offending text, since
-    /// silently ignoring an operator's budget would be worse.
+    /// [`crate::fabric::FaultPlan::parse`]; a `cancel_pop=N` clause
+    /// flips the run's own armed token, which every engine observes
+    /// exactly like an external [`CancelToken`]). Unset variables leave
+    /// the default (unbounded); a malformed value panics with the
+    /// offending text, since silently ignoring an operator's budget
+    /// would be worse.
     pub fn from_env() -> Self {
         let mut limits = Self::default();
         if let Ok(v) = std::env::var("CFA_MAX_ITERS") {
@@ -610,7 +611,6 @@ impl EngineLimits {
         if let Ok(v) = std::env::var("CFA_FAULT_PLAN") {
             let plan = crate::fabric::FaultPlan::parse(&v)
                 .unwrap_or_else(|e| panic!("CFA_FAULT_PLAN={v:?}: {e}"));
-            limits.cancel = Some(plan.cancel_token());
             limits.fault_plan = Some(std::sync::Arc::new(plan));
         }
         limits
@@ -697,8 +697,16 @@ pub struct FixpointResult<C, A, V> {
     /// Scheduler observability: steals, idle spins, message traffic,
     /// and approximate store-resident bytes.
     pub sched: SchedStats,
-    /// Wall-clock time of the run.
+    /// Wall-clock time of the run — counted from the run's *first
+    /// evaluation quantum*, not from submission, so a pool-queued run's
+    /// wait never eats its `time_budget`.
     pub elapsed: Duration,
+    /// Time the run spent admission-queued before its first quantum.
+    /// Always zero for the direct (non-pooled) entry points, which
+    /// start executing at submission; the analysis pool records the
+    /// submission→activation gap here, *outside* `elapsed` and the
+    /// time-budget clock.
+    pub queue_wait: Duration,
 }
 
 impl<C, A, V> FixpointResult<C, A, V> {
@@ -859,8 +867,14 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
     // Reused scratch buffers for the per-step tracking vectors.
     let (mut reads_buf, mut grew_buf, mut delta_buf) = (Vec::new(), Vec::new(), Vec::new());
     // Fault-injection hooks (None in production runs — one dead branch
-    // per pop). The sequential engine counts as worker 0.
-    let fault_plan = limits.fault_plan.as_deref();
+    // per pop), armed for exactly this run: per-run counters and a
+    // per-run cancel token, so concurrent runs sharing cloned limits
+    // never trip each other's clauses. The sequential engine counts as
+    // worker 0.
+    let armed = limits
+        .fault_plan
+        .as_deref()
+        .map(crate::fabric::ArmedFaultPlan::new);
 
     while let Some(&_head) = queue.front() {
         // Check limits *before* popping: a config that the budget cuts
@@ -876,11 +890,17 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         // long run of gate-skipped pops must still consult the clock, or
         // it could overrun `time_budget` without ever noticing.
         if (iterations + skipped).is_multiple_of(256) {
-            if let Some(token) = &limits.cancel {
-                if token.is_cancelled() {
-                    status = Status::Cancelled;
-                    break;
-                }
+            let external = limits
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled);
+            if external
+                || armed
+                    .as_ref()
+                    .is_some_and(crate::fabric::ArmedFaultPlan::cancelled)
+            {
+                status = Status::Cancelled;
+                break;
             }
             if let Some(budget) = limits.time_budget {
                 if start.elapsed() > budget {
@@ -902,7 +922,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         let i = queue.pop_front().expect("peeked element present");
         queued[i] = false;
 
-        if let Some(plan) = fault_plan {
+        if let Some(plan) = &armed {
             let faults = plan.on_pop();
             if faults.trim {
                 store.trim_delta_logs();
@@ -955,7 +975,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         // monotone), so the partial store stays sound — the result is
         // simply a subset of the fixpoint.
         let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(plan) = fault_plan {
+            if let Some(plan) = &armed {
                 plan.on_eval(0);
             }
             machine.step(&config, &mut tracked, &mut successors)
@@ -1020,6 +1040,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         delta_applies,
         sched,
         elapsed: start.elapsed(),
+        queue_wait: Duration::ZERO,
     }
 }
 

@@ -143,15 +143,15 @@ pub enum WakeBatching {
 /// hooks in the worker loop (one `Option` branch per pop when unarmed —
 /// `engine_bench` pins that this costs nothing).
 ///
-/// Clauses are keyed on exact global pop / evaluation counts, so a
+/// Clauses are keyed on exact per-run pop / evaluation counts, so a
 /// fault lands at the same logical point on every run regardless of
 /// thread interleaving:
 ///
 /// * **panic at evaluation N** (optionally only counting worker W's
 ///   evaluations) — exercises the panic-isolation path end to end:
 ///   `catch_unwind`, abort broadcast, drain, join, partial result;
-/// * **cancel at pop N** — flips the plan's [`CancelToken`] (install it
-///   via [`FaultPlan::cancel_token`] as the run's
+/// * **cancel at pop N** — flips the run's armed [`CancelToken`]
+///   (observed by the loop exactly like an external
 ///   [`EngineLimits::cancel`]), pinning the cancellation-latency bound;
 /// * **trim at pop N** — forces a delta-log trim mid-run (watermark 0),
 ///   exercising the snapshot-loss fallback without memory pressure;
@@ -159,24 +159,29 @@ pub enum WakeBatching {
 ///   protocol (one phantom pending count), proving the stall watchdog
 ///   turns a would-be hang into a diagnostic abort.
 ///
+/// A `FaultPlan` is pure clauses — the counters the clauses key on
+/// live in the per-run `ArmedFaultPlan` each engine entry point
+/// creates. Sharing one plan (or one cloned [`EngineLimits`]) across
+/// concurrent runs is therefore safe: each run counts its *own* pops
+/// and evaluations and flips its *own* cancel token, so a fault
+/// planned against one run can never fire in a pool-mate that merely
+/// inherited the same limits.
+///
 /// Carried on [`EngineLimits::fault_plan`]; the CLI arms one from the
 /// `CFA_FAULT_PLAN` environment variable (see [`FaultPlan::parse`]).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
-    /// Panic when the global (or per-worker) evaluation count reaches
+    /// Panic when the run's (or one worker's) evaluation count reaches
     /// this 1-based value.
     panic_at_eval: Option<u64>,
     /// Restrict the panic clause's counting to this worker id.
     panic_worker: Option<usize>,
-    /// Flip the cancel token when the global pop count reaches this.
+    /// Flip the run's cancel token when its pop count reaches this.
     cancel_at_pop: Option<u64>,
-    /// Force a watermark-0 delta-log trim at this global pop count.
+    /// Force a watermark-0 delta-log trim at this run pop count.
     trim_at_pop: Option<u64>,
-    /// Add one phantom pending count at this global pop count.
+    /// Add one phantom pending count at this run pop count.
     leak_at_pop: Option<u64>,
-    evals: AtomicU64,
-    pops: AtomicU64,
-    token: CancelToken,
 }
 
 /// Pop-keyed side effects [`FaultPlan::on_pop`] asks the worker loop to
@@ -228,13 +233,6 @@ impl FaultPlan {
         self
     }
 
-    /// The token the `cancel_at_pop` clause flips. Install it as the
-    /// run's [`EngineLimits::cancel`] so the injected cancellation is
-    /// observed exactly like an external one.
-    pub fn cancel_token(&self) -> CancelToken {
-        self.token.clone()
-    }
-
     /// Parses the `CFA_FAULT_PLAN` knob: comma-separated `key=value`
     /// clauses, e.g. `panic_eval=40,panic_worker=1` or
     /// `cancel_pop=100`. Keys: `panic_eval`, `panic_worker`,
@@ -260,18 +258,53 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+}
 
-    /// Pop hook: counts one pop and fires any pop-keyed clause landing
-    /// exactly on it. Called by the worker loop once per pop *only when
-    /// a plan is armed*.
+/// A [`FaultPlan`] armed for exactly one fixpoint run: the clauses plus
+/// the run-private pop/eval counters they key on and the run-private
+/// cancel token the `cancel_at_pop` clause flips.
+///
+/// Every engine entry point (sequential, parallel drive, pool tenant)
+/// creates one of these at run entry — never shared across runs — so
+/// two concurrent fixpoints cloned from the same [`EngineLimits`]
+/// count independently and cannot trigger (or cancel) each other.
+#[derive(Debug)]
+pub(crate) struct ArmedFaultPlan {
+    plan: FaultPlan,
+    evals: AtomicU64,
+    pops: AtomicU64,
+    token: CancelToken,
+}
+
+impl ArmedFaultPlan {
+    /// Arms `plan` for one run with fresh counters and a fresh token.
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        ArmedFaultPlan {
+            plan: plan.clone(),
+            evals: AtomicU64::new(0),
+            pops: AtomicU64::new(0),
+            token: CancelToken::new(),
+        }
+    }
+
+    /// Whether this run's injected `cancel_at_pop` clause has fired.
+    /// Checked by the loops' cadenced cancel test alongside the
+    /// external [`EngineLimits::cancel`] token.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// Pop hook: counts one pop of this run and fires any pop-keyed
+    /// clause landing exactly on it. Called by the worker loop once per
+    /// pop *only when a plan is armed*.
     pub(crate) fn on_pop(&self) -> PopFaults {
         let n = self.pops.fetch_add(1, Ordering::AcqRel) + 1;
-        if self.cancel_at_pop == Some(n) {
+        if self.plan.cancel_at_pop == Some(n) {
             self.token.cancel();
         }
         PopFaults {
-            trim: self.trim_at_pop == Some(n),
-            leak: self.leak_at_pop == Some(n),
+            trim: self.plan.trim_at_pop == Some(n),
+            leak: self.plan.leak_at_pop == Some(n),
         }
     }
 
@@ -280,10 +313,10 @@ impl FaultPlan {
     /// `catch_unwind`, so the injected panic takes the exact path a
     /// real transfer-function panic takes.
     pub(crate) fn on_eval(&self, worker: usize) {
-        let Some(nth) = self.panic_at_eval else {
+        let Some(nth) = self.plan.panic_at_eval else {
             return;
         };
-        if self.panic_worker.is_some_and(|w| w != worker) {
+        if self.plan.panic_worker.is_some_and(|w| w != worker) {
             return;
         }
         let n = self.evals.fetch_add(1, Ordering::AcqRel) + 1;
@@ -377,7 +410,7 @@ impl<C: Clone + Eq + Hash, M> Fabric<C, M> {
 
     /// Records the limit that stopped the run (first writer wins) and
     /// raises the done flag.
-    fn stop(&self, status: Status) {
+    pub(crate) fn stop(&self, status: Status) {
         let mut slot = self.stop_status.lock_recovered();
         slot.get_or_insert(status);
         self.done.store(true, Ordering::Release);
@@ -543,23 +576,108 @@ pub struct WorkerCtx<'f, C, M> {
     depth_sum: u64,
     iterations: u64,
     skipped: u64,
+    /// Pops this worker has taken (evaluations + gate-skips) — keys the
+    /// cadenced limit checks.
+    pops: u64,
+    /// Whether the last turn ended idle — the next turn that finds work
+    /// publishes the idle→busy transition to the stall watchdog.
+    was_idle: bool,
+}
+
+/// The persistent half of a [`WorkerCtx`], detached from the fabric
+/// borrow: the private wake queue plus every per-worker counter.
+///
+/// A worker that runs to quiescence on one thread never needs this —
+/// [`WorkerCtx`] lives for the whole loop. The analysis pool does: a
+/// pool tenant runs in bounded quanta on whichever pool worker picks it
+/// up next, so between quanta its loop state is parked here
+/// ([`WorkerCtx::suspend`]) and rebound to the fabric on the next visit
+/// ([`WorkerCtx::resume`]).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerState {
+    wakes: VecDeque<usize>,
+    wakeups: u64,
+    delta_facts: u64,
+    delta_applies: u64,
+    sched: SchedStats,
+    depth_sum: u64,
+    pub(crate) iterations: u64,
+    pub(crate) skipped: u64,
+    pops: u64,
+    was_idle: bool,
+}
+
+impl WorkerState {
+    /// Consumes the parked state into the totals a finished run
+    /// reports: `(iterations, skipped, wakeups, delta_facts,
+    /// delta_applies, sched)`.
+    pub(crate) fn into_totals(self) -> (u64, u64, u64, u64, u64, SchedStats) {
+        (
+            self.iterations,
+            self.skipped,
+            self.wakeups,
+            self.delta_facts,
+            self.delta_applies,
+            self.sched,
+        )
+    }
 }
 
 impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
     fn new(id: usize, fabric: &'f Fabric<C, M>, mode: EvalMode, batching: WakeBatching) -> Self {
+        Self::resume(id, fabric, mode, batching, WorkerState::default())
+    }
+
+    /// Rebinds parked worker state to `fabric` for the next run quantum
+    /// (the inverse of [`WorkerCtx::suspend`]).
+    pub(crate) fn resume(
+        id: usize,
+        fabric: &'f Fabric<C, M>,
+        mode: EvalMode,
+        batching: WakeBatching,
+        state: WorkerState,
+    ) -> Self {
         WorkerCtx {
             id,
             fabric,
             mode,
             batching,
-            wakes: VecDeque::new(),
-            wakeups: 0,
-            delta_facts: 0,
-            delta_applies: 0,
-            sched: SchedStats::default(),
-            depth_sum: 0,
-            iterations: 0,
-            skipped: 0,
+            wakes: state.wakes,
+            wakeups: state.wakeups,
+            delta_facts: state.delta_facts,
+            delta_applies: state.delta_applies,
+            sched: state.sched,
+            depth_sum: state.depth_sum,
+            iterations: state.iterations,
+            skipped: state.skipped,
+            pops: state.pops,
+            was_idle: state.was_idle,
+        }
+    }
+
+    /// Parks this worker's loop state, releasing the fabric borrow
+    /// until the next [`WorkerCtx::resume`].
+    pub(crate) fn suspend(self) -> WorkerState {
+        WorkerState {
+            wakes: self.wakes,
+            wakeups: self.wakeups,
+            delta_facts: self.delta_facts,
+            delta_applies: self.delta_applies,
+            sched: self.sched,
+            depth_sum: self.depth_sum,
+            iterations: self.iterations,
+            skipped: self.skipped,
+            pops: self.pops,
+            was_idle: self.was_idle,
+        }
+    }
+
+    /// Publishes the idle→busy transition (at most once per idle
+    /// stretch) — called whenever a turn finds messages or a task.
+    fn note_busy_transition(&mut self) {
+        if self.was_idle {
+            self.fabric.note_busy(self.id);
+            self.was_idle = false;
         }
     }
 
@@ -567,6 +685,12 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
     /// sharded backend).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Total pops this worker has taken (evaluations + gate-skips) —
+    /// the analysis pool meters its bounded quanta on this.
+    pub(crate) fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Total workers in the run.
@@ -806,158 +930,24 @@ fn run_worker<B: BackendWorker>(
     mut backend: B,
     mut ctx: WorkerCtx<'_, B::Config, B::Msg>,
     limits: &EngineLimits,
+    armed: Option<&ArmedFaultPlan>,
     start: Instant,
 ) -> WorkerReport<B> {
-    if let Err(payload) =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.seed(&mut ctx)))
-    {
-        ctx.fabric.stop(Status::Aborted {
-            config: "<seed>".to_owned(),
-            message: panic_message(payload.as_ref()),
-        });
-    }
+    seed_worker(&mut backend, &mut ctx);
 
-    let mut pops: u64 = 0;
-    let mut idle_spins: u32 = 0;
-    let fault_plan = limits.fault_plan.as_deref();
-
+    let mut idle_streak: u32 = 0;
     loop {
-        if ctx.fabric.done.load(Ordering::Acquire) {
-            break;
-        }
-
-        // Deliver messages before taking on new evaluations, so local
-        // wakeups are scheduled against the freshest store view. Under
-        // adaptive batching a bounded batch is taken and the worker
-        // falls through to evaluate; under drain-all the whole inbox is
-        // delivered first (the pre-fabric discipline).
-        let msgs = ctx.drain_inbox();
-        if !msgs.is_empty() {
-            for msg in msgs {
-                backend.on_msg(msg, &mut ctx);
-                // Only now is the message's own pending released:
-                // everything it spawned is already counted.
-                ctx.fabric.pending_sub();
-            }
-            if idle_spins != 0 {
-                ctx.fabric.note_busy(ctx.id);
-                idle_spins = 0;
-            }
-            if ctx.batching == WakeBatching::DrainAll {
-                continue;
-            }
-        }
-
-        // Fresh exploration first — it discovers the configuration
-        // space and is the work that can be stolen; pinned re-runs
-        // after (deferring them coalesces several growth events into
-        // one re-evaluation); stealing only when both are dry.
-        let task: Option<usize> = match ctx.pop_local() {
-            Some(cfg) => Some(backend.intern(cfg)),
-            None => match ctx.wakes.pop_front() {
-                Some(i) => Some(i),
-                None => ctx.steal().map(|cfg| backend.intern(cfg)),
-            },
-        };
-        let Some(i) = task else {
-            if ctx.fabric.pending.load(Ordering::Acquire) == 0 {
-                ctx.fabric.done.store(true, Ordering::Release);
-                break;
-            }
-            // Publish counters and the idle flag for the stall
-            // watchdog (idle loop only — the hot path pays nothing),
-            // then check whether all-idle-with-pending has persisted
-            // past the threshold.
-            ctx.fabric
-                .note_idle(ctx.id, pops, &ctx.sched, ctx.iterations, ctx.skipped);
-            if let Some(threshold) = limits.stall_timeout {
-                if let Some(dump) = ctx.fabric.check_stall(threshold, start) {
-                    ctx.fabric.stop(Status::Aborted {
-                        config: Status::STALL_WATCHDOG.to_owned(),
-                        message: dump,
-                    });
-                    break;
+        match worker_turn(&mut backend, &mut ctx, limits, armed, start) {
+            Turn::Stopped => break,
+            Turn::Worked => idle_streak = 0,
+            Turn::Idle => {
+                idle_streak += 1;
+                if idle_streak < 32 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
                 }
             }
-            idle_spins += 1;
-            ctx.sched.idle_spins += 1;
-            if idle_spins < 32 {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(50));
-            }
-            continue;
-        };
-        if idle_spins != 0 {
-            ctx.fabric.note_busy(ctx.id);
-            idle_spins = 0;
-        }
-
-        pops += 1;
-        let pop_faults = fault_plan.map(FaultPlan::on_pop).unwrap_or_default();
-        if pop_faults.leak {
-            ctx.fabric.pending_add();
-        }
-        if pop_faults.trim {
-            backend.enforce_watermark(0, ctx.fabric.threads());
-        }
-        if pops.is_multiple_of(LIMIT_CHECK_CADENCE) {
-            if let Some(token) = &limits.cancel {
-                if token.is_cancelled() {
-                    ctx.fabric.stop(Status::Cancelled);
-                    ctx.fabric.pending_sub();
-                    break;
-                }
-            }
-            if let Some(budget) = limits.time_budget {
-                if start.elapsed() > budget {
-                    ctx.fabric.stop(Status::TimedOut);
-                    ctx.fabric.pending_sub();
-                    break;
-                }
-            }
-            if let Some(watermark) = limits.store_bytes_watermark {
-                backend.enforce_watermark(watermark, ctx.fabric.threads());
-            }
-        }
-
-        // The epoch gate is load-bearing here: the wake queue carries
-        // no is-queued dedup, so a configuration woken by several
-        // growth events before its re-run pops once per event — and
-        // every pop past the first dies here.
-        if backend.gated(i) {
-            ctx.skipped += 1;
-            ctx.fabric.pending_sub();
-            continue;
-        }
-
-        if ctx.fabric.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
-            ctx.fabric.stop(Status::IterationLimit);
-            ctx.fabric.pending_sub();
-            continue;
-        }
-        ctx.iterations += 1;
-
-        // Contained evaluation: the injected-fault hook runs inside the
-        // same catch_unwind as the machine's transfer function, so an
-        // injected panic exercises exactly the real abort path.
-        let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(plan) = fault_plan {
-                plan.on_eval(ctx.id);
-            }
-            backend.evaluate(i, &mut ctx)
-        }));
-        // Only now is this task's own pending count released:
-        // everything it spawned is already counted, so pending == 0
-        // implies global quiescence. Released on the panic path too, so
-        // an aborted run's counter stays reconciled.
-        ctx.fabric.pending_sub();
-        if let Err(payload) = evaluated {
-            ctx.fabric.stop(Status::Aborted {
-                config: backend.describe(i),
-                message: panic_message(payload.as_ref()),
-            });
-            break;
         }
     }
 
@@ -972,6 +962,177 @@ fn run_worker<B: BackendWorker>(
         delta_applies: ctx.delta_applies,
         sched: ctx.sched,
     }
+}
+
+/// Seeds `backend`'s store view under `catch_unwind`: a panicking seed
+/// records [`Status::Aborted`] exactly like a panicking evaluation.
+/// Runs once per worker before its first turn.
+pub(crate) fn seed_worker<B: BackendWorker>(
+    backend: &mut B,
+    ctx: &mut WorkerCtx<'_, B::Config, B::Msg>,
+) {
+    if let Err(payload) =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.seed(ctx)))
+    {
+        ctx.fabric.stop(Status::Aborted {
+            config: "<seed>".to_owned(),
+            message: panic_message(payload.as_ref()),
+        });
+    }
+}
+
+/// What one [`worker_turn`] did.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Turn {
+    /// Delivered messages or took a pop — call again immediately.
+    Worked,
+    /// Nothing to do but the run is still pending — back off (or, in a
+    /// pool, yield this tenant's slot) and call again later.
+    Idle,
+    /// The run is over: quiescent, limit-stopped, or aborted.
+    Stopped,
+}
+
+/// One turn of the worker loop: the unit [`run_worker`] iterates to
+/// quiescence and the analysis pool replays in bounded quanta. All
+/// loop state lives in `ctx`, so a turn is resumable across threads
+/// (suspend the ctx to a [`WorkerState`], resume it elsewhere).
+pub(crate) fn worker_turn<B: BackendWorker>(
+    backend: &mut B,
+    ctx: &mut WorkerCtx<'_, B::Config, B::Msg>,
+    limits: &EngineLimits,
+    armed: Option<&ArmedFaultPlan>,
+    start: Instant,
+) -> Turn {
+    if ctx.fabric.done.load(Ordering::Acquire) {
+        return Turn::Stopped;
+    }
+
+    // Deliver messages before taking on new evaluations, so local
+    // wakeups are scheduled against the freshest store view. Under
+    // adaptive batching a bounded batch is taken and the worker
+    // falls through to evaluate; under drain-all the whole inbox is
+    // delivered first (the pre-fabric discipline).
+    let msgs = ctx.drain_inbox();
+    if !msgs.is_empty() {
+        for msg in msgs {
+            backend.on_msg(msg, ctx);
+            // Only now is the message's own pending released:
+            // everything it spawned is already counted.
+            ctx.fabric.pending_sub();
+        }
+        ctx.note_busy_transition();
+        if ctx.batching == WakeBatching::DrainAll {
+            return Turn::Worked;
+        }
+    }
+
+    // Fresh exploration first — it discovers the configuration
+    // space and is the work that can be stolen; pinned re-runs
+    // after (deferring them coalesces several growth events into
+    // one re-evaluation); stealing only when both are dry.
+    let task: Option<usize> = match ctx.pop_local() {
+        Some(cfg) => Some(backend.intern(cfg)),
+        None => match ctx.wakes.pop_front() {
+            Some(i) => Some(i),
+            None => ctx.steal().map(|cfg| backend.intern(cfg)),
+        },
+    };
+    let Some(i) = task else {
+        if ctx.fabric.pending.load(Ordering::Acquire) == 0 {
+            ctx.fabric.done.store(true, Ordering::Release);
+            return Turn::Stopped;
+        }
+        // Publish counters and the idle flag for the stall
+        // watchdog (idle loop only — the hot path pays nothing),
+        // then check whether all-idle-with-pending has persisted
+        // past the threshold.
+        ctx.fabric
+            .note_idle(ctx.id, ctx.pops, &ctx.sched, ctx.iterations, ctx.skipped);
+        ctx.was_idle = true;
+        if let Some(threshold) = limits.stall_timeout {
+            if let Some(dump) = ctx.fabric.check_stall(threshold, start) {
+                ctx.fabric.stop(Status::Aborted {
+                    config: Status::STALL_WATCHDOG.to_owned(),
+                    message: dump,
+                });
+                return Turn::Stopped;
+            }
+        }
+        ctx.sched.idle_spins += 1;
+        return Turn::Idle;
+    };
+    ctx.note_busy_transition();
+
+    ctx.pops += 1;
+    let pop_faults = armed.map(ArmedFaultPlan::on_pop).unwrap_or_default();
+    if pop_faults.leak {
+        ctx.fabric.pending_add();
+    }
+    if pop_faults.trim {
+        backend.enforce_watermark(0, ctx.fabric.threads());
+    }
+    if ctx.pops.is_multiple_of(LIMIT_CHECK_CADENCE) {
+        let external = limits
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled);
+        if external || armed.is_some_and(ArmedFaultPlan::cancelled) {
+            ctx.fabric.stop(Status::Cancelled);
+            ctx.fabric.pending_sub();
+            return Turn::Stopped;
+        }
+        if let Some(budget) = limits.time_budget {
+            if start.elapsed() > budget {
+                ctx.fabric.stop(Status::TimedOut);
+                ctx.fabric.pending_sub();
+                return Turn::Stopped;
+            }
+        }
+        if let Some(watermark) = limits.store_bytes_watermark {
+            backend.enforce_watermark(watermark, ctx.fabric.threads());
+        }
+    }
+
+    // The epoch gate is load-bearing here: the wake queue carries
+    // no is-queued dedup, so a configuration woken by several
+    // growth events before its re-run pops once per event — and
+    // every pop past the first dies here.
+    if backend.gated(i) {
+        ctx.skipped += 1;
+        ctx.fabric.pending_sub();
+        return Turn::Worked;
+    }
+
+    if ctx.fabric.evals.fetch_add(1, Ordering::AcqRel) >= limits.max_iterations {
+        ctx.fabric.stop(Status::IterationLimit);
+        ctx.fabric.pending_sub();
+        return Turn::Worked;
+    }
+    ctx.iterations += 1;
+
+    // Contained evaluation: the injected-fault hook runs inside the
+    // same catch_unwind as the machine's transfer function, so an
+    // injected panic exercises exactly the real abort path.
+    let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = armed {
+            plan.on_eval(ctx.id);
+        }
+        backend.evaluate(i, ctx)
+    }));
+    // Only now is this task's own pending count released:
+    // everything it spawned is already counted, so pending == 0
+    // implies global quiescence. Released on the panic path too, so
+    // an aborted run's counter stays reconciled.
+    ctx.fabric.pending_sub();
+    if let Err(payload) = evaluated {
+        ctx.fabric.stop(Status::Aborted {
+            config: backend.describe(i),
+            message: panic_message(payload.as_ref()),
+        });
+        return Turn::Stopped;
+    }
+    Turn::Worked
 }
 
 /// Runs one backend worker per fabric slot to quiescence (or until a
@@ -993,10 +1154,15 @@ pub fn drive<B: BackendWorker>(
     );
     let mut backends = backends;
     let ctx_for = |id: usize| WorkerCtx::new(id, fabric, mode, limits.wake_batching);
+    // Arm the fault plan for exactly this run: per-run counters and a
+    // per-run cancel token, shared by reference across this run's
+    // workers only — never with another run holding the same limits.
+    let armed = limits.fault_plan.as_deref().map(ArmedFaultPlan::new);
+    let armed = armed.as_ref();
 
     if backends.len() == 1 {
         let backend = backends.pop().expect("one worker");
-        vec![run_worker(backend, ctx_for(0), limits, start)]
+        vec![run_worker(backend, ctx_for(0), limits, armed, start)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = backends
@@ -1004,7 +1170,7 @@ pub fn drive<B: BackendWorker>(
                 .enumerate()
                 .map(|(id, backend)| {
                     let ctx = ctx_for(id);
-                    scope.spawn(move || run_worker(backend, ctx, limits, start))
+                    scope.spawn(move || run_worker(backend, ctx, limits, armed, start))
                 })
                 .collect();
             // Machine panics are contained inside run_worker, so a

@@ -184,7 +184,7 @@ pub struct KConfig {
 /// The k-CFA abstract machine (drives the generic engine).
 #[derive(Debug)]
 pub struct KCfaMachine<'p> {
-    program: &'p CpsProgram,
+    program: crate::ProgramSource<'p>,
     k: usize,
     /// Per call site: operator λ-flow and whether a non-closure flowed.
     operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
@@ -216,6 +216,17 @@ fn canon_env(pool: &mut FxHashSet<BEnvK>, env: BEnvK) -> BEnvK {
 impl<'p> KCfaMachine<'p> {
     /// Creates a machine analyzing `program` with context depth `k`.
     pub fn new(program: &'p CpsProgram, k: usize) -> Self {
+        Self::from_source(crate::ProgramSource::Borrowed(program), k)
+    }
+
+    /// Creates a `'static` machine holding shared ownership of
+    /// `program` — the form [`crate::pool::AnalysisPool`] tenants need,
+    /// since they outlive the submitting stack frame.
+    pub fn new_owned(program: Arc<CpsProgram>, k: usize) -> KCfaMachine<'static> {
+        KCfaMachine::from_source(crate::ProgramSource::Owned(program), k)
+    }
+
+    fn from_source(program: crate::ProgramSource<'p>, k: usize) -> Self {
         KCfaMachine {
             program,
             k,
@@ -403,7 +414,11 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
         store: &mut TrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
-        let call_data = self.program.call(config.call);
+        // Clone the source (a reference copy or an `Arc` bump) so
+        // `call_data` borrows the local, not `self` — `eval`/`tick`
+        // below need `&mut self`.
+        let program = self.program.clone();
+        let call_data = program.call(config.call);
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.benv, store);
@@ -730,7 +745,7 @@ impl<'p> AbstractMachine for KCfaMachine<'p> {
 
 impl<'p> crate::parallel::ParallelMachine for KCfaMachine<'p> {
     fn fork(&self) -> Self {
-        KCfaMachine::new(self.program, self.k)
+        KCfaMachine::from_source(self.program.clone(), self.k)
     }
 
     fn absorb(&mut self, worker: Self) {
@@ -850,7 +865,11 @@ impl<'p> ReferenceMachine for KCfaMachine<'p> {
         store: &mut RefTrackedStore<'_, AddrK, ValK>,
         out: &mut Vec<KConfig>,
     ) {
-        let call_data = self.program.call(config.call);
+        // Clone the source (a reference copy or an `Arc` bump) so
+        // `call_data` borrows the local, not `self` — `eval`/`tick`
+        // below need `&mut self`.
+        let program = self.program.clone();
+        let call_data = program.call(config.call);
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval_ref(func, &config.benv, store);
@@ -1091,6 +1110,63 @@ pub fn analyze_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -> Kcf
         metrics,
         halt_values: machine.halt_values,
     }
+}
+
+/// A pending pooled k-CFA analysis — [`submit_kcfa`]'s ticket.
+#[derive(Debug)]
+pub struct KcfaJob {
+    handle: crate::pool::JobHandle<crate::pool::PoolRun<KCfaMachine<'static>>>,
+    program: Arc<CpsProgram>,
+    k: usize,
+}
+
+impl KcfaJob {
+    /// Blocks until the analysis finishes and assembles the same
+    /// [`KcfaResult`] the direct [`analyze_kcfa`] entry point builds.
+    pub fn wait(self) -> KcfaResult {
+        let run = self.handle.wait();
+        let metrics = build_metrics(
+            format!("k-CFA(k={})", self.k),
+            &self.program,
+            &run.fixpoint,
+            &run.machine.operator_flows,
+            &run.machine.lam_entry_envs,
+            &run.machine.halt_values,
+        );
+        KcfaResult {
+            fixpoint: run.fixpoint,
+            metrics,
+            halt_values: run.machine.halt_values,
+        }
+    }
+
+    /// Whether the run has deposited its result ([`KcfaJob::wait`]
+    /// returns without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Requests cancellation: still-queued runs finish
+    /// [`crate::engine::Status::Cancelled`] at zero iterations.
+    pub fn cancel(&self) {
+        self.handle.cancel();
+    }
+}
+
+/// Submits a k-CFA analysis of `program` (context depth `k`) to `pool`
+/// under store backend `B`, returning immediately. The pool drives it
+/// to the same fixpoint [`analyze_kcfa`] computes — the fixed point of
+/// a monotone transfer function is unique — while time-slicing fairly
+/// against the pool's other tenants.
+pub fn submit_kcfa<B: crate::pool::PoolBackend>(
+    pool: &crate::pool::AnalysisPool,
+    program: Arc<CpsProgram>,
+    k: usize,
+    limits: EngineLimits,
+) -> KcfaJob {
+    let machine = KCfaMachine::new_owned(Arc::clone(&program), k);
+    let handle = pool.submit::<B, _>(machine, limits, crate::engine::EvalMode::SemiNaive);
+    KcfaJob { handle, program, k }
 }
 
 /// Renders an abstract value for summaries (`3`, `int⊤`, `#<proc:ℓ4>`…).

@@ -39,6 +39,7 @@ pub mod gc;
 pub mod kcfa;
 pub mod naive;
 pub mod parallel;
+pub mod pool;
 pub mod prim;
 pub mod races;
 pub mod reference;
@@ -62,12 +63,42 @@ pub use parallel::{
     run_fixpoint_parallel, run_fixpoint_parallel_on, run_fixpoint_parallel_with, ParallelMachine,
     Replicated, Sharded, StoreBackend,
 };
+pub use pool::{AnalysisPool, JobHandle, PoolBackend, PoolConfig, PoolRun};
 pub use races::{races_kcfa, races_mcfa, races_poly_kcfa, Race, RaceKind, RaceReport};
 pub use results::Metrics;
 pub use shardstore::{run_fixpoint_sharded, run_fixpoint_sharded_with};
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};
 
 use cfa_syntax::cps::CpsProgram;
+
+/// How an abstract machine holds the program it analyzes.
+///
+/// The direct entry points ([`analyze_kcfa`] and friends) borrow the
+/// caller's program — no ownership change, no reference counting. Pool
+/// tenants ([`pool::AnalysisPool`]) outlive the submitting frame, so
+/// they hold shared ownership instead; [`kcfa::KCfaMachine::new_owned`]
+/// builds a `'static` machine from an `Arc`. `Deref` makes the two
+/// indistinguishable to the machine's transfer functions.
+#[derive(Debug, Clone)]
+pub enum ProgramSource<'p> {
+    /// Borrowed from the caller (the direct, run-to-completion entry
+    /// points).
+    Borrowed(&'p CpsProgram),
+    /// Shared ownership, for machines that outlive the submitting
+    /// stack frame (pool tenants).
+    Owned(std::sync::Arc<CpsProgram>),
+}
+
+impl std::ops::Deref for ProgramSource<'_> {
+    type Target = CpsProgram;
+
+    fn deref(&self) -> &CpsProgram {
+        match self {
+            ProgramSource::Borrowed(p) => p,
+            ProgramSource::Owned(p) => p,
+        }
+    }
+}
 
 /// Which analysis to run (the four columns of the paper's §6 tables).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]

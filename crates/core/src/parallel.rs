@@ -402,6 +402,7 @@ where
         delta_applies,
         sched,
         elapsed: start.elapsed(),
+        queue_wait: std::time::Duration::ZERO,
     }
 }
 
@@ -459,6 +460,54 @@ impl StoreBackend for Replicated {
         M::Val: Send + Sync,
     {
         run_fixpoint_parallel_with(machine, threads, limits, mode)
+    }
+}
+
+impl crate::pool::PoolBackend for Replicated {
+    fn tenant<M>(
+        mut machine: M,
+        limits: EngineLimits,
+        mode: EvalMode,
+        deposit: Box<dyn FnOnce(crate::pool::PoolRun<M>) + Send>,
+    ) -> Box<dyn crate::pool::TenantRun>
+    where
+        M: ParallelMachine + 'static,
+        M::Config: Send + Sync + 'static,
+        M::Addr: Send + Sync + Ord + 'static,
+        M::Val: Send + Sync + 'static,
+    {
+        let fabric: Fabric<M::Config, Batch<M>> = Fabric::new(1);
+        fabric.submit_root(machine.initial());
+        let backend = ReplicatedWorker::new(machine.fork());
+        // Mirrors the single-worker tail of run_fixpoint_parallel_with:
+        // merge the replica into a fresh store by id-remapping union,
+        // absorb the worker machine — so a pooled fixpoint is assembled
+        // exactly like a solo one.
+        let assemble =
+            move |backend: ReplicatedWorker<M>, status, configs, totals: crate::pool::RunTotals| {
+                let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
+                store.merge_from(&backend.store);
+                machine.absorb(backend.machine);
+                crate::pool::PoolRun {
+                    machine,
+                    fixpoint: FixpointResult {
+                        configs,
+                        store,
+                        status,
+                        iterations: totals.iterations,
+                        skipped: totals.skipped,
+                        wakeups: totals.wakeups,
+                        delta_facts: totals.delta_facts,
+                        delta_applies: totals.delta_applies,
+                        sched: totals.sched,
+                        elapsed: totals.elapsed,
+                        queue_wait: totals.queue_wait,
+                    },
+                }
+            };
+        Box::new(crate::pool::SoloTenant::new(
+            fabric, backend, limits, mode, assemble, deposit,
+        ))
     }
 }
 

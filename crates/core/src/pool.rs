@@ -1,0 +1,636 @@
+//! The multi-tenant analysis pool: one long-lived worker pool
+//! concurrently driving many independent fixpoint instances.
+//!
+//! The direct entry points ([`crate::parallel`], [`crate::shardstore`])
+//! give one run every worker thread for its whole lifetime — the right
+//! shape for one big analysis, the wrong one for a service running
+//! thousands of small ones (the realistic k-CFA workload mix, per the
+//! paper's complexity results: many small higher-order programs, each
+//! cheap, arriving concurrently). [`AnalysisPool`] inverts the
+//! ownership: the pool's threads are the long-lived resource, and each
+//! submitted analysis is a **tenant** that borrows them in bounded
+//! quanta.
+//!
+//! # Per-run state split
+//!
+//! Everything that used to be "the run" — pending counter, dedup
+//! seen-set, status, stop flag, watchdog meters — lives in the
+//! tenant's own private [`Fabric`]; the pool shares only threads.
+//! A tenant is a parked `fabric::WorkerState` plus its backend
+//! worker: whichever pool thread picks the tenant up next resumes the
+//! state against the tenant's fabric (`WorkerCtx::resume`), runs a
+//! bounded quantum of `fabric::worker_turn`s, and parks it again. This is
+//! exactly the loop the dedicated engines run — one turn is one unit
+//! of either — so a pooled fixpoint is the same computation as a solo
+//! run and reaches the identical (unique) fixpoint.
+//!
+//! # Fairness
+//!
+//! Scheduling is round-robin over a single ready queue: a tenant whose
+//! quantum expires goes to the back, and the next tenant comes off the
+//! front. A pathological worst-case-family program therefore costs its
+//! pool-mates at most `(tenants − 1) × quantum` of added latency per
+//! quantum of its own — it cannot starve the batch.
+//!
+//! # Isolation
+//!
+//! * **Panics** — `seed`/`evaluate` run under the fabric's
+//!   `catch_unwind`; a panicking tenant aborts *itself*
+//!   ([`Status::Aborted`]) and its pool-mates never notice.
+//! * **Stalls** — the stall watchdog reads per-fabric meters, and each
+//!   tenant has its own fabric, so a tenant that leaks pending work
+//!   aborts alone; an idle-looking pool thread busy on another tenant
+//!   can never trip it.
+//! * **Fault plans** — each tenant arms its own [`fabric::FaultPlan`]
+//!   counters (`fabric::ArmedFaultPlan`), so a plan inherited through
+//!   cloned [`EngineLimits`] fires only in the run it was planned
+//!   against.
+//! * **Budgets** — `time_budget` is measured from the tenant's first
+//!   quantum, never from submission: queue wait is reported separately
+//!   ([`crate::engine::FixpointResult::queue_wait`]) and costs the
+//!   tenant nothing.
+//!
+//! # Example
+//!
+//! ```
+//! use cfa_core::engine::{EngineLimits, Status};
+//! use cfa_core::pool::{AnalysisPool, PoolConfig};
+//! use cfa_core::parallel::Replicated;
+//! use cfa_core::kcfa::submit_kcfa;
+//! use std::sync::Arc;
+//!
+//! let pool = AnalysisPool::new(PoolConfig::default());
+//! let p = Arc::new(cfa_syntax::compile("((lambda (x) x) 1)").unwrap());
+//! let job = submit_kcfa::<Replicated>(&pool, p, 1, EngineLimits::default());
+//! let result = job.wait();
+//! assert_eq!(result.fixpoint.status, Status::Completed);
+//! pool.shutdown();
+//! ```
+
+use crate::engine::{
+    AbstractMachine, CancelToken, EngineLimits, EvalMode, FixpointResult, SchedStats, Status,
+};
+use crate::fabric::{self, ArmedFaultPlan, BackendWorker, Fabric, LockRecovered, Turn, WorkerCtx};
+use crate::parallel::{ParallelMachine, StoreBackend};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for an [`AnalysisPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Pool worker threads (at least one).
+    pub threads: usize,
+    /// Admission bound: the maximum number of unfinished tenants
+    /// (queued + running). [`AnalysisPool::submit`] blocks while the
+    /// pool is at the bound — backpressure, not rejection.
+    pub queue_depth: usize,
+    /// Pops (evaluations + gate-skips) one scheduling quantum may
+    /// take before the tenant yields its thread.
+    pub quantum_pops: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_depth: 256,
+            quantum_pops: 256,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// The default sizing overridden by the environment:
+    /// `CFA_POOL_THREADS` (worker threads) and `CFA_POOL_QUEUE_DEPTH`
+    /// (admission bound). A malformed value panics with the offending
+    /// text — silently ignoring an operator's sizing would be worse.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("CFA_POOL_THREADS") {
+            cfg.threads = v
+                .parse()
+                .unwrap_or_else(|e| panic!("CFA_POOL_THREADS={v:?}: {e}"));
+        }
+        if let Ok(v) = std::env::var("CFA_POOL_QUEUE_DEPTH") {
+            cfg.queue_depth = v
+                .parse()
+                .unwrap_or_else(|e| panic!("CFA_POOL_QUEUE_DEPTH={v:?}: {e}"));
+        }
+        cfg
+    }
+}
+
+/// What one scheduling quantum of a tenant did.
+#[doc(hidden)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Quantum {
+    /// Took work; requeue for another quantum.
+    Progress,
+    /// Nothing runnable but the run is still pending (e.g. awaiting
+    /// its stall watchdog); requeue, but don't spin hot on it.
+    Idle,
+    /// The run is over (quiescent, limit-stopped, or aborted): call
+    /// [`TenantRun::finish`].
+    Finished,
+}
+
+/// One admitted analysis, type-erased: the pool schedules these without
+/// knowing the machine, the store backend, or the result type.
+///
+/// Not part of the supported API — implemented by the store backends
+/// (via [`PoolBackend`]) and consumed by the pool's scheduler.
+#[doc(hidden)]
+pub trait TenantRun: Send {
+    /// Runs up to `max_pops` pops of this tenant's worker loop.
+    fn quantum(&mut self, max_pops: u64) -> Quantum;
+
+    /// Whether the tenant's external [`CancelToken`] has been flipped
+    /// (checked at quantum boundaries, so a still-queued tenant is
+    /// cancelled before its first evaluation).
+    fn cancel_requested(&self) -> bool;
+
+    /// Tears the run down and deposits its result. `queue_wait` is the
+    /// submission→activation gap the pool measured.
+    fn finish(self: Box<Self>, queue_wait: Duration);
+
+    /// [`TenantRun::finish`] for a run cancelled at a quantum boundary:
+    /// records [`Status::Cancelled`] first, then finishes normally.
+    fn finish_cancelled(self: Box<Self>, queue_wait: Duration);
+}
+
+/// A finished pooled run: the machine (with its accumulated metric
+/// state) plus the raw fixpoint.
+pub struct PoolRun<M: AbstractMachine> {
+    /// The machine the tenant drove, with every worker-side metric
+    /// absorbed — what `build_metrics`-style summaries
+    /// read.
+    pub machine: M,
+    /// The raw fixpoint result, [`FixpointResult::queue_wait`] filled
+    /// in by the pool.
+    pub fixpoint: FixpointResult<M::Config, M::Addr, M::Val>,
+}
+
+impl<M: AbstractMachine> std::fmt::Debug for PoolRun<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolRun")
+            .field("status", &self.fixpoint.status)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Run-scheduling totals handed to a backend's assemble closure when a
+/// tenant finishes.
+pub(crate) struct RunTotals {
+    pub(crate) iterations: u64,
+    pub(crate) skipped: u64,
+    pub(crate) wakeups: u64,
+    pub(crate) delta_facts: u64,
+    pub(crate) delta_applies: u64,
+    pub(crate) sched: SchedStats,
+    pub(crate) elapsed: Duration,
+    pub(crate) queue_wait: Duration,
+}
+
+/// A store backend that can host pool tenants — implemented by
+/// [`crate::parallel::Replicated`] and [`crate::parallel::Sharded`],
+/// selecting how a tenant's store is laid out exactly as
+/// [`StoreBackend`] does for the dedicated engines.
+pub trait PoolBackend: StoreBackend {
+    /// Builds the type-erased tenant that drives `machine` to its
+    /// fixpoint under this backend, depositing a [`PoolRun`] when done.
+    /// Internal plumbing for [`AnalysisPool::submit`].
+    #[doc(hidden)]
+    fn tenant<M>(
+        machine: M,
+        limits: EngineLimits,
+        mode: EvalMode,
+        deposit: Box<dyn FnOnce(PoolRun<M>) + Send>,
+    ) -> Box<dyn TenantRun>
+    where
+        M: ParallelMachine + 'static,
+        M::Config: Send + Sync + 'static,
+        M::Addr: Send + Sync + Ord + 'static,
+        M::Val: Send + Sync + 'static;
+}
+
+/// The generic single-slot tenant both backends instantiate: a private
+/// one-worker [`Fabric`], the backend worker homed on it, and the
+/// parked loop state the quanta resume. `G` assembles the backend's
+/// final state into the result `T` once the run stops.
+pub(crate) struct SoloTenant<W, T, G>
+where
+    W: BackendWorker,
+{
+    fabric: Fabric<W::Config, W::Msg>,
+    backend: W,
+    /// Parked between quanta; taken while one is running.
+    state: Option<fabric::WorkerState>,
+    limits: EngineLimits,
+    armed: Option<ArmedFaultPlan>,
+    mode: EvalMode,
+    /// Set at the first quantum — the run's time-budget clock starts
+    /// here, not at submission.
+    started: Option<Instant>,
+    seeded: bool,
+    assemble: Option<G>,
+    deposit: Option<Box<dyn FnOnce(T) + Send>>,
+}
+
+impl<W, T, G> SoloTenant<W, T, G>
+where
+    W: BackendWorker,
+    G: FnOnce(W, Status, Vec<W::Config>, RunTotals) -> T,
+{
+    /// Wraps an already-seeded-with-root fabric and its backend worker
+    /// into a schedulable tenant.
+    pub(crate) fn new(
+        fabric: Fabric<W::Config, W::Msg>,
+        backend: W,
+        limits: EngineLimits,
+        mode: EvalMode,
+        assemble: G,
+        deposit: Box<dyn FnOnce(T) + Send>,
+    ) -> Self {
+        let armed = limits.fault_plan.as_deref().map(ArmedFaultPlan::new);
+        SoloTenant {
+            fabric,
+            backend,
+            state: Some(fabric::WorkerState::default()),
+            limits,
+            armed,
+            mode,
+            started: None,
+            seeded: false,
+            assemble: Some(assemble),
+            deposit: Some(deposit),
+        }
+    }
+}
+
+impl<W, T, G> TenantRun for SoloTenant<W, T, G>
+where
+    W: BackendWorker,
+    G: FnOnce(W, Status, Vec<W::Config>, RunTotals) -> T + Send,
+{
+    fn quantum(&mut self, max_pops: u64) -> Quantum {
+        let start = *self.started.get_or_insert_with(Instant::now);
+        let state = self.state.take().expect("tenant state parked");
+        let mut ctx =
+            WorkerCtx::resume(0, &self.fabric, self.mode, self.limits.wake_batching, state);
+        if !self.seeded {
+            self.seeded = true;
+            fabric::seed_worker(&mut self.backend, &mut ctx);
+        }
+        let budget = ctx.pops() + max_pops;
+        let outcome = loop {
+            match fabric::worker_turn(
+                &mut self.backend,
+                &mut ctx,
+                &self.limits,
+                self.armed.as_ref(),
+                start,
+            ) {
+                Turn::Stopped => break Quantum::Finished,
+                Turn::Idle => break Quantum::Idle,
+                Turn::Worked if ctx.pops() >= budget => break Quantum::Progress,
+                Turn::Worked => {}
+            }
+        };
+        self.state = Some(ctx.suspend());
+        outcome
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.limits
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
+
+    fn finish(self: Box<Self>, queue_wait: Duration) {
+        let mut this = *self;
+        let (status, configs) = this.fabric.finish();
+        let (iterations, skipped, wakeups, delta_facts, delta_applies, mut sched) = this
+            .state
+            .take()
+            .expect("tenant state parked")
+            .into_totals();
+        this.backend.finish(&mut sched);
+        let totals = RunTotals {
+            iterations,
+            skipped,
+            wakeups,
+            delta_facts,
+            delta_applies,
+            sched,
+            elapsed: this.started.map_or(Duration::ZERO, |s| s.elapsed()),
+            queue_wait,
+        };
+        let assemble = this.assemble.take().expect("assemble consumed once");
+        let deposit = this.deposit.take().expect("deposit consumed once");
+        deposit(assemble(this.backend, status, configs, totals));
+    }
+
+    fn finish_cancelled(self: Box<Self>, queue_wait: Duration) {
+        // First writer wins, so a tenant that already stopped for a
+        // different reason keeps its own status.
+        self.fabric.stop(Status::Cancelled);
+        self.finish(queue_wait);
+    }
+}
+
+/// A ticket for one submitted analysis: wait for (or cancel) the run.
+///
+/// Dropping the handle detaches the run — it still executes and its
+/// result is discarded on deposit.
+pub struct JobHandle<T> {
+    core: Arc<HandleCore<T>>,
+    cancel: CancelToken,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
+struct HandleCore<T> {
+    slot: Mutex<Option<T>>,
+    done: Condvar,
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the run deposits its result and returns it.
+    pub fn wait(self) -> T {
+        let mut slot = self.core.slot.lock_recovered();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .core
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Whether the result has been deposited ([`JobHandle::wait`] will
+    /// return without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.core.slot.lock_recovered().is_some()
+    }
+
+    /// Requests cancellation: a still-queued run finishes
+    /// [`Status::Cancelled`] at zero iterations; a running one stops at
+    /// its next cadenced check or quantum boundary.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The run's [`CancelToken`] (shared with the tenant's limits).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+/// One admitted tenant in the scheduler's ready queue.
+struct AdmittedTenant {
+    run: Box<dyn TenantRun>,
+    submitted: Instant,
+    /// Measured at activation (first quantum); `None` while queued.
+    queue_wait: Option<Duration>,
+}
+
+/// Scheduler state shared by the pool's worker threads.
+struct PoolSched {
+    /// Tenants not currently checked out by a worker, in round-robin
+    /// order (front is next to run, expired quanta requeue at the
+    /// back).
+    ready: VecDeque<AdmittedTenant>,
+    /// Unfinished tenants: ready + checked out. Bounds admission and
+    /// gates shutdown drain.
+    live: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    sched: Mutex<PoolSched>,
+    /// Wakes workers: tenant ready or shutdown.
+    work: Condvar,
+    /// Wakes blocked submitters: a tenant finished.
+    admit: Condvar,
+    quantum_pops: u64,
+    queue_depth: usize,
+}
+
+/// A long-lived pool of worker threads concurrently driving many
+/// independent fixpoint analyses — see the module docs for the
+/// scheduling and isolation story.
+pub struct AnalysisPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AnalysisPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sched = self.shared.sched.lock_recovered();
+        f.debug_struct("AnalysisPool")
+            .field("threads", &self.workers.len())
+            .field("live", &sched.live)
+            .field("queued", &sched.ready.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AnalysisPool {
+    /// Starts `config.threads` long-lived worker threads.
+    pub fn new(config: PoolConfig) -> Self {
+        let shared = Arc::new(PoolShared {
+            sched: Mutex::new(PoolSched {
+                ready: VecDeque::new(),
+                live: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            admit: Condvar::new(),
+            quantum_pops: config.quantum_pops.max(1),
+            queue_depth: config.queue_depth.max(1),
+        });
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cfa-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        AnalysisPool { shared, workers }
+    }
+
+    /// Submits `machine` for analysis under store backend `B`,
+    /// returning immediately with a [`JobHandle`]. Blocks only when the
+    /// pool is at its admission bound ([`PoolConfig::queue_depth`]).
+    ///
+    /// The tenant observes `limits` exactly as a dedicated run would,
+    /// except that the time-budget clock starts at its first scheduling
+    /// quantum — queue wait is reported separately on
+    /// [`FixpointResult::queue_wait`]. If `limits.cancel` is unset, a
+    /// fresh token is installed so [`JobHandle::cancel`] always works.
+    pub fn submit<B, M>(
+        &self,
+        machine: M,
+        mut limits: EngineLimits,
+        mode: EvalMode,
+    ) -> JobHandle<PoolRun<M>>
+    where
+        B: PoolBackend,
+        M: ParallelMachine + 'static,
+        M::Config: Send + Sync + 'static,
+        M::Addr: Send + Sync + Ord + 'static,
+        M::Val: Send + Sync + 'static,
+    {
+        let cancel = match &limits.cancel {
+            Some(token) => token.clone(),
+            None => {
+                let token = CancelToken::new();
+                limits.cancel = Some(token.clone());
+                token
+            }
+        };
+        let core = Arc::new(HandleCore {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let deposit: Box<dyn FnOnce(PoolRun<M>) + Send> = {
+            let core = Arc::clone(&core);
+            Box::new(move |run| {
+                *core.slot.lock_recovered() = Some(run);
+                core.done.notify_all();
+            })
+        };
+        let tenant = B::tenant(machine, limits, mode, deposit);
+
+        let mut sched = self.shared.sched.lock_recovered();
+        while sched.live >= self.shared.queue_depth && !sched.shutdown {
+            sched = self
+                .shared
+                .admit
+                .wait(sched)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if sched.shutdown {
+            drop(sched);
+            // A shut-down pool runs nothing new: deposit a Cancelled
+            // result immediately so the handle never hangs.
+            tenant.finish_cancelled(Duration::ZERO);
+        } else {
+            sched.live += 1;
+            sched.ready.push_back(AdmittedTenant {
+                run: tenant,
+                submitted: Instant::now(),
+                queue_wait: None,
+            });
+            drop(sched);
+            self.shared.work.notify_one();
+        }
+        JobHandle { core, cancel }
+    }
+
+    /// Stops accepting work, drains every queued and running tenant to
+    /// completion (each deposits its result), and joins the worker
+    /// threads. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut sched = self.shared.sched.lock_recovered();
+            sched.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.admit.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AnalysisPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One pool worker: claim the front ready tenant, run one quantum,
+/// requeue or finish it. Runs until shutdown *and* every tenant has
+/// drained.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let mut tenant = {
+            let mut sched = shared.sched.lock_recovered();
+            loop {
+                if let Some(t) = sched.ready.pop_front() {
+                    break t;
+                }
+                if sched.shutdown && sched.live == 0 {
+                    return;
+                }
+                sched = shared
+                    .work
+                    .wait(sched)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Activation: the submission→first-quantum gap is the queue
+        // wait; the tenant's own clocks start now.
+        let queue_wait = *tenant
+            .queue_wait
+            .get_or_insert_with(|| tenant.submitted.elapsed());
+        if tenant.run.cancel_requested() {
+            tenant.run.finish_cancelled(queue_wait);
+            finish_one(shared);
+            continue;
+        }
+        match tenant.run.quantum(shared.quantum_pops) {
+            Quantum::Finished => {
+                tenant.run.finish(queue_wait);
+                finish_one(shared);
+            }
+            Quantum::Progress => requeue(shared, tenant),
+            Quantum::Idle => {
+                // Pending work but nothing runnable (a leaked pending
+                // count awaiting its watchdog): keep the tenant
+                // scheduled but don't spin hot on it.
+                std::thread::sleep(Duration::from_micros(50));
+                requeue(shared, tenant);
+            }
+        }
+    }
+}
+
+/// Releases one finished tenant's admission slot and wakes submitters
+/// and draining workers.
+fn finish_one(shared: &PoolShared) {
+    {
+        let mut sched = shared.sched.lock_recovered();
+        sched.live -= 1;
+    }
+    shared.admit.notify_all();
+    // Wake parked workers so shutdown drain can observe live == 0.
+    shared.work.notify_all();
+}
+
+/// Returns a tenant to the back of the round-robin queue.
+fn requeue(shared: &PoolShared, tenant: AdmittedTenant) {
+    {
+        let mut sched = shared.sched.lock_recovered();
+        sched.ready.push_back(tenant);
+    }
+    shared.work.notify_one();
+}

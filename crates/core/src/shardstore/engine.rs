@@ -65,6 +65,7 @@ use crate::engine::{EngineLimits, EvalMode, FixpointResult, SchedStats, TrackedS
 use crate::fabric::{self, Fabric, WorkerCtx};
 use crate::fxhash::FxHashMap;
 use crate::parallel::ParallelMachine;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An inter-worker message. Everything is id-level — the global
@@ -99,10 +100,13 @@ struct DepBatch {
 /// The store-specific half of a sharded worker: the home of the
 /// configurations it first evaluated (their read sets) and the owner of
 /// its row shard (their dependency lists). The loop that drives it is
-/// [`crate::fabric`].
-struct ShardedWorker<'s, M: ParallelMachine> {
+/// [`crate::fabric`]. The store is held by `Arc` — shared ownership is
+/// what lets a pool tenant (a `'static` [`crate::pool::TenantRun`])
+/// outlive the submitting stack frame; the dedicated engine recovers
+/// unique ownership with `Arc::try_unwrap` once the workers return.
+struct ShardedWorker<M: ParallelMachine> {
     machine: M,
-    store: &'s SharedStore<M::Addr, M::Val>,
+    store: Arc<SharedStore<M::Addr, M::Val>>,
     /// Locally homed configurations.
     configs: Vec<M::Config>,
     index: FxHashMap<M::Config, usize>,
@@ -128,14 +132,14 @@ struct ShardedWorker<'s, M: ParallelMachine> {
     value_joins: u64,
 }
 
-impl<'s, M> ShardedWorker<'s, M>
+impl<M> ShardedWorker<M>
 where
     M: ParallelMachine,
     M::Config: Send + Sync,
     M::Addr: Send + Sync + Ord,
     M::Val: Send + Sync,
 {
-    fn new(machine: M, store: &'s SharedStore<M::Addr, M::Val>) -> Self {
+    fn new(machine: M, store: Arc<SharedStore<M::Addr, M::Val>>) -> Self {
         let threads = store.shard_count();
         ShardedWorker {
             machine,
@@ -312,7 +316,7 @@ where
     }
 }
 
-impl<M> fabric::BackendWorker for ShardedWorker<'_, M>
+impl<M> fabric::BackendWorker for ShardedWorker<M>
 where
     M: ParallelMachine,
     M::Config: Send + Sync,
@@ -327,7 +331,7 @@ where
         // the rows it owns — each row is seeded exactly once, by its
         // owner, with no message traffic.
         let bufs = std::mem::take(&mut self.bufs);
-        let view = ShardView::new(self.store, ctx.id(), &[], false, true, bufs);
+        let view = ShardView::new(&self.store, ctx.id(), &[], false, true, bufs);
         let mut tracked = TrackedStore::wrap_shard(view);
         self.machine.seed(&mut tracked);
         let (view, _, _) = tracked.into_shard_parts();
@@ -367,7 +371,7 @@ where
         let baseline = ctx.mode() == EvalMode::SemiNaive && self.evaluated[i];
         let bufs = std::mem::take(&mut self.bufs);
         let prev_reads: &[(u32, u64)] = if baseline { &self.config_reads[i] } else { &[] };
-        let view = ShardView::new(self.store, ctx.id(), prev_reads, baseline, false, bufs);
+        let view = ShardView::new(&self.store, ctx.id(), prev_reads, baseline, false, bufs);
         let mut tracked = TrackedStore::wrap_shard(view);
         self.machine
             .step(&config, &mut tracked, &mut self.successors);
@@ -505,12 +509,12 @@ where
     let start = Instant::now();
     let threads = threads.max(1);
 
-    let store: SharedStore<M::Addr, M::Val> = SharedStore::new(threads);
+    let store: Arc<SharedStore<M::Addr, M::Val>> = Arc::new(SharedStore::new(threads));
     let fabric: Fabric<M::Config, Msg> = Fabric::new(threads);
     fabric.submit_root(machine.initial());
 
-    let backends: Vec<ShardedWorker<'_, M>> = (0..threads)
-        .map(|_| ShardedWorker::new(machine.fork(), &store))
+    let backends: Vec<ShardedWorker<M>> = (0..threads)
+        .map(|_| ShardedWorker::new(machine.fork(), Arc::clone(&store)))
         .collect();
     let reports = fabric::drive(&fabric, backends, mode, &limits, start);
     let (status, configs) = fabric.finish();
@@ -532,9 +536,13 @@ where
     }
 
     // The shared store *is* the result: measure it, then drain it into
-    // an ordinary AbsStore without re-interning a single value.
+    // an ordinary AbsStore without re-interning a single value. Every
+    // worker's Arc was dropped with its report, so ownership is unique
+    // again.
     sched.store_resident_bytes = store.approx_bytes() as u64;
-    let store = store.into_abs_store(joins, value_joins);
+    let store = Arc::try_unwrap(store)
+        .unwrap_or_else(|_| panic!("all worker store references released"))
+        .into_abs_store(joins, value_joins);
 
     FixpointResult {
         configs,
@@ -547,6 +555,69 @@ where
         delta_applies,
         sched,
         elapsed: start.elapsed(),
+        queue_wait: std::time::Duration::ZERO,
+    }
+}
+
+impl crate::pool::PoolBackend for crate::parallel::Sharded {
+    fn tenant<M>(
+        mut machine: M,
+        limits: EngineLimits,
+        mode: EvalMode,
+        deposit: Box<dyn FnOnce(crate::pool::PoolRun<M>) + Send>,
+    ) -> Box<dyn crate::pool::TenantRun>
+    where
+        M: ParallelMachine + 'static,
+        M::Config: Send + Sync + 'static,
+        M::Addr: Send + Sync + Ord + 'static,
+        M::Val: Send + Sync + 'static,
+    {
+        let store: Arc<SharedStore<M::Addr, M::Val>> = Arc::new(SharedStore::new(1));
+        let fabric: Fabric<M::Config, Msg> = Fabric::new(1);
+        fabric.submit_root(machine.initial());
+        let backend = ShardedWorker::new(machine.fork(), Arc::clone(&store));
+        // Mirrors the tail of run_fixpoint_sharded_with for one worker:
+        // absorb the worker machine, measure the store, drain it into
+        // an AbsStore — the same assembly a solo run performs.
+        let assemble =
+            move |backend: ShardedWorker<M>, status, configs, totals: crate::pool::RunTotals| {
+                let ShardedWorker {
+                    machine: worker,
+                    store: worker_store,
+                    joins,
+                    value_joins,
+                    ..
+                } = backend;
+                // The unbound `..` fields live to the end of this closure,
+                // so the worker's store reference must be released by hand
+                // before ownership can be reclaimed below.
+                drop(worker_store);
+                machine.absorb(worker);
+                let mut sched = totals.sched;
+                sched.store_resident_bytes = store.approx_bytes() as u64;
+                let store = Arc::try_unwrap(store)
+                    .unwrap_or_else(|_| panic!("tenant store reference released"))
+                    .into_abs_store(joins, value_joins);
+                crate::pool::PoolRun {
+                    machine,
+                    fixpoint: FixpointResult {
+                        configs,
+                        store,
+                        status,
+                        iterations: totals.iterations,
+                        skipped: totals.skipped,
+                        wakeups: totals.wakeups,
+                        delta_facts: totals.delta_facts,
+                        delta_applies: totals.delta_applies,
+                        sched,
+                        elapsed: totals.elapsed,
+                        queue_wait: totals.queue_wait,
+                    },
+                }
+            };
+        Box::new(crate::pool::SoloTenant::new(
+            fabric, backend, limits, mode, assemble, deposit,
+        ))
     }
 }
 

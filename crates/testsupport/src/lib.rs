@@ -20,7 +20,7 @@
 //!   comparable form (configuration set + materialized store), with
 //!   conversions from both engine result types;
 //! * **fault-injection plumbing** — [`limits_with_plan`] arms a
-//!   [`FaultPlan`] on fresh limits (cancel token wired through),
+//!   [`FaultPlan`] on fresh limits (each run arms its own counters),
 //!   [`assert_fixpoint_subset`] checks the partial-run soundness
 //!   contract, and [`quiet_injected_panics`] keeps deliberately
 //!   injected panics out of the test output.
@@ -273,14 +273,16 @@ pub fn quiet_injected_panics() {
 }
 
 /// Builds [`EngineLimits`] with `plan` armed, mirroring what
-/// `EngineLimits::from_env` does for `CFA_FAULT_PLAN`: the plan's
-/// cancel token is installed as the limits' cancellation token so
-/// `cancel_pop` faults are actually observed by the engines.
+/// `EngineLimits::from_env` does for `CFA_FAULT_PLAN`. Each engine
+/// entry point arms the plan's per-run counters and cancel token
+/// itself, so these limits can safely be cloned across concurrent
+/// runs — a `cancel_pop` clause fires only in the run whose own pop
+/// count reaches it.
 pub fn limits_with_plan(plan: FaultPlan) -> EngineLimits {
-    let plan = std::sync::Arc::new(plan);
-    let mut limits = EngineLimits::cancellable(plan.cancel_token());
-    limits.fault_plan = Some(plan);
-    limits
+    EngineLimits {
+        fault_plan: Some(std::sync::Arc::new(plan)),
+        ..EngineLimits::default()
+    }
 }
 
 /// Asserts every fact of `partial` appears in `full` — the soundness

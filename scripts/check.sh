@@ -34,6 +34,22 @@ for backend in replicated sharded; do
             cargo test -q --test races_golden
     done
 done
+# Pool-throughput smoke per store backend, mirroring CI's `throughput`
+# matrix legs: one repeat of the corpus through the multi-tenant pool.
+# The bench asserts all tenants completed, pooled fixpoints match solo
+# runs, and analyses/sec is nonzero. Run in a scratch directory so the
+# committed BENCH_engine.json (a release-build measurement) is not
+# overwritten by a smoke run.
+throughput_scratch="$(mktemp -d)"
+trap 'rm -rf "${throughput_scratch}"' EXIT
+for backend in replicated sharded; do
+    echo "pool throughput smoke: CFA_STORE_BACKEND=${backend}"
+    CFA_STORE_BACKEND="${backend}" cargo test -q --test pool
+    (cd "${throughput_scratch}" && \
+        CFA_STORE_BACKEND="${backend}" CFA_THROUGHPUT_REPEATS=1 \
+        cargo run --manifest-path "${OLDPWD}/Cargo.toml" -p cfa-bench \
+            --release --quiet --bin throughput_bench)
+done
 cargo fmt --all --check
 # Lint every first-party crate; the vendored stand-ins (rand, proptest,
 # criterion) are build inputs, not code we hold to clippy.

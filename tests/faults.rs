@@ -670,3 +670,172 @@ fn fault_plan_parse_grammar() {
         .unwrap_err()
         .contains("explode"));
 }
+
+/// Fault-plan counters are armed per run, not per plan object: two
+/// concurrent fixpoints sharing one `Arc<FaultPlan>` each observe the
+/// fault at *their own* 50th evaluation. Before the counters were
+/// per-run, the clause fired once at the 50th evaluation *summed
+/// across the two runs* — one run aborted (nondeterministically) and
+/// the other sailed through on a half-consumed counter.
+fn shared_plan_faults_every_planned_run<B: StoreBackend>() {
+    quiet_injected_panics();
+    let limits = limits_with_plan(FaultPlan::new().panic_at_eval(50));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let limits = limits.clone();
+            std::thread::spawn(move || {
+                let p = regex();
+                run_fixpoint_parallel_on::<B, _>(
+                    &mut KCfaMachine::new(&p, 1),
+                    PAR_THREADS,
+                    limits,
+                    EvalMode::SemiNaive,
+                )
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h
+            .join()
+            .expect("analysis thread panicked outside the engine");
+        let Status::Aborted { message, .. } = &r.status else {
+            panic!(
+                "{}: run {i} shared the plan but did not fault — counters aliased, got {:?}",
+                B::NAME,
+                r.status
+            );
+        };
+        assert!(
+            message.contains("injected fault: panic at evaluation 50"),
+            "{}: run {i} aborted off-plan: {message:?}",
+            B::NAME
+        );
+    }
+
+    // Same aliasing bug, sequential flavor: reusing the plan for a
+    // second run must fire the clause again, not find it consumed.
+    let p = regex();
+    let r = run_fixpoint_parallel_on::<B, _>(
+        &mut KCfaMachine::new(&p, 1),
+        PAR_THREADS,
+        limits,
+        EvalMode::SemiNaive,
+    );
+    assert!(
+        matches!(&r.status, Status::Aborted { .. }),
+        "{}: a reused plan must re-arm its counters, got {:?}",
+        B::NAME,
+        r.status
+    );
+}
+
+#[test]
+fn shared_plan_faults_every_planned_run_on_every_backend() {
+    let backends = backend_selection();
+    if backends.replicated {
+        shared_plan_faults_every_planned_run::<Replicated>();
+    }
+    if backends.sharded {
+        shared_plan_faults_every_planned_run::<Sharded>();
+    }
+}
+
+/// A concurrent *unplanned* run must never observe a neighbor's fault
+/// plan: only the planned fixpoint faults.
+fn only_the_planned_run_faults<B: StoreBackend>() {
+    quiet_injected_panics();
+    let planned = std::thread::spawn(|| {
+        let p = regex();
+        run_fixpoint_parallel_on::<B, _>(
+            &mut KCfaMachine::new(&p, 1),
+            PAR_THREADS,
+            limits_with_plan(FaultPlan::new().panic_at_eval(50)),
+            EvalMode::SemiNaive,
+        )
+    });
+    let unplanned = std::thread::spawn(|| {
+        let p = regex();
+        run_fixpoint_parallel_on::<B, _>(
+            &mut KCfaMachine::new(&p, 1),
+            PAR_THREADS,
+            EngineLimits::default(),
+            EvalMode::SemiNaive,
+        )
+    });
+    let r = planned.join().expect("planned thread");
+    assert!(
+        matches!(&r.status, Status::Aborted { .. }),
+        "{}: the planned run must fault, got {:?}",
+        B::NAME,
+        r.status
+    );
+    let r = unplanned.join().expect("unplanned thread");
+    assert!(
+        r.status.is_complete(),
+        "{}: the unplanned concurrent run caught a neighbor's fault: {:?}",
+        B::NAME,
+        r.status
+    );
+}
+
+#[test]
+fn only_the_planned_run_faults_on_every_backend() {
+    let backends = backend_selection();
+    if backends.replicated {
+        only_the_planned_run_faults::<Replicated>();
+    }
+    if backends.sharded {
+        only_the_planned_run_faults::<Sharded>();
+    }
+}
+
+/// The 2-tenant pool flavor of `leaked_pending_trips_watchdog`: the
+/// stall watchdog is scoped per tenant, so a stalled run aborts with
+/// the watchdog diagnostic while its pool-mate completes untouched.
+fn stalled_tenant_spares_its_pool_mate<B: cfa::analysis::pool::PoolBackend>() {
+    use cfa::analysis::pool::{AnalysisPool, PoolConfig};
+    let pool = AnalysisPool::new(PoolConfig {
+        threads: 2,
+        ..PoolConfig::default()
+    });
+    let p = std::sync::Arc::new(regex());
+    let mut limits = limits_with_plan(FaultPlan::new().leak_pending_at_pop(5));
+    limits.stall_timeout = Some(Duration::from_millis(200));
+    let stalled =
+        cfa::analysis::kcfa::submit_kcfa::<B>(&pool, std::sync::Arc::clone(&p), 1, limits);
+    let healthy = cfa::analysis::kcfa::submit_kcfa::<B>(&pool, p, 1, EngineLimits::default());
+
+    let healthy_run = healthy.wait();
+    assert!(
+        healthy_run.fixpoint.status.is_complete(),
+        "{}: pool-mate of a stalled tenant must complete, got {:?}",
+        B::NAME,
+        healthy_run.fixpoint.status
+    );
+    let stalled_run = stalled.wait();
+    let Status::Aborted { config, message } = &stalled_run.fixpoint.status else {
+        panic!(
+            "{}: expected the per-tenant watchdog to abort the stalled run, got {:?}",
+            B::NAME,
+            stalled_run.fixpoint.status
+        );
+    };
+    assert_eq!(config.as_str(), Status::STALL_WATCHDOG, "{}", B::NAME);
+    assert!(
+        message.contains("pending"),
+        "{}: watchdog dump {message:?} should report the stuck pending count",
+        B::NAME
+    );
+    pool.shutdown();
+}
+
+#[test]
+fn stalled_tenant_spares_its_pool_mate_on_every_backend() {
+    let backends = backend_selection();
+    if backends.replicated {
+        stalled_tenant_spares_its_pool_mate::<Replicated>();
+    }
+    if backends.sharded {
+        stalled_tenant_spares_its_pool_mate::<Sharded>();
+    }
+}
