@@ -35,6 +35,12 @@
 //! `idle_spins`, `inbox_batches`, `inbox_drains`), so future PRs have
 //! a perf trajectory to compare against.
 //!
+//! Also measures the telemetry layer's disabled-path overhead with an
+//! interleaved A/B on the heaviest cell (interp k=2): `CFA_TRACE=off`
+//! vs `CFA_TRACE=full` runs alternate in one process, and the off arm
+//! must stay within 1.03x of the arm that actually pays for tracing
+//! (recorded under `trace_overhead` in the JSON).
+//!
 //! Usage: `cargo run -p cfa-bench --release --bin engine_bench`
 //! (writes BENCH_engine.json into the current directory).
 
@@ -199,6 +205,44 @@ fn run_reference(program: &CpsProgram, k: usize, runs: usize) -> Cell {
             inbox_drains: 0,
         }
     })
+}
+
+/// Interleaved A/B measurement of the disabled-trace path on one cell.
+///
+/// The pre-telemetry binary is gone, so the measurable same-binary
+/// proxy alternates `CFA_TRACE=off` against `CFA_TRACE=full` runs in
+/// one process (drift lands on both arms equally): the off path keeps
+/// only the full path's gate branch, so staying within noise of the
+/// arm that pays for every ring write bounds the disabled cost from
+/// above. Returns per-arm *median* seconds — the cell runs ~0.2 s, so
+/// a single descheduling blip would swamp a mean.
+fn trace_overhead_ab(program: &CpsProgram, k: usize, repeats: usize) -> (f64, f64) {
+    let off = EngineLimits::default();
+    let full = EngineLimits {
+        trace: cfa_core::TraceConfig::full(),
+        ..EngineLimits::default()
+    };
+    let time = |limits: &EngineLimits| -> f64 {
+        let mut machine = KCfaMachine::new(program, k);
+        let start = Instant::now();
+        let r = run_fixpoint_with(&mut machine, limits.clone(), EvalMode::SemiNaive);
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(r.status.is_complete(), "overhead cells must complete");
+        seconds
+    };
+    // One unmeasured pair primes allocators and caches.
+    time(&off);
+    time(&full);
+    let (mut off_samples, mut full_samples) = (Vec::new(), Vec::new());
+    for _ in 0..repeats {
+        off_samples.push(time(&off));
+        full_samples.push(time(&full));
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    (median(&mut off_samples), median(&mut full_samples))
 }
 
 fn cell_json(out: &mut String, tag: &str, c: &Cell) {
@@ -385,6 +429,26 @@ fn main() {
          {total_sh_drain_all:.3}s ({batching_sh:.2}x)"
     );
 
+    // Disabled-path telemetry overhead, measured not assumed: the
+    // ISSUE gate is `CFA_TRACE=off` wall clock <= 1.03x on interp k=2.
+    let overhead_repeats = 9usize;
+    let interp_src = &workload
+        .iter()
+        .find(|(n, _)| n == "interp")
+        .expect("interp in workload")
+        .1;
+    let interp_prog = cfa_syntax::compile(interp_src).expect("workload compiles");
+    let (trace_off_s, trace_full_s) = trace_overhead_ab(&interp_prog, 2, overhead_repeats);
+    let trace_off_ratio = trace_off_s / trace_full_s.max(1e-9);
+    println!(
+        "telemetry overhead (interp k=2, interleaved x{overhead_repeats}): CFA_TRACE=off \
+         {trace_off_s:.4}s vs full {trace_full_s:.4}s ({trace_off_ratio:.3}x)"
+    );
+    assert!(
+        trace_off_ratio <= 1.03,
+        "disabled-trace path exceeded the 1.03x overhead gate ({trace_off_ratio:.3}x)"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"engine depth-sweep k-CFA\",");
     let _ = writeln!(json, "  \"runs_per_cell\": {runs},");
@@ -423,6 +487,12 @@ fn main() {
         "  \"interp_k2_sharded_byte_ratio\": {interp2_byte_ratio:.3},"
     );
     let _ = writeln!(json, "  \"peak_fact_count\": {peak_facts},");
+    let _ = writeln!(
+        json,
+        "  \"trace_overhead\": {{\"program\": \"interp\", \"k\": 2, \"repeats\": \
+         {overhead_repeats}, \"off_seconds\": {trace_off_s:.6}, \"full_seconds\": \
+         {trace_full_s:.6}, \"off_vs_full\": {trace_off_ratio:.3}}},"
+    );
     let _ = writeln!(json, "  \"cells\": [");
     let _ = writeln!(json, "{}", rows.join(",\n"));
     let _ = writeln!(json, "  ]");

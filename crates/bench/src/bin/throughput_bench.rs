@@ -10,7 +10,11 @@
 //!   `queue_wait + elapsed`, i.e. admission to deposit;
 //! * **queue wait** — mean and max time jobs spent waiting for a pool
 //!   thread, reported separately because the pool does not bill it
-//!   against a tenant's `time_budget`.
+//!   against a tenant's `time_budget`;
+//! * **latency breakdown** — the same p50/p95/p99 split into its two
+//!   components, per-request queue wait and eval time, so a latency
+//!   regression is attributable to admission pressure vs slow
+//!   fixpoints (merged under `throughput.latency_breakdown`).
 //!
 //! Every pooled fixpoint is checked *identical* (canonical configs +
 //! store) to a solo `analyze_kcfa` run of the same program — the pool
@@ -48,6 +52,11 @@ struct ThroughputRow {
     p99_ms: f64,
     mean_queue_wait_ms: f64,
     max_queue_wait_ms: f64,
+    /// Per-request queue-wait percentiles (ms) — the admission half of
+    /// the end-to-end latency.
+    queue_wait_pcts_ms: [f64; 3],
+    /// Per-request eval-time percentiles (ms) — the fixpoint half.
+    eval_pcts_ms: [f64; 3],
 }
 
 /// The benchmark corpus: every suite program plus the worst-case
@@ -105,6 +114,7 @@ fn run_backend<B: PoolBackend>(
         .collect();
     let mut latencies: Vec<f64> = Vec::with_capacity(jobs.len());
     let mut queue_waits: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut eval_times: Vec<f64> = Vec::with_capacity(jobs.len());
     let count = jobs.len();
     for (i, job) in jobs {
         let r = job.wait();
@@ -123,6 +133,7 @@ fn run_backend<B: PoolBackend>(
         );
         latencies.push((r.fixpoint.queue_wait + r.fixpoint.elapsed).as_secs_f64());
         queue_waits.push(r.fixpoint.queue_wait.as_secs_f64());
+        eval_times.push(r.fixpoint.elapsed.as_secs_f64());
     }
     let wall_seconds = start.elapsed().as_secs_f64();
     pool.shutdown();
@@ -130,6 +141,15 @@ fn run_backend<B: PoolBackend>(
     latencies.sort_by(f64::total_cmp);
     let mean_queue_wait = queue_waits.iter().sum::<f64>() / queue_waits.len() as f64;
     let max_queue_wait = queue_waits.iter().fold(0.0f64, |a, &b| a.max(b));
+    queue_waits.sort_by(f64::total_cmp);
+    eval_times.sort_by(f64::total_cmp);
+    let pcts = |sorted: &[f64]| -> [f64; 3] {
+        [
+            percentile_ms(sorted, 0.50),
+            percentile_ms(sorted, 0.95),
+            percentile_ms(sorted, 0.99),
+        ]
+    };
     let analyses_per_sec = count as f64 / wall_seconds.max(1e-9);
     assert!(
         analyses_per_sec > 0.0,
@@ -146,6 +166,8 @@ fn run_backend<B: PoolBackend>(
         p99_ms: percentile_ms(&latencies, 0.99),
         mean_queue_wait_ms: mean_queue_wait * 1e3,
         max_queue_wait_ms: max_queue_wait * 1e3,
+        queue_wait_pcts_ms: pcts(&queue_waits),
+        eval_pcts_ms: pcts(&eval_times),
     }
 }
 
@@ -219,6 +241,19 @@ fn main() {
             r.max_queue_wait_ms
         );
     }
+    for r in &rows {
+        println!(
+            "{:>10} | queue-wait p50/p95/p99 {:.3}/{:.3}/{:.3} ms | \
+             eval p50/p95/p99 {:.3}/{:.3}/{:.3} ms",
+            r.backend,
+            r.queue_wait_pcts_ms[0],
+            r.queue_wait_pcts_ms[1],
+            r.queue_wait_pcts_ms[2],
+            r.eval_pcts_ms[0],
+            r.eval_pcts_ms[1],
+            r.eval_pcts_ms[2]
+        );
+    }
     println!(
         "pool: {} threads, queue depth {}, {} distinct programs x {} repeats — \
          every pooled fixpoint matched its solo run",
@@ -255,6 +290,26 @@ fn main() {
         })
         .collect();
     let _ = writeln!(section, "{}", backend_rows.join(",\n"));
+    let _ = writeln!(section, "    }},");
+    let _ = writeln!(section, "    \"latency_breakdown\": {{");
+    let breakdown_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let obj = |p: &[f64; 3]| {
+                format!(
+                    "{{\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                    p[0], p[1], p[2]
+                )
+            };
+            format!(
+                "      \"{}\": {{\"queue_wait\": {}, \"eval\": {}}}",
+                r.backend,
+                obj(&r.queue_wait_pcts_ms),
+                obj(&r.eval_pcts_ms)
+            )
+        })
+        .collect();
+    let _ = writeln!(section, "{}", breakdown_rows.join(",\n"));
     let _ = writeln!(section, "    }}");
     section.push_str("  }");
     merge_into_bench_json(&section);

@@ -5,6 +5,7 @@
 //! cfa analyze [--kcfa K | --mcfa M | --poly K] [--all] FILE.scm
 //! cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
 //! cfa serve [--backend B]           # pooled query server over stdin
+//! cfa trace [--out FILE] FILE.scm   # Chrome trace of one fixpoint
 //! cfa run FILE.scm                  # concrete execution (shared envs)
 //! cfa cps FILE.scm                  # print the CPS conversion
 //! cfa dot FILE.scm                  # 1-CFA call graph as Graphviz dot
@@ -35,6 +36,7 @@ fn usage() -> ExitCode {
   cfa analyze [--kcfa K | --mcfa M | --poly K | --all] [--report] FILE.scm
   cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
   cfa serve [--backend replicated|sharded]
+  cfa trace [--out FILE] [--kcfa K] [--backend replicated|sharded] [--threads N] FILE.scm
   cfa run FILE.scm
   cfa cps FILE.scm
   cfa dot FILE.scm
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "races" => cmd_races(rest),
         "serve" => cmd_serve(rest),
+        "trace" => cmd_trace(rest),
         "run" => cmd_run(rest),
         "cps" => cmd_cps(rest),
         "dot" => cmd_dot(rest),
@@ -362,7 +365,10 @@ fn cmd_races(args: &[String]) -> ExitCode {
 ///
 /// * `callgraph` answers `ok N callgraph sites=S edges=E` and the
 ///   1-CFA-style call graph in Graphviz dot;
-/// * `races` answers `ok N races count=R` and the race report JSON.
+/// * `races` answers `ok N races count=R` and the race report JSON;
+/// * `stats` (empty body) answers `ok N stats` and one line of JSON
+///   with the pool's live gauges and lifetime counters
+///   ([`cfa_core::PoolMetrics`]), snapshotted when the request is read.
 ///
 /// A malformed request, a program that does not compile, or an
 /// analysis stopped early (timeout, iteration limit, fault) answers
@@ -392,6 +398,96 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `cfa trace [--out FILE] [--kcfa K] [--backend replicated|sharded]
+/// [--threads N] FILE.scm` — run one parallel k-CFA fixpoint with full
+/// tracing forced on, write the merged per-worker event rings as Chrome
+/// `trace_event` JSON (loadable in `chrome://tracing` / Perfetto), and
+/// print the derived phase profile.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut out_path = "profile.json".to_owned();
+    let mut k = 1usize;
+    let mut backend = "replicated".to_owned();
+    let mut threads = 2usize;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "--kcfa" | "--backend" | "--threads" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--out" => out_path = value.clone(),
+                    "--backend" => backend = value.clone(),
+                    "--kcfa" => match parse_usize(value, "context depth") {
+                        Ok(depth) => k = depth,
+                        Err(code) => return code,
+                    },
+                    _ => match parse_usize(value, "thread count") {
+                        Ok(n) => threads = n.max(1),
+                        Err(code) => return code,
+                    },
+                }
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match read_file(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_syntax::compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut limits = run_limits();
+    limits.trace = cfa_core::TraceConfig::full();
+    let mut machine = cfa_core::kcfa::KCfaMachine::new(&program, k);
+    let mode = cfa_core::EvalMode::SemiNaive;
+    let result = match backend.as_str() {
+        "replicated" => cfa_core::run_fixpoint_parallel_on::<cfa_core::Replicated, _>(
+            &mut machine,
+            threads,
+            limits,
+            mode,
+        ),
+        "sharded" => cfa_core::run_fixpoint_parallel_on::<cfa_core::Sharded, _>(
+            &mut machine,
+            threads,
+            limits,
+            mode,
+        ),
+        other => {
+            eprintln!("cfa: unknown store backend '{other}' (use replicated or sharded)");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(code) = check_status(&result.status) {
+        return code;
+    }
+    let json = result.trace.to_chrome_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cfa: cannot write '{out_path}': {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out_path}: {} worker lanes, {} ring events",
+        result.trace.workers.len(),
+        result.trace.event_count()
+    );
+    println!("{}", result.trace.phase_profile().summary());
+    ExitCode::SUCCESS
+}
+
 /// What a `serve` query asks of the fixpoint.
 enum QueryKind {
     Callgraph,
@@ -409,6 +505,9 @@ enum PendingReply {
         job: cfa_core::kcfa::KcfaJob,
     },
     Malformed(String),
+    /// A pool-metrics snapshot, captured when the request was read (so
+    /// the numbers describe the pool at ask time, not at drain time).
+    Stats(String),
 }
 
 fn run_serve<B: cfa_core::PoolBackend>() -> ExitCode {
@@ -427,6 +526,9 @@ fn run_serve<B: cfa_core::PoolBackend>() -> ExitCode {
         match reply {
             PendingReply::Malformed(reason) => {
                 let _ = writeln!(out, "err {id} {reason}\n.");
+            }
+            PendingReply::Stats(json) => {
+                let _ = writeln!(out, "ok {id} stats\n{json}\n.");
             }
             PendingReply::Job {
                 kind,
@@ -506,7 +608,7 @@ fn run_serve<B: cfa_core::PoolBackend>() -> ExitCode {
         // preserving request order.
         loop {
             let ready = match pending.front() {
-                Some((_, PendingReply::Malformed(_))) => true,
+                Some((_, PendingReply::Malformed(_) | PendingReply::Stats(_))) => true,
                 Some((_, PendingReply::Job { job, .. })) => job.is_finished(),
                 None => false,
             };
@@ -536,9 +638,10 @@ fn parse_serve_request<B: cfa_core::PoolBackend>(
     let kind = match parts.next() {
         Some("callgraph") => QueryKind::Callgraph,
         Some("races") => QueryKind::Races,
+        Some("stats") => return PendingReply::Stats(pool.metrics().to_json()),
         other => {
             return PendingReply::Malformed(format!(
-                "unknown query {:?} (use callgraph or races)",
+                "unknown query {:?} (use callgraph, races or stats)",
                 other.unwrap_or("")
             ))
         }

@@ -335,6 +335,93 @@ fn dot_suppresses_partial_graphs() {
 }
 
 #[test]
+fn trace_writes_chrome_json_with_per_worker_lanes() {
+    let file = write_temp("trace.scm", "(define (f x) x) (f (f (f 1)))");
+    let out_path =
+        std::env::temp_dir().join(format!("cfa-cli-test-{}-trace.json", std::process::id()));
+    let out = cfa()
+        .args(["trace", "--threads", "2", "--out"])
+        .arg(&out_path)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 worker lanes"), "{text}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    // Chrome trace_event shape: a traceEvents array with one
+    // thread_name metadata record per worker lane and complete-span
+    // eval slices carrying the config id.
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"thread_name\""), "{json}");
+    for tid in [0, 1] {
+        assert!(
+            json.contains(&format!("\"tid\":{tid}")),
+            "missing lane {tid}"
+        );
+    }
+    assert!(json.contains("\"ph\":\"X\""), "no complete spans: {json}");
+    assert!(
+        json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"),
+        "{json}"
+    );
+}
+
+#[test]
+fn trace_suppresses_partial_profiles() {
+    let file = write_temp("trace-partial.scm", "(define (f x) x) (f (f 1))");
+    let out_path = std::env::temp_dir().join(format!(
+        "cfa-cli-test-{}-trace-partial.json",
+        std::process::id()
+    ));
+    let out = cfa()
+        .args(["trace", "--out"])
+        .arg(&out_path)
+        .arg(&file)
+        .env("CFA_MAX_ITERS", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(
+        !out_path.exists(),
+        "an interrupted analysis must not write a profile"
+    );
+}
+
+#[test]
+fn serve_answers_stats_with_pool_gauges() {
+    use std::process::Stdio;
+    let mut child = cfa()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"callgraph k=1\n(define (id x) x) (id 42)\n.\nstats\n.\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok 0 callgraph"), "{text}");
+    assert!(text.contains("ok 1 stats"), "{text}");
+    // One line of JSON gauges; the earlier callgraph request is
+    // counted by the time the stats snapshot is taken (responses are
+    // drained in request order).
+    let stats_line = text
+        .lines()
+        .find(|l| l.starts_with("{\"threads\":"))
+        .unwrap_or_else(|| panic!("no stats JSON in:\n{text}"));
+    assert!(stats_line.contains("\"submitted\":1"), "{stats_line}");
+    assert!(stats_line.contains("\"queued\":"), "{stats_line}");
+    assert!(stats_line.ends_with('}'), "{stats_line}");
+}
+
+#[test]
 fn fj_gc_reports_precision_neutral_collection() {
     let file = write_temp("gc.java", DISPATCH_JAVA);
     let out = cfa()

@@ -535,6 +535,11 @@ pub struct EngineLimits {
     /// inherits the scheduling knob without another parameter; the
     /// sequential engine (which has no inbox) ignores it.
     pub wake_batching: crate::fabric::WakeBatching,
+    /// Telemetry configuration ([`crate::telemetry::TraceConfig`]):
+    /// off (the default — one dead branch per would-be event),
+    /// counters only, or full per-worker event rings merged into
+    /// [`FixpointResult::trace`]. The CLI reads it from `CFA_TRACE`.
+    pub trace: crate::telemetry::TraceConfig,
 }
 
 impl Default for EngineLimits {
@@ -547,6 +552,7 @@ impl Default for EngineLimits {
             fault_plan: None,
             store_bytes_watermark: None,
             wake_batching: crate::fabric::WakeBatching::default(),
+            trace: crate::telemetry::TraceConfig::default(),
         }
     }
 }
@@ -587,14 +593,16 @@ impl EngineLimits {
 
     /// Limits read from the environment, for operational entry points
     /// (the CLI): `CFA_MAX_ITERS` (evaluation budget),
-    /// `CFA_TIME_BUDGET_MS` (wall-clock budget in milliseconds), and
+    /// `CFA_TIME_BUDGET_MS` (wall-clock budget in milliseconds),
     /// `CFA_FAULT_PLAN` (a deterministic fault plan — see
     /// [`crate::fabric::FaultPlan::parse`]; a `cancel_pop=N` clause
     /// flips the run's own armed token, which every engine observes
-    /// exactly like an external [`CancelToken`]). Unset variables leave
-    /// the default (unbounded); a malformed value panics with the
-    /// offending text, since silently ignoring an operator's budget
-    /// would be worse.
+    /// exactly like an external [`CancelToken`]), and `CFA_TRACE`
+    /// (`off` / `counters` / `full` — see
+    /// [`crate::telemetry::TraceConfig::parse`]). Unset variables leave
+    /// the default (unbounded, tracing off); a malformed value panics
+    /// with the offending text, since silently ignoring an operator's
+    /// budget would be worse.
     pub fn from_env() -> Self {
         let mut limits = Self::default();
         if let Ok(v) = std::env::var("CFA_MAX_ITERS") {
@@ -612,6 +620,9 @@ impl EngineLimits {
             let plan = crate::fabric::FaultPlan::parse(&v)
                 .unwrap_or_else(|e| panic!("CFA_FAULT_PLAN={v:?}: {e}"));
             limits.fault_plan = Some(std::sync::Arc::new(plan));
+        }
+        if let Ok(v) = std::env::var("CFA_TRACE") {
+            limits.trace = crate::telemetry::TraceConfig::parse(&v);
         }
         limits
     }
@@ -707,6 +718,11 @@ pub struct FixpointResult<C, A, V> {
     /// submission→activation gap here, *outside* `elapsed` and the
     /// time-budget clock.
     pub queue_wait: Duration,
+    /// The merged per-worker telemetry rings
+    /// ([`crate::telemetry::RunTrace`]): one lane per worker under
+    /// `CFA_TRACE=full`, counters only under `counters`, empty (zero
+    /// lanes) when tracing was off.
+    pub trace: crate::telemetry::RunTrace,
 }
 
 impl<C, A, V> FixpointResult<C, A, V> {
@@ -809,6 +825,8 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
     mode: EvalMode,
 ) -> FixpointResult<M::Config, M::Addr, M::Val> {
     let start = Instant::now();
+    let mut trace = crate::telemetry::TraceBuffer::new(limits.trace);
+    trace.set_origin(start);
     let mut store: AbsStore<M::Addr, M::Val> = AbsStore::new();
     let mut configs: Vec<M::Config> = Vec::new();
     let mut index: FxHashMap<M::Config, usize> = FxHashMap::default();
@@ -944,6 +962,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
                 .all(|&a| store.addr_epoch(a) <= epoch)
             {
                 skipped += 1;
+                trace.gate_skip(i as u64);
                 continue;
             }
         }
@@ -974,12 +993,14 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         // panicking was legitimately derived (joins are idempotent and
         // monotone), so the partial store stays sound — the result is
         // simply a subset of the fixpoint.
+        trace.eval_start(i as u64);
         let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(plan) = &armed {
                 plan.on_eval(0);
             }
             machine.step(&config, &mut tracked, &mut successors)
         }));
+        trace.eval_end(i as u64);
         let (reads, grew, delta, step_delta, step_applies) = tracked.into_parts();
         (reads_buf, grew_buf, delta_buf) = (reads, grew, delta);
         delta_facts += step_delta;
@@ -1041,6 +1062,7 @@ pub fn run_fixpoint_with<M: AbstractMachine>(
         sched,
         elapsed: start.elapsed(),
         queue_wait: Duration::ZERO,
+        trace: crate::telemetry::RunTrace::from_buffers(vec![trace]),
     }
 }
 

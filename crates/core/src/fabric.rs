@@ -56,6 +56,7 @@
 
 use crate::engine::{panic_message, CancelToken, EngineLimits, EvalMode, SchedStats, Status};
 use crate::fxhash::{FxHashSet, FxHasher};
+use crate::telemetry::TraceBuffer;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -570,6 +571,10 @@ pub struct WorkerCtx<'f, C, M> {
     pub delta_applies: u64,
     /// Scheduler observability counters.
     pub sched: SchedStats,
+    /// This worker's telemetry ring ([`crate::telemetry`]): the loop
+    /// and the backend hooks emit timeline events into it. Costs one
+    /// branch per emit when tracing is off.
+    pub trace: TraceBuffer,
     /// Sum of inbox depths observed at each non-empty drain — the
     /// adaptive batching signal (`depth_sum / sched.inbox_drains` is
     /// the average depth this worker actually finds waiting).
@@ -600,6 +605,7 @@ pub(crate) struct WorkerState {
     delta_facts: u64,
     delta_applies: u64,
     sched: SchedStats,
+    pub(crate) trace: TraceBuffer,
     depth_sum: u64,
     pub(crate) iterations: u64,
     pub(crate) skipped: u64,
@@ -607,25 +613,59 @@ pub(crate) struct WorkerState {
     was_idle: bool,
 }
 
+/// Everything a finished worker contributes to its run's totals — one
+/// named field per counter, so a result-assembly site that forgets a
+/// field fails to compile instead of silently dropping it (the bug
+/// class the tuple this replaced invited).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerTotals {
+    pub(crate) iterations: u64,
+    pub(crate) skipped: u64,
+    pub(crate) wakeups: u64,
+    pub(crate) delta_facts: u64,
+    pub(crate) delta_applies: u64,
+    pub(crate) sched: SchedStats,
+    pub(crate) trace: TraceBuffer,
+}
+
 impl WorkerState {
+    /// Fresh state carrying `trace` — how a pool tenant installs its
+    /// ring before the first resume.
+    pub(crate) fn with_trace(trace: TraceBuffer) -> Self {
+        WorkerState {
+            trace,
+            ..WorkerState::default()
+        }
+    }
+
     /// Consumes the parked state into the totals a finished run
-    /// reports: `(iterations, skipped, wakeups, delta_facts,
-    /// delta_applies, sched)`.
-    pub(crate) fn into_totals(self) -> (u64, u64, u64, u64, u64, SchedStats) {
-        (
-            self.iterations,
-            self.skipped,
-            self.wakeups,
-            self.delta_facts,
-            self.delta_applies,
-            self.sched,
-        )
+    /// reports.
+    pub(crate) fn into_totals(self) -> WorkerTotals {
+        WorkerTotals {
+            iterations: self.iterations,
+            skipped: self.skipped,
+            wakeups: self.wakeups,
+            delta_facts: self.delta_facts,
+            delta_applies: self.delta_applies,
+            sched: self.sched,
+            trace: self.trace,
+        }
     }
 }
 
 impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
-    fn new(id: usize, fabric: &'f Fabric<C, M>, mode: EvalMode, batching: WakeBatching) -> Self {
-        Self::resume(id, fabric, mode, batching, WorkerState::default())
+    fn new(
+        id: usize,
+        fabric: &'f Fabric<C, M>,
+        mode: EvalMode,
+        batching: WakeBatching,
+        trace: TraceBuffer,
+    ) -> Self {
+        let state = WorkerState {
+            trace,
+            ..WorkerState::default()
+        };
+        Self::resume(id, fabric, mode, batching, state)
     }
 
     /// Rebinds parked worker state to `fabric` for the next run quantum
@@ -647,6 +687,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
             delta_facts: state.delta_facts,
             delta_applies: state.delta_applies,
             sched: state.sched,
+            trace: state.trace,
             depth_sum: state.depth_sum,
             iterations: state.iterations,
             skipped: state.skipped,
@@ -664,6 +705,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
             delta_facts: self.delta_facts,
             delta_applies: self.delta_applies,
             sched: self.sched,
+            trace: self.trace,
             depth_sum: self.depth_sum,
             iterations: self.iterations,
             skipped: self.skipped,
@@ -765,6 +807,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
                 }
                 q.split_off(len - len.div_ceil(2))
             };
+            self.trace.steal(stolen.len() as u64);
             let first = stolen.pop_front();
             if !stolen.is_empty() {
                 self.fabric.queues[self.id]
@@ -820,6 +863,7 @@ impl<'f, C: Clone + Eq + Hash, M> WorkerCtx<'f, C, M> {
             inbox.drain(..limit).collect()
         };
         self.sched.inbox_batches += msgs.len() as u64;
+        self.trace.inbox_drain(msgs.len() as u64);
         msgs
     }
 }
@@ -903,6 +947,9 @@ pub struct WorkerReport<B> {
     pub delta_applies: u64,
     /// Scheduling counters.
     pub sched: SchedStats,
+    /// This worker's telemetry ring, merged into
+    /// [`crate::telemetry::RunTrace`] at result assembly.
+    pub trace: TraceBuffer,
 }
 
 /// The unified worker loop — the one place every scheduling invariant
@@ -961,6 +1008,7 @@ fn run_worker<B: BackendWorker>(
         delta_facts: ctx.delta_facts,
         delta_applies: ctx.delta_applies,
         sched: ctx.sched,
+        trace: ctx.trace,
     }
 }
 
@@ -1051,6 +1099,7 @@ pub(crate) fn worker_turn<B: BackendWorker>(
             .note_idle(ctx.id, ctx.pops, &ctx.sched, ctx.iterations, ctx.skipped);
         ctx.was_idle = true;
         if let Some(threshold) = limits.stall_timeout {
+            ctx.trace.watchdog_tick();
             if let Some(dump) = ctx.fabric.check_stall(threshold, start) {
                 ctx.fabric.stop(Status::Aborted {
                     config: Status::STALL_WATCHDOG.to_owned(),
@@ -1100,6 +1149,7 @@ pub(crate) fn worker_turn<B: BackendWorker>(
     // every pop past the first dies here.
     if backend.gated(i) {
         ctx.skipped += 1;
+        ctx.trace.gate_skip(i as u64);
         ctx.fabric.pending_sub();
         return Turn::Worked;
     }
@@ -1113,13 +1163,17 @@ pub(crate) fn worker_turn<B: BackendWorker>(
 
     // Contained evaluation: the injected-fault hook runs inside the
     // same catch_unwind as the machine's transfer function, so an
-    // injected panic exercises exactly the real abort path.
+    // injected panic exercises exactly the real abort path. The
+    // eval_end event is emitted on the panic path too, so every
+    // counted iteration has a complete start/end pair in the trace.
+    ctx.trace.eval_start(i as u64);
     let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(plan) = armed {
             plan.on_eval(ctx.id);
         }
         backend.evaluate(i, ctx)
     }));
+    ctx.trace.eval_end(i as u64);
     // Only now is this task's own pending count released:
     // everything it spawned is already counted, so pending == 0
     // implies global quiescence. Released on the panic path too, so
@@ -1153,7 +1207,11 @@ pub fn drive<B: BackendWorker>(
         "one backend worker per fabric slot"
     );
     let mut backends = backends;
-    let ctx_for = |id: usize| WorkerCtx::new(id, fabric, mode, limits.wake_batching);
+    let ctx_for = |id: usize| {
+        let mut trace = TraceBuffer::new(limits.trace);
+        trace.set_origin(start);
+        WorkerCtx::new(id, fabric, mode, limits.wake_batching, trace)
+    };
     // Arm the fault plan for exactly this run: per-run counters and a
     // per-run cancel token, shared by reference across this run's
     // workers only — never with another run holding the same limits.

@@ -48,6 +48,7 @@ pub mod results;
 pub mod shardstore;
 pub mod soundness;
 pub mod store;
+pub mod telemetry;
 pub mod zerocfa_datalog;
 
 pub use domain::{AVal, AbsBasic, CallString};
@@ -63,10 +64,11 @@ pub use parallel::{
     run_fixpoint_parallel, run_fixpoint_parallel_on, run_fixpoint_parallel_with, ParallelMachine,
     Replicated, Sharded, StoreBackend,
 };
-pub use pool::{AnalysisPool, JobHandle, PoolBackend, PoolConfig, PoolRun};
+pub use pool::{AnalysisPool, JobHandle, PoolBackend, PoolConfig, PoolMetrics, PoolRun};
 pub use races::{races_kcfa, races_mcfa, races_poly_kcfa, Race, RaceKind, RaceReport};
 pub use results::Metrics;
 pub use shardstore::{run_fixpoint_sharded, run_fixpoint_sharded_with};
+pub use telemetry::{PhaseProfile, RunTrace, TraceConfig, TraceEventKind, TraceLevel};
 pub use zerocfa_datalog::{solve_zerocfa_datalog, ZeroCfaDatalog};
 
 use cfa_syntax::cps::CpsProgram;

@@ -155,6 +155,9 @@ where
         }
         woken.sort_unstable();
         woken.dedup();
+        if !woken.is_empty() {
+            ctx.trace.wake_batch(woken.len() as u64);
+        }
         for &j in woken.iter() {
             ctx.wake_local(j);
         }
@@ -380,6 +383,7 @@ where
     let (mut iterations, mut skipped, mut wakeups) = (0u64, 0u64, 0u64);
     let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
     let mut sched = SchedStats::default();
+    let mut rings = Vec::new();
     for report in reports {
         iterations += report.iterations;
         skipped += report.skipped;
@@ -387,6 +391,7 @@ where
         delta_facts += report.delta_facts;
         delta_applies += report.delta_applies;
         sched.absorb(&report.sched);
+        rings.push(report.trace);
         store.merge_from(&report.backend.store);
         machine.absorb(report.backend.machine);
     }
@@ -403,6 +408,7 @@ where
         sched,
         elapsed: start.elapsed(),
         queue_wait: std::time::Duration::ZERO,
+        trace: crate::telemetry::RunTrace::from_buffers(rings),
     }
 }
 
@@ -502,6 +508,7 @@ impl crate::pool::PoolBackend for Replicated {
                         sched: totals.sched,
                         elapsed: totals.elapsed,
                         queue_wait: totals.queue_wait,
+                        trace: totals.trace,
                     },
                 }
             };

@@ -72,7 +72,9 @@ use crate::engine::{
 };
 use crate::fabric::{self, ArmedFaultPlan, BackendWorker, Fabric, LockRecovered, Turn, WorkerCtx};
 use crate::parallel::{ParallelMachine, StoreBackend};
+use crate::telemetry::{RunTrace, TraceBuffer};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -190,6 +192,7 @@ pub(crate) struct RunTotals {
     pub(crate) sched: SchedStats,
     pub(crate) elapsed: Duration,
     pub(crate) queue_wait: Duration,
+    pub(crate) trace: RunTrace,
 }
 
 /// A store backend that can host pool tenants — implemented by
@@ -253,10 +256,11 @@ where
         deposit: Box<dyn FnOnce(T) + Send>,
     ) -> Self {
         let armed = limits.fault_plan.as_deref().map(ArmedFaultPlan::new);
+        let state = fabric::WorkerState::with_trace(TraceBuffer::new(limits.trace));
         SoloTenant {
             fabric,
             backend,
-            state: Some(fabric::WorkerState::default()),
+            state: Some(state),
             limits,
             armed,
             mode,
@@ -274,10 +278,17 @@ where
     G: FnOnce(W, Status, Vec<W::Config>, RunTotals) -> T + Send,
 {
     fn quantum(&mut self, max_pops: u64) -> Quantum {
+        let first_quantum = self.started.is_none();
         let start = *self.started.get_or_insert_with(Instant::now);
-        let state = self.state.take().expect("tenant state parked");
+        let mut state = self.state.take().expect("tenant state parked");
+        if first_quantum {
+            // The tenant's run-relative clock starts at activation, so
+            // queue wait never skews its timeline.
+            state.trace.set_origin(start);
+        }
         let mut ctx =
             WorkerCtx::resume(0, &self.fabric, self.mode, self.limits.wake_batching, state);
+        ctx.trace.tenant_resume(ctx.pops());
         if !self.seeded {
             self.seeded = true;
             fabric::seed_worker(&mut self.backend, &mut ctx);
@@ -297,6 +308,7 @@ where
                 Turn::Worked => {}
             }
         };
+        ctx.trace.tenant_suspend(ctx.pops());
         self.state = Some(ctx.suspend());
         outcome
     }
@@ -311,7 +323,15 @@ where
     fn finish(self: Box<Self>, queue_wait: Duration) {
         let mut this = *self;
         let (status, configs) = this.fabric.finish();
-        let (iterations, skipped, wakeups, delta_facts, delta_applies, mut sched) = this
+        let fabric::WorkerTotals {
+            iterations,
+            skipped,
+            wakeups,
+            delta_facts,
+            delta_applies,
+            mut sched,
+            trace,
+        } = this
             .state
             .take()
             .expect("tenant state parked")
@@ -326,6 +346,7 @@ where
             sched,
             elapsed: this.started.map_or(Duration::ZERO, |s| s.elapsed()),
             queue_wait,
+            trace: RunTrace::from_buffers(vec![trace]),
         };
         let assemble = this.assemble.take().expect("assemble consumed once");
         let deposit = this.deposit.take().expect("deposit consumed once");
@@ -417,6 +438,25 @@ struct PoolSched {
     shutdown: bool,
 }
 
+/// Monotonic pool-lifetime counters, updated lock-free by the worker
+/// loop and read by [`AnalysisPool::metrics`].
+#[derive(Debug, Default)]
+struct PoolStats {
+    /// Tenants admitted (excludes shutdown-rejected submissions).
+    submitted: AtomicU64,
+    /// Tenants that have taken their first quantum.
+    activated: AtomicU64,
+    /// Tenants that deposited a result.
+    finished: AtomicU64,
+    /// Scheduling quanta served across all tenants.
+    quanta: AtomicU64,
+    /// Total submission→activation wait, microseconds, summed over
+    /// activated tenants.
+    queue_wait_us: AtomicU64,
+    /// Total wall time spent inside tenant quanta, microseconds.
+    eval_us: AtomicU64,
+}
+
 struct PoolShared {
     sched: Mutex<PoolSched>,
     /// Wakes workers: tenant ready or shutdown.
@@ -425,6 +465,59 @@ struct PoolShared {
     admit: Condvar,
     quantum_pops: u64,
     queue_depth: usize,
+    stats: PoolStats,
+}
+
+/// A live snapshot of an [`AnalysisPool`]'s gauges and lifetime
+/// counters ([`AnalysisPool::metrics`]) — what `cfa serve` reports for
+/// its `stats` request.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Pool worker threads.
+    pub threads: usize,
+    /// Tenants parked in the ready queue right now.
+    pub queued: usize,
+    /// Tenants checked out by a worker right now (live − queued).
+    pub active: usize,
+    /// Unfinished tenants (queued + active) — the admission gauge.
+    pub live: usize,
+    /// Tenants admitted over the pool's lifetime.
+    pub submitted: u64,
+    /// Tenants that have taken their first quantum.
+    pub activated: u64,
+    /// Tenants that deposited a result.
+    pub finished: u64,
+    /// Scheduling quanta served.
+    pub quanta: u64,
+    /// Total submission→activation wait (µs) over activated tenants;
+    /// divide by `activated` for the mean per-tenant queue wait.
+    pub queue_wait_us: u64,
+    /// Total wall time spent inside tenant quanta (µs); divide by
+    /// `quanta` for the mean quantum, or by `finished` for the mean
+    /// per-tenant evaluation time.
+    pub eval_us: u64,
+}
+
+impl PoolMetrics {
+    /// Renders the snapshot as one line of JSON (the `cfa serve`
+    /// `stats` payload).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\":{},\"queued\":{},\"active\":{},\"live\":{},\
+             \"submitted\":{},\"activated\":{},\"finished\":{},\"quanta\":{},\
+             \"queue_wait_us\":{},\"eval_us\":{}}}",
+            self.threads,
+            self.queued,
+            self.active,
+            self.live,
+            self.submitted,
+            self.activated,
+            self.finished,
+            self.quanta,
+            self.queue_wait_us,
+            self.eval_us,
+        )
+    }
 }
 
 /// A long-lived pool of worker threads concurrently driving many
@@ -459,6 +552,7 @@ impl AnalysisPool {
             admit: Condvar::new(),
             quantum_pops: config.quantum_pops.max(1),
             queue_depth: config.queue_depth.max(1),
+            stats: PoolStats::default(),
         });
         let workers = (0..config.threads.max(1))
             .map(|i| {
@@ -536,9 +630,35 @@ impl AnalysisPool {
                 queue_wait: None,
             });
             drop(sched);
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.shared.work.notify_one();
         }
         JobHandle { core, cancel }
+    }
+
+    /// A live snapshot of the pool's gauges (queue depth, active and
+    /// parked tenants) and lifetime counters (admissions, finishes,
+    /// quanta served, cumulative queue-wait and in-quantum time).
+    /// Counters are monotonic and lock-free; the two gauges are read
+    /// under the scheduler lock, so they are mutually consistent.
+    pub fn metrics(&self) -> PoolMetrics {
+        let (queued, live) = {
+            let sched = self.shared.sched.lock_recovered();
+            (sched.ready.len(), sched.live)
+        };
+        let stats = &self.shared.stats;
+        PoolMetrics {
+            threads: self.workers.len(),
+            queued,
+            active: live.saturating_sub(queued),
+            live,
+            submitted: stats.submitted.load(Ordering::Relaxed),
+            activated: stats.activated.load(Ordering::Relaxed),
+            finished: stats.finished.load(Ordering::Relaxed),
+            quanta: stats.quanta.load(Ordering::Relaxed),
+            queue_wait_us: stats.queue_wait_us.load(Ordering::Relaxed),
+            eval_us: stats.eval_us.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops accepting work, drains every queued and running tenant to
@@ -589,18 +709,35 @@ fn worker_loop(shared: &PoolShared) {
         };
         // Activation: the submission→first-quantum gap is the queue
         // wait; the tenant's own clocks start now.
-        let queue_wait = *tenant
-            .queue_wait
-            .get_or_insert_with(|| tenant.submitted.elapsed());
+        let queue_wait = match tenant.queue_wait {
+            Some(w) => w,
+            None => {
+                let w = tenant.submitted.elapsed();
+                tenant.queue_wait = Some(w);
+                shared.stats.activated.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .queue_wait_us
+                    .fetch_add(w.as_micros() as u64, Ordering::Relaxed);
+                w
+            }
+        };
         if tenant.run.cancel_requested() {
-            tenant.run.finish_cancelled(queue_wait);
             finish_one(shared);
+            tenant.run.finish_cancelled(queue_wait);
             continue;
         }
-        match tenant.run.quantum(shared.quantum_pops) {
+        let quantum_started = Instant::now();
+        let outcome = tenant.run.quantum(shared.quantum_pops);
+        shared.stats.quanta.fetch_add(1, Ordering::Relaxed);
+        shared.stats.eval_us.fetch_add(
+            quantum_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
+        match outcome {
             Quantum::Finished => {
-                tenant.run.finish(queue_wait);
                 finish_one(shared);
+                tenant.run.finish(queue_wait);
             }
             Quantum::Progress => requeue(shared, tenant),
             Quantum::Idle => {
@@ -615,8 +752,13 @@ fn worker_loop(shared: &PoolShared) {
 }
 
 /// Releases one finished tenant's admission slot and wakes submitters
-/// and draining workers.
+/// and draining workers. Called *before* the result deposit, so a
+/// returned [`JobHandle::wait`] implies [`AnalysisPool::metrics`]
+/// already counts the job as finished — the worker thread still
+/// completes the deposit before parking, so shutdown's thread join
+/// cannot outrun a pending deposit and no handle ever hangs.
 fn finish_one(shared: &PoolShared) {
+    shared.stats.finished.fetch_add(1, Ordering::Relaxed);
     {
         let mut sched = shared.sched.lock_recovered();
         sched.live -= 1;

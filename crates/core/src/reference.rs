@@ -175,6 +175,8 @@ pub struct RefFixpointResult<C, A, V> {
     pub iterations: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// The run's telemetry (one lane; empty when tracing is off).
+    pub trace: crate::telemetry::RunTrace,
 }
 
 impl<C, A, V> RefFixpointResult<C, A, V> {
@@ -199,6 +201,8 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
     limits: EngineLimits,
 ) -> RefFixpointResult<M::Config, M::Addr, M::Val> {
     let start = Instant::now();
+    let mut trace = crate::telemetry::TraceBuffer::new(limits.trace);
+    trace.set_origin(start);
     let mut store: RefStore<M::Addr, M::Val> = RefStore::new();
     let mut configs: Vec<M::Config> = Vec::new();
     let mut index: HashMap<M::Config, usize> = HashMap::new();
@@ -275,9 +279,11 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
             reads: Vec::new(),
             grew: Vec::new(),
         };
+        trace.eval_start(i as u64);
         let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             machine.step(&config, &mut tracked, &mut successors)
         }));
+        trace.eval_end(i as u64);
         if let Err(payload) = step {
             status = Status::Aborted {
                 config: format!("{config:?}"),
@@ -313,6 +319,7 @@ pub fn run_fixpoint_reference<M: ReferenceMachine>(
         status,
         iterations,
         elapsed: start.elapsed(),
+        trace: crate::telemetry::RunTrace::from_buffers(vec![trace]),
     }
 }
 

@@ -184,6 +184,9 @@ where
         }
         self.woken.sort_unstable();
         self.woken.dedup();
+        if !self.woken.is_empty() {
+            ctx.trace.wake_batch(self.woken.len() as u64);
+        }
         for idx in 0..self.woken.len() {
             let j = self.woken[idx];
             ctx.wake_local(j);
@@ -369,7 +372,8 @@ where
         let config = self.configs[i].clone();
         self.successors.clear();
         let baseline = ctx.mode() == EvalMode::SemiNaive && self.evaluated[i];
-        let bufs = std::mem::take(&mut self.bufs);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        bufs.time_locks = ctx.trace.enabled();
         let prev_reads: &[(u32, u64)] = if baseline { &self.config_reads[i] } else { &[] };
         let view = ShardView::new(&self.store, ctx.id(), prev_reads, baseline, false, bufs);
         let mut tracked = TrackedStore::wrap_shard(view);
@@ -381,6 +385,11 @@ where
         ctx.delta_applies += step_delta_applies;
         self.joins += step_joins;
         self.value_joins += step_value_joins;
+
+        for &us in &bufs.lock_waits {
+            ctx.trace.row_lock_wait(us);
+        }
+        bufs.lock_waits.clear();
 
         // Canonicalize the read set: sorted by address, earliest
         // observed epoch per address (reading conservatively early
@@ -523,6 +532,7 @@ where
     let (mut delta_facts, mut delta_applies) = (0u64, 0u64);
     let (mut joins, mut value_joins) = (0u64, 0u64);
     let mut sched = SchedStats::default();
+    let mut rings = Vec::new();
     for report in reports {
         iterations += report.iterations;
         skipped += report.skipped;
@@ -532,6 +542,7 @@ where
         joins += report.backend.joins;
         value_joins += report.backend.value_joins;
         sched.absorb(&report.sched);
+        rings.push(report.trace);
         machine.absorb(report.backend.machine);
     }
 
@@ -556,6 +567,7 @@ where
         sched,
         elapsed: start.elapsed(),
         queue_wait: std::time::Duration::ZERO,
+        trace: crate::telemetry::RunTrace::from_buffers(rings),
     }
 }
 
@@ -612,6 +624,7 @@ impl crate::pool::PoolBackend for crate::parallel::Sharded {
                         sched,
                         elapsed: totals.elapsed,
                         queue_wait: totals.queue_wait,
+                        trace: totals.trace,
                     },
                 }
             };

@@ -34,6 +34,13 @@ use crate::store::{AbsStore, Flow, Row, ValuePool};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Row-lock acquisitions slower than this are reported as
+/// [`crate::telemetry::TraceEventKind::RowLockWait`] events (timed only
+/// while tracing is enabled — the untraced hot path never reads the
+/// clock).
+pub(crate) const LOCK_WAIT_THRESHOLD_US: u64 = 100;
 
 /// The owner-written interior of a row.
 #[derive(Default)]
@@ -373,6 +380,13 @@ pub(crate) struct ShardBufs {
     pub(crate) reads: Vec<(u32, u64)>,
     pub(crate) grew: Vec<u32>,
     pub(crate) delta: Vec<u32>,
+    /// Over-threshold row-lock waits (µs) observed this evaluation —
+    /// drained into the worker's trace ring after the step.
+    pub(crate) lock_waits: Vec<u64>,
+    /// Whether store accesses time their lock acquisitions (set from
+    /// the worker's trace level; false keeps the clock off the hot
+    /// path).
+    pub(crate) time_locks: bool,
 }
 
 /// One evaluation's view of the [`SharedStore`], parameterized by the
@@ -438,9 +452,22 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> ShardView<'a, A, V> {
         }
     }
 
+    /// Records a finished (timed) lock-guarded store access, keeping
+    /// only waits past the reporting threshold.
+    fn note_lock_wait(&mut self, timer: Option<Instant>) {
+        if let Some(t) = timer {
+            let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if us >= LOCK_WAIT_THRESHOLD_US {
+                self.bufs.lock_waits.push(us);
+            }
+        }
+    }
+
     pub(crate) fn read(&mut self, addr: &A) -> Flow {
         let id = self.store.addr_id(addr);
+        let timer = self.bufs.time_locks.then(Instant::now);
         let (flow, epoch) = self.store.snapshot(id);
+        self.note_lock_wait(timer);
         self.bufs.reads.push((id, epoch));
         flow
     }
@@ -455,7 +482,9 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> ShardView<'a, A, V> {
         } else {
             None
         };
+        let timer = self.bufs.time_locks.then(Instant::now);
         let (all, epoch, delta) = self.store.snapshot_with_delta(id, since);
+        self.note_lock_wait(timer);
         self.bufs.reads.push((id, epoch));
         let new = delta.unwrap_or_else(|| all.clone());
         crate::engine::DeltaFlow { all, new }
@@ -476,11 +505,15 @@ impl<'a, A: Eq + Hash + Clone, V: Eq + Hash + Clone + Ord> ShardView<'a, A, V> {
         }
         self.joins += 1;
         self.value_joins += ids.len() as u64;
+        let timer = self.bufs.time_locks.then(Instant::now);
         self.bufs.delta.clear();
         let delta = &mut self.bufs.delta;
-        if self.store.join_row(addr_id, ids, delta) {
+        let grew = self.store.join_row(addr_id, ids, delta);
+        let delta_len = delta.len() as u64;
+        self.note_lock_wait(timer);
+        if grew {
             self.bufs.grew.push(addr_id);
-            return delta.len() as u64;
+            return delta_len;
         }
         0
     }

@@ -1,0 +1,46 @@
+; `sat` — the suite's back-tracking SAT solver with failure
+; continuations (cfa_workloads::suite, row "sat"), shipped as a
+; standalone file so the CLI can be demoed and smoke-tested on a real
+; suite program:
+;
+;   cfa trace --out profile.json --threads 4 examples/sat.scm
+;
+; The failure continuations make the flow graph branchy enough that a
+; parallel trace shows steals and wake batches, not just eval spans.
+(define (my-assq k alist)
+  (cond ((null? alist) #f)
+        ((eq? (car (car alist)) k) (car alist))
+        (else (my-assq k (cdr alist)))))
+(define (lit-var l) (car l))
+(define (lit-pos? l) (car (cdr l)))
+(define (mk-lit v pos) (cons v (cons pos '())))
+(define (eval-lit l asn)
+  (let ((entry (my-assq (lit-var l) asn)))
+    (if entry
+        (if (lit-pos? l) (cdr entry) (not (cdr entry)))
+        #f)))
+(define (eval-clause c asn)
+  (if (null? c) #f
+      (if (eval-lit (car c) asn) #t (eval-clause (cdr c) asn))))
+(define (eval-formula f asn)
+  (if (null? f) #t
+      (if (eval-clause (car f) asn) (eval-formula (cdr f) asn) #f)))
+(define (solve vars formula asn fail)
+  (if (null? vars)
+      (if (eval-formula formula asn) asn (fail))
+      (solve (cdr vars) formula
+             (cons (cons (car vars) #t) asn)
+             (lambda ()
+               (solve (cdr vars) formula
+                      (cons (cons (car vars) #f) asn)
+                      fail)))))
+(define (clause2 a b) (cons a (cons b '())))
+(define (clause1 a) (cons a '()))
+(let* ((f (list
+            (clause2 (mk-lit 'p #t) (mk-lit 'q #t))
+            (clause2 (mk-lit 'p #f) (mk-lit 'r #t))
+            (clause2 (mk-lit 'q #f) (mk-lit 'r #f))
+            (clause1 (mk-lit 's #t))
+            (clause2 (mk-lit 's #f) (mk-lit 'p #f))))
+       (result (solve (list 'p 'q 'r 's) f '() (lambda () 'unsat))))
+  (if (eq? result 'unsat) 'unsat 'sat))

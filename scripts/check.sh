@@ -50,6 +50,27 @@ for backend in replicated sharded; do
         cargo run --manifest-path "${OLDPWD}/Cargo.toml" -p cfa-bench \
             --release --quiet --bin throughput_bench)
 done
+# Trace-correctness suite per store backend, mirroring CI's
+# `telemetry` matrix legs (the plain `cargo test` run above covers
+# CFA_STORE_BACKEND=both).
+for backend in replicated sharded; do
+    echo "telemetry suite: CFA_STORE_BACKEND=${backend}"
+    CFA_STORE_BACKEND="${backend}" cargo test -q --test telemetry
+done
+# Trace smoke, mirroring CI's telemetry smoke step: `cfa trace` on a
+# suite program must emit Chrome trace JSON that parses with at least
+# one event in every worker lane.
+echo "trace smoke: cfa trace on examples/sat.scm"
+cargo run -p cfa-cli --release --quiet -- trace --threads 2 \
+    --out "${throughput_scratch}/profile.json" examples/sat.scm
+python3 - "${throughput_scratch}/profile.json" <<'EOF'
+import collections, json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+lanes = collections.Counter(e["tid"] for e in events if e.get("ph") != "M")
+assert len(lanes) == 2, lanes
+assert all(n >= 1 for n in lanes.values()), lanes
+print(f"trace smoke ok: {dict(lanes)}")
+EOF
 cargo fmt --all --check
 # Lint every first-party crate; the vendored stand-ins (rand, proptest,
 # criterion) are build inputs, not code we hold to clippy.
