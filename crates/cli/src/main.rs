@@ -4,6 +4,8 @@
 //! ```text
 //! cfa analyze [--kcfa K | --mcfa M | --poly K] [--all] FILE.scm
 //! cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
+//! cfa dump [--kcfa K | --mcfa M | --poly K] [--backend B] [--out FILE] FILE.scm
+//! cfa compare A.json B.json         # diff two canonical snapshots
 //! cfa serve [--backend B]           # pooled query server over stdin
 //! cfa trace [--out FILE] FILE.scm   # Chrome trace of one fixpoint
 //! cfa run FILE.scm                  # concrete execution (shared envs)
@@ -24,7 +26,9 @@
 //! one distinct code per early-stop [`Status`] — `3` timed out, `4`
 //! iteration limit, `5` cancelled, `6` aborted — each with a one-line
 //! stderr diagnostic, so scripts can tell a budget overrun from a
-//! contained crash without parsing stdout.
+//! contained crash without parsing stdout. `cfa compare` redefines the
+//! small codes for diffing: `0` identical, `1` divergent, `2`
+//! malformed or not-comparable input.
 
 use cfa_core::engine::{EngineLimits, Status};
 use cfa_core::Analysis;
@@ -35,6 +39,9 @@ fn usage() -> ExitCode {
         "usage:
   cfa analyze [--kcfa K | --mcfa M | --poly K | --all] [--report] FILE.scm
   cfa races [--kcfa K | --mcfa M | --poly K] [--json] FILE.scm
+  cfa dump [--kcfa K | --mcfa M | --poly K] [--backend sequential|replicated|sharded|reference]
+           [--mode semi-naive|full-reeval] [--threads N] [--out FILE] FILE.scm
+  cfa compare [--limit N] A.json B.json
   cfa serve [--backend replicated|sharded]
   cfa trace [--out FILE] [--kcfa K] [--backend replicated|sharded] [--threads N] FILE.scm
   cfa run FILE.scm
@@ -87,6 +94,8 @@ fn main() -> ExitCode {
     match command.as_str() {
         "analyze" => cmd_analyze(rest),
         "races" => cmd_races(rest),
+        "dump" => cmd_dump(rest),
+        "compare" => cmd_compare(rest),
         "serve" => cmd_serve(rest),
         "trace" => cmd_trace(rest),
         "run" => cmd_run(rest),
@@ -341,6 +350,267 @@ fn cmd_races(args: &[String]) -> ExitCode {
         print!("{}", report.render_text());
     }
     ExitCode::SUCCESS
+}
+
+/// Runs one engine configuration to its fixpoint and canonicalizes the
+/// result. A run that stops early (timeout, iteration limit, fault)
+/// exits with its status code — a partial fixpoint is never dumped as
+/// a comparable snapshot.
+fn dump_snapshot(
+    program: &cfa_syntax::cps::CpsProgram,
+    analysis: Analysis,
+    backend: &str,
+    mode: cfa_core::EvalMode,
+    threads: usize,
+) -> Result<cfa_core::CanonSnapshot, ExitCode> {
+    use cfa_core::engine::run_fixpoint_with;
+    use cfa_core::flatcfa::{FlatCfaMachine, FlatPolicy};
+    use cfa_core::kcfa::KCfaMachine;
+    use cfa_core::reference::run_fixpoint_reference;
+    use cfa_core::run_fixpoint_parallel_on;
+
+    let bad_backend = || {
+        eprintln!(
+            "cfa: unknown engine backend '{backend}' \
+             (use sequential, replicated, sharded or reference)"
+        );
+        ExitCode::from(2)
+    };
+    // `canon_*` only rejects incomplete runs, and `check_status` has
+    // already turned those into their exit codes.
+    let canonical = "complete fixpoints are canonicalizable";
+    match analysis {
+        Analysis::KCfa { k } => {
+            let mut machine = KCfaMachine::new(program, k);
+            if backend == "reference" {
+                let r = run_fixpoint_reference(&mut machine, run_limits());
+                check_status(&r.status)?;
+                return Ok(cfa_core::canon_kcfa_ref(program, k, &r).expect(canonical));
+            }
+            let r = match backend {
+                "sequential" => run_fixpoint_with(&mut machine, run_limits(), mode),
+                "replicated" => run_fixpoint_parallel_on::<cfa_core::Replicated, _>(
+                    &mut machine,
+                    threads,
+                    run_limits(),
+                    mode,
+                ),
+                "sharded" => run_fixpoint_parallel_on::<cfa_core::Sharded, _>(
+                    &mut machine,
+                    threads,
+                    run_limits(),
+                    mode,
+                ),
+                _ => return Err(bad_backend()),
+            };
+            check_status(&r.status)?;
+            Ok(cfa_core::canon_kcfa(program, k, &r).expect(canonical))
+        }
+        Analysis::MCfa { m: bound } | Analysis::PolyKCfa { k: bound } => {
+            let policy = match analysis {
+                Analysis::MCfa { .. } => FlatPolicy::TopMFrames,
+                _ => FlatPolicy::LastKCalls,
+            };
+            let canon = |fix: &cfa_core::engine::FixpointResult<_, _, _>| match analysis {
+                Analysis::MCfa { .. } => cfa_core::canon_mcfa(program, bound, fix),
+                _ => cfa_core::canon_poly_kcfa(program, bound, fix),
+            };
+            let mut machine = FlatCfaMachine::new(program, bound, policy);
+            if backend == "reference" {
+                let r = run_fixpoint_reference(&mut machine, run_limits());
+                check_status(&r.status)?;
+                let snap = match analysis {
+                    Analysis::MCfa { .. } => cfa_core::canon_mcfa_ref(program, bound, &r),
+                    _ => cfa_core::canon_poly_kcfa_ref(program, bound, &r),
+                };
+                return Ok(snap.expect(canonical));
+            }
+            let r = match backend {
+                "sequential" => run_fixpoint_with(&mut machine, run_limits(), mode),
+                "replicated" => run_fixpoint_parallel_on::<cfa_core::Replicated, _>(
+                    &mut machine,
+                    threads,
+                    run_limits(),
+                    mode,
+                ),
+                "sharded" => run_fixpoint_parallel_on::<cfa_core::Sharded, _>(
+                    &mut machine,
+                    threads,
+                    run_limits(),
+                    mode,
+                ),
+                _ => return Err(bad_backend()),
+            };
+            check_status(&r.status)?;
+            Ok(canon(&r).expect(canonical))
+        }
+    }
+}
+
+/// `cfa dump [--kcfa K | --mcfa M | --poly K] [--backend B]
+/// [--mode semi-naive|full-reeval] [--threads N] [--out FILE] FILE.scm`
+/// — run one analysis under one engine configuration and write the
+/// canonical, engine-independent normal form of its fixpoint as JSON
+/// (stdout by default). Two dumps of the same program and analysis
+/// must be byte-identical no matter which backend, mode, or thread
+/// count produced them.
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let mut analysis = Analysis::KCfa { k: 1 };
+    let mut backend = "sequential".to_owned();
+    let mut mode = cfa_core::EvalMode::SemiNaive;
+    let mut threads = 2usize;
+    let mut out_path: Option<String> = None;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kcfa" | "--mcfa" | "--poly" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(depth) = parse_usize(value, "context depth") else {
+                    return usage();
+                };
+                analysis = match args[i].as_str() {
+                    "--kcfa" => Analysis::KCfa { k: depth },
+                    "--mcfa" => Analysis::MCfa { m: depth },
+                    _ => Analysis::PolyKCfa { k: depth },
+                };
+                i += 2;
+            }
+            "--backend" | "--mode" | "--threads" | "--out" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--backend" => backend = value.clone(),
+                    "--out" => out_path = Some(value.clone()),
+                    "--mode" => {
+                        mode = match value.as_str() {
+                            "semi-naive" => cfa_core::EvalMode::SemiNaive,
+                            "full-reeval" => cfa_core::EvalMode::FullReeval,
+                            other => {
+                                eprintln!(
+                                    "cfa: unknown eval mode '{other}' \
+                                     (use semi-naive or full-reeval)"
+                                );
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    _ => match parse_usize(value, "thread count") {
+                        Ok(n) => threads = n.max(1),
+                        Err(code) => return code,
+                    },
+                }
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match read_file(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let program = match cfa_syntax::compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfa: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match dump_snapshot(&program, analysis, &backend, mode, threads) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let json = snapshot.to_json();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("cfa: cannot write '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads and validates one snapshot file for `cfa compare`. Unreadable
+/// files, malformed documents, and snapshots of incomplete runs all
+/// map to exit code 2 — a partial result must never be silently
+/// compared as if it were a fixpoint.
+fn read_snapshot(path: &str) -> Result<cfa_core::CanonSnapshot, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cfa: cannot read '{path}': {e}");
+        ExitCode::from(2)
+    })?;
+    let snapshot = cfa_core::CanonSnapshot::parse(&text).map_err(|e| {
+        eprintln!("cfa: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    if !snapshot.is_complete() {
+        eprintln!(
+            "cfa: {path}: not comparable: run status is {} (only complete \
+             fixpoints have a normal form)",
+            snapshot.status
+        );
+        return Err(ExitCode::from(2));
+    }
+    Ok(snapshot)
+}
+
+/// `cfa compare [--limit N] A.json B.json` — structurally diff two
+/// canonical snapshots. Exit 0 when identical, 1 when divergent (the
+/// first N divergent facts are printed by name), 2 when either input
+/// is malformed or describes an incomplete run.
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut limit = cfa_core::canon::DEFAULT_DIFF_LIMIT;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--limit" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match parse_usize(value, "diff limit") {
+                    Ok(n) => limit = n,
+                    Err(code) => return code,
+                }
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                files.push(other.to_owned());
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let [left_path, right_path] = files.as_slice() else {
+        return usage();
+    };
+    let left = match read_snapshot(left_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let right = match read_snapshot(right_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let report = cfa_core::diff_snapshots(&left, &right, limit);
+    if report.is_identical() {
+        println!("identical");
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", report.render());
+        ExitCode::FAILURE
+    }
 }
 
 /// `cfa serve [--backend replicated|sharded]` — a pooled query server.

@@ -422,6 +422,133 @@ fn serve_answers_stats_with_pool_gauges() {
 }
 
 #[test]
+fn dump_is_engine_invariant_and_compare_agrees() {
+    let file = write_temp("dump.scm", JOINED_SCHEME);
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let seq = tmp.join(format!("cfa-cli-test-{pid}-dump-seq.json"));
+    let shard = tmp.join(format!("cfa-cli-test-{pid}-dump-shard.json"));
+    for (backend, mode, out_path) in [
+        ("sequential", "semi-naive", &seq),
+        ("sharded", "full-reeval", &shard),
+    ] {
+        let out = cfa()
+            .args(["dump", "--kcfa", "1", "--backend", backend, "--mode", mode])
+            .args(["--threads", "3", "--out"])
+            .arg(out_path)
+            .arg(&file)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{backend}: {out:?}");
+    }
+    // Byte-identical normal forms regardless of which engine ran.
+    assert_eq!(std::fs::read(&seq).unwrap(), std::fs::read(&shard).unwrap());
+    let out = cfa().arg("compare").args([&seq, &shard]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "identical");
+}
+
+#[test]
+fn compare_names_the_first_divergent_fact() {
+    let file = write_temp("perturb.scm", "(define (id x) x) (id 42)");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let a = tmp.join(format!("cfa-cli-test-{pid}-perturb-a.json"));
+    let b = tmp.join(format!("cfa-cli-test-{pid}-perturb-b.json"));
+    let out = cfa()
+        .args(["dump", "--kcfa", "1", "--out"])
+        .arg(&a)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Artificially perturb one flow fact: the halt value 42 becomes 43.
+    let perturbed = std::fs::read_to_string(&a).unwrap().replace("42", "43");
+    std::fs::write(&b, perturbed).unwrap();
+    let out = cfa()
+        .args(["compare", "--limit", "2"])
+        .args([&a, &b])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("42"), "diff must name the fact:\n{text}");
+    assert!(text.contains("divergent fact"), "{text}");
+}
+
+#[test]
+fn compare_rejects_malformed_snapshots_with_code_2() {
+    let good_src = write_temp("wellformed.scm", "((lambda (x) x) 1)");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let good = tmp.join(format!("cfa-cli-test-{pid}-good.json"));
+    let out = cfa()
+        .args(["dump", "--mcfa", "1", "--out"])
+        .arg(&good)
+        .arg(&good_src)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let bad = write_temp("mangled.json", "{\"schema\": oops");
+    let out = cfa().arg("compare").arg(&good).arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("malformed"), "{err}");
+}
+
+#[test]
+fn dump_refuses_partial_fixpoints() {
+    let file = write_temp("dump-partial.scm", "(define (f x) x) (f (f 1))");
+    let out_path = std::env::temp_dir().join(format!(
+        "cfa-cli-test-{}-dump-partial.json",
+        std::process::id()
+    ));
+    let out = cfa()
+        .args(["dump", "--kcfa", "1", "--out"])
+        .arg(&out_path)
+        .arg(&file)
+        .env("CFA_MAX_ITERS", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(
+        !out_path.exists(),
+        "a truncated run must not be dumped as a comparable snapshot"
+    );
+}
+
+#[test]
+fn compare_rejects_incomplete_snapshots_as_not_comparable() {
+    let src = write_temp("complete.scm", "((lambda (x) x) 1)");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let complete = tmp.join(format!("cfa-cli-test-{pid}-complete.json"));
+    let out = cfa()
+        .args(["dump", "--kcfa", "0", "--out"])
+        .arg(&complete)
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Hand-forge a snapshot claiming a truncated run; `cfa dump` itself
+    // refuses to produce one, but a stale or corrupted artifact could.
+    let truncated = tmp.join(format!("cfa-cli-test-{pid}-truncated.json"));
+    let forged = std::fs::read_to_string(&complete).unwrap().replace(
+        "\"status\": \"complete\"",
+        "\"status\": \"iteration-limit\"",
+    );
+    std::fs::write(&truncated, forged).unwrap();
+    let out = cfa()
+        .arg("compare")
+        .args([&complete, &truncated])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not comparable"), "{err}");
+}
+
+#[test]
 fn fj_gc_reports_precision_neutral_collection() {
     let file = write_temp("gc.java", DISPATCH_JAVA);
     let out = cfa()

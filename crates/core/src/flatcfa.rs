@@ -39,6 +39,7 @@ use crate::store::{Flow, FlowSet};
 use cfa_concrete::base::Slot;
 use cfa_syntax::cps::{AExp, CallId, CallKind, CpsProgram, Label, LamId, LamSort};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A flat-environment abstract address: slot × abstract environment.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -81,7 +82,7 @@ pub enum FlatPolicy {
 /// The flat-environment abstract machine.
 #[derive(Debug)]
 pub struct FlatCfaMachine<'p> {
-    program: &'p CpsProgram,
+    program: crate::ProgramSource<'p>,
     bound: usize,
     policy: FlatPolicy,
     operator_flows: HashMap<CallId, (BTreeSet<LamId>, bool)>,
@@ -90,8 +91,24 @@ pub struct FlatCfaMachine<'p> {
 }
 
 impl<'p> FlatCfaMachine<'p> {
-    /// Creates a machine with the given context bound and policy.
+    /// Creates a machine with the given context bound and policy,
+    /// borrowing the caller's program (the direct entry points).
     pub fn new(program: &'p CpsProgram, bound: usize, policy: FlatPolicy) -> Self {
+        Self::from_source(crate::ProgramSource::Borrowed(program), bound, policy)
+    }
+
+    /// Creates a `'static` machine holding shared ownership of the
+    /// program — the form [`crate::pool::AnalysisPool`] tenants need,
+    /// since they outlive the submitting stack frame.
+    pub fn new_owned(
+        program: Arc<CpsProgram>,
+        bound: usize,
+        policy: FlatPolicy,
+    ) -> FlatCfaMachine<'static> {
+        FlatCfaMachine::from_source(crate::ProgramSource::Owned(program), bound, policy)
+    }
+
+    fn from_source(program: crate::ProgramSource<'p>, bound: usize, policy: FlatPolicy) -> Self {
         FlatCfaMachine {
             program,
             bound,
@@ -267,7 +284,11 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
         store: &mut TrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
     ) {
-        let call_data = self.program.call(config.call);
+        // Clone the source (a reference copy or an `Arc` bump) so
+        // `call_data` borrows the local, not `self` — the transfer
+        // functions below need `&mut self`.
+        let program = self.program.clone();
+        let call_data = program.call(config.call);
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval(func, &config.env, store);
@@ -574,7 +595,7 @@ impl<'p> AbstractMachine for FlatCfaMachine<'p> {
 
 impl<'p> crate::parallel::ParallelMachine for FlatCfaMachine<'p> {
     fn fork(&self) -> Self {
-        FlatCfaMachine::new(self.program, self.bound, self.policy)
+        FlatCfaMachine::from_source(self.program.clone(), self.bound, self.policy)
     }
 
     fn absorb(&mut self, worker: Self) {
@@ -704,7 +725,11 @@ impl<'p> ReferenceMachine for FlatCfaMachine<'p> {
         store: &mut RefTrackedStore<'_, AddrM, ValM>,
         out: &mut Vec<MConfig>,
     ) {
-        let call_data = self.program.call(config.call);
+        // Clone the source (a reference copy or an `Arc` bump) so
+        // `call_data` borrows the local, not `self` — the transfer
+        // functions below need `&mut self`.
+        let program = self.program.clone();
+        let call_data = program.call(config.call);
         match &call_data.kind {
             CallKind::App { func, args } => {
                 let fset = self.eval_ref(func, &config.env, store);
@@ -973,6 +998,106 @@ pub fn analyze_poly_kcfa(program: &CpsProgram, k: usize, limits: EngineLimits) -
 /// Renders a flat-machine abstract value (re-exported convenience).
 pub fn render_flat_val(program: &CpsProgram, v: &ValM) -> String {
     render_val(program, v)
+}
+
+/// A pending pooled flat-environment analysis — the ticket returned by
+/// [`submit_mcfa`] and [`submit_poly_kcfa`], mirroring
+/// [`crate::kcfa::KcfaJob`].
+#[derive(Debug)]
+pub struct FlatJob {
+    handle: crate::pool::JobHandle<crate::pool::PoolRun<FlatCfaMachine<'static>>>,
+    program: Arc<CpsProgram>,
+    name: String,
+}
+
+impl FlatJob {
+    /// Blocks until the analysis finishes and assembles the same
+    /// [`FlatCfaResult`] the direct [`analyze_mcfa`] /
+    /// [`analyze_poly_kcfa`] entry points build.
+    pub fn wait(self) -> FlatCfaResult {
+        let run = self.handle.wait();
+        let metrics = build_metrics(
+            self.name,
+            &self.program,
+            &run.fixpoint,
+            &run.machine.operator_flows,
+            &run.machine.lam_entry_envs,
+            &run.machine.halt_values,
+        );
+        FlatCfaResult {
+            fixpoint: run.fixpoint,
+            metrics,
+            halt_values: run.machine.halt_values,
+        }
+    }
+
+    /// Whether the run has deposited its result ([`FlatJob::wait`]
+    /// returns without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Requests cancellation: still-queued runs finish
+    /// [`crate::engine::Status::Cancelled`] at zero iterations.
+    pub fn cancel(&self) {
+        self.handle.cancel();
+    }
+}
+
+fn submit_flat<B: crate::pool::PoolBackend>(
+    pool: &crate::pool::AnalysisPool,
+    program: Arc<CpsProgram>,
+    bound: usize,
+    policy: FlatPolicy,
+    name: String,
+    limits: EngineLimits,
+) -> FlatJob {
+    let machine = FlatCfaMachine::new_owned(Arc::clone(&program), bound, policy);
+    let handle = pool.submit::<B, _>(machine, limits, crate::engine::EvalMode::SemiNaive);
+    FlatJob {
+        handle,
+        program,
+        name,
+    }
+}
+
+/// Submits an m-CFA analysis of `program` (context bound `m`) to
+/// `pool` under store backend `B`, returning immediately. The pool
+/// drives it to the same fixpoint [`analyze_mcfa`] computes — the
+/// fixed point of a monotone transfer function is unique — while
+/// time-slicing fairly against the pool's other tenants.
+pub fn submit_mcfa<B: crate::pool::PoolBackend>(
+    pool: &crate::pool::AnalysisPool,
+    program: Arc<CpsProgram>,
+    m: usize,
+    limits: EngineLimits,
+) -> FlatJob {
+    submit_flat::<B>(
+        pool,
+        program,
+        m,
+        FlatPolicy::TopMFrames,
+        format!("m-CFA(m={m})"),
+        limits,
+    )
+}
+
+/// Submits a naive polynomial k-CFA analysis of `program` to `pool`
+/// under store backend `B`; see [`submit_mcfa`].
+pub fn submit_poly_kcfa<B: crate::pool::PoolBackend>(
+    pool: &crate::pool::AnalysisPool,
+    program: Arc<CpsProgram>,
+    k: usize,
+    limits: EngineLimits,
+) -> FlatJob {
+    submit_flat::<B>(
+        pool,
+        program,
+        k,
+        FlatPolicy::LastKCalls,
+        format!("poly-k-CFA(k={k})"),
+        limits,
+    )
 }
 
 #[cfg(test)]

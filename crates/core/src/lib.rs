@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod callgraph;
+pub mod canon;
 pub mod constraints;
 pub mod domain;
 pub mod engine;
@@ -51,10 +52,17 @@ pub mod store;
 pub mod telemetry;
 pub mod zerocfa_datalog;
 
+pub use canon::{
+    canon_kcfa, canon_kcfa_ref, canon_mcfa, canon_mcfa_ref, canon_poly_kcfa, canon_poly_kcfa_ref,
+    diff_snapshots, CanonSnapshot, DiffReport, MalformedSnapshot, NotComparable,
+};
 pub use domain::{AVal, AbsBasic, CallString};
 pub use engine::{DeltaFlow, EngineLimits, EvalMode, Status};
 pub use fabric::WakeBatching;
-pub use flatcfa::{analyze_mcfa, analyze_poly_kcfa, FlatCfaResult, FlatPolicy};
+pub use flatcfa::{
+    analyze_mcfa, analyze_poly_kcfa, submit_mcfa, submit_poly_kcfa, FlatCfaResult, FlatJob,
+    FlatPolicy,
+};
 pub use kcfa::{analyze_kcfa, KcfaResult};
 pub use naive::{
     analyze_kcfa_naive, analyze_kcfa_naive_gamma, analyze_kcfa_naive_with, Count, GammaOptions,

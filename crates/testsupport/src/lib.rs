@@ -245,6 +245,180 @@ pub fn check_fj_program(src: &str, name: &str, ks: &[usize]) {
     }
 }
 
+/// Runs fresh machine instances through the full engine matrix (like
+/// [`assert_engines_agree`]) but compares *canonical snapshots*: every
+/// engine's fixpoint is normalized via the given `canon_*` projections
+/// and all serialized normal forms must be byte-identical. Returns the
+/// agreed snapshot.
+fn canon_across_engines<M, R, CF, CR, F, G>(
+    label: &str,
+    mk_new: F,
+    mk_ref: G,
+    canon_fix: CF,
+    canon_ref: CR,
+) -> cfa_core::CanonSnapshot
+where
+    M: ParallelMachine,
+    R: ReferenceMachine<Config = M::Config, Addr = M::Addr, Val = M::Val>,
+    M::Config: Hash + Eq + Clone + Send + Sync + Debug,
+    M::Addr: Ord + Clone + Send + Sync + Debug,
+    M::Val: Ord + Clone + Hash + Send + Sync + Debug,
+    F: Fn() -> M,
+    G: FnOnce() -> R,
+    CF: Fn(
+        &cfa_core::engine::FixpointResult<M::Config, M::Addr, M::Val>,
+    ) -> Result<cfa_core::CanonSnapshot, cfa_core::NotComparable>,
+    CR: Fn(
+        &cfa_core::reference::RefFixpointResult<M::Config, M::Addr, M::Val>,
+    ) -> Result<cfa_core::CanonSnapshot, cfa_core::NotComparable>,
+{
+    let limits = EngineLimits::default;
+    let backends = backend_selection();
+    let reference = run_fixpoint_reference(&mut mk_ref(), limits());
+    let baseline = canon_ref(&reference)
+        .unwrap_or_else(|e| panic!("{label}: reference engine has no normal form: {e}"));
+    let expected = baseline.to_json();
+
+    let check = |engine: &str, got: Result<cfa_core::CanonSnapshot, cfa_core::NotComparable>| {
+        let snapshot = got.unwrap_or_else(|e| panic!("{label}: {engine} has no normal form: {e}"));
+        let json = snapshot.to_json();
+        if json != expected {
+            let report = cfa_core::diff_snapshots(&baseline, &snapshot, 10);
+            panic!(
+                "{label}: {engine} normal form diverges from reference:\n{}",
+                report.render()
+            );
+        }
+    };
+
+    for mode in [EvalMode::SemiNaive, EvalMode::FullReeval] {
+        let r = run_fixpoint_with(&mut mk_new(), limits(), mode);
+        check(&format!("sequential {mode:?}"), canon_fix(&r));
+        if backends.replicated {
+            let p = run_fixpoint_parallel_on::<Replicated, M>(
+                &mut mk_new(),
+                PAR_THREADS,
+                limits(),
+                mode,
+            );
+            check(&format!("replicated-parallel {mode:?}"), canon_fix(&p));
+        }
+        if backends.sharded {
+            let s =
+                run_fixpoint_parallel_on::<Sharded, M>(&mut mk_new(), PAR_THREADS, limits(), mode);
+            check(&format!("sharded-parallel {mode:?}"), canon_fix(&s));
+        }
+    }
+    baseline
+}
+
+/// Runs one analysis on `program` through the full engine matrix
+/// (sequential, replicated-parallel, sharded-parallel × both eval
+/// modes, plus the reference oracle — honoring [`backend_selection`])
+/// and asserts every engine's canonical normal form serializes
+/// byte-identically. Returns the agreed snapshot.
+///
+/// # Panics
+///
+/// Panics (with `label` and the engine name in the message, plus a
+/// structural diff) when any engine's normal form diverges, or when any
+/// engine fails to reach a complete fixpoint.
+pub fn canon_snapshot_matrix(
+    program: &cfa_syntax::cps::CpsProgram,
+    label: &str,
+    analysis: cfa_core::Analysis,
+) -> cfa_core::CanonSnapshot {
+    use cfa_core::Analysis;
+    match analysis {
+        Analysis::KCfa { k } => canon_across_engines(
+            &format!("{label} [{analysis}]"),
+            || KCfaMachine::new(program, k),
+            || KCfaMachine::new(program, k),
+            |r| cfa_core::canon_kcfa(program, k, r),
+            |r| cfa_core::canon_kcfa_ref(program, k, r),
+        ),
+        Analysis::MCfa { m } => canon_across_engines(
+            &format!("{label} [{analysis}]"),
+            || FlatCfaMachine::new(program, m, FlatPolicy::TopMFrames),
+            || FlatCfaMachine::new(program, m, FlatPolicy::TopMFrames),
+            |r| cfa_core::canon_mcfa(program, m, r),
+            |r| cfa_core::canon_mcfa_ref(program, m, r),
+        ),
+        Analysis::PolyKCfa { k } => canon_across_engines(
+            &format!("{label} [{analysis}]"),
+            || FlatCfaMachine::new(program, k, FlatPolicy::LastKCalls),
+            || FlatCfaMachine::new(program, k, FlatPolicy::LastKCalls),
+            |r| cfa_core::canon_poly_kcfa(program, k, r),
+            |r| cfa_core::canon_poly_kcfa_ref(program, k, r),
+        ),
+    }
+}
+
+/// The repository-root `tests/golden/` directory where snapshot
+/// artifacts are committed.
+pub fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .canonicalize()
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+        })
+}
+
+/// Whether `CFA_BLESS=1` is set: golden checks regenerate their
+/// artifacts instead of comparing against them.
+pub fn bless_requested() -> bool {
+    std::env::var("CFA_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Turns a human-readable program name into a stable artifact file
+/// stem: lowercased, every non-alphanumeric run collapsed to one `-`.
+pub fn golden_slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_owned()
+}
+
+/// Compares `actual` against the committed golden artifact at `path`
+/// (relative to [`golden_dir`]). Under `CFA_BLESS=1` the artifact is
+/// (re)written instead; otherwise a missing or differing file panics
+/// with regeneration instructions.
+///
+/// # Panics
+///
+/// Panics when the artifact is missing or differs and blessing was not
+/// requested.
+pub fn check_golden(relative: &str, actual: &str) {
+    let path = golden_dir().join(relative);
+    if bless_requested() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create golden dir");
+        }
+        std::fs::write(&path, actual).expect("write golden artifact");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden artifact {}: {e}\n\
+             regenerate with: CFA_BLESS=1 cargo test",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "golden artifact {} is stale\n\
+         regenerate with: CFA_BLESS=1 cargo test",
+        path.display()
+    );
+}
+
 /// The marker every deliberately injected panic message carries.
 /// [`quiet_injected_panics`] suppresses the default panic banner for
 /// payloads containing it, so fault-injection suites don't spray

@@ -71,6 +71,20 @@ assert len(lanes) == 2, lanes
 assert all(n >= 1 for n in lanes.values()), lanes
 print(f"trace smoke ok: {dict(lanes)}")
 EOF
+# Corpus-scale differential sweep per store backend, mirroring CI's
+# `corpus` matrix legs: the golden snapshot + canon property suites,
+# then corpus_diff pushes the bounded corpus (suite + golden concurrent
+# programs + 16 seeded generated programs, seed 0) through all seven
+# engine configurations via the AnalysisPool and diffs the canonical
+# normal forms. Widen the generated band for a nightly-scale run with
+# e.g. CFA_CORPUS_SIZE=500 ./scripts/check.sh
+for backend in replicated sharded; do
+    echo "corpus differential sweep: CFA_STORE_BACKEND=${backend}"
+    CFA_STORE_BACKEND="${backend}" cargo test -q --test snapshots --test canon_prop
+    CFA_STORE_BACKEND="${backend}" CFA_CORPUS_SIZE="${CFA_CORPUS_SIZE:-16}" \
+        CFA_CORPUS_SEED="${CFA_CORPUS_SEED:-0}" \
+        cargo run -p cfa-bench --release --quiet --bin corpus_diff
+done
 cargo fmt --all --check
 # Lint every first-party crate; the vendored stand-ins (rand, proptest,
 # criterion) are build inputs, not code we hold to clippy.
